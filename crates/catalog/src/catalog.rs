@@ -1,0 +1,1160 @@
+//! The catalog proper: schema construction, finalization and queries.
+
+use crate::error::CatalogError;
+use crate::ids::{AttrId, ClassId, VerifyId};
+use crate::schema::{
+    Attribute, AttributeKind, AttributeOptions, Cardinality, Class, EvaMapping, VerifyConstraint,
+};
+use sim_types::Domain;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// The Directory Manager: all schema objects of one database.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    classes: Vec<Class>,
+    attributes: Vec<Attribute>,
+    verifies: Vec<VerifyConstraint>,
+    types: HashMap<String, Domain>,
+    class_names: HashMap<String, ClassId>,
+    /// EVAs whose declared inverse has not been linked yet:
+    /// `attr -> Some(name)` (declared `inverse is name`) or `None`.
+    pending_inverses: HashMap<AttrId, Option<String>>,
+    finalized: bool,
+}
+
+fn key(name: &str) -> String {
+    name.to_ascii_lowercase()
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    // ----- named types ---------------------------------------------------------
+
+    /// Define a named type (`Type degree = symbolic (BS, MBA, MS, PHD)`).
+    pub fn define_type(&mut self, name: &str, domain: Domain) -> Result<(), CatalogError> {
+        if self.types.contains_key(&key(name)) {
+            return Err(CatalogError::DuplicateName(format!("type {name}")));
+        }
+        self.types.insert(key(name), domain);
+        Ok(())
+    }
+
+    /// Look up a named type.
+    pub fn lookup_type(&self, name: &str) -> Option<&Domain> {
+        self.types.get(&key(name))
+    }
+
+    // ----- classes --------------------------------------------------------------
+
+    /// Define a base class.
+    pub fn define_base_class(&mut self, name: &str) -> Result<ClassId, CatalogError> {
+        self.define_class(name, Vec::new())
+    }
+
+    /// Define a subclass of one or more existing classes.
+    pub fn define_subclass(
+        &mut self,
+        name: &str,
+        superclasses: &[ClassId],
+    ) -> Result<ClassId, CatalogError> {
+        if superclasses.is_empty() {
+            return Err(CatalogError::HierarchyViolation(format!(
+                "subclass {name} needs at least one superclass"
+            )));
+        }
+        self.define_class(name, superclasses.to_vec())
+    }
+
+    fn define_class(
+        &mut self,
+        name: &str,
+        superclasses: Vec<ClassId>,
+    ) -> Result<ClassId, CatalogError> {
+        if self.class_names.contains_key(&key(name)) {
+            return Err(CatalogError::DuplicateName(format!("class {name}")));
+        }
+        // All hierarchies of the superclasses must share one base class
+        // ("the set of ancestors of any node contain at most one base
+        // class", §3.1).
+        let mut base: Option<ClassId> = None;
+        for &sup in &superclasses {
+            let sup_base = self
+                .classes
+                .get(sup.0 as usize)
+                .ok_or_else(|| CatalogError::Unknown(format!("superclass {sup}")))?
+                .base;
+            match base {
+                None => base = Some(sup_base),
+                Some(b) if b == sup_base => {}
+                Some(b) => {
+                    return Err(CatalogError::HierarchyViolation(format!(
+                        "class {name} would have two base-class ancestors ({} and {})",
+                        self.classes[b.0 as usize].name, self.classes[sup_base.0 as usize].name
+                    )));
+                }
+            }
+        }
+        let id = ClassId(self.classes.len() as u32);
+        self.classes.push(Class {
+            id,
+            name: name.to_owned(),
+            superclasses: superclasses.clone(),
+            subclasses: Vec::new(),
+            attributes: Vec::new(),
+            base: base.unwrap_or(id),
+        });
+        for sup in superclasses {
+            self.classes[sup.0 as usize].subclasses.push(id);
+        }
+        self.class_names.insert(key(name), id);
+        Ok(id)
+    }
+
+    // ----- attributes ------------------------------------------------------------
+
+    fn check_new_attr(&self, class: ClassId, name: &str) -> Result<(), CatalogError> {
+        self.class(class)?;
+        // The name must not collide with any attribute visible from this
+        // class or any of its (current) descendants.
+        let mut scope: Vec<ClassId> = self.ancestors(class);
+        scope.push(class);
+        scope.extend(self.descendants(class));
+        for c in scope {
+            for &a in &self.classes[c.0 as usize].attributes {
+                if key(&self.attributes[a.0 as usize].name) == key(name) {
+                    return Err(CatalogError::DuplicateName(format!(
+                        "attribute {name} already visible on {}",
+                        self.classes[c.0 as usize].name
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn push_attr(&mut self, attr: Attribute) -> AttrId {
+        let id = attr.id;
+        self.classes[attr.owner.0 as usize].attributes.push(id);
+        self.attributes.push(attr);
+        id
+    }
+
+    /// Add a data-valued attribute.
+    pub fn add_dva(
+        &mut self,
+        class: ClassId,
+        name: &str,
+        domain: Domain,
+        options: AttributeOptions,
+    ) -> Result<AttrId, CatalogError> {
+        self.check_new_attr(class, name)?;
+        Self::check_options(name, &options)?;
+        let id = AttrId(self.attributes.len() as u32);
+        Ok(self.push_attr(Attribute {
+            id,
+            name: name.to_owned(),
+            owner: class,
+            kind: AttributeKind::Dva { domain },
+            options,
+            mapping: EvaMapping::Default,
+        }))
+    }
+
+    /// Add an entity-valued attribute. `inverse_name` is the declared
+    /// `inverse is …` clause; inverses are linked at [`Catalog::finalize`].
+    pub fn add_eva(
+        &mut self,
+        class: ClassId,
+        name: &str,
+        range: ClassId,
+        inverse_name: Option<&str>,
+        options: AttributeOptions,
+    ) -> Result<AttrId, CatalogError> {
+        self.check_new_attr(class, name)?;
+        Self::check_options(name, &options)?;
+        self.class(range)?;
+        let id = AttrId(self.attributes.len() as u32);
+        self.push_attr(Attribute {
+            id,
+            name: name.to_owned(),
+            owner: class,
+            kind: AttributeKind::Eva { range, inverse: None, implicit: false },
+            options,
+            mapping: EvaMapping::Default,
+        });
+        self.pending_inverses.insert(id, inverse_name.map(str::to_owned));
+        Ok(id)
+    }
+
+    /// Add a subrole attribute (labels are validated against the immediate
+    /// subclasses at finalization, since subclasses may be declared later).
+    pub fn add_subrole(
+        &mut self,
+        class: ClassId,
+        name: &str,
+        labels: Vec<String>,
+        options: AttributeOptions,
+    ) -> Result<AttrId, CatalogError> {
+        self.check_new_attr(class, name)?;
+        if options.required || options.unique {
+            return Err(CatalogError::BadSubrole(format!(
+                "subrole {name} is system-maintained; REQUIRED/UNIQUE do not apply"
+            )));
+        }
+        let id = AttrId(self.attributes.len() as u32);
+        Ok(self.push_attr(Attribute {
+            id,
+            name: name.to_owned(),
+            owner: class,
+            kind: AttributeKind::Subrole { labels },
+            options,
+            mapping: EvaMapping::Default,
+        }))
+    }
+
+    /// Add a derived attribute (paper §6): read-only, computed at query
+    /// time from `source` (a DML value expression over the entity).
+    pub fn add_derived(
+        &mut self,
+        class: ClassId,
+        name: &str,
+        source: &str,
+    ) -> Result<AttrId, CatalogError> {
+        self.check_new_attr(class, name)?;
+        if source.trim().is_empty() {
+            return Err(CatalogError::BadAttribute(format!(
+                "derived attribute {name} needs a defining expression"
+            )));
+        }
+        let id = AttrId(self.attributes.len() as u32);
+        Ok(self.push_attr(Attribute {
+            id,
+            name: name.to_owned(),
+            owner: class,
+            kind: AttributeKind::Derived { source: source.to_owned() },
+            options: AttributeOptions::none(),
+            mapping: EvaMapping::Default,
+        }))
+    }
+
+    /// Set an EVA/MV-DVA physical-mapping override (§5.2: "the user can
+    /// override the default and choose any access method or mapping
+    /// supported by the underlying system").
+    pub fn set_mapping(&mut self, attr: AttrId, mapping: EvaMapping) -> Result<(), CatalogError> {
+        let a = self
+            .attributes
+            .get_mut(attr.0 as usize)
+            .ok_or_else(|| CatalogError::Unknown(format!("{attr}")))?;
+        if a.is_subrole() {
+            return Err(CatalogError::BadAttribute(format!(
+                "subrole {} has no physical mapping",
+                a.name
+            )));
+        }
+        a.mapping = mapping;
+        Ok(())
+    }
+
+    fn check_options(name: &str, options: &AttributeOptions) -> Result<(), CatalogError> {
+        if !options.multivalued && (options.distinct || options.max.is_some()) {
+            return Err(CatalogError::BadAttribute(format!(
+                "{name}: DISTINCT/MAX apply only to multi-valued attributes"
+            )));
+        }
+        if options.max == Some(0) {
+            return Err(CatalogError::BadAttribute(format!("{name}: MAX must be positive")));
+        }
+        Ok(())
+    }
+
+    // ----- verify constraints -------------------------------------------------------
+
+    /// Register a VERIFY constraint; the assertion text is compiled by the
+    /// query layer.
+    pub fn add_verify(
+        &mut self,
+        name: &str,
+        class: ClassId,
+        assertion: &str,
+        message: &str,
+    ) -> Result<VerifyId, CatalogError> {
+        self.class(class)?;
+        if self.verifies.iter().any(|v| key(&v.name) == key(name)) {
+            return Err(CatalogError::DuplicateName(format!("verify {name}")));
+        }
+        let id = VerifyId(self.verifies.len() as u32);
+        self.verifies.push(VerifyConstraint {
+            id,
+            name: name.to_owned(),
+            class,
+            assertion: assertion.to_owned(),
+            message: message.to_owned(),
+        });
+        Ok(id)
+    }
+
+    /// All VERIFY constraints.
+    pub fn verifies(&self) -> &[VerifyConstraint] {
+        &self.verifies
+    }
+
+    /// VERIFY constraints whose perspective is `class` or one of its
+    /// ancestors (an update to a subclass entity can violate a superclass
+    /// constraint).
+    pub fn verifies_for(&self, class: ClassId) -> Vec<&VerifyConstraint> {
+        let mut scope: HashSet<ClassId> = self.ancestors(class).into_iter().collect();
+        scope.insert(class);
+        scope.extend(self.descendants(class));
+        self.verifies.iter().filter(|v| scope.contains(&v.class)).collect()
+    }
+
+    // ----- finalization ---------------------------------------------------------------
+
+    /// Link inverses, create implicit inverse EVAs, and validate every
+    /// structural rule. Must be called once after all definitions.
+    pub fn finalize(&mut self) -> Result<(), CatalogError> {
+        self.link_inverses()?;
+        self.validate()?;
+        self.finalized = true;
+        Ok(())
+    }
+
+    /// True once [`Catalog::finalize`] has succeeded.
+    pub fn is_finalized(&self) -> bool {
+        self.finalized
+    }
+
+    fn link_inverses(&mut self) -> Result<(), CatalogError> {
+        let pending: Vec<(AttrId, Option<String>)> =
+            self.pending_inverses.drain().collect();
+        // Named inverses first (so auto-creation does not steal a name).
+        let mut ordered = pending;
+        ordered.sort_by_key(|(a, n)| (n.is_none(), a.0));
+
+        for (attr_id, declared) in ordered {
+            if self.attributes[attr_id.0 as usize].eva_inverse().is_some() {
+                continue; // already linked from the partner side
+            }
+            let (owner, range) = {
+                let a = &self.attributes[attr_id.0 as usize];
+                (a.owner, a.eva_range().expect("pending inverse on non-EVA"))
+            };
+            match declared {
+                Some(inv_name) => {
+                    // Self-inverse: `spouse: person inverse is spouse`.
+                    if key(&inv_name) == key(&self.attributes[attr_id.0 as usize].name)
+                        && self.is_same_or_related(range, owner)
+                    {
+                        self.set_inverse(attr_id, attr_id);
+                        continue;
+                    }
+                    // A declared attribute of that name on the range class?
+                    match self.attr_on_class(range, &inv_name) {
+                        Some(partner) => {
+                            let p = &self.attributes[partner.0 as usize];
+                            let p_range = p.eva_range().ok_or_else(|| {
+                                CatalogError::BadAttribute(format!(
+                                    "inverse {inv_name} of {} is not an EVA",
+                                    self.attributes[attr_id.0 as usize].name
+                                ))
+                            })?;
+                            // The partner must point back at (an ancestor of)
+                            // the owner.
+                            if !self.is_same_or_related(p_range, owner) {
+                                return Err(CatalogError::BadAttribute(format!(
+                                    "inverse pair {} / {inv_name} ranges do not match",
+                                    self.attributes[attr_id.0 as usize].name
+                                )));
+                            }
+                            if let Some(existing) = p.eva_inverse() {
+                                if existing != attr_id {
+                                    return Err(CatalogError::BadAttribute(format!(
+                                        "attribute {inv_name} is already the inverse of another EVA"
+                                    )));
+                                }
+                            }
+                            self.set_inverse(attr_id, partner);
+                            self.set_inverse(partner, attr_id);
+                        }
+                        None => {
+                            // Create the named implicit inverse on the range class.
+                            let partner =
+                                self.create_implicit_inverse(range, &inv_name, owner, attr_id)?;
+                            self.set_inverse(attr_id, partner);
+                        }
+                    }
+                }
+                None => {
+                    let name = format!(
+                        "inverse({})",
+                        self.attributes[attr_id.0 as usize].name
+                    );
+                    let partner = self.create_implicit_inverse(range, &name, owner, attr_id)?;
+                    self.set_inverse(attr_id, partner);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn create_implicit_inverse(
+        &mut self,
+        on: ClassId,
+        name: &str,
+        range: ClassId,
+        inverse_of: AttrId,
+    ) -> Result<AttrId, CatalogError> {
+        self.check_new_attr(on, name)?;
+        let id = AttrId(self.attributes.len() as u32);
+        self.push_attr(Attribute {
+            id,
+            name: name.to_owned(),
+            owner: on,
+            kind: AttributeKind::Eva { range, inverse: Some(inverse_of), implicit: true },
+            // Implicit inverses are unconstrained: multi-valued, optional.
+            options: AttributeOptions::mv(),
+            mapping: EvaMapping::Default,
+        });
+        Ok(id)
+    }
+
+    fn set_inverse(&mut self, attr: AttrId, inverse: AttrId) {
+        if let AttributeKind::Eva { inverse: inv, .. } =
+            &mut self.attributes[attr.0 as usize].kind
+        {
+            *inv = Some(inverse);
+        }
+    }
+
+    fn is_same_or_related(&self, a: ClassId, b: ClassId) -> bool {
+        a == b || self.is_ancestor(a, b) || self.is_ancestor(b, a)
+    }
+
+    /// Validate the full schema. Called by [`Catalog::finalize`]; public for
+    /// tests that build schemas manually.
+    pub fn validate(&self) -> Result<(), CatalogError> {
+        // 1. Acyclicity (guaranteed by construction, but verify anyway) and
+        //    single-base rule.
+        for class in &self.classes {
+            let ancestors = self.ancestors(class.id);
+            if ancestors.contains(&class.id) {
+                return Err(CatalogError::HierarchyViolation(format!(
+                    "class {} participates in a generalization cycle",
+                    class.name
+                )));
+            }
+            let bases: HashSet<ClassId> = ancestors
+                .iter()
+                .chain(std::iter::once(&class.id))
+                .filter(|c| self.classes[c.0 as usize].is_base())
+                .copied()
+                .collect();
+            if bases.len() > 1 {
+                return Err(CatalogError::HierarchyViolation(format!(
+                    "class {} has more than one base-class ancestor",
+                    class.name
+                )));
+            }
+        }
+
+        // 2. Attribute-name uniqueness along every inheritance path.
+        for class in &self.classes {
+            let mut seen: HashMap<String, AttrId> = HashMap::new();
+            for attr_id in self.all_attributes(class.id) {
+                let attr = &self.attributes[attr_id.0 as usize];
+                if let Some(prev) = seen.insert(key(&attr.name), attr_id) {
+                    if prev != attr_id {
+                        return Err(CatalogError::DuplicateName(format!(
+                            "attribute {} is ambiguous on class {}",
+                            attr.name, class.name
+                        )));
+                    }
+                }
+            }
+        }
+
+        // 3. Subrole coverage: "every class that has subclasses must have a
+        //    special attribute of subrole type declared with it" whose
+        //    "value set must contain the names of all the immediate
+        //    subclasses" (§3.2). Labels must also name immediate subclasses.
+        for class in &self.classes {
+            let immediate: HashSet<String> = class
+                .subclasses
+                .iter()
+                .map(|c| key(&self.classes[c.0 as usize].name))
+                .collect();
+            let mut covered: HashSet<String> = HashSet::new();
+            for &attr_id in &class.attributes {
+                if let AttributeKind::Subrole { labels } =
+                    &self.attributes[attr_id.0 as usize].kind
+                {
+                    for label in labels {
+                        if !immediate.contains(&key(label)) {
+                            return Err(CatalogError::BadSubrole(format!(
+                                "subrole {} on {} names {} which is not an immediate subclass",
+                                self.attributes[attr_id.0 as usize].name, class.name, label
+                            )));
+                        }
+                        covered.insert(key(label));
+                    }
+                }
+            }
+            if !class.subclasses.is_empty() && covered != immediate {
+                let missing: Vec<&String> = immediate.difference(&covered).collect();
+                return Err(CatalogError::BadSubrole(format!(
+                    "class {} has subclasses not covered by any subrole attribute: {missing:?}",
+                    class.name
+                )));
+            }
+        }
+
+        // 4. EVA inverse symmetry.
+        for attr in &self.attributes {
+            if let AttributeKind::Eva { range, inverse, .. } = &attr.kind {
+                let inv = inverse.ok_or_else(|| {
+                    CatalogError::BadAttribute(format!("EVA {} has no inverse", attr.name))
+                })?;
+                let partner = &self.attributes[inv.0 as usize];
+                let back = partner.eva_inverse().ok_or_else(|| {
+                    CatalogError::BadAttribute(format!(
+                        "inverse of EVA {} is not an EVA",
+                        attr.name
+                    ))
+                })?;
+                if back != attr.id {
+                    return Err(CatalogError::BadAttribute(format!(
+                        "inverse linkage of {} is not symmetric",
+                        attr.name
+                    )));
+                }
+                if !self.is_same_or_related(partner.owner, *range)
+                    || !self.is_same_or_related(partner.eva_range().unwrap(), attr.owner)
+                {
+                    return Err(CatalogError::BadAttribute(format!(
+                        "EVA {} and its inverse disagree on domain/range",
+                        attr.name
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ----- queries ----------------------------------------------------------------------
+
+    /// Class metadata.
+    pub fn class(&self, id: ClassId) -> Result<&Class, CatalogError> {
+        self.classes
+            .get(id.0 as usize)
+            .ok_or_else(|| CatalogError::Unknown(format!("{id}")))
+    }
+
+    /// Look a class up by (case-insensitive) name.
+    pub fn class_by_name(&self, name: &str) -> Option<&Class> {
+        self.class_names.get(&key(name)).map(|id| &self.classes[id.0 as usize])
+    }
+
+    /// Attribute metadata.
+    pub fn attribute(&self, id: AttrId) -> Result<&Attribute, CatalogError> {
+        self.attributes
+            .get(id.0 as usize)
+            .ok_or_else(|| CatalogError::Unknown(format!("{id}")))
+    }
+
+    /// All classes in definition order.
+    pub fn classes(&self) -> &[Class] {
+        &self.classes
+    }
+
+    /// All attributes in definition order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// An attribute immediate to exactly this class.
+    pub fn attr_on_class(&self, class: ClassId, name: &str) -> Option<AttrId> {
+        self.classes[class.0 as usize]
+            .attributes
+            .iter()
+            .copied()
+            .find(|a| key(&self.attributes[a.0 as usize].name) == key(name))
+    }
+
+    /// Resolve an attribute name visible from `class`: immediate first, then
+    /// inherited from ancestors (paper §3.2: "a subclass inherits all the
+    /// attributes of all its ancestor classes").
+    pub fn resolve_attr(&self, class: ClassId, name: &str) -> Option<AttrId> {
+        if let Some(a) = self.attr_on_class(class, name) {
+            return Some(a);
+        }
+        for anc in self.ancestors(class) {
+            if let Some(a) = self.attr_on_class(anc, name) {
+                return Some(a);
+            }
+        }
+        None
+    }
+
+    /// All ancestors of a class (BFS order, deduplicated; nearest first).
+    pub fn ancestors(&self, class: ClassId) -> Vec<ClassId> {
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        let mut queue: VecDeque<ClassId> = self.classes[class.0 as usize]
+            .superclasses
+            .iter()
+            .copied()
+            .collect();
+        while let Some(c) = queue.pop_front() {
+            if seen.insert(c) {
+                out.push(c);
+                queue.extend(self.classes[c.0 as usize].superclasses.iter().copied());
+            }
+        }
+        out
+    }
+
+    /// All descendants of a class (BFS order, deduplicated; nearest first).
+    pub fn descendants(&self, class: ClassId) -> Vec<ClassId> {
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        let mut queue: VecDeque<ClassId> = self.classes[class.0 as usize]
+            .subclasses
+            .iter()
+            .copied()
+            .collect();
+        while let Some(c) = queue.pop_front() {
+            if seen.insert(c) {
+                out.push(c);
+                queue.extend(self.classes[c.0 as usize].subclasses.iter().copied());
+            }
+        }
+        out
+    }
+
+    /// Whether `a` is a (transitive) ancestor of `b`.
+    pub fn is_ancestor(&self, a: ClassId, b: ClassId) -> bool {
+        self.ancestors(b).contains(&a)
+    }
+
+    /// Whether an entity of class `sub` can be viewed as `sup` (identity or
+    /// generalization).
+    pub fn is_same_or_ancestor(&self, sup: ClassId, sub: ClassId) -> bool {
+        sup == sub || self.is_ancestor(sup, sub)
+    }
+
+    /// The base class at the root of a class's hierarchy.
+    pub fn base_of(&self, class: ClassId) -> ClassId {
+        self.classes[class.0 as usize].base
+    }
+
+    /// Every attribute visible on a class: ancestors root-first, then the
+    /// class's own, deduplicated (diamonds inherit once).
+    pub fn all_attributes(&self, class: ClassId) -> Vec<AttrId> {
+        let mut order: Vec<ClassId> = self.ancestors(class);
+        order.reverse(); // root-first
+        order.push(class);
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        for c in order {
+            for &a in &self.classes[c.0 as usize].attributes {
+                if seen.insert(a) {
+                    out.push(a);
+                }
+            }
+        }
+        out
+    }
+
+    /// The relationship cardinality an EVA defines, derived from the MV
+    /// options of the EVA and its inverse (paper §3.2.1).
+    pub fn cardinality(&self, eva: AttrId) -> Result<Cardinality, CatalogError> {
+        let attr = self.attribute(eva)?;
+        let inv = attr
+            .eva_inverse()
+            .ok_or_else(|| CatalogError::BadAttribute(format!("{} has no inverse", attr.name)))?;
+        let inv_mv = self.attributes[inv.0 as usize].options.multivalued;
+        Ok(match (attr.options.multivalued, inv_mv) {
+            (false, false) => Cardinality::OneToOne,
+            (false, true) => Cardinality::ManyToOne,
+            (true, false) => Cardinality::OneToMany,
+            (true, true) => Cardinality::ManyToMany,
+        })
+    }
+
+    /// Schema statistics (used by the E3 experiment to confirm ADDS scale).
+    pub fn stats(&self) -> CatalogStats {
+        let base_classes = self.classes.iter().filter(|c| c.is_base()).count();
+        let subclasses = self.classes.len() - base_classes;
+        let dvas = self.attributes.iter().filter(|a| a.is_dva()).count();
+        let explicit_evas = self
+            .attributes
+            .iter()
+            .filter(|a| matches!(a.kind, AttributeKind::Eva { implicit: false, .. }))
+            .count();
+        // Count unordered EVA/inverse pairs among explicit EVAs.
+        let mut pairs = 0usize;
+        let mut seen: HashSet<AttrId> = HashSet::new();
+        for a in &self.attributes {
+            if let AttributeKind::Eva { inverse: Some(inv), .. } = a.kind {
+                if !seen.contains(&a.id) {
+                    seen.insert(a.id);
+                    seen.insert(inv);
+                    pairs += 1;
+                }
+            }
+        }
+        let max_depth = self
+            .classes
+            .iter()
+            .map(|c| self.depth_of(c.id))
+            .max()
+            .unwrap_or(0);
+        CatalogStats {
+            base_classes,
+            subclasses,
+            dvas,
+            explicit_evas,
+            eva_pairs: pairs,
+            max_generalization_depth: max_depth,
+        }
+    }
+
+    fn depth_of(&self, class: ClassId) -> usize {
+        1 + self.classes[class.0 as usize]
+            .superclasses
+            .iter()
+            .map(|&s| self.depth_of(s))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Aggregate schema statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CatalogStats {
+    /// Number of base classes.
+    pub base_classes: usize,
+    /// Number of subclasses.
+    pub subclasses: usize,
+    /// Number of DVAs.
+    pub dvas: usize,
+    /// Number of explicitly declared EVAs.
+    pub explicit_evas: usize,
+    /// Number of EVA/inverse pairs.
+    pub eva_pairs: usize,
+    /// Deepest generalization level (a base class is level 1).
+    pub max_generalization_depth: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_types::domain::SymbolicType;
+    use std::sync::Arc;
+
+    /// Hand-build the paper's §7 UNIVERSITY skeleton (classes + a few
+    /// representative attributes).
+    fn university() -> Catalog {
+        let mut cat = Catalog::new();
+        let degree = Domain::Symbolic(Arc::new(
+            SymbolicType::new(["BS", "MBA", "MS", "PHD"]).unwrap(),
+        ));
+        cat.define_type("degree", degree).unwrap();
+        cat.define_type(
+            "id-number",
+            Domain::Integer {
+                ranges: vec![
+                    sim_types::IntRange::new(1001, 39999).unwrap(),
+                    sim_types::IntRange::new(60001, 99999).unwrap(),
+                ],
+            },
+        )
+        .unwrap();
+
+        let person = cat.define_base_class("Person").unwrap();
+        let student = cat.define_subclass("Student", &[person]).unwrap();
+        let instructor = cat.define_subclass("Instructor", &[person]).unwrap();
+        let ta = cat
+            .define_subclass("Teaching-Assistant", &[student, instructor])
+            .unwrap();
+        let course = cat.define_base_class("Course").unwrap();
+        let department = cat.define_base_class("Department").unwrap();
+
+        cat.add_dva(person, "name", Domain::string(30), AttributeOptions::none())
+            .unwrap();
+        cat.add_dva(
+            person,
+            "soc-sec-no",
+            Domain::integer(),
+            AttributeOptions::unique_required(),
+        )
+        .unwrap();
+        cat.add_dva(person, "birthdate", Domain::Date, AttributeOptions::none())
+            .unwrap();
+        cat.add_eva(person, "spouse", person, Some("spouse"), AttributeOptions::none())
+            .unwrap();
+        cat.add_subrole(
+            person,
+            "profession",
+            vec!["student".into(), "instructor".into()],
+            AttributeOptions::mv(),
+        )
+        .unwrap();
+
+        cat.add_dva(
+            student,
+            "student-nbr",
+            cat.lookup_type("id-number").unwrap().clone(),
+            AttributeOptions::none(),
+        )
+        .unwrap();
+        cat.add_eva(
+            student,
+            "advisor",
+            instructor,
+            Some("advisees"),
+            AttributeOptions::none(),
+        )
+        .unwrap();
+        cat.add_subrole(
+            student,
+            "instructor-status",
+            vec!["teaching-assistant".into()],
+            AttributeOptions::none(),
+        )
+        .unwrap();
+        cat.add_eva(
+            student,
+            "courses-enrolled",
+            course,
+            Some("students-enrolled"),
+            AttributeOptions::mv_distinct(),
+        )
+        .unwrap();
+        cat.add_eva(student, "major-department", department, None, AttributeOptions::none())
+            .unwrap();
+
+        cat.add_dva(
+            instructor,
+            "employee-nbr",
+            cat.lookup_type("id-number").unwrap().clone(),
+            AttributeOptions::unique_required(),
+        )
+        .unwrap();
+        cat.add_dva(
+            instructor,
+            "salary",
+            Domain::Number { precision: 9, scale: 2 },
+            AttributeOptions::none(),
+        )
+        .unwrap();
+        cat.add_eva(
+            instructor,
+            "advisees",
+            student,
+            Some("advisor"),
+            AttributeOptions::mv_max(10),
+        )
+        .unwrap();
+        cat.add_eva(
+            instructor,
+            "courses-taught",
+            course,
+            Some("teachers"),
+            AttributeOptions {
+                multivalued: true,
+                distinct: true,
+                max: Some(3),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        cat.add_eva(
+            instructor,
+            "assigned-department",
+            department,
+            Some("instructors-employed"),
+            AttributeOptions::none(),
+        )
+        .unwrap();
+        cat.add_subrole(
+            instructor,
+            "student-status",
+            vec!["teaching-assistant".into()],
+            AttributeOptions::none(),
+        )
+        .unwrap();
+
+        cat.add_dva(
+            ta,
+            "teaching-load",
+            Domain::integer_range(1, 20).unwrap(),
+            AttributeOptions::none(),
+        )
+        .unwrap();
+
+        cat.add_dva(course, "title", Domain::string(30), AttributeOptions::required())
+            .unwrap();
+        cat.add_eva(
+            course,
+            "students-enrolled",
+            student,
+            Some("courses-enrolled"),
+            AttributeOptions::mv(),
+        )
+        .unwrap();
+        cat.add_eva(
+            course,
+            "teachers",
+            instructor,
+            Some("courses-taught"),
+            AttributeOptions::mv_max(7),
+        )
+        .unwrap();
+        cat.add_eva(
+            course,
+            "prerequisites",
+            course,
+            Some("prerequisite-of"),
+            AttributeOptions::mv(),
+        )
+        .unwrap();
+        cat.add_eva(
+            course,
+            "prerequisite-of",
+            course,
+            Some("prerequisites"),
+            AttributeOptions::mv(),
+        )
+        .unwrap();
+
+        cat.add_dva(
+            department,
+            "dept-name",
+            Domain::string(30),
+            AttributeOptions::required(),
+        )
+        .unwrap();
+        cat.add_eva(
+            department,
+            "instructors-employed",
+            instructor,
+            Some("assigned-department"),
+            AttributeOptions::mv(),
+        )
+        .unwrap();
+        cat.add_eva(department, "courses-offered", course, None, AttributeOptions::mv())
+            .unwrap();
+
+        cat.add_verify(
+            "v1",
+            student,
+            "sum(credits of courses-enrolled) >= 12",
+            "student is taking too few credits",
+        )
+        .unwrap();
+
+        cat.finalize().unwrap();
+        cat
+    }
+
+    #[test]
+    fn university_schema_finalizes() {
+        let cat = university();
+        assert!(cat.is_finalized());
+        let stats = cat.stats();
+        assert_eq!(stats.base_classes, 3);
+        assert_eq!(stats.subclasses, 3);
+        assert_eq!(stats.max_generalization_depth, 3); // person -> student -> TA
+    }
+
+    #[test]
+    fn hierarchy_queries() {
+        let cat = university();
+        let person = cat.class_by_name("person").unwrap().id;
+        let student = cat.class_by_name("STUDENT").unwrap().id;
+        let ta = cat.class_by_name("Teaching-Assistant").unwrap().id;
+        let course = cat.class_by_name("course").unwrap().id;
+
+        assert!(cat.is_ancestor(person, student));
+        assert!(cat.is_ancestor(person, ta));
+        assert!(cat.is_ancestor(student, ta));
+        assert!(!cat.is_ancestor(student, person));
+        assert!(!cat.is_ancestor(course, ta));
+        assert_eq!(cat.base_of(ta), person);
+        assert_eq!(cat.base_of(course), course);
+
+        let descendants = cat.descendants(person);
+        assert_eq!(descendants.len(), 3);
+        // The diamond ancestor PERSON appears once.
+        assert_eq!(cat.ancestors(ta).iter().filter(|&&c| c == person).count(), 1);
+    }
+
+    #[test]
+    fn attribute_inheritance_and_resolution() {
+        let cat = university();
+        let student = cat.class_by_name("student").unwrap().id;
+        let ta = cat.class_by_name("teaching-assistant").unwrap().id;
+
+        // Inherited from PERSON.
+        let name = cat.resolve_attr(student, "name").unwrap();
+        assert_eq!(cat.attribute(name).unwrap().owner, cat.class_by_name("person").unwrap().id);
+        // Immediate.
+        assert!(cat.resolve_attr(student, "advisor").is_some());
+        // TA sees attributes from both parents plus PERSON, deduplicated.
+        let all = cat.all_attributes(ta);
+        let names: Vec<String> = all
+            .iter()
+            .map(|a| cat.attribute(*a).unwrap().name.clone())
+            .collect();
+        assert!(names.contains(&"name".to_string()));
+        assert!(names.contains(&"advisor".to_string()));
+        assert!(names.contains(&"salary".to_string()));
+        assert!(names.contains(&"teaching-load".to_string()));
+        let dedup: HashSet<&String> = names.iter().collect();
+        assert_eq!(dedup.len(), names.len(), "no attribute appears twice");
+        // Unknown names resolve to none.
+        assert!(cat.resolve_attr(student, "nonexistent").is_none());
+        // Subclass attributes are not visible from the superclass.
+        assert!(cat.resolve_attr(student, "teaching-load").is_none());
+    }
+
+    #[test]
+    fn inverse_linking() {
+        let cat = university();
+        let student = cat.class_by_name("student").unwrap().id;
+        let advisor = cat.attr_on_class(student, "advisor").unwrap();
+        let advisees = cat.attribute(cat.attribute(advisor).unwrap().eva_inverse().unwrap()).unwrap();
+        assert_eq!(advisees.name, "advisees");
+        assert_eq!(advisees.eva_inverse(), Some(advisor));
+        // advisor single-valued, advisees MV => many students : one instructor.
+        assert_eq!(cat.cardinality(advisor).unwrap(), Cardinality::ManyToOne);
+        assert_eq!(cat.cardinality(advisees.id).unwrap(), Cardinality::OneToMany);
+    }
+
+    #[test]
+    fn self_inverse_spouse() {
+        let cat = university();
+        let person = cat.class_by_name("person").unwrap().id;
+        let spouse = cat.attr_on_class(person, "spouse").unwrap();
+        assert_eq!(cat.attribute(spouse).unwrap().eva_inverse(), Some(spouse));
+        assert_eq!(cat.cardinality(spouse).unwrap(), Cardinality::OneToOne);
+    }
+
+    #[test]
+    fn implicit_inverse_created_for_unnamed() {
+        let cat = university();
+        let student = cat.class_by_name("student").unwrap().id;
+        let major = cat.attr_on_class(student, "major-department").unwrap();
+        let inv_id = cat.attribute(major).unwrap().eva_inverse().unwrap();
+        let inv = cat.attribute(inv_id).unwrap();
+        assert!(matches!(inv.kind, AttributeKind::Eva { implicit: true, .. }));
+        assert_eq!(inv.owner, cat.class_by_name("department").unwrap().id);
+        assert!(inv.options.multivalued);
+        // major-department single-valued, implicit inverse MV => many:1.
+        assert_eq!(cat.cardinality(major).unwrap(), Cardinality::ManyToOne);
+    }
+
+    #[test]
+    fn many_many_cardinality() {
+        let cat = university();
+        let student = cat.class_by_name("student").unwrap().id;
+        let enrolled = cat.attr_on_class(student, "courses-enrolled").unwrap();
+        assert_eq!(cat.cardinality(enrolled).unwrap(), Cardinality::ManyToMany);
+    }
+
+    #[test]
+    fn two_base_ancestors_rejected() {
+        let mut cat = Catalog::new();
+        let a = cat.define_base_class("A").unwrap();
+        let b = cat.define_base_class("B").unwrap();
+        let err = cat.define_subclass("C", &[a, b]).unwrap_err();
+        assert!(matches!(err, CatalogError::HierarchyViolation(_)));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut cat = Catalog::new();
+        let a = cat.define_base_class("A").unwrap();
+        assert!(cat.define_base_class("a").is_err());
+        cat.add_dva(a, "x", Domain::integer(), AttributeOptions::none()).unwrap();
+        assert!(cat.add_dva(a, "X", Domain::integer(), AttributeOptions::none()).is_err());
+        // A subclass may not redeclare an inherited name.
+        let b = cat.define_subclass("B", &[a]).unwrap();
+        assert!(cat.add_dva(b, "x", Domain::integer(), AttributeOptions::none()).is_err());
+        // Nor may a superclass later adopt a name a descendant declared.
+        cat.add_dva(b, "y", Domain::integer(), AttributeOptions::none()).unwrap();
+        assert!(cat.add_dva(a, "y", Domain::integer(), AttributeOptions::none()).is_err());
+    }
+
+    #[test]
+    fn subrole_must_cover_immediate_subclasses() {
+        let mut cat = Catalog::new();
+        let a = cat.define_base_class("A").unwrap();
+        let _b = cat.define_subclass("B", &[a]).unwrap();
+        let _c = cat.define_subclass("C", &[a]).unwrap();
+        // Subrole covers only B: validation must fail.
+        cat.add_subrole(a, "role", vec!["B".into()], AttributeOptions::mv()).unwrap();
+        assert!(matches!(cat.finalize(), Err(CatalogError::BadSubrole(_))));
+    }
+
+    #[test]
+    fn subrole_label_must_be_immediate_subclass() {
+        let mut cat = Catalog::new();
+        let a = cat.define_base_class("A").unwrap();
+        let b = cat.define_subclass("B", &[a]).unwrap();
+        let _c = cat.define_subclass("C", &[b]).unwrap();
+        cat.add_subrole(a, "role", vec!["B".into(), "C".into()], AttributeOptions::mv())
+            .unwrap();
+        cat.add_subrole(b, "brole", vec!["C".into()], AttributeOptions::none())
+            .unwrap();
+        // C is not an *immediate* subclass of A.
+        assert!(matches!(cat.finalize(), Err(CatalogError::BadSubrole(_))));
+    }
+
+    #[test]
+    fn distinct_requires_mv() {
+        let mut cat = Catalog::new();
+        let a = cat.define_base_class("A").unwrap();
+        let opts = AttributeOptions { distinct: true, ..Default::default() };
+        assert!(cat.add_dva(a, "x", Domain::integer(), opts).is_err());
+    }
+
+    #[test]
+    fn missing_subclass_for_subrole_is_ok_when_no_subclasses() {
+        // Classes without subclasses need no subrole attribute.
+        let mut cat = Catalog::new();
+        let _a = cat.define_base_class("A").unwrap();
+        cat.finalize().unwrap();
+    }
+
+    #[test]
+    fn verifies_for_includes_hierarchy() {
+        let cat = university();
+        let student = cat.class_by_name("student").unwrap().id;
+        let ta = cat.class_by_name("teaching-assistant").unwrap().id;
+        let person = cat.class_by_name("person").unwrap().id;
+        let course = cat.class_by_name("course").unwrap().id;
+        assert_eq!(cat.verifies_for(student).len(), 1);
+        assert_eq!(cat.verifies_for(ta).len(), 1);
+        // An update through PERSON can affect STUDENT entities.
+        assert_eq!(cat.verifies_for(person).len(), 1);
+        assert_eq!(cat.verifies_for(course).len(), 0);
+    }
+
+    #[test]
+    fn eva_inverse_range_mismatch_rejected() {
+        let mut cat = Catalog::new();
+        let a = cat.define_base_class("A").unwrap();
+        let b = cat.define_base_class("B").unwrap();
+        let c = cat.define_base_class("C").unwrap();
+        // x on A points at B, claims inverse `y`; but y on B points at C.
+        cat.add_eva(a, "x", b, Some("y"), AttributeOptions::none()).unwrap();
+        cat.add_eva(b, "y", c, Some("x"), AttributeOptions::none()).unwrap();
+        assert!(cat.finalize().is_err());
+    }
+}

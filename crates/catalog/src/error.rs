@@ -1,0 +1,32 @@
+//! Catalog errors.
+
+use std::fmt;
+
+/// Errors raised while building or validating a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// A duplicate class, type or attribute name.
+    DuplicateName(String),
+    /// A reference to an unknown class/type/attribute.
+    Unknown(String),
+    /// A violation of the generalization-graph rules (§3.1).
+    HierarchyViolation(String),
+    /// A malformed attribute declaration (bad options, bad inverse, …).
+    BadAttribute(String),
+    /// A malformed subrole declaration (§3.2).
+    BadSubrole(String),
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::DuplicateName(m) => write!(f, "duplicate name: {m}"),
+            CatalogError::Unknown(m) => write!(f, "unknown object: {m}"),
+            CatalogError::HierarchyViolation(m) => write!(f, "hierarchy violation: {m}"),
+            CatalogError::BadAttribute(m) => write!(f, "bad attribute: {m}"),
+            CatalogError::BadSubrole(m) => write!(f, "bad subrole: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}

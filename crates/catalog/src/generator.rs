@@ -1,0 +1,232 @@
+//! Synthetic schema generation at the scale the paper reports.
+//!
+//! §6: "The stand-alone data dictionary ADDS is itself a SIM database. It
+//! consists of 13 base classes, 209 subclasses, 39 EVA-inverse pairs, 530
+//! DVAs and at its deepest, one hierarchy represents 5 levels of
+//! generalization."
+//!
+//! ADDS itself is proprietary, so [`adds_scale_schema`] deterministically
+//! builds a schema with exactly those counts; experiment E3 exercises
+//! catalog construction, inherited-attribute resolution and query
+//! compilation at that scale.
+
+use crate::catalog::Catalog;
+use crate::ids::ClassId;
+use crate::schema::AttributeOptions;
+use sim_types::Domain;
+
+/// Parameters for a generated schema.
+#[derive(Debug, Clone, Copy)]
+pub struct SchemaScale {
+    /// Number of base classes.
+    pub base_classes: usize,
+    /// Number of subclasses.
+    pub subclasses: usize,
+    /// Number of EVA-inverse pairs.
+    pub eva_pairs: usize,
+    /// Number of DVAs.
+    pub dvas: usize,
+    /// Deepest generalization level (base class = level 1).
+    pub max_depth: usize,
+}
+
+/// The published ADDS scale (§6).
+pub const ADDS_SCALE: SchemaScale = SchemaScale {
+    base_classes: 13,
+    subclasses: 209,
+    eva_pairs: 39,
+    dvas: 530,
+    max_depth: 5,
+};
+
+/// Build a schema with exactly the given counts. Deterministic: the same
+/// scale always yields the same schema.
+///
+/// Shape: subclasses are dealt round-robin under the base classes as
+/// balanced trees whose first chain is driven to `max_depth`; DVAs are
+/// spread round-robin over all classes; EVA pairs connect classes in a
+/// striding pattern, mixing 1:1, 1:many and many:many options.
+pub fn generate_schema(scale: SchemaScale) -> Catalog {
+    let mut cat = Catalog::new();
+
+    // Base classes.
+    let mut classes: Vec<ClassId> = (0..scale.base_classes)
+        .map(|i| cat.define_base_class(&format!("base-{i}")).expect("unique base name"))
+        .collect();
+    let mut depths: Vec<usize> = vec![1; scale.base_classes];
+
+    // Subclasses: first force one chain to max_depth under base-0, then
+    // deal the rest round-robin under the shallowest eligible parents.
+    let mut sub_idx = 0usize;
+    if scale.base_classes > 0 {
+        let mut parent = classes[0];
+        let mut parent_depth = 1usize;
+        while parent_depth < scale.max_depth && sub_idx < scale.subclasses {
+            let child = cat
+                .define_subclass(&format!("sub-{sub_idx}"), &[parent])
+                .expect("unique subclass name");
+            classes.push(child);
+            depths.push(parent_depth + 1);
+            parent = child;
+            parent_depth += 1;
+            sub_idx += 1;
+        }
+    }
+    // Remaining subclasses: deal them evenly across the base-class
+    // families (cycling through each family's eligible parents), so no
+    // hierarchy grows disproportionately — consistent with a dictionary
+    // schema of 13 roughly comparable hierarchies.
+    let mut family_members: Vec<Vec<usize>> = (0..scale.base_classes.max(1))
+        .map(|b| vec![b])
+        .collect();
+    for (i, _) in classes.iter().enumerate().skip(scale.base_classes) {
+        family_members[0].push(i); // the deep chain lives under base-0
+    }
+    let mut deal = 0usize;
+    while sub_idx < scale.subclasses {
+        let fam = deal % family_members.len();
+        deal += 1;
+        let members = &family_members[fam];
+        // Pick the next eligible parent in this family, shallowest first.
+        let pi = *members
+            .iter()
+            .filter(|&&m| depths[m] < scale.max_depth)
+            .min_by_key(|&&m| (depths[m], m))
+            .expect("every family has an eligible parent");
+        let parent = classes[pi];
+        let child = cat
+            .define_subclass(&format!("sub-{sub_idx}"), &[parent])
+            .expect("unique subclass name");
+        classes.push(child);
+        depths.push(depths[pi] + 1);
+        family_members[fam].push(classes.len() - 1);
+        sub_idx += 1;
+    }
+
+    // Subrole attributes: every class with subclasses needs one covering all
+    // immediate subclasses (§3.2).
+    for (ci, &class) in classes.iter().enumerate() {
+        let subs: Vec<String> = cat
+            .class(class)
+            .expect("generated class")
+            .subclasses
+            .iter()
+            .map(|s| cat.class(*s).unwrap().name.clone())
+            .collect();
+        if !subs.is_empty() {
+            cat.add_subrole(class, &format!("roles-{ci}"), subs, AttributeOptions::mv())
+                .expect("subrole");
+        }
+    }
+
+    // DVAs: round-robin across classes, cycling a few domains.
+    for d in 0..scale.dvas {
+        let class = classes[d % classes.len()];
+        let domain = match d % 4 {
+            0 => Domain::string(30),
+            1 => Domain::integer(),
+            2 => Domain::Number { precision: 9, scale: 2 },
+            _ => Domain::Date,
+        };
+        let options = match d % 5 {
+            0 => AttributeOptions::required(),
+            1 => AttributeOptions::mv(),
+            _ => AttributeOptions::none(),
+        };
+        cat.add_dva(class, &format!("dva-{d}"), domain, options).expect("dva");
+    }
+
+    // EVA pairs: connect class i*7 to class i*7+3 (mod n), mixing shapes.
+    for e in 0..scale.eva_pairs {
+        let n = classes.len();
+        let from = classes[(e * 7) % n];
+        let to = classes[(e * 7 + 3) % n];
+        let fwd_name = format!("eva-{e}");
+        let inv_name = format!("eva-{e}-inv");
+        let (fwd_opts, inv_opts) = match e % 3 {
+            0 => (AttributeOptions::none(), AttributeOptions::none()), // 1:1
+            1 => (AttributeOptions::none(), AttributeOptions::mv()),   // many:1
+            _ => (AttributeOptions::mv(), AttributeOptions::mv()),     // many:many
+        };
+        cat.add_eva(from, &fwd_name, to, Some(&inv_name), fwd_opts).expect("eva");
+        cat.add_eva(to, &inv_name, from, Some(&fwd_name), inv_opts).expect("eva inverse");
+    }
+
+    cat.finalize().expect("generated schema must validate");
+    cat
+}
+
+/// The ADDS-scale schema (§6).
+pub fn adds_scale_schema() -> Catalog {
+    generate_schema(ADDS_SCALE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adds_scale_counts_match_paper() {
+        let cat = adds_scale_schema();
+        let stats = cat.stats();
+        assert_eq!(stats.base_classes, 13);
+        assert_eq!(stats.subclasses, 209);
+        assert_eq!(stats.dvas, 530);
+        assert_eq!(stats.eva_pairs, 39);
+        assert_eq!(stats.max_generalization_depth, 5);
+    }
+
+    #[test]
+    fn generated_schema_is_deterministic() {
+        let a = adds_scale_schema();
+        let b = adds_scale_schema();
+        assert_eq!(a.classes().len(), b.classes().len());
+        assert_eq!(a.attributes().len(), b.attributes().len());
+        for (x, y) in a.classes().iter().zip(b.classes().iter()) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.superclasses, y.superclasses);
+        }
+    }
+
+    #[test]
+    fn small_scales_work() {
+        let cat = generate_schema(SchemaScale {
+            base_classes: 2,
+            subclasses: 5,
+            eva_pairs: 3,
+            dvas: 10,
+            max_depth: 3,
+        });
+        let stats = cat.stats();
+        assert_eq!(stats.base_classes, 2);
+        assert_eq!(stats.subclasses, 5);
+        assert_eq!(stats.eva_pairs, 3);
+        assert_eq!(stats.dvas, 10);
+        assert!(stats.max_generalization_depth <= 3);
+    }
+
+    #[test]
+    fn deep_inheritance_resolves_root_attributes() {
+        let cat = adds_scale_schema();
+        // Find a depth-5 class and check it sees attributes of its root.
+        let deepest = cat
+            .classes()
+            .iter()
+            .find(|c| {
+                let mut depth = 1;
+                let mut cur = c.id;
+                while let Some(&sup) = cat.class(cur).unwrap().superclasses.first() {
+                    depth += 1;
+                    cur = sup;
+                }
+                depth == 5
+            })
+            .expect("a depth-5 class exists");
+        let all = cat.all_attributes(deepest.id);
+        // Should include at least one inherited attribute from an ancestor.
+        let inherited = all
+            .iter()
+            .any(|a| cat.attribute(*a).unwrap().owner != deepest.id);
+        assert!(inherited);
+    }
+}

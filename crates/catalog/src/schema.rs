@@ -1,0 +1,241 @@
+//! Schema object definitions: classes, attributes, options, constraints.
+
+use crate::ids::{AttrId, ClassId, VerifyId};
+use sim_types::Domain;
+
+/// Attribute options (paper §3.2.1): REQUIRED, UNIQUE, MV, DISTINCT, MAX.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AttributeOptions {
+    /// Value may not be null.
+    pub required: bool,
+    /// No two entities of the class share a (non-null) value.
+    pub unique: bool,
+    /// Multi-valued.
+    pub multivalued: bool,
+    /// For MV attributes: a set rather than a multiset.
+    pub distinct: bool,
+    /// For MV attributes: maximum number of values.
+    pub max: Option<u32>,
+}
+
+impl AttributeOptions {
+    /// Plain single-valued, optional attribute.
+    pub fn none() -> AttributeOptions {
+        AttributeOptions::default()
+    }
+
+    /// `required` shorthand.
+    pub fn required() -> AttributeOptions {
+        AttributeOptions { required: true, ..Default::default() }
+    }
+
+    /// `unique required` shorthand (the shape of key-like attributes).
+    pub fn unique_required() -> AttributeOptions {
+        AttributeOptions { required: true, unique: true, ..Default::default() }
+    }
+
+    /// `mv` shorthand.
+    pub fn mv() -> AttributeOptions {
+        AttributeOptions { multivalued: true, ..Default::default() }
+    }
+
+    /// `mv (distinct)` shorthand.
+    pub fn mv_distinct() -> AttributeOptions {
+        AttributeOptions { multivalued: true, distinct: true, ..Default::default() }
+    }
+
+    /// `mv (max n)` shorthand.
+    pub fn mv_max(n: u32) -> AttributeOptions {
+        AttributeOptions { multivalued: true, max: Some(n), ..Default::default() }
+    }
+}
+
+/// What kind of attribute this is.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttributeKind {
+    /// Data-valued attribute: relates an entity to values from a domain.
+    Dva {
+        /// The declared value domain.
+        domain: Domain,
+    },
+    /// Entity-valued attribute: relates an entity to entities of the range
+    /// class. SIM "automatically maintains the inverse of every declared
+    /// EVA and guarantees that an EVA and its inverse will stay
+    /// synchronized at all times" (§3.2).
+    Eva {
+        /// The class the EVA points to.
+        range: ClassId,
+        /// The inverse attribute on the range class (always present after
+        /// catalog finalization; auto-created when not declared).
+        inverse: Option<AttrId>,
+        /// True when the system invented this attribute as the unnamed
+        /// inverse of a declared EVA.
+        implicit: bool,
+    },
+    /// System-maintained subrole attribute (§3.2): read-only enumeration of
+    /// the immediate-subclass roles an entity currently holds.
+    Subrole {
+        /// The subclasses named in the declaration, resolved at validation.
+        labels: Vec<String>,
+    },
+    /// A derived attribute (paper §6, "work under progress"): a read-only
+    /// value computed from an expression over the entity, inlined by the
+    /// query layer at binding time. The expression may use the class's own
+    /// attributes, arithmetic and aggregate chains, but may not open new
+    /// range variables.
+    Derived {
+        /// The defining expression, as DML source text.
+        source: String,
+    },
+}
+
+/// How an EVA is physically mapped (paper §5.2). Consumed by the LUC mapper;
+/// declared here so DDL can carry user overrides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvaMapping {
+    /// Choose by the paper's default rules: foreign key for 1:1, Common EVA
+    /// Structure for 1:many and non-distinct many:many, a dedicated
+    /// structure for distinct many:many.
+    #[default]
+    Default,
+    /// Force a foreign-key mapping (only valid when this side is
+    /// single-valued).
+    ForeignKey,
+    /// Force a (dedicated) surrogate-pair structure.
+    Structure,
+    /// Absolute addresses: store the partner record's physical address.
+    Pointer,
+    /// Cluster range records in the owner's block (dependent placement).
+    Clustered,
+}
+
+/// One attribute (immediate to exactly one class).
+#[derive(Debug, Clone)]
+pub struct Attribute {
+    /// The attribute's id.
+    pub id: AttrId,
+    /// The name as declared.
+    pub name: String,
+    /// The class it is immediate to.
+    pub owner: ClassId,
+    /// DVA / EVA / subrole.
+    pub kind: AttributeKind,
+    /// The declared options.
+    pub options: AttributeOptions,
+    /// Physical mapping override (EVAs and MV DVAs).
+    pub mapping: EvaMapping,
+}
+
+impl Attribute {
+    /// True for entity-valued attributes.
+    pub fn is_eva(&self) -> bool {
+        matches!(self.kind, AttributeKind::Eva { .. })
+    }
+
+    /// True for data-valued attributes.
+    pub fn is_dva(&self) -> bool {
+        matches!(self.kind, AttributeKind::Dva { .. })
+    }
+
+    /// True for subrole attributes.
+    pub fn is_subrole(&self) -> bool {
+        matches!(self.kind, AttributeKind::Subrole { .. })
+    }
+
+    /// True for derived attributes.
+    pub fn is_derived(&self) -> bool {
+        matches!(self.kind, AttributeKind::Derived { .. })
+    }
+
+    /// The defining expression of a derived attribute.
+    pub fn derived_source(&self) -> Option<&str> {
+        match &self.kind {
+            AttributeKind::Derived { source } => Some(source),
+            _ => None,
+        }
+    }
+
+    /// The EVA's range class, if this is an EVA.
+    pub fn eva_range(&self) -> Option<ClassId> {
+        match &self.kind {
+            AttributeKind::Eva { range, .. } => Some(*range),
+            _ => None,
+        }
+    }
+
+    /// The EVA's inverse attribute, if linked.
+    pub fn eva_inverse(&self) -> Option<AttrId> {
+        match &self.kind {
+            AttributeKind::Eva { inverse, .. } => *inverse,
+            _ => None,
+        }
+    }
+
+    /// The DVA's domain, if this is a DVA.
+    pub fn dva_domain(&self) -> Option<&Domain> {
+        match &self.kind {
+            AttributeKind::Dva { domain } => Some(domain),
+            _ => None,
+        }
+    }
+}
+
+/// Relationship cardinality as defined by an EVA/inverse option pair
+/// (paper §3.2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cardinality {
+    /// Both sides single-valued.
+    OneToOne,
+    /// This side single-valued, inverse multi-valued (many entities here map
+    /// to one there).
+    ManyToOne,
+    /// This side multi-valued, inverse single-valued.
+    OneToMany,
+    /// Both sides multi-valued.
+    ManyToMany,
+}
+
+/// One class (base class or subclass).
+#[derive(Debug, Clone)]
+pub struct Class {
+    /// The class id.
+    pub id: ClassId,
+    /// The name as declared.
+    pub name: String,
+    /// Immediate superclasses (empty for a base class).
+    pub superclasses: Vec<ClassId>,
+    /// Immediate subclasses (maintained by the catalog).
+    pub subclasses: Vec<ClassId>,
+    /// Immediate attributes in declaration order.
+    pub attributes: Vec<AttrId>,
+    /// The single base class at the root of this class's hierarchy
+    /// (itself, for a base class). Filled in at definition time.
+    pub base: ClassId,
+}
+
+impl Class {
+    /// True for base classes.
+    pub fn is_base(&self) -> bool {
+        self.superclasses.is_empty()
+    }
+}
+
+/// A VERIFY integrity constraint (paper §3.3 / §7):
+/// `Verify v1 on Student assert <expr> else "<message>"`.
+///
+/// The assertion is stored as DML selection-expression source text; the
+/// query layer compiles it when the schema is installed and derives the
+/// trigger set (which updates can violate it).
+#[derive(Debug, Clone)]
+pub struct VerifyConstraint {
+    /// The constraint's id.
+    pub id: VerifyId,
+    /// The declared name (e.g. `v1`).
+    pub name: String,
+    /// The perspective class the assertion ranges over.
+    pub class: ClassId,
+    /// DML selection-expression source that must hold for every entity.
+    pub assertion: String,
+    /// The message reported on violation.
+    pub message: String,
+}

@@ -1,0 +1,201 @@
+//! The [`Database`] facade.
+
+use crate::error::SimError;
+use sim_catalog::Catalog;
+use sim_luc::Mapper;
+use sim_query::{ExecResult, Plan, QueryEngine, QueryOutput};
+use sim_storage::IoSnapshot;
+use std::sync::Arc;
+
+/// Default buffer-pool frames (4 KiB each).
+pub const DEFAULT_POOL: usize = 1024;
+
+/// One open SIM database.
+pub struct Database {
+    engine: QueryEngine,
+}
+
+impl Database {
+    /// Compile a DDL schema and open an empty database for it.
+    pub fn create(ddl: &str) -> Result<Database, SimError> {
+        Database::create_with_pool(ddl, DEFAULT_POOL)
+    }
+
+    /// Like [`Database::create`] with an explicit buffer-pool size.
+    pub fn create_with_pool(ddl: &str, pool_frames: usize) -> Result<Database, SimError> {
+        let catalog = sim_ddl::compile_schema(ddl)?;
+        Database::from_catalog(catalog, pool_frames)
+    }
+
+    /// Open a database over an already-built catalog.
+    pub fn from_catalog(catalog: Catalog, pool_frames: usize) -> Result<Database, SimError> {
+        let mapper = Mapper::new(Arc::new(catalog), pool_frames)?;
+        Ok(Database { engine: QueryEngine::new(mapper)? })
+    }
+
+    /// The paper's §7 UNIVERSITY database, empty.
+    pub fn university() -> Database {
+        Database::create(sim_ddl::UNIVERSITY_DDL).expect("bundled schema compiles")
+    }
+
+    /// Run a DML script (one or more statements).
+    pub fn run(&mut self, dml: &str) -> Result<Vec<ExecResult>, SimError> {
+        Ok(self.engine.run(dml)?)
+    }
+
+    /// Run exactly one statement.
+    pub fn run_one(&mut self, dml: &str) -> Result<ExecResult, SimError> {
+        Ok(self.engine.run_one(dml)?)
+    }
+
+    /// Run a single retrieve without mutating.
+    pub fn query(&self, dml: &str) -> Result<QueryOutput, SimError> {
+        Ok(self.engine.query(dml)?)
+    }
+
+    /// The optimizer's strategy for a retrieve (EXPLAIN).
+    pub fn explain(&self, dml: &str) -> Result<Plan, SimError> {
+        Ok(self.engine.explain(dml)?)
+    }
+
+    /// Toggle VERIFY enforcement (§3.3); on by default.
+    pub fn set_enforce_verifies(&mut self, on: bool) {
+        self.engine.enforce_verifies = on;
+    }
+
+    /// Whether VERIFY constraints are being enforced.
+    pub fn enforces_verifies(&self) -> bool {
+        self.engine.enforce_verifies
+    }
+
+    /// The schema.
+    pub fn catalog(&self) -> &Catalog {
+        self.engine.mapper().catalog()
+    }
+
+    /// The LUC mapper (advanced use: direct entity access, statistics).
+    pub fn mapper(&self) -> &Mapper {
+        self.engine.mapper()
+    }
+
+    /// Mutable mapper access (index creation, recounting).
+    pub fn mapper_mut(&mut self) -> &mut Mapper {
+        self.engine.mapper_mut()
+    }
+
+    /// Create a secondary index on `class.attribute`.
+    pub fn create_index(&mut self, class: &str, attribute: &str) -> Result<(), SimError> {
+        let class_id = self
+            .catalog()
+            .class_by_name(class)
+            .ok_or_else(|| {
+                SimError::Query(sim_query::QueryError::Analyze(format!("unknown class {class}")))
+            })?
+            .id;
+        let attr = self.catalog().resolve_attr(class_id, attribute).ok_or_else(|| {
+            SimError::Query(sim_query::QueryError::Analyze(format!(
+                "unknown attribute {attribute} on {class}"
+            )))
+        })?;
+        self.engine.mapper_mut().create_index(attr)?;
+        Ok(())
+    }
+
+    /// Create a hash index on `class.attribute` — the §5.2 "random keys"
+    /// access method: serves equality probes, never ranges.
+    pub fn create_hash_index(&mut self, class: &str, attribute: &str) -> Result<(), SimError> {
+        let class_id = self
+            .catalog()
+            .class_by_name(class)
+            .ok_or_else(|| {
+                SimError::Query(sim_query::QueryError::Analyze(format!("unknown class {class}")))
+            })?
+            .id;
+        let attr = self.catalog().resolve_attr(class_id, attribute).ok_or_else(|| {
+            SimError::Query(sim_query::QueryError::Analyze(format!(
+                "unknown attribute {attribute} on {class}"
+            )))
+        })?;
+        self.engine.mapper_mut().create_hash_index(attr)?;
+        Ok(())
+    }
+
+    /// Physical I/O counters (reads/writes/allocations of 4 KiB blocks).
+    pub fn io_snapshot(&self) -> IoSnapshot {
+        self.engine.mapper().engine().io_snapshot()
+    }
+
+    /// Drop every cached page so the next access is cold (experiments).
+    pub fn clear_cache(&self) {
+        self.engine.mapper().engine().pool().clear_cache();
+    }
+
+    /// Entity count of a class (statistics; see [`Mapper::entity_count`]).
+    pub fn entity_count(&self, class: &str) -> usize {
+        self.catalog()
+            .class_by_name(class)
+            .map(|c| self.engine.mapper().entity_count(c.id))
+            .unwrap_or(0)
+    }
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("classes", &self.catalog().classes().len())
+            .field("verifies", &self.engine.verifies().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_types::Value;
+
+    #[test]
+    fn create_populate_query() {
+        let mut db = Database::university();
+        db.set_enforce_verifies(false);
+        db.run(
+            r#"Insert department(dept-nbr := 101, name := "Physics").
+               Insert instructor(name := "Ann", soc-sec-no := 1, employee-nbr := 1001,
+                   assigned-department := department with (name = "Physics"))."#,
+        )
+        .unwrap();
+        let out = db
+            .query("From instructor Retrieve name, name of assigned-department.")
+            .unwrap();
+        assert_eq!(
+            out.rows(),
+            &[vec![Value::Str("Ann".into()), Value::Str("Physics".into())]]
+        );
+        assert_eq!(db.entity_count("person"), 1);
+    }
+
+    #[test]
+    fn bad_ddl_and_dml_error() {
+        assert!(Database::create("Class ( );").is_err());
+        let mut db = Database::university();
+        assert!(db.run("Snorkel.").is_err());
+        assert!(db.query("Delete person.").is_err(), "query() rejects updates");
+    }
+
+    #[test]
+    fn explain_exposes_strategy() {
+        let db = Database::university();
+        let plan = db.explain("From person Retrieve name.").unwrap();
+        assert!(plan.explanation[0].contains("scan"));
+    }
+
+    #[test]
+    fn integrity_violation_flag() {
+        let mut db = Database::university();
+        let err = db
+            .run_one(r#"Insert student(name := "S", soc-sec-no := 5)."#)
+            .unwrap_err();
+        assert!(err.is_integrity_violation(), "V1 fires: 0 credits < 12");
+        db.set_enforce_verifies(false);
+        db.run_one(r#"Insert student(name := "S", soc-sec-no := 5)."#).unwrap();
+    }
+}

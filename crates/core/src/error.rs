@@ -1,0 +1,54 @@
+//! Facade error type.
+
+use sim_ddl::DdlError;
+use sim_luc::MapperError;
+use sim_query::QueryError;
+use std::fmt;
+
+/// Any error the database facade can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// Schema definition failed.
+    Ddl(DdlError),
+    /// DML analysis/execution failed (including integrity violations).
+    Query(QueryError),
+    /// Direct mapper operation failed.
+    Mapper(MapperError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Ddl(e) => write!(f, "{e}"),
+            SimError::Query(e) => write!(f, "{e}"),
+            SimError::Mapper(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<DdlError> for SimError {
+    fn from(e: DdlError) -> SimError {
+        SimError::Ddl(e)
+    }
+}
+
+impl From<QueryError> for SimError {
+    fn from(e: QueryError) -> SimError {
+        SimError::Query(e)
+    }
+}
+
+impl From<MapperError> for SimError {
+    fn from(e: MapperError) -> SimError {
+        SimError::Mapper(e)
+    }
+}
+
+impl SimError {
+    /// True when the error is a VERIFY violation (statement rolled back).
+    pub fn is_integrity_violation(&self) -> bool {
+        matches!(self, SimError::Query(QueryError::IntegrityViolation { .. }))
+    }
+}

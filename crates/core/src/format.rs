@@ -1,0 +1,111 @@
+//! Plain-text rendering of query output (for examples and the quickstart).
+
+use sim_query::QueryOutput;
+
+/// Render output as an aligned text table (tabular) or an indented tree
+/// (structured, using the §4.5 level numbers).
+pub fn format_output(out: &QueryOutput) -> String {
+    match out {
+        QueryOutput::Table { columns, rows } => {
+            let mut widths: Vec<usize> = columns.iter().map(|c| c.len()).collect();
+            let rendered: Vec<Vec<String>> = rows
+                .iter()
+                .map(|r| r.iter().map(|v| v.to_string()).collect())
+                .collect();
+            for row in &rendered {
+                for (i, cell) in row.iter().enumerate() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+            let mut s = String::new();
+            let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+                cells
+                    .iter()
+                    .zip(widths)
+                    .map(|(c, w)| format!("{c:<w$}"))
+                    .collect::<Vec<_>>()
+                    .join("  ")
+            };
+            let headers: Vec<String> = columns.clone();
+            s.push_str(&fmt_row(&headers, &widths));
+            s.push('\n');
+            s.push_str(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+            s.push('\n');
+            for row in &rendered {
+                s.push_str(&fmt_row(row, &widths));
+                s.push('\n');
+            }
+            s.push_str(&format!("({} rows)\n", rows.len()));
+            s
+        }
+        QueryOutput::Structure { formats, records } => {
+            let mut s = String::new();
+            for rec in records {
+                let indent = "  ".repeat(rec.level.saturating_sub(1) as usize);
+                let names = &formats[rec.format];
+                let body: Vec<String> = rec
+                    .values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| {
+                        let name = names.get(i).map(String::as_str).unwrap_or("?");
+                        format!("{name}={v}")
+                    })
+                    .collect();
+                s.push_str(&format!(
+                    "{indent}[L{} F{}] {}\n",
+                    rec.level,
+                    rec.format,
+                    body.join(", ")
+                ));
+            }
+            s.push_str(&format!("({} records)\n", records.len()));
+            s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_types::Value;
+
+    #[test]
+    fn tabular_alignment() {
+        let out = QueryOutput::Table {
+            columns: vec!["name".into(), "n".into()],
+            rows: vec![
+                vec![Value::Str("Ann".into()), Value::Int(1)],
+                vec![Value::Str("Somebody Long".into()), Value::Int(23)],
+            ],
+        };
+        let text = format_output(&out);
+        assert!(text.contains("name"));
+        assert!(text.contains("(2 rows)"));
+        // Every line reaches the second column at the same offset.
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[1].starts_with("----"));
+    }
+
+    #[test]
+    fn structured_indentation() {
+        let out = QueryOutput::Structure {
+            formats: vec![vec!["name".into()], vec!["title".into()]],
+            records: vec![
+                sim_query::StructRecord {
+                    format: 0,
+                    level: 1,
+                    values: vec![Value::Str("John".into())],
+                },
+                sim_query::StructRecord {
+                    format: 1,
+                    level: 2,
+                    values: vec![Value::Str("Algebra".into())],
+                },
+            ],
+        };
+        let text = format_output(&out);
+        assert!(text.contains("[L1 F0] name=John"));
+        assert!(text.contains("  [L2 F1] title=Algebra"));
+    }
+}

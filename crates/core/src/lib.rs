@@ -1,0 +1,30 @@
+//! # sim-core
+//!
+//! The public facade of the SIM reproduction: a [`Database`] bundles the
+//! Directory Manager (catalog), the LUC Mapper, the Parser/Optimizer and
+//! the Query Driver — the four modules of the paper's Figure 1 — behind a
+//! two-method surface: feed it DDL once, then run DML.
+//!
+//! ```
+//! use sim_core::Database;
+//!
+//! let mut db = Database::create(
+//!     "Class Person ( name: string[30]; soc-sec-no: integer unique required );",
+//! ).unwrap();
+//! db.run(r#"Insert person(name := "Ada", soc-sec-no := 1)."#).unwrap();
+//! let out = db.query("From person Retrieve name.").unwrap();
+//! assert_eq!(out.rows().len(), 1);
+//! ```
+
+pub mod cursor;
+pub mod database;
+pub mod error;
+pub mod format;
+
+pub use cursor::{CursorRecord, StructuredCursor};
+pub use database::Database;
+pub use error::SimError;
+pub use format::format_output;
+
+pub use sim_query::{ExecResult, Plan, QueryOutput};
+pub use sim_types::{Date, Decimal, Surrogate, Value};

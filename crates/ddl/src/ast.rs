@@ -1,0 +1,100 @@
+//! DDL abstract syntax.
+
+/// A physical-mapping override keyword (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MappingKind {
+    /// Foreign-key mapping.
+    ForeignKey,
+    /// Dedicated surrogate-pair structure.
+    Structure,
+    /// Absolute addresses.
+    Pointer,
+    /// Cluster with the owner's block.
+    Clustered,
+}
+
+/// The declared type of an attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrTypeSpec {
+    /// A named reference — either a `Type` name (DVA) or a class name (EVA);
+    /// resolved by the installer. The optional `inverse is <name>` clause
+    /// forces the EVA reading.
+    Named {
+        /// The referenced name.
+        name: String,
+        /// `inverse is <name>`.
+        inverse: Option<String>,
+    },
+    /// `integer [ (lo..hi, …) ]`.
+    Integer(Vec<(i64, i64)>),
+    /// `string[n]` / `string`.
+    StringTy(Option<u32>),
+    /// `number[p,s]`.
+    Number(u8, u8),
+    /// `date`.
+    DateTy,
+    /// `boolean`.
+    BooleanTy,
+    /// `real`.
+    RealTy,
+    /// `symbolic (a, b, …)`.
+    Symbolic(Vec<String>),
+    /// `subrole (a, b, …)`.
+    Subrole(Vec<String>),
+    /// `derived <name> := <expr>` — a computed, read-only attribute
+    /// (paper §6 "work under progress"). Carries the raw expression text.
+    Derived(String),
+}
+
+/// One attribute declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrDecl {
+    /// Attribute name.
+    pub name: String,
+    /// Declared type.
+    pub spec: AttrTypeSpec,
+    /// REQUIRED option.
+    pub required: bool,
+    /// UNIQUE option.
+    pub unique: bool,
+    /// MV option.
+    pub multivalued: bool,
+    /// DISTINCT option (inside `mv (…)`).
+    pub distinct: bool,
+    /// MAX option (inside `mv (…)`).
+    pub max: Option<u32>,
+    /// Physical-mapping override.
+    pub mapping: Option<MappingKind>,
+}
+
+/// One DDL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DdlStatement {
+    /// `Type name = <spec>;`
+    TypeDef {
+        /// The type name.
+        name: String,
+        /// Its definition.
+        spec: AttrTypeSpec,
+    },
+    /// `Class name ( attrs );` or `Subclass name of A and B ( attrs );`
+    ClassDef {
+        /// The class name.
+        name: String,
+        /// Superclass names (empty for a base class).
+        superclasses: Vec<String>,
+        /// Attribute declarations.
+        attributes: Vec<AttrDecl>,
+    },
+    /// `Verify name on class assert <expr> else "msg";`
+    VerifyDef {
+        /// Constraint name.
+        name: String,
+        /// Perspective class name.
+        class: String,
+        /// Raw assertion text (compiled by the query layer).
+        assertion: String,
+        /// Violation message.
+        message: String,
+    },
+}

@@ -1,0 +1,40 @@
+//! DDL errors.
+
+use sim_catalog::CatalogError;
+use sim_dml::ParseError;
+use std::fmt;
+
+/// Errors raised while parsing or installing a schema.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DdlError {
+    /// Syntax error in the DDL source.
+    Parse(ParseError),
+    /// The schema violated a catalog rule.
+    Catalog(CatalogError),
+    /// A reference the installer could not resolve (unknown type or class).
+    Unresolved(String),
+}
+
+impl fmt::Display for DdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DdlError::Parse(e) => write!(f, "{e}"),
+            DdlError::Catalog(e) => write!(f, "{e}"),
+            DdlError::Unresolved(m) => write!(f, "unresolved reference: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DdlError {}
+
+impl From<ParseError> for DdlError {
+    fn from(e: ParseError) -> DdlError {
+        DdlError::Parse(e)
+    }
+}
+
+impl From<CatalogError> for DdlError {
+    fn from(e: CatalogError) -> DdlError {
+        DdlError::Catalog(e)
+    }
+}

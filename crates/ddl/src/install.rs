@@ -1,0 +1,171 @@
+//! Install parsed DDL statements into a catalog.
+//!
+//! Installation is two-pass because the paper's schema references classes
+//! before their declaration (STUDENT's `courses-enrolled` points at COURSE,
+//! declared later): pass one registers every type and class; pass two adds
+//! attributes and constraints; finalization links EVA inverses and
+//! validates.
+
+use crate::ast::{AttrDecl, AttrTypeSpec, DdlStatement, MappingKind};
+use crate::error::DdlError;
+use sim_catalog::{AttributeOptions, Catalog, ClassId, EvaMapping};
+use sim_types::domain::SymbolicType;
+use sim_types::{Domain, IntRange};
+use std::sync::Arc;
+
+/// Install statements into `catalog` and finalize it.
+pub fn install_schema(
+    statements: &[DdlStatement],
+    catalog: &mut Catalog,
+) -> Result<(), DdlError> {
+    // Pass 1: types and class skeletons.
+    for stmt in statements {
+        match stmt {
+            DdlStatement::TypeDef { name, spec } => {
+                let domain = spec_to_domain(spec, name)?;
+                catalog.define_type(name, domain)?;
+            }
+            DdlStatement::ClassDef { name, superclasses, .. } => {
+                if superclasses.is_empty() {
+                    catalog.define_base_class(name)?;
+                } else {
+                    let supers: Vec<ClassId> = superclasses
+                        .iter()
+                        .map(|s| {
+                            catalog
+                                .class_by_name(s)
+                                .map(|c| c.id)
+                                .ok_or_else(|| DdlError::Unresolved(format!(
+                                    "superclass {s} of {name} (superclasses must be declared first)"
+                                )))
+                        })
+                        .collect::<Result<_, _>>()?;
+                    catalog.define_subclass(name, &supers)?;
+                }
+            }
+            DdlStatement::VerifyDef { .. } => {}
+        }
+    }
+
+    // Pass 2: attributes and constraints.
+    for stmt in statements {
+        match stmt {
+            DdlStatement::ClassDef { name, attributes, .. } => {
+                let class = catalog.class_by_name(name).expect("declared in pass 1").id;
+                for attr in attributes {
+                    install_attribute(catalog, class, attr)?;
+                }
+            }
+            DdlStatement::VerifyDef { name, class, assertion, message } => {
+                let class_id = catalog
+                    .class_by_name(class)
+                    .map(|c| c.id)
+                    .ok_or_else(|| DdlError::Unresolved(format!("verify {name} on unknown class {class}")))?;
+                catalog.add_verify(name, class_id, assertion, message)?;
+            }
+            DdlStatement::TypeDef { .. } => {}
+        }
+    }
+
+    catalog.finalize()?;
+    Ok(())
+}
+
+fn options_of(attr: &AttrDecl) -> AttributeOptions {
+    AttributeOptions {
+        required: attr.required,
+        unique: attr.unique,
+        multivalued: attr.multivalued,
+        distinct: attr.distinct,
+        max: attr.max,
+    }
+}
+
+fn mapping_of(kind: MappingKind) -> EvaMapping {
+    match kind {
+        MappingKind::ForeignKey => EvaMapping::ForeignKey,
+        MappingKind::Structure => EvaMapping::Structure,
+        MappingKind::Pointer => EvaMapping::Pointer,
+        MappingKind::Clustered => EvaMapping::Clustered,
+    }
+}
+
+fn install_attribute(
+    catalog: &mut Catalog,
+    class: ClassId,
+    attr: &AttrDecl,
+) -> Result<(), DdlError> {
+    let options = options_of(attr);
+    let attr_id = match &attr.spec {
+        AttrTypeSpec::Subrole(labels) => {
+            catalog.add_subrole(class, &attr.name, labels.clone(), options)?
+        }
+        AttrTypeSpec::Derived(source) => catalog.add_derived(class, &attr.name, source)?,
+        AttrTypeSpec::Named { name, inverse } => {
+            // A named type (DVA) unless it resolves to a class (EVA).
+            if let Some(domain) = catalog.lookup_type(name).cloned() {
+                if inverse.is_some() {
+                    return Err(DdlError::Unresolved(format!(
+                        "attribute {}: `inverse is` applies to classes, but {name} is a type",
+                        attr.name
+                    )));
+                }
+                catalog.add_dva(class, &attr.name, domain, options)?
+            } else if let Some(range) = catalog.class_by_name(name).map(|c| c.id) {
+                catalog.add_eva(class, &attr.name, range, inverse.as_deref(), options)?
+            } else {
+                return Err(DdlError::Unresolved(format!(
+                    "attribute {}: {name} is neither a declared type nor a class",
+                    attr.name
+                )));
+            }
+        }
+        other => {
+            let domain = spec_to_domain(other, &attr.name)?;
+            catalog.add_dva(class, &attr.name, domain, options)?
+        }
+    };
+    if let Some(kind) = attr.mapping {
+        catalog.set_mapping(attr_id, mapping_of(kind))?;
+    }
+    Ok(())
+}
+
+fn spec_to_domain(spec: &AttrTypeSpec, context: &str) -> Result<Domain, DdlError> {
+    Ok(match spec {
+        AttrTypeSpec::Integer(ranges) => Domain::Integer {
+            ranges: ranges
+                .iter()
+                .map(|&(lo, hi)| {
+                    IntRange::new(lo, hi).map_err(|e| {
+                        DdlError::Unresolved(format!("{context}: {e}"))
+                    })
+                })
+                .collect::<Result<_, _>>()?,
+        },
+        AttrTypeSpec::StringTy(max) => Domain::String { max_len: *max },
+        AttrTypeSpec::Number(p, s) => Domain::Number { precision: *p, scale: *s },
+        AttrTypeSpec::DateTy => Domain::Date,
+        AttrTypeSpec::BooleanTy => Domain::Boolean,
+        AttrTypeSpec::RealTy => Domain::Real,
+        AttrTypeSpec::Symbolic(labels) => Domain::Symbolic(Arc::new(
+            SymbolicType::new(labels.clone())
+                .map_err(|e| DdlError::Unresolved(format!("{context}: {e}")))?,
+        )),
+        AttrTypeSpec::Subrole(_) => {
+            return Err(DdlError::Unresolved(format!(
+                "{context}: subrole is not a named type"
+            )));
+        }
+        AttrTypeSpec::Derived(_) => {
+            return Err(DdlError::Unresolved(format!(
+                "{context}: derived attributes are declared inside classes"
+            )));
+        }
+        AttrTypeSpec::Named { name, .. } => {
+            return Err(DdlError::Unresolved(format!(
+                "{context}: cannot define a type alias to {name}"
+            )));
+        }
+    })
+}

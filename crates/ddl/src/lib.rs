@@ -1,0 +1,50 @@
+//! # sim-ddl
+//!
+//! The SIM schema-definition language (paper §7): `Type`, `Class`,
+//! `Subclass … of … and …`, and `Verify … on … assert … else …`
+//! declarations, parsed into the [`sim_catalog::Catalog`].
+//!
+//! The concrete syntax follows the paper's example schema exactly, with two
+//! conveniences:
+//!
+//! * attribute options may be comma- or space-separated (the paper itself
+//!   writes both `integer, unique, required` and `id-number unique
+//!   required`);
+//! * an optional `mapping <kind>` clause (`foreignkey`, `structure`,
+//!   `pointer`, `clustered`) exposes the physical-mapping overrides of §5.2
+//!   that the paper says users can choose ("the user can override the
+//!   default and choose any access method or mapping supported by the
+//!   underlying system").
+//!
+//! [`UNIVERSITY_DDL`] is the paper's §7 schema transcribed verbatim (OCR
+//! typos repaired: `teaching load` → `teaching-load`, `string[30j` →
+//! `string[30]`).
+
+pub mod ast;
+pub mod error;
+pub mod install;
+pub mod parser;
+pub mod render;
+pub mod university;
+
+pub use ast::{AttrDecl, AttrTypeSpec, DdlStatement, MappingKind};
+pub use error::DdlError;
+pub use install::install_schema;
+pub use parser::parse_schema;
+pub use render::render_catalog;
+pub use university::UNIVERSITY_DDL;
+
+use sim_catalog::Catalog;
+
+/// Parse DDL source and build a finalized catalog from it.
+pub fn compile_schema(source: &str) -> Result<Catalog, DdlError> {
+    let statements = parse_schema(source)?;
+    let mut catalog = Catalog::new();
+    install_schema(&statements, &mut catalog)?;
+    Ok(catalog)
+}
+
+/// The paper's UNIVERSITY schema, compiled.
+pub fn university_catalog() -> Catalog {
+    compile_schema(UNIVERSITY_DDL).expect("the bundled UNIVERSITY schema must compile")
+}

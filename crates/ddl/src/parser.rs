@@ -1,0 +1,545 @@
+//! Recursive-descent parser for the DDL.
+
+use crate::ast::{AttrDecl, AttrTypeSpec, DdlStatement, MappingKind};
+use crate::error::DdlError;
+use sim_dml::error::ParseError;
+use sim_dml::lex::{tokenize, Tok, Token};
+
+struct Parser<'a> {
+    source: &'a str,
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+/// Parse a DDL schema into statements.
+pub fn parse_schema(source: &str) -> Result<Vec<DdlStatement>, DdlError> {
+    let mut p = Parser { source, tokens: tokenize(source)?, pos: 0 };
+    let mut out = Vec::new();
+    while !p.at_eof() {
+        out.push(p.statement()?);
+        // Statements are separated by `;` (optional trailing).
+        while p.eat(&Tok::Semicolon) {}
+    }
+    Ok(out)
+}
+
+impl<'a> Parser<'a> {
+    fn at_eof(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens.get(self.pos).map(|t| t.start).unwrap_or(self.source.len())
+    }
+
+    fn err(&self, message: impl Into<String>) -> DdlError {
+        DdlError::Parse(ParseError::at(self.source, self.offset(), message))
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Ident(s)) = self.peek() {
+            if s == kw {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s == kw)
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<(), DdlError> {
+        if self.eat(tok) {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected {what}, found {}",
+                self.peek().map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            )))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), DdlError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword {kw}")))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, DdlError> {
+        match self.peek() {
+            Some(Tok::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.err(format!("expected {what}"))),
+        }
+    }
+
+    fn int(&mut self, what: &str) -> Result<i64, DdlError> {
+        match self.peek() {
+            Some(Tok::Int(v)) => {
+                let v = *v;
+                self.pos += 1;
+                Ok(v)
+            }
+            _ => Err(self.err(format!("expected {what}"))),
+        }
+    }
+
+    fn string(&mut self, what: &str) -> Result<String, DdlError> {
+        match self.peek() {
+            Some(Tok::Str(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.err(format!("expected {what}"))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<DdlStatement, DdlError> {
+        if self.eat_kw("type") {
+            return self.type_def();
+        }
+        if self.eat_kw("class") {
+            return self.class_def(false);
+        }
+        if self.eat_kw("subclass") {
+            return self.class_def(true);
+        }
+        if self.eat_kw("verify") {
+            return self.verify_def();
+        }
+        Err(self.err("expected Type, Class, Subclass or Verify"))
+    }
+
+    fn type_def(&mut self) -> Result<DdlStatement, DdlError> {
+        let name = self.ident("a type name")?;
+        self.expect(&Tok::Eq, "=")?;
+        let spec = self.type_spec()?;
+        self.expect(&Tok::Semicolon, ";")?;
+        Ok(DdlStatement::TypeDef { name, spec })
+    }
+
+    fn class_def(&mut self, is_subclass: bool) -> Result<DdlStatement, DdlError> {
+        let name = self.ident("a class name")?;
+        let mut superclasses = Vec::new();
+        if is_subclass {
+            self.expect_kw("of")?;
+            superclasses.push(self.ident("a superclass name")?);
+            while self.eat_kw("and") {
+                superclasses.push(self.ident("a superclass name")?);
+            }
+        }
+        self.expect(&Tok::LParen, "(")?;
+        let mut attributes = Vec::new();
+        loop {
+            if self.eat(&Tok::RParen) {
+                break;
+            }
+            attributes.push(self.attr_decl()?);
+            if self.eat(&Tok::Semicolon) {
+                continue;
+            }
+            self.expect(&Tok::RParen, ") or ;")?;
+            break;
+        }
+        self.expect(&Tok::Semicolon, ";")?;
+        Ok(DdlStatement::ClassDef { name, superclasses, attributes })
+    }
+
+    fn verify_def(&mut self) -> Result<DdlStatement, DdlError> {
+        let name = self.ident("a constraint name")?;
+        self.expect_kw("on")?;
+        let class = self.ident("a class name")?;
+        self.expect_kw("assert")?;
+        // Capture raw tokens up to the matching `else` at paren depth 0.
+        let start = self.offset();
+        let mut depth = 0usize;
+        let mut end = start;
+        loop {
+            match self.peek() {
+                None => return Err(self.err("assert clause not terminated by else")),
+                Some(Tok::LParen) | Some(Tok::LBracket) => depth += 1,
+                Some(Tok::RParen) | Some(Tok::RBracket) => {
+                    depth = depth.saturating_sub(1);
+                }
+                Some(Tok::Ident(s)) if s == "else" && depth == 0 => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            end = self.tokens[self.pos].end;
+            self.pos += 1;
+        }
+        let assertion = self.source[start..end].trim().to_owned();
+        if assertion.is_empty() {
+            return Err(self.err("empty assert clause"));
+        }
+        let message = self.string("the violation message")?;
+        self.expect(&Tok::Semicolon, ";")?;
+        Ok(DdlStatement::VerifyDef { name, class, assertion, message })
+    }
+
+    fn attr_decl(&mut self) -> Result<AttrDecl, DdlError> {
+        if self.eat_kw("derived") {
+            return self.derived_decl();
+        }
+        let name = self.ident("an attribute name")?;
+        self.expect(&Tok::Colon, ":")?;
+        let spec = self.type_spec()?;
+        let mut decl = AttrDecl {
+            name,
+            spec,
+            required: false,
+            unique: false,
+            multivalued: false,
+            distinct: false,
+            max: None,
+            mapping: None,
+        };
+        // Options: comma- or space-separated, in any order.
+        loop {
+            let _ = self.eat(&Tok::Comma);
+            if self.eat_kw("required") {
+                decl.required = true;
+            } else if self.eat_kw("unique") {
+                decl.unique = true;
+            } else if self.eat_kw("mv") {
+                decl.multivalued = true;
+                if self.eat(&Tok::LParen) {
+                    loop {
+                        if self.eat_kw("distinct") {
+                            decl.distinct = true;
+                        } else if self.eat_kw("max") {
+                            let v = self.int("MAX value")?;
+                            if v <= 0 || v > u32::MAX as i64 {
+                                return Err(self.err("MAX must be a positive integer"));
+                            }
+                            decl.max = Some(v as u32);
+                        } else {
+                            return Err(self.err("expected distinct or max"));
+                        }
+                        if self.eat(&Tok::Comma) {
+                            continue;
+                        }
+                        break;
+                    }
+                    self.expect(&Tok::RParen, ")")?;
+                }
+            } else if self.eat_kw("mapping") {
+                let kind = self.ident("a mapping kind")?;
+                decl.mapping = Some(match kind.as_str() {
+                    "foreignkey" | "foreign-key" => MappingKind::ForeignKey,
+                    "structure" => MappingKind::Structure,
+                    "pointer" => MappingKind::Pointer,
+                    "clustered" => MappingKind::Clustered,
+                    other => {
+                        return Err(self.err(format!(
+                            "unknown mapping kind {other} (expected foreignkey, structure, pointer or clustered)"
+                        )));
+                    }
+                });
+            } else {
+                break;
+            }
+        }
+        Ok(decl)
+    }
+
+    /// `derived <name> := <expr>` — the expression is captured as raw text
+    /// up to the terminating `;` or `)` at paren depth 0 and compiled by
+    /// the query layer.
+    fn derived_decl(&mut self) -> Result<AttrDecl, DdlError> {
+        let name = self.ident("a derived attribute name")?;
+        self.expect(&Tok::Assign, ":=")?;
+        let start = self.offset();
+        let mut depth = 0usize;
+        let mut end = start;
+        loop {
+            match self.peek() {
+                None => return Err(self.err("derived expression not terminated")),
+                Some(Tok::LParen) | Some(Tok::LBracket) => depth += 1,
+                Some(Tok::RParen) if depth == 0 => break,
+                Some(Tok::Semicolon) if depth == 0 => break,
+                Some(Tok::RParen) | Some(Tok::RBracket) => depth -= 1,
+                _ => {}
+            }
+            end = self.tokens[self.pos].end;
+            self.pos += 1;
+        }
+        let source = self.source[start..end].trim().to_owned();
+        if source.is_empty() {
+            return Err(self.err("empty derived expression"));
+        }
+        Ok(AttrDecl {
+            name,
+            spec: AttrTypeSpec::Derived(source),
+            required: false,
+            unique: false,
+            multivalued: false,
+            distinct: false,
+            max: None,
+            mapping: None,
+        })
+    }
+
+    fn type_spec(&mut self) -> Result<AttrTypeSpec, DdlError> {
+        if self.eat_kw("integer") {
+            let mut ranges = Vec::new();
+            if self.eat(&Tok::LParen) {
+                loop {
+                    let lo = self.int("range lower bound")?;
+                    self.expect(&Tok::DotDot, "..")?;
+                    let hi = self.int("range upper bound")?;
+                    ranges.push((lo, hi));
+                    if self.eat(&Tok::Comma) {
+                        continue;
+                    }
+                    break;
+                }
+                self.expect(&Tok::RParen, ")")?;
+            }
+            return Ok(AttrTypeSpec::Integer(ranges));
+        }
+        if self.eat_kw("string") {
+            let mut max = None;
+            if self.eat(&Tok::LBracket) {
+                let v = self.int("string length")?;
+                if v <= 0 || v > u32::MAX as i64 {
+                    return Err(self.err("string length must be positive"));
+                }
+                max = Some(v as u32);
+                self.expect(&Tok::RBracket, "]")?;
+            }
+            return Ok(AttrTypeSpec::StringTy(max));
+        }
+        if self.eat_kw("number") {
+            self.expect(&Tok::LBracket, "[")?;
+            let p = self.int("precision")?;
+            self.expect(&Tok::Comma, ",")?;
+            let s = self.int("scale")?;
+            self.expect(&Tok::RBracket, "]")?;
+            if !(1..=18).contains(&p) || s < 0 || s > p {
+                return Err(self.err("number[p,s] requires 1 <= p <= 18 and 0 <= s <= p"));
+            }
+            return Ok(AttrTypeSpec::Number(p as u8, s as u8));
+        }
+        if self.eat_kw("date") {
+            return Ok(AttrTypeSpec::DateTy);
+        }
+        if self.eat_kw("boolean") {
+            return Ok(AttrTypeSpec::BooleanTy);
+        }
+        if self.eat_kw("real") {
+            return Ok(AttrTypeSpec::RealTy);
+        }
+        if self.eat_kw("symbolic") {
+            return Ok(AttrTypeSpec::Symbolic(self.label_list()?));
+        }
+        if self.eat_kw("subrole") {
+            return Ok(AttrTypeSpec::Subrole(self.label_list()?));
+        }
+        // A named type or class reference.
+        let name = self.ident("a type or class name")?;
+        let inverse = if self.peek_kw("inverse") {
+            self.pos += 1;
+            self.expect_kw("is")?;
+            Some(self.ident("the inverse attribute name")?)
+        } else {
+            None
+        };
+        Ok(AttrTypeSpec::Named { name, inverse })
+    }
+
+    /// Labels keep their declared spelling (`PHD`, not `phd`): symbolic
+    /// values are read back as these labels, so case must survive.
+    fn ident_original(&mut self, what: &str) -> Result<String, DdlError> {
+        match self.peek() {
+            Some(Tok::Ident(_)) => {
+                let t = &self.tokens[self.pos];
+                let text = self.source[t.start..t.end].to_owned();
+                self.pos += 1;
+                Ok(text)
+            }
+            _ => Err(self.err(format!("expected {what}"))),
+        }
+    }
+
+    fn label_list(&mut self) -> Result<Vec<String>, DdlError> {
+        self.expect(&Tok::LParen, "(")?;
+        let mut labels = vec![self.ident_original("a label")?];
+        while self.eat(&Tok::Comma) {
+            labels.push(self.ident_original("a label")?);
+        }
+        self.expect(&Tok::RParen, ")")?;
+        Ok(labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_definitions() {
+        let stmts = parse_schema(
+            "Type degree = symbolic (BS, MBA, MS, PHD);
+             Type id-number = integer (1001..39999, 60001..99999);",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 2);
+        assert_eq!(
+            stmts[0],
+            DdlStatement::TypeDef {
+                name: "degree".into(),
+                spec: AttrTypeSpec::Symbolic(vec![
+                    "BS".into(),
+                    "MBA".into(),
+                    "MS".into(),
+                    "PHD".into()
+                ]),
+            }
+        );
+        assert_eq!(
+            stmts[1],
+            DdlStatement::TypeDef {
+                name: "id-number".into(),
+                spec: AttrTypeSpec::Integer(vec![(1001, 39999), (60001, 99999)]),
+            }
+        );
+    }
+
+    #[test]
+    fn class_with_attributes() {
+        let stmts = parse_schema(
+            "Class Person (
+               name: string[30];
+               soc-sec-no: integer, unique, required;
+               birthdate: date;
+               spouse: person inverse is spouse;
+               profession: subrole (student, instructor) mv );",
+        )
+        .unwrap();
+        let DdlStatement::ClassDef { name, superclasses, attributes } = &stmts[0] else {
+            panic!()
+        };
+        assert_eq!(name, "person");
+        assert!(superclasses.is_empty());
+        assert_eq!(attributes.len(), 5);
+        assert_eq!(attributes[0].spec, AttrTypeSpec::StringTy(Some(30)));
+        assert!(attributes[1].unique && attributes[1].required);
+        assert_eq!(
+            attributes[3].spec,
+            AttrTypeSpec::Named { name: "person".into(), inverse: Some("spouse".into()) }
+        );
+        assert!(attributes[4].multivalued);
+    }
+
+    #[test]
+    fn subclass_of_two_parents() {
+        let stmts = parse_schema(
+            "Subclass Teaching-Assistant of Student and Instructor (
+               teaching-load: integer (1..20) );",
+        )
+        .unwrap();
+        let DdlStatement::ClassDef { superclasses, .. } = &stmts[0] else { panic!() };
+        assert_eq!(superclasses, &["student", "instructor"]);
+    }
+
+    #[test]
+    fn mv_options_with_max_and_distinct() {
+        let stmts = parse_schema(
+            "Class C (
+               advisees: student inverse is advisor mv (max 10);
+               courses-taught: course inverse is teachers mv (max 3, distinct) );",
+        )
+        .unwrap();
+        let DdlStatement::ClassDef { attributes, .. } = &stmts[0] else { panic!() };
+        assert_eq!(attributes[0].max, Some(10));
+        assert!(!attributes[0].distinct);
+        assert_eq!(attributes[1].max, Some(3));
+        assert!(attributes[1].distinct);
+    }
+
+    #[test]
+    fn verify_captures_raw_assertion() {
+        let stmts = parse_schema(
+            "Verify v1 on Student
+               assert sum(credits of courses-enrolled) >= 12
+               else \"student is taking too few credits\";",
+        )
+        .unwrap();
+        let DdlStatement::VerifyDef { name, class, assertion, message } = &stmts[0] else {
+            panic!()
+        };
+        assert_eq!(name, "v1");
+        assert_eq!(class, "student");
+        assert_eq!(assertion, "sum(credits of courses-enrolled) >= 12");
+        assert_eq!(message, "student is taking too few credits");
+    }
+
+    #[test]
+    fn number_and_options_space_separated() {
+        let stmts = parse_schema(
+            "Class C ( employee-nbr: id-number unique required; salary: number[9,2] );",
+        )
+        .unwrap();
+        let DdlStatement::ClassDef { attributes, .. } = &stmts[0] else { panic!() };
+        assert!(attributes[0].unique && attributes[0].required);
+        assert_eq!(attributes[1].spec, AttrTypeSpec::Number(9, 2));
+    }
+
+    #[test]
+    fn mapping_override_extension() {
+        let stmts = parse_schema(
+            "Class C ( members: person inverse is member-of mv mapping clustered );",
+        )
+        .unwrap();
+        let DdlStatement::ClassDef { attributes, .. } = &stmts[0] else { panic!() };
+        assert_eq!(attributes[0].mapping, Some(MappingKind::Clustered));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_schema("Class ( x: integer );").is_err());
+        assert!(parse_schema("Type t = ;").is_err());
+        assert!(parse_schema("Verify v on C assert x > 1;").is_err()); // no else
+        assert!(parse_schema("Class C ( x: number[20,2] );").is_err()); // p too big
+        assert!(parse_schema("Blorp;").is_err());
+        assert!(parse_schema("Class C ( x: integer (5..1) );").is_ok()); // range checked at install
+    }
+
+    #[test]
+    fn empty_class_body() {
+        let stmts = parse_schema("Class Empty ( );").unwrap();
+        let DdlStatement::ClassDef { attributes, .. } = &stmts[0] else { panic!() };
+        assert!(attributes.is_empty());
+    }
+
+    #[test]
+    fn paper_comment_syntax() {
+        let stmts = parse_schema("(* The schema diagram is in Figure 2. *) Class C ( x: date );")
+            .unwrap();
+        assert_eq!(stmts.len(), 1);
+    }
+}

@@ -1,0 +1,168 @@
+//! Render a catalog back to DDL source.
+//!
+//! The inverse of [`crate::compile_schema`]: produces `Type` / `Class` /
+//! `Subclass` / `Verify` declarations in the paper's §7 concrete syntax.
+//! System-created objects (implicit EVA inverses) are omitted — recompiling
+//! the rendered text recreates them, so `compile(render(c))` is
+//! structurally equal to `c` (tested as a round-trip property).
+
+use sim_catalog::{AttributeKind, AttributeOptions, Catalog, EvaMapping};
+use std::fmt::Write;
+
+/// Render a finalized catalog to DDL text.
+pub fn render_catalog(catalog: &Catalog) -> String {
+    let mut out = String::new();
+    for class in catalog.classes() {
+        if class.is_base() {
+            let _ = writeln!(out, "Class {} (", class.name);
+        } else {
+            let supers: Vec<String> = class
+                .superclasses
+                .iter()
+                .map(|s| catalog.class(*s).expect("valid superclass").name.clone())
+                .collect();
+            let _ = writeln!(out, "Subclass {} of {} (", class.name, supers.join(" and "));
+        }
+        let mut lines = Vec::new();
+        for &attr_id in &class.attributes {
+            let attr = catalog.attribute(attr_id).expect("valid attribute");
+            let line = match &attr.kind {
+                AttributeKind::Eva { implicit: true, .. } => continue,
+                AttributeKind::Dva { domain } => {
+                    format!("    {}: {}{}", attr.name, domain, render_options(&attr.options))
+                }
+                AttributeKind::Eva { range, inverse, .. } => {
+                    let range_name = &catalog.class(*range).expect("valid range").name;
+                    let inv_clause = match inverse {
+                        Some(inv) => {
+                            let inv_attr = catalog.attribute(*inv).expect("valid inverse");
+                            if matches!(inv_attr.kind, AttributeKind::Eva { implicit: true, .. }) {
+                                String::new() // unnamed inverse: re-created on compile
+                            } else {
+                                format!(" inverse is {}", inv_attr.name)
+                            }
+                        }
+                        None => String::new(),
+                    };
+                    format!(
+                        "    {}: {range_name}{inv_clause}{}{}",
+                        attr.name,
+                        render_options(&attr.options),
+                        render_mapping(attr.mapping)
+                    )
+                }
+                AttributeKind::Subrole { labels } => {
+                    format!(
+                        "    {}: subrole ({}){}",
+                        attr.name,
+                        labels.join(", "),
+                        render_options(&attr.options)
+                    )
+                }
+                AttributeKind::Derived { source } => {
+                    format!("    derived {} := {source}", attr.name)
+                }
+            };
+            lines.push(line);
+        }
+        let _ = writeln!(out, "{} );\n", lines.join(";\n"));
+    }
+    for v in catalog.verifies() {
+        let class_name = &catalog.class(v.class).expect("valid class").name;
+        let _ = writeln!(
+            out,
+            "Verify {} on {class_name}\n    assert {}\n    else \"{}\";\n",
+            v.name,
+            v.assertion,
+            v.message.replace('"', "\"\"")
+        );
+    }
+    out
+}
+
+fn render_options(o: &AttributeOptions) -> String {
+    let mut s = String::new();
+    if o.unique {
+        s.push_str(" unique");
+    }
+    if o.required {
+        s.push_str(" required");
+    }
+    if o.multivalued {
+        s.push_str(" mv");
+        let mut inner = Vec::new();
+        if let Some(max) = o.max {
+            inner.push(format!("max {max}"));
+        }
+        if o.distinct {
+            inner.push("distinct".to_string());
+        }
+        if !inner.is_empty() {
+            let _ = write!(s, " ({})", inner.join(", "));
+        }
+    }
+    s
+}
+
+fn render_mapping(m: EvaMapping) -> String {
+    match m {
+        EvaMapping::Default => String::new(),
+        EvaMapping::ForeignKey => " mapping foreignkey".to_string(),
+        EvaMapping::Structure => " mapping structure".to_string(),
+        EvaMapping::Pointer => " mapping pointer".to_string(),
+        EvaMapping::Clustered => " mapping clustered".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile_schema, university_catalog};
+
+    fn assert_same_shape(a: &Catalog, b: &Catalog) {
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.classes().len(), b.classes().len());
+        for (x, y) in a.classes().iter().zip(b.classes().iter()) {
+            assert_eq!(x.name.to_ascii_lowercase(), y.name.to_ascii_lowercase());
+            assert_eq!(x.superclasses, y.superclasses);
+            assert_eq!(x.attributes.len(), y.attributes.len(), "class {}", x.name);
+        }
+        assert_eq!(a.verifies().len(), b.verifies().len());
+    }
+
+    #[test]
+    fn university_round_trips() {
+        let original = university_catalog();
+        let rendered = render_catalog(&original);
+        let recompiled = compile_schema(&rendered)
+            .unwrap_or_else(|e| panic!("rendered DDL failed to compile: {e}\n{rendered}"));
+        assert_same_shape(&original, &recompiled);
+        // And once more: render(compile(render(x))) is a fixpoint.
+        assert_eq!(rendered, render_catalog(&recompiled));
+    }
+
+    #[test]
+    fn adds_scale_round_trips() {
+        let original = sim_catalog::generator::adds_scale_schema();
+        let rendered = render_catalog(&original);
+        let recompiled = compile_schema(&rendered)
+            .unwrap_or_else(|e| panic!("rendered ADDS DDL failed to compile: {e}"));
+        assert_same_shape(&original, &recompiled);
+    }
+
+    #[test]
+    fn mapping_overrides_and_derived_survive() {
+        let src = "
+            Class Node (
+                node-id: integer unique required;
+                derived next-id := node-id + 1;
+                children: node inverse is parent mv mapping clustered;
+                parent: node inverse is children );";
+        let cat = compile_schema(src).unwrap();
+        let rendered = render_catalog(&cat);
+        assert!(rendered.contains("mapping clustered"), "{rendered}");
+        assert!(rendered.contains("derived next-id := node-id + 1"), "{rendered}");
+        let re = compile_schema(&rendered).unwrap();
+        assert_same_shape(&cat, &re);
+    }
+}

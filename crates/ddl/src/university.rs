@@ -1,0 +1,159 @@
+//! The paper's §7 UNIVERSITY example schema, transcribed verbatim.
+//!
+//! OCR repairs relative to the published text: `teaching load` →
+//! `teaching-load` (the language has no spaces in names), `string[30j` →
+//! `string[30]`, `prerequisites: course inverse is prerequisite-of mv,` —
+//! the trailing comma in the paper is a typesetting artifact for `;`.
+
+/// The UNIVERSITY schema DDL (paper §7, Figure 2).
+pub const UNIVERSITY_DDL: &str = r#"
+(* The schema diagram is in Figure 2 of the paper. *)
+
+Type degree = symbolic (BS, MBA, MS, PHD);
+Type id-number = integer (1001..39999, 60001..99999);
+
+Class Person (
+    name: string[30];
+    soc-sec-no: integer, unique, required;
+    birthdate: date;
+    spouse: person inverse is spouse;
+    profession: subrole (student, instructor) mv );
+
+Subclass Student of Person (
+    student-nbr: id-number;
+    advisor: instructor inverse is advisees;
+    instructor-status: subrole (teaching-assistant);
+    courses-enrolled: course inverse is students-enrolled mv (distinct);
+    major-department: department );
+
+Verify v1 on Student
+    assert sum(credits of courses-enrolled) >= 12
+    else "student is taking too few credits";
+
+Subclass Instructor of Person (
+    employee-nbr: id-number unique required;
+    salary: number[9,2];
+    bonus: number[9,2];
+    student-status: subrole (teaching-assistant);
+    advisees: student inverse is advisor mv (max 10);
+    courses-taught: course inverse is teachers mv (max 3, distinct);
+    assigned-department: department inverse is instructors-employed );
+
+Verify v2 on Instructor
+    assert salary + bonus < 100000
+    else "instructor makes too much money";
+
+Subclass Teaching-Assistant of Student and Instructor (
+    teaching-load: integer (1..20) );
+
+Class Course (
+    course-no: integer (1..9999) unique required;
+    title: string[30] required;
+    credits: integer (1..15) required;
+    students-enrolled: student inverse is courses-enrolled mv;
+    teachers: instructor inverse is courses-taught mv (max 7);
+    prerequisites: course inverse is prerequisite-of mv;
+    prerequisite-of: course inverse is prerequisites mv );
+
+Class Department (
+    dept-nbr: integer (100..999) required unique;
+    name: string[30] required;
+    instructors-employed: instructor inverse is assigned-department mv;
+    courses-offered: course mv );
+"#;
+
+#[cfg(test)]
+mod tests {
+    use crate::{compile_schema, university_catalog, UNIVERSITY_DDL};
+    use sim_catalog::Cardinality;
+
+    #[test]
+    fn university_schema_compiles() {
+        let cat = compile_schema(UNIVERSITY_DDL).unwrap();
+        assert!(cat.is_finalized());
+        let stats = cat.stats();
+        assert_eq!(stats.base_classes, 3, "person, course, department");
+        assert_eq!(stats.subclasses, 3, "student, instructor, teaching-assistant");
+        assert_eq!(stats.max_generalization_depth, 3);
+        // 13 declared DVAs in §7 (name, soc-sec-no, birthdate, student-nbr,
+        // employee-nbr, salary, bonus, teaching-load, course-no, title,
+        // credits, dept-nbr, department name).
+        assert_eq!(stats.dvas, 13);
+    }
+
+    #[test]
+    fn relationships_have_paper_cardinalities() {
+        let cat = university_catalog();
+        let student = cat.class_by_name("student").unwrap().id;
+        let person = cat.class_by_name("person").unwrap().id;
+        let spouse = cat.attr_on_class(person, "spouse").unwrap();
+        // "SPOUSE is a 1:1 relationship" (§3.2.1).
+        assert_eq!(cat.cardinality(spouse).unwrap(), Cardinality::OneToOne);
+        // "ADVISOR:ADVISEES defines a many:1 relationship … with a limit of
+        // 10 advisees per instructor".
+        let advisor = cat.attr_on_class(student, "advisor").unwrap();
+        assert_eq!(cat.cardinality(advisor).unwrap(), Cardinality::ManyToOne);
+        let advisees = cat.attribute(advisor).unwrap().eva_inverse().unwrap();
+        assert_eq!(cat.attribute(advisees).unwrap().options.max, Some(10));
+        // "COURSES-ENROLLED:STUDENTS-ENROLLED defines a many:many
+        // relationship".
+        let enrolled = cat.attr_on_class(student, "courses-enrolled").unwrap();
+        assert_eq!(cat.cardinality(enrolled).unwrap(), Cardinality::ManyToMany);
+    }
+
+    #[test]
+    fn verify_constraints_registered() {
+        let cat = university_catalog();
+        assert_eq!(cat.verifies().len(), 2);
+        let v1 = &cat.verifies()[0];
+        assert_eq!(v1.name, "v1");
+        assert_eq!(v1.assertion, "sum(credits of courses-enrolled) >= 12");
+        assert_eq!(v1.message, "student is taking too few credits");
+        let v2 = &cat.verifies()[1];
+        assert_eq!(v2.assertion, "salary + bonus < 100000");
+    }
+
+    #[test]
+    fn named_types_resolve() {
+        let cat = university_catalog();
+        let student = cat.class_by_name("student").unwrap().id;
+        let nbr = cat.attr_on_class(student, "student-nbr").unwrap();
+        let domain = cat.attribute(nbr).unwrap().dva_domain().unwrap().clone();
+        assert_eq!(domain.to_string(), "integer (1001..39999, 60001..99999)");
+    }
+
+    #[test]
+    fn teaching_assistant_is_diamond() {
+        let cat = university_catalog();
+        let ta = cat.class_by_name("teaching-assistant").unwrap();
+        assert_eq!(ta.superclasses.len(), 2);
+        let person = cat.class_by_name("person").unwrap().id;
+        assert_eq!(cat.base_of(ta.id), person);
+    }
+
+    #[test]
+    fn unknown_superclass_fails() {
+        let err = compile_schema("Subclass S of Nowhere ( x: integer );").unwrap_err();
+        assert!(err.to_string().contains("superclass"));
+    }
+
+    #[test]
+    fn unknown_attribute_type_fails() {
+        let err = compile_schema("Class C ( x: mystery-type );").unwrap_err();
+        assert!(err.to_string().contains("neither a declared type nor a class"));
+    }
+
+    #[test]
+    fn inverse_on_type_fails() {
+        let err = compile_schema(
+            "Type t = integer; Class C ( x: t inverse is y );",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("applies to classes"));
+    }
+
+    #[test]
+    fn bad_integer_range_fails_at_install() {
+        assert!(compile_schema("Class C ( x: integer (5..1) );").is_err());
+    }
+}

@@ -1,0 +1,520 @@
+//! Abstract syntax of the SIM DML.
+//!
+//! A qualification path is written outermost-first, exactly as in the paper:
+//! `Name of Advisor of Student` parses to segments `[name, advisor,
+//! student]`. Resolution against the perspective (completing shortened
+//! paths, binding range variables) happens in the query layer — the AST is
+//! purely syntactic.
+
+use std::fmt;
+
+/// A literal constant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// `null`
+    Null,
+    /// Integer literal.
+    Int(i64),
+    /// Decimal literal, kept as source text (converted by the analyzer).
+    Dec(String),
+    /// String literal.
+    Str(String),
+    /// `true` / `false`
+    Bool(bool),
+}
+
+/// One step of a qualification path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SegKind {
+    /// A plain attribute / class / range-variable name.
+    Name(String),
+    /// `transitive(eva)` — transitive closure over a cyclic EVA chain (§4.7).
+    Transitive(String),
+    /// `inverse(eva)` — "the term INVERSE(ADVISOR) can be used in any
+    /// context where ADVISEES is allowed" (§3.2).
+    Inverse(String),
+}
+
+/// A path segment with an optional `AS` role conversion (§4.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    /// What the segment names.
+    pub kind: SegKind,
+    /// `AS <class>`: view the entities in a different role of the same
+    /// generalization hierarchy.
+    pub as_class: Option<String>,
+}
+
+impl Segment {
+    /// A plain name segment.
+    pub fn name(n: impl Into<String>) -> Segment {
+        Segment { kind: SegKind::Name(n.into()), as_class: None }
+    }
+}
+
+/// A qualification path, outermost attribute first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    /// The segments as written: `Name of Advisor of Student` is
+    /// `[name, advisor, student]`.
+    pub segments: Vec<Segment>,
+}
+
+impl Path {
+    /// Build from plain names.
+    pub fn of_names<I: IntoIterator<Item = S>, S: Into<String>>(names: I) -> Path {
+        Path { segments: names.into_iter().map(Segment::name).collect() }
+    }
+}
+
+/// Aggregate functions (§4.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `count(...)`
+    Count,
+    /// `sum(...)`
+    Sum,
+    /// `avg(...)`
+    Avg,
+    /// `min(...)`
+    Min,
+    /// `max(...)`
+    Max,
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Quantifiers (§4.6, §4.9 example 4): `all`, `some`, `no`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quantifier {
+    /// Every value satisfies the comparison.
+    All,
+    /// At least one value satisfies the comparison.
+    Some,
+    /// No value satisfies the comparison.
+    No,
+}
+
+impl fmt::Display for Quantifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Quantifier::All => "all",
+            Quantifier::Some => "some",
+            Quantifier::No => "no",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `=`
+    Eq,
+    /// `neq`, `<>`, `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `matches` — glob pattern matching.
+    Matches,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Eq => "=",
+            BinOp::Ne => "neq",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Matches => "matches",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal constant.
+    Literal(Literal),
+    /// A qualification path.
+    Path(Path),
+    /// Binary operation (arithmetic, comparison, boolean).
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `not <expr>`
+    Not(Box<Expr>),
+    /// Arithmetic negation.
+    Neg(Box<Expr>),
+    /// `agg(arg) [of tail…]` — the aggregate delimits binding scope within a
+    /// qualification (§4.6): `avg(salary of instructors-employed) of
+    /// department` is a derived attribute of each department.
+    Aggregate {
+        /// Which aggregate.
+        func: AggFunc,
+        /// `count distinct (…)` (§4.9 example 5).
+        distinct: bool,
+        /// The path being aggregated (scope inside the parentheses).
+        arg: Path,
+        /// Qualification applied outside the aggregate (`of department`).
+        tail: Vec<Segment>,
+    },
+    /// `some(path)` / `all(path)` / `no(path)` as a comparison operand.
+    Quantified {
+        /// The quantifier.
+        quantifier: Quantifier,
+        /// The path whose values are quantified over.
+        arg: Path,
+        /// Qualification applied outside the parentheses.
+        tail: Vec<Segment>,
+    },
+    /// `<path> isa <class>` — role test (§4.9 example 7).
+    IsA {
+        /// The entity-valued path.
+        path: Path,
+        /// The class name tested.
+        class: String,
+    },
+}
+
+impl Expr {
+    /// Shorthand for a binary node.
+    pub fn binary(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+    }
+}
+
+/// Output shaping for retrieve queries (§4.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputMode {
+    /// `RETRIEVE TABLE` (the default): fully tabular, one record format.
+    #[default]
+    Table,
+    /// `RETRIEVE TABLE DISTINCT`: tabular with duplicate elimination.
+    TableDistinct,
+    /// `RETRIEVE STRUCTURE`: fully structured, one format per TYPE 1/3
+    /// variable, with level numbers.
+    Structure,
+}
+
+/// A perspective class with an optional reference variable (§4.3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Perspective {
+    /// The class name.
+    pub class: String,
+    /// Optional reference variable (`From student S, instructor I`).
+    pub refvar: Option<String>,
+}
+
+/// One ORDER BY item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    /// The expression ordered on.
+    pub expr: Expr,
+    /// Ascending (default) or descending.
+    pub ascending: bool,
+}
+
+/// A retrieve query (§4.3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetrieveStmt {
+    /// Perspective classes. May be empty in the source ("FROM" omitted), in
+    /// which case the analyzer infers the perspective from the target list.
+    pub perspectives: Vec<Perspective>,
+    /// Output mode.
+    pub mode: OutputMode,
+    /// Target list.
+    pub targets: Vec<Expr>,
+    /// ORDER BY items.
+    pub order_by: Vec<OrderItem>,
+    /// Selection expression.
+    pub where_clause: Option<Expr>,
+}
+
+/// Assignment operators in update statements (§4.8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignOp {
+    /// `:=` — replace the value.
+    Set,
+    /// `:= include …` — add to a multi-valued attribute.
+    Include,
+    /// `:= exclude …` — remove from a multi-valued attribute.
+    Exclude,
+}
+
+/// The right-hand side of an assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AssignValue {
+    /// A scalar expression (DVAs).
+    Expr(Expr),
+    /// `<name> with (<predicate>)` — entity selection for EVA assignment.
+    /// For Set/Include the name is the range class; for Exclude it names the
+    /// EVA itself (§4.8).
+    Selector {
+        /// Class name (set/include) or EVA name (exclude).
+        name: String,
+        /// The predicate selecting entities (perspective = the range class).
+        predicate: Expr,
+    },
+}
+
+/// One assignment in INSERT or MODIFY.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// The attribute assigned.
+    pub attr: String,
+    /// Set / include / exclude.
+    pub op: AssignOp,
+    /// The value.
+    pub value: AssignValue,
+}
+
+/// An insert statement (§4.8).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsertStmt {
+    /// The class receiving a new entity / role.
+    pub class: String,
+    /// `FROM <ancestor> WHERE <expr>`: extend an existing entity's roles.
+    pub from: Option<(String, Expr)>,
+    /// Attribute assignments.
+    pub assignments: Vec<Assignment>,
+}
+
+/// A modify statement (§4.8).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModifyStmt {
+    /// The perspective class.
+    pub class: String,
+    /// Attribute assignments.
+    pub assignments: Vec<Assignment>,
+    /// The selection expression.
+    pub where_clause: Option<Expr>,
+}
+
+/// A delete statement (§4.8).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeleteStmt {
+    /// The class whose role is removed.
+    pub class: String,
+    /// The selection expression.
+    pub where_clause: Option<Expr>,
+}
+
+/// Any DML statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// Retrieve query.
+    Retrieve(RetrieveStmt),
+    /// Insert.
+    Insert(InsertStmt),
+    /// Modify.
+    Modify(ModifyStmt),
+    /// Delete.
+    Delete(DeleteStmt),
+}
+
+// ----- pretty printing (used by tests for the parse→print→parse fixpoint) -----
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Null => write!(f, "null"),
+            Literal::Int(v) => write!(f, "{v}"),
+            Literal::Dec(s) => write!(f, "{s}"),
+            Literal::Str(s) => write!(f, "\"{}\"", s.replace('"', "\"\"")),
+            Literal::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            SegKind::Name(n) => write!(f, "{n}")?,
+            SegKind::Transitive(n) => write!(f, "transitive({n})")?,
+            SegKind::Inverse(n) => write!(f, "inverse({n})")?,
+        }
+        if let Some(c) = &self.as_class {
+            write!(f, " as {c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, seg) in self.segments.iter().enumerate() {
+            if i > 0 {
+                write!(f, " of ")?;
+            }
+            write!(f, "{seg}")?;
+        }
+        Ok(())
+    }
+}
+
+fn fmt_tail(f: &mut fmt::Formatter<'_>, tail: &[Segment]) -> fmt::Result {
+    for seg in tail {
+        write!(f, " of {seg}")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Literal(l) => write!(f, "{l}"),
+            Expr::Path(p) => write!(f, "{p}"),
+            Expr::Binary { op, lhs, rhs } => write!(f, "({lhs} {op} {rhs})"),
+            Expr::Not(e) => write!(f, "(not {e})"),
+            Expr::Neg(e) => write!(f, "(- {e})"),
+            Expr::Aggregate { func, distinct, arg, tail } => {
+                write!(f, "{func}{}({arg})", if *distinct { " distinct " } else { "" })?;
+                fmt_tail(f, tail)
+            }
+            Expr::Quantified { quantifier, arg, tail } => {
+                write!(f, "{quantifier}({arg})")?;
+                fmt_tail(f, tail)
+            }
+            Expr::IsA { path, class } => write!(f, "({path} isa {class})"),
+        }
+    }
+}
+
+fn fmt_assignments(f: &mut fmt::Formatter<'_>, assignments: &[Assignment]) -> fmt::Result {
+    write!(f, "(")?;
+    for (i, a) in assignments.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{} := ", a.attr)?;
+        match a.op {
+            AssignOp::Set => {}
+            AssignOp::Include => write!(f, "include ")?,
+            AssignOp::Exclude => write!(f, "exclude ")?,
+        }
+        match &a.value {
+            AssignValue::Expr(e) => write!(f, "{e}")?,
+            AssignValue::Selector { name, predicate } => {
+                write!(f, "{name} with ({predicate})")?;
+            }
+        }
+    }
+    write!(f, ")")
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Retrieve(r) => {
+                if !r.perspectives.is_empty() {
+                    write!(f, "from ")?;
+                    for (i, p) in r.perspectives.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{}", p.class)?;
+                        if let Some(v) = &p.refvar {
+                            write!(f, " {v}")?;
+                        }
+                    }
+                    write!(f, " ")?;
+                }
+                write!(f, "retrieve ")?;
+                match r.mode {
+                    OutputMode::Table => {}
+                    OutputMode::TableDistinct => write!(f, "table distinct ")?,
+                    OutputMode::Structure => write!(f, "structure ")?,
+                }
+                for (i, t) in r.targets.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                if !r.order_by.is_empty() {
+                    write!(f, " order by ")?;
+                    for (i, o) in r.order_by.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{}{}", o.expr, if o.ascending { "" } else { " desc" })?;
+                    }
+                }
+                if let Some(w) = &r.where_clause {
+                    write!(f, " where {w}")?;
+                }
+                write!(f, ".")
+            }
+            Statement::Insert(ins) => {
+                write!(f, "insert {}", ins.class)?;
+                if let Some((from, pred)) = &ins.from {
+                    write!(f, " from {from} where {pred}")?;
+                }
+                if !ins.assignments.is_empty() {
+                    write!(f, " ")?;
+                    fmt_assignments(f, &ins.assignments)?;
+                }
+                write!(f, ".")
+            }
+            Statement::Modify(m) => {
+                write!(f, "modify {} ", m.class)?;
+                fmt_assignments(f, &m.assignments)?;
+                if let Some(w) = &m.where_clause {
+                    write!(f, " where {w}")?;
+                }
+                write!(f, ".")
+            }
+            Statement::Delete(d) => {
+                write!(f, "delete {}", d.class)?;
+                if let Some(w) = &d.where_clause {
+                    write!(f, " where {w}")?;
+                }
+                write!(f, ".")
+            }
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Parse errors with source positions.
+
+use std::fmt;
+
+/// A lexing or parsing error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset into the source where the problem was detected.
+    pub offset: usize,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub column: usize,
+}
+
+impl ParseError {
+    /// Build an error, computing line/column from the source.
+    pub fn at(source: &str, offset: usize, message: impl Into<String>) -> ParseError {
+        let clamped = offset.min(source.len());
+        let mut line = 1;
+        let mut column = 1;
+        for c in source[..clamped].chars() {
+            if c == '\n' {
+                line += 1;
+                column = 1;
+            } else {
+                column += 1;
+            }
+        }
+        ParseError { message: message.into(), offset: clamped, line, column }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}

@@ -1,0 +1,454 @@
+//! Lexer for the SIM conceptual languages (shared by DDL and DML).
+//!
+//! Tokens carry byte spans into the source so callers (e.g. VERIFY
+//! assertion capture in the DDL parser) can recover raw text.
+
+use crate::error::ParseError;
+use std::fmt;
+
+/// A token kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (stored lowercased; keywords are matched by
+    /// callers against this form). Hyphenated names are single tokens.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Decimal literal (`1.1`, `99.50`).
+    Dec(String),
+    /// String literal (double-quoted; `""` escapes a quote).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `.` (statement terminator)
+    Period,
+    /// `:` (attribute declarations)
+    Colon,
+    /// `:=`
+    Assign,
+    /// `..` (integer ranges)
+    DotDot,
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `<>` or `!=` (symbolic not-equal; the keyword `neq` is an Ident)
+    Ne,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Dec(s) => write!(f, "{s}"),
+            Tok::Str(s) => write!(f, "\"{s}\""),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::Comma => write!(f, ","),
+            Tok::Semicolon => write!(f, ";"),
+            Tok::Period => write!(f, "."),
+            Tok::Colon => write!(f, ":"),
+            Tok::Assign => write!(f, ":="),
+            Tok::DotDot => write!(f, ".."),
+            Tok::Eq => write!(f, "="),
+            Tok::Lt => write!(f, "<"),
+            Tok::Gt => write!(f, ">"),
+            Tok::Le => write!(f, "<="),
+            Tok::Ge => write!(f, ">="),
+            Tok::Ne => write!(f, "<>"),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Star => write!(f, "*"),
+            Tok::Slash => write!(f, "/"),
+        }
+    }
+}
+
+/// A token plus its source span `[start, end)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind/payload.
+    pub tok: Tok,
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+/// Tokenize a source string. Comments are `(* … *)` (the paper's §7 uses
+/// this form) and `--` to end of line.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, ParseError> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let n = bytes.len();
+
+    let is_ident_start = |b: u8| b.is_ascii_alphabetic() || b == b'_';
+    let is_ident_part = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+
+    while i < n {
+        let b = bytes[i];
+        // Whitespace.
+        if b.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // (* comment *)
+        if b == b'(' && i + 1 < n && bytes[i + 1] == b'*' {
+            let start = i;
+            i += 2;
+            loop {
+                if i + 1 >= n {
+                    return Err(ParseError::at(source, start, "unterminated (* comment"));
+                }
+                if bytes[i] == b'*' && bytes[i + 1] == b')' {
+                    i += 2;
+                    break;
+                }
+                i += 1;
+            }
+            continue;
+        }
+        // -- line comment
+        if b == b'-' && i + 1 < n && bytes[i + 1] == b'-' {
+            while i < n && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // String literal.
+        if b == b'"' {
+            let start = i;
+            i += 1;
+            let mut s = String::new();
+            loop {
+                if i >= n {
+                    return Err(ParseError::at(source, start, "unterminated string literal"));
+                }
+                if bytes[i] == b'"' {
+                    // `""` is an escaped quote.
+                    if i + 1 < n && bytes[i + 1] == b'"' {
+                        s.push('"');
+                        i += 2;
+                        continue;
+                    }
+                    i += 1;
+                    break;
+                }
+                // Track UTF-8: push whole chars.
+                let ch_len = utf8_len(bytes[i]);
+                s.push_str(&source[i..i + ch_len]);
+                i += ch_len;
+            }
+            tokens.push(Token { tok: Tok::Str(s), start, end: i });
+            continue;
+        }
+        // Number.
+        if b.is_ascii_digit() {
+            let start = i;
+            while i < n && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            // A '.' followed by a digit makes it a decimal; '..' is a range.
+            if i + 1 < n && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+                i += 1;
+                while i < n && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    tok: Tok::Dec(source[start..i].to_owned()),
+                    start,
+                    end: i,
+                });
+            } else {
+                let text = &source[start..i];
+                let v: i64 = text.parse().map_err(|_| {
+                    ParseError::at(source, start, format!("integer literal {text} overflows"))
+                })?;
+                tokens.push(Token { tok: Tok::Int(v), start, end: i });
+            }
+            continue;
+        }
+        // Identifier / keyword, with embedded hyphens.
+        if is_ident_start(b) {
+            let start = i;
+            i += 1;
+            while i < n {
+                if is_ident_part(bytes[i]) {
+                    i += 1;
+                } else if bytes[i] == b'-'
+                    && i + 1 < n
+                    && is_ident_part(bytes[i + 1])
+                    && is_ident_part(bytes[i - 1])
+                {
+                    // Hyphen glued on both sides joins the name.
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            tokens.push(Token {
+                tok: Tok::Ident(source[start..i].to_ascii_lowercase()),
+                start,
+                end: i,
+            });
+            continue;
+        }
+        // Operators and punctuation.
+        let start = i;
+        let two = if i + 1 < n { &source[i..i + 2] } else { "" };
+        let tok = match two {
+            ":=" => {
+                i += 2;
+                Some(Tok::Assign)
+            }
+            ".." => {
+                i += 2;
+                Some(Tok::DotDot)
+            }
+            "<=" => {
+                i += 2;
+                Some(Tok::Le)
+            }
+            ">=" => {
+                i += 2;
+                Some(Tok::Ge)
+            }
+            "<>" => {
+                i += 2;
+                Some(Tok::Ne)
+            }
+            "!=" => {
+                i += 2;
+                Some(Tok::Ne)
+            }
+            _ => None,
+        };
+        let tok = match tok {
+            Some(t) => t,
+            None => {
+                i += 1;
+                match b {
+                    b'(' => Tok::LParen,
+                    b')' => Tok::RParen,
+                    b'[' => Tok::LBracket,
+                    b']' => Tok::RBracket,
+                    b',' => Tok::Comma,
+                    b';' => Tok::Semicolon,
+                    b'.' => Tok::Period,
+                    b':' => Tok::Colon,
+                    b'=' => Tok::Eq,
+                    b'<' => Tok::Lt,
+                    b'>' => Tok::Gt,
+                    b'+' => Tok::Plus,
+                    b'-' => Tok::Minus,
+                    b'*' => Tok::Star,
+                    b'/' => Tok::Slash,
+                    other => {
+                        return Err(ParseError::at(
+                            source,
+                            start,
+                            format!("unexpected character {:?}", other as char),
+                        ));
+                    }
+                }
+            }
+        };
+        tokens.push(Token { tok, start, end: i });
+    }
+    Ok(tokens)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        tokenize(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn hyphenated_identifiers_join() {
+        assert_eq!(
+            toks("soc-sec-no of Student"),
+            vec![
+                Tok::Ident("soc-sec-no".into()),
+                Tok::Ident("of".into()),
+                Tok::Ident("student".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn spaced_hyphen_is_minus() {
+        assert_eq!(
+            toks("salary - bonus"),
+            vec![
+                Tok::Ident("salary".into()),
+                Tok::Minus,
+                Tok::Ident("bonus".into())
+            ]
+        );
+        // Hyphen followed by space also breaks the identifier.
+        assert_eq!(
+            toks("salary -bonus"),
+            vec![
+                Tok::Ident("salary".into()),
+                Tok::Minus,
+                Tok::Ident("bonus".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_decimals_and_ranges() {
+        assert_eq!(toks("42"), vec![Tok::Int(42)]);
+        assert_eq!(toks("1.1"), vec![Tok::Dec("1.1".into())]);
+        assert_eq!(
+            toks("1001..39999"),
+            vec![Tok::Int(1001), Tok::DotDot, Tok::Int(39999)]
+        );
+        assert_eq!(
+            toks("number[9,2]"),
+            vec![
+                Tok::Ident("number".into()),
+                Tok::LBracket,
+                Tok::Int(9),
+                Tok::Comma,
+                Tok::Int(2),
+                Tok::RBracket
+            ]
+        );
+    }
+
+    #[test]
+    fn statement_period_vs_decimal() {
+        assert_eq!(
+            toks("Retrieve Name."),
+            vec![
+                Tok::Ident("retrieve".into()),
+                Tok::Ident("name".into()),
+                Tok::Period
+            ]
+        );
+        assert_eq!(toks("x = 4."), vec![
+            Tok::Ident("x".into()),
+            Tok::Eq,
+            Tok::Int(4),
+            Tok::Period
+        ]);
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(toks("\"Algebra I\""), vec![Tok::Str("Algebra I".into())]);
+        assert_eq!(toks("\"say \"\"hi\"\"\""), vec![Tok::Str("say \"hi\"".into())]);
+        assert!(tokenize("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn assign_and_comparisons() {
+        assert_eq!(
+            toks("salary := 1.1 * salary"),
+            vec![
+                Tok::Ident("salary".into()),
+                Tok::Assign,
+                Tok::Dec("1.1".into()),
+                Tok::Star,
+                Tok::Ident("salary".into())
+            ]
+        );
+        assert_eq!(toks("a <= b >= c <> d != e"), vec![
+            Tok::Ident("a".into()),
+            Tok::Le,
+            Tok::Ident("b".into()),
+            Tok::Ge,
+            Tok::Ident("c".into()),
+            Tok::Ne,
+            Tok::Ident("d".into()),
+            Tok::Ne,
+            Tok::Ident("e".into()),
+        ]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("(* The schema diagram is in Figure 2. *) Class Person"),
+            vec![Tok::Ident("class".into()), Tok::Ident("person".into())]
+        );
+        assert_eq!(
+            toks("a -- rest of line\nb"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into())]
+        );
+        assert!(tokenize("(* never closed").is_err());
+    }
+
+    #[test]
+    fn keywords_lowercased() {
+        assert_eq!(
+            toks("RETRIEVE Table DISTINCT"),
+            vec![
+                Tok::Ident("retrieve".into()),
+                Tok::Ident("table".into()),
+                Tok::Ident("distinct".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_slice_source() {
+        let src = "Verify v1 on Student";
+        let tokens = tokenize(src).unwrap();
+        assert_eq!(&src[tokens[1].start..tokens[1].end], "v1");
+        assert_eq!(&src[tokens[3].start..tokens[3].end], "Student");
+    }
+
+    #[test]
+    fn unexpected_character_errors() {
+        let err = tokenize("a ? b").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+        assert_eq!(err.column, 3);
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(toks("\"héllo wörld\""), vec![Tok::Str("héllo wörld".into())]);
+    }
+}

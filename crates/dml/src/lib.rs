@@ -1,0 +1,28 @@
+//! # sim-dml
+//!
+//! The SIM data-manipulation language: lexer, abstract syntax and parser
+//! (paper §4). The DML is "a high-level, non-procedural language designed
+//! with a particular emphasis on its naturalness and ease of use" — English
+//! keywords, hyphenated identifiers (`soc-sec-no`), qualification with `OF`,
+//! role conversion with `AS`, and update statements whose assignments select
+//! entities with `WITH (…)` clauses.
+//!
+//! The lexer ([`lex`]) is shared with the DDL crate (the paper's DDL and DML
+//! are "the conceptual languages understood by SIM" and share their lexical
+//! ground rules).
+//!
+//! Lexical notes:
+//!
+//! * Keywords and identifiers are case-insensitive (`Retrieve` ≡ `RETRIEVE`).
+//! * Hyphens join identifier parts when attached on both sides:
+//!   `courses-enrolled` is one name; `salary - bonus` is a subtraction.
+//! * A statement ends with `.` or `;` (the paper writes terminal periods).
+
+pub mod ast;
+pub mod error;
+pub mod lex;
+pub mod parser;
+
+pub use ast::*;
+pub use error::ParseError;
+pub use parser::{parse_expression, parse_statement, parse_statements};

@@ -1,0 +1,1018 @@
+//! Recursive-descent parser for the SIM DML.
+
+use crate::ast::*;
+use crate::error::ParseError;
+use crate::lex::{tokenize, Tok, Token};
+
+/// Words that terminate or structure clauses and therefore cannot appear as
+/// bare path-segment names.
+const RESERVED: &[&str] = &[
+    "of", "as", "where", "and", "or", "not", "isa", "matches", "neq", "else", "order",
+    "desc", "asc", "with", "retrieve", "from", "include", "exclude", "by",
+];
+
+const AGG_FUNCS: &[(&str, AggFunc)] = &[
+    ("count", AggFunc::Count),
+    ("sum", AggFunc::Sum),
+    ("avg", AggFunc::Avg),
+    ("min", AggFunc::Min),
+    ("max", AggFunc::Max),
+];
+
+const QUANTIFIERS: &[(&str, Quantifier)] = &[
+    ("all", Quantifier::All),
+    ("some", Quantifier::Some),
+    ("no", Quantifier::No),
+];
+
+struct Parser<'a> {
+    source: &'a str,
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+/// Parse a single DML statement.
+pub fn parse_statement(source: &str) -> Result<Statement, ParseError> {
+    let mut p = Parser::new(source)?;
+    let stmt = p.statement()?;
+    p.skip_terminators();
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parse a sequence of DML statements separated by `.` or `;`.
+pub fn parse_statements(source: &str) -> Result<Vec<Statement>, ParseError> {
+    let mut p = Parser::new(source)?;
+    let mut out = Vec::new();
+    p.skip_terminators();
+    while !p.at_eof() {
+        out.push(p.statement()?);
+        p.skip_terminators();
+    }
+    Ok(out)
+}
+
+/// Parse a standalone selection expression (used for VERIFY assertions).
+pub fn parse_expression(source: &str) -> Result<Expr, ParseError> {
+    let mut p = Parser::new(source)?;
+    let e = p.expr()?;
+    p.skip_terminators();
+    p.expect_eof()?;
+    Ok(e)
+}
+
+impl<'a> Parser<'a> {
+    fn new(source: &'a str) -> Result<Parser<'a>, ParseError> {
+        Ok(Parser { source, tokens: tokenize(source)?, pos: 0 })
+    }
+
+    // ----- token utilities ---------------------------------------------------
+
+    fn at_eof(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<&Tok> {
+        self.tokens.get(self.pos + offset).map(|t| &t.tok)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|t| t.start)
+            .unwrap_or(self.source.len())
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError::at(self.source, self.offset(), message)
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Ident(s)) = self.peek() {
+            if s == kw {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s == kw)
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<(), ParseError> {
+        if self.eat(tok) {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected {what}, found {}",
+                self.peek().map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            )))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected keyword {kw}, found {}",
+                self.peek().map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            )))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Tok::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.err(format!("expected {what}"))),
+        }
+    }
+
+    /// A non-reserved identifier (class / attribute / variable name).
+    fn name(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Tok::Ident(s)) if !RESERVED.contains(&s.as_str()) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            Some(Tok::Ident(s)) => {
+                Err(self.err(format!("reserved word {s} cannot be used as {what}")))
+            }
+            _ => Err(self.err(format!("expected {what}"))),
+        }
+    }
+
+    fn skip_terminators(&mut self) {
+        while self.eat(&Tok::Period) || self.eat(&Tok::Semicolon) {}
+    }
+
+    fn expect_eof(&mut self) -> Result<(), ParseError> {
+        if self.at_eof() {
+            Ok(())
+        } else {
+            Err(self.err("unexpected trailing input"))
+        }
+    }
+
+    // ----- statements ----------------------------------------------------------
+
+    fn statement(&mut self) -> Result<Statement, ParseError> {
+        match self.peek() {
+            Some(Tok::Ident(s)) => match s.as_str() {
+                "from" | "retrieve" => self.retrieve(),
+                "insert" => self.insert(),
+                "modify" => self.modify(),
+                "delete" => self.delete(),
+                other => Err(self.err(format!(
+                    "expected a statement (from/retrieve/insert/modify/delete), found {other}"
+                ))),
+            },
+            _ => Err(self.err("expected a statement")),
+        }
+    }
+
+    fn retrieve(&mut self) -> Result<Statement, ParseError> {
+        let mut perspectives = Vec::new();
+        if self.eat_kw("from") {
+            loop {
+                let class = self.name("a perspective class name")?;
+                // An optional reference variable directly follows the class.
+                let refvar = match self.peek() {
+                    Some(Tok::Ident(s))
+                        if !RESERVED.contains(&s.as_str()) && s != "retrieve" =>
+                    {
+                        Some(self.ident("reference variable")?)
+                    }
+                    _ => None,
+                };
+                perspectives.push(Perspective { class, refvar });
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect_kw("retrieve")?;
+        let mode = if self.eat_kw("table") {
+            if self.eat_kw("distinct") {
+                OutputMode::TableDistinct
+            } else {
+                OutputMode::Table
+            }
+        } else if self.eat_kw("structure") {
+            OutputMode::Structure
+        } else {
+            OutputMode::Table
+        };
+
+        let mut targets = Vec::new();
+        loop {
+            targets.extend(self.target_item()?);
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let expr = self.expr()?;
+                let ascending = if self.eat_kw("desc") {
+                    false
+                } else {
+                    self.eat_kw("asc");
+                    true
+                };
+                order_by.push(OrderItem { expr, ascending });
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let where_clause = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        Ok(Statement::Retrieve(RetrieveStmt { perspectives, mode, targets, order_by, where_clause }))
+    }
+
+    /// One target-list item, possibly a parenthetically factored
+    /// qualification (§4.2): `(title, credits) of courses-enrolled`.
+    fn target_item(&mut self) -> Result<Vec<Expr>, ParseError> {
+        if self.peek() == Some(&Tok::LParen) {
+            let save = self.pos;
+            if let Some(exprs) = self.try_factored_qualification()? {
+                return Ok(exprs);
+            }
+            self.pos = save;
+        }
+        Ok(vec![self.expr()?])
+    }
+
+    fn try_factored_qualification(&mut self) -> Result<Option<Vec<Expr>>, ParseError> {
+        // `(` path (`,` path)* `)` `of` segment (`of` segment)*
+        if !self.eat(&Tok::LParen) {
+            return Ok(None);
+        }
+        let mut heads = Vec::new();
+        loop {
+            match self.try_path()? {
+                Some(p) => heads.push(p),
+                None => return Ok(None),
+            }
+            if self.eat(&Tok::Comma) {
+                continue;
+            }
+            break;
+        }
+        if !self.eat(&Tok::RParen) || !self.eat_kw("of") {
+            return Ok(None);
+        }
+        let mut tail = vec![self.segment()?];
+        while self.eat_kw("of") {
+            tail.push(self.segment()?);
+        }
+        Ok(Some(
+            heads
+                .into_iter()
+                .map(|mut p| {
+                    p.segments.extend(tail.iter().cloned());
+                    Expr::Path(p)
+                })
+                .collect(),
+        ))
+    }
+
+    fn try_path(&mut self) -> Result<Option<Path>, ParseError> {
+        let save = self.pos;
+        match self.path() {
+            Ok(p) => Ok(Some(p)),
+            Err(_) => {
+                self.pos = save;
+                Ok(None)
+            }
+        }
+    }
+
+    fn insert(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw("insert")?;
+        let class = self.name("a class name")?;
+        let from = if self.eat_kw("from") {
+            let from_class = self.name("an ancestor class name")?;
+            self.expect_kw("where")?;
+            let pred = self.expr()?;
+            Some((from_class, pred))
+        } else {
+            None
+        };
+        let assignments = if self.peek() == Some(&Tok::LParen) {
+            self.assignment_list()?
+        } else {
+            Vec::new()
+        };
+        Ok(Statement::Insert(InsertStmt { class, from, assignments }))
+    }
+
+    fn modify(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw("modify")?;
+        let class = self.name("a class name")?;
+        let assignments = self.assignment_list()?;
+        let where_clause = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        Ok(Statement::Modify(ModifyStmt { class, assignments, where_clause }))
+    }
+
+    fn delete(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw("delete")?;
+        let class = self.name("a class name")?;
+        let where_clause = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        Ok(Statement::Delete(DeleteStmt { class, where_clause }))
+    }
+
+    fn assignment_list(&mut self) -> Result<Vec<Assignment>, ParseError> {
+        self.expect(&Tok::LParen, "(")?;
+        let mut out = Vec::new();
+        if self.peek() != Some(&Tok::RParen) {
+            loop {
+                out.push(self.assignment()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen, ")")?;
+        Ok(out)
+    }
+
+    fn assignment(&mut self) -> Result<Assignment, ParseError> {
+        let attr = self.name("an attribute name")?;
+        self.expect(&Tok::Assign, ":=")?;
+        let op = if self.eat_kw("include") {
+            AssignOp::Include
+        } else if self.eat_kw("exclude") {
+            AssignOp::Exclude
+        } else {
+            AssignOp::Set
+        };
+        // `<name> with (<predicate>)` selects entities for EVA assignment.
+        let value = if matches!(self.peek(), Some(Tok::Ident(s)) if !RESERVED.contains(&s.as_str()))
+            && matches!(self.peek_at(1), Some(Tok::Ident(s)) if s == "with")
+        {
+            let name = self.name("a class or EVA name")?;
+            self.expect_kw("with")?;
+            self.expect(&Tok::LParen, "(")?;
+            let predicate = self.expr()?;
+            self.expect(&Tok::RParen, ")")?;
+            AssignValue::Selector { name, predicate }
+        } else {
+            AssignValue::Expr(self.expr()?)
+        };
+        Ok(Assignment { attr, op, value })
+    }
+
+    // ----- expressions ------------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_kw("or") {
+            let rhs = self.and_expr()?;
+            lhs = Expr::binary(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_kw("and") {
+            let rhs = self.not_expr()?;
+            lhs = Expr::binary(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_kw("not") {
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.additive()?;
+        // `isa` role test.
+        if self.eat_kw("isa") {
+            let class = self.name("a class name")?;
+            let path = match lhs {
+                Expr::Path(p) => p,
+                other => {
+                    return Err(self.err(format!(
+                        "left side of isa must be an entity path, found {other}"
+                    )));
+                }
+            };
+            return Ok(Expr::IsA { path, class });
+        }
+        let op = if self.eat(&Tok::Eq) {
+            Some(BinOp::Eq)
+        } else if self.eat(&Tok::Ne) || self.eat_kw("neq") {
+            Some(BinOp::Ne)
+        } else if self.eat(&Tok::Le) {
+            Some(BinOp::Le)
+        } else if self.eat(&Tok::Ge) {
+            Some(BinOp::Ge)
+        } else if self.eat(&Tok::Lt) {
+            Some(BinOp::Lt)
+        } else if self.eat(&Tok::Gt) {
+            Some(BinOp::Gt)
+        } else if self.eat_kw("matches") {
+            Some(BinOp::Matches)
+        } else {
+            None
+        };
+        match op {
+            Some(op) => {
+                let rhs = self.additive()?;
+                Ok(Expr::binary(op, lhs, rhs))
+            }
+            None => Ok(lhs),
+        }
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            if self.eat(&Tok::Plus) {
+                let rhs = self.multiplicative()?;
+                lhs = Expr::binary(BinOp::Add, lhs, rhs);
+            } else if self.eat(&Tok::Minus) {
+                let rhs = self.multiplicative()?;
+                lhs = Expr::binary(BinOp::Sub, lhs, rhs);
+            } else {
+                break;
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            if self.eat(&Tok::Star) {
+                let rhs = self.unary()?;
+                lhs = Expr::binary(BinOp::Mul, lhs, rhs);
+            } else if self.eat(&Tok::Slash) {
+                let rhs = self.unary()?;
+                lhs = Expr::binary(BinOp::Div, lhs, rhs);
+            } else {
+                break;
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat(&Tok::Minus) {
+            Ok(Expr::Neg(Box::new(self.unary()?)))
+        } else {
+            self.primary()
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Int(v)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Int(v)))
+            }
+            Some(Tok::Dec(s)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Dec(s)))
+            }
+            Some(Tok::Str(s)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Str(s)))
+            }
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect(&Tok::RParen, ")")?;
+                Ok(e)
+            }
+            Some(Tok::Ident(word)) => {
+                match word.as_str() {
+                    "null" => {
+                        self.pos += 1;
+                        return Ok(Expr::Literal(Literal::Null));
+                    }
+                    "true" => {
+                        self.pos += 1;
+                        return Ok(Expr::Literal(Literal::Bool(true)));
+                    }
+                    "false" => {
+                        self.pos += 1;
+                        return Ok(Expr::Literal(Literal::Bool(false)));
+                    }
+                    _ => {}
+                }
+                // Aggregate: `count [distinct] ( path ) [of …]`.
+                if let Some((_, func)) = AGG_FUNCS.iter().find(|(n, _)| *n == word) {
+                    let next = self.peek_at(1);
+                    let distinct_then_paren = matches!(next, Some(Tok::Ident(s)) if s == "distinct")
+                        && self.peek_at(2) == Some(&Tok::LParen);
+                    if next == Some(&Tok::LParen) || distinct_then_paren {
+                        self.pos += 1; // the function word
+                        let distinct = self.eat_kw("distinct");
+                        self.expect(&Tok::LParen, "(")?;
+                        let arg = self.path()?;
+                        self.expect(&Tok::RParen, ")")?;
+                        let tail = self.tail_segments()?;
+                        return Ok(Expr::Aggregate { func: *func, distinct, arg, tail });
+                    }
+                }
+                // Quantifier: `some ( path ) [of …]`.
+                if let Some((_, quantifier)) = QUANTIFIERS.iter().find(|(n, _)| *n == word) {
+                    if self.peek_at(1) == Some(&Tok::LParen) {
+                        self.pos += 1;
+                        self.expect(&Tok::LParen, "(")?;
+                        let arg = self.path()?;
+                        self.expect(&Tok::RParen, ")")?;
+                        let tail = self.tail_segments()?;
+                        return Ok(Expr::Quantified { quantifier: *quantifier, arg, tail });
+                    }
+                }
+                Ok(Expr::Path(self.path()?))
+            }
+            _ => Err(self.err("expected an expression")),
+        }
+    }
+
+    fn tail_segments(&mut self) -> Result<Vec<Segment>, ParseError> {
+        let mut tail = Vec::new();
+        while self.eat_kw("of") {
+            tail.push(self.segment()?);
+        }
+        Ok(tail)
+    }
+
+    // ----- paths ----------------------------------------------------------------
+
+    fn path(&mut self) -> Result<Path, ParseError> {
+        let mut segments = vec![self.segment()?];
+        while self.eat_kw("of") {
+            segments.push(self.segment()?);
+        }
+        Ok(Path { segments })
+    }
+
+    fn segment(&mut self) -> Result<Segment, ParseError> {
+        let kind = if self.peek_kw("transitive") && self.peek_at(1) == Some(&Tok::LParen) {
+            self.pos += 1;
+            self.expect(&Tok::LParen, "(")?;
+            let eva = self.name("an EVA name")?;
+            self.expect(&Tok::RParen, ")")?;
+            SegKind::Transitive(eva)
+        } else if self.peek_kw("inverse") && self.peek_at(1) == Some(&Tok::LParen) {
+            self.pos += 1;
+            self.expect(&Tok::LParen, "(")?;
+            let eva = self.name("an EVA name")?;
+            self.expect(&Tok::RParen, ")")?;
+            SegKind::Inverse(eva)
+        } else {
+            SegKind::Name(self.name("an attribute or class name")?)
+        };
+        let as_class = if self.eat_kw("as") {
+            Some(self.name("a class name")?)
+        } else {
+            None
+        };
+        Ok(Segment { kind, as_class })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> Statement {
+        parse_statement(src).unwrap_or_else(|e| panic!("parse of {src:?} failed: {e}"))
+    }
+
+    fn reparse_fixpoint(src: &str) {
+        let first = parse(src);
+        let printed = first.to_string();
+        let second = parse_statement(&printed)
+            .unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+        assert_eq!(first, second, "print/reparse changed the AST for {src:?}");
+    }
+
+    #[test]
+    fn simple_retrieve_with_extended_attribute() {
+        // Paper §4.1.
+        let stmt = parse("From Student Retrieve Name, Name of Advisor.");
+        match stmt {
+            Statement::Retrieve(r) => {
+                assert_eq!(r.perspectives.len(), 1);
+                assert_eq!(r.perspectives[0].class, "student");
+                assert_eq!(r.targets.len(), 2);
+                assert_eq!(
+                    r.targets[1],
+                    Expr::Path(Path::of_names(["name", "advisor"]))
+                );
+                assert!(r.where_clause.is_none());
+            }
+            other => panic!("expected retrieve, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binding_example_from_section_4_4() {
+        let stmt = parse(
+            "Retrieve Name of Student,
+                Title of Courses-Enrolled of Student,
+                Credits of Courses-Enrolled of Student,
+                Name of Teachers of Courses-Enrolled of Student
+             Where Soc-Sec-No of Student = 456887766.",
+        );
+        match stmt {
+            Statement::Retrieve(r) => {
+                assert!(r.perspectives.is_empty());
+                assert_eq!(r.targets.len(), 4);
+                assert_eq!(
+                    r.targets[3],
+                    Expr::Path(Path::of_names([
+                        "name",
+                        "teachers",
+                        "courses-enrolled",
+                        "student"
+                    ]))
+                );
+                assert!(matches!(
+                    r.where_clause,
+                    Some(Expr::Binary { op: BinOp::Eq, .. })
+                ));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_john_doe() {
+        // Paper §4.9 example 1.
+        let stmt = parse(
+            "Insert student(name := \"John Doe\",
+                soc-sec-no := 456887766,
+                courses-enrolled := course with (title = \"Algebra I\")).",
+        );
+        match stmt {
+            Statement::Insert(i) => {
+                assert_eq!(i.class, "student");
+                assert!(i.from.is_none());
+                assert_eq!(i.assignments.len(), 3);
+                assert_eq!(i.assignments[0].attr, "name");
+                assert_eq!(i.assignments[2].op, AssignOp::Set);
+                assert!(matches!(
+                    i.assignments[2].value,
+                    AssignValue::Selector { ref name, .. } if name == "course"
+                ));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_role_extension() {
+        // Paper §4.9 example 2.
+        let stmt = parse(
+            "Insert instructor From person Where name = \"John Doe\" (employee-nbr := 1729).",
+        );
+        match stmt {
+            Statement::Insert(i) => {
+                assert_eq!(i.class, "instructor");
+                let (from, _) = i.from.unwrap();
+                assert_eq!(from, "person");
+                assert_eq!(i.assignments.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn modify_with_include_exclude() {
+        // Paper §4.9 example 3.
+        let stmt = parse(
+            "Modify student (
+               courses-enrolled := exclude courses-enrolled with (title = \"Algebra I\"),
+               advisor := instructor with (name = \"Joe Bloke\"))
+             Where name of student = \"John Doe\".",
+        );
+        match stmt {
+            Statement::Modify(m) => {
+                assert_eq!(m.class, "student");
+                assert_eq!(m.assignments[0].op, AssignOp::Exclude);
+                assert!(matches!(
+                    m.assignments[0].value,
+                    AssignValue::Selector { ref name, .. } if name == "courses-enrolled"
+                ));
+                assert_eq!(m.assignments[1].op, AssignOp::Set);
+                assert!(m.where_clause.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn modify_salary_raise_with_quantifier() {
+        // Paper §4.9 example 4.
+        let stmt = parse(
+            "Modify instructor( salary := 1.1 * salary)
+             Where count(courses-taught) of instructor > 3 and
+                   assigned-department neq some(major-department of advisees).",
+        );
+        match stmt {
+            Statement::Modify(m) => {
+                let w = m.where_clause.unwrap();
+                let Expr::Binary { op: BinOp::And, lhs, rhs } = w else {
+                    panic!("expected AND")
+                };
+                assert!(matches!(
+                    *lhs,
+                    Expr::Binary { op: BinOp::Gt, ref lhs, .. }
+                        if matches!(**lhs, Expr::Aggregate { func: AggFunc::Count, ref tail, .. } if tail.len() == 1)
+                ));
+                assert!(matches!(
+                    *rhs,
+                    Expr::Binary { op: BinOp::Ne, ref rhs, .. }
+                        if matches!(**rhs, Expr::Quantified { quantifier: Quantifier::Some, .. })
+                ));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn transitive_closure_count_distinct() {
+        // Paper §4.9 example 5.
+        let stmt = parse(
+            "From course
+             Retrieve count distinct (transitive(prerequisite))
+             Where title = \"Quantum Chromodynamics\".",
+        );
+        match stmt {
+            Statement::Retrieve(r) => {
+                assert!(matches!(
+                    r.targets[0],
+                    Expr::Aggregate {
+                        func: AggFunc::Count,
+                        distinct: true,
+                        ref arg,
+                        ..
+                    } if matches!(arg.segments[0].kind, SegKind::Transitive(ref e) if e == "prerequisite")
+                ));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_perspective_with_isa() {
+        // Paper §4.9 example 7.
+        let stmt = parse(
+            "From student, instructor
+             Retrieve name of student, name of Instructor
+             Where birthdate of student < birthdate of instructor and
+                   advisor of student NEQ instructor and
+                   not instructor isa teaching-assistant.",
+        );
+        match stmt {
+            Statement::Retrieve(r) => {
+                assert_eq!(r.perspectives.len(), 2);
+                let w = r.where_clause.unwrap();
+                // Outer shape: (a and b) and (not (isa)).
+                let Expr::Binary { op: BinOp::And, rhs, .. } = w else {
+                    panic!("expected AND")
+                };
+                assert!(matches!(*rhs, Expr::Not(ref inner)
+                    if matches!(**inner, Expr::IsA { ref class, .. } if class == "teaching-assistant")));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn transitive_retrieve() {
+        // Paper §4.7.
+        let stmt = parse(
+            "Retrieve Title of Transitive(prerequisite) of Course
+             Where Title of Course = \"Calculus I\".",
+        );
+        match stmt {
+            Statement::Retrieve(r) => {
+                let Expr::Path(p) = &r.targets[0] else { panic!() };
+                assert_eq!(p.segments.len(), 3);
+                assert!(matches!(p.segments[1].kind, SegKind::Transitive(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn as_role_conversion() {
+        // Paper §4.2: Student-No of Spouse as Student of Student.
+        let stmt = parse("From Student Retrieve Student-No of Spouse as Student of Student.");
+        match stmt {
+            Statement::Retrieve(r) => {
+                let Expr::Path(p) = &r.targets[0] else { panic!() };
+                assert_eq!(p.segments.len(), 3);
+                assert_eq!(p.segments[1].as_class.as_deref(), Some("student"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn inverse_segment() {
+        let stmt = parse("From Instructor Retrieve Name of Inverse(advisor).");
+        match stmt {
+            Statement::Retrieve(r) => {
+                let Expr::Path(p) = &r.targets[0] else { panic!() };
+                assert!(matches!(p.segments[1].kind, SegKind::Inverse(ref e) if e == "advisor"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn factored_qualification() {
+        let stmt = parse("From Student Retrieve (Title, Credits) of Courses-Enrolled.");
+        match stmt {
+            Statement::Retrieve(r) => {
+                assert_eq!(r.targets.len(), 2);
+                assert_eq!(
+                    r.targets[0],
+                    Expr::Path(Path::of_names(["title", "courses-enrolled"]))
+                );
+                assert_eq!(
+                    r.targets[1],
+                    Expr::Path(Path::of_names(["credits", "courses-enrolled"]))
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parenthesized_expression_is_not_factoring() {
+        let stmt = parse("From Instructor Retrieve (salary + bonus) * 2.");
+        match stmt {
+            Statement::Retrieve(r) => {
+                assert!(matches!(r.targets[0], Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn retrieve_table_distinct_and_structure() {
+        let s1 = parse("From Student Retrieve Table Distinct Major-Department.");
+        assert!(matches!(s1, Statement::Retrieve(r) if r.mode == OutputMode::TableDistinct));
+        let s2 = parse("From Student Retrieve Structure Name, Title of Courses-Enrolled.");
+        assert!(matches!(s2, Statement::Retrieve(r) if r.mode == OutputMode::Structure));
+    }
+
+    #[test]
+    fn order_by() {
+        let stmt = parse("From Student Retrieve Name Order By Name desc, Student-Nbr.");
+        match stmt {
+            Statement::Retrieve(r) => {
+                assert_eq!(r.order_by.len(), 2);
+                assert!(!r.order_by[0].ascending);
+                assert!(r.order_by[1].ascending);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn delete_statement() {
+        let stmt = parse("Delete student Where name = \"John Doe\".");
+        assert!(matches!(stmt, Statement::Delete(d) if d.class == "student"));
+        let stmt = parse("Delete person.");
+        assert!(matches!(stmt, Statement::Delete(d) if d.where_clause.is_none()));
+    }
+
+    #[test]
+    fn verify_expression_v1_and_v2() {
+        // Paper §7: assertions are plain selection expressions.
+        let v1 = parse_expression("sum(credits of courses-enrolled) >= 12").unwrap();
+        assert!(matches!(v1, Expr::Binary { op: BinOp::Ge, .. }));
+        let v2 = parse_expression("salary + bonus < 100000").unwrap();
+        assert!(matches!(v2, Expr::Binary { op: BinOp::Lt, .. }));
+    }
+
+    #[test]
+    fn aggregates_with_tails() {
+        // Paper §4.6 examples.
+        let e = parse_expression("avg(salary of instructor)").unwrap();
+        assert!(matches!(e, Expr::Aggregate { func: AggFunc::Avg, ref tail, .. } if tail.is_empty()));
+        let e = parse_expression("avg(salary of instructors-employed) of department").unwrap();
+        assert!(
+            matches!(e, Expr::Aggregate { func: AggFunc::Avg, ref tail, .. } if tail.len() == 1)
+        );
+        let e = parse_expression("count(teachers of courses-enrolled) of student").unwrap();
+        assert!(matches!(e, Expr::Aggregate { func: AggFunc::Count, ref arg, .. } if arg.segments.len() == 2));
+    }
+
+    #[test]
+    fn three_valued_literals_and_null() {
+        let e = parse_expression("name = null").unwrap();
+        assert!(matches!(
+            e,
+            Expr::Binary { op: BinOp::Eq, ref rhs, .. }
+                if matches!(**rhs, Expr::Literal(Literal::Null))
+        ));
+    }
+
+    #[test]
+    fn matches_operator() {
+        let e = parse_expression("title matches \"Calculus*\"").unwrap();
+        assert!(matches!(e, Expr::Binary { op: BinOp::Matches, .. }));
+    }
+
+    #[test]
+    fn multiple_statements() {
+        let stmts = parse_statements(
+            "Delete student Where name = \"A\".
+             From Student Retrieve Name.
+             Insert person(name := \"B\").",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 3);
+    }
+
+    #[test]
+    fn errors_are_reported_with_position() {
+        let err = parse_statement("From Retrieve Name.").unwrap_err();
+        assert!(err.message.contains("reserved word"));
+        let err = parse_statement("Snorkel student.").unwrap_err();
+        assert!(err.message.contains("expected a statement"));
+        let err = parse_statement("From Student Retrieve Name Where.").unwrap_err();
+        assert!(err.line >= 1);
+    }
+
+    #[test]
+    fn print_reparse_fixpoints() {
+        for src in [
+            "From Student Retrieve Name, Name of Advisor.",
+            "From student, instructor Retrieve name of student Where advisor of student neq instructor.",
+            "Modify instructor(salary := 1.1 * salary) Where count(courses-taught) of instructor > 3.",
+            "Insert instructor From person Where name = \"X\" (employee-nbr := 1729).",
+            "Delete student Where name = \"John Doe\".",
+            "From course Retrieve count distinct (transitive(prerequisite)) Where title = \"QCD\".",
+            "From Student Retrieve Structure Name Order By Name desc.",
+            "From Student Retrieve Name Where not advisor isa teaching-assistant and salary >= 10 or false.",
+            "Modify student (courses-enrolled := exclude courses-enrolled with (title = \"Algebra I\")) Where name = \"J\".",
+        ] {
+            reparse_fixpoint(src);
+        }
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let e = parse_expression("1 + 2 * 3 = 7 and true").unwrap();
+        // ((1 + (2*3)) = 7) and true
+        let Expr::Binary { op: BinOp::And, lhs, .. } = e else { panic!() };
+        let Expr::Binary { op: BinOp::Eq, lhs, .. } = *lhs else { panic!() };
+        let Expr::Binary { op: BinOp::Add, rhs, .. } = *lhs else { panic!() };
+        assert!(matches!(*rhs, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn unary_minus() {
+        let e = parse_expression("-5 + - salary").unwrap();
+        let Expr::Binary { op: BinOp::Add, lhs, rhs } = e else { panic!() };
+        assert!(matches!(*lhs, Expr::Neg(_)));
+        assert!(matches!(*rhs, Expr::Neg(_)));
+    }
+}

@@ -1,0 +1,219 @@
+//! Additional DML parser coverage: precedence corners, odd-but-legal
+//! spellings, and rejection of malformed statements.
+
+use sim_dml::{parse_expression, parse_statement, parse_statements, BinOp, Expr, Statement};
+
+#[test]
+fn keywords_are_case_insensitive_everywhere() {
+    for src in [
+        "FROM STUDENT RETRIEVE NAME WHERE NAME = \"X\".",
+        "from student retrieve name where name = \"X\".",
+        "FrOm StUdEnT rEtRiEvE nAmE.",
+    ] {
+        parse_statement(src).unwrap_or_else(|e| panic!("{src}: {e}"));
+    }
+}
+
+#[test]
+fn terminators_are_flexible() {
+    parse_statement("From s Retrieve x.").unwrap();
+    parse_statement("From s Retrieve x;").unwrap();
+    parse_statement("From s Retrieve x").unwrap(); // EOF terminates too
+    // Multiple terminators collapse. (Note: a glued `..` would lex as the
+    // range operator, so separate repeated periods with whitespace.)
+    let stmts = parse_statements("From s Retrieve x. . ;; From s Retrieve y.").unwrap();
+    assert_eq!(stmts.len(), 2);
+}
+
+#[test]
+fn not_binds_tighter_than_and() {
+    let e = parse_expression("not a = 1 and b = 2").unwrap();
+    let Expr::Binary { op: BinOp::And, lhs, .. } = e else { panic!("expected and at top") };
+    assert!(matches!(*lhs, Expr::Not(_)));
+}
+
+#[test]
+fn and_binds_tighter_than_or() {
+    let e = parse_expression("a = 1 or b = 2 and c = 3").unwrap();
+    let Expr::Binary { op: BinOp::Or, rhs, .. } = e else { panic!("expected or at top") };
+    assert!(matches!(*rhs, Expr::Binary { op: BinOp::And, .. }));
+}
+
+#[test]
+fn comparison_is_non_associative() {
+    // a = b = c is rejected (the second `=` has nowhere to go).
+    assert!(parse_expression("a = b = c").is_err());
+}
+
+#[test]
+fn nested_parentheses_and_unary_chains() {
+    let e = parse_expression("- - (1 + (2))").unwrap();
+    assert!(matches!(e, Expr::Neg(_)));
+    parse_expression("not not not a = 1").unwrap();
+}
+
+#[test]
+fn deeply_qualified_path() {
+    let stmt =
+        parse_statement("From a Retrieve w of x of y of z of q of r of s of t of a.").unwrap();
+    let Statement::Retrieve(r) = stmt else { panic!() };
+    let Expr::Path(p) = &r.targets[0] else { panic!() };
+    assert_eq!(p.segments.len(), 9);
+}
+
+#[test]
+fn hyphenated_against_subtraction() {
+    // Glued hyphen joins; spaced hyphen subtracts.
+    let e = parse_expression("soc-sec-no - 5").unwrap();
+    assert!(matches!(e, Expr::Binary { op: BinOp::Sub, .. }));
+    let e = parse_expression("a-b").unwrap();
+    assert!(matches!(e, Expr::Path(_)), "a-b is one identifier");
+}
+
+#[test]
+fn with_selector_requires_parentheses() {
+    assert!(parse_statement("Insert s(x := c with y = 1).").is_err());
+    parse_statement("Insert s(x := c with (y = 1)).").unwrap();
+}
+
+#[test]
+fn empty_assignment_list_is_legal() {
+    let stmt = parse_statement("Insert thing().").unwrap();
+    let Statement::Insert(i) = stmt else { panic!() };
+    assert!(i.assignments.is_empty());
+}
+
+#[test]
+fn insert_without_assignments_at_all() {
+    let stmt = parse_statement("Insert thing.").unwrap();
+    let Statement::Insert(i) = stmt else { panic!() };
+    assert!(i.assignments.is_empty());
+}
+
+#[test]
+fn modify_requires_assignment_list() {
+    assert!(parse_statement("Modify thing Where x = 1.").is_err());
+    parse_statement("Modify thing () Where x = 1.").unwrap();
+}
+
+#[test]
+fn aggregate_whitespace_variants() {
+    parse_expression("count(x)").unwrap();
+    parse_expression("count (x)").unwrap();
+    parse_expression("count distinct (x)").unwrap();
+    parse_expression("COUNT DISTINCT(x)").unwrap();
+}
+
+#[test]
+fn aggregate_names_usable_as_attributes_when_not_called() {
+    // `count` with no following paren is a plain name.
+    let e = parse_expression("count = 3").unwrap();
+    assert!(matches!(
+        e,
+        Expr::Binary { ref lhs, .. } if matches!(**lhs, Expr::Path(_))
+    ));
+}
+
+#[test]
+fn quantifier_names_usable_as_attributes_when_not_called() {
+    let e = parse_expression("some = 3").unwrap();
+    assert!(matches!(
+        e,
+        Expr::Binary { ref lhs, .. } if matches!(**lhs, Expr::Path(_))
+    ));
+}
+
+#[test]
+fn transitive_and_inverse_need_parentheses() {
+    // Without parens they are ordinary names.
+    let e = parse_expression("transitive of course").unwrap();
+    assert!(matches!(e, Expr::Path(ref p) if p.segments.len() == 2));
+    let e = parse_expression("inverse of course").unwrap();
+    assert!(matches!(e, Expr::Path(ref p) if p.segments.len() == 2));
+}
+
+#[test]
+fn strings_preserve_case_and_spaces() {
+    let stmt = parse_statement(r#"Insert s(x := "MiXeD CaSe  spaces")."#).unwrap();
+    let Statement::Insert(i) = stmt else { panic!() };
+    let sim_dml::AssignValue::Expr(Expr::Literal(sim_dml::Literal::Str(s))) =
+        &i.assignments[0].value
+    else {
+        panic!()
+    };
+    assert_eq!(s, "MiXeD CaSe  spaces");
+}
+
+#[test]
+fn decimal_literals_in_assignments() {
+    let stmt = parse_statement("Insert s(x := 1.50, y := 0.05).").unwrap();
+    let Statement::Insert(i) = stmt else { panic!() };
+    assert_eq!(i.assignments.len(), 2);
+}
+
+#[test]
+fn reserved_words_rejected_as_names() {
+    assert!(parse_statement("From where Retrieve x.").is_err());
+    assert!(parse_statement("From s Retrieve where.").is_err());
+    assert!(parse_statement("Delete from.").is_err());
+    assert!(parse_statement("Insert of.").is_err());
+}
+
+#[test]
+fn garbage_rejected_with_positions() {
+    let err = parse_statement("From s Retrieve x Where ((a = 1).").unwrap_err();
+    assert!(err.line >= 1 && err.column > 1);
+    assert!(parse_statement("From s Retrieve .").is_err());
+    assert!(parse_statement("From s Retrieve x Order x.").is_err()); // missing BY
+    assert!(parse_statement("").is_err());
+}
+
+#[test]
+fn multi_line_statements_track_line_numbers() {
+    let err = parse_statement("From s\nRetrieve x\nWhere ???.").unwrap_err();
+    assert_eq!(err.line, 3);
+}
+
+#[test]
+fn factored_qualification_with_three_heads() {
+    let stmt = parse_statement("From s Retrieve (a, b, c) of eva of s.").unwrap();
+    let Statement::Retrieve(r) = stmt else { panic!() };
+    assert_eq!(r.targets.len(), 3);
+    for t in &r.targets {
+        let Expr::Path(p) = t else { panic!() };
+        assert_eq!(p.segments.len(), 3);
+    }
+}
+
+#[test]
+fn isa_inside_boolean_combinations() {
+    let e = parse_expression("a isa b and not c of d isa e").unwrap();
+    let Expr::Binary { op: BinOp::And, lhs, rhs } = e else { panic!() };
+    assert!(matches!(*lhs, Expr::IsA { .. }));
+    assert!(matches!(*rhs, Expr::Not(_)));
+}
+
+#[test]
+fn matches_chains_with_boolean_operators() {
+    parse_expression(r#"title matches "C*" or title matches "D*""#).unwrap();
+}
+
+#[test]
+fn include_exclude_with_plain_expressions() {
+    let stmt = parse_statement("Modify b (tags := include 5) Where x = 1.").unwrap();
+    let Statement::Modify(m) = stmt else { panic!() };
+    assert_eq!(m.assignments[0].op, sim_dml::AssignOp::Include);
+    let stmt = parse_statement("Modify b (tags := exclude 5) Where x = 1.").unwrap();
+    let Statement::Modify(m) = stmt else { panic!() };
+    assert_eq!(m.assignments[0].op, sim_dml::AssignOp::Exclude);
+}
+
+#[test]
+fn from_clause_with_three_perspectives_and_refvars() {
+    let stmt = parse_statement("From a X, b, c Z Retrieve x of X, y of b, z of Z.").unwrap();
+    let Statement::Retrieve(r) = stmt else { panic!() };
+    assert_eq!(r.perspectives.len(), 3);
+    assert_eq!(r.perspectives[0].refvar.as_deref(), Some("x"));
+    assert_eq!(r.perspectives[1].refvar, None);
+    assert_eq!(r.perspectives[2].refvar.as_deref(), Some("z"));
+}

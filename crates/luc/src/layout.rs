@@ -1,0 +1,418 @@
+//! Physical layout planning: the §5.2 mapping rules.
+//!
+//! Given a finalized catalog, [`PhysicalLayout::build`] decides, for every
+//! class and attribute, where its data physically lives:
+//!
+//! * Each base-class hierarchy ("family") gets one storage unit holding one
+//!   variable-format record per entity. The record carries a *role bitmask*
+//!   (which classes of the family the entity currently belongs to) followed
+//!   by one field group per held role, in canonical class order. For tree
+//!   hierarchies where every entity has a single most-specific class this
+//!   reduces to the paper's "number of record types = number of nodes"
+//!   scheme; the bitmask generalizes it to entities holding sibling roles
+//!   simultaneously (John Doe is a STUDENT and later also an INSTRUCTOR,
+//!   §4.9 example 2) — a case the paper's prose does not pin down.
+//! * A class with two or more immediate superclasses (TEACHING-ASSISTANT)
+//!   is "mapped into a separate storage unit with 1:1 subclass links
+//!   connecting it to its parent LUCs" — here, an auxiliary file whose
+//!   records are keyed by the shared surrogate.
+//! * MV DVAs with MAX are embedded arrays; without MAX they get a dependent
+//!   structure keyed by owner surrogate.
+//! * EVA pairs map to foreign keys (1:1), the shared Common EVA Structure
+//!   (1:many and non-distinct many:many), a dedicated structure (distinct
+//!   many:many or the `structure` override), or pointer/clustered hint
+//!   lists (overrides), per §5.2.
+
+use crate::error::MapperError;
+use sim_catalog::{AttrId, Catalog, Cardinality, ClassId, EvaMapping};
+use std::collections::HashMap;
+
+/// How an EVA pair is physically realized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairMapping {
+    /// Surrogate-valued fields on both records (1:1 only).
+    ForeignKey,
+    /// Entries in the shared Common EVA Structure.
+    Common,
+    /// Entries in a structure dedicated to this pair.
+    Dedicated,
+}
+
+/// The kind of a record field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldKind {
+    /// Single-valued DVA.
+    ScalarDva,
+    /// MV DVA with MAX: embedded array.
+    EmbeddedArrayDva,
+    /// 1:1 EVA foreign key: partner surrogate.
+    ForeignKeyEva,
+    /// Pointer/clustered EVA: inline `(surrogate, record-hint)` list. The
+    /// pair also has structure entries (its logical truth); the hints are
+    /// the fast path whose cost §5.1 prices at 1 (pointer) or 0 (clustered)
+    /// block accesses per first instance.
+    PointerEva {
+        /// Index into [`PhysicalLayout::structures`].
+        structure: usize,
+        /// Cluster partners into the owner's block on include.
+        clustered: bool,
+    },
+}
+
+/// One field in a class's record group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FieldSpec {
+    /// The attribute stored here.
+    pub attr: AttrId,
+    /// How it is stored.
+    pub kind: FieldKind,
+}
+
+/// Where a class's records live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClassStorage {
+    /// In the family's main (tree) storage unit.
+    Tree,
+    /// In the auxiliary unit for this multiply-derived class
+    /// (index into [`FamilyLayout::aux_classes`]).
+    Aux(usize),
+}
+
+/// Physical description of one class.
+#[derive(Debug, Clone)]
+pub struct ClassPhys {
+    /// Index into [`PhysicalLayout::families`].
+    pub family: usize,
+    /// Bit position in the family's role bitmask.
+    pub bit: u8,
+    /// Main unit or auxiliary unit.
+    pub storage: ClassStorage,
+    /// The class's record field group, in canonical order.
+    pub fields: Vec<FieldSpec>,
+}
+
+/// One generalization hierarchy (everything sharing a base class).
+#[derive(Debug, Clone)]
+pub struct FamilyLayout {
+    /// The base class.
+    pub base: ClassId,
+    /// All classes in canonical (definition) order; bit i ↔ `classes[i]`.
+    pub classes: Vec<ClassId>,
+    /// Classes stored in the main unit.
+    pub tree_classes: Vec<ClassId>,
+    /// Multiply-derived classes with their own units.
+    pub aux_classes: Vec<ClassId>,
+}
+
+/// One relationship structure (a `<surr1, rel, surr2>` store).
+#[derive(Debug, Clone)]
+pub struct StructurePlan {
+    /// The canonical (forward) direction.
+    pub fwd_attr: AttrId,
+    /// The inverse direction (equal to `fwd_attr` for symmetric EVAs like
+    /// SPOUSE-shaped self-inverses).
+    pub inv_attr: AttrId,
+    /// Shared Common EVA Structure or dedicated.
+    pub mapping: PairMapping,
+}
+
+/// Where an attribute's data lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttrPlacement {
+    /// A field in its owner class's record group.
+    Field {
+        /// The owning class.
+        class: ClassId,
+        /// Position in the class's field group.
+        index: usize,
+        /// The field kind.
+        kind: FieldKind,
+    },
+    /// An unbounded MV DVA: dedicated dependent structure.
+    SeparateMvDva,
+    /// A structure-mapped EVA direction.
+    Structure {
+        /// Index into [`PhysicalLayout::structures`].
+        structure: usize,
+        /// True when this attribute is the structure's forward direction.
+        forward: bool,
+    },
+    /// System-maintained subrole: derived from the role bitmask.
+    Subrole,
+    /// A derived attribute: computed by the query layer, never stored.
+    Derived,
+}
+
+/// The full physical plan for a schema.
+#[derive(Debug, Clone)]
+pub struct PhysicalLayout {
+    /// One entry per base class.
+    pub families: Vec<FamilyLayout>,
+    /// Class → family index.
+    pub family_of: HashMap<ClassId, usize>,
+    /// Class → physical description.
+    pub class_phys: HashMap<ClassId, ClassPhys>,
+    /// Attribute → placement.
+    pub attr_place: HashMap<AttrId, AttrPlacement>,
+    /// All relationship structures (the Common one is not listed; common
+    /// pairs reference it via [`PairMapping::Common`]).
+    pub structures: Vec<StructurePlan>,
+    /// UNIQUE DVAs (each gets a secondary index).
+    pub unique_attrs: Vec<AttrId>,
+}
+
+impl PhysicalLayout {
+    /// Plan the physical mapping for a finalized catalog.
+    pub fn build(catalog: &Catalog) -> Result<PhysicalLayout, MapperError> {
+        let mut families = Vec::new();
+        let mut family_of = HashMap::new();
+
+        // Group classes by base, preserving definition order.
+        for class in catalog.classes() {
+            if class.is_base() {
+                family_of.insert(class.id, families.len());
+                families.push(FamilyLayout {
+                    base: class.id,
+                    classes: vec![class.id],
+                    tree_classes: vec![class.id],
+                    aux_classes: Vec::new(),
+                });
+            }
+        }
+        for class in catalog.classes() {
+            if !class.is_base() {
+                let fam = *family_of
+                    .get(&catalog.base_of(class.id))
+                    .expect("base class registered first");
+                family_of.insert(class.id, fam);
+                let layout = &mut families[fam];
+                layout.classes.push(class.id);
+                if class.superclasses.len() >= 2 {
+                    layout.aux_classes.push(class.id);
+                } else {
+                    layout.tree_classes.push(class.id);
+                }
+            }
+        }
+        for fam in &families {
+            if fam.classes.len() > 64 {
+                return Err(MapperError::Unsupported(format!(
+                    "hierarchy of {} has {} classes; this implementation supports 64 per family",
+                    catalog.class(fam.base)?.name,
+                    fam.classes.len()
+                )));
+            }
+        }
+
+        // Decide EVA pair mappings. Visit each pair once (via the canonical
+        // lower-id direction).
+        let mut structures: Vec<StructurePlan> = Vec::new();
+        let mut pair_mapping: HashMap<AttrId, (usize, bool)> = HashMap::new(); // attr -> (structure idx, forward)
+        let mut fk_attrs: Vec<AttrId> = Vec::new();
+        let mut pointer_fields: HashMap<AttrId, (usize, bool)> = HashMap::new(); // attr -> (structure, clustered)
+
+        for attr in catalog.attributes() {
+            let Some(inv) = attr.eva_inverse() else { continue };
+            let fwd_id = attr.id.min(inv);
+            if attr.id != fwd_id {
+                continue; // handle each pair once, from the canonical side
+            }
+            let fwd = catalog.attribute(fwd_id)?;
+            let inv_attr = catalog.attribute(inv)?;
+            let cardinality = catalog.cardinality(fwd_id)?;
+
+            let fwd_map = fwd.mapping;
+            let inv_map = inv_attr.mapping;
+            let wants_fk = fwd_map == EvaMapping::ForeignKey || inv_map == EvaMapping::ForeignKey;
+            let fwd_ptr = matches!(fwd_map, EvaMapping::Pointer | EvaMapping::Clustered);
+            let inv_ptr = matches!(inv_map, EvaMapping::Pointer | EvaMapping::Clustered);
+            let wants_structure =
+                fwd_map == EvaMapping::Structure || inv_map == EvaMapping::Structure;
+
+            if wants_fk || (cardinality == Cardinality::OneToOne
+                && fwd_map == EvaMapping::Default
+                && inv_map == EvaMapping::Default)
+            {
+                if cardinality != Cardinality::OneToOne {
+                    return Err(MapperError::Unsupported(format!(
+                        "EVA {} is not 1:1 and cannot use a foreign-key mapping",
+                        fwd.name
+                    )));
+                }
+                fk_attrs.push(fwd_id);
+                if inv != fwd_id {
+                    fk_attrs.push(inv);
+                }
+                continue;
+            }
+
+            // Structure-backed mappings.
+            let distinct = fwd.options.distinct || inv_attr.options.distinct;
+            let mapping = if fwd_ptr || inv_ptr || wants_structure || distinct {
+                PairMapping::Dedicated
+            } else {
+                PairMapping::Common
+            };
+            let idx = structures.len();
+            structures.push(StructurePlan { fwd_attr: fwd_id, inv_attr: inv, mapping });
+            pair_mapping.insert(fwd_id, (idx, true));
+            if inv != fwd_id {
+                pair_mapping.insert(inv, (idx, false));
+            }
+            if fwd_ptr {
+                pointer_fields.insert(fwd_id, (idx, fwd_map == EvaMapping::Clustered));
+            }
+            if inv_ptr {
+                pointer_fields.insert(inv, (idx, inv_map == EvaMapping::Clustered));
+            }
+        }
+
+        // Build per-class field groups and attribute placements.
+        let mut class_phys = HashMap::new();
+        let mut attr_place = HashMap::new();
+        let mut unique_attrs = Vec::new();
+
+        for (fam_idx, fam) in families.iter().enumerate() {
+            for (bit, &class_id) in fam.classes.iter().enumerate() {
+                let class = catalog.class(class_id)?;
+                let storage = match fam.aux_classes.iter().position(|&c| c == class_id) {
+                    Some(aux) => ClassStorage::Aux(aux),
+                    None => ClassStorage::Tree,
+                };
+                let mut fields = Vec::new();
+                for &attr_id in &class.attributes {
+                    let attr = catalog.attribute(attr_id)?;
+                    if attr.is_subrole() {
+                        attr_place.insert(attr_id, AttrPlacement::Subrole);
+                        continue;
+                    }
+                    if attr.is_derived() {
+                        attr_place.insert(attr_id, AttrPlacement::Derived);
+                        continue;
+                    }
+                    if attr.is_dva() {
+                        if attr.options.unique {
+                            unique_attrs.push(attr_id);
+                        }
+                        if !attr.options.multivalued {
+                            let index = fields.len();
+                            fields.push(FieldSpec { attr: attr_id, kind: FieldKind::ScalarDva });
+                            attr_place.insert(
+                                attr_id,
+                                AttrPlacement::Field { class: class_id, index, kind: FieldKind::ScalarDva },
+                            );
+                        } else if attr.options.max.is_some() {
+                            let index = fields.len();
+                            fields.push(FieldSpec {
+                                attr: attr_id,
+                                kind: FieldKind::EmbeddedArrayDva,
+                            });
+                            attr_place.insert(
+                                attr_id,
+                                AttrPlacement::Field {
+                                    class: class_id,
+                                    index,
+                                    kind: FieldKind::EmbeddedArrayDva,
+                                },
+                            );
+                        } else {
+                            attr_place.insert(attr_id, AttrPlacement::SeparateMvDva);
+                        }
+                        continue;
+                    }
+                    // EVA.
+                    if fk_attrs.contains(&attr_id) {
+                        let index = fields.len();
+                        fields.push(FieldSpec { attr: attr_id, kind: FieldKind::ForeignKeyEva });
+                        attr_place.insert(
+                            attr_id,
+                            AttrPlacement::Field { class: class_id, index, kind: FieldKind::ForeignKeyEva },
+                        );
+                    } else if let Some(&(structure, clustered)) = pointer_fields.get(&attr_id) {
+                        let index = fields.len();
+                        let kind = FieldKind::PointerEva { structure, clustered };
+                        fields.push(FieldSpec { attr: attr_id, kind });
+                        attr_place.insert(
+                            attr_id,
+                            AttrPlacement::Field { class: class_id, index, kind },
+                        );
+                    } else if let Some(&(structure, forward)) = pair_mapping.get(&attr_id) {
+                        attr_place.insert(attr_id, AttrPlacement::Structure { structure, forward });
+                    } else {
+                        return Err(MapperError::Unsupported(format!(
+                            "EVA {} has no planned mapping",
+                            attr.name
+                        )));
+                    }
+                }
+                class_phys.insert(
+                    class_id,
+                    ClassPhys { family: fam_idx, bit: bit as u8, storage, fields },
+                );
+            }
+        }
+
+        Ok(PhysicalLayout {
+            families,
+            family_of,
+            class_phys,
+            attr_place,
+            structures,
+            unique_attrs,
+        })
+    }
+
+    /// The placement of an attribute.
+    pub fn placement(&self, attr: AttrId) -> Option<AttrPlacement> {
+        self.attr_place.get(&attr).copied()
+    }
+
+    /// The physical description of a class.
+    pub fn class_phys(&self, class: ClassId) -> Option<&ClassPhys> {
+        self.class_phys.get(&class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pointer_sides_get_hint_fields() {
+        use sim_catalog::AttributeOptions;
+        let mut cat = Catalog::new();
+        let a = cat.define_base_class("A").unwrap();
+        let b = cat.define_base_class("B").unwrap();
+        let members =
+            cat.add_eva(a, "members", b, Some("member-of"), AttributeOptions::mv()).unwrap();
+        cat.add_eva(b, "member-of", a, Some("members"), AttributeOptions::none()).unwrap();
+        cat.set_mapping(members, EvaMapping::Pointer).unwrap();
+        cat.finalize().unwrap();
+        let layout = PhysicalLayout::build(&cat).unwrap();
+        match layout.placement(members).unwrap() {
+            AttrPlacement::Field { kind: FieldKind::PointerEva { clustered, .. }, .. } => {
+                assert!(!clustered);
+            }
+            other => panic!("expected pointer field, got {other:?}"),
+        }
+        // The pair's structure is dedicated.
+        assert_eq!(layout.structures.len(), 1);
+        assert_eq!(layout.structures[0].mapping, PairMapping::Dedicated);
+    }
+
+    #[test]
+    fn non_one_to_one_foreign_key_rejected() {
+        use sim_catalog::AttributeOptions;
+        let mut cat = Catalog::new();
+        let a = cat.define_base_class("A").unwrap();
+        let b = cat.define_base_class("B").unwrap();
+        let x = cat.add_eva(a, "x", b, Some("y"), AttributeOptions::mv()).unwrap();
+        cat.add_eva(b, "y", a, Some("x"), AttributeOptions::none()).unwrap();
+        cat.set_mapping(x, EvaMapping::ForeignKey).unwrap();
+        cat.finalize().unwrap();
+        assert!(matches!(
+            PhysicalLayout::build(&cat),
+            Err(MapperError::Unsupported(_))
+        ));
+    }
+}

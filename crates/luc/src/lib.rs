@@ -1,0 +1,35 @@
+//! # sim-luc
+//!
+//! The LUC Mapper — "a key module of SIM's implementation" (paper §5.1). It
+//! translates the semantic schema into Logical Underlying Components and
+//! maps them onto the storage substrate:
+//!
+//! * a LUC for every class and subclass, physically mapped — per §5.2 — into
+//!   one storage unit per generalization hierarchy with variable-format
+//!   records (multiply-derived subclasses like TEACHING-ASSISTANT get their
+//!   own unit, 1:1-linked by surrogate);
+//! * a LUC for every unbounded multi-valued DVA (a dependent structure
+//!   keyed by owner surrogate); bounded MV DVAs (`MAX n`) are embedded as
+//!   arrays in the owner's record;
+//! * relationship structures for EVAs: foreign keys for 1:1, the shared
+//!   Common EVA Structure (`<surrogate1, relationship-id, surrogate2>`) for
+//!   1:many and non-distinct many:many, a dedicated structure per distinct
+//!   many:many, plus the user-selectable *pointer* (absolute address) and
+//!   *clustered* mappings whose I/O behaviour §5.1 prices at 1 and 0 block
+//!   accesses per first instance respectively.
+//!
+//! The Mapper also owns *structural integrity* (§5.1): inverse EVAs are kept
+//! synchronized, deleting a role cascades to subclass roles and removes all
+//! relationship instances the deleted roles participate in, and the
+//! REQUIRED / UNIQUE / MV / DISTINCT / MAX options are enforced here.
+
+pub mod error;
+pub mod layout;
+pub mod mapper;
+pub mod ops;
+pub mod records;
+pub mod value_codec;
+
+pub use error::MapperError;
+pub use layout::{AttrPlacement, PhysicalLayout};
+pub use mapper::{AttrOut, AttrValue, Mapper};

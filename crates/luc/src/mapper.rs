@@ -1,0 +1,561 @@
+//! The Mapper: construction, entity lifecycle and statistics.
+//!
+//! Attribute read/write operations and the relationship-link machinery live
+//! in [`crate::ops`] (a second `impl Mapper` block).
+
+use crate::error::MapperError;
+use crate::layout::{FamilyLayout, PairMapping, PhysicalLayout};
+use crate::records::{AuxRecord, EntityRecord};
+use sim_catalog::{AttrId, Catalog, ClassId};
+use sim_storage::{BTreeId, FileId, RecordId, StorageEngine, Txn};
+use sim_types::{Surrogate, SurrogateAllocator, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A value supplied to an attribute assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// One value (single-valued attributes; `Value::Entity` for EVAs).
+    Scalar(Value),
+    /// A full multi-value assignment.
+    Multi(Vec<Value>),
+}
+
+/// A value read back from an attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrOut {
+    /// Single-valued result (null when unset).
+    Single(Value),
+    /// Multi-valued result.
+    Multi(Vec<Value>),
+}
+
+impl AttrOut {
+    /// Flatten to a value list (a single null becomes an empty list).
+    pub fn into_values(self) -> Vec<Value> {
+        match self {
+            AttrOut::Single(Value::Null) => Vec::new(),
+            AttrOut::Single(v) => vec![v],
+            AttrOut::Multi(vs) => vs,
+        }
+    }
+}
+
+/// Per-family storage handles.
+#[derive(Debug)]
+pub(crate) struct FamilyStorage {
+    /// Main (tree) storage unit.
+    pub tree_file: FileId,
+    /// Unique index: surrogate (8 B BE) → rid (8 B) ‖ roles (8 B LE).
+    pub surr_index: BTreeId,
+    /// Per multiply-derived class: its unit + surrogate index.
+    pub aux: Vec<(FileId, BTreeId)>,
+}
+
+/// An entity loaded from storage, with enough context to write it back.
+#[derive(Debug, Clone)]
+pub(crate) struct Loaded {
+    pub family: usize,
+    pub rid: RecordId,
+    pub roles_at_load: u64,
+    pub rec: EntityRecord,
+}
+
+/// The LUC Mapper (see crate docs).
+pub struct Mapper {
+    pub(crate) catalog: Arc<Catalog>,
+    pub(crate) layout: PhysicalLayout,
+    pub(crate) engine: StorageEngine,
+    pub(crate) families: Vec<FamilyStorage>,
+    /// Unbounded MV DVA units: owner surrogate (BE) → encoded value.
+    pub(crate) mv_dva_trees: HashMap<AttrId, BTreeId>,
+    /// The Common EVA Structure: key `rel-id (4 B BE) ‖ surr (8 B BE)`.
+    pub(crate) common_fwd: BTreeId,
+    pub(crate) common_rev: BTreeId,
+    /// Dedicated structures by structure-plan index: key `surr (8 B BE)`.
+    pub(crate) dedicated: HashMap<usize, (BTreeId, BTreeId)>,
+    /// Indexes on UNIQUE DVAs.
+    pub(crate) unique_idx: HashMap<AttrId, BTreeId>,
+    /// User-created secondary indexes.
+    pub(crate) secondary_idx: HashMap<AttrId, BTreeId>,
+    /// User-created hash indexes ("random keys based on hashing", §5.2).
+    pub(crate) hash_idx: HashMap<AttrId, sim_storage::HashIndexId>,
+    /// One global allocator: surrogates are unique across the whole
+    /// database, not just per hierarchy, so `Value::Entity` comparison and
+    /// foreign-key self-link detection are unambiguous.
+    pub(crate) allocator: SurrogateAllocator,
+    /// Optimizer statistics; may drift across aborts (see `recount`).
+    pub(crate) class_counts: HashMap<ClassId, usize>,
+}
+
+pub(crate) fn surr_key(s: Surrogate) -> [u8; 8] {
+    s.raw().to_be_bytes()
+}
+
+pub(crate) fn decode_surr_key(bytes: &[u8]) -> Surrogate {
+    Surrogate::from_raw(u64::from_be_bytes(bytes[..8].try_into().expect("8-byte key")))
+}
+
+pub(crate) fn index_value(rid: RecordId, roles: u64) -> Vec<u8> {
+    let mut v = Vec::with_capacity(16);
+    v.extend_from_slice(&rid.to_bytes());
+    v.extend_from_slice(&roles.to_le_bytes());
+    v
+}
+
+pub(crate) fn decode_index_value(bytes: &[u8]) -> Option<(RecordId, u64)> {
+    if bytes.len() != 16 {
+        return None;
+    }
+    let rid = RecordId::from_bytes(&bytes[..8])?;
+    let roles = u64::from_le_bytes(bytes[8..16].try_into().ok()?);
+    Some((rid, roles))
+}
+
+impl Mapper {
+    /// Plan the physical layout for `catalog` and create all storage
+    /// structures. `pool_capacity` sizes the buffer pool (frames of 4 KiB).
+    pub fn new(catalog: Arc<Catalog>, pool_capacity: usize) -> Result<Mapper, MapperError> {
+        let layout = PhysicalLayout::build(&catalog)?;
+        let mut engine = StorageEngine::new(pool_capacity);
+
+        let mut families = Vec::with_capacity(layout.families.len());
+        for fam in &layout.families {
+            let tree_file = engine.create_file();
+            let surr_index = engine.create_btree(true);
+            let aux = fam
+                .aux_classes
+                .iter()
+                .map(|_| (engine.create_file(), engine.create_btree(true)))
+                .collect();
+            families.push(FamilyStorage { tree_file, surr_index, aux });
+        }
+
+        let mut mv_dva_trees = HashMap::new();
+        for attr in catalog.attributes() {
+            if matches!(layout.placement(attr.id), Some(crate::layout::AttrPlacement::SeparateMvDva)) {
+                mv_dva_trees.insert(attr.id, engine.create_btree(false));
+            }
+        }
+
+        let common_fwd = engine.create_btree(false);
+        let common_rev = engine.create_btree(false);
+        let mut dedicated = HashMap::new();
+        for (idx, plan) in layout.structures.iter().enumerate() {
+            if plan.mapping == PairMapping::Dedicated {
+                dedicated.insert(idx, (engine.create_btree(false), engine.create_btree(false)));
+            }
+        }
+
+        let mut unique_idx = HashMap::new();
+        for &attr in &layout.unique_attrs {
+            unique_idx.insert(attr, engine.create_btree(true));
+        }
+
+        Ok(Mapper {
+            catalog,
+            layout,
+            engine,
+            families,
+            mv_dva_trees,
+            common_fwd,
+            common_rev,
+            dedicated,
+            unique_idx,
+            secondary_idx: HashMap::new(),
+            hash_idx: HashMap::new(),
+            allocator: SurrogateAllocator::new(),
+            class_counts: HashMap::new(),
+        })
+    }
+
+    /// The schema.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The physical plan.
+    pub fn layout(&self) -> &PhysicalLayout {
+        &self.layout
+    }
+
+    /// The storage engine (I/O statistics, cache control).
+    pub fn engine(&self) -> &StorageEngine {
+        &self.engine
+    }
+
+    /// Open a transaction.
+    pub fn begin(&mut self) -> Txn {
+        self.engine.begin()
+    }
+
+    /// Commit a transaction.
+    pub fn commit(&mut self, txn: Txn) {
+        self.engine.commit(txn);
+    }
+
+    /// Abort a transaction, undoing its effects. Class-count statistics are
+    /// recomputed afterwards (insert/delete deltas are not undo-logged).
+    pub fn abort(&mut self, txn: Txn) -> Result<(), MapperError> {
+        self.engine.abort(txn)?;
+        self.recount()?;
+        Ok(())
+    }
+
+    /// Roll back to a savepoint (statement-level rollback, §3.3).
+    pub fn rollback_to(&mut self, txn: &mut Txn, savepoint: usize) -> Result<(), MapperError> {
+        self.engine.rollback_to(txn, savepoint)?;
+        self.recount()?;
+        Ok(())
+    }
+
+    // ----- family / role helpers --------------------------------------------------
+
+    pub(crate) fn family_index(&self, class: ClassId) -> Result<usize, MapperError> {
+        self.layout
+            .family_of
+            .get(&class)
+            .copied()
+            .ok_or_else(|| MapperError::NoSuchEntity(format!("class {class} has no family")))
+    }
+
+    pub(crate) fn family_layout(&self, idx: usize) -> &FamilyLayout {
+        &self.layout.families[idx]
+    }
+
+    pub(crate) fn bit_of(&self, class: ClassId) -> u64 {
+        1u64 << self.layout.class_phys(class).expect("planned class").bit
+    }
+
+    /// Bits for a class plus all its ancestors (the roles inserted with it,
+    /// §4.8).
+    pub(crate) fn bits_with_ancestors(&self, class: ClassId) -> u64 {
+        let mut bits = self.bit_of(class);
+        for anc in self.catalog.ancestors(class) {
+            bits |= self.bit_of(anc);
+        }
+        bits
+    }
+
+    /// Bits for a class plus all its descendants (the roles removed with it,
+    /// §4.8).
+    pub(crate) fn bits_with_descendants(&self, class: ClassId) -> u64 {
+        let mut bits = self.bit_of(class);
+        for d in self.catalog.descendants(class) {
+            bits |= self.bit_of(d);
+        }
+        bits
+    }
+
+    /// Locate an entity in a family: `(rid, roles)` without reading the
+    /// record.
+    pub(crate) fn locate(
+        &self,
+        family: usize,
+        surr: Surrogate,
+    ) -> Result<Option<(RecordId, u64)>, MapperError> {
+        let idx = self.families[family].surr_index;
+        match self.engine.btree_lookup_first(idx, &surr_key(surr))? {
+            Some(v) => decode_index_value(&v)
+                .map(Some)
+                .ok_or_else(|| MapperError::NoSuchEntity(format!("corrupt index entry for {surr}"))),
+            None => Ok(None),
+        }
+    }
+
+    /// Load an entity's main record.
+    pub(crate) fn load(&self, family: usize, surr: Surrogate) -> Result<Loaded, MapperError> {
+        let (rid, roles) = self
+            .locate(family, surr)?
+            .ok_or_else(|| MapperError::NoSuchEntity(format!("{surr}")))?;
+        let bytes = self
+            .engine
+            .heap_get(self.families[family].tree_file, rid)?
+            .ok_or_else(|| MapperError::NoSuchEntity(format!("{surr} (dangling index)")))?;
+        let rec = EntityRecord::decode(&bytes, self.family_layout(family), &self.layout)?;
+        Ok(Loaded { family, rid, roles_at_load: roles, rec })
+    }
+
+    /// Write an entity's record back, maintaining the surrogate index.
+    pub(crate) fn store(&mut self, txn: &mut Txn, loaded: Loaded) -> Result<RecordId, MapperError> {
+        let Loaded { family, rid, roles_at_load, rec } = loaded;
+        let file = self.families[family].tree_file;
+        let idx = self.families[family].surr_index;
+        let surr = rec.surrogate;
+        let roles = rec.roles;
+        let new_rid = self.engine.heap_update(txn, file, rid, &rec.encode())?;
+        if new_rid != rid || roles != roles_at_load {
+            self.engine
+                .btree_delete(txn, idx, &surr_key(surr), &index_value(rid, roles_at_load))?;
+            self.engine
+                .btree_insert(txn, idx, &surr_key(surr), &index_value(new_rid, roles))?;
+        }
+        Ok(new_rid)
+    }
+
+    /// Load a multiply-derived class's auxiliary record.
+    pub(crate) fn load_aux(
+        &self,
+        family: usize,
+        aux: usize,
+        surr: Surrogate,
+    ) -> Result<(RecordId, AuxRecord), MapperError> {
+        let (file, idx) = self.families[family].aux[aux];
+        let rid_bytes = self
+            .engine
+            .btree_lookup_first(idx, &surr_key(surr))?
+            .ok_or_else(|| MapperError::NoSuchEntity(format!("{surr} has no auxiliary record")))?;
+        let rid = RecordId::from_bytes(&rid_bytes)
+            .ok_or_else(|| MapperError::NoSuchEntity("corrupt aux index".into()))?;
+        let bytes = self
+            .engine
+            .heap_get(file, rid)?
+            .ok_or_else(|| MapperError::NoSuchEntity(format!("{surr} (dangling aux index)")))?;
+        Ok((rid, AuxRecord::decode(&bytes)?))
+    }
+
+    pub(crate) fn store_aux(
+        &mut self,
+        txn: &mut Txn,
+        family: usize,
+        aux: usize,
+        rid: RecordId,
+        rec: &AuxRecord,
+    ) -> Result<RecordId, MapperError> {
+        let (file, idx) = self.families[family].aux[aux];
+        let new_rid = self.engine.heap_update(txn, file, rid, &rec.encode())?;
+        if new_rid != rid {
+            self.engine
+                .btree_delete(txn, idx, &surr_key(rec.surrogate), &rid.to_bytes())?;
+            self.engine
+                .btree_insert(txn, idx, &surr_key(rec.surrogate), &new_rid.to_bytes())?;
+        }
+        Ok(new_rid)
+    }
+
+    // ----- entity lifecycle ----------------------------------------------------------
+
+    /// Insert a new entity of `class` (creating its role and every
+    /// superclass role up to the base, §4.8), then apply `assigns`.
+    pub fn insert_entity(
+        &mut self,
+        txn: &mut Txn,
+        class: ClassId,
+        assigns: &[(AttrId, AttrValue)],
+    ) -> Result<Surrogate, MapperError> {
+        let family = self.family_index(class)?;
+        let roles = self.bits_with_ancestors(class);
+        let surr = self.allocator.allocate();
+
+        // Clustered placement: if an assignment links this entity through a
+        // clustered EVA, put its record in the partner's block (§5.2).
+        let near = self.cluster_target(family, assigns)?;
+
+        let rec = EntityRecord::new(surr, roles, self.family_layout(family), &self.layout);
+        let file = self.families[family].tree_file;
+        let bytes = rec.encode();
+        let rid = match near {
+            Some(near_rid) => self.engine.heap_insert_near(txn, file, near_rid, &bytes)?,
+            None => self.engine.heap_insert(txn, file, &bytes)?,
+        };
+        let idx = self.families[family].surr_index;
+        self.engine.btree_insert(txn, idx, &surr_key(surr), &index_value(rid, roles))?;
+
+        self.create_aux_records(txn, family, surr, roles, 0)?;
+        self.bump_counts(roles, family, 1);
+
+        for (attr, value) in assigns {
+            self.set_attr(txn, surr, *attr, value.clone())?;
+        }
+        self.check_required(surr, class, None)?;
+        Ok(surr)
+    }
+
+    /// Extend an existing entity with a new subclass role
+    /// (`INSERT <class> FROM <ancestor> WHERE …`, §4.8), then apply
+    /// `assigns`. Roles between `class` and already-held ancestors are
+    /// added automatically.
+    pub fn extend_role(
+        &mut self,
+        txn: &mut Txn,
+        surr: Surrogate,
+        class: ClassId,
+        assigns: &[(AttrId, AttrValue)],
+    ) -> Result<(), MapperError> {
+        let family = self.family_index(class)?;
+        let mut loaded = self.load(family, surr)?;
+        let wanted = self.bits_with_ancestors(class);
+        let new_bits = wanted & !loaded.rec.roles;
+        if new_bits != 0 {
+            let fam_layout = self.family_layout(family).clone();
+            loaded.rec.add_roles(new_bits, &fam_layout, &self.layout);
+            self.store(txn, loaded)?;
+            self.create_aux_records(txn, family, surr, wanted, wanted & !new_bits)?;
+            self.bump_counts(new_bits, family, 1);
+        }
+        for (attr, value) in assigns {
+            self.set_attr(txn, surr, *attr, value.clone())?;
+        }
+        self.check_required(surr, class, Some(new_bits))?;
+        Ok(())
+    }
+
+    fn create_aux_records(
+        &mut self,
+        txn: &mut Txn,
+        family: usize,
+        surr: Surrogate,
+        roles: u64,
+        already: u64,
+    ) -> Result<(), MapperError> {
+        let aux_classes = self.family_layout(family).aux_classes.clone();
+        for (aux_idx, class) in aux_classes.iter().enumerate() {
+            let bit = self.bit_of(*class);
+            if roles & bit != 0 && already & bit == 0 {
+                let fields = self.layout.class_phys(*class).expect("planned").fields.len();
+                let rec = AuxRecord {
+                    surrogate: surr,
+                    fields: vec![crate::value_codec::FieldValue::null(); fields],
+                };
+                let (file, idx) = self.families[family].aux[aux_idx];
+                let rid = self.engine.heap_insert(txn, file, &rec.encode())?;
+                self.engine.btree_insert(txn, idx, &surr_key(surr), &rid.to_bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Remove a role from an entity: the role, all its subclass roles, and
+    /// every relationship instance those roles participate in (§4.8, §5.1).
+    /// Removing the base-class role deletes the entity entirely.
+    pub fn delete_role(
+        &mut self,
+        txn: &mut Txn,
+        surr: Surrogate,
+        class: ClassId,
+    ) -> Result<(), MapperError> {
+        let family = self.family_index(class)?;
+        let loaded = self.load(family, surr)?;
+        let gone = self.bits_with_descendants(class) & loaded.rec.roles;
+        if gone == 0 {
+            return Err(MapperError::NoSuchEntity(format!(
+                "{surr} does not hold the {} role",
+                self.catalog.class(class)?.name
+            )));
+        }
+
+        // Collect the removed classes (in family order).
+        let fam_classes = self.family_layout(family).classes.clone();
+        let removed: Vec<ClassId> = fam_classes
+            .iter()
+            .copied()
+            .filter(|c| gone & self.bit_of(*c) != 0)
+            .collect();
+
+        // Detach everything owned by the removed roles.
+        for &c in &removed {
+            self.detach_class_data(txn, surr, c)?;
+        }
+
+        // Rewrite or delete the main record.
+        let mut loaded = self.load(family, surr)?; // reload: detach may have rewritten it
+        let fam_layout = self.family_layout(family).clone();
+        loaded.rec.remove_roles(gone, &fam_layout);
+        let remaining = loaded.rec.roles;
+        if remaining == 0 {
+            let file = self.families[family].tree_file;
+            let idx = self.families[family].surr_index;
+            self.engine.heap_delete(txn, file, loaded.rid)?;
+            self.engine
+                .btree_delete(txn, idx, &surr_key(surr), &index_value(loaded.rid, loaded.roles_at_load))?;
+        } else {
+            self.store(txn, loaded)?;
+        }
+
+        // Remove aux records of removed multiply-derived roles.
+        let aux_classes = self.family_layout(family).aux_classes.clone();
+        for (aux_idx, c) in aux_classes.iter().enumerate() {
+            if gone & self.bit_of(*c) != 0 {
+                let (file, idx) = self.families[family].aux[aux_idx];
+                if let Some(rid_bytes) = self.engine.btree_lookup_first(idx, &surr_key(surr))? {
+                    let rid = RecordId::from_bytes(&rid_bytes)
+                        .ok_or_else(|| MapperError::NoSuchEntity("corrupt aux index".into()))?;
+                    self.engine.heap_delete(txn, file, rid)?;
+                    self.engine.btree_delete(txn, idx, &surr_key(surr), &rid_bytes)?;
+                }
+            }
+        }
+
+        self.bump_counts(gone, family, -1);
+        Ok(())
+    }
+
+    fn bump_counts(&mut self, bits: u64, family: usize, delta: i64) {
+        let classes = self.family_layout(family).classes.clone();
+        for c in classes {
+            if bits & self.bit_of(c) != 0 {
+                let e = self.class_counts.entry(c).or_insert(0);
+                *e = (*e as i64 + delta).max(0) as usize;
+            }
+        }
+    }
+
+    // ----- queries --------------------------------------------------------------------
+
+    /// Does the entity currently hold this class's role?
+    pub fn has_role(&self, surr: Surrogate, class: ClassId) -> Result<bool, MapperError> {
+        let family = self.family_index(class)?;
+        Ok(match self.locate(family, surr)? {
+            Some((_, roles)) => roles & self.bit_of(class) != 0,
+            None => false,
+        })
+    }
+
+    /// All entities of a class (including entities of its subclasses), in
+    /// surrogate order — the implicit perspective ordering of §5.1.
+    pub fn entities_of(&self, class: ClassId) -> Result<Vec<Surrogate>, MapperError> {
+        let family = self.family_index(class)?;
+        let bit = self.bit_of(class);
+        let idx = self.families[family].surr_index;
+        let mut out = Vec::new();
+        for (key, value) in self.engine.btree_scan_all(idx)? {
+            if let Some((_, roles)) = decode_index_value(&value) {
+                if roles & bit != 0 {
+                    out.push(decode_surr_key(&key));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Entity count for a class (optimizer statistic; may drift after
+    /// aborts — call [`Mapper::recount`] for exact numbers).
+    pub fn entity_count(&self, class: ClassId) -> usize {
+        self.class_counts.get(&class).copied().unwrap_or(0)
+    }
+
+    /// Recompute class counts exactly.
+    pub fn recount(&mut self) -> Result<(), MapperError> {
+        self.class_counts.clear();
+        for fam_idx in 0..self.families.len() {
+            let idx = self.families[fam_idx].surr_index;
+            let classes = self.family_layout(fam_idx).classes.clone();
+            for (_, value) in self.engine.btree_scan_all(idx)? {
+                if let Some((_, roles)) = decode_index_value(&value) {
+                    for &c in &classes {
+                        if roles & self.bit_of(c) != 0 {
+                            *self.class_counts.entry(c).or_insert(0) += 1;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Blocking-factor statistic: blocks in a class's main storage unit.
+    pub fn class_block_count(&self, class: ClassId) -> Result<usize, MapperError> {
+        let family = self.family_index(class)?;
+        Ok(self.engine.heap_block_count(self.families[family].tree_file)?)
+    }
+}

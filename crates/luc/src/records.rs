@@ -1,0 +1,176 @@
+//! Variable-format entity records.
+//!
+//! One record per entity in its family's main storage unit:
+//!
+//! ```text
+//! [surrogate u64][role bitmask u64][group]*
+//! group := [field count u16][field]*      — one per *held* tree class,
+//!                                            in canonical family order
+//! ```
+//!
+//! The role bitmask is the record's "record type" in the paper's §5.2 sense,
+//! generalized so one entity can hold several sibling roles (see layout.rs).
+//! Multiply-derived classes store their groups in auxiliary records:
+//!
+//! ```text
+//! [surrogate u64][field count u16][field]*
+//! ```
+
+use crate::error::MapperError;
+use crate::layout::{ClassStorage, FamilyLayout, PhysicalLayout};
+use crate::value_codec::{encode_field, Decoder, FieldValue};
+use sim_types::Surrogate;
+use sim_catalog::ClassId;
+
+/// An entity's main record, decoded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntityRecord {
+    /// The entity's surrogate.
+    pub surrogate: Surrogate,
+    /// Role bitmask over the family's classes.
+    pub roles: u64,
+    /// Field groups for held tree classes, in canonical family order.
+    pub groups: Vec<(ClassId, Vec<FieldValue>)>,
+}
+
+impl EntityRecord {
+    /// A fresh record with null fields for every held tree class.
+    pub fn new(
+        surrogate: Surrogate,
+        roles: u64,
+        family: &FamilyLayout,
+        layout: &PhysicalLayout,
+    ) -> EntityRecord {
+        let mut groups = Vec::new();
+        for (bit, &class) in family.classes.iter().enumerate() {
+            if roles & (1 << bit) == 0 {
+                continue;
+            }
+            let phys = layout.class_phys(class).expect("planned class");
+            if phys.storage == ClassStorage::Tree {
+                groups.push((class, vec![FieldValue::null(); phys.fields.len()]));
+            }
+        }
+        EntityRecord { surrogate, roles, groups }
+    }
+
+    /// Serialize.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(&self.surrogate.raw().to_le_bytes());
+        out.extend_from_slice(&self.roles.to_le_bytes());
+        for (_, fields) in &self.groups {
+            out.extend_from_slice(&(fields.len() as u16).to_le_bytes());
+            for f in fields {
+                encode_field(f, &mut out);
+            }
+        }
+        out
+    }
+
+    /// Deserialize, using the family's canonical class order.
+    pub fn decode(
+        bytes: &[u8],
+        family: &FamilyLayout,
+        layout: &PhysicalLayout,
+    ) -> Result<EntityRecord, MapperError> {
+        let mut dec = Decoder::new(bytes);
+        let surrogate = Surrogate::from_raw(dec.u64()?);
+        let roles = dec.u64()?;
+        let mut groups = Vec::new();
+        for (bit, &class) in family.classes.iter().enumerate() {
+            if roles & (1 << bit) == 0 {
+                continue;
+            }
+            let phys = layout.class_phys(class).expect("planned class");
+            if phys.storage != ClassStorage::Tree {
+                continue;
+            }
+            let count = dec.u16()? as usize;
+            let mut fields = Vec::with_capacity(count);
+            for _ in 0..count {
+                fields.push(dec.field()?);
+            }
+            groups.push((class, fields));
+        }
+        Ok(EntityRecord { surrogate, roles, groups })
+    }
+
+    /// The field group of a (held, tree-stored) class.
+    pub fn group(&self, class: ClassId) -> Option<&Vec<FieldValue>> {
+        self.groups.iter().find(|(c, _)| *c == class).map(|(_, f)| f)
+    }
+
+    /// Mutable field group.
+    pub fn group_mut(&mut self, class: ClassId) -> Option<&mut Vec<FieldValue>> {
+        self.groups.iter_mut().find(|(c, _)| *c == class).map(|(_, f)| f)
+    }
+
+    /// Add roles (and empty groups for newly held tree classes), keeping
+    /// canonical order.
+    pub fn add_roles(&mut self, new_roles: u64, family: &FamilyLayout, layout: &PhysicalLayout) {
+        self.roles |= new_roles;
+        let mut groups = Vec::new();
+        for (bit, &class) in family.classes.iter().enumerate() {
+            if self.roles & (1 << bit) == 0 {
+                continue;
+            }
+            let phys = layout.class_phys(class).expect("planned class");
+            if phys.storage != ClassStorage::Tree {
+                continue;
+            }
+            match self.groups.iter().position(|(c, _)| *c == class) {
+                Some(i) => groups.push(self.groups[i].clone()),
+                None => groups.push((class, vec![FieldValue::null(); phys.fields.len()])),
+            }
+        }
+        self.groups = groups;
+    }
+
+    /// Remove roles; groups of cleared classes are dropped.
+    pub fn remove_roles(&mut self, gone: u64, family: &FamilyLayout) {
+        self.roles &= !gone;
+        let keep: Vec<ClassId> = family
+            .classes
+            .iter()
+            .enumerate()
+            .filter(|(bit, _)| self.roles & (1 << *bit) != 0)
+            .map(|(_, c)| *c)
+            .collect();
+        self.groups.retain(|(c, _)| keep.contains(c));
+    }
+}
+
+/// A multiply-derived class's auxiliary record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuxRecord {
+    /// The entity's surrogate (the 1:1 subclass link of §5.2).
+    pub surrogate: Surrogate,
+    /// The class's immediate fields.
+    pub fields: Vec<FieldValue>,
+}
+
+impl AuxRecord {
+    /// Serialize.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        out.extend_from_slice(&self.surrogate.raw().to_le_bytes());
+        out.extend_from_slice(&(self.fields.len() as u16).to_le_bytes());
+        for f in &self.fields {
+            encode_field(f, &mut out);
+        }
+        out
+    }
+
+    /// Deserialize.
+    pub fn decode(bytes: &[u8]) -> Result<AuxRecord, MapperError> {
+        let mut dec = Decoder::new(bytes);
+        let surrogate = Surrogate::from_raw(dec.u64()?);
+        let count = dec.u16()? as usize;
+        let mut fields = Vec::with_capacity(count);
+        for _ in 0..count {
+            fields.push(dec.field()?);
+        }
+        Ok(AuxRecord { surrogate, fields })
+    }
+}

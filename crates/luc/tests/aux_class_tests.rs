@@ -1,0 +1,230 @@
+//! Multiply-derived classes (separate storage units, §5.2) carrying every
+//! attribute shape: scalar DVAs, bounded and unbounded MV DVAs, foreign-key
+//! and structure EVAs.
+
+use sim_catalog::{AttributeOptions, Catalog};
+use sim_luc::{AttrOut, AttrValue, Mapper};
+use sim_types::{Domain, Value};
+use std::sync::Arc;
+
+/// Schema: a diamond (base → left/right → mixed) where the multiply-derived
+/// MIXED class owns one of each attribute shape.
+fn diamond_catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    let base = cat.define_base_class("Base").unwrap();
+    cat.add_dva(base, "key", Domain::integer(), AttributeOptions::unique_required()).unwrap();
+    cat.add_subrole(
+        base,
+        "kinds",
+        vec!["Left".into(), "Right".into()],
+        AttributeOptions::mv(),
+    )
+    .unwrap();
+    let left = cat.define_subclass("Left", &[base]).unwrap();
+    cat.add_subrole(left, "lkinds", vec!["Mixed".into()], AttributeOptions::none()).unwrap();
+    let right = cat.define_subclass("Right", &[base]).unwrap();
+    cat.add_subrole(right, "rkinds", vec!["Mixed".into()], AttributeOptions::none()).unwrap();
+    let mixed = cat.define_subclass("Mixed", &[left, right]).unwrap();
+
+    let buddy_class = cat.define_base_class("Buddy").unwrap();
+    cat.add_dva(buddy_class, "bkey", Domain::integer(), AttributeOptions::unique_required())
+        .unwrap();
+
+    // Every attribute shape on the aux class.
+    cat.add_dva(mixed, "scalar", Domain::string(20), AttributeOptions::none()).unwrap();
+    cat.add_dva(mixed, "bounded", Domain::integer(), AttributeOptions::mv_max(3)).unwrap();
+    cat.add_dva(mixed, "unbounded", Domain::integer(), AttributeOptions::mv()).unwrap();
+    cat.add_eva(mixed, "buddy", buddy_class, Some("buddy-of"), AttributeOptions::none())
+        .unwrap(); // 1:1 by default -> foreign key fields
+    cat.add_eva(buddy_class, "buddy-of", mixed, Some("buddy"), AttributeOptions::none())
+        .unwrap();
+    cat.add_eva(mixed, "friends", buddy_class, Some("friend-of"), AttributeOptions::mv())
+        .unwrap(); // 1:many -> common structure
+    cat.add_eva(buddy_class, "friend-of", mixed, Some("friends"), AttributeOptions::none())
+        .unwrap();
+    cat.finalize().unwrap();
+    cat
+}
+
+struct Fixture {
+    mapper: Mapper,
+}
+
+fn fixture() -> Fixture {
+    Fixture { mapper: Mapper::new(Arc::new(diamond_catalog()), 128).unwrap() }
+}
+
+impl Fixture {
+    fn attr(&self, class: &str, name: &str) -> sim_catalog::AttrId {
+        let c = self.mapper.catalog().class_by_name(class).unwrap().id;
+        self.mapper.catalog().resolve_attr(c, name).unwrap()
+    }
+
+    fn class(&self, name: &str) -> sim_catalog::ClassId {
+        self.mapper.catalog().class_by_name(name).unwrap().id
+    }
+}
+
+#[test]
+fn aux_class_scalar_and_arrays() {
+    let mut f = fixture();
+    let mut txn = f.mapper.begin();
+    let mixed = f.class("mixed");
+    let m = f
+        .mapper
+        .insert_entity(
+            &mut txn,
+            mixed,
+            &[
+                (f.attr("base", "key"), AttrValue::Scalar(Value::Int(1))),
+                (f.attr("mixed", "scalar"), AttrValue::Scalar(Value::Str("hello".into()))),
+            ],
+        )
+        .unwrap();
+    // Bounded MV (embedded in the aux record).
+    for v in [10, 20, 30] {
+        f.mapper.include_value(&mut txn, m, f.attr("mixed", "bounded"), Value::Int(v)).unwrap();
+    }
+    assert!(f
+        .mapper
+        .include_value(&mut txn, m, f.attr("mixed", "bounded"), Value::Int(40))
+        .is_err());
+    // Unbounded MV (dependent structure).
+    for v in [7, 7, 8] {
+        f.mapper.include_value(&mut txn, m, f.attr("mixed", "unbounded"), Value::Int(v)).unwrap();
+    }
+    f.mapper.commit(txn);
+
+    assert_eq!(
+        f.mapper.read_attr(m, f.attr("mixed", "scalar")).unwrap(),
+        AttrOut::Single(Value::Str("hello".into()))
+    );
+    assert_eq!(
+        f.mapper.read_attr(m, f.attr("mixed", "bounded")).unwrap().into_values(),
+        vec![Value::Int(10), Value::Int(20), Value::Int(30)]
+    );
+    assert_eq!(f.mapper.read_attr(m, f.attr("mixed", "unbounded")).unwrap().into_values().len(), 3);
+    // All four roles held; subroles agree.
+    for role in ["base", "left", "right", "mixed"] {
+        assert!(f.mapper.has_role(m, f.class(role)).unwrap(), "{role}");
+    }
+    assert_eq!(
+        f.mapper.read_attr(m, f.attr("base", "kinds")).unwrap().into_values().len(),
+        2,
+        "kinds reports Left and Right"
+    );
+}
+
+#[test]
+fn aux_class_foreign_key_eva() {
+    let mut f = fixture();
+    let mut txn = f.mapper.begin();
+    let mixed = f.class("mixed");
+    let buddy_class = f.class("buddy");
+    let m = f
+        .mapper
+        .insert_entity(&mut txn, mixed, &[(f.attr("base", "key"), AttrValue::Scalar(Value::Int(1)))])
+        .unwrap();
+    let b = f
+        .mapper
+        .insert_entity(
+            &mut txn,
+            buddy_class,
+            &[(f.attr("buddy", "bkey"), AttrValue::Scalar(Value::Int(9)))],
+        )
+        .unwrap();
+    f.mapper
+        .set_attr(&mut txn, m, f.attr("mixed", "buddy"), AttrValue::Scalar(Value::Entity(b)))
+        .unwrap();
+    f.mapper.commit(txn);
+
+    assert_eq!(
+        f.mapper.read_attr(m, f.attr("mixed", "buddy")).unwrap(),
+        AttrOut::Single(Value::Entity(b))
+    );
+    assert_eq!(
+        f.mapper.read_attr(b, f.attr("buddy", "buddy-of")).unwrap(),
+        AttrOut::Single(Value::Entity(m))
+    );
+
+    // Deleting the MIXED role nulls the partner's back-reference.
+    let mut txn = f.mapper.begin();
+    f.mapper.delete_role(&mut txn, m, mixed).unwrap();
+    f.mapper.commit(txn);
+    assert_eq!(
+        f.mapper.read_attr(b, f.attr("buddy", "buddy-of")).unwrap(),
+        AttrOut::Single(Value::Null)
+    );
+    // Left/Right roles survive.
+    assert!(f.mapper.has_role(m, f.class("left")).unwrap());
+    assert!(!f.mapper.has_role(m, f.class("mixed")).unwrap());
+}
+
+#[test]
+fn aux_class_structure_eva_cascades() {
+    let mut f = fixture();
+    let mut txn = f.mapper.begin();
+    let mixed = f.class("mixed");
+    let buddy_class = f.class("buddy");
+    let m = f
+        .mapper
+        .insert_entity(&mut txn, mixed, &[(f.attr("base", "key"), AttrValue::Scalar(Value::Int(1)))])
+        .unwrap();
+    let friends = f.attr("mixed", "friends");
+    let mut buddies = Vec::new();
+    for k in 0..3 {
+        let b = f
+            .mapper
+            .insert_entity(
+                &mut txn,
+                buddy_class,
+                &[(f.attr("buddy", "bkey"), AttrValue::Scalar(Value::Int(k)))],
+            )
+            .unwrap();
+        f.mapper.include_value(&mut txn, m, friends, Value::Entity(b)).unwrap();
+        buddies.push(b);
+    }
+    f.mapper.commit(txn);
+    assert_eq!(f.mapper.eva_partners(m, friends).unwrap().len(), 3);
+    assert_eq!(
+        f.mapper.eva_partners(buddies[0], f.attr("buddy", "friend-of")).unwrap(),
+        vec![m]
+    );
+
+    // Deleting the base role removes the entity entirely: every friendship
+    // instance disappears too ("all EVAs the deleted records participate
+    // in", §5.1).
+    let mut txn = f.mapper.begin();
+    f.mapper.delete_role(&mut txn, m, f.class("base")).unwrap();
+    f.mapper.commit(txn);
+    for b in buddies {
+        assert!(f.mapper.eva_partners(b, f.attr("buddy", "friend-of")).unwrap().is_empty());
+    }
+}
+
+#[test]
+fn extend_into_aux_role_later() {
+    let mut f = fixture();
+    let mut txn = f.mapper.begin();
+    let left = f.class("left");
+    let e = f
+        .mapper
+        .insert_entity(&mut txn, left, &[(f.attr("base", "key"), AttrValue::Scalar(Value::Int(5)))])
+        .unwrap();
+    assert!(!f.mapper.has_role(e, f.class("mixed")).unwrap());
+    // Extending to MIXED implies the RIGHT role as well.
+    f.mapper
+        .extend_role(
+            &mut txn,
+            e,
+            f.class("mixed"),
+            &[(f.attr("mixed", "scalar"), AttrValue::Scalar(Value::Str("late".into())))],
+        )
+        .unwrap();
+    f.mapper.commit(txn);
+    assert!(f.mapper.has_role(e, f.class("right")).unwrap());
+    assert_eq!(
+        f.mapper.read_attr(e, f.attr("mixed", "scalar")).unwrap(),
+        AttrOut::Single(Value::Str("late".into()))
+    );
+}

@@ -1,0 +1,969 @@
+//! Semantic analysis: qualification resolution and range-variable binding.
+//!
+//! Implements §4.2 (qualification, `AS` role conversion, shortened
+//! qualification completion), §4.4 (identically-qualified paths bind to one
+//! range variable; binding broken inside aggregates/quantifiers/transitive
+//! closure) and the §4.5 TYPE 1/2/3 labeling.
+
+use crate::bound::{
+    BExpr, BoundChain, BoundQuery, ChainStep, NodeOrigin, NodeType, QtNode,
+};
+use crate::error::QueryError;
+use sim_catalog::{AttrId, Catalog, ClassId};
+use sim_dml::{
+    Expr, Literal, OrderItem, Path, Perspective, RetrieveStmt, SegKind, Segment,
+};
+use sim_types::{Decimal, Value};
+use std::collections::{HashMap, HashSet};
+
+/// Which clause an expression occurs in (drives TYPE labeling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Clause {
+    Target,
+    Selection,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum NodeKey {
+    Eva(AttrId, Option<ClassId>),
+    MvDva(AttrId),
+    Transitive(AttrId),
+    Restrict(ClassId),
+}
+
+/// The binder.
+pub struct Binder<'c> {
+    catalog: &'c Catalog,
+    nodes: Vec<QtNode>,
+    roots: Vec<usize>,
+    /// (class name lowered, refvar lowered, node).
+    root_names: Vec<(String, Option<String>, usize)>,
+    node_map: HashMap<(usize, NodeKey), usize>,
+    target_uses: HashSet<usize>,
+    selection_uses: HashSet<usize>,
+    /// Depth of derived-attribute inlining (cycle guard).
+    derived_depth: usize,
+}
+
+fn lc(s: &str) -> String {
+    s.to_ascii_lowercase()
+}
+
+impl<'c> Binder<'c> {
+    /// A binder with no perspectives yet.
+    pub fn new(catalog: &'c Catalog) -> Binder<'c> {
+        Binder {
+            catalog,
+            nodes: Vec::new(),
+            roots: Vec::new(),
+            root_names: Vec::new(),
+            node_map: HashMap::new(),
+            target_uses: HashSet::new(),
+            selection_uses: HashSet::new(),
+            derived_depth: 0,
+        }
+    }
+
+    /// Inline a derived attribute's defining expression at `node`
+    /// (paper §6's derived attributes): the source is bound against the
+    /// owner class and its root references are redirected to `node`.
+    fn inline_derived(
+        &mut self,
+        node: usize,
+        attr: &sim_catalog::Attribute,
+        clause: Clause,
+    ) -> Result<BExpr, QueryError> {
+        if self.derived_depth >= 8 {
+            return Err(QueryError::Analyze(format!(
+                "derived attribute {} recurses too deeply (cycle?)",
+                attr.name
+            )));
+        }
+        let source = attr.derived_source().expect("derived attribute");
+        let parsed = sim_dml::parse_expression(source).map_err(|e| {
+            QueryError::Analyze(format!("derived attribute {}: {e}", attr.name))
+        })?;
+        let mut sub = Binder::new(self.catalog);
+        sub.derived_depth = self.derived_depth + 1;
+        let owner_name = self.catalog.class(attr.owner)?.name.clone();
+        sub.add_root(attr.owner, &owner_name, None);
+        let bound = sub.bind_expr(&parsed, clause)?;
+        if sub.nodes.len() > 1 {
+            return Err(QueryError::Analyze(format!(
+                "derived attribute {} may not navigate through EVAs; use aggregate chains",
+                attr.name
+            )));
+        }
+        Ok(remap_root(bound, 0, node))
+    }
+
+    fn add_root(&mut self, class: ClassId, name: &str, refvar: Option<&str>) {
+        let id = self.nodes.len();
+        self.nodes.push(QtNode {
+            id,
+            parent: None,
+            origin: NodeOrigin::Perspective { class },
+            class: Some(class),
+            role_filter: None,
+            label: NodeType::Type1,
+            depth: 1,
+        });
+        self.roots.push(id);
+        self.root_names.push((lc(name), refvar.map(lc), id));
+    }
+
+    /// Bind a full retrieve statement.
+    pub fn bind_retrieve(catalog: &Catalog, stmt: &RetrieveStmt) -> Result<BoundQuery, QueryError> {
+        let mut b = Binder::new(catalog);
+        b.install_perspectives(&stmt.perspectives, stmt)?;
+
+        let mut targets = Vec::new();
+        let mut target_names = Vec::new();
+        for t in &stmt.targets {
+            target_names.push(t.to_string());
+            targets.push(b.bind_expr(t, Clause::Target)?);
+        }
+        let mut order_by = Vec::new();
+        for OrderItem { expr, ascending } in &stmt.order_by {
+            order_by.push((b.bind_expr(expr, Clause::Target)?, *ascending));
+        }
+        let selection = match &stmt.where_clause {
+            Some(w) => Some(b.bind_expr(w, Clause::Selection)?),
+            None => None,
+        };
+        b.finish(targets, target_names, order_by, selection, stmt.mode)
+    }
+
+    /// Bind a selection expression with a single fixed perspective (update
+    /// WHERE clauses, VERIFY assertions, selector predicates).
+    pub fn bind_selection(
+        catalog: &Catalog,
+        class: ClassId,
+        expr: &Expr,
+    ) -> Result<BoundQuery, QueryError> {
+        let mut b = Binder::new(catalog);
+        let name = catalog.class(class)?.name.clone();
+        b.add_root(class, &name, None);
+        let selection = Some(b.bind_expr(expr, Clause::Selection)?);
+        b.finish(Vec::new(), Vec::new(), Vec::new(), selection, sim_dml::OutputMode::Table)
+    }
+
+    /// Bind a value expression with a single fixed perspective (assignment
+    /// right-hand sides like `1.1 * salary`). The expression may reference
+    /// the root entity and aggregate chains, but not navigate to new range
+    /// variables.
+    pub fn bind_value_expr(
+        catalog: &Catalog,
+        class: ClassId,
+        expr: &Expr,
+    ) -> Result<BoundQuery, QueryError> {
+        let mut b = Binder::new(catalog);
+        let name = catalog.class(class)?.name.clone();
+        b.add_root(class, &name, None);
+        let bound = b.bind_expr(expr, Clause::Target)?;
+        if b.nodes.len() > 1 {
+            return Err(QueryError::Analyze(
+                "assignment expressions may not navigate through EVAs; use a WITH selector"
+                    .into(),
+            ));
+        }
+        b.finish(
+            vec![bound],
+            vec![expr.to_string()],
+            Vec::new(),
+            None,
+            sim_dml::OutputMode::Table,
+        )
+    }
+
+    fn install_perspectives(
+        &mut self,
+        perspectives: &[Perspective],
+        stmt: &RetrieveStmt,
+    ) -> Result<(), QueryError> {
+        if !perspectives.is_empty() {
+            for p in perspectives {
+                let class = self
+                    .catalog
+                    .class_by_name(&p.class)
+                    .ok_or_else(|| {
+                        QueryError::Analyze(format!("unknown perspective class {}", p.class))
+                    })?
+                    .id;
+                self.add_root(class, &p.class, p.refvar.as_deref());
+            }
+            return Ok(());
+        }
+        // FROM omitted: infer perspectives from innermost path segments that
+        // name classes (§4.2's completion works the other way too — the
+        // paper's §4.4 and §4.9-6 examples omit FROM entirely).
+        let mut seen = HashSet::new();
+        let mut classes = Vec::new();
+        for e in stmt
+            .targets
+            .iter()
+            .chain(stmt.order_by.iter().map(|o| &o.expr))
+            .chain(stmt.where_clause.iter())
+        {
+            collect_anchor_classes(self.catalog, e, &mut seen, &mut classes);
+        }
+        for (name, class) in classes {
+            self.add_root(class, &name, None);
+        }
+        if self.roots.is_empty() {
+            // Queries whose targets are all global aggregates are legal with
+            // no perspective at all (`Retrieve avg(salary of instructor).`).
+            let all_global = stmt.targets.iter().all(expr_is_perspective_free);
+            if !all_global {
+                return Err(QueryError::Analyze(
+                    "cannot determine the perspective class; add a FROM clause".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(
+        mut self,
+        targets: Vec<BExpr>,
+        target_names: Vec<String>,
+        order_by: Vec<(BExpr, bool)>,
+        selection: Option<BExpr>,
+        mode: sim_dml::OutputMode,
+    ) -> Result<BoundQuery, QueryError> {
+        // ORDER BY keys behave like targets for labeling purposes.
+        self.label_nodes();
+
+        // DFS orders.
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); self.nodes.len()];
+        for n in &self.nodes {
+            if let Some(p) = n.parent {
+                children[p].push(n.id);
+            }
+        }
+        let mut type13_order = Vec::new();
+        let mut type2_order = Vec::new();
+        fn dfs(
+            id: usize,
+            nodes: &[QtNode],
+            children: &[Vec<usize>],
+            t13: &mut Vec<usize>,
+            t2: &mut Vec<usize>,
+        ) {
+            if nodes[id].label == NodeType::Type2 {
+                t2.push(id);
+            } else {
+                t13.push(id);
+            }
+            for &c in &children[id] {
+                dfs(c, nodes, children, t13, t2);
+            }
+        }
+        for &r in &self.roots.clone() {
+            dfs(r, &self.nodes, &children, &mut type13_order, &mut type2_order);
+        }
+
+        // Home node per target: the deepest TYPE 1/3 node it references.
+        let pos_of: HashMap<usize, usize> =
+            type13_order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let target_home: Vec<usize> = targets
+            .iter()
+            .map(|t| {
+                let mut refs = Vec::new();
+                t.referenced_nodes(&mut refs);
+                refs.iter().filter_map(|n| pos_of.get(n)).copied().max().unwrap_or(0)
+            })
+            .collect();
+
+        Ok(BoundQuery {
+            nodes: self.nodes,
+            roots: self.roots,
+            targets,
+            target_names,
+            target_home,
+            order_by,
+            selection,
+            mode,
+            type13_order,
+            type2_order,
+        })
+    }
+
+    fn label_nodes(&mut self) {
+        // A node's label depends on whether it *or any descendant* is used
+        // in the target list and/or the selection expression (§4.5).
+        let n = self.nodes.len();
+        let mut in_target = vec![false; n];
+        let mut in_sel = vec![false; n];
+        for &u in &self.target_uses {
+            in_target[u] = true;
+        }
+        for &u in &self.selection_uses {
+            in_sel[u] = true;
+        }
+        // Propagate up: child usage reaches ancestors.
+        for id in (0..n).rev() {
+            if let Some(p) = self.nodes[id].parent {
+                if in_target[id] {
+                    in_target[p] = true;
+                }
+                if in_sel[id] {
+                    in_sel[p] = true;
+                }
+            }
+        }
+        for id in 0..n {
+            let label = if self.nodes[id].parent.is_none() {
+                NodeType::Type1 // "X1 is always labeled TYPE 1"
+            } else {
+                match (in_target[id], in_sel[id]) {
+                    (true, false) => NodeType::Type3,
+                    (false, true) => NodeType::Type2,
+                    _ => NodeType::Type1,
+                }
+            };
+            self.nodes[id].label = label;
+        }
+    }
+
+    // ----- expression binding ---------------------------------------------------
+
+    fn bind_expr(&mut self, expr: &Expr, clause: Clause) -> Result<BExpr, QueryError> {
+        Ok(match expr {
+            Expr::Literal(l) => BExpr::Const(bind_literal(l)?),
+            Expr::Path(p) => self.resolve_path(p, clause)?,
+            Expr::Binary { op, lhs, rhs } => BExpr::Binary {
+                op: *op,
+                lhs: Box::new(self.bind_expr(lhs, clause)?),
+                rhs: Box::new(self.bind_expr(rhs, clause)?),
+            },
+            Expr::Not(e) => BExpr::Not(Box::new(self.bind_expr(e, clause)?)),
+            Expr::Neg(e) => BExpr::Neg(Box::new(self.bind_expr(e, clause)?)),
+            Expr::Aggregate { func, distinct, arg, tail } => BExpr::Aggregate {
+                func: *func,
+                distinct: *distinct,
+                chain: self.bind_chain(arg, tail, clause)?,
+            },
+            Expr::Quantified { quantifier, arg, tail } => BExpr::Quantified {
+                quantifier: *quantifier,
+                chain: self.bind_chain(arg, tail, clause)?,
+            },
+            Expr::IsA { path, class } => {
+                let class_id = self
+                    .catalog
+                    .class_by_name(class)
+                    .ok_or_else(|| QueryError::Analyze(format!("unknown class {class}")))?
+                    .id;
+                match self.resolve_path(path, clause)? {
+                    BExpr::NodeValue(node) => BExpr::IsA { node, class: class_id },
+                    _ => {
+                        return Err(QueryError::Analyze(format!(
+                            "isa needs an entity path, but {path} is a value"
+                        )));
+                    }
+                }
+            }
+        })
+    }
+
+    // ----- path resolution ---------------------------------------------------------
+
+    /// Resolve a qualification path to a bound expression, creating/sharing
+    /// range variables along the way.
+    fn resolve_path(&mut self, path: &Path, clause: Clause) -> Result<BExpr, QueryError> {
+        let mut segs: Vec<&Segment> = path.segments.iter().collect();
+        segs.reverse(); // innermost (perspective end) first
+
+        // Anchor.
+        let (mut node, mut idx) = self.resolve_anchor(&segs, path)?;
+
+        // Apply an `AS` conversion attached to the anchor segment itself.
+        if idx == 1 {
+            if let Some(as_name) = &segs[0].as_class {
+                node = self.restrict_node(node, as_name)?;
+            }
+        }
+
+        let mut expr: Option<BExpr> = None;
+        while idx < segs.len() {
+            let seg = segs[idx];
+            let last = idx == segs.len() - 1;
+            let cur_class = self.nodes[node].class.ok_or_else(|| {
+                QueryError::Analyze(format!(
+                    "cannot qualify further: {path} passes through a value attribute"
+                ))
+            })?;
+            match &seg.kind {
+                SegKind::Name(n) => {
+                    let attr_id = self.catalog.resolve_attr(cur_class, n).ok_or_else(|| {
+                        QueryError::Analyze(format!(
+                            "unknown attribute {n} on class {}",
+                            self.catalog.class(cur_class).map(|c| c.name.clone()).unwrap_or_default()
+                        ))
+                    })?;
+                    let attr = self.catalog.attribute(attr_id)?.clone();
+                    if attr.is_derived() {
+                        if !last {
+                            return Err(QueryError::Analyze(format!(
+                                "cannot qualify through derived attribute {n}"
+                            )));
+                        }
+                        if seg.as_class.is_some() {
+                            return Err(QueryError::Analyze(format!(
+                                "AS conversion does not apply to derived attribute {n}"
+                            )));
+                        }
+                        expr = Some(self.inline_derived(node, &attr, clause)?);
+                    } else if attr.is_eva() {
+                        node = self.eva_node(node, attr_id, seg.as_class.as_deref())?;
+                        if last {
+                            expr = Some(BExpr::NodeValue(node));
+                        }
+                    } else if attr.options.multivalued {
+                        // MV DVA or MV subrole: a value node; nothing can
+                        // qualify past it.
+                        if !last {
+                            return Err(QueryError::Analyze(format!(
+                                "cannot qualify through multi-valued data attribute {n}"
+                            )));
+                        }
+                        node = self.value_node(node, attr_id)?;
+                        expr = Some(BExpr::NodeValue(node));
+                    } else {
+                        if !last {
+                            return Err(QueryError::Analyze(format!(
+                                "cannot qualify through single-valued data attribute {n}"
+                            )));
+                        }
+                        if seg.as_class.is_some() {
+                            return Err(QueryError::Analyze(format!(
+                                "AS conversion does not apply to data attribute {n}"
+                            )));
+                        }
+                        expr = Some(BExpr::Attr { node, attr: attr_id });
+                    }
+                }
+                SegKind::Transitive(e) => {
+                    node = self.transitive_node(node, e, seg.as_class.as_deref())?;
+                    if last {
+                        expr = Some(BExpr::NodeValue(node));
+                    }
+                }
+                SegKind::Inverse(e) => {
+                    let inv = self.resolve_inverse(cur_class, e)?;
+                    node = self.eva_node(node, inv, seg.as_class.as_deref())?;
+                    if last {
+                        expr = Some(BExpr::NodeValue(node));
+                    }
+                }
+            }
+            idx += 1;
+        }
+        let expr = expr.unwrap_or(BExpr::NodeValue(node));
+        // Usage marking for labeling.
+        let mut refs = Vec::new();
+        expr.referenced_nodes(&mut refs);
+        for r in refs {
+            match clause {
+                Clause::Target => self.target_uses.insert(r),
+                Clause::Selection => self.selection_uses.insert(r),
+            };
+        }
+        Ok(expr)
+    }
+
+    /// Determine the root (or fail), returning `(node, consumed)`.
+    fn resolve_anchor(
+        &mut self,
+        segs: &[&Segment],
+        path: &Path,
+    ) -> Result<(usize, usize), QueryError> {
+        if let SegKind::Name(n) = &segs[0].kind {
+            let key = lc(n);
+            for (class_name, refvar, node) in &self.root_names {
+                if refvar.as_deref() == Some(key.as_str()) || *class_name == key {
+                    return Ok((*node, 1));
+                }
+            }
+        }
+        // Shortened qualification (§4.2): find the unique perspective from
+        // which the whole path resolves.
+        let mut matches = Vec::new();
+        for &root in &self.roots {
+            let class = self.nodes[root].class.expect("roots are entity nodes");
+            if self.check_path_from(class, segs) {
+                matches.push(root);
+            }
+        }
+        match matches.len() {
+            1 => Ok((matches[0], 0)),
+            0 => Err(QueryError::Analyze(format!(
+                "cannot resolve qualification {path} from any perspective"
+            ))),
+            _ => Err(QueryError::Analyze(format!(
+                "qualification {path} is ambiguous between perspectives"
+            ))),
+        }
+    }
+
+    /// Dry-run name resolution (no node creation) for shortened-path
+    /// completion.
+    fn check_path_from(&self, start: ClassId, segs: &[&Segment]) -> bool {
+        let mut cur = Some(start);
+        for (i, seg) in segs.iter().enumerate() {
+            let Some(cur_class) = cur else { return false };
+            let last = i == segs.len() - 1;
+            let next = match &seg.kind {
+                SegKind::Name(n) => match self.catalog.resolve_attr(cur_class, n) {
+                    Some(a) => {
+                        let attr = self.catalog.attribute(a).expect("resolved");
+                        if attr.is_eva() {
+                            attr.eva_range()
+                        } else {
+                            if !last {
+                                return false;
+                            }
+                            None
+                        }
+                    }
+                    None => return false,
+                },
+                SegKind::Transitive(e) => match self.catalog.resolve_attr(cur_class, e) {
+                    Some(a) => {
+                        let attr = self.catalog.attribute(a).expect("resolved");
+                        if !attr.is_eva() {
+                            return false;
+                        }
+                        attr.eva_range()
+                    }
+                    None => return false,
+                },
+                SegKind::Inverse(e) => match self.resolve_inverse(cur_class, e) {
+                    Ok(inv) => self.catalog.attribute(inv).expect("resolved").eva_range(),
+                    Err(_) => return false,
+                },
+            };
+            // Apply AS conversions loosely during the check.
+            cur = match &seg.as_class {
+                Some(name) => self.catalog.class_by_name(name).map(|c| c.id),
+                None => next,
+            };
+        }
+        true
+    }
+
+    /// `inverse(eva)` (§3.2): the EVA named `name` whose inverse is usable
+    /// from `cur_class`.
+    fn resolve_inverse(&self, cur_class: ClassId, name: &str) -> Result<AttrId, QueryError> {
+        let mut found = Vec::new();
+        for attr in self.catalog.attributes() {
+            if !attr.is_eva() || lc(&attr.name) != lc(name) {
+                continue;
+            }
+            if let Some(inv) = attr.eva_inverse() {
+                let inv_owner = self.catalog.attribute(inv).expect("linked").owner;
+                if self.catalog.is_same_or_ancestor(inv_owner, cur_class) {
+                    found.push(inv);
+                }
+            }
+        }
+        match found.len() {
+            1 => Ok(found[0]),
+            0 => Err(QueryError::Analyze(format!(
+                "inverse({name}) does not resolve from this context"
+            ))),
+            _ => Err(QueryError::Analyze(format!("inverse({name}) is ambiguous"))),
+        }
+    }
+
+    // ----- node creation --------------------------------------------------------------
+
+    fn get_or_create(
+        &mut self,
+        parent: usize,
+        key: NodeKey,
+        origin: NodeOrigin,
+        class: Option<ClassId>,
+        role_filter: Option<ClassId>,
+    ) -> usize {
+        if let Some(&n) = self.node_map.get(&(parent, key.clone())) {
+            return n;
+        }
+        let id = self.nodes.len();
+        let depth = self.nodes[parent].depth + 1;
+        self.nodes.push(QtNode {
+            id,
+            parent: Some(parent),
+            origin,
+            class,
+            role_filter,
+            label: NodeType::Type1,
+            depth,
+        });
+        self.node_map.insert((parent, key), id);
+        id
+    }
+
+    fn eva_node(
+        &mut self,
+        parent: usize,
+        attr_id: AttrId,
+        as_class: Option<&str>,
+    ) -> Result<usize, QueryError> {
+        let attr = self.catalog.attribute(attr_id)?;
+        let range = attr.eva_range().expect("EVA");
+        let (class, role_filter) = self.apply_as(range, as_class)?;
+        Ok(self.get_or_create(
+            parent,
+            NodeKey::Eva(attr_id, role_filter.or(Some(class)).filter(|_| as_class.is_some())),
+            NodeOrigin::Eva { attr: attr_id },
+            Some(class),
+            role_filter,
+        ))
+    }
+
+    fn value_node(&mut self, parent: usize, attr_id: AttrId) -> Result<usize, QueryError> {
+        Ok(self.get_or_create(
+            parent,
+            NodeKey::MvDva(attr_id),
+            NodeOrigin::MvDva { attr: attr_id },
+            None,
+            None,
+        ))
+    }
+
+    fn transitive_node(
+        &mut self,
+        parent: usize,
+        eva_name: &str,
+        as_class: Option<&str>,
+    ) -> Result<usize, QueryError> {
+        let cur_class = self.nodes[parent].class.ok_or_else(|| {
+            QueryError::Analyze("transitive(…) needs an entity context".into())
+        })?;
+        let attr_id = self.catalog.resolve_attr(cur_class, eva_name).ok_or_else(|| {
+            QueryError::Analyze(format!("unknown EVA {eva_name} for transitive closure"))
+        })?;
+        let attr = self.catalog.attribute(attr_id)?;
+        let range = attr.eva_range().ok_or_else(|| {
+            QueryError::Analyze(format!("transitive({eva_name}): not an EVA"))
+        })?;
+        // The chain must be cyclic: range in the same hierarchy (§4.7).
+        if self.catalog.base_of(range) != self.catalog.base_of(cur_class) {
+            return Err(QueryError::Analyze(format!(
+                "transitive({eva_name}) requires a cyclic EVA chain within one hierarchy"
+            )));
+        }
+        let (class, role_filter) = self.apply_as(range, as_class)?;
+        Ok(self.get_or_create(
+            parent,
+            NodeKey::Transitive(attr_id),
+            NodeOrigin::Transitive { attr: attr_id },
+            Some(class),
+            role_filter,
+        ))
+    }
+
+    fn restrict_node(&mut self, parent: usize, as_name: &str) -> Result<usize, QueryError> {
+        let cur_class = self.nodes[parent].class.ok_or_else(|| {
+            QueryError::Analyze("AS conversion needs an entity context".into())
+        })?;
+        let (class, role_filter) = self.apply_as(cur_class, Some(as_name))?;
+        Ok(self.get_or_create(
+            parent,
+            NodeKey::Restrict(class),
+            NodeOrigin::Restrict { class },
+            Some(class),
+            role_filter,
+        ))
+    }
+
+    /// Resolve an `AS <class>` conversion against a source class: the target
+    /// must live in the same generalization hierarchy; converting *down*
+    /// (or sideways) adds a role filter (§4.2).
+    fn apply_as(
+        &self,
+        source: ClassId,
+        as_class: Option<&str>,
+    ) -> Result<(ClassId, Option<ClassId>), QueryError> {
+        let Some(name) = as_class else {
+            return Ok((source, None));
+        };
+        let target = self
+            .catalog
+            .class_by_name(name)
+            .ok_or_else(|| QueryError::Analyze(format!("unknown class {name} in AS clause")))?
+            .id;
+        if self.catalog.base_of(target) != self.catalog.base_of(source) {
+            return Err(QueryError::Analyze(format!(
+                "AS {name}: role conversion must stay within one generalization hierarchy"
+            )));
+        }
+        // Upward conversion needs no filter (every entity holds its
+        // ancestors' roles); downward/sideways must filter.
+        let filter = if self.catalog.is_same_or_ancestor(target, source) {
+            None
+        } else {
+            Some(target)
+        };
+        Ok((target, filter))
+    }
+
+    // ----- aggregate / quantifier chains --------------------------------------------------
+
+    fn bind_chain(
+        &mut self,
+        arg: &Path,
+        tail: &[Segment],
+        clause: Clause,
+    ) -> Result<BoundChain, QueryError> {
+        // Resolve the outer qualification (`… of department`) to an anchor
+        // node. Empty tail: anchoring is decided by the arg's innermost
+        // segment (class name → global; attribute → the unique perspective).
+        let anchor = if tail.is_empty() {
+            None
+        } else {
+            let tail_path = Path { segments: tail.to_vec() };
+            match self.resolve_path(&tail_path, clause)? {
+                BExpr::NodeValue(n) => Some(n),
+                _ => {
+                    return Err(QueryError::Analyze(format!(
+                        "aggregate qualification {tail_path} must end on an entity"
+                    )));
+                }
+            }
+        };
+
+        let mut segs: Vec<&Segment> = arg.segments.iter().collect();
+        segs.reverse();
+
+        let (mut cur_class, mut global_class, start_idx) = if let Some(a) = anchor {
+            let class = self.nodes[a].class.ok_or_else(|| {
+                QueryError::Analyze("aggregate anchor must be an entity node".into())
+            })?;
+            (Some(class), None, 0usize)
+        } else {
+            // Binding is broken inside aggregates (§4.4): a class name here
+            // ranges over the whole class, never an outer variable.
+            if let SegKind::Name(n) = &segs[0].kind {
+                if let Some(c) = self.catalog.class_by_name(n) {
+                    let id = c.id;
+                    (Some(id), Some(id), 1usize)
+                } else {
+                    let (class, anchor_root) = self.unique_perspective_for(&segs)?;
+                    let _ = anchor_root;
+                    (Some(class), None, 0usize)
+                }
+            } else {
+                let (class, _) = self.unique_perspective_for(&segs)?;
+                (Some(class), None, 0usize)
+            }
+        };
+
+        // When anchored at a perspective implicitly, record the anchor node.
+        let anchor = match (anchor, global_class) {
+            (Some(a), _) => Some(a),
+            (None, Some(_)) => None,
+            (None, None) => {
+                // implicit perspective anchor: find its root node
+                let class = cur_class.expect("set above");
+                let root = self
+                    .roots
+                    .iter()
+                    .copied()
+                    .find(|&r| self.nodes[r].class == Some(class))
+                    .ok_or_else(|| {
+                        QueryError::Analyze("aggregate anchor not among perspectives".into())
+                    })?;
+                Some(root)
+            }
+        };
+
+        if let Some(a) = anchor {
+            match clause {
+                Clause::Target => self.target_uses.insert(a),
+                Clause::Selection => self.selection_uses.insert(a),
+            };
+        }
+
+        let mut steps = Vec::new();
+        let mut terminal = None;
+        for (i, seg) in segs.iter().enumerate().skip(start_idx) {
+            let last = i == segs.len() - 1;
+            let class = cur_class.ok_or_else(|| {
+                QueryError::Analyze(format!(
+                    "aggregate path {arg} navigates past a value attribute"
+                ))
+            })?;
+            if seg.as_class.is_some() {
+                return Err(QueryError::Analyze(
+                    "AS conversions inside aggregate arguments are not supported".into(),
+                ));
+            }
+            match &seg.kind {
+                SegKind::Name(n) => {
+                    let attr_id = self.catalog.resolve_attr(class, n).ok_or_else(|| {
+                        QueryError::Analyze(format!(
+                            "unknown attribute {n} in aggregate argument"
+                        ))
+                    })?;
+                    let attr = self.catalog.attribute(attr_id)?.clone();
+                    if attr.is_derived() {
+                        return Err(QueryError::Analyze(format!(
+                            "derived attribute {n} cannot appear inside an aggregate; \
+                             inline its definition instead"
+                        )));
+                    }
+                    if attr.is_eva() {
+                        steps.push(ChainStep::Eva(attr_id));
+                        cur_class = attr.eva_range();
+                    } else if attr.options.multivalued {
+                        if !last {
+                            return Err(QueryError::Analyze(format!(
+                                "cannot navigate through multi-valued data attribute {n}"
+                            )));
+                        }
+                        steps.push(ChainStep::MvDva(attr_id));
+                        cur_class = None;
+                    } else {
+                        if !last {
+                            return Err(QueryError::Analyze(format!(
+                                "cannot navigate through single-valued data attribute {n}"
+                            )));
+                        }
+                        terminal = Some(attr_id);
+                    }
+                }
+                SegKind::Transitive(e) => {
+                    let attr_id = self.catalog.resolve_attr(class, e).ok_or_else(|| {
+                        QueryError::Analyze(format!("unknown EVA {e} in transitive closure"))
+                    })?;
+                    let attr = self.catalog.attribute(attr_id)?;
+                    let range = attr.eva_range().ok_or_else(|| {
+                        QueryError::Analyze(format!("transitive({e}): not an EVA"))
+                    })?;
+                    if self.catalog.base_of(range) != self.catalog.base_of(class) {
+                        return Err(QueryError::Analyze(format!(
+                            "transitive({e}) requires a cyclic chain"
+                        )));
+                    }
+                    steps.push(ChainStep::Transitive(attr_id));
+                    cur_class = Some(range);
+                }
+                SegKind::Inverse(e) => {
+                    let inv = self.resolve_inverse(class, e)?;
+                    steps.push(ChainStep::Eva(inv));
+                    cur_class = self.catalog.attribute(inv)?.eva_range();
+                }
+            }
+        }
+        if anchor.is_none() && global_class.is_none() {
+            global_class = cur_class; // unreachable in practice
+        }
+        Ok(BoundChain { anchor, global_class, steps, terminal })
+    }
+
+    /// The unique perspective whose class resolves the chain's innermost
+    /// attribute; errors on 0 or >1 candidates.
+    fn unique_perspective_for(&self, segs: &[&Segment]) -> Result<(ClassId, usize), QueryError> {
+        let mut matches = Vec::new();
+        for &root in &self.roots {
+            let class = self.nodes[root].class.expect("roots are entities");
+            if self.check_path_from(class, segs) {
+                matches.push((class, root));
+            }
+        }
+        match matches.len() {
+            1 => Ok(matches[0]),
+            0 => Err(QueryError::Analyze(
+                "aggregate argument does not resolve from any perspective".into(),
+            )),
+            _ => Err(QueryError::Analyze("aggregate argument is ambiguous".into())),
+        }
+    }
+}
+
+/// Convert a literal to a runtime value.
+fn bind_literal(l: &Literal) -> Result<Value, QueryError> {
+    Ok(match l {
+        Literal::Null => Value::Null,
+        Literal::Int(v) => Value::Int(*v),
+        Literal::Dec(s) => Value::Decimal(Decimal::parse(s)?),
+        Literal::Str(s) => Value::Str(s.clone()),
+        Literal::Bool(b) => Value::Bool(*b),
+    })
+}
+
+/// Collect (name, class) pairs for FROM-less perspective inference.
+fn collect_anchor_classes(
+    catalog: &Catalog,
+    expr: &Expr,
+    seen: &mut HashSet<ClassId>,
+    out: &mut Vec<(String, ClassId)>,
+) {
+    let mut check_path = |segments: &[Segment]| {
+        if let Some(seg) = segments.last() {
+            if let SegKind::Name(n) = &seg.kind {
+                if let Some(c) = catalog.class_by_name(n) {
+                    if seen.insert(c.id) {
+                        out.push((n.clone(), c.id));
+                    }
+                }
+            }
+        }
+    };
+    match expr {
+        Expr::Path(p) => check_path(&p.segments),
+        Expr::Binary { lhs, rhs, .. } => {
+            collect_anchor_classes(catalog, lhs, seen, out);
+            collect_anchor_classes(catalog, rhs, seen, out);
+        }
+        Expr::Not(e) | Expr::Neg(e) => collect_anchor_classes(catalog, e, seen, out),
+        Expr::Aggregate { tail, .. } | Expr::Quantified { tail, .. } => {
+            check_path(tail);
+        }
+        Expr::IsA { path, .. } => check_path(&path.segments),
+        Expr::Literal(_) => {}
+    }
+}
+
+/// True when the expression references no perspective (global aggregates
+/// and constants only).
+fn expr_is_perspective_free(expr: &Expr) -> bool {
+    match expr {
+        Expr::Literal(_) => true,
+        Expr::Path(_) | Expr::IsA { .. } => false,
+        Expr::Binary { lhs, rhs, .. } => {
+            expr_is_perspective_free(lhs) && expr_is_perspective_free(rhs)
+        }
+        Expr::Not(e) | Expr::Neg(e) => expr_is_perspective_free(e),
+        Expr::Aggregate { tail, .. } | Expr::Quantified { tail, .. } => tail.is_empty(),
+    }
+}
+
+/// Redirect every reference to node `from` in a bound expression to `to`
+/// (derived-attribute inlining).
+fn remap_root(expr: BExpr, from: usize, to: usize) -> BExpr {
+    let node = |n: usize| if n == from { to } else { n };
+    match expr {
+        BExpr::Const(v) => BExpr::Const(v),
+        BExpr::NodeValue(n) => BExpr::NodeValue(node(n)),
+        BExpr::Attr { node: n, attr } => BExpr::Attr { node: node(n), attr },
+        BExpr::Binary { op, lhs, rhs } => BExpr::Binary {
+            op,
+            lhs: Box::new(remap_root(*lhs, from, to)),
+            rhs: Box::new(remap_root(*rhs, from, to)),
+        },
+        BExpr::Not(e) => BExpr::Not(Box::new(remap_root(*e, from, to))),
+        BExpr::Neg(e) => BExpr::Neg(Box::new(remap_root(*e, from, to))),
+        BExpr::Aggregate { func, distinct, mut chain } => {
+            chain.anchor = chain.anchor.map(node);
+            BExpr::Aggregate { func, distinct, chain }
+        }
+        BExpr::Quantified { quantifier, mut chain } => {
+            chain.anchor = chain.anchor.map(node);
+            BExpr::Quantified { quantifier, chain }
+        }
+        BExpr::IsA { node: n, class } => BExpr::IsA { node: node(n), class },
+    }
+}

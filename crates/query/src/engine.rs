@@ -1,0 +1,173 @@
+//! The Query Driver: the facade that parses, analyzes, optimizes, executes
+//! and enforces integrity (Figure 1 of the paper).
+
+use crate::bind::Binder;
+use crate::bound::QueryOutput;
+use crate::error::QueryError;
+use crate::exec::Executor;
+use crate::integrity::{compile_all, CompiledVerify};
+use crate::optimizer::{self, Plan};
+use crate::update::{self, WriteSet};
+use sim_dml::{parse_statements, Statement};
+use sim_luc::Mapper;
+
+/// The result of one statement.
+#[derive(Debug, Clone)]
+pub enum ExecResult {
+    /// A retrieve produced output.
+    Rows(QueryOutput),
+    /// An update touched this many entities.
+    Updated(usize),
+}
+
+impl ExecResult {
+    /// The output, for tests that know they ran a retrieve.
+    pub fn rows(&self) -> &QueryOutput {
+        match self {
+            ExecResult::Rows(q) => q,
+            ExecResult::Updated(_) => panic!("statement was an update"),
+        }
+    }
+
+    /// The update count, for tests that know they ran an update.
+    pub fn updated(&self) -> usize {
+        match self {
+            ExecResult::Updated(n) => *n,
+            ExecResult::Rows(_) => panic!("statement was a retrieve"),
+        }
+    }
+}
+
+/// The SIM query engine: one open database.
+pub struct QueryEngine {
+    mapper: Mapper,
+    verifies: Vec<CompiledVerify>,
+    /// Enforce VERIFY constraints on updates (on by default). The paper's
+    /// own example 1 would violate V1 (John Doe enrolls in a single course,
+    /// well short of 12 credits), so examples/benches sometimes disable it.
+    pub enforce_verifies: bool,
+}
+
+impl QueryEngine {
+    /// Open an engine over a mapper, compiling the schema's VERIFY
+    /// constraints.
+    pub fn new(mapper: Mapper) -> Result<QueryEngine, QueryError> {
+        let verifies = compile_all(mapper.catalog())?;
+        Ok(QueryEngine { mapper, verifies, enforce_verifies: true })
+    }
+
+    /// The underlying mapper.
+    pub fn mapper(&self) -> &Mapper {
+        &self.mapper
+    }
+
+    /// Mutable mapper access (index creation, statistics maintenance).
+    pub fn mapper_mut(&mut self) -> &mut Mapper {
+        &mut self.mapper
+    }
+
+    /// The compiled constraints.
+    pub fn verifies(&self) -> &[CompiledVerify] {
+        &self.verifies
+    }
+
+    /// Parse and execute a script of statements, stopping at the first
+    /// error.
+    pub fn run(&mut self, source: &str) -> Result<Vec<ExecResult>, QueryError> {
+        let statements = parse_statements(source)?;
+        let mut out = Vec::with_capacity(statements.len());
+        for stmt in &statements {
+            out.push(self.execute(stmt)?);
+        }
+        Ok(out)
+    }
+
+    /// Parse and execute a single statement.
+    pub fn run_one(&mut self, source: &str) -> Result<ExecResult, QueryError> {
+        let mut results = self.run(source)?;
+        match results.len() {
+            1 => Ok(results.remove(0)),
+            n => Err(QueryError::Analyze(format!("expected one statement, found {n}"))),
+        }
+    }
+
+    /// Execute a retrieve without mutating (usable through `&self`).
+    pub fn query(&self, source: &str) -> Result<QueryOutput, QueryError> {
+        let statements = parse_statements(source)?;
+        let [Statement::Retrieve(r)] = statements.as_slice() else {
+            return Err(QueryError::Analyze("query() accepts a single retrieve".into()));
+        };
+        let bound = Binder::bind_retrieve(self.mapper.catalog(), r)?;
+        let plan = optimizer::plan(&self.mapper, &bound)?;
+        Executor::new(&self.mapper, &bound, &plan).run()
+    }
+
+    /// The optimizer's chosen plan for a retrieve (EXPLAIN).
+    pub fn explain(&self, source: &str) -> Result<Plan, QueryError> {
+        let statements = parse_statements(source)?;
+        let [Statement::Retrieve(r)] = statements.as_slice() else {
+            return Err(QueryError::Analyze("explain() accepts a single retrieve".into()));
+        };
+        let bound = Binder::bind_retrieve(self.mapper.catalog(), r)?;
+        optimizer::plan(&self.mapper, &bound)
+    }
+
+    /// Execute one parsed statement. Updates run in their own transaction;
+    /// a VERIFY violation rolls the statement back and reports the
+    /// constraint's ELSE message (§3.3).
+    pub fn execute(&mut self, stmt: &Statement) -> Result<ExecResult, QueryError> {
+        match stmt {
+            Statement::Retrieve(r) => {
+                let bound = Binder::bind_retrieve(self.mapper.catalog(), r)?;
+                let plan = optimizer::plan(&self.mapper, &bound)?;
+                let out = Executor::new(&self.mapper, &bound, &plan).run()?;
+                Ok(ExecResult::Rows(out))
+            }
+            Statement::Insert(_) | Statement::Modify(_) | Statement::Delete(_) => {
+                let mut txn = self.mapper.begin();
+                let mut writes = WriteSet::default();
+                let result = match stmt {
+                    Statement::Insert(i) => {
+                        update::exec_insert(&mut self.mapper, &mut txn, i, &mut writes)
+                    }
+                    Statement::Modify(m) => {
+                        update::exec_modify(&mut self.mapper, &mut txn, m, &mut writes)
+                    }
+                    Statement::Delete(d) => {
+                        update::exec_delete(&mut self.mapper, &mut txn, d, &mut writes)
+                    }
+                    Statement::Retrieve(_) => unreachable!(),
+                };
+                let count = match result {
+                    Ok(n) => n,
+                    Err(e) => {
+                        self.mapper.abort(txn)?;
+                        return Err(e);
+                    }
+                };
+                if self.enforce_verifies {
+                    if let Some((name, message)) = self.find_violation(&writes)? {
+                        self.mapper.abort(txn)?;
+                        return Err(QueryError::IntegrityViolation { constraint: name, message });
+                    }
+                }
+                self.mapper.commit(txn);
+                Ok(ExecResult::Updated(count))
+            }
+        }
+    }
+
+    fn find_violation(&self, writes: &WriteSet) -> Result<Option<(String, String)>, QueryError> {
+        for cv in &self.verifies {
+            if !cv.triggered(self.mapper.catalog(), writes) {
+                continue;
+            }
+            let affected = cv.affected_entities(&self.mapper, writes)?;
+            if let Some(bad) = cv.check(&self.mapper, affected)? {
+                let _ = bad;
+                return Ok(Some((cv.name.clone(), cv.message.clone())));
+            }
+        }
+        Ok(None)
+    }
+}

@@ -1,0 +1,69 @@
+//! Query-layer errors.
+
+use sim_dml::ParseError;
+use sim_luc::MapperError;
+use sim_types::TypeError;
+use std::fmt;
+
+/// Errors raised while analyzing or executing DML.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// Syntax error.
+    Parse(ParseError),
+    /// Semantic analysis failure (unknown names, ambiguity, shape errors).
+    Analyze(String),
+    /// Mapper/storage failure.
+    Mapper(MapperError),
+    /// Expression evaluation failure.
+    Type(TypeError),
+    /// A VERIFY constraint was violated; the statement was rolled back.
+    IntegrityViolation {
+        /// The constraint's name (e.g. `v1`).
+        constraint: String,
+        /// The constraint's ELSE message.
+        message: String,
+    },
+    /// The update's entity selector matched the wrong number of entities.
+    Selector(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse(e) => write!(f, "{e}"),
+            QueryError::Analyze(m) => write!(f, "analysis error: {m}"),
+            QueryError::Mapper(e) => write!(f, "{e}"),
+            QueryError::Type(e) => write!(f, "{e}"),
+            QueryError::IntegrityViolation { constraint, message } => {
+                write!(f, "integrity violation ({constraint}): {message}")
+            }
+            QueryError::Selector(m) => write!(f, "selector error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<ParseError> for QueryError {
+    fn from(e: ParseError) -> QueryError {
+        QueryError::Parse(e)
+    }
+}
+
+impl From<MapperError> for QueryError {
+    fn from(e: MapperError) -> QueryError {
+        QueryError::Mapper(e)
+    }
+}
+
+impl From<TypeError> for QueryError {
+    fn from(e: TypeError) -> QueryError {
+        QueryError::Type(e)
+    }
+}
+
+impl From<sim_catalog::CatalogError> for QueryError {
+    fn from(e: sim_catalog::CatalogError) -> QueryError {
+        QueryError::Mapper(MapperError::Catalog(e))
+    }
+}

@@ -1,0 +1,293 @@
+//! VERIFY integrity enforcement: trigger detection plus query augmentation.
+//!
+//! §3.3: "Based on the terms of the integrity condition, SIM will determine
+//! all possible events that may cause this condition to be violated and will
+//! make sure it does not happen. Integrity constraints are handled by a
+//! trigger detection / query enhancement mechanism that works efficiently
+//! for a subset of constraints."
+//!
+//! For each constraint we compile the assertion (perspective = the VERIFY
+//! class) and extract its *trigger paths*: every attribute the assertion
+//! reads, together with the forward EVA chain from the perspective to the
+//! context where it is read. When a statement writes attribute `a` of entity
+//! `e`, the affected perspective entities are found by walking each trigger
+//! path backwards over inverse EVAs from `e` — the "query enhancement": only
+//! those entities are re-checked. Constraints whose terms range over whole
+//! classes (global aggregates) cannot be localized and fall back to a
+//! full-class check — mirroring the paper's "arbitrary integrity constraints
+//! have only been partially implemented".
+
+use crate::bind::Binder;
+use crate::bound::{BExpr, BoundQuery, ChainStep, NodeOrigin};
+use crate::error::QueryError;
+use crate::exec::Executor;
+use crate::optimizer;
+use crate::update::WriteSet;
+use sim_catalog::{AttrId, Catalog, ClassId, VerifyConstraint};
+use sim_dml::parse_expression;
+use sim_luc::Mapper;
+use sim_types::{Surrogate, Truth};
+use std::collections::{HashMap, HashSet};
+
+/// One step of a (reversible) trigger path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathStep {
+    /// A forward EVA hop.
+    Eva(AttrId),
+    /// A transitive closure hop.
+    Transitive(AttrId),
+}
+
+/// A compiled VERIFY constraint.
+#[derive(Debug)]
+pub struct CompiledVerify {
+    /// The constraint's name.
+    pub name: String,
+    /// The ELSE message.
+    pub message: String,
+    /// The perspective class.
+    pub class: ClassId,
+    /// The bound assertion (selection-only query).
+    pub bound: BoundQuery,
+    /// Attribute → forward paths from the perspective to where it is read.
+    pub trigger_paths: HashMap<AttrId, Vec<Vec<PathStep>>>,
+    /// The assertion ranges over whole classes (global aggregate): affected
+    /// entities cannot be localized.
+    pub uses_global: bool,
+}
+
+/// Compile a catalog's VERIFY constraints.
+pub fn compile_all(catalog: &Catalog) -> Result<Vec<CompiledVerify>, QueryError> {
+    catalog.verifies().iter().map(|v| compile(catalog, v)).collect()
+}
+
+/// Compile one constraint.
+pub fn compile(catalog: &Catalog, v: &VerifyConstraint) -> Result<CompiledVerify, QueryError> {
+    let expr = parse_expression(&v.assertion)?;
+    let bound = Binder::bind_selection(catalog, v.class, &expr)?;
+
+    let mut trigger_paths: HashMap<AttrId, Vec<Vec<PathStep>>> = HashMap::new();
+    let mut uses_global = false;
+
+    // Path from the root to each node.
+    let node_path = |node: usize| -> Vec<PathStep> {
+        let mut steps = Vec::new();
+        let mut cur = node;
+        loop {
+            match &bound.nodes[cur].origin {
+                NodeOrigin::Perspective { .. } => break,
+                NodeOrigin::Eva { attr } => steps.push(PathStep::Eva(*attr)),
+                NodeOrigin::Transitive { attr } => steps.push(PathStep::Transitive(*attr)),
+                NodeOrigin::MvDva { .. } | NodeOrigin::Restrict { .. } => {}
+            }
+            cur = bound.nodes[cur].parent.expect("non-root");
+        }
+        steps.reverse();
+        steps
+    };
+
+    // Every EVA edge in the tree is itself a trigger (re-linking can change
+    // the assertion's value).
+    for (i, node) in bound.nodes.iter().enumerate() {
+        match &node.origin {
+            NodeOrigin::Eva { attr } | NodeOrigin::Transitive { attr } => {
+                let parent = node.parent.expect("non-root");
+                trigger_paths.entry(*attr).or_default().push(node_path(parent));
+            }
+            NodeOrigin::MvDva { attr } => {
+                let parent = node.parent.expect("non-root");
+                trigger_paths.entry(*attr).or_default().push(node_path(parent));
+            }
+            NodeOrigin::Perspective { .. } | NodeOrigin::Restrict { .. } => {
+                let _ = i;
+            }
+        }
+    }
+
+    // Walk the expression for attribute reads and chains.
+    fn walk(
+        e: &BExpr,
+        node_path: &dyn Fn(usize) -> Vec<PathStep>,
+        trigger_paths: &mut HashMap<AttrId, Vec<Vec<PathStep>>>,
+        uses_global: &mut bool,
+    ) {
+        match e {
+            BExpr::Attr { node, attr } => {
+                trigger_paths.entry(*attr).or_default().push(node_path(*node));
+            }
+            BExpr::Binary { lhs, rhs, .. } => {
+                walk(lhs, node_path, trigger_paths, uses_global);
+                walk(rhs, node_path, trigger_paths, uses_global);
+            }
+            BExpr::Not(x) | BExpr::Neg(x) => {
+                walk(x, node_path, trigger_paths, uses_global)
+            }
+            BExpr::Aggregate { chain, .. } | BExpr::Quantified { chain, .. } => {
+                if chain.global_class.is_some() {
+                    *uses_global = true;
+                }
+                let base = chain.anchor.map(node_path).unwrap_or_default();
+                let mut prefix = base;
+                for step in &chain.steps {
+                    let (attr, ps) = match step {
+                        ChainStep::Eva(a) => (*a, PathStep::Eva(*a)),
+                        ChainStep::MvDva(a) => {
+                            // The MV DVA itself triggers at the current
+                            // prefix.
+                            trigger_paths.entry(*a).or_default().push(prefix.clone());
+                            continue;
+                        }
+                        ChainStep::Transitive(a) => (*a, PathStep::Transitive(*a)),
+                    };
+                    trigger_paths.entry(attr).or_default().push(prefix.clone());
+                    prefix.push(ps);
+                }
+                if let Some(t) = chain.terminal {
+                    trigger_paths.entry(t).or_default().push(prefix);
+                }
+            }
+            BExpr::Const(_) | BExpr::NodeValue(_) | BExpr::IsA { .. } => {}
+        }
+    }
+    if let Some(sel) = &bound.selection {
+        walk(sel, &node_path, &mut trigger_paths, &mut uses_global);
+    }
+
+    Ok(CompiledVerify {
+        name: v.name.clone(),
+        message: v.message.clone(),
+        class: v.class,
+        bound,
+        trigger_paths,
+        uses_global,
+    })
+}
+
+impl CompiledVerify {
+    /// Does this write set trigger the constraint at all?
+    pub fn triggered(&self, catalog: &Catalog, writes: &WriteSet) -> bool {
+        if writes.attr_writes.iter().any(|(_, a)| self.trigger_paths.contains_key(a)) {
+            return true;
+        }
+        // New roles of the perspective class (or a descendant) bring new
+        // entities under the constraint.
+        writes
+            .inserts
+            .iter()
+            .chain(writes.deletes.iter())
+            .any(|(_, c)| *c == self.class || catalog.is_ancestor(self.class, *c))
+            || !writes.deletes.is_empty() && self.deletes_can_trigger(catalog, writes)
+    }
+
+    fn deletes_can_trigger(&self, catalog: &Catalog, writes: &WriteSet) -> bool {
+        // A role deletion removes relationship instances of the deleted
+        // classes' EVAs, which may be trigger attributes.
+        writes.deletes.iter().any(|(_, c)| {
+            catalog.class(*c).is_ok_and(|class| {
+                class.attributes.iter().any(|a| {
+                    self.trigger_paths.contains_key(a)
+                        || catalog
+                            .attribute(*a)
+                            .ok()
+                            .and_then(|at| at.eva_inverse())
+                            .is_some_and(|inv| self.trigger_paths.contains_key(&inv))
+                })
+            })
+        })
+    }
+
+    /// The perspective entities that must be re-checked; `None` = all
+    /// (localization impossible).
+    pub fn affected_entities(
+        &self,
+        mapper: &Mapper,
+        writes: &WriteSet,
+    ) -> Result<Option<Vec<Surrogate>>, QueryError> {
+        if self.uses_global {
+            return Ok(None);
+        }
+        // Deletions remove links whose former partners we no longer know:
+        // be conservative and re-check the class when a delete triggered us.
+        if self.deletes_can_trigger(mapper.catalog(), writes) {
+            return Ok(None);
+        }
+        let mut affected: HashSet<Surrogate> = HashSet::new();
+        for (surr, attr) in &writes.attr_writes {
+            let Some(paths) = self.trigger_paths.get(attr) else { continue };
+            for path in paths {
+                let mut frontier: HashSet<Surrogate> = HashSet::new();
+                frontier.insert(*surr);
+                for step in path.iter().rev() {
+                    let mut prev = HashSet::new();
+                    match step {
+                        PathStep::Eva(a) => {
+                            let inv = mapper
+                                .catalog()
+                                .attribute(*a)?
+                                .eva_inverse()
+                                .expect("finalized EVA");
+                            for s in &frontier {
+                                prev.extend(mapper.eva_partners(*s, inv)?);
+                            }
+                        }
+                        PathStep::Transitive(a) => {
+                            let inv = mapper
+                                .catalog()
+                                .attribute(*a)?
+                                .eva_inverse()
+                                .expect("finalized EVA");
+                            for s in &frontier {
+                                for (e, _) in
+                                    crate::eval::transitive_closure(mapper, *s, inv)?
+                                {
+                                    prev.insert(e);
+                                }
+                            }
+                        }
+                    }
+                    frontier = prev;
+                }
+                affected.extend(frontier);
+            }
+        }
+        for (surr, class) in &writes.inserts {
+            if *class == self.class || mapper.catalog().is_ancestor(self.class, *class) {
+                affected.insert(*surr);
+            }
+        }
+        // Only entities that actually hold the perspective role matter.
+        let mut out: Vec<Surrogate> = Vec::new();
+        for s in affected {
+            if mapper.has_role(s, self.class)? {
+                out.push(s);
+            }
+        }
+        out.sort();
+        Ok(Some(out))
+    }
+
+    /// Check the constraint for the given entities (or the whole class).
+    /// Returns the first violating entity.
+    pub fn check(
+        &self,
+        mapper: &Mapper,
+        entities: Option<Vec<Surrogate>>,
+    ) -> Result<Option<Surrogate>, QueryError> {
+        let list = match entities {
+            Some(l) => l,
+            None => mapper.entities_of(self.class)?,
+        };
+        if list.is_empty() {
+            return Ok(None);
+        }
+        let plan = optimizer::plan(mapper, &self.bound)?;
+        let exec = Executor::new(mapper, &self.bound, &plan);
+        for surr in list {
+            // Unknown passes (benefit of the doubt, as in SQL CHECK).
+            if exec.check_entity(surr)? == Truth::False {
+                return Ok(Some(surr));
+            }
+        }
+        Ok(None)
+    }
+}

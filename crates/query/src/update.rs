@@ -1,0 +1,445 @@
+//! Update-statement execution (§4.8): INSERT (with role-extension FROM),
+//! MODIFY (with INCLUDE/EXCLUDE and `WITH (…)` selectors), DELETE (with the
+//! subclass-role cascade handled by the Mapper).
+
+use crate::bind::Binder;
+use crate::bound::BoundQuery;
+use crate::error::QueryError;
+use crate::exec::Executor;
+use crate::optimizer;
+use sim_catalog::{AttrId, ClassId};
+use sim_dml::{AssignOp, AssignValue, Assignment, DeleteStmt, Expr, InsertStmt, ModifyStmt};
+use sim_luc::{AttrValue, Mapper};
+use sim_storage::Txn;
+use sim_types::{Surrogate, Value};
+
+/// Everything a statement wrote — consumed by integrity checking.
+#[derive(Debug, Default, Clone)]
+pub struct WriteSet {
+    /// Attribute writes, including the inverse side of EVA updates.
+    pub attr_writes: Vec<(Surrogate, AttrId)>,
+    /// Role additions (entity, class).
+    pub inserts: Vec<(Surrogate, ClassId)>,
+    /// Role removals (entity, class), recorded before deletion.
+    pub deletes: Vec<(Surrogate, ClassId)>,
+}
+
+/// Entities of `class` satisfying `filter` (surrogate order).
+pub fn select_entities(
+    mapper: &Mapper,
+    class: ClassId,
+    filter: Option<&Expr>,
+) -> Result<Vec<Surrogate>, QueryError> {
+    match filter {
+        None => Ok(mapper.entities_of(class)?),
+        Some(expr) => {
+            let bound = Binder::bind_selection(mapper.catalog(), class, expr)?;
+            let plan = optimizer::plan(mapper, &bound)?;
+            Executor::new(mapper, &bound, &plan).select_entities()
+        }
+    }
+}
+
+enum PreparedValue {
+    /// A value expression evaluated per target entity.
+    Expr(BoundQuery),
+    /// `class WITH (pred)`: the selected range entities (precomputed).
+    Entities(Vec<Surrogate>),
+    /// `exclude eva WITH (pred)`: a predicate over the EVA's current
+    /// partners, evaluated per partner.
+    PartnerFilter {
+        eva: AttrId,
+        bound: BoundQuery,
+    },
+}
+
+struct PreparedAssign {
+    attr: AttrId,
+    op: AssignOp,
+    value: PreparedValue,
+}
+
+fn prepare_assignment(
+    mapper: &Mapper,
+    class: ClassId,
+    a: &Assignment,
+) -> Result<PreparedAssign, QueryError> {
+    let catalog = mapper.catalog();
+    let attr_id = catalog.resolve_attr(class, &a.attr).ok_or_else(|| {
+        QueryError::Analyze(format!(
+            "unknown attribute {} on class {}",
+            a.attr,
+            catalog.class(class).map(|c| c.name.clone()).unwrap_or_default()
+        ))
+    })?;
+    let attr = catalog.attribute(attr_id)?.clone();
+    let value = match &a.value {
+        AssignValue::Expr(e) => {
+            PreparedValue::Expr(Binder::bind_value_expr(catalog, class, e)?)
+        }
+        AssignValue::Selector { name, predicate } => {
+            if a.op == AssignOp::Exclude {
+                // §4.8: for exclusions the object name refers to the EVA
+                // itself; the predicate filters its current partners.
+                let range = attr.eva_range().ok_or_else(|| {
+                    QueryError::Analyze(format!("{} is not an EVA", a.attr))
+                })?;
+                if name.eq_ignore_ascii_case(&attr.name) {
+                    let bound = Binder::bind_selection(catalog, range, predicate)?;
+                    PreparedValue::PartnerFilter { eva: attr_id, bound }
+                } else {
+                    // Lenient extension: a class name selects entities.
+                    let sel_class = catalog
+                        .class_by_name(name)
+                        .ok_or_else(|| {
+                            QueryError::Analyze(format!(
+                                "exclude selector {name} is neither the EVA nor a class"
+                            ))
+                        })?
+                        .id;
+                    PreparedValue::Entities(select_entities(mapper, sel_class, Some(predicate))?)
+                }
+            } else {
+                // Set/include: the name is the EVA's range class.
+                let sel_class = catalog
+                    .class_by_name(name)
+                    .ok_or_else(|| QueryError::Analyze(format!("unknown class {name}")))?
+                    .id;
+                let range = attr.eva_range().ok_or_else(|| {
+                    QueryError::Analyze(format!(
+                        "{}: WITH selectors apply to entity-valued attributes",
+                        a.attr
+                    ))
+                })?;
+                if !catalog.is_same_or_ancestor(range, sel_class)
+                    && !catalog.is_same_or_ancestor(sel_class, range)
+                {
+                    return Err(QueryError::Analyze(format!(
+                        "{name} is not the range class of {}",
+                        a.attr
+                    )));
+                }
+                PreparedValue::Entities(select_entities(mapper, sel_class, Some(predicate))?)
+            }
+        }
+    };
+    Ok(PreparedAssign { attr: attr_id, op: a.op, value })
+}
+
+fn eval_value_for(
+    mapper: &Mapper,
+    bound: &BoundQuery,
+    entity: Option<Surrogate>,
+) -> Result<Value, QueryError> {
+    let mut ctx = crate::eval::EvalCtx::new(bound.nodes.len());
+    if let Some(s) = entity {
+        ctx.instances[bound.roots[0]] = Some(Value::Entity(s));
+    }
+    crate::eval::eval(mapper, &bound.targets[0], &ctx)
+}
+
+fn record_eva_write(
+    mapper: &Mapper,
+    writes: &mut WriteSet,
+    surr: Surrogate,
+    attr: AttrId,
+    partners: &[Surrogate],
+) -> Result<(), QueryError> {
+    writes.attr_writes.push((surr, attr));
+    if let Some(inv) = mapper.catalog().attribute(attr)?.eva_inverse() {
+        for &p in partners {
+            writes.attr_writes.push((p, inv));
+        }
+    }
+    Ok(())
+}
+
+fn apply_assign(
+    mapper: &mut Mapper,
+    txn: &mut Txn,
+    surr: Surrogate,
+    pa: &PreparedAssign,
+    writes: &mut WriteSet,
+) -> Result<(), QueryError> {
+    let attr = mapper.catalog().attribute(pa.attr)?.clone();
+    match (&pa.op, &pa.value) {
+        (AssignOp::Set, PreparedValue::Expr(bound)) => {
+            let v = eval_value_for(mapper, bound, Some(surr))?;
+            writes.attr_writes.push((surr, pa.attr));
+            if attr.is_eva() {
+                let old = mapper.eva_partners(surr, pa.attr)?;
+                record_eva_write(mapper, writes, surr, pa.attr, &old)?;
+                if let Value::Entity(p) = v {
+                    record_eva_write(mapper, writes, surr, pa.attr, &[p])?;
+                }
+            }
+            mapper.set_attr(txn, surr, pa.attr, AttrValue::Scalar(v))?;
+        }
+        (AssignOp::Set, PreparedValue::Entities(es)) => {
+            let old = mapper.eva_partners(surr, pa.attr)?;
+            record_eva_write(mapper, writes, surr, pa.attr, &old)?;
+            record_eva_write(mapper, writes, surr, pa.attr, es)?;
+            if attr.options.multivalued {
+                let vals = es.iter().map(|s| Value::Entity(*s)).collect();
+                mapper.set_attr(txn, surr, pa.attr, AttrValue::Multi(vals))?;
+            } else {
+                match es.len() {
+                    0 => {
+                        return Err(QueryError::Selector(format!(
+                            "WITH selector for {} matched no entities",
+                            attr.name
+                        )));
+                    }
+                    1 => mapper.set_attr(
+                        txn,
+                        surr,
+                        pa.attr,
+                        AttrValue::Scalar(Value::Entity(es[0])),
+                    )?,
+                    n => {
+                        return Err(QueryError::Selector(format!(
+                            "WITH selector for single-valued {} matched {n} entities",
+                            attr.name
+                        )));
+                    }
+                }
+            }
+        }
+        (AssignOp::Include, PreparedValue::Expr(bound)) => {
+            let v = eval_value_for(mapper, bound, Some(surr))?;
+            if let Value::Entity(p) = &v {
+                record_eva_write(mapper, writes, surr, pa.attr, &[*p])?;
+            } else {
+                writes.attr_writes.push((surr, pa.attr));
+            }
+            mapper.include_value(txn, surr, pa.attr, v)?;
+        }
+        (AssignOp::Include, PreparedValue::Entities(es)) => {
+            record_eva_write(mapper, writes, surr, pa.attr, es)?;
+            for e in es {
+                mapper.include_value(txn, surr, pa.attr, Value::Entity(*e))?;
+            }
+        }
+        (AssignOp::Exclude, PreparedValue::Expr(bound)) => {
+            let v = eval_value_for(mapper, bound, Some(surr))?;
+            if let Value::Entity(p) = &v {
+                record_eva_write(mapper, writes, surr, pa.attr, &[*p])?;
+            } else {
+                writes.attr_writes.push((surr, pa.attr));
+            }
+            mapper.exclude_value(txn, surr, pa.attr, &v)?;
+        }
+        (AssignOp::Exclude, PreparedValue::Entities(es)) => {
+            record_eva_write(mapper, writes, surr, pa.attr, es)?;
+            for e in es {
+                mapper.exclude_value(txn, surr, pa.attr, &Value::Entity(*e))?;
+            }
+        }
+        (AssignOp::Exclude, PreparedValue::PartnerFilter { eva, bound }) => {
+            let partners = mapper.eva_partners(surr, *eva)?;
+            let plan = optimizer::plan(mapper, bound)?;
+            let exec = Executor::new(mapper, bound, &plan);
+            let mut to_remove = Vec::new();
+            for p in partners {
+                if exec.check_entity(p)?.is_true() {
+                    to_remove.push(p);
+                }
+            }
+            drop(exec);
+            record_eva_write(mapper, writes, surr, *eva, &to_remove)?;
+            for p in to_remove {
+                mapper.exclude_value(txn, surr, *eva, &Value::Entity(p))?;
+            }
+        }
+        (op, PreparedValue::PartnerFilter { .. }) => {
+            return Err(QueryError::Analyze(format!(
+                "{op:?} does not take an EVA-name selector"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Execute an INSERT. Returns the number of entities created/extended.
+pub fn exec_insert(
+    mapper: &mut Mapper,
+    txn: &mut Txn,
+    stmt: &InsertStmt,
+    writes: &mut WriteSet,
+) -> Result<usize, QueryError> {
+    let catalog = mapper.catalog();
+    let class = catalog
+        .class_by_name(&stmt.class)
+        .ok_or_else(|| QueryError::Analyze(format!("unknown class {}", stmt.class)))?
+        .id;
+    let prepared: Vec<PreparedAssign> = stmt
+        .assignments
+        .iter()
+        .map(|a| prepare_assignment(mapper, class, a))
+        .collect::<Result<_, _>>()?;
+
+    match &stmt.from {
+        None => {
+            // Build the assignment list for insert_entity so REQUIRED checks
+            // see the assigned values (§4.8: "Immediate attributes of all
+            // inserted classes can be assigned values in one INSERT").
+            let mut assigns = Vec::new();
+            let mut post = Vec::new();
+            for pa in &prepared {
+                match (&pa.op, &pa.value) {
+                    (AssignOp::Set, PreparedValue::Expr(bound)) => {
+                        let v = eval_value_for(mapper, bound, None)?;
+                        assigns.push((pa.attr, AttrValue::Scalar(v)));
+                    }
+                    (AssignOp::Set, PreparedValue::Entities(es)) => {
+                        let attr = mapper.catalog().attribute(pa.attr)?;
+                        if attr.options.multivalued {
+                            assigns.push((
+                                pa.attr,
+                                AttrValue::Multi(es.iter().map(|s| Value::Entity(*s)).collect()),
+                            ));
+                        } else {
+                            match es.len() {
+                                1 => assigns
+                                    .push((pa.attr, AttrValue::Scalar(Value::Entity(es[0])))),
+                                0 => {
+                                    return Err(QueryError::Selector(format!(
+                                        "WITH selector for {} matched no entities",
+                                        attr.name
+                                    )));
+                                }
+                                n => {
+                                    return Err(QueryError::Selector(format!(
+                                        "WITH selector for single-valued {} matched {n} entities",
+                                        attr.name
+                                    )));
+                                }
+                            }
+                        }
+                    }
+                    _ => post.push(pa),
+                }
+            }
+            let surr = mapper.insert_entity(txn, class, &assigns)?;
+            writes.inserts.push((surr, class));
+            for anc in mapper.catalog().ancestors(class) {
+                writes.inserts.push((surr, anc));
+            }
+            for (attr, v) in &assigns {
+                writes.attr_writes.push((surr, *attr));
+                if let AttrValue::Scalar(Value::Entity(p)) = v {
+                    record_eva_write(mapper, writes, surr, *attr, &[*p])?;
+                }
+                if let AttrValue::Multi(vs) = v {
+                    let partners: Vec<Surrogate> = vs
+                        .iter()
+                        .filter_map(|x| match x {
+                            Value::Entity(s) => Some(*s),
+                            _ => None,
+                        })
+                        .collect();
+                    record_eva_write(mapper, writes, surr, *attr, &partners)?;
+                }
+            }
+            for pa in post {
+                apply_assign(mapper, txn, surr, pa, writes)?;
+            }
+            Ok(1)
+        }
+        Some((from_name, pred)) => {
+            let from_class = mapper
+                .catalog()
+                .class_by_name(from_name)
+                .ok_or_else(|| QueryError::Analyze(format!("unknown class {from_name}")))?
+                .id;
+            if !mapper.catalog().is_ancestor(from_class, class) {
+                return Err(QueryError::Analyze(format!(
+                    "{from_name} is not an ancestor of {} (INSERT … FROM extends roles downward)",
+                    stmt.class
+                )));
+            }
+            let targets = select_entities(mapper, from_class, Some(pred))?;
+            if targets.is_empty() {
+                return Err(QueryError::Selector(format!(
+                    "INSERT {} FROM {from_name}: no entity matched the WHERE clause",
+                    stmt.class
+                )));
+            }
+            for &surr in &targets {
+                // Evaluate per entity, then extend the role with the values
+                // so REQUIRED checks pass in one step.
+                let mut assigns = Vec::new();
+                let mut post = Vec::new();
+                for pa in &prepared {
+                    match (&pa.op, &pa.value) {
+                        (AssignOp::Set, PreparedValue::Expr(bound)) => {
+                            let v = eval_value_for(mapper, bound, Some(surr))?;
+                            assigns.push((pa.attr, AttrValue::Scalar(v)));
+                        }
+                        _ => post.push(pa),
+                    }
+                }
+                mapper.extend_role(txn, surr, class, &assigns)?;
+                writes.inserts.push((surr, class));
+                for (attr, _) in &assigns {
+                    writes.attr_writes.push((surr, *attr));
+                }
+                for pa in post {
+                    apply_assign(mapper, txn, surr, pa, writes)?;
+                }
+            }
+            Ok(targets.len())
+        }
+    }
+}
+
+/// Execute a MODIFY. Returns the number of entities updated.
+pub fn exec_modify(
+    mapper: &mut Mapper,
+    txn: &mut Txn,
+    stmt: &ModifyStmt,
+    writes: &mut WriteSet,
+) -> Result<usize, QueryError> {
+    let class = mapper
+        .catalog()
+        .class_by_name(&stmt.class)
+        .ok_or_else(|| QueryError::Analyze(format!("unknown class {}", stmt.class)))?
+        .id;
+    let targets = select_entities(mapper, class, stmt.where_clause.as_ref())?;
+    let prepared: Vec<PreparedAssign> = stmt
+        .assignments
+        .iter()
+        .map(|a| prepare_assignment(mapper, class, a))
+        .collect::<Result<_, _>>()?;
+    for &surr in &targets {
+        for pa in &prepared {
+            apply_assign(mapper, txn, surr, pa, writes)?;
+        }
+    }
+    Ok(targets.len())
+}
+
+/// Execute a DELETE. Returns the number of entities whose role was removed.
+pub fn exec_delete(
+    mapper: &mut Mapper,
+    txn: &mut Txn,
+    stmt: &DeleteStmt,
+    writes: &mut WriteSet,
+) -> Result<usize, QueryError> {
+    let class = mapper
+        .catalog()
+        .class_by_name(&stmt.class)
+        .ok_or_else(|| QueryError::Analyze(format!("unknown class {}", stmt.class)))?
+        .id;
+    let targets = select_entities(mapper, class, stmt.where_clause.as_ref())?;
+    for &surr in &targets {
+        writes.deletes.push((surr, class));
+        for d in mapper.catalog().descendants(class) {
+            if mapper.has_role(surr, d)? {
+                writes.deletes.push((surr, d));
+            }
+        }
+        mapper.delete_role(txn, surr, class)?;
+    }
+    Ok(targets.len())
+}

@@ -1,0 +1,175 @@
+//! Derived attributes — one of the paper's §6 "work under progress" items
+//! ("Work under progress includes the design of a view mechanism, derived
+//! attributes, …"), implemented as binder-inlined computed attributes.
+
+use sim_catalog::Catalog;
+use sim_luc::Mapper;
+use sim_query::{QueryEngine, QueryError};
+use sim_types::Value;
+use std::sync::Arc;
+
+fn engine_with_derived() -> QueryEngine {
+    let catalog = sim_ddl::compile_schema(
+        r#"
+        Class Department (
+            dept-nbr: integer unique required;
+            dname: string[30] );
+
+        Class Instructor (
+            employee-nbr: integer unique required;
+            salary: number[9,2];
+            bonus: number[9,2];
+            derived total-pay := salary + bonus;
+            derived n-advisees := count(advisees);
+            advisees: student inverse is advisor mv;
+            assigned-department: department inverse is instructors-employed );
+
+        Class Student (
+            student-no: integer unique required;
+            advisor: instructor inverse is advisees );
+
+        Verify pay-cap on Instructor
+            assert total-pay < 100000
+            else "instructor makes too much money";
+        "#,
+    )
+    .expect("schema with derived attributes compiles");
+    let mapper = Mapper::new(Arc::new(catalog), 256).unwrap();
+    let mut e = QueryEngine::new(mapper).unwrap();
+    e.enforce_verifies = false;
+    e.run(
+        r#"
+        Insert instructor(employee-nbr := 1, salary := 50000.00, bonus := 5000.00).
+        Insert instructor(employee-nbr := 2, salary := 60000.00).
+        Insert student(student-no := 10, advisor := instructor with (employee-nbr = 1)).
+        Insert student(student-no := 11, advisor := instructor with (employee-nbr = 1)).
+        "#,
+    )
+    .unwrap();
+    e
+}
+
+#[test]
+fn derived_scalar_in_target_list() {
+    let e = engine_with_derived();
+    let out = e.query("From instructor Retrieve employee-nbr, total-pay.").unwrap();
+    assert_eq!(out.rows()[0][1].to_string(), "55000.00");
+    // Null propagation: instructor 2 has no bonus.
+    assert_eq!(out.rows()[1][1], Value::Null);
+}
+
+#[test]
+fn derived_aggregate_chain() {
+    let e = engine_with_derived();
+    let out = e.query("From instructor Retrieve employee-nbr, n-advisees.").unwrap();
+    assert_eq!(
+        out.rows(),
+        &[
+            vec![Value::Int(1), Value::Int(2)],
+            vec![Value::Int(2), Value::Int(0)],
+        ]
+    );
+}
+
+#[test]
+fn derived_in_where_clause() {
+    let e = engine_with_derived();
+    let out = e
+        .query("From instructor Retrieve employee-nbr Where total-pay > 54000.")
+        .unwrap();
+    assert_eq!(out.rows(), &[vec![Value::Int(1)]]);
+    let out = e
+        .query("From instructor Retrieve employee-nbr Where n-advisees = 0.")
+        .unwrap();
+    assert_eq!(out.rows(), &[vec![Value::Int(2)]]);
+}
+
+#[test]
+fn derived_reached_through_an_eva() {
+    let e = engine_with_derived();
+    // Qualify to the derived attribute through a relationship.
+    let out = e
+        .query("From student Retrieve student-no, total-pay of advisor.")
+        .unwrap();
+    assert_eq!(out.rows()[0][1].to_string(), "55000.00");
+}
+
+#[test]
+fn derived_attributes_are_read_only() {
+    let mut e = engine_with_derived();
+    let err = e
+        .run_one("Modify instructor (total-pay := 1.00) Where employee-nbr = 1.")
+        .unwrap_err();
+    assert!(err.to_string().contains("derived") || err.to_string().contains("read-only"), "{err}");
+}
+
+#[test]
+fn verify_over_derived_attribute() {
+    let mut e = engine_with_derived();
+    e.enforce_verifies = true;
+    let err = e
+        .run_one("Modify instructor (bonus := 60000.00) Where employee-nbr = 1.")
+        .unwrap_err();
+    assert!(matches!(err, QueryError::IntegrityViolation { ref constraint, .. } if constraint == "pay-cap"));
+    // Under the cap passes.
+    e.run_one("Modify instructor (bonus := 10000.00) Where employee-nbr = 1.").unwrap();
+}
+
+#[test]
+fn derived_referencing_derived() {
+    let mut cat = Catalog::new();
+    let c = cat.define_base_class("Thing").unwrap();
+    cat.add_dva(c, "x", sim_types::Domain::integer(), sim_catalog::AttributeOptions::none())
+        .unwrap();
+    cat.add_derived(c, "d1", "x + 1").unwrap();
+    cat.add_derived(c, "d2", "d1 * 2").unwrap();
+    cat.finalize().unwrap();
+    let mapper = Mapper::new(Arc::new(cat), 64).unwrap();
+    let mut e = QueryEngine::new(mapper).unwrap();
+    e.run("Insert thing(x := 20).").unwrap();
+    let out = e.query("From thing Retrieve d2.").unwrap();
+    assert_eq!(out.rows(), &[vec![Value::Int(42)]]);
+}
+
+#[test]
+fn derived_cycle_detected() {
+    let mut cat = Catalog::new();
+    let c = cat.define_base_class("Loop").unwrap();
+    cat.add_derived(c, "a", "b + 1").unwrap();
+    cat.add_derived(c, "b", "a + 1").unwrap();
+    cat.finalize().unwrap();
+    let mapper = Mapper::new(Arc::new(cat), 64).unwrap();
+    let mut e = QueryEngine::new(mapper).unwrap();
+    e.run("Insert loop().").unwrap();
+    let err = e.query("From loop Retrieve a.").unwrap_err();
+    assert!(err.to_string().contains("deep"), "{err}");
+}
+
+#[test]
+fn derived_cannot_navigate_evas() {
+    let err = sim_ddl::compile_schema(
+        r#"
+        Class A ( aid: integer unique required; partner: b inverse is rpartner );
+        Class B ( bid: integer unique required;
+                  rpartner: a inverse is partner;
+                  derived bad := aid of rpartner );
+        "#,
+    )
+    .map(|catalog| {
+        // The schema compiles (the expression is only bound on use); the
+        // error surfaces when a query touches the derived attribute.
+        let mapper = Mapper::new(Arc::new(catalog), 64).unwrap();
+        let mut e = QueryEngine::new(mapper).unwrap();
+        e.run("Insert b(bid := 1).").unwrap();
+        e.query("From b Retrieve bad.").unwrap_err()
+    })
+    .expect("schema itself is accepted");
+    assert!(err.to_string().contains("navigate"), "{err}");
+}
+
+#[test]
+fn derived_cannot_be_aggregated() {
+    let e = engine_with_derived();
+    let err = e.query("From department Retrieve avg(total-pay of instructors-employed).").unwrap_err();
+    assert!(err.to_string().contains("derived"), "{err}");
+}

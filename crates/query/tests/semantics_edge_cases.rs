@@ -1,0 +1,395 @@
+//! Edge-case semantics of the §4 query model: empty domains, 3VL corners,
+//! quantifier vacuity, role conversion filtering, deep chains, reference
+//! variables, selector arity, and error surfaces.
+
+use sim_ddl::university_catalog;
+use sim_luc::Mapper;
+use sim_query::{QueryEngine, QueryError};
+use sim_types::Value;
+use std::sync::Arc;
+
+fn s(v: &str) -> Value {
+    Value::Str(v.into())
+}
+
+fn i(v: i64) -> Value {
+    Value::Int(v)
+}
+
+fn engine() -> QueryEngine {
+    let mapper = Mapper::new(Arc::new(university_catalog()), 256).unwrap();
+    let mut e = QueryEngine::new(mapper).unwrap();
+    e.enforce_verifies = false;
+    e
+}
+
+fn seeded() -> QueryEngine {
+    let mut e = engine();
+    e.run(
+        r#"
+        Insert department(dept-nbr := 101, name := "Physics").
+        Insert course(course-no := 1, title := "A", credits := 4).
+        Insert course(course-no := 2, title := "B", credits := 2).
+        Insert instructor(name := "I1", soc-sec-no := 1, employee-nbr := 1001,
+            salary := 100.00, courses-taught := course with (course-no = 1)).
+        Insert instructor(name := "I2", soc-sec-no := 2, employee-nbr := 1002).
+        Insert student(name := "S1", soc-sec-no := 11,
+            advisor := instructor with (employee-nbr = 1001),
+            courses-enrolled := course with (course-no = 1)).
+        Insert student(name := "S2", soc-sec-no := 12).
+        "#,
+    )
+    .unwrap();
+    e
+}
+
+#[test]
+fn queries_over_empty_classes() {
+    let e = engine();
+    let out = e.query("From student Retrieve name.").unwrap();
+    assert!(out.rows().is_empty());
+    let out = e.query("From student Retrieve name, title of courses-enrolled.").unwrap();
+    assert!(out.rows().is_empty());
+    // Global aggregate over the empty class.
+    let out = e.query("Retrieve count(salary of instructor).").unwrap();
+    assert_eq!(out.rows(), &[vec![i(0)]]);
+    let out = e.query("Retrieve avg(salary of instructor).").unwrap();
+    assert_eq!(out.rows(), &[vec![Value::Null]]);
+    let out = e.query("Retrieve sum(salary of instructor).").unwrap();
+    assert_eq!(out.rows(), &[vec![i(0)]], "SUM over nothing is 0 (V1 semantics)");
+}
+
+#[test]
+fn type2_variable_with_empty_domain_rejects() {
+    // "for some X in domain(X)": an empty domain means the selection can
+    // never hold — the paper's literal semantics.
+    let e = seeded();
+    // S2 has no advisor: a selection through ADVISOR cannot accept S2,
+    // even under a tautology-looking comparison.
+    let out = e
+        .query("From student Retrieve name Where employee-nbr of advisor >= 0.")
+        .unwrap();
+    assert_eq!(out.rows(), &[vec![s("S1")]]);
+    // …and negating the comparison still cannot accept S2 (the existential
+    // wraps the whole selection, not the comparison).
+    let out = e
+        .query("From student Retrieve name Where not employee-nbr of advisor >= 0.")
+        .unwrap();
+    assert!(out.rows().is_empty());
+}
+
+#[test]
+fn type3_padding_nests() {
+    let e = seeded();
+    // Both the EVA and an attribute of it pad to null for S2 and for I2.
+    let out = e
+        .query("From student Retrieve name, name of advisor, salary of advisor.")
+        .unwrap();
+    assert_eq!(
+        out.rows(),
+        &[
+            vec![s("S1"), s("I1"), Value::Decimal(sim_types::Decimal::parse("100.00").unwrap())],
+            vec![s("S2"), Value::Null, Value::Null],
+        ]
+    );
+}
+
+#[test]
+fn quantifier_vacuity() {
+    let e = seeded();
+    // ALL over an empty set is vacuously true: S2 (no courses) passes.
+    let out = e
+        .query("From student Retrieve name Where 10 >= all(credits of courses-enrolled).")
+        .unwrap();
+    assert_eq!(out.rows(), &[vec![s("S1")], vec![s("S2")]]);
+    // SOME over an empty set is false.
+    let out = e
+        .query("From student Retrieve name Where 10 >= some(credits of courses-enrolled).")
+        .unwrap();
+    assert_eq!(out.rows(), &[vec![s("S1")]]);
+    // NO over an empty set is true.
+    let out = e
+        .query("From student Retrieve name Where 10 = no(credits of courses-enrolled).")
+        .unwrap();
+    assert_eq!(out.rows(), &[vec![s("S1")], vec![s("S2")]]);
+}
+
+#[test]
+fn quantifier_on_left_of_comparison() {
+    let e = seeded();
+    let out = e
+        .query("From student Retrieve name Where some(credits of courses-enrolled) = 4.")
+        .unwrap();
+    assert_eq!(out.rows(), &[vec![s("S1")]]);
+}
+
+#[test]
+fn reference_variables_disambiguate_self_joins() {
+    let mut e = seeded();
+    e.run(r#"Modify person (spouse := person with (soc-sec-no = 12)) Where soc-sec-no = 11."#)
+        .unwrap();
+    // Two perspectives on the same class, tied by the spouse EVA.
+    let out = e
+        .query(
+            "From person P, person Q Retrieve name of P, name of Q
+             Where spouse of P = Q and soc-sec-no of P = 11.",
+        )
+        .unwrap();
+    assert_eq!(out.rows(), &[vec![s("S1"), s("S2")]]);
+}
+
+#[test]
+fn ambiguous_shortened_qualification_is_an_error() {
+    let e = seeded();
+    // `name` resolves from both student and instructor perspectives.
+    let err = e
+        .query("From student, instructor Retrieve name.")
+        .unwrap_err();
+    assert!(matches!(err, QueryError::Analyze(m) if m.contains("ambiguous")));
+    // Qualifying resolves it.
+    let out = e
+        .query("From student, instructor Retrieve name of student Where soc-sec-no of student = 11.")
+        .unwrap();
+    assert_eq!(out.rows().len(), 2, "still crossed with every instructor");
+}
+
+#[test]
+fn as_conversion_filters_downward() {
+    let mut e = seeded();
+    e.run(
+        r#"Insert instructor From person Where soc-sec-no = 12 (employee-nbr := 1003).
+           Modify person (spouse := person with (soc-sec-no = 12)) Where soc-sec-no = 11."#,
+    )
+    .unwrap();
+    // S1's spouse S2 is also an instructor: the AS conversion admits it.
+    let out = e
+        .query("From student Retrieve name, employee-nbr of spouse as instructor of student.")
+        .unwrap();
+    assert_eq!(
+        out.rows(),
+        &[vec![s("S1"), i(1003)], vec![s("S2"), Value::Null]],
+        "S2's spouse S1 is not an instructor: filtered, then padded"
+    );
+}
+
+#[test]
+fn deep_qualification_chain() {
+    let mut e = seeded();
+    e.run(
+        r#"Modify instructor (assigned-department := department with (dept-nbr = 101))
+           Where employee-nbr = 1001."#,
+    )
+    .unwrap();
+    // student → advisor → assigned-department → name: three hops.
+    let out = e
+        .query("From student Retrieve name of assigned-department of advisor of student Where soc-sec-no = 11.")
+        .unwrap();
+    assert_eq!(out.rows(), &[vec![s("Physics")]]);
+}
+
+#[test]
+fn order_by_places_nulls_first() {
+    let e = seeded();
+    let out = e
+        .query("From student Retrieve name, name of advisor Order By name of advisor.")
+        .unwrap();
+    assert_eq!(
+        out.rows(),
+        &[vec![s("S2"), Value::Null], vec![s("S1"), s("I1")]]
+    );
+}
+
+#[test]
+fn selector_arity_errors() {
+    let mut e = seeded();
+    // No match for a single-valued EVA.
+    let err = e
+        .run_one(
+            r#"Modify student (advisor := instructor with (employee-nbr = 9999))
+               Where soc-sec-no = 11."#,
+        )
+        .unwrap_err();
+    assert!(matches!(err, QueryError::Selector(_)));
+    // Multiple matches for a single-valued EVA.
+    let err = e
+        .run_one(
+            r#"Modify student (advisor := instructor with (employee-nbr >= 0))
+               Where soc-sec-no = 11."#,
+        )
+        .unwrap_err();
+    assert!(matches!(err, QueryError::Selector(_)));
+    // Either error leaves the advisor untouched.
+    let out = e.query("From student Retrieve name of advisor Where soc-sec-no = 11.").unwrap();
+    assert_eq!(out.rows(), &[vec![s("I1")]]);
+}
+
+#[test]
+fn insert_from_requires_ancestor() {
+    let mut e = seeded();
+    let err = e
+        .run_one(r#"Insert course From person Where soc-sec-no = 11 (course-no := 9)."#)
+        .unwrap_err();
+    assert!(matches!(err, QueryError::Analyze(m) if m.contains("ancestor")));
+}
+
+#[test]
+fn include_on_single_valued_attribute_fails() {
+    let mut e = seeded();
+    let err = e
+        .run_one(
+            r#"Modify student (advisor := include instructor with (employee-nbr = 1001))
+               Where soc-sec-no = 11."#,
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("multi-valued"), "{err}");
+}
+
+#[test]
+fn modify_through_inherited_attribute() {
+    let mut e = seeded();
+    // `name` is a PERSON attribute modified through the STUDENT perspective
+    // (§4.8: "All immediate and inherited attributes can be modified").
+    e.run_one(r#"Modify student (name := "Renamed") Where soc-sec-no = 11."#)
+        .unwrap();
+    let out = e.query("From person Retrieve name Where soc-sec-no = 11.").unwrap();
+    assert_eq!(out.rows(), &[vec![s("Renamed")]]);
+}
+
+#[test]
+fn cross_branch_structured_output() {
+    let mut e = seeded();
+    e.run(
+        r#"Modify student (courses-enrolled := include course with (course-no = 2))
+           Where soc-sec-no = 11."#,
+    )
+    .unwrap();
+    // Two sibling TYPE 3 branches under the same root: courses and advisor.
+    let out = e
+        .query(
+            "From student Retrieve Structure name, title of courses-enrolled, name of advisor
+             Where soc-sec-no = 11.",
+        )
+        .unwrap();
+    let sim_query::QueryOutput::Structure { formats, records } = out else { panic!() };
+    assert_eq!(formats.len(), 3, "root + two branches");
+    // The advisor record repeats per course iteration boundary exactly once
+    // per change of its own instance — here the advisor stays I1 throughout,
+    // so one advisor record per course-branch reset.
+    let count_by_format =
+        records.iter().fold([0usize; 3], |mut acc, r| {
+            acc[r.format] += 1;
+            acc
+        });
+    assert_eq!(count_by_format[0], 1, "one root record");
+    assert_eq!(count_by_format[1], 2, "two course records");
+}
+
+#[test]
+fn matches_with_null_pattern_side() {
+    let e = seeded();
+    let out = e
+        .query("From student Retrieve name Where name of advisor matches \"I*\".")
+        .unwrap();
+    // S2's advisor is the padded null… no: advisor is TYPE 2 here (used in
+    // selection only) and its domain is empty for S2 → rejected.
+    assert_eq!(out.rows(), &[vec![s("S1")]]);
+}
+
+#[test]
+fn arithmetic_in_targets_and_division_by_zero() {
+    let e = seeded();
+    let out = e
+        .query("From course Retrieve title, credits * 2 + 1 Where course-no = 1.")
+        .unwrap();
+    assert_eq!(out.rows(), &[vec![s("A"), i(9)]]);
+    let err = e.query("From course Retrieve credits / 0.").unwrap_err();
+    assert!(matches!(err, QueryError::Type(_)));
+}
+
+#[test]
+fn aggregate_of_aggregate_is_rejected_gracefully() {
+    let e = seeded();
+    // The grammar only admits paths inside aggregates.
+    let err = e.query("From student Retrieve count(count(courses-enrolled)).");
+    assert!(err.is_err());
+}
+
+#[test]
+fn unknown_names_error_cleanly() {
+    let e = seeded();
+    for q in [
+        "From martian Retrieve name.",
+        "From student Retrieve warp-factor.",
+        "From student Retrieve name of warp of student.",
+        "From student Retrieve name Where name isa course.", // wrong hierarchy is fine; nonexistent below
+        "From student Retrieve name Where person isa flurb.",
+    ] {
+        assert!(e.query(q).is_err(), "{q} should fail");
+    }
+}
+
+#[test]
+fn empty_target_aggregate_only_query_without_perspective() {
+    let e = seeded();
+    let out = e.query("Retrieve count(name of student), avg(credits of course).").unwrap();
+    assert_eq!(out.rows(), &[vec![i(2), Value::Float(3.0)]]);
+}
+
+#[test]
+fn delete_with_no_matches_updates_zero() {
+    let mut e = seeded();
+    let r = e.run_one("Delete student Where soc-sec-no = 999.").unwrap();
+    assert_eq!(r.updated(), 0);
+}
+
+#[test]
+fn table_distinct_on_entities() {
+    let mut e = seeded();
+    e.run(
+        r#"Modify student (advisor := instructor with (employee-nbr = 1001))
+           Where soc-sec-no = 12."#,
+    )
+    .unwrap();
+    let out = e.query("From student Retrieve Table Distinct advisor.").unwrap();
+    assert_eq!(out.rows().len(), 1, "both students share one advisor entity");
+    assert!(matches!(out.rows()[0][0], Value::Entity(_)));
+}
+
+#[test]
+fn statements_are_individually_atomic() {
+    let mut e = seeded();
+    // Statement 1 succeeds; statement 2 fails (duplicate unique SSN): the
+    // first statement's effect persists — transactions are per statement.
+    let err = e
+        .run(
+            r#"Insert person(name := "Kept", soc-sec-no := 500).
+               Insert person(name := "Dup", soc-sec-no := 500)."#,
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("unique"), "{err}");
+    let out = e.query("From person Retrieve name Where soc-sec-no = 500.").unwrap();
+    assert_eq!(out.rows(), &[vec![s("Kept")]]);
+}
+
+#[test]
+fn failed_statement_leaves_no_partial_effects() {
+    let mut e = seeded();
+    // The insert assigns attributes and links an EVA before hitting the
+    // duplicate employee-nbr; everything must unwind.
+    let before = e.query("From person Retrieve count(name of person).").unwrap();
+    let err = e
+        .run_one(
+            r#"Insert instructor(name := "Partial", soc-sec-no := 600,
+                   employee-nbr := 1001,
+                   courses-taught := course with (course-no = 2))."#,
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("unique"), "{err}");
+    let after = e.query("From person Retrieve count(name of person).").unwrap();
+    assert_eq!(before.rows(), after.rows());
+    // Course 2 (untaught in the seed data) gained no teacher.
+    let out = e
+        .query("From course Retrieve count(teachers) of course Where course-no = 2.")
+        .unwrap();
+    assert_eq!(out.rows(), &[vec![i(0)]]);
+}

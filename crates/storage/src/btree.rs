@@ -1,0 +1,610 @@
+//! A paged B+-tree: the "index sequential" access method of the paper's
+//! §5.2 mapping options.
+//!
+//! Entries are `(key, value)` byte-string pairs ordered lexicographically by
+//! the pair, which gives duplicate-key support for free: a non-unique index
+//! stores many `(key, rid)` pairs under the same key, and an equality scan is
+//! a range scan over the key prefix. Unique indexes reject a second entry
+//! with an equal key.
+//!
+//! Nodes live in disk blocks behind the buffer pool, so index traversal
+//! costs physical I/O when cold — which the optimizer's cost model and the
+//! E4/E5 experiments rely on. Nodes are materialized to a small in-memory
+//! structure for manipulation and re-serialized on write; this favors
+//! clarity over raw speed without changing the I/O pattern.
+//!
+//! Deletion is lazy: entries are removed from leaves but nodes are not
+//! rebalanced; empty leaves remain chained and are skipped by scans. This
+//! keeps the structure simple and is the behaviour several production trees
+//! (e.g. PostgreSQL's) approximate between vacuums.
+
+use crate::disk::BlockId;
+use crate::error::StorageError;
+use crate::pool::BufferPool;
+use crate::BLOCK_SIZE;
+
+/// Maximum serialized size of one `(key, value)` entry, chosen so any node
+/// can hold at least four entries.
+pub const MAX_ENTRY: usize = (BLOCK_SIZE - 16) / 4;
+
+const NODE_LEAF: u8 = 0;
+const NODE_INTERNAL: u8 = 1;
+const NO_BLOCK: u32 = u32::MAX;
+
+/// A `(key, value)` entry pair.
+pub type Entry = (Vec<u8>, Vec<u8>);
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        entries: Vec<Entry>,
+        next: Option<BlockId>,
+    },
+    Internal {
+        /// `children.len() == seps.len() + 1`; separator `i` is the smallest
+        /// pair in child `i + 1`.
+        seps: Vec<Entry>,
+        children: Vec<BlockId>,
+    },
+}
+
+fn pair_cmp(a: &Entry, b: &Entry) -> std::cmp::Ordering {
+    a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1))
+}
+
+fn read_node(pool: &BufferPool, id: BlockId) -> Node {
+    pool.read(id, deserialize)
+}
+
+fn write_node(pool: &BufferPool, id: BlockId, node: &Node) {
+    pool.write(id, |p| serialize(node, p));
+}
+
+fn deserialize(p: &[u8; BLOCK_SIZE]) -> Node {
+    let mut off = 0usize;
+    let tag = p[off];
+    off += 1;
+    let count = u16::from_le_bytes([p[off], p[off + 1]]) as usize;
+    off += 2;
+    let read_bytes = |p: &[u8; BLOCK_SIZE], off: &mut usize| -> Vec<u8> {
+        let len = u16::from_le_bytes([p[*off], p[*off + 1]]) as usize;
+        *off += 2;
+        let out = p[*off..*off + len].to_vec();
+        *off += len;
+        out
+    };
+    if tag == NODE_LEAF {
+        let next_raw = u32::from_le_bytes([p[off], p[off + 1], p[off + 2], p[off + 3]]);
+        off += 4;
+        let next = if next_raw == NO_BLOCK { None } else { Some(BlockId(next_raw)) };
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let k = read_bytes(p, &mut off);
+            let v = read_bytes(p, &mut off);
+            entries.push((k, v));
+        }
+        Node::Leaf { entries, next }
+    } else {
+        let mut children = Vec::with_capacity(count + 1);
+        let first = u32::from_le_bytes([p[off], p[off + 1], p[off + 2], p[off + 3]]);
+        off += 4;
+        children.push(BlockId(first));
+        let mut seps = Vec::with_capacity(count);
+        for _ in 0..count {
+            let k = read_bytes(p, &mut off);
+            let v = read_bytes(p, &mut off);
+            let c = u32::from_le_bytes([p[off], p[off + 1], p[off + 2], p[off + 3]]);
+            off += 4;
+            seps.push((k, v));
+            children.push(BlockId(c));
+        }
+        Node::Internal { seps, children }
+    }
+}
+
+fn serialize(node: &Node, p: &mut [u8; BLOCK_SIZE]) {
+    p.fill(0);
+    let mut off = 0usize;
+    let write_bytes = |p: &mut [u8; BLOCK_SIZE], off: &mut usize, b: &[u8]| {
+        p[*off..*off + 2].copy_from_slice(&(b.len() as u16).to_le_bytes());
+        *off += 2;
+        p[*off..*off + b.len()].copy_from_slice(b);
+        *off += b.len();
+    };
+    match node {
+        Node::Leaf { entries, next } => {
+            p[off] = NODE_LEAF;
+            off += 1;
+            p[off..off + 2].copy_from_slice(&(entries.len() as u16).to_le_bytes());
+            off += 2;
+            let next_raw = next.map_or(NO_BLOCK, |b| b.0);
+            p[off..off + 4].copy_from_slice(&next_raw.to_le_bytes());
+            off += 4;
+            for (k, v) in entries {
+                write_bytes(p, &mut off, k);
+                write_bytes(p, &mut off, v);
+            }
+        }
+        Node::Internal { seps, children } => {
+            p[off] = NODE_INTERNAL;
+            off += 1;
+            p[off..off + 2].copy_from_slice(&(seps.len() as u16).to_le_bytes());
+            off += 2;
+            p[off..off + 4].copy_from_slice(&children[0].0.to_le_bytes());
+            off += 4;
+            for (i, (k, v)) in seps.iter().enumerate() {
+                write_bytes(p, &mut off, k);
+                write_bytes(p, &mut off, v);
+                p[off..off + 4].copy_from_slice(&children[i + 1].0.to_le_bytes());
+                off += 4;
+            }
+        }
+    }
+}
+
+fn node_size(node: &Node) -> usize {
+    match node {
+        Node::Leaf { entries, .. } => {
+            7 + entries.iter().map(|(k, v)| 4 + k.len() + v.len()).sum::<usize>()
+        }
+        Node::Internal { seps, .. } => {
+            7 + seps.iter().map(|(k, v)| 8 + k.len() + v.len()).sum::<usize>()
+        }
+    }
+}
+
+/// A B+-tree over `(key, value)` byte pairs.
+#[derive(Debug)]
+pub struct BTree {
+    root: BlockId,
+    unique: bool,
+    entry_count: usize,
+    height: usize,
+}
+
+impl BTree {
+    /// Create an empty tree. `unique` rejects duplicate keys on insert.
+    pub fn create(pool: &BufferPool, unique: bool) -> BTree {
+        let root = pool.allocate();
+        write_node(pool, root, &Node::Leaf { entries: Vec::new(), next: None });
+        BTree { root, unique, entry_count: 0, height: 1 }
+    }
+
+    /// Whether this index enforces key uniqueness.
+    pub fn is_unique(&self) -> bool {
+        self.unique
+    }
+
+    /// Number of live entries.
+    pub fn entry_count(&self) -> usize {
+        self.entry_count
+    }
+
+    /// Tree height (leaf = 1); the optimizer prices an index probe at
+    /// `height` block accesses when cold.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Insert an entry.
+    pub fn insert(
+        &mut self,
+        pool: &BufferPool,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<(), StorageError> {
+        let entry_size = 4 + key.len() + value.len();
+        if entry_size > MAX_ENTRY {
+            return Err(StorageError::KeyTooLarge { size: entry_size, max: MAX_ENTRY });
+        }
+        if self.unique && self.lookup_first(pool, key).is_some() {
+            return Err(StorageError::DuplicateKey);
+        }
+        let pair = (key.to_vec(), value.to_vec());
+        if let Some((sep, right)) = self.insert_rec(pool, self.root, &pair) {
+            // Root split: grow the tree by one level.
+            let old_root = self.root;
+            let new_root = pool.allocate();
+            write_node(
+                pool,
+                new_root,
+                &Node::Internal { seps: vec![sep], children: vec![old_root, right] },
+            );
+            self.root = new_root;
+            self.height += 1;
+        }
+        self.entry_count += 1;
+        Ok(())
+    }
+
+    fn insert_rec(
+        &self,
+        pool: &BufferPool,
+        node_id: BlockId,
+        pair: &(Vec<u8>, Vec<u8>),
+    ) -> Option<(Entry, BlockId)> {
+        let mut node = read_node(pool, node_id);
+        match &mut node {
+            Node::Leaf { entries, next: _ } => {
+                let pos = entries.partition_point(|e| pair_cmp(e, pair) == std::cmp::Ordering::Less);
+                entries.insert(pos, pair.clone());
+                if node_size(&node) <= BLOCK_SIZE {
+                    write_node(pool, node_id, &node);
+                    return None;
+                }
+                // Split the leaf in half.
+                let (entries, next) = match node {
+                    Node::Leaf { entries, next } => (entries, next),
+                    _ => unreachable!(),
+                };
+                let mid = entries.len() / 2;
+                let mut left_entries = entries;
+                let right_entries = left_entries.split_off(mid);
+                let right_id = pool.allocate();
+                let sep = right_entries[0].clone();
+                write_node(pool, right_id, &Node::Leaf { entries: right_entries, next });
+                write_node(
+                    pool,
+                    node_id,
+                    &Node::Leaf { entries: left_entries, next: Some(right_id) },
+                );
+                Some((sep, right_id))
+            }
+            Node::Internal { seps, children } => {
+                let child_idx =
+                    seps.partition_point(|s| pair_cmp(s, pair) != std::cmp::Ordering::Greater);
+                let child = children[child_idx];
+                let split = self.insert_rec(pool, child, pair)?;
+                let (sep, right) = split;
+                seps.insert(child_idx, sep);
+                children.insert(child_idx + 1, right);
+                if node_size(&node) <= BLOCK_SIZE {
+                    write_node(pool, node_id, &node);
+                    return None;
+                }
+                let (mut seps, mut children) = match node {
+                    Node::Internal { seps, children } => (seps, children),
+                    _ => unreachable!(),
+                };
+                // Split: middle separator moves up.
+                let mid = seps.len() / 2;
+                let up = seps[mid].clone();
+                let right_seps = seps.split_off(mid + 1);
+                seps.pop(); // `up` moves to the parent
+                let right_children = children.split_off(mid + 1);
+                let right_id = pool.allocate();
+                write_node(
+                    pool,
+                    right_id,
+                    &Node::Internal { seps: right_seps, children: right_children },
+                );
+                write_node(pool, node_id, &Node::Internal { seps, children });
+                Some((up, right_id))
+            }
+        }
+    }
+
+    /// Remove the exact `(key, value)` entry. Returns whether it existed.
+    pub fn delete(&mut self, pool: &BufferPool, key: &[u8], value: &[u8]) -> bool {
+        let pair = (key.to_vec(), value.to_vec());
+        let leaf_id = self.descend_to_leaf(pool, &pair);
+        let mut node = read_node(pool, leaf_id);
+        if let Node::Leaf { entries, .. } = &mut node {
+            if let Ok(pos) = entries.binary_search_by(|e| pair_cmp(e, &pair)) {
+                entries.remove(pos);
+                write_node(pool, leaf_id, &node);
+                self.entry_count -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Delete every entry with `key`; returns the removed values.
+    pub fn delete_all(&mut self, pool: &BufferPool, key: &[u8]) -> Vec<Vec<u8>> {
+        let values = self.scan_key(pool, key);
+        for v in &values {
+            self.delete(pool, key, v);
+        }
+        values
+    }
+
+    /// First value stored under `key`, if any.
+    pub fn lookup_first(&self, pool: &BufferPool, key: &[u8]) -> Option<Vec<u8>> {
+        let mut cur = self.cursor_from(pool, key);
+        match self.cursor_next(pool, &mut cur) {
+            Some((k, v)) if k == key => Some(v),
+            _ => None,
+        }
+    }
+
+    /// All values stored under `key`, in value order.
+    pub fn scan_key(&self, pool: &BufferPool, key: &[u8]) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        let mut cur = self.cursor_from(pool, key);
+        while let Some((k, v)) = self.cursor_next(pool, &mut cur) {
+            if k != key {
+                break;
+            }
+            out.push(v);
+        }
+        out
+    }
+
+    /// All `(key, value)` entries in key order.
+    pub fn scan_all(&self, pool: &BufferPool) -> Vec<Entry> {
+        let mut out = Vec::with_capacity(self.entry_count);
+        let mut cur = self.cursor_first(pool);
+        while let Some(kv) = self.cursor_next(pool, &mut cur) {
+            out.push(kv);
+        }
+        out
+    }
+
+    /// Entries with `lo <= key < hi` (either bound optional).
+    pub fn scan_range(
+        &self,
+        pool: &BufferPool,
+        lo: Option<&[u8]>,
+        hi: Option<&[u8]>,
+    ) -> Vec<Entry> {
+        let mut out = Vec::new();
+        let mut cur = match lo {
+            Some(lo) => self.cursor_from(pool, lo),
+            None => self.cursor_first(pool),
+        };
+        while let Some((k, v)) = self.cursor_next(pool, &mut cur) {
+            if let Some(hi) = hi {
+                if k.as_slice() >= hi {
+                    break;
+                }
+            }
+            out.push((k, v));
+        }
+        out
+    }
+
+    fn descend_to_leaf(&self, pool: &BufferPool, pair: &(Vec<u8>, Vec<u8>)) -> BlockId {
+        let mut id = self.root;
+        loop {
+            match read_node(pool, id) {
+                Node::Leaf { .. } => return id,
+                Node::Internal { seps, children } => {
+                    let idx =
+                        seps.partition_point(|s| pair_cmp(s, pair) != std::cmp::Ordering::Greater);
+                    id = children[idx];
+                }
+            }
+        }
+    }
+
+    /// A cursor positioned at the first entry whose key is `>= key`.
+    pub fn cursor_from(&self, pool: &BufferPool, key: &[u8]) -> BTreeCursor {
+        let pair = (key.to_vec(), Vec::new());
+        let leaf = self.descend_to_leaf(pool, &pair);
+        let idx = match read_node(pool, leaf) {
+            Node::Leaf { entries, .. } => {
+                entries.partition_point(|e| pair_cmp(e, &pair) == std::cmp::Ordering::Less)
+            }
+            _ => 0,
+        };
+        BTreeCursor { leaf: Some(leaf), index: idx }
+    }
+
+    /// A cursor positioned at the very first entry.
+    pub fn cursor_first(&self, pool: &BufferPool) -> BTreeCursor {
+        let mut id = self.root;
+        loop {
+            match read_node(pool, id) {
+                Node::Leaf { .. } => return BTreeCursor { leaf: Some(id), index: 0 },
+                Node::Internal { children, .. } => id = children[0],
+            }
+        }
+    }
+
+    /// Advance a cursor. Skips empty leaves left behind by lazy deletion.
+    pub fn cursor_next(
+        &self,
+        pool: &BufferPool,
+        cur: &mut BTreeCursor,
+    ) -> Option<Entry> {
+        loop {
+            let leaf = cur.leaf?;
+            let (entry, next) = pool.read(leaf, |p| match deserialize(p) {
+                Node::Leaf { entries, next } => (entries.get(cur.index).cloned(), next),
+                _ => (None, None),
+            });
+            match entry {
+                Some(kv) => {
+                    cur.index += 1;
+                    return Some(kv);
+                }
+                None => {
+                    cur.leaf = next;
+                    cur.index = 0;
+                }
+            }
+        }
+    }
+}
+
+/// Iteration state over a tree's leaf chain.
+#[derive(Debug, Clone)]
+pub struct BTreeCursor {
+    leaf: Option<BlockId>,
+    index: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> BufferPool {
+        BufferPool::new(256)
+    }
+
+    fn k(n: u32) -> Vec<u8> {
+        n.to_be_bytes().to_vec()
+    }
+
+    #[test]
+    fn insert_and_lookup_small() {
+        let pool = pool();
+        let mut t = BTree::create(&pool, true);
+        t.insert(&pool, b"banana", b"1").unwrap();
+        t.insert(&pool, b"apple", b"2").unwrap();
+        t.insert(&pool, b"cherry", b"3").unwrap();
+        assert_eq!(t.lookup_first(&pool, b"apple").unwrap(), b"2");
+        assert_eq!(t.lookup_first(&pool, b"banana").unwrap(), b"1");
+        assert!(t.lookup_first(&pool, b"durian").is_none());
+        assert_eq!(t.entry_count(), 3);
+    }
+
+    #[test]
+    fn unique_rejects_duplicates() {
+        let pool = pool();
+        let mut t = BTree::create(&pool, true);
+        t.insert(&pool, b"key", b"v1").unwrap();
+        assert_eq!(t.insert(&pool, b"key", b"v2"), Err(StorageError::DuplicateKey));
+        assert_eq!(t.entry_count(), 1);
+    }
+
+    #[test]
+    fn non_unique_stores_duplicates_sorted() {
+        let pool = pool();
+        let mut t = BTree::create(&pool, false);
+        t.insert(&pool, b"key", b"v2").unwrap();
+        t.insert(&pool, b"key", b"v1").unwrap();
+        t.insert(&pool, b"key", b"v3").unwrap();
+        t.insert(&pool, b"other", b"x").unwrap();
+        assert_eq!(
+            t.scan_key(&pool, b"key"),
+            vec![b"v1".to_vec(), b"v2".to_vec(), b"v3".to_vec()]
+        );
+    }
+
+    #[test]
+    fn large_volume_splits_and_stays_sorted() {
+        let pool = pool();
+        let mut t = BTree::create(&pool, true);
+        // Insert in pseudo-random order.
+        let mut keys: Vec<u32> = (0..5000).collect();
+        let mut state = 12345u64;
+        for i in (1..keys.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            keys.swap(i, j);
+        }
+        for &n in &keys {
+            t.insert(&pool, &k(n), &n.to_le_bytes()).unwrap();
+        }
+        assert!(t.height() >= 2, "5000 entries must split");
+        let all = t.scan_all(&pool);
+        assert_eq!(all.len(), 5000);
+        for (i, (key, _)) in all.iter().enumerate() {
+            assert_eq!(key, &k(i as u32));
+        }
+        for n in (0..5000).step_by(373) {
+            assert_eq!(
+                t.lookup_first(&pool, &k(n)).unwrap(),
+                { n }.to_le_bytes().to_vec()
+            );
+        }
+    }
+
+    #[test]
+    fn range_scans() {
+        let pool = pool();
+        let mut t = BTree::create(&pool, true);
+        for n in 0..100u32 {
+            t.insert(&pool, &k(n), b"").unwrap();
+        }
+        let range = t.scan_range(&pool, Some(&k(10)), Some(&k(20)));
+        assert_eq!(range.len(), 10);
+        assert_eq!(range[0].0, k(10));
+        assert_eq!(range[9].0, k(19));
+        let open_lo = t.scan_range(&pool, None, Some(&k(3)));
+        assert_eq!(open_lo.len(), 3);
+        let open_hi = t.scan_range(&pool, Some(&k(97)), None);
+        assert_eq!(open_hi.len(), 3);
+    }
+
+    #[test]
+    fn delete_exact_and_all() {
+        let pool = pool();
+        let mut t = BTree::create(&pool, false);
+        t.insert(&pool, b"dup", b"a").unwrap();
+        t.insert(&pool, b"dup", b"b").unwrap();
+        t.insert(&pool, b"dup", b"c").unwrap();
+        assert!(t.delete(&pool, b"dup", b"b"));
+        assert!(!t.delete(&pool, b"dup", b"b"));
+        assert_eq!(t.scan_key(&pool, b"dup"), vec![b"a".to_vec(), b"c".to_vec()]);
+        let removed = t.delete_all(&pool, b"dup");
+        assert_eq!(removed.len(), 2);
+        assert!(t.scan_key(&pool, b"dup").is_empty());
+        assert_eq!(t.entry_count(), 0);
+    }
+
+    #[test]
+    fn delete_then_scan_skips_empty_leaves() {
+        let pool = pool();
+        let mut t = BTree::create(&pool, true);
+        for n in 0..2000u32 {
+            t.insert(&pool, &k(n), b"x").unwrap();
+        }
+        // Hollow out a middle band spanning whole leaves.
+        for n in 500..1500u32 {
+            assert!(t.delete(&pool, &k(n), b"x"));
+        }
+        let all = t.scan_all(&pool);
+        assert_eq!(all.len(), 1000);
+        assert_eq!(all[499].0, k(499));
+        assert_eq!(all[500].0, k(1500));
+    }
+
+    #[test]
+    fn oversized_entry_rejected() {
+        let pool = pool();
+        let mut t = BTree::create(&pool, true);
+        let big = vec![0u8; MAX_ENTRY + 1];
+        assert!(matches!(
+            t.insert(&pool, &big, b""),
+            Err(StorageError::KeyTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn interleaved_insert_delete_random() {
+        use std::collections::BTreeMap;
+        let pool = pool();
+        let mut t = BTree::create(&pool, true);
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        let mut state = 999u64;
+        for i in 0..3000u32 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let key = k((state >> 40) as u32 % 500);
+            if state.is_multiple_of(3) {
+                let existed_model = model.remove(&key).is_some();
+                let existed_tree = t
+                    .lookup_first(&pool, &key)
+                    .map(|v| t.delete(&pool, &key, &v))
+                    .unwrap_or(false);
+                assert_eq!(existed_model, existed_tree, "iteration {i}");
+            } else {
+                let val = i.to_le_bytes().to_vec();
+                match t.insert(&pool, &key, &val) {
+                    Ok(()) => {
+                        assert!(model.insert(key, val).is_none(), "iteration {i}");
+                    }
+                    Err(StorageError::DuplicateKey) => {
+                        assert!(model.contains_key(&key), "iteration {i}");
+                    }
+                    Err(e) => panic!("unexpected error {e}"),
+                }
+            }
+        }
+        let tree_all: Vec<_> = t.scan_all(&pool);
+        let model_all: Vec<_> = model.into_iter().collect();
+        assert_eq!(tree_all, model_all);
+    }
+}

@@ -1,0 +1,596 @@
+//! The storage engine facade.
+//!
+//! [`StorageEngine`] owns the buffer pool plus every heap file and index,
+//! exposes their operations with transactional undo logging, and hands out
+//! the I/O statistics the experiments read. It is the formal interface the
+//! LUC Mapper programs against — the equivalent of the DMSII access layer
+//! in the paper's Figure 1.
+
+use crate::btree::{BTree, BTreeCursor, Entry};
+use crate::error::StorageError;
+use crate::hash::HashIndex;
+use crate::heap::{HeapCursor, HeapFile, RecordId};
+use crate::pool::BufferPool;
+use crate::stats::IoSnapshot;
+use crate::txn::{Txn, UndoOp};
+use crate::disk::BlockId;
+
+/// Handle to a heap file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FileId(pub u32);
+
+/// Handle to a B-tree index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BTreeId(pub u32);
+
+/// Handle to a hash index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HashIndexId(pub u32);
+
+/// Owns all storage structures and the buffer pool.
+pub struct StorageEngine {
+    pool: BufferPool,
+    files: Vec<HeapFile>,
+    btrees: Vec<BTree>,
+    hashes: Vec<HashIndex>,
+    next_txn: u64,
+}
+
+impl StorageEngine {
+    /// A new engine whose buffer pool holds `pool_capacity` frames.
+    pub fn new(pool_capacity: usize) -> StorageEngine {
+        StorageEngine {
+            pool: BufferPool::new(pool_capacity),
+            files: Vec::new(),
+            btrees: Vec::new(),
+            hashes: Vec::new(),
+            next_txn: 1,
+        }
+    }
+
+    /// The buffer pool (for experiments that clear the cache or read stats).
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// Snapshot the physical I/O counters.
+    pub fn io_snapshot(&self) -> IoSnapshot {
+        self.pool.io_snapshot()
+    }
+
+    // ----- structure creation ------------------------------------------------
+
+    /// Create an empty heap file.
+    pub fn create_file(&mut self) -> FileId {
+        self.files.push(HeapFile::new());
+        FileId(self.files.len() as u32 - 1)
+    }
+
+    /// Create an empty B-tree index.
+    pub fn create_btree(&mut self, unique: bool) -> BTreeId {
+        self.btrees.push(BTree::create(&self.pool, unique));
+        BTreeId(self.btrees.len() as u32 - 1)
+    }
+
+    /// Create an empty hash index with `buckets` buckets.
+    pub fn create_hash(&mut self, buckets: usize, unique: bool) -> HashIndexId {
+        self.hashes.push(HashIndex::create(&self.pool, buckets, unique));
+        HashIndexId(self.hashes.len() as u32 - 1)
+    }
+
+    fn file(&self, id: FileId) -> Result<&HeapFile, StorageError> {
+        self.files
+            .get(id.0 as usize)
+            .ok_or_else(|| StorageError::UnknownStructure(format!("file {}", id.0)))
+    }
+
+    fn file_mut(&mut self, id: FileId) -> Result<&mut HeapFile, StorageError> {
+        self.files
+            .get_mut(id.0 as usize)
+            .ok_or_else(|| StorageError::UnknownStructure(format!("file {}", id.0)))
+    }
+
+    fn btree(&self, id: BTreeId) -> Result<&BTree, StorageError> {
+        self.btrees
+            .get(id.0 as usize)
+            .ok_or_else(|| StorageError::UnknownStructure(format!("btree {}", id.0)))
+    }
+
+    fn btree_mut(&mut self, id: BTreeId) -> Result<&mut BTree, StorageError> {
+        self.btrees
+            .get_mut(id.0 as usize)
+            .ok_or_else(|| StorageError::UnknownStructure(format!("btree {}", id.0)))
+    }
+
+    fn hash(&self, id: HashIndexId) -> Result<&HashIndex, StorageError> {
+        self.hashes
+            .get(id.0 as usize)
+            .ok_or_else(|| StorageError::UnknownStructure(format!("hash {}", id.0)))
+    }
+
+    fn hash_mut(&mut self, id: HashIndexId) -> Result<&mut HashIndex, StorageError> {
+        self.hashes
+            .get_mut(id.0 as usize)
+            .ok_or_else(|| StorageError::UnknownStructure(format!("hash {}", id.0)))
+    }
+
+    // ----- transactions -------------------------------------------------------
+
+    /// Open a transaction.
+    pub fn begin(&mut self) -> Txn {
+        let id = self.next_txn;
+        self.next_txn += 1;
+        Txn::new(id)
+    }
+
+    /// Commit: with an undo-only log there is nothing to do but drop the log.
+    pub fn commit(&mut self, txn: Txn) {
+        drop(txn);
+    }
+
+    /// Roll the transaction back completely.
+    pub fn abort(&mut self, mut txn: Txn) -> Result<(), StorageError> {
+        let ops = txn.drain_reverse();
+        self.apply_undo(ops)
+    }
+
+    /// Roll back to a savepoint taken with [`Txn::savepoint`], keeping the
+    /// transaction open. Used for statement-level rollback on integrity
+    /// violations (§3.3).
+    pub fn rollback_to(&mut self, txn: &mut Txn, savepoint: usize) -> Result<(), StorageError> {
+        let ops = txn.drain_to_savepoint(savepoint);
+        self.apply_undo(ops)
+    }
+
+    fn apply_undo(&mut self, ops: Vec<UndoOp>) -> Result<(), StorageError> {
+        for op in ops {
+            match op {
+                UndoOp::HeapInsert { file, rid } => {
+                    let pool = &self.pool;
+                    self.files[file.0 as usize].delete(pool, rid)?;
+                }
+                UndoOp::HeapDelete { file, rid, data } => {
+                    let pool = &self.pool;
+                    self.files[file.0 as usize].restore(pool, rid, &data)?;
+                }
+                UndoOp::HeapUpdate { file, old_rid, new_rid, old_data } => {
+                    let pool = &self.pool;
+                    let f = &mut self.files[file.0 as usize];
+                    if old_rid == new_rid {
+                        let back = f.update(pool, new_rid, &old_data)?;
+                        if back != old_rid {
+                            return Err(StorageError::Corrupt(
+                                "undo relocated a record it should have restored in place".into(),
+                            ));
+                        }
+                    } else {
+                        f.delete(pool, new_rid)?;
+                        f.restore(pool, old_rid, &old_data)?;
+                    }
+                }
+                UndoOp::BTreeInsert { index, key, value } => {
+                    let pool = &self.pool;
+                    self.btrees[index.0 as usize].delete(pool, &key, &value);
+                }
+                UndoOp::BTreeDelete { index, key, value } => {
+                    let pool = &self.pool;
+                    self.btrees[index.0 as usize].insert(pool, &key, &value)?;
+                }
+                UndoOp::HashInsert { index, key, value } => {
+                    let pool = &self.pool;
+                    self.hashes[index.0 as usize].delete(pool, &key, &value);
+                }
+                UndoOp::HashDelete { index, key, value } => {
+                    let pool = &self.pool;
+                    self.hashes[index.0 as usize].insert(pool, &key, &value)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ----- heap operations ----------------------------------------------------
+
+    /// Insert a record.
+    pub fn heap_insert(
+        &mut self,
+        txn: &mut Txn,
+        file: FileId,
+        data: &[u8],
+    ) -> Result<RecordId, StorageError> {
+        let pool = &self.pool;
+        let rid = self
+            .files
+            .get_mut(file.0 as usize)
+            .ok_or_else(|| StorageError::UnknownStructure(format!("file {}", file.0)))?
+            .insert(pool, data)?;
+        txn.log(UndoOp::HeapInsert { file, rid });
+        Ok(rid)
+    }
+
+    /// Insert a record clustered near another record's block when possible.
+    pub fn heap_insert_near(
+        &mut self,
+        txn: &mut Txn,
+        file: FileId,
+        near: RecordId,
+        data: &[u8],
+    ) -> Result<RecordId, StorageError> {
+        let pool = &self.pool;
+        let rid = self
+            .files
+            .get_mut(file.0 as usize)
+            .ok_or_else(|| StorageError::UnknownStructure(format!("file {}", file.0)))?
+            .insert_near(pool, near.block, data)?;
+        txn.log(UndoOp::HeapInsert { file, rid });
+        Ok(rid)
+    }
+
+    /// Read a record.
+    pub fn heap_get(&self, file: FileId, rid: RecordId) -> Result<Option<Vec<u8>>, StorageError> {
+        Ok(self.file(file)?.get(&self.pool, rid))
+    }
+
+    /// Update a record; the returned id differs from `rid` when the record
+    /// had to relocate.
+    pub fn heap_update(
+        &mut self,
+        txn: &mut Txn,
+        file: FileId,
+        rid: RecordId,
+        data: &[u8],
+    ) -> Result<RecordId, StorageError> {
+        let pool = &self.pool;
+        let f = self
+            .files
+            .get_mut(file.0 as usize)
+            .ok_or_else(|| StorageError::UnknownStructure(format!("file {}", file.0)))?;
+        let old_data = f
+            .get(pool, rid)
+            .ok_or_else(|| StorageError::InvalidRecordId(rid.to_string()))?;
+        let new_rid = f.update(pool, rid, data)?;
+        txn.log(UndoOp::HeapUpdate { file, old_rid: rid, new_rid, old_data });
+        Ok(new_rid)
+    }
+
+    /// Delete a record.
+    pub fn heap_delete(
+        &mut self,
+        txn: &mut Txn,
+        file: FileId,
+        rid: RecordId,
+    ) -> Result<Vec<u8>, StorageError> {
+        let pool = &self.pool;
+        let data = self
+            .files
+            .get_mut(file.0 as usize)
+            .ok_or_else(|| StorageError::UnknownStructure(format!("file {}", file.0)))?
+            .delete(pool, rid)?;
+        txn.log(UndoOp::HeapDelete { file, rid, data: data.clone() });
+        Ok(data)
+    }
+
+    /// Open a scan cursor over a file.
+    pub fn heap_cursor(&self, file: FileId) -> Result<HeapCursor, StorageError> {
+        Ok(self.file(file)?.cursor())
+    }
+
+    /// Advance a heap cursor.
+    pub fn heap_cursor_next(
+        &self,
+        file: FileId,
+        cur: &mut HeapCursor,
+    ) -> Result<Option<(RecordId, Vec<u8>)>, StorageError> {
+        Ok(self.file(file)?.cursor_next(&self.pool, cur))
+    }
+
+    /// Materialize a full scan.
+    pub fn heap_scan_all(&self, file: FileId) -> Result<Vec<(RecordId, Vec<u8>)>, StorageError> {
+        Ok(self.file(file)?.scan_all(&self.pool))
+    }
+
+    /// Live record count (optimizer statistic).
+    pub fn heap_record_count(&self, file: FileId) -> Result<usize, StorageError> {
+        Ok(self.file(file)?.record_count())
+    }
+
+    /// Block count (optimizer statistic: scan cost).
+    pub fn heap_block_count(&self, file: FileId) -> Result<usize, StorageError> {
+        Ok(self.file(file)?.block_count())
+    }
+
+    /// The block holding a record (clustering experiments).
+    pub fn heap_block_of(&self, rid: RecordId) -> BlockId {
+        rid.block
+    }
+
+    // ----- B-tree operations ----------------------------------------------------
+
+    /// Insert an index entry.
+    pub fn btree_insert(
+        &mut self,
+        txn: &mut Txn,
+        index: BTreeId,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<(), StorageError> {
+        let pool = &self.pool;
+        self.btrees
+            .get_mut(index.0 as usize)
+            .ok_or_else(|| StorageError::UnknownStructure(format!("btree {}", index.0)))?
+            .insert(pool, key, value)?;
+        txn.log(UndoOp::BTreeInsert { index, key: key.to_vec(), value: value.to_vec() });
+        Ok(())
+    }
+
+    /// Delete the exact index entry; logs only if something was removed.
+    pub fn btree_delete(
+        &mut self,
+        txn: &mut Txn,
+        index: BTreeId,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<bool, StorageError> {
+        let pool = &self.pool;
+        let existed = self
+            .btrees
+            .get_mut(index.0 as usize)
+            .ok_or_else(|| StorageError::UnknownStructure(format!("btree {}", index.0)))?
+            .delete(pool, key, value);
+        if existed {
+            txn.log(UndoOp::BTreeDelete { index, key: key.to_vec(), value: value.to_vec() });
+        }
+        Ok(existed)
+    }
+
+    /// First value under `key`.
+    pub fn btree_lookup_first(
+        &self,
+        index: BTreeId,
+        key: &[u8],
+    ) -> Result<Option<Vec<u8>>, StorageError> {
+        Ok(self.btree(index)?.lookup_first(&self.pool, key))
+    }
+
+    /// All values under `key`.
+    pub fn btree_scan_key(&self, index: BTreeId, key: &[u8]) -> Result<Vec<Vec<u8>>, StorageError> {
+        Ok(self.btree(index)?.scan_key(&self.pool, key))
+    }
+
+    /// Range scan `lo <= key < hi`.
+    pub fn btree_scan_range(
+        &self,
+        index: BTreeId,
+        lo: Option<&[u8]>,
+        hi: Option<&[u8]>,
+    ) -> Result<Vec<Entry>, StorageError> {
+        Ok(self.btree(index)?.scan_range(&self.pool, lo, hi))
+    }
+
+    /// Every entry in key order.
+    pub fn btree_scan_all(&self, index: BTreeId) -> Result<Vec<Entry>, StorageError> {
+        Ok(self.btree(index)?.scan_all(&self.pool))
+    }
+
+    /// Cursor positioned at the first entry `>= key`.
+    pub fn btree_cursor_from(&self, index: BTreeId, key: &[u8]) -> Result<BTreeCursor, StorageError> {
+        Ok(self.btree(index)?.cursor_from(&self.pool, key))
+    }
+
+    /// Advance a B-tree cursor.
+    pub fn btree_cursor_next(
+        &self,
+        index: BTreeId,
+        cur: &mut BTreeCursor,
+    ) -> Result<Option<Entry>, StorageError> {
+        Ok(self.btree(index)?.cursor_next(&self.pool, cur))
+    }
+
+    /// Entry count (optimizer statistic).
+    pub fn btree_entry_count(&self, index: BTreeId) -> Result<usize, StorageError> {
+        Ok(self.btree(index)?.entry_count())
+    }
+
+    /// Tree height (optimizer statistic: probe cost in block accesses).
+    pub fn btree_height(&self, index: BTreeId) -> Result<usize, StorageError> {
+        Ok(self.btree(index)?.height())
+    }
+
+    // ----- hash-index operations --------------------------------------------------
+
+    /// Insert a hash entry.
+    pub fn hash_insert(
+        &mut self,
+        txn: &mut Txn,
+        index: HashIndexId,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<(), StorageError> {
+        let pool = &self.pool;
+        self.hashes
+            .get_mut(index.0 as usize)
+            .ok_or_else(|| StorageError::UnknownStructure(format!("hash {}", index.0)))?
+            .insert(pool, key, value)?;
+        txn.log(UndoOp::HashInsert { index, key: key.to_vec(), value: value.to_vec() });
+        Ok(())
+    }
+
+    /// Delete the exact hash entry; logs only if something was removed.
+    pub fn hash_delete(
+        &mut self,
+        txn: &mut Txn,
+        index: HashIndexId,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<bool, StorageError> {
+        let pool = &self.pool;
+        let existed = self
+            .hashes
+            .get_mut(index.0 as usize)
+            .ok_or_else(|| StorageError::UnknownStructure(format!("hash {}", index.0)))?
+            .delete(pool, key, value);
+        if existed {
+            txn.log(UndoOp::HashDelete { index, key: key.to_vec(), value: value.to_vec() });
+        }
+        Ok(existed)
+    }
+
+    /// All values under `key`.
+    pub fn hash_get(&self, index: HashIndexId, key: &[u8]) -> Result<Vec<Vec<u8>>, StorageError> {
+        Ok(self.hash(index)?.get(&self.pool, key))
+    }
+
+    /// Entry count (optimizer statistic).
+    pub fn hash_entry_count(&self, index: HashIndexId) -> Result<usize, StorageError> {
+        Ok(self.hash(index)?.entry_count())
+    }
+
+    /// Mutable access for maintenance (tests only).
+    #[doc(hidden)]
+    pub fn hash_index_mut(&mut self, id: HashIndexId) -> Result<&mut HashIndex, StorageError> {
+        self.hash_mut(id)
+    }
+
+    /// Mutable access for maintenance (tests only).
+    #[doc(hidden)]
+    pub fn btree_index_mut(&mut self, id: BTreeId) -> Result<&mut BTree, StorageError> {
+        self.btree_mut(id)
+    }
+
+    /// Mutable access for maintenance (tests only).
+    #[doc(hidden)]
+    pub fn heap_file_mut(&mut self, id: FileId) -> Result<&mut HeapFile, StorageError> {
+        self.file_mut(id)
+    }
+}
+
+impl std::fmt::Debug for StorageEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StorageEngine")
+            .field("files", &self.files.len())
+            .field("btrees", &self.btrees.len())
+            .field("hashes", &self.hashes.len())
+            .field("pool", &self.pool)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abort_undoes_heap_mutations_in_reverse() {
+        let mut eng = StorageEngine::new(32);
+        let f = eng.create_file();
+        let mut setup = eng.begin();
+        let keep = eng.heap_insert(&mut setup, f, b"keep").unwrap();
+        eng.commit(setup);
+
+        let mut txn = eng.begin();
+        let added = eng.heap_insert(&mut txn, f, b"added").unwrap();
+        let moved = eng.heap_update(&mut txn, f, keep, b"changed").unwrap();
+        eng.heap_delete(&mut txn, f, moved).unwrap();
+        eng.abort(txn).unwrap();
+
+        assert_eq!(eng.heap_get(f, keep).unwrap().unwrap(), b"keep");
+        assert!(eng.heap_get(f, added).unwrap().is_none());
+        assert_eq!(eng.heap_record_count(f).unwrap(), 1);
+    }
+
+    #[test]
+    fn abort_undoes_update_with_relocation() {
+        let mut eng = StorageEngine::new(32);
+        let f = eng.create_file();
+        let mut setup = eng.begin();
+        let rid = eng.heap_insert(&mut setup, f, &vec![1u8; 2000]).unwrap();
+        eng.heap_insert(&mut setup, f, &vec![2u8; 2000]).unwrap();
+        eng.commit(setup);
+
+        let mut txn = eng.begin();
+        let new_rid = eng.heap_update(&mut txn, f, rid, &vec![3u8; 3500]).unwrap();
+        assert_ne!(rid, new_rid);
+        eng.abort(txn).unwrap();
+        assert_eq!(eng.heap_get(f, rid).unwrap().unwrap(), vec![1u8; 2000]);
+        assert!(eng.heap_get(f, new_rid).unwrap().is_none());
+    }
+
+    #[test]
+    fn abort_undoes_index_mutations() {
+        let mut eng = StorageEngine::new(32);
+        let bt = eng.create_btree(false);
+        let hx = eng.create_hash(4, false);
+        let mut setup = eng.begin();
+        eng.btree_insert(&mut setup, bt, b"stay", b"1").unwrap();
+        eng.hash_insert(&mut setup, hx, b"stay", b"1").unwrap();
+        eng.commit(setup);
+
+        let mut txn = eng.begin();
+        eng.btree_insert(&mut txn, bt, b"new", b"2").unwrap();
+        eng.btree_delete(&mut txn, bt, b"stay", b"1").unwrap();
+        eng.hash_insert(&mut txn, hx, b"new", b"2").unwrap();
+        eng.hash_delete(&mut txn, hx, b"stay", b"1").unwrap();
+        eng.abort(txn).unwrap();
+
+        assert_eq!(eng.btree_scan_key(bt, b"stay").unwrap(), vec![b"1".to_vec()]);
+        assert!(eng.btree_scan_key(bt, b"new").unwrap().is_empty());
+        assert_eq!(eng.hash_get(hx, b"stay").unwrap(), vec![b"1".to_vec()]);
+        assert!(eng.hash_get(hx, b"new").unwrap().is_empty());
+    }
+
+    #[test]
+    fn savepoint_rolls_back_partially() {
+        let mut eng = StorageEngine::new(32);
+        let f = eng.create_file();
+        let mut txn = eng.begin();
+        let first = eng.heap_insert(&mut txn, f, b"first").unwrap();
+        let sp = txn.savepoint();
+        let second = eng.heap_insert(&mut txn, f, b"second").unwrap();
+        eng.rollback_to(&mut txn, sp).unwrap();
+        eng.commit(txn);
+        assert_eq!(eng.heap_get(f, first).unwrap().unwrap(), b"first");
+        assert!(eng.heap_get(f, second).unwrap().is_none());
+    }
+
+    #[test]
+    fn undo_respects_reverse_order_for_slot_reuse() {
+        // Delete a record, insert another that reuses its slot, then abort:
+        // the insert must be undone first so the restore succeeds.
+        let mut eng = StorageEngine::new(32);
+        let f = eng.create_file();
+        let mut setup = eng.begin();
+        let victim = eng.heap_insert(&mut setup, f, b"victim").unwrap();
+        eng.commit(setup);
+
+        let mut txn = eng.begin();
+        eng.heap_delete(&mut txn, f, victim).unwrap();
+        let usurper = eng.heap_insert(&mut txn, f, b"usurper").unwrap();
+        assert_eq!(usurper, victim, "slot should be reused");
+        eng.abort(txn).unwrap();
+        assert_eq!(eng.heap_get(f, victim).unwrap().unwrap(), b"victim");
+    }
+
+    #[test]
+    fn commit_keeps_changes() {
+        let mut eng = StorageEngine::new(32);
+        let f = eng.create_file();
+        let bt = eng.create_btree(true);
+        let mut txn = eng.begin();
+        let rid = eng.heap_insert(&mut txn, f, b"data").unwrap();
+        eng.btree_insert(&mut txn, bt, b"k", &rid.to_bytes()).unwrap();
+        eng.commit(txn);
+        assert_eq!(eng.heap_get(f, rid).unwrap().unwrap(), b"data");
+        assert_eq!(
+            eng.btree_lookup_first(bt, b"k").unwrap().unwrap(),
+            rid.to_bytes().to_vec()
+        );
+    }
+
+    #[test]
+    fn unknown_structures_error() {
+        let eng = StorageEngine::new(16);
+        assert!(eng.heap_get(FileId(9), RecordId::from_bytes(&[0; 8]).unwrap()).is_err());
+        assert!(eng.btree_scan_all(BTreeId(3)).is_err());
+        assert!(eng.hash_get(HashIndexId(1), b"x").is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! Storage-layer errors.
+
+use std::fmt;
+
+/// Errors raised by the storage substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A record larger than a page can hold.
+    RecordTooLarge { size: usize, max: usize },
+    /// A key larger than an index node can hold.
+    KeyTooLarge { size: usize, max: usize },
+    /// A record id that does not name a live record.
+    InvalidRecordId(String),
+    /// An unknown file/index identifier.
+    UnknownStructure(String),
+    /// Unique-index violation.
+    DuplicateKey,
+    /// Attempt to restore into a slot that is occupied.
+    SlotOccupied,
+    /// Internal corruption detected (should never happen).
+    Corrupt(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::RecordTooLarge { size, max } => {
+                write!(f, "record of {size} bytes exceeds page capacity {max}")
+            }
+            StorageError::KeyTooLarge { size, max } => {
+                write!(f, "key of {size} bytes exceeds index node capacity {max}")
+            }
+            StorageError::InvalidRecordId(m) => write!(f, "invalid record id: {m}"),
+            StorageError::UnknownStructure(m) => write!(f, "unknown storage structure: {m}"),
+            StorageError::DuplicateKey => write!(f, "duplicate key in unique index"),
+            StorageError::SlotOccupied => write!(f, "slot already occupied"),
+            StorageError::Corrupt(m) => write!(f, "storage corruption: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}

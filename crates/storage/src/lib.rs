@@ -1,0 +1,47 @@
+//! # sim-storage
+//!
+//! The storage substrate of the SIM reproduction — the role DMSII plays in
+//! the paper ("SIM has initially been built on top of DMSII and relies on
+//! DMSII for transaction, cursor and I/O management", §1). Everything above
+//! this crate (the LUC mapper, the optimizer, the executor) sees only
+//! logical structures; everything below is blocks.
+//!
+//! Components:
+//!
+//! * [`disk::Disk`] — an in-memory array of 4 KiB blocks standing in for the
+//!   A-Series disk subsystem, with every physical read/write counted in
+//!   [`stats::IoStats`]. The paper's §5.1 cost-model claims are phrased in
+//!   *block accesses* ("the I/O cost of accessing the first instance of a
+//!   relationship will be 0 if the relationship is implemented by clustering
+//!   and 1 block access if it is implemented by absolute addresses"); the
+//!   counter is what lets the benches verify them.
+//! * [`pool::BufferPool`] — LRU page cache between callers and the disk.
+//! * [`heap::HeapFile`] — slotted pages holding variable-format records
+//!   (§5.2: hierarchies map to "a storage unit with variable-format records
+//!   based on record types"). Supports placement hints for clustering.
+//! * [`btree::BTree`] — an index-sequential access method over byte keys.
+//! * [`hash::HashIndex`] — a static-hashed access method ("random keys").
+//! * [`txn`] — undo-log transactions: enough recovery machinery for
+//!   integrity-violation rollback (§3.3).
+//! * [`engine::StorageEngine`] — the facade that owns the pool and all
+//!   structures and runs operations inside transactions.
+
+pub mod btree;
+pub mod disk;
+pub mod engine;
+pub mod error;
+pub mod hash;
+pub mod heap;
+pub mod page;
+pub mod pool;
+pub mod stats;
+pub mod txn;
+
+pub use engine::{BTreeId, FileId, HashIndexId, StorageEngine};
+pub use error::StorageError;
+pub use heap::RecordId;
+pub use stats::{IoSnapshot, IoStats};
+pub use txn::Txn;
+
+/// The block size of the simulated disk, in bytes.
+pub const BLOCK_SIZE: usize = 4096;

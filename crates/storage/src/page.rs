@@ -1,0 +1,350 @@
+//! Slotted-page layout.
+//!
+//! Every data block is a slotted page: a slot table grows forward from the
+//! header while record bytes grow backward from the end of the block. Slot
+//! numbers are stable for the life of the page (deleted slots are reused but
+//! never renumbered), so a [`crate::RecordId`] — `(block, slot)` — is a
+//! stable physical address, which is what the paper's "absolute address"
+//! EVA mapping points at (§5.2).
+//!
+//! Layout:
+//!
+//! ```text
+//! [0..2)  live-slot count (u16)      [2..4) data region start (u16)
+//! [4..4+4n) slot table: (offset u16, len u16); offset 0 = free slot
+//! [data start .. BLOCK_SIZE) record bytes, packed from the end
+//! ```
+
+use crate::BLOCK_SIZE;
+
+const HEADER: usize = 4;
+const SLOT_SIZE: usize = 4;
+
+/// Largest record a single page can hold.
+pub const MAX_RECORD: usize = BLOCK_SIZE - HEADER - SLOT_SIZE;
+
+fn get_u16(page: &[u8], off: usize) -> u16 {
+    u16::from_le_bytes([page[off], page[off + 1]])
+}
+
+fn put_u16(page: &mut [u8], off: usize, v: u16) {
+    page[off..off + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Number of slot-table entries (live or free).
+pub fn slot_count(page: &[u8; BLOCK_SIZE]) -> u16 {
+    get_u16(page, 0)
+}
+
+fn data_start(page: &[u8; BLOCK_SIZE]) -> usize {
+    let v = get_u16(page, 2) as usize;
+    if v == 0 {
+        BLOCK_SIZE // uninitialized page
+    } else {
+        v
+    }
+}
+
+fn slot_entry(page: &[u8; BLOCK_SIZE], slot: u16) -> (usize, usize) {
+    let base = HEADER + slot as usize * SLOT_SIZE;
+    (get_u16(page, base) as usize, get_u16(page, base + 2) as usize)
+}
+
+fn set_slot(page: &mut [u8; BLOCK_SIZE], slot: u16, offset: usize, len: usize) {
+    let base = HEADER + slot as usize * SLOT_SIZE;
+    put_u16(page, base, offset as u16);
+    put_u16(page, base + 2, len as u16);
+}
+
+/// Initialize an empty page. Freshly allocated (zeroed) blocks are already
+/// valid empty pages, so this is only needed when recycling a block.
+pub fn init(page: &mut [u8; BLOCK_SIZE]) {
+    page.fill(0);
+    put_u16(page, 2, BLOCK_SIZE as u16);
+}
+
+/// Contiguous free bytes available for one more record (including a possible
+/// new slot-table entry).
+pub fn free_space(page: &[u8; BLOCK_SIZE]) -> usize {
+    let slots = slot_count(page) as usize;
+    let table_end = HEADER + slots * SLOT_SIZE;
+    let start = data_start(page);
+    // Reserve room for one more slot entry unless a free slot exists.
+    let reserve = if find_free_slot(page).is_some() { 0 } else { SLOT_SIZE };
+    start.saturating_sub(table_end + reserve)
+}
+
+fn find_free_slot(page: &[u8; BLOCK_SIZE]) -> Option<u16> {
+    let n = slot_count(page);
+    (0..n).find(|&s| slot_entry(page, s).0 == 0)
+}
+
+/// Sum of live record bytes (used by compaction decisions).
+pub fn live_bytes(page: &[u8; BLOCK_SIZE]) -> usize {
+    let n = slot_count(page);
+    (0..n)
+        .map(|s| {
+            let (off, len) = slot_entry(page, s);
+            if off == 0 {
+                0
+            } else {
+                len
+            }
+        })
+        .sum()
+}
+
+/// Insert a record, returning its slot, or `None` if the page cannot hold it
+/// even after compaction.
+pub fn insert(page: &mut [u8; BLOCK_SIZE], data: &[u8]) -> Option<u16> {
+    if data.len() > MAX_RECORD {
+        return None;
+    }
+    if free_space(page) < data.len() {
+        compact(page);
+        if free_space(page) < data.len() {
+            return None;
+        }
+    }
+    let slot = match find_free_slot(page) {
+        Some(s) => s,
+        None => {
+            let s = slot_count(page);
+            put_u16(page, 0, s + 1);
+            s
+        }
+    };
+    place(page, slot, data);
+    Some(slot)
+}
+
+/// Re-occupy a specific (currently free) slot — used by transaction undo to
+/// restore a deleted record at its original address.
+pub fn insert_at(page: &mut [u8; BLOCK_SIZE], slot: u16, data: &[u8]) -> bool {
+    let n = slot_count(page);
+    if slot >= n || slot_entry(page, slot).0 != 0 || data.len() > MAX_RECORD {
+        return false;
+    }
+    let table_end = HEADER + n as usize * SLOT_SIZE;
+    if data_start(page) - table_end < data.len() {
+        compact(page);
+        if data_start(page) - table_end < data.len() {
+            return false;
+        }
+    }
+    place(page, slot, data);
+    true
+}
+
+fn place(page: &mut [u8; BLOCK_SIZE], slot: u16, data: &[u8]) {
+    let new_start = data_start(page) - data.len();
+    page[new_start..new_start + data.len()].copy_from_slice(data);
+    put_u16(page, 2, new_start as u16);
+    set_slot(page, slot, new_start, data.len());
+}
+
+/// Read a record's bytes.
+pub fn get(page: &[u8; BLOCK_SIZE], slot: u16) -> Option<&[u8]> {
+    if slot >= slot_count(page) {
+        return None;
+    }
+    let (off, len) = slot_entry(page, slot);
+    if off == 0 {
+        None
+    } else {
+        Some(&page[off..off + len])
+    }
+}
+
+/// Replace a record in place. Fails (returns `false`) if the page cannot
+/// hold the new size; the caller then relocates the record.
+pub fn update(page: &mut [u8; BLOCK_SIZE], slot: u16, data: &[u8]) -> bool {
+    if slot >= slot_count(page) {
+        return false;
+    }
+    let (off, len) = slot_entry(page, slot);
+    if off == 0 || data.len() > MAX_RECORD {
+        return false;
+    }
+    if data.len() <= len {
+        page[off..off + data.len()].copy_from_slice(data);
+        set_slot(page, slot, off, data.len());
+        return true;
+    }
+    // Grow: free the old bytes, then place anew (possibly after compaction).
+    let old = page[off..off + len].to_vec();
+    set_slot(page, slot, 0, 0);
+    let table_end = HEADER + slot_count(page) as usize * SLOT_SIZE;
+    if data_start(page) - table_end < data.len() {
+        compact(page);
+    }
+    if data_start(page) - table_end < data.len() {
+        // Does not fit: put the old record back so the page is unchanged and
+        // the caller can relocate atomically.
+        place(page, slot, &old);
+        return false;
+    }
+    place(page, slot, data);
+    true
+}
+
+/// Delete a record, returning its former bytes.
+pub fn delete(page: &mut [u8; BLOCK_SIZE], slot: u16) -> Option<Vec<u8>> {
+    if slot >= slot_count(page) {
+        return None;
+    }
+    let (off, len) = slot_entry(page, slot);
+    if off == 0 {
+        return None;
+    }
+    let data = page[off..off + len].to_vec();
+    set_slot(page, slot, 0, 0);
+    Some(data)
+}
+
+/// All live `(slot, bytes)` pairs.
+pub fn live_records(page: &[u8; BLOCK_SIZE]) -> Vec<(u16, Vec<u8>)> {
+    let n = slot_count(page);
+    (0..n)
+        .filter_map(|s| get(page, s).map(|d| (s, d.to_vec())))
+        .collect()
+}
+
+/// Rewrite the data region so free bytes are contiguous. Slot numbers are
+/// preserved.
+pub fn compact(page: &mut [u8; BLOCK_SIZE]) {
+    let live = live_records(page);
+    let n = slot_count(page);
+    // Clear the data region bookkeeping and re-place from the end.
+    put_u16(page, 2, BLOCK_SIZE as u16);
+    for s in 0..n {
+        let base = HEADER + s as usize * SLOT_SIZE;
+        put_u16(page, base, 0);
+        put_u16(page, base + 2, 0);
+    }
+    for (slot, data) in live {
+        place(page, slot, &data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh() -> Box<[u8; BLOCK_SIZE]> {
+        let mut p = Box::new([0u8; BLOCK_SIZE]);
+        init(&mut p);
+        p
+    }
+
+    #[test]
+    fn zeroed_block_is_a_valid_empty_page() {
+        let p = Box::new([0u8; BLOCK_SIZE]);
+        assert_eq!(slot_count(&p), 0);
+        assert!(free_space(&p) > 4000);
+        assert!(get(&p, 0).is_none());
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut p = fresh();
+        let s1 = insert(&mut p, b"hello").unwrap();
+        let s2 = insert(&mut p, b"world!").unwrap();
+        assert_ne!(s1, s2);
+        assert_eq!(get(&p, s1).unwrap(), b"hello");
+        assert_eq!(get(&p, s2).unwrap(), b"world!");
+    }
+
+    #[test]
+    fn delete_frees_slot_for_reuse() {
+        let mut p = fresh();
+        let s1 = insert(&mut p, b"one").unwrap();
+        let _s2 = insert(&mut p, b"two").unwrap();
+        assert_eq!(delete(&mut p, s1).unwrap(), b"one");
+        assert!(get(&p, s1).is_none());
+        let s3 = insert(&mut p, b"three").unwrap();
+        assert_eq!(s3, s1, "freed slot should be reused");
+        assert_eq!(get(&p, s3).unwrap(), b"three");
+    }
+
+    #[test]
+    fn update_in_place_and_grow() {
+        let mut p = fresh();
+        let s = insert(&mut p, b"abcdef").unwrap();
+        assert!(update(&mut p, s, b"xy"));
+        assert_eq!(get(&p, s).unwrap(), b"xy");
+        assert!(update(&mut p, s, b"a much longer record body"));
+        assert_eq!(get(&p, s).unwrap(), b"a much longer record body");
+    }
+
+    #[test]
+    fn page_fills_and_rejects() {
+        let mut p = fresh();
+        let rec = vec![0xAAu8; 500];
+        let mut count = 0;
+        while insert(&mut p, &rec).is_some() {
+            count += 1;
+        }
+        // 4096 / ~504 ≈ 8 records.
+        assert!((7..=8).contains(&count), "unexpected fill count {count}");
+        assert!(insert(&mut p, &rec).is_none());
+        // A small record still fits in the tail space.
+        assert!(insert(&mut p, &[1, 2, 3]).is_some());
+    }
+
+    #[test]
+    fn compaction_reclaims_freed_space() {
+        let mut p = fresh();
+        let rec = vec![0xBBu8; 700];
+        let slots: Vec<u16> = (0..5).map(|_| insert(&mut p, &rec).unwrap()).collect();
+        // Free alternating records: fragmented free space.
+        delete(&mut p, slots[0]);
+        delete(&mut p, slots[2]);
+        delete(&mut p, slots[4]);
+        // 2100 bytes are free but fragmented; a 1500-byte record needs compaction.
+        let s = insert(&mut p, &vec![0xCCu8; 1500]);
+        assert!(s.is_some());
+        assert_eq!(get(&p, slots[1]).unwrap(), &rec[..]);
+        assert_eq!(get(&p, slots[3]).unwrap(), &rec[..]);
+    }
+
+    #[test]
+    fn insert_at_restores_exact_slot() {
+        let mut p = fresh();
+        let s0 = insert(&mut p, b"first").unwrap();
+        let s1 = insert(&mut p, b"second").unwrap();
+        delete(&mut p, s0);
+        assert!(insert_at(&mut p, s0, b"first-again"));
+        assert_eq!(get(&p, s0).unwrap(), b"first-again");
+        assert_eq!(get(&p, s1).unwrap(), b"second");
+        // Occupied or out-of-range slots are rejected.
+        assert!(!insert_at(&mut p, s1, b"x"));
+        assert!(!insert_at(&mut p, 99, b"x"));
+    }
+
+    #[test]
+    fn max_record_is_enforced() {
+        let mut p = fresh();
+        assert!(insert(&mut p, &vec![0u8; MAX_RECORD + 1]).is_none());
+        assert!(insert(&mut p, &vec![0u8; MAX_RECORD]).is_some());
+    }
+
+    #[test]
+    fn live_records_lists_only_live() {
+        let mut p = fresh();
+        let a = insert(&mut p, b"a").unwrap();
+        let b = insert(&mut p, b"b").unwrap();
+        delete(&mut p, a);
+        let live = live_records(&p);
+        assert_eq!(live, vec![(b, b"b".to_vec())]);
+    }
+
+    #[test]
+    fn zero_length_records_are_legal() {
+        let mut p = fresh();
+        let s = insert(&mut p, b"").unwrap();
+        // Offset is nonzero (points into the data region) so the slot is live.
+        assert_eq!(get(&p, s).unwrap(), b"");
+        assert_eq!(delete(&mut p, s).unwrap(), Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,232 @@
+//! The buffer pool: an LRU page cache over the simulated disk.
+//!
+//! All structure code accesses blocks through the pool, so the number of
+//! *physical* transfers depends on locality — which is exactly the effect
+//! the paper's physical-mapping options trade on (§5.2): clustered
+//! relationship instances ride along with their owner's block and cost no
+//! extra I/O, pointer-mapped ones fault in their own block.
+
+use crate::disk::{BlockId, Disk};
+use crate::stats::{IoSnapshot, IoStats};
+use crate::BLOCK_SIZE;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+struct Frame {
+    data: Box<[u8; BLOCK_SIZE]>,
+    dirty: bool,
+    last_used: u64,
+}
+
+struct Inner {
+    disk: Disk,
+    frames: HashMap<BlockId, Frame>,
+    capacity: usize,
+    tick: u64,
+}
+
+/// An LRU buffer pool. Interior-mutable: all methods take `&self`.
+pub struct BufferPool {
+    inner: Mutex<Inner>,
+    stats: Arc<IoStats>,
+}
+
+impl BufferPool {
+    /// A pool holding at most `capacity` frames.
+    pub fn new(capacity: usize) -> BufferPool {
+        assert!(capacity >= 2, "buffer pool needs at least two frames");
+        let stats = IoStats::new();
+        BufferPool {
+            inner: Mutex::new(Inner {
+                disk: Disk::new(Arc::clone(&stats)),
+                frames: HashMap::with_capacity(capacity),
+                capacity,
+                tick: 0,
+            }),
+            stats,
+        }
+    }
+
+    /// Allocate a fresh zeroed block; it enters the cache without a read.
+    pub fn allocate(&self) -> BlockId {
+        let mut inner = self.inner.lock();
+        let id = inner.disk.allocate();
+        inner.tick += 1;
+        let tick = inner.tick;
+        Self::make_room(&mut inner);
+        inner.frames.insert(
+            id,
+            Frame { data: Box::new([0u8; BLOCK_SIZE]), dirty: false, last_used: tick },
+        );
+        id
+    }
+
+    /// Run `f` over the block's bytes (read-only).
+    pub fn read<R>(&self, id: BlockId, f: impl FnOnce(&[u8; BLOCK_SIZE]) -> R) -> R {
+        let mut inner = self.inner.lock();
+        Self::fault_in(&mut inner, id);
+        inner.tick += 1;
+        let tick = inner.tick;
+        let frame = inner.frames.get_mut(&id).expect("frame just faulted in");
+        frame.last_used = tick;
+        f(&frame.data)
+    }
+
+    /// Run `f` over the block's bytes mutably; marks the frame dirty.
+    pub fn write<R>(&self, id: BlockId, f: impl FnOnce(&mut [u8; BLOCK_SIZE]) -> R) -> R {
+        let mut inner = self.inner.lock();
+        Self::fault_in(&mut inner, id);
+        inner.tick += 1;
+        let tick = inner.tick;
+        let frame = inner.frames.get_mut(&id).expect("frame just faulted in");
+        frame.last_used = tick;
+        frame.dirty = true;
+        f(&mut frame.data)
+    }
+
+    /// Write every dirty frame back to disk (does not evict).
+    pub fn flush_all(&self) {
+        let mut inner = self.inner.lock();
+        let ids: Vec<BlockId> = inner
+            .frames
+            .iter()
+            .filter(|(_, fr)| fr.dirty)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in ids {
+            let data = *inner.frames[&id].data;
+            inner.disk.write(id, &data);
+            inner.frames.get_mut(&id).unwrap().dirty = false;
+        }
+    }
+
+    /// Shared I/O counters.
+    pub fn stats(&self) -> &Arc<IoStats> {
+        &self.stats
+    }
+
+    /// Convenience: snapshot the counters.
+    pub fn io_snapshot(&self) -> IoSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Number of blocks allocated on the underlying disk.
+    pub fn block_count(&self) -> usize {
+        self.inner.lock().disk.block_count()
+    }
+
+    /// Drop every cached frame (writing dirty ones back): makes subsequent
+    /// accesses cold. The experiments use this to measure cold-start I/O.
+    pub fn clear_cache(&self) {
+        self.flush_all();
+        self.inner.lock().frames.clear();
+    }
+
+    fn fault_in(inner: &mut Inner, id: BlockId) {
+        if inner.frames.contains_key(&id) {
+            return;
+        }
+        Self::make_room(inner);
+        let mut data = Box::new([0u8; BLOCK_SIZE]);
+        inner.disk.read(id, &mut data);
+        inner.frames.insert(id, Frame { data, dirty: false, last_used: inner.tick });
+    }
+
+    fn make_room(inner: &mut Inner) {
+        while inner.frames.len() >= inner.capacity {
+            let victim = inner
+                .frames
+                .iter()
+                .min_by_key(|(_, fr)| fr.last_used)
+                .map(|(id, _)| *id)
+                .expect("non-empty frame table");
+            let frame = inner.frames.remove(&victim).expect("victim exists");
+            if frame.dirty {
+                inner.disk.write(victim, &frame.data);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("BufferPool")
+            .field("capacity", &inner.capacity)
+            .field("resident", &inner.frames.len())
+            .field("disk_blocks", &inner.disk.block_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cached_reads_cost_nothing() {
+        let pool = BufferPool::new(4);
+        let id = pool.allocate();
+        pool.write(id, |b| b[0] = 7);
+        let before = pool.io_snapshot();
+        for _ in 0..100 {
+            assert_eq!(pool.read(id, |b| b[0]), 7);
+        }
+        let delta = pool.io_snapshot().since(&before);
+        assert_eq!(delta.reads, 0, "hot reads must not touch the disk");
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_pages() {
+        let pool = BufferPool::new(2);
+        let a = pool.allocate();
+        pool.write(a, |b| b[0] = 1);
+        // Fill the pool past capacity so `a` is evicted.
+        let b = pool.allocate();
+        let c = pool.allocate();
+        pool.write(b, |buf| buf[0] = 2);
+        pool.write(c, |buf| buf[0] = 3);
+        // Read `a` back: its dirty data must have survived eviction.
+        assert_eq!(pool.read(a, |buf| buf[0]), 1);
+    }
+
+    #[test]
+    fn lru_keeps_the_hot_page() {
+        let pool = BufferPool::new(2);
+        let a = pool.allocate();
+        let b = pool.allocate();
+        pool.write(a, |buf| buf[0] = 1);
+        pool.write(b, |buf| buf[0] = 2);
+        // Touch `a` so `b` is the LRU victim when `c` arrives.
+        pool.read(a, |_| ());
+        let _c = pool.allocate();
+        let before = pool.io_snapshot();
+        pool.read(a, |_| ()); // should still be resident
+        assert_eq!(pool.io_snapshot().since(&before).reads, 0);
+        pool.read(b, |_| ()); // was evicted: one physical read
+        assert_eq!(pool.io_snapshot().since(&before).reads, 1);
+    }
+
+    #[test]
+    fn clear_cache_forces_cold_reads() {
+        let pool = BufferPool::new(8);
+        let id = pool.allocate();
+        pool.write(id, |b| b[10] = 42);
+        pool.clear_cache();
+        let before = pool.io_snapshot();
+        assert_eq!(pool.read(id, |b| b[10]), 42);
+        assert_eq!(pool.io_snapshot().since(&before).reads, 1);
+    }
+
+    #[test]
+    fn flush_is_idempotent() {
+        let pool = BufferPool::new(4);
+        let id = pool.allocate();
+        pool.write(id, |b| b[0] = 9);
+        pool.flush_all();
+        let before = pool.io_snapshot();
+        pool.flush_all(); // nothing dirty: no writes
+        assert_eq!(pool.io_snapshot().since(&before).writes, 0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Physical I/O accounting.
+//!
+//! The experiments (DESIGN.md E4/E5) verify the paper's block-access cost
+//! claims by reading these counters around an operation. Counters track
+//! *physical* block transfers — a buffer-pool hit costs nothing, exactly as
+//! the paper's optimizer assumes when it prices clustered relationships at
+//! zero I/O (§5.1).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared, thread-safe I/O counters.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    allocations: AtomicU64,
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoSnapshot {
+    /// Physical block reads (buffer-pool misses).
+    pub reads: u64,
+    /// Physical block writes (dirty evictions and flushes).
+    pub writes: u64,
+    /// Blocks newly allocated on the disk.
+    pub allocations: u64,
+}
+
+impl IoSnapshot {
+    /// Total block transfers.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Counter deltas since an earlier snapshot.
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            allocations: self.allocations - earlier.allocations,
+        }
+    }
+}
+
+impl IoStats {
+    /// A fresh, shareable counter set.
+    pub fn new() -> Arc<IoStats> {
+        Arc::new(IoStats::default())
+    }
+
+    pub(crate) fn count_read(&self) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_write(&self) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_allocation(&self) {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot the counters.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            allocations: self.allocations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_deltas() {
+        let stats = IoStats::new();
+        stats.count_read();
+        let s1 = stats.snapshot();
+        stats.count_read();
+        stats.count_write();
+        stats.count_allocation();
+        let s2 = stats.snapshot();
+        let d = s2.since(&s1);
+        assert_eq!(d, IoSnapshot { reads: 1, writes: 1, allocations: 1 });
+        assert_eq!(d.total(), 2);
+    }
+}

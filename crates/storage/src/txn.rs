@@ -1,0 +1,86 @@
+//! Undo-log transactions.
+//!
+//! SIM relies on its substrate for "transaction, cursor and I/O management"
+//! (§1) and needs rollback for integrity enforcement: a VERIFY constraint
+//! that fails after an update must leave the database unchanged (§3.3). A
+//! logical undo log is sufficient for that single-process setting: every
+//! mutating engine operation appends its inverse, and
+//! [`crate::StorageEngine::abort`] replays the inverses in reverse order.
+
+use crate::engine::{BTreeId, FileId, HashIndexId};
+use crate::heap::RecordId;
+
+/// The inverse of one engine mutation.
+#[derive(Debug, Clone)]
+pub enum UndoOp {
+    /// Undo a heap insert by deleting the record.
+    HeapInsert { file: FileId, rid: RecordId },
+    /// Undo a heap delete by restoring the record at its exact address.
+    HeapDelete { file: FileId, rid: RecordId, data: Vec<u8> },
+    /// Undo a heap update by restoring the old bytes (relocating back if the
+    /// update moved the record).
+    HeapUpdate {
+        /// Address before the update.
+        old_rid: RecordId,
+        /// Address after the update (may equal `old_rid`).
+        new_rid: RecordId,
+        /// The file.
+        file: FileId,
+        /// Pre-image bytes.
+        old_data: Vec<u8>,
+    },
+    /// Undo a B-tree insert.
+    BTreeInsert { index: BTreeId, key: Vec<u8>, value: Vec<u8> },
+    /// Undo a B-tree delete.
+    BTreeDelete { index: BTreeId, key: Vec<u8>, value: Vec<u8> },
+    /// Undo a hash-index insert.
+    HashInsert { index: HashIndexId, key: Vec<u8>, value: Vec<u8> },
+    /// Undo a hash-index delete.
+    HashDelete { index: HashIndexId, key: Vec<u8>, value: Vec<u8> },
+}
+
+/// An open transaction: an identifier plus the undo log.
+#[derive(Debug)]
+pub struct Txn {
+    id: u64,
+    undo: Vec<UndoOp>,
+}
+
+impl Txn {
+    pub(crate) fn new(id: u64) -> Txn {
+        Txn { id, undo: Vec::new() }
+    }
+
+    /// The transaction's identifier.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Number of logged operations (i.e. mutations performed so far).
+    pub fn op_count(&self) -> usize {
+        self.undo.len()
+    }
+
+    pub(crate) fn log(&mut self, op: UndoOp) {
+        self.undo.push(op);
+    }
+
+    /// Drain the undo log in reverse (rollback) order.
+    pub(crate) fn drain_reverse(&mut self) -> Vec<UndoOp> {
+        let mut ops = std::mem::take(&mut self.undo);
+        ops.reverse();
+        ops
+    }
+
+    /// A savepoint: the current log length.
+    pub fn savepoint(&self) -> usize {
+        self.undo.len()
+    }
+
+    /// Split off every op logged after `savepoint`, in rollback order.
+    pub(crate) fn drain_to_savepoint(&mut self, savepoint: usize) -> Vec<UndoOp> {
+        let mut ops = self.undo.split_off(savepoint);
+        ops.reverse();
+        ops
+    }
+}

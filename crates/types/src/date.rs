@@ -1,0 +1,239 @@
+//! A simple proleptic-Gregorian calendar date.
+//!
+//! SIM's `date` data type (e.g. `BIRTHDATE` in the UNIVERSITY schema, paper
+//! §7). Stored as a day count from 1 January year 1, which makes comparison
+//! and index encoding trivial.
+
+use crate::error::TypeError;
+use std::fmt;
+
+/// A calendar date, internally a day number (1 = 0001-01-01).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Date {
+    days: i32,
+}
+
+const DAYS_PER_400Y: i32 = 146_097;
+const DAYS_PER_100Y: i32 = 36_524;
+const DAYS_PER_4Y: i32 = 1_461;
+
+fn is_leap(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+fn days_in_month(year: i32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+/// Cumulative days before each month in a non-leap year.
+const MONTH_OFFSET: [i32; 12] = [0, 31, 59, 90, 120, 151, 181, 212, 243, 273, 304, 334];
+
+impl Date {
+    /// Construct from year/month/day, validating the calendar.
+    pub fn from_ymd(year: i32, month: u32, day: u32) -> Result<Date, TypeError> {
+        if !(1..=9999).contains(&year) {
+            return Err(TypeError::Parse(format!("year {year} out of range 1..=9999")));
+        }
+        if !(1..=12).contains(&month) {
+            return Err(TypeError::Parse(format!("month {month} out of range 1..=12")));
+        }
+        if day == 0 || day > days_in_month(year, month) {
+            return Err(TypeError::Parse(format!(
+                "day {day} invalid for {year:04}-{month:02}"
+            )));
+        }
+        let y = year - 1;
+        let mut days = y * 365 + y / 4 - y / 100 + y / 400;
+        days += MONTH_OFFSET[(month - 1) as usize];
+        if month > 2 && is_leap(year) {
+            days += 1;
+        }
+        days += day as i32;
+        Ok(Date { days })
+    }
+
+    /// Parse `YYYY-MM-DD` or `MM/DD/YYYY`.
+    pub fn parse(s: &str) -> Result<Date, TypeError> {
+        let bad = || TypeError::Parse(format!("invalid date literal {s:?}"));
+        if let Some((y, rest)) = s.split_once('-') {
+            let (m, d) = rest.split_once('-').ok_or_else(bad)?;
+            return Date::from_ymd(
+                y.parse().map_err(|_| bad())?,
+                m.parse().map_err(|_| bad())?,
+                d.parse().map_err(|_| bad())?,
+            );
+        }
+        if let Some((m, rest)) = s.split_once('/') {
+            let (d, y) = rest.split_once('/').ok_or_else(bad)?;
+            return Date::from_ymd(
+                y.parse().map_err(|_| bad())?,
+                m.parse().map_err(|_| bad())?,
+                d.parse().map_err(|_| bad())?,
+            );
+        }
+        Err(bad())
+    }
+
+    /// The raw day number (1 = 0001-01-01). Used by the ordered encoder.
+    pub fn day_number(self) -> i32 {
+        self.days
+    }
+
+    /// Rebuild from a raw day number.
+    pub fn from_day_number(days: i32) -> Date {
+        Date { days }
+    }
+
+    /// Decompose into (year, month, day).
+    pub fn ymd(self) -> (i32, u32, u32) {
+        let mut d = self.days - 1; // zero-based day index
+        let n400 = d / DAYS_PER_400Y;
+        d %= DAYS_PER_400Y;
+        let mut n100 = d / DAYS_PER_100Y;
+        if n100 == 4 {
+            n100 = 3; // day 146096 is 31 Dec of a leap century year
+        }
+        d -= n100 * DAYS_PER_100Y;
+        let n4 = d / DAYS_PER_4Y;
+        d %= DAYS_PER_4Y;
+        let mut n1 = d / 365;
+        if n1 == 4 {
+            n1 = 3; // 31 Dec of a leap year
+        }
+        d -= n1 * 365;
+        let year = 400 * n400 + 100 * n100 + 4 * n4 + n1 + 1;
+        let leap = is_leap(year);
+        let mut month = 1u32;
+        loop {
+            let dim = days_in_month(year, month) as i32;
+            let off = MONTH_OFFSET[(month - 1) as usize] + if month > 2 && leap { 1 } else { 0 };
+            if d < off + dim {
+                return (year, month, (d - off + 1) as u32);
+            }
+            month += 1;
+        }
+    }
+
+    /// Days between two dates (`self - other`).
+    pub fn days_between(self, other: Date) -> i32 {
+        self.days - other.days
+    }
+
+    /// The date `n` days later (negative `n` for earlier).
+    pub fn plus_days(self, n: i32) -> Date {
+        Date { days: self.days + n }
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.ymd();
+        write!(f, "{y:04}-{m:02}-{d:02}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_known_dates() {
+        for (y, m, d) in [
+            (1, 1, 1),
+            (1600, 2, 29),
+            (1900, 2, 28),
+            (1964, 7, 4),
+            (1988, 6, 1), // SIGMOD '88
+            (2000, 2, 29),
+            (2026, 7, 4),
+            (9999, 12, 31),
+        ] {
+            let date = Date::from_ymd(y, m, d).unwrap();
+            assert_eq!(date.ymd(), (y, m, d), "roundtrip {y}-{m}-{d}");
+        }
+    }
+
+    #[test]
+    fn epoch_is_day_one() {
+        assert_eq!(Date::from_ymd(1, 1, 1).unwrap().day_number(), 1);
+        assert_eq!(Date::from_ymd(1, 1, 2).unwrap().day_number(), 2);
+        assert_eq!(Date::from_ymd(1, 12, 31).unwrap().day_number(), 365);
+        assert_eq!(Date::from_ymd(2, 1, 1).unwrap().day_number(), 366);
+    }
+
+    #[test]
+    fn leap_rules() {
+        assert!(Date::from_ymd(1900, 2, 29).is_err());
+        assert!(Date::from_ymd(2000, 2, 29).is_ok());
+        assert!(Date::from_ymd(2024, 2, 29).is_ok());
+        assert!(Date::from_ymd(2023, 2, 29).is_err());
+    }
+
+    #[test]
+    fn rejects_nonsense() {
+        assert!(Date::from_ymd(2020, 13, 1).is_err());
+        assert!(Date::from_ymd(2020, 0, 1).is_err());
+        assert!(Date::from_ymd(2020, 4, 31).is_err());
+        assert!(Date::from_ymd(0, 1, 1).is_err());
+        assert!(Date::from_ymd(10000, 1, 1).is_err());
+    }
+
+    #[test]
+    fn parse_both_formats() {
+        assert_eq!(
+            Date::parse("1988-06-01").unwrap(),
+            Date::from_ymd(1988, 6, 1).unwrap()
+        );
+        assert_eq!(
+            Date::parse("06/01/1988").unwrap(),
+            Date::from_ymd(1988, 6, 1).unwrap()
+        );
+        assert!(Date::parse("june 1 1988").is_err());
+        assert!(Date::parse("1988-06").is_err());
+    }
+
+    #[test]
+    fn ordering_follows_calendar() {
+        let a = Date::from_ymd(1950, 1, 1).unwrap();
+        let b = Date::from_ymd(1950, 1, 2).unwrap();
+        let c = Date::from_ymd(1951, 1, 1).unwrap();
+        assert!(a < b && b < c);
+        assert_eq!(c.days_between(a), 365);
+    }
+
+    #[test]
+    fn plus_days_roundtrip() {
+        let d = Date::from_ymd(1999, 12, 31).unwrap();
+        assert_eq!(d.plus_days(1).ymd(), (2000, 1, 1));
+        assert_eq!(d.plus_days(1).plus_days(-1), d);
+    }
+
+    #[test]
+    fn display_is_iso() {
+        let d = Date::from_ymd(1988, 6, 1).unwrap();
+        assert_eq!(d.to_string(), "1988-06-01");
+    }
+
+    #[test]
+    fn exhaustive_roundtrip_span() {
+        // Every day across a 400-year cycle boundary survives the roundtrip.
+        let start = Date::from_ymd(1999, 1, 1).unwrap().day_number();
+        let end = Date::from_ymd(2001, 12, 31).unwrap().day_number();
+        for n in start..=end {
+            let d = Date::from_day_number(n);
+            let (y, m, dd) = d.ymd();
+            assert_eq!(Date::from_ymd(y, m, dd).unwrap().day_number(), n);
+        }
+    }
+}

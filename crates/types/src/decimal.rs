@@ -1,0 +1,342 @@
+//! Fixed-point decimal numbers.
+//!
+//! SIM's `number[p,s]` data type (e.g. `salary: number[9,2]` in the
+//! UNIVERSITY schema, paper §7): `p` total digits, `s` of them after the
+//! decimal point. Implemented as an `i128` mantissa plus a scale, so money
+//! arithmetic (`1.1 * salary` from example 4 in §4.9) is exact where possible.
+
+use crate::error::TypeError;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Maximum scale we ever normalize to; ample for `number[p,s]` with `s <= 9`.
+pub const MAX_SCALE: u8 = 12;
+
+/// A fixed-point decimal: `mantissa * 10^(-scale)`.
+///
+/// The arithmetic methods are inherent (`a.add(b)?`) rather than operator
+/// impls because they are checked and fallible.
+#[derive(Debug, Clone, Copy)]
+pub struct Decimal {
+    mantissa: i128,
+    scale: u8,
+}
+
+fn pow10(n: u8) -> i128 {
+    10i128.pow(n as u32)
+}
+
+impl Decimal {
+    /// Construct from a raw mantissa and scale.
+    pub fn from_parts(mantissa: i128, scale: u8) -> Result<Decimal, TypeError> {
+        if scale > MAX_SCALE {
+            return Err(TypeError::Arithmetic(format!(
+                "scale {scale} exceeds maximum {MAX_SCALE}"
+            )));
+        }
+        Ok(Decimal { mantissa, scale })
+    }
+
+    /// A whole-number decimal.
+    pub fn from_int(n: i64) -> Decimal {
+        Decimal { mantissa: n as i128, scale: 0 }
+    }
+
+    /// Parse a literal like `123`, `-4.50`, `0.07`.
+    pub fn parse(s: &str) -> Result<Decimal, TypeError> {
+        let bad = || TypeError::Parse(format!("invalid decimal literal {s:?}"));
+        let (sign, body) = match s.strip_prefix('-') {
+            Some(rest) => (-1i128, rest),
+            None => (1i128, s.strip_prefix('+').unwrap_or(s)),
+        };
+        if body.is_empty() {
+            return Err(bad());
+        }
+        let (int_part, frac_part) = match body.split_once('.') {
+            Some((i, f)) => (i, f),
+            None => (body, ""),
+        };
+        if int_part.is_empty() && frac_part.is_empty() {
+            return Err(bad());
+        }
+        if frac_part.len() > MAX_SCALE as usize {
+            return Err(TypeError::Parse(format!(
+                "too many fractional digits in {s:?} (max {MAX_SCALE})"
+            )));
+        }
+        let mut mantissa: i128 = 0;
+        for c in int_part.chars().chain(frac_part.chars()) {
+            let d = c.to_digit(10).ok_or_else(bad)? as i128;
+            mantissa = mantissa
+                .checked_mul(10)
+                .and_then(|m| m.checked_add(d))
+                .ok_or_else(|| TypeError::Arithmetic("decimal overflow".into()))?;
+        }
+        Ok(Decimal { mantissa: sign * mantissa, scale: frac_part.len() as u8 })
+    }
+
+    /// The raw mantissa.
+    pub fn mantissa(self) -> i128 {
+        self.mantissa
+    }
+
+    /// The scale (digits after the point).
+    pub fn scale(self) -> u8 {
+        self.scale
+    }
+
+    /// Rescale to exactly `scale` fractional digits, rounding half away from
+    /// zero when digits are dropped.
+    pub fn rescale(self, scale: u8) -> Result<Decimal, TypeError> {
+        if scale > MAX_SCALE {
+            return Err(TypeError::Arithmetic(format!("scale {scale} too large")));
+        }
+        match scale.cmp(&self.scale) {
+            Ordering::Equal => Ok(self),
+            Ordering::Greater => {
+                let factor = pow10(scale - self.scale);
+                let m = self
+                    .mantissa
+                    .checked_mul(factor)
+                    .ok_or_else(|| TypeError::Arithmetic("decimal overflow".into()))?;
+                Ok(Decimal { mantissa: m, scale })
+            }
+            Ordering::Less => {
+                let factor = pow10(self.scale - scale);
+                let half = factor / 2;
+                let adj = if self.mantissa >= 0 { half } else { -half };
+                Ok(Decimal { mantissa: (self.mantissa + adj) / factor, scale })
+            }
+        }
+    }
+
+    fn aligned(self, other: Decimal) -> (i128, i128, u8) {
+        let scale = self.scale.max(other.scale);
+        let a = self.mantissa * pow10(scale - self.scale);
+        let b = other.mantissa * pow10(scale - other.scale);
+        (a, b, scale)
+    }
+
+    /// Checked addition.
+    pub fn add(self, other: Decimal) -> Result<Decimal, TypeError> {
+        let (a, b, scale) = self.aligned(other);
+        let m = a
+            .checked_add(b)
+            .ok_or_else(|| TypeError::Arithmetic("decimal overflow".into()))?;
+        Ok(Decimal { mantissa: m, scale })
+    }
+
+    /// Checked subtraction.
+    pub fn sub(self, other: Decimal) -> Result<Decimal, TypeError> {
+        self.add(Decimal { mantissa: -other.mantissa, scale: other.scale })
+    }
+
+    /// Checked multiplication; the result carries the combined scale, clamped
+    /// (with rounding) to [`MAX_SCALE`].
+    pub fn mul(self, other: Decimal) -> Result<Decimal, TypeError> {
+        let mut m = self
+            .mantissa
+            .checked_mul(other.mantissa)
+            .ok_or_else(|| TypeError::Arithmetic("decimal overflow".into()))?;
+        let mut scale = self.scale + other.scale;
+        if scale > MAX_SCALE {
+            // Drop excess fractional digits, rounding half away from zero.
+            let factor = pow10(scale - MAX_SCALE);
+            let half = factor / 2;
+            m = (m + if m >= 0 { half } else { -half }) / factor;
+            scale = MAX_SCALE;
+        }
+        Ok(Decimal { mantissa: m, scale })
+    }
+
+    /// Division, carried out at [`MAX_SCALE`] fractional digits.
+    pub fn div(self, other: Decimal) -> Result<Decimal, TypeError> {
+        if other.mantissa == 0 {
+            return Err(TypeError::Arithmetic("division by zero".into()));
+        }
+        // Compute (a / b) at MAX_SCALE digits: a * 10^(MAX_SCALE + bs - as) / b.
+        let shift = MAX_SCALE + other.scale - self.scale;
+        let num = self
+            .mantissa
+            .checked_mul(pow10(shift))
+            .ok_or_else(|| TypeError::Arithmetic("decimal overflow".into()))?;
+        Ok(Decimal { mantissa: num / other.mantissa, scale: MAX_SCALE })
+    }
+
+    /// Negation.
+    pub fn neg(self) -> Decimal {
+        Decimal { mantissa: -self.mantissa, scale: self.scale }
+    }
+
+    /// Lossy conversion to `f64` (used only for AVG-style aggregates).
+    pub fn to_f64(self) -> f64 {
+        self.mantissa as f64 / pow10(self.scale) as f64
+    }
+
+    /// Exact conversion to `i64` if the value is integral and fits.
+    pub fn to_i64_exact(self) -> Option<i64> {
+        let f = pow10(self.scale);
+        if self.mantissa % f != 0 {
+            return None;
+        }
+        i64::try_from(self.mantissa / f).ok()
+    }
+
+    /// Number of integer digits (for `number[p,s]` precision checks).
+    pub fn integer_digits(self) -> u32 {
+        let int = (self.mantissa / pow10(self.scale)).unsigned_abs();
+        if int == 0 {
+            0
+        } else {
+            int.ilog10() + 1
+        }
+    }
+
+    /// True if the value is exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.mantissa == 0
+    }
+}
+
+impl PartialEq for Decimal {
+    fn eq(&self, other: &Decimal) -> bool {
+        let (a, b, _) = self.aligned(*other);
+        a == b
+    }
+}
+
+impl Eq for Decimal {}
+
+impl PartialOrd for Decimal {
+    fn partial_cmp(&self, other: &Decimal) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Decimal {
+    fn cmp(&self, other: &Decimal) -> Ordering {
+        let (a, b, _) = self.aligned(*other);
+        a.cmp(&b)
+    }
+}
+
+impl std::hash::Hash for Decimal {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Hash a normalized form so equal values hash equally.
+        let mut m = self.mantissa;
+        let mut s = self.scale;
+        while s > 0 && m % 10 == 0 {
+            m /= 10;
+            s -= 1;
+        }
+        m.hash(state);
+        s.hash(state);
+    }
+}
+
+impl fmt::Display for Decimal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.scale == 0 {
+            return write!(f, "{}", self.mantissa);
+        }
+        let sign = if self.mantissa < 0 { "-" } else { "" };
+        let abs = self.mantissa.unsigned_abs();
+        let factor = pow10(self.scale) as u128;
+        write!(
+            f,
+            "{sign}{}.{:0width$}",
+            abs / factor,
+            abs % factor,
+            width = self.scale as usize
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> Decimal {
+        Decimal::parse(s).unwrap()
+    }
+
+    #[test]
+    fn parse_and_display() {
+        assert_eq!(d("123").to_string(), "123");
+        assert_eq!(d("-4.50").to_string(), "-4.50");
+        assert_eq!(d("0.07").to_string(), "0.07");
+        assert_eq!(d("+12.3").to_string(), "12.3");
+        assert!(Decimal::parse("").is_err());
+        assert!(Decimal::parse("1.2.3").is_err());
+        assert!(Decimal::parse("abc").is_err());
+        assert!(Decimal::parse(".").is_err());
+    }
+
+    #[test]
+    fn equality_across_scales() {
+        assert_eq!(d("1.50"), d("1.5"));
+        assert_eq!(d("-0.0"), d("0"));
+        assert!(d("1.49") < d("1.5"));
+        assert!(d("-2") < d("-1.99"));
+    }
+
+    #[test]
+    fn salary_raise_is_exact() {
+        // Example 4 in paper §4.9: salary := 1.1 * salary.
+        let salary = d("50000.00");
+        let raised = salary.mul(d("1.1")).unwrap();
+        assert_eq!(raised, d("55000.00"));
+    }
+
+    #[test]
+    fn addition_and_subtraction() {
+        assert_eq!(d("1.25").add(d("2.75")).unwrap(), d("4"));
+        assert_eq!(d("1").sub(d("0.01")).unwrap(), d("0.99"));
+        // Paper V2: salary + bonus < 100000.
+        let total = d("99999.99").add(d("0.01")).unwrap();
+        assert_eq!(total, d("100000"));
+    }
+
+    #[test]
+    fn division_rounds_down_at_max_scale() {
+        let q = d("1").div(d("3")).unwrap();
+        assert_eq!(q.to_string(), "0.333333333333");
+        assert!(d("1").div(d("0")).is_err());
+    }
+
+    #[test]
+    fn rescale_rounds_half_away_from_zero() {
+        assert_eq!(d("1.005").rescale(2).unwrap().to_string(), "1.01");
+        assert_eq!(d("-1.005").rescale(2).unwrap().to_string(), "-1.01");
+        assert_eq!(d("1.004").rescale(2).unwrap().to_string(), "1.00");
+        assert_eq!(d("2").rescale(3).unwrap().to_string(), "2.000");
+    }
+
+    #[test]
+    fn integer_digit_counting() {
+        assert_eq!(d("0.99").integer_digits(), 0);
+        assert_eq!(d("9.99").integer_digits(), 1);
+        assert_eq!(d("1234567.89").integer_digits(), 7);
+        assert_eq!(d("-1234567.89").integer_digits(), 7);
+    }
+
+    #[test]
+    fn i64_conversion() {
+        assert_eq!(d("42.00").to_i64_exact(), Some(42));
+        assert_eq!(d("42.50").to_i64_exact(), None);
+        assert_eq!(Decimal::from_int(-7).to_i64_exact(), Some(-7));
+    }
+
+    #[test]
+    fn hash_consistent_with_eq() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |v: Decimal| {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(d("1.50")), h(d("1.5")));
+        assert_eq!(h(d("100")), h(d("100.000")));
+    }
+}

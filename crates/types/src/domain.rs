@@ -1,0 +1,361 @@
+//! Declared data types (domains) for data-valued attributes.
+//!
+//! Paper §2: "Semantic models provide strong typing features that can be used
+//! in a natural way to constrain the values of an attribute." The UNIVERSITY
+//! schema (§7) uses every one of these: range-constrained integers
+//! (`id-number = integer (1001..39999, 60001..99999)`), bounded strings
+//! (`string[30]`), fixed-point numbers (`number[9,2]`), dates, symbolic
+//! enumerations (`degree = symbolic (BS, MBA, MS, PHD)`) and system-maintained
+//! subroles (`profession: subrole (student, instructor)`).
+
+use crate::error::TypeError;
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// An inclusive integer range, e.g. `1001..39999` in the paper's notation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntRange {
+    /// Lower bound, inclusive.
+    pub lo: i64,
+    /// Upper bound, inclusive.
+    pub hi: i64,
+}
+
+impl IntRange {
+    /// Construct, requiring `lo <= hi`.
+    pub fn new(lo: i64, hi: i64) -> Result<IntRange, TypeError> {
+        if lo > hi {
+            return Err(TypeError::DomainViolation(format!(
+                "empty integer range {lo}..{hi}"
+            )));
+        }
+        Ok(IntRange { lo, hi })
+    }
+
+    /// Membership test.
+    pub fn contains(&self, v: i64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+}
+
+impl fmt::Display for IntRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.lo, self.hi)
+    }
+}
+
+/// A named enumeration: `symbolic (BS, MBA, MS, PHD)`.
+///
+/// Values are stored as indexes into the (ordered) label list; comparison
+/// order is declaration order, as is conventional for enumerated types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymbolicType {
+    labels: Vec<String>,
+}
+
+impl SymbolicType {
+    /// Build from labels; duplicates (case-insensitive) are rejected.
+    pub fn new<I, S>(labels: I) -> Result<SymbolicType, TypeError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let labels: Vec<String> = labels.into_iter().map(Into::into).collect();
+        if labels.is_empty() {
+            return Err(TypeError::DomainViolation(
+                "symbolic type needs at least one label".into(),
+            ));
+        }
+        for (i, a) in labels.iter().enumerate() {
+            for b in &labels[i + 1..] {
+                if a.eq_ignore_ascii_case(b) {
+                    return Err(TypeError::DomainViolation(format!(
+                        "duplicate symbolic label {a:?}"
+                    )));
+                }
+            }
+        }
+        Ok(SymbolicType { labels })
+    }
+
+    /// Index of a label, case-insensitively.
+    pub fn index_of(&self, label: &str) -> Option<u16> {
+        self.labels
+            .iter()
+            .position(|l| l.eq_ignore_ascii_case(label))
+            .map(|i| i as u16)
+    }
+
+    /// Label at an index.
+    pub fn label(&self, index: u16) -> Option<&str> {
+        self.labels.get(index as usize).map(String::as_str)
+    }
+
+    /// All labels, in declaration order.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Number of labels.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Always false — construction rejects empty label lists.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// A declared attribute domain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Domain {
+    /// `integer` with optional union of inclusive ranges.
+    Integer { ranges: Vec<IntRange> },
+    /// `string[max_len]`; `None` means unbounded.
+    String { max_len: Option<u32> },
+    /// `number[precision, scale]` fixed-point.
+    Number { precision: u8, scale: u8 },
+    /// `real` floating point (host-language interface convenience).
+    Real,
+    /// `boolean`.
+    Boolean,
+    /// `date`.
+    Date,
+    /// A symbolic enumeration. `Arc` so many attributes can share one named type.
+    Symbolic(Arc<SymbolicType>),
+    /// A subrole attribute (paper §3.2): same value representation as
+    /// `Symbolic`, but system-maintained and read-only; labels are the names
+    /// of the immediate subclasses of the declaring class.
+    Subrole(Arc<SymbolicType>),
+}
+
+impl Domain {
+    /// Unconstrained integer.
+    pub fn integer() -> Domain {
+        Domain::Integer { ranges: Vec::new() }
+    }
+
+    /// Integer restricted to one inclusive range.
+    pub fn integer_range(lo: i64, hi: i64) -> Result<Domain, TypeError> {
+        Ok(Domain::Integer { ranges: vec![IntRange::new(lo, hi)?] })
+    }
+
+    /// Bounded string.
+    pub fn string(max_len: u32) -> Domain {
+        Domain::String { max_len: Some(max_len) }
+    }
+
+    /// Validate a non-null value against this domain.
+    ///
+    /// Null is always admissible at the domain level; REQUIRED is an
+    /// attribute option enforced by the LUC mapper, not a domain property.
+    pub fn check(&self, value: &Value) -> Result<(), TypeError> {
+        match (self, value) {
+            (_, Value::Null) => Ok(()),
+            (Domain::Integer { ranges }, Value::Int(v)) => {
+                if ranges.is_empty() || ranges.iter().any(|r| r.contains(*v)) {
+                    Ok(())
+                } else {
+                    Err(TypeError::DomainViolation(format!(
+                        "{v} outside declared ranges {}",
+                        ranges
+                            .iter()
+                            .map(|r| r.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )))
+                }
+            }
+            (Domain::String { max_len }, Value::Str(s)) => match max_len {
+                Some(n) if s.chars().count() > *n as usize => Err(TypeError::DomainViolation(
+                    format!("string of length {} exceeds string[{n}]", s.chars().count()),
+                )),
+                _ => Ok(()),
+            },
+            (Domain::Number { precision, scale }, Value::Decimal(d)) => {
+                // Excess fractional digits are fine when they are zeros
+                // (arithmetic like `1.1 * salary` produces them).
+                if d.scale() > *scale && (d.rescale(*scale) != Ok(*d)) {
+                    return Err(TypeError::DomainViolation(format!(
+                        "{d} has more than {scale} fractional digits"
+                    )));
+                }
+                let max_int_digits = (precision - scale) as u32;
+                if d.integer_digits() > max_int_digits {
+                    return Err(TypeError::DomainViolation(format!(
+                        "{d} exceeds number[{precision},{scale}]"
+                    )));
+                }
+                Ok(())
+            }
+            // Integer literals are acceptable wherever a number is expected.
+            (Domain::Number { precision, scale }, Value::Int(v)) => {
+                let d = crate::Decimal::from_int(*v);
+                self.check(&Value::Decimal(d)).map_err(|_| {
+                    TypeError::DomainViolation(format!("{v} exceeds number[{precision},{scale}]"))
+                })
+            }
+            (Domain::Real, Value::Float(_)) => Ok(()),
+            (Domain::Real, Value::Int(_)) => Ok(()),
+            (Domain::Boolean, Value::Bool(_)) => Ok(()),
+            (Domain::Date, Value::Date(_)) => Ok(()),
+            (Domain::Symbolic(t) | Domain::Subrole(t), Value::Symbol(idx)) => {
+                if (*idx as usize) < t.len() {
+                    Ok(())
+                } else {
+                    Err(TypeError::DomainViolation(format!(
+                        "symbolic index {idx} out of range for type with {} labels",
+                        t.len()
+                    )))
+                }
+            }
+            (d, v) => Err(TypeError::Incompatible(format!(
+                "value {v} does not belong to domain {d}"
+            ))),
+        }
+    }
+
+    /// Coerce a parsed literal into this domain's natural representation
+    /// (e.g. a bare integer into a `number[9,2]` decimal, a string into a
+    /// symbolic index or a date), then validate it.
+    pub fn coerce(&self, value: Value) -> Result<Value, TypeError> {
+        let coerced = match (self, value) {
+            (_, Value::Null) => Value::Null,
+            (Domain::Number { .. }, Value::Int(v)) => Value::Decimal(crate::Decimal::from_int(v)),
+            // Normalize zero-padded scales down to the declared scale.
+            (Domain::Number { scale, .. }, Value::Decimal(d))
+                if d.scale() > *scale && (d.rescale(*scale) == Ok(d)) =>
+            {
+                Value::Decimal(d.rescale(*scale).expect("checked"))
+            }
+            (Domain::Real, Value::Int(v)) => Value::Float(v as f64),
+            (Domain::Date, Value::Str(s)) => Value::Date(crate::Date::parse(&s)?),
+            (Domain::Symbolic(t) | Domain::Subrole(t), Value::Str(s)) => {
+                let idx = t.index_of(&s).ok_or_else(|| {
+                    TypeError::DomainViolation(format!("{s:?} is not a label of {self}"))
+                })?;
+                Value::Symbol(idx)
+            }
+            (_, v) => v,
+        };
+        self.check(&coerced)?;
+        Ok(coerced)
+    }
+
+    /// Render a symbolic value's label if this domain carries labels.
+    pub fn symbol_label(&self, idx: u16) -> Option<&str> {
+        match self {
+            Domain::Symbolic(t) | Domain::Subrole(t) => t.label(idx),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Domain::Integer { ranges } if ranges.is_empty() => write!(f, "integer"),
+            Domain::Integer { ranges } => {
+                let parts: Vec<String> = ranges.iter().map(|r| r.to_string()).collect();
+                write!(f, "integer ({})", parts.join(", "))
+            }
+            Domain::String { max_len: Some(n) } => write!(f, "string[{n}]"),
+            Domain::String { max_len: None } => write!(f, "string"),
+            Domain::Number { precision, scale } => write!(f, "number[{precision},{scale}]"),
+            Domain::Real => write!(f, "real"),
+            Domain::Boolean => write!(f, "boolean"),
+            Domain::Date => write!(f, "date"),
+            Domain::Symbolic(t) => write!(f, "symbolic ({})", t.labels().join(", ")),
+            Domain::Subrole(t) => write!(f, "subrole ({})", t.labels().join(", ")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Date, Decimal};
+
+    #[test]
+    fn id_number_domain_from_paper() {
+        // Type id-number = integer (1001..39999, 60001..99999);
+        let d = Domain::Integer {
+            ranges: vec![IntRange::new(1001, 39999).unwrap(), IntRange::new(60001, 99999).unwrap()],
+        };
+        assert!(d.check(&Value::Int(1729)).is_ok()); // John Doe's employee-nbr
+        assert!(d.check(&Value::Int(50000)).is_err());
+        assert!(d.check(&Value::Int(1000)).is_err());
+        assert!(d.check(&Value::Int(99999)).is_ok());
+        assert!(d.check(&Value::Null).is_ok());
+    }
+
+    #[test]
+    fn empty_range_rejected() {
+        assert!(IntRange::new(5, 4).is_err());
+    }
+
+    #[test]
+    fn string_length_counts_chars() {
+        let d = Domain::string(5);
+        assert!(d.check(&Value::Str("héllo".into())).is_ok());
+        assert!(d.check(&Value::Str("hello!".into())).is_err());
+        assert!(Domain::String { max_len: None }
+            .check(&Value::Str("x".repeat(10_000)))
+            .is_ok());
+    }
+
+    #[test]
+    fn number_precision_scale() {
+        // salary: number[9,2]
+        let d = Domain::Number { precision: 9, scale: 2 };
+        assert!(d.check(&Value::Decimal(Decimal::parse("9999999.99").unwrap())).is_ok());
+        assert!(d.check(&Value::Decimal(Decimal::parse("10000000.00").unwrap())).is_err());
+        assert!(d.check(&Value::Decimal(Decimal::parse("1.999").unwrap())).is_err());
+        assert!(d.check(&Value::Int(50000)).is_ok());
+    }
+
+    #[test]
+    fn symbolic_coercion() {
+        let deg = Arc::new(SymbolicType::new(["BS", "MBA", "MS", "PHD"]).unwrap());
+        let d = Domain::Symbolic(Arc::clone(&deg));
+        assert_eq!(d.coerce(Value::Str("mba".into())).unwrap(), Value::Symbol(1));
+        assert!(d.coerce(Value::Str("BA".into())).is_err());
+        assert_eq!(d.symbol_label(3), Some("PHD"));
+        assert!(d.check(&Value::Symbol(4)).is_err());
+    }
+
+    #[test]
+    fn symbolic_duplicate_labels_rejected() {
+        assert!(SymbolicType::new(["BS", "bs"]).is_err());
+        assert!(SymbolicType::new(Vec::<String>::new()).is_err());
+    }
+
+    #[test]
+    fn date_coercion_from_string() {
+        let d = Domain::Date;
+        assert_eq!(
+            d.coerce(Value::Str("1964-07-04".into())).unwrap(),
+            Value::Date(Date::from_ymd(1964, 7, 4).unwrap())
+        );
+        assert!(d.coerce(Value::Str("not a date".into())).is_err());
+    }
+
+    #[test]
+    fn incompatible_types_rejected() {
+        assert!(Domain::integer().check(&Value::Str("7".into())).is_err());
+        assert!(Domain::Boolean.check(&Value::Int(1)).is_err());
+        assert!(Domain::Date.check(&Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let d = Domain::Integer {
+            ranges: vec![IntRange::new(1001, 39999).unwrap(), IntRange::new(60001, 99999).unwrap()],
+        };
+        assert_eq!(d.to_string(), "integer (1001..39999, 60001..99999)");
+        assert_eq!(Domain::string(30).to_string(), "string[30]");
+        assert_eq!(Domain::Number { precision: 9, scale: 2 }.to_string(), "number[9,2]");
+    }
+}

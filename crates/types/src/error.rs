@@ -1,0 +1,29 @@
+//! Error type for value/domain operations.
+
+use std::fmt;
+
+/// Errors raised by value construction, coercion and domain validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// A value did not fit the declared domain (range, length, precision…).
+    DomainViolation(String),
+    /// An operation was applied to operands of incompatible types.
+    Incompatible(String),
+    /// Arithmetic overflow or division by zero.
+    Arithmetic(String),
+    /// A malformed literal (bad date string, bad decimal…).
+    Parse(String),
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::DomainViolation(m) => write!(f, "domain violation: {m}"),
+            TypeError::Incompatible(m) => write!(f, "incompatible types: {m}"),
+            TypeError::Arithmetic(m) => write!(f, "arithmetic error: {m}"),
+            TypeError::Parse(m) => write!(f, "parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}

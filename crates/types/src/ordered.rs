@@ -1,0 +1,233 @@
+//! Order-preserving byte encodings for index keys.
+//!
+//! B-tree pages compare keys bytewise (`memcmp`), so every value type needs
+//! an encoding whose lexicographic byte order equals the value order. The
+//! paper's default physical mappings (§5.2) key structures by surrogate or by
+//! user attribute ("direct keys, random keys based on hashing, or index
+//! sequential keys"); this module provides the index-sequential flavor.
+//!
+//! Encoding scheme (first byte is a type tag so heterogeneous keys still
+//! order deterministically, with null first):
+//!
+//! * `0x00` null
+//! * `0x01` numeric (int/decimal/float) — 1 sign-flipped f64-style order for
+//!   floats is avoided: ints/decimals encode as (flipped sign, magnitude);
+//!   see below
+//! * `0x02` string — raw bytes, `0x00 0x01` escaped, terminated `0x00 0x00`
+//! * `0x03` boolean
+//! * `0x04` date
+//! * `0x05` symbol
+//! * `0x06` entity surrogate
+
+use crate::decimal::{Decimal, MAX_SCALE};
+use crate::surrogate::Surrogate;
+use crate::value::Value;
+
+/// Append the order-preserving encoding of `v` to `out`.
+pub fn encode_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Null => out.push(0x00),
+        Value::Int(n) => {
+            out.push(0x01);
+            encode_numeric(Decimal::from_int(*n), out);
+        }
+        Value::Decimal(d) => {
+            out.push(0x01);
+            encode_numeric(*d, out);
+        }
+        Value::Float(f) => {
+            out.push(0x01);
+            // Approximate: route floats through a decimal at MAX_SCALE. Good
+            // enough for `real` index keys; exactness is not required there.
+            let scaled = (*f * 10f64.powi(MAX_SCALE as i32)).round() as i128;
+            encode_numeric(Decimal::from_parts(scaled, MAX_SCALE).unwrap(), out);
+        }
+        Value::Str(s) => {
+            out.push(0x02);
+            encode_bytes(s.as_bytes(), out);
+        }
+        Value::Bool(b) => {
+            out.push(0x03);
+            out.push(u8::from(*b));
+        }
+        Value::Date(d) => {
+            out.push(0x04);
+            out.extend_from_slice(&(d.day_number() as u32 ^ 0x8000_0000).to_be_bytes());
+        }
+        Value::Symbol(i) => {
+            out.push(0x05);
+            out.extend_from_slice(&i.to_be_bytes());
+        }
+        Value::Entity(s) => {
+            out.push(0x06);
+            out.extend_from_slice(&s.raw().to_be_bytes());
+        }
+    }
+}
+
+/// Encode a full composite key.
+pub fn encode_key(values: &[Value]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 10);
+    for v in values {
+        encode_value(v, &mut out);
+    }
+    out
+}
+
+/// Encode a surrogate alone (the most common key in the EVA structures).
+pub fn encode_surrogate(s: Surrogate) -> Vec<u8> {
+    let mut out = Vec::with_capacity(9);
+    encode_value(&Value::Entity(s), &mut out);
+    out
+}
+
+/// Numeric encoding: normalize to scale MAX_SCALE, then encode the i128
+/// mantissa with its sign bit flipped so negative < positive bytewise.
+fn encode_numeric(d: Decimal, out: &mut Vec<u8>) {
+    // i128 can hold any number[p,s] mantissa at MAX_SCALE for p <= 18.
+    let m = d
+        .rescale(MAX_SCALE)
+        .map(|r| r.mantissa())
+        .unwrap_or_else(|_| {
+            // Out-of-range magnitudes saturate; ordering among saturated
+            // values is undefined but they are far outside domain limits.
+            if d.mantissa() > 0 {
+                i128::MAX
+            } else {
+                i128::MIN
+            }
+        });
+    let flipped = (m as u128) ^ (1u128 << 127);
+    out.extend_from_slice(&flipped.to_be_bytes());
+}
+
+/// Escaped, terminated byte-string encoding: order-preserving even when one
+/// string is a prefix of another, and safe to concatenate in composite keys.
+fn encode_bytes(bytes: &[u8], out: &mut Vec<u8>) {
+    for &b in bytes {
+        if b == 0x00 {
+            out.extend_from_slice(&[0x00, 0x01]);
+        } else {
+            out.push(b);
+        }
+    }
+    out.extend_from_slice(&[0x00, 0x00]);
+}
+
+/// Decode a surrogate previously encoded with [`encode_surrogate`].
+pub fn decode_surrogate(bytes: &[u8]) -> Option<Surrogate> {
+    if bytes.len() != 9 || bytes[0] != 0x06 {
+        return None;
+    }
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&bytes[1..9]);
+    Some(Surrogate::from_raw(u64::from_be_bytes(raw)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Date;
+
+    fn key(v: Value) -> Vec<u8> {
+        encode_key(std::slice::from_ref(&v))
+    }
+
+    #[test]
+    fn integers_order_bytewise() {
+        let vals = [-1000i64, -1, 0, 1, 2, 999, 1_000_000];
+        for w in vals.windows(2) {
+            assert!(
+                key(Value::Int(w[0])) < key(Value::Int(w[1])),
+                "{} should encode below {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn decimals_and_ints_interleave() {
+        let a = key(Value::Decimal(Decimal::parse("1.5").unwrap()));
+        let b = key(Value::Int(2));
+        let c = key(Value::Decimal(Decimal::parse("2.01").unwrap()));
+        assert!(a < b && b < c);
+        // Equal values encode equal.
+        assert_eq!(
+            key(Value::Int(3)),
+            key(Value::Decimal(Decimal::parse("3.00").unwrap()))
+        );
+    }
+
+    #[test]
+    fn strings_order_bytewise_with_prefixes() {
+        assert!(key(Value::Str("a".into())) < key(Value::Str("aa".into())));
+        assert!(key(Value::Str("aa".into())) < key(Value::Str("ab".into())));
+        assert!(key(Value::Str("".into())) < key(Value::Str("a".into())));
+    }
+
+    #[test]
+    fn embedded_nul_bytes_survive() {
+        let a = key(Value::Str("a\0b".into()));
+        let b = key(Value::Str("a\0c".into()));
+        let c = key(Value::Str("a".into()));
+        assert!(a < b);
+        assert!(c < a); // "a" is a strict prefix
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        assert!(key(Value::Null) < key(Value::Int(i64::MIN)));
+        assert!(key(Value::Null) < key(Value::Str("".into())));
+    }
+
+    #[test]
+    fn dates_order() {
+        let d1 = Date::from_ymd(1950, 6, 1).unwrap();
+        let d2 = Date::from_ymd(1950, 6, 2).unwrap();
+        assert!(key(Value::Date(d1)) < key(Value::Date(d2)));
+    }
+
+    #[test]
+    fn composite_keys_compose() {
+        let k1 = encode_key(&[Value::Str("a".into()), Value::Int(2)]);
+        let k2 = encode_key(&[Value::Str("a".into()), Value::Int(10)]);
+        let k3 = encode_key(&[Value::Str("b".into()), Value::Int(1)]);
+        assert!(k1 < k2 && k2 < k3);
+    }
+
+    #[test]
+    fn surrogate_roundtrip() {
+        let s = Surrogate::from_raw(123_456_789);
+        let enc = encode_surrogate(s);
+        assert_eq!(decode_surrogate(&enc), Some(s));
+        assert_eq!(decode_surrogate(&enc[1..]), None);
+        // Surrogates order by raw value.
+        assert!(encode_surrogate(Surrogate(1)) < encode_surrogate(Surrogate(2)));
+    }
+
+    #[test]
+    fn encoding_agrees_with_total_cmp() {
+        let samples = vec![
+            Value::Null,
+            Value::Int(-5),
+            Value::Int(0),
+            Value::Decimal(Decimal::parse("0.5").unwrap()),
+            Value::Int(7),
+            Value::Str("alpha".into()),
+            Value::Str("beta".into()),
+            Value::Bool(false),
+            Value::Bool(true),
+            Value::Date(Date::from_ymd(1988, 6, 1).unwrap()),
+            Value::Symbol(2),
+            Value::Entity(Surrogate(9)),
+        ];
+        for a in &samples {
+            for b in &samples {
+                let by_bytes = key(a.clone()).cmp(&key(b.clone()));
+                let by_value = a.total_cmp(b);
+                assert_eq!(by_bytes, by_value, "mismatch for {a:?} vs {b:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! String pattern matching for the DML.
+//!
+//! Paper §4.9 lists "pattern matching" among the DML's operators without
+//! specifying a syntax. We adopt the common glob dialect: `*` matches any
+//! (possibly empty) character sequence, `?` matches exactly one character,
+//! and `\` escapes the next character. Matching is case-insensitive for
+//! ASCII, matching the DML's generally case-blind flavor.
+
+use crate::truth::Truth;
+use crate::value::Value;
+
+/// Match `text` against `pattern`. Iterative two-pointer algorithm with
+/// backtracking only over the last `*`, so it is linear for typical patterns.
+pub fn glob_match(pattern: &str, text: &str) -> bool {
+    let pat: Vec<char> = pattern.chars().collect();
+    let txt: Vec<char> = text.chars().collect();
+    let (mut p, mut t) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None; // (pattern idx after '*', text idx)
+
+    fn eq(a: char, b: char) -> bool {
+        a.eq_ignore_ascii_case(&b)
+    }
+
+    while t < txt.len() {
+        if p < pat.len() {
+            match pat[p] {
+                '*' => {
+                    star = Some((p + 1, t));
+                    p += 1;
+                    continue;
+                }
+                '?' => {
+                    p += 1;
+                    t += 1;
+                    continue;
+                }
+                '\\' if p + 1 < pat.len() => {
+                    if eq(pat[p + 1], txt[t]) {
+                        p += 2;
+                        t += 1;
+                        continue;
+                    }
+                }
+                c => {
+                    if eq(c, txt[t]) {
+                        p += 1;
+                        t += 1;
+                        continue;
+                    }
+                }
+            }
+        }
+        // Mismatch: backtrack to the last star, consuming one more char.
+        match star {
+            Some((sp, st)) => {
+                p = sp;
+                t = st + 1;
+                star = Some((sp, st + 1));
+            }
+            None => return false,
+        }
+    }
+    // Remaining pattern must be all '*'.
+    while p < pat.len() && pat[p] == '*' {
+        p += 1;
+    }
+    p == pat.len()
+}
+
+/// Three-valued LIKE: null on either side yields `Unknown`.
+pub fn value_matches(value: &Value, pattern: &Value) -> Truth {
+    match (value, pattern) {
+        (Value::Null, _) | (_, Value::Null) => Truth::Unknown,
+        (Value::Str(v), Value::Str(p)) => Truth::from_bool(glob_match(p, v)),
+        _ => Truth::False,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_match_is_case_insensitive() {
+        assert!(glob_match("John Doe", "john doe"));
+        assert!(!glob_match("John Doe", "John Roe"));
+    }
+
+    #[test]
+    fn star_matches_any_run() {
+        assert!(glob_match("Calculus*", "Calculus I"));
+        assert!(glob_match("*dynamics", "Quantum Chromodynamics"));
+        assert!(glob_match("*antum*dyn*", "Quantum Chromodynamics"));
+        assert!(glob_match("*", ""));
+        assert!(!glob_match("a*b", "acd"));
+    }
+
+    #[test]
+    fn question_matches_one_char() {
+        assert!(glob_match("Algebra ?", "Algebra I"));
+        assert!(!glob_match("Algebra ?", "Algebra II"));
+        assert!(!glob_match("?", ""));
+    }
+
+    #[test]
+    fn escape_makes_wildcards_literal() {
+        assert!(glob_match("100\\*", "100*"));
+        assert!(!glob_match("100\\*", "1000"));
+        assert!(glob_match("a\\?c", "a?c"));
+        assert!(!glob_match("a\\?c", "abc"));
+    }
+
+    #[test]
+    fn backtracking_cases() {
+        assert!(glob_match("*aab", "aaab"));
+        assert!(glob_match("a*a*a", "aaa"));
+        assert!(!glob_match("a*a*a", "aa"));
+        assert!(glob_match("*?*", "x"));
+    }
+
+    #[test]
+    fn null_semantics() {
+        assert_eq!(
+            value_matches(&Value::Null, &Value::Str("*".into())),
+            Truth::Unknown
+        );
+        assert_eq!(
+            value_matches(&Value::Str("abc".into()), &Value::Null),
+            Truth::Unknown
+        );
+        assert_eq!(
+            value_matches(&Value::Str("abc".into()), &Value::Str("a*".into())),
+            Truth::True
+        );
+        assert_eq!(
+            value_matches(&Value::Int(3), &Value::Str("3".into())),
+            Truth::False
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Three-valued logic.
+//!
+//! SIM "follows the 3-valued logic" for expressions over nulls (paper §4.9).
+//! Selection expressions select an entity only when they evaluate to
+//! [`Truth::True`]; both `False` and `Unknown` reject.
+
+use std::fmt;
+
+/// A Kleene three-valued truth value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Truth {
+    /// Definitely true.
+    True,
+    /// Definitely false.
+    False,
+    /// Null was involved; the outcome cannot be determined.
+    Unknown,
+}
+
+impl Truth {
+    /// Lift a Rust boolean into the 3VL lattice.
+    pub fn from_bool(b: bool) -> Truth {
+        if b {
+            Truth::True
+        } else {
+            Truth::False
+        }
+    }
+
+    /// Kleene conjunction: `False` dominates, `Unknown` is absorbing otherwise.
+    pub fn and(self, other: Truth) -> Truth {
+        match (self, other) {
+            (Truth::False, _) | (_, Truth::False) => Truth::False,
+            (Truth::True, Truth::True) => Truth::True,
+            _ => Truth::Unknown,
+        }
+    }
+
+    /// Kleene disjunction: `True` dominates.
+    pub fn or(self, other: Truth) -> Truth {
+        match (self, other) {
+            (Truth::True, _) | (_, Truth::True) => Truth::True,
+            (Truth::False, Truth::False) => Truth::False,
+            _ => Truth::Unknown,
+        }
+    }
+
+    /// Kleene negation; `Unknown` stays `Unknown`.
+    pub fn not(self) -> Truth {
+        match self {
+            Truth::True => Truth::False,
+            Truth::False => Truth::True,
+            Truth::Unknown => Truth::Unknown,
+        }
+    }
+
+    /// Whether a WHERE clause accepts this outcome (only definite truth does).
+    pub fn is_true(self) -> bool {
+        self == Truth::True
+    }
+
+    /// Whether the outcome is `Unknown`.
+    pub fn is_unknown(self) -> bool {
+        self == Truth::Unknown
+    }
+}
+
+impl fmt::Display for Truth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Truth::True => write!(f, "true"),
+            Truth::False => write!(f, "false"),
+            Truth::Unknown => write!(f, "unknown"),
+        }
+    }
+}
+
+impl From<bool> for Truth {
+    fn from(b: bool) -> Truth {
+        Truth::from_bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Truth::{self, False, True, Unknown};
+
+    const ALL: [Truth; 3] = [True, False, Unknown];
+
+    #[test]
+    fn and_truth_table() {
+        assert_eq!(True.and(True), True);
+        assert_eq!(True.and(False), False);
+        assert_eq!(True.and(Unknown), Unknown);
+        assert_eq!(False.and(Unknown), False);
+        assert_eq!(Unknown.and(Unknown), Unknown);
+    }
+
+    #[test]
+    fn or_truth_table() {
+        assert_eq!(True.or(Unknown), True);
+        assert_eq!(False.or(Unknown), Unknown);
+        assert_eq!(False.or(False), False);
+        assert_eq!(Unknown.or(Unknown), Unknown);
+    }
+
+    #[test]
+    fn negation_involutive_on_definite() {
+        assert_eq!(True.not(), False);
+        assert_eq!(False.not(), True);
+        assert_eq!(Unknown.not(), Unknown);
+    }
+
+    #[test]
+    fn de_morgan_holds_in_kleene_logic() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(a.and(b).not(), a.not().or(b.not()));
+                assert_eq!(a.or(b).not(), a.not().and(b.not()));
+            }
+        }
+    }
+
+    #[test]
+    fn and_or_commutative_associative() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(a.and(b), b.and(a));
+                assert_eq!(a.or(b), b.or(a));
+                for c in ALL {
+                    assert_eq!(a.and(b.and(c)), a.and(b).and(c));
+                    assert_eq!(a.or(b.or(c)), a.or(b).or(c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn only_true_selects() {
+        assert!(True.is_true());
+        assert!(!False.is_true());
+        assert!(!Unknown.is_true());
+    }
+}

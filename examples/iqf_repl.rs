@@ -1,0 +1,128 @@
+//! IQF-style interactive query facility.
+//!
+//! The paper's InfoExec environment shipped IQF, "a menu-based query
+//! facility" over SIM. This example is the textual cousin: a small REPL
+//! over the UNIVERSITY database. Feed it statements interactively or pipe a
+//! script:
+//!
+//! ```text
+//! cargo run --example iqf_repl
+//! echo 'From student Retrieve name.' | cargo run --example iqf_repl
+//! ```
+//!
+//! Meta commands: `\schema` lists classes and attributes, `\explain <q>`
+//! shows the optimizer's strategy, `\verify on|off` toggles enforcement,
+//! `\quit` exits.
+
+use sim::{format_output, Database, ExecResult};
+use std::io::{self, BufRead, Write};
+
+const SEED: &str = r#"
+    Insert department(dept-nbr := 101, name := "Physics").
+    Insert department(dept-nbr := 102, name := "Math").
+    Insert course(course-no := 201, title := "Algebra I", credits := 4).
+    Insert course(course-no := 202, title := "Calculus I", credits := 4).
+    Insert instructor(name := "Ann Smith", soc-sec-no := 1, employee-nbr := 1001,
+        salary := 60000.00, assigned-department := department with (name = "Math"),
+        courses-taught := course with (title = "Algebra I")).
+    Insert student(name := "John Doe", soc-sec-no := 2, student-nbr := 2001,
+        advisor := instructor with (name = "Ann Smith"),
+        major-department := department with (name = "Physics"),
+        courses-enrolled := course with (title = "Algebra I")).
+"#;
+
+fn print_schema(db: &Database) {
+    for class in db.catalog().classes() {
+        let kind = if class.is_base() { "Class" } else { "Subclass" };
+        println!("{kind} {} ({} entities)", class.name, db.entity_count(&class.name));
+        for &attr_id in &class.attributes {
+            let attr = db.catalog().attribute(attr_id).unwrap();
+            let shape = if attr.is_eva() {
+                format!(
+                    "EVA -> {}",
+                    db.catalog().class(attr.eva_range().unwrap()).unwrap().name
+                )
+            } else if attr.is_subrole() {
+                "subrole".to_string()
+            } else if attr.is_derived() {
+                format!("derived := {}", attr.derived_source().unwrap_or(""))
+            } else {
+                attr.dva_domain().map(|d| d.to_string()).unwrap_or_default()
+            };
+            let mv = if attr.options.multivalued { " mv" } else { "" };
+            println!("    {}: {shape}{mv}", attr.name);
+        }
+    }
+}
+
+fn main() -> io::Result<()> {
+    let mut db = Database::university();
+    db.set_enforce_verifies(false);
+    db.run(SEED).expect("seed data");
+    db.set_enforce_verifies(true);
+
+    println!("SIM interactive query facility — UNIVERSITY database loaded.");
+    println!("End statements with '.'; meta: \\schema \\explain <q> \\verify on|off \\quit");
+
+    let stdin = io::stdin();
+    let mut buffer = String::new();
+    print!("sim> ");
+    io::stdout().flush()?;
+    for line in stdin.lock().lines() {
+        let line = line?;
+        let trimmed = line.trim();
+
+        if trimmed.starts_with('\\') {
+            let (cmd, rest) = trimmed.split_once(' ').unwrap_or((trimmed, ""));
+            match cmd {
+                "\\quit" | "\\q" => break,
+                "\\schema" => print_schema(&db),
+                "\\verify" => {
+                    let on = rest.trim().eq_ignore_ascii_case("on");
+                    db.set_enforce_verifies(on);
+                    println!("verify enforcement: {}", if on { "on" } else { "off" });
+                }
+                "\\explain" => match db.explain(rest) {
+                    Ok(plan) => {
+                        for l in &plan.explanation {
+                            println!("  {l}");
+                        }
+                        println!("  estimated I/O: {:.1}", plan.estimated_io);
+                    }
+                    Err(e) => println!("error: {e}"),
+                },
+                other => println!("unknown meta command {other}"),
+            }
+            buffer.clear();
+            print!("sim> ");
+            io::stdout().flush()?;
+            continue;
+        }
+
+        buffer.push_str(&line);
+        buffer.push('\n');
+        // A statement ends with '.' (possibly followed by whitespace).
+        if !trimmed.ends_with('.') && !trimmed.ends_with(';') {
+            print!("...> ");
+            io::stdout().flush()?;
+            continue;
+        }
+
+        match db.run(&buffer) {
+            Ok(results) => {
+                for r in results {
+                    match r {
+                        ExecResult::Rows(out) => print!("{}", format_output(&out)),
+                        ExecResult::Updated(n) => println!("ok ({n} entities)"),
+                    }
+                }
+            }
+            Err(e) => println!("error: {e}"),
+        }
+        buffer.clear();
+        print!("sim> ");
+        io::stdout().flush()?;
+    }
+    println!("bye");
+    Ok(())
+}

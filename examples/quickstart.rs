@@ -1,0 +1,50 @@
+//! Quickstart: define a small semantic schema, load a few entities, query.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use sim::{format_output, Database};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Define a schema in SIM's DDL (paper §7 syntax): a base class, a
+    //    subclass, an entity-valued attribute with a named inverse.
+    let mut db = Database::create(
+        r#"
+        Class Employee (
+            name: string[40] required;
+            badge: integer unique required;
+            role: subrole (manager);
+            manager: employee inverse is reports );
+
+        Subclass Manager of Employee (
+            level: integer (1..10);
+            office: string[10] );
+        "#,
+    )?;
+
+    // 2. Insert entities. INSERT creates the class role plus every
+    //    superclass role; `X with (…)` selects relationship partners.
+    db.run(
+        r#"
+        Insert manager(name := "Grace", badge := 1, level := 3, office := "4-100").
+        Insert employee(name := "Ada",  badge := 2, manager := manager with (badge = 1)).
+        Insert employee(name := "Alan", badge := 3, manager := manager with (badge = 1)).
+        "#,
+    )?;
+
+    // 3. Query with qualification paths. `manager` is an EVA; the system
+    //    maintains its inverse `reports` automatically.
+    let out = db.query("From employee Retrieve name, name of manager.")?;
+    println!("Employees and their managers:\n{}", format_output(&out));
+
+    let out = db.query(
+        "From manager Retrieve name, count(reports) of manager, office.",
+    )?;
+    println!("Managers with report counts:\n{}", format_output(&out));
+
+    // 4. Updates keep both relationship directions synchronized.
+    db.run(r#"Modify employee (manager := null) Where name = "Alan"."#)?;
+    let out = db.query("From manager Retrieve count(reports) of manager.")?;
+    println!("After Alan leaves Grace's team:\n{}", format_output(&out));
+
+    Ok(())
+}

@@ -1,0 +1,145 @@
+//! A registrar application on top of the UNIVERSITY schema: the kind of
+//! "commercial application system" the paper says SIM targets (§5).
+//!
+//! Demonstrates the facade as an application substrate: term setup,
+//! add/drop with the schema's own integrity rules (V1: at least 12 credits;
+//! MAX 7 teachers per course; MAX 3 courses per instructor), conflict
+//! handling, and end-of-term reporting.
+//!
+//! Run with: `cargo run --example registrar_app`
+
+use sim::{format_output, Database, SimError};
+
+struct Registrar {
+    db: Database,
+}
+
+impl Registrar {
+    fn new() -> Result<Registrar, SimError> {
+        let mut db = Database::university();
+        db.set_enforce_verifies(false); // bulk setup first
+        db.run(
+            r#"
+            Insert department(dept-nbr := 101, name := "Physics").
+            Insert department(dept-nbr := 102, name := "Math").
+            Insert course(course-no := 1, title := "Mechanics", credits := 4).
+            Insert course(course-no := 2, title := "Electromagnetism", credits := 4).
+            Insert course(course-no := 3, title := "Linear Algebra", credits := 4).
+            Insert course(course-no := 4, title := "Real Analysis", credits := 4).
+            Insert course(course-no := 5, title := "Seminar", credits := 1).
+            Insert instructor(name := "Prof. Noether", soc-sec-no := 1, employee-nbr := 1001,
+                salary := 70000.00, assigned-department := department with (name = "Math"),
+                courses-taught := course with (course-no = 3)).
+            Modify instructor (courses-taught := include course with (course-no = 4))
+                Where employee-nbr = 1001.
+            Insert instructor(name := "Prof. Curie", soc-sec-no := 2, employee-nbr := 1002,
+                salary := 72000.00, assigned-department := department with (name = "Physics"),
+                courses-taught := course with (course-no = 1)).
+            Modify instructor (courses-taught := include course with (course-no = 2))
+                Where employee-nbr = 1002.
+            "#,
+        )?;
+        Ok(Registrar { db })
+    }
+
+    /// Enroll a new student in a full schedule, atomically: if the schedule
+    /// is under 12 credits, V1 rolls the whole admission back.
+    fn admit(&mut self, name: &str, ssn: i64, course_nos: &[i64]) -> Result<(), SimError> {
+        self.db.set_enforce_verifies(true);
+        let mut stmt = format!(
+            "Insert student(name := \"{name}\", soc-sec-no := {ssn}, \
+             major-department := department with (name = \"Physics\")"
+        );
+        for no in course_nos {
+            // Every INCLUDE lives in the same statement so the integrity
+            // check sees the complete schedule (statement-level checking).
+            stmt.push_str(&format!(
+                ", courses-enrolled := include course with (course-no = {no})"
+            ));
+        }
+        stmt.push_str(").");
+        self.db.run_one(&stmt).map(|_| ())
+    }
+
+    fn drop_course(&mut self, ssn: i64, course_no: i64) -> Result<(), SimError> {
+        self.db.set_enforce_verifies(true);
+        self.db
+            .run_one(&format!(
+                "Modify student (courses-enrolled := exclude courses-enrolled \
+                 with (course-no = {course_no})) Where soc-sec-no = {ssn}."
+            ))
+            .map(|_| ())
+    }
+
+    fn roster(&self, course_no: i64) -> String {
+        let out = self
+            .db
+            .query(&format!(
+                "From course Retrieve title, name of students-enrolled Where course-no = {course_no}."
+            ))
+            .expect("roster query");
+        format_output(&out)
+    }
+
+    fn transcript(&self, ssn: i64) -> String {
+        let out = self
+            .db
+            .query(&format!(
+                "From student Retrieve Structure name, title of courses-enrolled
+                 Where soc-sec-no = {ssn}."
+            ))
+            .expect("transcript query");
+        format_output(&out)
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut reg = Registrar::new()?;
+
+    println!("== Admitting students ==");
+    // 16 credits: fine.
+    reg.admit("Lise", 1001001, &[1, 2, 3, 4])?;
+    println!("Lise admitted with 16 credits");
+
+    // 9 credits: V1 fires, the whole admission rolls back.
+    match reg.admit("Paul", 1001002, &[1, 2, 5]) {
+        Err(e) if e.is_integrity_violation() => {
+            println!("Paul rejected: {e}");
+        }
+        other => println!("UNEXPECTED: {other:?}"),
+    }
+    assert_eq!(reg.db.entity_count("student"), 1, "rollback left no debris");
+
+    // Re-admit Paul with enough credits.
+    reg.admit("Paul", 1001002, &[1, 2, 3])?;
+    println!("Paul admitted with 12 credits\n");
+
+    println!("== Roster for Mechanics ==");
+    println!("{}", reg.roster(1));
+
+    println!("== Drop handling ==");
+    // Lise can drop the Seminar-sized load; dropping Mechanics (4 credits)
+    // would leave 12 — allowed; dropping another would violate V1.
+    reg.drop_course(1001001, 1)?;
+    println!("Lise dropped Mechanics (12 credits remain)");
+    match reg.drop_course(1001001, 2) {
+        Err(e) if e.is_integrity_violation() => {
+            println!("Dropping Electromagnetism rejected: {e}");
+        }
+        other => println!("UNEXPECTED: {other:?}"),
+    }
+    println!();
+
+    println!("== Transcripts (structured output) ==");
+    println!("{}", reg.transcript(1001001));
+    println!("{}", reg.transcript(1001002));
+
+    println!("== Department teaching report ==");
+    let out = reg.db.query(
+        "From department Retrieve name,
+            count(courses-taught of instructors-employed) of department.",
+    )?;
+    println!("{}", format_output(&out));
+
+    Ok(())
+}

@@ -1,0 +1,17 @@
+//! Root convenience package: re-exports the public facade so examples and
+//! integration tests can simply `use sim::...`.
+
+pub use sim_core::*;
+
+/// Lower-level crates, re-exported for examples that want to poke at the
+/// substrate directly (storage statistics, catalog introspection, …).
+pub mod crates {
+    pub use sim_catalog as catalog;
+    pub use sim_ddl as ddl;
+    pub use sim_dml as dml;
+    pub use sim_luc as luc;
+    pub use sim_query as query;
+    pub use sim_relational as relational;
+    pub use sim_storage as storage;
+    pub use sim_types as types;
+}

@@ -1,0 +1,239 @@
+//! Property-based tests over the substrate invariants (proptest).
+
+use proptest::prelude::*;
+use sim::crates::storage::pool::BufferPool;
+use sim::crates::storage::{btree::BTree, hash::HashIndex, heap::HeapFile};
+use sim::crates::types::{ordered, Date, Decimal, Truth, Value};
+use std::collections::BTreeMap;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        (-1_000_000i64..1_000_000, 0u8..4).prop_map(|(m, s)| {
+            Value::Decimal(Decimal::from_parts(m as i128, s).unwrap())
+        }),
+        "[a-zA-Z0-9 _-]{0,24}".prop_map(Value::Str),
+        any::<bool>().prop_map(Value::Bool),
+        (1i32..=9999, 1u32..=12, 1u32..=28)
+            .prop_map(|(y, m, d)| Value::Date(Date::from_ymd(y, m, d).unwrap())),
+        (0u16..100).prop_map(Value::Symbol),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The ordered byte encoding sorts exactly like Value::total_cmp.
+    #[test]
+    fn ordered_encoding_matches_total_cmp(a in arb_value(), b in arb_value()) {
+        let ka = ordered::encode_key(std::slice::from_ref(&a));
+        let kb = ordered::encode_key(std::slice::from_ref(&b));
+        prop_assert_eq!(ka.cmp(&kb), a.total_cmp(&b));
+    }
+
+    /// Kleene conjunction/disjunction are monotone w.r.t. the information
+    /// order and satisfy absorption.
+    #[test]
+    fn kleene_absorption(a in 0u8..3, b in 0u8..3) {
+        let t = |x: u8| match x { 0 => Truth::True, 1 => Truth::False, _ => Truth::Unknown };
+        let (a, b) = (t(a), t(b));
+        prop_assert_eq!(a.and(a.or(b)), a);
+        prop_assert_eq!(a.or(a.and(b)), a);
+    }
+
+    /// Decimal addition is commutative/associative and subtraction inverts.
+    #[test]
+    fn decimal_arithmetic_laws(
+        a in -1_000_000i64..1_000_000,
+        b in -1_000_000i64..1_000_000,
+        sa in 0u8..4,
+        sb in 0u8..4,
+    ) {
+        let x = Decimal::from_parts(a as i128, sa).unwrap();
+        let y = Decimal::from_parts(b as i128, sb).unwrap();
+        prop_assert_eq!(x.add(y).unwrap(), y.add(x).unwrap());
+        prop_assert_eq!(x.add(y).unwrap().sub(y).unwrap(), x);
+    }
+
+    /// Date day-number round trip over arbitrary valid dates.
+    #[test]
+    fn date_roundtrip(y in 1i32..=9999, m in 1u32..=12, d in 1u32..=28) {
+        let date = Date::from_ymd(y, m, d).unwrap();
+        prop_assert_eq!(Date::from_day_number(date.day_number()), date);
+        let (yy, mm, dd) = date.ymd();
+        prop_assert_eq!((yy, mm, dd), (y, m, d));
+    }
+
+    /// The heap file returns exactly what was stored, across arbitrary
+    /// insert/delete interleavings (model: a Vec of live payloads).
+    #[test]
+    fn heap_file_model(ops in prop::collection::vec((any::<bool>(), 0usize..64, 1usize..600), 1..120)) {
+        let pool = BufferPool::new(64);
+        let mut file = HeapFile::new();
+        let mut live: Vec<(sim::crates::storage::RecordId, Vec<u8>)> = Vec::new();
+        for (insert, pick, len) in ops {
+            if insert || live.is_empty() {
+                let payload = vec![(len % 251) as u8; len];
+                let rid = file.insert(&pool, &payload).unwrap();
+                live.push((rid, payload));
+            } else {
+                let idx = pick % live.len();
+                let (rid, expect) = live.swap_remove(idx);
+                let got = file.delete(&pool, rid).unwrap();
+                prop_assert_eq!(got, expect);
+            }
+        }
+        prop_assert_eq!(file.record_count(), live.len());
+        for (rid, expect) in &live {
+            let got = file.get(&pool, *rid);
+            prop_assert_eq!(got.as_ref(), Some(expect));
+        }
+    }
+
+    /// The B-tree agrees with a BTreeMap model under inserts and deletes,
+    /// including full-order scans.
+    #[test]
+    fn btree_against_model(ops in prop::collection::vec((any::<bool>(), 0u16..300), 1..300)) {
+        let pool = BufferPool::new(256);
+        let mut tree = BTree::create(&pool, true);
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for (insert, k) in ops {
+            let key = k.to_be_bytes().to_vec();
+            if insert {
+                let val = vec![(k % 251) as u8; (k as usize % 20) + 1];
+                match tree.insert(&pool, &key, &val) {
+                    Ok(()) => { model.insert(key, val); }
+                    Err(sim::crates::storage::StorageError::DuplicateKey) => {
+                        prop_assert!(model.contains_key(&key));
+                    }
+                    Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                }
+            } else if let Some(val) = model.remove(&key) {
+                prop_assert!(tree.delete(&pool, &key, &val));
+            } else {
+                prop_assert!(tree.lookup_first(&pool, &key).is_none());
+            }
+        }
+        let scanned: Vec<_> = tree.scan_all(&pool);
+        let expected: Vec<_> = model.into_iter().collect();
+        prop_assert_eq!(scanned, expected);
+    }
+
+    /// The hash index returns every duplicate stored under a key.
+    #[test]
+    fn hash_index_multimap(entries in prop::collection::vec((0u8..20, 0u32..1000), 1..200)) {
+        let pool = BufferPool::new(256);
+        let mut idx = HashIndex::create(&pool, 8, false);
+        let mut model: std::collections::HashMap<u8, Vec<u32>> = Default::default();
+        for (k, v) in entries {
+            idx.insert(&pool, &[k], &v.to_le_bytes()).unwrap();
+            model.entry(k).or_default().push(v);
+        }
+        for (k, vals) in model {
+            let mut got: Vec<u32> = idx
+                .get(&pool, &[k])
+                .into_iter()
+                .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+                .collect();
+            let mut want = vals;
+            got.sort();
+            want.sort();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// DML statements survive a print→reparse round trip (on a generated
+    /// family of statements).
+    #[test]
+    fn dml_print_reparse(
+        attrs in prop::collection::vec("[a-z][a-z0-9]{0,6}(-[a-z0-9]{1,4})?", 1..4),
+        class in "[a-z][a-z0-9]{0,8}",
+        n in 0i64..1000,
+    ) {
+        const RESERVED: &[&str] = &[
+            "of", "as", "where", "and", "or", "not", "isa", "matches", "neq", "else",
+            "order", "desc", "asc", "with", "retrieve", "from", "include", "exclude",
+            "by", "null", "true", "false", "insert", "modify", "delete", "table",
+            "structure", "distinct",
+        ];
+        let fix = |n: &String| {
+            if RESERVED.contains(&n.as_str()) { format!("{n}x") } else { n.clone() }
+        };
+        let attrs: Vec<String> = attrs.iter().map(&fix).collect();
+        let class = fix(&class);
+        let path = attrs.join(" of ");
+        let src = format!("From {class} Retrieve {path} Where {path} = {n}.");
+        let stmt = sim::crates::dml::parse_statement(&src).unwrap();
+        let printed = stmt.to_string();
+        let reparsed = sim::crates::dml::parse_statement(&printed).unwrap();
+        prop_assert_eq!(stmt, reparsed);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// EVA/inverse synchronization invariant: after an arbitrary sequence of
+    /// include/exclude operations, `b ∈ partners(a, eva)` iff
+    /// `a ∈ partners(b, inverse)`.
+    #[test]
+    fn eva_inverse_symmetry(ops in prop::collection::vec((any::<bool>(), 0usize..6, 0usize..6), 1..60)) {
+        use sim::crates::luc::{AttrValue, Mapper};
+        use std::sync::Arc;
+
+        let mut cat = sim::crates::catalog::Catalog::new();
+        let a = cat.define_base_class("A").unwrap();
+        let b = cat.define_base_class("B").unwrap();
+        cat.add_dva(a, "ka", sim::crates::types::Domain::integer(),
+            sim::crates::catalog::AttributeOptions::unique_required()).unwrap();
+        cat.add_dva(b, "kb", sim::crates::types::Domain::integer(),
+            sim::crates::catalog::AttributeOptions::unique_required()).unwrap();
+        let fwd = cat.add_eva(a, "links", b, Some("rlinks"),
+            sim::crates::catalog::AttributeOptions::mv_distinct()).unwrap();
+        cat.add_eva(b, "rlinks", a, Some("links"),
+            sim::crates::catalog::AttributeOptions::mv()).unwrap();
+        cat.finalize().unwrap();
+        let inv = cat.attribute(fwd).unwrap().eva_inverse().unwrap();
+
+        let mut mapper = Mapper::new(Arc::new(cat), 128).unwrap();
+        let mut txn = mapper.begin();
+        let class_a = mapper.catalog().class_by_name("A").unwrap().id;
+        let class_b = mapper.catalog().class_by_name("B").unwrap().id;
+        let ka = mapper.catalog().resolve_attr(class_a, "ka").unwrap();
+        let kb = mapper.catalog().resolve_attr(class_b, "kb").unwrap();
+        let asurr: Vec<_> = (0..6)
+            .map(|i| {
+                mapper
+                    .insert_entity(&mut txn, class_a, &[(ka, AttrValue::Scalar(Value::Int(i)))])
+                    .unwrap()
+            })
+            .collect();
+        let bsurr: Vec<_> = (0..6)
+            .map(|i| {
+                mapper
+                    .insert_entity(&mut txn, class_b, &[(kb, AttrValue::Scalar(Value::Int(i)))])
+                    .unwrap()
+            })
+            .collect();
+
+        for (add, i, j) in ops {
+            let (x, y) = (asurr[i], bsurr[j]);
+            if add {
+                mapper.include_value(&mut txn, x, fwd, Value::Entity(y)).unwrap();
+            } else {
+                mapper.exclude_value(&mut txn, x, fwd, &Value::Entity(y)).unwrap();
+            }
+        }
+
+        // Symmetry in both directions for every pair.
+        for &x in &asurr {
+            let forward = mapper.eva_partners(x, fwd).unwrap();
+            for &y in &bsurr {
+                let backward = mapper.eva_partners(y, inv).unwrap();
+                prop_assert_eq!(forward.contains(&y), backward.contains(&x));
+            }
+        }
+        mapper.commit(txn);
+    }
+}
