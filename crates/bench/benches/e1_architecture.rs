@@ -46,11 +46,7 @@ fn bench_pipeline(c: &mut Criterion) {
         });
         let plan = sim_query::optimizer::plan(mapper, &bound).unwrap();
         group.bench_function(BenchmarkId::new("execute", name), |b| {
-            b.iter(|| {
-                sim_query::exec::Executor::new(mapper, &bound, &plan)
-                    .run()
-                    .unwrap()
-            })
+            b.iter(|| sim_query::exec::Executor::new(mapper, &bound, &plan).run().unwrap())
         });
         group.bench_with_input(BenchmarkId::new("end_to_end", name), sql, |b, sql| {
             b.iter(|| db.query(black_box(sql)).unwrap())

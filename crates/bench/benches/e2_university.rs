@@ -94,6 +94,10 @@ fn bench_university(c: &mut Criterion) {
         )
     });
     group.finish();
+
+    // Leave the exercised database's counters behind as machine-readable
+    // evidence next to criterion's timing report.
+    sim_bench::metrics_dump::dump_metrics(&db, "e2_university");
 }
 
 fn fast_config() -> Criterion {

@@ -35,9 +35,7 @@ fn bench_adds(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("e3_adds_scale");
     group.sample_size(20);
-    group.bench_function("catalog_build_and_validate", |b| {
-        b.iter(adds_scale_schema)
-    });
+    group.bench_function("catalog_build_and_validate", |b| b.iter(adds_scale_schema));
     group.bench_function("physical_layout_planning", |b| {
         b.iter(|| sim_luc::PhysicalLayout::build(black_box(&cat)).unwrap())
     });
@@ -59,12 +57,7 @@ fn bench_adds(c: &mut Criterion) {
     // time the front end, not execution).
     let db = Database::from_catalog(adds_scale_schema(), 256).expect("adds db");
     group.bench_function("compile_query_on_adds_schema", |b| {
-        b.iter(|| {
-            db.explain(black_box(
-                "From sub-3 Retrieve dva-0 Where dva-0 = \"x\".",
-            ))
-            .unwrap()
-        })
+        b.iter(|| db.explain(black_box("From sub-3 Retrieve dva-0 Where dva-0 = \"x\".")).unwrap())
     });
     group.finish();
 }

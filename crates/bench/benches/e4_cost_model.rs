@@ -69,15 +69,13 @@ fn bench_cost_model(c: &mut Criterion) {
         "pointer first instance costs 1 block read, got {}",
         measured["pointer"]
     );
-    assert!(
-        measured["structure"] > measured["pointer"],
-        "structure mapping pays index I/O on top"
-    );
+    assert!(measured["structure"] > measured["pointer"], "structure mapping pays index I/O on top");
 
     // Wall-clock latency of the same traversal (hot cache).
     let mut group = c.benchmark_group("e4_first_instance_latency");
     for mapping in ["clustered", "pointer", "structure"] {
         let db = node_tree_db(mapping, PARENTS, CHILDREN);
+        sim_bench::metrics_dump::dump_metrics(&db, &format!("e4_cost_model_{mapping}"));
         let mapper = db.mapper();
         let node_class = mapper.catalog().class_by_name("node").unwrap().id;
         let children = mapper.catalog().resolve_attr(node_class, "children").unwrap();

@@ -42,9 +42,7 @@ fn delete_write_ops(ta: bool) -> u64 {
 
 fn mv_dva_schema(bounded: bool) -> String {
     let max = if bounded { " (max 8)" } else { "" };
-    format!(
-        "Class Box ( box-id: integer unique required; tags: string[16] mv{max} );"
-    )
+    format!("Class Box ( box-id: integer unique required; tags: string[16] mv{max} );")
 }
 
 fn bench_mappings(c: &mut Criterion) {
@@ -54,10 +52,7 @@ fn bench_mappings(c: &mut Criterion) {
     eprintln!("[E5a] physical writes to delete an entity:");
     eprintln!("[E5a]   tree-record roles only (student+instructor): {simple}");
     eprintln!("[E5a]   plus multiply-derived TA role (separate unit): {with_aux}");
-    assert!(
-        with_aux > simple,
-        "the separate TA unit must cost extra physical operations"
-    );
+    assert!(with_aux > simple, "the separate TA unit must cost extra physical operations");
 
     // ----- (b) embedded array vs dependent structure --------------------------
     let mut group = c.benchmark_group("e5b_mv_dva_access");

@@ -29,9 +29,7 @@ fn relational_advisor_names(rel: &RelationalDb) -> usize {
     let student = rel.table("student").unwrap();
     let instructor = rel.table("instructor").unwrap();
     let person = rel.table("person").unwrap();
-    let joined = rel
-        .join_eq(student, "advisor_employee_nbr", instructor, "employee_nbr")
-        .unwrap();
+    let joined = rel.join_eq(student, "advisor_employee_nbr", instructor, "employee_nbr").unwrap();
     let mut n = 0;
     for row in &joined {
         let s_name = rel.select_eq(person, "ssn", &row[0]).unwrap();

@@ -20,7 +20,13 @@ use sim_bench::workloads::{populated_university, UniversityScale};
 use std::hint::black_box;
 
 fn bench_integrity(c: &mut Criterion) {
-    let scale = UniversityScale { students: 200, instructors: 200, courses: 40, departments: 4, enrollments_per_student: 2 };
+    let scale = UniversityScale {
+        students: 200,
+        instructors: 200,
+        courses: 40,
+        departments: 4,
+        enrollments_per_student: 2,
+    };
     let update = |k: usize| {
         format!(
             "Modify instructor (bonus := 100.00) Where employee-nbr = {}.",

@@ -17,8 +17,12 @@ fn bench_output(c: &mut Criterion) {
 
     let base = "From student Retrieve name of major-department, title of courses-enrolled";
     let table_q = format!("{base}.");
-    let distinct_q = "From student Retrieve Table Distinct name of major-department, title of courses-enrolled.".to_string();
-    let structure_q = "From student Retrieve Structure name of major-department, title of courses-enrolled.".to_string();
+    let distinct_q =
+        "From student Retrieve Table Distinct name of major-department, title of courses-enrolled."
+            .to_string();
+    let structure_q =
+        "From student Retrieve Structure name of major-department, title of courses-enrolled."
+            .to_string();
     let ordered_q = format!("{base} Order By title of courses-enrolled desc.");
 
     let t = db.query(&table_q).unwrap();
@@ -34,12 +38,9 @@ fn bench_output(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("e8_output_semantics");
     group.bench_function("table", |b| b.iter(|| black_box(db.query(&table_q).unwrap())));
-    group.bench_function("table_distinct", |b| {
-        b.iter(|| black_box(db.query(&distinct_q).unwrap()))
-    });
-    group.bench_function("structure", |b| {
-        b.iter(|| black_box(db.query(&structure_q).unwrap()))
-    });
+    group
+        .bench_function("table_distinct", |b| b.iter(|| black_box(db.query(&distinct_q).unwrap())));
+    group.bench_function("structure", |b| b.iter(|| black_box(db.query(&structure_q).unwrap())));
     group.bench_function("order_by_explicit_sort", |b| {
         b.iter(|| black_box(db.query(&ordered_q).unwrap()))
     });

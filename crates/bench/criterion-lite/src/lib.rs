@@ -1,0 +1,229 @@
+//! A minimal, dependency-free bench harness exposing the subset of the
+//! `criterion` 0.5 API that `sim-bench`'s experiments use. Timing is a
+//! plain warm-up + fixed-duration measurement loop; results go to stderr
+//! as `bench: <id> ... mean=...` lines. It exists so the experiments
+//! compile and run in an offline container; numbers are indicative, not
+//! statistically analyzed.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup; all variants behave identically
+/// here (setup always runs once per routine call, untimed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<F: fmt::Display, P: fmt::Display>(function_name: F, parameter: P) -> BenchmarkId {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Measures one routine: repeatedly runs it for the configured measurement
+/// window and reports the mean iteration time.
+pub struct Bencher<'a> {
+    cfg: &'a Config,
+    id: String,
+}
+
+impl Bencher<'_> {
+    /// Time `routine` directly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.run(|| {
+            let started = Instant::now();
+            std::hint::black_box(routine());
+            started.elapsed()
+        });
+    }
+
+    /// Time `routine` over inputs built by an untimed `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.run(|| {
+            let input = setup();
+            let started = Instant::now();
+            std::hint::black_box(routine(input));
+            started.elapsed()
+        });
+    }
+
+    fn run<F: FnMut() -> Duration>(&mut self, mut timed_once: F) {
+        let warm_up_until = Instant::now() + self.cfg.warm_up_time;
+        while Instant::now() < warm_up_until {
+            timed_once();
+        }
+        let mut iters = 0u64;
+        let mut total = Duration::ZERO;
+        let measure_until = Instant::now() + self.cfg.measurement_time;
+        while iters < self.cfg.sample_size as u64 || Instant::now() < measure_until {
+            total += timed_once();
+            iters += 1;
+        }
+        let mean = total / iters.max(1) as u32;
+        eprintln!("bench: {:<48} iters={iters} mean={mean:?}", self.id);
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+            sample_size: 10,
+        }
+    }
+}
+
+/// The harness entry point, builder-configured like criterion's.
+#[derive(Debug, Clone, Default)]
+pub struct Criterion {
+    cfg: Config,
+}
+
+impl Criterion {
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.cfg.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.cfg.measurement_time = d;
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.cfg.sample_size = n;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { cfg: &self.cfg, name: name.to_string() }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: &str,
+        mut f: F,
+    ) -> &mut Criterion {
+        f(&mut Bencher { cfg: &self.cfg, id: id.to_string() });
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    cfg: &'a Config,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<I: fmt::Display, F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id);
+        f(&mut Bencher { cfg: self.cfg, id });
+        self
+    }
+
+    pub fn bench_with_input<I: fmt::Display, P: ?Sized, F: FnMut(&mut Bencher<'_>, &P)>(
+        &mut self,
+        id: I,
+        input: &P,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id);
+        f(&mut Bencher { cfg: self.cfg, id }, input);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Re-export for code written against `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group function running each target with the given config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_loop_runs_and_reports() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(3);
+        let mut ran = 0u64;
+        c.bench_function("unit", |b| b.iter(|| ran += 1));
+        assert!(ran >= 3);
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("f", 7), &7, |b, &x| {
+            b.iter_batched(|| x, |v| v * 2, BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

@@ -1,3 +1,4 @@
 //! Shared workload builders for the benchmark harness (see `benches/`).
 
+pub mod metrics_dump;
 pub mod workloads;

@@ -1,0 +1,51 @@
+//! Metrics JSON dumps for the bench harness.
+//!
+//! Each experiment can snapshot the engine-wide metrics registry of the
+//! database it exercised and write the snapshot as one JSON file, so a run
+//! leaves behind machine-readable counters (block I/O, pool hit ratio,
+//! phase latencies) next to criterion's timing reports.
+
+use sim_core::Database;
+use std::fs;
+use std::path::PathBuf;
+
+/// Where dumps land: `$SIM_METRICS_DIR` if set, else `target/metrics/`.
+fn dump_dir() -> PathBuf {
+    std::env::var_os("SIM_METRICS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/metrics"))
+}
+
+/// Write `db`'s current metrics snapshot to `<dir>/<label>.json` and return
+/// the path. Errors are reported to stderr, not propagated — a failed dump
+/// must not fail the bench run.
+pub fn dump_metrics(db: &Database, label: &str) -> Option<PathBuf> {
+    let dir = dump_dir();
+    let path = dir.join(format!("{label}.json"));
+    let payload = db.metrics().to_json();
+    if let Err(e) = fs::create_dir_all(&dir).and_then(|()| fs::write(&path, &payload)) {
+        eprintln!("metrics dump {label}: {e}");
+        return None;
+    }
+    eprintln!("metrics dump: {}", path.display());
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dumps_valid_json() {
+        let dir = std::env::temp_dir().join("sim-metrics-dump-test");
+        std::env::set_var("SIM_METRICS_DIR", &dir);
+        let db = Database::university();
+        db.query("From person Retrieve name.").unwrap();
+        let path = dump_metrics(&db, "unit").expect("dump written");
+        let body = fs::read_to_string(path).unwrap();
+        assert!(body.starts_with('{') && body.ends_with('}'));
+        assert!(body.contains("query.retrieves"));
+        std::env::remove_var("SIM_METRICS_DIR");
+        let _ = fs::remove_dir_all(dir);
+    }
+}

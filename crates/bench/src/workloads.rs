@@ -1,9 +1,8 @@
 //! Shared workload builders for the experiment harness (DESIGN.md E1–E10).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use sim_core::Database;
 use sim_relational::RelationalDb;
+use sim_testkit::Rng;
 use sim_types::Value;
 
 /// The small, hand-curated UNIVERSITY dataset used throughout the paper's
@@ -119,7 +118,7 @@ pub fn populated_university(scale: UniversityScale, seed: u64) -> Database {
     );
     let mut db = Database::university();
     db.set_enforce_verifies(false);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let mut script = String::new();
     for d in 0..scale.departments {
         script.push_str(&format!(
@@ -131,11 +130,11 @@ pub fn populated_university(scale: UniversityScale, seed: u64) -> Database {
         script.push_str(&format!(
             "Insert course(course-no := {}, title := \"Course-{c}\", credits := {}).\n",
             c + 1,
-            rng.gen_range(1..=6)
+            rng.range_i64(1, 7)
         ));
     }
     for i in 0..scale.instructors {
-        let dept = rng.gen_range(0..scale.departments);
+        let dept = rng.range(0, scale.departments);
         script.push_str(&format!(
             "Insert instructor(name := \"Instructor-{i}\", soc-sec-no := {}, \
              employee-nbr := {}, salary := {}.00, birthdate := \"19{}-0{}-1{}\", \
@@ -153,7 +152,7 @@ pub fn populated_university(scale: UniversityScale, seed: u64) -> Database {
 
     let mut script = String::new();
     for s in 0..scale.students {
-        let dept = rng.gen_range(0..scale.departments);
+        let dept = rng.range(0, scale.departments);
         // Round-robin advisors: the schema's MAX 10 advisees per instructor
         // must hold.
         let advisor = s % scale.instructors;
@@ -172,7 +171,7 @@ pub fn populated_university(scale: UniversityScale, seed: u64) -> Database {
         ));
         let mut chosen = std::collections::HashSet::new();
         for _ in 0..scale.enrollments_per_student {
-            let c = rng.gen_range(0..scale.courses);
+            let c = rng.range(0, scale.courses);
             if chosen.insert(c) {
                 script.push_str(&format!(
                     "Modify student (courses-enrolled := include course with (course-no = {})) \
@@ -198,11 +197,7 @@ pub fn populated_university(scale: UniversityScale, seed: u64) -> Database {
 /// 1:many `children`/`parent` relationship whose physical mapping is
 /// selectable (`structure`, `pointer` or `clustered`).
 pub fn node_schema(mapping: &str) -> String {
-    let clause = if mapping == "structure" {
-        String::new()
-    } else {
-        format!(" mapping {mapping}")
-    };
+    let clause = if mapping == "structure" { String::new() } else { format!(" mapping {mapping}") };
     format!(
         "Class Node (
             node-id: integer unique required;
@@ -290,7 +285,7 @@ pub fn prerequisite_chain_db(depth: usize) -> Database {
 /// `department`, `course` and an `enrollment` junction table — the schema
 /// shape the paper's introduction criticizes.
 pub fn relational_university(scale: UniversityScale, seed: u64) -> RelationalDb {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let mut db = RelationalDb::new(4096);
     let dept = db.create_table("department", &[("dept_nbr", true), ("name", false)]).unwrap();
     let course = db
@@ -318,8 +313,7 @@ pub fn relational_university(scale: UniversityScale, seed: u64) -> RelationalDb 
         db.create_table("enrollment", &[("student_ssn", false), ("course_no", false)]).unwrap();
 
     for d in 0..scale.departments {
-        db.insert(dept, &[Value::Int((100 + d) as i64), Value::Str(format!("Dept-{d}"))])
-            .unwrap();
+        db.insert(dept, &[Value::Int((100 + d) as i64), Value::Str(format!("Dept-{d}"))]).unwrap();
     }
     for c in 0..scale.courses {
         db.insert(
@@ -327,13 +321,13 @@ pub fn relational_university(scale: UniversityScale, seed: u64) -> RelationalDb 
             &[
                 Value::Int((c + 1) as i64),
                 Value::Str(format!("Course-{c}")),
-                Value::Int(rng.gen_range(1..=6)),
+                Value::Int(rng.range_i64(1, 7)),
             ],
         )
         .unwrap();
     }
     for i in 0..scale.instructors {
-        let d = rng.gen_range(0..scale.departments);
+        let d = rng.range(0, scale.departments);
         db.insert(
             person,
             &[Value::Int((600_000_000 + i) as i64), Value::Str(format!("Instructor-{i}"))],
@@ -351,7 +345,7 @@ pub fn relational_university(scale: UniversityScale, seed: u64) -> RelationalDb 
         .unwrap();
     }
     for s in 0..scale.students {
-        let d = rng.gen_range(0..scale.departments);
+        let d = rng.range(0, scale.departments);
         let advisor = s % scale.instructors;
         db.insert(
             person,
@@ -370,7 +364,7 @@ pub fn relational_university(scale: UniversityScale, seed: u64) -> RelationalDb 
         .unwrap();
         let mut chosen = std::collections::HashSet::new();
         for _ in 0..scale.enrollments_per_student {
-            let c = rng.gen_range(0..scale.courses);
+            let c = rng.range(0, scale.courses);
             if chosen.insert(c) {
                 db.insert(
                     enrollment,
@@ -390,17 +384,17 @@ mod tests {
     #[test]
     fn example_dataset_loads() {
         let db = university_db();
-        assert_eq!(db.entity_count("student"), 3);
-        assert_eq!(db.entity_count("instructor"), 3);
-        assert_eq!(db.entity_count("course"), 5);
+        assert_eq!(db.entity_count("student").unwrap(), 3);
+        assert_eq!(db.entity_count("instructor").unwrap(), 3);
+        assert_eq!(db.entity_count("course").unwrap(), 5);
     }
 
     #[test]
     fn scaled_population_loads() {
         let scale = UniversityScale::small(50);
         let db = populated_university(scale, 42);
-        assert_eq!(db.entity_count("student"), 50);
-        assert_eq!(db.entity_count("instructor"), 5);
+        assert_eq!(db.entity_count("student").unwrap(), 50);
+        assert_eq!(db.entity_count("instructor").unwrap(), 5);
         let out = db
             .query("From student Retrieve name of advisor Where soc-sec-no = 700000000.")
             .unwrap();
@@ -411,10 +405,9 @@ mod tests {
     fn node_trees_build_under_all_mappings() {
         for mapping in ["structure", "pointer", "clustered"] {
             let db = node_tree_db(mapping, 5, 4);
-            assert_eq!(db.entity_count("node"), 25, "{mapping}");
-            let out = db
-                .query("From node Retrieve count(children) of node Where node-id = 1.")
-                .unwrap();
+            assert_eq!(db.entity_count("node").unwrap(), 25, "{mapping}");
+            let out =
+                db.query("From node Retrieve count(children) of node Where node-id = 1.").unwrap();
             assert_eq!(out.rows()[0][0], Value::Int(4), "{mapping}");
         }
     }

@@ -329,8 +329,7 @@ impl Catalog {
     }
 
     fn link_inverses(&mut self) -> Result<(), CatalogError> {
-        let pending: Vec<(AttrId, Option<String>)> =
-            self.pending_inverses.drain().collect();
+        let pending: Vec<(AttrId, Option<String>)> = self.pending_inverses.drain().collect();
         // Named inverses first (so auto-creation does not steal a name).
         let mut ordered = pending;
         ordered.sort_by_key(|(a, n)| (n.is_none(), a.0));
@@ -389,10 +388,7 @@ impl Catalog {
                     }
                 }
                 None => {
-                    let name = format!(
-                        "inverse({})",
-                        self.attributes[attr_id.0 as usize].name
-                    );
+                    let name = format!("inverse({})", self.attributes[attr_id.0 as usize].name);
                     let partner = self.create_implicit_inverse(range, &name, owner, attr_id)?;
                     self.set_inverse(attr_id, partner);
                 }
@@ -423,8 +419,7 @@ impl Catalog {
     }
 
     fn set_inverse(&mut self, attr: AttrId, inverse: AttrId) {
-        if let AttributeKind::Eva { inverse: inv, .. } =
-            &mut self.attributes[attr.0 as usize].kind
+        if let AttributeKind::Eva { inverse: inv, .. } = &mut self.attributes[attr.0 as usize].kind
         {
             *inv = Some(inverse);
         }
@@ -482,15 +477,11 @@ impl Catalog {
         //    "value set must contain the names of all the immediate
         //    subclasses" (§3.2). Labels must also name immediate subclasses.
         for class in &self.classes {
-            let immediate: HashSet<String> = class
-                .subclasses
-                .iter()
-                .map(|c| key(&self.classes[c.0 as usize].name))
-                .collect();
+            let immediate: HashSet<String> =
+                class.subclasses.iter().map(|c| key(&self.classes[c.0 as usize].name)).collect();
             let mut covered: HashSet<String> = HashSet::new();
             for &attr_id in &class.attributes {
-                if let AttributeKind::Subrole { labels } =
-                    &self.attributes[attr_id.0 as usize].kind
+                if let AttributeKind::Subrole { labels } = &self.attributes[attr_id.0 as usize].kind
                 {
                     for label in labels {
                         if !immediate.contains(&key(label)) {
@@ -548,9 +539,7 @@ impl Catalog {
 
     /// Class metadata.
     pub fn class(&self, id: ClassId) -> Result<&Class, CatalogError> {
-        self.classes
-            .get(id.0 as usize)
-            .ok_or_else(|| CatalogError::Unknown(format!("{id}")))
+        self.classes.get(id.0 as usize).ok_or_else(|| CatalogError::Unknown(format!("{id}")))
     }
 
     /// Look a class up by (case-insensitive) name.
@@ -560,9 +549,7 @@ impl Catalog {
 
     /// Attribute metadata.
     pub fn attribute(&self, id: AttrId) -> Result<&Attribute, CatalogError> {
-        self.attributes
-            .get(id.0 as usize)
-            .ok_or_else(|| CatalogError::Unknown(format!("{id}")))
+        self.attributes.get(id.0 as usize).ok_or_else(|| CatalogError::Unknown(format!("{id}")))
     }
 
     /// All classes in definition order.
@@ -603,11 +590,8 @@ impl Catalog {
     pub fn ancestors(&self, class: ClassId) -> Vec<ClassId> {
         let mut out = Vec::new();
         let mut seen = HashSet::new();
-        let mut queue: VecDeque<ClassId> = self.classes[class.0 as usize]
-            .superclasses
-            .iter()
-            .copied()
-            .collect();
+        let mut queue: VecDeque<ClassId> =
+            self.classes[class.0 as usize].superclasses.iter().copied().collect();
         while let Some(c) = queue.pop_front() {
             if seen.insert(c) {
                 out.push(c);
@@ -621,11 +605,8 @@ impl Catalog {
     pub fn descendants(&self, class: ClassId) -> Vec<ClassId> {
         let mut out = Vec::new();
         let mut seen = HashSet::new();
-        let mut queue: VecDeque<ClassId> = self.classes[class.0 as usize]
-            .subclasses
-            .iter()
-            .copied()
-            .collect();
+        let mut queue: VecDeque<ClassId> =
+            self.classes[class.0 as usize].subclasses.iter().copied().collect();
         while let Some(c) = queue.pop_front() {
             if seen.insert(c) {
                 out.push(c);
@@ -707,12 +688,7 @@ impl Catalog {
                 }
             }
         }
-        let max_depth = self
-            .classes
-            .iter()
-            .map(|c| self.depth_of(c.id))
-            .max()
-            .unwrap_or(0);
+        let max_depth = self.classes.iter().map(|c| self.depth_of(c.id)).max().unwrap_or(0);
         CatalogStats {
             base_classes,
             subclasses,
@@ -760,9 +736,8 @@ mod tests {
     /// representative attributes).
     fn university() -> Catalog {
         let mut cat = Catalog::new();
-        let degree = Domain::Symbolic(Arc::new(
-            SymbolicType::new(["BS", "MBA", "MS", "PHD"]).unwrap(),
-        ));
+        let degree =
+            Domain::Symbolic(Arc::new(SymbolicType::new(["BS", "MBA", "MS", "PHD"]).unwrap()));
         cat.define_type("degree", degree).unwrap();
         cat.define_type(
             "id-number",
@@ -778,25 +753,15 @@ mod tests {
         let person = cat.define_base_class("Person").unwrap();
         let student = cat.define_subclass("Student", &[person]).unwrap();
         let instructor = cat.define_subclass("Instructor", &[person]).unwrap();
-        let ta = cat
-            .define_subclass("Teaching-Assistant", &[student, instructor])
-            .unwrap();
+        let ta = cat.define_subclass("Teaching-Assistant", &[student, instructor]).unwrap();
         let course = cat.define_base_class("Course").unwrap();
         let department = cat.define_base_class("Department").unwrap();
 
-        cat.add_dva(person, "name", Domain::string(30), AttributeOptions::none())
+        cat.add_dva(person, "name", Domain::string(30), AttributeOptions::none()).unwrap();
+        cat.add_dva(person, "soc-sec-no", Domain::integer(), AttributeOptions::unique_required())
             .unwrap();
-        cat.add_dva(
-            person,
-            "soc-sec-no",
-            Domain::integer(),
-            AttributeOptions::unique_required(),
-        )
-        .unwrap();
-        cat.add_dva(person, "birthdate", Domain::Date, AttributeOptions::none())
-            .unwrap();
-        cat.add_eva(person, "spouse", person, Some("spouse"), AttributeOptions::none())
-            .unwrap();
+        cat.add_dva(person, "birthdate", Domain::Date, AttributeOptions::none()).unwrap();
+        cat.add_eva(person, "spouse", person, Some("spouse"), AttributeOptions::none()).unwrap();
         cat.add_subrole(
             person,
             "profession",
@@ -812,14 +777,8 @@ mod tests {
             AttributeOptions::none(),
         )
         .unwrap();
-        cat.add_eva(
-            student,
-            "advisor",
-            instructor,
-            Some("advisees"),
-            AttributeOptions::none(),
-        )
-        .unwrap();
+        cat.add_eva(student, "advisor", instructor, Some("advisees"), AttributeOptions::none())
+            .unwrap();
         cat.add_subrole(
             student,
             "instructor-status",
@@ -852,14 +811,8 @@ mod tests {
             AttributeOptions::none(),
         )
         .unwrap();
-        cat.add_eva(
-            instructor,
-            "advisees",
-            student,
-            Some("advisor"),
-            AttributeOptions::mv_max(10),
-        )
-        .unwrap();
+        cat.add_eva(instructor, "advisees", student, Some("advisor"), AttributeOptions::mv_max(10))
+            .unwrap();
         cat.add_eva(
             instructor,
             "courses-taught",
@@ -897,8 +850,7 @@ mod tests {
         )
         .unwrap();
 
-        cat.add_dva(course, "title", Domain::string(30), AttributeOptions::required())
-            .unwrap();
+        cat.add_dva(course, "title", Domain::string(30), AttributeOptions::required()).unwrap();
         cat.add_eva(
             course,
             "students-enrolled",
@@ -932,13 +884,8 @@ mod tests {
         )
         .unwrap();
 
-        cat.add_dva(
-            department,
-            "dept-name",
-            Domain::string(30),
-            AttributeOptions::required(),
-        )
-        .unwrap();
+        cat.add_dva(department, "dept-name", Domain::string(30), AttributeOptions::required())
+            .unwrap();
         cat.add_eva(
             department,
             "instructors-employed",
@@ -947,8 +894,7 @@ mod tests {
             AttributeOptions::mv(),
         )
         .unwrap();
-        cat.add_eva(department, "courses-offered", course, None, AttributeOptions::mv())
-            .unwrap();
+        cat.add_eva(department, "courses-offered", course, None, AttributeOptions::mv()).unwrap();
 
         cat.add_verify(
             "v1",
@@ -1007,10 +953,8 @@ mod tests {
         assert!(cat.resolve_attr(student, "advisor").is_some());
         // TA sees attributes from both parents plus PERSON, deduplicated.
         let all = cat.all_attributes(ta);
-        let names: Vec<String> = all
-            .iter()
-            .map(|a| cat.attribute(*a).unwrap().name.clone())
-            .collect();
+        let names: Vec<String> =
+            all.iter().map(|a| cat.attribute(*a).unwrap().name.clone()).collect();
         assert!(names.contains(&"name".to_string()));
         assert!(names.contains(&"advisor".to_string()));
         assert!(names.contains(&"salary".to_string()));
@@ -1028,7 +972,8 @@ mod tests {
         let cat = university();
         let student = cat.class_by_name("student").unwrap().id;
         let advisor = cat.attr_on_class(student, "advisor").unwrap();
-        let advisees = cat.attribute(cat.attribute(advisor).unwrap().eva_inverse().unwrap()).unwrap();
+        let advisees =
+            cat.attribute(cat.attribute(advisor).unwrap().eva_inverse().unwrap()).unwrap();
         assert_eq!(advisees.name, "advisees");
         assert_eq!(advisees.eva_inverse(), Some(advisor));
         // advisor single-valued, advisees MV => many students : one instructor.
@@ -1108,10 +1053,8 @@ mod tests {
         let a = cat.define_base_class("A").unwrap();
         let b = cat.define_subclass("B", &[a]).unwrap();
         let _c = cat.define_subclass("C", &[b]).unwrap();
-        cat.add_subrole(a, "role", vec!["B".into(), "C".into()], AttributeOptions::mv())
-            .unwrap();
-        cat.add_subrole(b, "brole", vec!["C".into()], AttributeOptions::none())
-            .unwrap();
+        cat.add_subrole(a, "role", vec!["B".into(), "C".into()], AttributeOptions::mv()).unwrap();
+        cat.add_subrole(b, "brole", vec!["C".into()], AttributeOptions::none()).unwrap();
         // C is not an *immediate* subclass of A.
         assert!(matches!(cat.finalize(), Err(CatalogError::BadSubrole(_))));
     }

@@ -31,13 +31,8 @@ pub struct SchemaScale {
 }
 
 /// The published ADDS scale (§6).
-pub const ADDS_SCALE: SchemaScale = SchemaScale {
-    base_classes: 13,
-    subclasses: 209,
-    eva_pairs: 39,
-    dvas: 530,
-    max_depth: 5,
-};
+pub const ADDS_SCALE: SchemaScale =
+    SchemaScale { base_classes: 13, subclasses: 209, eva_pairs: 39, dvas: 530, max_depth: 5 };
 
 /// Build a schema with exactly the given counts. Deterministic: the same
 /// scale always yields the same schema.
@@ -76,9 +71,8 @@ pub fn generate_schema(scale: SchemaScale) -> Catalog {
     // families (cycling through each family's eligible parents), so no
     // hierarchy grows disproportionately — consistent with a dictionary
     // schema of 13 roughly comparable hierarchies.
-    let mut family_members: Vec<Vec<usize>> = (0..scale.base_classes.max(1))
-        .map(|b| vec![b])
-        .collect();
+    let mut family_members: Vec<Vec<usize>> =
+        (0..scale.base_classes.max(1)).map(|b| vec![b]).collect();
     for (i, _) in classes.iter().enumerate().skip(scale.base_classes) {
         family_members[0].push(i); // the deep chain lives under base-0
     }
@@ -224,9 +218,7 @@ mod tests {
             .expect("a depth-5 class exists");
         let all = cat.all_attributes(deepest.id);
         // Should include at least one inherited attribute from an ancestor.
-        let inherited = all
-            .iter()
-            .any(|a| cat.attribute(*a).unwrap().owner != deepest.id);
+        let inherited = all.iter().any(|a| cat.attribute(*a).unwrap().owner != deepest.id);
         assert!(inherited);
     }
 }

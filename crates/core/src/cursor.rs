@@ -69,8 +69,8 @@ impl Database {
         let statements = sim_dml::parse_statements(dml)
             .map_err(sim_query::QueryError::from)
             .map_err(SimError::from)?;
-        let [sim_dml::Statement::Retrieve(mut r)] = <[_; 1]>::try_from(statements)
-            .map_err(|_| {
+        let [sim_dml::Statement::Retrieve(mut r)] =
+            <[_; 1]>::try_from(statements).map_err(|_| {
                 SimError::Query(sim_query::QueryError::Analyze(
                     "open_cursor accepts a single retrieve statement".into(),
                 ))
@@ -82,8 +82,7 @@ impl Database {
         };
         r.mode = sim_dml::OutputMode::Structure;
         let catalog = self.catalog();
-        let bound = sim_query::bind::Binder::bind_retrieve(catalog, &r)
-            .map_err(SimError::Query)?;
+        let bound = sim_query::bind::Binder::bind_retrieve(catalog, &r).map_err(SimError::Query)?;
         let plan = sim_query::optimizer::plan(self.mapper(), &bound).map_err(SimError::Query)?;
         let out = sim_query::exec::Executor::new(self.mapper(), &bound, &plan)
             .run()
@@ -117,9 +116,8 @@ mod tests {
     #[test]
     fn cursor_streams_structured_records() {
         let db = db();
-        let mut cur = db
-            .open_cursor("From student Retrieve name, title of courses-enrolled.")
-            .unwrap();
+        let mut cur =
+            db.open_cursor("From student Retrieve name, title of courses-enrolled.").unwrap();
         assert_eq!(cur.formats().len(), 2);
         let first = cur.fetch().unwrap();
         assert_eq!(first.format, 0);
@@ -135,18 +133,13 @@ mod tests {
     fn cursor_rejects_updates_and_scripts() {
         let db = db();
         assert!(db.open_cursor("Delete student.").is_err());
-        assert!(db
-            .open_cursor("From student Retrieve name. From course Retrieve title.")
-            .is_err());
+        assert!(db.open_cursor("From student Retrieve name. From course Retrieve title.").is_err());
     }
 
     #[test]
     fn cursor_is_an_iterator() {
         let db = db();
-        let total: usize = db
-            .open_cursor("From course Retrieve title.")
-            .unwrap()
-            .count();
+        let total: usize = db.open_cursor("From course Retrieve title.").unwrap().count();
         assert_eq!(total, 2);
     }
 }

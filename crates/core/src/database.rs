@@ -3,7 +3,8 @@
 use crate::error::SimError;
 use sim_catalog::Catalog;
 use sim_luc::Mapper;
-use sim_query::{ExecResult, Plan, QueryEngine, QueryOutput};
+use sim_obs::{MetricsSnapshot, Registry, Trace};
+use sim_query::{AnalyzedPlan, ExecResult, Plan, QueryEngine, QueryOutput};
 use sim_storage::IoSnapshot;
 use std::sync::Arc;
 
@@ -56,6 +57,37 @@ impl Database {
     /// The optimizer's strategy for a retrieve (EXPLAIN).
     pub fn explain(&self, dml: &str) -> Result<Plan, SimError> {
         Ok(self.engine.explain(dml)?)
+    }
+
+    /// EXPLAIN ANALYZE: execute the retrieve with an instrumented executor
+    /// and return the plan annotated with per-step actual row counts,
+    /// block-I/O deltas, buffer-pool hits and wall time.
+    pub fn explain_analyze(&self, dml: &str) -> Result<AnalyzedPlan, SimError> {
+        Ok(self.engine.explain_analyze(dml)?)
+    }
+
+    /// Snapshot of every metric in the engine-wide registry: `storage.*`
+    /// block/pool/txn counters, `luc.*` mapper counters and `query.*`
+    /// phase histograms. Diff two snapshots with
+    /// [`MetricsSnapshot::since`].
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.engine.registry().snapshot()
+    }
+
+    /// The shared metrics registry (advanced use: custom metrics).
+    pub fn registry(&self) -> &Arc<Registry> {
+        self.engine.registry()
+    }
+
+    /// Span tree of the most recent completed statement, if any.
+    pub fn last_trace(&self) -> Option<Trace> {
+        self.engine.last_trace()
+    }
+
+    /// Buffer-pool hit ratio over the lifetime of this database
+    /// (`hits / (hits + misses)`; 0.0 before any access).
+    pub fn pool_hit_ratio(&self) -> f64 {
+        self.io_snapshot().hit_ratio()
     }
 
     /// Toggle VERIFY enforcement (§3.3); on by default.
@@ -131,11 +163,13 @@ impl Database {
     }
 
     /// Entity count of a class (statistics; see [`Mapper::entity_count`]).
-    pub fn entity_count(&self, class: &str) -> usize {
-        self.catalog()
-            .class_by_name(class)
-            .map(|c| self.engine.mapper().entity_count(c.id))
-            .unwrap_or(0)
+    /// Errors on an unknown class name rather than reporting an empty
+    /// class.
+    pub fn entity_count(&self, class: &str) -> Result<usize, SimError> {
+        let c = self.catalog().class_by_name(class).ok_or_else(|| {
+            SimError::Query(sim_query::QueryError::Analyze(format!("unknown class {class}")))
+        })?;
+        Ok(self.engine.mapper().entity_count(c.id))
     }
 }
 
@@ -163,14 +197,10 @@ mod tests {
                    assigned-department := department with (name = "Physics"))."#,
         )
         .unwrap();
-        let out = db
-            .query("From instructor Retrieve name, name of assigned-department.")
-            .unwrap();
-        assert_eq!(
-            out.rows(),
-            &[vec![Value::Str("Ann".into()), Value::Str("Physics".into())]]
-        );
-        assert_eq!(db.entity_count("person"), 1);
+        let out = db.query("From instructor Retrieve name, name of assigned-department.").unwrap();
+        assert_eq!(out.rows(), &[vec![Value::Str("Ann".into()), Value::Str("Physics".into())]]);
+        assert_eq!(db.entity_count("person").unwrap(), 1);
+        assert!(db.entity_count("no-such-class").is_err());
     }
 
     #[test]
@@ -191,9 +221,7 @@ mod tests {
     #[test]
     fn integrity_violation_flag() {
         let mut db = Database::university();
-        let err = db
-            .run_one(r#"Insert student(name := "S", soc-sec-no := 5)."#)
-            .unwrap_err();
+        let err = db.run_one(r#"Insert student(name := "S", soc-sec-no := 5)."#).unwrap_err();
         assert!(err.is_integrity_violation(), "V1 fires: 0 credits < 12");
         db.set_enforce_verifies(false);
         db.run_one(r#"Insert student(name := "S", soc-sec-no := 5)."#).unwrap();

@@ -26,5 +26,7 @@ pub use database::Database;
 pub use error::SimError;
 pub use format::format_output;
 
-pub use sim_query::{ExecResult, Plan, QueryOutput};
+pub use sim_obs::{MetricsSnapshot, Trace};
+pub use sim_query::{AnalyzedPlan, ExecResult, Plan, QueryOutput, StepActuals};
+pub use sim_storage::IoSnapshot;
 pub use sim_types::{Date, Decimal, Surrogate, Value};

@@ -14,10 +14,7 @@ use sim_types::{Domain, IntRange};
 use std::sync::Arc;
 
 /// Install statements into `catalog` and finalize it.
-pub fn install_schema(
-    statements: &[DdlStatement],
-    catalog: &mut Catalog,
-) -> Result<(), DdlError> {
+pub fn install_schema(statements: &[DdlStatement], catalog: &mut Catalog) -> Result<(), DdlError> {
     // Pass 1: types and class skeletons.
     for stmt in statements {
         match stmt {
@@ -32,12 +29,11 @@ pub fn install_schema(
                     let supers: Vec<ClassId> = superclasses
                         .iter()
                         .map(|s| {
-                            catalog
-                                .class_by_name(s)
-                                .map(|c| c.id)
-                                .ok_or_else(|| DdlError::Unresolved(format!(
+                            catalog.class_by_name(s).map(|c| c.id).ok_or_else(|| {
+                                DdlError::Unresolved(format!(
                                     "superclass {s} of {name} (superclasses must be declared first)"
-                                )))
+                                ))
+                            })
                         })
                         .collect::<Result<_, _>>()?;
                     catalog.define_subclass(name, &supers)?;
@@ -57,10 +53,9 @@ pub fn install_schema(
                 }
             }
             DdlStatement::VerifyDef { name, class, assertion, message } => {
-                let class_id = catalog
-                    .class_by_name(class)
-                    .map(|c| c.id)
-                    .ok_or_else(|| DdlError::Unresolved(format!("verify {name} on unknown class {class}")))?;
+                let class_id = catalog.class_by_name(class).map(|c| c.id).ok_or_else(|| {
+                    DdlError::Unresolved(format!("verify {name} on unknown class {class}"))
+                })?;
                 catalog.add_verify(name, class_id, assertion, message)?;
             }
             DdlStatement::TypeDef { .. } => {}
@@ -137,9 +132,8 @@ fn spec_to_domain(spec: &AttrTypeSpec, context: &str) -> Result<Domain, DdlError
             ranges: ranges
                 .iter()
                 .map(|&(lo, hi)| {
-                    IntRange::new(lo, hi).map_err(|e| {
-                        DdlError::Unresolved(format!("{context}: {e}"))
-                    })
+                    IntRange::new(lo, hi)
+                        .map_err(|e| DdlError::Unresolved(format!("{context}: {e}")))
                 })
                 .collect::<Result<_, _>>()?,
         },
@@ -153,9 +147,7 @@ fn spec_to_domain(spec: &AttrTypeSpec, context: &str) -> Result<Domain, DdlError
                 .map_err(|e| DdlError::Unresolved(format!("{context}: {e}")))?,
         )),
         AttrTypeSpec::Subrole(_) => {
-            return Err(DdlError::Unresolved(format!(
-                "{context}: subrole is not a named type"
-            )));
+            return Err(DdlError::Unresolved(format!("{context}: subrole is not a named type")));
         }
         AttrTypeSpec::Derived(_) => {
             return Err(DdlError::Unresolved(format!(

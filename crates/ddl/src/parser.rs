@@ -440,9 +440,7 @@ mod tests {
                profession: subrole (student, instructor) mv );",
         )
         .unwrap();
-        let DdlStatement::ClassDef { name, superclasses, attributes } = &stmts[0] else {
-            panic!()
-        };
+        let DdlStatement::ClassDef { name, superclasses, attributes } = &stmts[0] else { panic!() };
         assert_eq!(name, "person");
         assert!(superclasses.is_empty());
         assert_eq!(attributes.len(), 5);
@@ -511,10 +509,9 @@ mod tests {
 
     #[test]
     fn mapping_override_extension() {
-        let stmts = parse_schema(
-            "Class C ( members: person inverse is member-of mv mapping clustered );",
-        )
-        .unwrap();
+        let stmts =
+            parse_schema("Class C ( members: person inverse is member-of mv mapping clustered );")
+                .unwrap();
         let DdlStatement::ClassDef { attributes, .. } = &stmts[0] else { panic!() };
         assert_eq!(attributes[0].mapping, Some(MappingKind::Clustered));
     }
@@ -538,8 +535,8 @@ mod tests {
 
     #[test]
     fn paper_comment_syntax() {
-        let stmts = parse_schema("(* The schema diagram is in Figure 2. *) Class C ( x: date );")
-            .unwrap();
+        let stmts =
+            parse_schema("(* The schema diagram is in Figure 2. *) Class C ( x: date );").unwrap();
         assert_eq!(stmts.len(), 1);
     }
 }

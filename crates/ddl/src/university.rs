@@ -145,10 +145,7 @@ mod tests {
 
     #[test]
     fn inverse_on_type_fails() {
-        let err = compile_schema(
-            "Type t = integer; Class C ( x: t inverse is y );",
-        )
-        .unwrap_err();
+        let err = compile_schema("Type t = integer; Class C ( x: t inverse is y );").unwrap_err();
         assert!(err.to_string().contains("applies to classes"));
     }
 

@@ -182,11 +182,7 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, ParseError> {
                 while i < n && bytes[i].is_ascii_digit() {
                     i += 1;
                 }
-                tokens.push(Token {
-                    tok: Tok::Dec(source[start..i].to_owned()),
-                    start,
-                    end: i,
-                });
+                tokens.push(Token { tok: Tok::Dec(source[start..i].to_owned()), start, end: i });
             } else {
                 let text = &source[start..i];
                 let v: i64 = text.parse().map_err(|_| {
@@ -319,20 +315,12 @@ mod tests {
     fn spaced_hyphen_is_minus() {
         assert_eq!(
             toks("salary - bonus"),
-            vec![
-                Tok::Ident("salary".into()),
-                Tok::Minus,
-                Tok::Ident("bonus".into())
-            ]
+            vec![Tok::Ident("salary".into()), Tok::Minus, Tok::Ident("bonus".into())]
         );
         // Hyphen followed by space also breaks the identifier.
         assert_eq!(
             toks("salary -bonus"),
-            vec![
-                Tok::Ident("salary".into()),
-                Tok::Minus,
-                Tok::Ident("bonus".into())
-            ]
+            vec![Tok::Ident("salary".into()), Tok::Minus, Tok::Ident("bonus".into())]
         );
     }
 
@@ -340,10 +328,7 @@ mod tests {
     fn numbers_decimals_and_ranges() {
         assert_eq!(toks("42"), vec![Tok::Int(42)]);
         assert_eq!(toks("1.1"), vec![Tok::Dec("1.1".into())]);
-        assert_eq!(
-            toks("1001..39999"),
-            vec![Tok::Int(1001), Tok::DotDot, Tok::Int(39999)]
-        );
+        assert_eq!(toks("1001..39999"), vec![Tok::Int(1001), Tok::DotDot, Tok::Int(39999)]);
         assert_eq!(
             toks("number[9,2]"),
             vec![
@@ -361,18 +346,9 @@ mod tests {
     fn statement_period_vs_decimal() {
         assert_eq!(
             toks("Retrieve Name."),
-            vec![
-                Tok::Ident("retrieve".into()),
-                Tok::Ident("name".into()),
-                Tok::Period
-            ]
+            vec![Tok::Ident("retrieve".into()), Tok::Ident("name".into()), Tok::Period]
         );
-        assert_eq!(toks("x = 4."), vec![
-            Tok::Ident("x".into()),
-            Tok::Eq,
-            Tok::Int(4),
-            Tok::Period
-        ]);
+        assert_eq!(toks("x = 4."), vec![Tok::Ident("x".into()), Tok::Eq, Tok::Int(4), Tok::Period]);
     }
 
     #[test]
@@ -394,17 +370,20 @@ mod tests {
                 Tok::Ident("salary".into())
             ]
         );
-        assert_eq!(toks("a <= b >= c <> d != e"), vec![
-            Tok::Ident("a".into()),
-            Tok::Le,
-            Tok::Ident("b".into()),
-            Tok::Ge,
-            Tok::Ident("c".into()),
-            Tok::Ne,
-            Tok::Ident("d".into()),
-            Tok::Ne,
-            Tok::Ident("e".into()),
-        ]);
+        assert_eq!(
+            toks("a <= b >= c <> d != e"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Le,
+                Tok::Ident("b".into()),
+                Tok::Ge,
+                Tok::Ident("c".into()),
+                Tok::Ne,
+                Tok::Ident("d".into()),
+                Tok::Ne,
+                Tok::Ident("e".into()),
+            ]
+        );
     }
 
     #[test]

@@ -7,8 +7,8 @@ use crate::lex::{tokenize, Tok, Token};
 /// Words that terminate or structure clauses and therefore cannot appear as
 /// bare path-segment names.
 const RESERVED: &[&str] = &[
-    "of", "as", "where", "and", "or", "not", "isa", "matches", "neq", "else", "order",
-    "desc", "asc", "with", "retrieve", "from", "include", "exclude", "by",
+    "of", "as", "where", "and", "or", "not", "isa", "matches", "neq", "else", "order", "desc",
+    "asc", "with", "retrieve", "from", "include", "exclude", "by",
 ];
 
 const AGG_FUNCS: &[(&str, AggFunc)] = &[
@@ -19,11 +19,8 @@ const AGG_FUNCS: &[(&str, AggFunc)] = &[
     ("max", AggFunc::Max),
 ];
 
-const QUANTIFIERS: &[(&str, Quantifier)] = &[
-    ("all", Quantifier::All),
-    ("some", Quantifier::Some),
-    ("no", Quantifier::No),
-];
+const QUANTIFIERS: &[(&str, Quantifier)] =
+    &[("all", Quantifier::All), ("some", Quantifier::Some), ("no", Quantifier::No)];
 
 struct Parser<'a> {
     source: &'a str,
@@ -81,10 +78,7 @@ impl<'a> Parser<'a> {
     }
 
     fn offset(&self) -> usize {
-        self.tokens
-            .get(self.pos)
-            .map(|t| t.start)
-            .unwrap_or(self.source.len())
+        self.tokens.get(self.pos).map(|t| t.start).unwrap_or(self.source.len())
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
@@ -198,9 +192,7 @@ impl<'a> Parser<'a> {
                 let class = self.name("a perspective class name")?;
                 // An optional reference variable directly follows the class.
                 let refvar = match self.peek() {
-                    Some(Tok::Ident(s))
-                        if !RESERVED.contains(&s.as_str()) && s != "retrieve" =>
-                    {
+                    Some(Tok::Ident(s)) if !RESERVED.contains(&s.as_str()) && s != "retrieve" => {
                         Some(self.ident("reference variable")?)
                     }
                     _ => None,
@@ -251,7 +243,13 @@ impl<'a> Parser<'a> {
         }
 
         let where_clause = if self.eat_kw("where") { Some(self.expr()?) } else { None };
-        Ok(Statement::Retrieve(RetrieveStmt { perspectives, mode, targets, order_by, where_clause }))
+        Ok(Statement::Retrieve(RetrieveStmt {
+            perspectives,
+            mode,
+            targets,
+            order_by,
+            where_clause,
+        }))
     }
 
     /// One target-list item, possibly a parenthetically factored
@@ -323,11 +321,8 @@ impl<'a> Parser<'a> {
         } else {
             None
         };
-        let assignments = if self.peek() == Some(&Tok::LParen) {
-            self.assignment_list()?
-        } else {
-            Vec::new()
-        };
+        let assignments =
+            if self.peek() == Some(&Tok::LParen) { self.assignment_list()? } else { Vec::new() };
         Ok(Statement::Insert(InsertStmt { class, from, assignments }))
     }
 
@@ -427,9 +422,9 @@ impl<'a> Parser<'a> {
             let path = match lhs {
                 Expr::Path(p) => p,
                 other => {
-                    return Err(self.err(format!(
-                        "left side of isa must be an entity path, found {other}"
-                    )));
+                    return Err(
+                        self.err(format!("left side of isa must be an entity path, found {other}"))
+                    );
                 }
             };
             return Ok(Expr::IsA { path, class });
@@ -602,11 +597,7 @@ impl<'a> Parser<'a> {
         } else {
             SegKind::Name(self.name("an attribute or class name")?)
         };
-        let as_class = if self.eat_kw("as") {
-            Some(self.name("a class name")?)
-        } else {
-            None
-        };
+        let as_class = if self.eat_kw("as") { Some(self.name("a class name")?) } else { None };
         Ok(Segment { kind, as_class })
     }
 }
@@ -636,10 +627,7 @@ mod tests {
                 assert_eq!(r.perspectives.len(), 1);
                 assert_eq!(r.perspectives[0].class, "student");
                 assert_eq!(r.targets.len(), 2);
-                assert_eq!(
-                    r.targets[1],
-                    Expr::Path(Path::of_names(["name", "advisor"]))
-                );
+                assert_eq!(r.targets[1], Expr::Path(Path::of_names(["name", "advisor"])));
                 assert!(r.where_clause.is_none());
             }
             other => panic!("expected retrieve, got {other:?}"),
@@ -661,17 +649,9 @@ mod tests {
                 assert_eq!(r.targets.len(), 4);
                 assert_eq!(
                     r.targets[3],
-                    Expr::Path(Path::of_names([
-                        "name",
-                        "teachers",
-                        "courses-enrolled",
-                        "student"
-                    ]))
+                    Expr::Path(Path::of_names(["name", "teachers", "courses-enrolled", "student"]))
                 );
-                assert!(matches!(
-                    r.where_clause,
-                    Some(Expr::Binary { op: BinOp::Eq, .. })
-                ));
+                assert!(matches!(r.where_clause, Some(Expr::Binary { op: BinOp::Eq, .. })));
             }
             other => panic!("{other:?}"),
         }
@@ -753,9 +733,7 @@ mod tests {
         match stmt {
             Statement::Modify(m) => {
                 let w = m.where_clause.unwrap();
-                let Expr::Binary { op: BinOp::And, lhs, rhs } = w else {
-                    panic!("expected AND")
-                };
+                let Expr::Binary { op: BinOp::And, lhs, rhs } = w else { panic!("expected AND") };
                 assert!(matches!(
                     *lhs,
                     Expr::Binary { op: BinOp::Gt, ref lhs, .. }
@@ -810,9 +788,7 @@ mod tests {
                 assert_eq!(r.perspectives.len(), 2);
                 let w = r.where_clause.unwrap();
                 // Outer shape: (a and b) and (not (isa)).
-                let Expr::Binary { op: BinOp::And, rhs, .. } = w else {
-                    panic!("expected AND")
-                };
+                let Expr::Binary { op: BinOp::And, rhs, .. } = w else { panic!("expected AND") };
                 assert!(matches!(*rhs, Expr::Not(ref inner)
                     if matches!(**inner, Expr::IsA { ref class, .. } if class == "teaching-assistant")));
             }
@@ -869,10 +845,7 @@ mod tests {
         match stmt {
             Statement::Retrieve(r) => {
                 assert_eq!(r.targets.len(), 2);
-                assert_eq!(
-                    r.targets[0],
-                    Expr::Path(Path::of_names(["title", "courses-enrolled"]))
-                );
+                assert_eq!(r.targets[0], Expr::Path(Path::of_names(["title", "courses-enrolled"])));
                 assert_eq!(
                     r.targets[1],
                     Expr::Path(Path::of_names(["credits", "courses-enrolled"]))
@@ -935,13 +908,17 @@ mod tests {
     fn aggregates_with_tails() {
         // Paper §4.6 examples.
         let e = parse_expression("avg(salary of instructor)").unwrap();
-        assert!(matches!(e, Expr::Aggregate { func: AggFunc::Avg, ref tail, .. } if tail.is_empty()));
+        assert!(
+            matches!(e, Expr::Aggregate { func: AggFunc::Avg, ref tail, .. } if tail.is_empty())
+        );
         let e = parse_expression("avg(salary of instructors-employed) of department").unwrap();
         assert!(
             matches!(e, Expr::Aggregate { func: AggFunc::Avg, ref tail, .. } if tail.len() == 1)
         );
         let e = parse_expression("count(teachers of courses-enrolled) of student").unwrap();
-        assert!(matches!(e, Expr::Aggregate { func: AggFunc::Count, ref arg, .. } if arg.segments.len() == 2));
+        assert!(
+            matches!(e, Expr::Aggregate { func: AggFunc::Count, ref arg, .. } if arg.segments.len() == 2)
+        );
     }
 
     #[test]

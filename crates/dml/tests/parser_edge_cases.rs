@@ -19,8 +19,8 @@ fn terminators_are_flexible() {
     parse_statement("From s Retrieve x.").unwrap();
     parse_statement("From s Retrieve x;").unwrap();
     parse_statement("From s Retrieve x").unwrap(); // EOF terminates too
-    // Multiple terminators collapse. (Note: a glued `..` would lex as the
-    // range operator, so separate repeated periods with whitespace.)
+                                                   // Multiple terminators collapse. (Note: a glued `..` would lex as the
+                                                   // range operator, so separate repeated periods with whitespace.)
     let stmts = parse_statements("From s Retrieve x. . ;; From s Retrieve y.").unwrap();
     assert_eq!(stmts.len(), 2);
 }

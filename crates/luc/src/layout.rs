@@ -24,7 +24,7 @@
 //!   lists (overrides), per §5.2.
 
 use crate::error::MapperError;
-use sim_catalog::{AttrId, Catalog, Cardinality, ClassId, EvaMapping};
+use sim_catalog::{AttrId, Cardinality, Catalog, ClassId, EvaMapping};
 use std::collections::HashMap;
 
 /// How an EVA pair is physically realized.
@@ -229,9 +229,10 @@ impl PhysicalLayout {
             let wants_structure =
                 fwd_map == EvaMapping::Structure || inv_map == EvaMapping::Structure;
 
-            if wants_fk || (cardinality == Cardinality::OneToOne
-                && fwd_map == EvaMapping::Default
-                && inv_map == EvaMapping::Default)
+            if wants_fk
+                || (cardinality == Cardinality::OneToOne
+                    && fwd_map == EvaMapping::Default
+                    && inv_map == EvaMapping::Default)
             {
                 if cardinality != Cardinality::OneToOne {
                     return Err(MapperError::Unsupported(format!(
@@ -299,7 +300,11 @@ impl PhysicalLayout {
                             fields.push(FieldSpec { attr: attr_id, kind: FieldKind::ScalarDva });
                             attr_place.insert(
                                 attr_id,
-                                AttrPlacement::Field { class: class_id, index, kind: FieldKind::ScalarDva },
+                                AttrPlacement::Field {
+                                    class: class_id,
+                                    index,
+                                    kind: FieldKind::ScalarDva,
+                                },
                             );
                         } else if attr.options.max.is_some() {
                             let index = fields.len();
@@ -326,16 +331,18 @@ impl PhysicalLayout {
                         fields.push(FieldSpec { attr: attr_id, kind: FieldKind::ForeignKeyEva });
                         attr_place.insert(
                             attr_id,
-                            AttrPlacement::Field { class: class_id, index, kind: FieldKind::ForeignKeyEva },
+                            AttrPlacement::Field {
+                                class: class_id,
+                                index,
+                                kind: FieldKind::ForeignKeyEva,
+                            },
                         );
                     } else if let Some(&(structure, clustered)) = pointer_fields.get(&attr_id) {
                         let index = fields.len();
                         let kind = FieldKind::PointerEva { structure, clustered };
                         fields.push(FieldSpec { attr: attr_id, kind });
-                        attr_place.insert(
-                            attr_id,
-                            AttrPlacement::Field { class: class_id, index, kind },
-                        );
+                        attr_place
+                            .insert(attr_id, AttrPlacement::Field { class: class_id, index, kind });
                     } else if let Some(&(structure, forward)) = pair_mapping.get(&attr_id) {
                         attr_place.insert(attr_id, AttrPlacement::Structure { structure, forward });
                     } else {
@@ -352,14 +359,7 @@ impl PhysicalLayout {
             }
         }
 
-        Ok(PhysicalLayout {
-            families,
-            family_of,
-            class_phys,
-            attr_place,
-            structures,
-            unique_attrs,
-        })
+        Ok(PhysicalLayout { families, family_of, class_phys, attr_place, structures, unique_attrs })
     }
 
     /// The placement of an attribute.
@@ -410,9 +410,6 @@ mod tests {
         cat.add_eva(b, "y", a, Some("x"), AttributeOptions::none()).unwrap();
         cat.set_mapping(x, EvaMapping::ForeignKey).unwrap();
         cat.finalize().unwrap();
-        assert!(matches!(
-            PhysicalLayout::build(&cat),
-            Err(MapperError::Unsupported(_))
-        ));
+        assert!(matches!(PhysicalLayout::build(&cat), Err(MapperError::Unsupported(_))));
     }
 }

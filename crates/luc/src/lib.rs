@@ -28,8 +28,10 @@ pub mod layout;
 pub mod mapper;
 pub mod ops;
 pub mod records;
+pub mod stats;
 pub mod value_codec;
 
 pub use error::MapperError;
 pub use layout::{AttrPlacement, PhysicalLayout};
 pub use mapper::{AttrOut, AttrValue, Mapper};
+pub use stats::MapperStats;

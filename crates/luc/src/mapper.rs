@@ -6,7 +6,9 @@
 use crate::error::MapperError;
 use crate::layout::{FamilyLayout, PairMapping, PhysicalLayout};
 use crate::records::{AuxRecord, EntityRecord};
+use crate::stats::MapperStats;
 use sim_catalog::{AttrId, Catalog, ClassId};
+use sim_obs::Registry;
 use sim_storage::{BTreeId, FileId, RecordId, StorageEngine, Txn};
 use sim_types::{Surrogate, SurrogateAllocator, Value};
 use std::collections::HashMap;
@@ -86,6 +88,8 @@ pub struct Mapper {
     pub(crate) allocator: SurrogateAllocator,
     /// Optimizer statistics; may drift across aborts (see `recount`).
     pub(crate) class_counts: HashMap<ClassId, usize>,
+    /// Operation counters (`luc.*` in the metrics registry).
+    pub(crate) stats: MapperStats,
 }
 
 pub(crate) fn surr_key(s: Surrogate) -> [u8; 8] {
@@ -116,8 +120,18 @@ impl Mapper {
     /// Plan the physical layout for `catalog` and create all storage
     /// structures. `pool_capacity` sizes the buffer pool (frames of 4 KiB).
     pub fn new(catalog: Arc<Catalog>, pool_capacity: usize) -> Result<Mapper, MapperError> {
+        Mapper::with_registry(catalog, pool_capacity, &Arc::new(Registry::new()))
+    }
+
+    /// Like [`Mapper::new`], publishing metrics into `registry` (under the
+    /// `luc.*` and `storage.*` names).
+    pub fn with_registry(
+        catalog: Arc<Catalog>,
+        pool_capacity: usize,
+        registry: &Arc<Registry>,
+    ) -> Result<Mapper, MapperError> {
         let layout = PhysicalLayout::build(&catalog)?;
-        let mut engine = StorageEngine::new(pool_capacity);
+        let mut engine = StorageEngine::with_registry(pool_capacity, registry);
 
         let mut families = Vec::with_capacity(layout.families.len());
         for fam in &layout.families {
@@ -133,7 +147,10 @@ impl Mapper {
 
         let mut mv_dva_trees = HashMap::new();
         for attr in catalog.attributes() {
-            if matches!(layout.placement(attr.id), Some(crate::layout::AttrPlacement::SeparateMvDva)) {
+            if matches!(
+                layout.placement(attr.id),
+                Some(crate::layout::AttrPlacement::SeparateMvDva)
+            ) {
                 mv_dva_trees.insert(attr.id, engine.create_btree(false));
             }
         }
@@ -166,6 +183,7 @@ impl Mapper {
             hash_idx: HashMap::new(),
             allocator: SurrogateAllocator::new(),
             class_counts: HashMap::new(),
+            stats: MapperStats::new(registry),
         })
     }
 
@@ -182,6 +200,11 @@ impl Mapper {
     /// The storage engine (I/O statistics, cache control).
     pub fn engine(&self) -> &StorageEngine {
         &self.engine
+    }
+
+    /// The metrics registry this mapper publishes into.
+    pub fn registry(&self) -> &Arc<Registry> {
+        self.engine.registry()
     }
 
     /// Open a transaction.
@@ -255,10 +278,11 @@ impl Mapper {
         surr: Surrogate,
     ) -> Result<Option<(RecordId, u64)>, MapperError> {
         let idx = self.families[family].surr_index;
+        self.stats.index_probes_btree.inc();
         match self.engine.btree_lookup_first(idx, &surr_key(surr))? {
-            Some(v) => decode_index_value(&v)
-                .map(Some)
-                .ok_or_else(|| MapperError::NoSuchEntity(format!("corrupt index entry for {surr}"))),
+            Some(v) => decode_index_value(&v).map(Some).ok_or_else(|| {
+                MapperError::NoSuchEntity(format!("corrupt index entry for {surr}"))
+            }),
             None => Ok(None),
         }
     }
@@ -273,6 +297,8 @@ impl Mapper {
             .heap_get(self.families[family].tree_file, rid)?
             .ok_or_else(|| MapperError::NoSuchEntity(format!("{surr} (dangling index)")))?;
         let rec = EntityRecord::decode(&bytes, self.family_layout(family), &self.layout)?;
+        self.stats.entity_reads.inc();
+        self.stats.record_decodes.inc();
         Ok(Loaded { family, rid, roles_at_load: roles, rec })
     }
 
@@ -283,12 +309,16 @@ impl Mapper {
         let idx = self.families[family].surr_index;
         let surr = rec.surrogate;
         let roles = rec.roles;
+        self.stats.record_encodes.inc();
         let new_rid = self.engine.heap_update(txn, file, rid, &rec.encode())?;
         if new_rid != rid || roles != roles_at_load {
-            self.engine
-                .btree_delete(txn, idx, &surr_key(surr), &index_value(rid, roles_at_load))?;
-            self.engine
-                .btree_insert(txn, idx, &surr_key(surr), &index_value(new_rid, roles))?;
+            self.engine.btree_delete(
+                txn,
+                idx,
+                &surr_key(surr),
+                &index_value(rid, roles_at_load),
+            )?;
+            self.engine.btree_insert(txn, idx, &surr_key(surr), &index_value(new_rid, roles))?;
         }
         Ok(new_rid)
     }
@@ -301,6 +331,7 @@ impl Mapper {
         surr: Surrogate,
     ) -> Result<(RecordId, AuxRecord), MapperError> {
         let (file, idx) = self.families[family].aux[aux];
+        self.stats.index_probes_btree.inc();
         let rid_bytes = self
             .engine
             .btree_lookup_first(idx, &surr_key(surr))?
@@ -311,6 +342,7 @@ impl Mapper {
             .engine
             .heap_get(file, rid)?
             .ok_or_else(|| MapperError::NoSuchEntity(format!("{surr} (dangling aux index)")))?;
+        self.stats.record_decodes.inc();
         Ok((rid, AuxRecord::decode(&bytes)?))
     }
 
@@ -323,12 +355,11 @@ impl Mapper {
         rec: &AuxRecord,
     ) -> Result<RecordId, MapperError> {
         let (file, idx) = self.families[family].aux[aux];
+        self.stats.record_encodes.inc();
         let new_rid = self.engine.heap_update(txn, file, rid, &rec.encode())?;
         if new_rid != rid {
-            self.engine
-                .btree_delete(txn, idx, &surr_key(rec.surrogate), &rid.to_bytes())?;
-            self.engine
-                .btree_insert(txn, idx, &surr_key(rec.surrogate), &new_rid.to_bytes())?;
+            self.engine.btree_delete(txn, idx, &surr_key(rec.surrogate), &rid.to_bytes())?;
+            self.engine.btree_insert(txn, idx, &surr_key(rec.surrogate), &new_rid.to_bytes())?;
         }
         Ok(new_rid)
     }
@@ -353,6 +384,7 @@ impl Mapper {
 
         let rec = EntityRecord::new(surr, roles, self.family_layout(family), &self.layout);
         let file = self.families[family].tree_file;
+        self.stats.record_encodes.inc();
         let bytes = rec.encode();
         let rid = match near {
             Some(near_rid) => self.engine.heap_insert_near(txn, file, near_rid, &bytes)?,
@@ -418,6 +450,7 @@ impl Mapper {
                     fields: vec![crate::value_codec::FieldValue::null(); fields],
                 };
                 let (file, idx) = self.families[family].aux[aux_idx];
+                self.stats.record_encodes.inc();
                 let rid = self.engine.heap_insert(txn, file, &rec.encode())?;
                 self.engine.btree_insert(txn, idx, &surr_key(surr), &rid.to_bytes())?;
             }
@@ -446,11 +479,8 @@ impl Mapper {
 
         // Collect the removed classes (in family order).
         let fam_classes = self.family_layout(family).classes.clone();
-        let removed: Vec<ClassId> = fam_classes
-            .iter()
-            .copied()
-            .filter(|c| gone & self.bit_of(*c) != 0)
-            .collect();
+        let removed: Vec<ClassId> =
+            fam_classes.iter().copied().filter(|c| gone & self.bit_of(*c) != 0).collect();
 
         // Detach everything owned by the removed roles.
         for &c in &removed {
@@ -466,8 +496,12 @@ impl Mapper {
             let file = self.families[family].tree_file;
             let idx = self.families[family].surr_index;
             self.engine.heap_delete(txn, file, loaded.rid)?;
-            self.engine
-                .btree_delete(txn, idx, &surr_key(surr), &index_value(loaded.rid, loaded.roles_at_load))?;
+            self.engine.btree_delete(
+                txn,
+                idx,
+                &surr_key(surr),
+                &index_value(loaded.rid, loaded.roles_at_load),
+            )?;
         } else {
             self.store(txn, loaded)?;
         }

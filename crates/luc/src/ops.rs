@@ -156,7 +156,12 @@ impl Mapper {
     }
 
     /// The partner surrogates of an EVA.
-    pub fn eva_partners(&self, surr: Surrogate, attr: AttrId) -> Result<Vec<Surrogate>, MapperError> {
+    pub fn eva_partners(
+        &self,
+        surr: Surrogate,
+        attr: AttrId,
+    ) -> Result<Vec<Surrogate>, MapperError> {
+        self.stats.eva_traversals.inc();
         let out = self.read_attr(surr, attr)?;
         Ok(out
             .into_values()
@@ -254,10 +259,7 @@ impl Mapper {
             )));
         }
         if attr.is_derived() {
-            return Err(MapperError::ReadOnly(format!(
-                "{} is a derived attribute",
-                attr.name
-            )));
+            return Err(MapperError::ReadOnly(format!("{} is a derived attribute", attr.name)));
         }
         if attr.is_dva() {
             return self.set_dva(txn, surr, &attr, value);
@@ -384,8 +386,7 @@ impl Mapper {
         let mut values = Vec::with_capacity(raw.len());
         for v in raw {
             let coerced = domain.coerce(v)?;
-            if attr.options.distinct
-                && values.iter().any(|x: &Value| x.total_cmp(&coerced).is_eq())
+            if attr.options.distinct && values.iter().any(|x: &Value| x.total_cmp(&coerced).is_eq())
             {
                 continue; // DISTINCT: silently keep set semantics
             }
@@ -503,9 +504,7 @@ impl Mapper {
             }
             Some(AttrPlacement::SeparateMvDva) => {
                 let tree = self.mv_dva_trees[&attr_id];
-                Ok(self
-                    .engine
-                    .btree_delete(txn, tree, &surr_be(surr), &encode_mv_value(&v))?)
+                Ok(self.engine.btree_delete(txn, tree, &surr_be(surr), &encode_mv_value(&v))?)
             }
             other => Err(MapperError::ShapeMismatch(format!(
                 "unexpected placement {other:?} for {}",
@@ -603,7 +602,13 @@ impl Mapper {
                 }
             }
             if p != surr {
-                self.field_set(txn, p, inv_class, inv_index, FieldValue::Scalar(Value::Entity(surr)))?;
+                self.field_set(
+                    txn,
+                    p,
+                    inv_class,
+                    inv_index,
+                    FieldValue::Scalar(Value::Entity(surr)),
+                )?;
             }
             self.field_set(txn, surr, own_class, own_index, FieldValue::Scalar(Value::Entity(p)))?;
             if p == surr {
@@ -782,9 +787,9 @@ impl Mapper {
     fn plan_of(&self, attr_id: AttrId) -> Result<usize, MapperError> {
         match self.layout.placement(attr_id) {
             Some(AttrPlacement::Structure { structure, .. }) => Ok(structure),
-            Some(AttrPlacement::Field { kind: FieldKind::PointerEva { structure, .. }, .. }) => {
-                Ok(structure)
-            }
+            Some(AttrPlacement::Field {
+                kind: FieldKind::PointerEva { structure, .. }, ..
+            }) => Ok(structure),
             other => Err(MapperError::ShapeMismatch(format!(
                 "attribute has no relationship structure ({other:?})"
             ))),
@@ -805,9 +810,8 @@ impl Mapper {
         else {
             return Ok(()); // not pointer-mapped: nothing to do
         };
-        let other_family = self.family_index(
-            self.catalog.attribute(side_attr.id)?.eva_range().expect("EVA"),
-        )?;
+        let other_family =
+            self.family_index(self.catalog.attribute(side_attr.id)?.eva_range().expect("EVA"))?;
         let mut hints = match self.field_get(on, class, index)? {
             FieldValue::Hints(h) => h,
             _ => Vec::new(),
@@ -1052,8 +1056,12 @@ impl Mapper {
         for (tree, unique) in trees {
             if let Some(o) = old {
                 if !o.is_null() {
-                    self.engine
-                        .btree_delete(txn, tree, &ordered::encode_key(std::slice::from_ref(o)), &surr_be(surr))?;
+                    self.engine.btree_delete(
+                        txn,
+                        tree,
+                        &ordered::encode_key(std::slice::from_ref(o)),
+                        &surr_be(surr),
+                    )?;
                 }
             }
             if let Some(n) = new {
@@ -1076,8 +1084,12 @@ impl Mapper {
         if let Some(&hidx) = self.hash_idx.get(&attr.id) {
             if let Some(o) = old {
                 if !o.is_null() {
-                    self.engine
-                        .hash_delete(txn, hidx, &ordered::encode_key(std::slice::from_ref(o)), &surr_be(surr))?;
+                    self.engine.hash_delete(
+                        txn,
+                        hidx,
+                        &ordered::encode_key(std::slice::from_ref(o)),
+                        &surr_be(surr),
+                    )?;
                 }
             }
             if let Some(n) = new {
@@ -1177,11 +1189,7 @@ impl Mapper {
             .transpose()?
             .unwrap_or_else(|| value.clone());
         let key = ordered::encode_key(std::slice::from_ref(&v));
-        Ok(self
-            .engine
-            .btree_lookup_first(tree, &key)?
-            .as_deref()
-            .and_then(decode_surr_be))
+        Ok(self.engine.btree_lookup_first(tree, &key)?.as_deref().and_then(decode_surr_be))
     }
 
     /// Indexed equality lookup (unique or secondary). `None` when the
@@ -1199,6 +1207,7 @@ impl Mapper {
             .unwrap_or_else(|| value.clone());
         let key = ordered::encode_key(std::slice::from_ref(&v));
         if let Some(&tree) = self.unique_idx.get(&attr_id) {
+            self.stats.index_probes_btree.inc();
             return Ok(Some(
                 self.engine
                     .btree_lookup_first(tree, &key)?
@@ -1209,6 +1218,7 @@ impl Mapper {
             ));
         }
         if let Some(&tree) = self.secondary_idx.get(&attr_id) {
+            self.stats.index_probes_btree.inc();
             return Ok(Some(
                 self.engine
                     .btree_scan_key(tree, &key)?
@@ -1218,6 +1228,7 @@ impl Mapper {
             ));
         }
         if let Some(&hidx) = self.hash_idx.get(&attr_id) {
+            self.stats.index_probes_hash.inc();
             let mut out: Vec<Surrogate> = self
                 .engine
                 .hash_get(hidx, &key)?
@@ -1245,6 +1256,7 @@ impl Mapper {
             Some(&t) => t,
             None => return Ok(None),
         };
+        self.stats.index_probes_btree.inc();
         let lo_key = lo.map(|v| ordered::encode_key(std::slice::from_ref(v)));
         let hi_key = hi.map(|v| {
             let mut k = ordered::encode_key(std::slice::from_ref(v));

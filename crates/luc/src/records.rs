@@ -19,8 +19,8 @@
 use crate::error::MapperError;
 use crate::layout::{ClassStorage, FamilyLayout, PhysicalLayout};
 use crate::value_codec::{encode_field, Decoder, FieldValue};
-use sim_types::Surrogate;
 use sim_catalog::ClassId;
+use sim_types::Surrogate;
 
 /// An entity's main record, decoded.
 #[derive(Debug, Clone, PartialEq)]

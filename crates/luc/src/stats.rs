@@ -1,0 +1,69 @@
+//! Mapper-level operation counters.
+//!
+//! Published into the engine-wide [`sim_obs::Registry`] under `luc.*`
+//! names, alongside the storage layer's `storage.*` counters, so a
+//! `Database::metrics()` snapshot shows both the logical operation mix
+//! (entity reads, EVA traversals, index probes) and the physical I/O it
+//! produced.
+
+use sim_obs::{Counter, Registry};
+use std::sync::Arc;
+
+/// Registry names of the Mapper's counters.
+pub mod names {
+    /// Main entity records loaded (surrogate index probe + heap read).
+    pub const ENTITY_READS: &str = "luc.entity_reads";
+    /// EVA partner-set traversals.
+    pub const EVA_TRAVERSALS: &str = "luc.eva_traversals";
+    /// Equality/range probes against B-tree indexes (unique, secondary,
+    /// surrogate).
+    pub const INDEX_PROBES_BTREE: &str = "luc.index_probes_btree";
+    /// Equality probes against hash indexes.
+    pub const INDEX_PROBES_HASH: &str = "luc.index_probes_hash";
+    /// Entity/auxiliary records serialized for storage.
+    pub const RECORD_ENCODES: &str = "luc.record_encodes";
+    /// Entity/auxiliary records deserialized from storage.
+    pub const RECORD_DECODES: &str = "luc.record_decodes";
+}
+
+/// Cached counter handles; updates are lock-free atomic adds.
+#[derive(Debug, Clone)]
+pub struct MapperStats {
+    pub(crate) entity_reads: Arc<Counter>,
+    pub(crate) eva_traversals: Arc<Counter>,
+    pub(crate) index_probes_btree: Arc<Counter>,
+    pub(crate) index_probes_hash: Arc<Counter>,
+    pub(crate) record_encodes: Arc<Counter>,
+    pub(crate) record_decodes: Arc<Counter>,
+}
+
+impl MapperStats {
+    /// Handles publishing into `registry` under the `luc.*` names.
+    pub fn new(registry: &Arc<Registry>) -> MapperStats {
+        MapperStats {
+            entity_reads: registry.counter(names::ENTITY_READS),
+            eva_traversals: registry.counter(names::EVA_TRAVERSALS),
+            index_probes_btree: registry.counter(names::INDEX_PROBES_BTREE),
+            index_probes_hash: registry.counter(names::INDEX_PROBES_HASH),
+            record_encodes: registry.counter(names::RECORD_ENCODES),
+            record_decodes: registry.counter(names::RECORD_DECODES),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_publish_under_luc_names() {
+        let registry = Arc::new(Registry::new());
+        let stats = MapperStats::new(&registry);
+        stats.entity_reads.inc();
+        stats.eva_traversals.add(3);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter(names::ENTITY_READS), 1);
+        assert_eq!(snap.counter(names::EVA_TRAVERSALS), 3);
+        assert_eq!(snap.counter(names::INDEX_PROBES_HASH), 0);
+    }
+}

@@ -263,13 +263,12 @@ mod tests {
         roundtrip_field(FieldValue::Hints(vec![
             (
                 Surrogate::from_raw(7),
-                RecordId::from_bytes(&RecordId { block: sim_storage::disk::BlockId(3), slot: 9 }.to_bytes())
-                    .unwrap(),
+                RecordId::from_bytes(
+                    &RecordId { block: sim_storage::disk::BlockId(3), slot: 9 }.to_bytes(),
+                )
+                .unwrap(),
             ),
-            (
-                Surrogate::from_raw(8),
-                RecordId { block: sim_storage::disk::BlockId(12), slot: 0 },
-            ),
+            (Surrogate::from_raw(8), RecordId { block: sim_storage::disk::BlockId(12), slot: 0 }),
         ]));
     }
 

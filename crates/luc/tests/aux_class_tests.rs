@@ -13,13 +13,8 @@ fn diamond_catalog() -> Catalog {
     let mut cat = Catalog::new();
     let base = cat.define_base_class("Base").unwrap();
     cat.add_dva(base, "key", Domain::integer(), AttributeOptions::unique_required()).unwrap();
-    cat.add_subrole(
-        base,
-        "kinds",
-        vec!["Left".into(), "Right".into()],
-        AttributeOptions::mv(),
-    )
-    .unwrap();
+    cat.add_subrole(base, "kinds", vec!["Left".into(), "Right".into()], AttributeOptions::mv())
+        .unwrap();
     let left = cat.define_subclass("Left", &[base]).unwrap();
     cat.add_subrole(left, "lkinds", vec!["Mixed".into()], AttributeOptions::none()).unwrap();
     let right = cat.define_subclass("Right", &[base]).unwrap();
@@ -34,12 +29,9 @@ fn diamond_catalog() -> Catalog {
     cat.add_dva(mixed, "scalar", Domain::string(20), AttributeOptions::none()).unwrap();
     cat.add_dva(mixed, "bounded", Domain::integer(), AttributeOptions::mv_max(3)).unwrap();
     cat.add_dva(mixed, "unbounded", Domain::integer(), AttributeOptions::mv()).unwrap();
-    cat.add_eva(mixed, "buddy", buddy_class, Some("buddy-of"), AttributeOptions::none())
-        .unwrap(); // 1:1 by default -> foreign key fields
-    cat.add_eva(buddy_class, "buddy-of", mixed, Some("buddy"), AttributeOptions::none())
-        .unwrap();
-    cat.add_eva(mixed, "friends", buddy_class, Some("friend-of"), AttributeOptions::mv())
-        .unwrap(); // 1:many -> common structure
+    cat.add_eva(mixed, "buddy", buddy_class, Some("buddy-of"), AttributeOptions::none()).unwrap(); // 1:1 by default -> foreign key fields
+    cat.add_eva(buddy_class, "buddy-of", mixed, Some("buddy"), AttributeOptions::none()).unwrap();
+    cat.add_eva(mixed, "friends", buddy_class, Some("friend-of"), AttributeOptions::mv()).unwrap(); // 1:many -> common structure
     cat.add_eva(buddy_class, "friend-of", mixed, Some("friends"), AttributeOptions::none())
         .unwrap();
     cat.finalize().unwrap();
@@ -123,7 +115,11 @@ fn aux_class_foreign_key_eva() {
     let buddy_class = f.class("buddy");
     let m = f
         .mapper
-        .insert_entity(&mut txn, mixed, &[(f.attr("base", "key"), AttrValue::Scalar(Value::Int(1)))])
+        .insert_entity(
+            &mut txn,
+            mixed,
+            &[(f.attr("base", "key"), AttrValue::Scalar(Value::Int(1)))],
+        )
         .unwrap();
     let b = f
         .mapper
@@ -168,7 +164,11 @@ fn aux_class_structure_eva_cascades() {
     let buddy_class = f.class("buddy");
     let m = f
         .mapper
-        .insert_entity(&mut txn, mixed, &[(f.attr("base", "key"), AttrValue::Scalar(Value::Int(1)))])
+        .insert_entity(
+            &mut txn,
+            mixed,
+            &[(f.attr("base", "key"), AttrValue::Scalar(Value::Int(1)))],
+        )
         .unwrap();
     let friends = f.attr("mixed", "friends");
     let mut buddies = Vec::new();
@@ -186,10 +186,7 @@ fn aux_class_structure_eva_cascades() {
     }
     f.mapper.commit(txn);
     assert_eq!(f.mapper.eva_partners(m, friends).unwrap().len(), 3);
-    assert_eq!(
-        f.mapper.eva_partners(buddies[0], f.attr("buddy", "friend-of")).unwrap(),
-        vec![m]
-    );
+    assert_eq!(f.mapper.eva_partners(buddies[0], f.attr("buddy", "friend-of")).unwrap(), vec![m]);
 
     // Deleting the base role removes the entity entirely: every friendship
     // instance disappears too ("all EVAs the deleted records participate

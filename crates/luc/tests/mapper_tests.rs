@@ -65,7 +65,13 @@ fn insert_student(uni: &mut Uni, txn: &mut sim_storage::Txn, name: &str, ssn: i6
         .expect("insert student")
 }
 
-fn insert_course(uni: &mut Uni, txn: &mut sim_storage::Txn, no: i64, title: &str, credits: i64) -> Surrogate {
+fn insert_course(
+    uni: &mut Uni,
+    txn: &mut sim_storage::Txn,
+    no: i64,
+    title: &str,
+    credits: i64,
+) -> Surrogate {
     let course = uni.class("course");
     uni.mapper
         .insert_entity(
@@ -141,10 +147,7 @@ fn subroles_are_read_only() {
     let mut txn = uni.mapper.begin();
     let s = insert_student(&mut uni, &mut txn, "X", 100000001);
     let profession = uni.attr("person", "profession");
-    let err = uni
-        .mapper
-        .set_attr(&mut txn, s, profession, AttrValue::Multi(vec![]))
-        .unwrap_err();
+    let err = uni.mapper.set_attr(&mut txn, s, profession, AttrValue::Multi(vec![])).unwrap_err();
     assert!(matches!(err, MapperError::ReadOnly(_)));
     uni.mapper.commit(txn);
 }
@@ -205,7 +208,12 @@ fn domain_validation_enforced() {
         .unwrap_err();
     assert!(matches!(err, MapperError::Type(_)));
     uni.mapper
-        .set_attr(&mut txn, s, uni.attr("student", "student-nbr"), AttrValue::Scalar(Value::Int(1729)))
+        .set_attr(
+            &mut txn,
+            s,
+            uni.attr("student", "student-nbr"),
+            AttrValue::Scalar(Value::Int(1729)),
+        )
         .unwrap();
     uni.mapper.commit(txn);
 }
@@ -410,7 +418,10 @@ fn teaching_assistant_requires_aux_record_via_both_parents() {
             &[
                 (uni.attr("person", "soc-sec-no"), AttrValue::Scalar(Value::Int(777))),
                 (uni.attr("instructor", "employee-nbr"), AttrValue::Scalar(Value::Int(2001))),
-                (uni.attr("teaching-assistant", "teaching-load"), AttrValue::Scalar(Value::Int(10))),
+                (
+                    uni.attr("teaching-assistant", "teaching-load"),
+                    AttrValue::Scalar(Value::Int(10)),
+                ),
             ],
         )
         .unwrap();
@@ -563,12 +574,7 @@ fn mv_dva_separate_unit_round_trips() {
     let mut cat = Catalog::new();
     let c = cat.define_base_class("Box").unwrap();
     let tags = cat
-        .add_dva(
-            c,
-            "tags",
-            sim_types::Domain::string(10),
-            sim_catalog::AttributeOptions::mv(),
-        )
+        .add_dva(c, "tags", sim_types::Domain::string(10), sim_catalog::AttributeOptions::mv())
         .unwrap();
     cat.finalize().unwrap();
     let mut mapper = Mapper::new(Arc::new(cat), 64).unwrap();
@@ -593,12 +599,7 @@ fn bounded_mv_dva_embedded_array() {
     let mut cat = Catalog::new();
     let c = cat.define_base_class("Box").unwrap();
     let nums = cat
-        .add_dva(
-            c,
-            "nums",
-            sim_types::Domain::integer(),
-            sim_catalog::AttributeOptions::mv_max(3),
-        )
+        .add_dva(c, "nums", sim_types::Domain::integer(), sim_catalog::AttributeOptions::mv_max(3))
         .unwrap();
     cat.finalize().unwrap();
     let mut mapper = Mapper::new(Arc::new(cat), 64).unwrap();
@@ -623,10 +624,8 @@ fn eva_range_checked() {
     let s = insert_student(&mut uni, &mut txn, "S", 81);
     let p = insert_person(&mut uni, &mut txn, "NotAnInstructor", 82);
     let advisor = uni.attr("student", "advisor");
-    let err = uni
-        .mapper
-        .set_attr(&mut txn, s, advisor, AttrValue::Scalar(Value::Entity(p)))
-        .unwrap_err();
+    let err =
+        uni.mapper.set_attr(&mut txn, s, advisor, AttrValue::Scalar(Value::Entity(p))).unwrap_err();
     assert!(matches!(err, MapperError::NoSuchEntity(_)));
     uni.mapper.commit(txn);
 }

@@ -1,0 +1,30 @@
+//! # sim-obs
+//!
+//! Engine-wide observability for the SIM reproduction, with zero external
+//! dependencies. The paper's empirical claims (§5.1–5.2) are phrased in
+//! *block accesses*; this crate is what lets every layer above the disk
+//! report its own accounting — buffer-pool hits, per-operation counters in
+//! the LUC Mapper, per-phase query latencies — through one registry that a
+//! [`Database`](../sim_core/struct.Database.html) snapshot exposes.
+//!
+//! Three pieces:
+//!
+//! * [`metrics`] — an atomic [`Registry`] of named [`Counter`]s, [`Gauge`]s
+//!   and fixed-bucket latency [`Histogram`]s, snapshotted into an immutable
+//!   [`MetricsSnapshot`] that supports `since()` deltas (never
+//!   underflowing) and text/JSON rendering;
+//! * [`trace`] — a lightweight span tree ([`Trace`] / [`Span`]) recording
+//!   what one statement did, phase by phase, with wall-clock offsets and
+//!   arbitrary key/value fields;
+//! * [`json`] — the tiny hand-rolled JSON writer both renderers share.
+//!
+//! Counters are updated with `Ordering::Relaxed` atomics: metric updates
+//! need no synchronization with the data they describe, only eventual
+//! visibility, so the hot-path cost is a single uncontended RMW.
+
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
+pub use trace::{Span, SpanTimer, Trace, TraceBuilder};

@@ -1,0 +1,399 @@
+//! Atomic metrics: a process-local [`Registry`] of named counters, gauges
+//! and latency histograms, plus immutable [`MetricsSnapshot`]s with
+//! saturating deltas and text/JSON rendering.
+//!
+//! Naming convention: `layer.metric` with lowercase snake segments, e.g.
+//! `storage.pool_hits`, `luc.eva_traversals`, `query.execute_micros`.
+//! Handles are `Arc`s handed out once and cached by the instrumented layer,
+//! so the hot path never touches the registry lock — only a `Relaxed`
+//! atomic add.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::json;
+
+/// A monotonically increasing `u64`.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value (e.g. resident buffer-pool frames).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Replace the value.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjust the value by `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of finite histogram buckets; the last bucket is the overflow.
+pub const HISTOGRAM_BUCKETS: usize = 22;
+
+/// Upper bound (inclusive, in microseconds) of finite bucket `i`:
+/// `1µs << i`, i.e. 1µs, 2µs, 4µs … ~2.1s. Values beyond the last finite
+/// bound land in the overflow bucket.
+pub fn bucket_bound_micros(i: usize) -> u64 {
+    1u64 << i
+}
+
+/// A fixed-bucket latency histogram over power-of-two microsecond bounds.
+///
+/// Fixed buckets keep recording allocation-free and make `since()` deltas
+/// exact (bucket-wise subtraction), at the cost of ~2× resolution — plenty
+/// for phase latencies that span nanoseconds to seconds.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS + 1],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation of `micros` microseconds.
+    pub fn observe_micros(&self, micros: u64) {
+        let idx = (0..HISTOGRAM_BUCKETS)
+            .find(|&i| micros <= bucket_bound_micros(i))
+            .unwrap_or(HISTOGRAM_BUCKETS);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Record one observation of a [`Duration`].
+    pub fn observe(&self, d: Duration) {
+        self.observe_micros(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum_micros: self.sum_micros.load(Ordering::Relaxed),
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+        }
+    }
+}
+
+/// Point-in-time copy of one [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values, in microseconds.
+    pub sum_micros: u64,
+    /// Per-bucket counts; index `i < HISTOGRAM_BUCKETS` covers values up to
+    /// [`bucket_bound_micros`]`(i)`, the final entry is the overflow bucket.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean in microseconds, `0.0` when empty.
+    pub fn mean_micros(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_micros as f64 / self.count as f64
+        }
+    }
+
+    /// Observations recorded after `earlier` was taken (saturating).
+    pub fn since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum_micros: self.sum_micros.saturating_sub(earlier.sum_micros),
+            buckets: self
+                .buckets
+                .iter()
+                .zip(earlier.buckets.iter().chain(std::iter::repeat(&0)))
+                .map(|(now, before)| now.saturating_sub(*before))
+                .collect(),
+        }
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+/// A named collection of metrics shared by every layer of one engine
+/// instance. Cheap to clone via `Arc`; get-or-create lookups take a lock,
+/// metric updates do not.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        Arc::clone(inner.counters.entry(name.to_string()).or_default())
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        Arc::clone(inner.gauges.entry(name.to_string()).or_default())
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        Arc::clone(inner.histograms.entry(name.to_string()).or_default())
+    }
+
+    /// A point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        MetricsSnapshot {
+            counters: inner.counters.iter().map(|(name, c)| (name.clone(), c.get())).collect(),
+            gauges: inner.gauges.iter().map(|(name, g)| (name.clone(), g.get())).collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(name, h)| (name.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry").finish_non_exhaustive()
+    }
+}
+
+/// An immutable point-in-time view of a [`Registry`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The counter named `name`, `0` if never registered.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The gauge named `name`, `0` if never registered.
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// The histogram named `name`, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// `a / (a + b)` over two counters — e.g. pool hits vs misses. `0.0`
+    /// when both are zero.
+    pub fn ratio(&self, a: &str, b: &str) -> f64 {
+        let a = self.counter(a);
+        let total = a + self.counter(b);
+        if total == 0 {
+            0.0
+        } else {
+            a as f64 / total as f64
+        }
+    }
+
+    /// The change since `earlier` was taken. Every counter and histogram
+    /// delta saturates at zero, so an out-of-order pair of snapshots can
+    /// never underflow; gauges carry their current (not differenced) value.
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(name, now)| {
+                    let before = earlier.counters.get(name).copied().unwrap_or(0);
+                    (name.clone(), now.saturating_sub(before))
+                })
+                .collect(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(name, now)| {
+                    let delta = match earlier.histograms.get(name) {
+                        Some(before) => now.since(before),
+                        None => now.clone(),
+                    };
+                    (name.clone(), delta)
+                })
+                .collect(),
+        }
+    }
+
+    /// A fixed-width, alphabetically sorted text rendering (one metric per
+    /// line), used by the REPL's `\stats`.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            out.push_str(&format!("{name:<40} {value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            out.push_str(&format!("{name:<40} {value}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "{name:<40} count={} sum={}us mean={:.1}us\n",
+                h.count,
+                h.sum_micros,
+                h.mean_micros()
+            ));
+        }
+        out
+    }
+
+    /// A single-line JSON object:
+    /// `{"counters":{...},"gauges":{...},"histograms":{...}}`.
+    pub fn to_json(&self) -> String {
+        let counters = json::object(
+            self.counters.iter().map(|(name, value)| (name.as_str(), value.to_string())),
+        );
+        let gauges = json::object(
+            self.gauges.iter().map(|(name, value)| (name.as_str(), value.to_string())),
+        );
+        let histograms = json::object(self.histograms.iter().map(|(name, h)| {
+            let body = json::object([
+                ("count", h.count.to_string()),
+                ("sum_micros", h.sum_micros.to_string()),
+                ("buckets", json::array(h.buckets.iter().map(|b| b.to_string()))),
+            ]);
+            (name.as_str(), body)
+        }));
+        json::object([("counters", counters), ("gauges", gauges), ("histograms", histograms)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let registry = Registry::new();
+        let c = registry.counter("layer.events");
+        c.inc();
+        c.add(4);
+        // Same name returns the same underlying counter.
+        assert_eq!(registry.counter("layer.events").get(), 5);
+
+        let g = registry.gauge("layer.level");
+        g.set(10);
+        g.add(-3);
+        assert_eq!(registry.gauge("layer.level").get(), 7);
+    }
+
+    #[test]
+    fn histogram_buckets_and_mean() {
+        let h = Histogram::default();
+        h.observe_micros(1); // bucket 0
+        h.observe_micros(3); // bucket 2 (bound 4)
+        h.observe_micros(u64::MAX); // overflow bucket
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[2], 1);
+        assert_eq!(s.buckets[HISTOGRAM_BUCKETS], 1);
+        let small = Histogram::default();
+        small.observe(Duration::from_micros(10));
+        small.observe(Duration::from_micros(20));
+        assert!((small.snapshot().mean_micros() - 15.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn since_saturates_and_diffs() {
+        let registry = Registry::new();
+        let c = registry.counter("x");
+        c.add(10);
+        let before = registry.snapshot();
+        c.add(5);
+        registry.histogram("h").observe_micros(2);
+        let after = registry.snapshot();
+
+        let delta = after.since(&before);
+        assert_eq!(delta.counter("x"), 5);
+        assert_eq!(delta.histogram("h").unwrap().count, 1);
+
+        // Reversed order saturates to zero rather than wrapping.
+        let reversed = before.since(&after);
+        assert_eq!(reversed.counter("x"), 0);
+    }
+
+    #[test]
+    fn renders_text_and_json() {
+        let registry = Registry::new();
+        registry.counter("a.count").add(2);
+        registry.gauge("a.level").set(-1);
+        registry.histogram("a.lat").observe_micros(5);
+        let snap = registry.snapshot();
+
+        let text = snap.to_text();
+        assert!(text.contains("a.count"));
+        assert!(text.contains("count=1"));
+
+        let rendered = snap.to_json();
+        assert!(rendered.starts_with("{\"counters\":{\"a.count\":2"));
+        assert!(rendered.contains("\"a.level\":-1"));
+        assert!(rendered.contains("\"sum_micros\":5"));
+    }
+}

@@ -1,0 +1,200 @@
+//! Lightweight statement traces: a flat-or-nested tree of [`Span`]s with
+//! microsecond offsets from the trace start, built incrementally by the
+//! query engine via [`TraceBuilder`] and rendered as text (REPL `\trace`)
+//! or JSON.
+
+use std::time::Instant;
+
+use crate::json;
+
+/// One timed region of work inside a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Phase or step name, e.g. `parse`, `execute`, `step[0]`.
+    pub name: String,
+    /// Start offset from the beginning of the trace, in microseconds.
+    pub start_micros: u64,
+    /// Wall-clock duration, in microseconds.
+    pub duration_micros: u64,
+    /// Arbitrary key/value annotations (row counts, I/O deltas, ...).
+    pub fields: Vec<(String, String)>,
+    /// Nested sub-spans, e.g. per-plan-step spans under `execute`.
+    pub children: Vec<Span>,
+}
+
+impl Span {
+    /// A leaf span with no fields or children.
+    pub fn new(name: &str, start_micros: u64, duration_micros: u64) -> Span {
+        Span {
+            name: name.to_string(),
+            start_micros,
+            duration_micros,
+            fields: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    fn to_json(&self) -> String {
+        json::object([
+            ("name", json::string(&self.name)),
+            ("start_micros", self.start_micros.to_string()),
+            ("duration_micros", self.duration_micros.to_string()),
+            (
+                "fields",
+                json::object(self.fields.iter().map(|(k, v)| (k.as_str(), json::string(v)))),
+            ),
+            ("children", json::array(self.children.iter().map(|c| c.to_json()))),
+        ])
+    }
+
+    fn render_text(&self, indent: usize, out: &mut String) {
+        let pad = "  ".repeat(indent);
+        let fields = if self.fields.is_empty() {
+            String::new()
+        } else {
+            let joined: Vec<String> = self.fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            format!("  [{}]", joined.join(" "))
+        };
+        out.push_str(&format!(
+            "{pad}{:<24} +{}us  {}us{fields}\n",
+            self.name, self.start_micros, self.duration_micros
+        ));
+        for child in &self.children {
+            child.render_text(indent + 1, out);
+        }
+    }
+}
+
+/// A completed trace of one statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// What was traced — typically the statement text.
+    pub label: String,
+    /// Top-level spans in start order.
+    pub spans: Vec<Span>,
+}
+
+impl Trace {
+    /// End offset of the latest-finishing top-level span, in microseconds.
+    pub fn total_micros(&self) -> u64 {
+        self.spans.iter().map(|s| s.start_micros + s.duration_micros).max().unwrap_or(0)
+    }
+
+    /// Indented text rendering, one span per line.
+    pub fn to_text(&self) -> String {
+        let mut out = format!("trace: {} ({}us total)\n", self.label, self.total_micros());
+        for span in &self.spans {
+            span.render_text(1, &mut out);
+        }
+        out
+    }
+
+    /// Single-line JSON object with the label and the span tree.
+    pub fn to_json(&self) -> String {
+        json::object([
+            ("label", json::string(&self.label)),
+            ("total_micros", self.total_micros().to_string()),
+            ("spans", json::array(self.spans.iter().map(|s| s.to_json()))),
+        ])
+    }
+}
+
+/// Marks the start of a span; produced by [`TraceBuilder::start`] and
+/// consumed by [`TraceBuilder::finish`].
+#[derive(Debug)]
+pub struct SpanTimer {
+    start_micros: u64,
+    begun: Instant,
+}
+
+/// Builds a [`Trace`] incrementally. Spans are recorded flat in finish
+/// order; callers wanting nesting attach children to a finished [`Span`]
+/// before [`TraceBuilder::push`]ing it.
+#[derive(Debug)]
+pub struct TraceBuilder {
+    t0: Instant,
+    label: String,
+    spans: Vec<Span>,
+}
+
+impl TraceBuilder {
+    /// Start a trace labelled `label`; the clock starts now.
+    pub fn new(label: &str) -> TraceBuilder {
+        TraceBuilder { t0: Instant::now(), label: label.to_string(), spans: Vec::new() }
+    }
+
+    /// Begin timing a span.
+    pub fn start(&self) -> SpanTimer {
+        SpanTimer { start_micros: self.t0.elapsed().as_micros() as u64, begun: Instant::now() }
+    }
+
+    /// End a span begun with [`start`](TraceBuilder::start) and record it
+    /// with the given annotations. Returns the span's duration in
+    /// microseconds so callers can feed latency histograms without a second
+    /// clock read.
+    pub fn finish(&mut self, timer: SpanTimer, name: &str, fields: Vec<(String, String)>) -> u64 {
+        let duration_micros = timer.begun.elapsed().as_micros() as u64;
+        self.spans.push(Span {
+            name: name.to_string(),
+            start_micros: timer.start_micros,
+            duration_micros,
+            fields,
+            children: Vec::new(),
+        });
+        duration_micros
+    }
+
+    /// Append an externally assembled span (used for nested step trees).
+    pub fn push(&mut self, span: Span) {
+        self.spans.push(span);
+    }
+
+    /// Mutable access to the most recently recorded span, for attaching
+    /// children or late fields.
+    pub fn last_span_mut(&mut self) -> Option<&mut Span> {
+        self.spans.last_mut()
+    }
+
+    /// Finalize into an immutable [`Trace`].
+    pub fn build(self) -> Trace {
+        Trace { label: self.label, spans: self.spans }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_spans_in_order() {
+        let mut tb = TraceBuilder::new("From person Retrieve name.");
+        let t = tb.start();
+        tb.finish(t, "parse", vec![("statements".into(), "1".into())]);
+        let t = tb.start();
+        tb.finish(t, "execute", vec![]);
+        let trace = tb.build();
+        assert_eq!(trace.spans.len(), 2);
+        assert_eq!(trace.spans[0].name, "parse");
+        assert_eq!(trace.spans[1].name, "execute");
+        assert!(trace.spans[1].start_micros >= trace.spans[0].start_micros);
+    }
+
+    #[test]
+    fn renders_text_and_json() {
+        let mut root = Span::new("execute", 0, 40);
+        let mut child = Span::new("step[0]", 1, 30);
+        child.fields.push(("rows".into(), "12".into()));
+        root.children.push(child);
+        let trace = Trace { label: "q".into(), spans: vec![Span::new("parse", 0, 5), root] };
+
+        assert_eq!(trace.total_micros(), 40);
+        let text = trace.to_text();
+        assert!(text.contains("parse"));
+        assert!(text.contains("step[0]"));
+        assert!(text.contains("rows=12"));
+
+        let rendered = trace.to_json();
+        assert!(rendered.starts_with("{\"label\":\"q\""));
+        assert!(rendered.contains("\"children\":[{\"name\":\"step[0]\""));
+    }
+}

@@ -5,14 +5,10 @@
 //! range variable; binding broken inside aggregates/quantifiers/transitive
 //! closure) and the §4.5 TYPE 1/2/3 labeling.
 
-use crate::bound::{
-    BExpr, BoundChain, BoundQuery, ChainStep, NodeOrigin, NodeType, QtNode,
-};
+use crate::bound::{BExpr, BoundChain, BoundQuery, ChainStep, NodeOrigin, NodeType, QtNode};
 use crate::error::QueryError;
 use sim_catalog::{AttrId, Catalog, ClassId};
-use sim_dml::{
-    Expr, Literal, OrderItem, Path, Perspective, RetrieveStmt, SegKind, Segment,
-};
+use sim_dml::{Expr, Literal, OrderItem, Path, Perspective, RetrieveStmt, SegKind, Segment};
 use sim_types::{Decimal, Value};
 use std::collections::{HashMap, HashSet};
 
@@ -80,9 +76,8 @@ impl<'c> Binder<'c> {
             )));
         }
         let source = attr.derived_source().expect("derived attribute");
-        let parsed = sim_dml::parse_expression(source).map_err(|e| {
-            QueryError::Analyze(format!("derived attribute {}: {e}", attr.name))
-        })?;
+        let parsed = sim_dml::parse_expression(source)
+            .map_err(|e| QueryError::Analyze(format!("derived attribute {}: {e}", attr.name)))?;
         let mut sub = Binder::new(self.catalog);
         sub.derived_depth = self.derived_depth + 1;
         let owner_name = self.catalog.class(attr.owner)?.name.clone();
@@ -163,17 +158,10 @@ impl<'c> Binder<'c> {
         let bound = b.bind_expr(expr, Clause::Target)?;
         if b.nodes.len() > 1 {
             return Err(QueryError::Analyze(
-                "assignment expressions may not navigate through EVAs; use a WITH selector"
-                    .into(),
+                "assignment expressions may not navigate through EVAs; use a WITH selector".into(),
             ));
         }
-        b.finish(
-            vec![bound],
-            vec![expr.to_string()],
-            Vec::new(),
-            None,
-            sim_dml::OutputMode::Table,
-        )
+        b.finish(vec![bound], vec![expr.to_string()], Vec::new(), None, sim_dml::OutputMode::Table)
     }
 
     fn install_perspectives(
@@ -398,7 +386,10 @@ impl<'c> Binder<'c> {
                     let attr_id = self.catalog.resolve_attr(cur_class, n).ok_or_else(|| {
                         QueryError::Analyze(format!(
                             "unknown attribute {n} on class {}",
-                            self.catalog.class(cur_class).map(|c| c.name.clone()).unwrap_or_default()
+                            self.catalog
+                                .class(cur_class)
+                                .map(|c| c.name.clone())
+                                .unwrap_or_default()
                         ))
                     })?;
                     let attr = self.catalog.attribute(attr_id)?.clone();
@@ -638,16 +629,16 @@ impl<'c> Binder<'c> {
         eva_name: &str,
         as_class: Option<&str>,
     ) -> Result<usize, QueryError> {
-        let cur_class = self.nodes[parent].class.ok_or_else(|| {
-            QueryError::Analyze("transitive(…) needs an entity context".into())
-        })?;
+        let cur_class = self.nodes[parent]
+            .class
+            .ok_or_else(|| QueryError::Analyze("transitive(…) needs an entity context".into()))?;
         let attr_id = self.catalog.resolve_attr(cur_class, eva_name).ok_or_else(|| {
             QueryError::Analyze(format!("unknown EVA {eva_name} for transitive closure"))
         })?;
         let attr = self.catalog.attribute(attr_id)?;
-        let range = attr.eva_range().ok_or_else(|| {
-            QueryError::Analyze(format!("transitive({eva_name}): not an EVA"))
-        })?;
+        let range = attr
+            .eva_range()
+            .ok_or_else(|| QueryError::Analyze(format!("transitive({eva_name}): not an EVA")))?;
         // The chain must be cyclic: range in the same hierarchy (§4.7).
         if self.catalog.base_of(range) != self.catalog.base_of(cur_class) {
             return Err(QueryError::Analyze(format!(
@@ -665,9 +656,9 @@ impl<'c> Binder<'c> {
     }
 
     fn restrict_node(&mut self, parent: usize, as_name: &str) -> Result<usize, QueryError> {
-        let cur_class = self.nodes[parent].class.ok_or_else(|| {
-            QueryError::Analyze("AS conversion needs an entity context".into())
-        })?;
+        let cur_class = self.nodes[parent]
+            .class
+            .ok_or_else(|| QueryError::Analyze("AS conversion needs an entity context".into()))?;
         let (class, role_filter) = self.apply_as(cur_class, Some(as_name))?;
         Ok(self.get_or_create(
             parent,
@@ -701,11 +692,8 @@ impl<'c> Binder<'c> {
         }
         // Upward conversion needs no filter (every entity holds its
         // ancestors' roles); downward/sideways must filter.
-        let filter = if self.catalog.is_same_or_ancestor(target, source) {
-            None
-        } else {
-            Some(target)
-        };
+        let filter =
+            if self.catalog.is_same_or_ancestor(target, source) { None } else { Some(target) };
         Ok((target, filter))
     }
 
@@ -803,9 +791,7 @@ impl<'c> Binder<'c> {
             match &seg.kind {
                 SegKind::Name(n) => {
                     let attr_id = self.catalog.resolve_attr(class, n).ok_or_else(|| {
-                        QueryError::Analyze(format!(
-                            "unknown attribute {n} in aggregate argument"
-                        ))
+                        QueryError::Analyze(format!("unknown attribute {n} in aggregate argument"))
                     })?;
                     let attr = self.catalog.attribute(attr_id)?.clone();
                     if attr.is_derived() {

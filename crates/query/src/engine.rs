@@ -1,15 +1,26 @@
 //! The Query Driver: the facade that parses, analyzes, optimizes, executes
 //! and enforces integrity (Figure 1 of the paper).
+//!
+//! Every statement is measured: phase latencies land in the `query.*`
+//! histograms of the engine-wide metrics registry, and the most recent
+//! statement's span tree is kept for [`QueryEngine::last_trace`]. EXPLAIN
+//! ANALYZE ([`QueryEngine::explain_analyze`]) additionally runs the
+//! executor instrumented, yielding per-step actual row counts and I/O.
 
+use crate::analyze::AnalyzedPlan;
 use crate::bind::Binder;
 use crate::bound::QueryOutput;
 use crate::error::QueryError;
 use crate::exec::Executor;
 use crate::integrity::{compile_all, CompiledVerify};
 use crate::optimizer::{self, Plan};
+use crate::stats::PhaseStats;
 use crate::update::{self, WriteSet};
-use sim_dml::{parse_statements, Statement};
+use sim_dml::{parse_statements, RetrieveStmt, Statement};
 use sim_luc::Mapper;
+use sim_obs::{Registry, Span, Trace, TraceBuilder};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// The result of one statement.
 #[derive(Debug, Clone)]
@@ -38,6 +49,13 @@ impl ExecResult {
     }
 }
 
+fn output_len(out: &QueryOutput) -> usize {
+    match out {
+        QueryOutput::Table { rows, .. } => rows.len(),
+        QueryOutput::Structure { records, .. } => records.len(),
+    }
+}
+
 /// The SIM query engine: one open database.
 pub struct QueryEngine {
     mapper: Mapper,
@@ -46,6 +64,11 @@ pub struct QueryEngine {
     /// own example 1 would violate V1 (John Doe enrolls in a single course,
     /// well short of 12 credits), so examples/benches sometimes disable it.
     pub enforce_verifies: bool,
+    /// Phase histograms and statement counters (`query.*`).
+    phase: PhaseStats,
+    /// Span tree of the most recent completed statement. Behind a `Mutex`
+    /// because retrieves run through `&self`.
+    last_trace: Mutex<Option<Trace>>,
 }
 
 impl QueryEngine {
@@ -53,7 +76,14 @@ impl QueryEngine {
     /// constraints.
     pub fn new(mapper: Mapper) -> Result<QueryEngine, QueryError> {
         let verifies = compile_all(mapper.catalog())?;
-        Ok(QueryEngine { mapper, verifies, enforce_verifies: true })
+        let phase = PhaseStats::new(mapper.registry());
+        Ok(QueryEngine {
+            mapper,
+            verifies,
+            enforce_verifies: true,
+            phase,
+            last_trace: Mutex::new(None),
+        })
     }
 
     /// The underlying mapper.
@@ -71,10 +101,20 @@ impl QueryEngine {
         &self.verifies
     }
 
+    /// The metrics registry shared by every layer of this engine.
+    pub fn registry(&self) -> &Arc<Registry> {
+        self.mapper.registry()
+    }
+
+    /// The span tree of the most recent completed statement, if any.
+    pub fn last_trace(&self) -> Option<Trace> {
+        self.last_trace.lock().expect("trace lock poisoned").clone()
+    }
+
     /// Parse and execute a script of statements, stopping at the first
     /// error.
     pub fn run(&mut self, source: &str) -> Result<Vec<ExecResult>, QueryError> {
-        let statements = parse_statements(source)?;
+        let statements = self.parse_timed(source)?;
         let mut out = Vec::with_capacity(statements.len());
         for stmt in &statements {
             out.push(self.execute(stmt)?);
@@ -93,23 +133,114 @@ impl QueryEngine {
 
     /// Execute a retrieve without mutating (usable through `&self`).
     pub fn query(&self, source: &str) -> Result<QueryOutput, QueryError> {
-        let statements = parse_statements(source)?;
-        let [Statement::Retrieve(r)] = statements.as_slice() else {
-            return Err(QueryError::Analyze("query() accepts a single retrieve".into()));
-        };
-        let bound = Binder::bind_retrieve(self.mapper.catalog(), r)?;
-        let plan = optimizer::plan(&self.mapper, &bound)?;
-        Executor::new(&self.mapper, &bound, &plan).run()
+        let r = self.parse_one_retrieve(source, "query()")?;
+        let (out, _) = self.traced_retrieve(&r, source.trim(), false)?;
+        Ok(out)
     }
 
     /// The optimizer's chosen plan for a retrieve (EXPLAIN).
     pub fn explain(&self, source: &str) -> Result<Plan, QueryError> {
-        let statements = parse_statements(source)?;
-        let [Statement::Retrieve(r)] = statements.as_slice() else {
-            return Err(QueryError::Analyze("explain() accepts a single retrieve".into()));
-        };
-        let bound = Binder::bind_retrieve(self.mapper.catalog(), r)?;
+        let r = self.parse_one_retrieve(source, "explain()")?;
+        let bound = Binder::bind_retrieve(self.mapper.catalog(), &r)?;
         optimizer::plan(&self.mapper, &bound)
+    }
+
+    /// EXPLAIN ANALYZE: run the retrieve with an instrumented executor and
+    /// return the plan annotated with per-step actual rows, block I/O
+    /// deltas, pool hits and wall time. The run's trace (with per-step
+    /// child spans) becomes [`QueryEngine::last_trace`].
+    pub fn explain_analyze(&self, source: &str) -> Result<AnalyzedPlan, QueryError> {
+        let r = self.parse_one_retrieve(source, "explain_analyze()")?;
+        let (_, analyzed) = self.traced_retrieve(&r, source.trim(), true)?;
+        Ok(analyzed.expect("analyze requested"))
+    }
+
+    fn parse_timed(&self, source: &str) -> Result<Vec<Statement>, QueryError> {
+        let started = Instant::now();
+        let statements = parse_statements(source)?;
+        self.phase.parse.observe_micros(started.elapsed().as_micros() as u64);
+        Ok(statements)
+    }
+
+    fn parse_one_retrieve(&self, source: &str, what: &str) -> Result<RetrieveStmt, QueryError> {
+        let mut statements = self.parse_timed(source)?;
+        match statements.pop() {
+            Some(Statement::Retrieve(r)) if statements.is_empty() => Ok(r),
+            _ => Err(QueryError::Analyze(format!("{what} accepts a single retrieve"))),
+        }
+    }
+
+    /// Bind → plan → execute one retrieve, recording phase latencies and
+    /// the statement trace; optionally with the instrumented executor.
+    fn traced_retrieve(
+        &self,
+        r: &RetrieveStmt,
+        label: &str,
+        analyze: bool,
+    ) -> Result<(QueryOutput, Option<AnalyzedPlan>), QueryError> {
+        self.phase.statements.inc();
+        self.phase.retrieves.inc();
+        let mut tb = TraceBuilder::new(label);
+
+        let t = tb.start();
+        let bound = Binder::bind_retrieve(self.mapper.catalog(), r)?;
+        let micros = tb.finish(t, "bind", vec![("nodes".into(), bound.nodes.len().to_string())]);
+        self.phase.bind.observe_micros(micros);
+
+        let t = tb.start();
+        let plan = optimizer::plan(&self.mapper, &bound)?;
+        let micros = tb.finish(
+            t,
+            "optimize",
+            vec![("estimated_io".into(), format!("{:.1}", plan.estimated_io))],
+        );
+        self.phase.optimize.observe_micros(micros);
+
+        let executor = Executor::new(&self.mapper, &bound, &plan);
+        let executor = if analyze { executor.instrumented() } else { executor };
+        let io_before = self.mapper.engine().io_snapshot();
+        let t = tb.start();
+        let out = executor.run()?;
+        let io = self.mapper.engine().io_snapshot().since(&io_before);
+        let rows = output_len(&out);
+        let wall = tb.finish(
+            t,
+            "execute",
+            vec![
+                ("rows".into(), rows.to_string()),
+                ("io_reads".into(), io.reads.to_string()),
+                ("io_writes".into(), io.writes.to_string()),
+                ("pool_hits".into(), io.pool_hits.to_string()),
+            ],
+        );
+        self.phase.execute.observe_micros(wall);
+
+        let analyzed = if analyze {
+            let actuals = executor.node_actuals().unwrap_or_default();
+            let analyzed = AnalyzedPlan::build(&self.mapper, &bound, plan, actuals, rows, wall, io);
+            // Per-step child spans under the execute span, so `\trace`
+            // shows the same breakdown EXPLAIN ANALYZE reports.
+            if let Some(span) = tb.last_span_mut() {
+                for (i, step) in analyzed.steps.iter().enumerate() {
+                    let mut child = Span::new(
+                        &format!("step[{i}] {}", step.description),
+                        span.start_micros,
+                        step.actuals.wall_micros,
+                    );
+                    child.fields.push(("rows".into(), step.actuals.rows.to_string()));
+                    child.fields.push(("calls".into(), step.actuals.invocations.to_string()));
+                    child.fields.push(("io_reads".into(), step.actuals.io_reads.to_string()));
+                    child.fields.push(("pool_hits".into(), step.actuals.pool_hits.to_string()));
+                    span.children.push(child);
+                }
+            }
+            Some(analyzed)
+        } else {
+            None
+        };
+
+        *self.last_trace.lock().expect("trace lock poisoned") = Some(tb.build());
+        Ok((out, analyzed))
     }
 
     /// Execute one parsed statement. Updates run in their own transaction;
@@ -118,14 +249,17 @@ impl QueryEngine {
     pub fn execute(&mut self, stmt: &Statement) -> Result<ExecResult, QueryError> {
         match stmt {
             Statement::Retrieve(r) => {
-                let bound = Binder::bind_retrieve(self.mapper.catalog(), r)?;
-                let plan = optimizer::plan(&self.mapper, &bound)?;
-                let out = Executor::new(&self.mapper, &bound, &plan).run()?;
+                let label = stmt.to_string();
+                let (out, _) = self.traced_retrieve(r, &label, false)?;
                 Ok(ExecResult::Rows(out))
             }
             Statement::Insert(_) | Statement::Modify(_) | Statement::Delete(_) => {
+                self.phase.statements.inc();
+                self.phase.updates.inc();
+                let mut tb = TraceBuilder::new(&stmt.to_string());
                 let mut txn = self.mapper.begin();
                 let mut writes = WriteSet::default();
+                let t = tb.start();
                 let result = match stmt {
                     Statement::Insert(i) => {
                         update::exec_insert(&mut self.mapper, &mut txn, i, &mut writes)
@@ -145,13 +279,26 @@ impl QueryEngine {
                         return Err(e);
                     }
                 };
+                let micros = tb.finish(t, "execute", vec![("updated".into(), count.to_string())]);
+                self.phase.execute.observe_micros(micros);
                 if self.enforce_verifies {
-                    if let Some((name, message)) = self.find_violation(&writes)? {
+                    let t = tb.start();
+                    let violation = self.find_violation(&writes)?;
+                    let micros = tb.finish(
+                        t,
+                        "verify",
+                        vec![("constraints".into(), self.verifies.len().to_string())],
+                    );
+                    self.phase.verify.observe_micros(micros);
+                    if let Some((name, message)) = violation {
+                        self.phase.integrity_violations.inc();
                         self.mapper.abort(txn)?;
+                        *self.last_trace.lock().expect("trace lock poisoned") = Some(tb.build());
                         return Err(QueryError::IntegrityViolation { constraint: name, message });
                     }
                 }
                 self.mapper.commit(txn);
+                *self.last_trace.lock().expect("trace lock poisoned") = Some(tb.build());
                 Ok(ExecResult::Updated(count))
             }
         }

@@ -198,11 +198,7 @@ pub fn chain_values(
             Value::Null => Vec::new(),
             v => vec![v],
         },
-        (None, Some(class)) => mapper
-            .entities_of(class)?
-            .into_iter()
-            .map(Value::Entity)
-            .collect(),
+        (None, Some(class)) => mapper.entities_of(class)?.into_iter().map(Value::Entity).collect(),
         (None, None) => Vec::new(),
     };
     for step in &chain.steps {

@@ -7,12 +7,14 @@
 //! DISTINCT` eliminates duplicates and `STRUCTURE` emits level-numbered,
 //! multi-format records.
 
+use crate::analyze::NodeActuals;
 use crate::bound::{BoundQuery, NodeOrigin, NodeType, QueryOutput, Row, StructRecord};
 use crate::error::QueryError;
 use crate::eval::{eval, transitive_closure, value_to_truth, EvalCtx};
 use crate::optimizer::{AccessPath, Plan};
 use sim_luc::Mapper;
 use sim_types::{ordered, Truth, Value};
+use std::cell::RefCell;
 use std::collections::HashSet;
 
 /// Executes one bound query against a mapper.
@@ -22,6 +24,9 @@ pub struct Executor<'a> {
     plan: &'a Plan,
     /// Iteration order of TYPE 1/3 nodes (root groups permuted per plan).
     iter_order: Vec<usize>,
+    /// Per-node measurements, populated only when instrumented (EXPLAIN
+    /// ANALYZE). `RefCell`: `domain()` runs behind `&self`.
+    probes: Option<RefCell<Vec<NodeActuals>>>,
 }
 
 struct ExecCtx {
@@ -49,7 +54,21 @@ impl<'a> Executor<'a> {
         if iter_order.is_empty() {
             iter_order = q.type13_order.clone();
         }
-        Executor { mapper, q, plan, iter_order }
+        Executor { mapper, q, plan, iter_order, probes: None }
+    }
+
+    /// Enable per-node measurement (row counts, I/O deltas, wall time per
+    /// `domain()` call) for EXPLAIN ANALYZE. Adds two I/O-counter snapshots
+    /// and a clock read per domain computation.
+    pub fn instrumented(mut self) -> Executor<'a> {
+        self.probes = Some(RefCell::new(vec![NodeActuals::default(); self.q.nodes.len()]));
+        self
+    }
+
+    /// The measurements collected since construction (indexed by node id);
+    /// `None` unless [`instrumented`](Executor::instrumented) was called.
+    pub fn node_actuals(&self) -> Option<Vec<NodeActuals>> {
+        self.probes.as_ref().map(|p| p.borrow().clone())
     }
 
     /// Run the query to completion.
@@ -155,11 +174,7 @@ impl<'a> Executor<'a> {
                     .filter(|((_, home), _)| **home == k)
                     .map(|((_, _), v)| v.clone())
                     .collect();
-                records.push(StructRecord {
-                    format: k,
-                    level: row.node_instances[k].1,
-                    values,
-                });
+                records.push(StructRecord { format: k, level: row.node_instances[k].1, values });
             }
             prev = Some(row);
         }
@@ -167,10 +182,8 @@ impl<'a> Executor<'a> {
     }
 
     fn collect_rows(&self) -> Result<Vec<InternalRow>, QueryError> {
-        let mut ctx = ExecCtx {
-            eval: EvalCtx::new(self.q.nodes.len()),
-            levels: vec![0; self.q.nodes.len()],
-        };
+        let mut ctx =
+            ExecCtx { eval: EvalCtx::new(self.q.nodes.len()), levels: vec![0; self.q.nodes.len()] };
         let mut rows = Vec::new();
         self.loop13(0, &mut ctx, &mut rows)?;
         Ok(rows)
@@ -181,12 +194,7 @@ impl<'a> Executor<'a> {
     pub fn select_entities(&self) -> Result<Vec<sim_types::Surrogate>, QueryError> {
         let rows = self.collect_rows()?;
         let root = self.q.roots[0];
-        let pos = self
-            .q
-            .type13_order
-            .iter()
-            .position(|&n| n == root)
-            .expect("root in order");
+        let pos = self.q.type13_order.iter().position(|&n| n == root).expect("root in order");
         let mut out = Vec::new();
         let mut seen = HashSet::new();
         for r in rows {
@@ -202,10 +210,8 @@ impl<'a> Executor<'a> {
     /// Evaluate the selection for a single fixed root entity (VERIFY
     /// support): the query must have exactly one root.
     pub fn check_entity(&self, surr: sim_types::Surrogate) -> Result<Truth, QueryError> {
-        let mut ctx = ExecCtx {
-            eval: EvalCtx::new(self.q.nodes.len()),
-            levels: vec![0; self.q.nodes.len()],
-        };
+        let mut ctx =
+            ExecCtx { eval: EvalCtx::new(self.q.nodes.len()), levels: vec![0; self.q.nodes.len()] };
         let root = self.q.roots[0];
         ctx.eval.instances[root] = Some(Value::Entity(surr));
         // Bind remaining TYPE 1/3 nodes? A VERIFY assertion has no targets,
@@ -283,30 +289,43 @@ impl<'a> Executor<'a> {
         for (k, _) in &self.q.order_by {
             order_keys.push(eval(self.mapper, k, &ctx.eval)?);
         }
-        let node_instances: Vec<(Value, u32)> = self
-            .q
-            .type13_order
-            .iter()
-            .map(|&n| (ctx.eval.instance(n), ctx.levels[n]))
-            .collect();
+        let node_instances: Vec<(Value, u32)> =
+            self.q.type13_order.iter().map(|&n| (ctx.eval.instance(n), ctx.levels[n])).collect();
         Ok(InternalRow { values, node_instances, order_keys })
     }
 
     /// The domain of a node given the current context (§4.5's
-    /// `domain(Xi)`), with closure levels for transitive nodes.
+    /// `domain(Xi)`), with closure levels for transitive nodes. Wraps the
+    /// actual computation with per-node measurement when instrumented.
     fn domain(&self, node: usize, ctx: &ExecCtx) -> Result<Vec<(Value, u32)>, QueryError> {
+        let Some(probes) = &self.probes else {
+            return self.domain_inner(node, ctx);
+        };
+        let io_before = self.mapper.engine().io_snapshot();
+        let started = std::time::Instant::now();
+        let result = self.domain_inner(node, ctx);
+        let io = self.mapper.engine().io_snapshot().since(&io_before);
+        let mut cells = probes.borrow_mut();
+        let a = &mut cells[node];
+        a.invocations += 1;
+        if let Ok(domain) = &result {
+            a.rows += domain.len() as u64;
+        }
+        a.io_reads += io.reads;
+        a.io_writes += io.writes;
+        a.pool_hits += io.pool_hits;
+        a.wall_micros += started.elapsed().as_micros() as u64;
+        result
+    }
+
+    fn domain_inner(&self, node: usize, ctx: &ExecCtx) -> Result<Vec<(Value, u32)>, QueryError> {
         let n = &self.q.nodes[node];
         let depth = n.depth;
         match &n.origin {
             NodeOrigin::Perspective { class } => {
                 // Which access path? Find the node's position in root_order.
                 let ri = self.q.roots.iter().position(|&r| r == node).expect("root");
-                let pos = self
-                    .plan
-                    .root_order
-                    .iter()
-                    .position(|&x| x == ri)
-                    .unwrap_or(ri);
+                let pos = self.plan.root_order.iter().position(|&x| x == ri).unwrap_or(ri);
                 let access = self.plan.access.get(pos);
                 let surrs = match access {
                     None | Some(AccessPath::FullScan { .. }) => self.mapper.entities_of(*class)?,
@@ -315,10 +334,7 @@ impl<'a> Executor<'a> {
                         if v.is_null() {
                             Vec::new()
                         } else {
-                            let mut s = self
-                                .mapper
-                                .lookup_indexed(*attr, &v)?
-                                .unwrap_or_default();
+                            let mut s = self.mapper.lookup_indexed(*attr, &v)?.unwrap_or_default();
                             // Keep only entities that actually hold the
                             // perspective role (indexes live on superclass
                             // attributes too).

@@ -119,9 +119,7 @@ pub fn compile(catalog: &Catalog, v: &VerifyConstraint) -> Result<CompiledVerify
                 walk(lhs, node_path, trigger_paths, uses_global);
                 walk(rhs, node_path, trigger_paths, uses_global);
             }
-            BExpr::Not(x) | BExpr::Neg(x) => {
-                walk(x, node_path, trigger_paths, uses_global)
-            }
+            BExpr::Not(x) | BExpr::Neg(x) => walk(x, node_path, trigger_paths, uses_global),
             BExpr::Aggregate { chain, .. } | BExpr::Quantified { chain, .. } => {
                 if chain.global_class.is_some() {
                     *uses_global = true;
@@ -237,9 +235,7 @@ impl CompiledVerify {
                                 .eva_inverse()
                                 .expect("finalized EVA");
                             for s in &frontier {
-                                for (e, _) in
-                                    crate::eval::transitive_closure(mapper, *s, inv)?
-                                {
+                                for (e, _) in crate::eval::transitive_closure(mapper, *s, inv)? {
                                     prev.insert(e);
                                 }
                             }

@@ -24,8 +24,11 @@
 //!   cascade (§4.8);
 //! * [`integrity`] — VERIFY constraints enforced by trigger detection plus
 //!   query augmentation (§3.3/§5.1), with statement rollback on violation;
-//! * [`engine`] — the Query Driver facade tying it all together.
+//! * [`engine`] — the Query Driver facade tying it all together;
+//! * [`analyze`] / [`stats`] — EXPLAIN ANALYZE actuals and the `query.*`
+//!   phase metrics published into the engine-wide registry.
 
+pub mod analyze;
 pub mod bind;
 pub mod bound;
 pub mod engine;
@@ -34,9 +37,12 @@ pub mod eval;
 pub mod exec;
 pub mod integrity;
 pub mod optimizer;
+pub mod stats;
 pub mod update;
 
+pub use analyze::{AnalyzedPlan, NodeActuals, StepActuals};
 pub use bound::{BoundQuery, NodeType, QueryOutput, Row, StructRecord};
 pub use engine::{ExecResult, QueryEngine};
 pub use error::QueryError;
 pub use optimizer::{AccessPath, Plan};
+pub use stats::PhaseStats;

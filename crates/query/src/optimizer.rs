@@ -84,9 +84,10 @@ pub struct Plan {
 pub fn first_instance_cost(mapper: &Mapper, attr: AttrId) -> f64 {
     match mapper.layout().placement(attr) {
         Some(AttrPlacement::Field { kind: FieldKind::PointerEva { clustered, .. }, .. })
-            if clustered => {
-                0.0
-            }
+            if clustered =>
+        {
+            0.0
+        }
         Some(AttrPlacement::Field { kind: FieldKind::ForeignKeyEva, .. }) => 1.0,
         Some(AttrPlacement::Structure { structure, .. }) => {
             // A descent into the (common or dedicated) structure B-tree,
@@ -174,9 +175,10 @@ fn cost_order(
         let mut chosen: Option<&Candidate> = None;
         for cand in &candidates[ri] {
             if cand.depends_on.iter().all(|d| bound_before.contains(d))
-                && chosen.is_none_or(|c| cand.cost < c.cost) {
-                    chosen = Some(cand);
-                }
+                && chosen.is_none_or(|c| cand.cost < c.cost)
+            {
+                chosen = Some(cand);
+            }
         }
         let Some(c) = chosen else { return Ok(None) };
         total += outer_rows * c.cost;
@@ -241,9 +243,7 @@ fn index_candidate(
     // Normalize so the local attribute is on the left.
     let (attr, local_node, other, op) = match (lhs.as_ref(), rhs.as_ref()) {
         (BExpr::Attr { node, attr }, other) if *node == root => (*attr, *node, other, *op),
-        (other, BExpr::Attr { node, attr }) if *node == root => {
-            (*attr, *node, other, flip(*op))
-        }
+        (other, BExpr::Attr { node, attr }) if *node == root => (*attr, *node, other, flip(*op)),
         _ => return Ok(None),
     };
     let _ = local_node;

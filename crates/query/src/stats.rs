@@ -1,0 +1,74 @@
+//! Query-layer metrics: per-phase latency histograms and statement
+//! counters, published under `query.*` names in the engine-wide registry.
+
+use sim_obs::{Counter, Histogram, Registry};
+use std::sync::Arc;
+
+/// Registry names of the query-layer metrics.
+pub mod names {
+    /// Histogram: statement parse time.
+    pub const PARSE_MICROS: &str = "query.parse_micros";
+    /// Histogram: semantic analysis (binding) time per retrieve.
+    pub const BIND_MICROS: &str = "query.bind_micros";
+    /// Histogram: optimizer planning time per retrieve.
+    pub const OPTIMIZE_MICROS: &str = "query.optimize_micros";
+    /// Histogram: execution time (loop nest or update application).
+    pub const EXECUTE_MICROS: &str = "query.execute_micros";
+    /// Histogram: VERIFY constraint checking time per update.
+    pub const VERIFY_MICROS: &str = "query.verify_micros";
+    /// Counter: statements executed (any kind).
+    pub const STATEMENTS: &str = "query.statements";
+    /// Counter: retrieves executed.
+    pub const RETRIEVES: &str = "query.retrieves";
+    /// Counter: updates (insert/modify/delete) executed.
+    pub const UPDATES: &str = "query.updates";
+    /// Counter: updates rolled back by a VERIFY violation.
+    pub const INTEGRITY_VIOLATIONS: &str = "query.integrity_violations";
+}
+
+/// Cached metric handles for the query driver.
+#[derive(Debug, Clone)]
+pub struct PhaseStats {
+    pub(crate) parse: Arc<Histogram>,
+    pub(crate) bind: Arc<Histogram>,
+    pub(crate) optimize: Arc<Histogram>,
+    pub(crate) execute: Arc<Histogram>,
+    pub(crate) verify: Arc<Histogram>,
+    pub(crate) statements: Arc<Counter>,
+    pub(crate) retrieves: Arc<Counter>,
+    pub(crate) updates: Arc<Counter>,
+    pub(crate) integrity_violations: Arc<Counter>,
+}
+
+impl PhaseStats {
+    /// Handles publishing into `registry` under the `query.*` names.
+    pub fn new(registry: &Arc<Registry>) -> PhaseStats {
+        PhaseStats {
+            parse: registry.histogram(names::PARSE_MICROS),
+            bind: registry.histogram(names::BIND_MICROS),
+            optimize: registry.histogram(names::OPTIMIZE_MICROS),
+            execute: registry.histogram(names::EXECUTE_MICROS),
+            verify: registry.histogram(names::VERIFY_MICROS),
+            statements: registry.counter(names::STATEMENTS),
+            retrieves: registry.counter(names::RETRIEVES),
+            updates: registry.counter(names::UPDATES),
+            integrity_violations: registry.counter(names::INTEGRITY_VIOLATIONS),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_publish_under_query_names() {
+        let registry = Arc::new(Registry::new());
+        let phase = PhaseStats::new(&registry);
+        phase.parse.observe_micros(7);
+        phase.statements.inc();
+        let snap = registry.snapshot();
+        assert_eq!(snap.histogram(names::PARSE_MICROS).unwrap().count, 1);
+        assert_eq!(snap.counter(names::STATEMENTS), 1);
+    }
+}

@@ -47,10 +47,7 @@ enum PreparedValue {
     Entities(Vec<Surrogate>),
     /// `exclude eva WITH (pred)`: a predicate over the EVA's current
     /// partners, evaluated per partner.
-    PartnerFilter {
-        eva: AttrId,
-        bound: BoundQuery,
-    },
+    PartnerFilter { eva: AttrId, bound: BoundQuery },
 }
 
 struct PreparedAssign {
@@ -74,16 +71,14 @@ fn prepare_assignment(
     })?;
     let attr = catalog.attribute(attr_id)?.clone();
     let value = match &a.value {
-        AssignValue::Expr(e) => {
-            PreparedValue::Expr(Binder::bind_value_expr(catalog, class, e)?)
-        }
+        AssignValue::Expr(e) => PreparedValue::Expr(Binder::bind_value_expr(catalog, class, e)?),
         AssignValue::Selector { name, predicate } => {
             if a.op == AssignOp::Exclude {
                 // §4.8: for exclusions the object name refers to the EVA
                 // itself; the predicate filters its current partners.
-                let range = attr.eva_range().ok_or_else(|| {
-                    QueryError::Analyze(format!("{} is not an EVA", a.attr))
-                })?;
+                let range = attr
+                    .eva_range()
+                    .ok_or_else(|| QueryError::Analyze(format!("{} is not an EVA", a.attr)))?;
                 if name.eq_ignore_ascii_case(&attr.name) {
                     let bound = Binder::bind_selection(catalog, range, predicate)?;
                     PreparedValue::PartnerFilter { eva: attr_id, bound }
@@ -252,9 +247,7 @@ fn apply_assign(
             }
         }
         (op, PreparedValue::PartnerFilter { .. }) => {
-            return Err(QueryError::Analyze(format!(
-                "{op:?} does not take an EVA-name selector"
-            )));
+            return Err(QueryError::Analyze(format!("{op:?} does not take an EVA-name selector")));
         }
     }
     Ok(())
@@ -300,8 +293,9 @@ pub fn exec_insert(
                             ));
                         } else {
                             match es.len() {
-                                1 => assigns
-                                    .push((pa.attr, AttrValue::Scalar(Value::Entity(es[0])))),
+                                1 => {
+                                    assigns.push((pa.attr, AttrValue::Scalar(Value::Entity(es[0]))))
+                                }
                                 0 => {
                                     return Err(QueryError::Selector(format!(
                                         "WITH selector for {} matched no entities",

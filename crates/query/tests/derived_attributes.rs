@@ -64,23 +64,16 @@ fn derived_aggregate_chain() {
     let out = e.query("From instructor Retrieve employee-nbr, n-advisees.").unwrap();
     assert_eq!(
         out.rows(),
-        &[
-            vec![Value::Int(1), Value::Int(2)],
-            vec![Value::Int(2), Value::Int(0)],
-        ]
+        &[vec![Value::Int(1), Value::Int(2)], vec![Value::Int(2), Value::Int(0)],]
     );
 }
 
 #[test]
 fn derived_in_where_clause() {
     let e = engine_with_derived();
-    let out = e
-        .query("From instructor Retrieve employee-nbr Where total-pay > 54000.")
-        .unwrap();
+    let out = e.query("From instructor Retrieve employee-nbr Where total-pay > 54000.").unwrap();
     assert_eq!(out.rows(), &[vec![Value::Int(1)]]);
-    let out = e
-        .query("From instructor Retrieve employee-nbr Where n-advisees = 0.")
-        .unwrap();
+    let out = e.query("From instructor Retrieve employee-nbr Where n-advisees = 0.").unwrap();
     assert_eq!(out.rows(), &[vec![Value::Int(2)]]);
 }
 
@@ -88,18 +81,15 @@ fn derived_in_where_clause() {
 fn derived_reached_through_an_eva() {
     let e = engine_with_derived();
     // Qualify to the derived attribute through a relationship.
-    let out = e
-        .query("From student Retrieve student-no, total-pay of advisor.")
-        .unwrap();
+    let out = e.query("From student Retrieve student-no, total-pay of advisor.").unwrap();
     assert_eq!(out.rows()[0][1].to_string(), "55000.00");
 }
 
 #[test]
 fn derived_attributes_are_read_only() {
     let mut e = engine_with_derived();
-    let err = e
-        .run_one("Modify instructor (total-pay := 1.00) Where employee-nbr = 1.")
-        .unwrap_err();
+    let err =
+        e.run_one("Modify instructor (total-pay := 1.00) Where employee-nbr = 1.").unwrap_err();
     assert!(err.to_string().contains("derived") || err.to_string().contains("read-only"), "{err}");
 }
 
@@ -107,10 +97,11 @@ fn derived_attributes_are_read_only() {
 fn verify_over_derived_attribute() {
     let mut e = engine_with_derived();
     e.enforce_verifies = true;
-    let err = e
-        .run_one("Modify instructor (bonus := 60000.00) Where employee-nbr = 1.")
-        .unwrap_err();
-    assert!(matches!(err, QueryError::IntegrityViolation { ref constraint, .. } if constraint == "pay-cap"));
+    let err =
+        e.run_one("Modify instructor (bonus := 60000.00) Where employee-nbr = 1.").unwrap_err();
+    assert!(
+        matches!(err, QueryError::IntegrityViolation { ref constraint, .. } if constraint == "pay-cap")
+    );
     // Under the cap passes.
     e.run_one("Modify instructor (bonus := 10000.00) Where employee-nbr = 1.").unwrap();
 }
@@ -170,6 +161,7 @@ fn derived_cannot_navigate_evas() {
 #[test]
 fn derived_cannot_be_aggregated() {
     let e = engine_with_derived();
-    let err = e.query("From department Retrieve avg(total-pay of instructors-employed).").unwrap_err();
+    let err =
+        e.query("From department Retrieve avg(total-pay of instructors-employed).").unwrap_err();
     assert!(err.to_string().contains("derived"), "{err}");
 }

@@ -1,10 +1,10 @@
 //! Property-based invariants of the query executor over randomly populated
 //! UNIVERSITY databases.
 
-use proptest::prelude::*;
 use sim_ddl::university_catalog;
 use sim_luc::Mapper;
 use sim_query::{QueryEngine, QueryOutput};
+use sim_testkit::{cases, Rng};
 use sim_types::{ordered, Value};
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -20,20 +20,15 @@ struct Population {
     advisors: Vec<(usize, usize)>,
 }
 
-fn arb_population() -> impl Strategy<Value = Population> {
-    (1usize..6, 1usize..4, 1usize..6).prop_flat_map(|(students, instructors, courses)| {
-        let enroll = prop::collection::vec((0..students, 0..courses), 0..12);
-        let advise = prop::collection::vec((0..students, 0..instructors), 0..6);
-        (Just(students), Just(instructors), Just(courses), enroll, advise).prop_map(
-            |(students, instructors, courses, enrollments, advisors)| Population {
-                students,
-                instructors,
-                courses,
-                enrollments,
-                advisors,
-            },
-        )
-    })
+fn arb_population(rng: &mut Rng) -> Population {
+    let students = rng.range(1, 6);
+    let instructors = rng.range(1, 4);
+    let courses = rng.range(1, 6);
+    let enrollments =
+        (0..rng.range(0, 12)).map(|_| (rng.range(0, students), rng.range(0, courses))).collect();
+    let advisors =
+        (0..rng.range(0, 6)).map(|_| (rng.range(0, students), rng.range(0, instructors))).collect();
+    Population { students, instructors, courses, enrollments, advisors }
 }
 
 fn build(p: &Population) -> QueryEngine {
@@ -56,10 +51,7 @@ fn build(p: &Population) -> QueryEngine {
         ));
     }
     for s in 0..p.students {
-        script.push_str(&format!(
-            "Insert student(name := \"S{s}\", soc-sec-no := {}).\n",
-            200 + s
-        ));
+        script.push_str(&format!("Insert student(name := \"S{s}\", soc-sec-no := {}).\n", 200 + s));
     }
     e.run(&script).unwrap();
     for (s, c) in &p.enrollments {
@@ -87,13 +79,11 @@ fn row_keys(out: &QueryOutput) -> Vec<Vec<u8>> {
     out.rows().iter().map(|r| ordered::encode_key(r)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// TABLE DISTINCT returns exactly the set of TABLE rows.
-    #[test]
-    fn distinct_is_the_set_of_table_rows(p in arb_population()) {
-        let e = build(&p);
+/// TABLE DISTINCT returns exactly the set of TABLE rows.
+#[test]
+fn distinct_is_the_set_of_table_rows() {
+    cases(24, |rng| {
+        let e = build(&arb_population(rng));
         let q_table = "From student Retrieve name of advisor, title of courses-enrolled.";
         let q_distinct =
             "From student Retrieve Table Distinct name of advisor, title of courses-enrolled.";
@@ -102,30 +92,33 @@ proptest! {
         let table_set: HashSet<Vec<u8>> = row_keys(&table).into_iter().collect();
         let distinct_rows = row_keys(&distinct);
         let distinct_set: HashSet<Vec<u8>> = distinct_rows.iter().cloned().collect();
-        prop_assert_eq!(distinct_rows.len(), distinct_set.len(), "no duplicates survive");
-        prop_assert_eq!(table_set, distinct_set, "same underlying set");
-    }
+        assert_eq!(distinct_rows.len(), distinct_set.len(), "no duplicates survive");
+        assert_eq!(table_set, distinct_set, "same underlying set");
+    });
+}
 
-    /// ORDER BY returns a permutation of the unordered result, sorted by
-    /// the key (nulls first).
-    #[test]
-    fn order_by_is_a_sorted_permutation(p in arb_population()) {
-        let e = build(&p);
+/// ORDER BY returns a permutation of the unordered result, sorted by
+/// the key (nulls first).
+#[test]
+fn order_by_is_a_sorted_permutation() {
+    cases(24, |rng| {
+        let e = build(&arb_population(rng));
         let plain = e.query("From student Retrieve name, name of advisor.").unwrap();
         let ordered_out = e
             .query("From student Retrieve name, name of advisor Order By name of advisor, name.")
             .unwrap();
         let mut expect: Vec<Vec<Value>> = plain.rows().to_vec();
-        expect.sort_by(|a, b| {
-            a[1].total_cmp(&b[1]).then_with(|| a[0].total_cmp(&b[0]))
-        });
-        prop_assert_eq!(ordered_out.rows(), expect.as_slice());
-    }
+        expect.sort_by(|a, b| a[1].total_cmp(&b[1]).then_with(|| a[0].total_cmp(&b[0])));
+        assert_eq!(ordered_out.rows(), expect.as_slice());
+    });
+}
 
-    /// The outer join never loses students: every student appears in the
-    /// target list exactly max(1, |enrollments|) times.
-    #[test]
-    fn outer_join_row_counts(p in arb_population()) {
+/// The outer join never loses students: every student appears in the
+/// target list exactly max(1, |enrollments|) times.
+#[test]
+fn outer_join_row_counts() {
+    cases(24, |rng| {
+        let p = arb_population(rng);
         let e = build(&p);
         let out = e.query("From student Retrieve name, title of courses-enrolled.").unwrap();
         // Count expected: per student, distinct enrolled courses (the EVA is
@@ -135,56 +128,53 @@ proptest! {
             per_student[*s].insert(*c);
         }
         let expected: usize = per_student.iter().map(|cs| cs.len().max(1)).sum();
-        prop_assert_eq!(out.rows().len(), expected);
-    }
+        assert_eq!(out.rows().len(), expected);
+    });
+}
 
-    /// Aggregates agree with the flat rows: count(courses-enrolled) equals
-    /// the number of non-padded rows per student.
-    #[test]
-    fn aggregate_agrees_with_rows(p in arb_population()) {
+/// Aggregates agree with the flat rows: count(courses-enrolled) equals
+/// the number of non-padded rows per student.
+#[test]
+fn aggregate_agrees_with_rows() {
+    cases(24, |rng| {
+        let p = arb_population(rng);
         let e = build(&p);
-        let counts = e
-            .query("From student Retrieve name, count(courses-enrolled) of student.")
-            .unwrap();
+        let counts =
+            e.query("From student Retrieve name, count(courses-enrolled) of student.").unwrap();
         let mut per_student = vec![HashSet::new(); p.students];
         for (s, c) in &p.enrollments {
             per_student[*s].insert(*c);
         }
-        prop_assert_eq!(counts.rows().len(), p.students);
+        assert_eq!(counts.rows().len(), p.students);
         for (row, expect) in counts.rows().iter().zip(per_student.iter()) {
-            prop_assert_eq!(&row[1], &Value::Int(expect.len() as i64));
+            assert_eq!(&row[1], &Value::Int(expect.len() as i64));
         }
-    }
+    });
+}
 
-    /// Structured output carries the same data as tabular output: the
-    /// level-2 records, grouped under each level-1 record, reproduce the
-    /// table rows.
-    #[test]
-    fn structure_matches_table(p in arb_population()) {
-        let e = build(&p);
-        let table = e
-            .query("From student Retrieve name, title of courses-enrolled.")
-            .unwrap();
-        let structured = e
-            .query("From student Retrieve Structure name, title of courses-enrolled.")
-            .unwrap();
+/// Structured output carries the same data as tabular output: the
+/// level-2 records, grouped under each level-1 record, reproduce the
+/// table rows.
+#[test]
+fn structure_matches_table() {
+    cases(24, |rng| {
+        let e = build(&arb_population(rng));
+        let table = e.query("From student Retrieve name, title of courses-enrolled.").unwrap();
+        let structured =
+            e.query("From student Retrieve Structure name, title of courses-enrolled.").unwrap();
         let QueryOutput::Structure { records, .. } = structured else { panic!() };
         // Re-flatten: every level-2 record pairs with the last level-1.
         let mut flat: Vec<Vec<Value>> = Vec::new();
         let mut current: Option<Value> = None;
-        let mut pending_leaf = false;
         for rec in &records {
             if rec.format == 0 {
                 current = Some(rec.values[0].clone());
-                pending_leaf = true;
             } else {
                 flat.push(vec![current.clone().unwrap(), rec.values[0].clone()]);
-                pending_leaf = false;
             }
         }
-        let _ = pending_leaf;
         // The outer-join dummy also appears as a (null-valued) leaf record,
         // so structured output reproduces the table rows exactly.
-        prop_assert_eq!(flat, table.rows().to_vec());
-    }
+        assert_eq!(flat, table.rows().to_vec());
+    });
 }

@@ -86,9 +86,7 @@ fn university() -> QueryEngine {
 #[test]
 fn section_4_1_name_and_advisor_with_outer_join() {
     let engine = university();
-    let out = engine
-        .query("From Student Retrieve Name, Name of Advisor.")
-        .unwrap();
+    let out = engine.query("From Student Retrieve Name, Name of Advisor.").unwrap();
     // Students in surrogate (insertion) order; Tim has no advisor: the
     // outer join pads with null ("SIM will still select and print his name
     // with a null value for the advisor's name").
@@ -137,10 +135,7 @@ fn section_4_6_aggregates() {
         .unwrap();
     assert_eq!(
         out.rows(),
-        &[
-            vec![s("Physics"), Value::Float(50000.0)],
-            vec![s("Math"), Value::Float(60000.0)],
-        ]
+        &[vec![s("Physics"), Value::Float(50000.0)], vec![s("Math"), Value::Float(60000.0)],]
     );
 
     // Count of teachers over all of a student's courses.
@@ -211,10 +206,7 @@ fn section_4_9_example_6_instructors_advising_physics_students() {
     // Ann advises John (Physics); her courses print, "if any" (outer join).
     assert_eq!(
         out.rows(),
-        &[
-            vec![s("Ann Smith"), s("Algebra I")],
-            vec![s("Ann Smith"), s("Linear Algebra")],
-        ]
+        &[vec![s("Ann Smith"), s("Algebra I")], vec![s("Ann Smith"), s("Linear Algebra")],]
     );
 }
 
@@ -239,9 +231,7 @@ fn section_4_9_examples_1_to_3_update_lifecycle() {
     let mapper = Mapper::new(Arc::new(university_catalog()), 512).unwrap();
     let mut engine = QueryEngine::new(mapper).unwrap();
     engine.enforce_verifies = false;
-    engine
-        .run(r#"Insert course(course-no := 301, title := "Algebra I", credits := 4)."#)
-        .unwrap();
+    engine.run(r#"Insert course(course-no := 301, title := "Algebra I", credits := 4)."#).unwrap();
     engine
         .run(r#"Insert instructor(name := "Joe Bloke", soc-sec-no := 1, employee-nbr := 1001)."#)
         .unwrap();
@@ -265,9 +255,7 @@ fn section_4_9_examples_1_to_3_update_lifecycle() {
         )
         .unwrap();
     assert_eq!(r.updated(), 1);
-    let out = engine
-        .query("From person Retrieve profession Where name = \"John Doe\".")
-        .unwrap();
+    let out = engine.query("From person Retrieve profession Where name = \"John Doe\".").unwrap();
     assert_eq!(out.rows(), &[vec![s("student")], vec![s("instructor")]]);
 
     // Example 3: "Let John Doe drop Algebra I and let Joe Bloke be his
@@ -306,21 +294,11 @@ fn section_4_9_example_4_conditional_raise() {
         assert_eq!(r.updated(), 1);
     }
     let engine = engine_cell.borrow();
-    let out = engine
-        .query("From instructor Retrieve salary Where name = \"Ann Smith\".")
-        .unwrap();
-    assert_eq!(
-        out.rows(),
-        &[vec![Value::Decimal(sim_types::Decimal::parse("66000.00").unwrap())]]
-    );
+    let out = engine.query("From instructor Retrieve salary Where name = \"Ann Smith\".").unwrap();
+    assert_eq!(out.rows(), &[vec![Value::Decimal(sim_types::Decimal::parse("66000.00").unwrap())]]);
     // Others untouched.
-    let out = engine
-        .query("From instructor Retrieve salary Where name = \"Joe Bloke\".")
-        .unwrap();
-    assert_eq!(
-        out.rows(),
-        &[vec![Value::Decimal(sim_types::Decimal::parse("50000.00").unwrap())]]
-    );
+    let out = engine.query("From instructor Retrieve salary Where name = \"Joe Bloke\".").unwrap();
+    assert_eq!(out.rows(), &[vec![Value::Decimal(sim_types::Decimal::parse("50000.00").unwrap())]]);
 }
 
 #[test]
@@ -330,9 +308,7 @@ fn delete_semantics_of_section_4_8() {
     engine.run_one(r#"Delete student Where name = "John Doe"."#).unwrap();
     let out = engine.query("From student Retrieve name.").unwrap();
     assert_eq!(out.rows().len(), 2, "Mary and Tim remain students");
-    let out = engine
-        .query("From person Retrieve name Where name = \"John Doe\".")
-        .unwrap();
+    let out = engine.query("From person Retrieve name Where name = \"John Doe\".").unwrap();
     assert_eq!(out.rows().len(), 1, "John continues to exist as a PERSON");
 
     // Deleting the PERSON deletes every role.
@@ -361,9 +337,7 @@ fn verify_v1_rejects_underloaded_student() {
     assert_eq!(constraint, "v1");
     assert_eq!(message, "student is taking too few credits");
     // The statement rolled back entirely.
-    let out = engine
-        .query("From person Retrieve name Where name = \"Slacker\".")
-        .unwrap();
+    let out = engine.query("From person Retrieve name Where name = \"Slacker\".").unwrap();
     assert!(out.rows().is_empty(), "rolled-back insert must leave nothing");
 }
 
@@ -375,19 +349,14 @@ fn verify_v2_rejects_excessive_pay() {
     let err = engine
         .run_one(r#"Modify instructor (bonus := 45000.00) Where name = "Ann Smith"."#)
         .unwrap_err();
-    assert!(matches!(err, QueryError::IntegrityViolation { ref constraint, .. } if constraint == "v2"));
-    // Rolled back: the old bonus survives.
-    let out = engine
-        .query("From instructor Retrieve bonus Where name = \"Ann Smith\".")
-        .unwrap();
-    assert_eq!(
-        out.rows(),
-        &[vec![Value::Decimal(sim_types::Decimal::parse("5000.00").unwrap())]]
+    assert!(
+        matches!(err, QueryError::IntegrityViolation { ref constraint, .. } if constraint == "v2")
     );
+    // Rolled back: the old bonus survives.
+    let out = engine.query("From instructor Retrieve bonus Where name = \"Ann Smith\".").unwrap();
+    assert_eq!(out.rows(), &[vec![Value::Decimal(sim_types::Decimal::parse("5000.00").unwrap())]]);
     // A legal raise passes.
-    engine
-        .run_one(r#"Modify instructor (bonus := 30000.00) Where name = "Ann Smith"."#)
-        .unwrap();
+    engine.run_one(r#"Modify instructor (bonus := 30000.00) Where name = "Ann Smith"."#).unwrap();
 }
 
 #[test]
@@ -411,7 +380,9 @@ fn verify_v1_triggered_through_course_credits() {
     let err = engine
         .run_one(r#"Modify course (credits := 3) Where title = "Quantum Chromodynamics"."#)
         .unwrap_err();
-    assert!(matches!(err, QueryError::IntegrityViolation { ref constraint, .. } if constraint == "v1"));
+    assert!(
+        matches!(err, QueryError::IntegrityViolation { ref constraint, .. } if constraint == "v1")
+    );
     // …while raising it is fine even though John and Tim are under 12 —
     // the augmented check looks only at Mary.
     engine
@@ -422,17 +393,11 @@ fn verify_v1_triggered_through_course_credits() {
 #[test]
 fn table_distinct_and_order_by() {
     let engine = university();
-    let out = engine
-        .query("From Student Retrieve Table Distinct name of major-department.")
-        .unwrap();
+    let out =
+        engine.query("From Student Retrieve Table Distinct name of major-department.").unwrap();
     assert_eq!(out.rows().len(), 2, "Physics and Math each once");
-    let out = engine
-        .query("From Student Retrieve name Order By name desc.")
-        .unwrap();
-    assert_eq!(
-        out.rows(),
-        &[vec![s("Tim Assistant")], vec![s("Mary Major")], vec![s("John Doe")]]
-    );
+    let out = engine.query("From Student Retrieve name Order By name desc.").unwrap();
+    assert_eq!(out.rows(), &[vec![s("Tim Assistant")], vec![s("Mary Major")], vec![s("John Doe")]]);
 }
 
 #[test]
@@ -498,7 +463,9 @@ fn inverse_segment_resolves() {
     let engine = university();
     // INVERSE(advisor) ≡ advisees (§3.2).
     let out = engine
-        .query("From Instructor Retrieve name, name of Inverse(advisor) Where name = \"Ann Smith\".")
+        .query(
+            "From Instructor Retrieve name, name of Inverse(advisor) Where name = \"Ann Smith\".",
+        )
         .unwrap();
     assert_eq!(out.rows(), &[vec![s("Ann Smith"), s("John Doe")]]);
 }
@@ -529,9 +496,8 @@ fn quantifiers_all_and_no() {
 #[test]
 fn pattern_matching() {
     let engine = university();
-    let out = engine
-        .query("From course Retrieve title Where title matches \"Calculus*\".")
-        .unwrap();
+    let out =
+        engine.query("From course Retrieve title Where title matches \"Calculus*\".").unwrap();
     assert_eq!(out.rows(), &[vec![s("Calculus I")], vec![s("Calculus II")]]);
 }
 
@@ -544,28 +510,21 @@ fn subrole_retrieval_in_target_list() {
     // Tim holds both roles; profession is MV so two rows appear.
     assert_eq!(
         out.rows(),
-        &[
-            vec![s("Tim Assistant"), s("student")],
-            vec![s("Tim Assistant"), s("instructor")],
-        ]
+        &[vec![s("Tim Assistant"), s("student")], vec![s("Tim Assistant"), s("instructor")],]
     );
 }
 
 #[test]
 fn index_probe_plan_for_unique_attribute() {
     let engine = university();
-    let plan = engine
-        .explain("From person Retrieve name Where soc-sec-no = 456887766.")
-        .unwrap();
+    let plan = engine.explain("From person Retrieve name Where soc-sec-no = 456887766.").unwrap();
     assert!(
         plan.explanation.iter().any(|l| l.contains("index probe")),
         "unique soc-sec-no should be probed via its index: {:?}",
         plan.explanation
     );
     // And the probe must actually find John.
-    let out = engine
-        .query("From person Retrieve name Where soc-sec-no = 456887766.")
-        .unwrap();
+    let out = engine.query("From person Retrieve name Where soc-sec-no = 456887766.").unwrap();
     assert_eq!(out.rows(), &[vec![s("John Doe")]]);
 }
 
@@ -580,7 +539,5 @@ fn multi_statement_scripts_and_errors() {
 
     assert!(engine.run("From nowhere Retrieve nothing.").is_err());
     assert!(engine.run("Delete unknown-class.").is_err());
-    assert!(engine
-        .run("From student Retrieve name Where nonexistent = 1.")
-        .is_err());
+    assert!(engine.run("From student Retrieve name Where nonexistent = 1.").is_err());
 }

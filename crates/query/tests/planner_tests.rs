@@ -83,9 +83,7 @@ fn explain_reports_cost_reduction_for_selective_plans() {
     let mut e = engine_with_pool(512);
     populate(&mut e, 100);
     let scan_plan = e.explain("From student Retrieve name.").unwrap();
-    let probe_plan = e
-        .explain("From student Retrieve name Where soc-sec-no = 6000.")
-        .unwrap();
+    let probe_plan = e.explain("From student Retrieve name Where soc-sec-no = 6000.").unwrap();
     assert!(probe_plan.estimated_io < scan_plan.estimated_io);
 }
 
@@ -111,12 +109,12 @@ fn queries_survive_a_tiny_buffer_pool() {
     // Updates under pressure, including rollback.
     small.enforce_verifies = true;
     let err = small
-        .run_one("Modify instructor (salary := 90000.00, bonus := 20000.00) Where employee-nbr = 1001.")
+        .run_one(
+            "Modify instructor (salary := 90000.00, bonus := 20000.00) Where employee-nbr = 1001.",
+        )
         .unwrap_err();
     assert!(matches!(err, sim_query::QueryError::IntegrityViolation { .. }));
-    let out = small
-        .query("From instructor Retrieve salary Where employee-nbr = 1001.")
-        .unwrap();
+    let out = small.query("From instructor Retrieve salary Where employee-nbr = 1001.").unwrap();
     assert_eq!(out.rows(), &[vec![Value::Null]], "rolled back under eviction pressure");
 }
 
@@ -127,9 +125,7 @@ fn plan_explanations_name_the_strategy() {
     let plan = e.explain("From student Retrieve name.").unwrap();
     assert_eq!(plan.explanation.len(), 1);
     assert!(plan.explanation[0].starts_with("perspective 1: scan"));
-    let plan = e
-        .explain("From student Retrieve name Where soc-sec-no = 6001.")
-        .unwrap();
+    let plan = e.explain("From student Retrieve name Where soc-sec-no = 6001.").unwrap();
     assert!(plan.explanation[0].contains("index probe"));
     assert!(plan.estimated_io > 0.0);
 }

@@ -66,15 +66,12 @@ fn type2_variable_with_empty_domain_rejects() {
     let e = seeded();
     // S2 has no advisor: a selection through ADVISOR cannot accept S2,
     // even under a tautology-looking comparison.
-    let out = e
-        .query("From student Retrieve name Where employee-nbr of advisor >= 0.")
-        .unwrap();
+    let out = e.query("From student Retrieve name Where employee-nbr of advisor >= 0.").unwrap();
     assert_eq!(out.rows(), &[vec![s("S1")]]);
     // …and negating the comparison still cannot accept S2 (the existential
     // wraps the whole selection, not the comparison).
-    let out = e
-        .query("From student Retrieve name Where not employee-nbr of advisor >= 0.")
-        .unwrap();
+    let out =
+        e.query("From student Retrieve name Where not employee-nbr of advisor >= 0.").unwrap();
     assert!(out.rows().is_empty());
 }
 
@@ -82,9 +79,7 @@ fn type2_variable_with_empty_domain_rejects() {
 fn type3_padding_nests() {
     let e = seeded();
     // Both the EVA and an attribute of it pad to null for S2 and for I2.
-    let out = e
-        .query("From student Retrieve name, name of advisor, salary of advisor.")
-        .unwrap();
+    let out = e.query("From student Retrieve name, name of advisor, salary of advisor.").unwrap();
     assert_eq!(
         out.rows(),
         &[
@@ -108,18 +103,16 @@ fn quantifier_vacuity() {
         .unwrap();
     assert_eq!(out.rows(), &[vec![s("S1")]]);
     // NO over an empty set is true.
-    let out = e
-        .query("From student Retrieve name Where 10 = no(credits of courses-enrolled).")
-        .unwrap();
+    let out =
+        e.query("From student Retrieve name Where 10 = no(credits of courses-enrolled).").unwrap();
     assert_eq!(out.rows(), &[vec![s("S1")], vec![s("S2")]]);
 }
 
 #[test]
 fn quantifier_on_left_of_comparison() {
     let e = seeded();
-    let out = e
-        .query("From student Retrieve name Where some(credits of courses-enrolled) = 4.")
-        .unwrap();
+    let out =
+        e.query("From student Retrieve name Where some(credits of courses-enrolled) = 4.").unwrap();
     assert_eq!(out.rows(), &[vec![s("S1")]]);
 }
 
@@ -142,13 +135,13 @@ fn reference_variables_disambiguate_self_joins() {
 fn ambiguous_shortened_qualification_is_an_error() {
     let e = seeded();
     // `name` resolves from both student and instructor perspectives.
-    let err = e
-        .query("From student, instructor Retrieve name.")
-        .unwrap_err();
+    let err = e.query("From student, instructor Retrieve name.").unwrap_err();
     assert!(matches!(err, QueryError::Analyze(m) if m.contains("ambiguous")));
     // Qualifying resolves it.
     let out = e
-        .query("From student, instructor Retrieve name of student Where soc-sec-no of student = 11.")
+        .query(
+            "From student, instructor Retrieve name of student Where soc-sec-no of student = 11.",
+        )
         .unwrap();
     assert_eq!(out.rows().len(), 2, "still crossed with every instructor");
 }
@@ -190,13 +183,9 @@ fn deep_qualification_chain() {
 #[test]
 fn order_by_places_nulls_first() {
     let e = seeded();
-    let out = e
-        .query("From student Retrieve name, name of advisor Order By name of advisor.")
-        .unwrap();
-    assert_eq!(
-        out.rows(),
-        &[vec![s("S2"), Value::Null], vec![s("S1"), s("I1")]]
-    );
+    let out =
+        e.query("From student Retrieve name, name of advisor Order By name of advisor.").unwrap();
+    assert_eq!(out.rows(), &[vec![s("S2"), Value::Null], vec![s("S1"), s("I1")]]);
 }
 
 #[test]
@@ -249,8 +238,7 @@ fn modify_through_inherited_attribute() {
     let mut e = seeded();
     // `name` is a PERSON attribute modified through the STUDENT perspective
     // (§4.8: "All immediate and inherited attributes can be modified").
-    e.run_one(r#"Modify student (name := "Renamed") Where soc-sec-no = 11."#)
-        .unwrap();
+    e.run_one(r#"Modify student (name := "Renamed") Where soc-sec-no = 11."#).unwrap();
     let out = e.query("From person Retrieve name Where soc-sec-no = 11.").unwrap();
     assert_eq!(out.rows(), &[vec![s("Renamed")]]);
 }
@@ -275,11 +263,10 @@ fn cross_branch_structured_output() {
     // The advisor record repeats per course iteration boundary exactly once
     // per change of its own instance — here the advisor stays I1 throughout,
     // so one advisor record per course-branch reset.
-    let count_by_format =
-        records.iter().fold([0usize; 3], |mut acc, r| {
-            acc[r.format] += 1;
-            acc
-        });
+    let count_by_format = records.iter().fold([0usize; 3], |mut acc, r| {
+        acc[r.format] += 1;
+        acc
+    });
     assert_eq!(count_by_format[0], 1, "one root record");
     assert_eq!(count_by_format[1], 2, "two course records");
 }
@@ -287,9 +274,7 @@ fn cross_branch_structured_output() {
 #[test]
 fn matches_with_null_pattern_side() {
     let e = seeded();
-    let out = e
-        .query("From student Retrieve name Where name of advisor matches \"I*\".")
-        .unwrap();
+    let out = e.query("From student Retrieve name Where name of advisor matches \"I*\".").unwrap();
     // S2's advisor is the padded null… no: advisor is TYPE 2 here (used in
     // selection only) and its domain is empty for S2 → rejected.
     assert_eq!(out.rows(), &[vec![s("S1")]]);
@@ -298,9 +283,7 @@ fn matches_with_null_pattern_side() {
 #[test]
 fn arithmetic_in_targets_and_division_by_zero() {
     let e = seeded();
-    let out = e
-        .query("From course Retrieve title, credits * 2 + 1 Where course-no = 1.")
-        .unwrap();
+    let out = e.query("From course Retrieve title, credits * 2 + 1 Where course-no = 1.").unwrap();
     assert_eq!(out.rows(), &[vec![s("A"), i(9)]]);
     let err = e.query("From course Retrieve credits / 0.").unwrap_err();
     assert!(matches!(err, QueryError::Type(_)));
@@ -388,8 +371,7 @@ fn failed_statement_leaves_no_partial_effects() {
     let after = e.query("From person Retrieve count(name of person).").unwrap();
     assert_eq!(before.rows(), after.rows());
     // Course 2 (untaught in the seed data) gained no teacher.
-    let out = e
-        .query("From course Retrieve count(teachers) of course Where course-no = 2.")
-        .unwrap();
+    let out =
+        e.query("From course Retrieve count(teachers) of course Where course-no = 2.").unwrap();
     assert_eq!(out.rows(), &[vec![i(0)]]);
 }

@@ -22,8 +22,7 @@ fn engine() -> QueryEngine {
 #[test]
 fn extend_role_is_idempotent_for_held_roles() {
     let mut e = engine();
-    e.run(r#"Insert student(name := "X", soc-sec-no := 1, student-nbr := 2001)."#)
-        .unwrap();
+    e.run(r#"Insert student(name := "X", soc-sec-no := 1, student-nbr := 2001)."#).unwrap();
     // Extending into a role the entity already holds applies only the
     // assignments.
     let n = e
@@ -119,9 +118,7 @@ fn modify_null_assignment_clears_single_eva() {
 fn required_dva_cannot_be_nulled_by_modify() {
     let mut e = engine();
     e.run(r#"Insert course(course-no := 1, title := "Keep", credits := 3)."#).unwrap();
-    let err = e
-        .run_one(r#"Modify course (title := null) Where course-no = 1."#)
-        .unwrap_err();
+    let err = e.run_one(r#"Modify course (title := null) Where course-no = 1."#).unwrap_err();
     assert!(matches!(err, QueryError::Mapper(_)), "{err}");
     let out = e.query("From course Retrieve title.").unwrap();
     assert_eq!(out.rows(), &[vec![s("Keep")]]);
@@ -150,9 +147,7 @@ fn integrity_triggered_through_inverse_direction() {
         "{err}"
     );
     // Rolled back: the course has no students.
-    let out = e
-        .query("From course Retrieve count(students-enrolled) of course.")
-        .unwrap();
+    let out = e.query("From course Retrieve count(students-enrolled) of course.").unwrap();
     assert_eq!(out.rows(), &[vec![Value::Int(0)]]);
 }
 
@@ -172,16 +167,10 @@ fn update_write_set_covers_fk_partner() {
     // Remarry A to C through a single statement.
     e.run_one(r#"Modify person (spouse := person with (soc-sec-no = 3)) Where soc-sec-no = 1."#)
         .unwrap();
-    let out = e
-        .query("From person Retrieve name, name of spouse Order By name.")
-        .unwrap();
+    let out = e.query("From person Retrieve name, name of spouse Order By name.").unwrap();
     assert_eq!(
         out.rows(),
-        &[
-            vec![s("A"), s("C")],
-            vec![s("B"), Value::Null],
-            vec![s("C"), s("A")],
-        ]
+        &[vec![s("A"), s("C")], vec![s("B"), Value::Null], vec![s("C"), s("A")],]
     );
 }
 

@@ -83,8 +83,8 @@ impl RelationalDb {
         let rows = self.engine.heap_scan_all(self.tables[table.0 as usize].file)?;
         let mut txn = self.engine.begin();
         for (rid, bytes) in rows {
-            let row = decode_row_tagged(&bytes)
-                .ok_or_else(|| StorageError::Corrupt("bad row".into()))?;
+            let row =
+                decode_row_tagged(&bytes).ok_or_else(|| StorageError::Corrupt("bad row".into()))?;
             if !row[col].is_null() {
                 let key = ordered::encode_key(std::slice::from_ref(&row[col]));
                 self.engine.btree_insert(&mut txn, tree, &key, &rid.to_bytes())?;
@@ -108,9 +108,7 @@ impl RelationalDb {
         t.columns
             .iter()
             .position(|c| c.name == column.to_ascii_lowercase())
-            .ok_or_else(|| {
-                StorageError::UnknownStructure(format!("column {column} of {}", t.name))
-            })
+            .ok_or_else(|| StorageError::UnknownStructure(format!("column {column} of {}", t.name)))
     }
 
     /// Number of rows.
@@ -178,11 +176,7 @@ impl RelationalDb {
             }
             return Ok(out);
         }
-        Ok(self
-            .scan(table)?
-            .into_iter()
-            .filter(|r| r[col].total_cmp(value).is_eq())
-            .collect())
+        Ok(self.scan(table)?.into_iter().filter(|r| r[col].total_cmp(value).is_eq()).collect())
     }
 
     /// Nested-loop (or index-nested-loop) equi-join: returns concatenated
@@ -231,9 +225,7 @@ impl RelationalDb {
 
 impl std::fmt::Debug for RelationalDb {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RelationalDb")
-            .field("tables", &self.tables.len())
-            .finish()
+        f.debug_struct("RelationalDb").field("tables", &self.tables.len()).finish()
     }
 }
 

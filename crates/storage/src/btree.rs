@@ -226,7 +226,8 @@ impl BTree {
         let mut node = read_node(pool, node_id);
         match &mut node {
             Node::Leaf { entries, next: _ } => {
-                let pos = entries.partition_point(|e| pair_cmp(e, pair) == std::cmp::Ordering::Less);
+                let pos =
+                    entries.partition_point(|e| pair_cmp(e, pair) == std::cmp::Ordering::Less);
                 entries.insert(pos, pair.clone());
                 if node_size(&node) <= BLOCK_SIZE {
                     write_node(pool, node_id, &node);
@@ -403,11 +404,7 @@ impl BTree {
     }
 
     /// Advance a cursor. Skips empty leaves left behind by lazy deletion.
-    pub fn cursor_next(
-        &self,
-        pool: &BufferPool,
-        cur: &mut BTreeCursor,
-    ) -> Option<Entry> {
+    pub fn cursor_next(&self, pool: &BufferPool, cur: &mut BTreeCursor) -> Option<Entry> {
         loop {
             let leaf = cur.leaf?;
             let (entry, next) = pool.read(leaf, |p| match deserialize(p) {
@@ -477,10 +474,7 @@ mod tests {
         t.insert(&pool, b"key", b"v1").unwrap();
         t.insert(&pool, b"key", b"v3").unwrap();
         t.insert(&pool, b"other", b"x").unwrap();
-        assert_eq!(
-            t.scan_key(&pool, b"key"),
-            vec![b"v1".to_vec(), b"v2".to_vec(), b"v3".to_vec()]
-        );
+        assert_eq!(t.scan_key(&pool, b"key"), vec![b"v1".to_vec(), b"v2".to_vec(), b"v3".to_vec()]);
     }
 
     #[test]
@@ -505,10 +499,7 @@ mod tests {
             assert_eq!(key, &k(i as u32));
         }
         for n in (0..5000).step_by(373) {
-            assert_eq!(
-                t.lookup_first(&pool, &k(n)).unwrap(),
-                { n }.to_le_bytes().to_vec()
-            );
+            assert_eq!(t.lookup_first(&pool, &k(n)).unwrap(), { n }.to_le_bytes().to_vec());
         }
     }
 
@@ -567,10 +558,7 @@ mod tests {
         let pool = pool();
         let mut t = BTree::create(&pool, true);
         let big = vec![0u8; MAX_ENTRY + 1];
-        assert!(matches!(
-            t.insert(&pool, &big, b""),
-            Err(StorageError::KeyTooLarge { .. })
-        ));
+        assert!(matches!(t.insert(&pool, &big, b""), Err(StorageError::KeyTooLarge { .. })));
     }
 
     #[test]
@@ -585,10 +573,8 @@ mod tests {
             let key = k((state >> 40) as u32 % 500);
             if state.is_multiple_of(3) {
                 let existed_model = model.remove(&key).is_some();
-                let existed_tree = t
-                    .lookup_first(&pool, &key)
-                    .map(|v| t.delete(&pool, &key, &v))
-                    .unwrap_or(false);
+                let existed_tree =
+                    t.lookup_first(&pool, &key).map(|v| t.delete(&pool, &key, &v)).unwrap_or(false);
                 assert_eq!(existed_model, existed_tree, "iteration {i}");
             } else {
                 let val = i.to_le_bytes().to_vec();

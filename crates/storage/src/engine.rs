@@ -7,13 +7,15 @@
 //! in the paper's Figure 1.
 
 use crate::btree::{BTree, BTreeCursor, Entry};
+use crate::disk::BlockId;
 use crate::error::StorageError;
 use crate::hash::HashIndex;
 use crate::heap::{HeapCursor, HeapFile, RecordId};
 use crate::pool::BufferPool;
 use crate::stats::IoSnapshot;
 use crate::txn::{Txn, UndoOp};
-use crate::disk::BlockId;
+use sim_obs::Registry;
+use std::sync::Arc;
 
 /// Handle to a heap file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -37,10 +39,17 @@ pub struct StorageEngine {
 }
 
 impl StorageEngine {
-    /// A new engine whose buffer pool holds `pool_capacity` frames.
+    /// A new engine whose buffer pool holds `pool_capacity` frames, with a
+    /// private metrics registry.
     pub fn new(pool_capacity: usize) -> StorageEngine {
+        StorageEngine::with_registry(pool_capacity, &Arc::new(Registry::new()))
+    }
+
+    /// A new engine publishing its counters into `registry` under the
+    /// `storage.*` names.
+    pub fn with_registry(pool_capacity: usize, registry: &Arc<Registry>) -> StorageEngine {
         StorageEngine {
-            pool: BufferPool::new(pool_capacity),
+            pool: BufferPool::with_registry(pool_capacity, registry),
             files: Vec::new(),
             btrees: Vec::new(),
             hashes: Vec::new(),
@@ -51,6 +60,11 @@ impl StorageEngine {
     /// The buffer pool (for experiments that clear the cache or read stats).
     pub fn pool(&self) -> &BufferPool {
         &self.pool
+    }
+
+    /// The metrics registry the engine publishes into.
+    pub fn registry(&self) -> &Arc<Registry> {
+        self.pool.registry()
     }
 
     /// Snapshot the physical I/O counters.
@@ -120,24 +134,29 @@ impl StorageEngine {
     pub fn begin(&mut self) -> Txn {
         let id = self.next_txn;
         self.next_txn += 1;
+        self.pool.stats().count_txn_begin();
         Txn::new(id)
     }
 
     /// Commit: with an undo-only log there is nothing to do but drop the log.
     pub fn commit(&mut self, txn: Txn) {
+        self.pool.stats().count_txn_commit();
         drop(txn);
     }
 
     /// Roll the transaction back completely.
     pub fn abort(&mut self, mut txn: Txn) -> Result<(), StorageError> {
+        self.pool.stats().count_txn_abort();
         let ops = txn.drain_reverse();
         self.apply_undo(ops)
     }
 
     /// Roll back to a savepoint taken with [`Txn::savepoint`], keeping the
     /// transaction open. Used for statement-level rollback on integrity
-    /// violations (§3.3).
+    /// violations (§3.3). Counted as an abort: the statement's work is
+    /// discarded even though the enclosing transaction lives on.
     pub fn rollback_to(&mut self, txn: &mut Txn, savepoint: usize) -> Result<(), StorageError> {
+        self.pool.stats().count_txn_abort();
         let ops = txn.drain_to_savepoint(savepoint);
         self.apply_undo(ops)
     }
@@ -245,9 +264,8 @@ impl StorageEngine {
             .files
             .get_mut(file.0 as usize)
             .ok_or_else(|| StorageError::UnknownStructure(format!("file {}", file.0)))?;
-        let old_data = f
-            .get(pool, rid)
-            .ok_or_else(|| StorageError::InvalidRecordId(rid.to_string()))?;
+        let old_data =
+            f.get(pool, rid).ok_or_else(|| StorageError::InvalidRecordId(rid.to_string()))?;
         let new_rid = f.update(pool, rid, data)?;
         txn.log(UndoOp::HeapUpdate { file, old_rid: rid, new_rid, old_data });
         Ok(new_rid)
@@ -373,7 +391,11 @@ impl StorageEngine {
     }
 
     /// Cursor positioned at the first entry `>= key`.
-    pub fn btree_cursor_from(&self, index: BTreeId, key: &[u8]) -> Result<BTreeCursor, StorageError> {
+    pub fn btree_cursor_from(
+        &self,
+        index: BTreeId,
+        key: &[u8],
+    ) -> Result<BTreeCursor, StorageError> {
         Ok(self.btree(index)?.cursor_from(&self.pool, key))
     }
 
@@ -580,10 +602,23 @@ mod tests {
         eng.btree_insert(&mut txn, bt, b"k", &rid.to_bytes()).unwrap();
         eng.commit(txn);
         assert_eq!(eng.heap_get(f, rid).unwrap().unwrap(), b"data");
-        assert_eq!(
-            eng.btree_lookup_first(bt, b"k").unwrap().unwrap(),
-            rid.to_bytes().to_vec()
-        );
+        assert_eq!(eng.btree_lookup_first(bt, b"k").unwrap().unwrap(), rid.to_bytes().to_vec());
+    }
+
+    #[test]
+    fn txn_lifecycle_is_counted() {
+        let mut eng = StorageEngine::new(16);
+        let f = eng.create_file();
+        let before = eng.io_snapshot();
+
+        let t1 = eng.begin();
+        eng.commit(t1);
+        let mut t2 = eng.begin();
+        eng.heap_insert(&mut t2, f, b"x").unwrap();
+        eng.abort(t2).unwrap();
+
+        let d = eng.io_snapshot().since(&before);
+        assert_eq!((d.txn_begins, d.txn_commits, d.txn_aborts), (2, 1, 1));
     }
 
     #[test]

@@ -145,10 +145,7 @@ impl HashIndex {
                     write_chain(
                         pool,
                         new_id,
-                        &ChainBlock {
-                            next: None,
-                            entries: vec![(key.to_vec(), value.to_vec())],
-                        },
+                        &ChainBlock { next: None, entries: vec![(key.to_vec(), value.to_vec())] },
                     );
                     cb.next = Some(new_id);
                     write_chain(pool, id, &cb);
@@ -180,11 +177,7 @@ impl HashIndex {
         let mut id = Some(self.bucket_of(key));
         while let Some(block) = id {
             let mut cb = read_chain(pool, block);
-            if let Some(pos) = cb
-                .entries
-                .iter()
-                .position(|(k, v)| k == key && v == value)
-            {
+            if let Some(pos) = cb.entries.iter().position(|(k, v)| k == key && v == value) {
                 cb.entries.swap_remove(pos);
                 write_chain(pool, block, &cb);
                 self.entry_count -= 1;

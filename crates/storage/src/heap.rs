@@ -207,7 +207,11 @@ impl HeapFile {
     }
 
     /// Advance a cursor, returning the next live record.
-    pub fn cursor_next(&self, pool: &BufferPool, cur: &mut HeapCursor) -> Option<(RecordId, Vec<u8>)> {
+    pub fn cursor_next(
+        &self,
+        pool: &BufferPool,
+        cur: &mut HeapCursor,
+    ) -> Option<(RecordId, Vec<u8>)> {
         while cur.block_index < self.blocks.len() {
             let block = self.blocks[cur.block_index];
             let found = pool.read(block, |p| {
@@ -286,9 +290,7 @@ mod tests {
     fn scan_returns_insertion_order_within_blocks() {
         let pool = pool();
         let mut f = HeapFile::new();
-        let rids: Vec<RecordId> = (0..50u8)
-            .map(|i| f.insert(&pool, &[i]).unwrap())
-            .collect();
+        let rids: Vec<RecordId> = (0..50u8).map(|i| f.insert(&pool, &[i]).unwrap()).collect();
         let scanned = f.scan_all(&pool);
         assert_eq!(scanned.len(), 50);
         for (i, (rid, data)) in scanned.iter().enumerate() {

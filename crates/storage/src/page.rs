@@ -205,9 +205,7 @@ pub fn delete(page: &mut [u8; BLOCK_SIZE], slot: u16) -> Option<Vec<u8>> {
 /// All live `(slot, bytes)` pairs.
 pub fn live_records(page: &[u8; BLOCK_SIZE]) -> Vec<(u16, Vec<u8>)> {
     let n = slot_count(page);
-    (0..n)
-        .filter_map(|s| get(page, s).map(|d| (s, d.to_vec())))
-        .collect()
+    (0..n).filter_map(|s| get(page, s).map(|d| (s, d.to_vec()))).collect()
 }
 
 /// Rewrite the data region so free bytes are contiguous. Slot numbers are

@@ -9,9 +9,9 @@
 use crate::disk::{BlockId, Disk};
 use crate::stats::{IoSnapshot, IoStats};
 use crate::BLOCK_SIZE;
-use parking_lot::Mutex;
+use sim_obs::Registry;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 struct Frame {
     data: Box<[u8; BLOCK_SIZE]>,
@@ -33,10 +33,16 @@ pub struct BufferPool {
 }
 
 impl BufferPool {
-    /// A pool holding at most `capacity` frames.
+    /// A pool holding at most `capacity` frames, with a private metrics
+    /// registry.
     pub fn new(capacity: usize) -> BufferPool {
+        BufferPool::with_registry(capacity, &Arc::new(Registry::new()))
+    }
+
+    /// A pool publishing its counters into `registry` (`storage.*` names).
+    pub fn with_registry(capacity: usize, registry: &Arc<Registry>) -> BufferPool {
         assert!(capacity >= 2, "buffer pool needs at least two frames");
-        let stats = IoStats::new();
+        let stats = IoStats::with_registry(registry);
         BufferPool {
             inner: Mutex::new(Inner {
                 disk: Disk::new(Arc::clone(&stats)),
@@ -48,24 +54,27 @@ impl BufferPool {
         }
     }
 
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().expect("buffer pool poisoned")
+    }
+
     /// Allocate a fresh zeroed block; it enters the cache without a read.
     pub fn allocate(&self) -> BlockId {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         let id = inner.disk.allocate();
         inner.tick += 1;
         let tick = inner.tick;
-        Self::make_room(&mut inner);
-        inner.frames.insert(
-            id,
-            Frame { data: Box::new([0u8; BLOCK_SIZE]), dirty: false, last_used: tick },
-        );
+        self.make_room(&mut inner);
+        inner
+            .frames
+            .insert(id, Frame { data: Box::new([0u8; BLOCK_SIZE]), dirty: false, last_used: tick });
         id
     }
 
     /// Run `f` over the block's bytes (read-only).
     pub fn read<R>(&self, id: BlockId, f: impl FnOnce(&[u8; BLOCK_SIZE]) -> R) -> R {
-        let mut inner = self.inner.lock();
-        Self::fault_in(&mut inner, id);
+        let mut inner = self.lock();
+        self.fault_in(&mut inner, id);
         inner.tick += 1;
         let tick = inner.tick;
         let frame = inner.frames.get_mut(&id).expect("frame just faulted in");
@@ -75,8 +84,8 @@ impl BufferPool {
 
     /// Run `f` over the block's bytes mutably; marks the frame dirty.
     pub fn write<R>(&self, id: BlockId, f: impl FnOnce(&mut [u8; BLOCK_SIZE]) -> R) -> R {
-        let mut inner = self.inner.lock();
-        Self::fault_in(&mut inner, id);
+        let mut inner = self.lock();
+        self.fault_in(&mut inner, id);
         inner.tick += 1;
         let tick = inner.tick;
         let frame = inner.frames.get_mut(&id).expect("frame just faulted in");
@@ -87,13 +96,9 @@ impl BufferPool {
 
     /// Write every dirty frame back to disk (does not evict).
     pub fn flush_all(&self) {
-        let mut inner = self.inner.lock();
-        let ids: Vec<BlockId> = inner
-            .frames
-            .iter()
-            .filter(|(_, fr)| fr.dirty)
-            .map(|(id, _)| *id)
-            .collect();
+        let mut inner = self.lock();
+        let ids: Vec<BlockId> =
+            inner.frames.iter().filter(|(_, fr)| fr.dirty).map(|(id, _)| *id).collect();
         for id in ids {
             let data = *inner.frames[&id].data;
             inner.disk.write(id, &data);
@@ -106,6 +111,11 @@ impl BufferPool {
         &self.stats
     }
 
+    /// The metrics registry this pool publishes into.
+    pub fn registry(&self) -> &Arc<Registry> {
+        self.stats.registry()
+    }
+
     /// Convenience: snapshot the counters.
     pub fn io_snapshot(&self) -> IoSnapshot {
         self.stats.snapshot()
@@ -113,27 +123,29 @@ impl BufferPool {
 
     /// Number of blocks allocated on the underlying disk.
     pub fn block_count(&self) -> usize {
-        self.inner.lock().disk.block_count()
+        self.lock().disk.block_count()
     }
 
     /// Drop every cached frame (writing dirty ones back): makes subsequent
     /// accesses cold. The experiments use this to measure cold-start I/O.
     pub fn clear_cache(&self) {
         self.flush_all();
-        self.inner.lock().frames.clear();
+        self.lock().frames.clear();
     }
 
-    fn fault_in(inner: &mut Inner, id: BlockId) {
+    fn fault_in(&self, inner: &mut Inner, id: BlockId) {
         if inner.frames.contains_key(&id) {
+            self.stats.count_pool_hit();
             return;
         }
-        Self::make_room(inner);
+        self.stats.count_pool_miss();
+        self.make_room(inner);
         let mut data = Box::new([0u8; BLOCK_SIZE]);
         inner.disk.read(id, &mut data);
         inner.frames.insert(id, Frame { data, dirty: false, last_used: inner.tick });
     }
 
-    fn make_room(inner: &mut Inner) {
+    fn make_room(&self, inner: &mut Inner) {
         while inner.frames.len() >= inner.capacity {
             let victim = inner
                 .frames
@@ -142,6 +154,7 @@ impl BufferPool {
                 .map(|(id, _)| *id)
                 .expect("non-empty frame table");
             let frame = inner.frames.remove(&victim).expect("victim exists");
+            self.stats.count_pool_eviction();
             if frame.dirty {
                 inner.disk.write(victim, &frame.data);
             }
@@ -151,7 +164,7 @@ impl BufferPool {
 
 impl std::fmt::Debug for BufferPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.lock();
+        let inner = self.lock();
         f.debug_struct("BufferPool")
             .field("capacity", &inner.capacity)
             .field("resident", &inner.frames.len())
@@ -217,6 +230,41 @@ mod tests {
         let before = pool.io_snapshot();
         assert_eq!(pool.read(id, |b| b[10]), 42);
         assert_eq!(pool.io_snapshot().since(&before).reads, 1);
+    }
+
+    #[test]
+    fn counts_hits_misses_and_evictions() {
+        let pool = BufferPool::new(2);
+        let a = pool.allocate();
+        pool.write(a, |b| b[0] = 1); // resident: hit
+        let before = pool.io_snapshot();
+        pool.read(a, |_| ()); // hit
+        pool.read(a, |_| ()); // hit
+        let d = pool.io_snapshot().since(&before);
+        assert_eq!((d.pool_hits, d.pool_misses), (2, 0));
+        assert_eq!(d.hit_ratio(), 1.0);
+
+        // Overflow the two-frame pool, then come back cold.
+        let _b = pool.allocate();
+        let _c = pool.allocate();
+        let before = pool.io_snapshot();
+        pool.read(a, |_| ()); // evicted above: miss
+        let d = pool.io_snapshot().since(&before);
+        assert_eq!(d.pool_misses, 1);
+        assert!(pool.io_snapshot().pool_evictions >= 1);
+    }
+
+    #[test]
+    fn clear_cache_resets_hit_ratio() {
+        let pool = BufferPool::new(8);
+        let id = pool.allocate();
+        pool.write(id, |b| b[0] = 5);
+        pool.clear_cache();
+        let before = pool.io_snapshot();
+        pool.read(id, |_| ()); // cold: miss
+        pool.read(id, |_| ()); // warm: hit
+        let d = pool.io_snapshot().since(&before);
+        assert_eq!((d.pool_hits, d.pool_misses), (1, 1));
     }
 
     #[test]

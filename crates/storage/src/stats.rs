@@ -1,20 +1,55 @@
-//! Physical I/O accounting.
+//! Physical I/O and transaction accounting.
 //!
 //! The experiments (DESIGN.md E4/E5) verify the paper's block-access cost
 //! claims by reading these counters around an operation. Counters track
 //! *physical* block transfers — a buffer-pool hit costs nothing, exactly as
 //! the paper's optimizer assumes when it prices clustered relationships at
 //! zero I/O (§5.1).
+//!
+//! Since the observability pass, every counter here is a handle into a
+//! [`sim_obs::Registry`], so the same numbers surface through
+//! `Database::metrics()` under the `storage.*` names. [`IoStats::new`]
+//! creates a private registry for standalone pools;
+//! [`IoStats::with_registry`] joins an engine-wide one.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use sim_obs::{Counter, Registry};
 use std::sync::Arc;
 
-/// Shared, thread-safe I/O counters.
-#[derive(Debug, Default)]
+/// Registry names of the storage-layer counters.
+pub mod names {
+    /// Physical block reads (buffer-pool misses that hit the disk).
+    pub const BLOCK_READS: &str = "storage.block_reads";
+    /// Physical block writes (dirty evictions and flushes).
+    pub const BLOCK_WRITES: &str = "storage.block_writes";
+    /// Blocks newly allocated on the disk.
+    pub const BLOCK_ALLOCATIONS: &str = "storage.block_allocations";
+    /// Pool accesses served from a resident frame.
+    pub const POOL_HITS: &str = "storage.pool_hits";
+    /// Pool accesses that had to fault the block in.
+    pub const POOL_MISSES: &str = "storage.pool_misses";
+    /// Frames evicted to make room.
+    pub const POOL_EVICTIONS: &str = "storage.pool_evictions";
+    /// Transactions begun.
+    pub const TXN_BEGINS: &str = "storage.txn_begins";
+    /// Transactions committed.
+    pub const TXN_COMMITS: &str = "storage.txn_commits";
+    /// Transactions aborted (including partial rollbacks).
+    pub const TXN_ABORTS: &str = "storage.txn_aborts";
+}
+
+/// Shared, thread-safe I/O counters backed by a metrics registry.
+#[derive(Debug)]
 pub struct IoStats {
-    reads: AtomicU64,
-    writes: AtomicU64,
-    allocations: AtomicU64,
+    registry: Arc<Registry>,
+    reads: Arc<Counter>,
+    writes: Arc<Counter>,
+    allocations: Arc<Counter>,
+    pool_hits: Arc<Counter>,
+    pool_misses: Arc<Counter>,
+    pool_evictions: Arc<Counter>,
+    txn_begins: Arc<Counter>,
+    txn_commits: Arc<Counter>,
+    txn_aborts: Arc<Counter>,
 }
 
 /// A point-in-time copy of the counters.
@@ -26,6 +61,18 @@ pub struct IoSnapshot {
     pub writes: u64,
     /// Blocks newly allocated on the disk.
     pub allocations: u64,
+    /// Pool accesses served without touching the disk.
+    pub pool_hits: u64,
+    /// Pool accesses that faulted the block in.
+    pub pool_misses: u64,
+    /// Frames evicted to make room.
+    pub pool_evictions: u64,
+    /// Transactions begun.
+    pub txn_begins: u64,
+    /// Transactions committed.
+    pub txn_commits: u64,
+    /// Transactions aborted.
+    pub txn_aborts: u64,
 }
 
 impl IoSnapshot {
@@ -34,40 +81,110 @@ impl IoSnapshot {
         self.reads + self.writes
     }
 
-    /// Counter deltas since an earlier snapshot.
+    /// Fraction of pool accesses served from memory; `0.0` with no
+    /// accesses.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.pool_hits + self.pool_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.pool_hits as f64 / total as f64
+        }
+    }
+
+    /// Counter deltas since an earlier snapshot. Saturating: snapshots
+    /// taken out of order yield zeros, never underflow.
     pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
         IoSnapshot {
-            reads: self.reads - earlier.reads,
-            writes: self.writes - earlier.writes,
-            allocations: self.allocations - earlier.allocations,
+            reads: self.reads.saturating_sub(earlier.reads),
+            writes: self.writes.saturating_sub(earlier.writes),
+            allocations: self.allocations.saturating_sub(earlier.allocations),
+            pool_hits: self.pool_hits.saturating_sub(earlier.pool_hits),
+            pool_misses: self.pool_misses.saturating_sub(earlier.pool_misses),
+            pool_evictions: self.pool_evictions.saturating_sub(earlier.pool_evictions),
+            txn_begins: self.txn_begins.saturating_sub(earlier.txn_begins),
+            txn_commits: self.txn_commits.saturating_sub(earlier.txn_commits),
+            txn_aborts: self.txn_aborts.saturating_sub(earlier.txn_aborts),
         }
     }
 }
 
 impl IoStats {
-    /// A fresh, shareable counter set.
+    /// A fresh counter set over its own private registry.
     pub fn new() -> Arc<IoStats> {
-        Arc::new(IoStats::default())
+        IoStats::with_registry(&Arc::new(Registry::new()))
+    }
+
+    /// A counter set publishing into `registry` under the `storage.*`
+    /// names.
+    pub fn with_registry(registry: &Arc<Registry>) -> Arc<IoStats> {
+        Arc::new(IoStats {
+            registry: Arc::clone(registry),
+            reads: registry.counter(names::BLOCK_READS),
+            writes: registry.counter(names::BLOCK_WRITES),
+            allocations: registry.counter(names::BLOCK_ALLOCATIONS),
+            pool_hits: registry.counter(names::POOL_HITS),
+            pool_misses: registry.counter(names::POOL_MISSES),
+            pool_evictions: registry.counter(names::POOL_EVICTIONS),
+            txn_begins: registry.counter(names::TXN_BEGINS),
+            txn_commits: registry.counter(names::TXN_COMMITS),
+            txn_aborts: registry.counter(names::TXN_ABORTS),
+        })
+    }
+
+    /// The registry these counters publish into.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     pub(crate) fn count_read(&self) {
-        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.reads.inc();
     }
 
     pub(crate) fn count_write(&self) {
-        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.writes.inc();
     }
 
     pub(crate) fn count_allocation(&self) {
-        self.allocations.fetch_add(1, Ordering::Relaxed);
+        self.allocations.inc();
+    }
+
+    pub(crate) fn count_pool_hit(&self) {
+        self.pool_hits.inc();
+    }
+
+    pub(crate) fn count_pool_miss(&self) {
+        self.pool_misses.inc();
+    }
+
+    pub(crate) fn count_pool_eviction(&self) {
+        self.pool_evictions.inc();
+    }
+
+    pub(crate) fn count_txn_begin(&self) {
+        self.txn_begins.inc();
+    }
+
+    pub(crate) fn count_txn_commit(&self) {
+        self.txn_commits.inc();
+    }
+
+    pub(crate) fn count_txn_abort(&self) {
+        self.txn_aborts.inc();
     }
 
     /// Snapshot the counters.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
-            reads: self.reads.load(Ordering::Relaxed),
-            writes: self.writes.load(Ordering::Relaxed),
-            allocations: self.allocations.load(Ordering::Relaxed),
+            reads: self.reads.get(),
+            writes: self.writes.get(),
+            allocations: self.allocations.get(),
+            pool_hits: self.pool_hits.get(),
+            pool_misses: self.pool_misses.get(),
+            pool_evictions: self.pool_evictions.get(),
+            txn_begins: self.txn_begins.get(),
+            txn_commits: self.txn_commits.get(),
+            txn_aborts: self.txn_aborts.get(),
         }
     }
 }
@@ -86,7 +203,25 @@ mod tests {
         stats.count_allocation();
         let s2 = stats.snapshot();
         let d = s2.since(&s1);
-        assert_eq!(d, IoSnapshot { reads: 1, writes: 1, allocations: 1 });
+        assert_eq!(d, IoSnapshot { reads: 1, writes: 1, allocations: 1, ..IoSnapshot::default() });
         assert_eq!(d.total(), 2);
+        // Reversed order saturates instead of underflowing.
+        assert_eq!(s1.since(&s2), IoSnapshot::default());
+    }
+
+    #[test]
+    fn publishes_into_the_registry() {
+        let registry = Arc::new(Registry::new());
+        let stats = IoStats::with_registry(&registry);
+        stats.count_pool_hit();
+        stats.count_pool_hit();
+        stats.count_pool_miss();
+        stats.count_txn_begin();
+        stats.count_txn_commit();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter(names::POOL_HITS), 2);
+        assert_eq!(snap.counter(names::POOL_MISSES), 1);
+        assert_eq!(snap.counter(names::TXN_COMMITS), 1);
+        assert_eq!(stats.snapshot().hit_ratio(), 2.0 / 3.0);
     }
 }

@@ -2,8 +2,8 @@
 //! indexes, randomly committed or aborted, checked against a model that
 //! only applies committed batches.
 
-use proptest::prelude::*;
 use sim_storage::{StorageEngine, StorageError};
+use sim_testkit::{cases, Rng};
 use std::collections::BTreeMap;
 
 #[derive(Debug, Clone)]
@@ -13,37 +13,27 @@ enum Op {
     Delete { key: u16 },
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (any::<u16>(), 1usize..400).prop_map(|(key, payload_len)| Op::Insert {
-            key: key % 100,
-            payload_len
-        }),
-        (any::<u16>(), 1usize..400).prop_map(|(key, payload_len)| Op::Update {
-            key: key % 100,
-            payload_len
-        }),
-        any::<u16>().prop_map(|key| Op::Delete { key: key % 100 }),
-    ]
+fn arb_op(rng: &mut Rng) -> Op {
+    let key = (rng.next_u64() % 100) as u16;
+    match rng.range(0, 3) {
+        0 => Op::Insert { key, payload_len: rng.range(1, 400) },
+        1 => Op::Update { key, payload_len: rng.range(1, 400) },
+        _ => Op::Delete { key },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn random_batches_commit_or_abort(
-        batches in prop::collection::vec(
-            (prop::collection::vec(arb_op(), 1..12), any::<bool>()),
-            1..20
-        )
-    ) {
+#[test]
+fn random_batches_commit_or_abort() {
+    cases(48, |rng| {
         let mut eng = StorageEngine::new(32);
         let file = eng.create_file();
         let index = eng.create_btree(true); // key -> rid
-        // Model state: key -> payload (committed only).
+                                            // Model state: key -> payload (committed only).
         let mut model: BTreeMap<u16, Vec<u8>> = BTreeMap::new();
 
-        for (ops, commit) in batches {
+        for _ in 0..rng.range(1, 20) {
+            let ops: Vec<Op> = (0..rng.range(1, 12)).map(|_| arb_op(rng)).collect();
+            let commit = rng.bool();
             let mut txn = eng.begin();
             let mut shadow = model.clone();
             let mut failed = false;
@@ -55,25 +45,46 @@ proptest! {
                         }
                         let payload = vec![(key % 251) as u8; payload_len];
                         let rid = eng.heap_insert(&mut txn, file, &payload).unwrap();
-                        match eng.btree_insert(&mut txn, index, &key.to_be_bytes(), &rid.to_bytes()) {
-                            Ok(()) => { shadow.insert(key, payload); }
+                        match eng.btree_insert(&mut txn, index, &key.to_be_bytes(), &rid.to_bytes())
+                        {
+                            Ok(()) => {
+                                shadow.insert(key, payload);
+                            }
                             Err(StorageError::DuplicateKey) => unreachable!("shadow guards"),
-                            Err(e) => { let _ = e; failed = true; break; }
+                            Err(_) => {
+                                failed = true;
+                                break;
+                            }
                         }
                     }
                     Op::Update { key, payload_len } => {
-                        let Some(rid_bytes) = eng.btree_lookup_first(index, &key.to_be_bytes()).unwrap() else { continue };
+                        let Some(rid_bytes) =
+                            eng.btree_lookup_first(index, &key.to_be_bytes()).unwrap()
+                        else {
+                            continue;
+                        };
                         let rid = sim_storage::RecordId::from_bytes(&rid_bytes).unwrap();
                         let payload = vec![(payload_len % 251) as u8; payload_len];
                         let new_rid = eng.heap_update(&mut txn, file, rid, &payload).unwrap();
                         if new_rid != rid {
-                            eng.btree_delete(&mut txn, index, &key.to_be_bytes(), &rid.to_bytes()).unwrap();
-                            eng.btree_insert(&mut txn, index, &key.to_be_bytes(), &new_rid.to_bytes()).unwrap();
+                            eng.btree_delete(&mut txn, index, &key.to_be_bytes(), &rid.to_bytes())
+                                .unwrap();
+                            eng.btree_insert(
+                                &mut txn,
+                                index,
+                                &key.to_be_bytes(),
+                                &new_rid.to_bytes(),
+                            )
+                            .unwrap();
                         }
                         shadow.insert(key, payload);
                     }
                     Op::Delete { key } => {
-                        let Some(rid_bytes) = eng.btree_lookup_first(index, &key.to_be_bytes()).unwrap() else { continue };
+                        let Some(rid_bytes) =
+                            eng.btree_lookup_first(index, &key.to_be_bytes()).unwrap()
+                        else {
+                            continue;
+                        };
                         let rid = sim_storage::RecordId::from_bytes(&rid_bytes).unwrap();
                         eng.heap_delete(&mut txn, file, rid).unwrap();
                         eng.btree_delete(&mut txn, index, &key.to_be_bytes(), &rid_bytes).unwrap();
@@ -91,14 +102,14 @@ proptest! {
 
             // Invariant: the index and heap agree with the committed model.
             let entries = eng.btree_scan_all(index).unwrap();
-            prop_assert_eq!(entries.len(), model.len());
+            assert_eq!(entries.len(), model.len());
             for (kbytes, rid_bytes) in entries {
                 let key = u16::from_be_bytes(kbytes[..2].try_into().unwrap());
                 let rid = sim_storage::RecordId::from_bytes(&rid_bytes).unwrap();
                 let payload = eng.heap_get(file, rid).unwrap().expect("live record");
-                prop_assert_eq!(Some(&payload), model.get(&key));
+                assert_eq!(Some(&payload), model.get(&key));
             }
-            prop_assert_eq!(eng.heap_record_count(file).unwrap(), model.len());
+            assert_eq!(eng.heap_record_count(file).unwrap(), model.len());
         }
-    }
+    });
 }

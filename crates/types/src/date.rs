@@ -49,9 +49,7 @@ impl Date {
             return Err(TypeError::Parse(format!("month {month} out of range 1..=12")));
         }
         if day == 0 || day > days_in_month(year, month) {
-            return Err(TypeError::Parse(format!(
-                "day {day} invalid for {year:04}-{month:02}"
-            )));
+            return Err(TypeError::Parse(format!("day {day} invalid for {year:04}-{month:02}")));
         }
         let y = year - 1;
         let mut days = y * 365 + y / 4 - y / 100 + y / 400;
@@ -191,14 +189,8 @@ mod tests {
 
     #[test]
     fn parse_both_formats() {
-        assert_eq!(
-            Date::parse("1988-06-01").unwrap(),
-            Date::from_ymd(1988, 6, 1).unwrap()
-        );
-        assert_eq!(
-            Date::parse("06/01/1988").unwrap(),
-            Date::from_ymd(1988, 6, 1).unwrap()
-        );
+        assert_eq!(Date::parse("1988-06-01").unwrap(), Date::from_ymd(1988, 6, 1).unwrap());
+        assert_eq!(Date::parse("06/01/1988").unwrap(), Date::from_ymd(1988, 6, 1).unwrap());
         assert!(Date::parse("june 1 1988").is_err());
         assert!(Date::parse("1988-06").is_err());
     }

@@ -120,9 +120,7 @@ impl Decimal {
     /// Checked addition.
     pub fn add(self, other: Decimal) -> Result<Decimal, TypeError> {
         let (a, b, scale) = self.aligned(other);
-        let m = a
-            .checked_add(b)
-            .ok_or_else(|| TypeError::Arithmetic("decimal overflow".into()))?;
+        let m = a.checked_add(b).ok_or_else(|| TypeError::Arithmetic("decimal overflow".into()))?;
         Ok(Decimal { mantissa: m, scale })
     }
 
@@ -242,13 +240,7 @@ impl fmt::Display for Decimal {
         let sign = if self.mantissa < 0 { "-" } else { "" };
         let abs = self.mantissa.unsigned_abs();
         let factor = pow10(self.scale) as u128;
-        write!(
-            f,
-            "{sign}{}.{:0width$}",
-            abs / factor,
-            abs % factor,
-            width = self.scale as usize
-        )
+        write!(f, "{sign}{}.{:0width$}", abs / factor, abs % factor, width = self.scale as usize)
     }
 }
 

@@ -26,9 +26,7 @@ impl IntRange {
     /// Construct, requiring `lo <= hi`.
     pub fn new(lo: i64, hi: i64) -> Result<IntRange, TypeError> {
         if lo > hi {
-            return Err(TypeError::DomainViolation(format!(
-                "empty integer range {lo}..{hi}"
-            )));
+            return Err(TypeError::DomainViolation(format!("empty integer range {lo}..{hi}")));
         }
         Ok(IntRange { lo, hi })
     }
@@ -81,10 +79,7 @@ impl SymbolicType {
 
     /// Index of a label, case-insensitively.
     pub fn index_of(&self, label: &str) -> Option<u16> {
-        self.labels
-            .iter()
-            .position(|l| l.eq_ignore_ascii_case(label))
-            .map(|i| i as u16)
+        self.labels.iter().position(|l| l.eq_ignore_ascii_case(label)).map(|i| i as u16)
     }
 
     /// Label at an index.
@@ -160,11 +155,7 @@ impl Domain {
                 } else {
                     Err(TypeError::DomainViolation(format!(
                         "{v} outside declared ranges {}",
-                        ranges
-                            .iter()
-                            .map(|r| r.to_string())
-                            .collect::<Vec<_>>()
-                            .join(", ")
+                        ranges.iter().map(|r| r.to_string()).collect::<Vec<_>>().join(", ")
                     )))
                 }
             }
@@ -211,9 +202,9 @@ impl Domain {
                     )))
                 }
             }
-            (d, v) => Err(TypeError::Incompatible(format!(
-                "value {v} does not belong to domain {d}"
-            ))),
+            (d, v) => {
+                Err(TypeError::Incompatible(format!("value {v} does not belong to domain {d}")))
+            }
         }
     }
 
@@ -301,9 +292,7 @@ mod tests {
         let d = Domain::string(5);
         assert!(d.check(&Value::Str("héllo".into())).is_ok());
         assert!(d.check(&Value::Str("hello!".into())).is_err());
-        assert!(Domain::String { max_len: None }
-            .check(&Value::Str("x".repeat(10_000)))
-            .is_ok());
+        assert!(Domain::String { max_len: None }.check(&Value::Str("x".repeat(10_000))).is_ok());
     }
 
     #[test]

@@ -85,18 +85,15 @@ pub fn encode_surrogate(s: Surrogate) -> Vec<u8> {
 /// mantissa with its sign bit flipped so negative < positive bytewise.
 fn encode_numeric(d: Decimal, out: &mut Vec<u8>) {
     // i128 can hold any number[p,s] mantissa at MAX_SCALE for p <= 18.
-    let m = d
-        .rescale(MAX_SCALE)
-        .map(|r| r.mantissa())
-        .unwrap_or_else(|_| {
-            // Out-of-range magnitudes saturate; ordering among saturated
-            // values is undefined but they are far outside domain limits.
-            if d.mantissa() > 0 {
-                i128::MAX
-            } else {
-                i128::MIN
-            }
-        });
+    let m = d.rescale(MAX_SCALE).map(|r| r.mantissa()).unwrap_or_else(|_| {
+        // Out-of-range magnitudes saturate; ordering among saturated
+        // values is undefined but they are far outside domain limits.
+        if d.mantissa() > 0 {
+            i128::MAX
+        } else {
+            i128::MIN
+        }
+    });
     let flipped = (m as u128) ^ (1u128 << 127);
     out.extend_from_slice(&flipped.to_be_bytes());
 }
@@ -153,10 +150,7 @@ mod tests {
         let c = key(Value::Decimal(Decimal::parse("2.01").unwrap()));
         assert!(a < b && b < c);
         // Equal values encode equal.
-        assert_eq!(
-            key(Value::Int(3)),
-            key(Value::Decimal(Decimal::parse("3.00").unwrap()))
-        );
+        assert_eq!(key(Value::Int(3)), key(Value::Decimal(Decimal::parse("3.00").unwrap())));
     }
 
     #[test]

@@ -120,21 +120,9 @@ mod tests {
 
     #[test]
     fn null_semantics() {
-        assert_eq!(
-            value_matches(&Value::Null, &Value::Str("*".into())),
-            Truth::Unknown
-        );
-        assert_eq!(
-            value_matches(&Value::Str("abc".into()), &Value::Null),
-            Truth::Unknown
-        );
-        assert_eq!(
-            value_matches(&Value::Str("abc".into()), &Value::Str("a*".into())),
-            Truth::True
-        );
-        assert_eq!(
-            value_matches(&Value::Int(3), &Value::Str("3".into())),
-            Truth::False
-        );
+        assert_eq!(value_matches(&Value::Null, &Value::Str("*".into())), Truth::Unknown);
+        assert_eq!(value_matches(&Value::Str("abc".into()), &Value::Null), Truth::Unknown);
+        assert_eq!(value_matches(&Value::Str("abc".into()), &Value::Str("a*".into())), Truth::True);
+        assert_eq!(value_matches(&Value::Int(3), &Value::Str("3".into())), Truth::False);
     }
 }

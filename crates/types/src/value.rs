@@ -150,11 +150,7 @@ impl Value {
             (Value::Null, Value::Null) => Ordering::Equal,
             _ => match (rank(self), rank(other)) {
                 (a, b) if a != b => a.cmp(&b),
-                _ => self
-                    .compare(other)
-                    .ok()
-                    .flatten()
-                    .unwrap_or(Ordering::Equal),
+                _ => self.compare(other).ok().flatten().unwrap_or(Ordering::Equal),
             },
         }
     }
@@ -317,10 +313,7 @@ mod tests {
     fn null_comparisons_are_unknown() {
         assert_eq!(Value::Null.eq_3vl(&Value::Int(1)).unwrap(), Unknown);
         assert_eq!(Value::Null.eq_3vl(&Value::Null).unwrap(), Unknown);
-        assert_eq!(
-            Value::Int(1).cmp_3vl(&Value::Null, Ordering::is_lt).unwrap(),
-            Unknown
-        );
+        assert_eq!(Value::Int(1).cmp_3vl(&Value::Null, Ordering::is_lt).unwrap(), Unknown);
     }
 
     #[test]
@@ -340,27 +333,20 @@ mod tests {
     #[test]
     fn incomparable_types_error() {
         assert!(Value::Str("a".into()).compare(&Value::Int(1)).is_err());
-        assert!(Value::Bool(true).compare(&Value::Date(Date::from_ymd(2000, 1, 1).unwrap())).is_err());
+        assert!(Value::Bool(true)
+            .compare(&Value::Date(Date::from_ymd(2000, 1, 1).unwrap()))
+            .is_err());
     }
 
     #[test]
     fn arithmetic_null_propagation() {
-        assert_eq!(
-            Value::Null.arith(ArithOp::Add, &Value::Int(1)).unwrap(),
-            Value::Null
-        );
-        assert_eq!(
-            Value::Int(1).arith(ArithOp::Mul, &Value::Null).unwrap(),
-            Value::Null
-        );
+        assert_eq!(Value::Null.arith(ArithOp::Add, &Value::Int(1)).unwrap(), Value::Null);
+        assert_eq!(Value::Int(1).arith(ArithOp::Mul, &Value::Null).unwrap(), Value::Null);
     }
 
     #[test]
     fn integer_arithmetic() {
-        assert_eq!(
-            Value::Int(6).arith(ArithOp::Mul, &Value::Int(7)).unwrap(),
-            Value::Int(42)
-        );
+        assert_eq!(Value::Int(6).arith(ArithOp::Mul, &Value::Int(7)).unwrap(), Value::Int(42));
         assert!(Value::Int(1).arith(ArithOp::Div, &Value::Int(0)).is_err());
         assert!(Value::Int(i64::MAX).arith(ArithOp::Add, &Value::Int(1)).is_err());
     }

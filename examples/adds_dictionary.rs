@@ -20,11 +20,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let stats = catalog.stats();
     println!("ADDS-scale schema (paper §6 shape):");
-    println!("  base classes:         {:>4}   (paper: {})", stats.base_classes, ADDS_SCALE.base_classes);
-    println!("  subclasses:           {:>4}   (paper: {})", stats.subclasses, ADDS_SCALE.subclasses);
+    println!(
+        "  base classes:         {:>4}   (paper: {})",
+        stats.base_classes, ADDS_SCALE.base_classes
+    );
+    println!(
+        "  subclasses:           {:>4}   (paper: {})",
+        stats.subclasses, ADDS_SCALE.subclasses
+    );
     println!("  EVA-inverse pairs:    {:>4}   (paper: {})", stats.eva_pairs, ADDS_SCALE.eva_pairs);
     println!("  DVAs:                 {:>4}   (paper: {})", stats.dvas, ADDS_SCALE.dvas);
-    println!("  deepest hierarchy:    {:>4}   (paper: {})", stats.max_generalization_depth, ADDS_SCALE.max_depth);
+    println!(
+        "  deepest hierarchy:    {:>4}   (paper: {})",
+        stats.max_generalization_depth, ADDS_SCALE.max_depth
+    );
     println!("  catalog build+validate: {build:?}\n");
 
     let t0 = Instant::now();
@@ -79,7 +88,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     db.run(&script)?;
     println!("inserted 50 depth-5 entities (5 roles each) in {:?}", t0.elapsed());
     for class in ["base-0", "sub-0", "sub-3"] {
-        println!("  |{class}| = {}", db.entity_count(class));
+        println!("  |{class}| = {}", db.entity_count(class).unwrap_or(0));
     }
     println!();
 

@@ -11,8 +11,10 @@
 //! ```
 //!
 //! Meta commands: `\schema` lists classes and attributes, `\explain <q>`
-//! shows the optimizer's strategy, `\verify on|off` toggles enforcement,
-//! `\quit` exits.
+//! shows the optimizer's strategy, `\analyze <q>` executes it and shows
+//! per-step actual rows and I/O, `\stats` dumps the metrics registry,
+//! `\trace` shows the last statement's span tree, `\verify on|off`
+//! toggles enforcement, `\quit` exits.
 
 use sim::{format_output, Database, ExecResult};
 use std::io::{self, BufRead, Write};
@@ -34,14 +36,11 @@ const SEED: &str = r#"
 fn print_schema(db: &Database) {
     for class in db.catalog().classes() {
         let kind = if class.is_base() { "Class" } else { "Subclass" };
-        println!("{kind} {} ({} entities)", class.name, db.entity_count(&class.name));
+        println!("{kind} {} ({} entities)", class.name, db.entity_count(&class.name).unwrap_or(0));
         for &attr_id in &class.attributes {
             let attr = db.catalog().attribute(attr_id).unwrap();
             let shape = if attr.is_eva() {
-                format!(
-                    "EVA -> {}",
-                    db.catalog().class(attr.eva_range().unwrap()).unwrap().name
-                )
+                format!("EVA -> {}", db.catalog().class(attr.eva_range().unwrap()).unwrap().name)
             } else if attr.is_subrole() {
                 "subrole".to_string()
             } else if attr.is_derived() {
@@ -62,7 +61,9 @@ fn main() -> io::Result<()> {
     db.set_enforce_verifies(true);
 
     println!("SIM interactive query facility — UNIVERSITY database loaded.");
-    println!("End statements with '.'; meta: \\schema \\explain <q> \\verify on|off \\quit");
+    println!(
+        "End statements with '.'; meta: \\schema \\explain <q> \\analyze <q> \\stats \\trace \\verify on|off \\quit"
+    );
 
     let stdin = io::stdin();
     let mut buffer = String::new();
@@ -90,6 +91,15 @@ fn main() -> io::Result<()> {
                         println!("  estimated I/O: {:.1}", plan.estimated_io);
                     }
                     Err(e) => println!("error: {e}"),
+                },
+                "\\analyze" => match db.explain_analyze(rest) {
+                    Ok(analyzed) => print!("{}", analyzed.to_text()),
+                    Err(e) => println!("error: {e}"),
+                },
+                "\\stats" => print!("{}", db.metrics().to_text()),
+                "\\trace" => match db.last_trace() {
+                    Some(trace) => print!("{}", trace.to_text()),
+                    None => println!("no statement traced yet"),
                 },
                 other => println!("unknown meta command {other}"),
             }

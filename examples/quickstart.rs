@@ -36,9 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let out = db.query("From employee Retrieve name, name of manager.")?;
     println!("Employees and their managers:\n{}", format_output(&out));
 
-    let out = db.query(
-        "From manager Retrieve name, count(reports) of manager, office.",
-    )?;
+    let out = db.query("From manager Retrieve name, count(reports) of manager, office.")?;
     println!("Managers with report counts:\n{}", format_output(&out));
 
     // 4. Updates keep both relationship directions synchronized.

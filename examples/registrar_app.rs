@@ -53,9 +53,7 @@ impl Registrar {
         for no in course_nos {
             // Every INCLUDE lives in the same statement so the integrity
             // check sees the complete schedule (statement-level checking).
-            stmt.push_str(&format!(
-                ", courses-enrolled := include course with (course-no = {no})"
-            ));
+            stmt.push_str(&format!(", courses-enrolled := include course with (course-no = {no})"));
         }
         stmt.push_str(").");
         self.db.run_one(&stmt).map(|_| ())
@@ -108,7 +106,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         other => println!("UNEXPECTED: {other:?}"),
     }
-    assert_eq!(reg.db.entity_count("student"), 1, "rollback left no debris");
+    assert_eq!(reg.db.entity_count("student").unwrap(), 1, "rollback left no debris");
 
     // Re-admit Paul with enough credits.
     reg.admit("Paul", 1001002, &[1, 2, 3])?;

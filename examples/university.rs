@@ -91,44 +91,70 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // §4.9 example 2: make John Doe an instructor too.
     println!("── §4.9 ex.2: make John Doe an instructor too");
     db.run(r#"Insert instructor From person Where name = "John Doe" (employee-nbr := 1729)."#)?;
-    show(&db, "John's professions (system-maintained subrole)",
-        "From person Retrieve name, profession Where name = \"John Doe\".");
+    show(
+        &db,
+        "John's professions (system-maintained subrole)",
+        "From person Retrieve name, profession Where name = \"John Doe\".",
+    );
 
-    show(&db, "§4.1: names with advisors (directed outer join)",
-        "From Student Retrieve Name, Name of Advisor.");
+    show(
+        &db,
+        "§4.1: names with advisors (directed outer join)",
+        "From Student Retrieve Name, Name of Advisor.",
+    );
 
-    show(&db, "§4.4: the binding example",
+    show(
+        &db,
+        "§4.4: the binding example",
         "Retrieve Name of Student,
             Title of Courses-Enrolled of Student,
             Credits of Courses-Enrolled of Student,
             Name of Teachers of Courses-Enrolled of Student
-         Where Soc-Sec-No of Student = 456887766.");
+         Where Soc-Sec-No of Student = 456887766.",
+    );
 
-    show(&db, "§4.6: aggregates as derived attributes",
-        "From Department Retrieve Name, avg(salary of instructors-employed) of Department.");
+    show(
+        &db,
+        "§4.6: aggregates as derived attributes",
+        "From Department Retrieve Name, avg(salary of instructors-employed) of Department.",
+    );
 
-    show(&db, "§4.7: transitive closure (prerequisites of Calculus I)",
+    show(
+        &db,
+        "§4.7: transitive closure (prerequisites of Calculus I)",
         "Retrieve Title of Transitive(prerequisites) of Course
-         Where Title of Course = \"Calculus I\".");
+         Where Title of Course = \"Calculus I\".",
+    );
 
-    show(&db, "§4.9 ex.5: minimum courses before Quantum Chromodynamics",
+    show(
+        &db,
+        "§4.9 ex.5: minimum courses before Quantum Chromodynamics",
         "From course Retrieve count distinct (transitive(prerequisites))
-         Where title = \"Quantum Chromodynamics\".");
+         Where title = \"Quantum Chromodynamics\".",
+    );
 
-    show(&db, "§4.9 ex.6: instructors advising Physics students, with courses",
+    show(
+        &db,
+        "§4.9 ex.6: instructors advising Physics students, with courses",
         "Retrieve name of instructor, title of courses-taught
-         Where name of major-department of advisees = \"Physics\".");
+         Where name of major-department of advisees = \"Physics\".",
+    );
 
-    show(&db, "§4.9 ex.7: multi-perspective with isa",
+    show(
+        &db,
+        "§4.9 ex.7: multi-perspective with isa",
         "From student, instructor
          Retrieve name of student, name of Instructor
          Where birthdate of student < birthdate of instructor and
                advisor of student NEQ instructor and
-               not instructor isa teaching-assistant.");
+               not instructor isa teaching-assistant.",
+    );
 
     // §4.9 example 4: the conditional raise (threshold adapted: the schema's
     // own MAX 3 option makes the paper's "> 3" unsatisfiable).
-    println!("── §4.9 ex.4: raise for instructors teaching >1 course with out-of-department advisees");
+    println!(
+        "── §4.9 ex.4: raise for instructors teaching >1 course with out-of-department advisees"
+    );
     db.run(
         r#"Modify instructor( salary := 1.1 * salary)
            Where count(courses-taught) of instructor > 1 and
@@ -144,9 +170,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
              advisor := instructor with (name = "Joe Bloke"))
            Where name of student = "John Doe"."#,
     )?;
-    show(&db, "after the modify",
+    show(
+        &db,
+        "after the modify",
         "From student Retrieve name, name of advisor, title of courses-enrolled
-         Where name = \"John Doe\".");
+         Where name = \"John Doe\".",
+    );
 
     // §3.3: VERIFY enforcement with rollback.
     println!("── §3.3: VERIFY v2 (salary + bonus < 100000) enforced with rollback");
@@ -157,9 +186,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Structured output (§4.5).
-    show(&db, "§4.5: fully structured output with level numbers",
+    show(
+        &db,
+        "§4.5: fully structured output with level numbers",
         "From Student Retrieve Structure Name, Title of Courses-Enrolled
-         Where soc-sec-no = 456887766.");
+         Where soc-sec-no = 456887766.",
+    );
 
     // The optimizer's strategy (§5.1).
     let plan = db.explain("From person Retrieve name Where soc-sec-no = 456887766.")?;

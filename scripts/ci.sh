@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verification: formatting, lints, build, tests — everything a PR
+# must keep green. Runs fully offline (the workspace has no registry
+# dependencies; see DESIGN.md "Dependency policy").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy (workspace, deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test"
+cargo test -q
+
+echo "== bench harness (compile + unit tests, no timing loops)"
+(cd crates/bench && cargo clippy --all-targets --features bench -- -D warnings && cargo test -q)
+
+echo "CI OK"

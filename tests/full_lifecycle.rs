@@ -49,30 +49,19 @@ fn custom_schema_end_to_end() {
     .unwrap();
 
     // Inverse maintained automatically.
-    let out = db
-        .query("From project Retrieve title, name of staff Where code = 2.")
-        .unwrap();
-    assert_eq!(
-        out.rows(),
-        &[vec![s("Mainline"), s("Mel")], vec![s("Mainline"), s("Lin")]]
-    );
+    let out = db.query("From project Retrieve title, name of staff Where code = 2.").unwrap();
+    assert_eq!(out.rows(), &[vec![s("Mainline"), s("Mel")], vec![s("Mainline"), s("Lin")]]);
 
     // Role extension via INSERT … FROM.
-    db.run_one(
-        r#"Insert funded-project From project Where code = 1 (budget := 10000.00)."#,
-    )
-    .unwrap();
+    db.run_one(r#"Insert funded-project From project Where code = 1 (budget := 10000.00)."#)
+        .unwrap();
     let out = db.query("From funded-project Retrieve title, budget.").unwrap();
     assert_eq!(out.rows().len(), 2);
 
     // The VERIFY fires and rolls back.
-    let err = db
-        .run_one(r#"Modify funded-project (budget := 0 - 1) Where code = 1."#)
-        .unwrap_err();
+    let err = db.run_one(r#"Modify funded-project (budget := 0 - 1) Where code = 1."#).unwrap_err();
     assert!(err.is_integrity_violation());
-    let out = db
-        .query("From funded-project Retrieve budget Where code = 1.")
-        .unwrap();
+    let out = db.query("From funded-project Retrieve budget Where code = 1.").unwrap();
     assert_eq!(out.rows()[0][0].to_string(), "10000.00");
 
     // MAX 4 assignments enforced by the mapper.
@@ -93,13 +82,8 @@ fn custom_schema_end_to_end() {
 
     // Deleting a project detaches it from every engineer.
     db.run_one("Delete project Where code = 2.").unwrap();
-    let out = db
-        .query("From engineer Retrieve name, count(assignments) of engineer.")
-        .unwrap();
-    assert_eq!(
-        out.rows(),
-        &[vec![s("Mel"), Value::Int(3)], vec![s("Lin"), Value::Int(0)]]
-    );
+    let out = db.query("From engineer Retrieve name, count(assignments) of engineer.").unwrap();
+    assert_eq!(out.rows(), &[vec![s("Mel"), Value::Int(3)], vec![s("Lin"), Value::Int(0)]]);
 }
 
 #[test]
@@ -111,20 +95,14 @@ fn subrole_and_isa_track_role_changes() {
            Insert student From person Where soc-sec-no = 9 (student-nbr := 2001)."#,
     )
     .unwrap();
-    let out = db
-        .query("From person Retrieve name Where person isa student.")
-        .unwrap();
+    let out = db.query("From person Retrieve name Where person isa student.").unwrap();
     assert_eq!(out.rows(), &[vec![s("Flip")]]);
 
     db.run_one("Delete student Where soc-sec-no = 9.").unwrap();
-    let out = db
-        .query("From person Retrieve name Where person isa student.")
-        .unwrap();
+    let out = db.query("From person Retrieve name Where person isa student.").unwrap();
     assert!(out.rows().is_empty());
     // The subrole read reflects the change too.
-    let out = db
-        .query("From person Retrieve profession Where soc-sec-no = 9.")
-        .unwrap();
+    let out = db.query("From person Retrieve profession Where soc-sec-no = 9.").unwrap();
     assert_eq!(out.rows(), &[vec![Value::Null]], "no roles -> padded null");
 }
 
@@ -153,10 +131,7 @@ fn secondary_index_changes_plan_and_results_stay_equal() {
     db.set_enforce_verifies(false);
     let mut script = String::new();
     for k in 0..100 {
-        script.push_str(&format!(
-            "Insert person(name := \"P-{}\", soc-sec-no := {k}).\n",
-            k % 10
-        ));
+        script.push_str(&format!("Insert person(name := \"P-{}\", soc-sec-no := {k}).\n", k % 10));
     }
     db.run(&script).unwrap();
 
@@ -168,11 +143,7 @@ fn secondary_index_changes_plan_and_results_stay_equal() {
 
     db.create_index("person", "name").unwrap();
     let after_plan = db.explain(q).unwrap();
-    assert!(
-        after_plan.explanation[0].contains("index probe"),
-        "{:?}",
-        after_plan.explanation
-    );
+    assert!(after_plan.explanation[0].contains("index probe"), "{:?}", after_plan.explanation);
     assert!(after_plan.estimated_io < before_plan.estimated_io);
     let rows_after = db.query(q).unwrap().rows().to_vec();
     assert_eq!(rows_before, rows_after, "plans differ, answers must not");
@@ -197,13 +168,9 @@ fn range_queries_via_index() {
     let out = db.query(q).unwrap();
     assert_eq!(out.rows().len(), 10);
     // Boundary inclusivity both ways.
-    let le = db
-        .query("From person Retrieve soc-sec-no Where soc-sec-no <= 9.")
-        .unwrap();
+    let le = db.query("From person Retrieve soc-sec-no Where soc-sec-no <= 9.").unwrap();
     assert_eq!(le.rows().len(), 10);
-    let lt = db
-        .query("From person Retrieve soc-sec-no Where soc-sec-no < 9.")
-        .unwrap();
+    let lt = db.query("From person Retrieve soc-sec-no Where soc-sec-no < 9.").unwrap();
     assert_eq!(lt.rows().len(), 9);
 }
 
@@ -218,13 +185,9 @@ fn three_valued_logic_in_where_clauses() {
     .unwrap();
     // Unknown rejects: the null birthdate matches neither the predicate nor
     // its negation.
-    let pos = db
-        .query("From person Retrieve name Where birthdate < \"1970-01-01\".")
-        .unwrap();
+    let pos = db.query("From person Retrieve name Where birthdate < \"1970-01-01\".").unwrap();
     assert_eq!(pos.rows(), &[vec![s("HasDate")]]);
-    let neg = db
-        .query("From person Retrieve name Where not birthdate < \"1970-01-01\".")
-        .unwrap();
+    let neg = db.query("From person Retrieve name Where not birthdate < \"1970-01-01\".").unwrap();
     assert!(neg.rows().is_empty());
     // IS-null probing via equality is also unknown (3VL, not SQL IS NULL).
     let eq_null = db.query("From person Retrieve name Where birthdate = null.").unwrap();
@@ -251,10 +214,7 @@ fn hash_index_serves_equality_but_not_ranges() {
     db.set_enforce_verifies(false);
     let mut script = String::new();
     for k in 0..200 {
-        script.push_str(&format!(
-            "Insert person(name := \"H-{}\", soc-sec-no := {k}).\n",
-            k % 20
-        ));
+        script.push_str(&format!("Insert person(name := \"H-{}\", soc-sec-no := {k}).\n", k % 20));
     }
     db.run(&script).unwrap();
     db.create_hash_index("person", "name").unwrap();

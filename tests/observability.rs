@@ -1,0 +1,225 @@
+//! Integration tests for the observability surface: the engine-wide
+//! metrics registry, EXPLAIN ANALYZE actuals, statement traces and the
+//! buffer-pool hit ratio, all exercised on the paper's §7 UNIVERSITY
+//! workload.
+
+use sim::crates::obs::MetricsSnapshot;
+use sim::{Database, QueryOutput};
+use sim_testkit::{cases, Rng};
+
+/// The §7 schema populated with a small multi-department dataset.
+fn populated_university() -> Database {
+    let mut db = Database::university();
+    db.set_enforce_verifies(false);
+    db.run(
+        r#"
+        Insert department(dept-nbr := 101, name := "Physics").
+        Insert department(dept-nbr := 102, name := "Math").
+        Insert department(dept-nbr := 103, name := "History").
+        Insert course(course-no := 201, title := "Algebra I", credits := 4).
+        Insert course(course-no := 202, title := "Calculus I", credits := 4).
+        Insert course(course-no := 203, title := "Mechanics", credits := 5).
+        Insert instructor(name := "Ann Smith", soc-sec-no := 1, employee-nbr := 1001,
+            assigned-department := department with (name = "Math"),
+            courses-taught := course with (title = "Algebra I")).
+        Insert instructor(name := "Bob Jones", soc-sec-no := 2, employee-nbr := 1002,
+            assigned-department := department with (name = "Physics"),
+            courses-taught := course with (title = "Mechanics")).
+        Insert instructor(name := "Cal Reed", soc-sec-no := 3, employee-nbr := 1003,
+            assigned-department := department with (name = "Physics")).
+        Insert student(name := "John Doe", soc-sec-no := 10, student-nbr := 2001,
+            advisor := instructor with (name = "Ann Smith"),
+            major-department := department with (name = "Physics"),
+            courses-enrolled := course with (title = "Algebra I")).
+        Insert student(name := "Jane Roe", soc-sec-no := 11, student-nbr := 2002,
+            advisor := instructor with (name = "Bob Jones"),
+            major-department := department with (name = "Math"),
+            courses-enrolled := course with (title = "Calculus I")).
+        "#,
+    )
+    .expect("populate");
+    db
+}
+
+fn row_count(out: &QueryOutput) -> usize {
+    match out {
+        QueryOutput::Table { rows, .. } => rows.len(),
+        QueryOutput::Structure { records, .. } => records.len(),
+    }
+}
+
+/// ISSUE acceptance: explain_analyze on the populated UNIVERSITY db
+/// reports per-step actuals, and its output cardinality matches what
+/// query() returns for the same statement.
+#[test]
+fn explain_analyze_matches_query_cardinality() {
+    let db = populated_university();
+    let statements = [
+        "From instructor Retrieve name of assigned-department.",
+        "From student Retrieve name, name of advisor.",
+        "From instructor Retrieve name Where name of assigned-department = \"Physics\".",
+        "From department Retrieve name.",
+    ];
+    for dml in statements {
+        let expected = row_count(&db.query(dml).unwrap());
+        let analyzed = db.explain_analyze(dml).unwrap();
+        assert_eq!(analyzed.output_rows, expected, "{dml}");
+        assert!(!analyzed.steps.is_empty(), "{dml}: plan has steps");
+        // The outermost loop (step 0) iterates the perspective class: its
+        // domain is computed once and every retrieved row came from it.
+        assert_eq!(analyzed.steps[0].actuals.invocations, 1, "{dml}");
+        assert!(
+            analyzed.steps[0].actuals.rows as usize >= expected,
+            "{dml}: outer domain at least as large as the output"
+        );
+        // Every step did some measurable work bookkeeping.
+        let text = analyzed.to_text();
+        assert!(text.contains("actual:"), "{dml}");
+        assert!(analyzed.to_json().contains("\"steps\":["), "{dml}");
+    }
+}
+
+#[test]
+fn explain_analyze_reports_io_activity() {
+    let db = populated_university();
+    let analyzed =
+        db.explain_analyze("From instructor Retrieve name of assigned-department.").unwrap();
+    // The data fits in the pool, so the run touches blocks via the cache.
+    let touched = analyzed.io.pool_hits + analyzed.io.reads;
+    assert!(touched > 0, "execution touched at least one block");
+    let step_touched: u64 =
+        analyzed.steps.iter().map(|s| s.actuals.pool_hits + s.actuals.io_reads).sum();
+    assert!(step_touched > 0, "per-step I/O attribution is populated");
+    assert!(step_touched <= touched, "steps cannot exceed the whole");
+}
+
+/// Warm repeats served from the pool score hit ratio 1.0 over the window;
+/// clearing the cache forces misses and drops the windowed ratio.
+#[test]
+fn pool_hit_ratio_warm_then_cold() {
+    let db = populated_university();
+    let dml = "From student Retrieve name, name of advisor.";
+    db.query(dml).unwrap(); // warm the pool
+
+    let before = db.io_snapshot();
+    db.query(dml).unwrap();
+    let warm = db.io_snapshot().since(&before);
+    assert!(warm.pool_hits > 0, "warm run hits the pool");
+    assert_eq!(warm.pool_misses, 0, "warm run faults nothing");
+    assert_eq!(warm.hit_ratio(), 1.0, "warm repeat is all hits");
+
+    db.clear_cache();
+    let before = db.io_snapshot();
+    db.query(dml).unwrap();
+    let cold = db.io_snapshot().since(&before);
+    assert!(cold.pool_misses > 0, "cold run faults pages back in");
+    assert!(cold.hit_ratio() < 1.0, "cold ratio drops below 1.0");
+}
+
+#[test]
+fn metrics_expose_every_layer() {
+    let mut db = populated_university();
+    db.run_one(r#"Insert department(dept-nbr := 104, name := "Chemistry")."#).unwrap();
+    db.query("From instructor Retrieve name.").unwrap();
+
+    let snap = db.metrics();
+    // storage.*: pool and txn activity happened.
+    assert!(snap.counter("storage.pool_hits") > 0);
+    assert!(snap.counter("storage.txn_begins") >= 1);
+    assert_eq!(snap.counter("storage.txn_begins"), snap.counter("storage.txn_commits"));
+    // luc.*: entities were read and records decoded.
+    assert!(snap.counter("luc.entity_reads") > 0);
+    assert!(snap.counter("luc.record_decodes") > 0);
+    // query.*: phase histograms saw the statements.
+    let execute = snap.histogram("query.execute_micros").expect("histogram exists");
+    assert!(execute.count > 0);
+    assert!(snap.counter("query.retrieves") >= 1);
+    assert!(snap.counter("query.updates") >= 1);
+    // Renderings carry the same names.
+    assert!(snap.to_text().contains("storage.pool_hits"));
+    assert!(snap.to_json().contains("\"query.retrieves\""));
+}
+
+#[test]
+fn last_trace_covers_phases() {
+    let db = populated_university();
+    db.query("From instructor Retrieve name.").unwrap();
+    let trace = db.last_trace().expect("query leaves a trace");
+    let names: Vec<&str> = trace.spans.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(names, ["bind", "optimize", "execute"]);
+
+    let analyzed_trace = {
+        db.explain_analyze("From student Retrieve name of advisor.").unwrap();
+        db.last_trace().expect("explain_analyze leaves a trace")
+    };
+    let execute = analyzed_trace.spans.iter().find(|s| s.name == "execute").unwrap();
+    assert!(!execute.children.is_empty(), "analyze attaches per-step spans");
+}
+
+#[test]
+fn integrity_violation_is_counted() {
+    let mut db = populated_university();
+    db.set_enforce_verifies(true);
+    let err = db.run_one(r#"Insert student(name := "S", soc-sec-no := 99)."#).unwrap_err();
+    assert!(err.is_integrity_violation());
+    assert_eq!(db.metrics().counter("query.integrity_violations"), 1);
+    assert!(db.metrics().counter("storage.txn_aborts") >= 1, "statement rolled back");
+}
+
+/// Property: metric counters are monotone across a random workload, and
+/// `since()` of a later snapshot over an earlier one never underflows.
+#[test]
+fn metrics_monotone_and_since_never_underflows() {
+    cases(16, |rng: &mut Rng| {
+        let db = populated_university();
+        let queries = [
+            "From instructor Retrieve name.",
+            "From student Retrieve name, name of advisor.",
+            "From department Retrieve name.",
+            "From instructor Retrieve name of assigned-department.",
+        ];
+        let mut snapshots: Vec<MetricsSnapshot> = vec![db.metrics()];
+        for _ in 0..rng.range(2, 8) {
+            if rng.bool() {
+                db.clear_cache();
+            }
+            let q = *rng.pick(&queries);
+            db.query(q).unwrap();
+            snapshots.push(db.metrics());
+        }
+        for pair in snapshots.windows(2) {
+            let (earlier, later) = (&pair[0], &pair[1]);
+            for (name, value) in &later.counters {
+                assert!(earlier.counter(name) <= *value, "counter {name} went backwards");
+            }
+            let delta = later.since(earlier);
+            for (name, value) in &delta.counters {
+                assert!(
+                    *value <= later.counter(name),
+                    "since() delta for {name} exceeds the absolute count"
+                );
+            }
+            if let (Some(e), Some(l)) =
+                (earlier.histogram("query.execute_micros"), later.histogram("query.execute_micros"))
+            {
+                assert!(e.count <= l.count, "histogram count went backwards");
+                let d = l.since(e);
+                assert!(d.count == l.count - e.count);
+            }
+        }
+        // Reversed order must saturate to zero, not underflow.
+        let first = &snapshots[0];
+        let last = snapshots.last().unwrap();
+        let reversed = first.since(last);
+        for (name, value) in &reversed.counters {
+            let fwd = last.counter(name) >= first.counter(name);
+            if fwd {
+                assert_eq!(
+                    *value,
+                    first.counter(name).saturating_sub(last.counter(name)),
+                    "reversed since() for {name} saturates"
+                );
+            }
+        }
+    });
+}

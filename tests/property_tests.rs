@@ -1,132 +1,165 @@
-//! Property-based tests over the substrate invariants (proptest).
+//! Property-based tests over the substrate invariants, driven by the
+//! in-repo deterministic generator (`sim_testkit`).
 
-use proptest::prelude::*;
 use sim::crates::storage::pool::BufferPool;
 use sim::crates::storage::{btree::BTree, hash::HashIndex, heap::HeapFile};
 use sim::crates::types::{ordered, Date, Decimal, Truth, Value};
+use sim_testkit::{cases, Rng};
 use std::collections::BTreeMap;
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        any::<i64>().prop_map(Value::Int),
-        (-1_000_000i64..1_000_000, 0u8..4).prop_map(|(m, s)| {
-            Value::Decimal(Decimal::from_parts(m as i128, s).unwrap())
-        }),
-        "[a-zA-Z0-9 _-]{0,24}".prop_map(Value::Str),
-        any::<bool>().prop_map(Value::Bool),
-        (1i32..=9999, 1u32..=12, 1u32..=28)
-            .prop_map(|(y, m, d)| Value::Date(Date::from_ymd(y, m, d).unwrap())),
-        (0u16..100).prop_map(Value::Symbol),
-    ]
+fn arb_value(rng: &mut Rng) -> Value {
+    match rng.range(0, 7) {
+        0 => Value::Null,
+        1 => Value::Int(rng.next_u64() as i64),
+        2 => Value::Decimal(
+            Decimal::from_parts(
+                rng.range_i64(-1_000_000, 1_000_000) as i128,
+                rng.range(0, 4) as u8,
+            )
+            .unwrap(),
+        ),
+        3 => Value::Str(rng.string("abcdefghijklmnopqrstuvwxyzABCDEFGHIJ0123456789 _-", 24)),
+        4 => Value::Bool(rng.bool()),
+        5 => Value::Date(
+            Date::from_ymd(
+                rng.range_i64(1, 10_000) as i32,
+                rng.range(1, 13) as u32,
+                rng.range(1, 29) as u32,
+            )
+            .unwrap(),
+        ),
+        _ => Value::Symbol(rng.range(0, 100) as u16),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// The ordered byte encoding sorts exactly like Value::total_cmp.
-    #[test]
-    fn ordered_encoding_matches_total_cmp(a in arb_value(), b in arb_value()) {
+/// The ordered byte encoding sorts exactly like Value::total_cmp.
+#[test]
+fn ordered_encoding_matches_total_cmp() {
+    cases(256, |rng| {
+        let a = arb_value(rng);
+        let b = arb_value(rng);
         let ka = ordered::encode_key(std::slice::from_ref(&a));
         let kb = ordered::encode_key(std::slice::from_ref(&b));
-        prop_assert_eq!(ka.cmp(&kb), a.total_cmp(&b));
-    }
+        assert_eq!(ka.cmp(&kb), a.total_cmp(&b), "values {a:?} vs {b:?}");
+    });
+}
 
-    /// Kleene conjunction/disjunction are monotone w.r.t. the information
-    /// order and satisfy absorption.
-    #[test]
-    fn kleene_absorption(a in 0u8..3, b in 0u8..3) {
-        let t = |x: u8| match x { 0 => Truth::True, 1 => Truth::False, _ => Truth::Unknown };
-        let (a, b) = (t(a), t(b));
-        prop_assert_eq!(a.and(a.or(b)), a);
-        prop_assert_eq!(a.or(a.and(b)), a);
+/// Kleene conjunction/disjunction satisfy absorption (checked over the
+/// whole 3×3 truth table — no sampling needed).
+#[test]
+fn kleene_absorption() {
+    let truths = [Truth::True, Truth::False, Truth::Unknown];
+    for a in truths {
+        for b in truths {
+            assert_eq!(a.and(a.or(b)), a);
+            assert_eq!(a.or(a.and(b)), a);
+        }
     }
+}
 
-    /// Decimal addition is commutative/associative and subtraction inverts.
-    #[test]
-    fn decimal_arithmetic_laws(
-        a in -1_000_000i64..1_000_000,
-        b in -1_000_000i64..1_000_000,
-        sa in 0u8..4,
-        sb in 0u8..4,
-    ) {
-        let x = Decimal::from_parts(a as i128, sa).unwrap();
-        let y = Decimal::from_parts(b as i128, sb).unwrap();
-        prop_assert_eq!(x.add(y).unwrap(), y.add(x).unwrap());
-        prop_assert_eq!(x.add(y).unwrap().sub(y).unwrap(), x);
-    }
+/// Decimal addition is commutative and subtraction inverts.
+#[test]
+fn decimal_arithmetic_laws() {
+    cases(128, |rng| {
+        let x = Decimal::from_parts(
+            rng.range_i64(-1_000_000, 1_000_000) as i128,
+            rng.range(0, 4) as u8,
+        )
+        .unwrap();
+        let y = Decimal::from_parts(
+            rng.range_i64(-1_000_000, 1_000_000) as i128,
+            rng.range(0, 4) as u8,
+        )
+        .unwrap();
+        assert_eq!(x.add(y).unwrap(), y.add(x).unwrap());
+        assert_eq!(x.add(y).unwrap().sub(y).unwrap(), x);
+    });
+}
 
-    /// Date day-number round trip over arbitrary valid dates.
-    #[test]
-    fn date_roundtrip(y in 1i32..=9999, m in 1u32..=12, d in 1u32..=28) {
+/// Date day-number round trip over arbitrary valid dates.
+#[test]
+fn date_roundtrip() {
+    cases(128, |rng| {
+        let (y, m, d) =
+            (rng.range_i64(1, 10_000) as i32, rng.range(1, 13) as u32, rng.range(1, 29) as u32);
         let date = Date::from_ymd(y, m, d).unwrap();
-        prop_assert_eq!(Date::from_day_number(date.day_number()), date);
-        let (yy, mm, dd) = date.ymd();
-        prop_assert_eq!((yy, mm, dd), (y, m, d));
-    }
+        assert_eq!(Date::from_day_number(date.day_number()), date);
+        assert_eq!(date.ymd(), (y, m, d));
+    });
+}
 
-    /// The heap file returns exactly what was stored, across arbitrary
-    /// insert/delete interleavings (model: a Vec of live payloads).
-    #[test]
-    fn heap_file_model(ops in prop::collection::vec((any::<bool>(), 0usize..64, 1usize..600), 1..120)) {
+/// The heap file returns exactly what was stored, across arbitrary
+/// insert/delete interleavings (model: a Vec of live payloads).
+#[test]
+fn heap_file_model() {
+    cases(64, |rng| {
         let pool = BufferPool::new(64);
         let mut file = HeapFile::new();
         let mut live: Vec<(sim::crates::storage::RecordId, Vec<u8>)> = Vec::new();
-        for (insert, pick, len) in ops {
-            if insert || live.is_empty() {
+        for _ in 0..rng.range(1, 120) {
+            if rng.bool() || live.is_empty() {
+                let len = rng.range(1, 600);
                 let payload = vec![(len % 251) as u8; len];
                 let rid = file.insert(&pool, &payload).unwrap();
                 live.push((rid, payload));
             } else {
-                let idx = pick % live.len();
+                let idx = rng.range(0, live.len());
                 let (rid, expect) = live.swap_remove(idx);
                 let got = file.delete(&pool, rid).unwrap();
-                prop_assert_eq!(got, expect);
+                assert_eq!(got, expect);
             }
         }
-        prop_assert_eq!(file.record_count(), live.len());
+        assert_eq!(file.record_count(), live.len());
         for (rid, expect) in &live {
-            let got = file.get(&pool, *rid);
-            prop_assert_eq!(got.as_ref(), Some(expect));
+            assert_eq!(file.get(&pool, *rid).as_ref(), Some(expect));
         }
-    }
+    });
+}
 
-    /// The B-tree agrees with a BTreeMap model under inserts and deletes,
-    /// including full-order scans.
-    #[test]
-    fn btree_against_model(ops in prop::collection::vec((any::<bool>(), 0u16..300), 1..300)) {
+/// The B-tree agrees with a BTreeMap model under inserts and deletes,
+/// including full-order scans.
+#[test]
+fn btree_against_model() {
+    cases(64, |rng| {
         let pool = BufferPool::new(256);
         let mut tree = BTree::create(&pool, true);
         let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
-        for (insert, k) in ops {
+        for _ in 0..rng.range(1, 300) {
+            let k = rng.range(0, 300) as u16;
             let key = k.to_be_bytes().to_vec();
-            if insert {
+            if rng.bool() {
                 let val = vec![(k % 251) as u8; (k as usize % 20) + 1];
                 match tree.insert(&pool, &key, &val) {
-                    Ok(()) => { model.insert(key, val); }
-                    Err(sim::crates::storage::StorageError::DuplicateKey) => {
-                        prop_assert!(model.contains_key(&key));
+                    Ok(()) => {
+                        model.insert(key, val);
                     }
-                    Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                    Err(sim::crates::storage::StorageError::DuplicateKey) => {
+                        assert!(model.contains_key(&key));
+                    }
+                    Err(e) => panic!("unexpected btree error: {e}"),
                 }
             } else if let Some(val) = model.remove(&key) {
-                prop_assert!(tree.delete(&pool, &key, &val));
+                assert!(tree.delete(&pool, &key, &val));
             } else {
-                prop_assert!(tree.lookup_first(&pool, &key).is_none());
+                assert!(tree.lookup_first(&pool, &key).is_none());
             }
         }
         let scanned: Vec<_> = tree.scan_all(&pool);
         let expected: Vec<_> = model.into_iter().collect();
-        prop_assert_eq!(scanned, expected);
-    }
+        assert_eq!(scanned, expected);
+    });
+}
 
-    /// The hash index returns every duplicate stored under a key.
-    #[test]
-    fn hash_index_multimap(entries in prop::collection::vec((0u8..20, 0u32..1000), 1..200)) {
+/// The hash index returns every duplicate stored under a key.
+#[test]
+fn hash_index_multimap() {
+    cases(64, |rng| {
         let pool = BufferPool::new(256);
         let mut idx = HashIndex::create(&pool, 8, false);
         let mut model: std::collections::HashMap<u8, Vec<u32>> = Default::default();
-        for (k, v) in entries {
+        for _ in 0..rng.range(1, 200) {
+            let k = rng.range(0, 20) as u8;
+            let v = rng.range(0, 1000) as u32;
             idx.insert(&pool, &[k], &v.to_le_bytes()).unwrap();
             model.entry(k).or_default().push(v);
         }
@@ -139,60 +172,112 @@ proptest! {
             let mut want = vals;
             got.sort();
             want.sort();
-            prop_assert_eq!(got, want);
+            assert_eq!(got, want);
         }
-    }
+    });
+}
 
-    /// DML statements survive a print→reparse round trip (on a generated
-    /// family of statements).
-    #[test]
-    fn dml_print_reparse(
-        attrs in prop::collection::vec("[a-z][a-z0-9]{0,6}(-[a-z0-9]{1,4})?", 1..4),
-        class in "[a-z][a-z0-9]{0,8}",
-        n in 0i64..1000,
-    ) {
-        const RESERVED: &[&str] = &[
-            "of", "as", "where", "and", "or", "not", "isa", "matches", "neq", "else",
-            "order", "desc", "asc", "with", "retrieve", "from", "include", "exclude",
-            "by", "null", "true", "false", "insert", "modify", "delete", "table",
-            "structure", "distinct",
-        ];
-        let fix = |n: &String| {
-            if RESERVED.contains(&n.as_str()) { format!("{n}x") } else { n.clone() }
-        };
-        let attrs: Vec<String> = attrs.iter().map(&fix).collect();
-        let class = fix(&class);
+const RESERVED: &[&str] = &[
+    "of",
+    "as",
+    "where",
+    "and",
+    "or",
+    "not",
+    "isa",
+    "matches",
+    "neq",
+    "else",
+    "order",
+    "desc",
+    "asc",
+    "with",
+    "retrieve",
+    "from",
+    "include",
+    "exclude",
+    "by",
+    "null",
+    "true",
+    "false",
+    "insert",
+    "modify",
+    "delete",
+    "table",
+    "structure",
+    "distinct",
+];
+
+fn arb_ident(rng: &mut Rng, hyphen: bool) -> String {
+    let mut name = String::new();
+    name.push(*rng.pick(&"abcdefghijklmnopqrstuvwxyz".chars().collect::<Vec<_>>()));
+    name.push_str(&rng.string("abcdefghijklmnopqrstuvwxyz0123456789", 6));
+    if hyphen && rng.bool() {
+        name.push('-');
+        name.push(*rng.pick(&"abcdefghijklmnopqrstuvwxyz0123456789".chars().collect::<Vec<_>>()));
+        name.push_str(&rng.string("abcdefghijklmnopqrstuvwxyz0123456789", 3));
+    }
+    if RESERVED.contains(&name.as_str()) {
+        format!("{name}x")
+    } else {
+        name
+    }
+}
+
+/// DML statements survive a print→reparse round trip (on a generated
+/// family of statements).
+#[test]
+fn dml_print_reparse() {
+    cases(128, |rng| {
+        let attrs: Vec<String> = (0..rng.range(1, 4)).map(|_| arb_ident(rng, true)).collect();
+        let class = arb_ident(rng, false);
+        let n = rng.range_i64(0, 1000);
         let path = attrs.join(" of ");
         let src = format!("From {class} Retrieve {path} Where {path} = {n}.");
         let stmt = sim::crates::dml::parse_statement(&src).unwrap();
         let printed = stmt.to_string();
         let reparsed = sim::crates::dml::parse_statement(&printed).unwrap();
-        prop_assert_eq!(stmt, reparsed);
-    }
+        assert_eq!(stmt, reparsed);
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// EVA/inverse synchronization invariant: after an arbitrary sequence of
-    /// include/exclude operations, `b ∈ partners(a, eva)` iff
-    /// `a ∈ partners(b, inverse)`.
-    #[test]
-    fn eva_inverse_symmetry(ops in prop::collection::vec((any::<bool>(), 0usize..6, 0usize..6), 1..60)) {
+/// EVA/inverse synchronization invariant: after an arbitrary sequence of
+/// include/exclude operations, `b ∈ partners(a, eva)` iff
+/// `a ∈ partners(b, inverse)`.
+#[test]
+fn eva_inverse_symmetry() {
+    cases(32, |rng| {
         use sim::crates::luc::{AttrValue, Mapper};
         use std::sync::Arc;
 
         let mut cat = sim::crates::catalog::Catalog::new();
         let a = cat.define_base_class("A").unwrap();
         let b = cat.define_base_class("B").unwrap();
-        cat.add_dva(a, "ka", sim::crates::types::Domain::integer(),
-            sim::crates::catalog::AttributeOptions::unique_required()).unwrap();
-        cat.add_dva(b, "kb", sim::crates::types::Domain::integer(),
-            sim::crates::catalog::AttributeOptions::unique_required()).unwrap();
-        let fwd = cat.add_eva(a, "links", b, Some("rlinks"),
-            sim::crates::catalog::AttributeOptions::mv_distinct()).unwrap();
-        cat.add_eva(b, "rlinks", a, Some("links"),
-            sim::crates::catalog::AttributeOptions::mv()).unwrap();
+        cat.add_dva(
+            a,
+            "ka",
+            sim::crates::types::Domain::integer(),
+            sim::crates::catalog::AttributeOptions::unique_required(),
+        )
+        .unwrap();
+        cat.add_dva(
+            b,
+            "kb",
+            sim::crates::types::Domain::integer(),
+            sim::crates::catalog::AttributeOptions::unique_required(),
+        )
+        .unwrap();
+        let fwd = cat
+            .add_eva(
+                a,
+                "links",
+                b,
+                Some("rlinks"),
+                sim::crates::catalog::AttributeOptions::mv_distinct(),
+            )
+            .unwrap();
+        cat.add_eva(b, "rlinks", a, Some("links"), sim::crates::catalog::AttributeOptions::mv())
+            .unwrap();
         cat.finalize().unwrap();
         let inv = cat.attribute(fwd).unwrap().eva_inverse().unwrap();
 
@@ -217,9 +302,9 @@ proptest! {
             })
             .collect();
 
-        for (add, i, j) in ops {
-            let (x, y) = (asurr[i], bsurr[j]);
-            if add {
+        for _ in 0..rng.range(1, 60) {
+            let (x, y) = (asurr[rng.range(0, 6)], bsurr[rng.range(0, 6)]);
+            if rng.bool() {
                 mapper.include_value(&mut txn, x, fwd, Value::Entity(y)).unwrap();
             } else {
                 mapper.exclude_value(&mut txn, x, fwd, &Value::Entity(y)).unwrap();
@@ -231,9 +316,9 @@ proptest! {
             let forward = mapper.eva_partners(x, fwd).unwrap();
             for &y in &bsurr {
                 let backward = mapper.eva_partners(y, inv).unwrap();
-                prop_assert_eq!(forward.contains(&y), backward.contains(&x));
+                assert_eq!(forward.contains(&y), backward.contains(&x));
             }
         }
         mapper.commit(txn);
-    }
+    });
 }

@@ -82,7 +82,12 @@ fn thousands_of_entities_remain_consistent() {
             .unwrap();
         for k in 0..(s % 4) {
             mapper
-                .include_value(&mut txn, student, enrolled, Value::Entity(courses[(s + k) % COURSES]))
+                .include_value(
+                    &mut txn,
+                    student,
+                    enrolled,
+                    Value::Entity(courses[(s + k) % COURSES]),
+                )
                 .unwrap();
             expected_enrollments += 1;
         }
@@ -90,18 +95,14 @@ fn thousands_of_entities_remain_consistent() {
     mapper.commit(txn);
 
     // Counts.
-    assert_eq!(db.entity_count("student"), STUDENTS);
-    assert_eq!(db.entity_count("instructor"), INSTRUCTORS);
-    assert_eq!(db.entity_count("person"), STUDENTS + INSTRUCTORS);
+    assert_eq!(db.entity_count("student").unwrap(), STUDENTS);
+    assert_eq!(db.entity_count("instructor").unwrap(), INSTRUCTORS);
+    assert_eq!(db.entity_count("person").unwrap(), STUDENTS + INSTRUCTORS);
 
     // Every advisor link is also visible from the advisees side.
-    let out = db
-        .query("Retrieve sum(count-of of instructor).")
-        .err(); // no such attr: sanity that bad queries still error at scale
+    let out = db.query("Retrieve sum(count-of of instructor).").err(); // no such attr: sanity that bad queries still error at scale
     assert!(out.is_some());
-    let out = db
-        .query("From instructor Retrieve count(advisees) of instructor.")
-        .unwrap();
+    let out = db.query("From instructor Retrieve count(advisees) of instructor.").unwrap();
     let total_advisees: i64 = out
         .rows()
         .iter()
@@ -113,9 +114,7 @@ fn thousands_of_entities_remain_consistent() {
     assert_eq!(total_advisees as usize, STUDENTS);
 
     // Enrollment totals agree with what was inserted.
-    let out = db
-        .query("From student Retrieve count(courses-enrolled) of student.")
-        .unwrap();
+    let out = db.query("From student Retrieve count(courses-enrolled) of student.").unwrap();
     let total: i64 = out
         .rows()
         .iter()
@@ -127,23 +126,16 @@ fn thousands_of_entities_remain_consistent() {
     assert_eq!(total as usize, expected_enrollments);
 
     // Index probe still correct among 1320 persons.
-    let out = db
-        .query("From person Retrieve name Where soc-sec-no = 200777.")
-        .unwrap();
+    let out = db.query("From person Retrieve name Where soc-sec-no = 200777.").unwrap();
     assert_eq!(out.rows(), &[vec![Value::Str("S777".into())]]);
 
     // Delete a slice of students and re-check referential integrity.
-    let removed = db
-        .run_one("Delete student Where soc-sec-no >= 201100.")
-        .unwrap()
-        .updated();
+    let removed = db.run_one("Delete student Where soc-sec-no >= 201100.").unwrap().updated();
     assert_eq!(removed, 100);
-    assert_eq!(db.entity_count("student"), STUDENTS - 100);
+    assert_eq!(db.entity_count("student").unwrap(), STUDENTS - 100);
     // They persist as persons.
-    assert_eq!(db.entity_count("person"), STUDENTS + INSTRUCTORS);
-    let out = db
-        .query("From instructor Retrieve count(advisees) of instructor.")
-        .unwrap();
+    assert_eq!(db.entity_count("person").unwrap(), STUDENTS + INSTRUCTORS);
+    let out = db.query("From instructor Retrieve count(advisees) of instructor.").unwrap();
     let total_advisees: i64 = out
         .rows()
         .iter()

@@ -2,51 +2,49 @@
 //! DDL rendering, recompilation and physical mapping — and a database
 //! opened over them accepts entities.
 
-use proptest::prelude::*;
 use sim::crates::catalog::generator::{generate_schema, SchemaScale};
 use sim::crates::ddl::{compile_schema, render_catalog};
 use sim::Database;
+use sim_testkit::cases;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn generated_schemas_round_trip(
-        base_classes in 1usize..6,
-        subclasses in 0usize..30,
-        eva_pairs in 0usize..10,
-        dvas in 1usize..40,
-        max_depth in 2usize..6,
-    ) {
-        let scale = SchemaScale { base_classes, subclasses, eva_pairs, dvas, max_depth };
+#[test]
+fn generated_schemas_round_trip() {
+    cases(24, |rng| {
+        let scale = SchemaScale {
+            base_classes: rng.range(1, 6),
+            subclasses: rng.range(0, 30),
+            eva_pairs: rng.range(0, 10),
+            dvas: rng.range(1, 40),
+            max_depth: rng.range(2, 6),
+        };
         let cat = generate_schema(scale);
         let stats = cat.stats();
-        prop_assert_eq!(stats.base_classes, base_classes);
-        prop_assert_eq!(stats.subclasses, subclasses);
-        prop_assert_eq!(stats.eva_pairs, eva_pairs);
-        prop_assert_eq!(stats.dvas, dvas);
+        assert_eq!(stats.base_classes, scale.base_classes);
+        assert_eq!(stats.subclasses, scale.subclasses);
+        assert_eq!(stats.eva_pairs, scale.eva_pairs);
+        assert_eq!(stats.dvas, scale.dvas);
 
         // Render → recompile → same shape.
         let rendered = render_catalog(&cat);
-        let recompiled = compile_schema(&rendered)
-            .map_err(|e| TestCaseError::fail(format!("recompile failed: {e}")))?;
-        prop_assert_eq!(recompiled.stats(), stats);
+        let recompiled = compile_schema(&rendered).expect("recompile failed");
+        assert_eq!(recompiled.stats(), stats);
 
         // The physical layout plans and a database opens.
-        let db = Database::from_catalog(recompiled, 64)
-            .map_err(|e| TestCaseError::fail(format!("mapper failed: {e}")))?;
-        prop_assert!(db.catalog().is_finalized());
-    }
+        let db = Database::from_catalog(recompiled, 64).expect("mapper failed");
+        assert!(db.catalog().is_finalized());
+    });
+}
 
-    /// Entities can be stored in a generated schema's deepest class and read
-    /// back through inherited attributes.
-    #[test]
-    fn generated_schema_accepts_entities(subclasses in 1usize..20, dvas in 4usize..24) {
+/// Entities can be stored in a generated schema's deepest class and read
+/// back through inherited attributes.
+#[test]
+fn generated_schema_accepts_entities() {
+    cases(24, |rng| {
         let scale = SchemaScale {
             base_classes: 2,
-            subclasses,
+            subclasses: rng.range(1, 20),
             eva_pairs: 2,
-            dvas,
+            dvas: rng.range(4, 24),
             max_depth: 4,
         };
         let mut db = Database::from_catalog(generate_schema(scale), 64).unwrap();
@@ -68,13 +66,12 @@ proptest! {
             }
         }
         let stmt = format!("Insert {class_name}({}).", assigns.join(", "));
-        db.run_one(&stmt)
-            .map_err(|e| TestCaseError::fail(format!("insert failed: {e}\n{stmt}")))?;
-        prop_assert_eq!(db.entity_count(&class_name), 1);
+        db.run_one(&stmt).unwrap_or_else(|e| panic!("insert failed: {e}\n{stmt}"));
+        assert_eq!(db.entity_count(&class_name).unwrap(), 1);
         // Visible from every ancestor class too.
         for anc in db.catalog().ancestors(class) {
             let name = db.catalog().class(anc).unwrap().name.clone();
-            prop_assert_eq!(db.entity_count(&name), 1);
+            assert_eq!(db.entity_count(&name).unwrap(), 1);
         }
-    }
+    });
 }
