@@ -1,4 +1,6 @@
 //! Shared workload builders for the benchmark harness (see `benches/`).
 
+#![forbid(unsafe_code)]
+
 pub mod metrics_dump;
 pub mod workloads;

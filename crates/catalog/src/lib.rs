@@ -22,6 +22,8 @@
 //! E3 (13 base classes, 209 subclasses, 39 EVA-inverse pairs, 530 DVAs, one
 //! hierarchy 5 levels deep — §6).
 
+#![forbid(unsafe_code)]
+
 pub mod catalog;
 pub mod error;
 pub mod generator;

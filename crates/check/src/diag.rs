@@ -1,0 +1,395 @@
+//! The diagnostics core: stable codes, severities, and dual renderers.
+//!
+//! Every rule the analyzer can fire has a stable code (`SIM-S001`, …) so
+//! tests, CI gates and editors can match on it without parsing prose. A
+//! [`Report`] collects [`Diagnostic`]s and renders them as aligned text or
+//! as JSON (mirroring `sim-obs`'s metrics/trace dual output).
+
+use sim_obs::json;
+use std::fmt;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Stylistic or informational; safe to ignore.
+    Hint,
+    /// Probably a mistake; the schema/query still runs.
+    Warning,
+    /// The schema or query is wrong; installation gates reject it.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Severity::Hint => "hint",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Every lint the analyzer knows, with its stable code.
+///
+/// `S` codes are schema lints (over the DDL class graph or a finalized
+/// [`sim_catalog::Catalog`]); `Q` codes are query/constraint lints (over
+/// bound trees from `sim_query::bound`). Codes are append-only: never reuse
+/// or renumber a released code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Code {
+    /// Cycle in the subclass (generalization) graph — §3.1 requires a DAG.
+    S001,
+    /// The same class name is declared twice.
+    S002,
+    /// A superclass is listed more than once in one SUBCLASS declaration.
+    S003,
+    /// UNIQUE on a multi-valued attribute: uniqueness "omits nulls" across
+    /// entities (§3.2.1) and is not defined over value *sets*.
+    S004,
+    /// A multi-valued attribute with `MAX 1` — declare it single-valued.
+    S005,
+    /// An EVA without a declared inverse; the system invented `inverse(x)`.
+    S006,
+    /// Both sides of a one-to-one EVA pair are REQUIRED: no first entity of
+    /// either class can ever be inserted.
+    S007,
+    /// REQUIRED on a system-maintained subrole attribute (an entity may hold
+    /// no subclass role, so the requirement is unsatisfiable). The catalog
+    /// cannot represent this shape; the install gate reports it with this
+    /// code before the catalog's own rejection.
+    S008,
+    /// Narrowing options on a subrole attribute (UNIQUE, or MAX below the
+    /// number of declared labels): the system maintains the value set and
+    /// may need to exceed the declared bound.
+    S009,
+    /// The same attribute name is declared on sibling branches of one
+    /// generalization hierarchy: legal today, ambiguous the moment a common
+    /// subclass (diamond) joins the branches.
+    S010,
+    /// A VERIFY assertion does not parse or bind against its class.
+    S011,
+    /// A foreign-key physical mapping forced onto a multi-valued EVA side —
+    /// §5.2's foreign-key mapping is only defined for single-valued sides.
+    S012,
+    /// A leaf class with no immediate attributes: entities of it carry no
+    /// information beyond the role itself.
+    S013,
+    /// The qualification is tautological: TRUE for every entity.
+    Q101,
+    /// The qualification can never be TRUE (FALSE or UNKNOWN for every
+    /// entity): the query selects nothing.
+    Q102,
+    /// The qualification is always UNKNOWN (3VL null extension): it selects
+    /// nothing, silently.
+    Q103,
+    /// A comparison between values of incomparable domains: it will raise a
+    /// type error on the first row visited.
+    Q104,
+    /// A range variable (perspective) is never used by the target list,
+    /// selection or ordering.
+    Q105,
+    /// A quantifier ranges over a subrole enumeration that is statically
+    /// empty (no labels declared): `all` is vacuously true, `some` false.
+    Q106,
+    /// An attribute compared with itself: under three-valued logic `x = x`
+    /// is UNKNOWN (not TRUE) when `x` is null.
+    Q107,
+    /// A redundant `AS` role conversion to the same class or an ancestor —
+    /// upward conversion never filters (§4.2).
+    Q108,
+    /// A VERIFY assertion that can never be FALSE: the constraint can never
+    /// be violated and enforces nothing.
+    Q109,
+    /// A VERIFY assertion that is FALSE for every entity: the first insert
+    /// into the class will always be rejected.
+    Q110,
+}
+
+impl Code {
+    /// The stable wire form, e.g. `SIM-S001`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::S001 => "SIM-S001",
+            Code::S002 => "SIM-S002",
+            Code::S003 => "SIM-S003",
+            Code::S004 => "SIM-S004",
+            Code::S005 => "SIM-S005",
+            Code::S006 => "SIM-S006",
+            Code::S007 => "SIM-S007",
+            Code::S008 => "SIM-S008",
+            Code::S009 => "SIM-S009",
+            Code::S010 => "SIM-S010",
+            Code::S011 => "SIM-S011",
+            Code::S012 => "SIM-S012",
+            Code::S013 => "SIM-S013",
+            Code::Q101 => "SIM-Q101",
+            Code::Q102 => "SIM-Q102",
+            Code::Q103 => "SIM-Q103",
+            Code::Q104 => "SIM-Q104",
+            Code::Q105 => "SIM-Q105",
+            Code::Q106 => "SIM-Q106",
+            Code::Q107 => "SIM-Q107",
+            Code::Q108 => "SIM-Q108",
+            Code::Q109 => "SIM-Q109",
+            Code::Q110 => "SIM-Q110",
+        }
+    }
+
+    /// The fixed severity of this rule.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::S001
+            | Code::S002
+            | Code::S004
+            | Code::S008
+            | Code::S009
+            | Code::S011
+            | Code::Q104
+            | Code::Q110 => Severity::Error,
+            Code::S003
+            | Code::S005
+            | Code::S007
+            | Code::S010
+            | Code::S012
+            | Code::Q101
+            | Code::Q102
+            | Code::Q103
+            | Code::Q105
+            | Code::Q106
+            | Code::Q109 => Severity::Warning,
+            Code::S006 | Code::S013 | Code::Q107 | Code::Q108 => Severity::Hint,
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+/// A byte span into the source the diagnostic was produced from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// The rule that fired.
+    pub code: Code,
+    /// Its severity (always `code.severity()`).
+    pub severity: Severity,
+    /// The semantic object it is about, as a `/`-separated path
+    /// (`class student/attribute name`, `verify v1`, `query`).
+    pub object: String,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Source location, when the analysis had source text.
+    pub span: Option<Span>,
+}
+
+impl Diagnostic {
+    /// A diagnostic for `code` on `object`.
+    pub fn new(code: Code, object: impl Into<String>, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            object: object.into(),
+            message: message.into(),
+            span: None,
+        }
+    }
+
+    /// Attach a source span.
+    pub fn with_span(mut self, span: Span) -> Diagnostic {
+        self.span = Some(span);
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}] {}: {}", self.severity, self.code, self.object, self.message)
+    }
+}
+
+/// A collection of diagnostics from one analysis run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    /// The findings, in the order the rules fired.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Report {
+        Report::default()
+    }
+
+    /// Add a finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Merge another report into this one.
+    pub fn merge(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Number of findings.
+    pub fn len(&self) -> usize {
+        self.diagnostics.len()
+    }
+
+    /// True when nothing fired.
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// True when at least one Error-level finding is present.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// The diagnostics carrying a given code.
+    pub fn with_code(&self, code: Code) -> Vec<&Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.code == code).collect()
+    }
+
+    /// The distinct codes that fired, sorted by wire form.
+    pub fn codes(&self) -> Vec<Code> {
+        let mut codes: Vec<Code> = Vec::new();
+        for d in &self.diagnostics {
+            if !codes.contains(&d.code) {
+                codes.push(d.code);
+            }
+        }
+        codes.sort_by_key(|c| c.as_str());
+        codes
+    }
+
+    /// Counts per severity: `(errors, warnings, hints)`.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for d in &self.diagnostics {
+            match d.severity {
+                Severity::Error => c.0 += 1,
+                Severity::Warning => c.1 += 1,
+                Severity::Hint => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// Render as human-readable text, worst findings first, with a trailing
+    /// summary line. Empty reports render as `no diagnostics.`.
+    pub fn to_text(&self) -> String {
+        if self.diagnostics.is_empty() {
+            return "no diagnostics.\n".to_string();
+        }
+        let mut sorted: Vec<&Diagnostic> = self.diagnostics.iter().collect();
+        sorted
+            .sort_by(|a, b| b.severity.cmp(&a.severity).then(a.code.as_str().cmp(b.code.as_str())));
+        let mut out = String::new();
+        for d in sorted {
+            out.push_str(&d.to_string());
+            if let Some(span) = d.span {
+                out.push_str(&format!(" (at {}..{})", span.start, span.end));
+            }
+            out.push('\n');
+        }
+        let (e, w, h) = self.counts();
+        out.push_str(&format!("{e} error(s), {w} warning(s), {h} hint(s)\n"));
+        out
+    }
+
+    /// Render as a JSON object (`{"diagnostics":[…],"errors":N,…}`).
+    pub fn to_json(&self) -> String {
+        let items = self.diagnostics.iter().map(|d| {
+            let mut fields = vec![
+                ("code", json::string(d.code.as_str())),
+                ("severity", json::string(&d.severity.to_string())),
+                ("object", json::string(&d.object)),
+                ("message", json::string(&d.message)),
+            ];
+            if let Some(span) = d.span {
+                fields.push(("start", span.start.to_string()));
+                fields.push(("end", span.end.to_string()));
+            }
+            json::object(fields)
+        });
+        let (e, w, h) = self.counts();
+        json::object([
+            ("diagnostics", json::array(items)),
+            ("errors", e.to_string()),
+            ("warnings", w.to_string()),
+            ("hints", h.to_string()),
+        ])
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_hint_warning_error() {
+        assert!(Severity::Hint < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn report_counts_and_errors() {
+        let mut r = Report::new();
+        assert!(!r.has_errors());
+        r.push(Diagnostic::new(Code::S006, "class a/attribute e", "no declared inverse"));
+        assert!(!r.has_errors());
+        r.push(Diagnostic::new(Code::S001, "class a", "cycle"));
+        assert!(r.has_errors());
+        assert_eq!(r.counts(), (1, 0, 1));
+        assert_eq!(r.codes(), vec![Code::S001, Code::S006]);
+    }
+
+    #[test]
+    fn text_renders_worst_first() {
+        let mut r = Report::new();
+        r.push(Diagnostic::new(Code::Q108, "query", "redundant AS"));
+        r.push(Diagnostic::new(Code::Q104, "query", "string vs integer"));
+        let text = r.to_text();
+        let q104 = text.find("SIM-Q104").unwrap();
+        let q108 = text.find("SIM-Q108").unwrap();
+        assert!(q104 < q108, "errors sort before hints:\n{text}");
+        assert!(text.ends_with("1 error(s), 0 warning(s), 1 hint(s)\n"));
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let mut r = Report::new();
+        r.push(
+            Diagnostic::new(Code::S002, "class \"x\"", "duplicate")
+                .with_span(Span { start: 3, end: 9 }),
+        );
+        let json = r.to_json();
+        assert!(json.contains("\"code\":\"SIM-S002\""), "{json}");
+        assert!(json.contains("\\\"x\\\""), "{json}");
+        assert!(json.contains("\"start\":3"), "{json}");
+        assert!(json.contains("\"errors\":1"), "{json}");
+    }
+
+    #[test]
+    fn empty_report_text() {
+        assert_eq!(Report::new().to_text(), "no diagnostics.\n");
+    }
+}

@@ -1,0 +1,416 @@
+//! Abstract interpretation of bound expressions under three-valued logic.
+//!
+//! The analyzer cannot run a query, but it can compute the *set of truth
+//! values* a qualification may take (§4.9's Kleene semantics lifted to
+//! sets): a selection whose set is `{TRUE}` is tautological, `{UNKNOWN}`
+//! means the null extension makes it select nothing, and a set without
+//! `TRUE` can never select. Value operands fold to either a known constant
+//! (where `Known(Null)` is the interesting case — every comparison against
+//! it is UNKNOWN) or `Dynamic`.
+//!
+//! The folder also infers a coarse static type for every value expression
+//! (numeric, textual, boolean, entity) from the declared DVA domains and
+//! flags comparisons whose operands can never be compared (`SIM-Q104`) —
+//! those raise a runtime type error on the first row visited.
+
+use crate::diag::{Code, Diagnostic, Report};
+use sim_catalog::{AttributeKind, Catalog};
+use sim_dml::{AggFunc, BinOp};
+use sim_query::bound::{BExpr, BoundChain, BoundQuery, ChainStep, NodeOrigin};
+use sim_types::{Domain, Truth, Value};
+use std::cmp::Ordering;
+
+/// A non-empty subset of `{TRUE, FALSE, UNKNOWN}`: the truth values an
+/// expression may take at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TruthSet {
+    bits: u8,
+}
+
+const T: u8 = 0b001;
+const F: u8 = 0b010;
+const U: u8 = 0b100;
+
+impl TruthSet {
+    /// Exactly `{TRUE}`.
+    pub const TRUE: TruthSet = TruthSet { bits: T };
+    /// Exactly `{FALSE}`.
+    pub const FALSE: TruthSet = TruthSet { bits: F };
+    /// Exactly `{UNKNOWN}`.
+    pub const UNKNOWN: TruthSet = TruthSet { bits: U };
+    /// All three values: nothing is known statically.
+    pub const ANY: TruthSet = TruthSet { bits: T | F | U };
+
+    /// The singleton set for a known truth value.
+    pub fn of(t: Truth) -> TruthSet {
+        match t {
+            Truth::True => TruthSet::TRUE,
+            Truth::False => TruthSet::FALSE,
+            Truth::Unknown => TruthSet::UNKNOWN,
+        }
+    }
+
+    fn has(self, bit: u8) -> bool {
+        self.bits & bit != 0
+    }
+
+    /// May the expression evaluate to TRUE?
+    pub fn may_be_true(self) -> bool {
+        self.has(T)
+    }
+
+    /// May the expression evaluate to FALSE?
+    pub fn may_be_false(self) -> bool {
+        self.has(F)
+    }
+
+    /// Is the expression TRUE on every row?
+    pub fn always_true(self) -> bool {
+        self.bits == T
+    }
+
+    /// Is the expression FALSE on every row?
+    pub fn always_false(self) -> bool {
+        self.bits == F
+    }
+
+    /// Is the expression UNKNOWN on every row?
+    pub fn always_unknown(self) -> bool {
+        self.bits == U
+    }
+
+    /// Kleene negation, lifted pointwise: swaps TRUE and FALSE.
+    pub fn not(self) -> TruthSet {
+        let mut bits = self.bits & U;
+        if self.has(T) {
+            bits |= F;
+        }
+        if self.has(F) {
+            bits |= T;
+        }
+        TruthSet { bits }
+    }
+
+    /// Kleene conjunction lifted to sets: `{a ∧ b | a ∈ self, b ∈ other}`.
+    pub fn and(self, other: TruthSet) -> TruthSet {
+        let mut bits = 0;
+        if self.has(T) && other.has(T) {
+            bits |= T;
+        }
+        if self.has(F) || other.has(F) {
+            bits |= F;
+        }
+        if (self.has(U) && other.bits & (U | T) != 0) || (other.has(U) && self.bits & (U | T) != 0)
+        {
+            bits |= U;
+        }
+        TruthSet { bits }
+    }
+
+    /// Kleene disjunction lifted to sets.
+    pub fn or(self, other: TruthSet) -> TruthSet {
+        self.not().and(other.not()).not()
+    }
+}
+
+/// The folded form of a value expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FoldVal {
+    /// The expression is this constant on every row. `Known(Value::Null)` is
+    /// a *definite* null — every comparison against it is UNKNOWN.
+    Known(Value),
+    /// Row-dependent.
+    Dynamic,
+}
+
+/// Coarse static type groups, as coarse as runtime comparability:
+/// [`Value::compare`] coerces within each group and errors across groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StaticType {
+    /// integer / number / real.
+    Num,
+    /// string / date / symbolic / subrole labels (dates and symbols read
+    /// back as comparable-with-string values).
+    Text,
+    /// boolean.
+    Bool,
+    /// An entity reference (EVA value).
+    Entity,
+    /// Statically unknown (null literals, derived attributes).
+    Any,
+}
+
+impl StaticType {
+    fn of_domain(d: &Domain) -> StaticType {
+        match d {
+            Domain::Integer { .. } | Domain::Number { .. } | Domain::Real => StaticType::Num,
+            Domain::String { .. } | Domain::Date | Domain::Symbolic(_) | Domain::Subrole(_) => {
+                StaticType::Text
+            }
+            Domain::Boolean => StaticType::Bool,
+        }
+    }
+
+    fn of_value(v: &Value) -> StaticType {
+        match v {
+            Value::Null => StaticType::Any,
+            Value::Int(_) | Value::Float(_) | Value::Decimal(_) => StaticType::Num,
+            Value::Str(_) | Value::Date(_) | Value::Symbol(_) => StaticType::Text,
+            Value::Bool(_) => StaticType::Bool,
+            Value::Entity(_) => StaticType::Entity,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            StaticType::Num => "numeric",
+            StaticType::Text => "textual",
+            StaticType::Bool => "boolean",
+            StaticType::Entity => "entity",
+            StaticType::Any => "unknown",
+        }
+    }
+
+    /// Can values of these two groups ever be compared without a runtime
+    /// type error?
+    fn comparable(self, other: StaticType) -> bool {
+        self == StaticType::Any || other == StaticType::Any || self == other
+    }
+}
+
+/// Folds bound expressions, accumulating type-mismatch diagnostics.
+pub struct Folder<'a> {
+    catalog: &'a Catalog,
+    query: &'a BoundQuery,
+    object: &'a str,
+    /// Diagnostics discovered while folding (`SIM-Q104`).
+    pub report: Report,
+}
+
+impl<'a> Folder<'a> {
+    /// A folder for expressions of `query`; diagnostics name `object`.
+    pub fn new(catalog: &'a Catalog, query: &'a BoundQuery, object: &'a str) -> Folder<'a> {
+        Folder { catalog, query, object, report: Report::new() }
+    }
+
+    /// The truth-value set of a boolean expression.
+    pub fn truth_of(&mut self, e: &BExpr) -> TruthSet {
+        match e {
+            BExpr::Const(Value::Bool(b)) => TruthSet::of(Truth::from_bool(*b)),
+            BExpr::Const(Value::Null) => TruthSet::UNKNOWN,
+            BExpr::Const(_) => TruthSet::ANY,
+            BExpr::Not(inner) => self.truth_of(inner).not(),
+            BExpr::Binary { op: BinOp::And, lhs, rhs } => {
+                self.truth_of(lhs).and(self.truth_of(rhs))
+            }
+            BExpr::Binary { op: BinOp::Or, lhs, rhs } => self.truth_of(lhs).or(self.truth_of(rhs)),
+            BExpr::Binary { op, lhs, rhs } if is_comparison(*op) => self.comparison(*op, lhs, rhs),
+            BExpr::IsA { .. } => TruthSet { bits: T | F },
+            _ => TruthSet::ANY,
+        }
+    }
+
+    /// The folded value of a value expression.
+    pub fn value_of(&mut self, e: &BExpr) -> FoldVal {
+        match e {
+            BExpr::Const(v) => FoldVal::Known(v.clone()),
+            BExpr::Neg(inner) => match self.value_of(inner) {
+                FoldVal::Known(v) => v.negate().map_or(FoldVal::Dynamic, FoldVal::Known),
+                FoldVal::Dynamic => FoldVal::Dynamic,
+            },
+            BExpr::Binary { op, lhs, rhs } if is_arith(*op) => {
+                let (l, r) = (self.value_of(lhs), self.value_of(rhs));
+                match (l, r) {
+                    // Null propagates through arithmetic even when the other
+                    // side is row-dependent.
+                    (FoldVal::Known(Value::Null), _) | (_, FoldVal::Known(Value::Null)) => {
+                        FoldVal::Known(Value::Null)
+                    }
+                    (FoldVal::Known(a), FoldVal::Known(b)) => {
+                        a.arith(arith_op(*op), &b).map_or(FoldVal::Dynamic, FoldVal::Known)
+                    }
+                    _ => FoldVal::Dynamic,
+                }
+            }
+            _ => FoldVal::Dynamic,
+        }
+    }
+
+    fn comparison(&mut self, op: BinOp, lhs: &BExpr, rhs: &BExpr) -> TruthSet {
+        let lt = self.type_of(lhs);
+        let rt = self.type_of(rhs);
+        if !lt.comparable(rt) {
+            self.report.push(Diagnostic::new(
+                Code::Q104,
+                self.object,
+                format!(
+                    "comparison `{op}` between a {} and a {} operand can never succeed \
+                     (runtime type error on the first row)",
+                    lt.name(),
+                    rt.name()
+                ),
+            ));
+            return TruthSet::ANY;
+        }
+        if op == BinOp::Matches {
+            for (t, side) in [(lt, "left"), (rt, "right")] {
+                if t != StaticType::Text && t != StaticType::Any {
+                    self.report.push(Diagnostic::new(
+                        Code::Q104,
+                        self.object,
+                        format!(
+                            "`matches` needs string operands, but the {side} side is {}",
+                            t.name()
+                        ),
+                    ));
+                    return TruthSet::ANY;
+                }
+            }
+        }
+        let lv = self.value_of(lhs);
+        let rv = self.value_of(rhs);
+        // Quantified operands distribute the comparison over a value set;
+        // constant folding below does not apply to them.
+        if matches!(lhs, BExpr::Quantified { .. }) || matches!(rhs, BExpr::Quantified { .. }) {
+            return TruthSet::ANY;
+        }
+        match (lv, rv) {
+            // §4.9: a comparison with null is UNKNOWN regardless of the
+            // other operand (the "null extension").
+            (FoldVal::Known(Value::Null), _) | (_, FoldVal::Known(Value::Null)) => {
+                TruthSet::UNKNOWN
+            }
+            (FoldVal::Known(a), FoldVal::Known(b)) => match const_compare(op, &a, &b) {
+                Some(t) => TruthSet::of(t),
+                None => TruthSet::ANY,
+            },
+            _ => TruthSet::ANY,
+        }
+    }
+
+    /// The static type of a value expression.
+    pub fn type_of(&self, e: &BExpr) -> StaticType {
+        match e {
+            BExpr::Const(v) => StaticType::of_value(v),
+            BExpr::NodeValue(n) => self.node_type(*n),
+            BExpr::Attr { attr, .. } => self.attr_type(*attr),
+            BExpr::Binary { op, .. } if is_arith(*op) => StaticType::Num,
+            BExpr::Binary { .. } | BExpr::Not(_) | BExpr::IsA { .. } => StaticType::Bool,
+            BExpr::Neg(_) => StaticType::Num,
+            BExpr::Aggregate { func, chain, .. } => match func {
+                AggFunc::Count | AggFunc::Sum | AggFunc::Avg => StaticType::Num,
+                AggFunc::Min | AggFunc::Max => self.chain_type(chain),
+            },
+            BExpr::Quantified { chain, .. } => self.chain_type(chain),
+        }
+    }
+
+    fn node_type(&self, node: usize) -> StaticType {
+        let n = &self.query.nodes[node];
+        if n.class.is_some() {
+            return StaticType::Entity;
+        }
+        match &n.origin {
+            NodeOrigin::MvDva { attr } => self.attr_type(*attr),
+            _ => StaticType::Any,
+        }
+    }
+
+    fn attr_type(&self, attr: sim_catalog::AttrId) -> StaticType {
+        match self.catalog.attribute(attr) {
+            Ok(a) => match &a.kind {
+                AttributeKind::Dva { domain } => StaticType::of_domain(domain),
+                AttributeKind::Eva { .. } => StaticType::Entity,
+                AttributeKind::Subrole { .. } => StaticType::Text,
+                AttributeKind::Derived { .. } => StaticType::Any,
+            },
+            Err(_) => StaticType::Any,
+        }
+    }
+
+    fn chain_type(&self, chain: &BoundChain) -> StaticType {
+        if let Some(t) = chain.terminal {
+            return self.attr_type(t);
+        }
+        match chain.steps.last() {
+            Some(ChainStep::MvDva(a)) => self.attr_type(*a),
+            Some(ChainStep::Eva(_) | ChainStep::Transitive(_)) => StaticType::Entity,
+            None => StaticType::Entity,
+        }
+    }
+}
+
+fn is_comparison(op: BinOp) -> bool {
+    matches!(
+        op,
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Matches
+    )
+}
+
+fn is_arith(op: BinOp) -> bool {
+    matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div)
+}
+
+fn arith_op(op: BinOp) -> sim_types::ArithOp {
+    match op {
+        BinOp::Add => sim_types::ArithOp::Add,
+        BinOp::Sub => sim_types::ArithOp::Sub,
+        BinOp::Mul => sim_types::ArithOp::Mul,
+        _ => sim_types::ArithOp::Div,
+    }
+}
+
+/// Compare two non-null constants; `None` when the operator cannot be folded
+/// (pattern matching) or the values turn out incomparable.
+fn const_compare(op: BinOp, a: &Value, b: &Value) -> Option<Truth> {
+    let r = match op {
+        BinOp::Eq => a.eq_3vl(b),
+        BinOp::Ne => a.eq_3vl(b).map(sim_types::Truth::not),
+        BinOp::Lt => a.cmp_3vl(b, Ordering::is_lt),
+        BinOp::Le => a.cmp_3vl(b, Ordering::is_le),
+        BinOp::Gt => a.cmp_3vl(b, Ordering::is_gt),
+        BinOp::Ge => a.cmp_3vl(b, Ordering::is_ge),
+        _ => return None,
+    };
+    r.ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kleene_set_conjunction() {
+        assert_eq!(TruthSet::ANY.and(TruthSet::FALSE), TruthSet::FALSE);
+        assert_eq!(TruthSet::TRUE.and(TruthSet::UNKNOWN), TruthSet::UNKNOWN);
+        assert_eq!(TruthSet::TRUE.and(TruthSet::TRUE), TruthSet::TRUE);
+        // unknown ∧ {T,F,U}: can be F (with F) or U (with T/U) — never T.
+        let r = TruthSet::UNKNOWN.and(TruthSet::ANY);
+        assert!(!r.may_be_true());
+        assert!(!r.always_false());
+    }
+
+    #[test]
+    fn kleene_set_disjunction() {
+        assert_eq!(TruthSet::ANY.or(TruthSet::TRUE), TruthSet::TRUE);
+        assert_eq!(TruthSet::FALSE.or(TruthSet::UNKNOWN), TruthSet::UNKNOWN);
+        assert_eq!(TruthSet::UNKNOWN.or(TruthSet::UNKNOWN), TruthSet::UNKNOWN);
+    }
+
+    #[test]
+    fn negation_swaps_poles() {
+        assert_eq!(TruthSet::TRUE.not(), TruthSet::FALSE);
+        assert_eq!(TruthSet::UNKNOWN.not(), TruthSet::UNKNOWN);
+        assert_eq!(TruthSet::ANY.not(), TruthSet::ANY);
+    }
+
+    #[test]
+    fn constant_comparison_folds() {
+        assert_eq!(const_compare(BinOp::Lt, &Value::Int(1), &Value::Int(2)), Some(Truth::True));
+        assert_eq!(const_compare(BinOp::Eq, &Value::Int(1), &Value::Int(2)), Some(Truth::False));
+        assert_eq!(
+            const_compare(BinOp::Ne, &Value::Str("a".into()), &Value::Str("a".into())),
+            Some(Truth::False)
+        );
+    }
+}

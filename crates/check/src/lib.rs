@@ -1,0 +1,33 @@
+//! # sim-check
+//!
+//! Static semantic analysis for SIM: a reusable diagnostics core (stable
+//! codes, Error/Warning/Hint severities, text + JSON renderers) and two lint
+//! families — schema lints over the class graph / finalized catalog, and
+//! query/constraint lints over bound trees, built on three-valued-logic
+//! constant folding.
+//!
+//! §3.3's promise that "based on the terms of the integrity condition, SIM
+//! will determine" how constraints apply means the system reasons about user
+//! programs *statically*; this crate is where that reasoning lives. It is
+//! wired in at three choke points: `sim-ddl::install` rejects Error-level
+//! schema diagnostics before catalog mutation, the `Database` facade exposes
+//! `check`/`check_schema`, and the REPL's `\check` meta command prints
+//! reports interactively.
+//!
+//! The lint catalog (all codes, with paper citations) is documented in the
+//! repository's `DESIGN.md`.
+
+#![forbid(unsafe_code)]
+// `TruthSet::and/or/not` deliberately mirror `Truth`'s inherent 3VL methods
+// in sim-types rather than implementing `std::ops`.
+#![allow(clippy::should_implement_trait)]
+
+pub mod diag;
+pub mod fold;
+pub mod query;
+pub mod schema;
+
+pub use diag::{Code, Diagnostic, Report, Severity, Span};
+pub use fold::{FoldVal, Folder, StaticType, TruthSet};
+pub use query::{check_bound, check_source, check_statement};
+pub use schema::{check_catalog, check_class_graph, ClassDecl};

@@ -1,0 +1,283 @@
+//! Query lints over bound trees from `sim_query::bound`.
+//!
+//! These run after semantic analysis (the binder has already resolved
+//! qualifications and labeled the query tree per §4.5), so every lint here
+//! is about queries that *work* but cannot mean what was written: selections
+//! that select everything, nothing, or — the 3VL specialty — nothing,
+//! silently, because the null extension makes them UNKNOWN on every row.
+
+use crate::diag::{Code, Diagnostic, Report};
+use crate::fold::Folder;
+use sim_catalog::{AttributeKind, Catalog};
+use sim_dml::{BinOp, Statement};
+use sim_query::bind::Binder;
+use sim_query::bound::{BExpr, BoundQuery, ChainStep, NodeOrigin};
+use sim_query::QueryError;
+
+/// Lint a bound query (or selection-only fragment). Diagnostics name
+/// `object` (`query`, `statement 2`, …).
+pub fn check_bound(catalog: &Catalog, query: &BoundQuery, object: &str) -> Report {
+    let mut report = Report::new();
+    let mut folder = Folder::new(catalog, query, object);
+
+    // Q101/Q102/Q103: classify the selection's possible truth values.
+    if let Some(selection) = &query.selection {
+        let truth = folder.truth_of(selection);
+        if truth.always_true() {
+            report.push(Diagnostic::new(
+                Code::Q101,
+                object,
+                "the qualification is TRUE for every entity; drop the WHERE clause",
+            ));
+        } else if truth.always_unknown() {
+            report.push(Diagnostic::new(
+                Code::Q103,
+                object,
+                "the qualification is UNKNOWN for every entity — comparisons with null \
+                 are UNKNOWN and only TRUE selects (§4.9): the query selects nothing, silently",
+            ));
+        } else if truth.always_false() {
+            report.push(Diagnostic::new(
+                Code::Q102,
+                object,
+                "the qualification is FALSE for every entity: the query selects nothing",
+            ));
+        } else if !truth.may_be_true() {
+            report.push(Diagnostic::new(
+                Code::Q102,
+                object,
+                "the qualification can never be TRUE (only FALSE or UNKNOWN): the query \
+                 selects nothing",
+            ));
+        }
+    }
+
+    // Q104 can also hide in targets and ORDER BY keys; fold their boolean
+    // subtrees too (without classifying them).
+    for e in query.targets.iter().chain(query.order_by.iter().map(|(e, _)| e)) {
+        fold_comparisons(&mut folder, e);
+    }
+
+    report.merge(folder.report);
+
+    // Structural walks over every expression of the query.
+    let exprs: Vec<&BExpr> = query
+        .targets
+        .iter()
+        .chain(query.order_by.iter().map(|(e, _)| e))
+        .chain(query.selection.iter())
+        .collect();
+    for e in &exprs {
+        walk(e, &mut |x| {
+            check_self_comparison(x, object, &mut report);
+            check_empty_subrole_quantifier(catalog, x, object, &mut report);
+        });
+    }
+
+    check_unused_roots(catalog, query, object, &mut report);
+    check_redundant_as(catalog, query, object, &mut report);
+
+    report
+}
+
+/// Lint one parsed statement. Statements that fail semantic analysis return
+/// the analysis error — the caller decides whether that is fatal.
+pub fn check_statement(
+    catalog: &Catalog,
+    stmt: &Statement,
+    object: &str,
+) -> Result<Report, QueryError> {
+    match stmt {
+        Statement::Retrieve(r) => {
+            let bound = Binder::bind_retrieve(catalog, r)?;
+            Ok(check_bound(catalog, &bound, object))
+        }
+        Statement::Modify(m) => {
+            check_update_where(catalog, &m.class, m.where_clause.as_ref(), object)
+        }
+        Statement::Delete(d) => {
+            check_update_where(catalog, &d.class, d.where_clause.as_ref(), object)
+        }
+        // INSERT has no qualification of its own; its WITH selectors are
+        // checked by the engine when the statement runs.
+        Statement::Insert(_) => Ok(Report::new()),
+    }
+}
+
+/// Parse DML source and lint every statement in it.
+pub fn check_source(catalog: &Catalog, source: &str) -> Result<Report, QueryError> {
+    let statements = sim_dml::parse_statements(source)?;
+    let mut report = Report::new();
+    let single = statements.len() == 1;
+    for (i, stmt) in statements.iter().enumerate() {
+        let object = if single { "query".to_string() } else { format!("statement {}", i + 1) };
+        report.merge(check_statement(catalog, stmt, &object)?);
+    }
+    Ok(report)
+}
+
+fn check_update_where(
+    catalog: &Catalog,
+    class: &str,
+    where_clause: Option<&sim_dml::Expr>,
+    object: &str,
+) -> Result<Report, QueryError> {
+    let Some(expr) = where_clause else { return Ok(Report::new()) };
+    let class_id = catalog
+        .class_by_name(class)
+        .ok_or_else(|| QueryError::Analyze(format!("unknown class {class}")))?
+        .id;
+    let bound = Binder::bind_selection(catalog, class_id, expr)?;
+    Ok(check_bound(catalog, &bound, object))
+}
+
+/// Apply `f` to every sub-expression, outermost first.
+fn walk<'e>(e: &'e BExpr, f: &mut impl FnMut(&'e BExpr)) {
+    f(e);
+    match e {
+        BExpr::Binary { lhs, rhs, .. } => {
+            walk(lhs, f);
+            walk(rhs, f);
+        }
+        BExpr::Not(x) | BExpr::Neg(x) => walk(x, f),
+        BExpr::Const(_)
+        | BExpr::NodeValue(_)
+        | BExpr::Attr { .. }
+        | BExpr::Aggregate { .. }
+        | BExpr::Quantified { .. }
+        | BExpr::IsA { .. } => {}
+    }
+}
+
+/// Run the folder over every boolean comparison inside a value expression so
+/// its type checks (Q104) fire even outside WHERE clauses.
+fn fold_comparisons(folder: &mut Folder<'_>, e: &BExpr) {
+    walk(e, &mut |x| {
+        if let BExpr::Binary { op, .. } = x {
+            if matches!(
+                op,
+                BinOp::Eq
+                    | BinOp::Ne
+                    | BinOp::Lt
+                    | BinOp::Le
+                    | BinOp::Gt
+                    | BinOp::Ge
+                    | BinOp::Matches
+            ) {
+                let _ = folder.truth_of(x);
+            }
+        }
+    });
+}
+
+/// Q107: `x = x` and friends. Under 3VL a self-comparison is UNKNOWN (not
+/// TRUE) whenever the value is null, so it neither always-selects nor
+/// usefully filters — it is a null test written by accident.
+fn check_self_comparison(e: &BExpr, object: &str, report: &mut Report) {
+    let BExpr::Binary { op, lhs, rhs } = e else { return };
+    if !matches!(op, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge) {
+        return;
+    }
+    // Constant = constant folds precisely; the hint is for row-dependent
+    // operands that *look* tautological but are not.
+    if matches!(**lhs, BExpr::Const(_)) {
+        return;
+    }
+    if lhs == rhs {
+        report.push(Diagnostic::new(
+            Code::Q107,
+            object,
+            format!(
+                "an expression is compared with itself (`{op}`): under three-valued logic \
+                 this is UNKNOWN, not TRUE, when the value is null"
+            ),
+        ));
+    }
+}
+
+/// Q106: a quantifier ranging over a subrole enumeration with no labels —
+/// the value set is statically empty, so `all` is vacuously TRUE and `some`
+/// is FALSE on every row.
+fn check_empty_subrole_quantifier(catalog: &Catalog, e: &BExpr, object: &str, report: &mut Report) {
+    let BExpr::Quantified { quantifier, chain } = e else { return };
+    for step in &chain.steps {
+        let ChainStep::MvDva(attr_id) = step else { continue };
+        let Ok(attr) = catalog.attribute(*attr_id) else { continue };
+        if let AttributeKind::Subrole { labels } = &attr.kind {
+            if labels.is_empty() {
+                report.push(Diagnostic::new(
+                    Code::Q106,
+                    object,
+                    format!(
+                        "`{quantifier}({})` quantifies over a subrole enumeration with no \
+                         declared labels: the set is always empty, so the comparison is \
+                         vacuous",
+                        attr.name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Q105: a perspective (range variable) none of whose nodes are referenced
+/// by targets, ordering or selection. With several perspectives, the unused
+/// one still multiplies the iteration space (§4.5's nested loops).
+fn check_unused_roots(catalog: &Catalog, query: &BoundQuery, object: &str, report: &mut Report) {
+    if query.roots.len() < 2 {
+        return;
+    }
+    let mut used = Vec::new();
+    for e in query
+        .targets
+        .iter()
+        .chain(query.order_by.iter().map(|(e, _)| e))
+        .chain(query.selection.iter())
+    {
+        e.referenced_nodes(&mut used);
+    }
+    let root_of = |mut n: usize| {
+        while let Some(p) = query.nodes[n].parent {
+            n = p;
+        }
+        n
+    };
+    let used_roots: Vec<usize> = used.iter().map(|&n| root_of(n)).collect();
+    for &root in &query.roots {
+        if !used_roots.contains(&root) {
+            let name = query.nodes[root]
+                .class
+                .and_then(|c| catalog.class(c).ok())
+                .map_or_else(|| "?".to_string(), |c| c.name.clone());
+            report.push(Diagnostic::new(
+                Code::Q105,
+                object,
+                format!(
+                    "perspective {name} is never used by the target list, ordering or \
+                     selection, but still multiplies the iteration space"
+                ),
+            ));
+        }
+    }
+}
+
+/// Q108: an `AS` role conversion that converts to the same class or an
+/// ancestor — upward conversion never filters (§4.2), so the node is a
+/// no-op.
+fn check_redundant_as(catalog: &Catalog, query: &BoundQuery, object: &str, report: &mut Report) {
+    for node in &query.nodes {
+        let NodeOrigin::Restrict { class } = node.origin else { continue };
+        if node.role_filter.is_some() {
+            continue;
+        }
+        let name = catalog.class(class).map_or_else(|_| "?".to_string(), |c| c.name.clone());
+        report.push(Diagnostic::new(
+            Code::Q108,
+            object,
+            format!(
+                "`AS {name}` converts to the same role or an ancestor: every entity \
+                 already holds that role, so the conversion is a no-op"
+            ),
+        ));
+    }
+}

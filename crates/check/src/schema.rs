@@ -1,0 +1,381 @@
+//! Schema lints: the well-formedness rules of §3.1–§3.3 beyond what the
+//! catalog itself enforces.
+//!
+//! Two entry points, matching the two moments a schema exists in:
+//!
+//! * [`check_class_graph`] runs over the *declared* class graph (plain
+//!   name/superclass pairs) before any catalog mutation — this is where
+//!   structurally unrepresentable schemas (subclass cycles, duplicate
+//!   declarations) are caught with a real diagnostic instead of a generic
+//!   resolution error;
+//! * [`check_catalog`] runs over a finalized [`Catalog`] and inspects
+//!   attribute options, EVA inverse symmetry, subrole narrowing, physical
+//!   mappings and VERIFY constraints (which it parses, binds and
+//!   constant-folds under three-valued logic).
+
+use crate::diag::{Code, Diagnostic, Report, Span};
+use crate::fold::Folder;
+use sim_catalog::{Attribute, AttributeKind, Catalog, EvaMapping};
+use sim_query::bind::Binder;
+use std::collections::HashMap;
+
+/// A class declaration as written, before installation.
+#[derive(Debug, Clone)]
+pub struct ClassDecl {
+    /// The declared class name.
+    pub name: String,
+    /// The declared superclass names (empty for a base class).
+    pub superclasses: Vec<String>,
+    /// Where the declaration sits in the DDL source, when known.
+    pub span: Option<Span>,
+}
+
+impl ClassDecl {
+    /// A declaration with no source span.
+    pub fn new(name: impl Into<String>, superclasses: Vec<String>) -> Self {
+        ClassDecl { name: name.into(), superclasses, span: None }
+    }
+}
+
+/// Lint the declared class graph: subclass cycles (`SIM-S001`), duplicate
+/// class declarations (`SIM-S002`) and duplicate superclass references
+/// (`SIM-S003`). Runs before any catalog mutation; superclass names that
+/// resolve to no declaration are left for the installer to report.
+pub fn check_class_graph(decls: &[ClassDecl]) -> Report {
+    let mut report = Report::new();
+    let lc = |s: &str| s.to_ascii_lowercase();
+
+    // S002: duplicate declarations.
+    let mut index: HashMap<String, usize> = HashMap::new();
+    for (i, d) in decls.iter().enumerate() {
+        if let Some(&first) = index.get(&lc(&d.name)) {
+            let mut diag = Diagnostic::new(
+                Code::S002,
+                format!("class {}", d.name),
+                format!(
+                    "class {} is declared twice (first declaration kept: {})",
+                    d.name, decls[first].name
+                ),
+            );
+            if let Some(span) = d.span {
+                diag = diag.with_span(span);
+            }
+            report.push(diag);
+        } else {
+            index.insert(lc(&d.name), i);
+        }
+    }
+
+    // S003: a superclass listed twice in one declaration.
+    for d in decls {
+        let mut seen: Vec<String> = Vec::new();
+        for s in &d.superclasses {
+            if seen.contains(&lc(s)) {
+                let mut diag = Diagnostic::new(
+                    Code::S003,
+                    format!("class {}", d.name),
+                    format!("superclass {s} is listed more than once"),
+                );
+                if let Some(span) = d.span {
+                    diag = diag.with_span(span);
+                }
+                report.push(diag);
+            } else {
+                seen.push(lc(s));
+            }
+        }
+    }
+
+    // S001: cycles. DFS with colors over the name graph (edges class →
+    // superclass); each cycle is reported once, at its first-declared member.
+    let n = decls.len();
+    let edges: Vec<Vec<usize>> = decls
+        .iter()
+        .map(|d| d.superclasses.iter().filter_map(|s| index.get(&lc(s)).copied()).collect())
+        .collect();
+    // 0 = white, 1 = on stack, 2 = done.
+    let mut color = vec![0u8; n];
+    let mut reported = vec![false; n];
+    for start in 0..n {
+        if color[start] != 0 {
+            continue;
+        }
+        // Iterative DFS keeping the explicit path for cycle extraction.
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        let mut path: Vec<usize> = vec![start];
+        color[start] = 1;
+        while let Some((node, edge_idx)) = stack.pop() {
+            if edge_idx < edges[node].len() {
+                stack.push((node, edge_idx + 1));
+                let next = edges[node][edge_idx];
+                match color[next] {
+                    0 => {
+                        color[next] = 1;
+                        path.push(next);
+                        stack.push((next, 0));
+                    }
+                    1 => {
+                        // Back edge: the cycle is the path suffix from `next`.
+                        let pos = path.iter().position(|&p| p == next).unwrap_or(0);
+                        let members: Vec<&str> =
+                            path[pos..].iter().map(|&p| decls[p].name.as_str()).collect();
+                        let anchor = path[pos];
+                        if !reported[anchor] {
+                            reported[anchor] = true;
+                            let mut diag = Diagnostic::new(
+                                Code::S001,
+                                format!("class {}", decls[anchor].name),
+                                format!(
+                                    "subclass cycle in the generalization graph: {} -> {} \
+                                     (§3.1 requires a DAG)",
+                                    members.join(" -> "),
+                                    decls[anchor].name
+                                ),
+                            );
+                            if let Some(span) = decls[anchor].span {
+                                diag = diag.with_span(span);
+                            }
+                            report.push(diag);
+                        }
+                    }
+                    _ => {}
+                }
+            } else {
+                color[node] = 2;
+                path.pop();
+            }
+        }
+    }
+
+    report
+}
+
+/// Lint a finalized catalog: attribute-option, inverse-symmetry, subrole,
+/// shadowing and physical-mapping rules, plus the VERIFY constraint checks
+/// (`SIM-S011`, `SIM-Q109`, `SIM-Q110` and any `SIM-Q104` found while
+/// folding assertions).
+pub fn check_catalog(catalog: &Catalog) -> Report {
+    let mut report = Report::new();
+
+    for class in catalog.classes() {
+        // S013: a leaf class carrying no immediate attributes.
+        if class.attributes.is_empty() && class.subclasses.is_empty() {
+            report.push(Diagnostic::new(
+                Code::S013,
+                format!("class {}", class.name),
+                "leaf class with no attributes: its entities carry no information beyond the role",
+            ));
+        }
+        for &attr_id in &class.attributes {
+            let Ok(attr) = catalog.attribute(attr_id) else { continue };
+            check_attribute(catalog, &class.name, attr, &mut report);
+        }
+    }
+
+    check_sibling_shadowing(catalog, &mut report);
+
+    for v in catalog.verifies() {
+        check_verify(catalog, v, &mut report);
+    }
+
+    report
+}
+
+fn check_attribute(catalog: &Catalog, class_name: &str, attr: &Attribute, report: &mut Report) {
+    let object = format!("class {class_name}/attribute {}", attr.name);
+
+    if attr.options.unique && attr.options.multivalued {
+        report.push(Diagnostic::new(
+            Code::S004,
+            object.clone(),
+            "UNIQUE on a multi-valued attribute: §3.2.1 uniqueness ranges over entities' \
+             single values, not value sets — the option cannot be enforced",
+        ));
+    }
+    if attr.options.multivalued && attr.options.max == Some(1) {
+        report.push(Diagnostic::new(
+            Code::S005,
+            object.clone(),
+            "multi-valued with MAX 1: declare the attribute single-valued instead",
+        ));
+    }
+
+    match &attr.kind {
+        AttributeKind::Eva { inverse, implicit, .. } => {
+            if !implicit {
+                if let Some(inv_id) = inverse {
+                    if let Ok(inv) = catalog.attribute(*inv_id) {
+                        let inv_implicit =
+                            matches!(inv.kind, AttributeKind::Eva { implicit: true, .. });
+                        // S006: the partner side was never declared.
+                        if inv_implicit {
+                            report.push(Diagnostic::new(
+                                Code::S006,
+                                object.clone(),
+                                format!(
+                                    "EVA has no declared inverse; the system invented {} — \
+                                     name it so queries can traverse both directions (§3.2)",
+                                    inv.name
+                                ),
+                            ));
+                        }
+                        // S007: both sides of a 1:1 pair REQUIRED. Report at
+                        // the side with the smaller id so each pair fires
+                        // once.
+                        if attr.options.required
+                            && inv.options.required
+                            && !attr.options.multivalued
+                            && !inv.options.multivalued
+                            && !inv_implicit
+                            && attr.id.0 < inv.id.0
+                        {
+                            report.push(Diagnostic::new(
+                                Code::S007,
+                                object.clone(),
+                                format!(
+                                    "both sides of the one-to-one EVA pair ({} / {}) are \
+                                     REQUIRED: no first entity of either class can be inserted",
+                                    attr.name, inv.name
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+            // S012: foreign-key mapping is only defined for single-valued
+            // sides (§5.2).
+            if attr.mapping == EvaMapping::ForeignKey && attr.options.multivalued {
+                report.push(Diagnostic::new(
+                    Code::S012,
+                    object,
+                    "foreign-key physical mapping forced onto a multi-valued EVA side; \
+                     §5.2's foreign-key mapping holds one partner surrogate",
+                ));
+            }
+        }
+        AttributeKind::Subrole { labels } => {
+            if attr.options.required {
+                report.push(Diagnostic::new(
+                    Code::S008,
+                    object.clone(),
+                    "REQUIRED on a system-maintained subrole attribute: an entity holding \
+                     no subclass role would violate it",
+                ));
+            }
+            if attr.options.unique {
+                report.push(Diagnostic::new(
+                    Code::S009,
+                    object,
+                    "UNIQUE narrows a system-maintained subrole enumeration: many entities \
+                     legitimately share role labels",
+                ));
+            } else if let Some(max) = attr.options.max {
+                if (max as usize) < labels.len() {
+                    report.push(Diagnostic::new(
+                        Code::S009,
+                        object,
+                        format!(
+                            "MAX {max} narrows the subrole enumeration below its {} declared \
+                             labels: the system may need to store more roles than allowed",
+                            labels.len()
+                        ),
+                    ));
+                }
+            }
+        }
+        AttributeKind::Dva { .. } | AttributeKind::Derived { .. } => {}
+    }
+}
+
+/// S010: the same attribute name declared on unrelated classes of one
+/// hierarchy. Legal today (no class sees both), but the moment a diamond
+/// subclass joins the branches the name becomes ambiguous and the catalog
+/// will reject the schema.
+fn check_sibling_shadowing(catalog: &Catalog, report: &mut Report) {
+    // (base class, lowercase attr name) → [(class name, attr)].
+    let mut by_name: HashMap<(sim_catalog::ClassId, String), Vec<(String, &Attribute)>> =
+        HashMap::new();
+    for class in catalog.classes() {
+        for &attr_id in &class.attributes {
+            let Ok(attr) = catalog.attribute(attr_id) else { continue };
+            // Implicit inverses were invented by the system; their names are
+            // not the user's doing.
+            if matches!(attr.kind, AttributeKind::Eva { implicit: true, .. }) {
+                continue;
+            }
+            by_name
+                .entry((class.base, attr.name.to_ascii_lowercase()))
+                .or_default()
+                .push((class.name.clone(), attr));
+        }
+    }
+    let mut findings: Vec<String> = Vec::new();
+    for ((_, _), owners) in &by_name {
+        for i in 0..owners.len() {
+            for j in (i + 1)..owners.len() {
+                let (a, b) = (&owners[i], &owners[j]);
+                let (ca, cb) = (a.1.owner, b.1.owner);
+                if !catalog.is_same_or_ancestor(ca, cb) && !catalog.is_same_or_ancestor(cb, ca) {
+                    let (first, second) = if a.0 <= b.0 { (a, b) } else { (b, a) };
+                    findings.push(format!(
+                        "attribute {} is declared on both {} and {} — unrelated classes of \
+                         one hierarchy; a future common subclass would make the name ambiguous",
+                        first.1.name, first.0, second.0
+                    ));
+                }
+            }
+        }
+    }
+    findings.sort();
+    findings.dedup();
+    for message in findings {
+        report.push(Diagnostic::new(Code::S010, "schema", message));
+    }
+}
+
+/// VERIFY constraint lints: S011 (does not parse/bind), Q109 (never FALSE —
+/// unviolable), Q110 (always FALSE), plus Q104 from folding the assertion.
+fn check_verify(catalog: &Catalog, v: &sim_catalog::VerifyConstraint, report: &mut Report) {
+    let object = format!("verify {}", v.name);
+    let expr = match sim_dml::parse_expression(&v.assertion) {
+        Ok(e) => e,
+        Err(e) => {
+            report.push(Diagnostic::new(
+                Code::S011,
+                object,
+                format!("assertion does not parse: {e}"),
+            ));
+            return;
+        }
+    };
+    let bound = match Binder::bind_selection(catalog, v.class, &expr) {
+        Ok(b) => b,
+        Err(e) => {
+            report.push(Diagnostic::new(
+                Code::S011,
+                object,
+                format!("assertion does not bind against its class: {e}"),
+            ));
+            return;
+        }
+    };
+    let Some(selection) = &bound.selection else { return };
+    let mut folder = Folder::new(catalog, &bound, &object);
+    let truth = folder.truth_of(selection);
+    report.merge(folder.report);
+    if truth.always_false() {
+        report.push(Diagnostic::new(
+            Code::Q110,
+            object,
+            "assertion is FALSE for every entity: the first insert into the class will \
+             always be rejected",
+        ));
+    } else if !truth.may_be_false() {
+        report.push(Diagnostic::new(
+            Code::Q109,
+            object,
+            "assertion can never be FALSE (UNKNOWN passes, §3.3): the constraint can \
+             never be violated and enforces nothing",
+        ));
+    }
+}

@@ -2,6 +2,7 @@
 
 use crate::error::SimError;
 use sim_catalog::Catalog;
+use sim_check::Report as CheckReport;
 use sim_luc::Mapper;
 use sim_obs::{MetricsSnapshot, Registry, Trace};
 use sim_query::{AnalyzedPlan, ExecResult, Plan, QueryEngine, QueryOutput};
@@ -57,6 +58,29 @@ impl Database {
     /// The optimizer's strategy for a retrieve (EXPLAIN).
     pub fn explain(&self, dml: &str) -> Result<Plan, SimError> {
         Ok(self.engine.explain(dml)?)
+    }
+
+    /// EXPLAIN plus static analysis: the optimizer's strategy alongside any
+    /// `sim-check` lints for the same statement (tautological or
+    /// always-UNKNOWN qualifications, unused perspectives, …).
+    pub fn explain_checked(&self, dml: &str) -> Result<(Plan, CheckReport), SimError> {
+        let plan = self.engine.explain(dml)?;
+        let report = sim_check::check_source(self.catalog(), dml)?;
+        Ok((plan, report))
+    }
+
+    /// Statically analyze a DML script without running it: parse, bind, and
+    /// lint every statement (`SIM-Q1xx` rules). Statements that fail to
+    /// parse or bind are ordinary errors, not diagnostics.
+    pub fn check(&self, dml: &str) -> Result<CheckReport, SimError> {
+        Ok(sim_check::check_source(self.catalog(), dml)?)
+    }
+
+    /// Statically analyze the installed schema (`SIM-S0xx` rules).
+    /// Installation already rejects Error-level findings, so this reports
+    /// the surviving warnings and hints.
+    pub fn check_schema(&self) -> CheckReport {
+        sim_check::check_catalog(self.catalog())
     }
 
     /// EXPLAIN ANALYZE: execute the retrieve with an instrumented executor

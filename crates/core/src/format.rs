@@ -7,9 +7,11 @@ use sim_query::QueryOutput;
 pub fn format_output(out: &QueryOutput) -> String {
     match out {
         QueryOutput::Table { columns, rows } => {
-            let mut widths: Vec<usize> = columns.iter().map(|c| c.len()).collect();
-            let rendered: Vec<Vec<String>> =
-                rows.iter().map(|r| r.iter().map(|v| v.to_string()).collect()).collect();
+            let mut widths: Vec<usize> = columns.iter().map(std::string::String::len).collect();
+            let rendered: Vec<Vec<String>> = rows
+                .iter()
+                .map(|r| r.iter().map(std::string::ToString::to_string).collect())
+                .collect();
             for row in &rendered {
                 for (i, cell) in row.iter().enumerate() {
                     widths[i] = widths[i].max(cell.len());

@@ -16,6 +16,8 @@
 //! assert_eq!(out.rows().len(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cursor;
 pub mod database;
 pub mod error;
@@ -26,6 +28,7 @@ pub use database::Database;
 pub use error::SimError;
 pub use format::format_output;
 
+pub use sim_check::{Code as CheckCode, Diagnostic, Report as CheckReport, Severity};
 pub use sim_obs::{MetricsSnapshot, Trace};
 pub use sim_query::{AnalyzedPlan, ExecResult, Plan, QueryOutput, StepActuals};
 pub use sim_storage::IoSnapshot;

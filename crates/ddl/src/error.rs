@@ -1,6 +1,7 @@
 //! DDL errors.
 
 use sim_catalog::CatalogError;
+use sim_check::Report;
 use sim_dml::ParseError;
 use std::fmt;
 
@@ -13,6 +14,10 @@ pub enum DdlError {
     Catalog(CatalogError),
     /// A reference the installer could not resolve (unknown type or class).
     Unresolved(String),
+    /// Static analysis found Error-level diagnostics; the catalog was not
+    /// mutated (or not finalized). The full report — including any warnings
+    /// and hints that accompanied the errors — rides along for display.
+    Check(Report),
 }
 
 impl fmt::Display for DdlError {
@@ -21,6 +26,9 @@ impl fmt::Display for DdlError {
             DdlError::Parse(e) => write!(f, "{e}"),
             DdlError::Catalog(e) => write!(f, "{e}"),
             DdlError::Unresolved(m) => write!(f, "unresolved reference: {m}"),
+            DdlError::Check(report) => {
+                write!(f, "schema rejected by static analysis:\n{}", report.to_text())
+            }
         }
     }
 }

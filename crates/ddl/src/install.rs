@@ -9,12 +9,34 @@
 use crate::ast::{AttrDecl, AttrTypeSpec, DdlStatement, MappingKind};
 use crate::error::DdlError;
 use sim_catalog::{AttributeOptions, Catalog, ClassId, EvaMapping};
+use sim_check::ClassDecl;
 use sim_types::domain::SymbolicType;
 use sim_types::{Domain, IntRange};
 use std::sync::Arc;
 
 /// Install statements into `catalog` and finalize it.
+///
+/// Installation is gated by static analysis at both ends: the class graph is
+/// linted *before* pass 1 (so a cyclic or duplicated hierarchy is rejected
+/// without mutating the catalog), and the finalized catalog is linted before
+/// returning (UNIQUE-on-MV attributes, unviolable VERIFYs, …). Error-level
+/// findings abort with [`DdlError::Check`]; warnings and hints do not.
 pub fn install_schema(statements: &[DdlStatement], catalog: &mut Catalog) -> Result<(), DdlError> {
+    // Gate 1: the class graph must be sound before we touch the catalog.
+    let decls: Vec<ClassDecl> = statements
+        .iter()
+        .filter_map(|stmt| match stmt {
+            DdlStatement::ClassDef { name, superclasses, .. } => {
+                Some(ClassDecl::new(name.clone(), superclasses.clone()))
+            }
+            _ => None,
+        })
+        .collect();
+    let graph_report = sim_check::check_class_graph(&decls);
+    if graph_report.has_errors() {
+        return Err(DdlError::Check(graph_report));
+    }
+
     // Pass 1: types and class skeletons.
     for stmt in statements {
         match stmt {
@@ -63,6 +85,13 @@ pub fn install_schema(statements: &[DdlStatement], catalog: &mut Catalog) -> Res
     }
 
     catalog.finalize()?;
+
+    // Gate 2: lint the finalized catalog (attribute options, mappings,
+    // VERIFY constraints). Only Error-level findings block installation.
+    let catalog_report = sim_check::check_catalog(catalog);
+    if catalog_report.has_errors() {
+        return Err(DdlError::Check(catalog_report));
+    }
     Ok(())
 }
 
@@ -93,6 +122,29 @@ fn install_attribute(
     let options = options_of(attr);
     let attr_id = match &attr.spec {
         AttrTypeSpec::Subrole(labels) => {
+            // The catalog rejects these shapes too, but with a generic
+            // message; report them under their stable lint codes instead.
+            if attr.required || attr.unique {
+                let mut report = sim_check::Report::new();
+                let object = format!("attribute {}", attr.name);
+                if attr.required {
+                    report.push(sim_check::Diagnostic::new(
+                        sim_check::Code::S008,
+                        &object,
+                        "REQUIRED on a system-maintained subrole attribute: an entity \
+                         holding no subclass role would violate it",
+                    ));
+                }
+                if attr.unique {
+                    report.push(sim_check::Diagnostic::new(
+                        sim_check::Code::S009,
+                        &object,
+                        "UNIQUE narrows a system-maintained subrole enumeration: many \
+                         entities legitimately share role labels",
+                    ));
+                }
+                return Err(DdlError::Check(report));
+            }
             catalog.add_subrole(class, &attr.name, labels.clone(), options)?
         }
         AttrTypeSpec::Derived(source) => catalog.add_derived(class, &attr.name, source)?,

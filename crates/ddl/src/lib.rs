@@ -20,6 +20,8 @@
 //! typos repaired: `teaching load` → `teaching-load`, `string[30j` →
 //! `string[30]`).
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod error;
 pub mod install;

@@ -69,7 +69,9 @@ impl<'a> Parser<'a> {
         } else {
             Err(self.err(format!(
                 "expected {what}, found {}",
-                self.peek().map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                self.peek()
+                    .map(std::string::ToString::to_string)
+                    .unwrap_or_else(|| "end of input".into())
             )))
         }
     }
@@ -178,8 +180,8 @@ impl<'a> Parser<'a> {
         loop {
             match self.peek() {
                 None => return Err(self.err("assert clause not terminated by else")),
-                Some(Tok::LParen) | Some(Tok::LBracket) => depth += 1,
-                Some(Tok::RParen) | Some(Tok::RBracket) => {
+                Some(Tok::LParen | Tok::LBracket) => depth += 1,
+                Some(Tok::RParen | Tok::RBracket) => {
                     depth = depth.saturating_sub(1);
                 }
                 Some(Tok::Ident(s)) if s == "else" && depth == 0 => {
@@ -278,10 +280,10 @@ impl<'a> Parser<'a> {
         loop {
             match self.peek() {
                 None => return Err(self.err("derived expression not terminated")),
-                Some(Tok::LParen) | Some(Tok::LBracket) => depth += 1,
+                Some(Tok::LParen | Tok::LBracket) => depth += 1,
                 Some(Tok::RParen) if depth == 0 => break,
                 Some(Tok::Semicolon) if depth == 0 => break,
-                Some(Tok::RParen) | Some(Tok::RBracket) => depth -= 1,
+                Some(Tok::RParen | Tok::RBracket) => depth -= 1,
                 _ => {}
             }
             end = self.tokens[self.pos].end;

@@ -18,6 +18,8 @@
 //!   `courses-enrolled` is one name; `salary - bonus` is a subtraction.
 //! * A statement ends with `.` or `;` (the paper writes terminal periods).
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod error;
 pub mod lex;

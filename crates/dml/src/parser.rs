@@ -114,7 +114,9 @@ impl<'a> Parser<'a> {
         } else {
             Err(self.err(format!(
                 "expected {what}, found {}",
-                self.peek().map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                self.peek()
+                    .map(std::string::ToString::to_string)
+                    .unwrap_or_else(|| "end of input".into())
             )))
         }
     }
@@ -125,7 +127,9 @@ impl<'a> Parser<'a> {
         } else {
             Err(self.err(format!(
                 "expected keyword {kw}, found {}",
-                self.peek().map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                self.peek()
+                    .map(std::string::ToString::to_string)
+                    .unwrap_or_else(|| "end of input".into())
             )))
         }
     }

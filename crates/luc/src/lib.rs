@@ -23,6 +23,8 @@
 //! relationship instances the deleted roles participate in, and the
 //! REQUIRED / UNIQUE / MV / DISTINCT / MAX options are enforced here.
 
+#![forbid(unsafe_code)]
+
 pub mod error;
 pub mod layout;
 pub mod mapper;

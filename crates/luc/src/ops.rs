@@ -1251,10 +1251,10 @@ impl Mapper {
         hi: Option<&Value>,
         hi_inclusive: bool,
     ) -> Result<Option<Vec<Surrogate>>, MapperError> {
-        let tree = match self.unique_idx.get(&attr_id).or_else(|| self.secondary_idx.get(&attr_id))
-        {
-            Some(&t) => t,
-            None => return Ok(None),
+        let Some(&tree) =
+            self.unique_idx.get(&attr_id).or_else(|| self.secondary_idx.get(&attr_id))
+        else {
+            return Ok(None);
         };
         self.stats.index_probes_btree.inc();
         let lo_key = lo.map(|v| ordered::encode_key(std::slice::from_ref(v)));

@@ -22,6 +22,8 @@
 //! need no synchronization with the data they describe, only eventual
 //! visibility, so the hot-path cost is a single uncontended RMW.
 
+#![forbid(unsafe_code)]
+
 pub mod json;
 pub mod metrics;
 pub mod trace;

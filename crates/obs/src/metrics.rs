@@ -316,7 +316,7 @@ impl MetricsSnapshot {
             let body = json::object([
                 ("count", h.count.to_string()),
                 ("sum_micros", h.sum_micros.to_string()),
-                ("buckets", json::array(h.buckets.iter().map(|b| b.to_string()))),
+                ("buckets", json::array(h.buckets.iter().map(std::string::ToString::to_string))),
             ]);
             (name.as_str(), body)
         }));

@@ -43,7 +43,7 @@ impl Span {
                 "fields",
                 json::object(self.fields.iter().map(|(k, v)| (k.as_str(), json::string(v)))),
             ),
-            ("children", json::array(self.children.iter().map(|c| c.to_json()))),
+            ("children", json::array(self.children.iter().map(Span::to_json))),
         ])
     }
 
@@ -94,7 +94,7 @@ impl Trace {
         json::object([
             ("label", json::string(&self.label)),
             ("total_micros", self.total_micros().to_string()),
-            ("spans", json::array(self.spans.iter().map(|s| s.to_json()))),
+            ("spans", json::array(self.spans.iter().map(Span::to_json))),
         ])
     }
 }

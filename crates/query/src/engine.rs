@@ -270,7 +270,9 @@ impl QueryEngine {
                     Statement::Delete(d) => {
                         update::exec_delete(&mut self.mapper, &mut txn, d, &mut writes)
                     }
-                    Statement::Retrieve(_) => unreachable!(),
+                    Statement::Retrieve(_) => {
+                        Err(QueryError::Internal("retrieve dispatched as update".into()))
+                    }
                 };
                 let count = match result {
                     Ok(n) => n,

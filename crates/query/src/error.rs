@@ -25,6 +25,10 @@ pub enum QueryError {
     },
     /// The update's entity selector matched the wrong number of entities.
     Selector(String),
+    /// A broken internal invariant (a bound tree whose shape the executor
+    /// does not recognize). Surfaced as an error instead of a panic so one
+    /// bad statement cannot take down an embedding application.
+    Internal(String),
 }
 
 impl fmt::Display for QueryError {
@@ -38,6 +42,7 @@ impl fmt::Display for QueryError {
                 write!(f, "integrity violation ({constraint}): {message}")
             }
             QueryError::Selector(m) => write!(f, "selector error: {m}"),
+            QueryError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
 }

@@ -282,7 +282,7 @@ pub fn apply_aggregate(
 ) -> Result<Value, QueryError> {
     let mut vals: Vec<Value> = values.into_iter().filter(|v| !v.is_null()).collect();
     if distinct {
-        vals.sort_by(|a, b| a.total_cmp(b));
+        vals.sort_by(sim_types::Value::total_cmp);
         vals.dedup_by(|a, b| a.total_cmp(b) == Ordering::Equal);
     }
     Ok(match func {
@@ -307,7 +307,7 @@ pub fn apply_aggregate(
                 Value::Float(sum / vals.len() as f64)
             }
         }
-        AggFunc::Min => vals.into_iter().min_by(|a, b| a.total_cmp(b)).unwrap_or(Value::Null),
-        AggFunc::Max => vals.into_iter().max_by(|a, b| a.total_cmp(b)).unwrap_or(Value::Null),
+        AggFunc::Min => vals.into_iter().min_by(sim_types::Value::total_cmp).unwrap_or(Value::Null),
+        AggFunc::Max => vals.into_iter().max_by(sim_types::Value::total_cmp).unwrap_or(Value::Null),
     })
 }

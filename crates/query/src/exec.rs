@@ -194,7 +194,10 @@ impl<'a> Executor<'a> {
     pub fn select_entities(&self) -> Result<Vec<sim_types::Surrogate>, QueryError> {
         let rows = self.collect_rows()?;
         let root = self.q.roots[0];
-        let pos = self.q.type13_order.iter().position(|&n| n == root).expect("root in order");
+        let pos =
+            self.q.type13_order.iter().position(|&n| n == root).ok_or_else(|| {
+                QueryError::Internal("root node missing from TYPE 1/3 order".into())
+            })?;
         let mut out = Vec::new();
         let mut seen = HashSet::new();
         for r in rows {
@@ -324,7 +327,10 @@ impl<'a> Executor<'a> {
         match &n.origin {
             NodeOrigin::Perspective { class } => {
                 // Which access path? Find the node's position in root_order.
-                let ri = self.q.roots.iter().position(|&r| r == node).expect("root");
+                let ri =
+                    self.q.roots.iter().position(|&r| r == node).ok_or_else(|| {
+                        QueryError::Internal("perspective node is not a root".into())
+                    })?;
                 let pos = self.plan.root_order.iter().position(|&x| x == ri).unwrap_or(ri);
                 let access = self.plan.access.get(pos);
                 let surrs = match access {
@@ -356,7 +362,9 @@ impl<'a> Executor<'a> {
                 Ok(surrs.into_iter().map(|s| (Value::Entity(s), depth)).collect())
             }
             NodeOrigin::Eva { attr } => {
-                let parent = n.parent.expect("EVA nodes have parents");
+                let parent = n
+                    .parent
+                    .ok_or_else(|| QueryError::Internal("EVA node has no parent".into()))?;
                 match ctx.eval.instance(parent) {
                     Value::Entity(s) => {
                         let mut partners = self.mapper.eva_partners(s, *attr)?;
@@ -369,7 +377,9 @@ impl<'a> Executor<'a> {
                 }
             }
             NodeOrigin::MvDva { attr } => {
-                let parent = n.parent.expect("MV DVA nodes have parents");
+                let parent = n
+                    .parent
+                    .ok_or_else(|| QueryError::Internal("MV DVA node has no parent".into()))?;
                 match ctx.eval.instance(parent) {
                     Value::Entity(s) => Ok(self
                         .mapper
@@ -382,7 +392,9 @@ impl<'a> Executor<'a> {
                 }
             }
             NodeOrigin::Transitive { attr } => {
-                let parent = n.parent.expect("transitive nodes have parents");
+                let parent = n
+                    .parent
+                    .ok_or_else(|| QueryError::Internal("transitive node has no parent".into()))?;
                 match ctx.eval.instance(parent) {
                     Value::Entity(s) => {
                         let mut out = Vec::new();
@@ -400,7 +412,9 @@ impl<'a> Executor<'a> {
                 }
             }
             NodeOrigin::Restrict { class } => {
-                let parent = n.parent.expect("restrict nodes have parents");
+                let parent = n
+                    .parent
+                    .ok_or_else(|| QueryError::Internal("restrict node has no parent".into()))?;
                 match ctx.eval.instance(parent) {
                     Value::Entity(s) if self.mapper.has_role(s, *class)? => {
                         Ok(vec![(Value::Entity(s), depth)])

@@ -187,7 +187,7 @@ impl CompiledVerify {
                         || catalog
                             .attribute(*a)
                             .ok()
-                            .and_then(|at| at.eva_inverse())
+                            .and_then(sim_catalog::Attribute::eva_inverse)
                             .is_some_and(|inv| self.trigger_paths.contains_key(&inv))
                 })
             })

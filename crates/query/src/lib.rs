@@ -28,6 +28,8 @@
 //! * [`analyze`] / [`stats`] — EXPLAIN ANALYZE actuals and the `query.*`
 //!   phase metrics published into the engine-wide registry.
 
+#![forbid(unsafe_code)]
+
 pub mod analyze;
 pub mod bind;
 pub mod bound;

@@ -120,7 +120,9 @@ pub fn plan(mapper: &Mapper, q: &BoundQuery) -> Result<Plan, QueryError> {
     // Candidate access paths per root.
     let mut candidates: Vec<Vec<Candidate>> = Vec::with_capacity(q.roots.len());
     for (ri, &root) in q.roots.iter().enumerate() {
-        let class = q.nodes[root].class.expect("roots are entities");
+        let class = q.nodes[root]
+            .class
+            .ok_or_else(|| QueryError::Internal("root node has no class".into()))?;
         let n = mapper.entity_count(class).max(1) as f64;
         let scan_cost = mapper.class_block_count(class)? as f64 + 1.0;
         let mut cands = vec![Candidate {
@@ -183,7 +185,9 @@ fn cost_order(
         let Some(c) = chosen else { return Ok(None) };
         total += outer_rows * c.cost;
         let root = q.roots[ri];
-        let class = q.nodes[root].class.expect("root");
+        let class = q.nodes[root]
+            .class
+            .ok_or_else(|| QueryError::Internal("root node has no class".into()))?;
         let n = mapper.entity_count(class).max(1) as f64;
         outer_rows *= (n * c.selectivity).max(1.0);
         explanation.push(format!("perspective {}: {}", ri + 1, c.description));
@@ -295,7 +299,7 @@ fn index_candidate(
                 BinOp::Lt => (None, Some(v.clone()), false),
                 BinOp::Le => (None, Some(v.clone()), true),
                 BinOp::Gt | BinOp::Ge => (Some(v.clone()), None, false),
-                _ => unreachable!(),
+                _ => return Ok(None),
             };
             let selectivity = 0.33;
             // Range scans stream matches off consecutive leaves: cheap per

@@ -294,7 +294,8 @@ pub fn exec_insert(
                         } else {
                             match es.len() {
                                 1 => {
-                                    assigns.push((pa.attr, AttrValue::Scalar(Value::Entity(es[0]))))
+                                    assigns
+                                        .push((pa.attr, AttrValue::Scalar(Value::Entity(es[0]))));
                                 }
                                 0 => {
                                     return Err(QueryError::Selector(format!(

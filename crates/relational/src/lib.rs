@@ -13,6 +13,8 @@
 //! UNIVERSITY workload the way a 1988 relational schema would: one table
 //! per class fragment plus junction tables for many:many relationships.
 
+#![forbid(unsafe_code)]
+
 pub mod engine;
 pub mod table;
 

@@ -234,10 +234,7 @@ impl BTree {
                     return None;
                 }
                 // Split the leaf in half.
-                let (entries, next) = match node {
-                    Node::Leaf { entries, next } => (entries, next),
-                    _ => unreachable!(),
-                };
+                let Node::Leaf { entries, next } = node else { unreachable!() };
                 let mid = entries.len() / 2;
                 let mut left_entries = entries;
                 let right_entries = left_entries.split_off(mid);
@@ -263,10 +260,7 @@ impl BTree {
                     write_node(pool, node_id, &node);
                     return None;
                 }
-                let (mut seps, mut children) = match node {
-                    Node::Internal { seps, children } => (seps, children),
-                    _ => unreachable!(),
-                };
+                let Node::Internal { mut seps, mut children } = node else { unreachable!() };
                 // Split: middle separator moves up.
                 let mid = seps.len() / 2;
                 let up = seps[mid].clone();

@@ -131,7 +131,7 @@ impl HeapFile {
         if !self.blocks.contains(&rid.block) {
             return None;
         }
-        pool.read(rid.block, |p| page::get(p, rid.slot).map(|d| d.to_vec()))
+        pool.read(rid.block, |p| page::get(p, rid.slot).map(<[u8]>::to_vec))
     }
 
     /// Replace a record's bytes. Returns the (possibly new) record id: when

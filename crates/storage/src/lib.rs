@@ -26,6 +26,8 @@
 //! * [`engine::StorageEngine`] — the facade that owns the pool and all
 //!   structures and runs operations inside transactions.
 
+#![forbid(unsafe_code)]
+
 pub mod btree;
 pub mod disk;
 pub mod engine;

@@ -11,6 +11,8 @@
 //! a failing case reports its seed so it can be replayed with
 //! [`Rng::new`].
 
+#![forbid(unsafe_code)]
+
 /// A SplitMix64 pseudo-random generator: tiny, fast, and good enough for
 /// test-case generation. Fully determined by its seed.
 #[derive(Debug, Clone)]

@@ -155,7 +155,11 @@ impl Domain {
                 } else {
                     Err(TypeError::DomainViolation(format!(
                         "{v} outside declared ranges {}",
-                        ranges.iter().map(|r| r.to_string()).collect::<Vec<_>>().join(", ")
+                        ranges
+                            .iter()
+                            .map(std::string::ToString::to_string)
+                            .collect::<Vec<_>>()
+                            .join(", ")
                     )))
                 }
             }
@@ -249,7 +253,8 @@ impl fmt::Display for Domain {
         match self {
             Domain::Integer { ranges } if ranges.is_empty() => write!(f, "integer"),
             Domain::Integer { ranges } => {
-                let parts: Vec<String> = ranges.iter().map(|r| r.to_string()).collect();
+                let parts: Vec<String> =
+                    ranges.iter().map(std::string::ToString::to_string).collect();
                 write!(f, "integer ({})", parts.join(", "))
             }
             Domain::String { max_len: Some(n) } => write!(f, "string[{n}]"),

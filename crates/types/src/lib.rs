@@ -16,6 +16,7 @@
 //!   any value type sort identically to [`Value`]'s comparison order.
 //! * [`pattern`] — the DML's string pattern-matching operator.
 
+#![forbid(unsafe_code)]
 // Checked, fallible arithmetic is deliberately inherent (`a.add(b)?`) rather
 // than `std::ops` impls, and 3VL `and/or/not` mirror that shape.
 #![allow(clippy::should_implement_trait)]

@@ -85,7 +85,7 @@ pub fn encode_surrogate(s: Surrogate) -> Vec<u8> {
 /// mantissa with its sign bit flipped so negative < positive bytewise.
 fn encode_numeric(d: Decimal, out: &mut Vec<u8>) {
     // i128 can hold any number[p,s] mantissa at MAX_SCALE for p <= 18.
-    let m = d.rescale(MAX_SCALE).map(|r| r.mantissa()).unwrap_or_else(|_| {
+    let m = d.rescale(MAX_SCALE).map(super::decimal::Decimal::mantissa).unwrap_or_else(|_| {
         // Out-of-range magnitudes saturate; ordering among saturated
         // values is undefined but they are far outside domain limits.
         if d.mantissa() > 0 {

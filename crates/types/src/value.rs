@@ -363,7 +363,7 @@ mod tests {
     #[test]
     fn total_order_puts_nulls_first() {
         let mut vals = vec![Value::Int(2), Value::Null, Value::Int(1)];
-        vals.sort_by(|a, b| a.total_cmp(b));
+        vals.sort_by(super::Value::total_cmp);
         assert_eq!(vals, vec![Value::Null, Value::Int(1), Value::Int(2)]);
     }
 

@@ -11,10 +11,12 @@
 //! ```
 //!
 //! Meta commands: `\schema` lists classes and attributes, `\explain <q>`
-//! shows the optimizer's strategy, `\analyze <q>` executes it and shows
-//! per-step actual rows and I/O, `\stats` dumps the metrics registry,
-//! `\trace` shows the last statement's span tree, `\verify on|off`
-//! toggles enforcement, `\quit` exits.
+//! shows the optimizer's strategy (plus any static-analysis lints),
+//! `\analyze <q>` executes it and shows per-step actual rows and I/O,
+//! `\check <q>` lints a statement without running it (`\check` alone lints
+//! the schema), `\stats` dumps the metrics registry, `\trace` shows the
+//! last statement's span tree, `\verify on|off` toggles enforcement,
+//! `\quit` exits.
 
 use sim::{format_output, Database, ExecResult};
 use std::io::{self, BufRead, Write};
@@ -46,7 +48,7 @@ fn print_schema(db: &Database) {
             } else if attr.is_derived() {
                 format!("derived := {}", attr.derived_source().unwrap_or(""))
             } else {
-                attr.dva_domain().map(|d| d.to_string()).unwrap_or_default()
+                attr.dva_domain().map(std::string::ToString::to_string).unwrap_or_default()
             };
             let mv = if attr.options.multivalued { " mv" } else { "" };
             println!("    {}: {shape}{mv}", attr.name);
@@ -62,7 +64,7 @@ fn main() -> io::Result<()> {
 
     println!("SIM interactive query facility — UNIVERSITY database loaded.");
     println!(
-        "End statements with '.'; meta: \\schema \\explain <q> \\analyze <q> \\stats \\trace \\verify on|off \\quit"
+        "End statements with '.'; meta: \\schema \\explain <q> \\analyze <q> \\check [q] \\stats \\trace \\verify on|off \\quit"
     );
 
     let stdin = io::stdin();
@@ -83,15 +85,28 @@ fn main() -> io::Result<()> {
                     db.set_enforce_verifies(on);
                     println!("verify enforcement: {}", if on { "on" } else { "off" });
                 }
-                "\\explain" => match db.explain(rest) {
-                    Ok(plan) => {
+                "\\explain" => match db.explain_checked(rest) {
+                    Ok((plan, lints)) => {
                         for l in &plan.explanation {
                             println!("  {l}");
                         }
                         println!("  estimated I/O: {:.1}", plan.estimated_io);
+                        if !lints.is_empty() {
+                            print!("{}", lints.to_text());
+                        }
                     }
                     Err(e) => println!("error: {e}"),
                 },
+                "\\check" => {
+                    if rest.trim().is_empty() {
+                        print!("{}", db.check_schema().to_text());
+                    } else {
+                        match db.check(rest) {
+                            Ok(report) => print!("{}", report.to_text()),
+                            Err(e) => println!("error: {e}"),
+                        }
+                    }
+                }
                 "\\analyze" => match db.explain_analyze(rest) {
                     Ok(analyzed) => print!("{}", analyzed.to_text()),
                     Err(e) => println!("error: {e}"),

@@ -1,0 +1,42 @@
+//! CI gate: run the static analyzer over the bundled example schemas.
+//!
+//! `scripts/ci.sh` runs this after the test suite. It compiles the paper's
+//! §7 UNIVERSITY schema and the §6 ADDS-scale synthetic schema, lints both
+//! with `sim-check`, prints the full reports (warnings and hints included),
+//! and exits nonzero if any Error-level diagnostic fired — the same
+//! severity threshold `sim-ddl::install` enforces at installation time.
+
+use sim::crates::catalog::generator::adds_scale_schema;
+use sim::crates::check;
+use sim::crates::ddl;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut failed = false;
+
+    let university = match ddl::compile_schema(ddl::UNIVERSITY_DDL) {
+        Ok(catalog) => catalog,
+        Err(e) => {
+            eprintln!("UNIVERSITY schema failed to compile: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    failed |= gate("UNIVERSITY (paper §7)", &check::check_catalog(&university));
+
+    let adds = adds_scale_schema();
+    failed |= gate("ADDS scale (paper §6)", &check::check_catalog(&adds));
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("schema check OK");
+        ExitCode::SUCCESS
+    }
+}
+
+/// Print one schema's report; true if it contains Error-level findings.
+fn gate(name: &str, report: &check::Report) -> bool {
+    println!("== sim-check: {name}");
+    print!("{}", report.to_text());
+    report.has_errors()
+}

@@ -17,6 +17,20 @@ cargo build --release
 echo "== cargo test"
 cargo test -q
 
+echo "== sim-check schema gate (UNIVERSITY + ADDS scale)"
+# Fails on any Error-level diagnostic from the bundled example schemas.
+cargo run -q -p sim --example schema_check
+
+echo "== miri (sim-types + sim-luc value codec, undefined-behavior check)"
+# The workspace forbids unsafe, but the value codecs still exercise every
+# byte-level encoding path — run them under Miri when the component exists.
+if cargo miri --version >/dev/null 2>&1; then
+    MIRIFLAGS="-Zmiri-strict-provenance" cargo miri test -p sim-types -q
+    MIRIFLAGS="-Zmiri-strict-provenance" cargo miri test -p sim-luc -q value_codec
+else
+    echo "   miri component not installed; skipping (rustup +nightly component add miri)"
+fi
+
 echo "== bench harness (compile + unit tests, no timing loops)"
 (cd crates/bench && cargo clippy --all-targets --features bench -- -D warnings && cargo test -q)
 

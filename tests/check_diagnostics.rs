@@ -1,0 +1,327 @@
+//! Golden tests for the `sim-check` static analyzer: every lint code is
+//! pinned to the exact schema or query shape that triggers it, the install
+//! gate is shown rejecting Error-level schemas, and a property test runs
+//! the analyzer over generated catalogs.
+
+use sim::crates::catalog::generator::{generate_schema, SchemaScale};
+use sim::crates::catalog::{AttributeOptions, Catalog};
+use sim::crates::check::{self, Code, Severity};
+use sim::crates::ddl::{self, DdlError};
+use sim::Database;
+use sim_testkit::{cases, Rng};
+
+/// The distinct codes that fired, in wire form.
+fn codes(report: &check::Report) -> Vec<&'static str> {
+    report.codes().iter().map(|c| c.as_str()).collect()
+}
+
+/// Compile a schema that must install cleanly, then lint it.
+fn lint_schema(ddl_src: &str) -> check::Report {
+    let catalog = ddl::compile_schema(ddl_src).expect("schema installs");
+    check::check_catalog(&catalog)
+}
+
+/// Compile a schema that the install gate must reject, returning the report.
+fn rejected_schema(ddl_src: &str) -> check::Report {
+    match ddl::compile_schema(ddl_src) {
+        Err(DdlError::Check(report)) => report,
+        Err(other) => panic!("rejected, but not by the analyzer: {other}"),
+        Ok(_) => panic!("schema installed despite Error-level diagnostics"),
+    }
+}
+
+// ---------------------------------------------------------------- schema --
+
+/// SIM-S001 (acceptance demo): installation rejects a cyclic subclass graph
+/// before any catalog mutation.
+#[test]
+fn s001_cyclic_subclass_schema_rejected() {
+    let report = rejected_schema(
+        "Subclass A of B ( x: integer );
+         Subclass B of A ( y: integer );",
+    );
+    assert_eq!(codes(&report), ["SIM-S001"]);
+    let d = &report.with_code(Code::S001)[0];
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.message.contains("cycle"), "message names the cycle: {}", d.message);
+    assert!(d.message.contains("a -> b -> a"), "walks the cycle: {}", d.message);
+}
+
+/// SIM-S002: the same class declared twice (case-insensitively).
+#[test]
+fn s002_duplicate_class_rejected() {
+    let report = rejected_schema(
+        "Class Person ( name: string[10] );
+         Class PERSON ( alias: string[10] );",
+    );
+    assert!(codes(&report).contains(&"SIM-S002"), "got {:?}", codes(&report));
+}
+
+/// SIM-S003: one declaration lists the same superclass twice.
+#[test]
+fn s003_duplicate_superclass_warning() {
+    let decls = vec![
+        check::ClassDecl::new("person", vec![]),
+        check::ClassDecl::new("student", vec!["person".into(), "person".into()]),
+    ];
+    let report = check::check_class_graph(&decls);
+    assert_eq!(codes(&report), ["SIM-S003"]);
+    assert_eq!(report.with_code(Code::S003)[0].severity, Severity::Warning);
+}
+
+/// SIM-S004: UNIQUE on a multi-valued attribute is an Error — installation
+/// rejects it.
+#[test]
+fn s004_unique_mv_rejected() {
+    let report = rejected_schema("Class Box ( tags: string[16] mv unique );");
+    assert_eq!(codes(&report), ["SIM-S004"]);
+}
+
+/// SIM-S005: MV with MAX 1 — the attribute is effectively single-valued.
+#[test]
+fn s005_mv_max_one() {
+    let report = lint_schema("Class Box ( tag: string[16] mv (max 1) );");
+    assert!(codes(&report).contains(&"SIM-S005"), "got {:?}", codes(&report));
+}
+
+/// SIM-S006: an EVA with no declared inverse gets a system-invented one
+/// (hint). The paper's own UNIVERSITY schema has two.
+#[test]
+fn s006_undeclared_inverse_hint() {
+    let catalog = ddl::compile_schema(ddl::UNIVERSITY_DDL).unwrap();
+    let report = check::check_catalog(&catalog);
+    let hits = report.with_code(Code::S006);
+    assert_eq!(hits.len(), 2, "university declares all but two inverses");
+    assert!(hits.iter().all(|d| d.severity == Severity::Hint));
+}
+
+/// SIM-S007: both sides of a 1:1 EVA pair REQUIRED — neither entity can be
+/// inserted first.
+#[test]
+fn s007_mutually_required_pair() {
+    let report = lint_schema(
+        "Class Husband ( wife: Wife inverse is husband required );
+         Class Wife ( husband: Husband inverse is wife required );",
+    );
+    let hits = report.with_code(Code::S007);
+    assert_eq!(hits.len(), 1, "reported once per pair, not once per side");
+}
+
+/// SIM-S008 / SIM-S009: REQUIRED and UNIQUE make no sense on subrole
+/// attributes — the install gate reports them under their stable codes
+/// rather than letting the catalog throw a generic error.
+#[test]
+fn s008_s009_subrole_options_rejected() {
+    let report = rejected_schema(
+        "Class person ( kind: subrole (student) required unique );
+         Subclass student of person ( nbr: integer );",
+    );
+    let c = codes(&report);
+    assert_eq!(c, ["SIM-S008", "SIM-S009"]);
+    assert!(report.has_errors());
+}
+
+/// SIM-S010: sibling subclasses declaring the same attribute name — a
+/// diamond join below them would inherit both.
+#[test]
+fn s010_sibling_shadowing() {
+    let report = lint_schema(
+        "Class person ( name: string[30];
+                        kind: subrole (student, instructor) mv );
+         Subclass student of person ( nickname: string[10] );
+         Subclass instructor of person ( nickname: string[10] );",
+    );
+    assert!(codes(&report).contains(&"SIM-S010"), "got {:?}", codes(&report));
+}
+
+/// SIM-S011: a VERIFY whose assertion does not bind is an Error.
+#[test]
+fn s011_unbound_verify_rejected() {
+    let report = rejected_schema(
+        "Class person ( name: string[30] );
+         Verify v1 on person assert no-such-attr > 1 else \"nope\";",
+    );
+    assert_eq!(codes(&report), ["SIM-S011"]);
+}
+
+/// SIM-S012: ForeignKey mapping stores one key slot — wrong for an MV EVA.
+#[test]
+fn s012_foreign_key_on_mv_eva() {
+    let report = lint_schema(
+        "Class Club ( members: person inverse is member-of mv mapping foreignkey );
+         Class person ( member-of: Club inverse is members );",
+    );
+    assert!(codes(&report).contains(&"SIM-S012"), "got {:?}", codes(&report));
+}
+
+/// SIM-S013: a leaf class with no attributes at all holds no information.
+#[test]
+fn s013_empty_leaf_class_hint() {
+    let mut catalog = Catalog::new();
+    catalog.define_base_class("ghost").unwrap();
+    catalog.finalize().unwrap();
+    let report = check::check_catalog(&catalog);
+    assert_eq!(codes(&report), ["SIM-S013"]);
+    assert_eq!(report.with_code(Code::S013)[0].severity, Severity::Hint);
+}
+
+// ----------------------------------------------------------------- query --
+
+fn university() -> Database {
+    Database::university()
+}
+
+/// SIM-Q101: a tautological qualification.
+#[test]
+fn q101_tautology() {
+    let db = university();
+    let report = db.check("From person Retrieve name Where 1 = 1.").unwrap();
+    assert_eq!(codes(&report), ["SIM-Q101"]);
+}
+
+/// SIM-Q102: a qualification that is FALSE everywhere.
+#[test]
+fn q102_never_true() {
+    let db = university();
+    let report = db.check("From person Retrieve name Where 1 = 2.").unwrap();
+    assert_eq!(codes(&report), ["SIM-Q102"]);
+}
+
+/// SIM-Q103 (acceptance demo): `Database::check` flags an always-UNKNOWN
+/// qualification — under §4.9 only TRUE selects, so it selects nothing,
+/// silently.
+#[test]
+fn q103_always_unknown() {
+    let db = university();
+    let report = db.check("From person Retrieve name Where name = null.").unwrap();
+    assert_eq!(codes(&report), ["SIM-Q103"]);
+    let d = &report.with_code(Code::Q103)[0];
+    assert!(d.message.contains("UNKNOWN"), "explains the 3VL trap: {}", d.message);
+    // The same lint rides along with the plan via explain integration.
+    let (_plan, lints) =
+        db.explain_checked("From person Retrieve name Where name = null.").unwrap();
+    assert_eq!(codes(&lints), ["SIM-Q103"]);
+}
+
+/// SIM-Q104: comparing a textual attribute with a number can never succeed.
+#[test]
+fn q104_type_mismatch() {
+    let db = university();
+    let report = db.check("From person Retrieve name Where name = 1.").unwrap();
+    assert!(codes(&report).contains(&"SIM-Q104"), "got {:?}", codes(&report));
+    assert!(report.has_errors());
+}
+
+/// SIM-Q105: a perspective that nothing references still multiplies the
+/// iteration space.
+#[test]
+fn q105_unused_perspective() {
+    let db = university();
+    let report = db.check("From student, department Retrieve name of student.").unwrap();
+    let hits = report.with_code(Code::Q105);
+    assert_eq!(hits.len(), 1);
+    assert!(hits[0].message.contains("department"), "names the class: {}", hits[0].message);
+}
+
+/// SIM-Q106: a quantifier over a subrole enumeration with no labels is
+/// vacuous.
+#[test]
+fn q106_quantifier_over_empty_subrole() {
+    let mut catalog = Catalog::new();
+    let person = catalog.define_base_class("person").unwrap();
+    catalog
+        .add_dva(person, "name", sim::crates::types::Domain::string(30), AttributeOptions::none())
+        .unwrap();
+    catalog.add_subrole(person, "kind", vec![], AttributeOptions::mv()).unwrap();
+    catalog.finalize().unwrap();
+    let expr = sim::crates::dml::parse_expression("\"x\" = some(kind)").unwrap();
+    let bound = sim::crates::query::bind::Binder::bind_selection(&catalog, person, &expr).unwrap();
+    let report = check::check_bound(&catalog, &bound, "query");
+    assert!(codes(&report).contains(&"SIM-Q106"), "got {:?}", codes(&report));
+}
+
+/// SIM-Q107: an expression compared with itself is a null test in disguise.
+#[test]
+fn q107_self_comparison() {
+    let db = university();
+    let report = db.check("From person Retrieve name Where name = name.").unwrap();
+    assert!(codes(&report).contains(&"SIM-Q107"), "got {:?}", codes(&report));
+}
+
+/// SIM-Q108: an `AS` conversion to an ancestor role never filters — every
+/// student already holds the person role.
+#[test]
+fn q108_redundant_as() {
+    let db = university();
+    let report = db.check("From student Retrieve name of student as person.").unwrap();
+    assert!(codes(&report).contains(&"SIM-Q108"), "got {:?}", codes(&report));
+}
+
+/// SIM-Q109: a VERIFY that can never be FALSE never rejects anything
+/// (UNKNOWN passes, §3.3) — warning, installs fine.
+#[test]
+fn q109_unviolable_verify() {
+    let report = lint_schema(
+        "Class person ( age: integer );
+         Verify v1 on person assert 1 = 1 else \"always fine\";",
+    );
+    assert!(codes(&report).contains(&"SIM-Q109"), "got {:?}", codes(&report));
+}
+
+/// SIM-Q110: a VERIFY that is FALSE on every entity makes all updates fail
+/// — Error, rejected at install.
+#[test]
+fn q110_always_false_verify_rejected() {
+    let report = rejected_schema(
+        "Class person ( age: integer );
+         Verify v1 on person assert 1 = 2 else \"nothing passes\";",
+    );
+    assert!(codes(&report).contains(&"SIM-Q110"), "got {:?}", codes(&report));
+}
+
+// -------------------------------------------------------------- renderers --
+
+/// The text renderer orders worst-first and appends the severity summary.
+#[test]
+fn report_text_golden() {
+    let db = university();
+    let report = db.check("From person Retrieve name Where name = 1 Or 1 = 1.").unwrap();
+    let text = report.to_text();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines[0].starts_with("error [SIM-Q104] query:"), "errors sort first: {text}");
+    assert!(text.ends_with("warning(s), 0 hint(s)\n"), "summary line: {text}");
+    let json = report.to_json();
+    assert!(json.contains("\"code\":\"SIM-Q104\""), "json codes: {json}");
+}
+
+// --------------------------------------------------------------- property --
+
+/// Every schema the deterministic generator can produce — any mix of class
+/// counts, depths, DVAs and EVA pairs — passes the analyzer with no
+/// Error-level findings (warnings and hints are allowed).
+#[test]
+fn property_generated_schemas_have_no_errors() {
+    cases(24, |rng: &mut Rng| {
+        let scale = SchemaScale {
+            base_classes: rng.range(1, 6),
+            subclasses: rng.range(0, 24),
+            eva_pairs: rng.range(0, 10),
+            dvas: rng.range(0, 40),
+            max_depth: rng.range(2, 5),
+        };
+        let catalog = generate_schema(scale);
+        let report = check::check_catalog(&catalog);
+        assert!(
+            !report.has_errors(),
+            "generated schema {scale:?} produced errors:\n{}",
+            report.to_text()
+        );
+    });
+}
+
+/// The ADDS-scale schema (the CI gate's second subject) is clean.
+#[test]
+fn adds_scale_schema_is_clean() {
+    let report = check::check_catalog(&sim::crates::catalog::generator::adds_scale_schema());
+    assert!(!report.has_errors(), "{}", report.to_text());
+}
