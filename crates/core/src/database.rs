@@ -4,9 +4,11 @@ use crate::error::SimError;
 use sim_catalog::Catalog;
 use sim_check::Report as CheckReport;
 use sim_luc::Mapper;
+use sim_luc::MapperError;
 use sim_obs::{MetricsSnapshot, Registry, Trace};
 use sim_query::{AnalyzedPlan, ExecResult, Plan, QueryEngine, QueryOutput};
-use sim_storage::IoSnapshot;
+use sim_storage::{IoSnapshot, StorageEngine};
+use std::path::Path;
 use std::sync::Arc;
 
 /// Default buffer-pool frames (4 KiB each).
@@ -38,6 +40,82 @@ impl Database {
     /// The paper's §7 UNIVERSITY database, empty.
     pub fn university() -> Database {
         Database::create(sim_ddl::UNIVERSITY_DDL).expect("bundled schema compiles")
+    }
+
+    /// Compile a DDL schema and create a **durable** database at `dir`
+    /// (block file + write-ahead log + superblock). The directory must not
+    /// already hold a database. The schema text is persisted alongside the
+    /// data, so [`Database::open`] needs only the path.
+    pub fn create_at(ddl: &str, dir: impl AsRef<Path>) -> Result<Database, SimError> {
+        Database::create_at_with_pool(ddl, dir, DEFAULT_POOL)
+    }
+
+    /// Like [`Database::create_at`] with an explicit buffer-pool size.
+    pub fn create_at_with_pool(
+        ddl: &str,
+        dir: impl AsRef<Path>,
+        pool_frames: usize,
+    ) -> Result<Database, SimError> {
+        let catalog = sim_ddl::compile_schema(ddl)?;
+        let registry = Arc::new(Registry::new());
+        let engine = StorageEngine::open_with(dir, pool_frames, &registry)?;
+        if engine.file_count() != 0 || !engine.app_meta().is_empty() {
+            return Err(SimError::Mapper(MapperError::Persist(
+                "directory already holds a database; use Database::open".into(),
+            )));
+        }
+        let mut mapper = Mapper::on_engine(Arc::new(catalog), engine, &registry)?;
+        mapper.set_schema_blob(ddl.as_bytes().to_vec());
+        // Checkpoint immediately so the superblock records the schema and
+        // the empty structure plan before any statements run.
+        mapper.checkpoint()?;
+        Ok(Database { engine: QueryEngine::new(mapper)? })
+    }
+
+    /// Open a durable database previously created with
+    /// [`Database::create_at`], running crash recovery on its write-ahead
+    /// log. The schema is re-read from the database's own metadata.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Database, SimError> {
+        Database::open_with_pool(dir, DEFAULT_POOL)
+    }
+
+    /// Like [`Database::open`] with an explicit buffer-pool size.
+    pub fn open_with_pool(dir: impl AsRef<Path>, pool_frames: usize) -> Result<Database, SimError> {
+        let registry = Arc::new(Registry::new());
+        let engine = StorageEngine::open_with(dir, pool_frames, &registry)?;
+        if engine.app_meta().is_empty() {
+            return Err(SimError::Mapper(MapperError::Persist(
+                "not a SIM database: no schema metadata (was it created with create_at?)".into(),
+            )));
+        }
+        let app = sim_luc::AppMeta::decode(engine.app_meta())?;
+        let ddl = std::str::from_utf8(&app.schema).map_err(|_| {
+            SimError::Mapper(MapperError::Persist("stored schema is not valid UTF-8".into()))
+        })?;
+        let catalog = sim_ddl::compile_schema(ddl)?;
+        let mapper = Mapper::reopen(Arc::new(catalog), engine, &registry)?;
+        Ok(Database { engine: QueryEngine::new(mapper)? })
+    }
+
+    /// Whether this database is backed by durable storage (created via
+    /// [`Database::create_at`] / [`Database::open`]).
+    pub fn is_durable(&self) -> bool {
+        self.engine.mapper().engine().is_durable()
+    }
+
+    /// Force a checkpoint: flush all dirty pages, persist the superblock
+    /// and truncate the write-ahead log. A no-op on in-memory databases.
+    pub fn checkpoint(&mut self) -> Result<(), SimError> {
+        self.engine.mapper_mut().checkpoint()?;
+        Ok(())
+    }
+
+    /// Checkpoint and close the database. Dropping a [`Database`] without
+    /// closing is crash-safe (committed statements are in the log) but
+    /// leaves recovery work for the next open.
+    pub fn close(self) -> Result<(), SimError> {
+        self.engine.into_mapper().close()?;
+        Ok(())
     }
 
     /// Run a DML script (one or more statements).
@@ -182,8 +260,9 @@ impl Database {
     }
 
     /// Drop every cached page so the next access is cold (experiments).
+    /// Dirty pages are retained, so this never loses data.
     pub fn clear_cache(&self) {
-        self.engine.mapper().engine().pool().clear_cache();
+        let _ = self.engine.mapper().engine().pool().clear_cache();
     }
 
     /// Entity count of a class (statistics; see [`Mapper::entity_count`]).

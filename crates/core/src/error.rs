@@ -3,6 +3,7 @@
 use sim_ddl::DdlError;
 use sim_luc::MapperError;
 use sim_query::QueryError;
+use sim_storage::StorageError;
 use std::fmt;
 
 /// Any error the database facade can produce.
@@ -14,6 +15,8 @@ pub enum SimError {
     Query(QueryError),
     /// Direct mapper operation failed.
     Mapper(MapperError),
+    /// Durable-storage operation (open, checkpoint, recovery) failed.
+    Storage(StorageError),
 }
 
 impl fmt::Display for SimError {
@@ -22,6 +25,7 @@ impl fmt::Display for SimError {
             SimError::Ddl(e) => write!(f, "{e}"),
             SimError::Query(e) => write!(f, "{e}"),
             SimError::Mapper(e) => write!(f, "{e}"),
+            SimError::Storage(e) => write!(f, "{e}"),
         }
     }
 }
@@ -43,6 +47,12 @@ impl From<QueryError> for SimError {
 impl From<MapperError> for SimError {
     fn from(e: MapperError) -> SimError {
         SimError::Mapper(e)
+    }
+}
+
+impl From<StorageError> for SimError {
+    fn from(e: StorageError) -> SimError {
+        SimError::Storage(e)
     }
 }
 

@@ -28,6 +28,11 @@ pub enum MapperError {
     ReadOnly(String),
     /// Schema shape unsupported by the physical mapping (documented limits).
     Unsupported(String),
+    /// Persisted mapper metadata is missing, corrupt, or inconsistent with
+    /// the schema.
+    Persist(String),
+    /// A value exceeded what the record codec can represent.
+    Codec(String),
 }
 
 impl fmt::Display for MapperError {
@@ -43,6 +48,8 @@ impl fmt::Display for MapperError {
             MapperError::NoSuchEntity(m) => write!(f, "no such entity: {m}"),
             MapperError::ReadOnly(m) => write!(f, "attribute is read-only: {m}"),
             MapperError::Unsupported(m) => write!(f, "unsupported mapping: {m}"),
+            MapperError::Persist(m) => write!(f, "persistence: {m}"),
+            MapperError::Codec(m) => write!(f, "record codec: {m}"),
         }
     }
 }

@@ -29,6 +29,7 @@ pub mod error;
 pub mod layout;
 pub mod mapper;
 pub mod ops;
+pub mod persist;
 pub mod records;
 pub mod stats;
 pub mod value_codec;
@@ -36,4 +37,5 @@ pub mod value_codec;
 pub use error::MapperError;
 pub use layout::{AttrPlacement, PhysicalLayout};
 pub use mapper::{AttrOut, AttrValue, Mapper};
+pub use persist::AppMeta;
 pub use stats::MapperStats;

@@ -5,6 +5,7 @@
 
 use crate::error::MapperError;
 use crate::layout::{FamilyLayout, PairMapping, PhysicalLayout};
+use crate::persist::AppMeta;
 use crate::records::{AuxRecord, EntityRecord};
 use crate::stats::MapperStats;
 use sim_catalog::{AttrId, Catalog, ClassId};
@@ -88,6 +89,9 @@ pub struct Mapper {
     pub(crate) allocator: SurrogateAllocator,
     /// Optimizer statistics; may drift across aborts (see `recount`).
     pub(crate) class_counts: HashMap<ClassId, usize>,
+    /// The schema source (opaque bytes) persisted with every durable commit
+    /// so a reopen can rebuild the catalog.
+    pub(crate) schema_blob: Vec<u8>,
     /// Operation counters (`luc.*` in the metrics registry).
     pub(crate) stats: MapperStats,
 }
@@ -130,18 +134,28 @@ impl Mapper {
         pool_capacity: usize,
         registry: &Arc<Registry>,
     ) -> Result<Mapper, MapperError> {
+        let engine = StorageEngine::with_registry(pool_capacity, registry);
+        Mapper::on_engine(catalog, engine, registry)
+    }
+
+    /// Build a mapper over a caller-supplied engine (volatile or durable),
+    /// creating every catalog-derived storage structure. The engine must be
+    /// empty — use [`Mapper::reopen`] for one holding recovered data.
+    pub fn on_engine(
+        catalog: Arc<Catalog>,
+        mut engine: StorageEngine,
+        registry: &Arc<Registry>,
+    ) -> Result<Mapper, MapperError> {
         let layout = PhysicalLayout::build(&catalog)?;
-        let mut engine = StorageEngine::with_registry(pool_capacity, registry);
 
         let mut families = Vec::with_capacity(layout.families.len());
         for fam in &layout.families {
-            let tree_file = engine.create_file();
-            let surr_index = engine.create_btree(true);
-            let aux = fam
-                .aux_classes
-                .iter()
-                .map(|_| (engine.create_file(), engine.create_btree(true)))
-                .collect();
+            let tree_file = engine.create_file()?;
+            let surr_index = engine.create_btree(true)?;
+            let mut aux = Vec::with_capacity(fam.aux_classes.len());
+            for _ in &fam.aux_classes {
+                aux.push((engine.create_file()?, engine.create_btree(true)?));
+            }
             families.push(FamilyStorage { tree_file, surr_index, aux });
         }
 
@@ -151,22 +165,22 @@ impl Mapper {
                 layout.placement(attr.id),
                 Some(crate::layout::AttrPlacement::SeparateMvDva)
             ) {
-                mv_dva_trees.insert(attr.id, engine.create_btree(false));
+                mv_dva_trees.insert(attr.id, engine.create_btree(false)?);
             }
         }
 
-        let common_fwd = engine.create_btree(false);
-        let common_rev = engine.create_btree(false);
+        let common_fwd = engine.create_btree(false)?;
+        let common_rev = engine.create_btree(false)?;
         let mut dedicated = HashMap::new();
         for (idx, plan) in layout.structures.iter().enumerate() {
             if plan.mapping == PairMapping::Dedicated {
-                dedicated.insert(idx, (engine.create_btree(false), engine.create_btree(false)));
+                dedicated.insert(idx, (engine.create_btree(false)?, engine.create_btree(false)?));
             }
         }
 
         let mut unique_idx = HashMap::new();
         for &attr in &layout.unique_attrs {
-            unique_idx.insert(attr, engine.create_btree(true));
+            unique_idx.insert(attr, engine.create_btree(true)?);
         }
 
         Ok(Mapper {
@@ -183,8 +197,126 @@ impl Mapper {
             hash_idx: HashMap::new(),
             allocator: SurrogateAllocator::new(),
             class_counts: HashMap::new(),
+            schema_blob: Vec::new(),
             stats: MapperStats::new(registry),
         })
+    }
+
+    /// Rebind a mapper to a recovered engine. The base structure plan is a
+    /// deterministic function of the catalog, so it is rebound by replaying
+    /// the creation order symbolically; user-created indexes and the
+    /// surrogate high-water mark come from the engine's [`AppMeta`].
+    ///
+    /// `catalog` must be the same schema the database was created with —
+    /// the caller typically re-parses it from [`AppMeta::schema`].
+    pub fn reopen(
+        catalog: Arc<Catalog>,
+        engine: StorageEngine,
+        registry: &Arc<Registry>,
+    ) -> Result<Mapper, MapperError> {
+        let app = AppMeta::decode(engine.app_meta())?;
+        let layout = PhysicalLayout::build(&catalog)?;
+
+        // Symbolic replay of the creation order in [`Mapper::on_engine`]:
+        // ids are handed out sequentially, so the same walk yields the same
+        // binding.
+        struct Replay {
+            next_file: u32,
+            next_btree: u32,
+        }
+        impl Replay {
+            fn file(&mut self) -> FileId {
+                self.next_file += 1;
+                FileId(self.next_file - 1)
+            }
+            fn btree(&mut self) -> BTreeId {
+                self.next_btree += 1;
+                BTreeId(self.next_btree - 1)
+            }
+        }
+        let mut ids = Replay { next_file: 0, next_btree: 0 };
+
+        let mut families = Vec::with_capacity(layout.families.len());
+        for fam in &layout.families {
+            let tree_file = ids.file();
+            let surr_index = ids.btree();
+            let mut aux = Vec::with_capacity(fam.aux_classes.len());
+            for _ in &fam.aux_classes {
+                aux.push((ids.file(), ids.btree()));
+            }
+            families.push(FamilyStorage { tree_file, surr_index, aux });
+        }
+
+        let mut mv_dva_trees = HashMap::new();
+        for attr in catalog.attributes() {
+            if matches!(
+                layout.placement(attr.id),
+                Some(crate::layout::AttrPlacement::SeparateMvDva)
+            ) {
+                mv_dva_trees.insert(attr.id, ids.btree());
+            }
+        }
+
+        let common_fwd = ids.btree();
+        let common_rev = ids.btree();
+        let mut dedicated = HashMap::new();
+        for (idx, plan) in layout.structures.iter().enumerate() {
+            if plan.mapping == PairMapping::Dedicated {
+                dedicated.insert(idx, (ids.btree(), ids.btree()));
+            }
+        }
+
+        let mut unique_idx = HashMap::new();
+        for &attr in &layout.unique_attrs {
+            unique_idx.insert(attr, ids.btree());
+        }
+
+        if (ids.next_file as usize) > engine.file_count()
+            || (ids.next_btree as usize) > engine.btree_count()
+        {
+            return Err(MapperError::Persist(format!(
+                "recovered engine has {} files / {} btrees but the schema needs {} / {} — wrong schema for this database?",
+                engine.file_count(),
+                engine.btree_count(),
+                ids.next_file,
+                ids.next_btree,
+            )));
+        }
+
+        let mut secondary_idx = HashMap::new();
+        for &(attr, tree) in &app.secondary {
+            if (tree as usize) >= engine.btree_count() {
+                return Err(MapperError::Persist(format!("secondary index {tree} out of range")));
+            }
+            secondary_idx.insert(AttrId(attr), BTreeId(tree));
+        }
+        let mut hash_idx = HashMap::new();
+        for &(attr, hidx) in &app.hash {
+            if (hidx as usize) >= engine.hash_count() {
+                return Err(MapperError::Persist(format!("hash index {hidx} out of range")));
+            }
+            hash_idx.insert(AttrId(attr), sim_storage::HashIndexId(hidx));
+        }
+
+        let mut mapper = Mapper {
+            catalog,
+            layout,
+            engine,
+            families,
+            mv_dva_trees,
+            common_fwd,
+            common_rev,
+            dedicated,
+            unique_idx,
+            secondary_idx,
+            hash_idx,
+            allocator: SurrogateAllocator::resume_after(app.next_surrogate.saturating_sub(1)),
+            class_counts: HashMap::new(),
+            schema_blob: app.schema,
+            stats: MapperStats::new(registry),
+        };
+        mapper.recount()?;
+        Ok(mapper)
     }
 
     /// The schema.
@@ -212,9 +344,61 @@ impl Mapper {
         self.engine.begin()
     }
 
-    /// Commit a transaction.
-    pub fn commit(&mut self, txn: Txn) {
-        self.engine.commit(txn);
+    /// The schema source this mapper persists with durable commits.
+    pub fn schema_blob(&self) -> &[u8] {
+        &self.schema_blob
+    }
+
+    /// Set the schema source to persist (the DDL text the catalog was
+    /// built from). Call once after creating a durable database.
+    pub fn set_schema_blob(&mut self, blob: Vec<u8>) {
+        self.schema_blob = blob;
+    }
+
+    /// The application metadata a durable commit carries.
+    pub(crate) fn app_meta_bytes(&self) -> Vec<u8> {
+        let mut secondary: Vec<(u32, u32)> =
+            self.secondary_idx.iter().map(|(a, t)| (a.0, t.0)).collect();
+        secondary.sort_unstable();
+        let mut hash: Vec<(u32, u32)> = self.hash_idx.iter().map(|(a, h)| (a.0, h.0)).collect();
+        hash.sort_unstable();
+        AppMeta {
+            schema: self.schema_blob.clone(),
+            next_surrogate: self.allocator.peek(),
+            secondary,
+            hash,
+        }
+        .encode()
+    }
+
+    /// Commit a transaction. On a durable engine this makes it crash-proof:
+    /// the mapper's own metadata is folded into the commit record, page
+    /// after-images hit the write-ahead log, and the log is fsynced before
+    /// `Ok` returns.
+    pub fn commit(&mut self, txn: Txn) -> Result<(), MapperError> {
+        if self.engine.is_durable() {
+            let blob = self.app_meta_bytes();
+            self.engine.set_app_meta(blob);
+        }
+        self.engine.commit(txn)?;
+        Ok(())
+    }
+
+    /// Checkpoint: fold the write-ahead log into the block file (no-op
+    /// beyond a flush for volatile engines).
+    pub fn checkpoint(&mut self) -> Result<(), MapperError> {
+        if self.engine.is_durable() {
+            let blob = self.app_meta_bytes();
+            self.engine.set_app_meta(blob);
+        }
+        self.engine.checkpoint()?;
+        Ok(())
+    }
+
+    /// Checkpoint and consume the mapper; the database directory can be
+    /// reopened later.
+    pub fn close(mut self) -> Result<(), MapperError> {
+        self.checkpoint()
     }
 
     /// Abort a transaction, undoing its effects. Class-count statistics are
@@ -310,7 +494,7 @@ impl Mapper {
         let surr = rec.surrogate;
         let roles = rec.roles;
         self.stats.record_encodes.inc();
-        let new_rid = self.engine.heap_update(txn, file, rid, &rec.encode())?;
+        let new_rid = self.engine.heap_update(txn, file, rid, &rec.encode()?)?;
         if new_rid != rid || roles != roles_at_load {
             self.engine.btree_delete(
                 txn,
@@ -356,7 +540,7 @@ impl Mapper {
     ) -> Result<RecordId, MapperError> {
         let (file, idx) = self.families[family].aux[aux];
         self.stats.record_encodes.inc();
-        let new_rid = self.engine.heap_update(txn, file, rid, &rec.encode())?;
+        let new_rid = self.engine.heap_update(txn, file, rid, &rec.encode()?)?;
         if new_rid != rid {
             self.engine.btree_delete(txn, idx, &surr_key(rec.surrogate), &rid.to_bytes())?;
             self.engine.btree_insert(txn, idx, &surr_key(rec.surrogate), &new_rid.to_bytes())?;
@@ -385,7 +569,7 @@ impl Mapper {
         let rec = EntityRecord::new(surr, roles, self.family_layout(family), &self.layout);
         let file = self.families[family].tree_file;
         self.stats.record_encodes.inc();
-        let bytes = rec.encode();
+        let bytes = rec.encode()?;
         let rid = match near {
             Some(near_rid) => self.engine.heap_insert_near(txn, file, near_rid, &bytes)?,
             None => self.engine.heap_insert(txn, file, &bytes)?,
@@ -451,7 +635,7 @@ impl Mapper {
                 };
                 let (file, idx) = self.families[family].aux[aux_idx];
                 self.stats.record_encodes.inc();
-                let rid = self.engine.heap_insert(txn, file, &rec.encode())?;
+                let rid = self.engine.heap_insert(txn, file, &rec.encode()?)?;
                 self.engine.btree_insert(txn, idx, &surr_key(surr), &rid.to_bytes())?;
             }
         }

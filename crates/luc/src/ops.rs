@@ -26,10 +26,10 @@ fn decode_surr_be(bytes: &[u8]) -> Option<Surrogate> {
     Some(Surrogate::from_raw(u64::from_be_bytes(bytes.try_into().ok()?)))
 }
 
-fn encode_mv_value(v: &Value) -> Vec<u8> {
+fn encode_mv_value(v: &Value) -> Result<Vec<u8>, MapperError> {
     let mut out = Vec::new();
-    encode_value(v, &mut out);
-    out
+    encode_value(v, &mut out)?;
+    Ok(out)
 }
 
 fn decode_mv_value(bytes: &[u8]) -> Result<Value, MapperError> {
@@ -366,7 +366,7 @@ impl Mapper {
                     self.engine.btree_delete(txn, tree, &surr_be(surr), &existing)?;
                 }
                 for v in &values {
-                    self.engine.btree_insert(txn, tree, &surr_be(surr), &encode_mv_value(v))?;
+                    self.engine.btree_insert(txn, tree, &surr_be(surr), &encode_mv_value(v)?)?;
                 }
                 Ok(())
             }
@@ -451,7 +451,7 @@ impl Mapper {
             }
             Some(AttrPlacement::SeparateMvDva) => {
                 let tree = self.mv_dva_trees[&attr_id];
-                self.engine.btree_insert(txn, tree, &surr_be(surr), &encode_mv_value(&v))?;
+                self.engine.btree_insert(txn, tree, &surr_be(surr), &encode_mv_value(&v)?)?;
             }
             other => {
                 return Err(MapperError::ShapeMismatch(format!(
@@ -504,7 +504,7 @@ impl Mapper {
             }
             Some(AttrPlacement::SeparateMvDva) => {
                 let tree = self.mv_dva_trees[&attr_id];
-                Ok(self.engine.btree_delete(txn, tree, &surr_be(surr), &encode_mv_value(&v))?)
+                Ok(self.engine.btree_delete(txn, tree, &surr_be(surr), &encode_mv_value(&v)?)?)
             }
             other => Err(MapperError::ShapeMismatch(format!(
                 "unexpected placement {other:?} for {}",
@@ -1115,7 +1115,7 @@ impl Mapper {
         if self.secondary_idx.contains_key(&attr_id) || self.unique_idx.contains_key(&attr_id) {
             return Ok(()); // already indexed
         }
-        let tree = self.engine.create_btree(false);
+        let tree = self.engine.create_btree(false)?;
         let mut txn = self.engine.begin();
         for surr in self.entities_of(attr.owner)? {
             if let AttrOut::Single(v) = self.read_attr(surr, attr_id)? {
@@ -1125,8 +1125,10 @@ impl Mapper {
                 }
             }
         }
-        self.engine.commit(txn);
+        // Record the binding before committing so a durable commit's
+        // metadata already names the new index.
         self.secondary_idx.insert(attr_id, tree);
+        self.commit(txn)?;
         Ok(())
     }
 
@@ -1143,7 +1145,7 @@ impl Mapper {
         if self.hash_idx.contains_key(&attr_id) {
             return Ok(());
         }
-        let hidx = self.engine.create_hash(64, false);
+        let hidx = self.engine.create_hash(64, false)?;
         let mut txn = self.engine.begin();
         for surr in self.entities_of(attr.owner)? {
             if let AttrOut::Single(v) = self.read_attr(surr, attr_id)? {
@@ -1153,8 +1155,8 @@ impl Mapper {
                 }
             }
         }
-        self.engine.commit(txn);
         self.hash_idx.insert(attr_id, hidx);
+        self.commit(txn)?;
         Ok(())
     }
 

@@ -1,0 +1,143 @@
+//! The Mapper's application metadata — what rides inside the storage
+//! engine's commit records so a database can be reopened.
+//!
+//! The base structure plan (families, surrogate indexes, MV-DVA trees, the
+//! Common EVA Structure, dedicated structures, UNIQUE indexes) is a pure
+//! function of the catalog, created in a deterministic order — reopening
+//! rebinds those by replaying the same order against the recovered engine.
+//! What *cannot* be derived is recorded here: the schema source itself
+//! (opaque bytes to this crate; the layer above parses it back into a
+//! catalog), the surrogate high-water mark, and the user-created secondary
+//! and hash indexes.
+
+use crate::error::MapperError;
+
+const MAGIC: &[u8; 4] = b"SIMA";
+const VERSION: u16 = 1;
+
+/// Everything a reopen needs beyond the catalog-derived structure plan.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AppMeta {
+    /// The schema source (DDL text) the database was created with.
+    pub schema: Vec<u8>,
+    /// The next surrogate the allocator would mint.
+    pub next_surrogate: u64,
+    /// User-created secondary B-tree indexes: `(attr id, btree id)`.
+    pub secondary: Vec<(u32, u32)>,
+    /// User-created hash indexes: `(attr id, hash index id)`.
+    pub hash: Vec<(u32, u32)>,
+}
+
+fn corrupt(what: &str) -> MapperError {
+    MapperError::Persist(format!("bad app metadata: {what}"))
+}
+
+impl AppMeta {
+    /// Serialize (little-endian, length-prefixed).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + self.schema.len());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(
+            &(u64::try_from(self.schema.len()).unwrap_or(u64::MAX)).to_le_bytes(),
+        );
+        out.extend_from_slice(&self.schema);
+        out.extend_from_slice(&self.next_surrogate.to_le_bytes());
+        out.extend_from_slice(&(self.secondary.len() as u32).to_le_bytes());
+        for (attr, tree) in &self.secondary {
+            out.extend_from_slice(&attr.to_le_bytes());
+            out.extend_from_slice(&tree.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.hash.len() as u32).to_le_bytes());
+        for (attr, hidx) in &self.hash {
+            out.extend_from_slice(&attr.to_le_bytes());
+            out.extend_from_slice(&hidx.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decode bytes produced by [`AppMeta::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<AppMeta, MapperError> {
+        let mut r = Reader { bytes, pos: 0 };
+        if r.take(4)? != MAGIC {
+            return Err(corrupt("magic mismatch"));
+        }
+        let version = u16::from_le_bytes(r.take(2)?.try_into().expect("2 bytes"));
+        if version != VERSION {
+            return Err(corrupt(&format!("unsupported version {version}")));
+        }
+        let schema_len =
+            usize::try_from(u64::from_le_bytes(r.take(8)?.try_into().expect("8 bytes")))
+                .map_err(|_| corrupt("schema length overflows"))?;
+        let schema = r.take(schema_len)?.to_vec();
+        let next_surrogate = u64::from_le_bytes(r.take(8)?.try_into().expect("8 bytes"));
+        let secondary = r.take_pairs()?;
+        let hash = r.take_pairs()?;
+        if r.pos != bytes.len() {
+            return Err(corrupt("trailing bytes"));
+        }
+        Ok(AppMeta { schema, next_surrogate, secondary, hash })
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], MapperError> {
+        let end = self.pos.checked_add(n).ok_or_else(|| corrupt("length overflow"))?;
+        if end > self.bytes.len() {
+            return Err(corrupt("truncated"));
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn take_pairs(&mut self) -> Result<Vec<(u32, u32)>, MapperError> {
+        let count = u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")) as usize;
+        let mut out = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            let a = u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes"));
+            let b = u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes"));
+            out.push((a, b));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let meta = AppMeta {
+            schema: b"CLASS PERSON (name: STRING[30]);".to_vec(),
+            next_surrogate: 42,
+            secondary: vec![(3, 17), (9, 21)],
+            hash: vec![(4, 0)],
+        };
+        assert_eq!(AppMeta::decode(&meta.encode()).unwrap(), meta);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let meta = AppMeta::default();
+        assert_eq!(AppMeta::decode(&meta.encode()).unwrap(), meta);
+    }
+
+    #[test]
+    fn damage_is_rejected() {
+        let mut bytes = AppMeta::default().encode();
+        bytes[0] ^= 0xFF;
+        assert!(AppMeta::decode(&bytes).is_err());
+        let good = AppMeta::default().encode();
+        assert!(AppMeta::decode(&good[..good.len() - 1]).is_err());
+        let mut extra = AppMeta::default().encode();
+        extra.push(0);
+        assert!(AppMeta::decode(&extra).is_err());
+    }
+}

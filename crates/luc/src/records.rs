@@ -54,18 +54,20 @@ impl EntityRecord {
         EntityRecord { surrogate, roles, groups }
     }
 
-    /// Serialize.
-    pub fn encode(&self) -> Vec<u8> {
+    /// Serialize. Fails if any field group exceeds the codec's limits.
+    pub fn encode(&self) -> Result<Vec<u8>, MapperError> {
         let mut out = Vec::with_capacity(64);
         out.extend_from_slice(&self.surrogate.raw().to_le_bytes());
         out.extend_from_slice(&self.roles.to_le_bytes());
         for (_, fields) in &self.groups {
-            out.extend_from_slice(&(fields.len() as u16).to_le_bytes());
+            let count = u16::try_from(fields.len())
+                .map_err(|_| MapperError::Codec(format!("{} fields in one group", fields.len())))?;
+            out.extend_from_slice(&count.to_le_bytes());
             for f in fields {
-                encode_field(f, &mut out);
+                encode_field(f, &mut out)?;
             }
         }
-        out
+        Ok(out)
     }
 
     /// Deserialize, using the family's canonical class order.
@@ -151,15 +153,18 @@ pub struct AuxRecord {
 }
 
 impl AuxRecord {
-    /// Serialize.
-    pub fn encode(&self) -> Vec<u8> {
+    /// Serialize. Fails if the fields exceed the codec's limits.
+    pub fn encode(&self) -> Result<Vec<u8>, MapperError> {
         let mut out = Vec::with_capacity(32);
         out.extend_from_slice(&self.surrogate.raw().to_le_bytes());
-        out.extend_from_slice(&(self.fields.len() as u16).to_le_bytes());
+        let count = u16::try_from(self.fields.len()).map_err(|_| {
+            MapperError::Codec(format!("{} fields in one record", self.fields.len()))
+        })?;
+        out.extend_from_slice(&count.to_le_bytes());
         for f in &self.fields {
-            encode_field(f, &mut out);
+            encode_field(f, &mut out)?;
         }
-        out
+        Ok(out)
     }
 
     /// Deserialize.

@@ -42,8 +42,9 @@ const TAG_ENTITY: u8 = 9;
 const TAG_ARRAY: u8 = 10;
 const TAG_HINTS: u8 = 11;
 
-/// Append the encoding of one value.
-pub fn encode_value(v: &Value, out: &mut Vec<u8>) {
+/// Append the encoding of one value. Fails (rather than silently
+/// truncating the length prefix) when a string exceeds the u32 limit.
+pub fn encode_value(v: &Value, out: &mut Vec<u8>) -> Result<(), MapperError> {
     match v {
         Value::Null => out.push(TAG_NULL),
         Value::Int(n) => {
@@ -60,8 +61,15 @@ pub fn encode_value(v: &Value, out: &mut Vec<u8>) {
             out.extend_from_slice(&d.mantissa().to_le_bytes());
         }
         Value::Str(s) => {
+            let len = u32::try_from(s.len()).map_err(|_| {
+                MapperError::Codec(format!(
+                    "string of {} bytes exceeds the {}-byte field limit",
+                    s.len(),
+                    u32::MAX
+                ))
+            })?;
             out.push(TAG_STR);
-            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(&len.to_le_bytes());
             out.extend_from_slice(s.as_bytes());
         }
         Value::Bool(false) => out.push(TAG_BOOL_FALSE),
@@ -79,28 +87,46 @@ pub fn encode_value(v: &Value, out: &mut Vec<u8>) {
             out.extend_from_slice(&s.raw().to_le_bytes());
         }
     }
+    Ok(())
 }
 
-/// Append the encoding of one field.
-pub fn encode_field(f: &FieldValue, out: &mut Vec<u8>) {
+/// Append the encoding of one field. Fails (rather than silently
+/// truncating the count prefix) when an array or hint list exceeds the
+/// u16 limit.
+pub fn encode_field(f: &FieldValue, out: &mut Vec<u8>) -> Result<(), MapperError> {
     match f {
-        FieldValue::Scalar(v) => encode_value(v, out),
+        FieldValue::Scalar(v) => encode_value(v, out)?,
         FieldValue::Array(vals) => {
+            let count = u16::try_from(vals.len()).map_err(|_| {
+                MapperError::Codec(format!(
+                    "array of {} values exceeds the {}-entry field limit",
+                    vals.len(),
+                    u16::MAX
+                ))
+            })?;
             out.push(TAG_ARRAY);
-            out.extend_from_slice(&(vals.len() as u16).to_le_bytes());
+            out.extend_from_slice(&count.to_le_bytes());
             for v in vals {
-                encode_value(v, out);
+                encode_value(v, out)?;
             }
         }
         FieldValue::Hints(hints) => {
+            let count = u16::try_from(hints.len()).map_err(|_| {
+                MapperError::Codec(format!(
+                    "hint list of {} entries exceeds the {}-entry field limit",
+                    hints.len(),
+                    u16::MAX
+                ))
+            })?;
             out.push(TAG_HINTS);
-            out.extend_from_slice(&(hints.len() as u16).to_le_bytes());
+            out.extend_from_slice(&count.to_le_bytes());
             for (surr, rid) in hints {
                 out.extend_from_slice(&surr.raw().to_le_bytes());
                 out.extend_from_slice(&rid.to_bytes());
             }
         }
     }
+    Ok(())
 }
 
 /// Cursor-style decoder.
@@ -221,7 +247,7 @@ mod tests {
 
     fn roundtrip_field(f: FieldValue) {
         let mut buf = Vec::new();
-        encode_field(&f, &mut buf);
+        encode_field(&f, &mut buf).unwrap();
         let mut dec = Decoder::new(&buf);
         assert_eq!(dec.field().unwrap(), f);
         assert!(dec.at_end());
@@ -273,11 +299,31 @@ mod tests {
     }
 
     #[test]
+    fn array_at_the_u16_boundary_roundtrips() {
+        roundtrip_field(FieldValue::Array(vec![Value::Null; u16::MAX as usize]));
+    }
+
+    #[test]
+    fn array_past_the_u16_boundary_is_a_typed_error() {
+        let mut buf = Vec::new();
+        let over = FieldValue::Array(vec![Value::Null; u16::MAX as usize + 1]);
+        assert!(matches!(encode_field(&over, &mut buf), Err(MapperError::Codec(_))));
+    }
+
+    #[test]
+    fn hints_past_the_u16_boundary_are_a_typed_error() {
+        let rid = RecordId { block: sim_storage::disk::BlockId(0), slot: 0 };
+        let over = FieldValue::Hints(vec![(Surrogate::from_raw(1), rid); u16::MAX as usize + 1]);
+        let mut buf = Vec::new();
+        assert!(matches!(encode_field(&over, &mut buf), Err(MapperError::Codec(_))));
+    }
+
+    #[test]
     fn sequences_decode_in_order() {
         let mut buf = Vec::new();
-        encode_field(&FieldValue::Scalar(Value::Int(1)), &mut buf);
-        encode_field(&FieldValue::Array(vec![Value::Bool(true)]), &mut buf);
-        encode_field(&FieldValue::Scalar(Value::Str("end".into())), &mut buf);
+        encode_field(&FieldValue::Scalar(Value::Int(1)), &mut buf).unwrap();
+        encode_field(&FieldValue::Array(vec![Value::Bool(true)]), &mut buf).unwrap();
+        encode_field(&FieldValue::Scalar(Value::Str("end".into())), &mut buf).unwrap();
         let mut dec = Decoder::new(&buf);
         assert_eq!(dec.field().unwrap(), FieldValue::Scalar(Value::Int(1)));
         assert_eq!(dec.field().unwrap(), FieldValue::Array(vec![Value::Bool(true)]));
@@ -288,7 +334,7 @@ mod tests {
     #[test]
     fn truncation_is_detected() {
         let mut buf = Vec::new();
-        encode_field(&FieldValue::Scalar(Value::Str("hello world".into())), &mut buf);
+        encode_field(&FieldValue::Scalar(Value::Str("hello world".into())), &mut buf).unwrap();
         for cut in [1, 3, buf.len() - 1] {
             let mut dec = Decoder::new(&buf[..cut]);
             assert!(dec.field().is_err(), "cut at {cut} should fail");

@@ -85,7 +85,7 @@ fn aux_class_scalar_and_arrays() {
     for v in [7, 7, 8] {
         f.mapper.include_value(&mut txn, m, f.attr("mixed", "unbounded"), Value::Int(v)).unwrap();
     }
-    f.mapper.commit(txn);
+    f.mapper.commit(txn).unwrap();
 
     assert_eq!(
         f.mapper.read_attr(m, f.attr("mixed", "scalar")).unwrap(),
@@ -132,7 +132,7 @@ fn aux_class_foreign_key_eva() {
     f.mapper
         .set_attr(&mut txn, m, f.attr("mixed", "buddy"), AttrValue::Scalar(Value::Entity(b)))
         .unwrap();
-    f.mapper.commit(txn);
+    f.mapper.commit(txn).unwrap();
 
     assert_eq!(
         f.mapper.read_attr(m, f.attr("mixed", "buddy")).unwrap(),
@@ -146,7 +146,7 @@ fn aux_class_foreign_key_eva() {
     // Deleting the MIXED role nulls the partner's back-reference.
     let mut txn = f.mapper.begin();
     f.mapper.delete_role(&mut txn, m, mixed).unwrap();
-    f.mapper.commit(txn);
+    f.mapper.commit(txn).unwrap();
     assert_eq!(
         f.mapper.read_attr(b, f.attr("buddy", "buddy-of")).unwrap(),
         AttrOut::Single(Value::Null)
@@ -184,7 +184,7 @@ fn aux_class_structure_eva_cascades() {
         f.mapper.include_value(&mut txn, m, friends, Value::Entity(b)).unwrap();
         buddies.push(b);
     }
-    f.mapper.commit(txn);
+    f.mapper.commit(txn).unwrap();
     assert_eq!(f.mapper.eva_partners(m, friends).unwrap().len(), 3);
     assert_eq!(f.mapper.eva_partners(buddies[0], f.attr("buddy", "friend-of")).unwrap(), vec![m]);
 
@@ -193,7 +193,7 @@ fn aux_class_structure_eva_cascades() {
     // in", §5.1).
     let mut txn = f.mapper.begin();
     f.mapper.delete_role(&mut txn, m, f.class("base")).unwrap();
-    f.mapper.commit(txn);
+    f.mapper.commit(txn).unwrap();
     for b in buddies {
         assert!(f.mapper.eva_partners(b, f.attr("buddy", "friend-of")).unwrap().is_empty());
     }
@@ -218,7 +218,7 @@ fn extend_into_aux_role_later() {
             &[(f.attr("mixed", "scalar"), AttrValue::Scalar(Value::Str("late".into())))],
         )
         .unwrap();
-    f.mapper.commit(txn);
+    f.mapper.commit(txn).unwrap();
     assert!(f.mapper.has_role(e, f.class("right")).unwrap());
     assert_eq!(
         f.mapper.read_attr(e, f.attr("mixed", "scalar")).unwrap(),

@@ -91,7 +91,7 @@ fn insert_student_creates_person_role_too() {
     let mut uni = new_uni();
     let mut txn = uni.mapper.begin();
     let s = insert_student(&mut uni, &mut txn, "John Doe", 456887766);
-    uni.mapper.commit(txn);
+    uni.mapper.commit(txn).unwrap();
 
     assert!(uni.mapper.has_role(s, uni.class("student")).unwrap());
     assert!(uni.mapper.has_role(s, uni.class("person")).unwrap());
@@ -109,7 +109,7 @@ fn subrole_profession_reflects_roles() {
     let mut uni = new_uni();
     let mut txn = uni.mapper.begin();
     let s = insert_student(&mut uni, &mut txn, "John Doe", 456887766);
-    uni.mapper.commit(txn);
+    uni.mapper.commit(txn).unwrap();
 
     let profession = uni.attr("person", "profession");
     // profession: subrole (student, instructor) — student is label 0.
@@ -128,7 +128,7 @@ fn subrole_profession_reflects_roles() {
             &[(uni.attr("instructor", "employee-nbr"), AttrValue::Scalar(Value::Int(1729)))],
         )
         .unwrap();
-    uni.mapper.commit(txn);
+    uni.mapper.commit(txn).unwrap();
 
     assert_eq!(
         uni.mapper.read_attr(s, profession).unwrap(),
@@ -149,7 +149,7 @@ fn subroles_are_read_only() {
     let profession = uni.attr("person", "profession");
     let err = uni.mapper.set_attr(&mut txn, s, profession, AttrValue::Multi(vec![])).unwrap_err();
     assert!(matches!(err, MapperError::ReadOnly(_)));
-    uni.mapper.commit(txn);
+    uni.mapper.commit(txn).unwrap();
 }
 
 #[test]
@@ -170,7 +170,7 @@ fn unique_soc_sec_no_enforced() {
         )
         .unwrap_err();
     assert!(matches!(err, MapperError::UniqueViolation(_)));
-    uni.mapper.commit(txn);
+    uni.mapper.commit(txn).unwrap();
 }
 
 #[test]
@@ -188,7 +188,7 @@ fn required_attributes_enforced() {
         )
         .unwrap_err();
     assert!(matches!(err, MapperError::RequiredViolation(_)));
-    uni.mapper.commit(txn);
+    uni.mapper.commit(txn).unwrap();
 }
 
 #[test]
@@ -215,7 +215,7 @@ fn domain_validation_enforced() {
             AttrValue::Scalar(Value::Int(1729)),
         )
         .unwrap();
-    uni.mapper.commit(txn);
+    uni.mapper.commit(txn).unwrap();
 }
 
 #[test]
@@ -236,7 +236,7 @@ fn spouse_is_one_to_one_and_self_inverse() {
     assert_eq!(uni.mapper.read_attr(a, spouse).unwrap(), AttrOut::Single(Value::Entity(c)));
     assert_eq!(uni.mapper.read_attr(c, spouse).unwrap(), AttrOut::Single(Value::Entity(a)));
     assert_eq!(uni.mapper.read_attr(b, spouse).unwrap(), AttrOut::Single(Value::Null));
-    uni.mapper.commit(txn);
+    uni.mapper.commit(txn).unwrap();
 }
 
 #[test]
@@ -267,7 +267,7 @@ fn advisor_advisees_stay_synchronized() {
     // Clearing the single-valued side removes it from the inverse.
     uni.mapper.set_attr(&mut txn, s1, advisor, AttrValue::Scalar(Value::Null)).unwrap();
     assert_eq!(uni.mapper.eva_partners(i1, advisees).unwrap(), vec![s2]);
-    uni.mapper.commit(txn);
+    uni.mapper.commit(txn).unwrap();
 }
 
 #[test]
@@ -297,7 +297,7 @@ fn advisees_max_10_enforced() {
         .set_attr(&mut txn, s11, advisor, AttrValue::Scalar(Value::Entity(i1)))
         .unwrap_err();
     assert!(matches!(err, MapperError::MaxViolation(_)), "got {err}");
-    uni.mapper.commit(txn);
+    uni.mapper.commit(txn).unwrap();
 }
 
 #[test]
@@ -323,7 +323,7 @@ fn many_many_enrollment_and_include_exclude() {
     assert!(uni.mapper.exclude_value(&mut txn, s, enrolled, &Value::Entity(algebra)).unwrap());
     assert_eq!(uni.mapper.eva_partners(s, enrolled).unwrap(), vec![calculus]);
     assert!(uni.mapper.eva_partners(algebra, students).unwrap().is_empty());
-    uni.mapper.commit(txn);
+    uni.mapper.commit(txn).unwrap();
 }
 
 #[test]
@@ -338,7 +338,7 @@ fn symmetric_prerequisites() {
     uni.mapper.include_value(&mut txn, calc2, prereq, Value::Entity(calc1)).unwrap();
     assert_eq!(uni.mapper.eva_partners(calc2, prereq).unwrap(), vec![calc1]);
     assert_eq!(uni.mapper.eva_partners(calc1, prereq_of).unwrap(), vec![calc2]);
-    uni.mapper.commit(txn);
+    uni.mapper.commit(txn).unwrap();
 }
 
 #[test]
@@ -363,7 +363,7 @@ fn delete_subclass_role_keeps_superclass() {
         uni.mapper.read_attr(s, uni.attr("person", "name")).unwrap(),
         AttrOut::Single(Value::Str("John Doe".into()))
     );
-    uni.mapper.commit(txn);
+    uni.mapper.commit(txn).unwrap();
 }
 
 #[test]
@@ -402,7 +402,7 @@ fn delete_person_cascades_to_all_roles() {
     // The unique index entry is gone: the SSN is reusable.
     let s2 = insert_person(&mut uni, &mut txn, "Reborn", 456887766);
     assert_ne!(s2, s);
-    uni.mapper.commit(txn);
+    uni.mapper.commit(txn).unwrap();
 }
 
 #[test]
@@ -425,7 +425,7 @@ fn teaching_assistant_requires_aux_record_via_both_parents() {
             ],
         )
         .unwrap();
-    uni.mapper.commit(txn);
+    uni.mapper.commit(txn).unwrap();
     // All four roles held.
     for class in ["person", "student", "instructor", "teaching-assistant"] {
         assert!(uni.mapper.has_role(ta, uni.class(class)).unwrap(), "missing role {class}");
@@ -461,7 +461,7 @@ fn decimal_salary_round_trips() {
             ],
         )
         .unwrap();
-    uni.mapper.commit(txn);
+    uni.mapper.commit(txn).unwrap();
     assert_eq!(
         uni.mapper.read_attr(i, uni.attr("instructor", "salary")).unwrap(),
         AttrOut::Single(Value::Decimal(Decimal::parse("55000.50").unwrap()))
@@ -482,7 +482,7 @@ fn dates_round_trip() {
             AttrValue::Scalar(Value::Str("1964-07-04".into())), // coerced to a date
         )
         .unwrap();
-    uni.mapper.commit(txn);
+    uni.mapper.commit(txn).unwrap();
     assert_eq!(
         uni.mapper.read_attr(p, birthdate).unwrap(),
         AttrOut::Single(Value::Date(Date::from_ymd(1964, 7, 4).unwrap()))
@@ -497,7 +497,7 @@ fn entities_of_returns_surrogate_order_including_subclasses() {
     let s1 = insert_student(&mut uni, &mut txn, "S1", 52);
     let p2 = insert_person(&mut uni, &mut txn, "P2", 53);
     let s2 = insert_student(&mut uni, &mut txn, "S2", 54);
-    uni.mapper.commit(txn);
+    uni.mapper.commit(txn).unwrap();
 
     assert_eq!(uni.mapper.entities_of(uni.class("person")).unwrap(), vec![p1, s1, p2, s2]);
     assert_eq!(uni.mapper.entities_of(uni.class("student")).unwrap(), vec![s1, s2]);
@@ -509,7 +509,7 @@ fn unique_index_lookup() {
     let mut uni = new_uni();
     let mut txn = uni.mapper.begin();
     let p = insert_person(&mut uni, &mut txn, "Find Me", 456887766);
-    uni.mapper.commit(txn);
+    uni.mapper.commit(txn).unwrap();
     let ssn = uni.attr("person", "soc-sec-no");
     assert_eq!(uni.mapper.lookup_unique(ssn, &Value::Int(456887766)).unwrap(), Some(p));
     assert_eq!(uni.mapper.lookup_unique(ssn, &Value::Int(1)).unwrap(), None);
@@ -523,7 +523,7 @@ fn secondary_index_create_and_lookup() {
     let a = insert_person(&mut uni, &mut txn, "Alice", 61);
     let b = insert_person(&mut uni, &mut txn, "Bob", 62);
     let a2 = insert_person(&mut uni, &mut txn, "Alice", 63);
-    uni.mapper.commit(txn);
+    uni.mapper.commit(txn).unwrap();
 
     let name = uni.attr("person", "name");
     assert!(!uni.mapper.has_index(name));
@@ -539,7 +539,7 @@ fn secondary_index_create_and_lookup() {
     // Index maintained on subsequent writes.
     let mut txn = uni.mapper.begin();
     uni.mapper.set_attr(&mut txn, b, name, AttrValue::Scalar(Value::Str("Alice".into()))).unwrap();
-    uni.mapper.commit(txn);
+    uni.mapper.commit(txn).unwrap();
     assert_eq!(
         uni.mapper.lookup_indexed(name, &Value::Str("Alice".into())).unwrap().unwrap().len(),
         3
@@ -552,7 +552,7 @@ fn abort_rolls_back_entity_and_links() {
     let mut txn = uni.mapper.begin();
     let s = insert_student(&mut uni, &mut txn, "Persistent", 71);
     let c = insert_course(&mut uni, &mut txn, 401, "Kept", 3);
-    uni.mapper.commit(txn);
+    uni.mapper.commit(txn).unwrap();
 
     let enrolled = uni.attr("student", "courses-enrolled");
     let mut txn = uni.mapper.begin();
@@ -565,7 +565,7 @@ fn abort_rolls_back_entity_and_links() {
     // The unique SSN of the ghost is free again.
     let mut txn = uni.mapper.begin();
     insert_person(&mut uni, &mut txn, "Reuse", 72);
-    uni.mapper.commit(txn);
+    uni.mapper.commit(txn).unwrap();
 }
 
 #[test]
@@ -583,14 +583,14 @@ fn mv_dva_separate_unit_round_trips() {
     mapper.include_value(&mut txn, b, tags, Value::Str("red".into())).unwrap();
     mapper.include_value(&mut txn, b, tags, Value::Str("big".into())).unwrap();
     mapper.include_value(&mut txn, b, tags, Value::Str("red".into())).unwrap(); // multiset!
-    mapper.commit(txn);
+    mapper.commit(txn).unwrap();
 
     let vals = mapper.read_attr(b, tags).unwrap().into_values();
     assert_eq!(vals.len(), 3, "non-distinct MV DVA is a multiset");
 
     let mut txn = mapper.begin();
     assert!(mapper.exclude_value(&mut txn, b, tags, &Value::Str("red".into())).unwrap());
-    mapper.commit(txn);
+    mapper.commit(txn).unwrap();
     assert_eq!(mapper.read_attr(b, tags).unwrap().into_values().len(), 2);
 }
 
@@ -610,7 +610,7 @@ fn bounded_mv_dva_embedded_array() {
     }
     let err = mapper.include_value(&mut txn, b, nums, Value::Int(4)).unwrap_err();
     assert!(matches!(err, MapperError::MaxViolation(_)));
-    mapper.commit(txn);
+    mapper.commit(txn).unwrap();
     assert_eq!(
         mapper.read_attr(b, nums).unwrap(),
         AttrOut::Multi(vec![Value::Int(1), Value::Int(2), Value::Int(3)])
@@ -627,5 +627,5 @@ fn eva_range_checked() {
     let err =
         uni.mapper.set_attr(&mut txn, s, advisor, AttrValue::Scalar(Value::Entity(p))).unwrap_err();
     assert!(matches!(err, MapperError::NoSuchEntity(_)));
-    uni.mapper.commit(txn);
+    uni.mapper.commit(txn).unwrap();
 }

@@ -96,6 +96,12 @@ impl QueryEngine {
         &mut self.mapper
     }
 
+    /// Consume the engine, yielding the mapper (used to close a durable
+    /// database cleanly).
+    pub fn into_mapper(self) -> Mapper {
+        self.mapper
+    }
+
     /// The compiled constraints.
     pub fn verifies(&self) -> &[CompiledVerify] {
         &self.verifies
@@ -299,7 +305,7 @@ impl QueryEngine {
                         return Err(QueryError::IntegrityViolation { constraint: name, message });
                     }
                 }
-                self.mapper.commit(txn);
+                self.mapper.commit(txn)?;
                 *self.last_trace.lock().expect("trace lock poisoned") = Some(tb.build());
                 Ok(ExecResult::Updated(count))
             }

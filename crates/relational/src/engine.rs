@@ -38,7 +38,7 @@ impl RelationalDb {
 
     /// Drop all cached pages (cold-start experiments).
     pub fn clear_cache(&self) {
-        self.engine.pool().clear_cache();
+        let _ = self.engine.pool().clear_cache();
     }
 
     /// Create a table. Column names are lower-cased.
@@ -47,7 +47,7 @@ impl RelationalDb {
         name: &str,
         columns: &[(&str, bool)], // (name, unique)
     ) -> Result<TableId, StorageError> {
-        let file = self.engine.create_file();
+        let file = self.engine.create_file()?;
         let mut defs = Vec::with_capacity(columns.len());
         let mut indexes = HashMap::new();
         for (i, (cname, unique)) in columns.iter().enumerate() {
@@ -57,7 +57,7 @@ impl RelationalDb {
                 indexed: *unique,
             });
             if *unique {
-                indexes.insert(i, (self.engine.create_btree(true), true));
+                indexes.insert(i, (self.engine.create_btree(true)?, true));
             }
         }
         let id = TableId(self.tables.len() as u32);
@@ -79,7 +79,7 @@ impl RelationalDb {
         if self.tables[table.0 as usize].indexes.contains_key(&col) {
             return Ok(());
         }
-        let tree = self.engine.create_btree(false);
+        let tree = self.engine.create_btree(false)?;
         let rows = self.engine.heap_scan_all(self.tables[table.0 as usize].file)?;
         let mut txn = self.engine.begin();
         for (rid, bytes) in rows {
@@ -90,7 +90,7 @@ impl RelationalDb {
                 self.engine.btree_insert(&mut txn, tree, &key, &rid.to_bytes())?;
             }
         }
-        self.engine.commit(txn);
+        self.engine.commit(txn)?;
         let t = &mut self.tables[table.0 as usize];
         t.indexes.insert(col, (tree, false));
         t.columns[col].indexed = true;
@@ -135,7 +135,7 @@ impl RelationalDb {
                 }
             }
         }
-        self.engine.commit(txn);
+        self.engine.commit(txn)?;
         self.tables[table.0 as usize].row_count += 1;
         Ok(rid)
     }

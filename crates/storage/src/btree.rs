@@ -52,12 +52,12 @@ fn pair_cmp(a: &Entry, b: &Entry) -> std::cmp::Ordering {
     a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1))
 }
 
-fn read_node(pool: &BufferPool, id: BlockId) -> Node {
+fn read_node(pool: &BufferPool, id: BlockId) -> Result<Node, StorageError> {
     pool.read(id, deserialize)
 }
 
-fn write_node(pool: &BufferPool, id: BlockId, node: &Node) {
-    pool.write(id, |p| serialize(node, p));
+fn write_node(pool: &BufferPool, id: BlockId, node: &Node) -> Result<(), StorageError> {
+    pool.write(id, |p| serialize(node, p))
 }
 
 fn deserialize(p: &[u8; BLOCK_SIZE]) -> Node {
@@ -164,10 +164,25 @@ pub struct BTree {
 
 impl BTree {
     /// Create an empty tree. `unique` rejects duplicate keys on insert.
-    pub fn create(pool: &BufferPool, unique: bool) -> BTree {
-        let root = pool.allocate();
-        write_node(pool, root, &Node::Leaf { entries: Vec::new(), next: None });
-        BTree { root, unique, entry_count: 0, height: 1 }
+    pub fn create(pool: &BufferPool, unique: bool) -> Result<BTree, StorageError> {
+        let root = pool.allocate()?;
+        write_node(pool, root, &Node::Leaf { entries: Vec::new(), next: None })?;
+        Ok(BTree { root, unique, entry_count: 0, height: 1 })
+    }
+
+    /// Rebuild from recovered metadata.
+    pub(crate) fn from_parts(
+        root: BlockId,
+        unique: bool,
+        entry_count: usize,
+        height: usize,
+    ) -> BTree {
+        BTree { root, unique, entry_count, height }
+    }
+
+    /// Root block (metadata snapshot).
+    pub(crate) fn root(&self) -> BlockId {
+        self.root
     }
 
     /// Whether this index enforces key uniqueness.
@@ -197,19 +212,19 @@ impl BTree {
         if entry_size > MAX_ENTRY {
             return Err(StorageError::KeyTooLarge { size: entry_size, max: MAX_ENTRY });
         }
-        if self.unique && self.lookup_first(pool, key).is_some() {
+        if self.unique && self.lookup_first(pool, key)?.is_some() {
             return Err(StorageError::DuplicateKey);
         }
         let pair = (key.to_vec(), value.to_vec());
-        if let Some((sep, right)) = self.insert_rec(pool, self.root, &pair) {
+        if let Some((sep, right)) = self.insert_rec(pool, self.root, &pair)? {
             // Root split: grow the tree by one level.
             let old_root = self.root;
-            let new_root = pool.allocate();
+            let new_root = pool.allocate()?;
             write_node(
                 pool,
                 new_root,
                 &Node::Internal { seps: vec![sep], children: vec![old_root, right] },
-            );
+            )?;
             self.root = new_root;
             self.height += 1;
         }
@@ -222,43 +237,44 @@ impl BTree {
         pool: &BufferPool,
         node_id: BlockId,
         pair: &(Vec<u8>, Vec<u8>),
-    ) -> Option<(Entry, BlockId)> {
-        let mut node = read_node(pool, node_id);
+    ) -> Result<Option<(Entry, BlockId)>, StorageError> {
+        let mut node = read_node(pool, node_id)?;
         match &mut node {
             Node::Leaf { entries, next: _ } => {
                 let pos =
                     entries.partition_point(|e| pair_cmp(e, pair) == std::cmp::Ordering::Less);
                 entries.insert(pos, pair.clone());
                 if node_size(&node) <= BLOCK_SIZE {
-                    write_node(pool, node_id, &node);
-                    return None;
+                    write_node(pool, node_id, &node)?;
+                    return Ok(None);
                 }
                 // Split the leaf in half.
                 let Node::Leaf { entries, next } = node else { unreachable!() };
                 let mid = entries.len() / 2;
                 let mut left_entries = entries;
                 let right_entries = left_entries.split_off(mid);
-                let right_id = pool.allocate();
+                let right_id = pool.allocate()?;
                 let sep = right_entries[0].clone();
-                write_node(pool, right_id, &Node::Leaf { entries: right_entries, next });
+                write_node(pool, right_id, &Node::Leaf { entries: right_entries, next })?;
                 write_node(
                     pool,
                     node_id,
                     &Node::Leaf { entries: left_entries, next: Some(right_id) },
-                );
-                Some((sep, right_id))
+                )?;
+                Ok(Some((sep, right_id)))
             }
             Node::Internal { seps, children } => {
                 let child_idx =
                     seps.partition_point(|s| pair_cmp(s, pair) != std::cmp::Ordering::Greater);
                 let child = children[child_idx];
-                let split = self.insert_rec(pool, child, pair)?;
-                let (sep, right) = split;
+                let Some((sep, right)) = self.insert_rec(pool, child, pair)? else {
+                    return Ok(None);
+                };
                 seps.insert(child_idx, sep);
                 children.insert(child_idx + 1, right);
                 if node_size(&node) <= BLOCK_SIZE {
-                    write_node(pool, node_id, &node);
-                    return None;
+                    write_node(pool, node_id, &node)?;
+                    return Ok(None);
                 }
                 let Node::Internal { mut seps, mut children } = node else { unreachable!() };
                 // Split: middle separator moves up.
@@ -267,73 +283,86 @@ impl BTree {
                 let right_seps = seps.split_off(mid + 1);
                 seps.pop(); // `up` moves to the parent
                 let right_children = children.split_off(mid + 1);
-                let right_id = pool.allocate();
+                let right_id = pool.allocate()?;
                 write_node(
                     pool,
                     right_id,
                     &Node::Internal { seps: right_seps, children: right_children },
-                );
-                write_node(pool, node_id, &Node::Internal { seps, children });
-                Some((up, right_id))
+                )?;
+                write_node(pool, node_id, &Node::Internal { seps, children })?;
+                Ok(Some((up, right_id)))
             }
         }
     }
 
     /// Remove the exact `(key, value)` entry. Returns whether it existed.
-    pub fn delete(&mut self, pool: &BufferPool, key: &[u8], value: &[u8]) -> bool {
+    pub fn delete(
+        &mut self,
+        pool: &BufferPool,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<bool, StorageError> {
         let pair = (key.to_vec(), value.to_vec());
-        let leaf_id = self.descend_to_leaf(pool, &pair);
-        let mut node = read_node(pool, leaf_id);
+        let leaf_id = self.descend_to_leaf(pool, &pair)?;
+        let mut node = read_node(pool, leaf_id)?;
         if let Node::Leaf { entries, .. } = &mut node {
             if let Ok(pos) = entries.binary_search_by(|e| pair_cmp(e, &pair)) {
                 entries.remove(pos);
-                write_node(pool, leaf_id, &node);
+                write_node(pool, leaf_id, &node)?;
                 self.entry_count -= 1;
-                return true;
+                return Ok(true);
             }
         }
-        false
+        Ok(false)
     }
 
     /// Delete every entry with `key`; returns the removed values.
-    pub fn delete_all(&mut self, pool: &BufferPool, key: &[u8]) -> Vec<Vec<u8>> {
-        let values = self.scan_key(pool, key);
+    pub fn delete_all(
+        &mut self,
+        pool: &BufferPool,
+        key: &[u8],
+    ) -> Result<Vec<Vec<u8>>, StorageError> {
+        let values = self.scan_key(pool, key)?;
         for v in &values {
-            self.delete(pool, key, v);
+            self.delete(pool, key, v)?;
         }
-        values
+        Ok(values)
     }
 
     /// First value stored under `key`, if any.
-    pub fn lookup_first(&self, pool: &BufferPool, key: &[u8]) -> Option<Vec<u8>> {
-        let mut cur = self.cursor_from(pool, key);
-        match self.cursor_next(pool, &mut cur) {
-            Some((k, v)) if k == key => Some(v),
-            _ => None,
+    pub fn lookup_first(
+        &self,
+        pool: &BufferPool,
+        key: &[u8],
+    ) -> Result<Option<Vec<u8>>, StorageError> {
+        let mut cur = self.cursor_from(pool, key)?;
+        match self.cursor_next(pool, &mut cur)? {
+            Some((k, v)) if k == key => Ok(Some(v)),
+            _ => Ok(None),
         }
     }
 
     /// All values stored under `key`, in value order.
-    pub fn scan_key(&self, pool: &BufferPool, key: &[u8]) -> Vec<Vec<u8>> {
+    pub fn scan_key(&self, pool: &BufferPool, key: &[u8]) -> Result<Vec<Vec<u8>>, StorageError> {
         let mut out = Vec::new();
-        let mut cur = self.cursor_from(pool, key);
-        while let Some((k, v)) = self.cursor_next(pool, &mut cur) {
+        let mut cur = self.cursor_from(pool, key)?;
+        while let Some((k, v)) = self.cursor_next(pool, &mut cur)? {
             if k != key {
                 break;
             }
             out.push(v);
         }
-        out
+        Ok(out)
     }
 
     /// All `(key, value)` entries in key order.
-    pub fn scan_all(&self, pool: &BufferPool) -> Vec<Entry> {
+    pub fn scan_all(&self, pool: &BufferPool) -> Result<Vec<Entry>, StorageError> {
         let mut out = Vec::with_capacity(self.entry_count);
-        let mut cur = self.cursor_first(pool);
-        while let Some(kv) = self.cursor_next(pool, &mut cur) {
+        let mut cur = self.cursor_first(pool)?;
+        while let Some(kv) = self.cursor_next(pool, &mut cur)? {
             out.push(kv);
         }
-        out
+        Ok(out)
     }
 
     /// Entries with `lo <= key < hi` (either bound optional).
@@ -342,13 +371,13 @@ impl BTree {
         pool: &BufferPool,
         lo: Option<&[u8]>,
         hi: Option<&[u8]>,
-    ) -> Vec<Entry> {
+    ) -> Result<Vec<Entry>, StorageError> {
         let mut out = Vec::new();
         let mut cur = match lo {
-            Some(lo) => self.cursor_from(pool, lo),
-            None => self.cursor_first(pool),
+            Some(lo) => self.cursor_from(pool, lo)?,
+            None => self.cursor_first(pool)?,
         };
-        while let Some((k, v)) = self.cursor_next(pool, &mut cur) {
+        while let Some((k, v)) = self.cursor_next(pool, &mut cur)? {
             if let Some(hi) = hi {
                 if k.as_slice() >= hi {
                     break;
@@ -356,14 +385,18 @@ impl BTree {
             }
             out.push((k, v));
         }
-        out
+        Ok(out)
     }
 
-    fn descend_to_leaf(&self, pool: &BufferPool, pair: &(Vec<u8>, Vec<u8>)) -> BlockId {
+    fn descend_to_leaf(
+        &self,
+        pool: &BufferPool,
+        pair: &(Vec<u8>, Vec<u8>),
+    ) -> Result<BlockId, StorageError> {
         let mut id = self.root;
         loop {
-            match read_node(pool, id) {
-                Node::Leaf { .. } => return id,
+            match read_node(pool, id)? {
+                Node::Leaf { .. } => return Ok(id),
                 Node::Internal { seps, children } => {
                     let idx =
                         seps.partition_point(|s| pair_cmp(s, pair) != std::cmp::Ordering::Greater);
@@ -374,41 +407,45 @@ impl BTree {
     }
 
     /// A cursor positioned at the first entry whose key is `>= key`.
-    pub fn cursor_from(&self, pool: &BufferPool, key: &[u8]) -> BTreeCursor {
+    pub fn cursor_from(&self, pool: &BufferPool, key: &[u8]) -> Result<BTreeCursor, StorageError> {
         let pair = (key.to_vec(), Vec::new());
-        let leaf = self.descend_to_leaf(pool, &pair);
-        let idx = match read_node(pool, leaf) {
+        let leaf = self.descend_to_leaf(pool, &pair)?;
+        let idx = match read_node(pool, leaf)? {
             Node::Leaf { entries, .. } => {
                 entries.partition_point(|e| pair_cmp(e, &pair) == std::cmp::Ordering::Less)
             }
             _ => 0,
         };
-        BTreeCursor { leaf: Some(leaf), index: idx }
+        Ok(BTreeCursor { leaf: Some(leaf), index: idx })
     }
 
     /// A cursor positioned at the very first entry.
-    pub fn cursor_first(&self, pool: &BufferPool) -> BTreeCursor {
+    pub fn cursor_first(&self, pool: &BufferPool) -> Result<BTreeCursor, StorageError> {
         let mut id = self.root;
         loop {
-            match read_node(pool, id) {
-                Node::Leaf { .. } => return BTreeCursor { leaf: Some(id), index: 0 },
+            match read_node(pool, id)? {
+                Node::Leaf { .. } => return Ok(BTreeCursor { leaf: Some(id), index: 0 }),
                 Node::Internal { children, .. } => id = children[0],
             }
         }
     }
 
     /// Advance a cursor. Skips empty leaves left behind by lazy deletion.
-    pub fn cursor_next(&self, pool: &BufferPool, cur: &mut BTreeCursor) -> Option<Entry> {
+    pub fn cursor_next(
+        &self,
+        pool: &BufferPool,
+        cur: &mut BTreeCursor,
+    ) -> Result<Option<Entry>, StorageError> {
         loop {
-            let leaf = cur.leaf?;
+            let Some(leaf) = cur.leaf else { return Ok(None) };
             let (entry, next) = pool.read(leaf, |p| match deserialize(p) {
                 Node::Leaf { entries, next } => (entries.get(cur.index).cloned(), next),
-                _ => (None, None),
-            });
+                Node::Internal { .. } => (None, None),
+            })?;
             match entry {
                 Some(kv) => {
                     cur.index += 1;
-                    return Some(kv);
+                    return Ok(Some(kv));
                 }
                 None => {
                     cur.leaf = next;
@@ -441,20 +478,20 @@ mod tests {
     #[test]
     fn insert_and_lookup_small() {
         let pool = pool();
-        let mut t = BTree::create(&pool, true);
+        let mut t = BTree::create(&pool, true).unwrap();
         t.insert(&pool, b"banana", b"1").unwrap();
         t.insert(&pool, b"apple", b"2").unwrap();
         t.insert(&pool, b"cherry", b"3").unwrap();
-        assert_eq!(t.lookup_first(&pool, b"apple").unwrap(), b"2");
-        assert_eq!(t.lookup_first(&pool, b"banana").unwrap(), b"1");
-        assert!(t.lookup_first(&pool, b"durian").is_none());
+        assert_eq!(t.lookup_first(&pool, b"apple").unwrap().unwrap(), b"2");
+        assert_eq!(t.lookup_first(&pool, b"banana").unwrap().unwrap(), b"1");
+        assert!(t.lookup_first(&pool, b"durian").unwrap().is_none());
         assert_eq!(t.entry_count(), 3);
     }
 
     #[test]
     fn unique_rejects_duplicates() {
         let pool = pool();
-        let mut t = BTree::create(&pool, true);
+        let mut t = BTree::create(&pool, true).unwrap();
         t.insert(&pool, b"key", b"v1").unwrap();
         assert_eq!(t.insert(&pool, b"key", b"v2"), Err(StorageError::DuplicateKey));
         assert_eq!(t.entry_count(), 1);
@@ -463,18 +500,21 @@ mod tests {
     #[test]
     fn non_unique_stores_duplicates_sorted() {
         let pool = pool();
-        let mut t = BTree::create(&pool, false);
+        let mut t = BTree::create(&pool, false).unwrap();
         t.insert(&pool, b"key", b"v2").unwrap();
         t.insert(&pool, b"key", b"v1").unwrap();
         t.insert(&pool, b"key", b"v3").unwrap();
         t.insert(&pool, b"other", b"x").unwrap();
-        assert_eq!(t.scan_key(&pool, b"key"), vec![b"v1".to_vec(), b"v2".to_vec(), b"v3".to_vec()]);
+        assert_eq!(
+            t.scan_key(&pool, b"key").unwrap(),
+            vec![b"v1".to_vec(), b"v2".to_vec(), b"v3".to_vec()]
+        );
     }
 
     #[test]
     fn large_volume_splits_and_stays_sorted() {
         let pool = pool();
-        let mut t = BTree::create(&pool, true);
+        let mut t = BTree::create(&pool, true).unwrap();
         // Insert in pseudo-random order.
         let mut keys: Vec<u32> = (0..5000).collect();
         let mut state = 12345u64;
@@ -487,61 +527,64 @@ mod tests {
             t.insert(&pool, &k(n), &n.to_le_bytes()).unwrap();
         }
         assert!(t.height() >= 2, "5000 entries must split");
-        let all = t.scan_all(&pool);
+        let all = t.scan_all(&pool).unwrap();
         assert_eq!(all.len(), 5000);
         for (i, (key, _)) in all.iter().enumerate() {
             assert_eq!(key, &k(i as u32));
         }
         for n in (0..5000).step_by(373) {
-            assert_eq!(t.lookup_first(&pool, &k(n)).unwrap(), { n }.to_le_bytes().to_vec());
+            assert_eq!(
+                t.lookup_first(&pool, &k(n)).unwrap().unwrap(),
+                { n }.to_le_bytes().to_vec()
+            );
         }
     }
 
     #[test]
     fn range_scans() {
         let pool = pool();
-        let mut t = BTree::create(&pool, true);
+        let mut t = BTree::create(&pool, true).unwrap();
         for n in 0..100u32 {
             t.insert(&pool, &k(n), b"").unwrap();
         }
-        let range = t.scan_range(&pool, Some(&k(10)), Some(&k(20)));
+        let range = t.scan_range(&pool, Some(&k(10)), Some(&k(20))).unwrap();
         assert_eq!(range.len(), 10);
         assert_eq!(range[0].0, k(10));
         assert_eq!(range[9].0, k(19));
-        let open_lo = t.scan_range(&pool, None, Some(&k(3)));
+        let open_lo = t.scan_range(&pool, None, Some(&k(3))).unwrap();
         assert_eq!(open_lo.len(), 3);
-        let open_hi = t.scan_range(&pool, Some(&k(97)), None);
+        let open_hi = t.scan_range(&pool, Some(&k(97)), None).unwrap();
         assert_eq!(open_hi.len(), 3);
     }
 
     #[test]
     fn delete_exact_and_all() {
         let pool = pool();
-        let mut t = BTree::create(&pool, false);
+        let mut t = BTree::create(&pool, false).unwrap();
         t.insert(&pool, b"dup", b"a").unwrap();
         t.insert(&pool, b"dup", b"b").unwrap();
         t.insert(&pool, b"dup", b"c").unwrap();
-        assert!(t.delete(&pool, b"dup", b"b"));
-        assert!(!t.delete(&pool, b"dup", b"b"));
-        assert_eq!(t.scan_key(&pool, b"dup"), vec![b"a".to_vec(), b"c".to_vec()]);
-        let removed = t.delete_all(&pool, b"dup");
+        assert!(t.delete(&pool, b"dup", b"b").unwrap());
+        assert!(!t.delete(&pool, b"dup", b"b").unwrap());
+        assert_eq!(t.scan_key(&pool, b"dup").unwrap(), vec![b"a".to_vec(), b"c".to_vec()]);
+        let removed = t.delete_all(&pool, b"dup").unwrap();
         assert_eq!(removed.len(), 2);
-        assert!(t.scan_key(&pool, b"dup").is_empty());
+        assert!(t.scan_key(&pool, b"dup").unwrap().is_empty());
         assert_eq!(t.entry_count(), 0);
     }
 
     #[test]
     fn delete_then_scan_skips_empty_leaves() {
         let pool = pool();
-        let mut t = BTree::create(&pool, true);
+        let mut t = BTree::create(&pool, true).unwrap();
         for n in 0..2000u32 {
             t.insert(&pool, &k(n), b"x").unwrap();
         }
         // Hollow out a middle band spanning whole leaves.
         for n in 500..1500u32 {
-            assert!(t.delete(&pool, &k(n), b"x"));
+            assert!(t.delete(&pool, &k(n), b"x").unwrap());
         }
-        let all = t.scan_all(&pool);
+        let all = t.scan_all(&pool).unwrap();
         assert_eq!(all.len(), 1000);
         assert_eq!(all[499].0, k(499));
         assert_eq!(all[500].0, k(1500));
@@ -550,7 +593,7 @@ mod tests {
     #[test]
     fn oversized_entry_rejected() {
         let pool = pool();
-        let mut t = BTree::create(&pool, true);
+        let mut t = BTree::create(&pool, true).unwrap();
         let big = vec![0u8; MAX_ENTRY + 1];
         assert!(matches!(t.insert(&pool, &big, b""), Err(StorageError::KeyTooLarge { .. })));
     }
@@ -559,7 +602,7 @@ mod tests {
     fn interleaved_insert_delete_random() {
         use std::collections::BTreeMap;
         let pool = pool();
-        let mut t = BTree::create(&pool, true);
+        let mut t = BTree::create(&pool, true).unwrap();
         let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
         let mut state = 999u64;
         for i in 0..3000u32 {
@@ -567,8 +610,10 @@ mod tests {
             let key = k((state >> 40) as u32 % 500);
             if state.is_multiple_of(3) {
                 let existed_model = model.remove(&key).is_some();
-                let existed_tree =
-                    t.lookup_first(&pool, &key).map(|v| t.delete(&pool, &key, &v)).unwrap_or(false);
+                let existed_tree = match t.lookup_first(&pool, &key).unwrap() {
+                    Some(v) => t.delete(&pool, &key, &v).unwrap(),
+                    None => false,
+                };
                 assert_eq!(existed_model, existed_tree, "iteration {i}");
             } else {
                 let val = i.to_le_bytes().to_vec();
@@ -583,7 +628,7 @@ mod tests {
                 }
             }
         }
-        let tree_all: Vec<_> = t.scan_all(&pool);
+        let tree_all: Vec<_> = t.scan_all(&pool).unwrap();
         let model_all: Vec<_> = model.into_iter().collect();
         assert_eq!(tree_all, model_all);
     }

@@ -1,13 +1,16 @@
-//! The simulated disk: a growable array of fixed-size blocks.
+//! The durable medium: the [`Storage`] trait and the in-memory backend.
 //!
 //! Substitution note (DESIGN.md): the paper's SIM runs on Unisys A-Series
-//! disks via DMSII. We model the disk as in-process memory but preserve the
-//! property the paper's cost model cares about — a *block* is the unit of
-//! transfer, and every transfer is observable via [`IoStats`].
+//! disks via DMSII. We model the medium behind a trait with three durable
+//! regions — a block array (the unit of transfer the paper's cost model
+//! counts), an append-only write-ahead-log stream, and a small atomically
+//! replaced superblock. [`MemDisk`] keeps all three in process memory (the
+//! original simulated disk); [`crate::file::FileDisk`] maps them onto real
+//! files with `fsync` barriers. Fault-injection wrappers (sim-testkit)
+//! implement the same trait to simulate crashes and torn writes.
 
-use crate::stats::IoStats;
+use crate::error::StorageError;
 use crate::BLOCK_SIZE;
-use std::sync::Arc;
 
 /// Identifier of a block on the disk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -20,47 +23,148 @@ impl BlockId {
     }
 }
 
-/// A growable array of 4 KiB blocks with counted transfers.
-#[derive(Debug)]
-pub struct Disk {
-    blocks: Vec<Box<[u8; BLOCK_SIZE]>>,
-    stats: Arc<IoStats>,
-}
+/// A durable medium: fixed-size blocks, an append-only log stream, and an
+/// atomically replaced superblock.
+///
+/// All methods take `&mut self`; concurrency is the buffer pool's job. The
+/// contract every backend must honour:
+///
+/// * block reads/writes outside `0..block_count()` fail with
+///   [`StorageError::BadBlock`] — never panic;
+/// * `log_append` data may be buffered until `log_sync` returns `Ok`;
+/// * `write_super` is atomic: after a crash the superblock is either the
+///   old bytes or the new bytes, never a mixture.
+pub trait Storage: Send + std::fmt::Debug {
+    /// Read a block into `buf`.
+    fn read_block(&mut self, id: BlockId, buf: &mut [u8; BLOCK_SIZE]) -> Result<(), StorageError>;
 
-impl Disk {
-    /// Create an empty disk sharing the given counters.
-    pub fn new(stats: Arc<IoStats>) -> Disk {
-        Disk { blocks: Vec::new(), stats }
-    }
+    /// Write `buf` to an allocated block.
+    fn write_block(&mut self, id: BlockId, buf: &[u8; BLOCK_SIZE]) -> Result<(), StorageError>;
 
     /// Allocate a zeroed block and return its id.
-    pub fn allocate(&mut self) -> BlockId {
-        self.stats.count_allocation();
-        let id = BlockId(self.blocks.len() as u32);
-        self.blocks.push(Box::new([0u8; BLOCK_SIZE]));
-        id
-    }
-
-    /// Read a block into `buf`, counting one physical read.
-    pub fn read(&self, id: BlockId, buf: &mut [u8; BLOCK_SIZE]) {
-        self.stats.count_read();
-        buf.copy_from_slice(&self.blocks[id.index()][..]);
-    }
-
-    /// Write `buf` to a block, counting one physical write.
-    pub fn write(&mut self, id: BlockId, buf: &[u8; BLOCK_SIZE]) {
-        self.stats.count_write();
-        self.blocks[id.index()].copy_from_slice(buf);
-    }
+    fn allocate_block(&mut self) -> Result<BlockId, StorageError>;
 
     /// Number of allocated blocks.
-    pub fn block_count(&self) -> usize {
+    fn block_count(&self) -> usize;
+
+    /// Force the allocated range to exactly `count` blocks. Recovery uses
+    /// this in both directions: shrinking discards blocks allocated by
+    /// uncommitted transactions; growing (with zeroed blocks) restores
+    /// committed allocations a crash prevented from reaching the medium.
+    fn set_block_count(&mut self, count: usize) -> Result<(), StorageError>;
+
+    /// Make every completed block write durable.
+    fn sync_blocks(&mut self) -> Result<(), StorageError>;
+
+    /// Append bytes to the write-ahead-log stream.
+    fn log_append(&mut self, bytes: &[u8]) -> Result<(), StorageError>;
+
+    /// Make every appended log byte durable (the commit barrier).
+    fn log_sync(&mut self) -> Result<(), StorageError>;
+
+    /// The entire log stream, for recovery.
+    fn log_read_all(&mut self) -> Result<Vec<u8>, StorageError>;
+
+    /// Truncate the log to empty (after a checkpoint has made the data
+    /// blocks and superblock current).
+    fn log_reset(&mut self) -> Result<(), StorageError>;
+
+    /// The current superblock bytes, or `None` before the first write.
+    fn read_super(&mut self) -> Result<Option<Vec<u8>>, StorageError>;
+
+    /// Atomically replace the superblock and make it durable.
+    fn write_super(&mut self, bytes: &[u8]) -> Result<(), StorageError>;
+}
+
+/// The in-memory backend: a growable array of 4 KiB blocks plus in-process
+/// log and superblock regions. Not durable across processes — but it runs
+/// the identical WAL/commit/recovery machinery, which is what the
+/// fault-injection harness exercises.
+#[derive(Debug, Default)]
+pub struct MemDisk {
+    blocks: Vec<Box<[u8; BLOCK_SIZE]>>,
+    log: Vec<u8>,
+    superblock: Option<Vec<u8>>,
+}
+
+impl MemDisk {
+    /// An empty in-memory disk.
+    pub fn new() -> MemDisk {
+        MemDisk::default()
+    }
+
+    fn check(&self, id: BlockId) -> Result<(), StorageError> {
+        if id.index() >= self.blocks.len() {
+            return Err(StorageError::BadBlock { block: id.0, count: self.blocks.len() });
+        }
+        Ok(())
+    }
+}
+
+impl Storage for MemDisk {
+    fn read_block(&mut self, id: BlockId, buf: &mut [u8; BLOCK_SIZE]) -> Result<(), StorageError> {
+        self.check(id)?;
+        buf.copy_from_slice(&self.blocks[id.index()][..]);
+        Ok(())
+    }
+
+    fn write_block(&mut self, id: BlockId, buf: &[u8; BLOCK_SIZE]) -> Result<(), StorageError> {
+        self.check(id)?;
+        self.blocks[id.index()].copy_from_slice(buf);
+        Ok(())
+    }
+
+    fn allocate_block(&mut self) -> Result<BlockId, StorageError> {
+        let id =
+            BlockId(u32::try_from(self.blocks.len()).map_err(|_| {
+                StorageError::Io("block address space exhausted (2^32 blocks)".into())
+            })?);
+        self.blocks.push(Box::new([0u8; BLOCK_SIZE]));
+        Ok(id)
+    }
+
+    fn block_count(&self) -> usize {
         self.blocks.len()
     }
 
-    /// The shared counters.
-    pub fn stats(&self) -> &Arc<IoStats> {
-        &self.stats
+    fn set_block_count(&mut self, count: usize) -> Result<(), StorageError> {
+        if count < self.blocks.len() {
+            self.blocks.truncate(count);
+        } else {
+            self.blocks.resize_with(count, || Box::new([0u8; BLOCK_SIZE]));
+        }
+        Ok(())
+    }
+
+    fn sync_blocks(&mut self) -> Result<(), StorageError> {
+        Ok(())
+    }
+
+    fn log_append(&mut self, bytes: &[u8]) -> Result<(), StorageError> {
+        self.log.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn log_sync(&mut self) -> Result<(), StorageError> {
+        Ok(())
+    }
+
+    fn log_read_all(&mut self) -> Result<Vec<u8>, StorageError> {
+        Ok(self.log.clone())
+    }
+
+    fn log_reset(&mut self) -> Result<(), StorageError> {
+        self.log.clear();
+        Ok(())
+    }
+
+    fn read_super(&mut self) -> Result<Option<Vec<u8>>, StorageError> {
+        Ok(self.superblock.clone())
+    }
+
+    fn write_super(&mut self, bytes: &[u8]) -> Result<(), StorageError> {
+        self.superblock = Some(bytes.to_vec());
+        Ok(())
     }
 }
 
@@ -70,28 +174,75 @@ mod tests {
 
     #[test]
     fn allocate_read_write_roundtrip() {
-        let stats = IoStats::new();
-        let mut disk = Disk::new(Arc::clone(&stats));
-        let a = disk.allocate();
-        let b = disk.allocate();
+        let mut disk = MemDisk::new();
+        let a = disk.allocate_block().unwrap();
+        let b = disk.allocate_block().unwrap();
         assert_ne!(a, b);
         assert_eq!(disk.block_count(), 2);
 
         let mut buf = [0u8; BLOCK_SIZE];
         buf[0] = 0xAB;
         buf[BLOCK_SIZE - 1] = 0xCD;
-        disk.write(a, &buf);
+        disk.write_block(a, &buf).unwrap();
 
         let mut out = [0u8; BLOCK_SIZE];
-        disk.read(a, &mut out);
+        disk.read_block(a, &mut out).unwrap();
         assert_eq!(out[0], 0xAB);
         assert_eq!(out[BLOCK_SIZE - 1], 0xCD);
 
         // The untouched block is still zeroed.
-        disk.read(b, &mut out);
+        disk.read_block(b, &mut out).unwrap();
         assert!(out.iter().all(|&x| x == 0));
+    }
 
-        let s = stats.snapshot();
-        assert_eq!((s.reads, s.writes, s.allocations), (2, 1, 2));
+    #[test]
+    fn unallocated_block_is_a_typed_error() {
+        let mut disk = MemDisk::new();
+        let mut buf = [0u8; BLOCK_SIZE];
+        assert_eq!(
+            disk.read_block(BlockId(3), &mut buf),
+            Err(StorageError::BadBlock { block: 3, count: 0 })
+        );
+        assert_eq!(
+            disk.write_block(BlockId(0), &buf),
+            Err(StorageError::BadBlock { block: 0, count: 0 })
+        );
+        disk.allocate_block().unwrap();
+        assert!(disk.read_block(BlockId(0), &mut buf).is_ok());
+        assert!(matches!(
+            disk.read_block(BlockId(1), &mut buf),
+            Err(StorageError::BadBlock { block: 1, count: 1 })
+        ));
+    }
+
+    #[test]
+    fn log_and_super_regions() {
+        let mut disk = MemDisk::new();
+        assert_eq!(disk.read_super().unwrap(), None);
+        disk.log_append(b"abc").unwrap();
+        disk.log_append(b"def").unwrap();
+        disk.log_sync().unwrap();
+        assert_eq!(disk.log_read_all().unwrap(), b"abcdef");
+        disk.log_reset().unwrap();
+        assert!(disk.log_read_all().unwrap().is_empty());
+        disk.write_super(b"sup").unwrap();
+        assert_eq!(disk.read_super().unwrap().as_deref(), Some(&b"sup"[..]));
+    }
+
+    #[test]
+    fn set_block_count_shrinks_and_grows() {
+        let mut disk = MemDisk::new();
+        for _ in 0..4 {
+            disk.allocate_block().unwrap();
+        }
+        disk.set_block_count(2).unwrap();
+        assert_eq!(disk.block_count(), 2);
+        let mut buf = [0u8; BLOCK_SIZE];
+        assert!(disk.read_block(BlockId(2), &mut buf).is_err());
+        // Growing restores zeroed blocks.
+        disk.set_block_count(5).unwrap();
+        assert_eq!(disk.block_count(), 5);
+        disk.read_block(BlockId(4), &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 0));
     }
 }

@@ -5,17 +5,33 @@
 //! the I/O statistics the experiments read. It is the formal interface the
 //! LUC Mapper programs against — the equivalent of the DMSII access layer
 //! in the paper's Figure 1.
+//!
+//! Two configurations:
+//!
+//! * [`StorageEngine::new`] — the original in-memory engine: volatile, no
+//!   WAL, exactly the old behaviour (benches and experiments use this).
+//! * [`StorageEngine::open`] / [`StorageEngine::open_on`] — a durable
+//!   engine: crash recovery runs on open, every commit appends page images
+//!   plus a commit record (carrying serialized [`EngineMeta`]) to the WAL
+//!   and fsyncs, and [`StorageEngine::close`] checkpoints the log away.
 
 use crate::btree::{BTree, BTreeCursor, Entry};
-use crate::disk::BlockId;
+use crate::disk::{BlockId, Storage};
 use crate::error::StorageError;
+use crate::file::FileDisk;
 use crate::hash::HashIndex;
 use crate::heap::{HeapCursor, HeapFile, RecordId};
+use crate::meta::{BTreeMeta, EngineMeta, HashMeta, HeapMeta};
 use crate::pool::BufferPool;
+use crate::recovery::{self, RecoveryOutcome};
 use crate::stats::IoSnapshot;
 use crate::txn::{Txn, UndoOp};
 use sim_obs::Registry;
+use std::path::Path;
 use std::sync::Arc;
+
+/// Buffer-pool frames used by [`StorageEngine::open`].
+pub const DEFAULT_POOL_CAPACITY: usize = 256;
 
 /// Handle to a heap file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -36,17 +52,18 @@ pub struct StorageEngine {
     btrees: Vec<BTree>,
     hashes: Vec<HashIndex>,
     next_txn: u64,
+    app_meta: Vec<u8>,
 }
 
 impl StorageEngine {
-    /// A new engine whose buffer pool holds `pool_capacity` frames, with a
-    /// private metrics registry.
+    /// A new volatile engine whose buffer pool holds `pool_capacity`
+    /// frames, with a private metrics registry.
     pub fn new(pool_capacity: usize) -> StorageEngine {
         StorageEngine::with_registry(pool_capacity, &Arc::new(Registry::new()))
     }
 
-    /// A new engine publishing its counters into `registry` under the
-    /// `storage.*` names.
+    /// A new volatile engine publishing its counters into `registry` under
+    /// the `storage.*` names.
     pub fn with_registry(pool_capacity: usize, registry: &Arc<Registry>) -> StorageEngine {
         StorageEngine {
             pool: BufferPool::with_registry(pool_capacity, registry),
@@ -54,7 +71,68 @@ impl StorageEngine {
             btrees: Vec::new(),
             hashes: Vec::new(),
             next_txn: 1,
+            app_meta: Vec::new(),
         }
+    }
+
+    /// Open (or create) a durable engine over a database directory. Crash
+    /// recovery runs before the first access: committed work is replayed
+    /// from the write-ahead log, uncommitted work is discarded.
+    pub fn open(dir: impl AsRef<Path>) -> Result<StorageEngine, StorageError> {
+        StorageEngine::open_with(dir, DEFAULT_POOL_CAPACITY, &Arc::new(Registry::new()))
+    }
+
+    /// [`StorageEngine::open`] with an explicit pool capacity and registry.
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        pool_capacity: usize,
+        registry: &Arc<Registry>,
+    ) -> Result<StorageEngine, StorageError> {
+        StorageEngine::open_on(Box::new(FileDisk::open(dir)?), pool_capacity, registry)
+    }
+
+    /// Open a durable engine over an arbitrary [`Storage`] backend — the
+    /// fault-injection harness uses this to reopen a shared medium after a
+    /// simulated crash.
+    pub fn open_on(
+        mut disk: Box<dyn Storage>,
+        pool_capacity: usize,
+        registry: &Arc<Registry>,
+    ) -> Result<StorageEngine, StorageError> {
+        let started = std::time::Instant::now();
+        let outcome: RecoveryOutcome = recovery::recover(disk.as_mut())?;
+        let pool = BufferPool::with_storage(pool_capacity, registry, disk, true);
+        let millis = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
+        pool.stats().count_recovery(outcome.records_replayed, millis);
+        let meta = outcome.meta;
+        let files = meta
+            .files
+            .iter()
+            .map(|m| HeapFile::from_parts(m.blocks.clone(), m.record_count as usize))
+            .collect();
+        let btrees = meta
+            .btrees
+            .iter()
+            .map(|m| BTree::from_parts(m.root, m.unique, m.entry_count as usize, m.height as usize))
+            .collect();
+        let hashes = meta
+            .hashes
+            .iter()
+            .map(|m| HashIndex::from_parts(m.buckets.clone(), m.unique, m.entry_count as usize))
+            .collect();
+        Ok(StorageEngine {
+            pool,
+            files,
+            btrees,
+            hashes,
+            next_txn: meta.next_txn.max(1),
+            app_meta: meta.app_meta,
+        })
+    }
+
+    /// Whether this engine persists commits to a write-ahead log.
+    pub fn is_durable(&self) -> bool {
+        self.pool.is_durable()
     }
 
     /// The buffer pool (for experiments that clear the cache or read stats).
@@ -72,24 +150,105 @@ impl StorageEngine {
         self.pool.io_snapshot()
     }
 
+    /// The opaque application metadata committed with every transaction
+    /// (the LUC mapper keeps its catalog and allocator state here).
+    pub fn app_meta(&self) -> &[u8] {
+        &self.app_meta
+    }
+
+    /// Replace the application metadata. Durable only after the next
+    /// commit or checkpoint.
+    pub fn set_app_meta(&mut self, bytes: Vec<u8>) {
+        self.app_meta = bytes;
+    }
+
+    /// Snapshot the engine's structure bookkeeping (what a commit record
+    /// carries).
+    pub fn meta(&self) -> EngineMeta {
+        EngineMeta {
+            block_count: self.pool.block_count() as u64,
+            next_txn: self.next_txn,
+            files: self
+                .files
+                .iter()
+                .map(|f| HeapMeta {
+                    blocks: f.blocks().to_vec(),
+                    record_count: f.record_count() as u64,
+                })
+                .collect(),
+            btrees: self
+                .btrees
+                .iter()
+                .map(|t| BTreeMeta {
+                    root: t.root(),
+                    unique: t.is_unique(),
+                    entry_count: t.entry_count() as u64,
+                    height: t.height() as u64,
+                })
+                .collect(),
+            hashes: self
+                .hashes
+                .iter()
+                .map(|h| HashMeta {
+                    buckets: h.buckets().to_vec(),
+                    unique: h.is_unique(),
+                    entry_count: h.entry_count() as u64,
+                })
+                .collect(),
+            app_meta: self.app_meta.clone(),
+        }
+    }
+
+    /// Fold the WAL into the block file and superblock (no-op beyond a
+    /// flush for volatile engines).
+    pub fn checkpoint(&mut self) -> Result<(), StorageError> {
+        let meta = self.meta().encode();
+        self.pool.checkpoint(&meta)
+    }
+
+    /// Checkpoint and consume the engine. The database directory can be
+    /// reopened with [`StorageEngine::open`].
+    pub fn close(mut self) -> Result<(), StorageError> {
+        self.checkpoint()
+    }
+
     // ----- structure creation ------------------------------------------------
 
     /// Create an empty heap file.
-    pub fn create_file(&mut self) -> FileId {
+    pub fn create_file(&mut self) -> Result<FileId, StorageError> {
         self.files.push(HeapFile::new());
-        FileId(self.files.len() as u32 - 1)
+        Ok(FileId(self.files.len() as u32 - 1))
     }
 
     /// Create an empty B-tree index.
-    pub fn create_btree(&mut self, unique: bool) -> BTreeId {
-        self.btrees.push(BTree::create(&self.pool, unique));
-        BTreeId(self.btrees.len() as u32 - 1)
+    pub fn create_btree(&mut self, unique: bool) -> Result<BTreeId, StorageError> {
+        self.btrees.push(BTree::create(&self.pool, unique)?);
+        Ok(BTreeId(self.btrees.len() as u32 - 1))
     }
 
     /// Create an empty hash index with `buckets` buckets.
-    pub fn create_hash(&mut self, buckets: usize, unique: bool) -> HashIndexId {
-        self.hashes.push(HashIndex::create(&self.pool, buckets, unique));
-        HashIndexId(self.hashes.len() as u32 - 1)
+    pub fn create_hash(
+        &mut self,
+        buckets: usize,
+        unique: bool,
+    ) -> Result<HashIndexId, StorageError> {
+        self.hashes.push(HashIndex::create(&self.pool, buckets, unique)?);
+        Ok(HashIndexId(self.hashes.len() as u32 - 1))
+    }
+
+    /// Number of heap files (reopen-time structure rebinding).
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Number of B-trees (reopen-time structure rebinding).
+    pub fn btree_count(&self) -> usize {
+        self.btrees.len()
+    }
+
+    /// Number of hash indexes (reopen-time structure rebinding).
+    pub fn hash_count(&self) -> usize {
+        self.hashes.len()
     }
 
     fn file(&self, id: FileId) -> Result<&HeapFile, StorageError> {
@@ -138,10 +297,19 @@ impl StorageEngine {
         Txn::new(id)
     }
 
-    /// Commit: with an undo-only log there is nothing to do but drop the log.
-    pub fn commit(&mut self, txn: Txn) {
-        self.pool.stats().count_txn_commit();
+    /// Commit. A durable engine appends the transaction's page after-images
+    /// plus a commit record to the write-ahead log and fsyncs — on `Ok` the
+    /// transaction survives any crash. A volatile engine just drops the
+    /// undo log.
+    pub fn commit(&mut self, txn: Txn) -> Result<(), StorageError> {
+        let id = txn.id();
         drop(txn);
+        if self.pool.is_durable() {
+            let meta = self.meta().encode();
+            self.pool.commit_to_wal(id, &meta)?;
+        }
+        self.pool.stats().count_txn_commit();
+        Ok(())
     }
 
     /// Roll the transaction back completely.
@@ -189,7 +357,7 @@ impl StorageEngine {
                 }
                 UndoOp::BTreeInsert { index, key, value } => {
                     let pool = &self.pool;
-                    self.btrees[index.0 as usize].delete(pool, &key, &value);
+                    self.btrees[index.0 as usize].delete(pool, &key, &value)?;
                 }
                 UndoOp::BTreeDelete { index, key, value } => {
                     let pool = &self.pool;
@@ -197,7 +365,7 @@ impl StorageEngine {
                 }
                 UndoOp::HashInsert { index, key, value } => {
                     let pool = &self.pool;
-                    self.hashes[index.0 as usize].delete(pool, &key, &value);
+                    self.hashes[index.0 as usize].delete(pool, &key, &value)?;
                 }
                 UndoOp::HashDelete { index, key, value } => {
                     let pool = &self.pool;
@@ -247,7 +415,7 @@ impl StorageEngine {
 
     /// Read a record.
     pub fn heap_get(&self, file: FileId, rid: RecordId) -> Result<Option<Vec<u8>>, StorageError> {
-        Ok(self.file(file)?.get(&self.pool, rid))
+        self.file(file)?.get(&self.pool, rid)
     }
 
     /// Update a record; the returned id differs from `rid` when the record
@@ -265,7 +433,7 @@ impl StorageEngine {
             .get_mut(file.0 as usize)
             .ok_or_else(|| StorageError::UnknownStructure(format!("file {}", file.0)))?;
         let old_data =
-            f.get(pool, rid).ok_or_else(|| StorageError::InvalidRecordId(rid.to_string()))?;
+            f.get(pool, rid)?.ok_or_else(|| StorageError::InvalidRecordId(rid.to_string()))?;
         let new_rid = f.update(pool, rid, data)?;
         txn.log(UndoOp::HeapUpdate { file, old_rid: rid, new_rid, old_data });
         Ok(new_rid)
@@ -299,12 +467,12 @@ impl StorageEngine {
         file: FileId,
         cur: &mut HeapCursor,
     ) -> Result<Option<(RecordId, Vec<u8>)>, StorageError> {
-        Ok(self.file(file)?.cursor_next(&self.pool, cur))
+        self.file(file)?.cursor_next(&self.pool, cur)
     }
 
     /// Materialize a full scan.
     pub fn heap_scan_all(&self, file: FileId) -> Result<Vec<(RecordId, Vec<u8>)>, StorageError> {
-        Ok(self.file(file)?.scan_all(&self.pool))
+        self.file(file)?.scan_all(&self.pool)
     }
 
     /// Live record count (optimizer statistic).
@@ -354,7 +522,7 @@ impl StorageEngine {
             .btrees
             .get_mut(index.0 as usize)
             .ok_or_else(|| StorageError::UnknownStructure(format!("btree {}", index.0)))?
-            .delete(pool, key, value);
+            .delete(pool, key, value)?;
         if existed {
             txn.log(UndoOp::BTreeDelete { index, key: key.to_vec(), value: value.to_vec() });
         }
@@ -367,12 +535,12 @@ impl StorageEngine {
         index: BTreeId,
         key: &[u8],
     ) -> Result<Option<Vec<u8>>, StorageError> {
-        Ok(self.btree(index)?.lookup_first(&self.pool, key))
+        self.btree(index)?.lookup_first(&self.pool, key)
     }
 
     /// All values under `key`.
     pub fn btree_scan_key(&self, index: BTreeId, key: &[u8]) -> Result<Vec<Vec<u8>>, StorageError> {
-        Ok(self.btree(index)?.scan_key(&self.pool, key))
+        self.btree(index)?.scan_key(&self.pool, key)
     }
 
     /// Range scan `lo <= key < hi`.
@@ -382,12 +550,12 @@ impl StorageEngine {
         lo: Option<&[u8]>,
         hi: Option<&[u8]>,
     ) -> Result<Vec<Entry>, StorageError> {
-        Ok(self.btree(index)?.scan_range(&self.pool, lo, hi))
+        self.btree(index)?.scan_range(&self.pool, lo, hi)
     }
 
     /// Every entry in key order.
     pub fn btree_scan_all(&self, index: BTreeId) -> Result<Vec<Entry>, StorageError> {
-        Ok(self.btree(index)?.scan_all(&self.pool))
+        self.btree(index)?.scan_all(&self.pool)
     }
 
     /// Cursor positioned at the first entry `>= key`.
@@ -396,7 +564,7 @@ impl StorageEngine {
         index: BTreeId,
         key: &[u8],
     ) -> Result<BTreeCursor, StorageError> {
-        Ok(self.btree(index)?.cursor_from(&self.pool, key))
+        self.btree(index)?.cursor_from(&self.pool, key)
     }
 
     /// Advance a B-tree cursor.
@@ -405,7 +573,7 @@ impl StorageEngine {
         index: BTreeId,
         cur: &mut BTreeCursor,
     ) -> Result<Option<Entry>, StorageError> {
-        Ok(self.btree(index)?.cursor_next(&self.pool, cur))
+        self.btree(index)?.cursor_next(&self.pool, cur)
     }
 
     /// Entry count (optimizer statistic).
@@ -450,7 +618,7 @@ impl StorageEngine {
             .hashes
             .get_mut(index.0 as usize)
             .ok_or_else(|| StorageError::UnknownStructure(format!("hash {}", index.0)))?
-            .delete(pool, key, value);
+            .delete(pool, key, value)?;
         if existed {
             txn.log(UndoOp::HashDelete { index, key: key.to_vec(), value: value.to_vec() });
         }
@@ -459,7 +627,7 @@ impl StorageEngine {
 
     /// All values under `key`.
     pub fn hash_get(&self, index: HashIndexId, key: &[u8]) -> Result<Vec<Vec<u8>>, StorageError> {
-        Ok(self.hash(index)?.get(&self.pool, key))
+        self.hash(index)?.get(&self.pool, key)
     }
 
     /// Entry count (optimizer statistic).
@@ -500,14 +668,15 @@ impl std::fmt::Debug for StorageEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::disk::MemDisk;
 
     #[test]
     fn abort_undoes_heap_mutations_in_reverse() {
         let mut eng = StorageEngine::new(32);
-        let f = eng.create_file();
+        let f = eng.create_file().unwrap();
         let mut setup = eng.begin();
         let keep = eng.heap_insert(&mut setup, f, b"keep").unwrap();
-        eng.commit(setup);
+        eng.commit(setup).unwrap();
 
         let mut txn = eng.begin();
         let added = eng.heap_insert(&mut txn, f, b"added").unwrap();
@@ -523,11 +692,11 @@ mod tests {
     #[test]
     fn abort_undoes_update_with_relocation() {
         let mut eng = StorageEngine::new(32);
-        let f = eng.create_file();
+        let f = eng.create_file().unwrap();
         let mut setup = eng.begin();
         let rid = eng.heap_insert(&mut setup, f, &vec![1u8; 2000]).unwrap();
         eng.heap_insert(&mut setup, f, &vec![2u8; 2000]).unwrap();
-        eng.commit(setup);
+        eng.commit(setup).unwrap();
 
         let mut txn = eng.begin();
         let new_rid = eng.heap_update(&mut txn, f, rid, &vec![3u8; 3500]).unwrap();
@@ -540,12 +709,12 @@ mod tests {
     #[test]
     fn abort_undoes_index_mutations() {
         let mut eng = StorageEngine::new(32);
-        let bt = eng.create_btree(false);
-        let hx = eng.create_hash(4, false);
+        let bt = eng.create_btree(false).unwrap();
+        let hx = eng.create_hash(4, false).unwrap();
         let mut setup = eng.begin();
         eng.btree_insert(&mut setup, bt, b"stay", b"1").unwrap();
         eng.hash_insert(&mut setup, hx, b"stay", b"1").unwrap();
-        eng.commit(setup);
+        eng.commit(setup).unwrap();
 
         let mut txn = eng.begin();
         eng.btree_insert(&mut txn, bt, b"new", b"2").unwrap();
@@ -563,15 +732,57 @@ mod tests {
     #[test]
     fn savepoint_rolls_back_partially() {
         let mut eng = StorageEngine::new(32);
-        let f = eng.create_file();
+        let f = eng.create_file().unwrap();
         let mut txn = eng.begin();
         let first = eng.heap_insert(&mut txn, f, b"first").unwrap();
         let sp = txn.savepoint();
         let second = eng.heap_insert(&mut txn, f, b"second").unwrap();
         eng.rollback_to(&mut txn, sp).unwrap();
-        eng.commit(txn);
+        eng.commit(txn).unwrap();
         assert_eq!(eng.heap_get(f, first).unwrap().unwrap(), b"first");
         assert!(eng.heap_get(f, second).unwrap().is_none());
+    }
+
+    #[test]
+    fn savepoint_restores_heap_btree_and_hash_exactly() {
+        // The integrity-rollback path (§3.3): a statement updates a record
+        // (relocating it), touches both index kinds, then fails — the
+        // savepoint rollback must restore every structure exactly,
+        // including the record's original address.
+        let mut eng = StorageEngine::new(64);
+        let f = eng.create_file().unwrap();
+        let bt = eng.create_btree(true).unwrap();
+        let hx = eng.create_hash(8, true).unwrap();
+
+        let mut setup = eng.begin();
+        let rid = eng.heap_insert(&mut setup, f, &vec![1u8; 2000]).unwrap();
+        eng.heap_insert(&mut setup, f, &vec![2u8; 2000]).unwrap();
+        eng.btree_insert(&mut setup, bt, b"key", &rid.to_bytes()).unwrap();
+        eng.hash_insert(&mut setup, hx, b"key", &rid.to_bytes()).unwrap();
+        eng.commit(setup).unwrap();
+        let baseline_heap = eng.heap_scan_all(f).unwrap();
+        let baseline_bt = eng.btree_scan_all(bt).unwrap();
+        let baseline_hx = eng.hash_get(hx, b"key").unwrap();
+
+        let mut txn = eng.begin();
+        let sp = txn.savepoint();
+        // Growing update forces relocation to a new block.
+        let new_rid = eng.heap_update(&mut txn, f, rid, &vec![9u8; 3500]).unwrap();
+        assert_ne!(rid, new_rid, "update must relocate for this test to bite");
+        // Index maintenance follows the move.
+        eng.btree_delete(&mut txn, bt, b"key", &rid.to_bytes()).unwrap();
+        eng.btree_insert(&mut txn, bt, b"key", &new_rid.to_bytes()).unwrap();
+        eng.hash_delete(&mut txn, hx, b"key", &rid.to_bytes()).unwrap();
+        eng.hash_insert(&mut txn, hx, b"key", &new_rid.to_bytes()).unwrap();
+        // "VERIFY failed": statement-level rollback.
+        eng.rollback_to(&mut txn, sp).unwrap();
+        eng.commit(txn).unwrap();
+
+        assert_eq!(eng.heap_scan_all(f).unwrap(), baseline_heap);
+        assert_eq!(eng.btree_scan_all(bt).unwrap(), baseline_bt);
+        assert_eq!(eng.hash_get(hx, b"key").unwrap(), baseline_hx);
+        assert_eq!(eng.heap_get(f, rid).unwrap().unwrap(), vec![1u8; 2000]);
+        assert!(eng.heap_get(f, new_rid).unwrap().is_none());
     }
 
     #[test]
@@ -579,10 +790,10 @@ mod tests {
         // Delete a record, insert another that reuses its slot, then abort:
         // the insert must be undone first so the restore succeeds.
         let mut eng = StorageEngine::new(32);
-        let f = eng.create_file();
+        let f = eng.create_file().unwrap();
         let mut setup = eng.begin();
         let victim = eng.heap_insert(&mut setup, f, b"victim").unwrap();
-        eng.commit(setup);
+        eng.commit(setup).unwrap();
 
         let mut txn = eng.begin();
         eng.heap_delete(&mut txn, f, victim).unwrap();
@@ -595,12 +806,12 @@ mod tests {
     #[test]
     fn commit_keeps_changes() {
         let mut eng = StorageEngine::new(32);
-        let f = eng.create_file();
-        let bt = eng.create_btree(true);
+        let f = eng.create_file().unwrap();
+        let bt = eng.create_btree(true).unwrap();
         let mut txn = eng.begin();
         let rid = eng.heap_insert(&mut txn, f, b"data").unwrap();
         eng.btree_insert(&mut txn, bt, b"k", &rid.to_bytes()).unwrap();
-        eng.commit(txn);
+        eng.commit(txn).unwrap();
         assert_eq!(eng.heap_get(f, rid).unwrap().unwrap(), b"data");
         assert_eq!(eng.btree_lookup_first(bt, b"k").unwrap().unwrap(), rid.to_bytes().to_vec());
     }
@@ -608,11 +819,11 @@ mod tests {
     #[test]
     fn txn_lifecycle_is_counted() {
         let mut eng = StorageEngine::new(16);
-        let f = eng.create_file();
+        let f = eng.create_file().unwrap();
         let before = eng.io_snapshot();
 
         let t1 = eng.begin();
-        eng.commit(t1);
+        eng.commit(t1).unwrap();
         let mut t2 = eng.begin();
         eng.heap_insert(&mut t2, f, b"x").unwrap();
         eng.abort(t2).unwrap();
@@ -627,5 +838,138 @@ mod tests {
         assert!(eng.heap_get(FileId(9), RecordId::from_bytes(&[0; 8]).unwrap()).is_err());
         assert!(eng.btree_scan_all(BTreeId(3)).is_err());
         assert!(eng.hash_get(HashIndexId(1), b"x").is_err());
+    }
+
+    /// A shareable medium: lets a test "crash" an engine (drop it) and
+    /// reopen over the same bytes, like a file on disk.
+    #[derive(Debug, Clone)]
+    struct SharedDisk(std::sync::Arc<std::sync::Mutex<MemDisk>>);
+
+    impl SharedDisk {
+        fn new() -> SharedDisk {
+            SharedDisk(std::sync::Arc::new(std::sync::Mutex::new(MemDisk::new())))
+        }
+    }
+
+    impl Storage for SharedDisk {
+        fn read_block(
+            &mut self,
+            id: BlockId,
+            buf: &mut [u8; crate::BLOCK_SIZE],
+        ) -> Result<(), StorageError> {
+            self.0.lock().expect("shared disk").read_block(id, buf)
+        }
+        fn write_block(
+            &mut self,
+            id: BlockId,
+            buf: &[u8; crate::BLOCK_SIZE],
+        ) -> Result<(), StorageError> {
+            self.0.lock().expect("shared disk").write_block(id, buf)
+        }
+        fn allocate_block(&mut self) -> Result<BlockId, StorageError> {
+            self.0.lock().expect("shared disk").allocate_block()
+        }
+        fn block_count(&self) -> usize {
+            self.0.lock().expect("shared disk").block_count()
+        }
+        fn set_block_count(&mut self, count: usize) -> Result<(), StorageError> {
+            self.0.lock().expect("shared disk").set_block_count(count)
+        }
+        fn sync_blocks(&mut self) -> Result<(), StorageError> {
+            self.0.lock().expect("shared disk").sync_blocks()
+        }
+        fn log_append(&mut self, bytes: &[u8]) -> Result<(), StorageError> {
+            self.0.lock().expect("shared disk").log_append(bytes)
+        }
+        fn log_sync(&mut self) -> Result<(), StorageError> {
+            self.0.lock().expect("shared disk").log_sync()
+        }
+        fn log_read_all(&mut self) -> Result<Vec<u8>, StorageError> {
+            self.0.lock().expect("shared disk").log_read_all()
+        }
+        fn log_reset(&mut self) -> Result<(), StorageError> {
+            self.0.lock().expect("shared disk").log_reset()
+        }
+        fn read_super(&mut self) -> Result<Option<Vec<u8>>, StorageError> {
+            self.0.lock().expect("shared disk").read_super()
+        }
+        fn write_super(&mut self, bytes: &[u8]) -> Result<(), StorageError> {
+            self.0.lock().expect("shared disk").write_super(bytes)
+        }
+    }
+
+    fn open_shared(disk: &SharedDisk) -> StorageEngine {
+        StorageEngine::open_on(Box::new(disk.clone()), 32, &Arc::new(Registry::new())).unwrap()
+    }
+
+    #[test]
+    fn durable_engine_survives_crash_without_checkpoint() {
+        let medium = SharedDisk::new();
+        let rid;
+        let (f, bt);
+        {
+            let mut eng = open_shared(&medium);
+            f = eng.create_file().unwrap();
+            bt = eng.create_btree(true).unwrap();
+            let mut txn = eng.begin();
+            rid = eng.heap_insert(&mut txn, f, b"durable").unwrap();
+            eng.btree_insert(&mut txn, bt, b"k", &rid.to_bytes()).unwrap();
+            eng.commit(txn).unwrap();
+            // Crash: the engine is dropped without close/checkpoint. The
+            // commit's WAL images are all that survives.
+        }
+        let eng = open_shared(&medium);
+        assert_eq!(eng.heap_get(f, rid).unwrap().unwrap(), b"durable");
+        assert_eq!(eng.btree_lookup_first(bt, b"k").unwrap().unwrap(), rid.to_bytes().to_vec());
+        assert!(eng.io_snapshot().wal_replayed > 0, "recovery replayed the commit");
+    }
+
+    #[test]
+    fn uncommitted_work_does_not_survive_a_crash() {
+        let medium = SharedDisk::new();
+        let (f, committed_rid);
+        {
+            let mut eng = open_shared(&medium);
+            f = eng.create_file().unwrap();
+            let mut txn = eng.begin();
+            committed_rid = eng.heap_insert(&mut txn, f, b"committed").unwrap();
+            eng.commit(txn).unwrap();
+            let mut open_txn = eng.begin();
+            eng.heap_insert(&mut open_txn, f, b"uncommitted").unwrap();
+            // Crash with the second transaction still open.
+        }
+        let eng = open_shared(&medium);
+        assert_eq!(eng.heap_record_count(f).unwrap(), 1);
+        assert_eq!(eng.heap_get(f, committed_rid).unwrap().unwrap(), b"committed");
+    }
+
+    #[test]
+    fn close_checkpoints_and_reopen_replays_nothing() {
+        let medium = SharedDisk::new();
+        let (f, rid);
+        {
+            let mut eng = open_shared(&medium);
+            f = eng.create_file().unwrap();
+            let mut txn = eng.begin();
+            rid = eng.heap_insert(&mut txn, f, b"x").unwrap();
+            eng.commit(txn).unwrap();
+            eng.close().unwrap();
+        }
+        let eng = open_shared(&medium);
+        assert_eq!(eng.heap_get(f, rid).unwrap().unwrap(), b"x");
+        assert_eq!(eng.io_snapshot().wal_replayed, 0, "checkpoint folded the log away");
+    }
+
+    #[test]
+    fn app_meta_round_trips_through_commit_and_reopen() {
+        let medium = SharedDisk::new();
+        {
+            let mut eng = open_shared(&medium);
+            eng.set_app_meta(b"mapper state".to_vec());
+            let txn = eng.begin();
+            eng.commit(txn).unwrap();
+        }
+        let eng = open_shared(&medium);
+        assert_eq!(eng.app_meta(), b"mapper state");
     }
 }

@@ -17,6 +17,14 @@ pub enum StorageError {
     DuplicateKey,
     /// Attempt to restore into a slot that is occupied.
     SlotOccupied,
+    /// A block id outside the allocated range of the backing store. After
+    /// recovery a stale block id must surface as an error, never a panic.
+    BadBlock { block: u32, count: usize },
+    /// An underlying I/O failure (file-backed stores, injected faults).
+    Io(String),
+    /// A write-ahead-log record that fails structural or checksum
+    /// validation somewhere other than the (legitimately torn) tail.
+    WalCorrupt(String),
     /// Internal corruption detected (should never happen).
     Corrupt(String),
 }
@@ -34,9 +42,20 @@ impl fmt::Display for StorageError {
             StorageError::UnknownStructure(m) => write!(f, "unknown storage structure: {m}"),
             StorageError::DuplicateKey => write!(f, "duplicate key in unique index"),
             StorageError::SlotOccupied => write!(f, "slot already occupied"),
+            StorageError::BadBlock { block, count } => {
+                write!(f, "block {block} is outside the allocated range (0..{count})")
+            }
+            StorageError::Io(m) => write!(f, "storage I/O error: {m}"),
+            StorageError::WalCorrupt(m) => write!(f, "write-ahead log corrupt: {m}"),
             StorageError::Corrupt(m) => write!(f, "storage corruption: {m}"),
         }
     }
 }
 
 impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> StorageError {
+        StorageError::Io(e.to_string())
+    }
+}

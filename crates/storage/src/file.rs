@@ -1,0 +1,203 @@
+//! [`FileDisk`]: the file-backed [`Storage`] implementation.
+//!
+//! A database directory holds three files:
+//!
+//! * `blocks.simdb` — the block array; block `i` lives at offset
+//!   `i * BLOCK_SIZE`. Extended lazily: allocation only bumps a counter,
+//!   the file grows when a block past EOF is first written, and reads of
+//!   never-written blocks return zeros (exactly what a fresh block holds).
+//! * `wal.simdb` — the append-only write-ahead log. `log_sync` is the
+//!   commit barrier: it issues `File::sync_all`.
+//! * `super.simdb` — the superblock. Replaced atomically by writing
+//!   `super.simdb.tmp`, fsyncing it, renaming over the old file, and
+//!   fsyncing the directory, so a crash leaves either the old or the new
+//!   superblock, never a torn mixture.
+
+use crate::disk::{BlockId, Storage};
+use crate::error::StorageError;
+use crate::BLOCK_SIZE;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+const BLOCKS_FILE: &str = "blocks.simdb";
+const WAL_FILE: &str = "wal.simdb";
+const SUPER_FILE: &str = "super.simdb";
+const SUPER_TMP: &str = "super.simdb.tmp";
+
+/// File-backed storage rooted at a database directory.
+#[derive(Debug)]
+pub struct FileDisk {
+    dir: PathBuf,
+    blocks: File,
+    wal: File,
+    /// Allocated blocks; may exceed the data file's length (lazy growth).
+    block_count: usize,
+    /// Bytes currently in the WAL file (appends are sequential).
+    wal_len: u64,
+}
+
+fn io_err(ctx: &str, e: &std::io::Error) -> StorageError {
+    StorageError::Io(format!("{ctx}: {e}"))
+}
+
+impl FileDisk {
+    /// Open (or create) a database directory. The allocated block count is
+    /// restored by the caller from the superblock / recovery; a fresh open
+    /// derives a provisional count from the data file's length.
+    pub fn open(dir: impl AsRef<Path>) -> Result<FileDisk, StorageError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(|e| io_err("create database directory", &e))?;
+        let blocks = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(dir.join(BLOCKS_FILE))
+            .map_err(|e| io_err("open block file", &e))?;
+        let wal = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(dir.join(WAL_FILE))
+            .map_err(|e| io_err("open wal file", &e))?;
+        let data_len = blocks.metadata().map_err(|e| io_err("stat block file", &e))?.len();
+        let wal_len = wal.metadata().map_err(|e| io_err("stat wal file", &e))?.len();
+        Ok(FileDisk {
+            dir,
+            blocks,
+            wal,
+            block_count: usize::try_from(data_len.div_ceil(BLOCK_SIZE as u64)).unwrap_or(0),
+            wal_len,
+        })
+    }
+
+    /// The database directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn check(&self, id: BlockId) -> Result<(), StorageError> {
+        if id.index() >= self.block_count {
+            return Err(StorageError::BadBlock { block: id.0, count: self.block_count });
+        }
+        Ok(())
+    }
+
+    fn sync_dir(&self) -> Result<(), StorageError> {
+        // Persist the rename itself. Directory fsync works on Linux; on
+        // platforms where opening a directory fails we fall back silently —
+        // the rename is still atomic, only its durability timing weakens.
+        if let Ok(d) = File::open(&self.dir) {
+            d.sync_all().map_err(|e| io_err("sync database directory", &e))?;
+        }
+        Ok(())
+    }
+}
+
+impl Storage for FileDisk {
+    fn read_block(&mut self, id: BlockId, buf: &mut [u8; BLOCK_SIZE]) -> Result<(), StorageError> {
+        self.check(id)?;
+        let len = self.blocks.metadata().map_err(|e| io_err("stat block file", &e))?.len();
+        let off = id.index() as u64 * BLOCK_SIZE as u64;
+        if off >= len {
+            // Allocated but never flushed: logically zero.
+            buf.fill(0);
+            return Ok(());
+        }
+        self.blocks.seek(SeekFrom::Start(off)).map_err(|e| io_err("seek block file", &e))?;
+        let mut read = 0usize;
+        while read < BLOCK_SIZE {
+            match self.blocks.read(&mut buf[read..]) {
+                Ok(0) => break, // short file tail: rest is zeros
+                Ok(n) => read += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(io_err("read block", &e)),
+            }
+        }
+        buf[read..].fill(0);
+        Ok(())
+    }
+
+    fn write_block(&mut self, id: BlockId, buf: &[u8; BLOCK_SIZE]) -> Result<(), StorageError> {
+        self.check(id)?;
+        let off = id.index() as u64 * BLOCK_SIZE as u64;
+        self.blocks.seek(SeekFrom::Start(off)).map_err(|e| io_err("seek block file", &e))?;
+        self.blocks.write_all(buf).map_err(|e| io_err("write block", &e))?;
+        Ok(())
+    }
+
+    fn allocate_block(&mut self) -> Result<BlockId, StorageError> {
+        let id =
+            BlockId(u32::try_from(self.block_count).map_err(|_| {
+                StorageError::Io("block address space exhausted (2^32 blocks)".into())
+            })?);
+        self.block_count += 1;
+        Ok(id)
+    }
+
+    fn block_count(&self) -> usize {
+        self.block_count
+    }
+
+    fn set_block_count(&mut self, count: usize) -> Result<(), StorageError> {
+        if count < self.block_count {
+            let len = self.blocks.metadata().map_err(|e| io_err("stat block file", &e))?.len();
+            let want = count as u64 * BLOCK_SIZE as u64;
+            if len > want {
+                self.blocks.set_len(want).map_err(|e| io_err("truncate block file", &e))?;
+            }
+        }
+        // Growing needs no file change: blocks past EOF read as zeros.
+        self.block_count = count;
+        Ok(())
+    }
+
+    fn sync_blocks(&mut self) -> Result<(), StorageError> {
+        self.blocks.sync_all().map_err(|e| io_err("fsync block file", &e))
+    }
+
+    fn log_append(&mut self, bytes: &[u8]) -> Result<(), StorageError> {
+        self.wal.seek(SeekFrom::Start(self.wal_len)).map_err(|e| io_err("seek wal", &e))?;
+        self.wal.write_all(bytes).map_err(|e| io_err("append wal", &e))?;
+        self.wal_len += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn log_sync(&mut self) -> Result<(), StorageError> {
+        self.wal.sync_all().map_err(|e| io_err("fsync wal", &e))
+    }
+
+    fn log_read_all(&mut self) -> Result<Vec<u8>, StorageError> {
+        self.wal.seek(SeekFrom::Start(0)).map_err(|e| io_err("seek wal", &e))?;
+        let mut out = Vec::new();
+        self.wal.read_to_end(&mut out).map_err(|e| io_err("read wal", &e))?;
+        Ok(out)
+    }
+
+    fn log_reset(&mut self) -> Result<(), StorageError> {
+        self.wal.set_len(0).map_err(|e| io_err("truncate wal", &e))?;
+        self.wal_len = 0;
+        self.wal.sync_all().map_err(|e| io_err("fsync wal", &e))
+    }
+
+    fn read_super(&mut self) -> Result<Option<Vec<u8>>, StorageError> {
+        match std::fs::read(self.dir.join(SUPER_FILE)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(io_err("read superblock", &e)),
+        }
+    }
+
+    fn write_super(&mut self, bytes: &[u8]) -> Result<(), StorageError> {
+        let tmp = self.dir.join(SUPER_TMP);
+        let mut f = File::create(&tmp).map_err(|e| io_err("create superblock tmp", &e))?;
+        f.write_all(bytes).map_err(|e| io_err("write superblock", &e))?;
+        f.sync_all().map_err(|e| io_err("fsync superblock", &e))?;
+        drop(f);
+        std::fs::rename(&tmp, self.dir.join(SUPER_FILE))
+            .map_err(|e| io_err("rename superblock", &e))?;
+        self.sync_dir()
+    }
+}

@@ -31,7 +31,7 @@ struct ChainBlock {
     entries: Vec<crate::btree::Entry>,
 }
 
-fn read_chain(pool: &BufferPool, id: BlockId) -> ChainBlock {
+fn read_chain(pool: &BufferPool, id: BlockId) -> Result<ChainBlock, StorageError> {
     pool.read(id, |p| {
         let next_raw = u32::from_le_bytes([p[0], p[1], p[2], p[3]]);
         let count = u16::from_le_bytes([p[4], p[5]]) as usize;
@@ -54,7 +54,7 @@ fn read_chain(pool: &BufferPool, id: BlockId) -> ChainBlock {
     })
 }
 
-fn write_chain(pool: &BufferPool, id: BlockId, cb: &ChainBlock) {
+fn write_chain(pool: &BufferPool, id: BlockId, cb: &ChainBlock) -> Result<(), StorageError> {
     pool.write(id, |p| {
         p.fill(0);
         let next_raw = cb.next.map_or(NO_BLOCK, |b| b.0);
@@ -70,7 +70,7 @@ fn write_chain(pool: &BufferPool, id: BlockId, cb: &ChainBlock) {
             p[off..off + v.len()].copy_from_slice(v);
             off += v.len();
         }
-    });
+    })
 }
 
 fn chain_size(entries: &[crate::btree::Entry]) -> usize {
@@ -87,16 +87,29 @@ pub struct HashIndex {
 
 impl HashIndex {
     /// Create with a fixed number of buckets (rounded up to at least 1).
-    pub fn create(pool: &BufferPool, bucket_count: usize, unique: bool) -> HashIndex {
+    pub fn create(
+        pool: &BufferPool,
+        bucket_count: usize,
+        unique: bool,
+    ) -> Result<HashIndex, StorageError> {
         let n = bucket_count.max(1);
-        let buckets: Vec<BlockId> = (0..n)
-            .map(|_| {
-                let id = pool.allocate();
-                write_chain(pool, id, &ChainBlock { next: None, entries: Vec::new() });
-                id
-            })
-            .collect();
-        HashIndex { buckets, unique, entry_count: 0 }
+        let mut buckets = Vec::with_capacity(n);
+        for _ in 0..n {
+            let id = pool.allocate()?;
+            write_chain(pool, id, &ChainBlock { next: None, entries: Vec::new() })?;
+            buckets.push(id);
+        }
+        Ok(HashIndex { buckets, unique, entry_count: 0 })
+    }
+
+    /// Rebuild from recovered metadata.
+    pub(crate) fn from_parts(buckets: Vec<BlockId>, unique: bool, entry_count: usize) -> HashIndex {
+        HashIndex { buckets, unique, entry_count }
+    }
+
+    /// Bucket directory (metadata snapshot).
+    pub(crate) fn buckets(&self) -> &[BlockId] {
+        &self.buckets
     }
 
     /// Whether the index enforces key uniqueness.
@@ -126,29 +139,29 @@ impl HashIndex {
                 max: MAX_ENTRY,
             });
         }
-        if self.unique && !self.get(pool, key).is_empty() {
+        if self.unique && !self.get(pool, key)?.is_empty() {
             return Err(StorageError::DuplicateKey);
         }
         let mut id = self.bucket_of(key);
         loop {
-            let mut cb = read_chain(pool, id);
+            let mut cb = read_chain(pool, id)?;
             if chain_size(&cb.entries) + 4 + key.len() + value.len() <= BLOCK_SIZE {
                 cb.entries.push((key.to_vec(), value.to_vec()));
-                write_chain(pool, id, &cb);
+                write_chain(pool, id, &cb)?;
                 self.entry_count += 1;
                 return Ok(());
             }
             match cb.next {
                 Some(next) => id = next,
                 None => {
-                    let new_id = pool.allocate();
+                    let new_id = pool.allocate()?;
                     write_chain(
                         pool,
                         new_id,
                         &ChainBlock { next: None, entries: vec![(key.to_vec(), value.to_vec())] },
-                    );
+                    )?;
                     cb.next = Some(new_id);
-                    write_chain(pool, id, &cb);
+                    write_chain(pool, id, &cb)?;
                     self.entry_count += 1;
                     return Ok(());
                 }
@@ -157,11 +170,11 @@ impl HashIndex {
     }
 
     /// All values stored under `key`.
-    pub fn get(&self, pool: &BufferPool, key: &[u8]) -> Vec<Vec<u8>> {
+    pub fn get(&self, pool: &BufferPool, key: &[u8]) -> Result<Vec<Vec<u8>>, StorageError> {
         let mut out = Vec::new();
         let mut id = Some(self.bucket_of(key));
         while let Some(block) = id {
-            let cb = read_chain(pool, block);
+            let cb = read_chain(pool, block)?;
             for (k, v) in &cb.entries {
                 if k == key {
                     out.push(v.clone());
@@ -169,46 +182,55 @@ impl HashIndex {
             }
             id = cb.next;
         }
-        out
+        Ok(out)
     }
 
     /// Remove the exact `(key, value)` entry. Returns whether it existed.
-    pub fn delete(&mut self, pool: &BufferPool, key: &[u8], value: &[u8]) -> bool {
+    pub fn delete(
+        &mut self,
+        pool: &BufferPool,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<bool, StorageError> {
         let mut id = Some(self.bucket_of(key));
         while let Some(block) = id {
-            let mut cb = read_chain(pool, block);
+            let mut cb = read_chain(pool, block)?;
             if let Some(pos) = cb.entries.iter().position(|(k, v)| k == key && v == value) {
                 cb.entries.swap_remove(pos);
-                write_chain(pool, block, &cb);
+                write_chain(pool, block, &cb)?;
                 self.entry_count -= 1;
-                return true;
+                return Ok(true);
             }
             id = cb.next;
         }
-        false
+        Ok(false)
     }
 
     /// Remove every entry under `key`; returns the removed values.
-    pub fn delete_all(&mut self, pool: &BufferPool, key: &[u8]) -> Vec<Vec<u8>> {
-        let values = self.get(pool, key);
+    pub fn delete_all(
+        &mut self,
+        pool: &BufferPool,
+        key: &[u8],
+    ) -> Result<Vec<Vec<u8>>, StorageError> {
+        let values = self.get(pool, key)?;
         for v in &values {
-            self.delete(pool, key, v);
+            self.delete(pool, key, v)?;
         }
-        values
+        Ok(values)
     }
 
     /// Every entry in the index (unordered). Test/debug helper.
-    pub fn scan_all(&self, pool: &BufferPool) -> Vec<crate::btree::Entry> {
+    pub fn scan_all(&self, pool: &BufferPool) -> Result<Vec<crate::btree::Entry>, StorageError> {
         let mut out = Vec::with_capacity(self.entry_count);
         for &bucket in &self.buckets {
             let mut id = Some(bucket);
             while let Some(block) = id {
-                let cb = read_chain(pool, block);
+                let cb = read_chain(pool, block)?;
                 out.extend(cb.entries);
                 id = cb.next;
             }
         }
-        out
+        Ok(out)
     }
 }
 
@@ -223,23 +245,23 @@ mod tests {
     #[test]
     fn insert_get_delete() {
         let pool = pool();
-        let mut h = HashIndex::create(&pool, 8, false);
+        let mut h = HashIndex::create(&pool, 8, false).unwrap();
         h.insert(&pool, b"alpha", b"1").unwrap();
         h.insert(&pool, b"beta", b"2").unwrap();
         h.insert(&pool, b"alpha", b"3").unwrap();
-        let mut vals = h.get(&pool, b"alpha");
+        let mut vals = h.get(&pool, b"alpha").unwrap();
         vals.sort();
         assert_eq!(vals, vec![b"1".to_vec(), b"3".to_vec()]);
-        assert!(h.delete(&pool, b"alpha", b"1"));
-        assert!(!h.delete(&pool, b"alpha", b"1"));
-        assert_eq!(h.get(&pool, b"alpha"), vec![b"3".to_vec()]);
+        assert!(h.delete(&pool, b"alpha", b"1").unwrap());
+        assert!(!h.delete(&pool, b"alpha", b"1").unwrap());
+        assert_eq!(h.get(&pool, b"alpha").unwrap(), vec![b"3".to_vec()]);
         assert_eq!(h.entry_count(), 2);
     }
 
     #[test]
     fn unique_enforced() {
         let pool = pool();
-        let mut h = HashIndex::create(&pool, 4, true);
+        let mut h = HashIndex::create(&pool, 4, true).unwrap();
         h.insert(&pool, b"k", b"v").unwrap();
         assert_eq!(h.insert(&pool, b"k", b"w"), Err(StorageError::DuplicateKey));
     }
@@ -248,19 +270,19 @@ mod tests {
     fn overflow_chains_grow_and_work() {
         let pool = pool();
         // One bucket forces chaining.
-        let mut h = HashIndex::create(&pool, 1, false);
+        let mut h = HashIndex::create(&pool, 1, false).unwrap();
         let value = vec![0u8; 100];
         for i in 0..500u32 {
             h.insert(&pool, &i.to_le_bytes(), &value).unwrap();
         }
         assert_eq!(h.entry_count(), 500);
         for i in (0..500u32).step_by(37) {
-            assert_eq!(h.get(&pool, &i.to_le_bytes()), vec![value.clone()]);
+            assert_eq!(h.get(&pool, &i.to_le_bytes()).unwrap(), vec![value.clone()]);
         }
-        assert_eq!(h.scan_all(&pool).len(), 500);
+        assert_eq!(h.scan_all(&pool).unwrap().len(), 500);
         // Delete across the chain.
         for i in 0..500u32 {
-            assert!(h.delete(&pool, &i.to_le_bytes(), &value), "delete {i}");
+            assert!(h.delete(&pool, &i.to_le_bytes(), &value).unwrap(), "delete {i}");
         }
         assert_eq!(h.entry_count(), 0);
     }
@@ -268,25 +290,25 @@ mod tests {
     #[test]
     fn missing_keys_are_empty() {
         let pool = pool();
-        let h = HashIndex::create(&pool, 8, false);
-        assert!(h.get(&pool, b"nothing").is_empty());
+        let h = HashIndex::create(&pool, 8, false).unwrap();
+        assert!(h.get(&pool, b"nothing").unwrap().is_empty());
     }
 
     #[test]
     fn delete_all_removes_every_duplicate() {
         let pool = pool();
-        let mut h = HashIndex::create(&pool, 8, false);
+        let mut h = HashIndex::create(&pool, 8, false).unwrap();
         for i in 0..10u8 {
             h.insert(&pool, b"dup", &[i]).unwrap();
         }
-        assert_eq!(h.delete_all(&pool, b"dup").len(), 10);
-        assert!(h.get(&pool, b"dup").is_empty());
+        assert_eq!(h.delete_all(&pool, b"dup").unwrap().len(), 10);
+        assert!(h.get(&pool, b"dup").unwrap().is_empty());
     }
 
     #[test]
     fn oversized_entry_rejected() {
         let pool = pool();
-        let mut h = HashIndex::create(&pool, 2, false);
+        let mut h = HashIndex::create(&pool, 2, false).unwrap();
         assert!(matches!(
             h.insert(&pool, &vec![0u8; 5000], b""),
             Err(StorageError::KeyTooLarge { .. })

@@ -56,8 +56,10 @@ impl fmt::Display for RecordId {
 /// A heap file: an ordered list of blocks plus placement bookkeeping.
 ///
 /// Structure metadata (the block list, record count) lives in memory rather
-/// than in a catalog block — a documented simplification; the I/O behaviour
-/// of *data* access, which is what the experiments measure, is unaffected.
+/// than in a catalog block — a documented simplification; durability
+/// snapshots it into [`crate::meta::EngineMeta`] at every commit. The I/O
+/// behaviour of *data* access, which is what the experiments measure, is
+/// unaffected.
 #[derive(Debug, Default)]
 pub struct HeapFile {
     blocks: Vec<BlockId>,
@@ -68,6 +70,11 @@ impl HeapFile {
     /// An empty heap file.
     pub fn new() -> HeapFile {
         HeapFile::default()
+    }
+
+    /// Rebuild from recovered metadata.
+    pub(crate) fn from_parts(blocks: Vec<BlockId>, record_count: usize) -> HeapFile {
+        HeapFile { blocks, record_count }
     }
 
     /// Number of live records.
@@ -92,16 +99,16 @@ impl HeapFile {
             return Err(StorageError::RecordTooLarge { size: data.len(), max: page::MAX_RECORD });
         }
         if let Some(&last) = self.blocks.last() {
-            if let Some(slot) = pool.write(last, |p| page::insert(p, data)) {
+            if let Some(slot) = pool.write(last, |p| page::insert(p, data))? {
                 self.record_count += 1;
                 return Ok(RecordId { block: last, slot });
             }
         }
-        let block = pool.allocate();
+        let block = pool.allocate()?;
         self.blocks.push(block);
-        let slot = pool
-            .write(block, |p| page::insert(p, data))
-            .expect("fresh page holds any record within MAX_RECORD");
+        let slot = pool.write(block, |p| page::insert(p, data))?.ok_or_else(|| {
+            StorageError::Corrupt("fresh page rejected a record within MAX_RECORD".into())
+        })?;
         self.record_count += 1;
         Ok(RecordId { block, slot })
     }
@@ -118,7 +125,7 @@ impl HeapFile {
             return Err(StorageError::RecordTooLarge { size: data.len(), max: page::MAX_RECORD });
         }
         if self.blocks.contains(&near) {
-            if let Some(slot) = pool.write(near, |p| page::insert(p, data)) {
+            if let Some(slot) = pool.write(near, |p| page::insert(p, data))? {
                 self.record_count += 1;
                 return Ok(RecordId { block: near, slot });
             }
@@ -127,9 +134,9 @@ impl HeapFile {
     }
 
     /// Read a record.
-    pub fn get(&self, pool: &BufferPool, rid: RecordId) -> Option<Vec<u8>> {
+    pub fn get(&self, pool: &BufferPool, rid: RecordId) -> Result<Option<Vec<u8>>, StorageError> {
         if !self.blocks.contains(&rid.block) {
-            return None;
+            return Ok(None);
         }
         pool.read(rid.block, |p| page::get(p, rid.slot).map(<[u8]>::to_vec))
     }
@@ -154,13 +161,13 @@ impl HeapFile {
             } else {
                 Some(page::update(p, rid.slot, data))
             }
-        });
+        })?;
         match updated {
             None => Err(StorageError::InvalidRecordId(rid.to_string())),
             Some(true) => Ok(rid),
             Some(false) => {
                 // Relocate: remove here, insert elsewhere.
-                pool.write(rid.block, |p| page::delete(p, rid.slot));
+                pool.write(rid.block, |p| page::delete(p, rid.slot))?;
                 self.record_count -= 1; // insert() will re-count it
                 self.insert(pool, data)
             }
@@ -172,7 +179,7 @@ impl HeapFile {
         if !self.blocks.contains(&rid.block) {
             return Err(StorageError::InvalidRecordId(rid.to_string()));
         }
-        match pool.write(rid.block, |p| page::delete(p, rid.slot)) {
+        match pool.write(rid.block, |p| page::delete(p, rid.slot))? {
             Some(data) => {
                 self.record_count -= 1;
                 Ok(data)
@@ -192,7 +199,7 @@ impl HeapFile {
         if !self.blocks.contains(&rid.block) {
             return Err(StorageError::InvalidRecordId(rid.to_string()));
         }
-        let ok = pool.write(rid.block, |p| page::insert_at(p, rid.slot, data));
+        let ok = pool.write(rid.block, |p| page::insert_at(p, rid.slot, data))?;
         if ok {
             self.record_count += 1;
             Ok(())
@@ -211,7 +218,7 @@ impl HeapFile {
         &self,
         pool: &BufferPool,
         cur: &mut HeapCursor,
-    ) -> Option<(RecordId, Vec<u8>)> {
+    ) -> Result<Option<(RecordId, Vec<u8>)>, StorageError> {
         while cur.block_index < self.blocks.len() {
             let block = self.blocks[cur.block_index];
             let found = pool.read(block, |p| {
@@ -224,24 +231,24 @@ impl HeapFile {
                     }
                 }
                 None
-            });
+            })?;
             if found.is_some() {
-                return found;
+                return Ok(found);
             }
             cur.block_index += 1;
             cur.next_slot = 0;
         }
-        None
+        Ok(None)
     }
 
     /// Materialize every live record (convenience for small scans/tests).
-    pub fn scan_all(&self, pool: &BufferPool) -> Vec<(RecordId, Vec<u8>)> {
+    pub fn scan_all(&self, pool: &BufferPool) -> Result<Vec<(RecordId, Vec<u8>)>, StorageError> {
         let mut cur = self.cursor();
         let mut out = Vec::with_capacity(self.record_count);
-        while let Some(item) = self.cursor_next(pool, &mut cur) {
+        while let Some(item) = self.cursor_next(pool, &mut cur)? {
             out.push(item);
         }
-        out
+        Ok(out)
     }
 }
 
@@ -266,10 +273,10 @@ mod tests {
         let mut f = HeapFile::new();
         let rid = f.insert(&pool, b"payload").unwrap();
         assert_eq!(f.record_count(), 1);
-        assert_eq!(f.get(&pool, rid).unwrap(), b"payload");
+        assert_eq!(f.get(&pool, rid).unwrap().unwrap(), b"payload");
         assert_eq!(f.delete(&pool, rid).unwrap(), b"payload");
         assert_eq!(f.record_count(), 0);
-        assert!(f.get(&pool, rid).is_none());
+        assert!(f.get(&pool, rid).unwrap().is_none());
         assert!(f.delete(&pool, rid).is_err());
     }
 
@@ -283,7 +290,7 @@ mod tests {
         }
         assert!(f.block_count() >= 5, "20 x 1KB records need 5+ blocks");
         assert_eq!(f.record_count(), 20);
-        assert_eq!(f.scan_all(&pool).len(), 20);
+        assert_eq!(f.scan_all(&pool).unwrap().len(), 20);
     }
 
     #[test]
@@ -291,7 +298,7 @@ mod tests {
         let pool = pool();
         let mut f = HeapFile::new();
         let rids: Vec<RecordId> = (0..50u8).map(|i| f.insert(&pool, &[i]).unwrap()).collect();
-        let scanned = f.scan_all(&pool);
+        let scanned = f.scan_all(&pool).unwrap();
         assert_eq!(scanned.len(), 50);
         for (i, (rid, data)) in scanned.iter().enumerate() {
             assert_eq!(*rid, rids[i]);
@@ -306,7 +313,7 @@ mod tests {
         let rid = f.insert(&pool, b"0123456789").unwrap();
         let new_rid = f.update(&pool, rid, b"abc").unwrap();
         assert_eq!(rid, new_rid);
-        assert_eq!(f.get(&pool, rid).unwrap(), b"abc");
+        assert_eq!(f.get(&pool, rid).unwrap().unwrap(), b"abc");
     }
 
     #[test]
@@ -319,8 +326,8 @@ mod tests {
         // Growing the first record cannot fit in-block: it must relocate.
         let new_rid = f.update(&pool, rid, &vec![3u8; 3000]).unwrap();
         assert_ne!(rid.block, new_rid.block);
-        assert_eq!(f.get(&pool, new_rid).unwrap(), vec![3u8; 3000]);
-        assert!(f.get(&pool, rid).is_none());
+        assert_eq!(f.get(&pool, new_rid).unwrap().unwrap(), vec![3u8; 3000]);
+        assert!(f.get(&pool, rid).unwrap().is_none());
         assert_eq!(f.record_count(), 2);
     }
 
@@ -344,7 +351,7 @@ mod tests {
         let owner = f.insert(&pool, &vec![1u8; 4000]).unwrap();
         let member = f.insert_near(&pool, owner.block, &vec![2u8; 2000]).unwrap();
         assert_ne!(member.block, owner.block);
-        assert_eq!(f.get(&pool, member).unwrap(), vec![2u8; 2000]);
+        assert_eq!(f.get(&pool, member).unwrap().unwrap(), vec![2u8; 2000]);
     }
 
     #[test]
@@ -355,8 +362,8 @@ mod tests {
         let keep = f.insert(&pool, b"keeper").unwrap();
         f.delete(&pool, rid).unwrap();
         f.restore(&pool, rid, b"victim").unwrap();
-        assert_eq!(f.get(&pool, rid).unwrap(), b"victim");
-        assert_eq!(f.get(&pool, keep).unwrap(), b"keeper");
+        assert_eq!(f.get(&pool, rid).unwrap().unwrap(), b"victim");
+        assert_eq!(f.get(&pool, keep).unwrap().unwrap(), b"keeper");
         // Restoring over a live record fails.
         assert_eq!(f.restore(&pool, keep, b"x"), Err(StorageError::SlotOccupied));
     }

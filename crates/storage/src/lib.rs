@@ -8,14 +8,27 @@
 //!
 //! Components:
 //!
-//! * [`disk::Disk`] — an in-memory array of 4 KiB blocks standing in for the
-//!   A-Series disk subsystem, with every physical read/write counted in
-//!   [`stats::IoStats`]. The paper's §5.1 cost-model claims are phrased in
-//!   *block accesses* ("the I/O cost of accessing the first instance of a
-//!   relationship will be 0 if the relationship is implemented by clustering
-//!   and 1 block access if it is implemented by absolute addresses"); the
-//!   counter is what lets the benches verify them.
+//! * [`disk::Storage`] — the physical medium contract: 4 KiB blocks, an
+//!   append-only log region, and an atomically-replaceable superblock.
+//!   [`disk::MemDisk`] is the volatile in-memory backend standing in for
+//!   the A-Series disk subsystem; [`file::FileDisk`] is the file-backed,
+//!   fsync-honoring backend durable databases run on. Every physical
+//!   read/write is counted in [`stats::IoStats`]. The paper's §5.1
+//!   cost-model claims are phrased in *block accesses* ("the I/O cost of
+//!   accessing the first instance of a relationship will be 0 if the
+//!   relationship is implemented by clustering and 1 block access if it is
+//!   implemented by absolute addresses"); the counter is what lets the
+//!   benches verify them.
 //! * [`pool::BufferPool`] — LRU page cache between callers and the disk.
+//!   In durable mode it enforces the write-ahead-log ordering invariant
+//!   (no-steal: a dirty page never reaches the block file before its
+//!   after-image is durably logged).
+//! * [`wal`] — the physical log: CRC-framed page after-images and commit
+//!   records, with torn-tail detection on scan.
+//! * [`meta`] — [`meta::EngineMeta`], the serialized structure bookkeeping
+//!   a commit record carries and the superblock stores.
+//! * [`recovery`] — replay on open: redo committed work, discard
+//!   uncommitted work.
 //! * [`heap::HeapFile`] — slotted pages holding variable-format records
 //!   (§5.2: hierarchies map to "a storage unit with variable-format records
 //!   based on record types"). Supports placement hints for clustering.
@@ -24,7 +37,9 @@
 //! * [`txn`] — undo-log transactions: enough recovery machinery for
 //!   integrity-violation rollback (§3.3).
 //! * [`engine::StorageEngine`] — the facade that owns the pool and all
-//!   structures and runs operations inside transactions.
+//!   structures and runs operations inside transactions. Volatile via
+//!   [`engine::StorageEngine::new`], durable via
+//!   [`engine::StorageEngine::open`].
 
 #![forbid(unsafe_code)]
 
@@ -32,16 +47,24 @@ pub mod btree;
 pub mod disk;
 pub mod engine;
 pub mod error;
+pub mod file;
 pub mod hash;
 pub mod heap;
+pub mod meta;
 pub mod page;
 pub mod pool;
+pub mod recovery;
 pub mod stats;
 pub mod txn;
+pub mod wal;
 
+pub use disk::{BlockId, MemDisk, Storage};
 pub use engine::{BTreeId, FileId, HashIndexId, StorageEngine};
 pub use error::StorageError;
+pub use file::FileDisk;
 pub use heap::RecordId;
+pub use meta::EngineMeta;
+pub use recovery::{recover, RecoveryOutcome};
 pub use stats::{IoSnapshot, IoStats};
 pub use txn::Txn;
 

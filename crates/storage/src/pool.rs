@@ -1,13 +1,28 @@
-//! The buffer pool: an LRU page cache over the simulated disk.
+//! The buffer pool: an LRU page cache enforcing write-ahead-log ordering.
 //!
 //! All structure code accesses blocks through the pool, so the number of
 //! *physical* transfers depends on locality — which is exactly the effect
 //! the paper's physical-mapping options trade on (§5.2): clustered
 //! relationship instances ride along with their owner's block and cost no
 //! extra I/O, pointer-mapped ones fault in their own block.
+//!
+//! ## Durability (the WAL ordering invariant)
+//!
+//! In durable mode the pool runs a **no-steal** policy: a dirty frame may
+//! reach the block file only after its current content has a durable
+//! after-image in the write-ahead log (`logged == true`). Frames are marked
+//! `logged` by [`BufferPool::commit_to_wal`]; any later modification clears
+//! the mark (an aborted transaction's logical undo restores the *logical*
+//! content but may leave different physical bytes, so the old image no
+//! longer covers the frame). When every evictable frame is dirty-unlogged
+//! the pool simply overcommits its capacity rather than violate the
+//! invariant. Non-durable pools (the original in-memory configuration) skip
+//! all logging and evict/flush dirty frames freely.
 
-use crate::disk::{BlockId, Disk};
+use crate::disk::{BlockId, MemDisk, Storage};
+use crate::error::StorageError;
 use crate::stats::{IoSnapshot, IoStats};
+use crate::wal::{encode_record, WalRecord};
 use crate::BLOCK_SIZE;
 use sim_obs::Registry;
 use std::collections::HashMap;
@@ -16,11 +31,13 @@ use std::sync::{Arc, Mutex, MutexGuard};
 struct Frame {
     data: Box<[u8; BLOCK_SIZE]>,
     dirty: bool,
+    /// The current content has a durable WAL image (durable mode only).
+    logged: bool,
     last_used: u64,
 }
 
 struct Inner {
-    disk: Disk,
+    disk: Box<dyn Storage>,
     frames: HashMap<BlockId, Frame>,
     capacity: usize,
     tick: u64,
@@ -30,27 +47,43 @@ struct Inner {
 pub struct BufferPool {
     inner: Mutex<Inner>,
     stats: Arc<IoStats>,
+    durable: bool,
 }
 
 impl BufferPool {
-    /// A pool holding at most `capacity` frames, with a private metrics
-    /// registry.
+    /// A non-durable pool over a fresh [`MemDisk`], holding at most
+    /// `capacity` frames, with a private metrics registry.
     pub fn new(capacity: usize) -> BufferPool {
         BufferPool::with_registry(capacity, &Arc::new(Registry::new()))
     }
 
-    /// A pool publishing its counters into `registry` (`storage.*` names).
+    /// A non-durable in-memory pool publishing its counters into `registry`
+    /// (`storage.*` names).
     pub fn with_registry(capacity: usize, registry: &Arc<Registry>) -> BufferPool {
+        BufferPool::with_storage(capacity, registry, Box::new(MemDisk::new()), false)
+    }
+
+    /// A pool over an arbitrary backend. `durable` turns on WAL ordering:
+    /// dirty frames are never written back before they are logged, and
+    /// [`BufferPool::commit_to_wal`] / [`BufferPool::checkpoint`] drive the
+    /// log.
+    pub fn with_storage(
+        capacity: usize,
+        registry: &Arc<Registry>,
+        disk: Box<dyn Storage>,
+        durable: bool,
+    ) -> BufferPool {
         assert!(capacity >= 2, "buffer pool needs at least two frames");
         let stats = IoStats::with_registry(registry);
         BufferPool {
             inner: Mutex::new(Inner {
-                disk: Disk::new(Arc::clone(&stats)),
+                disk,
                 frames: HashMap::with_capacity(capacity),
                 capacity,
                 tick: 0,
             }),
             stats,
+            durable,
         }
     }
 
@@ -58,52 +91,148 @@ impl BufferPool {
         self.inner.lock().expect("buffer pool poisoned")
     }
 
+    /// Whether this pool enforces WAL ordering.
+    pub fn is_durable(&self) -> bool {
+        self.durable
+    }
+
     /// Allocate a fresh zeroed block; it enters the cache without a read.
-    pub fn allocate(&self) -> BlockId {
+    pub fn allocate(&self) -> Result<BlockId, StorageError> {
         let mut inner = self.lock();
-        let id = inner.disk.allocate();
+        let id = inner.disk.allocate_block()?;
+        self.stats.count_allocation();
         inner.tick += 1;
         let tick = inner.tick;
-        self.make_room(&mut inner);
-        inner
-            .frames
-            .insert(id, Frame { data: Box::new([0u8; BLOCK_SIZE]), dirty: false, last_used: tick });
-        id
+        self.make_room(&mut inner)?;
+        inner.frames.insert(
+            id,
+            Frame {
+                data: Box::new([0u8; BLOCK_SIZE]),
+                dirty: false,
+                logged: false,
+                last_used: tick,
+            },
+        );
+        Ok(id)
     }
 
     /// Run `f` over the block's bytes (read-only).
-    pub fn read<R>(&self, id: BlockId, f: impl FnOnce(&[u8; BLOCK_SIZE]) -> R) -> R {
+    pub fn read<R>(
+        &self,
+        id: BlockId,
+        f: impl FnOnce(&[u8; BLOCK_SIZE]) -> R,
+    ) -> Result<R, StorageError> {
         let mut inner = self.lock();
-        self.fault_in(&mut inner, id);
+        self.fault_in(&mut inner, id)?;
         inner.tick += 1;
         let tick = inner.tick;
-        let frame = inner.frames.get_mut(&id).expect("frame just faulted in");
+        let frame = inner.frames.get_mut(&id).ok_or_else(|| {
+            StorageError::Corrupt(format!("block {} vanished after fault-in", id.0))
+        })?;
         frame.last_used = tick;
-        f(&frame.data)
+        Ok(f(&frame.data))
     }
 
-    /// Run `f` over the block's bytes mutably; marks the frame dirty.
-    pub fn write<R>(&self, id: BlockId, f: impl FnOnce(&mut [u8; BLOCK_SIZE]) -> R) -> R {
+    /// Run `f` over the block's bytes mutably; marks the frame dirty (and
+    /// in need of re-logging before it may be flushed).
+    pub fn write<R>(
+        &self,
+        id: BlockId,
+        f: impl FnOnce(&mut [u8; BLOCK_SIZE]) -> R,
+    ) -> Result<R, StorageError> {
         let mut inner = self.lock();
-        self.fault_in(&mut inner, id);
+        self.fault_in(&mut inner, id)?;
         inner.tick += 1;
         let tick = inner.tick;
-        let frame = inner.frames.get_mut(&id).expect("frame just faulted in");
+        let frame = inner.frames.get_mut(&id).ok_or_else(|| {
+            StorageError::Corrupt(format!("block {} vanished after fault-in", id.0))
+        })?;
         frame.last_used = tick;
         frame.dirty = true;
-        f(&mut frame.data)
+        frame.logged = false;
+        Ok(f(&mut frame.data))
     }
 
-    /// Write every dirty frame back to disk (does not evict).
-    pub fn flush_all(&self) {
+    /// Write every *flushable* dirty frame back to disk in ascending
+    /// [`BlockId`] order (deterministic; does not evict). In durable mode
+    /// only logged frames are flushable — unlogged ones wait for the next
+    /// commit, per the WAL ordering invariant.
+    pub fn flush_all(&self) -> Result<(), StorageError> {
         let mut inner = self.lock();
-        let ids: Vec<BlockId> =
-            inner.frames.iter().filter(|(_, fr)| fr.dirty).map(|(id, _)| *id).collect();
+        self.flush_frames(&mut inner)
+    }
+
+    fn flush_frames(&self, inner: &mut Inner) -> Result<(), StorageError> {
+        let mut ids: Vec<BlockId> = inner
+            .frames
+            .iter()
+            .filter(|(_, fr)| fr.dirty && (!self.durable || fr.logged))
+            .map(|(id, _)| *id)
+            .collect();
+        ids.sort_unstable();
         for id in ids {
-            let data = *inner.frames[&id].data;
-            inner.disk.write(id, &data);
-            inner.frames.get_mut(&id).unwrap().dirty = false;
+            let Some(data) = inner.frames.get(&id).map(|fr| *fr.data) else { continue };
+            inner.disk.write_block(id, &data)?;
+            self.stats.count_write();
+            if let Some(fr) = inner.frames.get_mut(&id) {
+                fr.dirty = false;
+            }
         }
+        Ok(())
+    }
+
+    /// Append after-images of every dirty-unlogged frame (ascending block
+    /// order) plus a commit record carrying `meta`, then fsync the log. On
+    /// return the commit is durable and every dirty frame is flushable.
+    pub fn commit_to_wal(&self, txn: u64, meta: &[u8]) -> Result<(), StorageError> {
+        let mut inner = self.lock();
+        let mut ids: Vec<BlockId> = inner
+            .frames
+            .iter()
+            .filter(|(_, fr)| fr.dirty && !fr.logged)
+            .map(|(id, _)| *id)
+            .collect();
+        ids.sort_unstable();
+        for id in ids {
+            let Some(data) = inner.frames.get(&id).map(|fr| fr.data.clone()) else { continue };
+            let rec = encode_record(&WalRecord::PageImage { txn, block: id, data });
+            inner.disk.log_append(&rec)?;
+            self.stats.count_wal_record(rec.len() as u64);
+        }
+        let rec = encode_record(&WalRecord::Commit { txn, meta: meta.to_vec() });
+        inner.disk.log_append(&rec)?;
+        self.stats.count_wal_record(rec.len() as u64);
+        inner.disk.log_sync()?;
+        self.stats.count_fsync();
+        // Only after the sync: the images are durable, the frames flushable.
+        for fr in inner.frames.values_mut() {
+            if fr.dirty {
+                fr.logged = true;
+            }
+        }
+        Ok(())
+    }
+
+    /// Fold the log into the block file and superblock: log any remaining
+    /// unlogged dirty images under the checkpoint pseudo-transaction (so
+    /// the log's final images always match what is about to be flushed —
+    /// replaying them after a crash mid-checkpoint is then harmless), flush
+    /// and fsync the data blocks, atomically install `meta` as the
+    /// superblock, and reset the log. Non-durable pools just flush.
+    pub fn checkpoint(&self, meta: &[u8]) -> Result<(), StorageError> {
+        if !self.durable {
+            return self.flush_all();
+        }
+        self.commit_to_wal(0, meta)?;
+        let mut inner = self.lock();
+        self.flush_frames(&mut inner)?;
+        inner.disk.sync_blocks()?;
+        self.stats.count_fsync();
+        inner.disk.write_super(meta)?;
+        self.stats.count_fsync();
+        inner.disk.log_reset()?;
+        self.stats.count_checkpoint();
+        Ok(())
     }
 
     /// Shared I/O counters.
@@ -126,39 +255,61 @@ impl BufferPool {
         self.lock().disk.block_count()
     }
 
-    /// Drop every cached frame (writing dirty ones back): makes subsequent
-    /// accesses cold. The experiments use this to measure cold-start I/O.
-    pub fn clear_cache(&self) {
-        self.flush_all();
-        self.lock().frames.clear();
+    /// Drop every flushed frame (writing flushable dirty ones back first):
+    /// makes subsequent accesses cold. The experiments use this to measure
+    /// cold-start I/O. In durable mode, dirty-unlogged frames stay resident
+    /// — they have nowhere safe to go until the next commit.
+    pub fn clear_cache(&self) -> Result<(), StorageError> {
+        let mut inner = self.lock();
+        self.flush_frames(&mut inner)?;
+        inner.frames.retain(|_, fr| fr.dirty);
+        Ok(())
     }
 
-    fn fault_in(&self, inner: &mut Inner, id: BlockId) {
+    fn fault_in(&self, inner: &mut Inner, id: BlockId) -> Result<(), StorageError> {
         if inner.frames.contains_key(&id) {
             self.stats.count_pool_hit();
-            return;
+            return Ok(());
         }
         self.stats.count_pool_miss();
-        self.make_room(inner);
+        self.make_room(inner)?;
         let mut data = Box::new([0u8; BLOCK_SIZE]);
-        inner.disk.read(id, &mut data);
-        inner.frames.insert(id, Frame { data, dirty: false, last_used: inner.tick });
+        inner.disk.read_block(id, &mut data)?;
+        self.stats.count_read();
+        let tick = inner.tick;
+        inner.frames.insert(id, Frame { data, dirty: false, logged: false, last_used: tick });
+        Ok(())
     }
 
-    fn make_room(&self, inner: &mut Inner) {
+    fn make_room(&self, inner: &mut Inner) -> Result<(), StorageError> {
         while inner.frames.len() >= inner.capacity {
+            // LRU among evictable frames; ties broken by ascending block id
+            // so eviction order is deterministic. Durable mode pins
+            // dirty-unlogged frames (no-steal).
             let victim = inner
                 .frames
                 .iter()
-                .min_by_key(|(_, fr)| fr.last_used)
-                .map(|(id, _)| *id)
-                .expect("non-empty frame table");
-            let frame = inner.frames.remove(&victim).expect("victim exists");
+                .filter(|(_, fr)| !self.durable || !fr.dirty || fr.logged)
+                .min_by_key(|(id, fr)| (fr.last_used, id.0))
+                .map(|(id, _)| *id);
+            let Some(victim) = victim else {
+                // Every frame is pinned by the WAL ordering invariant:
+                // overcommit rather than steal an unlogged page.
+                return Ok(());
+            };
+            let Some(frame) = inner.frames.remove(&victim) else {
+                return Ok(());
+            };
             self.stats.count_pool_eviction();
             if frame.dirty {
-                inner.disk.write(victim, &frame.data);
+                if let Err(e) = inner.disk.write_block(victim, &frame.data) {
+                    inner.frames.insert(victim, frame);
+                    return Err(e);
+                }
+                self.stats.count_write();
             }
         }
+        Ok(())
     }
 }
 
@@ -169,6 +320,7 @@ impl std::fmt::Debug for BufferPool {
             .field("capacity", &inner.capacity)
             .field("resident", &inner.frames.len())
             .field("disk_blocks", &inner.disk.block_count())
+            .field("durable", &self.durable)
             .finish()
     }
 }
@@ -176,15 +328,16 @@ impl std::fmt::Debug for BufferPool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wal::{scan_log, WalRecord};
 
     #[test]
     fn cached_reads_cost_nothing() {
         let pool = BufferPool::new(4);
-        let id = pool.allocate();
-        pool.write(id, |b| b[0] = 7);
+        let id = pool.allocate().unwrap();
+        pool.write(id, |b| b[0] = 7).unwrap();
         let before = pool.io_snapshot();
         for _ in 0..100 {
-            assert_eq!(pool.read(id, |b| b[0]), 7);
+            assert_eq!(pool.read(id, |b| b[0]).unwrap(), 7);
         }
         let delta = pool.io_snapshot().since(&before);
         assert_eq!(delta.reads, 0, "hot reads must not touch the disk");
@@ -193,62 +346,62 @@ mod tests {
     #[test]
     fn eviction_writes_back_dirty_pages() {
         let pool = BufferPool::new(2);
-        let a = pool.allocate();
-        pool.write(a, |b| b[0] = 1);
+        let a = pool.allocate().unwrap();
+        pool.write(a, |b| b[0] = 1).unwrap();
         // Fill the pool past capacity so `a` is evicted.
-        let b = pool.allocate();
-        let c = pool.allocate();
-        pool.write(b, |buf| buf[0] = 2);
-        pool.write(c, |buf| buf[0] = 3);
+        let b = pool.allocate().unwrap();
+        let c = pool.allocate().unwrap();
+        pool.write(b, |buf| buf[0] = 2).unwrap();
+        pool.write(c, |buf| buf[0] = 3).unwrap();
         // Read `a` back: its dirty data must have survived eviction.
-        assert_eq!(pool.read(a, |buf| buf[0]), 1);
+        assert_eq!(pool.read(a, |buf| buf[0]).unwrap(), 1);
     }
 
     #[test]
     fn lru_keeps_the_hot_page() {
         let pool = BufferPool::new(2);
-        let a = pool.allocate();
-        let b = pool.allocate();
-        pool.write(a, |buf| buf[0] = 1);
-        pool.write(b, |buf| buf[0] = 2);
+        let a = pool.allocate().unwrap();
+        let b = pool.allocate().unwrap();
+        pool.write(a, |buf| buf[0] = 1).unwrap();
+        pool.write(b, |buf| buf[0] = 2).unwrap();
         // Touch `a` so `b` is the LRU victim when `c` arrives.
-        pool.read(a, |_| ());
-        let _c = pool.allocate();
+        pool.read(a, |_| ()).unwrap();
+        let _c = pool.allocate().unwrap();
         let before = pool.io_snapshot();
-        pool.read(a, |_| ()); // should still be resident
+        pool.read(a, |_| ()).unwrap(); // should still be resident
         assert_eq!(pool.io_snapshot().since(&before).reads, 0);
-        pool.read(b, |_| ()); // was evicted: one physical read
+        pool.read(b, |_| ()).unwrap(); // was evicted: one physical read
         assert_eq!(pool.io_snapshot().since(&before).reads, 1);
     }
 
     #[test]
     fn clear_cache_forces_cold_reads() {
         let pool = BufferPool::new(8);
-        let id = pool.allocate();
-        pool.write(id, |b| b[10] = 42);
-        pool.clear_cache();
+        let id = pool.allocate().unwrap();
+        pool.write(id, |b| b[10] = 42).unwrap();
+        pool.clear_cache().unwrap();
         let before = pool.io_snapshot();
-        assert_eq!(pool.read(id, |b| b[10]), 42);
+        assert_eq!(pool.read(id, |b| b[10]).unwrap(), 42);
         assert_eq!(pool.io_snapshot().since(&before).reads, 1);
     }
 
     #[test]
     fn counts_hits_misses_and_evictions() {
         let pool = BufferPool::new(2);
-        let a = pool.allocate();
-        pool.write(a, |b| b[0] = 1); // resident: hit
+        let a = pool.allocate().unwrap();
+        pool.write(a, |b| b[0] = 1).unwrap(); // resident: hit
         let before = pool.io_snapshot();
-        pool.read(a, |_| ()); // hit
-        pool.read(a, |_| ()); // hit
+        pool.read(a, |_| ()).unwrap(); // hit
+        pool.read(a, |_| ()).unwrap(); // hit
         let d = pool.io_snapshot().since(&before);
         assert_eq!((d.pool_hits, d.pool_misses), (2, 0));
         assert_eq!(d.hit_ratio(), 1.0);
 
         // Overflow the two-frame pool, then come back cold.
-        let _b = pool.allocate();
-        let _c = pool.allocate();
+        let _b = pool.allocate().unwrap();
+        let _c = pool.allocate().unwrap();
         let before = pool.io_snapshot();
-        pool.read(a, |_| ()); // evicted above: miss
+        pool.read(a, |_| ()).unwrap(); // evicted above: miss
         let d = pool.io_snapshot().since(&before);
         assert_eq!(d.pool_misses, 1);
         assert!(pool.io_snapshot().pool_evictions >= 1);
@@ -257,12 +410,12 @@ mod tests {
     #[test]
     fn clear_cache_resets_hit_ratio() {
         let pool = BufferPool::new(8);
-        let id = pool.allocate();
-        pool.write(id, |b| b[0] = 5);
-        pool.clear_cache();
+        let id = pool.allocate().unwrap();
+        pool.write(id, |b| b[0] = 5).unwrap();
+        pool.clear_cache().unwrap();
         let before = pool.io_snapshot();
-        pool.read(id, |_| ()); // cold: miss
-        pool.read(id, |_| ()); // warm: hit
+        pool.read(id, |_| ()).unwrap(); // cold: miss
+        pool.read(id, |_| ()).unwrap(); // warm: hit
         let d = pool.io_snapshot().since(&before);
         assert_eq!((d.pool_hits, d.pool_misses), (1, 1));
     }
@@ -270,11 +423,126 @@ mod tests {
     #[test]
     fn flush_is_idempotent() {
         let pool = BufferPool::new(4);
-        let id = pool.allocate();
-        pool.write(id, |b| b[0] = 9);
-        pool.flush_all();
+        let id = pool.allocate().unwrap();
+        pool.write(id, |b| b[0] = 9).unwrap();
+        pool.flush_all().unwrap();
         let before = pool.io_snapshot();
-        pool.flush_all(); // nothing dirty: no writes
+        pool.flush_all().unwrap(); // nothing dirty: no writes
         assert_eq!(pool.io_snapshot().since(&before).writes, 0);
+    }
+
+    #[test]
+    fn read_of_unallocated_block_is_typed_error() {
+        let pool = BufferPool::new(4);
+        assert!(matches!(
+            pool.read(BlockId(5), |_| ()),
+            Err(StorageError::BadBlock { block: 5, count: 0 })
+        ));
+    }
+
+    fn durable_pool(capacity: usize) -> BufferPool {
+        BufferPool::with_storage(
+            capacity,
+            &Arc::new(Registry::new()),
+            Box::new(MemDisk::new()),
+            true,
+        )
+    }
+
+    #[test]
+    fn durable_pool_never_flushes_unlogged_frames() {
+        let pool = durable_pool(4);
+        let id = pool.allocate().unwrap();
+        pool.write(id, |b| b[0] = 1).unwrap();
+        let before = pool.io_snapshot();
+        pool.flush_all().unwrap();
+        assert_eq!(pool.io_snapshot().since(&before).writes, 0, "unlogged frame must not flush");
+        pool.commit_to_wal(1, b"meta").unwrap();
+        pool.flush_all().unwrap();
+        assert_eq!(pool.io_snapshot().since(&before).writes, 1, "logged frame flushes");
+    }
+
+    #[test]
+    fn durable_pool_overcommits_rather_than_steal() {
+        let pool = durable_pool(2);
+        // Three dirty unlogged frames in a two-frame pool: no eviction may
+        // write any of them, so all three stay resident and readable with
+        // zero physical reads.
+        let ids: Vec<BlockId> = (0..3)
+            .map(|i| {
+                let id = pool.allocate().unwrap();
+                pool.write(id, |b| b[0] = i as u8 + 1).unwrap();
+                id
+            })
+            .collect();
+        let before = pool.io_snapshot();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(pool.read(*id, |b| b[0]).unwrap(), i as u8 + 1);
+        }
+        let d = pool.io_snapshot().since(&before);
+        assert_eq!((d.reads, d.writes), (0, 0));
+    }
+
+    #[test]
+    fn rewrite_after_commit_requires_relogging() {
+        let pool = durable_pool(4);
+        let id = pool.allocate().unwrap();
+        pool.write(id, |b| b[0] = 1).unwrap();
+        pool.commit_to_wal(1, b"m1").unwrap();
+        // Modify again: the frame is dirty-unlogged once more.
+        pool.write(id, |b| b[0] = 2).unwrap();
+        let before = pool.io_snapshot();
+        pool.flush_all().unwrap();
+        assert_eq!(pool.io_snapshot().since(&before).writes, 0);
+    }
+
+    #[test]
+    fn commit_logs_images_in_block_order_then_commit_record() {
+        let pool = durable_pool(8);
+        let a = pool.allocate().unwrap();
+        let b = pool.allocate().unwrap();
+        // Touch in reverse order; the log must still be ascending.
+        pool.write(b, |buf| buf[0] = 2).unwrap();
+        pool.write(a, |buf| buf[0] = 1).unwrap();
+        pool.commit_to_wal(7, b"the-meta").unwrap();
+        let log = pool.lock().disk.log_read_all().unwrap();
+        let scan = scan_log(&log).unwrap();
+        assert_eq!(scan.records.len(), 3);
+        assert!(
+            matches!(&scan.records[0], WalRecord::PageImage { txn: 7, block, .. } if *block == a)
+        );
+        assert!(
+            matches!(&scan.records[1], WalRecord::PageImage { txn: 7, block, .. } if *block == b)
+        );
+        assert!(
+            matches!(&scan.records[2], WalRecord::Commit { txn: 7, meta } if meta == b"the-meta")
+        );
+    }
+
+    #[test]
+    fn checkpoint_resets_the_log_and_installs_the_superblock() {
+        let pool = durable_pool(4);
+        let id = pool.allocate().unwrap();
+        pool.write(id, |b| b[0] = 9).unwrap();
+        pool.checkpoint(b"super-meta").unwrap();
+        let mut inner = pool.lock();
+        assert!(inner.disk.log_read_all().unwrap().is_empty());
+        assert_eq!(inner.disk.read_super().unwrap().as_deref(), Some(&b"super-meta"[..]));
+        let mut buf = [0u8; BLOCK_SIZE];
+        inner.disk.read_block(id, &mut buf).unwrap();
+        assert_eq!(buf[0], 9, "checkpoint flushed the dirty frame");
+    }
+
+    #[test]
+    fn wal_counters_track_bytes_and_fsyncs() {
+        let pool = durable_pool(4);
+        let id = pool.allocate().unwrap();
+        pool.write(id, |b| b[0] = 1).unwrap();
+        let before = pool.io_snapshot();
+        pool.commit_to_wal(1, b"m").unwrap();
+        let d = pool.io_snapshot().since(&before);
+        assert_eq!(d.wal_records, 2, "one image + one commit");
+        assert!(d.wal_bytes > BLOCK_SIZE as u64);
+        assert_eq!(d.fsyncs, 1);
     }
 }

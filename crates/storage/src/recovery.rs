@@ -1,0 +1,232 @@
+//! Crash recovery: redo committed work, discard uncommitted work.
+//!
+//! The durable state of a database is (superblock, block file, WAL). The
+//! superblock holds the [`EngineMeta`] installed by the last checkpoint;
+//! the WAL holds every page after-image and commit since then. Recovery:
+//!
+//! 1. Read the superblock (absent → a fresh, empty database).
+//! 2. Scan the WAL. A torn or checksum-failing final record marks the end
+//!    of the durable prefix and is discarded; damage *before* the tail is
+//!    real corruption and fails the open.
+//! 3. Buffer page images per transaction; on that transaction's commit
+//!    record, append them (in log order) to the redo list and adopt the
+//!    commit's metadata. Images of transactions with no commit record —
+//!    in-flight at the crash — are discarded, which is sound because the
+//!    no-steal pool guarantees no uncommitted image ever reached the block
+//!    file.
+//! 4. Force the block count to the last committed metadata's count
+//!    (discarding uncommitted allocations / restoring lost ones), then
+//!    write the redo list. The last image of a block in the redo list is
+//!    its latest committed content, so in-order replay converges.
+//! 5. Fsync the blocks, install the metadata as the superblock, and reset
+//!    the log — recovery is idempotent, so a crash *during* recovery just
+//!    means doing it again.
+
+use crate::disk::{BlockId, Storage};
+use crate::error::StorageError;
+use crate::meta::EngineMeta;
+use crate::wal::{scan_log, WalRecord};
+use crate::BLOCK_SIZE;
+use std::collections::HashMap;
+
+/// What [`recover`] found and did.
+#[derive(Debug)]
+pub struct RecoveryOutcome {
+    /// Metadata of the last committed transaction (default for a fresh
+    /// database).
+    pub meta: EngineMeta,
+    /// Committed page images written back to the block file.
+    pub records_replayed: u64,
+    /// WAL bytes scanned (the durable prefix).
+    pub log_bytes: u64,
+    /// Whether a torn final record was discarded.
+    pub torn_tail: bool,
+    /// Whether any uncommitted transaction's images were discarded.
+    pub discarded_uncommitted: bool,
+}
+
+/// Bring the medium to the last committed state. Runs before the buffer
+/// pool exists, directly against the [`Storage`] backend.
+pub fn recover(disk: &mut dyn Storage) -> Result<RecoveryOutcome, StorageError> {
+    let mut meta = match disk.read_super()? {
+        Some(bytes) => EngineMeta::decode(&bytes)?,
+        None => EngineMeta::default(),
+    };
+
+    let log = disk.log_read_all()?;
+    let scan = scan_log(&log)?;
+    let log_bytes = scan.valid_bytes as u64;
+
+    // Group images by transaction; release them to the redo list in log
+    // order when the transaction's commit record appears.
+    type Images = Vec<(BlockId, Box<[u8; BLOCK_SIZE]>)>;
+    let mut pending: HashMap<u64, Images> = HashMap::new();
+    let mut redo: Images = Vec::new();
+    for rec in scan.records {
+        match rec {
+            WalRecord::PageImage { txn, block, data } => {
+                pending.entry(txn).or_default().push((block, data));
+            }
+            WalRecord::Commit { txn, meta: meta_bytes } => {
+                redo.append(&mut pending.remove(&txn).unwrap_or_default());
+                meta = EngineMeta::decode(&meta_bytes)?;
+            }
+        }
+    }
+    let discarded_uncommitted = !pending.is_empty();
+
+    let block_count = usize::try_from(meta.block_count)
+        .map_err(|_| StorageError::Corrupt("committed block count overflows usize".into()))?;
+    disk.set_block_count(block_count)?;
+
+    let mut records_replayed = 0u64;
+    for (block, data) in &redo {
+        if block.index() < block_count {
+            disk.write_block(*block, data)?;
+            records_replayed += 1;
+        }
+        // Images of blocks past the committed count belong to committed
+        // transactions whose allocations a *later* committed metadata can
+        // only have grown — unreachable in practice, skipped defensively.
+    }
+
+    // Fold the replay into the base state so the log can be discarded.
+    disk.sync_blocks()?;
+    disk.write_super(&meta.encode())?;
+    disk.log_reset()?;
+
+    Ok(RecoveryOutcome {
+        meta,
+        records_replayed,
+        log_bytes,
+        torn_tail: scan.torn_tail,
+        discarded_uncommitted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::MemDisk;
+    use crate::wal::encode_record;
+
+    fn image(txn: u64, block: u32, fill: u8) -> Vec<u8> {
+        encode_record(&WalRecord::PageImage {
+            txn,
+            block: BlockId(block),
+            data: Box::new([fill; BLOCK_SIZE]),
+        })
+    }
+
+    fn commit(txn: u64, meta: &EngineMeta) -> Vec<u8> {
+        encode_record(&WalRecord::Commit { txn, meta: meta.encode() })
+    }
+
+    #[test]
+    fn fresh_medium_recovers_to_empty() {
+        let mut disk = MemDisk::new();
+        let out = recover(&mut disk).unwrap();
+        assert_eq!(out.meta, EngineMeta::default());
+        assert_eq!(out.records_replayed, 0);
+        assert!(!out.torn_tail);
+    }
+
+    #[test]
+    fn committed_images_are_replayed_uncommitted_discarded() {
+        let mut disk = MemDisk::new();
+        for _ in 0..3 {
+            disk.allocate_block().unwrap();
+        }
+        let committed = EngineMeta { block_count: 2, next_txn: 3, ..EngineMeta::default() };
+        // txn 1 commits images of blocks 0 and 1; txn 2 wrote block 2 but
+        // never committed.
+        disk.log_append(&image(1, 0, 0xAA)).unwrap();
+        disk.log_append(&image(1, 1, 0xBB)).unwrap();
+        disk.log_append(&commit(1, &committed)).unwrap();
+        disk.log_append(&image(2, 2, 0xCC)).unwrap();
+
+        let out = recover(&mut disk).unwrap();
+        assert_eq!(out.meta, committed);
+        assert_eq!(out.records_replayed, 2);
+        assert!(out.discarded_uncommitted);
+        assert_eq!(disk.block_count(), 2, "uncommitted allocation discarded");
+        let mut buf = [0u8; BLOCK_SIZE];
+        disk.read_block(BlockId(0), &mut buf).unwrap();
+        assert_eq!(buf[0], 0xAA);
+        disk.read_block(BlockId(1), &mut buf).unwrap();
+        assert_eq!(buf[0], 0xBB);
+        // Log folded away, superblock current.
+        assert!(disk.log_read_all().unwrap().is_empty());
+        assert_eq!(EngineMeta::decode(&disk.read_super().unwrap().unwrap()).unwrap(), committed);
+    }
+
+    #[test]
+    fn last_image_of_a_block_wins() {
+        let mut disk = MemDisk::new();
+        disk.allocate_block().unwrap();
+        let m1 = EngineMeta { block_count: 1, next_txn: 2, ..EngineMeta::default() };
+        let m2 = EngineMeta { block_count: 1, next_txn: 3, ..EngineMeta::default() };
+        disk.log_append(&image(1, 0, 0x11)).unwrap();
+        disk.log_append(&commit(1, &m1)).unwrap();
+        disk.log_append(&image(2, 0, 0x22)).unwrap();
+        disk.log_append(&commit(2, &m2)).unwrap();
+        let out = recover(&mut disk).unwrap();
+        assert_eq!(out.meta, m2);
+        let mut buf = [0u8; BLOCK_SIZE];
+        disk.read_block(BlockId(0), &mut buf).unwrap();
+        assert_eq!(buf[0], 0x22);
+    }
+
+    #[test]
+    fn torn_tail_rolls_back_to_last_commit() {
+        let mut disk = MemDisk::new();
+        disk.allocate_block().unwrap();
+        let m1 = EngineMeta { block_count: 1, next_txn: 2, ..EngineMeta::default() };
+        disk.log_append(&image(1, 0, 0x11)).unwrap();
+        disk.log_append(&commit(1, &m1)).unwrap();
+        // txn 2's commit record is torn mid-write: txn 2 never happened.
+        disk.log_append(&image(2, 0, 0x22)).unwrap();
+        let torn = commit(2, &EngineMeta { block_count: 1, next_txn: 3, ..EngineMeta::default() });
+        disk.log_append(&torn[..torn.len() - 5]).unwrap();
+        let out = recover(&mut disk).unwrap();
+        assert!(out.torn_tail);
+        assert_eq!(out.meta, m1);
+        let mut buf = [0u8; BLOCK_SIZE];
+        disk.read_block(BlockId(0), &mut buf).unwrap();
+        assert_eq!(buf[0], 0x11);
+    }
+
+    #[test]
+    fn recovery_is_idempotent() {
+        let mut disk = MemDisk::new();
+        disk.allocate_block().unwrap();
+        let m1 = EngineMeta { block_count: 1, next_txn: 2, ..EngineMeta::default() };
+        disk.log_append(&image(1, 0, 0x77)).unwrap();
+        disk.log_append(&commit(1, &m1)).unwrap();
+        let first = recover(&mut disk).unwrap();
+        assert_eq!(first.records_replayed, 1);
+        let second = recover(&mut disk).unwrap();
+        assert_eq!(second.meta, m1);
+        assert_eq!(second.records_replayed, 0, "log was folded away");
+        let mut buf = [0u8; BLOCK_SIZE];
+        disk.read_block(BlockId(0), &mut buf).unwrap();
+        assert_eq!(buf[0], 0x77);
+    }
+
+    #[test]
+    fn grows_block_count_when_allocations_were_lost() {
+        // The committed metadata says two blocks, but the crash happened
+        // before the medium saw the second allocation.
+        let mut disk = MemDisk::new();
+        disk.allocate_block().unwrap();
+        let m = EngineMeta { block_count: 2, next_txn: 2, ..EngineMeta::default() };
+        disk.log_append(&image(1, 1, 0x42)).unwrap();
+        disk.log_append(&commit(1, &m)).unwrap();
+        let out = recover(&mut disk).unwrap();
+        assert_eq!(out.records_replayed, 1);
+        assert_eq!(disk.block_count(), 2);
+        let mut buf = [0u8; BLOCK_SIZE];
+        disk.read_block(BlockId(1), &mut buf).unwrap();
+        assert_eq!(buf[0], 0x42);
+    }
+}

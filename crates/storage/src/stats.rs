@@ -35,6 +35,19 @@ pub mod names {
     pub const TXN_COMMITS: &str = "storage.txn_commits";
     /// Transactions aborted (including partial rollbacks).
     pub const TXN_ABORTS: &str = "storage.txn_aborts";
+    /// Bytes appended to the write-ahead log.
+    pub const WAL_BYTES: &str = "storage.wal_bytes";
+    /// Records appended to the write-ahead log.
+    pub const WAL_RECORDS: &str = "storage.wal_records";
+    /// Durability barriers issued (log syncs, block syncs, superblock
+    /// installs).
+    pub const FSYNCS: &str = "storage.fsyncs";
+    /// Checkpoints completed.
+    pub const CHECKPOINTS: &str = "storage.checkpoints";
+    /// WAL records replayed by crash recovery.
+    pub const WAL_REPLAYED: &str = "storage.wal_replayed";
+    /// Milliseconds spent in crash recovery.
+    pub const RECOVERY_MILLIS: &str = "storage.recovery_millis";
 }
 
 /// Shared, thread-safe I/O counters backed by a metrics registry.
@@ -50,6 +63,12 @@ pub struct IoStats {
     txn_begins: Arc<Counter>,
     txn_commits: Arc<Counter>,
     txn_aborts: Arc<Counter>,
+    wal_bytes: Arc<Counter>,
+    wal_records: Arc<Counter>,
+    fsyncs: Arc<Counter>,
+    checkpoints: Arc<Counter>,
+    wal_replayed: Arc<Counter>,
+    recovery_millis: Arc<Counter>,
 }
 
 /// A point-in-time copy of the counters.
@@ -73,6 +92,18 @@ pub struct IoSnapshot {
     pub txn_commits: u64,
     /// Transactions aborted.
     pub txn_aborts: u64,
+    /// Bytes appended to the write-ahead log.
+    pub wal_bytes: u64,
+    /// Records appended to the write-ahead log.
+    pub wal_records: u64,
+    /// Durability barriers issued.
+    pub fsyncs: u64,
+    /// Checkpoints completed.
+    pub checkpoints: u64,
+    /// WAL records replayed by crash recovery.
+    pub wal_replayed: u64,
+    /// Milliseconds spent in crash recovery.
+    pub recovery_millis: u64,
 }
 
 impl IoSnapshot {
@@ -105,6 +136,12 @@ impl IoSnapshot {
             txn_begins: self.txn_begins.saturating_sub(earlier.txn_begins),
             txn_commits: self.txn_commits.saturating_sub(earlier.txn_commits),
             txn_aborts: self.txn_aborts.saturating_sub(earlier.txn_aborts),
+            wal_bytes: self.wal_bytes.saturating_sub(earlier.wal_bytes),
+            wal_records: self.wal_records.saturating_sub(earlier.wal_records),
+            fsyncs: self.fsyncs.saturating_sub(earlier.fsyncs),
+            checkpoints: self.checkpoints.saturating_sub(earlier.checkpoints),
+            wal_replayed: self.wal_replayed.saturating_sub(earlier.wal_replayed),
+            recovery_millis: self.recovery_millis.saturating_sub(earlier.recovery_millis),
         }
     }
 }
@@ -129,6 +166,12 @@ impl IoStats {
             txn_begins: registry.counter(names::TXN_BEGINS),
             txn_commits: registry.counter(names::TXN_COMMITS),
             txn_aborts: registry.counter(names::TXN_ABORTS),
+            wal_bytes: registry.counter(names::WAL_BYTES),
+            wal_records: registry.counter(names::WAL_RECORDS),
+            fsyncs: registry.counter(names::FSYNCS),
+            checkpoints: registry.counter(names::CHECKPOINTS),
+            wal_replayed: registry.counter(names::WAL_REPLAYED),
+            recovery_millis: registry.counter(names::RECOVERY_MILLIS),
         })
     }
 
@@ -173,6 +216,24 @@ impl IoStats {
         self.txn_aborts.inc();
     }
 
+    pub(crate) fn count_wal_record(&self, bytes: u64) {
+        self.wal_records.inc();
+        self.wal_bytes.add(bytes);
+    }
+
+    pub(crate) fn count_fsync(&self) {
+        self.fsyncs.inc();
+    }
+
+    pub(crate) fn count_checkpoint(&self) {
+        self.checkpoints.inc();
+    }
+
+    pub(crate) fn count_recovery(&self, records_replayed: u64, millis: u64) {
+        self.wal_replayed.add(records_replayed);
+        self.recovery_millis.add(millis);
+    }
+
     /// Snapshot the counters.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -185,6 +246,12 @@ impl IoStats {
             txn_begins: self.txn_begins.get(),
             txn_commits: self.txn_commits.get(),
             txn_aborts: self.txn_aborts.get(),
+            wal_bytes: self.wal_bytes.get(),
+            wal_records: self.wal_records.get(),
+            fsyncs: self.fsyncs.get(),
+            checkpoints: self.checkpoints.get(),
+            wal_replayed: self.wal_replayed.get(),
+            recovery_millis: self.recovery_millis.get(),
         }
     }
 }

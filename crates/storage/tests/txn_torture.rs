@@ -26,9 +26,9 @@ fn arb_op(rng: &mut Rng) -> Op {
 fn random_batches_commit_or_abort() {
     cases(48, |rng| {
         let mut eng = StorageEngine::new(32);
-        let file = eng.create_file();
-        let index = eng.create_btree(true); // key -> rid
-                                            // Model state: key -> payload (committed only).
+        let file = eng.create_file().unwrap();
+        let index = eng.create_btree(true).unwrap(); // key -> rid
+                                                     // Model state: key -> payload (committed only).
         let mut model: BTreeMap<u16, Vec<u8>> = BTreeMap::new();
 
         for _ in 0..rng.range(1, 20) {
@@ -93,7 +93,7 @@ fn random_batches_commit_or_abort() {
                 }
             }
             if commit && !failed {
-                eng.commit(txn);
+                eng.commit(txn).unwrap();
                 model = shadow;
             } else {
                 eng.abort(txn).unwrap();

@@ -1,0 +1,361 @@
+//! Fault injection for durability testing.
+//!
+//! [`FaultDisk`] implements `sim_storage::Storage` over a shared
+//! [`FaultMedium`] while modeling the volatile/durable split of real
+//! hardware: block writes and log appends live in a per-disk volatile
+//! cache until the matching `sync_blocks`/`log_sync`, and a simulated
+//! crash (power loss) discards everything not yet synced. A crash is
+//! scheduled by op budget — the disk fails the (N+1)th durability-relevant
+//! operation and every operation after it — so a test can sweep every
+//! crash point of a workload:
+//!
+//! ```text
+//! let medium = FaultMedium::new();
+//! run_workload(FaultDisk::new(&medium));        // fault-free: counts ops
+//! for point in 0..medium.ops() {
+//!     let medium = FaultMedium::new();
+//!     run_workload(FaultDisk::with_crash(&medium, point)); // dies mid-way
+//!     reopen_and_check(FaultDisk::new(&medium)); // recovery must restore
+//! }                                              // the last committed state
+//! ```
+//!
+//! `with_torn_crash` additionally models a torn write: when the crash
+//! lands on a `log_append`, a *prefix* of the record reaches the durable
+//! log, exactly the partial-append a power cut can leave behind. Recovery
+//! must treat such a tail as absent, not as corruption.
+
+use sim_storage::{BlockId, Storage, StorageError, BLOCK_SIZE};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// The durable state shared between a crashed disk and its reopened
+/// successor: only what has been fsync'd survives here.
+#[derive(Debug, Default)]
+struct Durable {
+    blocks: Vec<[u8; BLOCK_SIZE]>,
+    log: Vec<u8>,
+    superblock: Option<Vec<u8>>,
+    /// Durability-relevant operations observed across all disks, for
+    /// sizing a crash-point sweep.
+    ops: usize,
+}
+
+/// A shareable storage medium. Clone the handle, build a [`FaultDisk`]
+/// per "boot", and the durable state carries across simulated crashes.
+#[derive(Debug, Clone, Default)]
+pub struct FaultMedium {
+    inner: Arc<Mutex<Durable>>,
+}
+
+impl FaultMedium {
+    /// An empty medium.
+    pub fn new() -> FaultMedium {
+        FaultMedium::default()
+    }
+
+    /// Durability-relevant operations seen so far (block writes and
+    /// syncs, log appends/syncs/resets, superblock writes, allocations).
+    /// Run a workload fault-free first, then sweep crash points
+    /// `0..medium.ops()`.
+    pub fn ops(&self) -> usize {
+        self.inner.lock().expect("medium lock").ops
+    }
+
+    /// Bytes currently in the durable log (diagnostics).
+    pub fn durable_log_len(&self) -> usize {
+        self.inner.lock().expect("medium lock").log.len()
+    }
+}
+
+/// How a scheduled crash mangles the operation it lands on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CrashStyle {
+    /// The operation simply never happens.
+    Clean,
+    /// If the operation is a `log_append`, half the bytes reach the
+    /// durable log first (a torn write). Other operations fail cleanly.
+    TornAppend,
+}
+
+/// A `Storage` backend with an op-budgeted simulated power failure.
+///
+/// Reads are free; every mutating or syncing operation consumes budget.
+/// When the budget is exhausted the disk "loses power": the failing and
+/// all subsequent operations return [`StorageError::Io`], and the
+/// volatile caches (unsynced block writes, unsynced log tail) are lost.
+/// Build a fresh `FaultDisk` over the same [`FaultMedium`] to model the
+/// reboot.
+#[derive(Debug)]
+pub struct FaultDisk {
+    medium: FaultMedium,
+    /// Unsynced block writes (volatile cache).
+    cache: HashMap<u32, Box<[u8; BLOCK_SIZE]>>,
+    /// Allocated block count including unsynced allocations.
+    pending_count: usize,
+    /// Appended-but-unsynced log bytes.
+    log_tail: Vec<u8>,
+    /// Ops remaining before the crash; `None` = never crash.
+    budget: Option<usize>,
+    style: CrashStyle,
+    crashed: bool,
+}
+
+impl FaultDisk {
+    /// A disk over `medium` that never crashes.
+    pub fn new(medium: &FaultMedium) -> FaultDisk {
+        FaultDisk::build(medium, None, CrashStyle::Clean)
+    }
+
+    /// A disk that completes exactly `after_ops` durability-relevant
+    /// operations, then fails everything.
+    pub fn with_crash(medium: &FaultMedium, after_ops: usize) -> FaultDisk {
+        FaultDisk::build(medium, Some(after_ops), CrashStyle::Clean)
+    }
+
+    /// Like [`FaultDisk::with_crash`], but if the failing operation is a
+    /// log append, a prefix of the record reaches the durable log — a
+    /// torn write.
+    pub fn with_torn_crash(medium: &FaultMedium, after_ops: usize) -> FaultDisk {
+        FaultDisk::build(medium, Some(after_ops), CrashStyle::TornAppend)
+    }
+
+    fn build(medium: &FaultMedium, budget: Option<usize>, style: CrashStyle) -> FaultDisk {
+        let pending_count = medium.inner.lock().expect("medium lock").blocks.len();
+        FaultDisk {
+            medium: medium.clone(),
+            cache: HashMap::new(),
+            pending_count,
+            log_tail: Vec::new(),
+            budget,
+            style,
+            crashed: false,
+        }
+    }
+
+    /// Whether the scheduled crash has fired.
+    pub fn has_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Charge one op; `Err` means the power just went (or had already
+    /// gone).
+    fn tick(&mut self) -> Result<(), StorageError> {
+        if self.crashed {
+            return Err(StorageError::Io("simulated power failure (post-crash op)".into()));
+        }
+        self.medium.inner.lock().expect("medium lock").ops += 1;
+        match self.budget {
+            Some(0) => {
+                self.crashed = true;
+                // Power loss: the volatile caches are gone.
+                self.cache.clear();
+                self.log_tail.clear();
+                Err(StorageError::Io("simulated power failure".into()))
+            }
+            Some(ref mut n) => {
+                *n -= 1;
+                Ok(())
+            }
+            None => Ok(()),
+        }
+    }
+}
+
+impl Storage for FaultDisk {
+    fn read_block(&mut self, id: BlockId, buf: &mut [u8; BLOCK_SIZE]) -> Result<(), StorageError> {
+        if self.crashed {
+            return Err(StorageError::Io("simulated power failure (post-crash op)".into()));
+        }
+        if (id.0 as usize) >= self.pending_count {
+            return Err(StorageError::BadBlock { block: id.0, count: self.pending_count });
+        }
+        if let Some(cached) = self.cache.get(&id.0) {
+            buf.copy_from_slice(&cached[..]);
+            return Ok(());
+        }
+        let durable = self.medium.inner.lock().expect("medium lock");
+        match durable.blocks.get(id.0 as usize) {
+            Some(block) => buf.copy_from_slice(block),
+            // Allocated but never synced: reads as zeroes.
+            None => buf.fill(0),
+        }
+        Ok(())
+    }
+
+    fn write_block(&mut self, id: BlockId, buf: &[u8; BLOCK_SIZE]) -> Result<(), StorageError> {
+        self.tick()?;
+        if (id.0 as usize) >= self.pending_count {
+            return Err(StorageError::BadBlock { block: id.0, count: self.pending_count });
+        }
+        self.cache.insert(id.0, Box::new(*buf));
+        Ok(())
+    }
+
+    fn allocate_block(&mut self) -> Result<BlockId, StorageError> {
+        self.tick()?;
+        let id = u32::try_from(self.pending_count)
+            .map_err(|_| StorageError::Io("block address space exhausted".into()))?;
+        self.pending_count += 1;
+        Ok(BlockId(id))
+    }
+
+    fn block_count(&self) -> usize {
+        self.pending_count
+    }
+
+    fn set_block_count(&mut self, count: usize) -> Result<(), StorageError> {
+        self.tick()?;
+        self.pending_count = count;
+        self.cache.retain(|&id, _| (id as usize) < count);
+        Ok(())
+    }
+
+    fn sync_blocks(&mut self) -> Result<(), StorageError> {
+        self.tick()?;
+        let mut durable = self.medium.inner.lock().expect("medium lock");
+        durable.blocks.resize(self.pending_count, [0u8; BLOCK_SIZE]);
+        for (&id, block) in &self.cache {
+            durable.blocks[id as usize] = **block;
+        }
+        drop(durable);
+        self.cache.clear();
+        Ok(())
+    }
+
+    fn log_append(&mut self, bytes: &[u8]) -> Result<(), StorageError> {
+        if let Err(e) = self.tick() {
+            // A torn crash on an append leaves a prefix of the record in
+            // the durable log — but only if all previously appended bytes
+            // had already been synced, matching an append-mode file where
+            // the kernel wrote part of the final buffer.
+            if self.style == CrashStyle::TornAppend && self.log_tail.is_empty() && !bytes.is_empty()
+            {
+                let torn = &bytes[..bytes.len() / 2];
+                self.medium.inner.lock().expect("medium lock").log.extend_from_slice(torn);
+            }
+            return Err(e);
+        }
+        self.log_tail.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn log_sync(&mut self) -> Result<(), StorageError> {
+        self.tick()?;
+        let mut durable = self.medium.inner.lock().expect("medium lock");
+        durable.log.extend_from_slice(&self.log_tail);
+        drop(durable);
+        self.log_tail.clear();
+        Ok(())
+    }
+
+    fn log_read_all(&mut self) -> Result<Vec<u8>, StorageError> {
+        if self.crashed {
+            return Err(StorageError::Io("simulated power failure (post-crash op)".into()));
+        }
+        let durable = self.medium.inner.lock().expect("medium lock");
+        let mut all = durable.log.clone();
+        drop(durable);
+        all.extend_from_slice(&self.log_tail);
+        Ok(all)
+    }
+
+    fn log_reset(&mut self) -> Result<(), StorageError> {
+        self.tick()?;
+        self.medium.inner.lock().expect("medium lock").log.clear();
+        self.log_tail.clear();
+        Ok(())
+    }
+
+    fn read_super(&mut self) -> Result<Option<Vec<u8>>, StorageError> {
+        if self.crashed {
+            return Err(StorageError::Io("simulated power failure (post-crash op)".into()));
+        }
+        Ok(self.medium.inner.lock().expect("medium lock").superblock.clone())
+    }
+
+    fn write_super(&mut self, bytes: &[u8]) -> Result<(), StorageError> {
+        // Atomic: either the old superblock survives (crash before) or
+        // the new one is fully durable.
+        self.tick()?;
+        self.medium.inner.lock().expect("medium lock").superblock = Some(bytes.to_vec());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsynced_writes_are_lost_at_crash() {
+        let medium = FaultMedium::new();
+        let mut disk = FaultDisk::new(&medium);
+        let id = disk.allocate_block().unwrap();
+        disk.write_block(id, &[7u8; BLOCK_SIZE]).unwrap();
+        // No sync: a reboot sees an empty medium.
+        drop(disk);
+        let reborn = FaultDisk::new(&medium);
+        assert_eq!(reborn.block_count(), 0);
+    }
+
+    #[test]
+    fn synced_writes_survive_reboot() {
+        let medium = FaultMedium::new();
+        let mut disk = FaultDisk::new(&medium);
+        let id = disk.allocate_block().unwrap();
+        disk.write_block(id, &[7u8; BLOCK_SIZE]).unwrap();
+        disk.sync_blocks().unwrap();
+        drop(disk);
+        let mut reborn = FaultDisk::new(&medium);
+        let mut buf = [0u8; BLOCK_SIZE];
+        reborn.read_block(id, &mut buf).unwrap();
+        assert_eq!(buf, [7u8; BLOCK_SIZE]);
+    }
+
+    #[test]
+    fn budget_fires_exactly_once_and_sticks() {
+        let medium = FaultMedium::new();
+        let mut disk = FaultDisk::with_crash(&medium, 2);
+        let id = disk.allocate_block().unwrap(); // op 1
+        disk.write_block(id, &[1u8; BLOCK_SIZE]).unwrap(); // op 2
+        assert!(matches!(disk.sync_blocks(), Err(StorageError::Io(_))));
+        assert!(disk.has_crashed());
+        assert!(matches!(disk.log_sync(), Err(StorageError::Io(_))));
+        let mut buf = [0u8; BLOCK_SIZE];
+        assert!(disk.read_block(id, &mut buf).is_err(), "reads also die after power loss");
+    }
+
+    #[test]
+    fn unsynced_log_tail_is_lost_but_synced_log_survives() {
+        let medium = FaultMedium::new();
+        let mut disk = FaultDisk::new(&medium);
+        disk.log_append(b"committed").unwrap();
+        disk.log_sync().unwrap();
+        disk.log_append(b"doomed").unwrap();
+        drop(disk); // crash before the second sync
+        let mut reborn = FaultDisk::new(&medium);
+        assert_eq!(reborn.log_read_all().unwrap(), b"committed");
+    }
+
+    #[test]
+    fn torn_crash_leaves_a_prefix_of_the_final_append() {
+        let medium = FaultMedium::new();
+        let mut disk = FaultDisk::with_torn_crash(&medium, 2);
+        disk.log_append(b"AAAA").unwrap(); // op 1
+        disk.log_sync().unwrap(); // op 2
+        assert!(disk.log_append(b"BBBBBBBB").is_err()); // crash: torn
+        drop(disk);
+        let mut reborn = FaultDisk::new(&medium);
+        assert_eq!(reborn.log_read_all().unwrap(), b"AAAABBBB");
+    }
+
+    #[test]
+    fn ops_counter_sizes_a_sweep() {
+        let medium = FaultMedium::new();
+        let mut disk = FaultDisk::new(&medium);
+        let id = disk.allocate_block().unwrap();
+        disk.write_block(id, &[0u8; BLOCK_SIZE]).unwrap();
+        disk.sync_blocks().unwrap();
+        assert_eq!(medium.ops(), 3);
+    }
+}

@@ -10,8 +10,17 @@
 //! Property-style tests run a body under many derived seeds via [`cases`];
 //! a failing case reports its seed so it can be replayed with
 //! [`Rng::new`].
+//!
+//! The [`fault`] module adds a crash-injecting `Storage` backend
+//! ([`FaultDisk`]) for durability testing: schedule a simulated power
+//! failure at any operation of a workload and verify recovery restores
+//! exactly the last committed state.
 
 #![forbid(unsafe_code)]
+
+pub mod fault;
+
+pub use fault::{FaultDisk, FaultMedium};
 
 /// A SplitMix64 pseudo-random generator: tiny, fast, and good enough for
 /// test-case generation. Fully determined by its seed.

@@ -1,0 +1,74 @@
+//! Durability smoke for CI: create a file-backed UNIVERSITY database,
+//! populate it, drop it *without* closing (so committed work lives only in
+//! the write-ahead log), reopen it — crash recovery must replay the log —
+//! and dump the WAL/recovery counters as a metrics JSON file using the
+//! same convention as the bench harness (`$SIM_METRICS_DIR`, default
+//! `target/metrics/`).
+//!
+//! Exits nonzero (panics) if recovery replays nothing or the reopened
+//! database answers differently.
+
+use sim::Database;
+use std::fs;
+use std::path::PathBuf;
+
+const SEED: &str = r#"
+    Insert department(dept-nbr := 101, name := "Physics").
+    Insert department(dept-nbr := 102, name := "Math").
+    Insert course(course-no := 201, title := "Algebra I", credits := 12).
+    Insert instructor(name := "Ann Smith", soc-sec-no := 1, employee-nbr := 1001,
+        salary := 60000.00, assigned-department := department with (name = "Math")).
+    Insert student(name := "John Doe", soc-sec-no := 2, student-nbr := 2001,
+        advisor := instructor with (name = "Ann Smith"),
+        major-department := department with (name = "Physics"),
+        courses-enrolled := course with (title = "Algebra I")).
+"#;
+
+const CHECK: &str = "From student Retrieve name, name of advisor, name of major-department.";
+
+const WAL_COUNTERS: &[&str] = &[
+    "storage.wal_bytes",
+    "storage.wal_records",
+    "storage.fsyncs",
+    "storage.checkpoints",
+    "storage.wal_replayed",
+    "storage.recovery_millis",
+];
+
+fn main() {
+    let dir = PathBuf::from("target/durability-demo");
+    if dir.exists() {
+        fs::remove_dir_all(&dir).expect("clear scratch dir");
+    }
+
+    let mut db =
+        Database::create_at(sim::crates::ddl::UNIVERSITY_DDL, &dir).expect("create durable db");
+    db.set_enforce_verifies(false);
+    db.run(SEED).expect("seed data");
+    let expected = format!("{:?}", db.query(CHECK).expect("check query").rows());
+    drop(db); // no close(): everything committed is only in the WAL
+
+    let db = Database::open(&dir).expect("reopen with recovery");
+    let got = format!("{:?}", db.query(CHECK).expect("check query").rows());
+    assert_eq!(got, expected, "recovered database answers differently");
+
+    let metrics = db.metrics();
+    let replayed = metrics.counter("storage.wal_replayed");
+    assert!(replayed > 0, "reopen after drop must replay WAL records");
+    println!("recovery OK: reopened database matches, {replayed} WAL records replayed");
+    for name in WAL_COUNTERS {
+        println!("  {name} = {}", metrics.counter(name));
+    }
+
+    // Same dump convention as the bench harness's metrics_dump module.
+    let dump_dir = std::env::var_os("SIM_METRICS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/metrics"));
+    let path = dump_dir.join("durability.json");
+    fs::create_dir_all(&dump_dir)
+        .and_then(|()| fs::write(&path, metrics.to_json()))
+        .expect("write metrics dump");
+    println!("metrics dump: {}", path.display());
+
+    let _ = fs::remove_dir_all(&dir);
+}

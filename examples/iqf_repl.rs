@@ -16,7 +16,10 @@
 //! `\check <q>` lints a statement without running it (`\check` alone lints
 //! the schema), `\stats` dumps the metrics registry, `\trace` shows the
 //! last statement's span tree, `\verify on|off` toggles enforcement,
-//! `\quit` exits.
+//! `\open <dir>` switches to a file-backed database at `dir` (opening it
+//! if present, creating a durable UNIVERSITY database otherwise),
+//! `\save` checkpoints a durable database (flushes data, truncates the
+//! write-ahead log), `\quit` exits.
 
 use sim::{format_output, Database, ExecResult};
 use std::io::{self, BufRead, Write};
@@ -64,7 +67,7 @@ fn main() -> io::Result<()> {
 
     println!("SIM interactive query facility — UNIVERSITY database loaded.");
     println!(
-        "End statements with '.'; meta: \\schema \\explain <q> \\analyze <q> \\check [q] \\stats \\trace \\verify on|off \\quit"
+        "End statements with '.'; meta: \\schema \\explain <q> \\analyze <q> \\check [q] \\stats \\trace \\verify on|off \\open <dir> \\save \\quit"
     );
 
     let stdin = io::stdin();
@@ -111,6 +114,40 @@ fn main() -> io::Result<()> {
                     Ok(analyzed) => print!("{}", analyzed.to_text()),
                     Err(e) => println!("error: {e}"),
                 },
+                "\\open" => {
+                    let dir = rest.trim();
+                    if dir.is_empty() {
+                        println!("usage: \\open <directory>");
+                    } else {
+                        // Open an existing durable database, or create a
+                        // fresh durable UNIVERSITY database in its place.
+                        match Database::open(dir) {
+                            Ok(opened) => {
+                                db = opened;
+                                println!("opened durable database at {dir}");
+                            }
+                            Err(open_err) => {
+                                match Database::create_at(sim::crates::ddl::UNIVERSITY_DDL, dir) {
+                                    Ok(created) => {
+                                        db = created;
+                                        println!("created durable UNIVERSITY database at {dir}");
+                                    }
+                                    Err(_) => println!("error: {open_err}"),
+                                }
+                            }
+                        }
+                    }
+                }
+                "\\save" => {
+                    if db.is_durable() {
+                        match db.checkpoint() {
+                            Ok(()) => println!("checkpointed: data flushed, log truncated"),
+                            Err(e) => println!("error: {e}"),
+                        }
+                    } else {
+                        println!("in-memory database; \\open <dir> switches to durable storage");
+                    }
+                }
                 "\\stats" => print!("{}", db.metrics().to_text()),
                 "\\trace" => match db.last_trace() {
                     Some(trace) => print!("{}", trace.to_text()),

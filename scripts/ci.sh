@@ -17,6 +17,14 @@ cargo build --release
 echo "== cargo test"
 cargo test -q
 
+echo "== integration tests (root package: lifecycle, properties, crash matrix)"
+# Includes the fault-injection crash-recovery matrix (bounded crash-point
+# sweep) and the file-backed close/reopen round trip.
+cargo test -q -p sim
+
+echo "== durability smoke + WAL/recovery metrics dump"
+cargo run -q -p sim --example durability_metrics
+
 echo "== sim-check schema gate (UNIVERSITY + ADDS scale)"
 # Fails on any Error-level diagnostic from the bundled example schemas.
 cargo run -q -p sim --example schema_check

@@ -1,0 +1,220 @@
+//! Crash-recovery matrix: run a DML workload over a fault-injecting disk,
+//! kill the "machine" at every interesting operation (including with a
+//! torn final log write), reopen, and check the recovered database holds
+//! exactly the last committed state — then finish the workload on it.
+//!
+//! The workload exercises all four durability-relevant statement shapes:
+//! insert, modify (including EVA include), delete, and a VERIFY-violating
+//! modify whose rollback must also be crash-consistent.
+
+use sim::crates::ddl::compile_schema;
+use sim::crates::luc::{AppMeta, Mapper};
+use sim::crates::obs::Registry;
+use sim::crates::query::{QueryEngine, QueryError};
+use sim::crates::storage::{Storage, StorageEngine};
+use sim_testkit::{FaultDisk, FaultMedium};
+use std::sync::Arc;
+
+const DDL: &str = r#"
+Class Project (
+    code: integer unique required;
+    title: string[60] required;
+    kind: subrole (funded-project) );
+
+Subclass Funded-Project of Project (
+    budget: number[12,2] );
+
+Class Engineer (
+    badge: integer unique required;
+    name: string[40] required;
+    assignments: project inverse is staff mv (max 4) );
+
+Verify sane-budget on Funded-Project
+    assert budget >= 0
+    else "budgets cannot be negative";
+"#;
+
+/// The statement sequence; `true` marks the statement whose VERIFY
+/// violation must roll back (leaving state unchanged) rather than commit.
+const WORKLOAD: &[(&str, bool)] = &[
+    (r#"Insert project(code := 1, title := "Alpha")."#, false),
+    (r#"Insert funded-project(code := 2, title := "Beta", budget := 100.00)."#, false),
+    (
+        r#"Insert engineer(badge := 10, name := "Mel",
+            assignments := project with (code = 1))."#,
+        false,
+    ),
+    (
+        r#"Modify engineer (assignments := include project with (code = 2)) Where badge = 10."#,
+        false,
+    ),
+    (r#"Modify funded-project (budget := 0 - 50) Where code = 2."#, true),
+    (r#"Modify project (title := "Alpha-2") Where code = 1."#, false),
+    (r#"Delete project Where code = 2."#, false),
+    (r#"Insert engineer(badge := 11, name := "Lin")."#, false),
+];
+
+/// Open (or freshly create) the database on `disk`. Any error — including
+/// a simulated power failure mid-create — is reported as a string.
+fn boot(disk: Box<dyn Storage>) -> Result<QueryEngine, String> {
+    let registry = Arc::new(Registry::new());
+    let engine = StorageEngine::open_on(disk, 64, &registry).map_err(|e| e.to_string())?;
+    if engine.app_meta().is_empty() {
+        let catalog = compile_schema(DDL).map_err(|e| e.to_string())?;
+        let mut mapper =
+            Mapper::on_engine(Arc::new(catalog), engine, &registry).map_err(|e| e.to_string())?;
+        mapper.set_schema_blob(DDL.as_bytes().to_vec());
+        mapper.checkpoint().map_err(|e| e.to_string())?;
+        QueryEngine::new(mapper).map_err(|e| e.to_string())
+    } else {
+        let app = AppMeta::decode(engine.app_meta()).map_err(|e| e.to_string())?;
+        let ddl = std::str::from_utf8(&app.schema).map_err(|e| e.to_string())?;
+        let catalog = compile_schema(ddl).map_err(|e| e.to_string())?;
+        let mapper =
+            Mapper::reopen(Arc::new(catalog), engine, &registry).map_err(|e| e.to_string())?;
+        QueryEngine::new(mapper).map_err(|e| e.to_string())
+    }
+}
+
+/// A canonical, order-insensitive view of the whole database.
+fn snapshot(qe: &QueryEngine) -> Vec<String> {
+    let mut out = Vec::new();
+    for q in [
+        "From project Retrieve code, title.",
+        "From funded-project Retrieve code, budget.",
+        "From engineer Retrieve badge, name.",
+        "From project Retrieve code, badge of staff.",
+    ] {
+        let mut rows: Vec<String> =
+            qe.query(q).expect("snapshot query").rows().iter().map(|r| format!("{r:?}")).collect();
+        rows.sort();
+        out.push(format!("{q} => {rows:?}"));
+    }
+    out
+}
+
+/// Execute workload step `step`. `Ok(true)` = the step reached its durable
+/// outcome (commit, or the expected VERIFY rollback); `Ok(false)` = the
+/// injected crash surfaced mid-statement.
+fn run_step(qe: &mut QueryEngine, step: usize) -> bool {
+    let (stmt, expect_violation) = WORKLOAD[step];
+    match qe.run_one(stmt) {
+        Ok(_) => {
+            assert!(!expect_violation, "statement should have violated VERIFY: {stmt}");
+            true
+        }
+        Err(QueryError::IntegrityViolation { .. }) => {
+            assert!(expect_violation, "unexpected VERIFY violation for: {stmt}");
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+/// Run the workload from step `from` until done or crashed; returns the
+/// number of steps completed.
+fn run_workload(qe: &mut QueryEngine, from: usize) -> usize {
+    let mut done = from;
+    while done < WORKLOAD.len() && run_step(qe, done) {
+        done += 1;
+    }
+    done
+}
+
+/// Fault-free reference run: `expected[k]` is the snapshot after the first
+/// `k` steps; also returns the total op count that sizes the crash sweep.
+fn reference_run() -> (Vec<Vec<String>>, usize) {
+    let medium = FaultMedium::new();
+    let mut qe = boot(Box::new(FaultDisk::new(&medium))).expect("fault-free boot");
+    let mut expected = vec![snapshot(&qe)];
+    for step in 0..WORKLOAD.len() {
+        assert!(run_step(&mut qe, step), "fault-free workload step {step} did not complete");
+        expected.push(snapshot(&qe));
+    }
+    (expected, medium.ops())
+}
+
+fn crash_at(point: usize, torn: bool, expected: &[Vec<String>]) {
+    let medium = FaultMedium::new();
+    let disk: Box<dyn Storage> = if torn {
+        Box::new(FaultDisk::with_torn_crash(&medium, point))
+    } else {
+        Box::new(FaultDisk::with_crash(&medium, point))
+    };
+    let done = match boot(disk) {
+        Err(_) => 0, // died during create: recovery must yield a fresh DB
+        // The engine is dropped without checkpoint: everything committed
+        // must be recoverable from the write-ahead log alone.
+        Ok(mut qe) => run_workload(&mut qe, 0),
+    };
+
+    // Reboot on the durable state only and verify the committed prefix.
+    let mut qe = boot(Box::new(FaultDisk::new(&medium)))
+        .unwrap_or_else(|e| panic!("recovery failed at crash point {point} (torn={torn}): {e}"));
+    assert_eq!(
+        snapshot(&qe),
+        expected[done],
+        "crash point {point} (torn={torn}): recovered state is not the last committed state \
+         ({done} steps committed)"
+    );
+
+    // The recovered database must be fully usable: finish the workload.
+    let finished = run_workload(&mut qe, done);
+    assert_eq!(finished, WORKLOAD.len(), "crash point {point}: workload cannot finish");
+    assert_eq!(snapshot(&qe), expected[WORKLOAD.len()], "crash point {point}: final state");
+}
+
+/// Sweep crash points across the whole workload, alternating clean and
+/// torn crashes so injected faults land on every kind of operation —
+/// block writes, block syncs, log appends (torn and clean), log syncs,
+/// superblock writes and log resets.
+#[test]
+fn crash_matrix_restores_last_committed_state() {
+    let (expected, total_ops) = reference_run();
+    assert_eq!(expected.len(), WORKLOAD.len() + 1);
+    assert!(total_ops > 0);
+
+    // Keep the sweep bounded: every point when small, strided when large,
+    // and always the last 16 points (the final commit's appends + sync).
+    let stride = (total_ops / 256).max(1);
+    let mut points: Vec<usize> = (0..=total_ops).step_by(stride).collect();
+    points.extend(total_ops.saturating_sub(16)..=total_ops);
+    points.sort_unstable();
+    points.dedup();
+
+    for point in points {
+        crash_at(point, point % 2 == 1, &expected);
+    }
+}
+
+/// Target the torn-final-write scenario directly: sweep torn crashes over
+/// the ops of the very last statement's commit, so the final WAL append
+/// is the one left half-written.
+#[test]
+fn torn_final_commit_write_rolls_back_cleanly() {
+    let medium = FaultMedium::new();
+    let mut qe = boot(Box::new(FaultDisk::new(&medium))).expect("boot");
+    for step in 0..WORKLOAD.len() - 1 {
+        assert!(run_step(&mut qe, step));
+    }
+    let before_last = medium.ops();
+    let expected_before = snapshot(&qe);
+    assert!(run_step(&mut qe, WORKLOAD.len() - 1));
+    let expected_after = snapshot(&qe);
+    let total = medium.ops();
+    drop(qe);
+
+    for point in before_last..=total {
+        let medium = FaultMedium::new();
+        let disk = FaultDisk::with_torn_crash(&medium, point);
+        let done = match boot(Box::new(disk)) {
+            Err(_) => 0,
+            Ok(mut qe) => run_workload(&mut qe, 0),
+        };
+        assert!(done >= WORKLOAD.len() - 1, "crash point {point} is inside the final statement");
+        let qe = boot(Box::new(FaultDisk::new(&medium)))
+            .unwrap_or_else(|e| panic!("recovery failed at torn point {point}: {e}"));
+        let want = if done == WORKLOAD.len() { &expected_after } else { &expected_before };
+        assert_eq!(snapshot(&qe), *want, "torn crash at op {point}");
+    }
+}

@@ -1,0 +1,112 @@
+//! File-backed durability through the public facade: create the paper's §7
+//! UNIVERSITY database on disk, populate it, close, reopen — the same
+//! queries must give the same answers. Also covers reopening after a drop
+//! without close (write-ahead-log recovery) and the create/open error
+//! paths.
+
+use sim::{Database, Value};
+use std::path::PathBuf;
+
+fn s(v: &str) -> Value {
+    Value::Str(v.into())
+}
+
+/// A fresh scratch directory under the cargo-managed tmpdir.
+fn scratch(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clear scratch dir");
+    }
+    dir
+}
+
+const POPULATE: &str = r#"
+    Insert department(dept-nbr := 101, name := "Physics").
+    Insert department(dept-nbr := 102, name := "Math").
+    Insert course(course-no := 10, title := "Mechanics", credits := 12).
+    Insert instructor(name := "Ada", soc-sec-no := 1, employee-nbr := 1001,
+        salary := 50000.00,
+        assigned-department := department with (name = "Physics")).
+    Insert student(name := "Sam", soc-sec-no := 2, student-nbr := 2001,
+        courses-enrolled := course with (course-no = 10),
+        major-department := department with (name = "Math")).
+"#;
+
+const CHECKS: &[&str] = &[
+    "From instructor Retrieve name, name of assigned-department.",
+    "From student Retrieve name, title of courses-enrolled.",
+    "From department Retrieve name Where dept-nbr = 102.",
+    "From person Retrieve name Where person isa student.",
+];
+
+fn answers(db: &Database) -> Vec<String> {
+    CHECKS
+        .iter()
+        .map(|q| {
+            let mut rows: Vec<String> =
+                db.query(q).expect("check query").rows().iter().map(|r| format!("{r:?}")).collect();
+            rows.sort();
+            format!("{rows:?}")
+        })
+        .collect()
+}
+
+#[test]
+fn university_survives_close_and_reopen() {
+    let dir = scratch("univ-close-reopen");
+    let mut db = Database::create_at(sim::crates::ddl::UNIVERSITY_DDL, &dir).unwrap();
+    assert!(db.is_durable());
+    db.set_enforce_verifies(false);
+    db.run(POPULATE).unwrap();
+    db.create_index("person", "name").unwrap();
+    let before = answers(&db);
+    db.close().unwrap();
+
+    let db = Database::open(&dir).unwrap();
+    assert!(db.is_durable());
+    assert_eq!(answers(&db), before, "reopened database answers differently");
+    assert_eq!(db.entity_count("person").unwrap(), 2);
+
+    // The durable round trip answers exactly like a pure in-memory run.
+    let mut mem = Database::create(sim::crates::ddl::UNIVERSITY_DDL).unwrap();
+    mem.set_enforce_verifies(false);
+    mem.run(POPULATE).unwrap();
+    assert_eq!(answers(&db), answers(&mem), "durable and in-memory runs diverge");
+
+    // The reopened database accepts further updates and reopens again.
+    let mut db = db;
+    db.run_one(r#"Insert department(dept-nbr := 103, name := "History")."#).unwrap();
+    db.close().unwrap();
+    let db = Database::open(&dir).unwrap();
+    let out = db.query("From department Retrieve name Where dept-nbr = 103.").unwrap();
+    assert_eq!(out.rows(), &[vec![s("History")]]);
+}
+
+#[test]
+fn drop_without_close_recovers_from_the_log() {
+    let dir = scratch("univ-no-close");
+    let mut db = Database::create_at(sim::crates::ddl::UNIVERSITY_DDL, &dir).unwrap();
+    db.set_enforce_verifies(false);
+    db.run(POPULATE).unwrap();
+    let before = answers(&db);
+    drop(db); // no close(): committed statements live only in the WAL
+
+    let db = Database::open(&dir).unwrap();
+    assert_eq!(answers(&db), before, "recovery lost committed statements");
+    let replayed = db.metrics().counter("storage.wal_replayed");
+    assert!(replayed > 0, "reopen after drop must replay the log (replayed={replayed})");
+}
+
+#[test]
+fn create_and_open_reject_misuse() {
+    let dir = scratch("univ-misuse");
+    let db = Database::create_at(sim::crates::ddl::UNIVERSITY_DDL, &dir).unwrap();
+    db.close().unwrap();
+    // Creating on top of an existing database is refused.
+    let err = Database::create_at(sim::crates::ddl::UNIVERSITY_DDL, &dir).unwrap_err();
+    assert!(err.to_string().contains("already holds"), "got: {err}");
+    // Opening a directory that never held a database is refused.
+    let empty = scratch("univ-misuse-empty");
+    let err = Database::open(&empty).unwrap_err();
+    assert!(err.to_string().contains("not a SIM database"), "got: {err}");
+}

@@ -111,7 +111,7 @@ fn heap_file_model() {
         }
         assert_eq!(file.record_count(), live.len());
         for (rid, expect) in &live {
-            assert_eq!(file.get(&pool, *rid).as_ref(), Some(expect));
+            assert_eq!(file.get(&pool, *rid).unwrap().as_ref(), Some(expect));
         }
     });
 }
@@ -122,7 +122,7 @@ fn heap_file_model() {
 fn btree_against_model() {
     cases(64, |rng| {
         let pool = BufferPool::new(256);
-        let mut tree = BTree::create(&pool, true);
+        let mut tree = BTree::create(&pool, true).unwrap();
         let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
         for _ in 0..rng.range(1, 300) {
             let k = rng.range(0, 300) as u16;
@@ -139,12 +139,12 @@ fn btree_against_model() {
                     Err(e) => panic!("unexpected btree error: {e}"),
                 }
             } else if let Some(val) = model.remove(&key) {
-                assert!(tree.delete(&pool, &key, &val));
+                assert!(tree.delete(&pool, &key, &val).unwrap());
             } else {
-                assert!(tree.lookup_first(&pool, &key).is_none());
+                assert!(tree.lookup_first(&pool, &key).unwrap().is_none());
             }
         }
-        let scanned: Vec<_> = tree.scan_all(&pool);
+        let scanned: Vec<_> = tree.scan_all(&pool).unwrap();
         let expected: Vec<_> = model.into_iter().collect();
         assert_eq!(scanned, expected);
     });
@@ -155,7 +155,7 @@ fn btree_against_model() {
 fn hash_index_multimap() {
     cases(64, |rng| {
         let pool = BufferPool::new(256);
-        let mut idx = HashIndex::create(&pool, 8, false);
+        let mut idx = HashIndex::create(&pool, 8, false).unwrap();
         let mut model: std::collections::HashMap<u8, Vec<u32>> = Default::default();
         for _ in 0..rng.range(1, 200) {
             let k = rng.range(0, 20) as u8;
@@ -166,6 +166,7 @@ fn hash_index_multimap() {
         for (k, vals) in model {
             let mut got: Vec<u32> = idx
                 .get(&pool, &[k])
+                .unwrap()
                 .into_iter()
                 .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
                 .collect();
@@ -319,6 +320,6 @@ fn eva_inverse_symmetry() {
                 assert_eq!(forward.contains(&y), backward.contains(&x));
             }
         }
-        mapper.commit(txn);
+        mapper.commit(txn).unwrap();
     });
 }

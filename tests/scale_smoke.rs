@@ -92,7 +92,7 @@ fn thousands_of_entities_remain_consistent() {
             expected_enrollments += 1;
         }
     }
-    mapper.commit(txn);
+    mapper.commit(txn).unwrap();
 
     // Counts.
     assert_eq!(db.entity_count("student").unwrap(), STUDENTS);
