@@ -1,0 +1,111 @@
+//! PR 4 smoke bench, check mode: group-commit fsync amortization and
+//! plan-cache hit behaviour, asserted as hard CI gates and dumped as
+//! `BENCH_pr4.json` (to `$SIM_METRICS_DIR`, default `target/metrics/`).
+//!
+//! This is not a timing harness — `benches/pr4_commit_and_cache.rs` does
+//! the latency measurements. This binary measures the *counters* that
+//! prove the mechanisms work (fsyncs per committed transaction with and
+//! without batching, plan-cache hit ratio on a hot query) and exits
+//! non-zero if either regresses:
+//!
+//! - batched (window 8): fsyncs per committed txn < 1, and at least 5×
+//!   fewer than the unbatched (window 1) run;
+//! - hot query: cache hit ratio > 0 and parse/bind/optimize skipped.
+
+use sim_bench::metrics_dump::dump_json;
+use sim_bench::workloads::{populated_university, UniversityScale};
+use sim_core::Database;
+use sim_ddl::UNIVERSITY_DDL;
+use sim_obs::json;
+use std::path::Path;
+use std::time::Instant;
+
+/// Committed transactions per commit-throughput run.
+const TXNS: usize = 64;
+
+/// Hot-query repetitions after the cold (plan-building) run.
+const HOT_RUNS: usize = 200;
+
+/// Run `TXNS` single-statement transactions on a file-backed database
+/// with the given group-commit window; return fsyncs per committed txn.
+fn fsyncs_per_txn(dir: &Path, window: usize) -> f64 {
+    let mut db = Database::create_at(UNIVERSITY_DDL, dir).expect("create file-backed db");
+    db.set_enforce_verifies(false);
+    db.set_group_commit_window(window).expect("set window");
+    let before = db.metrics().counter("storage.fsyncs");
+    for i in 0..TXNS {
+        db.run_one(&format!("Insert department(dept-nbr := {}, name := \"D{i}\").", 500 + i))
+            .expect("insert txn");
+    }
+    let after = db.metrics().counter("storage.fsyncs");
+    db.sync_wal().expect("final barrier");
+    #[allow(clippy::cast_precision_loss)]
+    let per_txn = (after - before) as f64 / TXNS as f64;
+    per_txn
+}
+
+#[allow(clippy::cast_precision_loss, clippy::too_many_lines)]
+fn main() {
+    let tmp = std::env::temp_dir().join(format!("sim-pr4-smoke-{}", std::process::id()));
+
+    // Commit throughput: identical workload, window 1 vs window 8.
+    let unbatched = fsyncs_per_txn(&tmp.join("w1"), 1);
+    let batched = fsyncs_per_txn(&tmp.join("w8"), 8);
+    let _ = std::fs::remove_dir_all(&tmp);
+    let amortization = unbatched / batched.max(1e-9);
+    println!("commit throughput: {unbatched:.3} fsyncs/txn unbatched, {batched:.3} batched ({amortization:.1}x fewer)");
+
+    // Hot-query latency: the same statement text repeatedly (cache hits)
+    // vs a fresh literal every run (cache misses, each paying parse + bind
+    // + optimize), over a query cheap enough to execute that the planning
+    // cost the cache removes is visible in the difference.
+    let db = populated_university(UniversityScale::small(50), 42);
+    let hit_q = "From department Retrieve name Where dept-nbr = 102.";
+    let rows = db.query(hit_q).expect("warm the plan").rows().len();
+    let t0 = Instant::now();
+    for _ in 0..HOT_RUNS {
+        assert_eq!(db.query(hit_q).expect("hot query").rows().len(), rows, "answers must agree");
+    }
+    let hit_micros = t0.elapsed().as_micros() as f64 / HOT_RUNS as f64;
+    let t1 = Instant::now();
+    for i in 0..HOT_RUNS {
+        // Distinct literals never repeat, so every run replans.
+        db.query(&format!("From department Retrieve name Where dept-nbr = {}.", 100 + i))
+            .expect("cold query");
+    }
+    let miss_micros = t1.elapsed().as_micros() as f64 / HOT_RUNS as f64;
+    let snap = db.metrics();
+    let hits = snap.counter("query.plan_cache_hits");
+    let misses = snap.counter("query.plan_cache_misses");
+    let hit_ratio = hits as f64 / (hits + misses).max(1) as f64;
+    println!(
+        "hot query: cached {hit_micros:.1}us avg, replanned {miss_micros:.1}us avg \
+         ({hits} hits / {misses} misses, ratio {hit_ratio:.3})"
+    );
+
+    dump_json(
+        "BENCH_pr4",
+        &json::object([
+            ("bench", json::string("pr4_commit_and_cache")),
+            ("txns", TXNS.to_string()),
+            ("fsyncs_per_txn_window_1", format!("{unbatched:.4}")),
+            ("fsyncs_per_txn_window_8", format!("{batched:.4}")),
+            ("fsync_amortization", format!("{amortization:.1}")),
+            ("cached_plan_micros_avg", format!("{hit_micros:.1}")),
+            ("replanned_micros_avg", format!("{miss_micros:.1}")),
+            ("plan_cache_hits", hits.to_string()),
+            ("plan_cache_misses", misses.to_string()),
+            ("plan_cache_hit_ratio", format!("{hit_ratio:.4}")),
+        ]),
+    );
+
+    // Check mode: fail the run when either mechanism regresses.
+    assert!(
+        unbatched >= 0.99,
+        "window 1 must fsync at least once per committed txn (got {unbatched:.3})"
+    );
+    assert!(batched < 1.0, "batched fsyncs per committed txn must be < 1 (got {batched:.3})");
+    assert!(amortization >= 5.0, "group commit must amortize at least 5x (got {amortization:.1}x)");
+    assert!(hits > 0 && hit_ratio > 0.0, "hot query must hit the plan cache ({hits} hits)");
+    println!("PR4 smoke OK");
+}

@@ -20,10 +20,15 @@ fn dump_dir() -> PathBuf {
 /// the path. Errors are reported to stderr, not propagated — a failed dump
 /// must not fail the bench run.
 pub fn dump_metrics(db: &Database, label: &str) -> Option<PathBuf> {
+    dump_json(label, &db.metrics().to_json())
+}
+
+/// Write an arbitrary JSON `payload` to `<dir>/<label>.json` (same location
+/// rules as [`dump_metrics`]) and return the path.
+pub fn dump_json(label: &str, payload: &str) -> Option<PathBuf> {
     let dir = dump_dir();
     let path = dir.join(format!("{label}.json"));
-    let payload = db.metrics().to_json();
-    if let Err(e) = fs::create_dir_all(&dir).and_then(|()| fs::write(&path, &payload)) {
+    if let Err(e) = fs::create_dir_all(&dir).and_then(|()| fs::write(&path, payload)) {
         eprintln!("metrics dump {label}: {e}");
         return None;
     }

@@ -20,6 +20,11 @@ pub struct Catalog {
     /// `attr -> Some(name)` (declared `inverse is name`) or `None`.
     pending_inverses: HashMap<AttrId, Option<String>>,
     finalized: bool,
+    /// Monotone schema-change counter: bumped by every mutating call
+    /// (type/class/attribute/verify definitions, mapping overrides,
+    /// finalization). Plan caches key on it to drop entries built against
+    /// an older schema.
+    generation: u64,
 }
 
 fn key(name: &str) -> String {
@@ -32,6 +37,17 @@ impl Catalog {
         Catalog::default()
     }
 
+    /// The schema-change generation: increases on every mutating call, so
+    /// equality of two observations proves no schema change happened in
+    /// between.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    fn touch(&mut self) {
+        self.generation += 1;
+    }
+
     // ----- named types ---------------------------------------------------------
 
     /// Define a named type (`Type degree = symbolic (BS, MBA, MS, PHD)`).
@@ -40,6 +56,7 @@ impl Catalog {
             return Err(CatalogError::DuplicateName(format!("type {name}")));
         }
         self.types.insert(key(name), domain);
+        self.touch();
         Ok(())
     }
 
@@ -111,6 +128,7 @@ impl Catalog {
             self.classes[sup.0 as usize].subclasses.push(id);
         }
         self.class_names.insert(key(name), id);
+        self.touch();
         Ok(id)
     }
 
@@ -140,6 +158,7 @@ impl Catalog {
         let id = attr.id;
         self.classes[attr.owner.0 as usize].attributes.push(id);
         self.attributes.push(attr);
+        self.touch();
         id
     }
 
@@ -256,6 +275,7 @@ impl Catalog {
             )));
         }
         a.mapping = mapping;
+        self.touch();
         Ok(())
     }
 
@@ -294,6 +314,7 @@ impl Catalog {
             assertion: assertion.to_owned(),
             message: message.to_owned(),
         });
+        self.touch();
         Ok(id)
     }
 
@@ -320,6 +341,7 @@ impl Catalog {
         self.link_inverses()?;
         self.validate()?;
         self.finalized = true;
+        self.touch();
         Ok(())
     }
 
@@ -1099,5 +1121,24 @@ mod tests {
         cat.add_eva(a, "x", b, Some("y"), AttributeOptions::none()).unwrap();
         cat.add_eva(b, "y", c, Some("x"), AttributeOptions::none()).unwrap();
         assert!(cat.finalize().is_err());
+    }
+
+    #[test]
+    fn generation_advances_on_every_schema_mutation() {
+        let mut cat = Catalog::new();
+        let g0 = cat.generation();
+        let a = cat.define_base_class("A").unwrap();
+        let g1 = cat.generation();
+        assert!(g1 > g0, "defining a class must bump the generation");
+        cat.add_dva(a, "x", Domain::integer(), AttributeOptions::none()).unwrap();
+        let g2 = cat.generation();
+        assert!(g2 > g1, "adding an attribute must bump the generation");
+        cat.add_verify("v1", a, "x > 0", "x must be positive").unwrap();
+        let g3 = cat.generation();
+        assert!(g3 > g2, "adding a verify must bump the generation");
+        cat.finalize().unwrap();
+        assert!(cat.generation() > g3, "finalize must bump the generation");
+        let frozen = cat.generation();
+        assert_eq!(cat.generation(), frozen, "reads must not bump the generation");
     }
 }

@@ -110,6 +110,30 @@ impl Database {
         Ok(())
     }
 
+    /// Group-commit window: how many committed transactions may share one
+    /// WAL fsync barrier. `1` (the default) syncs every commit; larger
+    /// windows amortize the fsync across back-to-back commits at the cost
+    /// of losing *whole* unsynced transactions (never torn ones) in a
+    /// crash. [`Database::sync_wal`], [`Database::checkpoint`] and
+    /// [`Database::close`] all force the barrier.
+    pub fn set_group_commit_window(&mut self, window: usize) -> Result<(), SimError> {
+        self.engine.mapper().set_group_commit_window(window)?;
+        Ok(())
+    }
+
+    /// The current group-commit window (1 = sync every commit).
+    pub fn group_commit_window(&self) -> usize {
+        self.engine.mapper().group_commit_window()
+    }
+
+    /// Force the group-commit fsync barrier: every commit accepted so far
+    /// becomes durable. A no-op when nothing is pending or the database is
+    /// in-memory.
+    pub fn sync_wal(&self) -> Result<(), SimError> {
+        self.engine.mapper().sync_wal()?;
+        Ok(())
+    }
+
     /// Checkpoint and close the database. Dropping a [`Database`] without
     /// closing is crash-safe (committed statements are in the log) but
     /// leaves recovery work for the next open.
@@ -166,6 +190,12 @@ impl Database {
     /// block-I/O deltas, buffer-pool hits and wall time.
     pub fn explain_analyze(&self, dml: &str) -> Result<AnalyzedPlan, SimError> {
         Ok(self.engine.explain_analyze(dml)?)
+    }
+
+    /// Resident plans in the engine's plan cache (see `query.plan_cache_*`
+    /// counters in [`Database::metrics`] for hit/miss rates).
+    pub fn plan_cache_len(&self) -> usize {
+        self.engine.plan_cache_len()
     }
 
     /// Snapshot of every metric in the engine-wide registry: `storage.*`

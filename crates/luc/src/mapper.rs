@@ -94,6 +94,10 @@ pub struct Mapper {
     pub(crate) schema_blob: Vec<u8>,
     /// Operation counters (`luc.*` in the metrics registry).
     pub(crate) stats: MapperStats,
+    /// Monotone physical-DDL counter: bumped when a secondary or hash
+    /// index is created, so cached plans built before the index existed
+    /// are invalidated (see [`Mapper::plan_generation`]).
+    pub(crate) ddl_generation: u64,
 }
 
 pub(crate) fn surr_key(s: Surrogate) -> [u8; 8] {
@@ -199,6 +203,7 @@ impl Mapper {
             class_counts: HashMap::new(),
             schema_blob: Vec::new(),
             stats: MapperStats::new(registry),
+            ddl_generation: 0,
         })
     }
 
@@ -314,6 +319,7 @@ impl Mapper {
             class_counts: HashMap::new(),
             schema_blob: app.schema,
             stats: MapperStats::new(registry),
+            ddl_generation: 0,
         };
         mapper.recount()?;
         Ok(mapper)
@@ -322,6 +328,16 @@ impl Mapper {
     /// The schema.
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
+    }
+
+    /// A monotone token covering everything a query plan depends on: the
+    /// catalog's schema generation plus this mapper's physical-index DDL
+    /// counter. Two equal observations prove neither the schema nor the
+    /// set of available indexes changed in between, so a plan cached at
+    /// the first observation is still valid at the second.
+    pub fn plan_generation(&self) -> u64 {
+        // Both terms only ever increase, so the sum is monotone.
+        self.catalog.generation() + self.ddl_generation
     }
 
     /// The physical plan.
@@ -392,6 +408,28 @@ impl Mapper {
             self.engine.set_app_meta(blob);
         }
         self.engine.checkpoint()?;
+        Ok(())
+    }
+
+    /// Set the WAL group-commit window: how many commits share one fsync
+    /// barrier. `1` (the default) makes every commit durable on return;
+    /// larger windows amortize the fsync and may lose up to `window` whole
+    /// committed transactions in a crash. [`Mapper::sync_wal`],
+    /// [`Mapper::checkpoint`] and [`Mapper::close`] force the barrier.
+    pub fn set_group_commit_window(&self, window: usize) -> Result<(), MapperError> {
+        self.engine.set_group_commit_window(window)?;
+        Ok(())
+    }
+
+    /// The current WAL group-commit window.
+    pub fn group_commit_window(&self) -> usize {
+        self.engine.group_commit_window()
+    }
+
+    /// Force the group-commit fsync barrier: every previously committed
+    /// transaction is durable on return.
+    pub fn sync_wal(&self) -> Result<(), MapperError> {
+        self.engine.sync_wal()?;
         Ok(())
     }
 

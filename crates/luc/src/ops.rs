@@ -1128,6 +1128,7 @@ impl Mapper {
         // Record the binding before committing so a durable commit's
         // metadata already names the new index.
         self.secondary_idx.insert(attr_id, tree);
+        self.ddl_generation += 1;
         self.commit(txn)?;
         Ok(())
     }
@@ -1156,6 +1157,7 @@ impl Mapper {
             }
         }
         self.hash_idx.insert(attr_id, hidx);
+        self.ddl_generation += 1;
         self.commit(txn)?;
         Ok(())
     }

@@ -13,7 +13,11 @@
 use crate::error::MapperError;
 
 const MAGIC: &[u8; 4] = b"SIMA";
-const VERSION: u16 = 1;
+/// Version 2: numeric index keys switched to the two-part (f64 approx +
+/// exact mantissa) order encoding, so index bytes persisted by version 1
+/// databases are incompatible — they are refused at open and must be
+/// rebuilt from schema + data.
+const VERSION: u16 = 2;
 
 /// Everything a reopen needs beyond the catalog-derived structure plan.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]

@@ -48,6 +48,9 @@ pub struct StepActuals {
 pub struct AnalyzedPlan {
     /// The plan as chosen by the optimizer (estimates included).
     pub plan: Plan,
+    /// True when the plan came from the engine's plan cache (bind and
+    /// optimize were skipped for this run).
+    pub from_cache: bool,
     /// Per-step actuals, loop-nest (TYPE 1/3) steps first in iteration
     /// order, then existential (TYPE 2) steps.
     pub steps: Vec<StepActuals>,
@@ -91,10 +94,12 @@ pub(crate) fn describe_node(mapper: &Mapper, q: &BoundQuery, plan: &Plan, node: 
 impl AnalyzedPlan {
     /// Assemble from an instrumented run: per-node `actuals` indexed by
     /// node id, presented in loop order (TYPE 1/3 first, then TYPE 2).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn build(
         mapper: &Mapper,
         q: &BoundQuery,
         plan: Plan,
+        from_cache: bool,
         actuals: Vec<NodeActuals>,
         output_rows: usize,
         wall_micros: u64,
@@ -108,7 +113,7 @@ impl AnalyzedPlan {
                 actuals: actuals.get(node).cloned().unwrap_or_default(),
             });
         }
-        AnalyzedPlan { plan, steps, output_rows, wall_micros, io }
+        AnalyzedPlan { plan, from_cache, steps, output_rows, wall_micros, io }
     }
 
     /// Multi-line text rendering: the optimizer's EXPLAIN lines followed by
@@ -117,6 +122,9 @@ impl AnalyzedPlan {
         let mut out = String::new();
         for line in &self.plan.explanation {
             out.push_str(&format!("plan: {line}\n"));
+        }
+        if self.from_cache {
+            out.push_str("plan: (served from plan cache — bind/optimize skipped)\n");
         }
         out.push_str(&format!(
             "actual: {} rows out, {} reads / {} writes, {} pool hits, {}us\n",
@@ -142,6 +150,7 @@ impl AnalyzedPlan {
     pub fn to_json(&self) -> String {
         json::object([
             ("estimated_io", format!("{:.1}", self.plan.estimated_io)),
+            ("plan_cached", self.from_cache.to_string()),
             ("output_rows", self.output_rows.to_string()),
             ("wall_micros", self.wall_micros.to_string()),
             ("io_reads", self.io.reads.to_string()),

@@ -1,0 +1,198 @@
+//! The plan cache: repeated retrieves skip parse, bind and optimize.
+//!
+//! Entries are keyed on the statement's normalized text (whitespace
+//! collapsed outside double-quoted literals) and guarded by the mapper's
+//! [`plan generation`](sim_luc::Mapper::plan_generation) — a monotone
+//! token covering the catalog's schema generation and the set of
+//! user-created indexes. When the generation moves, the whole cache is
+//! dropped at the next lookup: a `Subclass` definition or a `create_index`
+//! can change the optimal access path, so every cached plan is suspect.
+//!
+//! Data updates (INSERT/MODIFY/DELETE) deliberately do **not** invalidate:
+//! a plan built against an older class count stays *correct* (the access
+//! path still produces exactly the right entities), it may just stop being
+//! the cheapest choice as cardinalities drift. That is the classic plan-
+//! cache trade-off; dropping and re-creating the engine (or any DDL)
+//! replans from scratch.
+//!
+//! Eviction is LRU over a fixed entry count. The cache sits behind a
+//! `Mutex` because retrieves run through `&QueryEngine`.
+
+use crate::bound::BoundQuery;
+use crate::optimizer::Plan;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// A bound + planned retrieve, shared between the cache and executions.
+#[derive(Clone)]
+pub(crate) struct CachedPlan {
+    /// The analyzed query tree.
+    pub bound: Arc<BoundQuery>,
+    /// The optimizer's chosen strategy.
+    pub plan: Arc<Plan>,
+}
+
+struct Entry {
+    cached: CachedPlan,
+    last_used: u64,
+}
+
+struct Inner {
+    /// The plan generation the resident entries were built against.
+    generation: u64,
+    /// Logical clock for LRU ordering.
+    tick: u64,
+    entries: HashMap<String, Entry>,
+}
+
+/// An invalidation-correct LRU plan cache.
+pub(crate) struct PlanCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl PlanCache {
+    /// An empty cache holding at most `capacity` plans.
+    pub fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            inner: Mutex::new(Inner { generation: 0, tick: 0, entries: HashMap::new() }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Look up `key` if the resident entries are still valid at
+    /// `generation`; a generation mismatch drops every entry.
+    pub fn get(&self, key: &str, generation: u64) -> Option<CachedPlan> {
+        let mut inner = self.inner.lock().expect("plan cache lock poisoned");
+        if inner.generation != generation {
+            inner.entries.clear();
+            inner.generation = generation;
+            return None;
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        let entry = inner.entries.get_mut(key)?;
+        entry.last_used = tick;
+        Some(entry.cached.clone())
+    }
+
+    /// Insert a plan built at `generation`, evicting the least recently
+    /// used entry if the cache is full.
+    pub fn insert(&self, key: &str, generation: u64, cached: CachedPlan) {
+        let mut inner = self.inner.lock().expect("plan cache lock poisoned");
+        if inner.generation != generation {
+            inner.entries.clear();
+            inner.generation = generation;
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.entries.len() >= self.capacity && !inner.entries.contains_key(key) {
+            if let Some(victim) =
+                inner.entries.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
+            {
+                inner.entries.remove(&victim);
+            }
+        }
+        inner.entries.insert(key.to_owned(), Entry { cached, last_used: tick });
+    }
+
+    /// Number of resident plans.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("plan cache lock poisoned").entries.len()
+    }
+}
+
+/// Normalize statement text for cache keying: collapse every run of
+/// whitespace outside double-quoted string literals to a single space and
+/// trim the ends, so reformatting a statement still hits. Text inside
+/// string literals is preserved byte-for-byte — `"a  b"` and `"a b"` are
+/// different constants.
+pub(crate) fn normalize(source: &str) -> String {
+    let mut out = String::with_capacity(source.len());
+    let mut in_string = false;
+    let mut pending_space = false;
+    for ch in source.chars() {
+        if in_string {
+            out.push(ch);
+            if ch == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        if ch.is_whitespace() {
+            pending_space = true;
+            continue;
+        }
+        if pending_space {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            pending_space = false;
+        }
+        out.push(ch);
+        if ch == '"' {
+            in_string = true;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy() -> CachedPlan {
+        use crate::bind::Binder;
+        use sim_catalog::Catalog;
+        use sim_dml::{parse_statements, Statement};
+        // A minimal bound query for cache plumbing tests.
+        let mut cat = Catalog::new();
+        cat.define_base_class("Thing").unwrap();
+        cat.finalize().unwrap();
+        let mut stmts = parse_statements("From Thing Retrieve Thing.").unwrap();
+        let Some(Statement::Retrieve(r)) = stmts.pop() else { panic!("retrieve expected") };
+        let bound = Binder::bind_retrieve(&cat, &r).unwrap();
+        let plan = Plan {
+            root_order: vec![0],
+            access: Vec::new(),
+            estimated_io: 0.0,
+            needs_perspective_sort: false,
+            explanation: Vec::new(),
+        };
+        CachedPlan { bound: Arc::new(bound), plan: Arc::new(plan) }
+    }
+
+    #[test]
+    fn normalization_collapses_whitespace_outside_strings() {
+        assert_eq!(normalize("  From   Person\n\tRetrieve name. "), "From Person Retrieve name.");
+        assert_eq!(
+            normalize("From Person With name = \"a  b\"  Retrieve name."),
+            "From Person With name = \"a  b\" Retrieve name."
+        );
+        assert_eq!(
+            normalize("From Person Retrieve name."),
+            normalize("From  Person\nRetrieve name.")
+        );
+    }
+
+    #[test]
+    fn generation_change_drops_entries() {
+        let cache = PlanCache::new(4);
+        cache.insert("q1", 1, dummy());
+        assert!(cache.get("q1", 1).is_some());
+        assert!(cache.get("q1", 2).is_none(), "stale generation must miss");
+        assert_eq!(cache.len(), 0, "generation change empties the cache");
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let cache = PlanCache::new(2);
+        cache.insert("a", 1, dummy());
+        cache.insert("b", 1, dummy());
+        assert!(cache.get("a", 1).is_some()); // warm `a`; `b` is now coldest
+        cache.insert("c", 1, dummy());
+        assert!(cache.get("a", 1).is_some());
+        assert!(cache.get("b", 1).is_none(), "LRU entry must be evicted");
+        assert!(cache.get("c", 1).is_some());
+    }
+}

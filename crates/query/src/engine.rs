@@ -10,6 +10,7 @@
 use crate::analyze::AnalyzedPlan;
 use crate::bind::Binder;
 use crate::bound::QueryOutput;
+use crate::cache::{self, CachedPlan, PlanCache};
 use crate::error::QueryError;
 use crate::exec::Executor;
 use crate::integrity::{compile_all, CompiledVerify};
@@ -21,6 +22,10 @@ use sim_luc::Mapper;
 use sim_obs::{Registry, Span, Trace, TraceBuilder};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// Resident-plan limit of the per-engine cache — generous for scripts and
+/// interactive sessions while bounding memory for adversarial workloads.
+const PLAN_CACHE_CAPACITY: usize = 64;
 
 /// The result of one statement.
 #[derive(Debug, Clone)]
@@ -69,6 +74,10 @@ pub struct QueryEngine {
     /// Span tree of the most recent completed statement. Behind a `Mutex`
     /// because retrieves run through `&self`.
     last_trace: Mutex<Option<Trace>>,
+    /// Bound trees + plans of recent retrieves, keyed on normalized
+    /// statement text and invalidated by schema or index DDL (see
+    /// [`cache`]).
+    plan_cache: PlanCache,
 }
 
 impl QueryEngine {
@@ -83,6 +92,7 @@ impl QueryEngine {
             enforce_verifies: true,
             phase,
             last_trace: Mutex::new(None),
+            plan_cache: PlanCache::new(PLAN_CACHE_CAPACITY),
         })
     }
 
@@ -137,14 +147,22 @@ impl QueryEngine {
         }
     }
 
-    /// Execute a retrieve without mutating (usable through `&self`).
+    /// Execute a retrieve without mutating (usable through `&self`). A
+    /// plan-cache hit on the normalized statement text skips parse, bind
+    /// and optimize entirely.
     pub fn query(&self, source: &str) -> Result<QueryOutput, QueryError> {
-        let r = self.parse_one_retrieve(source, "query()")?;
-        let (out, _) = self.traced_retrieve(&r, source.trim(), false)?;
+        let (out, _) = self.traced_retrieve(None, source, "query()", false)?;
         Ok(out)
     }
 
-    /// The optimizer's chosen plan for a retrieve (EXPLAIN).
+    /// Resident plans in this engine's plan cache.
+    pub fn plan_cache_len(&self) -> usize {
+        self.plan_cache.len()
+    }
+
+    /// The optimizer's chosen plan for a retrieve (EXPLAIN). Always plans
+    /// fresh — EXPLAIN is the tool for auditing the optimizer, so it must
+    /// not read (or warm) the plan cache.
     pub fn explain(&self, source: &str) -> Result<Plan, QueryError> {
         let r = self.parse_one_retrieve(source, "explain()")?;
         let bound = Binder::bind_retrieve(self.mapper.catalog(), &r)?;
@@ -154,10 +172,11 @@ impl QueryEngine {
     /// EXPLAIN ANALYZE: run the retrieve with an instrumented executor and
     /// return the plan annotated with per-step actual rows, block I/O
     /// deltas, pool hits and wall time. The run's trace (with per-step
-    /// child spans) becomes [`QueryEngine::last_trace`].
+    /// child spans) becomes [`QueryEngine::last_trace`]. Participates in
+    /// the plan cache; [`AnalyzedPlan::from_cache`] reports whether the
+    /// plan was served from it.
     pub fn explain_analyze(&self, source: &str) -> Result<AnalyzedPlan, QueryError> {
-        let r = self.parse_one_retrieve(source, "explain_analyze()")?;
-        let (_, analyzed) = self.traced_retrieve(&r, source.trim(), true)?;
+        let (_, analyzed) = self.traced_retrieve(None, source, "explain_analyze()", true)?;
         Ok(analyzed.expect("analyze requested"))
     }
 
@@ -176,31 +195,68 @@ impl QueryEngine {
         }
     }
 
-    /// Bind → plan → execute one retrieve, recording phase latencies and
-    /// the statement trace; optionally with the instrumented executor.
+    /// Prepare (or cache-hit) → execute one retrieve, recording phase
+    /// latencies and the statement trace; optionally with the instrumented
+    /// executor.
+    ///
+    /// `parsed` carries the statement when the caller already parsed it
+    /// (scripts via [`QueryEngine::execute`]); `None` defers parsing until
+    /// a cache miss proves it necessary, so a hit on the normalized raw
+    /// text skips the parser too.
     fn traced_retrieve(
         &self,
-        r: &RetrieveStmt,
-        label: &str,
+        parsed: Option<&RetrieveStmt>,
+        source: &str,
+        what: &str,
         analyze: bool,
     ) -> Result<(QueryOutput, Option<AnalyzedPlan>), QueryError> {
         self.phase.statements.inc();
         self.phase.retrieves.inc();
+        let label = source.trim();
         let mut tb = TraceBuilder::new(label);
 
-        let t = tb.start();
-        let bound = Binder::bind_retrieve(self.mapper.catalog(), r)?;
-        let micros = tb.finish(t, "bind", vec![("nodes".into(), bound.nodes.len().to_string())]);
-        self.phase.bind.observe_micros(micros);
+        let key = cache::normalize(source);
+        let generation = self.mapper.plan_generation();
+        let cached = self.plan_cache.get(&key, generation);
+        let from_cache = cached.is_some();
+        let CachedPlan { bound, plan } = match cached {
+            Some(hit) => {
+                self.phase.plan_cache_hits.inc();
+                let t = tb.start();
+                tb.finish(t, "plan-cache", vec![("hit".into(), "true".into())]);
+                hit
+            }
+            None => {
+                self.phase.plan_cache_misses.inc();
+                let fresh;
+                let r = match parsed {
+                    Some(r) => r,
+                    None => {
+                        fresh = self.parse_one_retrieve(source, what)?;
+                        &fresh
+                    }
+                };
 
-        let t = tb.start();
-        let plan = optimizer::plan(&self.mapper, &bound)?;
-        let micros = tb.finish(
-            t,
-            "optimize",
-            vec![("estimated_io".into(), format!("{:.1}", plan.estimated_io))],
-        );
-        self.phase.optimize.observe_micros(micros);
+                let t = tb.start();
+                let bound = Binder::bind_retrieve(self.mapper.catalog(), r)?;
+                let micros =
+                    tb.finish(t, "bind", vec![("nodes".into(), bound.nodes.len().to_string())]);
+                self.phase.bind.observe_micros(micros);
+
+                let t = tb.start();
+                let plan = optimizer::plan(&self.mapper, &bound)?;
+                let micros = tb.finish(
+                    t,
+                    "optimize",
+                    vec![("estimated_io".into(), format!("{:.1}", plan.estimated_io))],
+                );
+                self.phase.optimize.observe_micros(micros);
+
+                let entry = CachedPlan { bound: Arc::new(bound), plan: Arc::new(plan) };
+                self.plan_cache.insert(&key, generation, entry.clone());
+                entry
+            }
+        };
 
         let executor = Executor::new(&self.mapper, &bound, &plan);
         let executor = if analyze { executor.instrumented() } else { executor };
@@ -223,7 +279,16 @@ impl QueryEngine {
 
         let analyzed = if analyze {
             let actuals = executor.node_actuals().unwrap_or_default();
-            let analyzed = AnalyzedPlan::build(&self.mapper, &bound, plan, actuals, rows, wall, io);
+            let analyzed = AnalyzedPlan::build(
+                &self.mapper,
+                &bound,
+                (*plan).clone(),
+                from_cache,
+                actuals,
+                rows,
+                wall,
+                io,
+            );
             // Per-step child spans under the execute span, so `\trace`
             // shows the same breakdown EXPLAIN ANALYZE reports.
             if let Some(span) = tb.last_span_mut() {
@@ -255,8 +320,10 @@ impl QueryEngine {
     pub fn execute(&mut self, stmt: &Statement) -> Result<ExecResult, QueryError> {
         match stmt {
             Statement::Retrieve(r) => {
+                // Keyed on the statement's canonical rendering: repeated
+                // retrieves in a script skip bind and optimize.
                 let label = stmt.to_string();
-                let (out, _) = self.traced_retrieve(r, &label, false)?;
+                let (out, _) = self.traced_retrieve(Some(r), &label, "execute()", false)?;
                 Ok(ExecResult::Rows(out))
             }
             Statement::Insert(_) | Statement::Modify(_) | Statement::Delete(_) => {

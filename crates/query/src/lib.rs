@@ -33,6 +33,7 @@
 pub mod analyze;
 pub mod bind;
 pub mod bound;
+pub(crate) mod cache;
 pub mod engine;
 pub mod error;
 pub mod eval;

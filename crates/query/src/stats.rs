@@ -24,6 +24,11 @@ pub mod names {
     pub const UPDATES: &str = "query.updates";
     /// Counter: updates rolled back by a VERIFY violation.
     pub const INTEGRITY_VIOLATIONS: &str = "query.integrity_violations";
+    /// Counter: retrieves served from the plan cache (parse/bind/optimize
+    /// skipped).
+    pub const PLAN_CACHE_HITS: &str = "query.plan_cache_hits";
+    /// Counter: retrieves that had to be bound and planned from scratch.
+    pub const PLAN_CACHE_MISSES: &str = "query.plan_cache_misses";
 }
 
 /// Cached metric handles for the query driver.
@@ -38,6 +43,8 @@ pub struct PhaseStats {
     pub(crate) retrieves: Arc<Counter>,
     pub(crate) updates: Arc<Counter>,
     pub(crate) integrity_violations: Arc<Counter>,
+    pub(crate) plan_cache_hits: Arc<Counter>,
+    pub(crate) plan_cache_misses: Arc<Counter>,
 }
 
 impl PhaseStats {
@@ -53,6 +60,8 @@ impl PhaseStats {
             retrieves: registry.counter(names::RETRIEVES),
             updates: registry.counter(names::UPDATES),
             integrity_violations: registry.counter(names::INTEGRITY_VIOLATIONS),
+            plan_cache_hits: registry.counter(names::PLAN_CACHE_HITS),
+            plan_cache_misses: registry.counter(names::PLAN_CACHE_MISSES),
         }
     }
 }

@@ -1,0 +1,197 @@
+//! Hot-path behaviour of the query engine: the plan cache (repeated
+//! retrieves skip parse/bind/optimize, whitespace variants share an entry,
+//! index DDL invalidates cached plans whose optimal access path changed)
+//! and loop-invariant domain memoization in the executor.
+
+use sim_ddl::university_catalog;
+use sim_luc::Mapper;
+use sim_query::{AccessPath, QueryEngine};
+use std::sync::Arc;
+
+fn engine() -> QueryEngine {
+    let mapper = Mapper::new(Arc::new(university_catalog()), 512).unwrap();
+    let mut e = QueryEngine::new(mapper).unwrap();
+    e.enforce_verifies = false;
+    e
+}
+
+fn populate(e: &mut QueryEngine, students: usize) {
+    let mut script = String::new();
+    for s in 0..students {
+        script.push_str(&format!(
+            "Insert student(name := \"S{s}\", soc-sec-no := {}, student-nbr := {}).\n",
+            6000 + s,
+            2001 + s
+        ));
+    }
+    e.run(&script).unwrap();
+}
+
+fn counter(e: &QueryEngine, name: &str) -> u64 {
+    e.registry().snapshot().counter(name)
+}
+
+fn hist_count(e: &QueryEngine, name: &str) -> u64 {
+    e.registry().snapshot().histogram(name).map(|h| h.count).unwrap_or(0)
+}
+
+#[test]
+fn repeated_query_hits_the_cache_and_skips_every_phase() {
+    let mut e = engine();
+    populate(&mut e, 20);
+    let q = "From student Retrieve name.";
+
+    let first = e.query(q).unwrap();
+    assert_eq!(counter(&e, "query.plan_cache_misses"), 1);
+    assert_eq!(counter(&e, "query.plan_cache_hits"), 0);
+    let parses = hist_count(&e, "query.parse_micros");
+    let binds = hist_count(&e, "query.bind_micros");
+    let optimizes = hist_count(&e, "query.optimize_micros");
+
+    for _ in 0..3 {
+        let again = e.query(q).unwrap();
+        assert_eq!(again.rows(), first.rows(), "cached plan must produce identical output");
+    }
+    assert_eq!(counter(&e, "query.plan_cache_hits"), 3);
+    assert_eq!(counter(&e, "query.plan_cache_misses"), 1);
+    // The proof that parse/bind/optimize were skipped: their phase
+    // histograms saw no new samples.
+    assert_eq!(hist_count(&e, "query.parse_micros"), parses, "hits must not parse");
+    assert_eq!(hist_count(&e, "query.bind_micros"), binds, "hits must not bind");
+    assert_eq!(hist_count(&e, "query.optimize_micros"), optimizes, "hits must not optimize");
+    assert_eq!(e.plan_cache_len(), 1);
+}
+
+#[test]
+fn whitespace_variants_share_one_entry() {
+    let mut e = engine();
+    populate(&mut e, 5);
+    let a = e.query("From student Retrieve name.").unwrap();
+    let b = e.query("  From\n\t student   Retrieve name.  ").unwrap();
+    assert_eq!(a.rows(), b.rows());
+    assert_eq!(counter(&e, "query.plan_cache_misses"), 1, "reformatted text must hit");
+    assert_eq!(counter(&e, "query.plan_cache_hits"), 1);
+}
+
+#[test]
+fn script_retrieves_hit_by_canonical_statement_text() {
+    let mut e = engine();
+    populate(&mut e, 5);
+    // Two renderings of the same retrieve inside one script: execute()
+    // keys on the canonical statement text, so the second is a hit.
+    e.run("From student Retrieve name. From   student\nRetrieve name.").unwrap();
+    assert_eq!(counter(&e, "query.plan_cache_misses"), 1);
+    assert_eq!(counter(&e, "query.plan_cache_hits"), 1);
+}
+
+#[test]
+fn index_ddl_drops_the_cached_plan_and_replans() {
+    let mut e = engine();
+    populate(&mut e, 60);
+    let q = "From student Retrieve name Where student-nbr = 2005.";
+
+    let before = e.explain(q).unwrap();
+    assert!(
+        matches!(before.access.first(), Some(AccessPath::FullScan { .. })),
+        "no index yet: {:?}",
+        before.explanation
+    );
+    let rows_before = e.query(q).unwrap().rows().to_vec();
+    assert_eq!(e.query(q).unwrap().rows(), &rows_before[..]);
+    assert_eq!(counter(&e, "query.plan_cache_hits"), 1, "warm before the DDL");
+
+    let student = e.mapper().catalog().class_by_name("student").unwrap().id;
+    let attr = e.mapper().catalog().resolve_attr(student, "student-nbr").unwrap();
+    e.mapper_mut().create_index(attr).unwrap();
+
+    // The generation moved: the cached full-scan plan must not be served.
+    let analyzed = e.explain_analyze(q).unwrap();
+    assert!(!analyzed.from_cache, "index DDL must invalidate the cached plan");
+    assert!(
+        matches!(analyzed.plan.access.first(), Some(AccessPath::IndexEq { .. })),
+        "replanned retrieve should probe the new index: {:?}",
+        analyzed.plan.explanation
+    );
+    assert_eq!(e.query(q).unwrap().rows(), &rows_before[..], "same answer, new access path");
+}
+
+#[test]
+fn explain_analyze_reports_cache_status() {
+    let mut e = engine();
+    populate(&mut e, 10);
+    let q = "From student Retrieve name, student-nbr.";
+    let first = e.explain_analyze(q).unwrap();
+    assert!(!first.from_cache);
+    let binds = hist_count(&e, "query.bind_micros");
+    let second = e.explain_analyze(q).unwrap();
+    assert!(second.from_cache, "second EXPLAIN ANALYZE must be served from cache");
+    assert!(second.to_text().contains("plan cache"), "{}", second.to_text());
+    assert_eq!(hist_count(&e, "query.bind_micros"), binds, "hit must not re-bind");
+    assert_eq!(first.output_rows, second.output_rows);
+}
+
+#[test]
+fn data_updates_do_not_invalidate_cached_plans() {
+    // Deliberate design: INSERT/MODIFY/DELETE leave cached plans resident —
+    // the plans stay correct (possibly no longer optimal). The query must
+    // still see the new data through the cached plan.
+    let mut e = engine();
+    populate(&mut e, 4);
+    let q = "From student Retrieve name.";
+    assert_eq!(e.query(q).unwrap().rows().len(), 4);
+    e.run("Insert student(name := \"Zed\", soc-sec-no := 9999, student-nbr := 3999).").unwrap();
+    let misses = counter(&e, "query.plan_cache_misses");
+    assert_eq!(e.query(q).unwrap().rows().len(), 5, "cached plan sees fresh data");
+    assert_eq!(counter(&e, "query.plan_cache_misses"), misses, "no replan after DML");
+}
+
+#[test]
+fn loop_invariant_inner_domain_is_read_once() {
+    // A value join on an unindexed attribute: the inner perspective is a
+    // full scan whose domain does not depend on the outer loop, so the
+    // executor must compute it once and replay it from memory — not
+    // re-read the file on every outer iteration.
+    let mut e = engine();
+    populate(&mut e, 40);
+    let mut script = String::new();
+    for i in 0..6 {
+        script.push_str(&format!(
+            "Insert instructor(name := \"S{i}\", soc-sec-no := {}, employee-nbr := {}).\n",
+            8000 + i,
+            1001 + i
+        ));
+    }
+    e.run(&script).unwrap();
+
+    // Block accesses of one standalone instructor scan.
+    let solo = e.explain_analyze("From instructor Retrieve name.").unwrap();
+    let scan_cost: u64 = solo.steps.iter().map(|s| s.actuals.io_reads + s.actuals.pool_hits).sum();
+
+    let joined = e
+        .explain_analyze(
+            "From student, instructor Retrieve name of student \
+             Where name of student = name of instructor.",
+        )
+        .unwrap();
+    let inner = joined
+        .steps
+        .iter()
+        .find(|s| s.description.contains("instructor") && s.actuals.invocations > 1)
+        .or_else(|| {
+            joined
+                .steps
+                .iter()
+                .find(|s| s.description.contains("student") && s.actuals.invocations > 1)
+        })
+        .expect("one perspective iterates in the inner loop");
+    let inner_cost = inner.actuals.io_reads + inner.actuals.pool_hits;
+    assert!(
+        inner_cost <= scan_cost.max(1) * 2,
+        "inner domain re-read per iteration: {} invocations cost {} block accesses \
+         (one scan costs {})",
+        inner.actuals.invocations,
+        inner_cost,
+        scan_cost
+    );
+    assert_eq!(joined.output_rows, 6, "S0..S5 names collide with the six instructors");
+}

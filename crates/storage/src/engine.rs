@@ -53,6 +53,10 @@ pub struct StorageEngine {
     hashes: Vec<HashIndex>,
     next_txn: u64,
     app_meta: Vec<u8>,
+    /// Structure bookkeeping or app metadata changed since the last
+    /// persisted commit record — a commit must carry new [`EngineMeta`]
+    /// even if the transaction itself logged no operation.
+    meta_dirty: bool,
 }
 
 impl StorageEngine {
@@ -72,6 +76,7 @@ impl StorageEngine {
             hashes: Vec::new(),
             next_txn: 1,
             app_meta: Vec::new(),
+            meta_dirty: false,
         }
     }
 
@@ -127,6 +132,7 @@ impl StorageEngine {
             hashes,
             next_txn: meta.next_txn.max(1),
             app_meta: meta.app_meta,
+            meta_dirty: false,
         })
     }
 
@@ -157,9 +163,14 @@ impl StorageEngine {
     }
 
     /// Replace the application metadata. Durable only after the next
-    /// commit or checkpoint.
+    /// commit or checkpoint. Setting byte-identical metadata is a no-op —
+    /// in particular it does not make a read-only transaction pay for a
+    /// commit record (callers re-install unchanged state every commit).
     pub fn set_app_meta(&mut self, bytes: Vec<u8>) {
-        self.app_meta = bytes;
+        if self.app_meta != bytes {
+            self.app_meta = bytes;
+            self.meta_dirty = true;
+        }
     }
 
     /// Snapshot the engine's structure bookkeeping (what a commit record
@@ -200,10 +211,35 @@ impl StorageEngine {
     }
 
     /// Fold the WAL into the block file and superblock (no-op beyond a
-    /// flush for volatile engines).
+    /// flush for volatile engines). Forces any open group-commit window's
+    /// fsync barrier first.
     pub fn checkpoint(&mut self) -> Result<(), StorageError> {
         let meta = self.meta().encode();
-        self.pool.checkpoint(&meta)
+        self.pool.checkpoint(&meta)?;
+        self.meta_dirty = false;
+        Ok(())
+    }
+
+    /// Set the group-commit window: how many commits share one WAL fsync.
+    /// `1` (the default) makes every `Ok` from [`StorageEngine::commit`]
+    /// durable; a larger window amortizes the fsync across up to `window`
+    /// back-to-back commits — a crash can lose that many *whole* committed
+    /// transactions, never a torn one. [`StorageEngine::sync_wal`],
+    /// [`StorageEngine::checkpoint`] and [`StorageEngine::close`] force the
+    /// barrier.
+    pub fn set_group_commit_window(&self, window: usize) -> Result<(), StorageError> {
+        self.pool.set_group_commit_window(window)
+    }
+
+    /// The current group-commit window.
+    pub fn group_commit_window(&self) -> usize {
+        self.pool.group_commit_window()
+    }
+
+    /// Force the group-commit fsync barrier: every previously committed
+    /// transaction is durable on return.
+    pub fn sync_wal(&self) -> Result<(), StorageError> {
+        self.pool.sync_log()
     }
 
     /// Checkpoint and consume the engine. The database directory can be
@@ -217,12 +253,14 @@ impl StorageEngine {
     /// Create an empty heap file.
     pub fn create_file(&mut self) -> Result<FileId, StorageError> {
         self.files.push(HeapFile::new());
+        self.meta_dirty = true;
         Ok(FileId(self.files.len() as u32 - 1))
     }
 
     /// Create an empty B-tree index.
     pub fn create_btree(&mut self, unique: bool) -> Result<BTreeId, StorageError> {
         self.btrees.push(BTree::create(&self.pool, unique)?);
+        self.meta_dirty = true;
         Ok(BTreeId(self.btrees.len() as u32 - 1))
     }
 
@@ -233,6 +271,7 @@ impl StorageEngine {
         unique: bool,
     ) -> Result<HashIndexId, StorageError> {
         self.hashes.push(HashIndex::create(&self.pool, buckets, unique)?);
+        self.meta_dirty = true;
         Ok(HashIndexId(self.hashes.len() as u32 - 1))
     }
 
@@ -298,15 +337,23 @@ impl StorageEngine {
     }
 
     /// Commit. A durable engine appends the transaction's page after-images
-    /// plus a commit record to the write-ahead log and fsyncs — on `Ok` the
-    /// transaction survives any crash. A volatile engine just drops the
-    /// undo log.
+    /// plus a commit record to the write-ahead log and fsyncs (or defers
+    /// the fsync to the group-commit barrier) — with the default window of
+    /// 1, `Ok` means the transaction survives any crash. A volatile engine
+    /// just drops the undo log.
+    ///
+    /// Read-only transactions — no logged operation and no metadata change
+    /// — skip the WAL entirely: no append, no fsync. Their ids may be
+    /// reused after a crash, which is sound because recovery resets the log
+    /// (ids only need to be unique within one log lifetime).
     pub fn commit(&mut self, txn: Txn) -> Result<(), StorageError> {
         let id = txn.id();
+        let read_only = txn.op_count() == 0 && !self.meta_dirty;
         drop(txn);
-        if self.pool.is_durable() {
+        if self.pool.is_durable() && !read_only {
             let meta = self.meta().encode();
             self.pool.commit_to_wal(id, &meta)?;
+            self.meta_dirty = false;
         }
         self.pool.stats().count_txn_commit();
         Ok(())
@@ -958,6 +1005,96 @@ mod tests {
         let eng = open_shared(&medium);
         assert_eq!(eng.heap_get(f, rid).unwrap().unwrap(), b"x");
         assert_eq!(eng.io_snapshot().wal_replayed, 0, "checkpoint folded the log away");
+    }
+
+    #[test]
+    fn read_only_commit_skips_the_wal_entirely() {
+        let medium = SharedDisk::new();
+        let mut eng = open_shared(&medium);
+        let f = eng.create_file().unwrap();
+        let mut txn = eng.begin();
+        let rid = eng.heap_insert(&mut txn, f, b"x").unwrap();
+        eng.commit(txn).unwrap();
+
+        let before = eng.io_snapshot();
+        for _ in 0..10 {
+            let txn = eng.begin();
+            assert_eq!(eng.heap_get(f, rid).unwrap().unwrap(), b"x");
+            eng.commit(txn).unwrap();
+        }
+        let d = eng.io_snapshot().since(&before);
+        assert_eq!(d.txn_commits, 10);
+        assert_eq!(
+            (d.wal_records, d.wal_bytes, d.fsyncs),
+            (0, 0, 0),
+            "pure reads must not append or fsync"
+        );
+    }
+
+    #[test]
+    fn empty_commit_after_metadata_change_still_persists() {
+        // The mapper commits schema/allocator state via set_app_meta with
+        // an otherwise-empty transaction; that must not be mistaken for
+        // read-only.
+        let medium = SharedDisk::new();
+        {
+            let mut eng = open_shared(&medium);
+            eng.set_app_meta(b"v1".to_vec());
+            let txn = eng.begin();
+            eng.commit(txn).unwrap();
+            // Unchanged bytes on the next commit: read-only again.
+            let before = eng.io_snapshot();
+            eng.set_app_meta(b"v1".to_vec());
+            let txn = eng.begin();
+            eng.commit(txn).unwrap();
+            assert_eq!(eng.io_snapshot().since(&before).wal_records, 0);
+        }
+        let eng = open_shared(&medium);
+        assert_eq!(eng.app_meta(), b"v1");
+    }
+
+    #[test]
+    fn grouped_commits_are_durable_after_the_barrier() {
+        // MemDisk cannot model losing an unsynced log tail (that scenario
+        // lives in the FaultDisk crash matrix); this checks the positive
+        // direction: commits inside a window survive once the barrier runs.
+        let medium = SharedDisk::new();
+        let (f, rid);
+        {
+            let mut eng = open_shared(&medium);
+            f = eng.create_file().unwrap();
+            eng.set_group_commit_window(8).unwrap();
+            let mut txn = eng.begin();
+            rid = eng.heap_insert(&mut txn, f, b"grouped").unwrap();
+            eng.commit(txn).unwrap();
+            eng.sync_wal().unwrap();
+            // Crash (drop without checkpoint): the barrier already ran.
+        }
+        let eng = open_shared(&medium);
+        assert_eq!(eng.heap_get(f, rid).unwrap().unwrap(), b"grouped");
+    }
+
+    #[test]
+    fn group_window_amortizes_fsyncs_across_commits() {
+        let medium = SharedDisk::new();
+        let mut eng = open_shared(&medium);
+        let f = eng.create_file().unwrap();
+        {
+            let mut txn = eng.begin();
+            eng.heap_insert(&mut txn, f, b"setup").unwrap();
+            eng.commit(txn).unwrap();
+        }
+        eng.set_group_commit_window(10).unwrap();
+        let before = eng.io_snapshot();
+        for i in 0..20u8 {
+            let mut txn = eng.begin();
+            eng.heap_insert(&mut txn, f, &[i]).unwrap();
+            eng.commit(txn).unwrap();
+        }
+        eng.sync_wal().unwrap();
+        let d = eng.io_snapshot().since(&before);
+        assert_eq!(d.txn_commits, 20);
+        assert_eq!(d.fsyncs, 2, "20 commits in windows of 10: two barriers");
     }
 
     #[test]

@@ -18,6 +18,24 @@
 //! the pool simply overcommits its capacity rather than violate the
 //! invariant. Non-durable pools (the original in-memory configuration) skip
 //! all logging and evict/flush dirty frames freely.
+//!
+//! ## Group commit
+//!
+//! A `log_sync` is the expensive step of a commit, so the pool can
+//! amortize it: with a group-commit window of N
+//! ([`BufferPool::set_group_commit_window`]), [`BufferPool::commit_to_wal`]
+//! appends each transaction's images + commit record but only issues the
+//! fsync barrier once N commits have accumulated (or when
+//! [`BufferPool::sync_log`] / [`BufferPool::checkpoint`] forces it). Frames
+//! whose images sit in the unsynced log tail are marked `appended`, a third
+//! state between dirty-unlogged and `logged`: they stay pinned exactly like
+//! unlogged frames (log-before-flush still holds — no frame reaches the
+//! block file before the fsync that makes its image durable promotes it to
+//! `logged`), and a re-modification drops the mark so the next commit
+//! re-images them. A crash inside an open window loses the whole window's
+//! commits *atomically per transaction*: recovery sees no commit record (or
+//! a torn tail) for them and rolls back to the last synced commit. The
+//! default window of 1 preserves commit-is-durable semantics.
 
 use crate::disk::{BlockId, MemDisk, Storage};
 use crate::error::StorageError;
@@ -33,6 +51,10 @@ struct Frame {
     dirty: bool,
     /// The current content has a durable WAL image (durable mode only).
     logged: bool,
+    /// The current content's WAL image sits in the unsynced log tail of an
+    /// open group-commit window; the next `log_sync` promotes it to
+    /// `logged`. Cleared by any modification.
+    appended: bool,
     last_used: u64,
 }
 
@@ -41,6 +63,10 @@ struct Inner {
     frames: HashMap<BlockId, Frame>,
     capacity: usize,
     tick: u64,
+    /// Commits that share one fsync barrier (1 = sync every commit).
+    group_window: usize,
+    /// Commit records appended since the last `log_sync`.
+    pending_commits: usize,
 }
 
 /// An LRU buffer pool. Interior-mutable: all methods take `&self`.
@@ -81,6 +107,8 @@ impl BufferPool {
                 frames: HashMap::with_capacity(capacity),
                 capacity,
                 tick: 0,
+                group_window: 1,
+                pending_commits: 0,
             }),
             stats,
             durable,
@@ -110,6 +138,7 @@ impl BufferPool {
                 data: Box::new([0u8; BLOCK_SIZE]),
                 dirty: false,
                 logged: false,
+                appended: false,
                 last_used: tick,
             },
         );
@@ -150,6 +179,7 @@ impl BufferPool {
         frame.last_used = tick;
         frame.dirty = true;
         frame.logged = false;
+        frame.appended = false;
         Ok(f(&mut frame.data))
     }
 
@@ -181,15 +211,17 @@ impl BufferPool {
         Ok(())
     }
 
-    /// Append after-images of every dirty-unlogged frame (ascending block
-    /// order) plus a commit record carrying `meta`, then fsync the log. On
-    /// return the commit is durable and every dirty frame is flushable.
+    /// Append after-images of every dirty frame not yet imaged (ascending
+    /// block order) plus a commit record carrying `meta`, then fsync the
+    /// log — unless an open group-commit window defers the fsync to a later
+    /// commit (or to [`BufferPool::sync_log`]). Once the barrier runs, the
+    /// window's commits are durable and their frames flushable.
     pub fn commit_to_wal(&self, txn: u64, meta: &[u8]) -> Result<(), StorageError> {
         let mut inner = self.lock();
         let mut ids: Vec<BlockId> = inner
             .frames
             .iter()
-            .filter(|(_, fr)| fr.dirty && !fr.logged)
+            .filter(|(_, fr)| fr.dirty && !fr.logged && !fr.appended)
             .map(|(id, _)| *id)
             .collect();
         ids.sort_unstable();
@@ -198,19 +230,70 @@ impl BufferPool {
             let rec = encode_record(&WalRecord::PageImage { txn, block: id, data });
             inner.disk.log_append(&rec)?;
             self.stats.count_wal_record(rec.len() as u64);
+            if let Some(fr) = inner.frames.get_mut(&id) {
+                fr.appended = true;
+            }
         }
         let rec = encode_record(&WalRecord::Commit { txn, meta: meta.to_vec() });
         inner.disk.log_append(&rec)?;
         self.stats.count_wal_record(rec.len() as u64);
+        inner.pending_commits += 1;
+        if inner.pending_commits >= inner.group_window {
+            self.sync_log_inner(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    /// Force the group-commit fsync barrier: sync the log tail and promote
+    /// the window's `appended` frames to `logged` (durable, flushable).
+    /// No-op when no commit is pending.
+    pub fn sync_log(&self) -> Result<(), StorageError> {
+        let mut inner = self.lock();
+        self.sync_log_inner(&mut inner)
+    }
+
+    fn sync_log_inner(&self, inner: &mut Inner) -> Result<(), StorageError> {
+        if inner.pending_commits == 0 {
+            return Ok(());
+        }
         inner.disk.log_sync()?;
         self.stats.count_fsync();
+        inner.pending_commits = 0;
         // Only after the sync: the images are durable, the frames flushable.
+        // Frames re-modified since their append keep waiting (`appended` was
+        // cleared) — their old image is durable but no longer current.
         for fr in inner.frames.values_mut() {
-            if fr.dirty {
+            if fr.appended {
                 fr.logged = true;
+                fr.appended = false;
             }
         }
         Ok(())
+    }
+
+    /// Commits whose fsync barrier has not run yet (open window size).
+    pub fn pending_commits(&self) -> usize {
+        self.lock().pending_commits
+    }
+
+    /// Set the group-commit window: how many commits share one `log_sync`.
+    /// `1` (the default) fsyncs every commit — `Ok` from commit means
+    /// durable. Larger windows trade that guarantee for throughput: a crash
+    /// may lose up to `window` *whole* committed transactions (never a
+    /// partial one). Shrinking the window below the pending count forces
+    /// the barrier immediately.
+    pub fn set_group_commit_window(&self, window: usize) -> Result<(), StorageError> {
+        let mut inner = self.lock();
+        inner.group_window = window.max(1);
+        if inner.pending_commits >= inner.group_window {
+            self.sync_log_inner(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    /// The current group-commit window.
+    pub fn group_commit_window(&self) -> usize {
+        self.lock().group_window
     }
 
     /// Fold the log into the block file and superblock: log any remaining
@@ -225,6 +308,10 @@ impl BufferPool {
         }
         self.commit_to_wal(0, meta)?;
         let mut inner = self.lock();
+        // The checkpoint commit may sit in an open group-commit window:
+        // force the barrier so every image below is durable before any
+        // frame reaches the block file.
+        self.sync_log_inner(&mut inner)?;
         self.flush_frames(&mut inner)?;
         inner.disk.sync_blocks()?;
         self.stats.count_fsync();
@@ -277,7 +364,10 @@ impl BufferPool {
         inner.disk.read_block(id, &mut data)?;
         self.stats.count_read();
         let tick = inner.tick;
-        inner.frames.insert(id, Frame { data, dirty: false, logged: false, last_used: tick });
+        inner.frames.insert(
+            id,
+            Frame { data, dirty: false, logged: false, appended: false, last_used: tick },
+        );
         Ok(())
     }
 
@@ -531,6 +621,104 @@ mod tests {
         let mut buf = [0u8; BLOCK_SIZE];
         inner.disk.read_block(id, &mut buf).unwrap();
         assert_eq!(buf[0], 9, "checkpoint flushed the dirty frame");
+    }
+
+    #[test]
+    fn group_commit_shares_one_fsync_across_the_window() {
+        let pool = durable_pool(8);
+        pool.set_group_commit_window(4).unwrap();
+        let id = pool.allocate().unwrap();
+        let before = pool.io_snapshot();
+        for txn in 1..=4u64 {
+            pool.write(id, |b| b[0] = txn as u8).unwrap();
+            pool.commit_to_wal(txn, b"m").unwrap();
+        }
+        let d = pool.io_snapshot().since(&before);
+        assert_eq!(d.fsyncs, 1, "four commits, one barrier");
+        assert_eq!(pool.pending_commits(), 0);
+        // All four commit records (and each re-dirtied image) are durable.
+        let log = pool.lock().disk.log_read_all().unwrap();
+        let commits = scan_log(&log)
+            .unwrap()
+            .records
+            .iter()
+            .filter(|r| matches!(r, WalRecord::Commit { .. }))
+            .count();
+        assert_eq!(commits, 4);
+    }
+
+    #[test]
+    fn open_window_keeps_frames_pinned_until_the_barrier() {
+        let pool = durable_pool(8);
+        pool.set_group_commit_window(8).unwrap();
+        let id = pool.allocate().unwrap();
+        pool.write(id, |b| b[0] = 1).unwrap();
+        pool.commit_to_wal(1, b"m").unwrap();
+        // Image appended but not synced: log-before-flush forbids flushing.
+        let before = pool.io_snapshot();
+        pool.flush_all().unwrap();
+        let d = pool.io_snapshot().since(&before);
+        assert_eq!((d.writes, d.fsyncs), (0, 0), "unsynced image must pin the frame");
+        assert_eq!(pool.pending_commits(), 1);
+        pool.sync_log().unwrap();
+        pool.flush_all().unwrap();
+        let d = pool.io_snapshot().since(&before);
+        assert_eq!((d.writes, d.fsyncs), (1, 1), "barrier promotes, then the frame flushes");
+    }
+
+    #[test]
+    fn rewrite_inside_open_window_is_reimaged_by_next_commit() {
+        let pool = durable_pool(8);
+        pool.set_group_commit_window(8).unwrap();
+        let id = pool.allocate().unwrap();
+        pool.write(id, |b| b[0] = 1).unwrap();
+        pool.commit_to_wal(1, b"m1").unwrap();
+        // Modify the appended frame before the barrier: its first image is
+        // stale, the second commit must append a fresh one.
+        pool.write(id, |b| b[0] = 2).unwrap();
+        pool.commit_to_wal(2, b"m2").unwrap();
+        pool.sync_log().unwrap();
+        let log = pool.lock().disk.log_read_all().unwrap();
+        let images = scan_log(&log)
+            .unwrap()
+            .records
+            .iter()
+            .filter(|r| matches!(r, WalRecord::PageImage { .. }))
+            .count();
+        assert_eq!(images, 2, "one image per content version");
+        // After the barrier the frame is flushable with its final content.
+        pool.flush_all().unwrap();
+        let mut buf = [0u8; BLOCK_SIZE];
+        pool.lock().disk.read_block(id, &mut buf).unwrap();
+        assert_eq!(buf[0], 2);
+    }
+
+    #[test]
+    fn shrinking_the_window_forces_the_barrier() {
+        let pool = durable_pool(8);
+        pool.set_group_commit_window(16).unwrap();
+        let id = pool.allocate().unwrap();
+        pool.write(id, |b| b[0] = 1).unwrap();
+        pool.commit_to_wal(1, b"m").unwrap();
+        assert_eq!(pool.pending_commits(), 1);
+        pool.set_group_commit_window(1).unwrap();
+        assert_eq!(pool.pending_commits(), 0, "shrink below pending syncs immediately");
+    }
+
+    #[test]
+    fn checkpoint_forces_an_open_window() {
+        let pool = durable_pool(8);
+        pool.set_group_commit_window(64).unwrap();
+        let id = pool.allocate().unwrap();
+        pool.write(id, |b| b[0] = 7).unwrap();
+        pool.commit_to_wal(1, b"m").unwrap();
+        pool.checkpoint(b"super").unwrap();
+        assert_eq!(pool.pending_commits(), 0);
+        let mut inner = pool.lock();
+        assert!(inner.disk.log_read_all().unwrap().is_empty());
+        let mut buf = [0u8; BLOCK_SIZE];
+        inner.disk.read_block(id, &mut buf).unwrap();
+        assert_eq!(buf[0], 7);
     }
 
     #[test]

@@ -10,14 +10,42 @@
 //! order deterministically, with null first):
 //!
 //! * `0x00` null
-//! * `0x01` numeric (int/decimal/float) — 1 sign-flipped f64-style order for
-//!   floats is avoided: ints/decimals encode as (flipped sign, magnitude);
-//!   see below
+//! * `0x01` numeric (int/decimal/float) — 24 bytes, two parts; see below
 //! * `0x02` string — raw bytes, `0x00 0x01` escaped, terminated `0x00 0x00`
 //! * `0x03` boolean
 //! * `0x04` date
 //! * `0x05` symbol
 //! * `0x06` entity surrogate
+//!
+//! # Numeric keys
+//!
+//! A numeric key is `approx ‖ exact`:
+//!
+//! * **approx** — 8 bytes: the sign-flipped IEEE-754 bits of the value's
+//!   correctly-rounded `f64` approximation (sign bit set → flip every bit,
+//!   else set the sign bit). Bytewise order of this part is *exactly*
+//!   [`f64::total_cmp`], so floats — including NaN, ±infinity, ±0.0,
+//!   subnormals and magnitudes beyond any decimal range — order correctly.
+//! * **exact** — 16 bytes: the value rescaled to [`MAX_SCALE`] as an `i128`
+//!   mantissa with the sign bit flipped. Rounding to `f64` is monotone, so
+//!   the approx part never reverses two exact values; this part breaks its
+//!   ties so ints and decimals keep *exact* order and `Int(3)` encodes
+//!   identically to `Decimal("3.00")`. Floats round half-away-from-even to
+//!   scale 12 here (non-finite and out-of-range values saturate — the
+//!   approx part has already ordered them).
+//!
+//! Known limit (inherent, also present in [`Value::total_cmp`] itself):
+//! an exact value and a float whose `f64` images coincide while their
+//! mathematical values differ (possible once `|v| · 10¹²` exceeds 2⁵³)
+//! compare `Equal` by value but encode distinct, consistently-ordered
+//! keys. Index probes coerce to the column's domain type first, so
+//! same-column keys never mix exact and float encodings in practice.
+//!
+//! **Rebuild note:** this layout (since the group-commit release) widens
+//! numeric keys from 16 to 24 payload bytes. Persisted B-tree/hash index
+//! bytes written by earlier versions are incompatible; the `AppMeta`
+//! format version was bumped so old database files are refused at open —
+//! re-create the database (or rebuild its indexes) from the schema + data.
 
 use crate::decimal::{Decimal, MAX_SCALE};
 use crate::surrogate::Surrogate;
@@ -29,17 +57,23 @@ pub fn encode_value(v: &Value, out: &mut Vec<u8>) {
         Value::Null => out.push(0x00),
         Value::Int(n) => {
             out.push(0x01);
-            encode_numeric(Decimal::from_int(*n), out);
+            let d = Decimal::from_int(*n);
+            encode_approx(decimal_to_f64_correct(d), out);
+            encode_numeric(d, out);
         }
         Value::Decimal(d) => {
             out.push(0x01);
+            encode_approx(decimal_to_f64_correct(*d), out);
             encode_numeric(*d, out);
         }
         Value::Float(f) => {
             out.push(0x01);
-            // Approximate: route floats through a decimal at MAX_SCALE. Good
-            // enough for `real` index keys; exactness is not required there.
-            let scaled = (*f * 10f64.powi(MAX_SCALE as i32)).round() as i128;
+            encode_approx(*f, out);
+            // Tiebreaker: round to MAX_SCALE. Saturating `as i128` collapses
+            // non-finite and huge magnitudes, but the approx part has already
+            // ordered those; this part only aligns floats with equal exact
+            // values (e.g. `Float(2.0)` vs `Int(2)`).
+            let scaled = (*f * 10f64.powi(i32::from(MAX_SCALE))).round() as i128;
             encode_numeric(Decimal::from_parts(scaled, MAX_SCALE).unwrap(), out);
         }
         Value::Str(s) => {
@@ -81,7 +115,35 @@ pub fn encode_surrogate(s: Surrogate) -> Vec<u8> {
     out
 }
 
-/// Numeric encoding: normalize to scale MAX_SCALE, then encode the i128
+/// Append the sign-flipped IEEE-754 bits of `x`: bytewise order of the
+/// result equals [`f64::total_cmp`] (negatives reverse by flipping every
+/// bit, non-negatives shift above them by setting the sign bit).
+fn encode_approx(x: f64, out: &mut Vec<u8>) {
+    let bits = x.to_bits();
+    let sortable = if bits >> 63 == 1 { !bits } else { bits | (1u64 << 63) };
+    out.extend_from_slice(&sortable.to_be_bytes());
+}
+
+/// Correctly-rounded (single-rounding) `f64` approximation of a decimal.
+///
+/// [`Decimal::to_f64`] rounds twice (mantissa→f64, then the divide), which
+/// is *not* monotone across scales for 17+-digit values; key order must
+/// never reverse two exact values, so the approx part needs true correct
+/// rounding. Small mantissas get it from one exact division; large ones
+/// from the standard library's correctly-rounded decimal parser.
+fn decimal_to_f64_correct(d: Decimal) -> f64 {
+    let m = d.mantissa();
+    if m.unsigned_abs() <= 1u128 << 53 {
+        // `m` and `10^scale` are both exact in f64 (scale ≤ 12), so the
+        // division's one rounding is the only rounding.
+        let divisor = 10i64.pow(u32::from(d.scale())) as f64;
+        m as f64 / divisor
+    } else {
+        format!("{m}e-{}", d.scale()).parse().unwrap_or(f64::NAN)
+    }
+}
+
+/// Numeric exact part: normalize to scale MAX_SCALE, then encode the i128
 /// mantissa with its sign bit flipped so negative < positive bytewise.
 fn encode_numeric(d: Decimal, out: &mut Vec<u8>) {
     // i128 can hold any number[p,s] mantissa at MAX_SCALE for p <= 18.
@@ -208,6 +270,8 @@ mod tests {
             Value::Int(0),
             Value::Decimal(Decimal::parse("0.5").unwrap()),
             Value::Int(7),
+            Value::Float(-2.25),
+            Value::Float(6.5),
             Value::Str("alpha".into()),
             Value::Str("beta".into()),
             Value::Bool(false),
@@ -223,5 +287,73 @@ mod tests {
                 assert_eq!(by_bytes, by_value, "mismatch for {a:?} vs {b:?}");
             }
         }
+    }
+
+    #[test]
+    fn adversarial_floats_order_like_total_cmp() {
+        // The full f64 total order, including every value the old scaled-i128
+        // encoding collapsed or saturated: NaN, ±inf, ±0.0, subnormals, and
+        // magnitudes far past the decimal range.
+        let floats = [
+            -f64::NAN,
+            f64::NEG_INFINITY,
+            -f64::MAX,
+            -1e30,
+            -1.0,
+            -1e-300,
+            -f64::MIN_POSITIVE / 2.0, // negative subnormal
+            -0.0,
+            0.0,
+            f64::MIN_POSITIVE / 2.0,
+            1e-300,
+            1.0,
+            1e30,
+            2e30,
+            f64::MAX,
+            f64::INFINITY,
+            f64::NAN,
+        ];
+        for a in floats {
+            for b in floats {
+                assert_eq!(
+                    key(Value::Float(a)).cmp(&key(Value::Float(b))),
+                    a.total_cmp(&b),
+                    "mismatch for {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn large_distinct_floats_no_longer_collapse() {
+        // Both saturated to i128::MAX under the old encoding.
+        assert!(key(Value::Float(1e30)) < key(Value::Float(2e30)));
+        assert!(key(Value::Float(-2e30)) < key(Value::Float(-1e30)));
+    }
+
+    #[test]
+    fn floats_and_exact_numerics_interleave() {
+        assert_eq!(key(Value::Float(2.0)), key(Value::Int(2)));
+        assert_eq!(key(Value::Float(2.5)), key(Value::Decimal(Decimal::parse("2.5").unwrap())));
+        assert!(key(Value::Int(2)) < key(Value::Float(2.5)));
+        assert!(key(Value::Float(2.5)) < key(Value::Int(3)));
+        assert!(key(Value::Float(f64::NEG_INFINITY)) < key(Value::Int(i64::MIN)));
+        assert!(key(Value::Int(i64::MAX)) < key(Value::Float(f64::INFINITY)));
+        // NaN sorts above +inf (f64 total order), so above every exact value.
+        assert!(key(Value::Int(i64::MAX)) < key(Value::Float(f64::NAN)));
+        assert!(key(Value::Float(-f64::NAN)) < key(Value::Int(i64::MIN)));
+    }
+
+    #[test]
+    fn seventeen_digit_decimals_keep_exact_order() {
+        // Adjacent 17+-digit values across scales: the f64 approximations
+        // may collide, so the exact tiebreaker must decide.
+        let a = Value::Decimal(Decimal::parse("99999999999999999.9").unwrap());
+        let b = Value::Decimal(Decimal::parse("100000000000000000").unwrap());
+        assert!(key(a) < key(b));
+        let c = Value::Int(9_007_199_254_740_993); // 2^53 + 1
+        let d = Value::Int(9_007_199_254_740_994);
+        assert!(key(Value::Int(9_007_199_254_740_992)) < key(c.clone()));
+        assert!(key(c) < key(d));
     }
 }

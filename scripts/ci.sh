@@ -42,4 +42,9 @@ fi
 echo "== bench harness (compile + unit tests, no timing loops)"
 (cd crates/bench && cargo clippy --all-targets --features bench -- -D warnings && cargo test -q)
 
+echo "== PR4 bench smoke (check mode): group-commit fsyncs/txn + plan-cache hit ratio"
+# Asserts < 1 fsync per committed txn when batched (>= 5x amortization) and
+# a non-zero plan-cache hit ratio on a hot query; dumps BENCH_pr4.json.
+(cd crates/bench && cargo run -q --bin pr4_smoke)
+
 echo "CI OK"

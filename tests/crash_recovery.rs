@@ -187,6 +187,81 @@ fn crash_matrix_restores_last_committed_state() {
     }
 }
 
+/// Crash inside an open group-commit window: commit records that are
+/// still waiting on the shared fsync barrier may be lost, but only as
+/// whole transactions. Recovery must land exactly on some committed
+/// prefix of the workload, at most a window's worth of statements behind
+/// the crash point, and the recovered database must finish the workload.
+#[test]
+fn crash_inside_open_group_commit_window_loses_whole_transactions_only() {
+    const WINDOW: usize = 4;
+
+    // Reference run under the same window, so crash points land on the
+    // same operation sequence the sweep below produces.
+    let medium = FaultMedium::new();
+    let mut qe = boot(Box::new(FaultDisk::new(&medium))).expect("fault-free boot");
+    qe.mapper().set_group_commit_window(WINDOW).expect("window");
+    let mut expected = vec![snapshot(&qe)];
+    for step in 0..WORKLOAD.len() {
+        assert!(run_step(&mut qe, step), "fault-free workload step {step} did not complete");
+        expected.push(snapshot(&qe));
+    }
+    let total_ops = medium.ops();
+    drop(qe);
+
+    let stride = (total_ops / 128).max(1);
+    let mut points: Vec<usize> = (0..=total_ops).step_by(stride).collect();
+    points.extend(total_ops.saturating_sub(16)..=total_ops);
+    points.sort_unstable();
+    points.dedup();
+
+    for point in points {
+        let torn = point % 2 == 1;
+        let medium = FaultMedium::new();
+        let disk: Box<dyn Storage> = if torn {
+            Box::new(FaultDisk::with_torn_crash(&medium, point))
+        } else {
+            Box::new(FaultDisk::with_crash(&medium, point))
+        };
+        let done = match boot(disk) {
+            Err(_) => 0, // died during create
+            Ok(mut qe) => {
+                if qe.mapper().set_group_commit_window(WINDOW).is_err() {
+                    0
+                } else {
+                    run_workload(&mut qe, 0)
+                }
+            }
+        };
+
+        let mut qe = boot(Box::new(FaultDisk::new(&medium))).unwrap_or_else(|e| {
+            panic!("recovery failed at crash point {point} (torn={torn}): {e}")
+        });
+        let got = snapshot(&qe);
+
+        // Atomicity: the recovered state is exactly some committed prefix —
+        // a lost group-commit window never leaves a half-applied statement.
+        let resume = (0..=done).rev().find(|&k| expected[k] == got).unwrap_or_else(|| {
+            panic!(
+                "crash point {point} (torn={torn}): recovered state is not any \
+                 committed prefix ({done} steps ran before the crash)"
+            )
+        });
+
+        // Bounded loss: at most the open window's worth of commits is gone.
+        assert!(
+            resume + WINDOW >= done,
+            "crash point {point} (torn={torn}): lost more than one window \
+             (only {resume} of {done} completed steps survived)"
+        );
+
+        // Usability: the recovered database finishes the workload.
+        let finished = run_workload(&mut qe, resume);
+        assert_eq!(finished, WORKLOAD.len(), "crash point {point}: workload cannot finish");
+        assert_eq!(snapshot(&qe), expected[WORKLOAD.len()], "crash point {point}: final state");
+    }
+}
+
 /// Target the torn-final-write scenario directly: sweep torn crashes over
 /// the ops of the very last statement's commit, so the final WAL append
 /// is the one left half-written.

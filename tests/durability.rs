@@ -110,3 +110,60 @@ fn create_and_open_reject_misuse() {
     let err = Database::open(&empty).unwrap_err();
     assert!(err.to_string().contains("not a SIM database"), "got: {err}");
 }
+
+#[test]
+fn pure_retrieve_workload_never_touches_the_wal() {
+    let dir = scratch("univ-read-only");
+    let mut db = Database::create_at(sim::crates::ddl::UNIVERSITY_DDL, &dir).unwrap();
+    db.set_enforce_verifies(false);
+    db.run(POPULATE).unwrap();
+    db.checkpoint().unwrap();
+
+    let before = db.metrics();
+    // Retrieves through every read path, plus an explicitly empty
+    // transaction: none of it may append to (or sync) the write-ahead log.
+    for _ in 0..3 {
+        let _ = answers(&db);
+    }
+    db.run("From person Retrieve name.").unwrap();
+    let txn = db.mapper_mut().begin();
+    db.mapper_mut().commit(txn).unwrap();
+    let after = db.metrics();
+
+    for name in ["storage.wal_records", "storage.wal_bytes", "storage.fsyncs"] {
+        assert_eq!(
+            after.counter(name),
+            before.counter(name),
+            "{name} moved during a pure-retrieve workload"
+        );
+    }
+}
+
+#[test]
+fn group_commit_amortizes_fsyncs_and_recovers() {
+    let dir = scratch("univ-group-commit");
+    let mut db = Database::create_at(sim::crates::ddl::UNIVERSITY_DDL, &dir).unwrap();
+    db.set_enforce_verifies(false);
+    assert_eq!(db.group_commit_window(), 1, "sync-every-commit is the default");
+    db.set_group_commit_window(8).unwrap();
+
+    let before = db.metrics().counter("storage.fsyncs");
+    for i in 0..20 {
+        db.run_one(&format!("Insert department(dept-nbr := {}, name := \"D{i}\").", 200 + i))
+            .unwrap();
+    }
+    let synced = db.metrics().counter("storage.fsyncs") - before;
+    assert!(
+        synced <= 20 / 5,
+        "20 commits under a window of 8 should cost at most 2-3 fsyncs, saw {synced}"
+    );
+
+    // Make the open window durable, then crash (drop without close): every
+    // accepted commit must survive recovery, including the batched ones.
+    db.sync_wal().unwrap();
+    drop(db);
+    let db = Database::open(&dir).unwrap();
+    assert_eq!(db.entity_count("department").unwrap(), 20);
+    let out = db.query("From department Retrieve name Where dept-nbr = 219.").unwrap();
+    assert_eq!(out.rows(), &[vec![s("D19")]]);
+}

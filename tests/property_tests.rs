@@ -323,3 +323,77 @@ fn eva_inverse_symmetry() {
         mapper.commit(txn).unwrap();
     });
 }
+
+/// Adversarial floats: specials, raw bit patterns (covers NaN payloads,
+/// subnormals, huge magnitudes) and small dyadic rationals.
+fn arb_float(rng: &mut Rng) -> f64 {
+    const SPECIAL: [f64; 14] = [
+        f64::NAN,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        0.0,
+        -0.0,
+        f64::MIN_POSITIVE, // smallest normal
+        -f64::MIN_POSITIVE,
+        5e-324, // smallest subnormal
+        -5e-324,
+        1e-310, // mid-range subnormal
+        1e30,
+        -1e30,
+        f64::MAX,
+        f64::MIN,
+    ];
+    match rng.range(0, 4) {
+        0 => SPECIAL[rng.range(0, SPECIAL.len())],
+        // Any bit pattern is a float: hits NaN payloads, negative NaN,
+        // subnormals and extreme exponents far more often than sampling
+        // "nice" numbers ever would.
+        1 => f64::from_bits(rng.next_u64()),
+        2 => -f64::from_bits(rng.next_u64()),
+        _ => rng.range_i64(-64_000_000, 64_000_000) as f64 / 64.0,
+    }
+}
+
+/// Float order keys sort exactly like `Value::total_cmp` (which for two
+/// floats is IEEE-754 `f64::total_cmp`) — including -NaN below -inf, NaN
+/// above +inf, -0.0 below +0.0, subnormals, and 1e30-scale values that the
+/// old fixed-point encoding collapsed into one saturated key.
+#[test]
+fn float_order_keys_match_total_cmp() {
+    cases(2048, |rng| {
+        let a = Value::Float(arb_float(rng));
+        let b = Value::Float(arb_float(rng));
+        let ka = ordered::encode_key(std::slice::from_ref(&a));
+        let kb = ordered::encode_key(std::slice::from_ref(&b));
+        assert_eq!(ka.cmp(&kb), a.total_cmp(&b), "values {a:?} vs {b:?}");
+    });
+}
+
+/// Mixed numerics (Int / Decimal / Float) agree with `total_cmp` wherever
+/// the f64 images are exact or well-separated: |value| <= 1000, decimals
+/// at scale <= 4, floats dyadic (n/64). Beyond that range `total_cmp`
+/// itself stops being transitive across exact/approximate types, which is
+/// the documented limit of the encoding.
+#[test]
+fn mixed_numeric_order_keys_match_total_cmp_in_safe_range() {
+    fn arb_numeric(rng: &mut Rng) -> Value {
+        match rng.range(0, 3) {
+            0 => Value::Int(rng.range_i64(-1000, 1001)),
+            1 => {
+                let scale = rng.range(0, 5) as u8;
+                let bound = 1000 * 10i64.pow(u32::from(scale));
+                Value::Decimal(
+                    Decimal::from_parts(rng.range_i64(-bound, bound + 1) as i128, scale).unwrap(),
+                )
+            }
+            _ => Value::Float(rng.range_i64(-64_000, 64_001) as f64 / 64.0),
+        }
+    }
+    cases(2048, |rng| {
+        let a = arb_numeric(rng);
+        let b = arb_numeric(rng);
+        let ka = ordered::encode_key(std::slice::from_ref(&a));
+        let kb = ordered::encode_key(std::slice::from_ref(&b));
+        assert_eq!(ka.cmp(&kb), a.total_cmp(&b), "values {a:?} vs {b:?}");
+    });
+}
