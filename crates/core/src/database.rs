@@ -7,7 +7,7 @@ use sim_luc::Mapper;
 use sim_luc::MapperError;
 use sim_obs::{MetricsSnapshot, Registry, Trace};
 use sim_query::{AnalyzedPlan, ExecResult, Plan, QueryEngine, QueryOutput};
-use sim_storage::{IoSnapshot, StorageEngine};
+use sim_storage::{IoSnapshot, Storage, StorageEngine};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -69,6 +69,52 @@ impl Database {
         // Checkpoint immediately so the superblock records the schema and
         // the empty structure plan before any statements run.
         mapper.checkpoint()?;
+        Ok(Database { engine: QueryEngine::new(mapper)? })
+    }
+
+    /// Compile a DDL schema and create a database over an arbitrary
+    /// [`Storage`] backend — the engine-vs-oracle harness entry point: the
+    /// differential driver boots the same workload on `MemDisk`,
+    /// `FileDisk` and a fault-injecting disk through this one door. The
+    /// backend must be empty (no prior database).
+    pub fn create_on(
+        ddl: &str,
+        disk: Box<dyn Storage>,
+        pool_frames: usize,
+    ) -> Result<Database, SimError> {
+        let catalog = sim_ddl::compile_schema(ddl)?;
+        let registry = Arc::new(Registry::new());
+        let engine = StorageEngine::open_on(disk, pool_frames, &registry)?;
+        if engine.file_count() != 0 || !engine.app_meta().is_empty() {
+            return Err(SimError::Mapper(MapperError::Persist(
+                "backend already holds a database; use Database::open_on".into(),
+            )));
+        }
+        let mut mapper = Mapper::on_engine(Arc::new(catalog), engine, &registry)?;
+        mapper.set_schema_blob(ddl.as_bytes().to_vec());
+        mapper.checkpoint()?;
+        Ok(Database { engine: QueryEngine::new(mapper)? })
+    }
+
+    /// Open a database previously created with [`Database::create_on`] (or
+    /// any durable backend holding SIM metadata), running crash recovery on
+    /// its write-ahead log first. The schema is re-read from the backend's
+    /// own metadata, so a cached plan can never outlive the database file
+    /// it was built against.
+    pub fn open_on(disk: Box<dyn Storage>, pool_frames: usize) -> Result<Database, SimError> {
+        let registry = Arc::new(Registry::new());
+        let engine = StorageEngine::open_on(disk, pool_frames, &registry)?;
+        if engine.app_meta().is_empty() {
+            return Err(SimError::Mapper(MapperError::Persist(
+                "not a SIM database: no schema metadata".into(),
+            )));
+        }
+        let app = sim_luc::AppMeta::decode(engine.app_meta())?;
+        let ddl = std::str::from_utf8(&app.schema).map_err(|_| {
+            SimError::Mapper(MapperError::Persist("stored schema is not valid UTF-8".into()))
+        })?;
+        let catalog = sim_ddl::compile_schema(ddl)?;
+        let mapper = Mapper::reopen(Arc::new(catalog), engine, &registry)?;
         Ok(Database { engine: QueryEngine::new(mapper)? })
     }
 

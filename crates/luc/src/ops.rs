@@ -13,7 +13,7 @@ use crate::mapper::{AttrOut, AttrValue, Mapper};
 use crate::value_codec::{encode_value, Decoder, FieldValue};
 use sim_catalog::{AttrId, Attribute, ClassId};
 use sim_storage::{BTreeId, RecordId, Txn};
-use sim_types::{ordered, Surrogate, Value};
+use sim_types::{ordered, Domain, Surrogate, TypeError, Value};
 
 fn surr_be(s: Surrogate) -> [u8; 8] {
     s.raw().to_be_bytes()
@@ -24,6 +24,58 @@ fn decode_surr_be(bytes: &[u8]) -> Option<Surrogate> {
         return None;
     }
     Some(Surrogate::from_raw(u64::from_be_bytes(bytes.try_into().ok()?)))
+}
+
+/// An equality-probe value prepared for index key encoding.
+enum Probe {
+    /// Probe with this (possibly coerced) value.
+    Key(Value),
+    /// The value lies outside the attribute's domain: no stored entry can
+    /// equal it, so the lookup is an empty result — not an error. This
+    /// mirrors the evaluator, which compares the out-of-domain literal
+    /// against in-domain stored values and simply never finds it equal.
+    Miss,
+}
+
+/// Prepare an equality-probe value against an attribute domain.
+///
+/// Representation-changing domains (symbolic labels and date strings) must
+/// be re-encoded to the stored representation before key encoding. Numeric
+/// probes are left raw: `ordered::encode_key` gives Int/Float/Decimal one
+/// unified rank, exactly matching the evaluator's mixed-numeric compare,
+/// whereas domain coercion would reject e.g. a float probe on an integer
+/// domain that the evaluator happily compares.
+fn eq_probe(domain: Option<&Domain>, value: &Value) -> Result<Probe, MapperError> {
+    let Some(domain) = domain else { return Ok(Probe::Key(value.clone())) };
+    let numeric_domain =
+        matches!(domain, Domain::Integer { .. } | Domain::Number { .. } | Domain::Real);
+    let numeric_value = matches!(value, Value::Int(_) | Value::Float(_) | Value::Decimal(_));
+    if numeric_value && numeric_domain {
+        return Ok(Probe::Key(value.clone()));
+    }
+    match domain.coerce(value.clone()) {
+        Ok(v) => Ok(Probe::Key(v)),
+        Err(TypeError::DomainViolation(_)) => Ok(Probe::Miss),
+        // Incompatible types and malformed literals error in the evaluator
+        // too (`Value::compare`), so the indexed plan must not silently
+        // return an empty result where a scan would fail the query.
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Prepare a range-scan bound against an attribute domain.
+///
+/// Unlike [`eq_probe`], an out-of-domain bound is still a perfectly good
+/// fence (`x < 999999` is satisfiable even when 999999 exceeds the declared
+/// range), so no bound is ever a guaranteed miss. Only date strings change
+/// representation; symbolic domains never reach here because the planner
+/// refuses range scans on them (index order is symbol-code order, not the
+/// label-string order the evaluator compares with).
+fn range_bound(domain: Option<&Domain>, value: &Value) -> Result<Value, MapperError> {
+    if let (Some(Domain::Date), Value::Str(s)) = (domain, value) {
+        return Ok(Value::Date(sim_types::Date::parse(s)?));
+    }
+    Ok(value.clone())
 }
 
 fn encode_mv_value(v: &Value) -> Result<Vec<u8>, MapperError> {
@@ -690,10 +742,14 @@ impl Mapper {
             )));
         }
 
-        let distinct = attr.options.distinct || inv.options.distinct;
+        // EVAs are sets of entities (§3.2) regardless of the DISTINCT
+        // option: re-linking an existing pair must be a no-op. Letting the
+        // pair accumulate would double the structure-tree entries, and a
+        // later single-valued steal would remove only one copy — leaving a
+        // phantom partner behind.
         let current = self.eva_partners(owner, attr.id)?;
-        if distinct && current.contains(&partner) {
-            return Ok(()); // set semantics
+        if current.contains(&partner) {
+            return Ok(());
         }
 
         // Single-valued sides: replace rather than accumulate.
@@ -1118,7 +1174,10 @@ impl Mapper {
         let tree = self.engine.create_btree(false)?;
         let mut txn = self.engine.begin();
         for surr in self.entities_of(attr.owner)? {
-            if let AttrOut::Single(v) = self.read_attr(surr, attr_id)? {
+            // Raw (stored) representation: write-path maintenance and probe
+            // coercion both key on it — `read_attr` would label-map symbolic
+            // values and leave the bulk-built entries unreachable.
+            if let AttrOut::Single(v) = self.read_attr_raw(surr, attr_id)? {
                 if !v.is_null() {
                     let key = ordered::encode_key(std::slice::from_ref(&v));
                     self.engine.btree_insert(&mut txn, tree, &key, &surr_be(surr))?;
@@ -1149,7 +1208,8 @@ impl Mapper {
         let hidx = self.engine.create_hash(64, false)?;
         let mut txn = self.engine.begin();
         for surr in self.entities_of(attr.owner)? {
-            if let AttrOut::Single(v) = self.read_attr(surr, attr_id)? {
+            // Raw representation, for the same reason as `create_index`.
+            if let AttrOut::Single(v) = self.read_attr_raw(surr, attr_id)? {
                 if !v.is_null() {
                     let key = ordered::encode_key(std::slice::from_ref(&v));
                     self.engine.hash_insert(&mut txn, hidx, &key, &surr_be(surr))?;
@@ -1187,11 +1247,10 @@ impl Mapper {
             return Ok(None);
         };
         let attr = self.catalog.attribute(attr_id)?;
-        let v = attr
-            .dva_domain()
-            .map(|d| d.coerce(value.clone()))
-            .transpose()?
-            .unwrap_or_else(|| value.clone());
+        let v = match eq_probe(attr.dva_domain(), value)? {
+            Probe::Key(v) => v,
+            Probe::Miss => return Ok(None),
+        };
         let key = ordered::encode_key(std::slice::from_ref(&v));
         Ok(self.engine.btree_lookup_first(tree, &key)?.as_deref().and_then(decode_surr_be))
     }
@@ -1204,11 +1263,13 @@ impl Mapper {
         value: &Value,
     ) -> Result<Option<Vec<Surrogate>>, MapperError> {
         let attr = self.catalog.attribute(attr_id)?;
-        let v = attr
-            .dva_domain()
-            .map(|d| d.coerce(value.clone()))
-            .transpose()?
-            .unwrap_or_else(|| value.clone());
+        let has_any = self.unique_idx.contains_key(&attr_id)
+            || self.secondary_idx.contains_key(&attr_id)
+            || self.hash_idx.contains_key(&attr_id);
+        let v = match eq_probe(attr.dva_domain(), value)? {
+            Probe::Key(v) => v,
+            Probe::Miss => return Ok(has_any.then(Vec::new)),
+        };
         let key = ordered::encode_key(std::slice::from_ref(&v));
         if let Some(&tree) = self.unique_idx.get(&attr_id) {
             self.stats.index_probes_btree.inc();
@@ -1261,9 +1322,13 @@ impl Mapper {
             return Ok(None);
         };
         self.stats.index_probes_btree.inc();
-        let lo_key = lo.map(|v| ordered::encode_key(std::slice::from_ref(v)));
-        let hi_key = hi.map(|v| {
-            let mut k = ordered::encode_key(std::slice::from_ref(v));
+        let domain = self.catalog.attribute(attr_id)?.dva_domain();
+        let lo_key = lo
+            .map(|v| range_bound(domain, v))
+            .transpose()?
+            .map(|v| ordered::encode_key(std::slice::from_ref(&v)));
+        let hi_key = hi.map(|v| range_bound(domain, v)).transpose()?.map(|v| {
+            let mut k = ordered::encode_key(std::slice::from_ref(&v));
             if hi_inclusive {
                 // Single-value encodings are prefix-free, so any key equal to
                 // the encoding sorts strictly below encoding ++ 0xFF.

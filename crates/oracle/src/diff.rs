@@ -1,0 +1,548 @@
+//! The differential driver: one workload, executed on the real engine over
+//! several storage backends, compared statement by statement and state
+//! dump by state dump against the reference oracle.
+//!
+//! Comparison is on *normal forms*: query results through
+//! [`sim_query::normalize::canonical`] (order-insensitive tables,
+//! structurally-grouped structures), update counts exactly, and failures
+//! by coarse class tag (`unique`, `required`, `violation:<name>`, …) so
+//! error *messages* may differ but error *semantics* may not. After the
+//! script, the full entity-graph dump of every backend must match the
+//! oracle's byte for byte.
+
+use crate::dml::{Oracle, OracleResult};
+use crate::error::OracleError;
+use crate::wl::{Step, Workload};
+use sim_core::{Database, SimError};
+use sim_storage::{FaultSchedule, MemDisk, Storage};
+use sim_testkit::{FaultDisk, FaultMedium};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The comparable result of one step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// A retrieve: the canonical form of its output.
+    Rows(String),
+    /// An update: how many entities it touched.
+    Updated(usize),
+    /// A failure: the coarse class tag.
+    Fail(String),
+}
+
+impl Outcome {
+    /// Short human-readable form for mismatch reports.
+    pub fn brief(&self) -> String {
+        match self {
+            Outcome::Rows(c) => {
+                let lines = c.lines().count().saturating_sub(1);
+                format!("rows({lines})")
+            }
+            Outcome::Updated(n) => format!("updated({n})"),
+            Outcome::Fail(tag) => format!("fail({tag})"),
+        }
+    }
+}
+
+/// Which storage stack the engine runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// `MemDisk` — the in-memory medium. `!reopen` is a no-op (the medium
+    /// does not survive a close).
+    Mem,
+    /// `FileDisk` via a scratch directory. `!reopen` is a real
+    /// close-and-recover cycle.
+    File,
+    /// `FaultDisk` with no scheduled crash — the same code path deep mode
+    /// sweeps, kept in the always-on matrix so its passthrough behavior is
+    /// itself differentially tested.
+    Fault,
+}
+
+impl Backend {
+    /// All backends, in report order.
+    pub const ALL: [Backend; 3] = [Backend::Mem, Backend::File, Backend::Fault];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Mem => "mem",
+            Backend::File => "file",
+            Backend::Fault => "fault",
+        }
+    }
+}
+
+/// One observed divergence. The embedded workload text is replayable as a
+/// `.simwl` file.
+#[derive(Debug, Clone)]
+pub struct Mismatch {
+    /// Backend that diverged (`oracle` side is the reference).
+    pub backend: &'static str,
+    /// Step index, or `None` for a final-state dump divergence.
+    pub step: Option<usize>,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.step {
+            Some(i) => write!(f, "[{}] step {i}: {}", self.backend, self.detail),
+            None => write!(f, "[{}] final state: {}", self.backend, self.detail),
+        }
+    }
+}
+
+/// Everything a successful differential run produces (hashable for the
+/// deterministic CI report).
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// The oracle's per-step outcomes (identical to every backend's).
+    pub outcomes: Vec<Outcome>,
+    /// The oracle's final entity-graph dump (identical to every backend's).
+    pub dump: String,
+}
+
+// ----- engine-side execution -------------------------------------------------
+
+/// Classify an engine error onto the oracle's coarse tag space.
+pub fn sim_error_tag(e: &SimError) -> String {
+    match e {
+        SimError::Ddl(_) => "ddl".to_owned(),
+        SimError::Query(q) => OracleError::from_query(q).class_tag(),
+        SimError::Mapper(m) => OracleError::from_mapper(m).class_tag(),
+        SimError::Storage(_) => "storage".to_owned(),
+    }
+}
+
+/// Dump the engine's entity graph in exactly the oracle's format (see
+/// `Graph::dump`): every class in catalog order, every member entity in
+/// surrogate order, every immediate non-derived attribute.
+pub fn dump_engine(db: &Database) -> String {
+    let catalog = db.catalog();
+    let mapper = db.mapper();
+    let mut out = String::new();
+    for class in catalog.classes() {
+        out.push_str(&format!("class {}\n", class.name));
+        let mut surrs = mapper.entities_of(class.id).unwrap_or_default();
+        surrs.sort_unstable();
+        for surr in surrs {
+            out.push_str(&format!("  entity {}\n", surr.raw()));
+            for &attr_id in &class.attributes {
+                let attr = catalog.attribute(attr_id).expect("attr");
+                if attr.is_derived() {
+                    continue;
+                }
+                match mapper.read_attr(surr, attr_id) {
+                    Ok(sim_luc::AttrOut::Single(v)) => {
+                        out.push_str(&format!("    {} = {v:?}\n", attr.name));
+                    }
+                    Ok(sim_luc::AttrOut::Multi(vs)) => {
+                        out.push_str(&format!("    {} = {vs:?}\n", attr.name));
+                    }
+                    Err(_) => out.push_str(&format!("    {} = <error>\n", attr.name)),
+                }
+            }
+        }
+    }
+    out
+}
+
+fn engine_outcome(db: &mut Database, stmt: &str) -> Outcome {
+    match db.run_one(stmt) {
+        Ok(sim_query::ExecResult::Rows(out)) => {
+            Outcome::Rows(sim_query::normalize::canonical(&out))
+        }
+        Ok(sim_query::ExecResult::Updated(n)) => Outcome::Updated(n),
+        Err(e) => Outcome::Fail(sim_error_tag(&e)),
+    }
+}
+
+static SCRATCH_CTR: AtomicU64 = AtomicU64::new(0);
+
+fn scratch_dir() -> PathBuf {
+    let n = SCRATCH_CTR.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("sim-oracle-{}-{n}", std::process::id()))
+}
+
+/// The result of running a workload's script on one engine backend.
+#[derive(Debug, Clone)]
+pub struct BackendRun {
+    /// Per-step outcomes.
+    pub outcomes: Vec<Outcome>,
+    /// Final entity-graph dump.
+    pub dump: String,
+}
+
+/// Run a workload on the real engine over `backend`. `Err` means an
+/// infrastructure failure (scratch directory, unexpected reopen error) —
+/// not a semantic result.
+pub fn run_backend(wl: &Workload, backend: Backend) -> Result<BackendRun, String> {
+    // Distinct pool sizes per backend: eviction pressure differs across
+    // the matrix, which is itself a differential axis.
+    let (mut db, dir, medium) = match backend {
+        Backend::Mem => {
+            let db = Database::create_on(&wl.ddl, Box::new(MemDisk::default()), 512)
+                .map_err(|e| format!("mem create: {e}"))?;
+            (db, None, None)
+        }
+        Backend::File => {
+            let dir = scratch_dir();
+            let db = Database::create_at_with_pool(&wl.ddl, &dir, 96)
+                .map_err(|e| format!("file create: {e}"))?;
+            (db, Some(dir), None)
+        }
+        Backend::Fault => {
+            let medium = FaultMedium::new();
+            let db = Database::create_on(&wl.ddl, Box::new(FaultDisk::new(&medium)), 48)
+                .map_err(|e| format!("fault create: {e}"))?;
+            (db, None, Some(medium))
+        }
+    };
+
+    let mut outcomes = Vec::with_capacity(wl.steps.len());
+    for step in &wl.steps {
+        let outcome = match step {
+            Step::Stmt(s) => engine_outcome(&mut db, s),
+            Step::Index { class, attr } => match db.create_index(class, attr) {
+                Ok(()) => Outcome::Updated(0),
+                Err(e) => Outcome::Fail(sim_error_tag(&e)),
+            },
+            Step::HashIndex { class, attr } => match db.create_hash_index(class, attr) {
+                Ok(()) => Outcome::Updated(0),
+                Err(e) => Outcome::Fail(sim_error_tag(&e)),
+            },
+            Step::Checkpoint => match db.checkpoint() {
+                Ok(()) => Outcome::Updated(0),
+                Err(e) => Outcome::Fail(sim_error_tag(&e)),
+            },
+            Step::Reopen => {
+                match backend {
+                    // The in-memory medium would be lost; reopen is
+                    // defined as a no-op there.
+                    Backend::Mem => {}
+                    Backend::File => {
+                        let dir = dir.as_ref().expect("file backend has a dir");
+                        db.close().map_err(|e| format!("close: {e}"))?;
+                        db = Database::open_with_pool(dir, 96)
+                            .map_err(|e| format!("reopen: {e}"))?;
+                    }
+                    Backend::Fault => {
+                        let medium = medium.as_ref().expect("fault backend has a medium");
+                        db.close().map_err(|e| format!("close: {e}"))?;
+                        db = Database::open_on(Box::new(FaultDisk::new(medium)), 48)
+                            .map_err(|e| format!("reopen: {e}"))?;
+                    }
+                }
+                Outcome::Updated(0)
+            }
+        };
+        outcomes.push(outcome);
+    }
+
+    let dump = dump_engine(&db);
+    drop(db);
+    if let Some(dir) = dir {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    Ok(BackendRun { outcomes, dump })
+}
+
+// ----- oracle-side execution -------------------------------------------------
+
+/// Run a workload through the reference oracle. Control steps are
+/// semantically invisible and always yield `Updated(0)`.
+pub fn run_oracle(wl: &Workload) -> Result<DiffReport, String> {
+    let catalog = sim_ddl::compile_schema(&wl.ddl).map_err(|e| format!("oracle ddl: {e}"))?;
+    let mut oracle = Oracle::new(std::sync::Arc::new(catalog)).map_err(|e| e.to_string())?;
+    let mut outcomes = Vec::with_capacity(wl.steps.len());
+    for step in &wl.steps {
+        let outcome = match step {
+            Step::Stmt(s) => match oracle.run_one(s) {
+                Ok(OracleResult::Rows(out)) => Outcome::Rows(sim_query::normalize::canonical(&out)),
+                Ok(OracleResult::Updated(n)) => Outcome::Updated(n),
+                Err(e) => Outcome::Fail(e.class_tag()),
+            },
+            _ => Outcome::Updated(0),
+        };
+        outcomes.push(outcome);
+    }
+    Ok(DiffReport { outcomes, dump: oracle.graph().dump() })
+}
+
+// ----- the differential check ------------------------------------------------
+
+fn step_text(wl: &Workload, i: usize) -> String {
+    match &wl.steps[i] {
+        Step::Stmt(s) => s.clone(),
+        Step::Index { class, attr } => format!("!index {class} {attr}"),
+        Step::HashIndex { class, attr } => format!("!hashindex {class} {attr}"),
+        Step::Checkpoint => "!checkpoint".to_owned(),
+        Step::Reopen => "!reopen".to_owned(),
+    }
+}
+
+fn first_divergence(a: &str, b: &str) -> String {
+    for (la, lb) in a.lines().zip(b.lines()) {
+        if la != lb {
+            return format!("oracle {la:?} vs engine {lb:?}");
+        }
+    }
+    format!("oracle {} lines vs engine {} lines", a.lines().count(), b.lines().count())
+}
+
+/// Run one workload differentially: oracle vs the engine on every backend
+/// in [`Backend::ALL`]. Returns the (backend-independent) report on
+/// agreement, or the first [`Mismatch`].
+pub fn run_differential(wl: &Workload) -> Result<DiffReport, Mismatch> {
+    // DDL that the shared compiler rejects is rejected everywhere by
+    // construction; the differential content is the script.
+    let oracle_run = match run_oracle(wl) {
+        Ok(r) => r,
+        Err(detail) => {
+            // The engine must reject the same DDL.
+            return match Database::create_on(&wl.ddl, Box::new(MemDisk::default()), 64) {
+                Err(_) => Ok(DiffReport { outcomes: Vec::new(), dump: String::new() }),
+                Ok(_) => Err(Mismatch {
+                    backend: "mem",
+                    step: None,
+                    detail: format!(
+                        "oracle rejected the DDL ({detail}) but the engine accepted it"
+                    ),
+                }),
+            };
+        }
+    };
+
+    for backend in Backend::ALL {
+        let run = run_backend(wl, backend).map_err(|detail| Mismatch {
+            backend: backend.name(),
+            step: None,
+            detail,
+        })?;
+        for (i, (expect, got)) in oracle_run.outcomes.iter().zip(run.outcomes.iter()).enumerate() {
+            if expect != got {
+                let detail = match (expect, got) {
+                    (Outcome::Rows(a), Outcome::Rows(b)) => {
+                        format!(
+                            "{:?}: result sets differ: {}",
+                            step_text(wl, i),
+                            first_divergence(a, b)
+                        )
+                    }
+                    _ => format!(
+                        "{:?}: oracle {} vs engine {}",
+                        step_text(wl, i),
+                        expect.brief(),
+                        got.brief()
+                    ),
+                };
+                return Err(Mismatch { backend: backend.name(), step: Some(i), detail });
+            }
+        }
+        if run.dump != oracle_run.dump {
+            return Err(Mismatch {
+                backend: backend.name(),
+                step: None,
+                detail: format!(
+                    "entity dumps differ: {}",
+                    first_divergence(&oracle_run.dump, &run.dump)
+                ),
+            });
+        }
+    }
+    Ok(oracle_run)
+}
+
+// ----- deep mode: crash-point sweep ------------------------------------------
+
+/// Oracle dump after applying only the first `k` steps of the workload.
+fn oracle_prefix_dump(wl: &Workload, k: usize) -> Result<String, String> {
+    let prefix = Workload { ddl: wl.ddl.clone(), steps: wl.steps[..k].to_vec(), seed: wl.seed };
+    run_oracle(&prefix).map(|r| r.dump)
+}
+
+fn is_power_failure(e: &SimError) -> bool {
+    e.to_string().contains("simulated power failure")
+}
+
+/// Sweep scheduled crash points over the workload (deep mode): at every
+/// point, the engine runs until the simulated power failure, recovery
+/// reopens the medium, and the recovered state must equal the oracle's
+/// state after a statement prefix — either excluding or including the
+/// statement in flight at the crash (whose commit record may or may not
+/// have reached the durable log).
+pub fn run_fault_sweep(wl: &Workload, budget: usize) -> Result<usize, Mismatch> {
+    // Reopens are skipped inside the sweep: a crash-scheduled medium
+    // cannot be cleanly closed mid-script, and recovery itself is the
+    // reopen under test.
+    let steps: Vec<Step> =
+        wl.steps.iter().filter(|s| !matches!(s, Step::Reopen)).cloned().collect();
+    let wl = Workload { ddl: wl.ddl.clone(), steps, seed: wl.seed };
+
+    // Fault-free pass: count durability-relevant operations.
+    let medium = FaultMedium::new();
+    {
+        let mut db =
+            Database::create_on(&wl.ddl, Box::new(FaultDisk::new(&medium)), 48).map_err(|e| {
+                Mismatch { backend: "fault", step: None, detail: format!("fault-free create: {e}") }
+            })?;
+        for step in &wl.steps {
+            match step {
+                Step::Stmt(s) => {
+                    let _ = db.run_one(s);
+                }
+                Step::Index { class, attr } => {
+                    let _ = db.create_index(class, attr);
+                }
+                Step::HashIndex { class, attr } => {
+                    let _ = db.create_hash_index(class, attr);
+                }
+                Step::Checkpoint => {
+                    let _ = db.checkpoint();
+                }
+                Step::Reopen => {}
+            }
+        }
+        let _ = db.close();
+    }
+    let total_ops = medium.ops();
+
+    let mut swept = 0usize;
+    for point in FaultSchedule::new(total_ops, budget).points() {
+        swept += 1;
+        let medium = FaultMedium::new();
+        let disk: Box<dyn Storage> = if point.torn {
+            Box::new(FaultDisk::with_torn_crash(&medium, point.after_ops))
+        } else {
+            Box::new(FaultDisk::with_crash(&medium, point.after_ops))
+        };
+        let created = Database::create_on(&wl.ddl, disk, 48);
+        let Ok(mut db) = created else {
+            // Crashed during creation: nothing was committed, so the
+            // medium must hold either no database or an empty one.
+            if let Ok(db) = Database::open_on(Box::new(FaultDisk::new(&medium)), 48) {
+                let dump = dump_engine(&db);
+                let empty = oracle_prefix_dump(&wl, 0).map_err(|detail| Mismatch {
+                    backend: "fault",
+                    step: None,
+                    detail,
+                })?;
+                if dump != empty {
+                    return Err(Mismatch {
+                        backend: "fault",
+                        step: Some(0),
+                        detail: format!(
+                            "crash at op {} during create left a non-empty database",
+                            point.after_ops
+                        ),
+                    });
+                }
+            }
+            continue;
+        };
+
+        // Run until the power failure surfaces (semantic errors are fine —
+        // the statement aborts and the script continues, exactly as in the
+        // fault-free run).
+        let mut crashed_at = wl.steps.len();
+        for (i, step) in wl.steps.iter().enumerate() {
+            let err = match step {
+                Step::Stmt(s) => db.run_one(s).err(),
+                Step::Index { class, attr } => db.create_index(class, attr).err(),
+                Step::HashIndex { class, attr } => db.create_hash_index(class, attr).err(),
+                Step::Checkpoint => db.checkpoint().err(),
+                Step::Reopen => None,
+            };
+            if let Some(e) = err {
+                if is_power_failure(&e) {
+                    crashed_at = i;
+                    break;
+                }
+            }
+        }
+        drop(db);
+
+        // Recovery must succeed and restore a committed prefix.
+        let recovered =
+            Database::open_on(Box::new(FaultDisk::new(&medium)), 48).map_err(|e| Mismatch {
+                backend: "fault",
+                step: Some(crashed_at),
+                detail: format!("recovery after crash at op {} failed: {e}", point.after_ops),
+            })?;
+        let dump = dump_engine(&recovered);
+        let without = oracle_prefix_dump(&wl, crashed_at).map_err(|detail| Mismatch {
+            backend: "fault",
+            step: Some(crashed_at),
+            detail,
+        })?;
+        let with = if crashed_at < wl.steps.len() {
+            oracle_prefix_dump(&wl, crashed_at + 1).map_err(|detail| Mismatch {
+                backend: "fault",
+                step: Some(crashed_at),
+                detail,
+            })?
+        } else {
+            without.clone()
+        };
+        if dump != without && dump != with {
+            return Err(Mismatch {
+                backend: "fault",
+                step: Some(crashed_at),
+                detail: format!(
+                    "recovered state after crash at op {} matches neither the pre- nor \
+                     post-statement prefix: {}",
+                    point.after_ops,
+                    first_divergence(&without, &dump)
+                ),
+            });
+        }
+    }
+    Ok(swept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wl(text: &str) -> Workload {
+        Workload::parse(text).expect("test workload parses")
+    }
+
+    #[test]
+    fn trivial_workload_agrees_everywhere() {
+        let w = wl("Class c ( x: integer (0..9), required; );\n%%\nInsert c (x := 1).\nInsert c (x := 2).\nFrom c Retrieve x.\n!checkpoint\n!reopen\nFrom c Retrieve x order by x desc.\n%%\n");
+        let report = run_differential(&w).unwrap_or_else(|m| panic!("mismatch: {m}"));
+        assert_eq!(report.outcomes.len(), 6);
+        assert!(report.dump.contains("entity 1"));
+    }
+
+    #[test]
+    fn unique_violation_classified_identically() {
+        let w = wl(
+            "Class c ( x: integer, unique; );\n%%\nInsert c (x := 5).\nInsert c (x := 5).\n%%\n",
+        );
+        let report = run_differential(&w).unwrap_or_else(|m| panic!("mismatch: {m}"));
+        assert_eq!(report.outcomes[1], Outcome::Fail("unique".into()));
+    }
+
+    #[test]
+    fn verify_violation_rolls_back_on_both_sides() {
+        let w = wl(concat!(
+            "Class c ( x: integer );\n",
+            "Verify cap on c assert x < 10 else \"too big\";\n",
+            "%%\nInsert c (x := 5).\nInsert c (x := 50).\nFrom c Retrieve x.\n%%\n"
+        ));
+        let report = run_differential(&w).unwrap_or_else(|m| panic!("mismatch: {m}"));
+        assert_eq!(report.outcomes[1], Outcome::Fail("violation:cap".into()));
+    }
+
+    #[test]
+    fn small_fault_sweep_recovers_prefixes() {
+        let w =
+            wl("Class c ( x: integer (0..9) );\n%%\nInsert c (x := 1).\nInsert c (x := 2).\n%%\n");
+        let swept = run_fault_sweep(&w, 24).unwrap_or_else(|m| panic!("mismatch: {m}"));
+        assert!(swept > 0);
+    }
+}

@@ -1,0 +1,438 @@
+//! Reference DML application and VERIFY checking.
+//!
+//! Mirrors `sim_query::update` over the naive graph, with one deliberate
+//! simplification for integrity enforcement: instead of the engine's
+//! trigger-detection / query-enhancement machinery (§3.3), the oracle
+//! applies the statement to a *clone* of the graph and then re-checks
+//! **every** constraint over **all** entities of its perspective class, in
+//! declaration order. Because every committed state satisfies all
+//! constraints (induction over statements), the first constraint found
+//! violated here must have been triggered by the statement — so a
+//! divergence between this exhaustive check and the engine's localized
+//! check is a genuine trigger-detection bug, which is exactly what the
+//! differential harness is hunting.
+//!
+//! Rollback discards the clone; like the real engine, the surrogate
+//! allocator is *not* rolled back (failed statements consume surrogates),
+//! so the clone's advanced `next_surr` is carried back into the committed
+//! graph.
+
+use crate::error::OracleError;
+use crate::graph::{Graph, Write};
+use crate::interp::{eval_value, Interp};
+use sim_catalog::{AttrId, Catalog, ClassId};
+use sim_dml::{
+    parse_expression, parse_statements, AssignOp, AssignValue, Assignment, DeleteStmt, Expr,
+    InsertStmt, ModifyStmt, Statement,
+};
+use sim_query::bind::Binder;
+use sim_query::bound::BoundQuery;
+use sim_query::QueryOutput;
+use sim_types::{Truth, Value};
+use std::sync::Arc;
+
+/// The result of one statement (mirrors `sim_query::ExecResult`).
+#[derive(Debug, Clone)]
+pub enum OracleResult {
+    /// A retrieve produced output.
+    Rows(QueryOutput),
+    /// An update touched this many entities.
+    Updated(usize),
+}
+
+struct OracleVerify {
+    name: String,
+    message: String,
+    class: ClassId,
+    bound: BoundQuery,
+}
+
+/// The reference database: a graph plus compiled VERIFY constraints.
+pub struct Oracle {
+    graph: Graph,
+    verifies: Vec<OracleVerify>,
+    /// Enforce VERIFY constraints on updates (mirrors the engine's flag).
+    pub enforce_verifies: bool,
+}
+
+impl Oracle {
+    /// Build an oracle over a finalized catalog, compiling its VERIFY
+    /// constraints through the shared binder.
+    pub fn new(catalog: Arc<Catalog>) -> Result<Oracle, OracleError> {
+        let mut verifies = Vec::new();
+        for v in catalog.verifies() {
+            let expr =
+                parse_expression(&v.assertion).map_err(|e| OracleError::Parse(e.to_string()))?;
+            let bound = Binder::bind_selection(&catalog, v.class, &expr)
+                .map_err(|e| OracleError::from_query(&e))?;
+            verifies.push(OracleVerify {
+                name: v.name.clone(),
+                message: v.message.clone(),
+                class: v.class,
+                bound,
+            });
+        }
+        Ok(Oracle { graph: Graph::new(catalog), verifies, enforce_verifies: true })
+    }
+
+    /// The committed graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Parse and execute exactly one statement.
+    pub fn run_one(&mut self, source: &str) -> Result<OracleResult, OracleError> {
+        let statements = parse_statements(source).map_err(|e| OracleError::Parse(e.to_string()))?;
+        match statements.len() {
+            1 => self.execute(&statements[0]),
+            n => Err(OracleError::Analyze(format!("expected one statement, found {n}"))),
+        }
+    }
+
+    /// Execute one parsed statement against the reference state.
+    pub fn execute(&mut self, stmt: &Statement) -> Result<OracleResult, OracleError> {
+        match stmt {
+            Statement::Retrieve(r) => {
+                let bound = Binder::bind_retrieve(self.graph.catalog(), r)
+                    .map_err(|e| OracleError::from_query(&e))?;
+                let out = Interp::new(&self.graph, &bound).run()?;
+                Ok(OracleResult::Rows(out))
+            }
+            Statement::Insert(_) | Statement::Modify(_) | Statement::Delete(_) => {
+                let mut next = self.graph.clone();
+                let result = match stmt {
+                    Statement::Insert(i) => exec_insert(&mut next, i),
+                    Statement::Modify(m) => exec_modify(&mut next, m),
+                    Statement::Delete(d) => exec_delete(&mut next, d),
+                    Statement::Retrieve(_) => unreachable!("dispatched above"),
+                };
+                let count = match result {
+                    Ok(n) => n,
+                    Err(e) => {
+                        // Statement rollback: discard all effects except the
+                        // allocator advance.
+                        self.graph.next_surr = next.next_surr;
+                        return Err(e);
+                    }
+                };
+                if self.enforce_verifies {
+                    if let Some((name, message)) = self.find_violation(&next)? {
+                        self.graph.next_surr = next.next_surr;
+                        return Err(OracleError::Violation { constraint: name, message });
+                    }
+                }
+                self.graph = next;
+                Ok(OracleResult::Updated(count))
+            }
+        }
+    }
+
+    /// Exhaustive VERIFY check: every constraint, every entity of its
+    /// class, declaration order; UNKNOWN passes, only FALSE violates.
+    fn find_violation(&self, g: &Graph) -> Result<Option<(String, String)>, OracleError> {
+        for cv in &self.verifies {
+            let interp = Interp::new(g, &cv.bound);
+            for surr in g.entities_of(cv.class) {
+                if interp.check_entity(surr)? == Truth::False {
+                    return Ok(Some((cv.name.clone(), cv.message.clone())));
+                }
+            }
+        }
+        Ok(None)
+    }
+}
+
+// ----- update execution (mirrors sim_query::update over the graph) -----------------------
+
+fn select_entities(
+    g: &Graph,
+    class: ClassId,
+    filter: Option<&Expr>,
+) -> Result<Vec<u64>, OracleError> {
+    match filter {
+        None => Ok(g.entities_of(class)),
+        Some(expr) => {
+            let bound = Binder::bind_selection(g.catalog(), class, expr)
+                .map_err(|e| OracleError::from_query(&e))?;
+            Interp::new(g, &bound).select_entities()
+        }
+    }
+}
+
+enum PreparedValue {
+    Expr(BoundQuery),
+    Entities(Vec<u64>),
+    PartnerFilter { eva: AttrId, bound: BoundQuery },
+}
+
+struct PreparedAssign {
+    attr: AttrId,
+    op: AssignOp,
+    value: PreparedValue,
+}
+
+fn prepare_assignment(
+    g: &Graph,
+    class: ClassId,
+    a: &Assignment,
+) -> Result<PreparedAssign, OracleError> {
+    let catalog = g.catalog();
+    let attr_id = catalog.resolve_attr(class, &a.attr).ok_or_else(|| {
+        OracleError::Analyze(format!(
+            "unknown attribute {} on class {}",
+            a.attr,
+            catalog.class(class).map(|c| c.name.clone()).unwrap_or_default()
+        ))
+    })?;
+    let attr = catalog.attribute(attr_id)?.clone();
+    let value = match &a.value {
+        AssignValue::Expr(e) => PreparedValue::Expr(
+            Binder::bind_value_expr(catalog, class, e).map_err(|e| OracleError::from_query(&e))?,
+        ),
+        AssignValue::Selector { name, predicate } => {
+            if a.op == AssignOp::Exclude {
+                let range = attr
+                    .eva_range()
+                    .ok_or_else(|| OracleError::Analyze(format!("{} is not an EVA", a.attr)))?;
+                if name.eq_ignore_ascii_case(&attr.name) {
+                    let bound = Binder::bind_selection(catalog, range, predicate)
+                        .map_err(|e| OracleError::from_query(&e))?;
+                    PreparedValue::PartnerFilter { eva: attr_id, bound }
+                } else {
+                    let sel_class = catalog
+                        .class_by_name(name)
+                        .ok_or_else(|| {
+                            OracleError::Analyze(format!(
+                                "exclude selector {name} is neither the EVA nor a class"
+                            ))
+                        })?
+                        .id;
+                    PreparedValue::Entities(select_entities(g, sel_class, Some(predicate))?)
+                }
+            } else {
+                let sel_class = catalog
+                    .class_by_name(name)
+                    .ok_or_else(|| OracleError::Analyze(format!("unknown class {name}")))?
+                    .id;
+                let range = attr.eva_range().ok_or_else(|| {
+                    OracleError::Analyze(format!(
+                        "{}: WITH selectors apply to entity-valued attributes",
+                        a.attr
+                    ))
+                })?;
+                if !catalog.is_same_or_ancestor(range, sel_class)
+                    && !catalog.is_same_or_ancestor(sel_class, range)
+                {
+                    return Err(OracleError::Analyze(format!(
+                        "{name} is not the range class of {}",
+                        a.attr
+                    )));
+                }
+                PreparedValue::Entities(select_entities(g, sel_class, Some(predicate))?)
+            }
+        }
+    };
+    Ok(PreparedAssign { attr: attr_id, op: a.op, value })
+}
+
+fn entity_value(s: u64) -> Value {
+    Value::Entity(sim_types::Surrogate::from_raw(s))
+}
+
+fn apply_assign(g: &mut Graph, surr: u64, pa: &PreparedAssign) -> Result<(), OracleError> {
+    let attr = g.catalog().attribute(pa.attr)?.clone();
+    match (&pa.op, &pa.value) {
+        (AssignOp::Set, PreparedValue::Expr(bound)) => {
+            let v = eval_value(g, bound, Some(surr))?;
+            g.set_attr(surr, pa.attr, Write::Scalar(v))
+        }
+        (AssignOp::Set, PreparedValue::Entities(es)) => {
+            if attr.options.multivalued {
+                let vals = es.iter().map(|s| entity_value(*s)).collect();
+                g.set_attr(surr, pa.attr, Write::Multi(vals))
+            } else {
+                match es.len() {
+                    0 => Err(OracleError::Selector(format!(
+                        "WITH selector for {} matched no entities",
+                        attr.name
+                    ))),
+                    1 => g.set_attr(surr, pa.attr, Write::Scalar(entity_value(es[0]))),
+                    n => Err(OracleError::Selector(format!(
+                        "WITH selector for single-valued {} matched {n} entities",
+                        attr.name
+                    ))),
+                }
+            }
+        }
+        (AssignOp::Include, PreparedValue::Expr(bound)) => {
+            let v = eval_value(g, bound, Some(surr))?;
+            g.include_value(surr, pa.attr, v)
+        }
+        (AssignOp::Include, PreparedValue::Entities(es)) => {
+            for e in es {
+                g.include_value(surr, pa.attr, entity_value(*e))?;
+            }
+            Ok(())
+        }
+        (AssignOp::Exclude, PreparedValue::Expr(bound)) => {
+            let v = eval_value(g, bound, Some(surr))?;
+            g.exclude_value(surr, pa.attr, &v)?;
+            Ok(())
+        }
+        (AssignOp::Exclude, PreparedValue::Entities(es)) => {
+            for e in es {
+                g.exclude_value(surr, pa.attr, &entity_value(*e))?;
+            }
+            Ok(())
+        }
+        (AssignOp::Exclude, PreparedValue::PartnerFilter { eva, bound }) => {
+            let partners = g.eva_partners(surr, *eva)?;
+            let mut to_remove = Vec::new();
+            {
+                let interp = Interp::new(g, bound);
+                for p in partners {
+                    if interp.check_entity(p)?.is_true() {
+                        to_remove.push(p);
+                    }
+                }
+            }
+            for p in to_remove {
+                g.exclude_value(surr, *eva, &entity_value(p))?;
+            }
+            Ok(())
+        }
+        (op, PreparedValue::PartnerFilter { .. }) => {
+            Err(OracleError::Analyze(format!("{op:?} does not take an EVA-name selector")))
+        }
+    }
+}
+
+fn exec_insert(g: &mut Graph, stmt: &InsertStmt) -> Result<usize, OracleError> {
+    let class = g
+        .catalog()
+        .class_by_name(&stmt.class)
+        .ok_or_else(|| OracleError::Analyze(format!("unknown class {}", stmt.class)))?
+        .id;
+    let prepared: Vec<PreparedAssign> = stmt
+        .assignments
+        .iter()
+        .map(|a| prepare_assignment(g, class, a))
+        .collect::<Result<_, _>>()?;
+
+    match &stmt.from {
+        None => {
+            let mut assigns = Vec::new();
+            let mut post = Vec::new();
+            for pa in &prepared {
+                match (&pa.op, &pa.value) {
+                    (AssignOp::Set, PreparedValue::Expr(bound)) => {
+                        let v = eval_value(g, bound, None)?;
+                        assigns.push((pa.attr, Write::Scalar(v)));
+                    }
+                    (AssignOp::Set, PreparedValue::Entities(es)) => {
+                        let attr = g.catalog().attribute(pa.attr)?;
+                        if attr.options.multivalued {
+                            assigns.push((
+                                pa.attr,
+                                Write::Multi(es.iter().map(|s| entity_value(*s)).collect()),
+                            ));
+                        } else {
+                            match es.len() {
+                                1 => assigns.push((pa.attr, Write::Scalar(entity_value(es[0])))),
+                                0 => {
+                                    return Err(OracleError::Selector(format!(
+                                        "WITH selector for {} matched no entities",
+                                        attr.name
+                                    )));
+                                }
+                                n => {
+                                    return Err(OracleError::Selector(format!(
+                                        "WITH selector for single-valued {} matched {n} entities",
+                                        attr.name
+                                    )));
+                                }
+                            }
+                        }
+                    }
+                    _ => post.push(pa),
+                }
+            }
+            let surr = g.insert_entity(class, &assigns)?;
+            for pa in post {
+                apply_assign(g, surr, pa)?;
+            }
+            Ok(1)
+        }
+        Some((from_name, pred)) => {
+            let from_class = g
+                .catalog()
+                .class_by_name(from_name)
+                .ok_or_else(|| OracleError::Analyze(format!("unknown class {from_name}")))?
+                .id;
+            if !g.catalog().is_ancestor(from_class, class) {
+                return Err(OracleError::Analyze(format!(
+                    "{from_name} is not an ancestor of {} (INSERT … FROM extends roles downward)",
+                    stmt.class
+                )));
+            }
+            let targets = select_entities(g, from_class, Some(pred))?;
+            if targets.is_empty() {
+                return Err(OracleError::Selector(format!(
+                    "INSERT {} FROM {from_name}: no entity matched the WHERE clause",
+                    stmt.class
+                )));
+            }
+            for &surr in &targets {
+                let mut assigns = Vec::new();
+                let mut post = Vec::new();
+                for pa in &prepared {
+                    match (&pa.op, &pa.value) {
+                        (AssignOp::Set, PreparedValue::Expr(bound)) => {
+                            let v = eval_value(g, bound, Some(surr))?;
+                            assigns.push((pa.attr, Write::Scalar(v)));
+                        }
+                        _ => post.push(pa),
+                    }
+                }
+                g.extend_role(surr, class, &assigns)?;
+                for pa in post {
+                    apply_assign(g, surr, pa)?;
+                }
+            }
+            Ok(targets.len())
+        }
+    }
+}
+
+fn exec_modify(g: &mut Graph, stmt: &ModifyStmt) -> Result<usize, OracleError> {
+    let class = g
+        .catalog()
+        .class_by_name(&stmt.class)
+        .ok_or_else(|| OracleError::Analyze(format!("unknown class {}", stmt.class)))?
+        .id;
+    let targets = select_entities(g, class, stmt.where_clause.as_ref())?;
+    let prepared: Vec<PreparedAssign> = stmt
+        .assignments
+        .iter()
+        .map(|a| prepare_assignment(g, class, a))
+        .collect::<Result<_, _>>()?;
+    for &surr in &targets {
+        for pa in &prepared {
+            apply_assign(g, surr, pa)?;
+        }
+    }
+    Ok(targets.len())
+}
+
+fn exec_delete(g: &mut Graph, stmt: &DeleteStmt) -> Result<usize, OracleError> {
+    let class = g
+        .catalog()
+        .class_by_name(&stmt.class)
+        .ok_or_else(|| OracleError::Analyze(format!("unknown class {}", stmt.class)))?
+        .id;
+    let targets = select_entities(g, class, stmt.where_clause.as_ref())?;
+    for &surr in &targets {
+        g.delete_role(surr, class)?;
+    }
+    Ok(targets.len())
+}

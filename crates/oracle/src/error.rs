@@ -1,0 +1,123 @@
+//! Oracle-side errors, shaped so they classify onto the same coarse
+//! failure classes as the real engine's errors (see [`crate::diff`]).
+
+use std::fmt;
+
+/// Everything that can go wrong while the reference interpreter evaluates
+/// a statement. Variants deliberately parallel the engine's
+/// `QueryError`/`MapperError` split points: the differential driver
+/// compares *classes* of failure, not messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OracleError {
+    /// Statement failed to parse.
+    Parse(String),
+    /// Name resolution / typing of the statement failed.
+    Analyze(String),
+    /// A value failed domain typing or an operator was misapplied.
+    Type(String),
+    /// A REQUIRED attribute would be left empty.
+    Required(String),
+    /// A UNIQUE attribute would be duplicated.
+    Unique(String),
+    /// An MV attribute would exceed its MAX bound.
+    Max(String),
+    /// Value shape did not match the attribute (single vs multi, entity vs
+    /// data).
+    Shape(String),
+    /// A surrogate does not exist or lacks a needed role.
+    NoSuchEntity(String),
+    /// Assignment to a system-maintained attribute.
+    ReadOnly(String),
+    /// An entity selector matched the wrong number of entities.
+    Selector(String),
+    /// A VERIFY constraint evaluated to false.
+    Violation {
+        /// The declared constraint name.
+        constraint: String,
+        /// The declared `else` message.
+        message: String,
+    },
+    /// A bug in the oracle itself (never expected; always a mismatch).
+    Internal(String),
+}
+
+impl fmt::Display for OracleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OracleError::Parse(m) => write!(f, "parse error: {m}"),
+            OracleError::Analyze(m) => write!(f, "analyze error: {m}"),
+            OracleError::Type(m) => write!(f, "type error: {m}"),
+            OracleError::Required(m) => write!(f, "required attribute violation: {m}"),
+            OracleError::Unique(m) => write!(f, "unique attribute violation: {m}"),
+            OracleError::Max(m) => write!(f, "max cardinality violation: {m}"),
+            OracleError::Shape(m) => write!(f, "value shape mismatch: {m}"),
+            OracleError::NoSuchEntity(m) => write!(f, "no such entity: {m}"),
+            OracleError::ReadOnly(m) => write!(f, "read-only attribute: {m}"),
+            OracleError::Selector(m) => write!(f, "entity selector error: {m}"),
+            OracleError::Violation { constraint, message } => {
+                write!(f, "integrity violation {constraint}: {message}")
+            }
+            OracleError::Internal(m) => write!(f, "oracle internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for OracleError {}
+
+impl From<sim_catalog::CatalogError> for OracleError {
+    fn from(e: sim_catalog::CatalogError) -> OracleError {
+        OracleError::Analyze(e.to_string())
+    }
+}
+
+impl OracleError {
+    /// Map a query-layer error (from the shared binder) onto the oracle's
+    /// error space.
+    pub fn from_query(e: &sim_query::QueryError) -> OracleError {
+        use sim_query::QueryError as Q;
+        match e {
+            Q::Parse(m) => OracleError::Parse(m.to_string()),
+            Q::Analyze(m) => OracleError::Analyze(m.clone()),
+            Q::Type(t) => OracleError::Type(t.to_string()),
+            Q::Selector(m) => OracleError::Selector(m.clone()),
+            Q::IntegrityViolation { constraint, message } => {
+                OracleError::Violation { constraint: constraint.clone(), message: message.clone() }
+            }
+            Q::Mapper(m) => OracleError::from_mapper(m),
+            Q::Internal(m) => OracleError::Internal(m.clone()),
+        }
+    }
+
+    /// Map a mapper-layer error onto the oracle's error space.
+    pub fn from_mapper(e: &sim_luc::MapperError) -> OracleError {
+        use sim_luc::MapperError as M;
+        match e {
+            M::Type(t) => OracleError::Type(t.to_string()),
+            M::RequiredViolation(m) => OracleError::Required(m.clone()),
+            M::UniqueViolation(m) => OracleError::Unique(m.clone()),
+            M::MaxViolation(m) => OracleError::Max(m.clone()),
+            M::ShapeMismatch(m) => OracleError::Shape(m.clone()),
+            M::NoSuchEntity(m) => OracleError::NoSuchEntity(m.clone()),
+            M::ReadOnly(m) => OracleError::ReadOnly(m.clone()),
+            other => OracleError::Internal(other.to_string()),
+        }
+    }
+
+    /// The coarse class tag the differential driver compares on.
+    pub fn class_tag(&self) -> String {
+        match self {
+            OracleError::Parse(_) => "parse".to_owned(),
+            OracleError::Analyze(_) => "analyze".to_owned(),
+            OracleError::Type(_) => "type".to_owned(),
+            OracleError::Required(_) => "required".to_owned(),
+            OracleError::Unique(_) => "unique".to_owned(),
+            OracleError::Max(_) => "max".to_owned(),
+            OracleError::Shape(_) => "shape".to_owned(),
+            OracleError::NoSuchEntity(_) => "no-such-entity".to_owned(),
+            OracleError::ReadOnly(_) => "read-only".to_owned(),
+            OracleError::Selector(_) => "selector".to_owned(),
+            OracleError::Violation { constraint, .. } => format!("violation:{constraint}"),
+            OracleError::Internal(_) => "internal".to_owned(),
+        }
+    }
+}

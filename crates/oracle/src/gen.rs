@@ -1,0 +1,717 @@
+//! Deterministic workload generator.
+//!
+//! Every byte of a generated workload is a pure function of the seed (via
+//! [`sim_testkit::Rng`], no external randomness), so a failure report is a
+//! single `u64` and CI runs are reproducible bit-for-bit. The generator
+//! aims for *semantic density*, not realism: small value pools so
+//! predicates hit and UNIQUE collides, nullable attributes so 3VL
+//! activates, EVA pairs in every cardinality so both foreign-key and
+//! structure mappings are exercised, and interleaved control operations
+//! (index builds, checkpoints, reopens) that must be invisible to results.
+//!
+//! Deliberate exclusions, each with a reason:
+//!
+//! * no self-inverse EVAs (`spouse inverse is spouse`) — the symmetric
+//!   partner ordering is covered by a hand-written corpus seed instead;
+//! * no float (`number`) multi-valued DVAs — summation order over floats
+//!   is not associative, so a naive oracle cannot define equality;
+//! * no symbolic multi-valued DVAs — covered by corpus seeds;
+//! * no physical `mapping` overrides — the engine picks mappings from
+//!   cardinality, which is exactly the choice the oracle must not see.
+
+use crate::wl::{Step, Workload};
+use sim_testkit::Rng;
+use std::fmt::Write as _;
+
+/// Tunable knobs for [`generate`].
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Number of script steps to emit.
+    pub steps: usize,
+    /// Whether to emit `!checkpoint` / `!reopen` control operations
+    /// (disable for backends where reopen is meaningless).
+    pub control_ops: bool,
+}
+
+impl Default for GenConfig {
+    fn default() -> GenConfig {
+        GenConfig { steps: 40, control_ops: true }
+    }
+}
+
+// ----- schema model ----------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Domain {
+    Int { lo: i64, hi: i64 },
+    Str,
+    Bool,
+    Sym,
+    Num,
+}
+
+#[derive(Debug, Clone)]
+struct Dva {
+    name: String,
+    domain: Domain,
+    required: bool,
+    unique: bool,
+    mv: bool,
+    max: Option<u32>,
+    distinct: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Eva {
+    name: String,
+    inverse: String,
+    target: usize,
+    mv: bool,
+    max: Option<u32>,
+}
+
+#[derive(Debug, Clone)]
+struct ClassModel {
+    name: String,
+    /// Parent class indices (empty = base class).
+    parents: Vec<usize>,
+    dvas: Vec<Dva>,
+    evas: Vec<Eva>,
+    /// `(attr name, subclass indices)` — rendered as a subrole attribute.
+    subrole: Option<(String, Vec<usize>)>,
+}
+
+#[derive(Debug, Clone)]
+struct Schema {
+    classes: Vec<ClassModel>,
+    /// Labels of the single symbolic type `hue`.
+    sym_labels: Vec<String>,
+    /// Rendered VERIFY constraints.
+    verifies: Vec<String>,
+}
+
+const CLASS_WORDS: &[&str] =
+    &["crew", "depot", "gadget", "parcel", "plant", "route", "staff", "tool"];
+const ATTR_WORDS: &[&str] =
+    &["nbr", "tag", "rank", "size", "flag", "grade", "label", "cost", "load", "kind"];
+const EVA_WORDS: &[&str] = &["owns", "uses", "feeds", "holds", "joins", "links"];
+const STR_POOL: &[&str] = &["ada", "bud", "cove", "dew", "elm", "fog"];
+const SYM_POOL: &[&str] = &["red", "amber", "jade", "teal", "plum"];
+
+impl Schema {
+    /// Attributes reachable from a class: its own plus every ancestor's.
+    fn ancestors_and_self(&self, idx: usize) -> Vec<usize> {
+        let mut out = vec![idx];
+        let mut i = 0;
+        while i < out.len() {
+            for &p in &self.classes[out[i]].parents {
+                if !out.contains(&p) {
+                    out.push(p);
+                }
+            }
+            i += 1;
+        }
+        out
+    }
+
+    fn all_dvas(&self, idx: usize) -> Vec<&Dva> {
+        self.ancestors_and_self(idx).into_iter().flat_map(|c| self.classes[c].dvas.iter()).collect()
+    }
+
+    fn all_evas(&self, idx: usize) -> Vec<&Eva> {
+        self.ancestors_and_self(idx).into_iter().flat_map(|c| self.classes[c].evas.iter()).collect()
+    }
+
+    /// Subclass indices (transitive) of a class.
+    fn descendants(&self, idx: usize) -> Vec<usize> {
+        (0..self.classes.len())
+            .filter(|&c| c != idx && self.ancestors_and_self(c).contains(&idx))
+            .collect()
+    }
+}
+
+fn gen_schema(rng: &mut Rng) -> Schema {
+    let mut attr_ctr = 0usize;
+    let mut next_attr = |rng: &mut Rng, words: &[&str]| {
+        attr_ctr += 1;
+        format!("{}{}", rng.pick(words), attr_ctr)
+    };
+
+    let sym_labels: Vec<String> = {
+        let n = 3 + rng.below(3) as usize;
+        let mut l: Vec<String> = SYM_POOL.iter().map(|s| (*s).to_owned()).collect();
+        rng.shuffle(&mut l);
+        l.truncate(n);
+        l
+    };
+
+    let n_base = 2 + rng.below(2) as usize; // 2-3 base classes
+    let n_sub = rng.below(3) as usize; // 0-2 subclasses
+    let mut class_names: Vec<String> = CLASS_WORDS.iter().map(|s| (*s).to_owned()).collect();
+    rng.shuffle(&mut class_names);
+
+    let mut classes: Vec<ClassModel> = Vec::new();
+    for (i, name) in class_names.iter().take(n_base + n_sub).enumerate() {
+        let parents = if i < n_base {
+            Vec::new()
+        } else {
+            // A subclass of one earlier class (possibly another subclass,
+            // giving depth-3 chains and option inheritance through levels).
+            vec![rng.below(i as u64) as usize]
+        };
+        classes.push(ClassModel {
+            name: name.clone(),
+            parents,
+            dvas: Vec::new(),
+            evas: Vec::new(),
+            subrole: None,
+        });
+    }
+
+    // DVAs. Base classes get 2-4, subclasses 1-2 of their own.
+    for class in &mut classes {
+        let n = if class.parents.is_empty() { 2 + rng.below(3) } else { 1 + rng.below(2) };
+        for _ in 0..n {
+            let domain = match rng.below(10) {
+                0..=4 => {
+                    let lo = rng.below(2) as i64;
+                    let hi = lo + [8, 20, 50][rng.below(3) as usize];
+                    Domain::Int { lo, hi }
+                }
+                5 | 6 => Domain::Str,
+                7 => Domain::Bool,
+                8 => Domain::Sym,
+                _ => Domain::Num,
+            };
+            let scalar_keyable = matches!(domain, Domain::Int { .. } | Domain::Str);
+            let mv = !matches!(domain, Domain::Num | Domain::Sym) && rng.below(4) == 0;
+            let unique = !mv && scalar_keyable && rng.below(5) == 0;
+            let required = !unique && rng.below(4) == 0;
+            let (max, distinct) = if mv {
+                (if rng.bool() { Some(2 + rng.below(2) as u32) } else { None }, rng.below(5) < 2)
+            } else {
+                (None, false)
+            };
+            let name = next_attr(rng, ATTR_WORDS);
+            class.dvas.push(Dva { name, domain, required, unique, mv, max, distinct });
+        }
+    }
+
+    // EVA pairs: 1-3, between any two classes (same class allowed, but the
+    // attribute and its inverse always have distinct names, so no
+    // self-inverse symmetry arises).
+    let n_eva = 1 + rng.below(3) as usize;
+    for _ in 0..n_eva {
+        let a = rng.below(classes.len() as u64) as usize;
+        let b = rng.below(classes.len() as u64) as usize;
+        let base = next_attr(rng, EVA_WORDS);
+        let fwd_name = base.clone();
+        let inv_name = format!("{base}r");
+        let fwd_mv = rng.bool();
+        let inv_mv = rng.bool();
+        let fwd_max =
+            if fwd_mv && rng.below(3) == 0 { Some(2 + rng.below(2) as u32) } else { None };
+        let inv_max =
+            if inv_mv && rng.below(3) == 0 { Some(2 + rng.below(2) as u32) } else { None };
+        classes[a].evas.push(Eva {
+            name: fwd_name.clone(),
+            inverse: inv_name.clone(),
+            target: b,
+            mv: fwd_mv,
+            max: fwd_max,
+        });
+        classes[b].evas.push(Eva {
+            name: inv_name,
+            inverse: fwd_name,
+            target: a,
+            mv: inv_mv,
+            max: inv_max,
+        });
+    }
+
+    let mut schema = Schema { classes, sym_labels, verifies: Vec::new() };
+
+    // Subrole attributes: the catalog requires every direct subclass to be
+    // covered by a subrole attribute on its parent, so these are
+    // mandatory, not optional.
+    for i in 0..schema.classes.len() {
+        let children: Vec<usize> =
+            (0..schema.classes.len()).filter(|&c| schema.classes[c].parents.contains(&i)).collect();
+        if !children.is_empty() {
+            let name = next_attr(rng, &["part", "role", "cast"]);
+            schema.classes[i].subrole = Some((name, children));
+        }
+    }
+
+    // VERIFY constraints: 0-2, biased toward mostly-passing bounds so the
+    // workload is not dominated by rollbacks.
+    let n_verify = rng.below(3) as usize;
+    for v in 0..n_verify {
+        let c = rng.below(schema.classes.len() as u64) as usize;
+        let cname = schema.classes[c].name.clone();
+        let int_dva = schema
+            .all_dvas(c)
+            .into_iter()
+            .find(|d| matches!(d.domain, Domain::Int { .. }) && !d.mv)
+            .map(|d| d.name.clone());
+        let counted = schema
+            .all_evas(c)
+            .first()
+            .map(|e| e.name.clone())
+            .or_else(|| schema.all_dvas(c).iter().find(|d| d.mv).map(|d| d.name.clone()));
+        let assertion = match (int_dva, counted) {
+            (Some(a), _) if rng.bool() => format!("{a} < {}", 6 + rng.below(10)),
+            (_, Some(e)) => format!("count({e}) <= {}", 1 + rng.below(3)),
+            (Some(a), None) => format!("{a} < {}", 6 + rng.below(10)),
+            (None, None) => continue,
+        };
+        schema.verifies.push(format!(
+            "Verify v{v} on {cname}\n    assert {assertion}\n    else \"v{v} violated\";"
+        ));
+    }
+
+    schema
+}
+
+fn render_ddl(s: &Schema) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Type hue = symbolic ({});", s.sym_labels.join(", "));
+    for class in &s.classes {
+        out.push('\n');
+        if class.parents.is_empty() {
+            let _ = writeln!(out, "Class {} (", class.name);
+        } else {
+            let parents: Vec<&str> =
+                class.parents.iter().map(|&p| s.classes[p].name.as_str()).collect();
+            let _ = writeln!(out, "Subclass {} of {} (", class.name, parents.join(" and "));
+        }
+        let mut decls: Vec<String> = Vec::new();
+        for d in &class.dvas {
+            let ty = match d.domain {
+                Domain::Int { lo, hi } => format!("integer ({lo}..{hi})"),
+                Domain::Str => "string[12]".to_owned(),
+                Domain::Bool => "boolean".to_owned(),
+                Domain::Sym => "hue".to_owned(),
+                Domain::Num => "number[8,2]".to_owned(),
+            };
+            let mut line = format!("    {}: {ty}", d.name);
+            if d.mv {
+                line.push_str(" mv");
+                let opts: Vec<String> = d
+                    .max
+                    .map(|m| format!("max {m}"))
+                    .into_iter()
+                    .chain(d.distinct.then(|| "distinct".to_owned()))
+                    .collect();
+                if !opts.is_empty() {
+                    let _ = write!(line, " ({})", opts.join(", "));
+                }
+            }
+            if d.unique {
+                line.push_str(", unique");
+            }
+            if d.required {
+                line.push_str(", required");
+            }
+            decls.push(line);
+        }
+        for e in &class.evas {
+            let mut line =
+                format!("    {}: {} inverse is {}", e.name, s.classes[e.target].name, e.inverse);
+            if e.mv {
+                line.push_str(" mv");
+                if let Some(m) = e.max {
+                    let _ = write!(line, " (max {m})");
+                }
+            }
+            decls.push(line);
+        }
+        if let Some((name, subs)) = &class.subrole {
+            let labels: Vec<&str> = subs.iter().map(|&c| s.classes[c].name.as_str()).collect();
+            decls.push(format!("    {name}: subrole ({}) mv", labels.join(", ")));
+        }
+        out.push_str(&decls.join(";\n"));
+        out.push_str(" );\n");
+    }
+    for v in &s.verifies {
+        out.push('\n');
+        out.push_str(v);
+        out.push('\n');
+    }
+    out
+}
+
+// ----- value & predicate generation ------------------------------------------
+
+fn literal(rng: &mut Rng, d: Domain, sym: &[String], unique: bool) -> String {
+    match d {
+        Domain::Int { lo, hi } => {
+            if rng.below(20) == 0 {
+                return "999999".to_owned(); // out-of-domain: a Type error
+            }
+            let span = if unique { 200 } else { 10.min(hi - lo + 1) as u64 };
+            (lo + rng.below(span.max(1)) as i64).min(hi).to_string()
+        }
+        Domain::Str => {
+            if unique {
+                format!("\"{}{}\"", rng.pick(STR_POOL), rng.below(100))
+            } else {
+                format!("\"{}\"", rng.pick(STR_POOL))
+            }
+        }
+        Domain::Bool => if rng.bool() { "true" } else { "false" }.to_owned(),
+        Domain::Sym => {
+            if rng.below(15) == 0 {
+                "\"nosuchlabel\"".to_owned() // rejected on write, both sides
+            } else {
+                format!("\"{}\"", rng.pick(sym))
+            }
+        }
+        Domain::Num => format!("{}.{:02}", rng.below(40), rng.below(100)),
+    }
+}
+
+const CMP_OPS: &[&str] = &["=", "neq", "<", "<=", ">", ">="];
+
+/// A simple comparison / quantified / isa predicate over `class`'s
+/// attributes, with occasional and/or/not composition.
+fn predicate(rng: &mut Rng, s: &Schema, class: usize, depth: u32) -> String {
+    if depth > 0 && rng.below(10) < 3 {
+        let lhs = predicate(rng, s, class, depth - 1);
+        let rhs = predicate(rng, s, class, depth - 1);
+        let op = if rng.bool() { "and" } else { "or" };
+        let neg = if rng.below(4) == 0 { "not " } else { "" };
+        return format!("{neg}({lhs} {op} {rhs})");
+    }
+    let dvas = s.all_dvas(class);
+    let evas = s.all_evas(class);
+    let choice = rng.below(10);
+    // isa test on a class with subclasses.
+    if choice == 0 {
+        let desc = s.descendants(class);
+        if !desc.is_empty() {
+            let sub = &s.classes[*rng.pick(&desc)].name;
+            return format!("{} isa {sub}", s.classes[class].name);
+        }
+    }
+    // Quantified comparison over an MV path.
+    if choice <= 2 {
+        if let Some(e) = (!evas.is_empty()).then(|| rng.pick(&evas)) {
+            let tdvas = s.all_dvas(e.target);
+            if let Some(d) = tdvas.iter().find(|d| !d.mv) {
+                let q = ["some", "all", "no"][rng.below(3) as usize];
+                let op = rng.pick(CMP_OPS);
+                let lit = literal(rng, d.domain, &s.sym_labels, false);
+                return format!("{q}({} of {}) {op} {lit}", d.name, e.name);
+            }
+        }
+        if let Some(d) = dvas.iter().find(|d| d.mv) {
+            let q = ["some", "all", "no"][rng.below(3) as usize];
+            let op = rng.pick(CMP_OPS);
+            let lit = literal(rng, d.domain, &s.sym_labels, false);
+            return format!("{q}({}) {op} {lit}", d.name);
+        }
+    }
+    // Aggregate comparison.
+    if choice == 3 {
+        if let Some(e) = (!evas.is_empty()).then(|| rng.pick(&evas)) {
+            return format!("count({}) {} {}", e.name, rng.pick(CMP_OPS), rng.below(4));
+        }
+    }
+    // Plain scalar comparison (the workhorse).
+    let scalars: Vec<&&Dva> = dvas.iter().filter(|d| !d.mv).collect();
+    if let Some(d) = (!scalars.is_empty()).then(|| **rng.pick(&scalars)) {
+        let op = rng.pick(CMP_OPS);
+        let lit = literal(rng, d.domain, &s.sym_labels, d.unique);
+        format!("{} {op} {lit}", d.name)
+    } else {
+        // Degenerate class with only MV attributes: compare a count.
+        match evas.first() {
+            Some(e) => format!("count({}) >= 0", e.name),
+            None => "1 = 1".to_owned(),
+        }
+    }
+}
+
+// ----- statement generation --------------------------------------------------
+
+fn assignment(rng: &mut Rng, s: &Schema, class: usize, insert: bool) -> Option<String> {
+    let dvas = s.all_dvas(class);
+    let evas = s.all_evas(class);
+    let n_attrs = dvas.len() + evas.len();
+    if n_attrs == 0 {
+        return None;
+    }
+    let pick = rng.below(n_attrs as u64) as usize;
+    if pick < dvas.len() {
+        let d = dvas[pick];
+        if d.mv {
+            let op = if insert || rng.bool() { "include " } else { "exclude " };
+            let lit = literal(rng, d.domain, &s.sym_labels, false);
+            Some(format!("{} := {op}{lit}", d.name))
+        } else if rng.below(12) == 0 {
+            Some(format!("{} := null", d.name))
+        } else {
+            Some(format!("{} := {}", d.name, literal(rng, d.domain, &s.sym_labels, d.unique)))
+        }
+    } else {
+        let e = evas[pick - dvas.len()];
+        let op = match (insert, e.mv) {
+            (true, _) | (false, false) => "",
+            (false, true) => {
+                if rng.bool() {
+                    "include "
+                } else {
+                    "exclude "
+                }
+            }
+        };
+        let target = &s.classes[e.target].name;
+        let pred = predicate(rng, s, e.target, 0);
+        Some(format!("{} := {op}{target} with ({pred})", e.name))
+    }
+}
+
+fn insert_stmt(rng: &mut Rng, s: &Schema, class: usize) -> String {
+    let cm = &s.classes[class];
+    let mut assigns: Vec<String> = Vec::new();
+    let mut assigned: Vec<String> = Vec::new();
+    // Required DVAs first (90% each — missing one is a Required error,
+    // which we want occasionally but not constantly).
+    for d in s.all_dvas(class) {
+        let p = if d.required { 9 } else { 5 };
+        if rng.below(10) < p {
+            if d.mv {
+                assigns.push(format!(
+                    "{} := include {}",
+                    d.name,
+                    literal(rng, d.domain, &s.sym_labels, false)
+                ));
+            } else {
+                assigns.push(format!(
+                    "{} := {}",
+                    d.name,
+                    literal(rng, d.domain, &s.sym_labels, d.unique)
+                ));
+            }
+            assigned.push(d.name.clone());
+        }
+    }
+    for e in s.all_evas(class) {
+        if rng.below(10) < 3 {
+            let target = &s.classes[e.target].name;
+            let pred = predicate(rng, s, e.target, 0);
+            assigns.push(format!("{} := {target} with ({pred})", e.name));
+        }
+    }
+    // Insert-FROM: promote an existing ancestor entity instead of creating
+    // a fresh one.
+    if !cm.parents.is_empty() && rng.below(10) < 3 {
+        let ancestors = s.ancestors_and_self(class);
+        let anc = ancestors[1 + rng.below((ancestors.len() - 1) as u64) as usize];
+        let pred = predicate(rng, s, anc, 0);
+        // FROM-inserts must not re-assign inherited attributes the entity
+        // already carries; restrict to the subclass's own attributes.
+        let own: Vec<String> = assigns
+            .iter()
+            .filter(|a| {
+                cm.dvas.iter().any(|d| a.starts_with(&d.name))
+                    || cm.evas.iter().any(|e| a.starts_with(&e.name))
+            })
+            .cloned()
+            .collect();
+        return format!(
+            "Insert {} from {} where {pred} ({}).",
+            cm.name,
+            s.classes[anc].name,
+            own.join(", ")
+        );
+    }
+    format!("Insert {} ({}).", cm.name, assigns.join(", "))
+}
+
+fn retrieve_stmt(rng: &mut Rng, s: &Schema, class: usize) -> String {
+    let cm = &s.classes[class];
+    let dvas = s.all_dvas(class);
+    let evas = s.all_evas(class);
+    let mode = match rng.below(10) {
+        0..=4 => "",
+        5 | 6 => "table distinct ",
+        _ => "structure ",
+    };
+    let mut targets: Vec<String> = Vec::new();
+    let n_targets = 1 + rng.below(3);
+    for _ in 0..n_targets {
+        let t = match rng.below(10) {
+            // Extended attribute through an EVA.
+            0..=2 if !evas.is_empty() => {
+                let e = rng.pick(&evas);
+                let tdvas = s.all_dvas(e.target);
+                match tdvas.iter().find(|d| !d.mv) {
+                    Some(d) => format!("{} of {}", d.name, e.name),
+                    None => continue,
+                }
+            }
+            // Aggregate.
+            3 if !evas.is_empty() => {
+                let e = rng.pick(&evas);
+                let tdvas = s.all_dvas(e.target);
+                let int_d = tdvas.iter().find(|d| matches!(d.domain, Domain::Int { .. }) && !d.mv);
+                match (rng.below(3), int_d) {
+                    (0, Some(d)) => format!("sum({} of {})", d.name, e.name),
+                    (1, Some(d)) => format!("max({} of {})", d.name, e.name),
+                    _ => format!("count({})", e.name),
+                }
+            }
+            // Subrole attribute.
+            4 => match &cm.subrole {
+                Some((name, _)) => name.clone(),
+                None => continue,
+            },
+            // Plain DVA (MV included: structure output exercises nesting).
+            _ => match (!dvas.is_empty()).then(|| rng.pick(&dvas)) {
+                Some(d) => d.name.clone(),
+                None => continue,
+            },
+        };
+        if !targets.contains(&t) {
+            targets.push(t);
+        }
+    }
+    if targets.is_empty() {
+        targets.push(match dvas.first() {
+            Some(d) => d.name.clone(),
+            None => {
+                "count({})".replace("{}", &evas.first().map(|e| e.name.clone()).unwrap_or_default())
+            }
+        });
+    }
+    let scalars: Vec<&&Dva> = dvas.iter().filter(|d| !d.mv).collect();
+    let order = if !scalars.is_empty() && rng.below(10) < 3 {
+        let d = rng.pick(&scalars);
+        let dir = if rng.bool() { "" } else { " desc" };
+        format!(" order by {}{dir}", d.name)
+    } else {
+        String::new()
+    };
+    let wher = if rng.below(10) < 7 {
+        format!(" Where {}", predicate(rng, s, class, 1))
+    } else {
+        String::new()
+    };
+    format!("From {} Retrieve {mode}{}{order}{wher}.", cm.name, targets.join(", "))
+}
+
+// ----- the driver ------------------------------------------------------------
+
+/// Generate a workload from a seed. Deterministic: the same `(seed, cfg)`
+/// always produces byte-identical output.
+pub fn generate(seed: u64, cfg: &GenConfig) -> Workload {
+    let mut rng = Rng::new(seed);
+    let schema = gen_schema(&mut rng);
+    let ddl = render_ddl(&schema);
+    let n_classes = schema.classes.len() as u64;
+
+    let mut steps: Vec<Step> = Vec::new();
+    for i in 0..cfg.steps {
+        let class = rng.below(n_classes) as usize;
+        // Front-load inserts so later reads and deletes have data.
+        let insert_weight = if i < cfg.steps / 3 { 55 } else { 25 };
+        let roll = rng.below(100);
+        if roll < insert_weight {
+            steps.push(Step::Stmt(insert_stmt(&mut rng, &schema, class)));
+        } else if roll < insert_weight + 20 {
+            let mut assigns = Vec::new();
+            for _ in 0..1 + rng.below(2) {
+                if let Some(a) = assignment(&mut rng, &schema, class, false) {
+                    assigns.push(a);
+                }
+            }
+            if assigns.is_empty() {
+                continue;
+            }
+            let wher = if rng.below(10) < 8 {
+                format!(" Where {}", predicate(&mut rng, &schema, class, 0))
+            } else {
+                String::new()
+            };
+            steps.push(Step::Stmt(format!(
+                "Modify {} ({}){wher}.",
+                schema.classes[class].name,
+                assigns.join(", ")
+            )));
+        } else if roll < insert_weight + 28 {
+            let wher = if rng.below(10) < 9 {
+                format!(" Where {}", predicate(&mut rng, &schema, class, 0))
+            } else {
+                String::new()
+            };
+            steps.push(Step::Stmt(format!("Delete {}{wher}.", schema.classes[class].name)));
+        } else if roll < insert_weight + 63 {
+            steps.push(Step::Stmt(retrieve_stmt(&mut rng, &schema, class)));
+        } else if cfg.control_ops {
+            let scalars: Vec<(String, String)> = schema
+                .classes
+                .iter()
+                .flat_map(|c| {
+                    c.dvas.iter().filter(|d| !d.mv).map(move |d| (c.name.clone(), d.name.clone()))
+                })
+                .collect();
+            match rng.below(4) {
+                0 if !scalars.is_empty() => {
+                    let (class, attr) = rng.pick(&scalars).clone();
+                    steps.push(Step::Index { class, attr });
+                }
+                1 if !scalars.is_empty() => {
+                    let (class, attr) = rng.pick(&scalars).clone();
+                    steps.push(Step::HashIndex { class, attr });
+                }
+                2 => steps.push(Step::Checkpoint),
+                _ => steps.push(Step::Reopen),
+            }
+        } else {
+            steps.push(Step::Stmt(retrieve_stmt(&mut rng, &schema, class)));
+        }
+    }
+
+    Workload { ddl, steps, seed: Some(seed) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig::default();
+        let a = generate(42, &cfg);
+        let b = generate(42, &cfg);
+        assert_eq!(a.to_text(), b.to_text());
+        let c = generate(43, &cfg);
+        assert_ne!(a.to_text(), c.to_text(), "different seeds should differ");
+    }
+
+    #[test]
+    fn generated_workloads_roundtrip_and_compile() {
+        for seed in 0..20u64 {
+            let wl = generate(seed, &GenConfig::default());
+            let re = Workload::parse(&wl.to_text()).expect("generated workload parses");
+            assert_eq!(wl, re, "seed {seed} does not roundtrip");
+            sim_ddl::compile_schema(&wl.ddl)
+                .unwrap_or_else(|e| panic!("seed {seed}: generated DDL rejected: {e}"));
+        }
+    }
+
+    #[test]
+    fn generated_statements_parse() {
+        for seed in 0..20u64 {
+            let wl = generate(seed, &GenConfig::default());
+            for step in &wl.steps {
+                if let Step::Stmt(s) = step {
+                    sim_dml::parse_statements(s)
+                        .unwrap_or_else(|e| panic!("seed {seed}: {s:?} does not parse: {e}"));
+                }
+            }
+        }
+    }
+}

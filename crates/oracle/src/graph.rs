@@ -1,0 +1,812 @@
+//! The reference entity graph: a naive, obviously-correct in-memory store
+//! implementing the SIM update semantics directly — no pages, no indexes,
+//! no buffer pool, no LUC records. Every operation mirrors the *contract*
+//! of the real Mapper (`sim-luc`), not its implementation: inverse EVAs
+//! are kept synchronized by maintaining one link-tuple list per
+//! relationship, REQUIRED/UNIQUE/DISTINCT/MAX are enforced by whole-graph
+//! scans, and subclass-role cascades walk the catalog.
+//!
+//! Two ordering contracts matter for differential comparison and are
+//! deliberately reproduced here (they are observable through structured
+//! output and aggregate chains):
+//!
+//! * entity-valued partner sets read back in ascending surrogate order
+//!   (the real engine scans a B-tree keyed by surrogate bytes);
+//! * bounded MV DVAs (`max n`) keep insertion order (embedded arrays),
+//!   unbounded ones read back in value-encoding order (a dedicated
+//!   B-tree).
+
+use crate::error::OracleError;
+use sim_catalog::{AttrId, AttributeKind, Catalog, ClassId, EvaMapping};
+use sim_types::Value;
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// A value read back from an attribute (mirrors `sim_luc::AttrOut`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Read {
+    /// Single-valued result (null when unset).
+    Single(Value),
+    /// Multi-valued result.
+    Multi(Vec<Value>),
+}
+
+impl Read {
+    /// Flatten to a value list (a single null becomes an empty list).
+    pub fn into_values(self) -> Vec<Value> {
+        match self {
+            Read::Single(Value::Null) => Vec::new(),
+            Read::Single(v) => vec![v],
+            Read::Multi(vs) => vs,
+        }
+    }
+}
+
+/// A value supplied to an assignment (mirrors `sim_luc::AttrValue`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Write {
+    /// One value (single-valued attributes; `Value::Entity` for EVAs).
+    Scalar(Value),
+    /// A full multi-value assignment.
+    Multi(Vec<Value>),
+}
+
+#[derive(Debug, Clone, Default)]
+struct Entity {
+    roles: BTreeSet<ClassId>,
+    /// Single-valued DVA fields, stored in coerced (domain) form.
+    scalar: BTreeMap<AttrId, Value>,
+    /// Multi-valued DVA fields, insertion order, coerced form.
+    mv: BTreeMap<AttrId, Vec<Value>>,
+    /// Foreign-key EVA sides (1:1 relationships): the partner.
+    fk: BTreeMap<AttrId, u64>,
+}
+
+/// The naive entity graph.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    catalog: Arc<Catalog>,
+    /// Next surrogate to mint. Starts at 1 and never decreases — the real
+    /// allocator is a global counter that survives statement rollback.
+    pub next_surr: u64,
+    entities: BTreeMap<u64, Entity>,
+    /// Structure-mapped relationships: link tuples `(fwd_owner, partner)`
+    /// per canonical direction (the lower attribute id of the pair), in
+    /// link order.
+    links: BTreeMap<AttrId, Vec<(u64, u64)>>,
+}
+
+fn key_of(v: &Value) -> Vec<u8> {
+    sim_types::ordered::encode_key(std::slice::from_ref(v))
+}
+
+fn codec_bytes(v: &Value) -> Vec<u8> {
+    let mut out = Vec::new();
+    // The real engine sorts unbounded MV DVA values by their storage
+    // encoding; reuse that encoding so the orders coincide.
+    sim_luc::value_codec::encode_value(v, &mut out)
+        .unwrap_or_else(|_| out.extend_from_slice(&key_of(v)));
+    out
+}
+
+impl Graph {
+    /// An empty graph over a finalized catalog.
+    pub fn new(catalog: Arc<Catalog>) -> Graph {
+        Graph { catalog, next_surr: 1, entities: BTreeMap::new(), links: BTreeMap::new() }
+    }
+
+    /// The catalog this graph is typed by.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The shared catalog handle.
+    pub fn catalog_arc(&self) -> Arc<Catalog> {
+        Arc::clone(&self.catalog)
+    }
+
+    // ----- relationship shape ---------------------------------------------------------
+
+    /// Whether an EVA pair is foreign-key mapped: both sides single-valued
+    /// with default (or explicit foreign-key) mappings — the engine's
+    /// default rule for 1:1 relationships.
+    fn is_fk(&self, attr: AttrId) -> Result<bool, OracleError> {
+        let a = self.catalog.attribute(attr)?;
+        let inv_id = a.eva_inverse().ok_or_else(|| {
+            OracleError::Internal(format!("EVA {} has no inverse after finalize", a.name))
+        })?;
+        let inv = self.catalog.attribute(inv_id)?;
+        let plain = |m: EvaMapping| matches!(m, EvaMapping::Default | EvaMapping::ForeignKey);
+        Ok(!a.options.multivalued
+            && !inv.options.multivalued
+            && plain(a.mapping)
+            && plain(inv.mapping))
+    }
+
+    fn fwd_of(&self, attr: AttrId) -> Result<(AttrId, AttrId), OracleError> {
+        let a = self.catalog.attribute(attr)?;
+        let inv = a.eva_inverse().ok_or_else(|| {
+            OracleError::Internal(format!("EVA {} has no inverse after finalize", a.name))
+        })?;
+        Ok((attr.min(inv), inv))
+    }
+
+    // ----- reading --------------------------------------------------------------------
+
+    /// Does the entity currently hold this class's role?
+    pub fn has_role(&self, surr: u64, class: ClassId) -> bool {
+        self.entities.get(&surr).is_some_and(|e| e.roles.contains(&class))
+    }
+
+    /// All entities of a class (including subclasses), ascending surrogate
+    /// order — the perspective ordering of §5.1.
+    pub fn entities_of(&self, class: ClassId) -> Vec<u64> {
+        self.entities.iter().filter(|(_, e)| e.roles.contains(&class)).map(|(s, _)| *s).collect()
+    }
+
+    /// Partner surrogates of an EVA, in the order the engine reads them.
+    pub fn eva_partners(&self, surr: u64, attr: AttrId) -> Result<Vec<u64>, OracleError> {
+        if self.is_fk(attr)? {
+            return Ok(self
+                .entities
+                .get(&surr)
+                .and_then(|e| e.fk.get(&attr).copied())
+                .into_iter()
+                .collect());
+        }
+        let (fwd, inv) = self.fwd_of(attr)?;
+        let tuples = self.links.get(&fwd).map(Vec::as_slice).unwrap_or(&[]);
+        let mut out = Vec::new();
+        if attr == inv && attr == fwd {
+            // Self-inverse: both directions scan, forward entries first
+            // (the engine concatenates the two B-tree scans).
+            let mut f: Vec<u64> =
+                tuples.iter().filter(|(a, _)| *a == surr).map(|(_, b)| *b).collect();
+            f.sort_unstable();
+            let mut r: Vec<u64> =
+                tuples.iter().filter(|(_, b)| *b == surr).map(|(a, _)| *a).collect();
+            r.sort_unstable();
+            out.extend(f);
+            out.extend(r);
+        } else if attr == fwd {
+            out = tuples.iter().filter(|(a, _)| *a == surr).map(|(_, b)| *b).collect();
+            out.sort_unstable();
+        } else {
+            out = tuples.iter().filter(|(_, b)| *b == surr).map(|(a, _)| *a).collect();
+            out.sort_unstable();
+        }
+        Ok(out)
+    }
+
+    /// Read an attribute. Symbolic values come back as their labels,
+    /// subroles as the class names currently held (mirrors
+    /// `Mapper::read_attr`).
+    pub fn read_attr(&self, surr: u64, attr_id: AttrId) -> Result<Read, OracleError> {
+        let attr = self.catalog.attribute(attr_id)?;
+        match &attr.kind {
+            AttributeKind::Derived { .. } => Err(OracleError::Shape(format!(
+                "{} is a derived attribute; it is computed by the query layer",
+                attr.name
+            ))),
+            AttributeKind::Subrole { labels } => {
+                let ent = self
+                    .entities
+                    .get(&surr)
+                    .ok_or_else(|| OracleError::NoSuchEntity(format!("{surr}")))?;
+                let mut held = Vec::new();
+                for label in labels {
+                    let class = self.catalog.class_by_name(label).ok_or_else(|| {
+                        OracleError::NoSuchEntity(format!("subrole label {label}"))
+                    })?;
+                    if ent.roles.contains(&class.id) {
+                        held.push(Value::Str(class.name.clone()));
+                    }
+                }
+                Ok(if attr.options.multivalued {
+                    Read::Multi(held)
+                } else {
+                    Read::Single(held.into_iter().next().unwrap_or(Value::Null))
+                })
+            }
+            AttributeKind::Dva { domain } => {
+                let label = |v: Value| match v {
+                    Value::Symbol(i) => domain
+                        .symbol_label(i)
+                        .map(|l| Value::Str(l.to_owned()))
+                        .unwrap_or(Value::Symbol(i)),
+                    other => other,
+                };
+                if attr.options.multivalued {
+                    if attr.options.max.is_some() {
+                        // Embedded array: field-placed, role required.
+                        self.require_role(surr, attr.owner, &attr.name)?;
+                        let vs = self
+                            .entities
+                            .get(&surr)
+                            .and_then(|e| e.mv.get(&attr_id))
+                            .cloned()
+                            .unwrap_or_default();
+                        Ok(Read::Multi(vs.into_iter().map(label).collect()))
+                    } else {
+                        // Dedicated tree: sorted by encoding, no role check.
+                        let mut vs = self
+                            .entities
+                            .get(&surr)
+                            .and_then(|e| e.mv.get(&attr_id))
+                            .cloned()
+                            .unwrap_or_default();
+                        vs.sort_by_key(codec_bytes);
+                        Ok(Read::Multi(vs.into_iter().map(label).collect()))
+                    }
+                } else {
+                    self.require_role(surr, attr.owner, &attr.name)?;
+                    let v = self
+                        .entities
+                        .get(&surr)
+                        .and_then(|e| e.scalar.get(&attr_id))
+                        .cloned()
+                        .unwrap_or(Value::Null);
+                    Ok(Read::Single(label(v)))
+                }
+            }
+            AttributeKind::Eva { .. } => {
+                if self.is_fk(attr_id)? {
+                    self.require_role(surr, attr.owner, &attr.name)?;
+                }
+                let partners = self.eva_partners(surr, attr_id)?;
+                let vals: Vec<Value> = partners
+                    .into_iter()
+                    .map(|s| Value::Entity(sim_types::Surrogate::from_raw(s)))
+                    .collect();
+                if attr.options.multivalued {
+                    Ok(Read::Multi(vals))
+                } else {
+                    Ok(Read::Single(vals.into_iter().next().unwrap_or(Value::Null)))
+                }
+            }
+        }
+    }
+
+    fn require_role(&self, surr: u64, class: ClassId, attr: &str) -> Result<(), OracleError> {
+        if !self.has_role(surr, class) {
+            return Err(OracleError::NoSuchEntity(format!(
+                "{surr} does not hold the role carrying {attr}"
+            )));
+        }
+        Ok(())
+    }
+
+    // ----- writing --------------------------------------------------------------------
+
+    /// Assign an attribute (`attr := value`).
+    pub fn set_attr(
+        &mut self,
+        surr: u64,
+        attr_id: AttrId,
+        value: Write,
+    ) -> Result<(), OracleError> {
+        let attr = self.catalog.attribute(attr_id)?.clone();
+        if attr.is_subrole() {
+            return Err(OracleError::ReadOnly(format!(
+                "{} is a system-maintained subrole",
+                attr.name
+            )));
+        }
+        if attr.is_derived() {
+            return Err(OracleError::ReadOnly(format!("{} is a derived attribute", attr.name)));
+        }
+        if let Some(domain) = attr.dva_domain() {
+            let domain = domain.clone();
+            if attr.options.multivalued {
+                let Write::Multi(raw) = value else {
+                    return Err(OracleError::Shape(format!(
+                        "{} is multi-valued; assign a set",
+                        attr.name
+                    )));
+                };
+                let values = self.coerce_mv(&attr, &domain, raw)?;
+                self.ent_mut(surr)?.mv.insert(attr_id, values);
+                return Ok(());
+            }
+            let Write::Scalar(raw) = value else {
+                return Err(OracleError::Shape(format!("{} is single-valued", attr.name)));
+            };
+            let new = domain.coerce(raw).map_err(|e| OracleError::Type(e.to_string()))?;
+            if attr.options.required && new.is_null() {
+                return Err(OracleError::Required(attr.name.clone()));
+            }
+            if attr.options.unique && !new.is_null() {
+                let nk = key_of(&new);
+                let clash = self.entities.iter().any(|(s, e)| {
+                    *s != surr && e.scalar.get(&attr_id).is_some_and(|v| key_of(v) == nk)
+                });
+                if clash {
+                    return Err(OracleError::Unique(format!("{} = {new}", attr.name)));
+                }
+            }
+            if new.is_null() {
+                self.ent_mut(surr)?.scalar.remove(&attr_id);
+            } else {
+                self.ent_mut(surr)?.scalar.insert(attr_id, new);
+            }
+            return Ok(());
+        }
+        // EVA.
+        match value {
+            Write::Scalar(v) => {
+                if attr.options.multivalued {
+                    return Err(OracleError::Shape(format!(
+                        "{} is multi-valued; assign a set or use include/exclude",
+                        attr.name
+                    )));
+                }
+                let partner = match v {
+                    Value::Null => None,
+                    Value::Entity(p) => Some(p.raw()),
+                    other => {
+                        return Err(OracleError::Shape(format!(
+                            "EVA {} needs an entity value, got {}",
+                            attr.name,
+                            other.type_name()
+                        )));
+                    }
+                };
+                if attr.options.required && partner.is_none() {
+                    return Err(OracleError::Required(attr.name.clone()));
+                }
+                self.set_eva_single(surr, attr_id, partner)
+            }
+            Write::Multi(vs) => {
+                if !attr.options.multivalued {
+                    return Err(OracleError::Shape(format!("{} is single-valued", attr.name)));
+                }
+                for p in self.eva_partners(surr, attr_id)? {
+                    self.unlink(attr_id, surr, p)?;
+                }
+                for v in vs {
+                    let Value::Entity(p) = v else {
+                        return Err(OracleError::Shape(format!(
+                            "EVA {} needs entity values",
+                            attr.name
+                        )));
+                    };
+                    self.link(attr_id, surr, p.raw())?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn coerce_mv(
+        &self,
+        attr: &sim_catalog::Attribute,
+        domain: &sim_types::Domain,
+        raw: Vec<Value>,
+    ) -> Result<Vec<Value>, OracleError> {
+        let mut values: Vec<Value> = Vec::with_capacity(raw.len());
+        for v in raw {
+            let coerced = domain.coerce(v).map_err(|e| OracleError::Type(e.to_string()))?;
+            if attr.options.distinct
+                && values.iter().any(|x| x.total_cmp(&coerced) == Ordering::Equal)
+            {
+                continue; // DISTINCT keeps set semantics silently
+            }
+            values.push(coerced);
+        }
+        if let Some(max) = attr.options.max {
+            if values.len() > max as usize {
+                return Err(OracleError::Max(format!(
+                    "{}: {} values exceed MAX {max}",
+                    attr.name,
+                    values.len()
+                )));
+            }
+        }
+        Ok(values)
+    }
+
+    /// `attr := include <value>`.
+    pub fn include_value(
+        &mut self,
+        surr: u64,
+        attr_id: AttrId,
+        value: Value,
+    ) -> Result<(), OracleError> {
+        let attr = self.catalog.attribute(attr_id)?.clone();
+        if !attr.options.multivalued {
+            return Err(OracleError::Shape(format!(
+                "include needs a multi-valued attribute; {} is single-valued",
+                attr.name
+            )));
+        }
+        if attr.is_eva() {
+            let Value::Entity(p) = value else {
+                return Err(OracleError::Shape(format!("EVA {} needs an entity value", attr.name)));
+            };
+            return self.link(attr_id, surr, p.raw());
+        }
+        let domain = attr
+            .dva_domain()
+            .ok_or_else(|| OracleError::Shape(format!("{} is not a DVA", attr.name)))?
+            .clone();
+        let v = domain.coerce(value).map_err(|e| OracleError::Type(e.to_string()))?;
+        if attr.options.max.is_some() {
+            self.require_role(surr, attr.owner, &attr.name)?;
+        }
+        let current =
+            self.entities.get(&surr).and_then(|e| e.mv.get(&attr_id)).cloned().unwrap_or_default();
+        if attr.options.distinct && current.iter().any(|x| x.total_cmp(&v) == Ordering::Equal) {
+            return Ok(());
+        }
+        if let Some(max) = attr.options.max {
+            if current.len() >= max as usize {
+                return Err(OracleError::Max(format!(
+                    "{} already holds MAX {max} values",
+                    attr.name
+                )));
+            }
+        }
+        self.ent_mut(surr)?.mv.entry(attr_id).or_default().push(v);
+        Ok(())
+    }
+
+    /// `attr := exclude <value>`; returns whether a value was removed.
+    pub fn exclude_value(
+        &mut self,
+        surr: u64,
+        attr_id: AttrId,
+        value: &Value,
+    ) -> Result<bool, OracleError> {
+        let attr = self.catalog.attribute(attr_id)?.clone();
+        if !attr.options.multivalued {
+            return Err(OracleError::Shape(format!(
+                "exclude needs a multi-valued attribute; {} is single-valued",
+                attr.name
+            )));
+        }
+        if attr.is_eva() {
+            let Value::Entity(p) = value else {
+                return Err(OracleError::Shape(format!("EVA {} needs an entity value", attr.name)));
+            };
+            return self.unlink(attr_id, surr, p.raw());
+        }
+        let domain = attr
+            .dva_domain()
+            .ok_or_else(|| OracleError::Shape(format!("{} is not a DVA", attr.name)))?
+            .clone();
+        let v = domain.coerce(value.clone()).map_err(|e| OracleError::Type(e.to_string()))?;
+        let Some(vs) = self.ent_mut(surr)?.mv.get_mut(&attr_id) else {
+            return Ok(false);
+        };
+        match vs.iter().position(|x| x.total_cmp(&v) == Ordering::Equal) {
+            Some(pos) => {
+                vs.remove(pos);
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    fn set_eva_single(
+        &mut self,
+        surr: u64,
+        attr_id: AttrId,
+        partner: Option<u64>,
+    ) -> Result<(), OracleError> {
+        if self.is_fk(attr_id)? {
+            return self.set_foreign_key(surr, attr_id, partner);
+        }
+        for old in self.eva_partners(surr, attr_id)? {
+            if Some(old) != partner {
+                self.unlink(attr_id, surr, old)?;
+            }
+        }
+        if let Some(p) = partner {
+            if !self.eva_partners(surr, attr_id)?.contains(&p) {
+                self.link(attr_id, surr, p)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn set_foreign_key(
+        &mut self,
+        surr: u64,
+        attr_id: AttrId,
+        partner: Option<u64>,
+    ) -> Result<(), OracleError> {
+        let attr = self.catalog.attribute(attr_id)?.clone();
+        let inv_id = attr.eva_inverse().expect("finalized EVA");
+        let range = attr.eva_range().expect("EVA range");
+        let old = self.entities.get(&surr).and_then(|e| e.fk.get(&attr_id).copied());
+        if old == partner {
+            return Ok(());
+        }
+        if let Some(o) = old {
+            if o != surr {
+                self.ent_mut(o)?.fk.remove(&inv_id);
+            }
+        }
+        match partner {
+            Some(p) => {
+                if !self.has_role(p, range) {
+                    return Err(OracleError::NoSuchEntity(format!(
+                        "{p} is not a {} (range of {})",
+                        self.catalog.class(range)?.name,
+                        attr.name
+                    )));
+                }
+                // Steal the partner from its previous 1:1 counterpart.
+                let prev = self.entities.get(&p).and_then(|e| e.fk.get(&inv_id).copied());
+                if let Some(q) = prev {
+                    if q != surr {
+                        self.ent_mut(q)?.fk.remove(&attr_id);
+                    }
+                }
+                if p != surr {
+                    self.ent_mut(p)?.fk.insert(inv_id, surr);
+                }
+                self.ent_mut(surr)?.fk.insert(attr_id, p);
+            }
+            None => {
+                self.ent_mut(surr)?.fk.remove(&attr_id);
+            }
+        }
+        Ok(())
+    }
+
+    /// Create one relationship instance (DISTINCT / MAX /
+    /// single-valued-side replacement semantics, mirroring `Mapper::link`).
+    fn link(&mut self, attr_id: AttrId, owner: u64, partner: u64) -> Result<(), OracleError> {
+        let attr = self.catalog.attribute(attr_id)?.clone();
+        let inv_id = attr.eva_inverse().expect("finalized EVA");
+        let inv = self.catalog.attribute(inv_id)?.clone();
+        let range = attr.eva_range().expect("EVA");
+        if !self.has_role(partner, range) {
+            return Err(OracleError::NoSuchEntity(format!(
+                "{partner} is not a {} (range of {})",
+                self.catalog.class(range)?.name,
+                attr.name
+            )));
+        }
+        // EVAs are sets of entities (§3.2): re-linking an existing pair is
+        // a no-op regardless of the DISTINCT option.
+        let current = self.eva_partners(owner, attr_id)?;
+        if current.contains(&partner) {
+            return Ok(());
+        }
+        if !attr.options.multivalued {
+            for old in current {
+                self.unlink(attr_id, owner, old)?;
+            }
+        }
+        if !inv.options.multivalued {
+            for old in self.eva_partners(partner, inv_id)? {
+                if old != owner {
+                    self.unlink(inv_id, partner, old)?;
+                }
+            }
+        }
+        if let Some(max) = attr.options.max {
+            if self.eva_partners(owner, attr_id)?.len() >= max as usize {
+                return Err(OracleError::Max(format!(
+                    "{} already has MAX {max} values",
+                    attr.name
+                )));
+            }
+        }
+        if let Some(max) = inv.options.max {
+            if self.eva_partners(partner, inv_id)?.len() >= max as usize {
+                return Err(OracleError::Max(format!(
+                    "{} of {partner} already has MAX {max} values",
+                    inv.name
+                )));
+            }
+        }
+        let (fwd, _) = self.fwd_of(attr_id)?;
+        let tuple = if attr_id == fwd { (owner, partner) } else { (partner, owner) };
+        self.links.entry(fwd).or_default().push(tuple);
+        Ok(())
+    }
+
+    /// Remove one relationship instance; returns whether it existed.
+    fn unlink(&mut self, attr_id: AttrId, owner: u64, partner: u64) -> Result<bool, OracleError> {
+        let attr = self.catalog.attribute(attr_id)?.clone();
+        let inv_id = attr.eva_inverse().expect("finalized EVA");
+        let (fwd, _) = self.fwd_of(attr_id)?;
+        let symmetric = attr_id == inv_id;
+        let tuple = if attr_id == fwd { (owner, partner) } else { (partner, owner) };
+        let Some(tuples) = self.links.get_mut(&fwd) else { return Ok(false) };
+        if let Some(pos) = tuples.iter().position(|t| *t == tuple) {
+            tuples.remove(pos);
+            return Ok(true);
+        }
+        if symmetric {
+            let swapped = (tuple.1, tuple.0);
+            if let Some(pos) = tuples.iter().position(|t| *t == swapped) {
+                tuples.remove(pos);
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    // ----- entity lifecycle ------------------------------------------------------------
+
+    fn ent_mut(&mut self, surr: u64) -> Result<&mut Entity, OracleError> {
+        self.entities.get_mut(&surr).ok_or_else(|| OracleError::NoSuchEntity(format!("{surr}")))
+    }
+
+    /// Insert a new entity of `class` with its superclass roles, apply
+    /// `assigns`, then validate REQUIRED attributes.
+    pub fn insert_entity(
+        &mut self,
+        class: ClassId,
+        assigns: &[(AttrId, Write)],
+    ) -> Result<u64, OracleError> {
+        let surr = self.next_surr;
+        self.next_surr += 1;
+        let mut roles: BTreeSet<ClassId> = BTreeSet::new();
+        roles.insert(class);
+        roles.extend(self.catalog.ancestors(class));
+        self.entities.insert(surr, Entity { roles, ..Default::default() });
+        for (attr, value) in assigns {
+            self.set_attr(surr, *attr, value.clone())?;
+        }
+        self.check_required(surr, class, None)?;
+        Ok(surr)
+    }
+
+    /// Extend an entity with a subclass role (`INSERT … FROM`, §4.8).
+    pub fn extend_role(
+        &mut self,
+        surr: u64,
+        class: ClassId,
+        assigns: &[(AttrId, Write)],
+    ) -> Result<(), OracleError> {
+        let mut wanted: BTreeSet<ClassId> = BTreeSet::new();
+        wanted.insert(class);
+        wanted.extend(self.catalog.ancestors(class));
+        let held = self.ent_mut(surr)?.roles.clone();
+        let new_roles: BTreeSet<ClassId> = wanted.difference(&held).copied().collect();
+        self.ent_mut(surr)?.roles.extend(new_roles.iter().copied());
+        for (attr, value) in assigns {
+            self.set_attr(surr, *attr, value.clone())?;
+        }
+        self.check_required(surr, class, Some(&new_roles))?;
+        Ok(())
+    }
+
+    fn check_required(
+        &self,
+        surr: u64,
+        class: ClassId,
+        only: Option<&BTreeSet<ClassId>>,
+    ) -> Result<(), OracleError> {
+        let mut classes = vec![class];
+        classes.extend(self.catalog.ancestors(class));
+        for c in classes {
+            if let Some(filter) = only {
+                if !filter.contains(&c) {
+                    continue;
+                }
+            }
+            for &attr_id in &self.catalog.class(c)?.attributes {
+                let attr = self.catalog.attribute(attr_id)?;
+                if !attr.options.required || attr.is_subrole() || attr.is_derived() {
+                    continue;
+                }
+                let empty = match self.read_attr(surr, attr_id)? {
+                    Read::Single(Value::Null) => true,
+                    Read::Single(_) => false,
+                    Read::Multi(vs) => vs.is_empty(),
+                };
+                if empty {
+                    return Err(OracleError::Required(format!(
+                        "{} of {}",
+                        attr.name,
+                        self.catalog.class(c)?.name
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Remove a role (plus all subclass roles and their relationship
+    /// instances); removing the base role deletes the entity (§4.8).
+    pub fn delete_role(&mut self, surr: u64, class: ClassId) -> Result<(), OracleError> {
+        let held = self
+            .entities
+            .get(&surr)
+            .ok_or_else(|| OracleError::NoSuchEntity(format!("{surr}")))?
+            .roles
+            .clone();
+        let mut gone: BTreeSet<ClassId> = BTreeSet::new();
+        if held.contains(&class) {
+            gone.insert(class);
+        }
+        for d in self.catalog.descendants(class) {
+            if held.contains(&d) {
+                gone.insert(d);
+            }
+        }
+        if gone.is_empty() {
+            return Err(OracleError::NoSuchEntity(format!(
+                "{surr} does not hold the {} role",
+                self.catalog.class(class)?.name
+            )));
+        }
+        for &c in &gone {
+            self.detach_class_data(surr, c)?;
+        }
+        let ent = self.ent_mut(surr)?;
+        for c in &gone {
+            ent.roles.remove(c);
+        }
+        if ent.roles.is_empty() {
+            self.entities.remove(&surr);
+        }
+        Ok(())
+    }
+
+    fn detach_class_data(&mut self, surr: u64, class: ClassId) -> Result<(), OracleError> {
+        let attrs = self.catalog.class(class)?.attributes.clone();
+        for attr_id in attrs {
+            let attr = self.catalog.attribute(attr_id)?.clone();
+            if attr.is_subrole() || attr.is_derived() {
+                continue;
+            }
+            if attr.is_dva() {
+                if let Some(e) = self.entities.get_mut(&surr) {
+                    e.scalar.remove(&attr_id);
+                    e.mv.remove(&attr_id);
+                }
+                continue;
+            }
+            // EVA.
+            if self.is_fk(attr_id)? {
+                self.set_foreign_key(surr, attr_id, None)?;
+            } else {
+                for p in self.eva_partners(surr, attr_id)? {
+                    self.unlink(attr_id, surr, p)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ----- state dump ------------------------------------------------------------------
+
+    /// A canonical rendering of the whole graph: per class (catalog
+    /// order), per entity (surrogate order), every immediate stored
+    /// attribute. Matches `diff::dump_engine` line for line.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for class in self.catalog.classes() {
+            out.push_str(&format!("class {}\n", class.name));
+            for surr in self.entities_of(class.id) {
+                out.push_str(&format!("  entity {surr}\n"));
+                for &attr_id in &class.attributes {
+                    let attr = self.catalog.attribute(attr_id).expect("attr");
+                    if attr.is_derived() {
+                        continue;
+                    }
+                    match self.read_attr(surr, attr_id) {
+                        Ok(Read::Single(v)) => {
+                            out.push_str(&format!("    {} = {v:?}\n", attr.name));
+                        }
+                        Ok(Read::Multi(vs)) => {
+                            out.push_str(&format!("    {} = {vs:?}\n", attr.name));
+                        }
+                        // No message: engine and oracle error texts differ,
+                        // and a dump mismatch must mean a *state* mismatch.
+                        Err(_) => out.push_str(&format!("    {} = <error>\n", attr.name)),
+                    }
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,619 @@
+//! The reference interpreter: the §4.5 nested-loop program evaluated
+//! directly over the naive [`Graph`] — no optimizer, no access paths, no
+//! plan cache, no memoization. Iteration order is the binder's natural
+//! depth-first TYPE 1/3 order, which is the perspective order the real
+//! executor guarantees (it re-sorts whenever its optimizer permutes
+//! roots).
+//!
+//! The shared trust base with the real engine is the parser and the
+//! binder ([`sim_query::bind::Binder`]); everything downstream — domain
+//! enumeration, three-valued evaluation, quantifiers, aggregates,
+//! transitive closure, outer-join padding, output shaping — is
+//! re-implemented here from the paper's semantics.
+
+use crate::error::OracleError;
+use crate::graph::{Graph, Read};
+use sim_catalog::AttrId;
+use sim_dml::{AggFunc, BinOp, OutputMode, Quantifier};
+use sim_query::bound::{BExpr, BoundChain, BoundQuery, ChainStep, NodeOrigin};
+use sim_query::{NodeType, QueryOutput, StructRecord};
+use sim_types::{ordered, pattern, ArithOp, Truth, Value};
+use std::cmp::Ordering;
+use std::collections::HashSet;
+
+/// A row context: the current instance of every query-tree node.
+pub(crate) struct Ctx {
+    instances: Vec<Option<Value>>,
+    levels: Vec<u32>,
+}
+
+impl Ctx {
+    fn new(n: usize) -> Ctx {
+        Ctx { instances: vec![None; n], levels: vec![0; n] }
+    }
+
+    fn instance(&self, node: usize) -> Value {
+        self.instances.get(node).cloned().flatten().unwrap_or(Value::Null)
+    }
+}
+
+struct IRow {
+    values: Vec<Value>,
+    node_instances: Vec<(Value, u32)>,
+    order_keys: Vec<Value>,
+}
+
+/// Evaluates bound queries against a reference graph.
+pub struct Interp<'a> {
+    g: &'a Graph,
+    q: &'a BoundQuery,
+}
+
+fn truth_to_value(t: Truth) -> Value {
+    match t {
+        Truth::True => Value::Bool(true),
+        Truth::False => Value::Bool(false),
+        Truth::Unknown => Value::Null,
+    }
+}
+
+fn value_to_truth(v: &Value) -> Truth {
+    match v {
+        Value::Bool(true) => Truth::True,
+        Value::Bool(false) => Truth::False,
+        _ => Truth::Unknown,
+    }
+}
+
+fn is_comparison(op: BinOp) -> bool {
+    matches!(op, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+}
+
+fn compare(a: &Value, op: BinOp, b: &Value) -> Result<Truth, OracleError> {
+    let te = |e: sim_types::TypeError| OracleError::Type(e.to_string());
+    Ok(match op {
+        BinOp::Eq => a.eq_3vl(b).map_err(te)?,
+        BinOp::Ne => a.eq_3vl(b).map_err(te)?.not(),
+        BinOp::Lt => a.cmp_3vl(b, Ordering::is_lt).map_err(te)?,
+        BinOp::Le => a.cmp_3vl(b, Ordering::is_le).map_err(te)?,
+        BinOp::Gt => a.cmp_3vl(b, Ordering::is_gt).map_err(te)?,
+        BinOp::Ge => a.cmp_3vl(b, Ordering::is_ge).map_err(te)?,
+        other => return Err(OracleError::Analyze(format!("{other} is not a comparison"))),
+    })
+}
+
+impl<'a> Interp<'a> {
+    /// Prepare an interpreter for one bound query.
+    pub fn new(g: &'a Graph, q: &'a BoundQuery) -> Interp<'a> {
+        Interp { g, q }
+    }
+
+    /// Run the query to completion (RETRIEVE).
+    pub fn run(&self) -> Result<QueryOutput, OracleError> {
+        let mut rows = self.collect_rows()?;
+
+        if !self.q.order_by.is_empty() {
+            rows.sort_by(|a, b| {
+                for (i, (_, asc)) in self.q.order_by.iter().enumerate() {
+                    let ord = a.order_keys[i].total_cmp(&b.order_keys[i]);
+                    let ord = if *asc { ord } else { ord.reverse() };
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
+                }
+                Ordering::Equal
+            });
+        }
+
+        Ok(match self.q.mode {
+            OutputMode::Table => QueryOutput::Table {
+                columns: self.q.target_names.clone(),
+                rows: rows.into_iter().map(|r| r.values).collect(),
+            },
+            OutputMode::TableDistinct => {
+                let mut seen = HashSet::new();
+                let mut out = Vec::new();
+                for r in rows {
+                    let key = ordered::encode_key(&r.values);
+                    if seen.insert(key) {
+                        out.push(r.values);
+                    }
+                }
+                QueryOutput::Table { columns: self.q.target_names.clone(), rows: out }
+            }
+            OutputMode::Structure => self.structure_output(&rows),
+        })
+    }
+
+    /// Root instances of every accepted row (update-statement selectors).
+    pub fn select_entities(&self) -> Result<Vec<u64>, OracleError> {
+        let rows = self.collect_rows()?;
+        let root = self.q.roots[0];
+        let pos = self
+            .q
+            .type13_order
+            .iter()
+            .position(|&n| n == root)
+            .ok_or_else(|| OracleError::Internal("root missing from TYPE 1/3 order".into()))?;
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        for r in rows {
+            if let Value::Entity(s) = r.node_instances[pos].0 {
+                if seen.insert(s.raw()) {
+                    out.push(s.raw());
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Evaluate the selection for one fixed root entity (VERIFY support).
+    pub fn check_entity(&self, surr: u64) -> Result<Truth, OracleError> {
+        let mut ctx = Ctx::new(self.q.nodes.len());
+        let root = self.q.roots[0];
+        ctx.instances[root] = Some(Value::Entity(sim_types::Surrogate::from_raw(surr)));
+        self.selection_truth(&mut ctx)
+    }
+
+    fn collect_rows(&self) -> Result<Vec<IRow>, OracleError> {
+        let mut ctx = Ctx::new(self.q.nodes.len());
+        let mut rows = Vec::new();
+        self.loop13(0, &mut ctx, &mut rows)?;
+        Ok(rows)
+    }
+
+    fn loop13(&self, i: usize, ctx: &mut Ctx, rows: &mut Vec<IRow>) -> Result<(), OracleError> {
+        if i == self.q.type13_order.len() {
+            if self.selection_truth(ctx)?.is_true() || self.q.selection.is_none() {
+                rows.push(self.emit(ctx)?);
+            }
+            return Ok(());
+        }
+        let node = self.q.type13_order[i];
+        let mut domain = self.domain(node, ctx)?;
+        if domain.is_empty() && self.q.nodes[node].label == NodeType::Type3 {
+            // Outer join (§4.5): pad with the all-null dummy.
+            domain.push((Value::Null, self.q.nodes[node].depth));
+        }
+        for (v, level) in domain {
+            ctx.instances[node] = Some(v);
+            ctx.levels[node] = level;
+            self.loop13(i + 1, ctx, rows)?;
+        }
+        ctx.instances[node] = None;
+        Ok(())
+    }
+
+    fn selection_truth(&self, ctx: &mut Ctx) -> Result<Truth, OracleError> {
+        let Some(selection) = &self.q.selection else {
+            return Ok(Truth::True);
+        };
+        self.exists2(0, selection, ctx)
+    }
+
+    fn exists2(&self, j: usize, selection: &BExpr, ctx: &mut Ctx) -> Result<Truth, OracleError> {
+        if j == self.q.type2_order.len() {
+            return Ok(value_to_truth(&self.eval(selection, ctx)?));
+        }
+        let node = self.q.type2_order[j];
+        let domain = self.domain(node, ctx)?;
+        let mut acc = Truth::False;
+        for (v, level) in domain {
+            ctx.instances[node] = Some(v);
+            ctx.levels[node] = level;
+            let t = self.exists2(j + 1, selection, ctx)?;
+            acc = acc.or(t);
+            if acc == Truth::True {
+                break;
+            }
+        }
+        ctx.instances[node] = None;
+        Ok(acc)
+    }
+
+    fn emit(&self, ctx: &Ctx) -> Result<IRow, OracleError> {
+        let mut values = Vec::with_capacity(self.q.targets.len());
+        for t in &self.q.targets {
+            values.push(self.eval(t, ctx)?);
+        }
+        let mut order_keys = Vec::with_capacity(self.q.order_by.len());
+        for (k, _) in &self.q.order_by {
+            order_keys.push(self.eval(k, ctx)?);
+        }
+        let node_instances: Vec<(Value, u32)> =
+            self.q.type13_order.iter().map(|&n| (ctx.instance(n), ctx.levels[n])).collect();
+        Ok(IRow { values, node_instances, order_keys })
+    }
+
+    fn structure_output(&self, rows: &[IRow]) -> QueryOutput {
+        let formats: Vec<Vec<String>> = self
+            .q
+            .type13_order
+            .iter()
+            .enumerate()
+            .map(|(pos, _)| {
+                self.q
+                    .target_names
+                    .iter()
+                    .zip(&self.q.target_home)
+                    .filter(|(_, home)| **home == pos)
+                    .map(|(name, _)| name.clone())
+                    .collect()
+            })
+            .collect();
+        let mut records = Vec::new();
+        let mut prev: Option<&IRow> = None;
+        for row in rows {
+            let mut first_change = 0;
+            if let Some(p) = prev {
+                first_change = self.q.type13_order.len();
+                for k in 0..self.q.type13_order.len() {
+                    if p.node_instances[k].0.total_cmp(&row.node_instances[k].0) != Ordering::Equal
+                        || p.node_instances[k].1 != row.node_instances[k].1
+                    {
+                        first_change = k;
+                        break;
+                    }
+                }
+            }
+            for k in first_change..self.q.type13_order.len() {
+                let values: Vec<Value> = self
+                    .q
+                    .targets
+                    .iter()
+                    .zip(&self.q.target_home)
+                    .zip(&row.values)
+                    .filter(|((_, home), _)| **home == k)
+                    .map(|((_, _), v)| v.clone())
+                    .collect();
+                records.push(StructRecord { format: k, level: row.node_instances[k].1, values });
+            }
+            prev = Some(row);
+        }
+        QueryOutput::Structure { formats, records }
+    }
+
+    // ----- domains ---------------------------------------------------------------------
+
+    fn domain(&self, node: usize, ctx: &Ctx) -> Result<Vec<(Value, u32)>, OracleError> {
+        let n = &self.q.nodes[node];
+        let depth = n.depth;
+        match &n.origin {
+            NodeOrigin::Perspective { class } => Ok(self
+                .g
+                .entities_of(*class)
+                .into_iter()
+                .map(|s| (Value::Entity(sim_types::Surrogate::from_raw(s)), depth))
+                .collect()),
+            NodeOrigin::Eva { attr } => {
+                let parent = n
+                    .parent
+                    .ok_or_else(|| OracleError::Internal("EVA node has no parent".into()))?;
+                match ctx.instance(parent) {
+                    Value::Entity(s) => {
+                        let mut partners = self.g.eva_partners(s.raw(), *attr)?;
+                        if let Some(filter) = n.role_filter {
+                            partners.retain(|p| self.g.has_role(*p, filter));
+                        }
+                        Ok(partners
+                            .into_iter()
+                            .map(|p| (Value::Entity(sim_types::Surrogate::from_raw(p)), depth))
+                            .collect())
+                    }
+                    _ => Ok(Vec::new()),
+                }
+            }
+            NodeOrigin::MvDva { attr } => {
+                let parent = n
+                    .parent
+                    .ok_or_else(|| OracleError::Internal("MV DVA node has no parent".into()))?;
+                match ctx.instance(parent) {
+                    Value::Entity(s) => Ok(self
+                        .g
+                        .read_attr(s.raw(), *attr)?
+                        .into_values()
+                        .into_iter()
+                        .map(|v| (v, depth))
+                        .collect()),
+                    _ => Ok(Vec::new()),
+                }
+            }
+            NodeOrigin::Transitive { attr } => {
+                let parent = n
+                    .parent
+                    .ok_or_else(|| OracleError::Internal("transitive node has no parent".into()))?;
+                match ctx.instance(parent) {
+                    Value::Entity(s) => {
+                        let mut out = Vec::new();
+                        for (e, lvl) in self.transitive_closure(s.raw(), *attr)? {
+                            if let Some(filter) = n.role_filter {
+                                if !self.g.has_role(e, filter) {
+                                    continue;
+                                }
+                            }
+                            out.push((
+                                Value::Entity(sim_types::Surrogate::from_raw(e)),
+                                depth + lvl - 1,
+                            ));
+                        }
+                        Ok(out)
+                    }
+                    _ => Ok(Vec::new()),
+                }
+            }
+            NodeOrigin::Restrict { class } => {
+                let parent = n
+                    .parent
+                    .ok_or_else(|| OracleError::Internal("restrict node has no parent".into()))?;
+                match ctx.instance(parent) {
+                    Value::Entity(s) if self.g.has_role(s.raw(), *class) => {
+                        Ok(vec![(Value::Entity(s), depth)])
+                    }
+                    _ => Ok(Vec::new()),
+                }
+            }
+        }
+    }
+
+    /// Per-path transitive closure with levels from 1, cycles cut when a
+    /// node already lies on the current path (§4.7).
+    fn transitive_closure(&self, start: u64, attr: AttrId) -> Result<Vec<(u64, u32)>, OracleError> {
+        fn rec(
+            g: &Graph,
+            cur: u64,
+            attr: AttrId,
+            level: u32,
+            path: &mut Vec<u64>,
+            out: &mut Vec<(u64, u32)>,
+        ) -> Result<(), OracleError> {
+            for p in g.eva_partners(cur, attr)? {
+                if path.contains(&p) {
+                    continue;
+                }
+                out.push((p, level));
+                path.push(p);
+                rec(g, p, attr, level + 1, path, out)?;
+                path.pop();
+            }
+            Ok(())
+        }
+        let mut out = Vec::new();
+        let mut path = vec![start];
+        rec(self.g, start, attr, 1, &mut path, &mut out)?;
+        Ok(out)
+    }
+
+    // ----- expression evaluation -------------------------------------------------------
+
+    /// Evaluate an expression in a row context (public so DML assignment
+    /// expressions reuse it).
+    pub(crate) fn eval(&self, expr: &BExpr, ctx: &Ctx) -> Result<Value, OracleError> {
+        Ok(match expr {
+            BExpr::Const(v) => v.clone(),
+            BExpr::NodeValue(n) => ctx.instance(*n),
+            BExpr::Attr { node, attr } => match ctx.instance(*node) {
+                Value::Entity(s) => match self.g.read_attr(s.raw(), *attr)? {
+                    Read::Single(v) => v,
+                    Read::Multi(_) => {
+                        return Err(OracleError::Analyze(
+                            "multi-valued attribute used as a scalar".into(),
+                        ));
+                    }
+                },
+                _ => Value::Null, // outer-join padding: attributes of the dummy are null
+            },
+            BExpr::Binary { op, lhs, rhs } => self.eval_binary(*op, lhs, rhs, ctx)?,
+            BExpr::Not(e) => truth_to_value(value_to_truth(&self.eval(e, ctx)?).not()),
+            BExpr::Neg(e) => {
+                self.eval(e, ctx)?.negate().map_err(|e| OracleError::Type(e.to_string()))?
+            }
+            BExpr::Aggregate { func, distinct, chain } => {
+                let values = self.chain_values(chain, ctx)?;
+                self.apply_aggregate(*func, *distinct, values)?
+            }
+            BExpr::Quantified { .. } => {
+                return Err(OracleError::Analyze(
+                    "quantifiers (all/some/no) are only valid as comparison operands".into(),
+                ));
+            }
+            BExpr::IsA { node, class } => match ctx.instance(*node) {
+                Value::Entity(s) => Value::Bool(self.g.has_role(s.raw(), *class)),
+                _ => Value::Null,
+            },
+        })
+    }
+
+    fn eval_binary(
+        &self,
+        op: BinOp,
+        lhs: &BExpr,
+        rhs: &BExpr,
+        ctx: &Ctx,
+    ) -> Result<Value, OracleError> {
+        if is_comparison(op) {
+            if let BExpr::Quantified { quantifier, chain } = rhs {
+                let v = self.eval(lhs, ctx)?;
+                let set = self.chain_values(chain, ctx)?;
+                return Ok(truth_to_value(quantified_compare(&v, op, &set, *quantifier, false)?));
+            }
+            if let BExpr::Quantified { quantifier, chain } = lhs {
+                let v = self.eval(rhs, ctx)?;
+                let set = self.chain_values(chain, ctx)?;
+                return Ok(truth_to_value(quantified_compare(&v, op, &set, *quantifier, true)?));
+            }
+        }
+        let te = |e: sim_types::TypeError| OracleError::Type(e.to_string());
+        match op {
+            BinOp::And => {
+                let a = value_to_truth(&self.eval(lhs, ctx)?);
+                if a == Truth::False {
+                    return Ok(Value::Bool(false));
+                }
+                let b = value_to_truth(&self.eval(rhs, ctx)?);
+                Ok(truth_to_value(a.and(b)))
+            }
+            BinOp::Or => {
+                let a = value_to_truth(&self.eval(lhs, ctx)?);
+                if a == Truth::True {
+                    return Ok(Value::Bool(true));
+                }
+                let b = value_to_truth(&self.eval(rhs, ctx)?);
+                Ok(truth_to_value(a.or(b)))
+            }
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+                let a = self.eval(lhs, ctx)?;
+                let b = self.eval(rhs, ctx)?;
+                let arith = match op {
+                    BinOp::Add => ArithOp::Add,
+                    BinOp::Sub => ArithOp::Sub,
+                    BinOp::Mul => ArithOp::Mul,
+                    _ => ArithOp::Div,
+                };
+                a.arith(arith, &b).map_err(te)
+            }
+            BinOp::Matches => {
+                let a = self.eval(lhs, ctx)?;
+                let b = self.eval(rhs, ctx)?;
+                Ok(truth_to_value(pattern::value_matches(&a, &b)))
+            }
+            _ => {
+                let a = self.eval(lhs, ctx)?;
+                let b = self.eval(rhs, ctx)?;
+                Ok(truth_to_value(compare(&a, op, &b)?))
+            }
+        }
+    }
+
+    fn chain_values(&self, chain: &BoundChain, ctx: &Ctx) -> Result<Vec<Value>, OracleError> {
+        let mut current: Vec<Value> = match (chain.anchor, chain.global_class) {
+            (Some(node), _) => match ctx.instance(node) {
+                Value::Null => Vec::new(),
+                v => vec![v],
+            },
+            (None, Some(class)) => self
+                .g
+                .entities_of(class)
+                .into_iter()
+                .map(|s| Value::Entity(sim_types::Surrogate::from_raw(s)))
+                .collect(),
+            (None, None) => Vec::new(),
+        };
+        for step in &chain.steps {
+            let mut next = Vec::new();
+            for v in &current {
+                let Value::Entity(s) = v else { continue };
+                match step {
+                    ChainStep::Eva(attr) => {
+                        next.extend(
+                            self.g
+                                .eva_partners(s.raw(), *attr)?
+                                .into_iter()
+                                .map(|p| Value::Entity(sim_types::Surrogate::from_raw(p))),
+                        );
+                    }
+                    ChainStep::MvDva(attr) => {
+                        next.extend(self.g.read_attr(s.raw(), *attr)?.into_values());
+                    }
+                    ChainStep::Transitive(attr) => {
+                        next.extend(
+                            self.transitive_closure(s.raw(), *attr)?
+                                .into_iter()
+                                .map(|(e, _)| Value::Entity(sim_types::Surrogate::from_raw(e))),
+                        );
+                    }
+                }
+            }
+            current = next;
+        }
+        if let Some(attr) = chain.terminal {
+            let mut out = Vec::with_capacity(current.len());
+            for v in current {
+                let Value::Entity(s) = v else { continue };
+                match self.g.read_attr(s.raw(), attr)? {
+                    Read::Single(x) => out.push(x),
+                    Read::Multi(xs) => out.extend(xs),
+                }
+            }
+            current = out;
+        }
+        Ok(current)
+    }
+
+    fn apply_aggregate(
+        &self,
+        func: AggFunc,
+        distinct: bool,
+        values: Vec<Value>,
+    ) -> Result<Value, OracleError> {
+        let te = |e: sim_types::TypeError| OracleError::Type(e.to_string());
+        let mut vals: Vec<Value> = values.into_iter().filter(|v| !v.is_null()).collect();
+        if distinct {
+            vals.sort_by(Value::total_cmp);
+            vals.dedup_by(|a, b| a.total_cmp(b) == Ordering::Equal);
+        }
+        Ok(match func {
+            AggFunc::Count => Value::Int(vals.len() as i64),
+            AggFunc::Sum => {
+                let mut acc = Value::Int(0);
+                for v in &vals {
+                    acc = acc.arith(ArithOp::Add, v).map_err(te)?;
+                }
+                acc
+            }
+            AggFunc::Avg => {
+                if vals.is_empty() {
+                    Value::Null
+                } else {
+                    let mut sum = 0.0;
+                    for v in &vals {
+                        sum += v.as_f64().ok_or_else(|| {
+                            OracleError::Analyze(format!("avg over non-numeric value {v}"))
+                        })?;
+                    }
+                    Value::Float(sum / vals.len() as f64)
+                }
+            }
+            AggFunc::Min => vals.into_iter().min_by(Value::total_cmp).unwrap_or(Value::Null),
+            AggFunc::Max => vals.into_iter().max_by(Value::total_cmp).unwrap_or(Value::Null),
+        })
+    }
+}
+
+fn quantified_compare(
+    v: &Value,
+    op: BinOp,
+    set: &[Value],
+    quantifier: Quantifier,
+    quantifier_on_lhs: bool,
+) -> Result<Truth, OracleError> {
+    let mut some = Truth::False;
+    let mut all = Truth::True;
+    for s in set {
+        let t = if quantifier_on_lhs { compare(s, op, v)? } else { compare(v, op, s)? };
+        some = some.or(t);
+        all = all.and(t);
+    }
+    Ok(match quantifier {
+        Quantifier::Some => some,
+        Quantifier::All => all, // vacuously true on the empty set
+        Quantifier::No => some.not(),
+    })
+}
+
+/// `Ctx` is private; expose what DML needs: evaluate a bound *value
+/// expression* (single root, optionally fixed to an entity).
+pub fn eval_value(g: &Graph, q: &BoundQuery, entity: Option<u64>) -> Result<Value, OracleError> {
+    let interp = Interp::new(g, q);
+    let mut ctx = Ctx::new(q.nodes.len());
+    if let Some(surr) = entity {
+        let root = q.roots[0];
+        ctx.instances[root] = Some(Value::Entity(sim_types::Surrogate::from_raw(surr)));
+    }
+    // Mirrors the engine's `eval_value_for`: the bound value expression is
+    // the first target; no existential iteration happens here.
+    let expr = q
+        .targets
+        .first()
+        .ok_or_else(|| OracleError::Internal("value expression has no body".into()))?;
+    interp.eval(expr, &ctx)
+}

@@ -1,0 +1,54 @@
+//! # sim-oracle
+//!
+//! Model-based differential testing for the SIM reproduction.
+//!
+//! The real engine is a tower of performance machinery — B-trees, a buffer
+//! pool, foreign-key and structure EVA mappings, a plan cache, an
+//! optimizer, trigger-localized VERIFY checking, a write-ahead log. Each
+//! layer is tested in isolation, but the composition is where semantic
+//! bugs hide. This crate attacks the composition:
+//!
+//! * [`graph`] — a naive, obviously-correct reference store implementing
+//!   the paper's update semantics (inverse-EVA synchronization, option
+//!   enforcement, subclass-role cascades) over plain B-tree maps;
+//! * [`interp`] — a reference interpreter running bound query trees (§4.5
+//!   nested loops, 3VL, quantifiers, transitive closure, outer joins)
+//!   directly over the graph, with no optimizer and no indexes;
+//! * [`dml`] — reference DML application plus exhaustive (non-localized)
+//!   VERIFY checking;
+//! * [`wl`] — the `.simwl` workload format: a schema plus a statement
+//!   script with physical control operations (index builds, checkpoints,
+//!   reopens) that the oracle ignores and the engine must prove
+//!   semantically invisible;
+//! * [`gen`] — a deterministic workload generator (seeded
+//!   [`sim_testkit::Rng`], no external randomness) emitting schemas and
+//!   interleaved DML;
+//! * [`diff`] — the differential driver: one workload, executed on the
+//!   real engine over in-memory, file-backed and fault-injecting disks,
+//!   compared statement by statement and state dump by state dump against
+//!   the oracle;
+//! * [`shrink`] — greedy workload minimization for failure reports.
+//!
+//! The shared trust base between oracle and engine is deliberately small:
+//! the DDL/DML parsers and the binder. Everything downstream diverges in
+//! implementation, which is what makes agreement evidence of correctness.
+
+#![forbid(unsafe_code)]
+
+pub mod diff;
+pub mod dml;
+pub mod error;
+pub mod gen;
+pub mod graph;
+pub mod interp;
+pub mod shrink;
+pub mod wl;
+
+pub use diff::{run_backend, run_differential, Backend, Mismatch, Outcome};
+pub use dml::{Oracle, OracleResult};
+pub use error::OracleError;
+pub use gen::{generate, GenConfig};
+pub use graph::Graph;
+pub use interp::Interp;
+pub use shrink::shrink;
+pub use wl::{Step, Workload};

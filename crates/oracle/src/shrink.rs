@@ -1,0 +1,114 @@
+//! Greedy workload minimization.
+//!
+//! A generated failure is typically 40 steps of noise around a 2-3 step
+//! core. The shrinker repeatedly re-runs the failure predicate on reduced
+//! candidates: first dropping whole chunks of steps (halving passes, like
+//! delta debugging), then single steps, then stripping control operations,
+//! until a fixpoint. The predicate is abstract — callers pass "does
+//! [`crate::diff::run_differential`] still mismatch", tests pass cheap
+//! synthetic predicates.
+
+use crate::wl::{Step, Workload};
+
+fn with_steps(wl: &Workload, steps: Vec<Step>) -> Workload {
+    Workload { ddl: wl.ddl.clone(), steps, seed: wl.seed }
+}
+
+/// Minimize `wl` while `still_fails` holds. Returns the smallest workload
+/// found (at worst, the input itself). Deterministic: candidate order is a
+/// pure function of the input.
+pub fn shrink(wl: &Workload, still_fails: &dyn Fn(&Workload) -> bool) -> Workload {
+    let mut best = wl.clone();
+
+    // Chunked removal: try dropping halves, quarters, ... of the script.
+    let mut chunk = (best.steps.len() / 2).max(1);
+    while chunk >= 1 {
+        let mut i = 0;
+        while i < best.steps.len() {
+            let mut candidate_steps = best.steps.clone();
+            let end = (i + chunk).min(candidate_steps.len());
+            candidate_steps.drain(i..end);
+            let candidate = with_steps(&best, candidate_steps);
+            if still_fails(&candidate) {
+                best = candidate;
+                // Re-test the same index: the next chunk slid into place.
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+
+    // Control-op stripping: a failure that survives without its
+    // checkpoints/reopens/indexes is a logic bug; one that needs them is a
+    // physical-invisibility bug. Either way the minimal form says which.
+    let stripped: Vec<Step> =
+        best.steps.iter().filter(|s| matches!(s, Step::Stmt(_))).cloned().collect();
+    if stripped.len() < best.steps.len() {
+        let candidate = with_steps(&best, stripped);
+        if still_fails(&candidate) {
+            best = candidate;
+        }
+    }
+
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wl(n: usize) -> Workload {
+        Workload {
+            ddl: "Class c ( x: integer );".into(),
+            steps: (0..n).map(|i| Step::Stmt(format!("Insert c (x := {i})."))).collect(),
+            seed: Some(7),
+        }
+    }
+
+    #[test]
+    fn shrinks_to_the_single_culprit() {
+        // Failure iff the script still contains "x := 13".
+        let fails = |w: &Workload| {
+            w.steps.iter().any(|s| matches!(s, Step::Stmt(t) if t.contains(":= 13")))
+        };
+        let out = shrink(&wl(40), &fails);
+        assert_eq!(out.steps.len(), 1);
+        assert!(matches!(&out.steps[0], Step::Stmt(t) if t.contains(":= 13")));
+    }
+
+    #[test]
+    fn shrinks_a_dependent_pair() {
+        // Failure needs both step 3 and step 27.
+        let fails = |w: &Workload| {
+            let has = |needle: &str| {
+                w.steps.iter().any(|s| matches!(s, Step::Stmt(t) if t.contains(needle)))
+            };
+            has(":= 3)") && has(":= 27)")
+        };
+        let out = shrink(&wl(40), &fails);
+        assert_eq!(out.steps.len(), 2);
+    }
+
+    #[test]
+    fn non_failing_input_is_returned_unchanged() {
+        let fails = |_: &Workload| false;
+        let input = wl(5);
+        let out = shrink(&input, &fails);
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn strips_control_ops_when_irrelevant() {
+        let mut input = wl(6);
+        input.steps.insert(2, Step::Checkpoint);
+        input.steps.insert(4, Step::Reopen);
+        let fails =
+            |w: &Workload| w.steps.iter().any(|s| matches!(s, Step::Stmt(t) if t.contains(":= 5")));
+        let out = shrink(&input, &fails);
+        assert_eq!(out.steps.len(), 1);
+    }
+}

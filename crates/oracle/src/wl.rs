@@ -1,0 +1,227 @@
+//! The `.simwl` workload format: a self-contained, replayable test case.
+//!
+//! A workload is a DDL schema, a `%%` separator, then a script of steps:
+//!
+//! ```text
+//! #seed 0x1234abcd
+//! Class department ( name: string(20), required unique; );
+//! %%
+//! Insert department(name := "Physics").
+//! !index department name
+//! !checkpoint
+//! !reopen
+//! From department Retrieve name.
+//! %%
+//! ```
+//!
+//! Plain lines accumulate into one DML statement until a line ends with
+//! the statement terminator `.`. Lines starting with `!` are *physical
+//! control operations* — index builds, checkpoints, close/reopen cycles —
+//! that the reference oracle ignores entirely: they must be semantically
+//! invisible, which is precisely what the differential driver verifies.
+//! `#` lines are comments; a `#seed` comment carries the generator seed so
+//! a failure report is replayable from the file alone.
+
+use std::fmt::Write as _;
+
+/// One step of a workload script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Step {
+    /// A DML statement (retrieve or update), terminator included.
+    Stmt(String),
+    /// `!index <class> <attr>`: build a secondary B-tree index.
+    Index {
+        /// The class name.
+        class: String,
+        /// The attribute name.
+        attr: String,
+    },
+    /// `!hashindex <class> <attr>`: build a hash index.
+    HashIndex {
+        /// The class name.
+        class: String,
+        /// The attribute name.
+        attr: String,
+    },
+    /// `!checkpoint`: flush dirty pages and truncate the WAL.
+    Checkpoint,
+    /// `!reopen`: close the database and open it again from durable state
+    /// (a no-op on backends that cannot survive a close).
+    Reopen,
+}
+
+/// A replayable workload: schema + script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Workload {
+    /// The DDL schema text.
+    pub ddl: String,
+    /// The script.
+    pub steps: Vec<Step>,
+    /// The generator seed, when generated (replay bookkeeping).
+    pub seed: Option<u64>,
+}
+
+impl Workload {
+    /// Parse the `.simwl` text format.
+    pub fn parse(text: &str) -> Result<Workload, String> {
+        let mut ddl = String::new();
+        let mut steps = Vec::new();
+        let mut seed = None;
+        let mut in_script = false;
+        let mut pending = String::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim_end();
+            let trimmed = line.trim_start();
+            if let Some(rest) = trimmed.strip_prefix("#seed") {
+                let lit = rest.trim();
+                seed = Some(parse_seed_literal(lit));
+                continue;
+            }
+            if trimmed.starts_with('#') {
+                continue;
+            }
+            if trimmed == "%%" {
+                if in_script {
+                    break; // trailing terminator
+                }
+                in_script = true;
+                continue;
+            }
+            if !in_script {
+                ddl.push_str(line);
+                ddl.push('\n');
+                continue;
+            }
+            if trimmed.is_empty() {
+                continue;
+            }
+            if let Some(op) = trimmed.strip_prefix('!') {
+                if !pending.is_empty() {
+                    return Err(format!(
+                        "line {}: control op inside an unterminated statement",
+                        lineno + 1
+                    ));
+                }
+                let mut parts = op.split_whitespace();
+                match parts.next() {
+                    Some("index") => {
+                        let class = parts.next().ok_or("!index needs <class> <attr>")?;
+                        let attr = parts.next().ok_or("!index needs <class> <attr>")?;
+                        steps.push(Step::Index { class: class.into(), attr: attr.into() });
+                    }
+                    Some("hashindex") => {
+                        let class = parts.next().ok_or("!hashindex needs <class> <attr>")?;
+                        let attr = parts.next().ok_or("!hashindex needs <class> <attr>")?;
+                        steps.push(Step::HashIndex { class: class.into(), attr: attr.into() });
+                    }
+                    Some("checkpoint") => steps.push(Step::Checkpoint),
+                    Some("reopen") => steps.push(Step::Reopen),
+                    other => {
+                        return Err(format!(
+                            "line {}: unknown control op {:?}",
+                            lineno + 1,
+                            other.unwrap_or("")
+                        ));
+                    }
+                }
+                continue;
+            }
+            if !pending.is_empty() {
+                pending.push('\n');
+            }
+            pending.push_str(line);
+            if trimmed.ends_with('.') {
+                steps.push(Step::Stmt(std::mem::take(&mut pending)));
+            }
+        }
+        if !pending.is_empty() {
+            return Err("unterminated statement at end of workload".into());
+        }
+        if ddl.trim().is_empty() {
+            return Err("workload has no DDL section (missing %% separator?)".into());
+        }
+        Ok(Workload { ddl, steps, seed })
+    }
+
+    /// Render back to `.simwl` text (parse → to_text → parse is identity up
+    /// to whitespace).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        if let Some(seed) = self.seed {
+            let _ = writeln!(out, "#seed {seed:#x}");
+        }
+        out.push_str(self.ddl.trim_end());
+        out.push_str("\n%%\n");
+        for step in &self.steps {
+            match step {
+                Step::Stmt(s) => {
+                    out.push_str(s.trim_end());
+                    out.push('\n');
+                }
+                Step::Index { class, attr } => {
+                    let _ = writeln!(out, "!index {class} {attr}");
+                }
+                Step::HashIndex { class, attr } => {
+                    let _ = writeln!(out, "!hashindex {class} {attr}");
+                }
+                Step::Checkpoint => out.push_str("!checkpoint\n"),
+                Step::Reopen => out.push_str("!reopen\n"),
+            }
+        }
+        out.push_str("%%\n");
+        out
+    }
+}
+
+/// Parse a seed literal: decimal, `0x` hex, or — for mnemonic seeds like
+/// `0xS1M` — an FNV-1a hash of the literal text, so any string is a valid
+/// seed and the same string always names the same workload.
+pub fn parse_seed_literal(lit: &str) -> u64 {
+    if let Some(hex) = lit.strip_prefix("0x").or_else(|| lit.strip_prefix("0X")) {
+        if let Ok(v) = u64::from_str_radix(hex, 16) {
+            return v;
+        }
+    } else if let Ok(v) = lit.parse::<u64>() {
+        return v;
+    }
+    // FNV-1a over the literal bytes.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in lit.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let text = "#seed 0x2a\nClass c ( x: integer; );\n%%\nInsert c(x := 1).\n!index c x\n!checkpoint\n!reopen\nFrom c Retrieve x.\n%%\n";
+        let wl = Workload::parse(text).unwrap();
+        assert_eq!(wl.seed, Some(0x2a));
+        assert_eq!(wl.steps.len(), 5);
+        let wl2 = Workload::parse(&wl.to_text()).unwrap();
+        assert_eq!(wl, wl2);
+    }
+
+    #[test]
+    fn multiline_statements_accumulate() {
+        let text = "Class c ( x: integer; );\n%%\nInsert c(\n  x := 1\n).\n%%\n";
+        let wl = Workload::parse(text).unwrap();
+        assert_eq!(wl.steps.len(), 1);
+        assert!(matches!(&wl.steps[0], Step::Stmt(s) if s.contains("x := 1")));
+    }
+
+    #[test]
+    fn seed_literals() {
+        assert_eq!(parse_seed_literal("42"), 42);
+        assert_eq!(parse_seed_literal("0x2A"), 42);
+        // Mnemonic seeds hash deterministically and never collide with
+        // their own re-parse.
+        assert_eq!(parse_seed_literal("0xS1M"), parse_seed_literal("0xS1M"));
+        assert_ne!(parse_seed_literal("0xS1M"), parse_seed_literal("0xS1N"));
+    }
+}

@@ -24,6 +24,8 @@
 //!   cascade (§4.8);
 //! * [`integrity`] — VERIFY constraints enforced by trigger detection plus
 //!   query augmentation (§3.3/§5.1), with statement rollback on violation;
+//! * [`normalize`] — canonical result renderings for differential
+//!   comparison (order-insensitive tables, structural structured output);
 //! * [`engine`] — the Query Driver facade tying it all together;
 //! * [`analyze`] / [`stats`] — EXPLAIN ANALYZE actuals and the `query.*`
 //!   phase metrics published into the engine-wide registry.
@@ -39,6 +41,7 @@ pub mod error;
 pub mod eval;
 pub mod exec;
 pub mod integrity;
+pub mod normalize;
 pub mod optimizer;
 pub mod stats;
 pub mod update;

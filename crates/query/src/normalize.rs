@@ -1,0 +1,135 @@
+//! Canonical renderings of [`QueryOutput`] for differential comparison.
+//!
+//! Two executors that implement the same §4 semantics may still emit rows
+//! in different orders (access-path choice, root permutation) — the paper
+//! fixes only the perspective-implied ordering, and even that is a display
+//! concern. The oracle therefore compares *normal forms*:
+//!
+//! * **Tabular** output is compared as a multiset: rows are rendered and
+//!   sorted, so any row order is accepted. NaN and `-0.0` render through
+//!   [`ordered::encode_key`] so the two float zeros stay distinct exactly
+//!   when the engine's order keys distinguish them.
+//! * **Structured** output is compared structurally: records are grouped
+//!   at each outermost (format-0) record, groups are sorted, and nesting
+//!   inside a group is preserved byte-for-byte — the outer iteration order
+//!   is free, the inner structure is not.
+
+use crate::bound::{QueryOutput, StructRecord};
+use sim_types::{ordered, Value};
+
+/// Render one value unambiguously (type-tagged, total-order faithful).
+fn render_value(v: &Value) -> String {
+    // The order key encodes type rank and exact bits (incl. the sign of
+    // zero and NaN payload normalization), making renders of distinct
+    // values distinct; prepend a Debug form for human-readable reports.
+    format!("{v:?}#{}", hex(&ordered::encode_key(std::slice::from_ref(v))))
+}
+
+fn hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+fn render_row(row: &[Value]) -> String {
+    let cells: Vec<String> = row.iter().map(render_value).collect();
+    cells.join(", ")
+}
+
+fn render_record(r: &StructRecord) -> String {
+    format!("f{} l{} [{}]", r.format, r.level, render_row(&r.values))
+}
+
+/// The canonical comparable form of a query output. Two outputs are
+/// semantically equal (order-insensitive for tables, structural for
+/// structured output) iff their canonical forms are byte-identical.
+pub fn canonical(out: &QueryOutput) -> String {
+    match out {
+        QueryOutput::Table { columns, rows } => {
+            let mut lines: Vec<String> = rows.iter().map(|r| render_row(r)).collect();
+            lines.sort_unstable();
+            format!("table [{}]\n{}", columns.join(", "), lines.join("\n"))
+        }
+        QueryOutput::Structure { formats, records } => {
+            // Group at each outermost record: the first record is always
+            // format 0, and a new root instance re-emits format 0.
+            let mut groups: Vec<String> = Vec::new();
+            let mut cur = String::new();
+            for r in records {
+                if r.format == 0 && !cur.is_empty() {
+                    groups.push(std::mem::take(&mut cur));
+                }
+                cur.push_str(&render_record(r));
+                cur.push('\n');
+            }
+            if !cur.is_empty() {
+                groups.push(cur);
+            }
+            groups.sort_unstable();
+            let fmt: Vec<String> = formats.iter().map(|f| f.join(", ")).collect();
+            format!("structure [{}]\n{}", fmt.join(" | "), groups.join(""))
+        }
+    }
+}
+
+/// Whether two outputs are semantically equal under the oracle's
+/// normalization rules.
+pub fn outputs_equal(a: &QueryOutput, b: &QueryOutput) -> bool {
+    canonical(a) == canonical(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_comparison_ignores_row_order() {
+        let a = QueryOutput::Table {
+            columns: vec!["x".into()],
+            rows: vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+        };
+        let b = QueryOutput::Table {
+            columns: vec!["x".into()],
+            rows: vec![vec![Value::Int(2)], vec![Value::Int(1)]],
+        };
+        assert!(outputs_equal(&a, &b));
+    }
+
+    #[test]
+    fn negative_zero_and_nan_are_distinguished() {
+        let z =
+            QueryOutput::Table { columns: vec!["x".into()], rows: vec![vec![Value::Float(0.0)]] };
+        let nz =
+            QueryOutput::Table { columns: vec!["x".into()], rows: vec![vec![Value::Float(-0.0)]] };
+        assert!(!outputs_equal(&z, &nz), "-0.0 must not normalize to 0.0");
+        let nan = QueryOutput::Table {
+            columns: vec!["x".into()],
+            rows: vec![vec![Value::Float(f64::NAN)]],
+        };
+        assert!(outputs_equal(&nan, &nan.clone()), "NaN must equal itself canonically");
+    }
+
+    #[test]
+    fn structure_groups_sort_at_the_root_only() {
+        let rec =
+            |format, level, v: i64| StructRecord { format, level, values: vec![Value::Int(v)] };
+        let a = QueryOutput::Structure {
+            formats: vec![vec!["a".into()], vec!["b".into()]],
+            records: vec![rec(0, 1, 1), rec(1, 2, 10), rec(0, 1, 2), rec(1, 2, 20)],
+        };
+        // Outer groups permuted: still equal.
+        let b = QueryOutput::Structure {
+            formats: vec![vec!["a".into()], vec!["b".into()]],
+            records: vec![rec(0, 1, 2), rec(1, 2, 20), rec(0, 1, 1), rec(1, 2, 10)],
+        };
+        assert!(outputs_equal(&a, &b));
+        // Nested record moved between groups: different.
+        let c = QueryOutput::Structure {
+            formats: vec![vec!["a".into()], vec!["b".into()]],
+            records: vec![rec(0, 1, 1), rec(1, 2, 20), rec(0, 1, 2), rec(1, 2, 10)],
+        };
+        assert!(!outputs_equal(&a, &c));
+    }
+}

@@ -26,7 +26,7 @@ use sim_catalog::{AttrId, ClassId};
 use sim_dml::BinOp;
 use sim_luc::layout::{AttrPlacement, FieldKind, PairMapping};
 use sim_luc::Mapper;
-use sim_types::Value;
+use sim_types::{Domain, Value};
 
 /// How a perspective's entities are produced.
 #[derive(Debug, Clone, PartialEq)]
@@ -295,6 +295,17 @@ fn index_candidate(
             }))
         }
         (BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge, BExpr::Const(v)) => {
+            // A range scan walks the index in key order, which for symbolic
+            // domains is symbol-code (declaration) order — not the
+            // label-string order the evaluator compares with. Equality
+            // probes are still fine (the label↔code mapping is a bijection),
+            // but inequalities must fall back to a scan.
+            if matches!(
+                mapper.catalog().attribute(attr)?.dva_domain(),
+                Some(Domain::Symbolic(_) | Domain::Subrole(_))
+            ) {
+                return Ok(None);
+            }
             let (lo, hi, hi_inclusive) = match op {
                 BinOp::Lt => (None, Some(v.clone()), false),
                 BinOp::Le => (None, Some(v.clone()), true),

@@ -1,0 +1,83 @@
+//! EVAs are sets of entities (§3.2): re-linking an already-linked pair is
+//! a no-op, with or without the DISTINCT option. Found by the differential
+//! oracle: a duplicated link doubled the structure-tree entries, and a
+//! later single-valued "steal" removed only one copy, leaving a phantom
+//! partner behind and desynchronizing the inverse.
+
+use sim_ddl::compile_schema;
+use sim_luc::Mapper;
+use sim_query::QueryEngine;
+use sim_types::Value;
+use std::sync::Arc;
+
+const DDL: &str = r#"
+Class crew (
+    kind: integer (1..9);
+    grade: integer (1..21), required;
+    role: subrole (tool) mv );
+
+Class gadget (
+    grade: integer (1..21), required;
+    nbr: string[12];
+    uses: tool inverse is usesr );
+
+Subclass tool of crew (
+    label: integer (0..20);
+    usesr: gadget inverse is uses mv );
+"#;
+
+fn engine() -> QueryEngine {
+    let catalog = compile_schema(DDL).unwrap();
+    let mut e = QueryEngine::new(Mapper::new(Arc::new(catalog), 256).unwrap()).unwrap();
+    e.enforce_verifies = false;
+    e
+}
+
+#[test]
+fn including_an_existing_partner_is_idempotent() {
+    let mut e = engine();
+    e.run(
+        r#"Insert tool (label := 4, grade := 5).
+           Insert gadget (grade := 1, nbr := "fog", uses := tool with (label = 4))."#,
+    )
+    .unwrap();
+    // The gadget is already in the tool's usesr set; include it again.
+    e.run_one(r#"Modify tool (usesr := include gadget with (grade < 10)) Where grade = 5."#)
+        .unwrap();
+    let out = e.query("From tool Retrieve count(usesr).").unwrap();
+    assert_eq!(out.rows(), &[vec![Value::Int(1)]], "re-link must not duplicate the pair");
+}
+
+#[test]
+fn steal_after_duplicate_include_retargets_the_single_valued_inverse() {
+    let mut e = engine();
+    e.run(
+        r#"Insert tool (label := 4, grade := 5).
+           Insert gadget (grade := 1, nbr := "fog", uses := tool with (label = 4)).
+           Insert tool (kind := 3, grade := 6)."#,
+    )
+    .unwrap();
+    // Re-include on the first tool (a no-op), then hand the gadget to the
+    // second tool. `uses` is single-valued, so the link must move wholesale.
+    e.run_one(r#"Modify tool (usesr := include gadget with (grade < 10)) Where grade = 5."#)
+        .unwrap();
+    e.run_one(r#"Insert tool from crew where kind neq 5 (usesr := gadget with (nbr <= "fog"))."#)
+        .unwrap();
+
+    let out = e.query("From gadget Retrieve uses.").unwrap();
+    assert_eq!(out.rows().len(), 1);
+    let Value::Entity(owner) = out.rows()[0][0] else { panic!("uses must be an entity") };
+    let out = e.query("From tool Retrieve grade, count(usesr).").unwrap();
+    let mut rows = out.rows().to_vec();
+    rows.sort_by(|a, b| a[0].total_cmp(&b[0]));
+    assert_eq!(
+        rows,
+        vec![vec![Value::Int(5), Value::Int(0)], vec![Value::Int(6), Value::Int(1)],],
+        "old owner must lose the link, new owner must hold exactly one"
+    );
+    // And the single-valued side agrees with the mv side (owner is the
+    // grade-6 tool, which was inserted second).
+    let out = e.query("From tool Retrieve grade Where count(usesr) = 1.").unwrap();
+    assert_eq!(out.rows(), &[vec![Value::Int(6)]]);
+    let _ = owner;
+}

@@ -1,0 +1,131 @@
+//! Index access paths must be invisible: any plan the optimizer picks has
+//! to produce exactly the rows a full scan would. Every test here is a
+//! regression found by the differential oracle (`sim-oracle`), which runs
+//! the same workload with and without index control-ops and diffs results.
+
+use sim_ddl::compile_schema;
+use sim_luc::Mapper;
+use sim_query::{AccessPath, QueryEngine};
+use sim_types::Value;
+use std::sync::Arc;
+
+// Declaration order (teal, amber, red, jade) deliberately differs from
+// label order (amber, jade, red, teal): a range scan in symbol-code order
+// would visit a different prefix than the evaluator's label comparisons.
+const DDL: &str = r#"
+Type hue = symbolic (teal, amber, red, jade);
+
+Class depot (
+    color: hue;
+    load: integer (0..100);
+    name: string[12] );
+"#;
+
+fn engine() -> QueryEngine {
+    let catalog = compile_schema(DDL).unwrap();
+    let mut e = QueryEngine::new(Mapper::new(Arc::new(catalog), 256).unwrap()).unwrap();
+    e.enforce_verifies = false;
+    e
+}
+
+fn populate(e: &mut QueryEngine) {
+    for (color, load, name) in [
+        ("teal", 5, "a"),
+        ("amber", 15, "b"),
+        ("red", 25, "c"),
+        ("jade", 35, "d"),
+        ("jade", 45, "e"),
+    ] {
+        e.run(&format!(r#"Insert depot (color := "{color}", load := {load}, name := "{name}")."#))
+            .unwrap();
+    }
+}
+
+fn index_on(e: &mut QueryEngine, attr: &str) {
+    let class = e.mapper().catalog().class_by_name("depot").unwrap().id;
+    let attr = e.mapper().catalog().resolve_attr(class, attr).unwrap();
+    e.mapper_mut().create_index(attr).unwrap();
+}
+
+fn hash_index_on(e: &mut QueryEngine, attr: &str) {
+    let class = e.mapper().catalog().class_by_name("depot").unwrap().id;
+    let attr = e.mapper().catalog().resolve_attr(class, attr).unwrap();
+    e.mapper_mut().create_hash_index(attr).unwrap();
+}
+
+/// The planner must not turn `color < "red"` into an index range scan:
+/// the B-tree is ordered by symbol code (declaration order), while the
+/// evaluator compares label strings.
+#[test]
+fn symbolic_range_predicates_never_use_the_index() {
+    let mut e = engine();
+    populate(&mut e);
+    let q = r#"From depot Retrieve name Where color < "red"."#;
+    let unindexed = e.query(q).unwrap().rows().to_vec();
+    index_on(&mut e, "color");
+
+    let plan = e.explain(q).unwrap();
+    assert!(
+        !matches!(plan.access.first(), Some(AccessPath::IndexRange { .. })),
+        "symbolic inequality must not range-scan the index: {:?}",
+        plan.explanation
+    );
+    // amber and jade sort below "red" as labels; teal does not.
+    let mut names: Vec<_> = unindexed.iter().map(|r| r[0].clone()).collect();
+    names.sort_by(Value::total_cmp);
+    assert_eq!(names, vec![Value::Str("b".into()), Value::Str("d".into()), Value::Str("e".into())]);
+    assert_eq!(e.query(q).unwrap().rows(), &unindexed[..], "index changed the answer");
+}
+
+/// Equality probes on a symbolic attribute are fine (label ↔ code is a
+/// bijection) — including through an index built *after* the inserts,
+/// which must key on the stored symbol codes, not the display labels.
+#[test]
+fn post_hoc_btree_index_on_symbolic_attribute_serves_equality() {
+    let mut e = engine();
+    populate(&mut e);
+    let q = r#"From depot Retrieve name Where color = "jade"."#;
+    let before = e.query(q).unwrap().rows().to_vec();
+    assert_eq!(before.len(), 2);
+
+    index_on(&mut e, "color");
+    let plan = e.explain(q).unwrap();
+    assert!(
+        matches!(plan.access.first(), Some(AccessPath::IndexEq { .. })),
+        "equality on the indexed symbolic attribute should probe: {:?}",
+        plan.explanation
+    );
+    assert_eq!(e.query(q).unwrap().rows(), &before[..]);
+}
+
+#[test]
+fn post_hoc_hash_index_on_symbolic_attribute_serves_equality() {
+    let mut e = engine();
+    populate(&mut e);
+    let q = r#"From depot Retrieve name Where color = "teal"."#;
+    let before = e.query(q).unwrap().rows().to_vec();
+    assert_eq!(before.len(), 1);
+    hash_index_on(&mut e, "color");
+    assert_eq!(e.query(q).unwrap().rows(), &before[..]);
+}
+
+/// A probe value outside the attribute's domain matches nothing — it must
+/// not turn into an error on the indexed plan when the scan plan would
+/// quietly return the empty set.
+#[test]
+fn out_of_domain_probe_values_yield_empty_not_error() {
+    let mut e = engine();
+    populate(&mut e);
+    index_on(&mut e, "color");
+    index_on(&mut e, "load");
+
+    // "mauve" is not a hue label; scan-compare finds it equal to nothing.
+    let rows = e.query(r#"From depot Retrieve name Where color = "mauve"."#).unwrap();
+    assert!(rows.rows().is_empty());
+    // 999 is outside integer (0..100); same story.
+    let rows = e.query("From depot Retrieve name Where load = 999.").unwrap();
+    assert!(rows.rows().is_empty());
+    // Range bounds outside the domain are still usable fences.
+    let rows = e.query("From depot Retrieve name Where load < 999.").unwrap();
+    assert_eq!(rows.rows().len(), 5);
+}

@@ -1,0 +1,115 @@
+//! Three-valued logic at the edges: quantifier truth over empty and
+//! null-containing MV sets, UNKNOWN propagation into WHERE, and the
+//! outer-join padding of §4.5 when an EVA target is absent.
+
+use sim_ddl::{compile_schema, university_catalog};
+use sim_luc::Mapper;
+use sim_query::QueryEngine;
+use sim_types::Value;
+use std::sync::Arc;
+
+const DDL: &str = r#"
+Class bin (
+    tag: string[12], required;
+    items: integer (0..100) mv );
+"#;
+
+fn s(v: &str) -> Value {
+    Value::Str(v.into())
+}
+
+fn small_engine() -> QueryEngine {
+    let catalog = compile_schema(DDL).unwrap();
+    let mut e = QueryEngine::new(Mapper::new(Arc::new(catalog), 256).unwrap()).unwrap();
+    e.enforce_verifies = false;
+    e
+}
+
+fn university() -> QueryEngine {
+    let mut e =
+        QueryEngine::new(Mapper::new(Arc::new(university_catalog()), 256).unwrap()).unwrap();
+    e.enforce_verifies = false;
+    e
+}
+
+#[test]
+fn quantifiers_over_the_empty_set() {
+    let mut e = small_engine();
+    e.run(r#"Insert bin (tag := "empty")."#).unwrap();
+    // ALL over ∅ is vacuously true; SOME is false; NO is true.
+    let rows = e.query("From bin Retrieve tag Where all(items) > 5.").unwrap();
+    assert_eq!(rows.rows(), &[vec![s("empty")]]);
+    let rows = e.query("From bin Retrieve tag Where some(items) > 5.").unwrap();
+    assert!(rows.rows().is_empty());
+    let rows = e.query("From bin Retrieve tag Where no(items) > 5.").unwrap();
+    assert_eq!(rows.rows(), &[vec![s("empty")]]);
+}
+
+#[test]
+fn null_members_propagate_unknown_through_quantifiers() {
+    let mut e = small_engine();
+    // A set whose only members compare UNKNOWN against anything.
+    e.run(r#"Insert bin (tag := "nullish", items := include null)."#).unwrap();
+    // SOME over {null}: no member is definitely > 5 → not selected...
+    let rows = e.query("From bin Retrieve tag Where some(items) > 5.").unwrap();
+    assert!(rows.rows().is_empty());
+    // ...but ALL over {null} is UNKNOWN too, so the row is also excluded —
+    // the filter keeps only definite truth.
+    let rows = e.query("From bin Retrieve tag Where all(items) > 5.").unwrap();
+    assert!(rows.rows().is_empty());
+    let rows = e.query("From bin Retrieve tag Where no(items) > 5.").unwrap();
+    assert!(rows.rows().is_empty());
+    // A definite witness dominates the unknown member for SOME...
+    e.run(r#"Modify bin (items := include 10) Where tag = "nullish"."#).unwrap();
+    let rows = e.query("From bin Retrieve tag Where some(items) > 5.").unwrap();
+    assert_eq!(rows.rows(), &[vec![s("nullish")]]);
+    // ...while ALL stays UNKNOWN (the null member may yet be ≤ 5) and NO
+    // is definitely false.
+    let rows = e.query("From bin Retrieve tag Where all(items) > 5.").unwrap();
+    assert!(rows.rows().is_empty());
+    let rows = e.query("From bin Retrieve tag Where no(items) > 5.").unwrap();
+    assert!(rows.rows().is_empty());
+}
+
+#[test]
+fn unknown_where_clauses_never_select() {
+    let mut e = small_engine();
+    e.run(r#"Insert bin (tag := "a", items := include 1)."#).unwrap();
+    e.run(r#"Insert bin (tag := "b")."#).unwrap();
+    // `null = null` is UNKNOWN, not true.
+    let rows = e.query("From bin Retrieve tag Where null = null.").unwrap();
+    assert!(rows.rows().is_empty());
+    // NOT(UNKNOWN) is still UNKNOWN: negation cannot rescue a null compare.
+    let rows = e.query("From bin Retrieve tag Where not null = null.").unwrap();
+    assert!(rows.rows().is_empty());
+    // UNKNOWN or TRUE is TRUE; UNKNOWN and TRUE is UNKNOWN.
+    let rows = e.query(r#"From bin Retrieve tag Where null = 1 or tag = "a"."#).unwrap();
+    assert_eq!(rows.rows(), &[vec![s("a")]]);
+    let rows = e.query(r#"From bin Retrieve tag Where null = 1 and tag = "a"."#).unwrap();
+    assert!(rows.rows().is_empty());
+}
+
+#[test]
+fn outer_join_pads_absent_eva_targets_with_null() {
+    let mut e = university();
+    e.run(
+        r#"Insert instructor (name := "Prof", soc-sec-no := 1, employee-nbr := 1001).
+           Insert student (name := "Advised", soc-sec-no := 2, student-nbr := 2001,
+                           advisor := instructor with (employee-nbr = 1001)).
+           Insert student (name := "Adrift", soc-sec-no := 3, student-nbr := 2002)."#,
+    )
+    .unwrap();
+    // Extended-attribute retrieval through an absent EVA target: the
+    // adrift student still appears, with the advisor's name padded to
+    // null (§4.5's outer-join semantics).
+    let out = e.query("From student Retrieve name, name of advisor.").unwrap();
+    let mut rows = out.rows().to_vec();
+    rows.sort_by(|a, b| a[0].total_cmp(&b[0]));
+    assert_eq!(rows, vec![vec![s("Adrift"), Value::Null], vec![s("Advised"), s("Prof")]]);
+    // But a WHERE on the padded attribute compares null → UNKNOWN → the
+    // padded row is filtered out.
+    let out = e.query(r#"From student Retrieve name Where name of advisor = "Prof"."#).unwrap();
+    assert_eq!(out.rows(), &[vec![s("Advised")]]);
+    let out = e.query(r#"From student Retrieve name Where not name of advisor = "Prof"."#).unwrap();
+    assert!(out.rows().is_empty(), "NOT(UNKNOWN) must stay UNKNOWN for the padded row");
+}

@@ -29,6 +29,9 @@
 //!   a commit record carries and the superblock stores.
 //! * [`recovery`] — replay on open: redo committed work, discard
 //!   uncommitted work.
+//! * [`schedule`] — fault-schedule enumeration: the bounded crash-point
+//!   sweep shared by the crash-recovery matrix and the differential
+//!   oracle's deep mode.
 //! * [`heap::HeapFile`] — slotted pages holding variable-format records
 //!   (§5.2: hierarchies map to "a storage unit with variable-format records
 //!   based on record types"). Supports placement hints for clustering.
@@ -54,6 +57,7 @@ pub mod meta;
 pub mod page;
 pub mod pool;
 pub mod recovery;
+pub mod schedule;
 pub mod stats;
 pub mod txn;
 pub mod wal;
@@ -65,6 +69,7 @@ pub use file::FileDisk;
 pub use heap::RecordId;
 pub use meta::EngineMeta;
 pub use recovery::{recover, RecoveryOutcome};
+pub use schedule::{CrashPoint, FaultSchedule};
 pub use stats::{IoSnapshot, IoStats};
 pub use txn::Txn;
 

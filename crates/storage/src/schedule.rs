@@ -1,0 +1,84 @@
+//! Fault-schedule enumeration: which operations of a workload to crash at.
+//!
+//! A fault-injection sweep wants three things at once: every crash point
+//! when the workload is small (exhaustive coverage), a bounded stride when
+//! it is large (CI time), and the tail of the final commit always included
+//! (the torn-last-write scenarios live there). This module is the single
+//! source of that point set — the crash-recovery matrix and the
+//! differential oracle's deep mode both enumerate through it, so "which
+//! crashes did we test" has one answer.
+
+/// A bounded crash-point schedule over a workload of `total_ops` storage
+/// operations.
+#[derive(Debug, Clone)]
+pub struct FaultSchedule {
+    total_ops: usize,
+    budget: usize,
+}
+
+/// One scheduled crash: the operation index to fail at and whether the
+/// failing write is torn (half-applied) or clean (dropped whole).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPoint {
+    /// Operation index to crash at (0 = before any operation).
+    pub after_ops: usize,
+    /// Whether the final write is torn. Alternates deterministically so
+    /// both failure shapes land on every kind of operation over a sweep.
+    pub torn: bool,
+}
+
+/// How many trailing operations are always swept (the final commit's log
+/// appends, sync and superblock write).
+pub const TAIL_OPS: usize = 16;
+
+impl FaultSchedule {
+    /// A schedule for `total_ops` operations, visiting at most roughly
+    /// `budget` points (exhaustive when `total_ops <= budget`).
+    pub fn new(total_ops: usize, budget: usize) -> FaultSchedule {
+        FaultSchedule { total_ops, budget: budget.max(1) }
+    }
+
+    /// The crash points: strided over the whole run, plus the last
+    /// [`TAIL_OPS`] operations, deduplicated and ascending.
+    pub fn points(&self) -> Vec<CrashPoint> {
+        let stride = (self.total_ops / self.budget).max(1);
+        let mut points: Vec<usize> = (0..=self.total_ops).step_by(stride).collect();
+        points.extend(self.total_ops.saturating_sub(TAIL_OPS)..=self.total_ops);
+        points.sort_unstable();
+        points.dedup();
+        points
+            .into_iter()
+            .map(|after_ops| CrashPoint { after_ops, torn: after_ops % 2 == 1 })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_workloads_are_swept_exhaustively() {
+        let points = FaultSchedule::new(10, 256).points();
+        let ops: Vec<usize> = points.iter().map(|p| p.after_ops).collect();
+        assert_eq!(ops, (0..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn large_workloads_stay_bounded_but_keep_the_tail() {
+        let points = FaultSchedule::new(100_000, 256).points();
+        assert!(points.len() <= 256 + TAIL_OPS + 2, "{} points", points.len());
+        for tail in 100_000 - TAIL_OPS..=100_000 {
+            assert!(points.iter().any(|p| p.after_ops == tail), "tail op {tail} missing");
+        }
+        // Ascending, no duplicates.
+        assert!(points.windows(2).all(|w| w[0].after_ops < w[1].after_ops));
+    }
+
+    #[test]
+    fn torn_alternates_by_parity() {
+        for p in FaultSchedule::new(50, 64).points() {
+            assert_eq!(p.torn, p.after_ops % 2 == 1);
+        }
+    }
+}

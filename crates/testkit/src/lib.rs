@@ -80,6 +80,54 @@ impl Rng {
         let len = self.range(0, max_len + 1);
         (0..len).map(|_| *self.pick(&chars)).collect()
     }
+
+    // ----- generator combinators (workload generation) ---------------------
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.range(0, i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Pick an index according to integer weights (`weights` must be
+    /// nonempty with a positive sum). The workhorse of statement-mix
+    /// selection in workload generators.
+    pub fn weighted(&mut self, weights: &[u32]) -> usize {
+        let total: u64 = weights.iter().map(|w| u64::from(*w)).sum();
+        assert!(total > 0, "weighted() needs a positive weight sum");
+        let mut roll = self.below(total);
+        for (i, w) in weights.iter().enumerate() {
+            let w = u64::from(*w);
+            if roll < w {
+                return i;
+            }
+            roll -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// A random subset of `0..n` with independent inclusion probability
+    /// `num/den`, in ascending order.
+    pub fn subset(&mut self, n: usize, num: u64, den: u64) -> Vec<usize> {
+        assert!(den > 0, "subset() needs a nonzero denominator");
+        (0..n).filter(|_| self.below(den) < num).collect()
+    }
+
+    /// A lowercase identifier of length `[1, max_len]` starting with a
+    /// letter (valid in SIM DDL/DML names).
+    pub fn ident(&mut self, max_len: usize) -> String {
+        let first = "abcdefghijklmnopqrstuvwxyz";
+        let rest = "abcdefghijklmnopqrstuvwxyz0123456789";
+        let len = self.range(1, max_len.max(1) + 1);
+        let mut out = String::with_capacity(len);
+        out.push(first.as_bytes()[self.range(0, first.len())] as char);
+        for _ in 1..len {
+            out.push(rest.as_bytes()[self.range(0, rest.len())] as char);
+        }
+        out
+    }
 }
 
 /// Prints the failing seed when a property body panics, so the case can be
@@ -151,5 +199,43 @@ mod tests {
         let mut count = 0;
         cases(32, |_| count += 1);
         assert_eq!(count, 32);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng::new(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn weighted_respects_zero_weights() {
+        let mut rng = Rng::new(11);
+        for _ in 0..1000 {
+            let i = rng.weighted(&[0, 5, 0, 7]);
+            assert!(i == 1 || i == 3, "zero-weight arm chosen: {i}");
+        }
+    }
+
+    #[test]
+    fn subset_is_sorted_and_bounded() {
+        let mut rng = Rng::new(5);
+        let s = rng.subset(100, 1, 4);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        assert!(s.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn idents_are_valid_names() {
+        let mut rng = Rng::new(9);
+        for _ in 0..200 {
+            let id = rng.ident(8);
+            assert!(!id.is_empty() && id.len() <= 8);
+            assert!(id.chars().next().unwrap().is_ascii_lowercase());
+            assert!(id.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
     }
 }

@@ -22,6 +22,21 @@ echo "== integration tests (root package: lifecycle, properties, crash matrix)"
 # sweep) and the file-backed close/reopen round trip.
 cargo test -q -p sim
 
+echo "== sim-oracle differential gate (200 deterministic workloads)"
+# Reference interpreter vs. the real engine on all three disk backends;
+# same seed => byte-identical report. On divergence the oracle shrinks
+# the workload and writes oracle-failure.simwl (replay with --replay).
+cargo run -q --release -p sim --bin sim-oracle -- --iters 200 --seed 0xS1M
+
+if [ "${ORACLE_DEEP:-0}" = "1" ]; then
+    echo "== sim-oracle deep profile (long fuzz + injected-crash sweeps)"
+    # Scheduled/dispatch CI only: longer workloads, a bigger seed space,
+    # and ORACLE_DEEP=1 extends tests/oracle_corpus.rs with fault sweeps.
+    cargo run -q --release -p sim --bin sim-oracle -- --iters 2000 --seed 0xDEEPHUNT
+    cargo run -q --release -p sim --bin sim-oracle -- --iters 500 --steps 60 --seed 0xFUZZB
+    ORACLE_DEEP=1 cargo test -q -p sim --test oracle_corpus
+fi
+
 echo "== durability smoke + WAL/recovery metrics dump"
 cargo run -q -p sim --example durability_metrics
 

@@ -1,0 +1,195 @@
+//! `sim-oracle` — the differential-testing CLI.
+//!
+//! ```text
+//! sim-oracle --iters 200 --seed 0xS1M      # CI gate: deterministic sweep
+//! sim-oracle --replay tests/corpus/x.simwl # replay one workload
+//! ORACLE_DEEP=1 sim-oracle --iters 40      # adds crash-point sweeps
+//! ```
+//!
+//! The report is deterministic: for a given seed and iteration count the
+//! output is byte-identical run to run (no timestamps, no paths, no
+//! machine state), so CI can both gate on the exit code and diff the text.
+//! On a mismatch, the workload is shrunk to a minimal failing form, which
+//! is printed in full as a replayable `.simwl` file and written to
+//! `oracle-failure.simwl` in the current directory.
+
+use sim_oracle::{generate, run_differential, shrink, GenConfig, Outcome, Workload};
+use std::process::ExitCode;
+
+struct Args {
+    iters: u64,
+    seed: u64,
+    steps: usize,
+    replay: Option<String>,
+    deep: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        iters: 200,
+        seed: sim_oracle::wl::parse_seed_literal("0xS1M"),
+        steps: 40,
+        replay: None,
+        deep: std::env::var("ORACLE_DEEP").is_ok_and(|v| v == "1"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| it.next().ok_or(format!("{what} needs a value"));
+        match arg.as_str() {
+            "--iters" => {
+                args.iters = value("--iters")?.parse().map_err(|e| format!("--iters: {e}"))?;
+            }
+            "--seed" => args.seed = sim_oracle::wl::parse_seed_literal(&value("--seed")?),
+            "--steps" => {
+                args.steps = value("--steps")?.parse().map_err(|e| format!("--steps: {e}"))?;
+            }
+            "--replay" => args.replay = Some(value("--replay")?),
+            "--deep" => args.deep = true,
+            "--help" | "-h" => {
+                println!(
+                    "sim-oracle: model-based differential testing\n\n\
+                     usage: sim-oracle [--iters N] [--seed S] [--steps N] [--replay FILE] [--deep]\n\n\
+                     --iters N      workloads to generate and check (default 200)\n\
+                     --seed S       base seed: decimal, 0x-hex, or any mnemonic string (default 0xS1M)\n\
+                     --steps N      script steps per generated workload (default 40)\n\
+                     --replay FILE  check one .simwl workload instead of generating\n\
+                     --deep         add crash-point fault sweeps (also via ORACLE_DEEP=1)"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// FNV-1a, the report's order-sensitive digest.
+fn fnv(h: u64, bytes: &[u8]) -> u64 {
+    let mut h = h;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn digest_outcomes(mut h: u64, outcomes: &[Outcome]) -> u64 {
+    for o in outcomes {
+        h = match o {
+            Outcome::Rows(c) => fnv(fnv(h, b"R"), c.as_bytes()),
+            Outcome::Updated(n) => fnv(fnv(h, b"U"), &n.to_le_bytes()),
+            Outcome::Fail(tag) => fnv(fnv(h, b"F"), tag.as_bytes()),
+        };
+    }
+    h
+}
+
+fn fail(wl: &Workload, detail: &str) -> ExitCode {
+    eprintln!("MISMATCH: {detail}");
+    eprintln!("shrinking…");
+    let minimized = shrink(wl, &|candidate| run_differential(candidate).is_err());
+    let text = minimized.to_text();
+    let verdict = match run_differential(&minimized) {
+        Err(m) => m.to_string(),
+        Ok(_) => "shrunk form no longer fails (flaky?)".to_owned(),
+    };
+    eprintln!("minimal failing workload ({} steps): {verdict}", minimized.steps.len());
+    println!("{text}");
+    match std::fs::write("oracle-failure.simwl", &text) {
+        Ok(()) => eprintln!("written to oracle-failure.simwl — replay with: sim-oracle --replay oracle-failure.simwl"),
+        Err(e) => eprintln!("could not write oracle-failure.simwl: {e}"),
+    }
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("sim-oracle: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(path) = &args.replay {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("sim-oracle: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let wl = match Workload::parse(&text) {
+            Ok(w) => w,
+            Err(e) => {
+                eprintln!("sim-oracle: cannot parse {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match run_differential(&wl) {
+            Ok(report) => {
+                println!(
+                    "replay ok: {} steps agreed on all backends (dump {} lines)",
+                    report.outcomes.len(),
+                    report.dump.lines().count()
+                );
+                if args.deep {
+                    match sim_oracle::diff::run_fault_sweep(&wl, 256) {
+                        Ok(n) => println!("fault sweep ok: {n} crash points recovered"),
+                        Err(m) => {
+                            eprintln!("FAULT MISMATCH: {m}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                ExitCode::SUCCESS
+            }
+            Err(m) => fail(&wl, &m.to_string()),
+        };
+    }
+
+    let cfg = GenConfig { steps: args.steps, control_ops: true };
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    let (mut rows, mut updates, mut fails) = (0u64, 0u64, 0u64);
+    for i in 0..args.iters {
+        // Independent per-iteration seeds: splitmix the base seed.
+        let seed = {
+            let mut z = args.seed.wrapping_add(i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let wl = generate(seed, &cfg);
+        match run_differential(&wl) {
+            Ok(report) => {
+                for o in &report.outcomes {
+                    match o {
+                        Outcome::Rows(_) => rows += 1,
+                        Outcome::Updated(_) => updates += 1,
+                        Outcome::Fail(_) => fails += 1,
+                    }
+                }
+                digest = digest_outcomes(fnv(digest, &seed.to_le_bytes()), &report.outcomes);
+                digest = fnv(digest, report.dump.as_bytes());
+            }
+            Err(m) => {
+                eprintln!("iteration {i} (seed {seed:#x}) failed");
+                return fail(&wl, &m.to_string());
+            }
+        }
+        if args.deep {
+            if let Err(m) = sim_oracle::diff::run_fault_sweep(&wl, 64) {
+                eprintln!("iteration {i} (seed {seed:#x}) failed the fault sweep");
+                return fail(&wl, &m.to_string());
+            }
+        }
+    }
+
+    println!("sim-oracle: {} iterations, seed {:#x}", args.iters, args.seed);
+    println!(
+        "  statements agreed: {rows} retrieves, {updates} updates, {fails} classified failures"
+    );
+    println!("  backends: mem, file, fault{}", if args.deep { " + crash sweeps" } else { "" });
+    println!("  report digest: {digest:#018x}");
+    ExitCode::SUCCESS
+}

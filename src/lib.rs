@@ -14,6 +14,7 @@ pub mod crates {
     pub use sim_dml as dml;
     pub use sim_luc as luc;
     pub use sim_obs as obs;
+    pub use sim_oracle as oracle;
     pub use sim_query as query;
     pub use sim_relational as relational;
     pub use sim_storage as storage;

@@ -11,7 +11,7 @@ use sim::crates::ddl::compile_schema;
 use sim::crates::luc::{AppMeta, Mapper};
 use sim::crates::obs::Registry;
 use sim::crates::query::{QueryEngine, QueryError};
-use sim::crates::storage::{Storage, StorageEngine};
+use sim::crates::storage::{recover, FaultSchedule, Storage, StorageEngine, BLOCK_SIZE};
 use sim_testkit::{FaultDisk, FaultMedium};
 use std::sync::Arc;
 
@@ -167,23 +167,16 @@ fn crash_at(point: usize, torn: bool, expected: &[Vec<String>]) {
 /// Sweep crash points across the whole workload, alternating clean and
 /// torn crashes so injected faults land on every kind of operation —
 /// block writes, block syncs, log appends (torn and clean), log syncs,
-/// superblock writes and log resets.
+/// superblock writes and log resets. The point set comes from the shared
+/// [`FaultSchedule`] enumeration (also used by the oracle's deep mode).
 #[test]
 fn crash_matrix_restores_last_committed_state() {
     let (expected, total_ops) = reference_run();
     assert_eq!(expected.len(), WORKLOAD.len() + 1);
     assert!(total_ops > 0);
 
-    // Keep the sweep bounded: every point when small, strided when large,
-    // and always the last 16 points (the final commit's appends + sync).
-    let stride = (total_ops / 256).max(1);
-    let mut points: Vec<usize> = (0..=total_ops).step_by(stride).collect();
-    points.extend(total_ops.saturating_sub(16)..=total_ops);
-    points.sort_unstable();
-    points.dedup();
-
-    for point in points {
-        crash_at(point, point % 2 == 1, &expected);
+    for p in FaultSchedule::new(total_ops, 256).points() {
+        crash_at(p.after_ops, p.torn, &expected);
     }
 }
 
@@ -209,14 +202,8 @@ fn crash_inside_open_group_commit_window_loses_whole_transactions_only() {
     let total_ops = medium.ops();
     drop(qe);
 
-    let stride = (total_ops / 128).max(1);
-    let mut points: Vec<usize> = (0..=total_ops).step_by(stride).collect();
-    points.extend(total_ops.saturating_sub(16)..=total_ops);
-    points.sort_unstable();
-    points.dedup();
-
-    for point in points {
-        let torn = point % 2 == 1;
+    for p in FaultSchedule::new(total_ops, 128).points() {
+        let (point, torn) = (p.after_ops, p.torn);
         let medium = FaultMedium::new();
         let disk: Box<dyn Storage> = if torn {
             Box::new(FaultDisk::with_torn_crash(&medium, point))
@@ -291,5 +278,65 @@ fn torn_final_commit_write_rolls_back_cleanly() {
             .unwrap_or_else(|e| panic!("recovery failed at torn point {point}: {e}"));
         let want = if done == WORKLOAD.len() { &expected_after } else { &expected_before };
         assert_eq!(snapshot(&qe), *want, "torn crash at op {point}");
+    }
+}
+
+/// The full physical state of a disk: every block, the superblock, the log.
+fn disk_state(disk: &mut dyn Storage) -> (Vec<Vec<u8>>, Option<Vec<u8>>, Vec<u8>) {
+    let mut blocks = Vec::with_capacity(disk.block_count());
+    for i in 0..disk.block_count() {
+        let mut buf = [0u8; BLOCK_SIZE];
+        disk.read_block(sim::crates::storage::BlockId(i as u32), &mut buf).expect("read block");
+        blocks.push(buf.to_vec());
+    }
+    let sup = disk.read_super().expect("read super");
+    let log = disk.log_read_all().expect("read log");
+    (blocks, sup, log)
+}
+
+/// Recovery is redo-only and must be idempotent: replaying the same torn
+/// WAL a second time — the state a crash *during* recovery (after the
+/// redo writes, before the log reset) leaves behind — must produce
+/// byte-identical superblock and block state.
+#[test]
+fn double_replay_over_a_torn_wal_is_idempotent() {
+    // Build a torn-WAL medium: crash with a torn final write somewhere in
+    // the middle of the workload (picked so some statements committed).
+    let (_, total_ops) = reference_run();
+    for point in [total_ops / 2, total_ops.saturating_sub(3)] {
+        let medium = FaultMedium::new();
+        let disk: Box<dyn Storage> = Box::new(FaultDisk::with_torn_crash(&medium, point));
+        match boot(disk) {
+            Err(_) => {}
+            Ok(mut qe) => {
+                run_workload(&mut qe, 0);
+            }
+        }
+
+        // Capture the torn WAL, then run the first replay.
+        let mut d1: Box<dyn Storage> = Box::new(FaultDisk::new(&medium));
+        let wal = d1.log_read_all().expect("read torn log");
+        let o1 = recover(d1.as_mut()).expect("first recovery");
+        let s1 = disk_state(d1.as_mut());
+        drop(d1);
+
+        // Simulate a crash mid-recovery after the redo writes: put the
+        // same torn WAL back and replay it again over the already-replayed
+        // blocks. Redo-only recovery must land on the identical state.
+        let mut d2: Box<dyn Storage> = Box::new(FaultDisk::new(&medium));
+        d2.log_append(&wal).expect("re-append torn log");
+        d2.log_sync().expect("sync re-appended log");
+        let o2 = recover(d2.as_mut()).expect("second recovery");
+        let s2 = disk_state(d2.as_mut());
+
+        assert_eq!(s1.0, s2.0, "crash point {point}: block state differs after double replay");
+        assert_eq!(s1.1, s2.1, "crash point {point}: superblock differs after double replay");
+        assert_eq!(s1.2, s2.2, "crash point {point}: log differs after double replay");
+        // Both replays scanned the same WAL and agree on its shape.
+        assert_eq!(o1.log_bytes, o2.log_bytes, "crash point {point}: scanned log prefix differs");
+        assert_eq!(
+            o1.torn_tail, o2.torn_tail,
+            "crash point {point}: torn-tail detection must be stable"
+        );
     }
 }

@@ -1,0 +1,90 @@
+//! Regression corpus: every `.simwl` workload under `tests/corpus/` must
+//! agree across the reference oracle and all three engine backends. Each
+//! seed is either a hand-written semantic edge case or a minimized
+//! workload from a real divergence the oracle once found.
+//!
+//! Set `ORACLE_DEEP=1` to additionally sweep injected crash points through
+//! every corpus workload (slow; CI runs it on the deep profile only).
+
+use sim_oracle::diff::{run_differential, run_fault_sweep};
+use sim_oracle::{Outcome, Workload};
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+fn check(name: &str) {
+    let path = corpus_dir().join(name);
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path:?}: {e}"));
+    let wl = Workload::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let report = run_differential(&wl).unwrap_or_else(|m| panic!("{name}: {m}"));
+    // Corpus statements are all intentionally valid: a Fail outcome would
+    // mean a silent parse or bind regression that "agrees" vacuously.
+    for (i, o) in report.outcomes.iter().enumerate() {
+        assert!(!matches!(o, Outcome::Fail(_)), "{name}: step {i} unexpectedly failed: {o:?}");
+    }
+    if std::env::var("ORACLE_DEEP").is_ok_and(|v| v == "1") {
+        run_fault_sweep(&wl, 128).unwrap_or_else(|m| panic!("{name} (fault sweep): {m}"));
+    }
+}
+
+#[test]
+fn empty_set_quantifiers() {
+    check("empty_set_quantifiers.simwl");
+}
+
+#[test]
+fn float_order_keys() {
+    check("float_order_keys.simwl");
+}
+
+#[test]
+fn subrole_inheritance() {
+    check("subrole_inheritance.simwl");
+}
+
+#[test]
+fn transitive_cycles() {
+    check("transitive_cycles.simwl");
+}
+
+#[test]
+fn value_joins() {
+    check("value_joins.simwl");
+}
+
+#[test]
+fn symbolic_index_range() {
+    check("symbolic_index_range.simwl");
+}
+
+#[test]
+fn eva_relink_steal() {
+    check("eva_relink_steal.simwl");
+}
+
+/// Every corpus file must have a named test above — a seed dropped into
+/// the directory without one would otherwise never run.
+#[test]
+fn every_corpus_file_is_covered() {
+    let named = [
+        "empty_set_quantifiers.simwl",
+        "float_order_keys.simwl",
+        "subrole_inheritance.simwl",
+        "transitive_cycles.simwl",
+        "value_joins.simwl",
+        "symbolic_index_range.simwl",
+        "eva_relink_steal.simwl",
+    ];
+    let mut on_disk: Vec<String> = std::fs::read_dir(corpus_dir())
+        .unwrap()
+        .filter_map(std::result::Result::ok)
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".simwl"))
+        .collect();
+    on_disk.sort();
+    let mut expected: Vec<String> = named.iter().map(|s| (*s).to_owned()).collect();
+    expected.sort();
+    assert_eq!(on_disk, expected, "corpus files and #[test] fns out of sync");
+}

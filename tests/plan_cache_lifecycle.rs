@@ -1,0 +1,70 @@
+//! Plan-cache lifecycle across `Database::close`/`open`: a plan cached
+//! against one database file must never be served against another. Each
+//! open builds its own engine (and so its own cache), and the re-planned
+//! query must reflect the *target* file's physical design — e.g. an index
+//! that exists in one database but not the other.
+
+use sim::crates::query::AccessPath;
+use sim::{Database, Value};
+use std::path::PathBuf;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clear scratch dir");
+    }
+    dir
+}
+
+const DDL: &str = r#"
+Class part (
+    pno: integer (0..9999);
+    name: string[12] );
+"#;
+
+const Q: &str = "From part Retrieve name Where pno = 7.";
+
+#[test]
+fn cached_plans_do_not_survive_reopening_a_different_database() {
+    let dir_a = scratch("plan-cache-a");
+    let dir_b = scratch("plan-cache-b");
+
+    // Database A: indexed, one matching part.
+    let mut a = Database::create_at(DDL, &dir_a).unwrap();
+    a.run_one(r#"Insert part (pno := 7, name := "bolt")."#).unwrap();
+    a.create_index("part", "pno").unwrap();
+    let plan_a = a.explain(Q).unwrap();
+    assert!(
+        matches!(plan_a.access.first(), Some(AccessPath::IndexEq { .. })),
+        "A should probe its index: {:?}",
+        plan_a.explanation
+    );
+    assert_eq!(a.query(Q).unwrap().rows(), &[vec![Value::Str("bolt".into())]]);
+    assert!(a.plan_cache_len() >= 1, "A cached the plan");
+    a.close().unwrap();
+
+    // Database B: same schema and query text, but no index and other data.
+    let mut b = Database::create_at(DDL, &dir_b).unwrap();
+    b.run_one(r#"Insert part (pno := 7, name := "nut")."#).unwrap();
+    assert_eq!(b.plan_cache_len(), 0, "a fresh open must start with an empty plan cache");
+    let plan_b = b.explain(Q).unwrap();
+    assert!(
+        matches!(plan_b.access.first(), Some(AccessPath::FullScan { .. })),
+        "B has no index; a cached IndexEq from A would be a stale plan: {:?}",
+        plan_b.explanation
+    );
+    assert_eq!(b.query(Q).unwrap().rows(), &[vec![Value::Str("nut".into())]]);
+    b.close().unwrap();
+
+    // Reopening A must replan from A's durable state: the index survives
+    // the close, the cache does not.
+    let a2 = Database::open(&dir_a).unwrap();
+    assert_eq!(a2.plan_cache_len(), 0, "plan cache must not be persisted");
+    let plan = a2.explain(Q).unwrap();
+    assert!(
+        matches!(plan.access.first(), Some(AccessPath::IndexEq { .. })),
+        "A's durable index must be rediscovered on reopen: {:?}",
+        plan.explanation
+    );
+    assert_eq!(a2.query(Q).unwrap().rows(), &[vec![Value::Str("bolt".into())]]);
+}
