@@ -1,0 +1,95 @@
+//! PR 6 smoke bench, check mode: the observability layer (flight
+//! recorder + structured event log) must cost under 5% of statement wall
+//! time, and the recorder must actually retain its window. Hard CI gates,
+//! dumped as `BENCH_pr6.json` (to `$SIM_METRICS_DIR`, default
+//! `target/metrics/`).
+//!
+//! Methodology: the same query loop timed with observation ON and OFF
+//! (`Database::set_observation`), min-of-`TRIALS` per mode to squeeze out
+//! scheduler noise, overhead = on/off - 1. The query is a real multi-class
+//! EVA traversal so the measured statement does representative work rather
+//! than amplifying fixed per-statement bookkeeping.
+
+use sim_bench::metrics_dump::dump_json;
+use sim_bench::workloads::{populated_university, UniversityScale};
+use sim_obs::json;
+use std::time::Instant;
+
+/// Statements per timed run.
+const ITERS: usize = 400;
+
+/// Timed runs per mode; the minimum is kept.
+const TRIALS: usize = 5;
+
+/// Statements issued to fill the flight recorder past its floor.
+const FILL: usize = 70;
+
+#[allow(clippy::cast_precision_loss)]
+fn main() {
+    let db = populated_university(UniversityScale::small(50), 42);
+    let query = "From instructor Retrieve name of assigned-department.";
+    let rows = db.query(query).expect("warm pool and plan cache").rows().len();
+    assert!(rows > 0, "workload query returns rows");
+
+    // Min-of-N timed loop per mode, alternating to spread thermal drift.
+    let mut best_on = f64::INFINITY;
+    let mut best_off = f64::INFINITY;
+    for _ in 0..TRIALS {
+        db.set_observation(false);
+        let t = Instant::now();
+        for _ in 0..ITERS {
+            db.query(query).expect("off-mode query");
+        }
+        best_off = best_off.min(t.elapsed().as_secs_f64());
+
+        db.set_observation(true);
+        let t = Instant::now();
+        for _ in 0..ITERS {
+            db.query(query).expect("on-mode query");
+        }
+        best_on = best_on.min(t.elapsed().as_secs_f64());
+    }
+    let on_micros = best_on * 1e6 / ITERS as f64;
+    let off_micros = best_off * 1e6 / ITERS as f64;
+    let overhead = on_micros / off_micros - 1.0;
+    println!(
+        "observation overhead: {on_micros:.2}us/stmt on, {off_micros:.2}us/stmt off \
+         ({:+.2}%)",
+        overhead * 100.0
+    );
+
+    // Retention: after FILL distinct statements the recorder holds at
+    // least its documented floor, newest statements included.
+    db.set_observation(true);
+    for i in 0..FILL {
+        db.query(&format!("From department Retrieve name Where dept-nbr = {}.", 101 + (i % 40)))
+            .expect("fill query");
+    }
+    let retained = db.recent_statements(usize::MAX).len();
+    let events = db.event_log().total_recorded();
+    println!("recorder retains {retained} records; event log recorded {events} events");
+
+    dump_json(
+        "BENCH_pr6",
+        &json::object([
+            ("bench", json::string("pr6_observability_overhead")),
+            ("iters", ITERS.to_string()),
+            ("trials", TRIALS.to_string()),
+            ("on_micros_per_stmt", format!("{on_micros:.3}")),
+            ("off_micros_per_stmt", format!("{off_micros:.3}")),
+            ("overhead_fraction", format!("{overhead:.5}")),
+            ("recorder_retained", retained.to_string()),
+            ("events_recorded", events.to_string()),
+        ]),
+    );
+
+    // Check mode: hard gates.
+    assert!(
+        overhead < 0.05,
+        "observability must cost < 5% of statement time (got {:+.2}%)",
+        overhead * 100.0
+    );
+    assert!(retained >= 64, "flight recorder must retain >= 64 statements (got {retained})");
+    assert!(events > 0, "event log must have seen the workload");
+    println!("PR6 smoke OK");
+}

@@ -5,7 +5,7 @@ use sim_catalog::Catalog;
 use sim_check::Report as CheckReport;
 use sim_luc::Mapper;
 use sim_luc::MapperError;
-use sim_obs::{MetricsSnapshot, Registry, Trace};
+use sim_obs::{EventLog, FlightRecorder, MetricsSnapshot, Registry, StatementRecord, Trace};
 use sim_query::{AnalyzedPlan, ExecResult, Plan, QueryEngine, QueryOutput};
 use sim_storage::{IoSnapshot, Storage, StorageEngine};
 use std::path::Path;
@@ -257,9 +257,72 @@ impl Database {
         self.engine.registry()
     }
 
-    /// Span tree of the most recent completed statement, if any.
+    /// Span tree of the most recent completed statement, if any. Reads
+    /// the newest flight-recorder entry; while recording is disabled via
+    /// [`Database::set_observation`] the recorder keeps (and reports) its
+    /// existing history but adds nothing new.
     pub fn last_trace(&self) -> Option<Trace> {
         self.engine.last_trace()
+    }
+
+    /// The flight recorder: a ring of the last
+    /// [`sim_obs::DEFAULT_RECORDER_CAPACITY`] statements, each with its
+    /// full trace, row count, block-I/O deltas, wall time, and
+    /// `plan_cached` / `slow` flags (REPL: `\recent`).
+    pub fn flight_recorder(&self) -> &Arc<FlightRecorder> {
+        self.engine.flight_recorder()
+    }
+
+    /// The most recent `n` statement records, oldest first — convenience
+    /// over [`Database::flight_recorder`].
+    pub fn recent_statements(&self, n: usize) -> Vec<StatementRecord> {
+        self.engine.flight_recorder().recent(n)
+    }
+
+    /// The engine-wide structured event log: statement start/end, commits,
+    /// checkpoints, recovery, cache evictions, slow statements (REPL:
+    /// `\events`).
+    pub fn event_log(&self) -> &Arc<EventLog> {
+        self.engine.event_log()
+    }
+
+    /// Mirror every subsequent event to `path` as JSON lines (the
+    /// slow-query log sink, among others). Truncates an existing file.
+    pub fn set_event_sink(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        self.engine.event_log().set_jsonl_sink(path.as_ref())
+    }
+
+    /// Set the slow-statement threshold in microseconds (`0` disables).
+    /// Statements at or over it are flagged in the recorder, counted in
+    /// `obs.slow_statements` and dumped to the event log with their trace.
+    pub fn set_slow_query_micros(&self, micros: u64) {
+        self.engine.set_slow_query_micros(micros);
+    }
+
+    /// The current slow-statement threshold in microseconds.
+    pub fn slow_query_micros(&self) -> u64 {
+        self.engine.slow_query_micros()
+    }
+
+    /// Turn the flight recorder and event log on or off together (metrics
+    /// counters always stay on). The `pr6_smoke` bench measures the cost
+    /// of leaving them on — well under 5% of statement wall time.
+    pub fn set_observation(&self, on: bool) {
+        self.engine.set_observation(on);
+    }
+
+    /// Render every metric in OpenMetrics/Prometheus text format (REPL:
+    /// `\metrics export <path>`). See [`sim_obs::openmetrics`] for the
+    /// name mapping.
+    pub fn render_openmetrics(&self) -> String {
+        sim_obs::render_openmetrics(&self.metrics())
+    }
+
+    /// Zero every metric in place (counter/gauge/histogram handles cached
+    /// by the layers keep working). Pre-reset snapshots `since()`-compared
+    /// across the reset saturate at zero. REPL: `\stats reset`.
+    pub fn reset_metrics(&self) {
+        self.engine.registry().reset();
     }
 
     /// Buffer-pool hit ratio over the lifetime of this database

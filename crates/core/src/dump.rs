@@ -1,0 +1,370 @@
+//! Offline database-directory forensics — the library behind the
+//! `sim-dump` binary.
+//!
+//! [`DumpReport::read_dir`] inspects a database directory *without opening
+//! it* (no recovery, no locks, no replay): it decodes the superblock's
+//! [`EngineMeta`], walks the write-ahead log frame by frame (LSN = byte
+//! offset, transaction, CRC status, torn-tail vs. interior-corruption
+//! classification), lists the commit records sitting in the log since the
+//! last checkpoint, and — by recompiling the persisted schema and
+//! replaying the mapper's deterministic id assignment — attributes heap
+//! blocks and records to each LUC storage unit (per-class occupancy).
+//!
+//! Exit-code contract (enforced by the binary, tested in
+//! `tests/dump_tool.rs`): a **torn final frame** is the expected signature
+//! of a crash mid-append — reported, but the directory is healthy
+//! (recovery will discard the tail), so the dump succeeds. **Interior
+//! corruption** means the log itself is damaged and recovery would refuse
+//! it — reported with a nonzero exit.
+
+use crate::error::SimError;
+use sim_luc::{AppMeta, PhysicalLayout};
+use sim_obs::json;
+use sim_storage::file::{BLOCKS_FILE, SUPER_FILE, WAL_FILE};
+use sim_storage::wal::{scan_frames, scan_log, FrameInfo, WalRecord, WalTail};
+use sim_storage::EngineMeta;
+use std::path::{Path, PathBuf};
+
+/// Decoded superblock summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuperblockInfo {
+    /// Allocated blocks at the last checkpoint.
+    pub block_count: u64,
+    /// Next transaction id at the last checkpoint.
+    pub next_txn: u64,
+    /// Heap files.
+    pub files: usize,
+    /// B-trees.
+    pub btrees: usize,
+    /// Hash indexes.
+    pub hashes: usize,
+    /// Size of the embedded application metadata, in bytes.
+    pub app_meta_bytes: usize,
+}
+
+/// One commit record found in the WAL (i.e. committed after the last
+/// checkpoint).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalCommitInfo {
+    /// Byte offset (LSN) of the commit frame.
+    pub offset: u64,
+    /// The committing transaction (0 = checkpoint pseudo-transaction).
+    pub txn: u64,
+    /// Block count carried by the commit's metadata snapshot.
+    pub block_count: u64,
+}
+
+/// Heap blocks and records attributed to one LUC storage unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitOccupancy {
+    /// The unit's name: the family's base class, or the auxiliary class.
+    pub unit: String,
+    /// Classes whose entities live in this unit.
+    pub classes: Vec<String>,
+    /// Heap blocks owned by the unit.
+    pub blocks: u64,
+    /// Records stored in the unit.
+    pub records: u64,
+}
+
+/// Everything `sim-dump` reports about a database directory.
+#[derive(Debug, Clone)]
+pub struct DumpReport {
+    /// The inspected directory.
+    pub dir: PathBuf,
+    /// Superblock summary (`None` when the directory has a WAL but no
+    /// superblock was ever written — cannot happen through the facade,
+    /// which checkpoints on create).
+    pub superblock: Option<SuperblockInfo>,
+    /// Classes in the persisted schema.
+    pub schema_classes: usize,
+    /// Next surrogate the allocator would hand out (from the app meta).
+    pub next_surrogate: u64,
+    /// WAL size in bytes.
+    pub wal_bytes: u64,
+    /// Every intact WAL frame, in log order.
+    pub frames: Vec<FrameInfo>,
+    /// How the WAL ends (clean / torn tail / interior corruption).
+    pub tail: WalTail,
+    /// Commit records in the WAL's valid prefix — the transactions durable
+    /// since the last checkpoint (the superblock *is* the checkpoint
+    /// history's latest entry; these are what recovery would replay on
+    /// top of it).
+    pub commits: Vec<WalCommitInfo>,
+    /// Per-storage-unit (per class family) heap occupancy, from the
+    /// superblock's structure bookkeeping.
+    pub occupancy: Vec<UnitOccupancy>,
+}
+
+impl DumpReport {
+    /// Inspect `dir` offline. Errors only on I/O failures, a directory
+    /// that never held a SIM database, or undecodable metadata — WAL
+    /// damage of either kind is *reported*, not an error.
+    pub fn read_dir(dir: impl AsRef<Path>) -> Result<DumpReport, SimError> {
+        let dir = dir.as_ref().to_path_buf();
+        let super_path = dir.join(SUPER_FILE);
+        let wal_path = dir.join(WAL_FILE);
+        if !super_path.exists() && !wal_path.exists() && !dir.join(BLOCKS_FILE).exists() {
+            return Err(persist(format!("{}: not a SIM database directory", dir.display())));
+        }
+
+        let super_bytes = read_optional(&super_path)?;
+        let meta = match &super_bytes {
+            Some(bytes) => Some(EngineMeta::decode(bytes)?),
+            None => None,
+        };
+        let superblock = meta.as_ref().map(|m| SuperblockInfo {
+            block_count: m.block_count,
+            next_txn: m.next_txn,
+            files: m.files.len(),
+            btrees: m.btrees.len(),
+            hashes: m.hashes.len(),
+            app_meta_bytes: m.app_meta.len(),
+        });
+
+        let wal_bytes = read_optional(&wal_path)?.unwrap_or_default();
+        let scan = scan_frames(&wal_bytes);
+        // The valid prefix always parses: re-scan it for commit payloads.
+        let valid_end = match &scan.tail {
+            WalTail::Clean => wal_bytes.len(),
+            WalTail::Torn { offset } | WalTail::Corrupt { offset, .. } => *offset as usize,
+        };
+        let prefix =
+            scan_log(&wal_bytes[..valid_end]).map_err(|e| persist(format!("wal prefix: {e}")))?;
+        let mut commits = Vec::new();
+        let mut latest_meta = None;
+        let mut commit_frames = scan.frames.iter().filter(|f| f.kind == "commit").map(|f| f.offset);
+        for rec in &prefix.records {
+            if let WalRecord::Commit { txn, meta } = rec {
+                let offset = commit_frames.next().unwrap_or(0);
+                let decoded = EngineMeta::decode(meta).ok();
+                let block_count = decoded.as_ref().map_or(0, |m| m.block_count);
+                if decoded.is_some() {
+                    latest_meta = decoded;
+                }
+                commits.push(WalCommitInfo { offset, txn: *txn, block_count });
+            }
+        }
+
+        // Occupancy reflects what recovery would materialize: the newest
+        // commit's metadata snapshot when the WAL holds one, else the
+        // checkpointed superblock.
+        let effective = latest_meta.as_ref().or(meta.as_ref());
+        let (schema_classes, next_surrogate, occupancy) = match effective {
+            Some(m) if !m.app_meta.is_empty() => occupancy_from_meta(m)?,
+            _ => (0, 0, Vec::new()),
+        };
+
+        Ok(DumpReport {
+            dir,
+            superblock,
+            schema_classes,
+            next_surrogate,
+            wal_bytes: wal_bytes.len() as u64,
+            frames: scan.frames,
+            tail: scan.tail,
+            commits,
+            occupancy,
+        })
+    }
+
+    /// Whether the WAL shows interior corruption (nonzero-exit condition
+    /// for the binary; a torn tail is not corruption).
+    pub fn is_corrupt(&self) -> bool {
+        matches!(self.tail, WalTail::Corrupt { .. })
+    }
+
+    /// Human-readable multi-line rendering.
+    pub fn to_text(&self) -> String {
+        let mut out = format!("sim-dump: {}\n", self.dir.display());
+        match &self.superblock {
+            Some(s) => out.push_str(&format!(
+                "superblock: blocks={} next_txn={} files={} btrees={} hashes={} app_meta={}B\n",
+                s.block_count, s.next_txn, s.files, s.btrees, s.hashes, s.app_meta_bytes
+            )),
+            None => out.push_str("superblock: (missing)\n"),
+        }
+        out.push_str(&format!(
+            "schema: {} classes, next surrogate {}\n",
+            self.schema_classes, self.next_surrogate
+        ));
+        let tail = match &self.tail {
+            WalTail::Clean => "clean".to_string(),
+            WalTail::Torn { offset } => {
+                format!("TORN at lsn {offset} (crash mid-append; recovery discards the tail)")
+            }
+            WalTail::Corrupt { offset, detail } => {
+                format!("CORRUPT at lsn {offset}: {detail}")
+            }
+        };
+        out.push_str(&format!(
+            "wal: {} bytes, {} frames, tail={tail}\n",
+            self.wal_bytes,
+            self.frames.len()
+        ));
+        for f in &self.frames {
+            let what = match f.block {
+                Some(b) => format!("block={}", b.0),
+                None => format!("meta={}B", f.payload_len),
+            };
+            out.push_str(&format!(
+                "  [lsn {:>8}] {:<6} txn={:<4} len={:<6} crc={} {what}\n",
+                f.offset,
+                f.kind,
+                f.txn,
+                f.payload_len,
+                if f.crc_ok { "ok" } else { "BAD" },
+            ));
+        }
+        out.push_str(&format!(
+            "checkpoint: superblock holds the last checkpoint; {} commit(s) in the log since\n",
+            self.commits.len()
+        ));
+        for c in &self.commits {
+            out.push_str(&format!(
+                "  commit txn={} at lsn {} (block_count={})\n",
+                c.txn, c.offset, c.block_count
+            ));
+        }
+        out.push_str("occupancy:\n");
+        for u in &self.occupancy {
+            out.push_str(&format!(
+                "  {:<20} blocks={:<5} records={:<7} classes=[{}]\n",
+                u.unit,
+                u.blocks,
+                u.records,
+                u.classes.join(", ")
+            ));
+        }
+        out
+    }
+
+    /// Single-line JSON rendering (the `--json` output).
+    pub fn to_json(&self) -> String {
+        let superblock = match &self.superblock {
+            Some(s) => json::object([
+                ("block_count", s.block_count.to_string()),
+                ("next_txn", s.next_txn.to_string()),
+                ("files", s.files.to_string()),
+                ("btrees", s.btrees.to_string()),
+                ("hashes", s.hashes.to_string()),
+                ("app_meta_bytes", s.app_meta_bytes.to_string()),
+            ]),
+            None => "null".to_string(),
+        };
+        let frames = json::array(self.frames.iter().map(|f| {
+            json::object([
+                ("lsn", f.offset.to_string()),
+                ("kind", json::string(f.kind)),
+                ("txn", f.txn.to_string()),
+                ("payload_len", f.payload_len.to_string()),
+                ("crc_ok", f.crc_ok.to_string()),
+                ("block", f.block.map_or("null".to_string(), |b| b.0.to_string())),
+            ])
+        }));
+        let tail = match &self.tail {
+            WalTail::Clean => json::object([("state", json::string("clean"))]),
+            WalTail::Torn { offset } => {
+                json::object([("state", json::string("torn")), ("lsn", offset.to_string())])
+            }
+            WalTail::Corrupt { offset, detail } => json::object([
+                ("state", json::string("corrupt")),
+                ("lsn", offset.to_string()),
+                ("detail", json::string(detail)),
+            ]),
+        };
+        let commits = json::array(self.commits.iter().map(|c| {
+            json::object([
+                ("lsn", c.offset.to_string()),
+                ("txn", c.txn.to_string()),
+                ("block_count", c.block_count.to_string()),
+            ])
+        }));
+        let occupancy = json::array(self.occupancy.iter().map(|u| {
+            json::object([
+                ("unit", json::string(&u.unit)),
+                ("classes", json::array(u.classes.iter().map(|c| json::string(c)))),
+                ("blocks", u.blocks.to_string()),
+                ("records", u.records.to_string()),
+            ])
+        }));
+        json::object([
+            ("dir", json::string(&self.dir.display().to_string())),
+            ("superblock", superblock),
+            ("schema_classes", self.schema_classes.to_string()),
+            ("next_surrogate", self.next_surrogate.to_string()),
+            ("wal_bytes", self.wal_bytes.to_string()),
+            ("frames", frames),
+            ("tail", tail),
+            ("commits", commits),
+            ("occupancy", occupancy),
+        ])
+    }
+}
+
+fn persist(msg: String) -> SimError {
+    SimError::Mapper(sim_luc::MapperError::Persist(msg))
+}
+
+fn read_optional(path: &Path) -> Result<Option<Vec<u8>>, SimError> {
+    match std::fs::read(path) {
+        Ok(bytes) => Ok(Some(bytes)),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(persist(format!("read {}: {e}", path.display()))),
+    }
+}
+
+/// Recompile the persisted schema and replay the mapper's deterministic
+/// file-id assignment (families in layout order: tree file, surrogate
+/// index, then one file+btree pair per auxiliary class) to attribute the
+/// superblock's heap bookkeeping to storage units.
+fn occupancy_from_meta(meta: &EngineMeta) -> Result<(usize, u64, Vec<UnitOccupancy>), SimError> {
+    let app = AppMeta::decode(&meta.app_meta)?;
+    let ddl = std::str::from_utf8(&app.schema)
+        .map_err(|_| persist("stored schema is not valid UTF-8".into()))?;
+    let catalog = sim_ddl::compile_schema(ddl)?;
+    let layout = PhysicalLayout::build(&catalog)?;
+    let class_name =
+        |id| catalog.class(id).map(|c| c.name.clone()).unwrap_or_else(|_| format!("class#{id:?}"));
+
+    let mut occupancy = Vec::new();
+    let mut next_file = 0usize;
+    for fam in &layout.families {
+        let tree_file = next_file;
+        next_file += 1 + fam.aux_classes.len();
+        let heap = |idx: usize| -> (u64, u64) {
+            meta.files.get(idx).map(|h| (h.blocks.len() as u64, h.record_count)).unwrap_or_default()
+        };
+        let (blocks, records) = heap(tree_file);
+        occupancy.push(UnitOccupancy {
+            unit: class_name(fam.base),
+            classes: fam.tree_classes.iter().map(|&c| class_name(c)).collect(),
+            blocks,
+            records,
+        });
+        for (i, &aux) in fam.aux_classes.iter().enumerate() {
+            let (blocks, records) = heap(tree_file + 1 + i);
+            occupancy.push(UnitOccupancy {
+                unit: format!("{} (aux)", class_name(aux)),
+                classes: vec![class_name(aux)],
+                blocks,
+                records,
+            });
+        }
+    }
+    Ok((catalog.classes().len(), app.next_surrogate, occupancy))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refuses_a_directory_that_never_held_a_database() {
+        let dir = std::env::temp_dir().join(format!("sim-dump-empty-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = DumpReport::read_dir(&dir).unwrap_err();
+        assert!(err.to_string().contains("not a SIM database"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -20,11 +20,13 @@
 
 pub mod cursor;
 pub mod database;
+pub mod dump;
 pub mod error;
 pub mod format;
 
 pub use cursor::{CursorRecord, StructuredCursor};
 pub use database::Database;
+pub use dump::{DumpReport, SuperblockInfo, UnitOccupancy, WalCommitInfo};
 pub use error::SimError;
 pub use format::format_output;
 

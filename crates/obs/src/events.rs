@@ -1,0 +1,440 @@
+//! Structured event log: a typed, bounded, in-memory record of the
+//! engine-level things that happen *between* statements — commits,
+//! checkpoints, recovery, cache evictions, injected faults — plus
+//! statement start/end markers and slow-statement dumps.
+//!
+//! One [`EventLog`] is shared by every layer of an engine instance (it is
+//! attached to the metrics [`Registry`](crate::Registry) via
+//! [`Registry::event_log`](crate::Registry::event_log)), so storage-level
+//! events and query-level events interleave in one global sequence. The
+//! log is a fixed-capacity ring: when full, the oldest event is dropped
+//! and counted in `obs.events_dropped`. An optional JSONL sink mirrors
+//! every event to a file as it is recorded, for offline analysis.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::json;
+use crate::metrics::Counter;
+
+/// Counter names published by the event log.
+pub mod names {
+    /// Events accepted into the in-memory ring.
+    pub const EVENTS_RECORDED: &str = "obs.events_recorded";
+    /// Events pushed out of the ring by newer ones (ring was full).
+    pub const EVENTS_DROPPED: &str = "obs.events_dropped";
+    /// Statements that crossed the slow-statement threshold.
+    pub const SLOW_STATEMENTS: &str = "obs.slow_statements";
+}
+
+/// Default ring capacity of an [`EventLog`].
+pub const DEFAULT_EVENT_CAPACITY: usize = 1024;
+
+/// One typed engine event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A statement entered the query engine.
+    StatementStart {
+        /// The statement text (trimmed).
+        statement: String,
+    },
+    /// A statement finished (successfully or not).
+    StatementEnd {
+        /// The statement text (trimmed).
+        statement: String,
+        /// Wall time, microseconds.
+        wall_micros: u64,
+        /// Output rows (retrieves) or affected entities (updates).
+        rows: u64,
+        /// Served from the plan cache.
+        plan_cached: bool,
+        /// Exceeded the slow-statement threshold.
+        slow: bool,
+    },
+    /// A statement exceeded the slow threshold; carries its full trace
+    /// (JSON-rendered) so the slow-query log is self-contained.
+    SlowStatement {
+        /// The statement text (trimmed).
+        statement: String,
+        /// Wall time, microseconds.
+        wall_micros: u64,
+        /// The statement's full trace as a JSON string.
+        trace_json: String,
+    },
+    /// A transaction committed at the storage layer.
+    Commit {
+        /// Transaction id.
+        txn: u64,
+    },
+    /// The write-ahead log was folded into the block file.
+    Checkpoint,
+    /// Crash recovery began (engine open over an existing directory).
+    RecoveryStart,
+    /// Crash recovery finished.
+    RecoveryEnd {
+        /// WAL records replayed into the block store.
+        records_replayed: u64,
+        /// The log ended in a torn (partially written) record.
+        torn_tail: bool,
+    },
+    /// The buffer pool evicted a block to make room.
+    CacheEvict {
+        /// The evicted block id.
+        block: u64,
+    },
+    /// A fault-injection harness triggered a simulated crash.
+    FaultInjected {
+        /// Operation count at which the fault fired.
+        op: u64,
+    },
+}
+
+impl Event {
+    /// Stable lowercase kind tag, e.g. `statement_end`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::StatementStart { .. } => "statement_start",
+            Event::StatementEnd { .. } => "statement_end",
+            Event::SlowStatement { .. } => "slow_statement",
+            Event::Commit { .. } => "commit",
+            Event::Checkpoint => "checkpoint",
+            Event::RecoveryStart => "recovery_start",
+            Event::RecoveryEnd { .. } => "recovery_end",
+            Event::CacheEvict { .. } => "cache_evict",
+            Event::FaultInjected { .. } => "fault_injected",
+        }
+    }
+
+    /// The event payload as JSON object fields (excluding `kind`).
+    fn payload_json(&self) -> Vec<(&'static str, String)> {
+        match self {
+            Event::StatementStart { statement } => {
+                vec![("statement", json::string(statement))]
+            }
+            Event::StatementEnd { statement, wall_micros, rows, plan_cached, slow } => vec![
+                ("statement", json::string(statement)),
+                ("wall_micros", wall_micros.to_string()),
+                ("rows", rows.to_string()),
+                ("plan_cached", plan_cached.to_string()),
+                ("slow", slow.to_string()),
+            ],
+            Event::SlowStatement { statement, wall_micros, trace_json } => vec![
+                ("statement", json::string(statement)),
+                ("wall_micros", wall_micros.to_string()),
+                ("trace", trace_json.clone()),
+            ],
+            Event::Commit { txn } => vec![("txn", txn.to_string())],
+            Event::Checkpoint | Event::RecoveryStart => vec![],
+            Event::RecoveryEnd { records_replayed, torn_tail } => vec![
+                ("records_replayed", records_replayed.to_string()),
+                ("torn_tail", torn_tail.to_string()),
+            ],
+            Event::CacheEvict { block } => vec![("block", block.to_string())],
+            Event::FaultInjected { op } => vec![("op", op.to_string())],
+        }
+    }
+
+    /// One-line human rendering (REPL `\events`).
+    pub fn to_text(&self) -> String {
+        match self {
+            Event::StatementStart { statement } => format!("statement-start  {statement}"),
+            Event::StatementEnd { statement, wall_micros, rows, plan_cached, slow } => {
+                let cached = if *plan_cached { " cached" } else { "" };
+                let slow = if *slow { " SLOW" } else { "" };
+                format!(
+                    "statement-end    {statement}  ({wall_micros}us, {rows} rows{cached}{slow})"
+                )
+            }
+            Event::SlowStatement { statement, wall_micros, .. } => {
+                format!("slow-statement   {statement}  ({wall_micros}us)")
+            }
+            Event::Commit { txn } => format!("commit           txn={txn}"),
+            Event::Checkpoint => "checkpoint".to_string(),
+            Event::RecoveryStart => "recovery-start".to_string(),
+            Event::RecoveryEnd { records_replayed, torn_tail } => {
+                format!("recovery-end     replayed={records_replayed} torn_tail={torn_tail}")
+            }
+            Event::CacheEvict { block } => format!("cache-evict      block={block}"),
+            Event::FaultInjected { op } => format!("fault-injected   op={op}"),
+        }
+    }
+}
+
+/// An [`Event`] stamped with its global sequence number and the offset
+/// (microseconds) from the log's creation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedEvent {
+    /// Global sequence number (0-based, monotonically increasing).
+    pub seq: u64,
+    /// Microseconds since the [`EventLog`] was created.
+    pub at_micros: u64,
+    /// The event itself.
+    pub event: Event,
+}
+
+impl TimedEvent {
+    /// Single-line JSON object: `{"seq":..,"at_micros":..,"kind":..,...}`.
+    pub fn to_json(&self) -> String {
+        let mut fields: Vec<(&str, String)> = vec![
+            ("seq", self.seq.to_string()),
+            ("at_micros", self.at_micros.to_string()),
+            ("kind", json::string(self.event.kind())),
+        ];
+        fields.extend(self.event.payload_json());
+        json::object(fields)
+    }
+
+    /// One-line human rendering with the sequence and offset prefix.
+    pub fn to_text(&self) -> String {
+        format!("[{:>6}] +{:>10}us  {}", self.seq, self.at_micros, self.event.to_text())
+    }
+}
+
+/// A bounded, shared, in-memory event ring with an optional JSONL file
+/// sink.
+///
+/// Recording takes one short mutex-protected push (the ring lock is never
+/// held across I/O or user code); when the optional sink is attached, the
+/// event is additionally serialized and appended to the file under a
+/// separate lock. Disabled logs ([`EventLog::set_enabled`]) skip all of
+/// it after a single atomic load.
+pub struct EventLog {
+    t0: Instant,
+    capacity: usize,
+    ring: Mutex<VecDeque<TimedEvent>>,
+    seq: AtomicU64,
+    enabled: AtomicBool,
+    sink_active: AtomicBool,
+    sink: Mutex<Option<std::fs::File>>,
+    recorded: Option<Arc<Counter>>,
+    dropped: Option<Arc<Counter>>,
+}
+
+impl EventLog {
+    /// A standalone log holding at most `capacity` events (min 1), not
+    /// wired to any counters.
+    pub fn new(capacity: usize) -> EventLog {
+        EventLog::with_counters(capacity, None, None)
+    }
+
+    /// A log publishing accepted/dropped totals into the given counters
+    /// (see [`names`]).
+    pub fn with_counters(
+        capacity: usize,
+        recorded: Option<Arc<Counter>>,
+        dropped: Option<Arc<Counter>>,
+    ) -> EventLog {
+        EventLog {
+            t0: Instant::now(),
+            capacity: capacity.max(1),
+            ring: Mutex::new(VecDeque::with_capacity(capacity.max(1))),
+            seq: AtomicU64::new(0),
+            enabled: AtomicBool::new(true),
+            sink_active: AtomicBool::new(false),
+            sink: Mutex::new(None),
+            recorded,
+            dropped,
+        }
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("event log poisoned").len()
+    }
+
+    /// Whether the ring is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events ever recorded (including those since dropped).
+    pub fn total_recorded(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Turn recording on or off. Off, [`EventLog::record`] is a single
+    /// atomic load.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Mirror every subsequent event to `path` as one JSON object per line
+    /// (JSONL), creating or truncating the file.
+    pub fn set_jsonl_sink(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        *self.sink.lock().expect("event sink poisoned") = Some(file);
+        self.sink_active.store(true, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Detach the JSONL sink, if any.
+    pub fn clear_sink(&self) {
+        self.sink_active.store(false, Ordering::Relaxed);
+        *self.sink.lock().expect("event sink poisoned") = None;
+    }
+
+    /// Append one event (no-op while disabled). Full ring drops the oldest.
+    pub fn record(&self, event: Event) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let at_micros = self.t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        let timed = TimedEvent { seq, at_micros, event };
+        if self.sink_active.load(Ordering::Relaxed) {
+            let mut sink = self.sink.lock().expect("event sink poisoned");
+            if let Some(file) = sink.as_mut() {
+                // Sink write failures must never take down the engine:
+                // detach the sink instead.
+                let line = timed.to_json();
+                if writeln!(file, "{line}").is_err() {
+                    *sink = None;
+                    self.sink_active.store(false, Ordering::Relaxed);
+                }
+            }
+        }
+        let mut ring = self.ring.lock().expect("event log poisoned");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            if let Some(c) = &self.dropped {
+                c.inc();
+            }
+        }
+        ring.push_back(timed);
+        drop(ring);
+        if let Some(c) = &self.recorded {
+            c.inc();
+        }
+    }
+
+    /// The most recent `n` events, oldest first.
+    pub fn recent(&self, n: usize) -> Vec<TimedEvent> {
+        let ring = self.ring.lock().expect("event log poisoned");
+        let skip = ring.len().saturating_sub(n);
+        ring.iter().skip(skip).cloned().collect()
+    }
+
+    /// Every retained event, oldest first.
+    pub fn snapshot(&self) -> Vec<TimedEvent> {
+        let ring = self.ring.lock().expect("event log poisoned");
+        ring.iter().cloned().collect()
+    }
+
+    /// Retained events of one kind (by [`Event::kind`] tag), oldest first.
+    pub fn of_kind(&self, kind: &str) -> Vec<TimedEvent> {
+        self.snapshot().into_iter().filter(|e| e.event.kind() == kind).collect()
+    }
+}
+
+impl std::fmt::Debug for EventLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventLog")
+            .field("capacity", &self.capacity)
+            .field("total_recorded", &self.total_recorded())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_with_monotone_seq() {
+        let log = EventLog::new(16);
+        log.record(Event::RecoveryStart);
+        log.record(Event::Commit { txn: 7 });
+        log.record(Event::Checkpoint);
+        let events = log.snapshot();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[2].seq, 2);
+        assert_eq!(events[1].event, Event::Commit { txn: 7 });
+        assert!(events[0].at_micros <= events[2].at_micros);
+    }
+
+    #[test]
+    fn bounded_ring_drops_oldest() {
+        let recorded = Arc::new(Counter::default());
+        let dropped = Arc::new(Counter::default());
+        let log =
+            EventLog::with_counters(4, Some(Arc::clone(&recorded)), Some(Arc::clone(&dropped)));
+        for txn in 0..10 {
+            log.record(Event::Commit { txn });
+        }
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.total_recorded(), 10);
+        assert_eq!(recorded.get(), 10);
+        assert_eq!(dropped.get(), 6);
+        let seqs: Vec<u64> = log.snapshot().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, [6, 7, 8, 9]);
+        // recent() returns the newest n, oldest first.
+        let last_two: Vec<u64> = log.recent(2).iter().map(|e| e.seq).collect();
+        assert_eq!(last_two, [8, 9]);
+    }
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let log = EventLog::new(8);
+        log.set_enabled(false);
+        log.record(Event::Checkpoint);
+        assert!(log.is_empty());
+        assert_eq!(log.total_recorded(), 0);
+        log.set_enabled(true);
+        log.record(Event::Checkpoint);
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn jsonl_sink_mirrors_events() {
+        let path =
+            std::env::temp_dir().join(format!("sim-obs-events-{}.jsonl", std::process::id()));
+        let log = EventLog::new(8);
+        log.set_jsonl_sink(&path).unwrap();
+        log.record(Event::StatementEnd {
+            statement: "From person Retrieve name.".into(),
+            wall_micros: 42,
+            rows: 2,
+            plan_cached: true,
+            slow: false,
+        });
+        log.record(Event::RecoveryEnd { records_replayed: 3, torn_tail: true });
+        log.clear_sink();
+        let body = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"kind\":\"statement_end\""));
+        assert!(lines[0].contains("\"plan_cached\":true"));
+        assert!(lines[1].contains("\"torn_tail\":true"));
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn kind_filter_and_text_rendering() {
+        let log = EventLog::new(8);
+        log.record(Event::Commit { txn: 1 });
+        log.record(Event::CacheEvict { block: 5 });
+        log.record(Event::Commit { txn: 2 });
+        assert_eq!(log.of_kind("commit").len(), 2);
+        assert_eq!(log.of_kind("cache_evict").len(), 1);
+        let text = log.snapshot()[1].to_text();
+        assert!(text.contains("cache-evict"));
+        assert!(text.contains("block=5"));
+    }
+}

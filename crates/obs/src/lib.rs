@@ -7,16 +7,23 @@
 //! the LUC Mapper, per-phase query latencies — through one registry that a
 //! [`Database`](../sim_core/struct.Database.html) snapshot exposes.
 //!
-//! Three pieces:
+//! Six pieces:
 //!
 //! * [`metrics`] — an atomic [`Registry`] of named [`Counter`]s, [`Gauge`]s
 //!   and fixed-bucket latency [`Histogram`]s, snapshotted into an immutable
 //!   [`MetricsSnapshot`] that supports `since()` deltas (never
-//!   underflowing) and text/JSON rendering;
+//!   underflowing) and deterministic text/JSON rendering;
 //! * [`trace`] — a lightweight span tree ([`Trace`] / [`Span`]) recording
 //!   what one statement did, phase by phase, with wall-clock offsets and
 //!   arbitrary key/value fields;
-//! * [`json`] — the tiny hand-rolled JSON writer both renderers share.
+//! * [`recorder`] — a [`FlightRecorder`] ring retaining the last N
+//!   statement traces with per-statement resource attribution;
+//! * [`events`] — a typed, bounded [`EventLog`] of engine events (commits,
+//!   checkpoints, recovery, evictions, faults, slow statements) with an
+//!   optional JSONL file sink, shared across layers via the registry;
+//! * [`openmetrics`] — OpenMetrics/Prometheus text exposition over a
+//!   snapshot, with a format [`self_check`](openmetrics::self_check);
+//! * [`json`] — the tiny hand-rolled JSON writer the renderers share.
 //!
 //! Counters are updated with `Ordering::Relaxed` atomics: metric updates
 //! need no synchronization with the data they describe, only eventual
@@ -24,9 +31,15 @@
 
 #![forbid(unsafe_code)]
 
+pub mod events;
 pub mod json;
 pub mod metrics;
+pub mod openmetrics;
+pub mod recorder;
 pub mod trace;
 
+pub use events::{Event, EventLog, TimedEvent};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
+pub use openmetrics::render_openmetrics;
+pub use recorder::{FlightRecorder, StatementRecord, DEFAULT_RECORDER_CAPACITY};
 pub use trace::{Span, SpanTimer, Trace, TraceBuilder};

@@ -36,6 +36,10 @@ impl Counter {
     pub fn get(&self) -> u64 {
         self.value.load(Ordering::Relaxed)
     }
+
+    pub(crate) fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
 }
 
 /// A signed instantaneous value (e.g. resident buffer-pool frames).
@@ -58,6 +62,10 @@ impl Gauge {
     /// The current value.
     pub fn get(&self) -> i64 {
         self.value.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
     }
 }
 
@@ -116,6 +124,14 @@ impl Histogram {
             buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
         }
     }
+
+    pub(crate) fn reset(&self) {
+        for bucket in &self.buckets {
+            bucket.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_micros.store(0, Ordering::Relaxed);
+    }
 }
 
 /// Point-in-time copy of one [`Histogram`].
@@ -160,6 +176,7 @@ struct RegistryInner {
     counters: BTreeMap<String, Arc<Counter>>,
     gauges: BTreeMap<String, Arc<Gauge>>,
     histograms: BTreeMap<String, Arc<Histogram>>,
+    events: Option<Arc<crate::events::EventLog>>,
 }
 
 /// A named collection of metrics shared by every layer of one engine
@@ -192,6 +209,45 @@ impl Registry {
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
         let mut inner = self.inner.lock().expect("metrics registry poisoned");
         Arc::clone(inner.histograms.entry(name.to_string()).or_default())
+    }
+
+    /// The engine-wide [`EventLog`](crate::events::EventLog) attached to
+    /// this registry, created on first use (default capacity, counters
+    /// wired to `obs.events_recorded` / `obs.events_dropped`). The
+    /// registry is the one object every layer of an engine instance
+    /// already shares, so it doubles as the event log's rendezvous point.
+    pub fn event_log(&self) -> Arc<crate::events::EventLog> {
+        use crate::events::{names, EventLog, DEFAULT_EVENT_CAPACITY};
+        // Create the counters *before* taking the inner lock: counter()
+        // takes the same mutex.
+        let recorded = self.counter(names::EVENTS_RECORDED);
+        let dropped = self.counter(names::EVENTS_DROPPED);
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        Arc::clone(inner.events.get_or_insert_with(|| {
+            Arc::new(EventLog::with_counters(DEFAULT_EVENT_CAPACITY, Some(recorded), Some(dropped)))
+        }))
+    }
+
+    /// Zero every registered counter, gauge and histogram **in place** —
+    /// the `Arc` handles cached by the instrumented layers keep working.
+    /// The attached event log is untouched.
+    ///
+    /// Reset semantics vs. [`MetricsSnapshot::since`]: a snapshot taken
+    /// *before* a reset compared against one taken *after* saturates each
+    /// delta at zero (counters are no longer monotone across the reset),
+    /// so `since()` never underflows — it just reports no progress until
+    /// the counters catch back up.
+    pub fn reset(&self) {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        for c in inner.counters.values() {
+            c.reset();
+        }
+        for g in inner.gauges.values() {
+            g.reset();
+        }
+        for h in inner.histograms.values() {
+            h.reset();
+        }
     }
 
     /// A point-in-time copy of every registered metric.
@@ -283,7 +339,9 @@ impl MetricsSnapshot {
     }
 
     /// A fixed-width, alphabetically sorted text rendering (one metric per
-    /// line), used by the REPL's `\stats`.
+    /// line), used by the REPL's `\stats`. Deterministic: the maps are
+    /// `BTreeMap`s, so two equal snapshots render byte-identically — CI
+    /// diffs and the oracle's digest property can include metric dumps.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
         for (name, value) in &self.counters {
@@ -305,6 +363,8 @@ impl MetricsSnapshot {
 
     /// A single-line JSON object:
     /// `{"counters":{...},"gauges":{...},"histograms":{...}}`.
+    /// Keys appear in sorted order (deterministic, like
+    /// [`MetricsSnapshot::to_text`]).
     pub fn to_json(&self) -> String {
         let counters = json::object(
             self.counters.iter().map(|(name, value)| (name.as_str(), value.to_string())),
@@ -377,6 +437,40 @@ mod tests {
         // Reversed order saturates to zero rather than wrapping.
         let reversed = before.since(&after);
         assert_eq!(reversed.counter("x"), 0);
+    }
+
+    #[test]
+    fn reset_zeroes_in_place_and_since_saturates() {
+        let registry = Registry::new();
+        let c = registry.counter("x");
+        let g = registry.gauge("g");
+        let h = registry.histogram("h");
+        c.add(9);
+        g.set(4);
+        h.observe_micros(7);
+        let before_reset = registry.snapshot();
+
+        registry.reset();
+        // The cached handles keep working against the same cells.
+        assert_eq!(c.get(), 0);
+        c.add(2);
+        assert_eq!(registry.snapshot().counter("x"), 2);
+        assert_eq!(registry.snapshot().gauge("g"), 0);
+        assert_eq!(registry.snapshot().histogram("h").unwrap().count, 0);
+
+        // A pre-reset snapshot compared across the reset saturates to 0.
+        let after = registry.snapshot();
+        assert_eq!(after.since(&before_reset).counter("x"), 0);
+        assert_eq!(after.since(&before_reset).histogram("h").unwrap().count, 0);
+    }
+
+    #[test]
+    fn event_log_is_shared_and_counted() {
+        let registry = Registry::new();
+        let log = registry.event_log();
+        assert!(Arc::ptr_eq(&log, &registry.event_log()), "one log per registry");
+        log.record(crate::events::Event::Checkpoint);
+        assert_eq!(registry.snapshot().counter("obs.events_recorded"), 1);
     }
 
     #[test]

@@ -1,0 +1,252 @@
+//! OpenMetrics / Prometheus text exposition over a [`MetricsSnapshot`].
+//!
+//! Name mapping: the registry's `layer.metric` names become
+//! `sim_layer_metric` (dots and dashes to underscores, `sim_` prefix).
+//! Counters expose one `<name>_total` sample, gauges one `<name>` sample,
+//! and latency histograms the standard cumulative form —
+//! `<name>_bucket{le="..."}` over the power-of-two microsecond bounds,
+//! a closing `le="+Inf"` bucket, plus `<name>_sum` (microseconds) and
+//! `<name>_count`. Families are emitted in sorted name order with
+//! `# HELP` / `# TYPE` headers and the output ends with `# EOF`, so the
+//! rendering is deterministic and diffable.
+
+use crate::metrics::{bucket_bound_micros, MetricsSnapshot};
+
+/// Map a registry metric name (`storage.pool_hits`) to an OpenMetrics
+/// family name (`sim_storage_pool_hits`).
+pub fn family_name(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len() + 4);
+    out.push_str("sim_");
+    for ch in raw.chars() {
+        if ch.is_ascii_alphanumeric() {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn push_header(out: &mut String, family: &str, kind: &str, raw: &str) {
+    out.push_str(&format!("# HELP {family} SIM metric `{raw}`.\n"));
+    out.push_str(&format!("# TYPE {family} {kind}\n"));
+}
+
+/// Render the snapshot in OpenMetrics text format.
+///
+/// Histogram `_count` is derived from the bucket sum so the cumulative
+/// `+Inf` bucket always equals it, even if the snapshot raced a concurrent
+/// `observe` between its `count` and `buckets` loads.
+pub fn render_openmetrics(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (raw, value) in &snap.counters {
+        let family = family_name(raw);
+        push_header(&mut out, &family, "counter", raw);
+        out.push_str(&format!("{family}_total {value}\n"));
+    }
+    for (raw, value) in &snap.gauges {
+        let family = family_name(raw);
+        push_header(&mut out, &family, "gauge", raw);
+        out.push_str(&format!("{family} {value}\n"));
+    }
+    for (raw, h) in &snap.histograms {
+        let family = family_name(raw);
+        push_header(&mut out, &family, "histogram", raw);
+        let mut cumulative = 0u64;
+        let finite = h.buckets.len().saturating_sub(1);
+        for (i, bucket) in h.buckets.iter().take(finite).enumerate() {
+            cumulative += bucket;
+            let le = bucket_bound_micros(i);
+            out.push_str(&format!("{family}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+        }
+        cumulative += h.buckets.last().copied().unwrap_or(0);
+        out.push_str(&format!("{family}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+        out.push_str(&format!("{family}_sum {}\n", h.sum_micros));
+        out.push_str(&format!("{family}_count {cumulative}\n"));
+    }
+    out.push_str("# EOF\n");
+    out
+}
+
+/// Validate an OpenMetrics rendering: every sample belongs to a family
+/// declared by a preceding `# TYPE` (with a `# HELP`), histogram buckets
+/// are cumulative (non-decreasing) and close with `le="+Inf"` equal to
+/// `_count`, and the output terminates with `# EOF`.
+pub fn self_check(text: &str) -> Result<(), String> {
+    use std::collections::BTreeMap;
+
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut helps: BTreeMap<String, ()> = BTreeMap::new();
+    // Per histogram family: (last cumulative bucket, saw +Inf, +Inf value).
+    let mut hist: BTreeMap<String, (u64, bool, u64)> = BTreeMap::new();
+    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+    let mut saw_eof = false;
+
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if line == "# EOF" {
+            saw_eof = true;
+            continue;
+        }
+        if saw_eof {
+            return Err(format!("line {n}: content after # EOF"));
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.splitn(2, ' ');
+            let family = parts.next().unwrap_or_default().to_string();
+            let kind = parts.next().ok_or(format!("line {n}: # TYPE missing kind"))?;
+            if !matches!(kind, "counter" | "gauge" | "histogram") {
+                return Err(format!("line {n}: unknown type {kind}"));
+            }
+            types.insert(family, kind.to_string());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let family = rest.split(' ').next().unwrap_or_default().to_string();
+            helps.insert(family, ());
+            continue;
+        }
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        // Sample line: name[{labels}] value
+        let name_end = line.find(['{', ' ']).ok_or(format!("line {n}: no value"))?;
+        let name = &line[..name_end];
+        let value_str = line.rsplit(' ').next().ok_or(format!("line {n}: no value"))?;
+        let (family, suffix) = ["_bucket", "_sum", "_count", "_total"]
+            .iter()
+            .find_map(|s| name.strip_suffix(s).map(|f| (f, *s)))
+            .unwrap_or((name, ""));
+        // A gauge family may legitimately end in one of the suffixes; fall
+        // back to the full name when only that resolves to a family.
+        let (family, suffix) = if types.contains_key(family) {
+            (family, suffix)
+        } else if types.contains_key(name) {
+            (name, "")
+        } else {
+            return Err(format!("line {n}: sample {name} has no # TYPE"));
+        };
+        if !helps.contains_key(family) {
+            return Err(format!("line {n}: family {family} has no # HELP"));
+        }
+        let kind = types.get(family).map(String::as_str).unwrap_or_default();
+        match (kind, suffix) {
+            ("counter", "_total") | ("gauge", "") | ("histogram", "_sum") => {}
+            ("histogram", "_count") => {
+                let v: u64 = value_str.parse().map_err(|_| format!("line {n}: bad count value"))?;
+                counts.insert(family.to_string(), v);
+            }
+            ("histogram", "_bucket") => {
+                let v: u64 =
+                    value_str.parse().map_err(|_| format!("line {n}: bad bucket value"))?;
+                let entry = hist.entry(family.to_string()).or_insert((0, false, 0));
+                if entry.1 {
+                    return Err(format!("line {n}: bucket after le=\"+Inf\" in {family}"));
+                }
+                if v < entry.0 {
+                    return Err(format!("line {n}: non-cumulative bucket in {family}"));
+                }
+                entry.0 = v;
+                if line.contains("le=\"+Inf\"") {
+                    entry.1 = true;
+                    entry.2 = v;
+                }
+            }
+            _ => return Err(format!("line {n}: sample {name} mismatches {kind} family")),
+        }
+    }
+
+    if !saw_eof {
+        return Err("output does not end with # EOF".to_string());
+    }
+    for (family, kind) in &types {
+        if kind == "histogram" {
+            let (_, saw_inf, inf_value) =
+                hist.get(family).ok_or(format!("histogram {family} has no buckets"))?;
+            if !saw_inf {
+                return Err(format!("histogram {family} lacks le=\"+Inf\""));
+            }
+            let count = counts.get(family).ok_or(format!("histogram {family} lacks _count"))?;
+            if inf_value != count {
+                return Err(format!(
+                    "histogram {family}: +Inf bucket {inf_value} != count {count}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn maps_names() {
+        assert_eq!(family_name("storage.pool_hits"), "sim_storage_pool_hits");
+        assert_eq!(family_name("query.plan-cache"), "sim_query_plan_cache");
+    }
+
+    #[test]
+    fn renders_and_passes_self_check() {
+        let registry = Registry::new();
+        registry.counter("storage.pool_hits").add(42);
+        registry.gauge("pool.frames").set(-3);
+        let h = registry.histogram("query.execute_micros");
+        h.observe_micros(1);
+        h.observe_micros(100);
+        h.observe_micros(u64::MAX); // overflow bucket
+
+        let text = render_openmetrics(&registry.snapshot());
+        self_check(&text).expect("rendering passes its own check");
+
+        assert!(text.contains("# TYPE sim_storage_pool_hits counter"));
+        assert!(text.contains("sim_storage_pool_hits_total 42\n"));
+        assert!(text.contains("sim_pool_frames -3\n"));
+        assert!(text.contains("# TYPE sim_query_execute_micros histogram"));
+        assert!(text.contains("sim_query_execute_micros_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("sim_query_execute_micros_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("sim_query_execute_micros_count 3\n"));
+        assert!(text.ends_with("# EOF\n"));
+    }
+
+    #[test]
+    fn rendering_is_deterministic_and_sorted() {
+        let registry = Registry::new();
+        registry.counter("z.last").inc();
+        registry.counter("a.first").inc();
+        let snap = registry.snapshot();
+        let one = render_openmetrics(&snap);
+        let two = render_openmetrics(&snap);
+        assert_eq!(one, two);
+        let a = one.find("sim_a_first_total").unwrap();
+        let z = one.find("sim_z_last_total").unwrap();
+        assert!(a < z, "families are emitted in sorted order");
+    }
+
+    #[test]
+    fn self_check_rejects_malformed_output() {
+        // Sample without a # TYPE.
+        assert!(self_check("sim_x_total 1\n# EOF").is_err());
+        // Missing # EOF.
+        let no_eof = "# HELP sim_x c.\n# TYPE sim_x counter\nsim_x_total 1\n";
+        assert!(self_check(no_eof).is_err());
+        // Non-cumulative histogram buckets.
+        let bad = concat!(
+            "# HELP sim_h h.\n# TYPE sim_h histogram\n",
+            "sim_h_bucket{le=\"1\"} 5\n",
+            "sim_h_bucket{le=\"2\"} 3\n",
+            "sim_h_bucket{le=\"+Inf\"} 5\n",
+            "sim_h_sum 9\nsim_h_count 5\n# EOF"
+        );
+        assert!(self_check(bad).unwrap_err().contains("non-cumulative"));
+        // +Inf disagreeing with _count.
+        let bad = concat!(
+            "# HELP sim_h h.\n# TYPE sim_h histogram\n",
+            "sim_h_bucket{le=\"+Inf\"} 5\n",
+            "sim_h_sum 9\nsim_h_count 4\n# EOF"
+        );
+        assert!(self_check(bad).unwrap_err().contains("!= count"));
+    }
+}

@@ -1,0 +1,300 @@
+//! Flight recorder: a fixed-capacity ring of the last N statement
+//! records, each carrying the statement's full [`Trace`] plus resource
+//! attribution — rows, block-I/O deltas, wall time, whether the plan came
+//! from the cache, and whether the statement crossed the slow threshold.
+//!
+//! Recording is designed for the statement hot path: a slot is claimed
+//! with one atomic `fetch_add` and only that slot's own mutex is taken,
+//! so concurrent statements never contend on a shared lock (the ring has
+//! no global one). The trace is *moved* into the record — the query
+//! engine builds it exactly once and never clones it on the write path.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::Counter;
+use crate::trace::Trace;
+
+/// Counter names published by the flight recorder.
+pub mod names {
+    /// Statements accepted into the ring.
+    pub const RECORDER_RECORDS: &str = "obs.recorder_records";
+    /// Ring slots overwritten by newer statements.
+    pub const RECORDER_EVICTIONS: &str = "obs.recorder_evictions";
+}
+
+/// Default ring capacity (the ISSUE floor is 64 retained traces).
+pub const DEFAULT_RECORDER_CAPACITY: usize = 128;
+
+/// Everything the recorder retains about one executed statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatementRecord {
+    /// Global statement sequence number (0-based), assigned on record.
+    pub seq: u64,
+    /// The statement text (trimmed).
+    pub statement: String,
+    /// Output rows (retrieves) or affected entities (updates).
+    pub rows: u64,
+    /// Wall time, microseconds.
+    pub wall_micros: u64,
+    /// Block reads performed by this statement (`storage.block_reads` delta).
+    pub io_reads: u64,
+    /// Block writes performed by this statement (`storage.block_writes` delta).
+    pub io_writes: u64,
+    /// Buffer-pool hits scored by this statement (`storage.pool_hits` delta).
+    pub pool_hits: u64,
+    /// The plan was served from the plan cache.
+    pub plan_cached: bool,
+    /// The statement exceeded the slow threshold.
+    pub slow: bool,
+    /// The statement's full phase/span trace.
+    pub trace: Trace,
+}
+
+impl StatementRecord {
+    /// One-line summary (REPL `\recent`).
+    pub fn to_text(&self) -> String {
+        let cached = if self.plan_cached { " cached" } else { "" };
+        let slow = if self.slow { " SLOW" } else { "" };
+        format!(
+            "[{:>6}] {:>8}us {:>6} rows  io r={} w={} hits={}{}{}  {}",
+            self.seq,
+            self.wall_micros,
+            self.rows,
+            self.io_reads,
+            self.io_writes,
+            self.pool_hits,
+            cached,
+            slow,
+            self.statement
+        )
+    }
+
+    /// Single-line JSON object, including the nested trace.
+    pub fn to_json(&self) -> String {
+        crate::json::object([
+            ("seq", self.seq.to_string()),
+            ("statement", crate::json::string(&self.statement)),
+            ("rows", self.rows.to_string()),
+            ("wall_micros", self.wall_micros.to_string()),
+            ("io_reads", self.io_reads.to_string()),
+            ("io_writes", self.io_writes.to_string()),
+            ("pool_hits", self.pool_hits.to_string()),
+            ("plan_cached", self.plan_cached.to_string()),
+            ("slow", self.slow.to_string()),
+            ("trace", self.trace.to_json()),
+        ])
+    }
+}
+
+/// A fixed-capacity ring of [`StatementRecord`]s.
+///
+/// Slot `seq % capacity` holds statement `seq`; claiming a sequence number
+/// is one atomic `fetch_add`, after which only the claimed slot's mutex is
+/// taken (uncontended unless two statements race `capacity` apart).
+pub struct FlightRecorder {
+    slots: Vec<Mutex<Option<StatementRecord>>>,
+    next_seq: AtomicU64,
+    enabled: AtomicBool,
+    records: Option<Arc<Counter>>,
+    evictions: Option<Arc<Counter>>,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining the last `capacity` statements (min 1), not
+    /// wired to any counters.
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder::with_counters(capacity, None, None)
+    }
+
+    /// A recorder publishing accept/evict totals into the given counters
+    /// (see [`names`]).
+    pub fn with_counters(
+        capacity: usize,
+        records: Option<Arc<Counter>>,
+        evictions: Option<Arc<Counter>>,
+    ) -> FlightRecorder {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            next_seq: AtomicU64::new(0),
+            enabled: AtomicBool::new(true),
+            records,
+            evictions,
+        }
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Records currently retained (`min(total, capacity)`).
+    pub fn len(&self) -> usize {
+        let total = self.next_seq.load(Ordering::Relaxed);
+        total.min(self.slots.len() as u64) as usize
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.next_seq.load(Ordering::Relaxed) == 0
+    }
+
+    /// Total statements ever recorded (including overwritten ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.next_seq.load(Ordering::Relaxed)
+    }
+
+    /// Turn recording on or off. Off, [`FlightRecorder::record`] is a
+    /// single atomic load and the ring keeps its existing contents.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Record one statement, overwriting the oldest slot when full. The
+    /// record's `seq` is assigned here; the caller's value is ignored.
+    /// No-op while disabled.
+    pub fn record(&self, mut record: StatementRecord) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        record.seq = seq;
+        let slot = (seq % self.slots.len() as u64) as usize;
+        let evicted = {
+            let mut guard = self.slots[slot].lock().expect("recorder slot poisoned");
+            guard.replace(record).is_some()
+        };
+        if evicted {
+            if let Some(c) = &self.evictions {
+                c.inc();
+            }
+        }
+        if let Some(c) = &self.records {
+            c.inc();
+        }
+    }
+
+    /// The most recent `n` records, oldest first. Tolerates concurrent
+    /// recording: a slot overwritten mid-walk simply surfaces its newer
+    /// record.
+    pub fn recent(&self, n: usize) -> Vec<StatementRecord> {
+        let mut records: Vec<StatementRecord> = self
+            .slots
+            .iter()
+            .filter_map(|slot| slot.lock().expect("recorder slot poisoned").clone())
+            .collect();
+        records.sort_by_key(|r| r.seq);
+        let skip = records.len().saturating_sub(n);
+        records.split_off(skip)
+    }
+
+    /// The most recently recorded statement, if any.
+    pub fn latest(&self) -> Option<StatementRecord> {
+        self.recent(1).pop()
+    }
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.capacity())
+            .field("total_recorded", &self.total_recorded())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(statement: &str, rows: u64) -> StatementRecord {
+        StatementRecord {
+            seq: 0,
+            statement: statement.to_string(),
+            rows,
+            wall_micros: 10,
+            io_reads: 1,
+            io_writes: 0,
+            pool_hits: 3,
+            plan_cached: false,
+            slow: false,
+            trace: Trace { label: statement.to_string(), spans: Vec::new() },
+        }
+    }
+
+    #[test]
+    fn retains_most_recent_in_order() {
+        let r = FlightRecorder::new(4);
+        for i in 0..6 {
+            r.record(rec(&format!("q{i}"), i));
+        }
+        assert_eq!(r.capacity(), 4);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.total_recorded(), 6);
+        let names: Vec<String> = r.recent(10).iter().map(|s| s.statement.clone()).collect();
+        assert_eq!(names, ["q2", "q3", "q4", "q5"]);
+        let last_two: Vec<u64> = r.recent(2).iter().map(|s| s.seq).collect();
+        assert_eq!(last_two, [4, 5]);
+        assert_eq!(r.latest().unwrap().statement, "q5");
+    }
+
+    #[test]
+    fn counts_records_and_evictions() {
+        let records = Arc::new(Counter::default());
+        let evictions = Arc::new(Counter::default());
+        let r = FlightRecorder::with_counters(
+            3,
+            Some(Arc::clone(&records)),
+            Some(Arc::clone(&evictions)),
+        );
+        for i in 0..5 {
+            r.record(rec("q", i));
+        }
+        assert_eq!(records.get(), 5);
+        assert_eq!(evictions.get(), 2);
+    }
+
+    #[test]
+    fn disabled_recorder_keeps_contents() {
+        let r = FlightRecorder::new(4);
+        r.record(rec("kept", 1));
+        r.set_enabled(false);
+        r.record(rec("dropped", 2));
+        assert_eq!(r.total_recorded(), 1);
+        assert_eq!(r.latest().unwrap().statement, "kept");
+        r.set_enabled(true);
+        r.record(rec("new", 3));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn default_capacity_meets_the_floor() {
+        const { assert!(DEFAULT_RECORDER_CAPACITY >= 64) };
+        let r = FlightRecorder::new(DEFAULT_RECORDER_CAPACITY);
+        for i in 0..(DEFAULT_RECORDER_CAPACITY as u64 + 10) {
+            r.record(rec(&format!("q{i}"), i));
+        }
+        assert!(r.recent(usize::MAX).len() >= 64);
+    }
+
+    #[test]
+    fn renders_text_and_json() {
+        let r = FlightRecorder::new(2);
+        let mut record = rec("From person Retrieve name.", 2);
+        record.plan_cached = true;
+        r.record(record);
+        let latest = r.latest().unwrap();
+        let text = latest.to_text();
+        assert!(text.contains("From person Retrieve name."));
+        assert!(text.contains("cached"));
+        let rendered = latest.to_json();
+        assert!(rendered.contains("\"plan_cached\":true"));
+        assert!(rendered.contains("\"trace\":{\"label\":"));
+    }
+}

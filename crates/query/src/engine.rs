@@ -19,13 +19,19 @@ use crate::stats::PhaseStats;
 use crate::update::{self, WriteSet};
 use sim_dml::{parse_statements, RetrieveStmt, Statement};
 use sim_luc::Mapper;
-use sim_obs::{Registry, Span, Trace, TraceBuilder};
-use std::sync::{Arc, Mutex};
+use sim_obs::{
+    Counter, Event, EventLog, FlightRecorder, Registry, Span, StatementRecord, Trace, TraceBuilder,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Resident-plan limit of the per-engine cache — generous for scripts and
 /// interactive sessions while bounding memory for adversarial workloads.
 const PLAN_CACHE_CAPACITY: usize = 64;
+
+/// Default slow-statement threshold: one second of wall time.
+pub const DEFAULT_SLOW_QUERY_MICROS: u64 = 1_000_000;
 
 /// The result of one statement.
 #[derive(Debug, Clone)]
@@ -71,9 +77,18 @@ pub struct QueryEngine {
     pub enforce_verifies: bool,
     /// Phase histograms and statement counters (`query.*`).
     phase: PhaseStats,
-    /// Span tree of the most recent completed statement. Behind a `Mutex`
-    /// because retrieves run through `&self`.
-    last_trace: Mutex<Option<Trace>>,
+    /// Flight recorder: the last N statement traces with resource
+    /// attribution. Each completed statement's trace is *moved* in here
+    /// (never cloned on the write path); [`QueryEngine::last_trace`] reads
+    /// the newest record back out.
+    recorder: Arc<FlightRecorder>,
+    /// Engine-wide event log (shared with the storage layer through the
+    /// registry); receives statement start/end and slow-statement events.
+    events: Arc<EventLog>,
+    /// Slow-statement threshold in microseconds; `0` disables flagging.
+    slow_micros: AtomicU64,
+    /// `obs.slow_statements` counter handle.
+    slow_statements: Arc<Counter>,
     /// Bound trees + plans of recent retrieves, keyed on normalized
     /// statement text and invalidated by schema or index DDL (see
     /// [`cache`]).
@@ -85,13 +100,24 @@ impl QueryEngine {
     /// constraints.
     pub fn new(mapper: Mapper) -> Result<QueryEngine, QueryError> {
         let verifies = compile_all(mapper.catalog())?;
-        let phase = PhaseStats::new(mapper.registry());
+        let registry = mapper.registry();
+        let phase = PhaseStats::new(registry);
+        let recorder = Arc::new(FlightRecorder::with_counters(
+            sim_obs::DEFAULT_RECORDER_CAPACITY,
+            Some(registry.counter(sim_obs::recorder::names::RECORDER_RECORDS)),
+            Some(registry.counter(sim_obs::recorder::names::RECORDER_EVICTIONS)),
+        ));
+        let events = registry.event_log();
+        let slow_statements = registry.counter(sim_obs::events::names::SLOW_STATEMENTS);
         Ok(QueryEngine {
             mapper,
             verifies,
             enforce_verifies: true,
             phase,
-            last_trace: Mutex::new(None),
+            recorder,
+            events,
+            slow_micros: AtomicU64::new(DEFAULT_SLOW_QUERY_MICROS),
+            slow_statements,
             plan_cache: PlanCache::new(PLAN_CACHE_CAPACITY),
         })
     }
@@ -122,9 +148,94 @@ impl QueryEngine {
         self.mapper.registry()
     }
 
-    /// The span tree of the most recent completed statement, if any.
+    /// The span tree of the most recent completed statement, if any —
+    /// read from the flight recorder's newest record, so it is `None`
+    /// while recording is disabled via [`QueryEngine::set_observation`].
     pub fn last_trace(&self) -> Option<Trace> {
-        self.last_trace.lock().expect("trace lock poisoned").clone()
+        self.recorder.latest().map(|r| r.trace)
+    }
+
+    /// The flight recorder: the last N statements with traces and
+    /// per-statement resource attribution.
+    pub fn flight_recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
+    }
+
+    /// The engine-wide event log (statement, commit, checkpoint, recovery
+    /// and eviction events), shared with the storage layer.
+    pub fn event_log(&self) -> &Arc<EventLog> {
+        &self.events
+    }
+
+    /// Set the slow-statement threshold in microseconds (`0` disables).
+    /// Statements at or over the threshold are flagged in the recorder,
+    /// counted in `obs.slow_statements`, and dumped to the event log with
+    /// their full trace.
+    pub fn set_slow_query_micros(&self, micros: u64) {
+        self.slow_micros.store(micros, Ordering::Relaxed);
+    }
+
+    /// The current slow-statement threshold in microseconds.
+    pub fn slow_query_micros(&self) -> u64 {
+        self.slow_micros.load(Ordering::Relaxed)
+    }
+
+    /// Turn the flight recorder and the event log on or off together.
+    /// Off, completed statements record nothing (and
+    /// [`QueryEngine::last_trace`] returns `None`); existing records are
+    /// retained. Metrics counters are unaffected.
+    pub fn set_observation(&self, on: bool) {
+        self.recorder.set_enabled(on);
+        self.events.set_enabled(on);
+    }
+
+    /// Finish a statement: build the trace, flag it if slow, and move it
+    /// into the flight recorder with its resource attribution.
+    fn record_statement(
+        &self,
+        tb: TraceBuilder,
+        statement: &str,
+        rows: u64,
+        io: &sim_storage::IoSnapshot,
+        plan_cached: bool,
+    ) {
+        let trace = tb.build();
+        let wall = trace.total_micros();
+        let threshold = self.slow_micros.load(Ordering::Relaxed);
+        let slow = threshold > 0 && wall >= threshold;
+        if slow {
+            self.slow_statements.inc();
+            if self.events.is_enabled() {
+                self.events.record(Event::SlowStatement {
+                    statement: statement.to_string(),
+                    wall_micros: wall,
+                    trace_json: trace.to_json(),
+                });
+            }
+        }
+        if self.events.is_enabled() {
+            self.events.record(Event::StatementEnd {
+                statement: statement.to_string(),
+                wall_micros: wall,
+                rows,
+                plan_cached,
+                slow,
+            });
+        }
+        if self.recorder.is_enabled() {
+            self.recorder.record(StatementRecord {
+                seq: 0,
+                statement: statement.to_string(),
+                rows,
+                wall_micros: wall,
+                io_reads: io.reads,
+                io_writes: io.writes,
+                pool_hits: io.pool_hits,
+                plan_cached,
+                slow,
+                trace,
+            });
+        }
     }
 
     /// Parse and execute a script of statements, stopping at the first
@@ -213,6 +324,9 @@ impl QueryEngine {
         self.phase.statements.inc();
         self.phase.retrieves.inc();
         let label = source.trim();
+        if self.events.is_enabled() {
+            self.events.record(Event::StatementStart { statement: label.to_string() });
+        }
         let mut tb = TraceBuilder::new(label);
 
         let key = cache::normalize(source);
@@ -310,7 +424,7 @@ impl QueryEngine {
             None
         };
 
-        *self.last_trace.lock().expect("trace lock poisoned") = Some(tb.build());
+        self.record_statement(tb, label, rows as u64, &io, from_cache);
         Ok((out, analyzed))
     }
 
@@ -329,7 +443,12 @@ impl QueryEngine {
             Statement::Insert(_) | Statement::Modify(_) | Statement::Delete(_) => {
                 self.phase.statements.inc();
                 self.phase.updates.inc();
-                let mut tb = TraceBuilder::new(&stmt.to_string());
+                let label = stmt.to_string();
+                if self.events.is_enabled() {
+                    self.events.record(Event::StatementStart { statement: label.clone() });
+                }
+                let io_before = self.mapper.engine().io_snapshot();
+                let mut tb = TraceBuilder::new(&label);
                 let mut txn = self.mapper.begin();
                 let mut writes = WriteSet::default();
                 let t = tb.start();
@@ -368,12 +487,14 @@ impl QueryEngine {
                     if let Some((name, message)) = violation {
                         self.phase.integrity_violations.inc();
                         self.mapper.abort(txn)?;
-                        *self.last_trace.lock().expect("trace lock poisoned") = Some(tb.build());
+                        let io = self.mapper.engine().io_snapshot().since(&io_before);
+                        self.record_statement(tb, &label, 0, &io, false);
                         return Err(QueryError::IntegrityViolation { constraint: name, message });
                     }
                 }
                 self.mapper.commit(txn)?;
-                *self.last_trace.lock().expect("trace lock poisoned") = Some(tb.build());
+                let io = self.mapper.engine().io_snapshot().since(&io_before);
+                self.record_statement(tb, &label, count as u64, &io, false);
                 Ok(ExecResult::Updated(count))
             }
         }

@@ -104,11 +104,17 @@ impl StorageEngine {
         pool_capacity: usize,
         registry: &Arc<Registry>,
     ) -> Result<StorageEngine, StorageError> {
+        let events = registry.event_log();
+        events.record(sim_obs::Event::RecoveryStart);
         let started = std::time::Instant::now();
         let outcome: RecoveryOutcome = recovery::recover(disk.as_mut())?;
         let pool = BufferPool::with_storage(pool_capacity, registry, disk, true);
         let millis = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
         pool.stats().count_recovery(outcome.records_replayed, millis);
+        events.record(sim_obs::Event::RecoveryEnd {
+            records_replayed: outcome.records_replayed,
+            torn_tail: outcome.torn_tail,
+        });
         let meta = outcome.meta;
         let files = meta
             .files
@@ -217,6 +223,7 @@ impl StorageEngine {
         let meta = self.meta().encode();
         self.pool.checkpoint(&meta)?;
         self.meta_dirty = false;
+        self.pool.events().record(sim_obs::Event::Checkpoint);
         Ok(())
     }
 
@@ -354,6 +361,7 @@ impl StorageEngine {
             let meta = self.meta().encode();
             self.pool.commit_to_wal(id, &meta)?;
             self.meta_dirty = false;
+            self.pool.events().record(sim_obs::Event::Commit { txn: id });
         }
         self.pool.stats().count_txn_commit();
         Ok(())

@@ -20,9 +20,12 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
-const BLOCKS_FILE: &str = "blocks.simdb";
-const WAL_FILE: &str = "wal.simdb";
-const SUPER_FILE: &str = "super.simdb";
+/// File name of the block array within a database directory.
+pub const BLOCKS_FILE: &str = "blocks.simdb";
+/// File name of the write-ahead log within a database directory.
+pub const WAL_FILE: &str = "wal.simdb";
+/// File name of the superblock within a database directory.
+pub const SUPER_FILE: &str = "super.simdb";
 const SUPER_TMP: &str = "super.simdb.tmp";
 
 /// File-backed storage rooted at a database directory.

@@ -72,6 +72,7 @@ pub use recovery::{recover, RecoveryOutcome};
 pub use schedule::{CrashPoint, FaultSchedule};
 pub use stats::{IoSnapshot, IoStats};
 pub use txn::Txn;
+pub use wal::{FrameInfo, FrameScan, WalTail};
 
 /// The block size of the simulated disk, in bytes.
 pub const BLOCK_SIZE: usize = 4096;

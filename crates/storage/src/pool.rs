@@ -42,7 +42,7 @@ use crate::error::StorageError;
 use crate::stats::{IoSnapshot, IoStats};
 use crate::wal::{encode_record, WalRecord};
 use crate::BLOCK_SIZE;
-use sim_obs::Registry;
+use sim_obs::{Event, EventLog, Registry};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -73,6 +73,7 @@ struct Inner {
 pub struct BufferPool {
     inner: Mutex<Inner>,
     stats: Arc<IoStats>,
+    events: Arc<EventLog>,
     durable: bool,
 }
 
@@ -101,7 +102,9 @@ impl BufferPool {
     ) -> BufferPool {
         assert!(capacity >= 2, "buffer pool needs at least two frames");
         let stats = IoStats::with_registry(registry);
+        let events = registry.event_log();
         BufferPool {
+            events,
             inner: Mutex::new(Inner {
                 disk,
                 frames: HashMap::with_capacity(capacity),
@@ -327,6 +330,11 @@ impl BufferPool {
         &self.stats
     }
 
+    /// The engine-wide event log this pool reports into.
+    pub fn events(&self) -> &Arc<EventLog> {
+        &self.events
+    }
+
     /// The metrics registry this pool publishes into.
     pub fn registry(&self) -> &Arc<Registry> {
         self.stats.registry()
@@ -391,6 +399,7 @@ impl BufferPool {
                 return Ok(());
             };
             self.stats.count_pool_eviction();
+            self.events.record(Event::CacheEvict { block: u64::from(victim.0) });
             if frame.dirty {
                 if let Err(e) = inner.disk.write_block(victim, &frame.data) {
                     inner.frames.insert(victim, frame);

@@ -129,6 +129,101 @@ pub fn scan_log(bytes: &[u8]) -> Result<LogScan, StorageError> {
     Ok(LogScan { records, valid_bytes: pos, torn_tail: false })
 }
 
+/// One decoded WAL frame's envelope, as reported by [`scan_frames`] —
+/// the offline-introspection view (`sim-dump`), which keeps byte offsets
+/// and CRC status instead of materializing page images.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameInfo {
+    /// Byte offset of the frame in the log — its LSN.
+    pub offset: u64,
+    /// `"page"` or `"commit"`.
+    pub kind: &'static str,
+    /// The owning transaction (0 = checkpoint).
+    pub txn: u64,
+    /// Payload length in bytes.
+    pub payload_len: u32,
+    /// The block a page frame images (`None` for commit frames).
+    pub block: Option<BlockId>,
+    /// The frame's CRC verified. Always true for listed frames — a frame
+    /// failing its CRC terminates the scan and is described by
+    /// [`FrameScan::tail`] instead.
+    pub crc_ok: bool,
+}
+
+/// How a frame-level scan ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalTail {
+    /// The log parses cleanly to its end.
+    Clean,
+    /// The final frame is truncated or fails its CRC — the torn-write
+    /// signature; recovery discards it and proceeds.
+    Torn {
+        /// Byte offset of the torn frame.
+        offset: u64,
+    },
+    /// Damage *before* the tail: intact frames follow the failure, so the
+    /// log itself is corrupt (recovery refuses it).
+    Corrupt {
+        /// Byte offset of the damaged frame.
+        offset: u64,
+        /// What failed to decode.
+        detail: String,
+    },
+}
+
+/// The outcome of a frame-level scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameScan {
+    /// Every intact frame, in log order.
+    pub frames: Vec<FrameInfo>,
+    /// How the log ends.
+    pub tail: WalTail,
+    /// Total bytes scanned (the whole input).
+    pub bytes: u64,
+}
+
+/// Frame-by-frame WAL inspection: decode every intact frame's envelope
+/// and classify how the log ends. Unlike [`scan_log`] this never errors —
+/// interior corruption is *reported* (as [`WalTail::Corrupt`]) rather than
+/// returned as an error, because the caller is a forensics tool, not
+/// recovery.
+pub fn scan_frames(bytes: &[u8]) -> FrameScan {
+    let mut frames = Vec::new();
+    let mut pos = 0usize;
+    let tail = loop {
+        if pos >= bytes.len() {
+            break WalTail::Clean;
+        }
+        match decode_one(&bytes[pos..]) {
+            Ok((rec, used)) => {
+                let (kind, txn, block, payload_len) = match &rec {
+                    WalRecord::PageImage { txn, block, .. } => {
+                        ("page", *txn, Some(*block), (4 + BLOCK_SIZE) as u32)
+                    }
+                    WalRecord::Commit { txn, meta } => ("commit", *txn, None, meta.len() as u32),
+                };
+                frames.push(FrameInfo {
+                    offset: pos as u64,
+                    kind,
+                    txn,
+                    payload_len,
+                    block,
+                    crc_ok: true,
+                });
+                pos += used;
+            }
+            Err(DecodeErr::Truncated) => break WalTail::Torn { offset: pos as u64 },
+            Err(DecodeErr::Corrupt(msg)) => {
+                if tail_is_only_noise(&bytes[pos..]) {
+                    break WalTail::Torn { offset: pos as u64 };
+                }
+                break WalTail::Corrupt { offset: pos as u64, detail: msg };
+            }
+        }
+    };
+    FrameScan { frames, tail, bytes: bytes.len() as u64 }
+}
+
 /// After a CRC/structure failure, is the remainder plausibly just one torn
 /// record (no further intact record follows)?
 fn tail_is_only_noise(rest: &[u8]) -> bool {
@@ -264,6 +359,42 @@ mod tests {
         log.extend_from_slice(&encode_record(&WalRecord::Commit { txn: 1, meta: vec![] }));
         log[mid] ^= 0xFF;
         assert!(matches!(scan_log(&log), Err(StorageError::WalCorrupt(_))));
+    }
+
+    #[test]
+    fn frame_scan_reports_offsets_and_tail() {
+        let mut log = Vec::new();
+        let first = encode_record(&page(1, 3, 0xAA));
+        log.extend_from_slice(&first);
+        log.extend_from_slice(&encode_record(&WalRecord::Commit { txn: 1, meta: b"m".to_vec() }));
+        let clean = scan_frames(&log);
+        assert_eq!(clean.tail, WalTail::Clean);
+        assert_eq!(clean.frames.len(), 2);
+        assert_eq!(clean.frames[0].offset, 0);
+        assert_eq!(clean.frames[0].kind, "page");
+        assert_eq!(clean.frames[0].block, Some(BlockId(3)));
+        assert_eq!(clean.frames[1].offset, first.len() as u64);
+        assert_eq!(clean.frames[1].kind, "commit");
+        assert!(clean.frames.iter().all(|f| f.crc_ok));
+
+        // Torn final frame: reported with its offset, prefix intact.
+        let keep = log.len() as u64;
+        let torn = encode_record(&page(2, 4, 1));
+        log.extend_from_slice(&torn[..torn.len() / 2]);
+        let scan = scan_frames(&log);
+        assert_eq!(scan.frames.len(), 2);
+        assert_eq!(scan.tail, WalTail::Torn { offset: keep });
+
+        // Interior damage: reported as Corrupt, not an error.
+        let mut log = Vec::new();
+        log.extend_from_slice(&encode_record(&page(1, 0, 1)));
+        let mid = log.len() + 20;
+        log.extend_from_slice(&encode_record(&page(1, 1, 2)));
+        log.extend_from_slice(&encode_record(&WalRecord::Commit { txn: 1, meta: vec![] }));
+        log[mid] ^= 0xFF;
+        let scan = scan_frames(&log);
+        assert_eq!(scan.frames.len(), 1);
+        assert!(matches!(scan.tail, WalTail::Corrupt { .. }));
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! log, exactly the partial-append a power cut can leave behind. Recovery
 //! must treat such a tail as absent, not as corruption.
 
+use sim_obs::{Event, EventLog};
 use sim_storage::{BlockId, Storage, StorageError, BLOCK_SIZE};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -98,6 +99,9 @@ pub struct FaultDisk {
     budget: Option<usize>,
     style: CrashStyle,
     crashed: bool,
+    /// Optional structured-event sink: the moment the scheduled crash
+    /// fires, a [`Event::FaultInjected`] is recorded there.
+    events: Option<Arc<EventLog>>,
 }
 
 impl FaultDisk {
@@ -129,7 +133,16 @@ impl FaultDisk {
             budget,
             style,
             crashed: false,
+            events: None,
         }
+    }
+
+    /// Record a [`Event::FaultInjected`] into `events` when the scheduled
+    /// crash fires, tagging the fault with the medium-wide op number it
+    /// landed on. Lets durability tests correlate injected faults with the
+    /// recovery events the engine logs on reopen.
+    pub fn set_event_log(&mut self, events: Arc<EventLog>) {
+        self.events = Some(events);
     }
 
     /// Whether the scheduled crash has fired.
@@ -143,13 +156,20 @@ impl FaultDisk {
         if self.crashed {
             return Err(StorageError::Io("simulated power failure (post-crash op)".into()));
         }
-        self.medium.inner.lock().expect("medium lock").ops += 1;
+        let op = {
+            let mut durable = self.medium.inner.lock().expect("medium lock");
+            durable.ops += 1;
+            durable.ops as u64
+        };
         match self.budget {
             Some(0) => {
                 self.crashed = true;
                 // Power loss: the volatile caches are gone.
                 self.cache.clear();
                 self.log_tail.clear();
+                if let Some(events) = &self.events {
+                    events.record(Event::FaultInjected { op });
+                }
                 Err(StorageError::Io("simulated power failure".into()))
             }
             Some(ref mut n) => {

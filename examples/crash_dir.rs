@@ -1,0 +1,60 @@
+//! Produce a freshly *crashed* database directory for `sim-dump` smokes.
+//!
+//! ```text
+//! cargo run --example crash_dir -- <dir> [--torn]
+//! ```
+//!
+//! Creates a durable UNIVERSITY database at `<dir>`, populates it, and
+//! drops it without closing — the committed work lives only in the
+//! write-ahead log, exactly the state a power cut leaves behind. With
+//! `--torn`, additionally appends the first half of one more WAL record so
+//! the log ends in a torn frame (the other crash signature `sim-dump`
+//! must classify as benign).
+
+use sim::crates::storage::wal::{encode_record, WalRecord};
+use sim::Database;
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::PathBuf;
+
+const SEED: &str = r#"
+    Insert department(dept-nbr := 101, name := "Physics").
+    Insert department(dept-nbr := 102, name := "Math").
+    Insert course(course-no := 201, title := "Algebra I", credits := 12).
+    Insert instructor(name := "Ann Smith", soc-sec-no := 1, employee-nbr := 1001,
+        salary := 60000.00, assigned-department := department with (name = "Math")).
+    Insert student(name := "John Doe", soc-sec-no := 2, student-nbr := 2001,
+        advisor := instructor with (name = "Ann Smith"),
+        major-department := department with (name = "Physics"),
+        courses-enrolled := course with (title = "Algebra I")).
+"#;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let dir = args.next().map(PathBuf::from).expect("usage: crash_dir <dir> [--torn]");
+    let torn = args.next().as_deref() == Some("--torn");
+
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clear target dir");
+    }
+    let mut db =
+        Database::create_at(sim::crates::ddl::UNIVERSITY_DDL, &dir).expect("create durable db");
+    db.set_enforce_verifies(false);
+    db.run(SEED).expect("seed data");
+    drop(db); // no close(): commits live only in the WAL, like a crash
+
+    if torn {
+        // A power cut mid-append leaves a prefix of the final record.
+        let record = encode_record(&WalRecord::Commit { txn: 9999, meta: vec![0u8; 64] });
+        let half = &record[..record.len() / 2];
+        let wal = dir.join(sim::crates::storage::file::WAL_FILE);
+        let mut f = OpenOptions::new().append(true).open(&wal).expect("open wal");
+        f.write_all(half).expect("append torn frame");
+    }
+
+    println!(
+        "crashed directory ready at {}{}",
+        dir.display(),
+        if torn { " (torn tail)" } else { "" }
+    );
+}

@@ -14,12 +14,16 @@
 //! shows the optimizer's strategy (plus any static-analysis lints),
 //! `\analyze <q>` executes it and shows per-step actual rows and I/O,
 //! `\check <q>` lints a statement without running it (`\check` alone lints
-//! the schema), `\stats` dumps the metrics registry, `\trace` shows the
-//! last statement's span tree, `\verify on|off` toggles enforcement,
-//! `\open <dir>` switches to a file-backed database at `dir` (opening it
-//! if present, creating a durable UNIVERSITY database otherwise),
-//! `\save` checkpoints a durable database (flushes data, truncates the
-//! write-ahead log), `\quit` exits.
+//! the schema), `\stats` dumps the metrics registry (`\stats reset` zeroes
+//! it), `\trace` shows the last statement's span tree, `\recent [n]` lists
+//! the flight recorder's last `n` statements (default 10), `\events [n]`
+//! shows recent structured events, `\slow <micros>` sets the slow-query
+//! threshold (0 disables), `\metrics export <path>` writes an
+//! OpenMetrics/Prometheus text snapshot, `\verify on|off` toggles
+//! enforcement, `\open <dir>` switches to a file-backed database at `dir`
+//! (opening it if present, creating a durable UNIVERSITY database
+//! otherwise), `\save` checkpoints a durable database (flushes data,
+//! truncates the write-ahead log), `\quit` exits.
 
 use sim::{format_output, Database, ExecResult};
 use std::io::{self, BufRead, Write};
@@ -67,7 +71,7 @@ fn main() -> io::Result<()> {
 
     println!("SIM interactive query facility — UNIVERSITY database loaded.");
     println!(
-        "End statements with '.'; meta: \\schema \\explain <q> \\analyze <q> \\check [q] \\stats \\trace \\verify on|off \\open <dir> \\save \\quit"
+        "End statements with '.'; meta: \\schema \\explain <q> \\analyze <q> \\check [q] \\stats [reset] \\trace \\recent [n] \\events [n] \\slow <micros> \\metrics export <path> \\verify on|off \\open <dir> \\save \\quit"
     );
 
     let stdin = io::stdin();
@@ -148,11 +152,66 @@ fn main() -> io::Result<()> {
                         println!("in-memory database; \\open <dir> switches to durable storage");
                     }
                 }
-                "\\stats" => print!("{}", db.metrics().to_text()),
+                "\\stats" => {
+                    if rest.trim().eq_ignore_ascii_case("reset") {
+                        db.reset_metrics();
+                        println!("metrics reset to zero");
+                    } else {
+                        print!("{}", db.metrics().to_text());
+                    }
+                }
                 "\\trace" => match db.last_trace() {
                     Some(trace) => print!("{}", trace.to_text()),
                     None => println!("no statement traced yet"),
                 },
+                "\\recent" => {
+                    let n = rest.trim().parse::<usize>().unwrap_or(10);
+                    let records = db.recent_statements(n);
+                    if records.is_empty() {
+                        println!("flight recorder is empty");
+                    }
+                    for rec in records {
+                        println!("{}", rec.to_text());
+                    }
+                }
+                "\\events" => {
+                    let n = rest.trim().parse::<usize>().unwrap_or(20);
+                    let events = db.event_log().recent(n);
+                    if events.is_empty() {
+                        println!("event log is empty");
+                    }
+                    for ev in events {
+                        println!("{}", ev.to_text());
+                    }
+                }
+                "\\slow" => match rest.trim().parse::<u64>() {
+                    Ok(micros) => {
+                        db.set_slow_query_micros(micros);
+                        if micros == 0 {
+                            println!("slow-query log disabled");
+                        } else {
+                            println!("slow-query threshold: {micros} µs");
+                        }
+                    }
+                    Err(_) => println!("usage: \\slow <micros>   (0 disables)"),
+                },
+                "\\metrics" => {
+                    let rest = rest.trim();
+                    if let Some(path) = rest.strip_prefix("export") {
+                        let path = path.trim();
+                        if path.is_empty() {
+                            println!("usage: \\metrics export <path>");
+                        } else {
+                            let text = db.render_openmetrics();
+                            match std::fs::write(path, &text) {
+                                Ok(()) => println!("wrote {} bytes to {path}", text.len()),
+                                Err(e) => println!("error: {e}"),
+                            }
+                        }
+                    } else {
+                        print!("{}", db.render_openmetrics());
+                    }
+                }
                 other => println!("unknown meta command {other}"),
             }
             buffer.clear();

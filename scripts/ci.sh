@@ -62,4 +62,18 @@ echo "== PR4 bench smoke (check mode): group-commit fsyncs/txn + plan-cache hit 
 # a non-zero plan-cache hit ratio on a hot query; dumps BENCH_pr4.json.
 (cd crates/bench && cargo run -q --bin pr4_smoke)
 
+echo "== PR6 bench smoke (check mode): observability overhead + recorder retention"
+# Asserts the flight recorder + event log cost < 5% of statement wall time
+# and that the recorder retains >= 64 statements; dumps BENCH_pr6.json.
+(cd crates/bench && cargo run -q --bin pr6_smoke)
+
+echo "== sim-dump smoke: offline introspection of a freshly crashed directory"
+# crash_dir leaves committed work only in the WAL plus a torn final frame;
+# sim-dump must classify that as benign (exit 0) and emit valid JSON.
+DUMP_DIR="target/sim-dump-smoke"
+cargo run -q --release -p sim --example crash_dir -- "$DUMP_DIR" --torn
+cargo run -q --release -p sim --bin sim-dump -- --json "$DUMP_DIR" > /dev/null
+cargo run -q --release -p sim --bin sim-dump -- "$DUMP_DIR" | grep -q "TORN"
+rm -rf "$DUMP_DIR"
+
 echo "CI OK"

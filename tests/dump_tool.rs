@@ -1,0 +1,182 @@
+//! The `sim-dump` offline introspection tool, exercised over real
+//! database directories in every post-crash state: cleanly closed, crashed
+//! with a full WAL, crashed mid-append (torn final frame), and damaged
+//! (corrupted interior frame). Covers both the `DumpReport` library and
+//! the binary's exit-code contract (torn tail -> 0, interior corruption
+//! -> nonzero).
+
+use sim::crates::storage::wal::{encode_record, WalRecord};
+use sim::crates::storage::WalTail;
+use sim::{Database, DumpReport};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clear scratch dir");
+    }
+    dir
+}
+
+const POPULATE: &str = r#"
+    Insert department(dept-nbr := 101, name := "Physics").
+    Insert department(dept-nbr := 102, name := "Math").
+    Insert course(course-no := 10, title := "Mechanics", credits := 12).
+    Insert student(name := "Sam", soc-sec-no := 2, student-nbr := 2001,
+        courses-enrolled := course with (course-no = 10),
+        major-department := department with (name = "Math")).
+"#;
+
+/// A durable UNIVERSITY database, populated and dropped *without* close:
+/// the committed statements live only in the WAL, like after a power cut.
+fn crashed_dir(name: &str) -> PathBuf {
+    let dir = scratch(name);
+    let mut db = Database::create_at(sim::crates::ddl::UNIVERSITY_DDL, &dir).unwrap();
+    db.set_enforce_verifies(false);
+    db.run(POPULATE).unwrap();
+    drop(db);
+    dir
+}
+
+fn wal_path(dir: &Path) -> PathBuf {
+    dir.join(sim::crates::storage::file::WAL_FILE)
+}
+
+fn run_dump(dir: &Path, json: bool) -> (Option<i32>, String, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_sim-dump"));
+    if json {
+        cmd.arg("--json");
+    }
+    let out = cmd.arg(dir).output().expect("spawn sim-dump");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn clean_close_dumps_with_empty_wal() {
+    let dir = scratch("dump-clean");
+    let mut db = Database::create_at(sim::crates::ddl::UNIVERSITY_DDL, &dir).unwrap();
+    db.set_enforce_verifies(false);
+    db.run(POPULATE).unwrap();
+    db.close().unwrap(); // checkpoint: data in blocks, WAL truncated
+
+    let report = DumpReport::read_dir(&dir).unwrap();
+    assert_eq!(report.tail, WalTail::Clean);
+    assert!(report.frames.is_empty(), "checkpoint truncated the log");
+    assert!(report.commits.is_empty());
+    assert!(!report.is_corrupt());
+    let sb = report.superblock.expect("superblock written");
+    assert!(sb.block_count > 0);
+    assert_eq!(report.schema_classes, 6, "UNIVERSITY schema");
+    // The checkpointed superblock attributes the inserted entities.
+    let records: u64 = report.occupancy.iter().map(|u| u.records).sum();
+    assert_eq!(records, 4, "2 departments + 1 course + 1 student");
+
+    let (code, stdout, _) = run_dump(&dir, false);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("tail=clean"), "{stdout}");
+}
+
+#[test]
+fn crashed_dir_reports_frames_and_commits() {
+    let dir = crashed_dir("dump-crashed");
+    let report = DumpReport::read_dir(&dir).unwrap();
+    assert_eq!(report.tail, WalTail::Clean, "drop without close leaves a whole log");
+    assert!(!report.frames.is_empty(), "committed work is in the WAL");
+    assert!(report.frames.iter().all(|f| f.crc_ok));
+    assert!(report.commits.len() >= 4, "one commit per statement");
+    // Frame offsets are the LSNs: strictly increasing from zero.
+    assert_eq!(report.frames[0].offset, 0);
+    for pair in report.frames.windows(2) {
+        assert!(pair[0].offset < pair[1].offset);
+    }
+    // Occupancy reflects the newest commit's metadata, not the stale
+    // (pre-insert) checkpoint.
+    let records: u64 = report.occupancy.iter().map(|u| u.records).sum();
+    assert_eq!(records, 4, "2 departments + 1 course + 1 student");
+
+    // The directory must still open fine afterwards: the dump is read-only.
+    let db = Database::open(&dir).unwrap();
+    let out = db.query("From department Retrieve name.").unwrap();
+    drop(out);
+}
+
+#[test]
+fn torn_final_frame_is_benign_and_exits_zero() {
+    let dir = crashed_dir("dump-torn");
+    // A power cut mid-append: only a prefix of the final record lands.
+    let record = encode_record(&WalRecord::Commit { txn: 777, meta: vec![7u8; 80] });
+    let wal = wal_path(&dir);
+    let mut bytes = std::fs::read(&wal).unwrap();
+    let intact = bytes.len() as u64;
+    bytes.extend_from_slice(&record[..record.len() / 2]);
+    std::fs::write(&wal, &bytes).unwrap();
+
+    let report = DumpReport::read_dir(&dir).unwrap();
+    assert_eq!(report.tail, WalTail::Torn { offset: intact });
+    assert!(!report.is_corrupt(), "a torn tail is a crash signature, not damage");
+    assert!(!report.frames.is_empty(), "frames before the tear are intact");
+
+    let (code, stdout, _) = run_dump(&dir, false);
+    assert_eq!(code, Some(0), "torn tail exits zero");
+    assert!(stdout.contains("TORN"), "{stdout}");
+
+    // Recovery agrees: the torn tail is discarded, the directory opens.
+    let db = Database::open(&dir).unwrap();
+    db.query("From department Retrieve name.").unwrap();
+}
+
+#[test]
+fn corrupted_interior_frame_is_flagged_and_exits_nonzero() {
+    let dir = crashed_dir("dump-corrupt");
+    let wal = wal_path(&dir);
+    let mut bytes = std::fs::read(&wal).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF; // bit-rot in the middle of the log
+    std::fs::write(&wal, &bytes).unwrap();
+
+    let report = DumpReport::read_dir(&dir).unwrap();
+    assert!(report.is_corrupt(), "interior damage is corruption, tail={:?}", report.tail);
+    let WalTail::Corrupt { offset, .. } = report.tail else {
+        panic!("expected Corrupt, got {:?}", report.tail);
+    };
+    assert!(offset < bytes.len() as u64);
+
+    let (code, stdout, _) = run_dump(&dir, false);
+    assert_eq!(code, Some(2), "interior corruption exits nonzero");
+    assert!(stdout.contains("CORRUPT"), "{stdout}");
+}
+
+#[test]
+fn json_output_is_structured() {
+    let dir = crashed_dir("dump-json");
+    let (code, stdout, _) = run_dump(&dir, true);
+    assert_eq!(code, Some(0));
+    let json = stdout.trim();
+    assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+    for key in
+        ["\"superblock\"", "\"frames\"", "\"tail\"", "\"commits\"", "\"occupancy\"", "\"lsn\""]
+    {
+        assert!(json.contains(key), "missing {key}: {json}");
+    }
+    assert!(json.contains("\"state\":\"clean\""));
+
+    // Library rendering matches the binary's output byte for byte.
+    let report = DumpReport::read_dir(&dir).unwrap();
+    assert_eq!(json, report.to_json());
+}
+
+#[test]
+fn refuses_non_database_directories() {
+    let dir = scratch("dump-not-a-db");
+    std::fs::create_dir_all(&dir).unwrap();
+    let err = DumpReport::read_dir(&dir).unwrap_err();
+    assert!(err.to_string().contains("not a SIM database"), "{err}");
+    let (code, _, stderr) = run_dump(&dir, false);
+    assert_eq!(code, Some(1), "usage/these errors exit 1");
+    assert!(stderr.contains("not a SIM database"), "{stderr}");
+}

@@ -3,9 +3,19 @@
 //! buffer-pool hit ratio, all exercised on the paper's §7 UNIVERSITY
 //! workload.
 
-use sim::crates::obs::MetricsSnapshot;
+use sim::crates::obs::{openmetrics, MetricsSnapshot};
 use sim::{Database, QueryOutput};
 use sim_testkit::{cases, Rng};
+use std::path::PathBuf;
+
+/// A fresh scratch directory under the cargo-managed tmpdir.
+fn scratch(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clear scratch dir");
+    }
+    dir
+}
 
 /// The §7 schema populated with a small multi-department dataset.
 fn populated_university() -> Database {
@@ -222,4 +232,262 @@ fn metrics_monotone_and_since_never_underflows() {
             }
         }
     });
+}
+
+// ===== PR 6: flight recorder, event log, slow queries, OpenMetrics =====
+
+/// ISSUE acceptance: the flight recorder retains at least the last 64
+/// statements, in order, with per-statement attribution.
+#[test]
+fn flight_recorder_retains_at_least_64_statements() {
+    let db = populated_university();
+    let queries = [
+        "From instructor Retrieve name.",
+        "From student Retrieve name, name of advisor.",
+        "From department Retrieve name.",
+    ];
+    for i in 0..70 {
+        db.query(queries[i % queries.len()]).unwrap();
+    }
+    let records = db.recent_statements(1000);
+    assert!(records.len() >= 64, "recorder retains >= 64 traces, got {}", records.len());
+    // Records come back oldest-first with strictly increasing sequence
+    // numbers, and each carries its statement text and a non-empty trace.
+    for pair in records.windows(2) {
+        assert!(pair[0].seq < pair[1].seq, "records ordered by sequence");
+    }
+    let last = records.last().unwrap();
+    assert_eq!(last.statement, "From instructor Retrieve name.");
+    assert!(!last.trace.spans.is_empty(), "record embeds the span tree");
+    assert_eq!(last.rows, 3, "three instructors retrieved");
+}
+
+/// Per-statement I/O attribution: a cold statement faults blocks in
+/// (reads > 0), a warm repeat is served from the pool (hits > 0, no
+/// reads).
+#[test]
+fn flight_recorder_attributes_io_per_statement() {
+    let db = populated_university();
+    let dml = "From student Retrieve name, name of advisor.";
+    db.query(dml).unwrap(); // warm the pool and the plan cache
+
+    db.clear_cache();
+    db.query(dml).unwrap();
+    let cold = db.flight_recorder().latest().unwrap();
+    assert!(cold.io_reads > 0, "cold statement faults blocks from storage");
+
+    db.query(dml).unwrap();
+    let warm = db.flight_recorder().latest().unwrap();
+    assert!(warm.seq > cold.seq, "new statement, new record");
+    assert!(warm.pool_hits > 0, "warm statement is served from the pool");
+    assert_eq!(warm.io_reads, 0, "warm statement reads nothing from storage");
+}
+
+/// ISSUE satellite: a statement served from the plan cache still produces
+/// a full trace, marked `plan_cached`, and the parse/bind/optimize phase
+/// histograms stay frozen (the phases were skipped, not re-run).
+#[test]
+fn cached_plan_statement_still_produces_trace() {
+    let db = populated_university();
+    let dml = "From instructor Retrieve name of assigned-department.";
+    db.query(dml).unwrap(); // cold: populates the plan cache
+
+    let first = db.flight_recorder().latest().unwrap();
+    assert!(!first.plan_cached, "first execution compiles the plan");
+
+    let before = db.metrics();
+    db.query(dml).unwrap();
+    let after = db.metrics();
+
+    let cached = db.flight_recorder().latest().unwrap();
+    assert!(cached.plan_cached, "repeat execution hits the plan cache");
+    let names: Vec<&str> = cached.trace.spans.iter().map(|s| s.name.as_str()).collect();
+    assert!(names.contains(&"plan-cache"), "trace shows the cache hit, got {names:?}");
+    assert!(names.contains(&"execute"), "execution is still traced");
+
+    assert_eq!(after.counter("query.plan_cache_hits"), before.counter("query.plan_cache_hits") + 1);
+    for phase in ["query.parse_micros", "query.bind_micros", "query.optimize_micros"] {
+        let b = before.histogram(phase).expect("phase histogram").count;
+        let a = after.histogram(phase).expect("phase histogram").count;
+        assert_eq!(a, b, "{phase} must not observe a cached statement");
+    }
+    let exec_b = before.histogram("query.execute_micros").unwrap().count;
+    let exec_a = after.histogram("query.execute_micros").unwrap().count;
+    assert_eq!(exec_a, exec_b + 1, "execute still runs and is still measured");
+}
+
+/// The structured event log sees every statement start and end, with row
+/// counts and cache attribution on the end event.
+#[test]
+fn event_log_captures_statement_lifecycle() {
+    let db = populated_university();
+    let log = db.event_log().clone();
+    let starts0 = log.of_kind("statement_start").len();
+    db.query("From department Retrieve name.").unwrap();
+    db.query("From department Retrieve name.").unwrap();
+
+    let starts = log.of_kind("statement_start");
+    let ends = log.of_kind("statement_end");
+    assert_eq!(starts.len() - starts0, 2);
+    let last = ends.last().expect("end event recorded");
+    let json = last.to_json();
+    assert!(json.contains("\"rows\":3"), "end event carries the row count: {json}");
+    assert!(json.contains("\"plan_cached\":true"), "repeat was cached: {json}");
+}
+
+/// ISSUE acceptance: on a durable database the event log captures commits
+/// and checkpoints, and a reopen after a crash logs recovery start/end.
+#[test]
+fn event_log_captures_commit_checkpoint_recovery() {
+    let dir = scratch("obs-event-recovery");
+    let mut db = Database::create_at(sim::crates::ddl::UNIVERSITY_DDL, &dir).unwrap();
+    db.set_enforce_verifies(false);
+    db.run(r#"Insert department(dept-nbr := 101, name := "Physics")."#).unwrap();
+    db.run(r#"Insert department(dept-nbr := 102, name := "Math")."#).unwrap();
+    assert!(db.event_log().of_kind("commit").len() >= 2, "each durable statement commit is logged");
+    let checkpoints_before = db.event_log().of_kind("checkpoint").len(); // create_at checkpoints too
+    db.checkpoint().unwrap();
+    assert_eq!(db.event_log().of_kind("checkpoint").len(), checkpoints_before + 1);
+    db.run(r#"Insert department(dept-nbr := 103, name := "History")."#).unwrap();
+    drop(db); // crash: the last insert lives only in the WAL
+
+    let db = Database::open(&dir).unwrap();
+    let log = db.event_log();
+    assert_eq!(log.of_kind("recovery_start").len(), 1);
+    let end = log.of_kind("recovery_end");
+    assert_eq!(end.len(), 1);
+    let json = end[0].to_json();
+    assert!(json.contains("\"records_replayed\""), "recovery end reports replay: {json}");
+    assert!(!json.contains("\"records_replayed\":0"), "the WAL held the third insert");
+}
+
+/// The slow-query log flags statements above the threshold and dumps the
+/// full trace on the event.
+#[test]
+fn slow_query_log_flags_statements() {
+    let db = populated_university();
+    assert_eq!(db.slow_query_micros(), 1_000_000, "default threshold is 1s");
+    db.set_slow_query_micros(1); // everything real is slower than 1µs
+    db.clear_cache();
+    db.query("From student Retrieve name, name of advisor.").unwrap();
+
+    assert!(db.metrics().counter("obs.slow_statements") >= 1);
+    let slow = db.event_log().of_kind("slow_statement");
+    assert!(!slow.is_empty(), "slow statement landed in the event log");
+    let json = slow.last().unwrap().to_json();
+    assert!(json.contains("\"trace\""), "slow event embeds the full trace: {json}");
+    assert!(db.flight_recorder().latest().unwrap().slow, "record is marked slow");
+
+    db.set_slow_query_micros(0); // 0 disables
+    let before = db.metrics().counter("obs.slow_statements");
+    db.query("From department Retrieve name.").unwrap();
+    assert_eq!(db.metrics().counter("obs.slow_statements"), before);
+}
+
+/// The JSONL sink mirrors events to disk, one JSON object per line.
+#[test]
+fn event_sink_writes_jsonl() {
+    let dir = scratch("obs-event-sink");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("events.jsonl");
+    let db = populated_university();
+    db.set_event_sink(&path).unwrap();
+    db.query("From department Retrieve name.").unwrap();
+    db.query("From instructor Retrieve name.").unwrap();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() >= 4, "start+end per statement: {}", lines.len());
+    for line in lines {
+        assert!(line.starts_with('{') && line.ends_with('}'), "JSONL line: {line}");
+        assert!(line.contains("\"kind\""), "typed event: {line}");
+    }
+}
+
+/// `set_observation(false)` stops both the recorder and the event log;
+/// re-enabling resumes them.
+#[test]
+fn observation_can_be_toggled() {
+    let db = populated_university();
+    db.query("From department Retrieve name.").unwrap();
+    let recorded = db.flight_recorder().total_recorded();
+    let events = db.event_log().total_recorded();
+
+    db.set_observation(false);
+    db.query("From department Retrieve name.").unwrap();
+    assert_eq!(db.flight_recorder().total_recorded(), recorded);
+    assert_eq!(db.event_log().total_recorded(), events);
+    // Paused, not wiped: the pre-pause history stays readable.
+    let held = db.last_trace().expect("history survives the pause");
+    assert!(held.spans.iter().any(|s| s.name == "execute"));
+
+    db.set_observation(true);
+    db.query("From department Retrieve name.").unwrap();
+    assert_eq!(db.flight_recorder().total_recorded(), recorded + 1);
+    assert!(db.event_log().total_recorded() > events);
+}
+
+/// ISSUE acceptance: the OpenMetrics rendering passes the format
+/// self-check and is deterministic — two renders of the same state are
+/// byte-identical, as are repeated `to_text()`/`to_json()` snapshots.
+#[test]
+fn openmetrics_renders_deterministically_and_self_checks() {
+    let db = populated_university();
+    db.query("From student Retrieve name, name of advisor.").unwrap();
+
+    let text = db.render_openmetrics();
+    openmetrics::self_check(&text).expect("exposition passes the self-check");
+    assert_eq!(text, db.render_openmetrics(), "same state renders identically");
+    assert!(text.ends_with("# EOF\n"));
+    assert!(text.contains("sim_query_execute_micros_bucket{le=\"+Inf\"}"));
+
+    let snap = db.metrics();
+    assert_eq!(snap.to_text(), db.metrics().to_text());
+    assert_eq!(snap.to_json(), db.metrics().to_json());
+}
+
+/// ISSUE satellite: `reset_metrics` zeroes the registry in place; a
+/// pre-reset snapshot used as a `since()` baseline saturates to zero
+/// rather than underflowing.
+#[test]
+fn reset_metrics_zeroes_in_place() {
+    let db = populated_university();
+    db.query("From instructor Retrieve name.").unwrap();
+    let before = db.metrics();
+    assert!(before.counter("luc.entity_reads") > 0);
+
+    db.reset_metrics();
+    let after = db.metrics();
+    assert_eq!(after.counter("luc.entity_reads"), 0);
+    assert_eq!(after.histogram("query.execute_micros").unwrap().count, 0);
+
+    // since() against the stale pre-reset baseline saturates, never panics.
+    let delta = after.since(&before);
+    for (name, value) in &delta.counters {
+        assert_eq!(*value, 0, "{name}: post-reset minus pre-reset saturates to 0");
+    }
+
+    // The registry keeps counting after the reset.
+    db.query("From instructor Retrieve name.").unwrap();
+    assert!(db.metrics().counter("luc.entity_reads") > 0);
+}
+
+/// The fault-injection disk reports its simulated power cut into the
+/// structured event log.
+#[test]
+fn fault_disk_logs_injected_faults() {
+    use sim::crates::obs::EventLog;
+    use sim::crates::storage::Storage;
+    use sim_testkit::{FaultDisk, FaultMedium};
+    use std::sync::Arc;
+
+    let log = Arc::new(EventLog::new(64));
+    let medium = FaultMedium::new();
+    let mut disk = FaultDisk::with_crash(&medium, 1);
+    disk.set_event_log(log.clone());
+    disk.allocate_block().unwrap(); // budget 1 -> 0
+    assert!(disk.allocate_block().is_err(), "second op hits the power cut");
+    let faults = log.of_kind("fault_injected");
+    assert_eq!(faults.len(), 1);
+    assert!(faults[0].to_json().contains("\"op\":2"), "{}", faults[0].to_json());
 }
