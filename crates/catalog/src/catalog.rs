@@ -639,8 +639,41 @@ impl Catalog {
     }
 
     /// Whether `a` is a (transitive) ancestor of `b`.
+    ///
+    /// Hot on every bind and plan verification, so the common case (a
+    /// catalog of at most 64 classes) walks the hierarchy with a bitmask
+    /// visited set and a fixed stack — no heap allocation. Each class is
+    /// marked visited at push time, so the stack holds each class at most
+    /// once and cannot overflow.
     pub fn is_ancestor(&self, a: ClassId, b: ClassId) -> bool {
-        self.ancestors(b).contains(&a)
+        if self.classes.len() > 64 {
+            return self.ancestors(b).contains(&a);
+        }
+        let mut visited: u64 = 0;
+        let mut stack = [b; 64];
+        let mut top = 0usize;
+        for &s in &self.classes[b.0 as usize].superclasses {
+            if visited & (1u64 << s.0) == 0 {
+                visited |= 1u64 << s.0;
+                stack[top] = s;
+                top += 1;
+            }
+        }
+        while top > 0 {
+            top -= 1;
+            let c = stack[top];
+            if c == a {
+                return true;
+            }
+            for &s in &self.classes[c.0 as usize].superclasses {
+                if visited & (1u64 << s.0) == 0 {
+                    visited |= 1u64 << s.0;
+                    stack[top] = s;
+                    top += 1;
+                }
+            }
+        }
+        false
     }
 
     /// Whether an entity of class `sub` can be viewed as `sup` (identity or

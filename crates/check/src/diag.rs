@@ -34,8 +34,10 @@ impl fmt::Display for Severity {
 ///
 /// `S` codes are schema lints (over the DDL class graph or a finalized
 /// [`sim_catalog::Catalog`]); `Q` codes are query/constraint lints (over
-/// bound trees from `sim_query::bound`). Codes are append-only: never reuse
-/// or renumber a released code.
+/// bound trees from `sim_query::bound`); `P` codes are physical-plan
+/// invariants checked by the [`crate::verify`] abstract interpreter over
+/// optimized plans. Codes are append-only: never reuse or renumber a
+/// released code.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Code {
     /// Cycle in the subclass (generalization) graph — §3.1 requires a DAG.
@@ -104,6 +106,38 @@ pub enum Code {
     /// A VERIFY assertion that is FALSE for every entity: the first insert
     /// into the class will always be rejected.
     Q110,
+    /// An index range scan over a domain with no evaluator-faithful total
+    /// order (symbolic or subrole): the B-tree walks symbol-code
+    /// (declaration) order, not the label order comparisons use.
+    P201,
+    /// An index probe or range bound whose value cannot be coerced through
+    /// the indexed attribute's declared domain.
+    P202,
+    /// An access path claims a physical index the layout does not provide
+    /// (no index on the attribute, or a range scan over a hash-only index).
+    P203,
+    /// An EVA/transitive/restrict traversal inconsistent with the catalog:
+    /// attribute not entity-valued, not visible on the parent's class, or
+    /// the node's class outside the attribute's range hierarchy.
+    P204,
+    /// The plan's shape diverges from the bound tree: root order not a
+    /// permutation, access-path count or class mismatched, or a probed
+    /// attribute not visible on the accessed class.
+    P205,
+    /// The chosen root order permutes the implicit perspective nesting but
+    /// the plan does not claim the restoring sort (§5.1 semantics
+    /// preservation).
+    P206,
+    /// An index nested-loop probe reads a perspective that is not bound
+    /// earlier in the claimed iteration order.
+    P207,
+    /// Output schema mismatch: target/name/home arity disagreement, a home
+    /// node outside the loop nest, or a dangling node reference.
+    P208,
+    /// A quantifier/aggregate chain unsound under three-valued logic or set
+    /// semantics: quantified sets outside comparison-operand position, or
+    /// chain steps inconsistent with the catalog's attribute shapes.
+    P209,
 }
 
 impl Code {
@@ -133,7 +167,55 @@ impl Code {
             Code::Q108 => "SIM-Q108",
             Code::Q109 => "SIM-Q109",
             Code::Q110 => "SIM-Q110",
+            Code::P201 => "SIM-P201",
+            Code::P202 => "SIM-P202",
+            Code::P203 => "SIM-P203",
+            Code::P204 => "SIM-P204",
+            Code::P205 => "SIM-P205",
+            Code::P206 => "SIM-P206",
+            Code::P207 => "SIM-P207",
+            Code::P208 => "SIM-P208",
+            Code::P209 => "SIM-P209",
         }
+    }
+
+    /// Every released code, in wire-form order — the doc-sync golden test
+    /// walks this list against DESIGN.md's lint catalog.
+    pub fn all() -> &'static [Code] {
+        &[
+            Code::S001,
+            Code::S002,
+            Code::S003,
+            Code::S004,
+            Code::S005,
+            Code::S006,
+            Code::S007,
+            Code::S008,
+            Code::S009,
+            Code::S010,
+            Code::S011,
+            Code::S012,
+            Code::S013,
+            Code::Q101,
+            Code::Q102,
+            Code::Q103,
+            Code::Q104,
+            Code::Q105,
+            Code::Q106,
+            Code::Q107,
+            Code::Q108,
+            Code::Q109,
+            Code::Q110,
+            Code::P201,
+            Code::P202,
+            Code::P203,
+            Code::P204,
+            Code::P205,
+            Code::P206,
+            Code::P207,
+            Code::P208,
+            Code::P209,
+        ]
     }
 
     /// The fixed severity of this rule.
@@ -146,7 +228,18 @@ impl Code {
             | Code::S009
             | Code::S011
             | Code::Q104
-            | Code::Q110 => Severity::Error,
+            | Code::Q110
+            // Every plan-verifier invariant is an Error: a violating plan
+            // computes a wrong answer, so it must never execute.
+            | Code::P201
+            | Code::P202
+            | Code::P203
+            | Code::P204
+            | Code::P205
+            | Code::P206
+            | Code::P207
+            | Code::P208
+            | Code::P209 => Severity::Error,
             Code::S003
             | Code::S005
             | Code::S007

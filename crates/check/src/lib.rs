@@ -1,10 +1,11 @@
 //! # sim-check
 //!
 //! Static semantic analysis for SIM: a reusable diagnostics core (stable
-//! codes, Error/Warning/Hint severities, text + JSON renderers) and two lint
-//! families — schema lints over the class graph / finalized catalog, and
-//! query/constraint lints over bound trees, built on three-valued-logic
-//! constant folding.
+//! codes, Error/Warning/Hint severities, text + JSON renderers) and three
+//! analysis families — schema lints over the class graph / finalized
+//! catalog, query/constraint lints over bound trees built on
+//! three-valued-logic constant folding, and the [`verify`] abstract
+//! interpreter over optimized physical plans (`SIM-P2xx` invariants).
 //!
 //! §3.3's promise that "based on the terms of the integrity condition, SIM
 //! will determine" how constraints apply means the system reasons about user
@@ -26,8 +27,10 @@ pub mod diag;
 pub mod fold;
 pub mod query;
 pub mod schema;
+pub mod verify;
 
 pub use diag::{Code, Diagnostic, Report, Severity, Span};
 pub use fold::{FoldVal, Folder, StaticType, TruthSet};
 pub use query::{check_bound, check_source, check_statement};
 pub use schema::{check_catalog, check_class_graph, ClassDecl};
+pub use verify::{verify_plan, AccessProps, OrderGuarantee};

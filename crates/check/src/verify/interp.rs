@@ -1,0 +1,744 @@
+//! The bottom-up abstract interpreter over optimized physical plans.
+//!
+//! Each rule consumes the claimed-properties summaries of
+//! [`crate::verify::props`] plus the bound tree and catalog, and fires a
+//! stable `SIM-P2xx` code when a claim cannot be discharged:
+//!
+//! * `P201` — range scan over a domain without an evaluator-faithful total
+//!   order (symbolic/subrole key order is declaration order, not label
+//!   order — the PR 5 symbolic-index bug class).
+//! * `P202` — probe/bound value not coercible through the indexed
+//!   attribute's declared domain.
+//! * `P203` — claimed physical index the layout does not provide.
+//! * `P204` — EVA/transitive/restrict traversal inconsistent with the
+//!   catalog (direction, visibility, range hierarchy, inverse symmetry).
+//! * `P205` — plan shape diverging from the bound tree.
+//! * `P206` — permuted perspective order without the restoring sort.
+//! * `P207` — index nested-loop probe reading a perspective not yet bound.
+//! * `P208` — output schema disagreeing with the bound tree's type.
+//! * `P209` — quantifier/aggregate chains unsound under 3VL/set semantics.
+
+use crate::diag::{Code, Diagnostic, Report};
+use crate::verify::props::AccessProps;
+use sim_catalog::{AttrId, Catalog, ClassId};
+use sim_dml::BinOp;
+use sim_luc::Mapper;
+use sim_query::bound::{BExpr, BoundChain, BoundQuery, ChainStep, NodeOrigin};
+use sim_query::optimizer::{AccessPath, Plan};
+use sim_types::{Domain, Value};
+
+fn cname(catalog: &Catalog, class: ClassId) -> String {
+    catalog.class(class).map(|c| c.name.clone()).unwrap_or_else(|_| class.to_string())
+}
+
+fn aname(catalog: &Catalog, attr: AttrId) -> String {
+    catalog.attribute(attr).map(|a| a.name.clone()).unwrap_or_else(|_| attr.to_string())
+}
+
+/// Comparison groups for probe-key compatibility — mirrors the evaluator's
+/// coercion classes (`Value::compare` coerces within a group, errors
+/// across groups).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Group {
+    Num,
+    Text,
+    Bool,
+    Entity,
+    Any,
+}
+
+fn domain_group(d: &Domain) -> Group {
+    match d {
+        Domain::Integer { .. } | Domain::Number { .. } | Domain::Real => Group::Num,
+        Domain::String { .. } | Domain::Date | Domain::Symbolic(_) | Domain::Subrole(_) => {
+            Group::Text
+        }
+        Domain::Boolean => Group::Bool,
+    }
+}
+
+fn attr_group(catalog: &Catalog, attr: AttrId) -> Group {
+    let Ok(a) = catalog.attribute(attr) else { return Group::Any };
+    if a.is_eva() {
+        Group::Entity
+    } else if a.is_subrole() {
+        Group::Text
+    } else if let Some(d) = a.dva_domain() {
+        domain_group(d)
+    } else {
+        Group::Any // derived: statically unknown
+    }
+}
+
+fn compatible(a: Group, b: Group) -> bool {
+    a == Group::Any || b == Group::Any || a == b
+}
+
+/// The comparison group of a constant probe value. Mirrors
+/// [`domain_group`]: symbolic values and dates compare as text.
+fn value_group(v: &Value) -> Group {
+    match v {
+        Value::Null => Group::Any,
+        Value::Int(_) | Value::Float(_) | Value::Decimal(_) => Group::Num,
+        Value::Str(_) | Value::Date(_) | Value::Symbol(_) => Group::Text,
+        Value::Bool(_) => Group::Bool,
+        Value::Entity(_) => Group::Entity,
+    }
+}
+
+// ----- P205 / P206: plan shape vs bound tree ---------------------------------
+
+/// The structural gate: the plan must line up with the bound tree before
+/// any per-operator summary means anything. Returns `false` when `P205`
+/// fired (deeper access checks are skipped, their positions being
+/// unreliable).
+pub fn check_shape(mapper: &Mapper, q: &BoundQuery, plan: &Plan, report: &mut Report) -> bool {
+    let catalog = mapper.catalog();
+    let before = report.len();
+
+    // Permutation check without allocating: root counts are tiny, so the
+    // quadratic membership scan beats clone-and-sort on the happy path.
+    let is_permutation = plan.root_order.len() == q.roots.len()
+        && (0..q.roots.len()).all(|i| plan.root_order.contains(&i));
+    if !is_permutation {
+        report.push(Diagnostic::new(
+            Code::P205,
+            "plan",
+            format!(
+                "root order {:?} is not a permutation of the {} bound perspectives",
+                plan.root_order,
+                q.roots.len()
+            ),
+        ));
+        return false;
+    }
+    if plan.access.len() != plan.root_order.len() {
+        report.push(Diagnostic::new(
+            Code::P205,
+            "plan",
+            format!(
+                "{} access paths for {} perspectives",
+                plan.access.len(),
+                plan.root_order.len()
+            ),
+        ));
+        return false;
+    }
+
+    for (pos, (&ri, access)) in plan.root_order.iter().zip(plan.access.iter()).enumerate() {
+        let node = q.roots[ri];
+        let (ap_class, probed) = match access {
+            AccessPath::FullScan { class } => (*class, None),
+            AccessPath::IndexEq { class, attr, .. }
+            | AccessPath::IndexRange { class, attr, .. } => (*class, Some(*attr)),
+        };
+        // Built only on violation: the happy path allocates nothing.
+        let object = || format!("plan/perspective {}", ri + 1);
+        if q.nodes[node].class != Some(ap_class) {
+            report.push(Diagnostic::new(
+                Code::P205,
+                object(),
+                format!(
+                    "access path produces {} but the bound perspective is {}",
+                    cname(catalog, ap_class),
+                    q.nodes[node]
+                        .class
+                        .map_or_else(|| "a value node".to_owned(), |c| cname(catalog, c)),
+                ),
+            ));
+        }
+        if let Some(attr) = probed {
+            match catalog.attribute(attr) {
+                Err(_) => {
+                    report.push(Diagnostic::new(
+                        Code::P205,
+                        object(),
+                        format!("access path at position {pos} probes an unknown attribute {attr}"),
+                    ));
+                }
+                Ok(a) if !catalog.is_same_or_ancestor(a.owner, ap_class) => {
+                    report.push(Diagnostic::new(
+                        Code::P205,
+                        object(),
+                        format!(
+                            "probed attribute {} belongs to {}, which is not visible on {}",
+                            a.name,
+                            cname(catalog, a.owner),
+                            cname(catalog, ap_class)
+                        ),
+                    ));
+                }
+                Ok(_) => {}
+            }
+        }
+    }
+    report.len() == before
+}
+
+/// `P206`: a permuted perspective order breaks the implicit §4.5 output
+/// ordering; without an explicit ORDER BY the plan must claim the
+/// restoring sort.
+pub fn check_order(q: &BoundQuery, plan: &Plan, report: &mut Report) {
+    let natural = plan.root_order.iter().enumerate().all(|(i, &r)| r == i);
+    if !natural && q.order_by.is_empty() && !plan.needs_perspective_sort {
+        report.push(Diagnostic::new(
+            Code::P206,
+            "plan",
+            format!(
+                "root order {:?} permutes the perspective nesting but the plan does not \
+                 restore the implicit output ordering (needs_perspective_sort = false)",
+                plan.root_order
+            ),
+        ));
+    }
+}
+
+// ----- P201 / P202 / P203 / P207: access paths -------------------------------
+
+/// Whether a domain's B-tree key order equals the order the evaluator
+/// compares with. Symbolic and subrole keys are stored as declaration
+/// codes, while comparisons use label strings — a bijection (equality is
+/// fine) but not order-preserving (ranges are not).
+fn evaluator_ordered(d: &Domain) -> bool {
+    !matches!(d, Domain::Symbolic(_) | Domain::Subrole(_))
+}
+
+/// Per-operator checks: claimed index existence (`P203`), range-order
+/// faithfulness (`P201`), probe-key domain coercion (`P202`) and probe
+/// binding order (`P207`).
+pub fn check_access(
+    mapper: &Mapper,
+    q: &BoundQuery,
+    plan: &Plan,
+    props: &[AccessProps],
+    report: &mut Report,
+) {
+    let catalog = mapper.catalog();
+    for p in props {
+        let object = || format!("plan/perspective {}", p.root_index + 1);
+        if !p.set_semantics {
+            report.push(Diagnostic::new(
+                Code::P209,
+                object(),
+                "access path may emit duplicate surrogates, breaking §3.2 set semantics".to_owned(),
+            ));
+        }
+        match &plan.access[p.position] {
+            AccessPath::FullScan { .. } => {}
+            AccessPath::IndexEq { attr, value, .. } => {
+                if !mapper.has_index(*attr) {
+                    report.push(Diagnostic::new(
+                        Code::P203,
+                        object(),
+                        format!(
+                            "equality probe claims an index on {} but the layout has none",
+                            aname(catalog, *attr)
+                        ),
+                    ));
+                }
+                match (&p.probe_domain, value) {
+                    (None, _) => report.push(Diagnostic::new(
+                        Code::P203,
+                        object(),
+                        format!(
+                            "equality probe on {}, which has no data domain to key an index",
+                            aname(catalog, *attr)
+                        ),
+                    )),
+                    // Group compatibility, not strict coercion: a
+                    // group-compatible value outside the domain (a label
+                    // not in the symbolic set, an out-of-range integer)
+                    // probes an absent key and correctly yields the empty
+                    // set — only a cross-group value makes the probe
+                    // diverge from the evaluator.
+                    (Some(domain), BExpr::Const(v)) => {
+                        if !compatible(value_group(v), domain_group(domain)) {
+                            report.push(Diagnostic::new(
+                                Code::P202,
+                                object(),
+                                format!(
+                                    "probe value {v} is not comparable with the domain of {}",
+                                    aname(catalog, *attr)
+                                ),
+                            ));
+                        }
+                    }
+                    (Some(domain), BExpr::Attr { attr: outer, .. }) => {
+                        let og = attr_group(catalog, *outer);
+                        if !compatible(og, domain_group(domain)) {
+                            report.push(Diagnostic::new(
+                                Code::P202,
+                                object(),
+                                format!(
+                                    "join probe keys {} with {}, whose values are not \
+                                     comparable with its domain",
+                                    aname(catalog, *attr),
+                                    aname(catalog, *outer)
+                                ),
+                            ));
+                        }
+                    }
+                    (Some(_), _) => {}
+                }
+                check_probe_binding(q, plan, p.position, value, &object, report);
+            }
+            AccessPath::IndexRange { attr, lo, hi, .. } => {
+                if mapper.index_height(*attr).is_none() {
+                    report.push(Diagnostic::new(
+                        Code::P203,
+                        object(),
+                        format!(
+                            "range scan claims an ordered (B-tree) index on {} but the \
+                             layout provides none (hash indexes serve equality only)",
+                            aname(catalog, *attr)
+                        ),
+                    ));
+                }
+                let Some(domain) = &p.probe_domain else {
+                    report.push(Diagnostic::new(
+                        Code::P203,
+                        object(),
+                        format!(
+                            "range scan on {}, which has no data domain to key an index",
+                            aname(catalog, *attr)
+                        ),
+                    ));
+                    continue;
+                };
+                if !evaluator_ordered(domain) {
+                    report.push(Diagnostic::new(
+                        Code::P201,
+                        object(),
+                        format!(
+                            "range scan on {}: symbolic/subrole keys sort by declaration \
+                             code, not the label order the evaluator compares with",
+                            aname(catalog, *attr)
+                        ),
+                    ));
+                }
+                for bound in [lo, hi].into_iter().flatten() {
+                    if !compatible(value_group(bound), domain_group(domain)) {
+                        report.push(Diagnostic::new(
+                            Code::P202,
+                            object(),
+                            format!(
+                                "range bound {bound} is not comparable with the domain of {}",
+                                aname(catalog, *attr)
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `P207`: every node a probe expression reads must be a perspective bound
+/// strictly earlier in the claimed iteration order.
+fn check_probe_binding(
+    q: &BoundQuery,
+    plan: &Plan,
+    position: usize,
+    value: &BExpr,
+    object: &dyn Fn() -> String,
+    report: &mut Report,
+) {
+    let mut refs = Vec::new();
+    value.referenced_nodes(&mut refs);
+    for r in refs {
+        let Some(ri) = q.roots.iter().position(|&n| n == r) else {
+            report.push(Diagnostic::new(
+                Code::P207,
+                object(),
+                format!("probe reads node {r}, which is not a perspective and is unbound here"),
+            ));
+            continue;
+        };
+        // root_order is a permutation (shape-checked), so the position exists.
+        let bound_at = plan.root_order.iter().position(|&x| x == ri);
+        if bound_at.is_none_or(|at| at >= position) {
+            report.push(Diagnostic::new(
+                Code::P207,
+                object(),
+                format!("probe reads perspective {} before the claimed order binds it", ri + 1),
+            ));
+        }
+    }
+}
+
+// ----- P204: catalog-consistent traversals -----------------------------------
+
+/// `P204`: every non-perspective node derivation must agree with the
+/// catalog — entity-valuedness, visibility on the parent's class, range
+/// hierarchy of the produced class, and inverse symmetry.
+pub fn check_traversals(catalog: &Catalog, q: &BoundQuery, report: &mut Report) {
+    for n in &q.nodes {
+        let object = || format!("plan/node {}", n.id);
+        match &n.origin {
+            NodeOrigin::Perspective { class } => {
+                if let Some(c) = n.class {
+                    if catalog.base_of(c) != catalog.base_of(*class) {
+                        report.push(Diagnostic::new(
+                            Code::P204,
+                            object(),
+                            format!(
+                                "perspective {} viewed as {}, outside its hierarchy",
+                                cname(catalog, *class),
+                                cname(catalog, c)
+                            ),
+                        ));
+                    }
+                }
+            }
+            NodeOrigin::Eva { attr } | NodeOrigin::Transitive { attr } => {
+                check_eva_edge(catalog, q, n.id, *attr, &object, report);
+            }
+            NodeOrigin::MvDva { attr } => {
+                let Ok(a) = catalog.attribute(*attr) else {
+                    report.push(Diagnostic::new(
+                        Code::P204,
+                        object(),
+                        format!("MV node enumerates unknown attribute {attr}"),
+                    ));
+                    continue;
+                };
+                let multi = (a.is_dva() && a.options.multivalued) || a.is_subrole();
+                if !multi {
+                    report.push(Diagnostic::new(
+                        Code::P204,
+                        object(),
+                        format!("MV node enumerates {}, which is not multi-valued", a.name),
+                    ));
+                }
+                check_owner_visible(catalog, q, n.id, a.owner, &a.name, &object, report);
+            }
+            NodeOrigin::Restrict { class } => {
+                let parent_class = n.parent.and_then(|p| q.nodes[p].class);
+                if let Some(pc) = parent_class {
+                    if catalog.base_of(*class) != catalog.base_of(pc) {
+                        report.push(Diagnostic::new(
+                            Code::P204,
+                            object(),
+                            format!(
+                                "AS conversion from {} to {}, which is outside its hierarchy \
+                                 (the restriction can never admit an entity)",
+                                cname(catalog, pc),
+                                cname(catalog, *class)
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn check_owner_visible(
+    catalog: &Catalog,
+    q: &BoundQuery,
+    node: usize,
+    owner: ClassId,
+    attr_name: &str,
+    object: &dyn Fn() -> String,
+    report: &mut Report,
+) {
+    let Some(pc) = q.nodes[node].parent.and_then(|p| q.nodes[p].class) else {
+        return;
+    };
+    if !catalog.is_same_or_ancestor(owner, pc) {
+        report.push(Diagnostic::new(
+            Code::P204,
+            object(),
+            format!(
+                "attribute {attr_name} belongs to {}, which is not visible on the parent's \
+                 class {} — the traversal runs in the wrong direction",
+                cname(catalog, owner),
+                cname(catalog, pc)
+            ),
+        ));
+    }
+}
+
+fn check_eva_edge(
+    catalog: &Catalog,
+    q: &BoundQuery,
+    node: usize,
+    attr: AttrId,
+    object: &dyn Fn() -> String,
+    report: &mut Report,
+) {
+    let Ok(a) = catalog.attribute(attr) else {
+        report.push(Diagnostic::new(
+            Code::P204,
+            object(),
+            format!("EVA node follows unknown attribute {attr}"),
+        ));
+        return;
+    };
+    let Some(range) = a.eva_range() else {
+        report.push(Diagnostic::new(
+            Code::P204,
+            object(),
+            format!("node follows {}, which is not entity-valued", a.name),
+        ));
+        return;
+    };
+    check_owner_visible(catalog, q, node, a.owner, &a.name, object, report);
+    if let Some(c) = q.nodes[node].class {
+        if catalog.base_of(c) != catalog.base_of(range) {
+            report.push(Diagnostic::new(
+                Code::P204,
+                object(),
+                format!(
+                    "EVA {} reaches {} but the node views its entities as {}, \
+                     outside the range's hierarchy",
+                    a.name,
+                    cname(catalog, range),
+                    cname(catalog, c)
+                ),
+            ));
+        }
+    }
+    if let Some(rf) = q.nodes[node].role_filter {
+        if catalog.base_of(rf) != catalog.base_of(range) {
+            report.push(Diagnostic::new(
+                Code::P204,
+                object(),
+                format!(
+                    "role filter {} is outside the hierarchy of EVA {}'s range {}",
+                    cname(catalog, rf),
+                    a.name,
+                    cname(catalog, range)
+                ),
+            ));
+        }
+    }
+    // Inverse symmetry: the partner attribute must point back (§3.2's
+    // paired-EVA contract; the PR 5 re-link bug class on the plan side).
+    if let Some(inv) = a.eva_inverse() {
+        match catalog.attribute(inv) {
+            Err(_) => report.push(Diagnostic::new(
+                Code::P204,
+                object(),
+                format!("EVA {} declares unknown inverse {inv}", a.name),
+            )),
+            Ok(ia) => {
+                if ia.eva_inverse() != Some(attr) {
+                    report.push(Diagnostic::new(
+                        Code::P204,
+                        object(),
+                        format!(
+                            "EVA inverses are asymmetric: {} names {} but {} does not \
+                             point back",
+                            a.name, ia.name, ia.name
+                        ),
+                    ));
+                }
+                if let Some(ir) = ia.eva_range() {
+                    if catalog.base_of(ir) != catalog.base_of(a.owner) {
+                        report.push(Diagnostic::new(
+                            Code::P204,
+                            object(),
+                            format!(
+                                "inverse {} ranges over {}, outside {}'s hierarchy",
+                                ia.name,
+                                cname(catalog, ir),
+                                cname(catalog, a.owner)
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ----- P208: output schema ----------------------------------------------------
+
+/// `P208`: the projection the plan executes must equal the bound tree's
+/// type — arities agree, homes sit in the loop nest, every referenced node
+/// exists and is iterated.
+pub fn check_output(q: &BoundQuery, report: &mut Report) {
+    if q.targets.len() != q.target_names.len() || q.targets.len() != q.target_home.len() {
+        report.push(Diagnostic::new(
+            Code::P208,
+            "plan/output",
+            format!(
+                "{} targets, {} names, {} homes — output schema arities disagree",
+                q.targets.len(),
+                q.target_names.len(),
+                q.target_home.len()
+            ),
+        ));
+        return;
+    }
+    for (i, &home) in q.target_home.iter().enumerate() {
+        if !q.type13_order.contains(&home) {
+            report.push(Diagnostic::new(
+                Code::P208,
+                "plan/output",
+                format!("target {i} is homed at node {home}, which is outside the loop nest"),
+            ));
+        }
+    }
+    // Visit references in place: this runs on every plan-cache miss, so
+    // the happy path must not allocate.
+    let mut check_ref = |r: usize| {
+        if r >= q.nodes.len() {
+            report.push(Diagnostic::new(
+                Code::P208,
+                "plan/output",
+                format!("expression references node {r}, beyond the {} bound nodes", q.nodes.len()),
+            ));
+        } else if !q.type13_order.contains(&r) && !q.type2_order.contains(&r) {
+            report.push(Diagnostic::new(
+                Code::P208,
+                "plan/output",
+                format!("expression references node {r}, which no loop nest iterates"),
+            ));
+        }
+    };
+    for t in &q.targets {
+        t.for_each_referenced_node(&mut check_ref);
+    }
+    for (k, _) in &q.order_by {
+        k.for_each_referenced_node(&mut check_ref);
+    }
+    if let Some(sel) = &q.selection {
+        sel.for_each_referenced_node(&mut check_ref);
+    }
+}
+
+// ----- P209: 3VL-sound quantifier/aggregate chains ---------------------------
+
+/// `P209`: quantified sets are only meaningful as comparison operands
+/// (§4.6 defines `all/some/no` relative to a comparison under 3VL), and
+/// every chain step must match the catalog's attribute shapes.
+pub fn check_expressions(catalog: &Catalog, q: &BoundQuery, report: &mut Report) {
+    if let Some(sel) = &q.selection {
+        walk_expr(catalog, q, sel, false, report);
+    }
+    for t in &q.targets {
+        walk_expr(catalog, q, t, false, report);
+    }
+    for (k, _) in &q.order_by {
+        walk_expr(catalog, q, k, false, report);
+    }
+}
+
+fn is_comparison(op: BinOp) -> bool {
+    matches!(
+        op,
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Matches
+    )
+}
+
+fn walk_expr(
+    catalog: &Catalog,
+    q: &BoundQuery,
+    e: &BExpr,
+    comparison_operand: bool,
+    report: &mut Report,
+) {
+    match e {
+        BExpr::Const(_) | BExpr::NodeValue(_) | BExpr::Attr { .. } | BExpr::IsA { .. } => {}
+        BExpr::Binary { op, lhs, rhs } => {
+            let operand = is_comparison(*op);
+            walk_expr(catalog, q, lhs, operand, report);
+            walk_expr(catalog, q, rhs, operand, report);
+        }
+        BExpr::Not(inner) | BExpr::Neg(inner) => {
+            walk_expr(catalog, q, inner, false, report);
+        }
+        BExpr::Aggregate { chain, .. } => {
+            check_chain(catalog, q, chain, "aggregate", report);
+        }
+        BExpr::Quantified { quantifier, chain } => {
+            if !comparison_operand {
+                report.push(Diagnostic::new(
+                    Code::P209,
+                    "plan/selection",
+                    format!(
+                        "`{quantifier}` quantifies a value set outside a comparison \
+                         operand — its 3VL meaning is undefined there"
+                    ),
+                ));
+            }
+            check_chain(catalog, q, chain, "quantifier", report);
+        }
+    }
+}
+
+fn check_chain(
+    catalog: &Catalog,
+    q: &BoundQuery,
+    chain: &BoundChain,
+    what: &str,
+    report: &mut Report,
+) {
+    let object = || format!("plan/{what} chain");
+    match (chain.anchor, chain.global_class) {
+        (None, None) => {
+            report.push(Diagnostic::new(
+                Code::P209,
+                object(),
+                format!("{what} chain has neither an anchor node nor a class to iterate"),
+            ));
+            return;
+        }
+        (Some(a), _) if a >= q.nodes.len() => {
+            report.push(Diagnostic::new(
+                Code::P209,
+                object(),
+                format!("{what} chain anchored at unknown node {a}"),
+            ));
+            return;
+        }
+        _ => {}
+    }
+    for step in &chain.steps {
+        let (attr, need) = match step {
+            ChainStep::Eva(a) | ChainStep::Transitive(a) => (*a, "an entity-valued attribute"),
+            ChainStep::MvDva(a) => (*a, "a multi-valued attribute"),
+        };
+        match catalog.attribute(attr) {
+            Err(_) => report.push(Diagnostic::new(
+                Code::P209,
+                object(),
+                format!("chain step follows unknown attribute {attr}"),
+            )),
+            Ok(a) => {
+                let ok = match step {
+                    ChainStep::Eva(_) | ChainStep::Transitive(_) => a.is_eva(),
+                    ChainStep::MvDva(_) => (a.is_dva() && a.options.multivalued) || a.is_subrole(),
+                };
+                if !ok {
+                    report.push(Diagnostic::new(
+                        Code::P209,
+                        object(),
+                        format!("chain step follows {}, which is not {need}", a.name),
+                    ));
+                }
+            }
+        }
+    }
+    if let Some(t) = chain.terminal {
+        match catalog.attribute(t) {
+            Err(_) => report.push(Diagnostic::new(
+                Code::P209,
+                object(),
+                format!("chain terminal reads unknown attribute {t}"),
+            )),
+            Ok(a) if a.options.multivalued => report.push(Diagnostic::new(
+                Code::P209,
+                object(),
+                format!(
+                    "chain terminal reads {}, which is multi-valued — the chain would \
+                     aggregate sets, not values",
+                    a.name
+                ),
+            )),
+            Ok(_) => {}
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! **sim-verify** — static analysis over optimized physical plans.
+//!
+//! The planner is trusted to be *fast*; this module keeps it *honest*. For
+//! every optimized [`Plan`] it builds the claimed-properties summaries of
+//! [`props`] (an abstract value per access path: provenance, viewed class,
+//! ordering guarantee, set-ness, probe-key domain) and runs the bottom-up
+//! abstract interpreter of [`interp`] over them, firing stable `SIM-P2xx`
+//! codes for any claim the catalog and bound tree cannot discharge. Every
+//! `P` code is an [`crate::Severity::Error`]: a violating plan computes a
+//! wrong answer, so callers must refuse to execute it.
+//!
+//! The engine wires [`verify_plan`] in at the plan-cache *miss* path — each
+//! fresh plan is checked exactly once before insertion, making the cache
+//! verified-by-construction — and `sim-oracle` re-runs it inside the
+//! differential lock-step loop. The `SIM-P201` rule is the regression
+//! guard for the planner bug class fixed in PR 5 (range scans over
+//! symbolic domains, whose B-tree order is declaration order rather than
+//! the label order the evaluator compares with).
+
+pub mod interp;
+pub mod props;
+
+pub use props::{AccessProps, OrderGuarantee};
+
+use crate::diag::Report;
+use sim_luc::Mapper;
+use sim_query::bound::BoundQuery;
+use sim_query::optimizer::Plan;
+
+/// Verify `plan` against its bound tree and the catalog/layout in `mapper`.
+///
+/// Runs the `SIM-P205` shape gate first; when the plan's very structure
+/// diverges from the bound tree the per-operator summaries are meaningless,
+/// so the deeper rules are skipped and the shape findings returned alone.
+pub fn verify_plan(mapper: &Mapper, q: &BoundQuery, plan: &Plan) -> Report {
+    let mut report = Report::new();
+    if !interp::check_shape(mapper, q, plan, &mut report) {
+        return report;
+    }
+    let props = props::summarize(mapper, q, plan);
+    interp::check_access(mapper, q, plan, &props, &mut report);
+    interp::check_traversals(mapper.catalog(), q, &mut report);
+    interp::check_order(q, plan, &mut report);
+    interp::check_output(q, &mut report);
+    interp::check_expressions(mapper.catalog(), q, &mut report);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Code;
+    use sim_ddl::{compile_schema, university_catalog};
+    use sim_dml::{Quantifier, Statement};
+    use sim_luc::Mapper;
+    use sim_query::bind::Binder;
+    use sim_query::bound::{BExpr, BoundChain};
+    use sim_query::optimizer::{self, AccessPath};
+    use sim_types::Value;
+    use std::sync::Arc;
+
+    /// A populated university mapper: the optimizer is cost-based, so index
+    /// strategies only win once the classes hold entities.
+    fn mapper() -> Mapper {
+        let m = Mapper::new(Arc::new(university_catalog()), 256).unwrap();
+        let mut e = sim_query::QueryEngine::new(m).unwrap();
+        e.enforce_verifies = false;
+        let mut script = String::new();
+        for i in 0..4 {
+            script.push_str(&format!(
+                "Insert instructor(name := \"I{i}\", soc-sec-no := {}, employee-nbr := {}).\n",
+                5000 + i,
+                1001 + i
+            ));
+        }
+        for s in 0..40 {
+            script.push_str(&format!(
+                "Insert student(name := \"S{s}\", soc-sec-no := {}, student-nbr := {},
+                    advisor := instructor with (employee-nbr = {})).\n",
+                6000 + s,
+                2001 + s,
+                1001 + (s % 4)
+            ));
+        }
+        e.run(&script).unwrap();
+        e.into_mapper()
+    }
+
+    fn bind_and_plan(mapper: &Mapper, source: &str) -> (BoundQuery, Plan) {
+        let stmts = sim_dml::parse_statements(source).unwrap();
+        let Statement::Retrieve(r) = &stmts[0] else { panic!("retrieve expected: {source}") };
+        let q = Binder::bind_retrieve(mapper.catalog(), r).unwrap();
+        let plan = optimizer::plan(mapper, &q).unwrap();
+        (q, plan)
+    }
+
+    fn codes_of(report: &Report) -> Vec<Code> {
+        report.codes()
+    }
+
+    #[test]
+    fn optimizer_plans_verify_clean() {
+        let m = mapper();
+        for source in [
+            "From student Retrieve name.",
+            "From student Retrieve name Where soc-sec-no = 6000.",
+            "From student Retrieve name Where soc-sec-no >= 6040.",
+            "From student Retrieve name, name of advisor.",
+            "From student, person Retrieve name of student \
+             Where soc-sec-no of student = soc-sec-no of person.",
+            "From instructor Retrieve name, count(advisees).",
+            "From person Retrieve Table Distinct profession.",
+            "From student Retrieve name Where all (credits of courses-enrolled) >= 3.",
+            "From student Retrieve name Order By name.",
+        ] {
+            let (q, plan) = bind_and_plan(&m, source);
+            let report = verify_plan(&m, &q, &plan);
+            assert!(report.is_empty(), "{source}:\n{}", report.to_text());
+        }
+    }
+
+    #[test]
+    fn symbolic_range_scan_fires_p201() {
+        let cat = Arc::new(
+            compile_schema(
+                "Type degree = symbolic (BS, MBA, MS, PHD);
+                 Class C ( name: string[10]; level: degree; n: integer unique required );",
+            )
+            .unwrap(),
+        );
+        let c = cat.class_by_name("c").unwrap().id;
+        let level = cat.attr_on_class(c, "level").unwrap();
+        let mut m = Mapper::new(cat, 64).unwrap();
+        m.create_index(level).unwrap();
+        let (q, mut plan) = bind_and_plan(&m, "From c Retrieve name.");
+        plan.access[0] = AccessPath::IndexRange {
+            class: c,
+            attr: level,
+            lo: Some(Value::Str("bs".into())),
+            hi: None,
+            hi_inclusive: false,
+        };
+        let report = verify_plan(&m, &q, &plan);
+        assert!(!report.with_code(Code::P201).is_empty(), "{}", report.to_text());
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn uncoercible_probe_value_fires_p202() {
+        let m = mapper();
+        let (q, mut plan) =
+            bind_and_plan(&m, "From student Retrieve name Where soc-sec-no = 6000.");
+        let AccessPath::IndexEq { value, .. } = &mut plan.access[0] else {
+            panic!("expected an index probe: {:?}", plan.explanation);
+        };
+        *value = BExpr::Const(Value::Bool(true));
+        let report = verify_plan(&m, &q, &plan);
+        assert_eq!(codes_of(&report), vec![Code::P202], "{}", report.to_text());
+    }
+
+    #[test]
+    fn claimed_index_without_layout_fires_p203() {
+        let m = mapper();
+        let cat = m.catalog();
+        let student = cat.class_by_name("student").unwrap().id;
+        let name = cat.resolve_attr(student, "name").unwrap();
+        assert!(!m.has_index(name), "name is not unique and never indexed here");
+        let (q, mut plan) = bind_and_plan(&m, "From student Retrieve name.");
+        plan.access[0] = AccessPath::IndexEq {
+            class: student,
+            attr: name,
+            value: BExpr::Const(Value::Str("alice".into())),
+        };
+        let report = verify_plan(&m, &q, &plan);
+        assert!(!report.with_code(Code::P203).is_empty(), "{}", report.to_text());
+    }
+
+    #[test]
+    fn wrong_direction_eva_fires_p204() {
+        let m = mapper();
+        let cat = m.catalog();
+        let instructor = cat.class_by_name("instructor").unwrap().id;
+        let advisees = cat.attr_on_class(instructor, "advisees").unwrap();
+        let (mut q, plan) = bind_and_plan(&m, "From student Retrieve name, name of advisor.");
+        // Swap the traversal to the inverse attribute without re-anchoring:
+        // `advisees` belongs to instructor, which is not visible on the
+        // parent perspective's class (student) — the wrong direction.
+        let eva_node = q
+            .nodes
+            .iter()
+            .position(|n| matches!(n.origin, sim_query::bound::NodeOrigin::Eva { .. }))
+            .expect("advisor traversal node");
+        q.nodes[eva_node].origin = sim_query::bound::NodeOrigin::Eva { attr: advisees };
+        let report = verify_plan(&m, &q, &plan);
+        assert!(!report.with_code(Code::P204).is_empty(), "{}", report.to_text());
+    }
+
+    #[test]
+    fn non_permutation_root_order_fires_p205_and_gates() {
+        let m = mapper();
+        let (q, mut plan) = bind_and_plan(
+            &m,
+            "From student, person Retrieve name of student \
+             Where soc-sec-no of student = soc-sec-no of person.",
+        );
+        plan.root_order = vec![0, 0];
+        let report = verify_plan(&m, &q, &plan);
+        assert_eq!(codes_of(&report), vec![Code::P205], "{}", report.to_text());
+    }
+
+    #[test]
+    fn permuted_order_without_restoring_sort_fires_p206() {
+        let m = mapper();
+        let (q, mut plan) =
+            bind_and_plan(&m, "From student, person Retrieve name of student, name of person.");
+        plan.root_order.reverse();
+        plan.access.reverse();
+        plan.needs_perspective_sort = false;
+        let report = verify_plan(&m, &q, &plan);
+        assert_eq!(codes_of(&report), vec![Code::P206], "{}", report.to_text());
+        plan.needs_perspective_sort = true;
+        assert!(verify_plan(&m, &q, &plan).is_empty(), "claimed sort discharges P206");
+    }
+
+    #[test]
+    fn probe_before_binding_fires_p207() {
+        let m = mapper();
+        let (q, mut plan) = bind_and_plan(
+            &m,
+            "From student, person Retrieve name of student \
+             Where soc-sec-no of student = soc-sec-no of person.",
+        );
+        let probe_pos = plan
+            .access
+            .iter()
+            .position(|a| matches!(a, AccessPath::IndexEq { .. }))
+            .expect("index nested-loop join expected");
+        assert!(probe_pos > 0, "probe runs after its outer perspective");
+        plan.root_order.reverse();
+        plan.access.reverse();
+        plan.needs_perspective_sort = true; // keep P206 out of the picture
+        let report = verify_plan(&m, &q, &plan);
+        assert_eq!(codes_of(&report), vec![Code::P207], "{}", report.to_text());
+    }
+
+    #[test]
+    fn dangling_output_home_fires_p208() {
+        let m = mapper();
+        let (mut q, plan) = bind_and_plan(&m, "From student Retrieve name.");
+        q.target_home[0] = 99;
+        let report = verify_plan(&m, &q, &plan);
+        assert!(!report.with_code(Code::P208).is_empty(), "{}", report.to_text());
+    }
+
+    #[test]
+    fn quantifier_outside_comparison_fires_p209() {
+        let m = mapper();
+        let (mut q, plan) = bind_and_plan(&m, "From student Retrieve name.");
+        q.selection = Some(BExpr::Quantified {
+            quantifier: Quantifier::All,
+            chain: BoundChain {
+                anchor: Some(q.roots[0]),
+                global_class: None,
+                steps: vec![],
+                terminal: None,
+            },
+        });
+        let report = verify_plan(&m, &q, &plan);
+        assert!(!report.with_code(Code::P209).is_empty(), "{}", report.to_text());
+    }
+}

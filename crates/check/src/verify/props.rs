@@ -1,0 +1,89 @@
+//! Claimed-properties summaries: what each physical operator promises.
+//!
+//! The abstract domain of the plan verifier. Every access path in a plan is
+//! summarized as an [`AccessProps`]: the bound-tree node it produces
+//! (provenance), the class its entities are viewed as, the ordering
+//! guarantee of its output stream, whether the stream is a *set* of
+//! surrogates, and — for index paths — the probed attribute with its
+//! declared domain. The interpreter in [`crate::verify::interp`] then
+//! checks each summary against the catalog and the bound tree instead of
+//! re-deriving operator behavior at every rule.
+
+use sim_catalog::{AttrId, ClassId};
+use sim_luc::Mapper;
+use sim_query::bound::BoundQuery;
+use sim_query::optimizer::{AccessPath, Plan};
+use sim_types::Domain;
+
+/// The order an operator's output stream is guaranteed to follow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderGuarantee {
+    /// Ascending surrogate (perspective) order — the implicit output
+    /// ordering of §4.5. Every current access path restores it: full scans
+    /// walk the family index, and the executor re-sorts index lookups.
+    Surrogate,
+    /// Index key order of an attribute (reserved for future streaming
+    /// range scans that skip the restore sort).
+    KeyOrder(AttrId),
+    /// No guarantee.
+    Unordered,
+}
+
+/// The claimed-properties summary of one access path.
+#[derive(Debug, Clone)]
+pub struct AccessProps {
+    /// Position in the plan's iteration order (`plan.root_order[position]`).
+    pub position: usize,
+    /// The root this path produces (index into `BoundQuery::roots`).
+    pub root_index: usize,
+    /// Bound-tree provenance: the perspective node id.
+    pub node: usize,
+    /// The class the produced entities are viewed as (the bound node's
+    /// class, which P205 has already matched against the access path's).
+    pub class: Option<ClassId>,
+    /// Output-stream ordering guarantee.
+    pub ordering: OrderGuarantee,
+    /// Whether the stream is duplicate-free (§3.2 set semantics). True for
+    /// every current path: surrogates are unique per family scan, and
+    /// single-valued indexed attributes map each entity to one posting.
+    pub set_semantics: bool,
+    /// The probed/ranged attribute, for index paths.
+    pub probe_attr: Option<AttrId>,
+    /// The probed attribute's declared domain, when it has one (the
+    /// probe-key domain equality probes must coerce through).
+    pub probe_domain: Option<Domain>,
+}
+
+/// Summarize every access path of `plan`. Call only after the shape check
+/// (`SIM-P205`) has passed: positions index `plan.access` and
+/// `plan.root_order` in lockstep.
+pub fn summarize(mapper: &Mapper, q: &BoundQuery, plan: &Plan) -> Vec<AccessProps> {
+    let catalog = mapper.catalog();
+    plan.root_order
+        .iter()
+        .zip(plan.access.iter())
+        .enumerate()
+        .map(|(position, (&root_index, access))| {
+            let node = q.roots[root_index];
+            let probe_attr = match access {
+                AccessPath::FullScan { .. } => None,
+                AccessPath::IndexEq { attr, .. } | AccessPath::IndexRange { attr, .. } => {
+                    Some(*attr)
+                }
+            };
+            let probe_domain = probe_attr
+                .and_then(|a| catalog.attribute(a).ok())
+                .and_then(|a| a.dva_domain().cloned());
+            AccessProps {
+                position,
+                root_index,
+                node,
+                class: q.nodes[node].class,
+                ordering: OrderGuarantee::Surrogate,
+                set_semantics: true,
+                probe_attr,
+                probe_domain,
+            }
+        })
+        .collect()
+}

@@ -19,6 +19,24 @@ pub struct Database {
     engine: QueryEngine,
 }
 
+/// Build a [`QueryEngine`] with `sim-check`'s plan verifier installed:
+/// every freshly optimized plan (each plan-cache miss) runs through the
+/// `SIM-P2xx` abstract interpreter before it is cached or executed, so the
+/// plan cache only ever holds verified plans. Error-level findings refuse
+/// execution with [`sim_query::QueryError::PlanVerify`].
+fn build_engine(mapper: Mapper) -> Result<QueryEngine, sim_query::QueryError> {
+    let mut engine = QueryEngine::new(mapper)?;
+    engine.set_plan_verifier(Arc::new(|mapper, bound, plan| {
+        let report = sim_check::verify_plan(mapper, bound, plan);
+        if report.has_errors() {
+            Err(sim_query::QueryError::PlanVerify(report.to_text()))
+        } else {
+            Ok(())
+        }
+    }));
+    Ok(engine)
+}
+
 impl Database {
     /// Compile a DDL schema and open an empty database for it.
     pub fn create(ddl: &str) -> Result<Database, SimError> {
@@ -34,12 +52,14 @@ impl Database {
     /// Open a database over an already-built catalog.
     pub fn from_catalog(catalog: Catalog, pool_frames: usize) -> Result<Database, SimError> {
         let mapper = Mapper::new(Arc::new(catalog), pool_frames)?;
-        Ok(Database { engine: QueryEngine::new(mapper)? })
+        Ok(Database { engine: build_engine(mapper)? })
     }
 
     /// The paper's §7 UNIVERSITY database, empty.
     pub fn university() -> Database {
-        Database::create(sim_ddl::UNIVERSITY_DDL).expect("bundled schema compiles")
+        // Safety: the bundled DDL is a compile-time constant covered by
+        // tests; failing to compile it is a build defect, not user input.
+        Database::create(sim_ddl::UNIVERSITY_DDL).expect("bundled schema") // sim-lint: allow(unwrap)
     }
 
     /// Compile a DDL schema and create a **durable** database at `dir`
@@ -69,7 +89,7 @@ impl Database {
         // Checkpoint immediately so the superblock records the schema and
         // the empty structure plan before any statements run.
         mapper.checkpoint()?;
-        Ok(Database { engine: QueryEngine::new(mapper)? })
+        Ok(Database { engine: build_engine(mapper)? })
     }
 
     /// Compile a DDL schema and create a database over an arbitrary
@@ -93,7 +113,7 @@ impl Database {
         let mut mapper = Mapper::on_engine(Arc::new(catalog), engine, &registry)?;
         mapper.set_schema_blob(ddl.as_bytes().to_vec());
         mapper.checkpoint()?;
-        Ok(Database { engine: QueryEngine::new(mapper)? })
+        Ok(Database { engine: build_engine(mapper)? })
     }
 
     /// Open a database previously created with [`Database::create_on`] (or
@@ -115,7 +135,7 @@ impl Database {
         })?;
         let catalog = sim_ddl::compile_schema(ddl)?;
         let mapper = Mapper::reopen(Arc::new(catalog), engine, &registry)?;
-        Ok(Database { engine: QueryEngine::new(mapper)? })
+        Ok(Database { engine: build_engine(mapper)? })
     }
 
     /// Open a durable database previously created with
@@ -140,7 +160,7 @@ impl Database {
         })?;
         let catalog = sim_ddl::compile_schema(ddl)?;
         let mapper = Mapper::reopen(Arc::new(catalog), engine, &registry)?;
-        Ok(Database { engine: QueryEngine::new(mapper)? })
+        Ok(Database { engine: build_engine(mapper)? })
     }
 
     /// Whether this database is backed by durable storage (created via
@@ -215,6 +235,39 @@ impl Database {
         let plan = self.engine.explain(dml)?;
         let report = sim_check::check_source(self.catalog(), dml)?;
         Ok((plan, report))
+    }
+
+    /// Statically verify the optimizer's plan for a retrieve without
+    /// executing it: parse, bind, optimize, then run the `SIM-P2xx`
+    /// abstract interpreter and return its report (REPL: `\verify <query>`).
+    /// Plans fresh — the plan cache is bypassed, exactly like EXPLAIN.
+    pub fn verify_plan(&self, dml: &str) -> Result<CheckReport, SimError> {
+        let (bound, plan) = self.engine.prepare_retrieve(dml)?;
+        Ok(sim_check::verify_plan(self.engine.mapper(), &bound, &plan))
+    }
+
+    /// EXPLAIN plus plan verification: the optimizer's strategy alongside
+    /// the `SIM-P2xx` report for that exact plan.
+    pub fn explain_verified(&self, dml: &str) -> Result<(Plan, CheckReport), SimError> {
+        let (bound, plan) = self.engine.prepare_retrieve(dml)?;
+        let report = sim_check::verify_plan(self.engine.mapper(), &bound, &plan);
+        Ok((plan, report))
+    }
+
+    /// Test-only: install (or clear) a plan mutation applied after the
+    /// optimizer and before the verifier. The `sim-testkit` mutation
+    /// harness uses it to re-introduce historical planner bugs and assert
+    /// the verifier rejects each one.
+    #[doc(hidden)]
+    pub fn set_plan_mutator(&mut self, mutator: Option<sim_query::PlanMutator>) {
+        self.engine.set_plan_mutator(mutator);
+    }
+
+    /// Toggle static plan verification (DESIGN.md §13). On by default;
+    /// turning it off is a measurement hook for the perf gate. Every
+    /// toggle clears the plan cache, so unverified plans never linger.
+    pub fn set_plan_verification(&mut self, on: bool) {
+        self.engine.set_plan_verification(on);
     }
 
     /// Statically analyze a DML script without running it: parse, bind, and

@@ -330,6 +330,12 @@ impl Mapper {
         &self.catalog
     }
 
+    /// A shared handle to the schema, for closures that must outlive
+    /// `&self` (e.g. the plan-mutation harness's engine hooks).
+    pub fn shared_catalog(&self) -> Arc<Catalog> {
+        Arc::clone(&self.catalog)
+    }
+
     /// A monotone token covering everything a query plan depends on: the
     /// catalog's schema generation plus this mapper's physical-index DDL
     /// counter. Two equal observations prove neither the schema nor the

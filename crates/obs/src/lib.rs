@@ -34,6 +34,7 @@
 pub mod events;
 pub mod json;
 pub mod metrics;
+pub mod names;
 pub mod openmetrics;
 pub mod recorder;
 pub mod trace;

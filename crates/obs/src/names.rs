@@ -1,0 +1,89 @@
+//! The central metric-name registry.
+//!
+//! Every metric any layer publishes into the engine-wide [`Registry`]
+//! (`storage.*`, `luc.*`, `query.*`, `obs.*`) must be listed in [`ALL`].
+//! The `sim-lint` workspace lint (`SIM-L002`) cross-checks every
+//! metric-shaped string literal in the source tree against this list, so a
+//! typo'd or orphaned metric name fails CI instead of silently publishing
+//! a dangling time series. The per-layer `names` modules (e.g.
+//! `sim_query::stats::names`) remain the handles code uses; this registry
+//! is the single audited index over all of them.
+//!
+//! [`Registry`]: crate::Registry
+
+/// Every registered metric name, sorted, one entry per name.
+///
+/// Keep this list sorted and duplicate-free — [`assert_well_formed`]
+/// (run in tests and by `sim-lint`) enforces both.
+pub const ALL: &[&str] = &[
+    "luc.entity_reads",
+    "luc.eva_traversals",
+    "luc.index_probes_btree",
+    "luc.index_probes_hash",
+    "luc.record_decodes",
+    "luc.record_encodes",
+    "obs.events_dropped",
+    "obs.events_recorded",
+    "obs.recorder_evictions",
+    "obs.recorder_records",
+    "obs.slow_statements",
+    "query.bind_micros",
+    "query.execute_micros",
+    "query.integrity_violations",
+    "query.optimize_micros",
+    "query.parse_micros",
+    "query.plan_cache_hits",
+    "query.plan_cache_misses",
+    "query.plan_verify_micros",
+    "query.plan_verify_violations",
+    "query.retrieves",
+    "query.statements",
+    "query.updates",
+    "query.verify_micros",
+    "storage.block_allocations",
+    "storage.block_reads",
+    "storage.block_writes",
+    "storage.checkpoints",
+    "storage.fsyncs",
+    "storage.pool_evictions",
+    "storage.pool_hits",
+    "storage.pool_misses",
+    "storage.recovery_millis",
+    "storage.txn_aborts",
+    "storage.txn_begins",
+    "storage.txn_commits",
+    "storage.wal_bytes",
+    "storage.wal_records",
+    "storage.wal_replayed",
+];
+
+/// Whether `name` is a registered metric name.
+pub fn is_registered(name: &str) -> bool {
+    ALL.binary_search(&name).is_ok()
+}
+
+/// Panic unless [`ALL`] is sorted and duplicate-free (the shape
+/// [`is_registered`]'s binary search depends on).
+pub fn assert_well_formed() {
+    for w in ALL.windows(2) {
+        assert!(w[0] < w[1], "names::ALL must be sorted and unique: {:?} >= {:?}", w[0], w[1]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_sorted_and_unique() {
+        assert_well_formed();
+    }
+
+    #[test]
+    fn lookup_hits_and_misses() {
+        assert!(is_registered("storage.block_reads"));
+        assert!(is_registered("query.plan_verify_micros"));
+        assert!(!is_registered("query.no_such_metric"));
+        assert!(!is_registered(""));
+    }
+}

@@ -149,6 +149,21 @@ pub fn dump_engine(db: &Database) -> String {
     out
 }
 
+/// Lock-step static verification: run the `SIM-P2xx` plan verifier on the
+/// exact plan the engine would execute for a retrieve. An Error-level
+/// finding means the optimizer produced a wrong plan — an engine bug, so
+/// it is reported as an infrastructure failure, not a semantic outcome.
+/// Statements that fail to parse or bind (or are not retrieves) verify
+/// vacuously; `run_one` reports those paths as ordinary outcomes.
+fn verify_step(db: &Database, stmt: &str) -> Result<(), String> {
+    match db.verify_plan(stmt) {
+        Ok(report) if report.has_errors() => {
+            Err(format!("plan verifier rejected {stmt:?}:\n{}", report.to_text()))
+        }
+        _ => Ok(()),
+    }
+}
+
 fn engine_outcome(db: &mut Database, stmt: &str) -> Outcome {
     match db.run_one(stmt) {
         Ok(sim_query::ExecResult::Rows(out)) => {
@@ -204,7 +219,10 @@ pub fn run_backend(wl: &Workload, backend: Backend) -> Result<BackendRun, String
     let mut outcomes = Vec::with_capacity(wl.steps.len());
     for step in &wl.steps {
         let outcome = match step {
-            Step::Stmt(s) => engine_outcome(&mut db, s),
+            Step::Stmt(s) => {
+                verify_step(&db, s)?;
+                engine_outcome(&mut db, s)
+            }
             Step::Index { class, attr } => match db.create_index(class, attr) {
                 Ok(()) => Outcome::Updated(0),
                 Err(e) => Outcome::Fail(sim_error_tag(&e)),

@@ -84,6 +84,10 @@ impl OracleError {
                 OracleError::Violation { constraint: constraint.clone(), message: message.clone() }
             }
             Q::Mapper(m) => OracleError::from_mapper(m),
+            // A rejected plan is an engine bug by definition (the verifier
+            // caught a wrong plan before execution): classify as internal
+            // so any occurrence inside a differential run is a mismatch.
+            Q::PlanVerify(m) => OracleError::Internal(format!("plan verification failed: {m}")),
             Q::Internal(m) => OracleError::Internal(m.clone()),
         }
     }

@@ -75,7 +75,9 @@ impl<'c> Binder<'c> {
                 attr.name
             )));
         }
-        let source = attr.derived_source().expect("derived attribute");
+        let source = attr.derived_source().ok_or_else(|| {
+            QueryError::Internal(format!("attribute {} bound as derived has no source", attr.name))
+        })?;
         let parsed = sim_dml::parse_expression(source)
             .map_err(|e| QueryError::Analyze(format!("derived attribute {}: {e}", attr.name)))?;
         let mut sub = Binder::new(self.catalog);
@@ -481,7 +483,9 @@ impl<'c> Binder<'c> {
         // which the whole path resolves.
         let mut matches = Vec::new();
         for &root in &self.roots {
-            let class = self.nodes[root].class.expect("roots are entity nodes");
+            let class = self.nodes[root].class.ok_or_else(|| {
+                QueryError::Internal("perspective root bound without a class".into())
+            })?;
             if self.check_path_from(class, segs) {
                 matches.push(root);
             }
@@ -507,7 +511,7 @@ impl<'c> Binder<'c> {
             let next = match &seg.kind {
                 SegKind::Name(n) => match self.catalog.resolve_attr(cur_class, n) {
                     Some(a) => {
-                        let attr = self.catalog.attribute(a).expect("resolved");
+                        let Ok(attr) = self.catalog.attribute(a) else { return false };
                         if attr.is_eva() {
                             attr.eva_range()
                         } else {
@@ -521,7 +525,7 @@ impl<'c> Binder<'c> {
                 },
                 SegKind::Transitive(e) => match self.catalog.resolve_attr(cur_class, e) {
                     Some(a) => {
-                        let attr = self.catalog.attribute(a).expect("resolved");
+                        let Ok(attr) = self.catalog.attribute(a) else { return false };
                         if !attr.is_eva() {
                             return false;
                         }
@@ -530,7 +534,10 @@ impl<'c> Binder<'c> {
                     None => return false,
                 },
                 SegKind::Inverse(e) => match self.resolve_inverse(cur_class, e) {
-                    Ok(inv) => self.catalog.attribute(inv).expect("resolved").eva_range(),
+                    Ok(inv) => match self.catalog.attribute(inv) {
+                        Ok(attr) => attr.eva_range(),
+                        Err(_) => return false,
+                    },
                     Err(_) => return false,
                 },
             };
@@ -552,7 +559,7 @@ impl<'c> Binder<'c> {
                 continue;
             }
             if let Some(inv) = attr.eva_inverse() {
-                let inv_owner = self.catalog.attribute(inv).expect("linked").owner;
+                let inv_owner = self.catalog.attribute(inv)?.owner;
                 if self.catalog.is_same_or_ancestor(inv_owner, cur_class) {
                     found.push(inv);
                 }
@@ -602,7 +609,9 @@ impl<'c> Binder<'c> {
         as_class: Option<&str>,
     ) -> Result<usize, QueryError> {
         let attr = self.catalog.attribute(attr_id)?;
-        let range = attr.eva_range().expect("EVA");
+        let range = attr.eva_range().ok_or_else(|| {
+            QueryError::Internal(format!("attribute {} bound as EVA has no range", attr.name))
+        })?;
         let (class, role_filter) = self.apply_as(range, as_class)?;
         Ok(self.get_or_create(
             parent,
@@ -754,7 +763,9 @@ impl<'c> Binder<'c> {
             (None, Some(_)) => None,
             (None, None) => {
                 // implicit perspective anchor: find its root node
-                let class = cur_class.expect("set above");
+                let class = cur_class.ok_or_else(|| {
+                    QueryError::Internal("chain anchor resolved without a class".into())
+                })?;
                 let root = self
                     .roots
                     .iter()
@@ -854,7 +865,9 @@ impl<'c> Binder<'c> {
     fn unique_perspective_for(&self, segs: &[&Segment]) -> Result<(ClassId, usize), QueryError> {
         let mut matches = Vec::new();
         for &root in &self.roots {
-            let class = self.nodes[root].class.expect("roots are entities");
+            let class = self.nodes[root].class.ok_or_else(|| {
+                QueryError::Internal("perspective root bound without a class".into())
+            })?;
             if self.check_path_from(class, segs) {
                 matches.push((class, root));
             }

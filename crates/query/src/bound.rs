@@ -241,21 +241,27 @@ impl BExpr {
     /// Collect every node id this expression references directly (including
     /// aggregate/quantifier anchors).
     pub fn referenced_nodes(&self, out: &mut Vec<usize>) {
+        self.for_each_referenced_node(&mut |n| out.push(n));
+    }
+
+    /// Visit every node id this expression references directly (including
+    /// aggregate/quantifier anchors) without materializing them.
+    pub fn for_each_referenced_node(&self, visit: &mut impl FnMut(usize)) {
         match self {
             BExpr::Const(_) => {}
-            BExpr::NodeValue(n) => out.push(*n),
-            BExpr::Attr { node, .. } => out.push(*node),
+            BExpr::NodeValue(n) => visit(*n),
+            BExpr::Attr { node, .. } => visit(*node),
             BExpr::Binary { lhs, rhs, .. } => {
-                lhs.referenced_nodes(out);
-                rhs.referenced_nodes(out);
+                lhs.for_each_referenced_node(visit);
+                rhs.for_each_referenced_node(visit);
             }
-            BExpr::Not(e) | BExpr::Neg(e) => e.referenced_nodes(out),
+            BExpr::Not(e) | BExpr::Neg(e) => e.for_each_referenced_node(visit),
             BExpr::Aggregate { chain, .. } | BExpr::Quantified { chain, .. } => {
                 if let Some(a) = chain.anchor {
-                    out.push(a);
+                    visit(a);
                 }
             }
-            BExpr::IsA { node, .. } => out.push(*node),
+            BExpr::IsA { node, .. } => visit(*node),
         }
     }
 }

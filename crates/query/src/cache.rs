@@ -21,7 +21,7 @@
 use crate::bound::BoundQuery;
 use crate::optimizer::Plan;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// A bound + planned retrieve, shared between the cache and executions.
 #[derive(Clone)]
@@ -60,10 +60,17 @@ impl PlanCache {
         }
     }
 
+    /// The cache is pure performance state: a panic mid-update can at worst
+    /// leave a stale LRU tick, never a wrong plan, so a poisoned lock is
+    /// safe to enter rather than crash a user-reachable query path.
+    fn locked(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Look up `key` if the resident entries are still valid at
     /// `generation`; a generation mismatch drops every entry.
     pub fn get(&self, key: &str, generation: u64) -> Option<CachedPlan> {
-        let mut inner = self.inner.lock().expect("plan cache lock poisoned");
+        let mut inner = self.locked();
         if inner.generation != generation {
             inner.entries.clear();
             inner.generation = generation;
@@ -79,7 +86,7 @@ impl PlanCache {
     /// Insert a plan built at `generation`, evicting the least recently
     /// used entry if the cache is full.
     pub fn insert(&self, key: &str, generation: u64, cached: CachedPlan) {
-        let mut inner = self.inner.lock().expect("plan cache lock poisoned");
+        let mut inner = self.locked();
         if inner.generation != generation {
             inner.entries.clear();
             inner.generation = generation;
@@ -98,7 +105,12 @@ impl PlanCache {
 
     /// Number of resident plans.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("plan cache lock poisoned").entries.len()
+        self.locked().entries.len()
+    }
+
+    /// Drop every resident plan (the generation is untouched).
+    pub fn clear(&self) {
+        self.locked().entries.clear();
     }
 }
 

@@ -9,7 +9,7 @@
 
 use crate::analyze::AnalyzedPlan;
 use crate::bind::Binder;
-use crate::bound::QueryOutput;
+use crate::bound::{BoundQuery, QueryOutput};
 use crate::cache::{self, CachedPlan, PlanCache};
 use crate::error::QueryError;
 use crate::exec::Executor;
@@ -32,6 +32,20 @@ const PLAN_CACHE_CAPACITY: usize = 64;
 
 /// Default slow-statement threshold: one second of wall time.
 pub const DEFAULT_SLOW_QUERY_MICROS: u64 = 1_000_000;
+
+/// A static plan-verification pass, installed by the embedding layer
+/// (`sim-core` wires in `sim-check`'s `SIM-P2xx` abstract interpreter; the
+/// closure indirection keeps the crate graph acyclic). Called on every
+/// plan-cache *miss* — i.e. once per freshly optimized plan, making the
+/// cache verified-by-construction — and expected to return
+/// [`QueryError::PlanVerify`] when the plan must not execute.
+pub type PlanVerifier =
+    Arc<dyn Fn(&Mapper, &BoundQuery, &Plan) -> Result<(), QueryError> + Send + Sync>;
+
+/// A test-only plan mutation, applied after the optimizer and before the
+/// verifier. The mutation harness in `sim-testkit` uses it to re-introduce
+/// historical planner bugs and assert the verifier rejects them.
+pub type PlanMutator = Arc<dyn Fn(&mut BoundQuery, &mut Plan) + Send + Sync>;
 
 /// The result of one statement.
 #[derive(Debug, Clone)]
@@ -93,6 +107,13 @@ pub struct QueryEngine {
     /// statement text and invalidated by schema or index DDL (see
     /// [`cache`]).
     plan_cache: PlanCache,
+    /// The installed plan-verification pass, if any (see [`PlanVerifier`]).
+    plan_verifier: Option<PlanVerifier>,
+    /// Whether fresh plans run the verifier before entering the cache.
+    /// On by default; a measurement hook may turn it off (§13).
+    verify_plans: bool,
+    /// Test-only plan mutation (see [`PlanMutator`]).
+    plan_mutator: Option<PlanMutator>,
 }
 
 impl QueryEngine {
@@ -119,7 +140,34 @@ impl QueryEngine {
             slow_micros: AtomicU64::new(DEFAULT_SLOW_QUERY_MICROS),
             slow_statements,
             plan_cache: PlanCache::new(PLAN_CACHE_CAPACITY),
+            plan_verifier: None,
+            verify_plans: true,
+            plan_mutator: None,
         })
+    }
+
+    /// Install a plan-verification pass; it runs on every plan-cache miss
+    /// (each freshly optimized plan) before the plan is cached or executed.
+    pub fn set_plan_verifier(&mut self, verifier: PlanVerifier) {
+        self.plan_verifier = Some(verifier);
+    }
+
+    /// Toggle static plan verification on fresh plans. A measurement hook
+    /// for the perf gate (§13): every toggle clears the plan cache, so
+    /// plans admitted unverified never outlive the off window and the
+    /// cache stays verified-by-construction whenever verification is on.
+    pub fn set_plan_verification(&mut self, on: bool) {
+        self.verify_plans = on;
+        self.plan_cache.clear();
+    }
+
+    /// Install a test-only plan mutation, applied after the optimizer and
+    /// before the verifier. Clears the plan cache so already-verified plans
+    /// cannot mask the mutation.
+    #[doc(hidden)]
+    pub fn set_plan_mutator(&mut self, mutator: Option<PlanMutator>) {
+        self.plan_mutator = mutator;
+        self.plan_cache.clear();
     }
 
     /// The underlying mapper.
@@ -288,7 +336,24 @@ impl QueryEngine {
     /// plan was served from it.
     pub fn explain_analyze(&self, source: &str) -> Result<AnalyzedPlan, QueryError> {
         let (_, analyzed) = self.traced_retrieve(None, source, "explain_analyze()", true)?;
-        Ok(analyzed.expect("analyze requested"))
+        analyzed.ok_or_else(|| {
+            QueryError::Internal("instrumented run produced no analyzed plan".into())
+        })
+    }
+
+    /// Parse, bind, optimize — but do not execute — a single retrieve,
+    /// returning the bound tree and the fresh plan. Bypasses the plan cache
+    /// (like [`QueryEngine::explain`]) and applies the test-only plan
+    /// mutator when one is installed, so `Database::verify_plan` audits
+    /// exactly what `traced_retrieve` would have handed the verifier.
+    pub fn prepare_retrieve(&self, source: &str) -> Result<(BoundQuery, Plan), QueryError> {
+        let r = self.parse_one_retrieve(source, "prepare_retrieve()")?;
+        let mut bound = Binder::bind_retrieve(self.mapper.catalog(), &r)?;
+        let mut plan = optimizer::plan(&self.mapper, &bound)?;
+        if let Some(mutator) = &self.plan_mutator {
+            mutator(&mut bound, &mut plan);
+        }
+        Ok((bound, plan))
     }
 
     fn parse_timed(&self, source: &str) -> Result<Vec<Statement>, QueryError> {
@@ -352,19 +417,35 @@ impl QueryEngine {
                 };
 
                 let t = tb.start();
-                let bound = Binder::bind_retrieve(self.mapper.catalog(), r)?;
+                let mut bound = Binder::bind_retrieve(self.mapper.catalog(), r)?;
                 let micros =
                     tb.finish(t, "bind", vec![("nodes".into(), bound.nodes.len().to_string())]);
                 self.phase.bind.observe_micros(micros);
 
                 let t = tb.start();
-                let plan = optimizer::plan(&self.mapper, &bound)?;
+                let mut plan = optimizer::plan(&self.mapper, &bound)?;
                 let micros = tb.finish(
                     t,
                     "optimize",
                     vec![("estimated_io".into(), format!("{:.1}", plan.estimated_io))],
                 );
                 self.phase.optimize.observe_micros(micros);
+
+                if let Some(mutator) = &self.plan_mutator {
+                    mutator(&mut bound, &mut plan);
+                }
+                if let Some(verifier) = self.plan_verifier.as_ref().filter(|_| self.verify_plans) {
+                    let t = tb.start();
+                    let verdict = verifier(&self.mapper, &bound, &plan);
+                    // No fields: a failed verdict returns before the trace is
+                    // recorded, so an ok-flag would always read `true`.
+                    let micros = tb.finish(t, "plan-verify", Vec::new());
+                    self.phase.plan_verify.observe_micros(micros);
+                    if let Err(e) = verdict {
+                        self.phase.plan_verify_violations.inc();
+                        return Err(e);
+                    }
+                }
 
                 let entry = CachedPlan { bound: Arc::new(bound), plan: Arc::new(plan) };
                 self.plan_cache.insert(&key, generation, entry.clone());

@@ -25,6 +25,10 @@ pub enum QueryError {
     },
     /// The update's entity selector matched the wrong number of entities.
     Selector(String),
+    /// The plan verifier rejected an optimized plan (`SIM-P2xx`): the plan
+    /// would compute a wrong answer, so it was never executed. Carries the
+    /// verifier's rendered report.
+    PlanVerify(String),
     /// A broken internal invariant (a bound tree whose shape the executor
     /// does not recognize). Surfaced as an error instead of a panic so one
     /// bad statement cannot take down an embedding application.
@@ -42,6 +46,7 @@ impl fmt::Display for QueryError {
                 write!(f, "integrity violation ({constraint}): {message}")
             }
             QueryError::Selector(m) => write!(f, "selector error: {m}"),
+            QueryError::PlanVerify(m) => write!(f, "plan verification failed: {m}"),
             QueryError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }

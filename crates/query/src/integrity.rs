@@ -80,7 +80,10 @@ pub fn compile(catalog: &Catalog, v: &VerifyConstraint) -> Result<CompiledVerify
                 NodeOrigin::Transitive { attr } => steps.push(PathStep::Transitive(*attr)),
                 NodeOrigin::MvDva { .. } | NodeOrigin::Restrict { .. } => {}
             }
-            cur = bound.nodes[cur].parent.expect("non-root");
+            // A non-perspective node always has a parent; treat a missing
+            // one as the root so the walk still terminates.
+            let Some(parent) = bound.nodes[cur].parent else { break };
+            cur = parent;
         }
         steps.reverse();
         steps
@@ -90,12 +93,12 @@ pub fn compile(catalog: &Catalog, v: &VerifyConstraint) -> Result<CompiledVerify
     // the assertion's value).
     for (i, node) in bound.nodes.iter().enumerate() {
         match &node.origin {
-            NodeOrigin::Eva { attr } | NodeOrigin::Transitive { attr } => {
-                let parent = node.parent.expect("non-root");
-                trigger_paths.entry(*attr).or_default().push(node_path(parent));
-            }
-            NodeOrigin::MvDva { attr } => {
-                let parent = node.parent.expect("non-root");
+            NodeOrigin::Eva { attr }
+            | NodeOrigin::Transitive { attr }
+            | NodeOrigin::MvDva { attr } => {
+                let parent = node.parent.ok_or_else(|| {
+                    QueryError::Internal("traversal node bound without a parent".into())
+                })?;
                 trigger_paths.entry(*attr).or_default().push(node_path(parent));
             }
             NodeOrigin::Perspective { .. } | NodeOrigin::Restrict { .. } => {
@@ -219,21 +222,19 @@ impl CompiledVerify {
                     let mut prev = HashSet::new();
                     match step {
                         PathStep::Eva(a) => {
-                            let inv = mapper
-                                .catalog()
-                                .attribute(*a)?
-                                .eva_inverse()
-                                .expect("finalized EVA");
+                            let inv =
+                                mapper.catalog().attribute(*a)?.eva_inverse().ok_or_else(|| {
+                                    QueryError::Internal("trigger EVA has no inverse".into())
+                                })?;
                             for s in &frontier {
                                 prev.extend(mapper.eva_partners(*s, inv)?);
                             }
                         }
                         PathStep::Transitive(a) => {
-                            let inv = mapper
-                                .catalog()
-                                .attribute(*a)?
-                                .eva_inverse()
-                                .expect("finalized EVA");
+                            let inv =
+                                mapper.catalog().attribute(*a)?.eva_inverse().ok_or_else(|| {
+                                    QueryError::Internal("trigger EVA has no inverse".into())
+                                })?;
                             for s in &frontier {
                                 for (e, _) in crate::eval::transitive_closure(mapper, *s, inv)? {
                                     prev.insert(e);

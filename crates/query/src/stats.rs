@@ -29,6 +29,11 @@ pub mod names {
     pub const PLAN_CACHE_HITS: &str = "query.plan_cache_hits";
     /// Counter: retrieves that had to be bound and planned from scratch.
     pub const PLAN_CACHE_MISSES: &str = "query.plan_cache_misses";
+    /// Histogram: plan-verifier (`SIM-P2xx` static analysis) time per
+    /// freshly optimized plan.
+    pub const PLAN_VERIFY_MICROS: &str = "query.plan_verify_micros";
+    /// Counter: optimized plans the verifier rejected before execution.
+    pub const PLAN_VERIFY_VIOLATIONS: &str = "query.plan_verify_violations";
 }
 
 /// Cached metric handles for the query driver.
@@ -45,6 +50,8 @@ pub struct PhaseStats {
     pub(crate) integrity_violations: Arc<Counter>,
     pub(crate) plan_cache_hits: Arc<Counter>,
     pub(crate) plan_cache_misses: Arc<Counter>,
+    pub(crate) plan_verify: Arc<Histogram>,
+    pub(crate) plan_verify_violations: Arc<Counter>,
 }
 
 impl PhaseStats {
@@ -62,6 +69,8 @@ impl PhaseStats {
             integrity_violations: registry.counter(names::INTEGRITY_VIOLATIONS),
             plan_cache_hits: registry.counter(names::PLAN_CACHE_HITS),
             plan_cache_misses: registry.counter(names::PLAN_CACHE_MISSES),
+            plan_verify: registry.histogram(names::PLAN_VERIFY_MICROS),
+            plan_verify_violations: registry.counter(names::PLAN_VERIFY_VIOLATIONS),
         }
     }
 }

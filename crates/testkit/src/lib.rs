@@ -15,12 +15,19 @@
 //! ([`FaultDisk`]) for durability testing: schedule a simulated power
 //! failure at any operation of a workload and verify recovery restores
 //! exactly the last committed state.
+//!
+//! The [`mutate`] module is the plan-mutation harness: it re-introduces
+//! historical optimizer bugs into otherwise-correct plans so tests can
+//! assert the `sim-check` plan verifier rejects each one with its stable
+//! `SIM-P2xx` code.
 
 #![forbid(unsafe_code)]
 
 pub mod fault;
+pub mod mutate;
 
 pub use fault::{FaultDisk, FaultMedium};
+pub use mutate::PlanBug;
 
 /// A SplitMix64 pseudo-random generator: tiny, fast, and good enough for
 /// test-case generation. Fully determined by its seed.

@@ -20,7 +20,9 @@
 //! shows recent structured events, `\slow <micros>` sets the slow-query
 //! threshold (0 disables), `\metrics export <path>` writes an
 //! OpenMetrics/Prometheus text snapshot, `\verify on|off` toggles
-//! enforcement, `\open <dir>` switches to a file-backed database at `dir`
+//! enforcement while `\verify <query>` statically verifies the
+//! optimizer's plan (`SIM-P2xx`), `\open <dir>` switches to a
+//! file-backed database at `dir`
 //! (opening it if present, creating a durable UNIVERSITY database
 //! otherwise), `\save` checkpoints a durable database (flushes data,
 //! truncates the write-ahead log), `\quit` exits.
@@ -71,7 +73,7 @@ fn main() -> io::Result<()> {
 
     println!("SIM interactive query facility — UNIVERSITY database loaded.");
     println!(
-        "End statements with '.'; meta: \\schema \\explain <q> \\analyze <q> \\check [q] \\stats [reset] \\trace \\recent [n] \\events [n] \\slow <micros> \\metrics export <path> \\verify on|off \\open <dir> \\save \\quit"
+        "End statements with '.'; meta: \\schema \\explain <q> \\analyze <q> \\check [q] \\stats [reset] \\trace \\recent [n] \\events [n] \\slow <micros> \\metrics export <path> \\verify on|off|<q> \\open <dir> \\save \\quit"
     );
 
     let stdin = io::stdin();
@@ -88,9 +90,26 @@ fn main() -> io::Result<()> {
                 "\\quit" | "\\q" => break,
                 "\\schema" => print_schema(&db),
                 "\\verify" => {
-                    let on = rest.trim().eq_ignore_ascii_case("on");
-                    db.set_enforce_verifies(on);
-                    println!("verify enforcement: {}", if on { "on" } else { "off" });
+                    let arg = rest.trim();
+                    if arg.eq_ignore_ascii_case("on") || arg.eq_ignore_ascii_case("off") {
+                        let on = arg.eq_ignore_ascii_case("on");
+                        db.set_enforce_verifies(on);
+                        println!("verify enforcement: {}", if on { "on" } else { "off" });
+                    } else if arg.is_empty() {
+                        println!("usage: \\verify on|off  or  \\verify <retrieve>");
+                    } else {
+                        // Static plan verification: run the SIM-P2xx
+                        // abstract interpreter on the optimizer's plan.
+                        match db.explain_verified(arg) {
+                            Ok((plan, report)) => {
+                                for l in &plan.explanation {
+                                    println!("  {l}");
+                                }
+                                print!("{}", report.to_text());
+                            }
+                            Err(e) => println!("error: {e}"),
+                        }
+                    }
                 }
                 "\\explain" => match db.explain_checked(rest) {
                     Ok((plan, lints)) => {

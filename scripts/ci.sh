@@ -11,6 +11,12 @@ cargo fmt --all --check
 echo "== cargo clippy (workspace, deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== sim-lint (workspace lint: unwrap policy, metric names, diagnostic codes)"
+# SIM-L001 no unwrap/expect on user-reachable paths, SIM-L002 metric-name
+# literals match the central registry, SIM-L003 diagnostic codes unique
+# and documented in DESIGN.md. Exit 1 on findings fails the build.
+cargo run -q --release -p sim --bin sim-lint
+
 echo "== cargo build --release"
 cargo build --release
 
@@ -44,11 +50,14 @@ echo "== sim-check schema gate (UNIVERSITY + ADDS scale)"
 # Fails on any Error-level diagnostic from the bundled example schemas.
 cargo run -q -p sim --example schema_check
 
-echo "== miri (sim-types + sim-luc value codec, undefined-behavior check)"
+echo "== miri (sim-types + sim-check + sim-luc value codec, undefined-behavior check)"
 # The workspace forbids unsafe, but the value codecs still exercise every
 # byte-level encoding path — run them under Miri when the component exists.
 if cargo miri --version >/dev/null 2>&1; then
     MIRIFLAGS="-Zmiri-strict-provenance" cargo miri test -p sim-types -q
+    # sim-check rides along: the plan verifier runs on every plan-cache
+    # miss, so it must stay Miri-clean.
+    MIRIFLAGS="-Zmiri-strict-provenance" cargo miri test -p sim-check -q
     MIRIFLAGS="-Zmiri-strict-provenance" cargo miri test -p sim-luc -q value_codec
 else
     echo "   miri component not installed; skipping (rustup +nightly component add miri)"
@@ -66,6 +75,11 @@ echo "== PR6 bench smoke (check mode): observability overhead + recorder retenti
 # Asserts the flight recorder + event log cost < 5% of statement wall time
 # and that the recorder retains >= 64 statements; dumps BENCH_pr6.json.
 (cd crates/bench && cargo run -q --bin pr6_smoke)
+
+echo "== PR7 bench smoke (check mode): plan-verifier wiring + overhead gate"
+# Asserts every plan-cache miss is verified with zero violations and that
+# static plan verification costs < 5% of planning time; dumps BENCH_pr7.json.
+(cd crates/bench && cargo run -q --release --bin pr7_smoke)
 
 echo "== sim-dump smoke: offline introspection of a freshly crashed directory"
 # crash_dir leaves committed work only in the WAL plus a torn final frame;

@@ -1,0 +1,78 @@
+//! Doc-sync golden test: DESIGN.md's lint catalogs and the released
+//! diagnostic codes must agree exactly, in both directions.
+//!
+//! * Every code in [`sim_check::Code::all()`] appears **exactly once** as a
+//!   catalog row (`| SIM-... |`) in DESIGN.md.
+//! * Every `SIM-S*/Q*/P*` catalog row in DESIGN.md names a released code —
+//!   no documenting rules that do not exist.
+//!
+//! The `sim-lint` binary enforces the same contract in CI (`SIM-L003`);
+//! this test pins it inside `cargo test` so a doc drift fails tier-1 too.
+
+use sim::crates::check::Code;
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+fn design_md() -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("DESIGN.md");
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// The catalog rows: lines of the form `| SIM-XNNN | sev | ... |`.
+fn catalog_rows(text: &str) -> Vec<String> {
+    text.lines()
+        .filter(|l| l.trim_start().starts_with("| SIM-"))
+        .map(|l| {
+            let rest = &l[l.find("| SIM-").expect("filtered") + 2..];
+            rest.split_whitespace().next().expect("code token").to_string()
+        })
+        .collect()
+}
+
+#[test]
+fn every_released_code_documented_exactly_once() {
+    let text = design_md();
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    for code in catalog_rows(&text) {
+        *counts.entry(code).or_default() += 1;
+    }
+    for code in Code::all() {
+        let n = counts.get(code.as_str()).copied().unwrap_or(0);
+        assert_eq!(
+            n,
+            1,
+            "{} appears {n} time(s) in DESIGN.md's lint catalog (must be exactly 1)",
+            code.as_str()
+        );
+    }
+}
+
+#[test]
+fn every_documented_code_is_released() {
+    let text = design_md();
+    let released: Vec<&str> = Code::all().iter().map(|c| c.as_str()).collect();
+    // The workspace-lint rules (SIM-L*) live in src/bin/lint.rs, not in
+    // sim_check::Code; they are documented but not "released" diagnostics.
+    for code in catalog_rows(&text) {
+        if code.starts_with("SIM-L") {
+            continue;
+        }
+        assert!(
+            released.contains(&code.as_str()),
+            "DESIGN.md documents {code}, which is not a released sim-check code"
+        );
+    }
+}
+
+#[test]
+fn workspace_lint_rules_documented() {
+    let text = design_md();
+    let rows = catalog_rows(&text);
+    for rule in ["SIM-L001", "SIM-L002", "SIM-L003"] {
+        assert_eq!(
+            rows.iter().filter(|c| c.as_str() == rule).count(),
+            1,
+            "workspace lint rule {rule} must appear exactly once in DESIGN.md's catalog"
+        );
+    }
+}

@@ -156,7 +156,7 @@ fn last_trace_covers_phases() {
     db.query("From instructor Retrieve name.").unwrap();
     let trace = db.last_trace().expect("query leaves a trace");
     let names: Vec<&str> = trace.spans.iter().map(|s| s.name.as_str()).collect();
-    assert_eq!(names, ["bind", "optimize", "execute"]);
+    assert_eq!(names, ["bind", "optimize", "plan-verify", "execute"]);
 
     let analyzed_trace = {
         db.explain_analyze("From student Retrieve name of advisor.").unwrap();
