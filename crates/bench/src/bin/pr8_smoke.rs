@@ -1,0 +1,123 @@
+//! PR 8 smoke bench, check mode: snapshot readers must make progress while
+//! a writer transaction holds its exclusive class-family locks. Hard CI
+//! gates, dumped as `BENCH_pr8.json` (to `$SIM_METRICS_DIR`, default
+//! `target/metrics/`). Run with `--release`: throughput ratios from
+//! unoptimized builds gate nothing meaningful.
+//!
+//! Methodology: over a populated UNIVERSITY database promoted to a
+//! [`ConcurrentDb`], measure snapshot-retrieve throughput from a reader
+//! session twice — once idle, and once while a second session holds an
+//! open transaction with uncommitted `Modify student` writes (so its X
+//! locks on the student class family stay held for the whole window).
+//! Readers are lock-free (they run against a begin-timestamp snapshot),
+//! so the during-writer rate must stay within [`MIN_RATIO`] of the idle
+//! rate, and the window must complete with zero `SIM-C001` lock-timeout
+//! aborts. Best-of-[`TRIALS`] on both sides keeps VM noise out of the
+//! ratio.
+
+use sim_bench::metrics_dump::dump_json;
+use sim_bench::workloads::{populated_university, UniversityScale};
+use sim_obs::json;
+use std::time::Instant;
+
+/// Snapshot retrieves per timed loop.
+const ITERS: usize = 300;
+
+/// Timed loops per mode; the best (shortest) is kept.
+const TRIALS: usize = 5;
+
+/// The gate: during-writer reader throughput as a fraction of idle.
+const MIN_RATIO: f64 = 0.5;
+
+const READ: &str = "From student Retrieve name, soc-sec-no Where soc-sec-no <= 700000009.";
+
+/// Time one loop of `ITERS` snapshot retrieves; returns seconds.
+fn reader_loop(reader: &mut sim_core::Session) -> f64 {
+    let t = Instant::now();
+    for _ in 0..ITERS {
+        let out = reader.query(READ).expect("snapshot retrieve");
+        assert!(!out.rows().is_empty(), "the probe must see committed students");
+        std::hint::black_box(out);
+    }
+    t.elapsed().as_secs_f64()
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn main() {
+    let db = populated_university(UniversityScale::small(50), 7);
+    let cdb = db.into_concurrent();
+    let mut reader = cdb.session();
+    let mut writer = cdb.session();
+
+    // Warmup + idle baseline.
+    reader_loop(&mut reader);
+    let mut idle = f64::INFINITY;
+    for _ in 0..TRIALS {
+        idle = idle.min(reader_loop(&mut reader));
+    }
+
+    // Open the writer window: uncommitted modifies pin X locks on the
+    // student class family until commit.
+    writer.begin().expect("writer begin");
+    for i in 0..10 {
+        writer
+            .run_one(&format!(
+                "Modify student(name := \"Held-{i}\") Where soc-sec-no = {}.",
+                700_000_000 + i
+            ))
+            .expect("writer modify");
+    }
+    let mut during = f64::INFINITY;
+    for _ in 0..TRIALS {
+        during = during.min(reader_loop(&mut reader));
+    }
+    writer.commit().expect("writer commit");
+
+    // After commit the reader must observe the writer's names.
+    let out = reader
+        .query("From student Retrieve name Where soc-sec-no = 700000000.")
+        .expect("post-commit retrieve");
+    assert!(
+        sim_query::normalize::canonical(&out).contains("Held-0"),
+        "snapshot readers must see state committed before their begin timestamp"
+    );
+
+    let snap = cdb.metrics();
+    let timeouts = snap.counter("storage.lock_timeouts");
+    let snapshot_reads = snap.counter("storage.snapshot_reads");
+    let acquisitions = snap.counter("storage.lock_acquisitions");
+
+    let idle_rate = ITERS as f64 / idle;
+    let during_rate = ITERS as f64 / during;
+    let ratio = during_rate / idle_rate.max(f64::EPSILON);
+    println!(
+        "snapshot reader: idle {idle_rate:.0}/s, during writer window {during_rate:.0}/s \
+         (ratio {ratio:.2}); {snapshot_reads} snapshot reads, {timeouts} lock timeouts"
+    );
+
+    dump_json(
+        "BENCH_pr8",
+        &json::object([
+            ("bench", json::string("pr8_snapshot_reads_under_writer")),
+            ("iters", ITERS.to_string()),
+            ("trials", TRIALS.to_string()),
+            ("idle_reads_per_sec", format!("{idle_rate:.1}")),
+            ("during_writer_reads_per_sec", format!("{during_rate:.1}")),
+            ("throughput_ratio", format!("{ratio:.4}")),
+            ("snapshot_reads", snapshot_reads.to_string()),
+            ("lock_acquisitions", acquisitions.to_string()),
+            ("lock_timeouts", timeouts.to_string()),
+        ]),
+    );
+
+    // Check mode: the gates.
+    assert!(
+        ratio >= MIN_RATIO,
+        "snapshot readers must keep >= {MIN_RATIO}x idle throughput under a writer \
+         (got {ratio:.2}x)"
+    );
+    assert_eq!(timeouts, 0, "the smoke window must complete without SIM-C001 victim aborts");
+    assert!(snapshot_reads > 0, "the reader path must actually take snapshots");
+    assert!(acquisitions > 0, "the writer path must actually take locks");
+    println!("PR8 smoke OK");
+}

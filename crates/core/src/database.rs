@@ -163,6 +163,22 @@ impl Database {
         Ok(Database { engine: build_engine(mapper)? })
     }
 
+    /// Open this database for concurrent sessions (DESIGN.md §14): class-
+    /// family 2PL for writers, lock-free snapshot reads for standalone
+    /// retrieves. Consumes the exclusive handle;
+    /// [`crate::ConcurrentDb::into_database`] reverses it.
+    pub fn into_concurrent(self) -> crate::ConcurrentDb {
+        crate::ConcurrentDb::new(self)
+    }
+
+    pub(crate) fn into_engine(self) -> QueryEngine {
+        self.engine
+    }
+
+    pub(crate) fn from_engine(engine: QueryEngine) -> Database {
+        Database { engine }
+    }
+
     /// Whether this database is backed by durable storage (created via
     /// [`Database::create_at`] / [`Database::open`]).
     pub fn is_durable(&self) -> bool {

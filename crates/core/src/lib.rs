@@ -23,12 +23,14 @@ pub mod database;
 pub mod dump;
 pub mod error;
 pub mod format;
+pub mod session;
 
 pub use cursor::{CursorRecord, StructuredCursor};
 pub use database::Database;
 pub use dump::{DumpReport, SuperblockInfo, UnitOccupancy, WalCommitInfo};
 pub use error::SimError;
 pub use format::format_output;
+pub use session::{ConcurrentDb, Session};
 
 pub use sim_check::{Code as CheckCode, Diagnostic, Report as CheckReport, Severity};
 pub use sim_obs::{MetricsSnapshot, Trace};

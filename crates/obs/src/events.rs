@@ -90,6 +90,15 @@ pub enum Event {
         /// Operation count at which the fault fired.
         op: u64,
     },
+    /// A lock request started waiting on a holder (concurrent sessions).
+    LockWait {
+        /// The waiting transaction.
+        txn: u64,
+        /// The contended lock key (e.g. `class:3`, `block:17`).
+        key: String,
+        /// One current holder (0 if unknown).
+        holder: u64,
+    },
 }
 
 impl Event {
@@ -105,6 +114,7 @@ impl Event {
             Event::RecoveryEnd { .. } => "recovery_end",
             Event::CacheEvict { .. } => "cache_evict",
             Event::FaultInjected { .. } => "fault_injected",
+            Event::LockWait { .. } => "lock_wait",
         }
     }
 
@@ -134,6 +144,11 @@ impl Event {
             ],
             Event::CacheEvict { block } => vec![("block", block.to_string())],
             Event::FaultInjected { op } => vec![("op", op.to_string())],
+            Event::LockWait { txn, key, holder } => vec![
+                ("txn", txn.to_string()),
+                ("key", json::string(key)),
+                ("holder", holder.to_string()),
+            ],
         }
     }
 
@@ -159,6 +174,9 @@ impl Event {
             }
             Event::CacheEvict { block } => format!("cache-evict      block={block}"),
             Event::FaultInjected { op } => format!("fault-injected   op={op}"),
+            Event::LockWait { txn, key, holder } => {
+                format!("lock-wait        txn={txn} key={key} holder={holder}")
+            }
         }
     }
 }

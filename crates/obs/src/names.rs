@@ -32,6 +32,7 @@ pub const ALL: &[&str] = &[
     "query.integrity_violations",
     "query.optimize_micros",
     "query.parse_micros",
+    "query.plan_cache_evictions",
     "query.plan_cache_hits",
     "query.plan_cache_misses",
     "query.plan_verify_micros",
@@ -45,10 +46,17 @@ pub const ALL: &[&str] = &[
     "storage.block_writes",
     "storage.checkpoints",
     "storage.fsyncs",
+    "storage.lock_acquisitions",
+    "storage.lock_conflicts",
+    "storage.lock_releases",
+    "storage.lock_timeouts",
+    "storage.lock_waits",
     "storage.pool_evictions",
     "storage.pool_hits",
     "storage.pool_misses",
     "storage.recovery_millis",
+    "storage.snapshot_reads",
+    "storage.snapshot_versions",
     "storage.txn_aborts",
     "storage.txn_begins",
     "storage.txn_commits",

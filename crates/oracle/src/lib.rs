@@ -35,6 +35,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod conc;
 pub mod diff;
 pub mod dml;
 pub mod error;
@@ -44,6 +45,7 @@ pub mod interp;
 pub mod shrink;
 pub mod wl;
 
+pub use conc::{run_concurrent, ConcFailure, ConcReport};
 pub use diff::{run_backend, run_differential, Backend, Mismatch, Outcome};
 pub use dml::{Oracle, OracleResult};
 pub use error::OracleError;

@@ -20,6 +20,7 @@
 
 use crate::bound::BoundQuery;
 use crate::optimizer::Plan;
+use sim_obs::Counter;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
@@ -49,14 +50,32 @@ struct Inner {
 pub(crate) struct PlanCache {
     inner: Mutex<Inner>,
     capacity: usize,
+    /// `query.plan_cache_evictions`: capacity (LRU) evictions plus entries
+    /// dropped by a generation advance.
+    evictions: Option<Arc<Counter>>,
 }
 
 impl PlanCache {
     /// An empty cache holding at most `capacity` plans.
+    #[cfg(test)]
     pub fn new(capacity: usize) -> PlanCache {
+        PlanCache::with_counter(capacity, None)
+    }
+
+    /// An empty cache that counts evicted entries into `evictions`.
+    pub fn with_counter(capacity: usize, evictions: Option<Arc<Counter>>) -> PlanCache {
         PlanCache {
             inner: Mutex::new(Inner { generation: 0, tick: 0, entries: HashMap::new() }),
             capacity: capacity.max(1),
+            evictions,
+        }
+    }
+
+    fn count_evicted(&self, n: usize) {
+        if n > 0 {
+            if let Some(c) = &self.evictions {
+                c.add(n as u64);
+            }
         }
     }
 
@@ -68,12 +87,26 @@ impl PlanCache {
     }
 
     /// Look up `key` if the resident entries are still valid at
-    /// `generation`; a generation mismatch drops every entry.
+    /// `generation`.
+    ///
+    /// The generation comparison is *monotone*: only a generation **newer**
+    /// than the resident one invalidates the cache. The old `!=` comparison
+    /// let a caller that raced a DDL (observing the pre-DDL generation but
+    /// looking up after another thread had refreshed the cache) wipe every
+    /// freshly built plan — and worse, roll `inner.generation` *backwards*
+    /// so the next current-generation insert looked "stale" too. A lookup
+    /// at an older generation now just misses, touching nothing.
     pub fn get(&self, key: &str, generation: u64) -> Option<CachedPlan> {
         let mut inner = self.locked();
-        if inner.generation != generation {
+        if generation > inner.generation {
+            let dropped = inner.entries.len();
             inner.entries.clear();
             inner.generation = generation;
+            drop(inner);
+            self.count_evicted(dropped);
+            return None;
+        }
+        if generation < inner.generation {
             return None;
         }
         inner.tick += 1;
@@ -85,9 +118,19 @@ impl PlanCache {
 
     /// Insert a plan built at `generation`, evicting the least recently
     /// used entry if the cache is full.
+    ///
+    /// A plan built against an **older** generation than the resident one
+    /// is dropped on the floor instead of clearing the cache: the plan may
+    /// reference access paths DDL has since removed, and the resident
+    /// entries are the valid ones.
     pub fn insert(&self, key: &str, generation: u64, cached: CachedPlan) {
         let mut inner = self.locked();
-        if inner.generation != generation {
+        if generation < inner.generation {
+            return;
+        }
+        let mut dropped = 0;
+        if generation > inner.generation {
+            dropped += inner.entries.len();
             inner.entries.clear();
             inner.generation = generation;
         }
@@ -98,9 +141,12 @@ impl PlanCache {
                 inner.entries.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
             {
                 inner.entries.remove(&victim);
+                dropped += 1;
             }
         }
         inner.entries.insert(key.to_owned(), Entry { cached, last_used: tick });
+        drop(inner);
+        self.count_evicted(dropped);
     }
 
     /// Number of resident plans.
@@ -119,18 +165,18 @@ impl PlanCache {
 /// trim the ends, so reformatting a statement still hits. Text inside
 /// string literals is preserved byte-for-byte — `"a  b"` and `"a b"` are
 /// different constants.
+///
+/// String-mode tracking matches the lexer (`sim_dml::lex`) exactly: `""`
+/// inside a literal is an *escaped quote*, not close-then-reopen. The old
+/// per-character toggle diverged on inputs like `"a""  b"` — the lexer
+/// sees one literal `a"  b`, but normalize left string mode at the first
+/// `""` and collapsed the interior whitespace, conflating statements
+/// whose literals differ only in post-escape spacing.
 pub(crate) fn normalize(source: &str) -> String {
     let mut out = String::with_capacity(source.len());
-    let mut in_string = false;
     let mut pending_space = false;
-    for ch in source.chars() {
-        if in_string {
-            out.push(ch);
-            if ch == '"' {
-                in_string = false;
-            }
-            continue;
-        }
+    let mut chars = source.chars().peekable();
+    while let Some(ch) = chars.next() {
         if ch.is_whitespace() {
             pending_space = true;
             continue;
@@ -143,7 +189,20 @@ pub(crate) fn normalize(source: &str) -> String {
         }
         out.push(ch);
         if ch == '"' {
-            in_string = true;
+            // Copy the literal verbatim up to its closing quote, treating
+            // `""` as an escaped quote (lexer rule, lex.rs). Unterminated
+            // literals copy to end-of-input; the parser rejects them later.
+            while let Some(c) = chars.next() {
+                out.push(c);
+                if c == '"' {
+                    if chars.peek() == Some(&'"') {
+                        out.push('"');
+                        chars.next();
+                        continue;
+                    }
+                    break;
+                }
+            }
         }
     }
     out
@@ -152,6 +211,7 @@ pub(crate) fn normalize(source: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sim_dml::lex::{tokenize, Tok};
 
     fn dummy() -> CachedPlan {
         use crate::bind::Binder;
@@ -194,6 +254,112 @@ mod tests {
         assert!(cache.get("q1", 1).is_some());
         assert!(cache.get("q1", 2).is_none(), "stale generation must miss");
         assert_eq!(cache.len(), 0, "generation change empties the cache");
+    }
+
+    #[test]
+    fn older_generation_lookup_misses_without_clearing() {
+        // Regression: `!=` used to treat an old-generation lookup as an
+        // invalidation, wiping current-generation plans and rolling the
+        // resident generation backwards.
+        let cache = PlanCache::new(4);
+        cache.insert("q1", 5, dummy());
+        assert!(cache.get("q1", 3).is_none(), "old generation must miss");
+        assert_eq!(cache.len(), 1, "old-generation lookup must not clear");
+        assert!(cache.get("q1", 5).is_some(), "current entries must survive");
+    }
+
+    #[test]
+    fn stale_insert_is_dropped_not_destructive() {
+        let cache = PlanCache::new(4);
+        cache.insert("fresh", 5, dummy());
+        cache.insert("stale", 3, dummy()); // raced a DDL; built pre-refresh
+        assert!(cache.get("stale", 5).is_none(), "stale plan must not be admitted");
+        assert!(cache.get("fresh", 5).is_some(), "stale insert must not clear");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn evictions_are_counted() {
+        let counter = Arc::new(Counter::default());
+        let cache = PlanCache::with_counter(2, Some(Arc::clone(&counter)));
+        cache.insert("a", 1, dummy());
+        cache.insert("b", 1, dummy());
+        cache.insert("c", 1, dummy()); // LRU capacity eviction
+        assert_eq!(counter.get(), 1);
+        cache.insert("d", 2, dummy()); // generation advance drops 2 resident
+        assert_eq!(counter.get(), 3);
+        assert!(cache.get("x", 3).is_none()); // lookup-side advance drops 1
+        assert_eq!(counter.get(), 4);
+    }
+
+    #[test]
+    fn normalization_honours_escaped_quotes() {
+        // `""` inside a literal is an escaped quote (lexer rule): the
+        // whitespace after it is still *inside* the literal and must be
+        // preserved byte-for-byte.
+        assert_eq!(
+            normalize("From P With n = \"a\"\"  b\"   Retrieve n."),
+            "From P With n = \"a\"\"  b\" Retrieve n."
+        );
+        // A literal that is exactly one escaped quote.
+        assert_eq!(normalize("x  \"\"\"\"  y"), "x \"\"\"\" y");
+        // Adjacent literals separated by whitespace stay two literals.
+        assert_eq!(normalize("\"a\"   \"b\""), "\"a\" \"b\"");
+        // A literal ending in an escaped quote, then another literal.
+        assert_eq!(normalize("\"x\"\"\"  \"y\""), "\"x\"\"\" \"y\"");
+    }
+
+    /// Property: normalization must preserve the lexer's token stream —
+    /// the lexer's notion of string-literal boundaries and normalize's
+    /// string-mode spans have to agree, or two distinct statements can key
+    /// to the same cache entry (wrong constants served from cache).
+    #[test]
+    fn normalization_preserves_token_streams() {
+        // Tiny deterministic xorshift so the test needs no dev-deps.
+        let mut state: u64 = 0x5151_c0de_d00d_1234;
+        let mut next = move |bound: usize| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % bound as u64) as usize
+        };
+        let words = ["From", "Person", "Retrieve", "name", "With", "x1"];
+        let spaces = [" ", "  ", "\n", "\t", " \t "];
+        // Literal fragments: `""` is the escaped-quote sequence the old
+        // normalize diverged on; interior whitespace is what it corrupted.
+        let frags = ["a", "\"\"", "  ", "b c", "\"\"\"\"", " ", "_"];
+        for case in 0..500 {
+            let mut src = String::new();
+            for _ in 0..(2 + next(8)) {
+                match next(4) {
+                    0 => src.push_str(words[next(words.len())]),
+                    1 => src.push_str(&format!("{}", 1 + next(999))),
+                    2 => src.push_str([",", ".", "=", ";"][next(4)]),
+                    _ => {
+                        src.push('"');
+                        for _ in 0..next(4) {
+                            src.push_str(frags[next(frags.len())]);
+                        }
+                        src.push('"');
+                    }
+                }
+                src.push_str(spaces[next(spaces.len())]);
+            }
+            let reference: Vec<Tok> = match tokenize(&src) {
+                Ok(t) => t.into_iter().map(|t| t.tok).collect(),
+                Err(_) => continue, // e.g. fragment run forming `"""` — skip
+            };
+            let normalized = normalize(&src);
+            let roundtrip: Vec<Tok> = tokenize(&normalized)
+                .unwrap_or_else(|e| panic!("case {case}: normalize broke lexing of {src:?}: {e}"))
+                .into_iter()
+                .map(|t| t.tok)
+                .collect();
+            assert_eq!(
+                reference, roundtrip,
+                "case {case}: token stream changed\n  source: {src:?}\n  normal: {normalized:?}"
+            );
+        }
     }
 
     #[test]

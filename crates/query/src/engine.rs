@@ -22,6 +22,7 @@ use sim_luc::Mapper;
 use sim_obs::{
     Counter, Event, EventLog, FlightRecorder, Registry, Span, StatementRecord, Trace, TraceBuilder,
 };
+use sim_storage::Txn;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -130,6 +131,7 @@ impl QueryEngine {
         ));
         let events = registry.event_log();
         let slow_statements = registry.counter(sim_obs::events::names::SLOW_STATEMENTS);
+        let plan_cache_evictions = registry.counter(crate::stats::names::PLAN_CACHE_EVICTIONS);
         Ok(QueryEngine {
             mapper,
             verifies,
@@ -139,7 +141,7 @@ impl QueryEngine {
             events,
             slow_micros: AtomicU64::new(DEFAULT_SLOW_QUERY_MICROS),
             slow_statements,
-            plan_cache: PlanCache::new(PLAN_CACHE_CAPACITY),
+            plan_cache: PlanCache::with_counter(PLAN_CACHE_CAPACITY, Some(plan_cache_evictions)),
             plan_verifier: None,
             verify_plans: true,
             plan_mutator: None,
@@ -574,6 +576,83 @@ impl QueryEngine {
                     }
                 }
                 self.mapper.commit(txn)?;
+                let io = self.mapper.engine().io_snapshot().since(&io_before);
+                self.record_statement(tb, &label, count as u64, &io, false);
+                Ok(ExecResult::Updated(count))
+            }
+        }
+    }
+
+    /// Execute one parsed statement inside a caller-owned transaction
+    /// (session transactions; see `sim_core::Session`). Retrieves read the
+    /// live engine state, which inside a writer transaction includes its
+    /// own uncommitted writes. Updates run under a statement-level
+    /// savepoint: an error or VERIFY violation rolls back only this
+    /// statement, leaving the transaction's earlier work intact. The
+    /// caller commits or aborts `txn`.
+    pub fn execute_in(
+        &mut self,
+        txn: &mut Txn,
+        stmt: &Statement,
+    ) -> Result<ExecResult, QueryError> {
+        match stmt {
+            Statement::Retrieve(r) => {
+                let label = stmt.to_string();
+                let (out, _) = self.traced_retrieve(Some(r), &label, "execute_in()", false)?;
+                Ok(ExecResult::Rows(out))
+            }
+            Statement::Insert(_) | Statement::Modify(_) | Statement::Delete(_) => {
+                self.phase.statements.inc();
+                self.phase.updates.inc();
+                let label = stmt.to_string();
+                if self.events.is_enabled() {
+                    self.events.record(Event::StatementStart { statement: label.clone() });
+                }
+                let io_before = self.mapper.engine().io_snapshot();
+                let mut tb = TraceBuilder::new(&label);
+                let savepoint = txn.savepoint();
+                let mut writes = WriteSet::default();
+                let t = tb.start();
+                let result = match stmt {
+                    Statement::Insert(i) => {
+                        update::exec_insert(&mut self.mapper, txn, i, &mut writes)
+                    }
+                    Statement::Modify(m) => {
+                        update::exec_modify(&mut self.mapper, txn, m, &mut writes)
+                    }
+                    Statement::Delete(d) => {
+                        update::exec_delete(&mut self.mapper, txn, d, &mut writes)
+                    }
+                    Statement::Retrieve(_) => {
+                        Err(QueryError::Internal("retrieve dispatched as update".into()))
+                    }
+                };
+                let count = match result {
+                    Ok(n) => n,
+                    Err(e) => {
+                        self.mapper.rollback_to(txn, savepoint)?;
+                        return Err(e);
+                    }
+                };
+                let micros = tb.finish(t, "execute", vec![("updated".into(), count.to_string())]);
+                self.phase.execute.observe_micros(micros);
+                if self.enforce_verifies {
+                    let t = tb.start();
+                    let violation = self.find_violation(&writes)?;
+                    let micros = tb.finish(
+                        t,
+                        "verify",
+                        vec![("constraints".into(), self.verifies.len().to_string())],
+                    );
+                    self.phase.verify.observe_micros(micros);
+                    if let Some((name, message)) = violation {
+                        self.phase.integrity_violations.inc();
+                        self.mapper.rollback_to(txn, savepoint)?;
+                        let io = self.mapper.engine().io_snapshot().since(&io_before);
+                        self.record_statement(tb, &label, 0, &io, false);
+                        return Err(QueryError::IntegrityViolation { constraint: name, message });
+                    }
+                }
                 let io = self.mapper.engine().io_snapshot().since(&io_before);
                 self.record_statement(tb, &label, count as u64, &io, false);
                 Ok(ExecResult::Updated(count))

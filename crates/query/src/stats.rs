@@ -29,6 +29,9 @@ pub mod names {
     pub const PLAN_CACHE_HITS: &str = "query.plan_cache_hits";
     /// Counter: retrieves that had to be bound and planned from scratch.
     pub const PLAN_CACHE_MISSES: &str = "query.plan_cache_misses";
+    /// Counter: plans dropped from the cache — LRU capacity victims plus
+    /// entries invalidated by a plan-generation advance.
+    pub const PLAN_CACHE_EVICTIONS: &str = "query.plan_cache_evictions";
     /// Histogram: plan-verifier (`SIM-P2xx` static analysis) time per
     /// freshly optimized plan.
     pub const PLAN_VERIFY_MICROS: &str = "query.plan_verify_micros";

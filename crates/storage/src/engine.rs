@@ -21,14 +21,17 @@ use crate::error::StorageError;
 use crate::file::FileDisk;
 use crate::hash::HashIndex;
 use crate::heap::{HeapCursor, HeapFile, RecordId};
+use crate::lock_table::{LockKey, LockTable};
 use crate::meta::{BTreeMeta, EngineMeta, HashMeta, HeapMeta};
 use crate::pool::BufferPool;
 use crate::recovery::{self, RecoveryOutcome};
 use crate::stats::IoSnapshot;
 use crate::txn::{Txn, UndoOp};
+use crate::version::{ReadTicket, SnapshotView, VersionStore};
 use sim_obs::Registry;
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Buffer-pool frames used by [`StorageEngine::open`].
 pub const DEFAULT_POOL_CAPACITY: usize = 256;
@@ -51,12 +54,23 @@ pub struct StorageEngine {
     files: Vec<HeapFile>,
     btrees: Vec<BTree>,
     hashes: Vec<HashIndex>,
-    next_txn: u64,
+    /// Atomic so [`StorageEngine::begin`] allocates ids without `&mut`
+    /// (concurrent sessions begin transactions through a shared handle).
+    next_txn: AtomicU64,
     app_meta: Vec<u8>,
     /// Structure bookkeeping or app metadata changed since the last
     /// persisted commit record — a commit must carry new [`EngineMeta`]
     /// even if the transaction itself logged no operation.
     meta_dirty: bool,
+    /// S/X lock table shared with the session layer (class locks are
+    /// taken outside the engine; block locks inside it).
+    locks: Arc<LockTable>,
+    /// Undo pre-images mirrored for snapshot readers (concurrent mode).
+    versions: Arc<VersionStore>,
+    /// The snapshot overlay installed for the statement currently
+    /// executing, if any: every read method merges it over the live
+    /// structures.
+    read_view: Mutex<Option<Arc<SnapshotView>>>,
 }
 
 impl StorageEngine {
@@ -74,9 +88,12 @@ impl StorageEngine {
             files: Vec::new(),
             btrees: Vec::new(),
             hashes: Vec::new(),
-            next_txn: 1,
+            next_txn: AtomicU64::new(1),
             app_meta: Vec::new(),
             meta_dirty: false,
+            locks: Arc::new(LockTable::with_registry(registry)),
+            versions: Arc::new(VersionStore::with_registry(registry)),
+            read_view: Mutex::new(None),
         }
     }
 
@@ -136,9 +153,12 @@ impl StorageEngine {
             files,
             btrees,
             hashes,
-            next_txn: meta.next_txn.max(1),
+            next_txn: AtomicU64::new(meta.next_txn.max(1)),
             app_meta: meta.app_meta,
             meta_dirty: false,
+            locks: Arc::new(LockTable::with_registry(registry)),
+            versions: Arc::new(VersionStore::with_registry(registry)),
+            read_view: Mutex::new(None),
         })
     }
 
@@ -184,7 +204,7 @@ impl StorageEngine {
     pub fn meta(&self) -> EngineMeta {
         EngineMeta {
             block_count: self.pool.block_count() as u64,
-            next_txn: self.next_txn,
+            next_txn: self.next_txn.load(Ordering::Relaxed),
             files: self
                 .files
                 .iter()
@@ -333,13 +353,79 @@ impl StorageEngine {
             .ok_or_else(|| StorageError::UnknownStructure(format!("hash {}", id.0)))
     }
 
+    // ----- concurrency --------------------------------------------------------
+
+    /// Switch concurrent mode on or off. On: every transaction's undo
+    /// pre-images are mirrored into the version store for snapshot
+    /// readers, and heap mutations take non-blocking block locks as a
+    /// physical-conflict safety net. Off (the default): both are free.
+    pub fn set_concurrent(&self, on: bool) {
+        self.versions.set_enabled(on);
+    }
+
+    /// Whether concurrent mode is on.
+    pub fn is_concurrent(&self) -> bool {
+        self.versions.enabled()
+    }
+
+    /// The engine's lock table. Shared as an `Arc` so sessions can wait
+    /// for class locks without holding any engine-wide mutex.
+    pub fn lock_table(&self) -> &Arc<LockTable> {
+        &self.locks
+    }
+
+    /// The version store (snapshot bookkeeping).
+    pub fn versions(&self) -> &Arc<VersionStore> {
+        &self.versions
+    }
+
+    /// Register a snapshot reader at the current commit timestamp.
+    pub fn begin_read(&self) -> ReadTicket {
+        self.versions.begin_read()
+    }
+
+    /// Deregister a snapshot reader.
+    pub fn end_read(&self, ticket: ReadTicket) {
+        self.versions.end_read(ticket);
+    }
+
+    /// Build the snapshot overlay for a read at `begin_ts`; changes by
+    /// `self_txn` stay visible (a transaction reads its own writes).
+    pub fn snapshot_at(&self, begin_ts: u64, self_txn: Option<u64>) -> SnapshotView {
+        self.versions.snapshot(begin_ts, self_txn)
+    }
+
+    /// Install (or clear, with `None`) the snapshot overlay consulted by
+    /// every read method. The session layer installs a view around each
+    /// snapshot-read statement; writers run with no view installed.
+    pub fn install_read_view(&self, view: Option<Arc<SnapshotView>>) {
+        *self.read_view.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = view;
+    }
+
+    fn view(&self) -> Option<Arc<SnapshotView>> {
+        if !self.versions.enabled() {
+            return None;
+        }
+        self.read_view.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
+    }
+
+    /// Non-blocking block lock under an open transaction (concurrent
+    /// mode only): the safety net against slot reuse across an abort.
+    fn lock_block(&self, txn: &Txn, rid: RecordId) -> Result<(), StorageError> {
+        if self.versions.enabled() {
+            self.locks.try_lock_exclusive(txn.id(), LockKey::Block(rid.block.0))?;
+        }
+        Ok(())
+    }
+
     // ----- transactions -------------------------------------------------------
 
-    /// Open a transaction.
-    pub fn begin(&mut self) -> Txn {
-        let id = self.next_txn;
-        self.next_txn += 1;
+    /// Open a transaction. Id allocation is atomic: concurrent sessions
+    /// begin transactions through a shared engine handle.
+    pub fn begin(&self) -> Txn {
+        let id = self.next_txn.fetch_add(1, Ordering::Relaxed);
         self.pool.stats().count_txn_begin();
+        self.versions.begin(id);
         Txn::new(id)
     }
 
@@ -357,30 +443,50 @@ impl StorageEngine {
         let id = txn.id();
         let read_only = txn.op_count() == 0 && !self.meta_dirty;
         drop(txn);
-        if self.pool.is_durable() && !read_only {
+        let result = if self.pool.is_durable() && !read_only {
             let meta = self.meta().encode();
-            self.pool.commit_to_wal(id, &meta)?;
-            self.meta_dirty = false;
-            self.pool.events().record(sim_obs::Event::Commit { txn: id });
-        }
+            match self.pool.commit_to_wal(id, &meta) {
+                Ok(()) => {
+                    self.meta_dirty = false;
+                    self.pool.events().record(sim_obs::Event::Commit { txn: id });
+                    Ok(())
+                }
+                Err(e) => Err(e),
+            }
+        } else {
+            Ok(())
+        };
+        // Stamp the commit timestamp and release locks even if the WAL
+        // write failed: the transaction is over either way (a failed
+        // durable commit means the medium crashed; the engine is done).
+        self.versions.commit(id);
+        self.locks.unlock_all(id);
         self.pool.stats().count_txn_commit();
-        Ok(())
+        result
     }
 
     /// Roll the transaction back completely.
     pub fn abort(&mut self, mut txn: Txn) -> Result<(), StorageError> {
         self.pool.stats().count_txn_abort();
+        let id = txn.id();
         let ops = txn.drain_reverse();
-        self.apply_undo(ops)
+        let result = self.apply_undo(ops);
+        self.versions.abort(id);
+        self.locks.unlock_all(id);
+        result
     }
 
     /// Roll back to a savepoint taken with [`Txn::savepoint`], keeping the
     /// transaction open. Used for statement-level rollback on integrity
     /// violations (§3.3). Counted as an abort: the statement's work is
     /// discarded even though the enclosing transaction lives on.
+    ///
+    /// A stale savepoint beyond the undo-log length yields
+    /// [`StorageError::BadSavepoint`] without touching anything.
     pub fn rollback_to(&mut self, txn: &mut Txn, savepoint: usize) -> Result<(), StorageError> {
+        let ops = txn.drain_to_savepoint(savepoint)?;
         self.pool.stats().count_txn_abort();
-        let ops = txn.drain_to_savepoint(savepoint);
+        self.versions.rollback_to(txn.id(), savepoint);
         self.apply_undo(ops)
     }
 
@@ -446,8 +552,7 @@ impl StorageEngine {
             .get_mut(file.0 as usize)
             .ok_or_else(|| StorageError::UnknownStructure(format!("file {}", file.0)))?
             .insert(pool, data)?;
-        txn.log(UndoOp::HeapInsert { file, rid });
-        Ok(rid)
+        self.finish_heap_insert(txn, file, rid)
     }
 
     /// Insert a record clustered near another record's block when possible.
@@ -464,12 +569,38 @@ impl StorageEngine {
             .get_mut(file.0 as usize)
             .ok_or_else(|| StorageError::UnknownStructure(format!("file {}", file.0)))?
             .insert_near(pool, near.block, data)?;
-        txn.log(UndoOp::HeapInsert { file, rid });
+        self.finish_heap_insert(txn, file, rid)
+    }
+
+    /// Block-lock, version-track and undo-log a fresh heap insert. A lock
+    /// conflict (another open transaction freed a slot in this block, so
+    /// its abort may need it back) physically removes the record again
+    /// and surfaces SIM-C002 — the statement aborts cleanly.
+    fn finish_heap_insert(
+        &mut self,
+        txn: &mut Txn,
+        file: FileId,
+        rid: RecordId,
+    ) -> Result<RecordId, StorageError> {
+        if let Err(conflict) = self.lock_block(txn, rid) {
+            let pool = &self.pool;
+            self.files[file.0 as usize].delete(pool, rid)?;
+            return Err(conflict);
+        }
+        let op = UndoOp::HeapInsert { file, rid };
+        self.versions.track(txn.id(), txn.op_count(), &op);
+        txn.log(op);
         Ok(rid)
     }
 
-    /// Read a record.
+    /// Read a record (through the installed snapshot view, if any).
     pub fn heap_get(&self, file: FileId, rid: RecordId) -> Result<Option<Vec<u8>>, StorageError> {
+        if let Some(view) = self.view() {
+            if let Some(over) = view.heap_override(file, rid) {
+                self.file(file)?; // unknown files must still error
+                return Ok(over.clone());
+            }
+        }
         self.file(file)?.get(&self.pool, rid)
     }
 
@@ -482,6 +613,7 @@ impl StorageEngine {
         rid: RecordId,
         data: &[u8],
     ) -> Result<RecordId, StorageError> {
+        self.lock_block(txn, rid)?;
         let pool = &self.pool;
         let f = self
             .files
@@ -490,7 +622,19 @@ impl StorageEngine {
         let old_data =
             f.get(pool, rid)?.ok_or_else(|| StorageError::InvalidRecordId(rid.to_string()))?;
         let new_rid = f.update(pool, rid, data)?;
-        txn.log(UndoOp::HeapUpdate { file, old_rid: rid, new_rid, old_data });
+        if new_rid != rid {
+            // Relocation: the new block needs the safety-net lock too. On
+            // conflict, put the record back before surfacing SIM-C002.
+            if let Err(conflict) = self.lock_block(txn, new_rid) {
+                let f = &mut self.files[file.0 as usize];
+                f.delete(pool, new_rid)?;
+                f.restore(pool, rid, &old_data)?;
+                return Err(conflict);
+            }
+        }
+        let op = UndoOp::HeapUpdate { file, old_rid: rid, new_rid, old_data };
+        self.versions.track(txn.id(), txn.op_count(), &op);
+        txn.log(op);
         Ok(new_rid)
     }
 
@@ -501,13 +645,16 @@ impl StorageEngine {
         file: FileId,
         rid: RecordId,
     ) -> Result<Vec<u8>, StorageError> {
+        self.lock_block(txn, rid)?;
         let pool = &self.pool;
         let data = self
             .files
             .get_mut(file.0 as usize)
             .ok_or_else(|| StorageError::UnknownStructure(format!("file {}", file.0)))?
             .delete(pool, rid)?;
-        txn.log(UndoOp::HeapDelete { file, rid, data: data.clone() });
+        let op = UndoOp::HeapDelete { file, rid, data: data.clone() };
+        self.versions.track(txn.id(), txn.op_count(), &op);
+        txn.log(op);
         Ok(data)
     }
 
@@ -525,9 +672,14 @@ impl StorageEngine {
         self.file(file)?.cursor_next(&self.pool, cur)
     }
 
-    /// Materialize a full scan.
+    /// Materialize a full scan (through the installed snapshot view, if
+    /// any).
     pub fn heap_scan_all(&self, file: FileId) -> Result<Vec<(RecordId, Vec<u8>)>, StorageError> {
-        self.file(file)?.scan_all(&self.pool)
+        let mut rows = self.file(file)?.scan_all(&self.pool)?;
+        if let Some(view) = self.view() {
+            view.apply_heap_scan(file, &mut rows);
+        }
+        Ok(rows)
     }
 
     /// Live record count (optimizer statistic).
@@ -560,7 +712,9 @@ impl StorageEngine {
             .get_mut(index.0 as usize)
             .ok_or_else(|| StorageError::UnknownStructure(format!("btree {}", index.0)))?
             .insert(pool, key, value)?;
-        txn.log(UndoOp::BTreeInsert { index, key: key.to_vec(), value: value.to_vec() });
+        let op = UndoOp::BTreeInsert { index, key: key.to_vec(), value: value.to_vec() };
+        self.versions.track(txn.id(), txn.op_count(), &op);
+        txn.log(op);
         Ok(())
     }
 
@@ -579,38 +733,63 @@ impl StorageEngine {
             .ok_or_else(|| StorageError::UnknownStructure(format!("btree {}", index.0)))?
             .delete(pool, key, value)?;
         if existed {
-            txn.log(UndoOp::BTreeDelete { index, key: key.to_vec(), value: value.to_vec() });
+            let op = UndoOp::BTreeDelete { index, key: key.to_vec(), value: value.to_vec() };
+            self.versions.track(txn.id(), txn.op_count(), &op);
+            txn.log(op);
         }
         Ok(existed)
     }
 
-    /// First value under `key`.
+    /// First value under `key` (through the installed snapshot view, if
+    /// any).
     pub fn btree_lookup_first(
         &self,
         index: BTreeId,
         key: &[u8],
     ) -> Result<Option<Vec<u8>>, StorageError> {
+        if let Some(view) = self.view() {
+            let mut values = self.btree(index)?.scan_key(&self.pool, key)?;
+            view.apply_btree_key(index, key, &mut values);
+            return Ok(values.into_iter().next());
+        }
         self.btree(index)?.lookup_first(&self.pool, key)
     }
 
-    /// All values under `key`.
+    /// All values under `key` (through the installed snapshot view, if
+    /// any).
     pub fn btree_scan_key(&self, index: BTreeId, key: &[u8]) -> Result<Vec<Vec<u8>>, StorageError> {
-        self.btree(index)?.scan_key(&self.pool, key)
+        let mut values = self.btree(index)?.scan_key(&self.pool, key)?;
+        if let Some(view) = self.view() {
+            view.apply_btree_key(index, key, &mut values);
+        }
+        Ok(values)
     }
 
-    /// Range scan `lo <= key < hi`.
+    /// Range scan `lo <= key < hi` (through the installed snapshot view,
+    /// if any).
     pub fn btree_scan_range(
         &self,
         index: BTreeId,
         lo: Option<&[u8]>,
         hi: Option<&[u8]>,
     ) -> Result<Vec<Entry>, StorageError> {
-        self.btree(index)?.scan_range(&self.pool, lo, hi)
+        let mut entries = self.btree(index)?.scan_range(&self.pool, lo, hi)?;
+        if let Some(view) = self.view() {
+            view.apply_btree_entries(index, &mut entries, |key| {
+                lo.is_none_or(|lo| key >= lo) && hi.is_none_or(|hi| key < hi)
+            });
+        }
+        Ok(entries)
     }
 
-    /// Every entry in key order.
+    /// Every entry in key order (through the installed snapshot view, if
+    /// any).
     pub fn btree_scan_all(&self, index: BTreeId) -> Result<Vec<Entry>, StorageError> {
-        self.btree(index)?.scan_all(&self.pool)
+        let mut entries = self.btree(index)?.scan_all(&self.pool)?;
+        if let Some(view) = self.view() {
+            view.apply_btree_entries(index, &mut entries, |_| true);
+        }
+        Ok(entries)
     }
 
     /// Cursor positioned at the first entry `>= key`.
@@ -656,7 +835,9 @@ impl StorageEngine {
             .get_mut(index.0 as usize)
             .ok_or_else(|| StorageError::UnknownStructure(format!("hash {}", index.0)))?
             .insert(pool, key, value)?;
-        txn.log(UndoOp::HashInsert { index, key: key.to_vec(), value: value.to_vec() });
+        let op = UndoOp::HashInsert { index, key: key.to_vec(), value: value.to_vec() };
+        self.versions.track(txn.id(), txn.op_count(), &op);
+        txn.log(op);
         Ok(())
     }
 
@@ -675,14 +856,21 @@ impl StorageEngine {
             .ok_or_else(|| StorageError::UnknownStructure(format!("hash {}", index.0)))?
             .delete(pool, key, value)?;
         if existed {
-            txn.log(UndoOp::HashDelete { index, key: key.to_vec(), value: value.to_vec() });
+            let op = UndoOp::HashDelete { index, key: key.to_vec(), value: value.to_vec() };
+            self.versions.track(txn.id(), txn.op_count(), &op);
+            txn.log(op);
         }
         Ok(existed)
     }
 
-    /// All values under `key`.
+    /// All values under `key` (through the installed snapshot view, if
+    /// any).
     pub fn hash_get(&self, index: HashIndexId, key: &[u8]) -> Result<Vec<Vec<u8>>, StorageError> {
-        self.hash(index)?.get(&self.pool, key)
+        let mut values = self.hash(index)?.get(&self.pool, key)?;
+        if let Some(view) = self.view() {
+            view.apply_hash_key(index, key, &mut values);
+        }
+        Ok(values)
     }
 
     /// Entry count (optimizer statistic).
@@ -838,6 +1026,99 @@ mod tests {
         assert_eq!(eng.hash_get(hx, b"key").unwrap(), baseline_hx);
         assert_eq!(eng.heap_get(f, rid).unwrap().unwrap(), vec![1u8; 2000]);
         assert!(eng.heap_get(f, new_rid).unwrap().is_none());
+    }
+
+    #[test]
+    fn stale_savepoint_is_a_typed_error_not_a_panic() {
+        // Regression: a savepoint held across an earlier rollback used to
+        // make drain_to_savepoint panic in Vec::split_off. It must now
+        // surface StorageError::BadSavepoint and leave the txn usable.
+        let mut eng = StorageEngine::new(32);
+        let f = eng.create_file().unwrap();
+        let mut txn = eng.begin();
+        eng.heap_insert(&mut txn, f, b"one").unwrap();
+        let stale = txn.savepoint(); // == 1
+        eng.heap_insert(&mut txn, f, b"two").unwrap();
+        eng.rollback_to(&mut txn, 0).unwrap(); // drains everything
+        match eng.rollback_to(&mut txn, stale) {
+            Err(StorageError::BadSavepoint { savepoint: 1, len: 0 }) => {}
+            other => panic!("expected BadSavepoint, got {other:?}"),
+        }
+        // The transaction is still usable after the error.
+        let rid = eng.heap_insert(&mut txn, f, b"three").unwrap();
+        eng.commit(txn).unwrap();
+        assert_eq!(eng.heap_get(f, rid).unwrap().unwrap(), b"three");
+    }
+
+    #[test]
+    fn snapshot_readers_see_the_begin_timestamp_state() {
+        let mut eng = StorageEngine::new(64);
+        eng.set_concurrent(true);
+        let f = eng.create_file().unwrap();
+        let bt = eng.create_btree(true).unwrap();
+        let mut setup = eng.begin();
+        let rid = eng.heap_insert(&mut setup, f, b"v1").unwrap();
+        eng.btree_insert(&mut setup, bt, b"k", &rid.to_bytes()).unwrap();
+        eng.commit(setup).unwrap();
+
+        // A reader pins the pre-writer state...
+        let ticket = eng.begin_read();
+        // ...while a writer updates, deletes the index entry, and inserts
+        // a second record — all uncommitted, then committed.
+        let mut writer = eng.begin();
+        eng.heap_update(&mut writer, f, rid, b"v2").unwrap();
+        eng.btree_delete(&mut writer, bt, b"k", &rid.to_bytes()).unwrap();
+        let rid2 = eng.heap_insert(&mut writer, f, b"new").unwrap();
+
+        let view = Arc::new(eng.snapshot_at(ticket.ts, None));
+        eng.install_read_view(Some(Arc::clone(&view)));
+        assert_eq!(eng.heap_get(f, rid).unwrap().unwrap(), b"v1");
+        assert!(eng.heap_get(f, rid2).unwrap().is_none());
+        assert_eq!(eng.btree_lookup_first(bt, b"k").unwrap().unwrap(), rid.to_bytes().to_vec());
+        assert_eq!(eng.heap_scan_all(f).unwrap(), vec![(rid, b"v1".to_vec())]);
+        eng.install_read_view(None);
+
+        // Commit does not change what the pinned snapshot sees.
+        eng.commit(writer).unwrap();
+        let view = Arc::new(eng.snapshot_at(ticket.ts, None));
+        eng.install_read_view(Some(view));
+        assert_eq!(eng.heap_get(f, rid).unwrap().unwrap(), b"v1");
+        assert!(eng.heap_get(f, rid2).unwrap().is_none());
+        eng.install_read_view(None);
+        eng.end_read(ticket);
+
+        // A fresh snapshot sees the committed state, and with no readers
+        // left the version store drains.
+        let fresh = eng.snapshot_at(eng.versions().commit_ts(), None);
+        assert!(fresh.is_empty());
+        assert_eq!(eng.versions().retained(), 0);
+        assert_eq!(eng.heap_get(f, rid).unwrap().unwrap(), b"v2");
+    }
+
+    #[test]
+    fn block_locks_catch_slot_reuse_across_open_transactions() {
+        // Txn 1 deletes a record (freeing its slot) and stays open; txn 2
+        // tries to insert into the same block. Without the block lock,
+        // txn 2 could reuse the slot and make txn 1's abort fail with
+        // SlotOccupied. With it, txn 2 gets a typed conflict instead.
+        let mut eng = StorageEngine::new(32);
+        eng.set_concurrent(true);
+        let f = eng.create_file().unwrap();
+        let mut setup = eng.begin();
+        let victim = eng.heap_insert(&mut setup, f, b"victim").unwrap();
+        eng.commit(setup).unwrap();
+
+        let mut t1 = eng.begin();
+        eng.heap_delete(&mut t1, f, victim).unwrap();
+        let mut t2 = eng.begin();
+        match eng.heap_insert(&mut t2, f, b"usurper") {
+            Err(StorageError::LockConflict { .. }) => {}
+            other => panic!("expected LockConflict, got {other:?}"),
+        }
+        eng.abort(t2).unwrap();
+        eng.abort(t1).unwrap(); // restore succeeds: the slot is free
+        assert_eq!(eng.heap_get(f, victim).unwrap().unwrap(), b"victim");
+        assert_eq!(eng.lock_table().locked_key_count(), 0);
     }
 
     #[test]

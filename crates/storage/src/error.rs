@@ -27,6 +27,15 @@ pub enum StorageError {
     WalCorrupt(String),
     /// Internal corruption detected (should never happen).
     Corrupt(String),
+    /// A savepoint index beyond the transaction's undo-log length — a stale
+    /// savepoint held across an earlier rollback or abort (SIM-C003).
+    BadSavepoint { savepoint: usize, len: usize },
+    /// A lock request that waited past the deadlock timeout (SIM-C001). The
+    /// requesting transaction is the deadlock victim and must abort.
+    LockTimeout { txn: u64, key: String },
+    /// A non-blocking lock request that found the lock held by another
+    /// transaction (SIM-C002).
+    LockConflict { txn: u64, holder: u64, key: String },
 }
 
 impl fmt::Display for StorageError {
@@ -48,6 +57,18 @@ impl fmt::Display for StorageError {
             StorageError::Io(m) => write!(f, "storage I/O error: {m}"),
             StorageError::WalCorrupt(m) => write!(f, "write-ahead log corrupt: {m}"),
             StorageError::Corrupt(m) => write!(f, "storage corruption: {m}"),
+            StorageError::BadSavepoint { savepoint, len } => {
+                write!(f, "SIM-C003: savepoint {savepoint} is beyond the undo log (len {len})")
+            }
+            StorageError::LockTimeout { txn, key } => {
+                write!(f, "SIM-C001: transaction {txn} timed out waiting for lock on {key}")
+            }
+            StorageError::LockConflict { txn, holder, key } => {
+                write!(
+                    f,
+                    "SIM-C002: transaction {txn} conflicts with {holder} holding lock on {key}"
+                )
+            }
         }
     }
 }

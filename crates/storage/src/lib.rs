@@ -39,6 +39,10 @@
 //! * [`hash::HashIndex`] — a static-hashed access method ("random keys").
 //! * [`txn`] — undo-log transactions: enough recovery machinery for
 //!   integrity-violation rollback (§3.3).
+//! * [`lock_table`] — S/X locks at class + block granularity with
+//!   timeout-based deadlock resolution (concurrent sessions).
+//! * [`version`] — snapshot reads from undo pre-images: lock-free
+//!   retrieves at a begin-timestamp while writers proceed.
 //! * [`engine::StorageEngine`] — the facade that owns the pool and all
 //!   structures and runs operations inside transactions. Volatile via
 //!   [`engine::StorageEngine::new`], durable via
@@ -53,6 +57,7 @@ pub mod error;
 pub mod file;
 pub mod hash;
 pub mod heap;
+pub mod lock_table;
 pub mod meta;
 pub mod page;
 pub mod pool;
@@ -60,6 +65,7 @@ pub mod recovery;
 pub mod schedule;
 pub mod stats;
 pub mod txn;
+pub mod version;
 pub mod wal;
 
 pub use disk::{BlockId, MemDisk, Storage};
@@ -67,11 +73,13 @@ pub use engine::{BTreeId, FileId, HashIndexId, StorageEngine};
 pub use error::StorageError;
 pub use file::FileDisk;
 pub use heap::RecordId;
+pub use lock_table::{LockKey, LockMode, LockTable, CONCURRENCY_CODES, DEFAULT_LOCK_TIMEOUT};
 pub use meta::EngineMeta;
 pub use recovery::{recover, RecoveryOutcome};
 pub use schedule::{CrashPoint, FaultSchedule};
 pub use stats::{IoSnapshot, IoStats};
 pub use txn::Txn;
+pub use version::{ReadTicket, SnapshotView, VersionStore};
 pub use wal::{FrameInfo, FrameScan, WalTail};
 
 /// The block size of the simulated disk, in bytes.

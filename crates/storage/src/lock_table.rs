@@ -1,0 +1,422 @@
+//! S/X lock table with timeout-based deadlock resolution.
+//!
+//! The paper's SIM served "many simultaneous users" on a substrate that
+//! provided transaction management (§1); this module is the conflict
+//! arbiter for that substrate. The shape follows SimpleDB's
+//! `tx/lock_table.rs`: one global table mapping lockable units to their
+//! holder sets, a condition variable for waiters, and a wait timeout as
+//! the deadlock detector — a transaction that waits longer than the
+//! timeout is presumed deadlocked, receives
+//! [`StorageError::LockTimeout`] (SIM-C001), and must abort.
+//!
+//! Two granularities, matching the LUC layout:
+//!
+//! * [`LockKey::Class`] — a whole class family's extent. Writer sessions
+//!   take these (X for updates, S for reads inside a write transaction)
+//!   before executing a statement; strict two-phase locking over class
+//!   keys is what makes interleaved writer transactions serializable in
+//!   commit order.
+//! * [`LockKey::Block`] — one heap block. The engine takes these
+//!   non-blockingly under an open transaction as a safety net against
+//!   physical conflicts the class locks cannot see (slot reuse across
+//!   an abort); a conflict surfaces as [`StorageError::LockConflict`]
+//!   (SIM-C002).
+//!
+//! Snapshot readers take no locks at all — they read pre-images from the
+//! version store ([`crate::version`]), which is why retrieves never block
+//! writers.
+
+use crate::error::StorageError;
+use sim_obs::{Counter, Event, EventLog, Registry};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// The concurrency error codes documented in DESIGN.md §14 (pinned by
+/// `tests/doc_sync.rs`): lock timeout, lock conflict, bad savepoint.
+pub const CONCURRENCY_CODES: &[&str] = &["SIM-C001", "SIM-C002", "SIM-C003"];
+
+/// Default deadlock timeout. Long enough that a healthy writer finishes
+/// its statement and commits; short enough that a genuine deadlock
+/// resolves quickly in tests and the REPL.
+pub const DEFAULT_LOCK_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// What a lock protects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LockKey {
+    /// A class family's extent (keyed by the base class id).
+    Class(u32),
+    /// One heap block.
+    Block(u32),
+}
+
+impl fmt::Display for LockKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockKey::Class(id) => write!(f, "class:{id}"),
+            LockKey::Block(id) => write!(f, "block:{id}"),
+        }
+    }
+}
+
+/// Lock mode: shared (readers inside a write transaction) or exclusive
+/// (writers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    /// Compatible with other shared holders.
+    Shared,
+    /// Incompatible with every other holder.
+    Exclusive,
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    /// Transactions holding the lock in S mode.
+    shared: Vec<u64>,
+    /// The transaction holding the lock in X mode, if any.
+    exclusive: Option<u64>,
+}
+
+impl LockState {
+    fn is_free(&self) -> bool {
+        self.shared.is_empty() && self.exclusive.is_none()
+    }
+
+    /// Whether `txn` may take the lock in `mode` right now.
+    fn grantable(&self, txn: u64, mode: LockMode) -> bool {
+        match mode {
+            LockMode::Shared => self.exclusive.is_none_or(|x| x == txn),
+            LockMode::Exclusive => {
+                self.exclusive.is_none_or(|x| x == txn) && self.shared.iter().all(|&s| s == txn)
+            }
+        }
+    }
+
+    fn grant(&mut self, txn: u64, mode: LockMode) {
+        match mode {
+            LockMode::Shared => {
+                if !self.shared.contains(&txn) {
+                    self.shared.push(txn);
+                }
+            }
+            LockMode::Exclusive => {
+                // Upgrade: the sole S holder becomes the X holder.
+                self.shared.retain(|&s| s != txn);
+                self.exclusive = Some(txn);
+            }
+        }
+    }
+
+    /// Any current holder other than `txn` (for diagnostics).
+    fn blocker(&self, txn: u64) -> Option<u64> {
+        if let Some(x) = self.exclusive {
+            if x != txn {
+                return Some(x);
+            }
+        }
+        self.shared.iter().copied().find(|&s| s != txn)
+    }
+}
+
+/// The global lock table. One per [`crate::StorageEngine`], shared with the
+/// session layer through an `Arc` so sessions can wait for class locks
+/// without holding any engine-wide mutex.
+pub struct LockTable {
+    table: Mutex<HashMap<LockKey, LockState>>,
+    released: Condvar,
+    timeout: Mutex<Duration>,
+    events: Arc<EventLog>,
+    acquisitions: Arc<Counter>,
+    waits: Arc<Counter>,
+    timeouts: Arc<Counter>,
+    conflicts: Arc<Counter>,
+    releases: Arc<Counter>,
+}
+
+impl fmt::Debug for LockTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let table = self.table.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        f.debug_struct("LockTable").field("locked_keys", &table.len()).finish()
+    }
+}
+
+impl LockTable {
+    /// A lock table publishing `storage.lock_*` counters and lock-wait
+    /// events into `registry`.
+    pub fn with_registry(registry: &Arc<Registry>) -> LockTable {
+        LockTable {
+            table: Mutex::new(HashMap::new()),
+            released: Condvar::new(),
+            timeout: Mutex::new(DEFAULT_LOCK_TIMEOUT),
+            events: registry.event_log(),
+            acquisitions: registry.counter(crate::stats::names::LOCK_ACQUISITIONS),
+            waits: registry.counter(crate::stats::names::LOCK_WAITS),
+            timeouts: registry.counter(crate::stats::names::LOCK_TIMEOUTS),
+            conflicts: registry.counter(crate::stats::names::LOCK_CONFLICTS),
+            releases: registry.counter(crate::stats::names::LOCK_RELEASES),
+        }
+    }
+
+    /// Replace the deadlock timeout (tests and the oracle's deterministic
+    /// driver use very short or zero timeouts).
+    pub fn set_timeout(&self, timeout: Duration) {
+        *self.timeout.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = timeout;
+    }
+
+    /// The current deadlock timeout.
+    pub fn timeout(&self) -> Duration {
+        *self.timeout.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Acquire `key` in shared mode for `txn`, waiting up to the deadlock
+    /// timeout.
+    pub fn lock_shared(&self, txn: u64, key: LockKey) -> Result<(), StorageError> {
+        self.lock(txn, key, LockMode::Shared)
+    }
+
+    /// Acquire `key` in exclusive mode for `txn`, waiting up to the
+    /// deadlock timeout.
+    pub fn lock_exclusive(&self, txn: u64, key: LockKey) -> Result<(), StorageError> {
+        self.lock(txn, key, LockMode::Exclusive)
+    }
+
+    fn lock(&self, txn: u64, key: LockKey, mode: LockMode) -> Result<(), StorageError> {
+        let timeout = self.timeout();
+        let deadline = Instant::now() + timeout;
+        let mut table = self.table.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut waited = false;
+        loop {
+            let state = table.entry(key).or_default();
+            if state.grantable(txn, mode) {
+                state.grant(txn, mode);
+                self.acquisitions.inc();
+                return Ok(());
+            }
+            if !waited {
+                waited = true;
+                self.waits.inc();
+                self.events.record(Event::LockWait {
+                    txn,
+                    key: key.to_string(),
+                    holder: state.blocker(txn).unwrap_or(0),
+                });
+            }
+            let now = Instant::now();
+            if timeout.is_zero() || now >= deadline {
+                self.timeouts.inc();
+                return Err(StorageError::LockTimeout { txn, key: key.to_string() });
+            }
+            let (guard, _timed_out) = self
+                .released
+                .wait_timeout(table, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            table = guard;
+        }
+    }
+
+    /// Try to acquire `key` exclusively without waiting. On conflict the
+    /// caller learns the holder (SIM-C002) and must abort or retry.
+    pub fn try_lock_exclusive(&self, txn: u64, key: LockKey) -> Result<(), StorageError> {
+        let mut table = self.table.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let state = table.entry(key).or_default();
+        if state.grantable(txn, LockMode::Exclusive) {
+            state.grant(txn, LockMode::Exclusive);
+            self.acquisitions.inc();
+            Ok(())
+        } else {
+            self.conflicts.inc();
+            Err(StorageError::LockConflict {
+                txn,
+                holder: state.blocker(txn).unwrap_or(0),
+                key: key.to_string(),
+            })
+        }
+    }
+
+    /// Release every lock held by `txn` (commit or abort: strict two-phase
+    /// locking releases nothing earlier). Returns how many were released.
+    pub fn unlock_all(&self, txn: u64) -> usize {
+        let mut table = self.table.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut released = 0;
+        table.retain(|_, state| {
+            let before = state.shared.len() + usize::from(state.exclusive.is_some());
+            state.shared.retain(|&s| s != txn);
+            if state.exclusive == Some(txn) {
+                state.exclusive = None;
+            }
+            released += before - state.shared.len() - usize::from(state.exclusive.is_some());
+            !state.is_free()
+        });
+        if released > 0 {
+            self.releases.add(released as u64);
+            self.released.notify_all();
+        }
+        released
+    }
+
+    /// The mode `txn` holds `key` in, if any (tests and assertions).
+    pub fn held(&self, txn: u64, key: LockKey) -> Option<LockMode> {
+        let table = self.table.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let state = table.get(&key)?;
+        if state.exclusive == Some(txn) {
+            Some(LockMode::Exclusive)
+        } else if state.shared.contains(&txn) {
+            Some(LockMode::Shared)
+        } else {
+            None
+        }
+    }
+
+    /// Number of keys with at least one holder (tests and assertions).
+    pub fn locked_key_count(&self) -> usize {
+        self.table.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn table() -> Arc<LockTable> {
+        Arc::new(LockTable::with_registry(&Arc::new(Registry::new())))
+    }
+
+    #[test]
+    fn shared_locks_are_compatible_and_exclusive_is_not() {
+        let lt = table();
+        let k = LockKey::Class(1);
+        lt.lock_shared(1, k).unwrap();
+        lt.lock_shared(2, k).unwrap();
+        lt.set_timeout(Duration::ZERO);
+        assert!(matches!(lt.lock_exclusive(3, k), Err(StorageError::LockTimeout { txn: 3, .. })));
+        lt.unlock_all(1);
+        lt.unlock_all(2);
+        lt.lock_exclusive(3, k).unwrap();
+        assert_eq!(lt.held(3, k), Some(LockMode::Exclusive));
+    }
+
+    #[test]
+    fn upgrade_from_sole_shared_holder() {
+        let lt = table();
+        let k = LockKey::Class(7);
+        lt.lock_shared(1, k).unwrap();
+        lt.lock_exclusive(1, k).unwrap();
+        assert_eq!(lt.held(1, k), Some(LockMode::Exclusive));
+        // Reentrant: asking again is a no-op grant.
+        lt.lock_shared(1, k).unwrap();
+        lt.lock_exclusive(1, k).unwrap();
+        assert_eq!(lt.unlock_all(1), 1);
+        assert_eq!(lt.locked_key_count(), 0);
+    }
+
+    #[test]
+    fn try_lock_reports_the_holder() {
+        let lt = table();
+        let k = LockKey::Block(42);
+        lt.try_lock_exclusive(9, k).unwrap();
+        match lt.try_lock_exclusive(10, k) {
+            Err(StorageError::LockConflict { txn: 10, holder: 9, .. }) => {}
+            other => panic!("expected conflict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timeout_wakes_a_waiter_when_the_holder_releases() {
+        let lt = table();
+        let k = LockKey::Class(3);
+        lt.lock_exclusive(1, k).unwrap();
+        lt.set_timeout(Duration::from_secs(5));
+        let lt2 = Arc::clone(&lt);
+        let waiter = std::thread::spawn(move || lt2.lock_exclusive(2, k));
+        // Give the waiter time to block, then release.
+        std::thread::sleep(Duration::from_millis(50));
+        lt.unlock_all(1);
+        waiter.join().expect("waiter thread").expect("lock granted after release");
+        assert_eq!(lt.held(2, k), Some(LockMode::Exclusive));
+    }
+
+    #[test]
+    fn deadlock_resolves_by_timeout() {
+        let lt = table();
+        let (a, b) = (LockKey::Class(1), LockKey::Class(2));
+        lt.set_timeout(Duration::from_millis(50));
+        lt.lock_exclusive(1, a).unwrap();
+        lt.lock_exclusive(2, b).unwrap();
+        let lt2 = Arc::clone(&lt);
+        let t = std::thread::spawn(move || lt2.lock_exclusive(1, b));
+        // txn 2 wants a (held by 1) while txn 1 wants b (held by 2): a
+        // cycle. Both waits expire with LockTimeout rather than hanging.
+        let r2 = lt.lock_exclusive(2, a);
+        let r1 = t.join().expect("waiter thread");
+        assert!(matches!(r2, Err(StorageError::LockTimeout { .. })));
+        assert!(matches!(r1, Err(StorageError::LockTimeout { .. })));
+    }
+
+    /// Schedule-permutation check: every interleaving of two transactions'
+    /// lock/unlock steps over two keys either grants compatibly or fails
+    /// with a typed conflict/timeout — never a panic, never a lost lock,
+    /// and after both transactions release, the table is empty.
+    #[test]
+    fn permuted_schedules_never_wedge_the_table() {
+        // Steps: (txn, action). Actions: S(key), X(key), U (unlock all).
+        #[derive(Clone, Copy, Debug)]
+        enum Act {
+            S(u32),
+            X(u32),
+            U,
+        }
+        let t1 = [Act::S(0), Act::X(1), Act::U];
+        let t2 = [Act::X(0), Act::S(1), Act::U];
+        // All interleavings of two 3-step scripts: C(6,3) = 20 schedules.
+        let mut schedules = Vec::new();
+        for mask in 0u32..64 {
+            if mask.count_ones() == 3 {
+                schedules.push(mask);
+            }
+        }
+        assert_eq!(schedules.len(), 20);
+        for mask in schedules {
+            let lt = table();
+            lt.set_timeout(Duration::ZERO); // deterministic: never block
+            let (mut i1, mut i2) = (0usize, 0usize);
+            // Track which txns already failed (an aborted txn stops).
+            let (mut dead1, mut dead2) = (false, false);
+            for bit in 0..6 {
+                let from_t1 = mask & (1 << bit) != 0;
+                let (txn, act, dead) = if from_t1 {
+                    let a = t1[i1];
+                    i1 += 1;
+                    (1u64, a, &mut dead1)
+                } else {
+                    let a = t2[i2];
+                    i2 += 1;
+                    (2u64, a, &mut dead2)
+                };
+                if *dead {
+                    continue;
+                }
+                let r = match act {
+                    Act::S(k) => lt.lock_shared(txn, LockKey::Class(k)),
+                    Act::X(k) => lt.lock_exclusive(txn, LockKey::Class(k)),
+                    Act::U => {
+                        lt.unlock_all(txn);
+                        Ok(())
+                    }
+                };
+                if let Err(e) = r {
+                    assert!(
+                        matches!(e, StorageError::LockTimeout { .. }),
+                        "only timeouts expected, got {e:?}"
+                    );
+                    lt.unlock_all(txn); // abort the victim
+                    *dead = true;
+                }
+            }
+            lt.unlock_all(1);
+            lt.unlock_all(2);
+            assert_eq!(lt.locked_key_count(), 0, "schedule {mask:#08b} leaked locks");
+        }
+    }
+}

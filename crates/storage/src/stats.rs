@@ -48,6 +48,20 @@ pub mod names {
     pub const WAL_REPLAYED: &str = "storage.wal_replayed";
     /// Milliseconds spent in crash recovery.
     pub const RECOVERY_MILLIS: &str = "storage.recovery_millis";
+    /// Locks granted (shared + exclusive, including try-locks).
+    pub const LOCK_ACQUISITIONS: &str = "storage.lock_acquisitions";
+    /// Lock requests that had to wait for a holder.
+    pub const LOCK_WAITS: &str = "storage.lock_waits";
+    /// Lock waits that expired — presumed deadlocks (SIM-C001).
+    pub const LOCK_TIMEOUTS: &str = "storage.lock_timeouts";
+    /// Non-blocking lock requests denied (SIM-C002).
+    pub const LOCK_CONFLICTS: &str = "storage.lock_conflicts";
+    /// Locks released at commit/abort.
+    pub const LOCK_RELEASES: &str = "storage.lock_releases";
+    /// Snapshot views built for lock-free readers.
+    pub const SNAPSHOT_READS: &str = "storage.snapshot_reads";
+    /// Undo pre-images mirrored into the version store.
+    pub const SNAPSHOT_VERSIONS: &str = "storage.snapshot_versions";
 }
 
 /// Shared, thread-safe I/O counters backed by a metrics registry.

@@ -8,6 +8,7 @@
 //! [`crate::StorageEngine::abort`] replays the inverses in reverse order.
 
 use crate::engine::{BTreeId, FileId, HashIndexId};
+use crate::error::StorageError;
 use crate::heap::RecordId;
 
 /// The inverse of one engine mutation.
@@ -78,9 +79,21 @@ impl Txn {
     }
 
     /// Split off every op logged after `savepoint`, in rollback order.
-    pub(crate) fn drain_to_savepoint(&mut self, savepoint: usize) -> Vec<UndoOp> {
-        let mut ops = self.undo.split_off(savepoint);
+    ///
+    /// A savepoint beyond the current log length is a caller bug (a stale
+    /// savepoint held across an earlier rollback or abort): the index is
+    /// clamped to `len()` so nothing panics, and the caller gets a typed
+    /// [`StorageError::BadSavepoint`] instead of a partial drain.
+    pub(crate) fn drain_to_savepoint(
+        &mut self,
+        savepoint: usize,
+    ) -> Result<Vec<UndoOp>, StorageError> {
+        let len = self.undo.len();
+        if savepoint > len {
+            return Err(StorageError::BadSavepoint { savepoint, len });
+        }
+        let mut ops = self.undo.split_off(savepoint.min(len));
         ops.reverse();
-        ops
+        Ok(ops)
     }
 }

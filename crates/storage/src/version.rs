@@ -1,0 +1,508 @@
+//! Snapshot reads from undo pre-images.
+//!
+//! The undo log ([`crate::txn`]) already holds the pre-image of every
+//! mutation; this module exposes those pre-images as a version chain so
+//! readers can reconstruct the database as of a begin-timestamp without
+//! taking a single lock — retrieves never block writers.
+//!
+//! Mechanics: when the engine runs in concurrent mode, every logged undo
+//! op is mirrored (in chronological order) into the [`VersionStore`].
+//! Commits stamp a transaction with a monotonically increasing commit
+//! timestamp; a snapshot at begin-timestamp `t` sees exactly the
+//! transactions committed with `commit_ts <= t`. To serve a read, the
+//! store builds a [`SnapshotView`]: it walks the mirrored log newest →
+//! oldest and applies the undo op of every *invisible* transaction
+//! (still active, or committed after `t`) to an overlay — heap records
+//! resolve to their pre-image (last application wins, i.e. the oldest
+//! invisible op), index entries accumulate presence deltas. Engine read
+//! methods then merge the overlay over the live structures.
+//!
+//! Correctness leans on strict two-phase locking for writers: two
+//! transactions never interleave conflicting writes to the same datum,
+//! so per datum the invisible ops always form a contiguous suffix of
+//! that datum's history and undoing just that suffix lands exactly on
+//! the snapshot state.
+//!
+//! Retention: records of committed transactions are pruned as soon as no
+//! registered reader's begin-timestamp precedes their commit — with no
+//! readers the store stays empty-ish even under heavy write load.
+
+use crate::engine::{BTreeId, FileId, HashIndexId};
+use crate::heap::RecordId;
+use crate::txn::UndoOp;
+use sim_obs::{Counter, Registry};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// A registered snapshot reader: dropping the ticket does *not*
+/// deregister it — callers pair [`VersionStore::begin_read`] with
+/// [`VersionStore::end_read`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadTicket {
+    /// Registration id (pass back to `end_read`).
+    pub id: u64,
+    /// The snapshot's begin-timestamp: commits stamped `<= ts` are
+    /// visible.
+    pub ts: u64,
+}
+
+#[derive(Debug)]
+struct Record {
+    txn: u64,
+    /// Index of this op in its transaction's undo log (savepoint
+    /// rollbacks discard suffixes by this sequence number).
+    seq: usize,
+    op: UndoOp,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    enabled: bool,
+    commit_ts: u64,
+    /// Open tracked transactions.
+    active: std::collections::HashSet<u64>,
+    /// Commit timestamps of transactions whose records are still
+    /// retained.
+    committed: HashMap<u64, u64>,
+    /// Chronological mirror of tracked undo ops.
+    log: Vec<Record>,
+    /// Active snapshot readers: ticket id → begin-timestamp.
+    readers: HashMap<u64, u64>,
+    next_ticket: u64,
+}
+
+/// The engine-wide version store. All methods take `&self`; an internal
+/// mutex serializes access (engine statements already serialize above
+/// it, the mutex makes the store safe for lock-table-style sharing).
+#[derive(Debug)]
+pub struct VersionStore {
+    inner: Mutex<Inner>,
+    /// Mirror of `Inner::enabled` so the single-session hot path skips
+    /// the mutex entirely.
+    enabled_fast: std::sync::atomic::AtomicBool,
+    snapshot_reads: Arc<Counter>,
+    snapshot_versions: Arc<Counter>,
+}
+
+impl VersionStore {
+    /// A store publishing `storage.snapshot_*` counters into `registry`.
+    /// Disabled (and free) until [`VersionStore::set_enabled`].
+    pub fn with_registry(registry: &Arc<Registry>) -> VersionStore {
+        VersionStore {
+            inner: Mutex::new(Inner::default()),
+            enabled_fast: std::sync::atomic::AtomicBool::new(false),
+            snapshot_reads: registry.counter(crate::stats::names::SNAPSHOT_READS),
+            snapshot_versions: registry.counter(crate::stats::names::SNAPSHOT_VERSIONS),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Enable or disable version tracking (concurrent mode).
+    pub fn set_enabled(&self, on: bool) {
+        let mut inner = self.lock();
+        inner.enabled = on;
+        self.enabled_fast.store(on, std::sync::atomic::Ordering::Release);
+        if !on {
+            inner.log.clear();
+            inner.committed.clear();
+            inner.active.clear();
+            inner.readers.clear();
+        }
+    }
+
+    /// Whether version tracking is on (one atomic load).
+    pub fn enabled(&self) -> bool {
+        self.enabled_fast.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// The current commit timestamp (the begin-timestamp a new snapshot
+    /// would get).
+    pub fn commit_ts(&self) -> u64 {
+        self.lock().commit_ts
+    }
+
+    /// Number of retained version records (tests and assertions).
+    pub fn retained(&self) -> usize {
+        self.lock().log.len()
+    }
+
+    pub(crate) fn begin(&self, txn: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let mut inner = self.lock();
+        if inner.enabled {
+            inner.active.insert(txn);
+        }
+    }
+
+    pub(crate) fn track(&self, txn: u64, seq: usize, op: &UndoOp) {
+        if !self.enabled() {
+            return;
+        }
+        let mut inner = self.lock();
+        if inner.enabled && inner.active.contains(&txn) {
+            inner.log.push(Record { txn, seq, op: op.clone() });
+            self.snapshot_versions.inc();
+        }
+    }
+
+    pub(crate) fn commit(&self, txn: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let mut inner = self.lock();
+        if inner.active.remove(&txn) {
+            inner.commit_ts += 1;
+            let ts = inner.commit_ts;
+            if inner.log.iter().any(|r| r.txn == txn) {
+                inner.committed.insert(txn, ts);
+            }
+            inner.prune();
+        }
+    }
+
+    pub(crate) fn abort(&self, txn: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let mut inner = self.lock();
+        if inner.active.remove(&txn) {
+            // The engine physically undid the ops; the mirror forgets them.
+            inner.log.retain(|r| r.txn != txn);
+        }
+    }
+
+    pub(crate) fn rollback_to(&self, txn: u64, savepoint: usize) {
+        if !self.enabled() {
+            return;
+        }
+        let mut inner = self.lock();
+        if inner.active.contains(&txn) {
+            inner.log.retain(|r| r.txn != txn || r.seq < savepoint);
+        }
+    }
+
+    /// Register a snapshot reader at the current commit timestamp. The
+    /// store retains every version record the reader could need until
+    /// [`VersionStore::end_read`].
+    pub fn begin_read(&self) -> ReadTicket {
+        let mut inner = self.lock();
+        inner.next_ticket += 1;
+        let ticket = ReadTicket { id: inner.next_ticket, ts: inner.commit_ts };
+        inner.readers.insert(ticket.id, ticket.ts);
+        ticket
+    }
+
+    /// Deregister a snapshot reader and release its retained versions.
+    pub fn end_read(&self, ticket: ReadTicket) {
+        let mut inner = self.lock();
+        inner.readers.remove(&ticket.id);
+        inner.prune();
+    }
+
+    /// Build the overlay for a snapshot at `begin_ts`. Changes by
+    /// `self_txn` (a transaction reading its own writes) stay visible.
+    pub fn snapshot(&self, begin_ts: u64, self_txn: Option<u64>) -> SnapshotView {
+        let inner = self.lock();
+        self.snapshot_reads.inc();
+        let mut view = SnapshotView::default();
+        for record in inner.log.iter().rev() {
+            if Some(record.txn) == self_txn {
+                continue;
+            }
+            let visible = matches!(inner.committed.get(&record.txn), Some(&ts) if ts <= begin_ts);
+            if !visible {
+                view.apply_undo(&record.op);
+            }
+        }
+        view
+    }
+}
+
+impl Inner {
+    /// Drop records of committed transactions no registered reader can
+    /// still need. Active transactions' records always stay (they are
+    /// invisible to everyone and required for any snapshot).
+    fn prune(&mut self) {
+        let min_reader = self.readers.values().copied().min();
+        let committed = &self.committed;
+        self.log.retain(|r| match committed.get(&r.txn) {
+            // A committed record is needed only by readers that began
+            // before its commit.
+            Some(&ts) => matches!(min_reader, Some(m) if m < ts),
+            // Active (or rolled back) transactions keep their records.
+            None => true,
+        });
+        let log = &self.log;
+        self.committed.retain(|txn, _| log.iter().any(|r| r.txn == *txn));
+    }
+}
+
+/// The overlay a snapshot reader merges over the live structures:
+/// heap pre-images plus index presence deltas.
+#[derive(Debug, Default)]
+pub struct SnapshotView {
+    /// `(file, rid)` → record bytes at the snapshot (`None`: no record).
+    heap: HashMap<(u32, RecordId), Option<Vec<u8>>>,
+    /// `(index, key, value)` → presence delta vs. the live tree.
+    btree: HashMap<(u32, Vec<u8>, Vec<u8>), i64>,
+    /// `(index, key, value)` → presence delta vs. the live index.
+    hash: HashMap<(u32, Vec<u8>, Vec<u8>), i64>,
+}
+
+impl SnapshotView {
+    /// Whether the overlay changes anything (an empty view reads the
+    /// live structures verbatim).
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty() && self.btree.is_empty() && self.hash.is_empty()
+    }
+
+    fn apply_undo(&mut self, op: &UndoOp) {
+        match op {
+            UndoOp::HeapInsert { file, rid } => {
+                self.heap.insert((file.0, *rid), None);
+            }
+            UndoOp::HeapDelete { file, rid, data } => {
+                self.heap.insert((file.0, *rid), Some(data.clone()));
+            }
+            UndoOp::HeapUpdate { file, old_rid, new_rid, old_data } => {
+                if old_rid != new_rid {
+                    self.heap.insert((file.0, *new_rid), None);
+                }
+                self.heap.insert((file.0, *old_rid), Some(old_data.clone()));
+            }
+            UndoOp::BTreeInsert { index, key, value } => {
+                *self.btree.entry((index.0, key.clone(), value.clone())).or_insert(0) -= 1;
+            }
+            UndoOp::BTreeDelete { index, key, value } => {
+                *self.btree.entry((index.0, key.clone(), value.clone())).or_insert(0) += 1;
+            }
+            UndoOp::HashInsert { index, key, value } => {
+                *self.hash.entry((index.0, key.clone(), value.clone())).or_insert(0) -= 1;
+            }
+            UndoOp::HashDelete { index, key, value } => {
+                *self.hash.entry((index.0, key.clone(), value.clone())).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Override for one heap record: `None` = live value stands,
+    /// `Some(None)` = absent at the snapshot, `Some(Some(bytes))` =
+    /// these bytes at the snapshot.
+    pub fn heap_override(&self, file: FileId, rid: RecordId) -> Option<&Option<Vec<u8>>> {
+        self.heap.get(&(file.0, rid))
+    }
+
+    /// Merge the overlay into a full heap scan of `file`.
+    pub fn apply_heap_scan(&self, file: FileId, rows: &mut Vec<(RecordId, Vec<u8>)>) {
+        let mut touched = false;
+        for ((f, rid), over) in &self.heap {
+            if *f != file.0 {
+                continue;
+            }
+            touched = true;
+            rows.retain(|(r, _)| r != rid);
+            if let Some(data) = over {
+                rows.push((*rid, data.clone()));
+            }
+        }
+        if touched {
+            rows.sort_by_key(|(rid, _)| *rid);
+        }
+    }
+
+    /// Merge the overlay into the values under one B-tree key.
+    pub fn apply_btree_key(&self, index: BTreeId, key: &[u8], values: &mut Vec<Vec<u8>>) {
+        apply_key_deltas(&self.btree, index.0, key, values);
+    }
+
+    /// Merge the overlay into a B-tree entry list (range or full scan).
+    /// `in_range` bounds which overlay additions belong in the result.
+    pub fn apply_btree_entries(
+        &self,
+        index: BTreeId,
+        entries: &mut Vec<(Vec<u8>, Vec<u8>)>,
+        in_range: impl Fn(&[u8]) -> bool,
+    ) {
+        let mut touched = false;
+        for ((idx, key, value), delta) in &self.btree {
+            if *idx != index.0 || !in_range(key) {
+                continue;
+            }
+            touched = true;
+            let mut d = *delta;
+            while d < 0 {
+                match entries.iter().position(|(k, v)| k == key && v == value) {
+                    Some(pos) => {
+                        entries.remove(pos);
+                    }
+                    None => break,
+                }
+                d += 1;
+            }
+            for _ in 0..d.max(0) {
+                entries.push((key.clone(), value.clone()));
+            }
+        }
+        if touched {
+            entries.sort();
+        }
+    }
+
+    /// Merge the overlay into the values under one hash key.
+    pub fn apply_hash_key(&self, index: HashIndexId, key: &[u8], values: &mut Vec<Vec<u8>>) {
+        apply_key_deltas(&self.hash, index.0, key, values);
+    }
+}
+
+fn apply_key_deltas(
+    deltas: &HashMap<(u32, Vec<u8>, Vec<u8>), i64>,
+    index: u32,
+    key: &[u8],
+    values: &mut Vec<Vec<u8>>,
+) {
+    for ((idx, k, value), delta) in deltas {
+        if *idx != index || k.as_slice() != key {
+            continue;
+        }
+        let mut d = *delta;
+        while d < 0 {
+            match values.iter().position(|v| v == value) {
+                Some(pos) => {
+                    values.remove(pos);
+                }
+                None => break,
+            }
+            d += 1;
+        }
+        for _ in 0..d.max(0) {
+            values.push(value.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap::RecordId;
+    use crate::BlockId;
+
+    fn rid(block: u32, slot: u16) -> RecordId {
+        RecordId { block: BlockId(block), slot }
+    }
+
+    fn store() -> VersionStore {
+        let s = VersionStore::with_registry(&Arc::new(Registry::new()));
+        s.set_enabled(true);
+        s
+    }
+
+    #[test]
+    fn uncommitted_changes_are_invisible_to_snapshots() {
+        let s = store();
+        s.begin(1);
+        s.track(1, 0, &UndoOp::HeapInsert { file: FileId(0), rid: rid(1, 0) });
+        let view = s.snapshot(s.commit_ts(), None);
+        assert_eq!(view.heap_override(FileId(0), rid(1, 0)), Some(&None));
+        // The writer itself still sees its own insert.
+        let own = s.snapshot(s.commit_ts(), Some(1));
+        assert!(own.is_empty());
+    }
+
+    #[test]
+    fn committed_after_begin_stays_invisible_until_a_new_snapshot() {
+        let s = store();
+        let reader = s.begin_read();
+        s.begin(1);
+        s.track(
+            1,
+            0,
+            &UndoOp::HeapDelete { file: FileId(0), rid: rid(2, 1), data: b"old".to_vec() },
+        );
+        s.commit(1);
+        // Snapshot at the reader's begin-ts: the delete is undone.
+        let view = s.snapshot(reader.ts, None);
+        assert_eq!(view.heap_override(FileId(0), rid(2, 1)), Some(&Some(b"old".to_vec())));
+        // A fresh snapshot sees the committed delete.
+        let fresh = s.snapshot(s.commit_ts(), None);
+        assert!(fresh.is_empty());
+        s.end_read(reader);
+        assert_eq!(s.retained(), 0, "no reader needs the versions anymore");
+    }
+
+    #[test]
+    fn update_chain_resolves_to_oldest_invisible_preimage() {
+        let s = store();
+        let reader = s.begin_read();
+        s.begin(1);
+        s.track(
+            1,
+            0,
+            &UndoOp::HeapUpdate {
+                file: FileId(0),
+                old_rid: rid(1, 0),
+                new_rid: rid(1, 0),
+                old_data: b"v1".to_vec(),
+            },
+        );
+        s.track(
+            1,
+            1,
+            &UndoOp::HeapUpdate {
+                file: FileId(0),
+                old_rid: rid(1, 0),
+                new_rid: rid(1, 0),
+                old_data: b"v2".to_vec(),
+            },
+        );
+        let view = s.snapshot(reader.ts, None);
+        assert_eq!(view.heap_override(FileId(0), rid(1, 0)), Some(&Some(b"v1".to_vec())));
+        s.end_read(reader);
+    }
+
+    #[test]
+    fn index_deltas_add_and_remove_entries() {
+        let s = store();
+        s.begin(7);
+        s.track(
+            7,
+            0,
+            &UndoOp::BTreeInsert { index: BTreeId(0), key: b"k".to_vec(), value: b"new".to_vec() },
+        );
+        s.track(
+            7,
+            1,
+            &UndoOp::BTreeDelete { index: BTreeId(0), key: b"k".to_vec(), value: b"old".to_vec() },
+        );
+        let view = s.snapshot(s.commit_ts(), None);
+        let mut values = vec![b"new".to_vec(), b"kept".to_vec()];
+        view.apply_btree_key(BTreeId(0), b"k", &mut values);
+        values.sort();
+        assert_eq!(values, vec![b"kept".to_vec(), b"old".to_vec()]);
+    }
+
+    #[test]
+    fn abort_and_savepoint_rollback_forget_records() {
+        let s = store();
+        s.begin(3);
+        s.track(3, 0, &UndoOp::HeapInsert { file: FileId(0), rid: rid(1, 0) });
+        s.track(3, 1, &UndoOp::HeapInsert { file: FileId(0), rid: rid(1, 1) });
+        s.rollback_to(3, 1);
+        assert_eq!(s.retained(), 1);
+        s.abort(3);
+        assert_eq!(s.retained(), 0);
+    }
+
+    #[test]
+    fn disabled_store_tracks_nothing() {
+        let s = VersionStore::with_registry(&Arc::new(Registry::new()));
+        s.begin(1);
+        s.track(1, 0, &UndoOp::HeapInsert { file: FileId(0), rid: rid(1, 0) });
+        assert_eq!(s.retained(), 0);
+        assert!(s.snapshot(0, None).is_empty());
+    }
+}

@@ -34,6 +34,12 @@ echo "== sim-oracle differential gate (200 deterministic workloads)"
 # the workload and writes oracle-failure.simwl (replay with --replay).
 cargo run -q --release -p sim --bin sim-oracle -- --iters 200 --seed 0xS1M
 
+echo "== sim-oracle concurrent gate (120 interleaved two-session workloads)"
+# Seeded interleavings over ConcurrentDb (strict 2PL + snapshot reads),
+# replayed serially on the reference interpreter: every committed txn's
+# statement outcomes and every snapshot read must match a serial order.
+cargo run -q --release -p sim --bin sim-oracle -- --concurrent 120 --seed 0xS1M
+
 if [ "${ORACLE_DEEP:-0}" = "1" ]; then
     echo "== sim-oracle deep profile (long fuzz + injected-crash sweeps)"
     # Scheduled/dispatch CI only: longer workloads, a bigger seed space,
@@ -80,6 +86,12 @@ echo "== PR7 bench smoke (check mode): plan-verifier wiring + overhead gate"
 # Asserts every plan-cache miss is verified with zero violations and that
 # static plan verification costs < 5% of planning time; dumps BENCH_pr7.json.
 (cd crates/bench && cargo run -q --release --bin pr7_smoke)
+
+echo "== PR8 bench smoke (check mode): snapshot readers under an open writer"
+# Asserts snapshot-retrieve throughput stays >= 0.5x idle while a writer
+# transaction holds its X locks, with zero SIM-C001 victim aborts; dumps
+# BENCH_pr8.json.
+(cd crates/bench && cargo run -q --release --bin pr8_smoke)
 
 echo "== sim-dump smoke: offline introspection of a freshly crashed directory"
 # crash_dir leaves committed work only in the WAL plus a torn final frame;

@@ -22,6 +22,7 @@ struct Args {
     steps: usize,
     replay: Option<String>,
     deep: bool,
+    concurrent: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -31,6 +32,7 @@ fn parse_args() -> Result<Args, String> {
         steps: 40,
         replay: None,
         deep: std::env::var("ORACLE_DEEP").is_ok_and(|v| v == "1"),
+        concurrent: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -45,15 +47,20 @@ fn parse_args() -> Result<Args, String> {
             }
             "--replay" => args.replay = Some(value("--replay")?),
             "--deep" => args.deep = true,
+            "--concurrent" => {
+                args.concurrent =
+                    value("--concurrent")?.parse().map_err(|e| format!("--concurrent: {e}"))?;
+            }
             "--help" | "-h" => {
                 println!(
                     "sim-oracle: model-based differential testing\n\n\
-                     usage: sim-oracle [--iters N] [--seed S] [--steps N] [--replay FILE] [--deep]\n\n\
+                     usage: sim-oracle [--iters N] [--seed S] [--steps N] [--replay FILE] [--deep] [--concurrent N]\n\n\
                      --iters N      workloads to generate and check (default 200)\n\
                      --seed S       base seed: decimal, 0x-hex, or any mnemonic string (default 0xS1M)\n\
                      --steps N      script steps per generated workload (default 40)\n\
                      --replay FILE  check one .simwl workload instead of generating\n\
-                     --deep         add crash-point fault sweeps (also via ORACLE_DEEP=1)"
+                     --deep         add crash-point fault sweeps (also via ORACLE_DEEP=1)\n\
+                     --concurrent N check N interleaved two-session workloads against a serial order"
                 );
                 std::process::exit(0);
             }
@@ -146,6 +153,34 @@ fn main() -> ExitCode {
             }
             Err(m) => fail(&wl, &m.to_string()),
         };
+    }
+
+    if args.concurrent > 0 {
+        let (mut txns, mut stmts, mut reads, mut timeouts) = (0usize, 0usize, 0usize, 0usize);
+        for i in 0..args.concurrent {
+            let seed = args.seed.wrapping_add(i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            match sim_oracle::run_concurrent(seed) {
+                Ok(r) => {
+                    txns += r.txns;
+                    stmts += r.stmts;
+                    reads += r.reads;
+                    timeouts += r.timeouts;
+                }
+                Err(f) => {
+                    eprintln!("CONCURRENT MISMATCH (workload {i}, seed {seed:#x}): {f}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        println!(
+            "sim-oracle: {} interleaved two-session workloads agreed with a serial order",
+            args.concurrent
+        );
+        println!(
+            "  replayed {txns} committed txns ({stmts} statements), \
+             {reads} snapshot reads, {timeouts} SIM-C001 victim aborts"
+        );
+        return ExitCode::SUCCESS;
     }
 
     let cfg = GenConfig { steps: args.steps, control_ops: true };

@@ -1,0 +1,269 @@
+//! Multi-session transaction torture: writer threads and snapshot-reader
+//! threads hammer one [`ConcurrentDb`] with overlapping key ranges,
+//! savepoints and aborts, and the database's integrity invariants must
+//! hold afterwards. A second scenario crashes a `FaultDisk` mid-
+//! interleaving and checks recovery honours exactly the acknowledged
+//! commits (plus at most the single transaction in flight at the crash).
+//!
+//! The schedule-permutation lock-table test and the threaded lock/snapshot
+//! tests live in `sim-storage` (where the sanitizer CI job runs them);
+//! this file exercises the full engine stack above them.
+
+use sim::{ConcurrentDb, Database, SimError};
+use sim_testkit::{FaultDisk, FaultMedium, Rng};
+use std::collections::HashSet;
+
+/// `true` for the lock errors a torture session simply shrugs off:
+/// `SIM-C001` already aborted the transaction, `SIM-C002` rolled back the
+/// statement.
+fn is_lock_error(e: &SimError) -> bool {
+    matches!(
+        e,
+        SimError::Storage(
+            sim::crates::storage::StorageError::LockTimeout { .. }
+                | sim::crates::storage::StorageError::LockConflict { .. }
+        )
+    )
+}
+
+fn university_concurrent() -> ConcurrentDb {
+    let mut db = Database::university();
+    db.set_enforce_verifies(false);
+    let mut script = String::new();
+    for d in 0..2 {
+        script.push_str(&format!(
+            "Insert department(dept-nbr := {}, name := \"Dept-{d}\").\n",
+            100 + d
+        ));
+    }
+    for i in 0..4 {
+        script.push_str(&format!(
+            "Insert instructor(name := \"Instructor-{i}\", soc-sec-no := {}, \
+             employee-nbr := {}, salary := 30000.00, birthdate := \"1960-01-10\", \
+             assigned-department := department with (dept-nbr = {})).\n",
+            600_000_000 + i,
+            1001 + i,
+            100 + i % 2,
+        ));
+    }
+    db.run(&script).expect("seed departments and instructors");
+    db.into_concurrent()
+}
+
+#[test]
+fn torture_writers_and_snapshot_readers_over_university() {
+    let cdb = university_concurrent();
+    // The UNIVERSITY classes are one EVA-connected lock family, so writers
+    // fully serialize; a short timeout keeps the victim-abort path hot
+    // without stretching the test's wall clock.
+    cdb.set_lock_timeout(std::time::Duration::from_millis(10));
+    const WRITERS: usize = 3;
+    const READERS: usize = 2;
+    const ROUNDS: usize = 40;
+
+    std::thread::scope(|scope| {
+        for w in 0..WRITERS {
+            let mut session = cdb.session();
+            scope.spawn(move || {
+                let mut rng = Rng::new(0x7031 + w as u64);
+                for _ in 0..ROUNDS {
+                    if session.begin().is_err() {
+                        continue;
+                    }
+                    let mut alive = true;
+                    let stmts = rng.range(1, 3);
+                    for _ in 0..stmts {
+                        // Overlapping soc-sec-no ranges across writers:
+                        // unique violations and lock conflicts are the
+                        // point, not an accident.
+                        let key = 800_000_000 + rng.below(60);
+                        let stmt = match rng.below(4) {
+                            0 | 1 => format!(
+                                "Insert student(name := \"T-{w}\", soc-sec-no := {key}, \
+                                 student-nbr := {}, birthdate := \"1970-01-10\", \
+                                 major-department := department with (dept-nbr = {}), \
+                                 advisor := instructor with (employee-nbr = {})).",
+                                3000 + rng.below(500),
+                                100 + rng.below(2),
+                                1001 + rng.below(4),
+                            ),
+                            2 => format!(
+                                "Modify student(name := \"M-{w}\") Where soc-sec-no = {key}."
+                            ),
+                            _ => format!("Delete student Where soc-sec-no = {key}."),
+                        };
+                        let savepoint = if rng.bool() { session.savepoint().ok() } else { None };
+                        match session.run_one(&stmt) {
+                            Ok(_) | Err(_) if !session.in_txn() => {
+                                // SIM-C001 victim: the whole transaction
+                                // is gone, start the next round.
+                                alive = false;
+                                break;
+                            }
+                            Ok(_) => {
+                                if let Some(sp) = savepoint {
+                                    if rng.below(4) == 0 {
+                                        session.rollback_to(sp).expect("valid savepoint");
+                                    }
+                                }
+                            }
+                            Err(e) => {
+                                // Semantic failures (unique, mv max, …)
+                                // roll back their own statement only.
+                                assert!(
+                                    is_lock_error(&e) || !format!("{e}").contains("SIM-C"),
+                                    "unexpected concurrency error: {e}"
+                                );
+                            }
+                        }
+                    }
+                    if alive {
+                        if rng.below(4) == 0 {
+                            session.abort().expect("abort open txn");
+                        } else {
+                            let _ = session.commit();
+                        }
+                    }
+                }
+            });
+        }
+        for r in 0..READERS {
+            let mut session = cdb.session();
+            scope.spawn(move || {
+                let mut rng = Rng::new(0xbeef + r as u64);
+                let mut ok_reads = 0usize;
+                for _ in 0..ROUNDS * 2 {
+                    let stmt = if rng.bool() {
+                        "From student Retrieve name, soc-sec-no."
+                    } else {
+                        "From student Retrieve soc-sec-no, name of advisor."
+                    };
+                    // Snapshot reads take no locks: they may never fail,
+                    // no matter what the writers hold.
+                    let out = session.query(stmt).expect("snapshot read");
+                    ok_reads += 1;
+                    drop(out);
+                }
+                assert_eq!(ok_reads, ROUNDS * 2);
+            });
+        }
+    });
+
+    let metrics = cdb.metrics();
+    assert!(metrics.counter("storage.lock_acquisitions") > 0, "writers must take locks");
+    assert!(metrics.counter("storage.snapshot_reads") > 0, "readers must take snapshots");
+
+    // Integrity after the storm: unique keys still unique, references
+    // still resolvable, on both the snapshot path and the plain engine.
+    let mut session = cdb.session();
+    let out = session.query("From student Retrieve soc-sec-no.").expect("final read");
+    let mut seen = HashSet::new();
+    for row in out.rows() {
+        assert!(seen.insert(format!("{row:?}")), "duplicate unique key after torture");
+    }
+    drop(session);
+    let db = cdb.into_database().expect("all sessions dropped");
+    let report = db.check_schema();
+    assert!(!report.has_errors(), "schema must stay clean: {}", report.to_text());
+}
+
+const CRASH_DDL: &str = "\
+Class dept ( dnum: integer unique required; budget: integer );
+Class emp ( eno: integer unique required; salary: integer; \
+works-in: dept inverse is staff );
+";
+
+#[test]
+fn faultdisk_crash_mid_interleaving_recovers_committed_transactions() {
+    let medium = FaultMedium::new();
+    let db = Database::create_on(CRASH_DDL, Box::new(FaultDisk::with_crash(&medium, 900)), 64)
+        .expect("creation happens before the scheduled crash");
+    let cdb = db.into_concurrent();
+    // Single-threaded interleaving: a conflicting lock must fail
+    // immediately (SIM-C001) rather than wait out a timeout nobody will
+    // resolve.
+    cdb.set_lock_timeout(std::time::Duration::ZERO);
+    let mut s1 = cdb.session();
+    let mut s2 = cdb.session();
+    s1.run_one("Insert dept(dnum := 1, budget := 100).").expect("seed dept");
+
+    // Interleave two sessions until the disk dies. `committed` holds the
+    // eno sets of acknowledged commits; `in_flight` the one transaction
+    // the crash may or may not have made durable.
+    let mut committed: HashSet<i64> = HashSet::new();
+    let mut in_flight: Vec<i64> = Vec::new();
+    let mut crashed = false;
+    'outer: for round in 0..500i64 {
+        let base = 10 + round * 3;
+        if s1.begin().is_err() {
+            crashed = true;
+            break;
+        }
+        in_flight.clear();
+        for (i, key) in (base..base + 3).enumerate() {
+            let stmt = format!(
+                "Insert emp(eno := {key}, salary := {}, works-in := dept with (dnum = 1)).",
+                100 + i
+            );
+            let sp = s1.savepoint().expect("savepoint in open txn");
+            match s1.run_one(&stmt) {
+                Ok(_) if i == 2 => {
+                    // Exercise the savepoint path: the last insert of
+                    // every round is rolled back before commit.
+                    s1.rollback_to(sp).expect("rollback to savepoint");
+                }
+                Ok(_) => in_flight.push(key),
+                Err(_) => {
+                    crashed = true;
+                    break 'outer;
+                }
+            }
+        }
+        // The second session's autocommit interleaves with s1's window;
+        // on a shared lock family it must time out, not corrupt.
+        match s2.run_one(&format!("Modify dept(budget := {}) Where dnum = 1.", 100 + round)) {
+            Ok(_) | Err(_) => {}
+        }
+        match s1.commit() {
+            Ok(()) => {
+                committed.extend(in_flight.drain(..));
+            }
+            Err(_) => {
+                crashed = true;
+                break;
+            }
+        }
+    }
+    assert!(crashed, "the scheduled fault must fire mid-interleaving");
+    assert!(!committed.is_empty(), "some transactions must commit before the crash");
+    drop(s1);
+    drop(s2);
+    drop(cdb);
+
+    // Reopen the surviving medium: every acknowledged commit must be
+    // there; anything extra can only be the transaction in flight when
+    // the machine died.
+    let db = Database::open_on(Box::new(FaultDisk::new(&medium)), 64).expect("recovery succeeds");
+    let out = db.query("From emp Retrieve eno.").expect("post-recovery read");
+    let mut recovered = HashSet::new();
+    for row in out.rows() {
+        let eno = match &row[0] {
+            sim::Value::Int(n) => *n,
+            other => panic!("eno must be an integer, got {other:?}"),
+        };
+        assert!(recovered.insert(eno), "duplicate unique key after recovery");
+    }
+    for key in &committed {
+        assert!(recovered.contains(key), "acknowledged commit lost: eno {key}");
+    }
+    let extras: Vec<_> =
+        recovered.iter().filter(|k| !committed.contains(k) && !in_flight.contains(k)).collect();
+    assert!(extras.is_empty(), "recovered rows from no acknowledged txn: {extras:?}");
+
+    // The recovered database is fully usable — including concurrently.
+    let cdb = db.into_concurrent();
+    let mut session = cdb.session();
+    session
+        .run_one("Insert emp(eno := 1, salary := 1, works-in := dept with (dnum = 1)).")
+        .expect("post-recovery write");
+}

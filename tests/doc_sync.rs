@@ -51,15 +51,37 @@ fn every_released_code_documented_exactly_once() {
 fn every_documented_code_is_released() {
     let text = design_md();
     let released: Vec<&str> = Code::all().iter().map(|c| c.as_str()).collect();
-    // The workspace-lint rules (SIM-L*) live in src/bin/lint.rs, not in
+    // The workspace-lint rules (SIM-L*) live in src/bin/lint.rs and the
+    // concurrency codes (SIM-C*) in sim_storage::CONCURRENCY_CODES, not in
     // sim_check::Code; they are documented but not "released" diagnostics.
     for code in catalog_rows(&text) {
-        if code.starts_with("SIM-L") {
+        if code.starts_with("SIM-L") || code.starts_with("SIM-C") {
             continue;
         }
         assert!(
             released.contains(&code.as_str()),
             "DESIGN.md documents {code}, which is not a released sim-check code"
+        );
+    }
+}
+
+#[test]
+fn concurrency_codes_documented_exactly_once() {
+    let text = design_md();
+    let rows = catalog_rows(&text);
+    for rule in sim::crates::storage::CONCURRENCY_CODES {
+        assert_eq!(
+            rows.iter().filter(|c| c.as_str() == *rule).count(),
+            1,
+            "concurrency code {rule} must appear exactly once in DESIGN.md's catalog"
+        );
+    }
+    // And the other direction: no documenting SIM-C rules that the
+    // storage layer does not raise.
+    for code in rows.iter().filter(|c| c.starts_with("SIM-C")) {
+        assert!(
+            sim::crates::storage::CONCURRENCY_CODES.contains(&code.as_str()),
+            "DESIGN.md documents {code}, which is not a released concurrency code"
         );
     }
 }
