@@ -1,0 +1,159 @@
+//! PR 9 smoke bench, check mode: the network server must turn concurrent
+//! connections into concurrent committed-transaction throughput. Hard CI
+//! gates, dumped as `BENCH_pr9.json` (to `$SIM_METRICS_DIR`, default
+//! `target/metrics/`). Run with `--release`.
+//!
+//! Methodology: a live sim-server over a *durable* database with a
+//! synthetic schema of [`CLIENTS`] independent classes — no EVAs, so every
+//! class is its own lock family and the workload is conflict-free by
+//! construction. The server runs with synchronous-commit semantics: an
+//! acked commit is durable, enforced by the cross-session group-commit
+//! barrier (WAL window open, one fsync covers every commit that landed
+//! before it; `commit_delay` is the coalescing window).
+//!
+//! One connection runs [`BASE_TXNS`] explicit transactions
+//! (begin → insert → commit) back to back; with no peers to share the
+//! barrier, every commit pays the full coalescing delay + fsync, so the
+//! single-connection rate is durability-latency-bound. Then [`CLIENTS`]
+//! threads each run [`TXNS_PER_CLIENT`] transactions against their own
+//! class concurrently: commits pile onto a shared barrier while the
+//! engine keeps executing, so the aggregate committed-transaction rate
+//! must reach at least [`MIN_SPEEDUP`]× the single-connection rate — and
+//! because the classes are disjoint lock families, the window must finish
+//! with zero `SIM-C001` lock-timeout aborts.
+
+use sim_bench::metrics_dump::dump_json;
+use sim_client::SimClient;
+use sim_core::Database;
+use sim_obs::json;
+use sim_server::{serve, Server, ServerConfig};
+use std::time::{Duration, Instant};
+
+/// Concurrent connections (the ISSUE floor is 64).
+const CLIENTS: usize = 64;
+
+/// Committed transactions per concurrent client.
+const TXNS_PER_CLIENT: usize = 25;
+
+/// Committed transactions for the single-connection baseline.
+const BASE_TXNS: usize = 100;
+
+/// The gate: aggregate rate as a multiple of the single-connection rate.
+const MIN_SPEEDUP: f64 = 3.0;
+
+/// Barrier coalescing window: long enough for peer commits to pile on,
+/// short enough to keep the single-connection baseline realistic.
+const COMMIT_DELAY: Duration = Duration::from_millis(1);
+
+/// One class per client keeps the lock families disjoint.
+fn disjoint_ddl() -> String {
+    let mut ddl = String::new();
+    for c in 0..CLIENTS {
+        ddl.push_str(&format!("Class reg{c} ( id: integer; val: integer );\n"));
+    }
+    ddl
+}
+
+/// Run `txns` explicit transactions (begin/insert/commit) on one
+/// connection; returns seconds.
+fn txn_loop(server: &Server, class: usize, base_id: usize, txns: usize) -> f64 {
+    let mut client = SimClient::connect(server.addr()).expect("connect");
+    let t = Instant::now();
+    for n in 0..txns {
+        client.begin().expect("begin");
+        client
+            .execute(&format!("Insert reg{class}(id := {}, val := {n}).", base_id + n))
+            .expect("insert into private class");
+        client.commit().expect("commit");
+    }
+    let elapsed = t.elapsed().as_secs_f64();
+    client.close().expect("close");
+    elapsed
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn main() {
+    let dir = std::path::Path::new("target").join(format!("pr9-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut db = Database::create_at(&disjoint_ddl(), &dir).expect("durable synthetic schema");
+    // Open WAL window: the *server's* barrier is the durability point.
+    db.set_group_commit_window(4 * CLIENTS).expect("widen group-commit window");
+    let config = ServerConfig {
+        workers: CLIENTS,
+        backlog: CLIENTS,
+        commit_delay: COMMIT_DELAY,
+        ..ServerConfig::default()
+    };
+    let mut server = serve(db.into_concurrent(), config).expect("bind server");
+
+    // Warmup + single-connection baseline: every commit pays the whole
+    // coalescing delay + fsync on its own.
+    txn_loop(&server, 0, 10_000_000, BASE_TXNS / 4);
+    let single_secs = txn_loop(&server, 0, 20_000_000, BASE_TXNS);
+    let single_rate = BASE_TXNS as f64 / single_secs;
+
+    // Concurrent window: each client owns one class; commits share the
+    // group-commit barrier instead of queueing for their own.
+    let t = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let server = &server;
+            scope.spawn(move || txn_loop(server, c, c * 1_000_000, TXNS_PER_CLIENT));
+        }
+    });
+    let agg_secs = t.elapsed().as_secs_f64();
+    let agg_txns = CLIENTS * TXNS_PER_CLIENT;
+    let agg_rate = agg_txns as f64 / agg_secs;
+    let speedup = agg_rate / single_rate.max(f64::EPSILON);
+
+    let snap = server.db().metrics();
+    let timeouts = snap.counter("storage.lock_timeouts");
+    let connections = snap.counter("server.connections");
+    let requests = snap.counter("server.requests");
+    let rejected = snap.counter("server.rejected_connections");
+    let fsyncs = snap.counter("storage.fsyncs");
+
+    println!(
+        "committed txns: single connection {single_rate:.0}/s, {CLIENTS} connections \
+         {agg_rate:.0}/s aggregate ({speedup:.1}x); {requests} requests, {fsyncs} fsyncs, \
+         {timeouts} lock timeouts"
+    );
+
+    dump_json(
+        "BENCH_pr9",
+        &json::object([
+            ("bench", json::string("pr9_concurrent_connections")),
+            ("clients", CLIENTS.to_string()),
+            ("txns_per_client", TXNS_PER_CLIENT.to_string()),
+            ("commit_delay_micros", COMMIT_DELAY.as_micros().to_string()),
+            ("single_conn_txns_per_sec", format!("{single_rate:.1}")),
+            ("aggregate_txns_per_sec", format!("{agg_rate:.1}")),
+            ("speedup", format!("{speedup:.4}")),
+            ("server_connections", connections.to_string()),
+            ("server_requests", requests.to_string()),
+            ("rejected_connections", rejected.to_string()),
+            ("wal_fsyncs", fsyncs.to_string()),
+            ("lock_timeouts", timeouts.to_string()),
+        ]),
+    );
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Check mode: the gates.
+    assert!(
+        connections >= CLIENTS as u64,
+        "the window must actually run {CLIENTS} concurrent connections"
+    );
+    assert!(
+        speedup >= MIN_SPEEDUP,
+        "{CLIENTS} connections must aggregate >= {MIN_SPEEDUP}x the single-connection \
+         committed-txn rate (got {speedup:.2}x)"
+    );
+    assert_eq!(
+        timeouts, 0,
+        "a disjoint-class workload must finish without SIM-C001 victim aborts"
+    );
+    assert_eq!(rejected, 0, "the pool must admit every client in this window");
+    println!("PR9 smoke OK");
+}

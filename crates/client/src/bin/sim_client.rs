@@ -1,0 +1,189 @@
+//! sim-client: interactive REPL against a running sim-server.
+//!
+//! ```text
+//! sim-client [--addr HOST:PORT]
+//! ```
+//!
+//! End statements with '.'; they run autocommit unless a `\begin` opened
+//! an explicit transaction. Meta commands:
+//!
+//! | command | effect |
+//! |---------|--------|
+//! | `\begin` / `\commit` / `\abort` | explicit transaction control |
+//! | `\savepoint` | record a savepoint, print its index |
+//! | `\rollback <n>` | roll back to savepoint `n` |
+//! | `\prepare <stmt.>` | prepare server-side, print the statement id |
+//! | `\exec <id>` | execute a prepared statement |
+//! | `\seed` | load the UNIVERSITY sample rows |
+//! | `\quit` | close the connection and exit |
+
+use sim_client::{ClientError, Reply, SimClient};
+use sim_core::format_output;
+use std::io::{self, BufRead, Write};
+use std::process::exit;
+
+// Six credits each so John Doe's two enrollments satisfy VERIFY v1
+// (sum(credits of courses-enrolled) >= 12) — the server enforces
+// integrity, so the seed must pass it like any other client would.
+const SEED: &[&str] = &[
+    r#"Insert department(dept-nbr := 101, name := "Physics")."#,
+    r#"Insert department(dept-nbr := 102, name := "Math")."#,
+    r#"Insert course(course-no := 201, title := "Algebra I", credits := 6)."#,
+    r#"Insert course(course-no := 202, title := "Calculus I", credits := 6)."#,
+    r#"Insert instructor(name := "Ann Smith", soc-sec-no := 1, employee-nbr := 1001,
+        salary := 60000.00, assigned-department := department with (name = "Math"),
+        courses-taught := course with (title = "Algebra I"))."#,
+    r#"Insert student(name := "John Doe", soc-sec-no := 2, student-nbr := 2001,
+        advisor := instructor with (name = "Ann Smith"),
+        major-department := department with (name = "Physics"),
+        courses-enrolled := course with (credits = 6))."#,
+];
+
+fn print_error(e: &ClientError) {
+    match e.code() {
+        Some(code) => {
+            let retry = if e.is_retryable() { ", retryable" } else { "" };
+            println!("error [{code}{retry}]: {e}");
+        }
+        None => println!("error: {e}"),
+    }
+}
+
+fn print_reply(reply: &Reply) {
+    match reply {
+        Reply::Rows { plan_cached, snapshot, output } => {
+            print!("{}", format_output(output));
+            println!("(plan_cached={plan_cached}, snapshot={snapshot})");
+        }
+        Reply::Ack(n) => println!("ok ({n} entities)"),
+    }
+}
+
+fn main() -> io::Result<()> {
+    let mut addr = "127.0.0.1:7464".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match (flag.as_str(), args.next()) {
+            ("--addr", Some(a)) => addr = a,
+            _ => {
+                eprintln!("usage: sim-client [--addr HOST:PORT]");
+                exit(2);
+            }
+        }
+    }
+
+    let mut client = match SimClient::connect(&addr) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("sim-client: cannot connect to {addr}: {e}");
+            exit(1);
+        }
+    };
+    println!("connected to sim-server at {addr}");
+    println!(
+        "End statements with '.'; meta: \\begin \\commit \\abort \\savepoint \\rollback <n> \\prepare <stmt.> \\exec <id> \\seed \\quit"
+    );
+
+    let stdin = io::stdin();
+    let mut buffer = String::new();
+    print!("sim> ");
+    io::stdout().flush()?;
+    for line in stdin.lock().lines() {
+        let line = line?;
+        let trimmed = line.trim();
+
+        if trimmed.starts_with('\\') {
+            let (cmd, rest) = trimmed.split_once(' ').unwrap_or((trimmed, ""));
+            match cmd {
+                "\\quit" | "\\q" => {
+                    let _ = client.close();
+                    println!("bye");
+                    return Ok(());
+                }
+                "\\begin" => match client.begin() {
+                    Ok(()) => println!("transaction open"),
+                    Err(e) => print_error(&e),
+                },
+                "\\commit" => match client.commit() {
+                    Ok(()) => println!("committed"),
+                    Err(e) => print_error(&e),
+                },
+                "\\abort" => match client.abort() {
+                    Ok(()) => println!("aborted"),
+                    Err(e) => print_error(&e),
+                },
+                "\\savepoint" => match client.savepoint() {
+                    Ok(sp) => println!("savepoint {sp}"),
+                    Err(e) => print_error(&e),
+                },
+                "\\rollback" => match rest.trim().parse::<u64>() {
+                    Ok(sp) => match client.rollback_to(sp) {
+                        Ok(()) => println!("rolled back to savepoint {sp}"),
+                        Err(e) => print_error(&e),
+                    },
+                    Err(_) => println!("usage: \\rollback <savepoint>"),
+                },
+                "\\prepare" => {
+                    if rest.trim().is_empty() {
+                        println!("usage: \\prepare <statement.>");
+                    } else {
+                        match client.prepare(rest) {
+                            Ok(id) => println!("prepared statement {id}"),
+                            Err(e) => print_error(&e),
+                        }
+                    }
+                }
+                "\\exec" => match rest.trim().parse::<u64>() {
+                    Ok(id) => match client.exec_prepared(id) {
+                        Ok(reply) => print_reply(&reply),
+                        Err(e) => print_error(&e),
+                    },
+                    Err(_) => println!("usage: \\exec <statement id>"),
+                },
+                "\\seed" => {
+                    let mut loaded = 0_u64;
+                    for stmt in SEED {
+                        match client.execute(stmt) {
+                            Ok(n) => loaded += n,
+                            Err(e) => {
+                                print_error(&e);
+                                break;
+                            }
+                        }
+                    }
+                    println!("seeded {loaded} entities");
+                }
+                other => println!("unknown meta command {other}"),
+            }
+            buffer.clear();
+            print!("sim> ");
+            io::stdout().flush()?;
+            continue;
+        }
+
+        buffer.push_str(&line);
+        buffer.push('\n');
+        // A statement ends with '.' (possibly followed by whitespace).
+        if !trimmed.ends_with('.') {
+            print!("...> ");
+            io::stdout().flush()?;
+            continue;
+        }
+
+        match client.run(&buffer) {
+            Ok(reply) => print_reply(&reply),
+            Err(e) => {
+                print_error(&e);
+                if matches!(e, ClientError::Io(_) | ClientError::Unexpected(_)) {
+                    exit(1);
+                }
+            }
+        }
+        buffer.clear();
+        print!("sim> ");
+        io::stdout().flush()?;
+    }
+    let _ = client.close();
+    println!("bye");
+    Ok(())
+}

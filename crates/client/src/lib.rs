@@ -1,0 +1,190 @@
+//! Client side of the SIM wire protocol (DESIGN.md §15).
+//!
+//! [`SimClient`] is a blocking, single-connection client: one request on
+//! the wire at a time, one [`Reply`] back. Server-side failures surface as
+//! [`ClientError::Server`] carrying the stable `SIM-*` code and the
+//! retryable flag, so callers can implement their own retry loops on top
+//! of the server's bounded autocommit retry.
+
+use sim_query::QueryOutput;
+use sim_server::protocol::{read_frame, write_frame, Request, Response};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A failure observed by the client.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure; the connection is unusable afterwards.
+    Io(io::Error),
+    /// The server answered with a typed error frame.
+    Server {
+        /// Stable `SIM-*` code, when the failure class has one.
+        code: Option<String>,
+        /// Whether resending the same request may succeed.
+        retryable: bool,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The server's answer does not fit the request (protocol breach).
+    Unexpected(String),
+}
+
+impl ClientError {
+    /// The server's stable error code, if this is a typed server error.
+    pub fn code(&self) -> Option<&str> {
+        match self {
+            ClientError::Server { code, .. } => code.as_deref(),
+            _ => None,
+        }
+    }
+
+    /// True when resending the same request may succeed.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ClientError::Server { retryable: true, .. })
+    }
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Server { message, .. } => write!(f, "{message}"),
+            ClientError::Unexpected(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// One successful statement reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// A retrieve produced output; the flags echo the server's execution
+    /// mode for it.
+    Rows {
+        /// The plan came from the plan cache (always true from the second
+        /// execution of a prepared statement on).
+        plan_cached: bool,
+        /// The retrieve ran against an MVCC snapshot (autocommit reads)
+        /// rather than under the session's transaction locks.
+        snapshot: bool,
+        /// The rows, in sim-query normal form.
+        output: QueryOutput,
+    },
+    /// An update touched this many entities (or, for `prepare`, the new
+    /// statement id; for `savepoint`, the savepoint index).
+    Ack(u64),
+}
+
+/// A blocking connection to a sim-server.
+#[derive(Debug)]
+pub struct SimClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl SimClient {
+    /// Connect to a listening sim-server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<SimClient> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(SimClient { reader, writer: BufWriter::new(stream) })
+    }
+
+    fn roundtrip(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.writer, &req.encode())?;
+        self.writer.flush()?;
+        match read_frame(&mut self.reader)? {
+            Some(frame) => {
+                Response::decode(&frame).map_err(|e| ClientError::Unexpected(e.to_string()))
+            }
+            None => Err(ClientError::Unexpected("server closed the connection".into())),
+        }
+    }
+
+    fn reply(&mut self, req: &Request) -> Result<Reply, ClientError> {
+        match self.roundtrip(req)? {
+            Response::Rows { plan_cached, snapshot, output } => {
+                Ok(Reply::Rows { plan_cached, snapshot, output })
+            }
+            Response::Ack(n) => Ok(Reply::Ack(n)),
+            Response::Err { code, retryable, message } => {
+                Err(ClientError::Server { code, retryable, message })
+            }
+        }
+    }
+
+    fn ack(&mut self, req: &Request) -> Result<u64, ClientError> {
+        match self.reply(req)? {
+            Reply::Ack(n) => Ok(n),
+            Reply::Rows { .. } => Err(ClientError::Unexpected("expected ack, got rows".into())),
+        }
+    }
+
+    /// Run one statement (retrieve or update) and return its reply.
+    pub fn run(&mut self, dml: &str) -> Result<Reply, ClientError> {
+        self.reply(&Request::Query(dml.to_owned()))
+    }
+
+    /// Run one retrieve and return its output.
+    pub fn query(&mut self, dml: &str) -> Result<QueryOutput, ClientError> {
+        match self.reply(&Request::Query(dml.to_owned()))? {
+            Reply::Rows { output, .. } => Ok(output),
+            Reply::Ack(_) => Err(ClientError::Unexpected("expected rows, got ack".into())),
+        }
+    }
+
+    /// Run one update and return the touched-entity count.
+    pub fn execute(&mut self, dml: &str) -> Result<u64, ClientError> {
+        self.ack(&Request::Execute(dml.to_owned()))
+    }
+
+    /// Prepare a statement server-side; the returned id pins the plan for
+    /// the connection's lifetime.
+    pub fn prepare(&mut self, dml: &str) -> Result<u64, ClientError> {
+        self.ack(&Request::Prepare(dml.to_owned()))
+    }
+
+    /// Execute a previously prepared statement by id.
+    pub fn exec_prepared(&mut self, id: u64) -> Result<Reply, ClientError> {
+        self.reply(&Request::ExecPrepared(id))
+    }
+
+    /// Open an explicit transaction.
+    pub fn begin(&mut self) -> Result<(), ClientError> {
+        self.ack(&Request::Begin).map(|_| ())
+    }
+
+    /// Commit the open transaction.
+    pub fn commit(&mut self) -> Result<(), ClientError> {
+        self.ack(&Request::Commit).map(|_| ())
+    }
+
+    /// Abort the open transaction.
+    pub fn abort(&mut self) -> Result<(), ClientError> {
+        self.ack(&Request::Abort).map(|_| ())
+    }
+
+    /// Record a savepoint in the open transaction; returns its index.
+    pub fn savepoint(&mut self) -> Result<u64, ClientError> {
+        self.ack(&Request::Savepoint)
+    }
+
+    /// Roll the open transaction back to a savepoint.
+    pub fn rollback_to(&mut self, savepoint: u64) -> Result<(), ClientError> {
+        self.ack(&Request::RollbackTo(savepoint)).map(|_| ())
+    }
+
+    /// Close the connection cleanly; the server drops the session (and
+    /// aborts any open transaction) either way.
+    pub fn close(mut self) -> Result<(), ClientError> {
+        self.ack(&Request::Close).map(|_| ())
+    }
+}

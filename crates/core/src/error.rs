@@ -61,4 +61,30 @@ impl SimError {
     pub fn is_integrity_violation(&self) -> bool {
         matches!(self, SimError::Query(QueryError::IntegrityViolation { .. }))
     }
+
+    /// The error's stable `SIM-*` code, if it has one (DESIGN.md §14):
+    /// `SIM-C001` lock timeout, `SIM-C002` lock conflict, `SIM-C003` stale
+    /// savepoint. Servers ship the code to clients so "retry the
+    /// transaction" is distinguishable from "the statement is wrong"
+    /// without parsing the message.
+    pub fn code(&self) -> Option<&'static str> {
+        match self {
+            SimError::Ddl(_) => None,
+            SimError::Query(e) => e.code(),
+            SimError::Mapper(e) => e.code(),
+            SimError::Storage(e) => e.code(),
+        }
+    }
+
+    /// Whether re-running the failed transaction from the top may succeed:
+    /// true exactly for the deadlock/conflict victims (`SIM-C001`,
+    /// `SIM-C002`), whose statements were valid but lost a race.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            SimError::Ddl(_) => false,
+            SimError::Query(e) => e.is_retryable(),
+            SimError::Mapper(e) => e.is_retryable(),
+            SimError::Storage(e) => e.is_retryable(),
+        }
+    }
 }

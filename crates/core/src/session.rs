@@ -30,10 +30,11 @@ use crate::error::SimError;
 use crate::Database;
 use sim_catalog::Catalog;
 use sim_dml::{parse_statements, Statement};
-use sim_obs::{MetricsSnapshot, Registry};
+use sim_obs::{Event, MetricsSnapshot, Registry};
 use sim_query::{ExecResult, QueryEngine, QueryError, QueryOutput};
 use sim_storage::{LockKey, LockMode, LockTable, Txn};
 use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
@@ -49,6 +50,9 @@ struct Shared {
     /// component (the statement lock set), precomputed from the schema.
     components: HashMap<u32, Arc<Vec<u32>>>,
     catalog: Arc<Catalog>,
+    /// Session-id source; ids start at 1 (0 means "no session" in the
+    /// flight recorder's attribution field).
+    next_session: AtomicU64,
 }
 
 impl Shared {
@@ -112,14 +116,30 @@ impl ConcurrentDb {
         let catalog = engine.mapper().shared_catalog();
         let components = eva_components(&catalog);
         ConcurrentDb {
-            shared: Arc::new(Shared { engine: Mutex::new(engine), locks, components, catalog }),
+            shared: Arc::new(Shared {
+                engine: Mutex::new(engine),
+                locks,
+                components,
+                catalog,
+                next_session: AtomicU64::new(1),
+            }),
         }
     }
 
     /// Open a new session. Sessions are independent and [`Send`]: hand
-    /// them to threads freely.
+    /// them to threads freely. Emits a `session_start` event; the matching
+    /// `session_end` is emitted when the session drops.
     pub fn session(&self) -> Session {
-        Session { shared: Arc::clone(&self.shared), txn: None }
+        let id = self.shared.next_session.fetch_add(1, Ordering::Relaxed);
+        self.shared.lock_engine().event_log().record(Event::SessionStart { session: id });
+        Session {
+            shared: Arc::clone(&self.shared),
+            txn: None,
+            id,
+            lock_timeout: None,
+            last_plan_cached: false,
+            user_savepoints: Vec::new(),
+        }
     }
 
     /// How long a statement waits for a class lock before it is presumed
@@ -146,6 +166,28 @@ impl ConcurrentDb {
     /// Toggle VERIFY enforcement (§3.3) for every session; on by default.
     pub fn set_enforce_verifies(&self, on: bool) {
         self.shared.lock_engine().enforce_verifies = on;
+    }
+
+    /// Whether the underlying database is file-backed (see
+    /// [`Database::is_durable`]).
+    pub fn is_durable(&self) -> bool {
+        self.shared.lock_engine().mapper().engine().is_durable()
+    }
+
+    /// Group-commit window shared by every session (see
+    /// [`Database::set_group_commit_window`]): how many committed
+    /// transactions may share one WAL fsync.
+    pub fn set_group_commit_window(&self, window: usize) -> Result<(), SimError> {
+        self.shared.lock_engine().mapper().set_group_commit_window(window)?;
+        Ok(())
+    }
+
+    /// Force the WAL group-commit barrier: every transaction committed (by
+    /// any session) before the call is durable on return. A no-op when
+    /// nothing is pending or the database is in-memory.
+    pub fn sync_wal(&self) -> Result<(), SimError> {
+        self.shared.lock_engine().mapper().sync_wal()?;
+        Ok(())
     }
 
     /// Tear down concurrent mode and recover exclusive [`Database`]
@@ -177,9 +219,58 @@ impl std::fmt::Debug for ConcurrentDb {
 pub struct Session {
     shared: Arc<Shared>,
     txn: Option<Txn>,
+    /// Stable session id (≥ 1), stamped into flight-recorder records and
+    /// the `session_start`/`session_end` event pair.
+    id: u64,
+    /// Per-session lock deadline; `None` uses the table-wide default.
+    lock_timeout: Option<Duration>,
+    /// Whether this session's most recent retrieve hit the plan cache
+    /// (captured under the engine lock, so concurrent sessions cannot
+    /// clobber it between execution and the read).
+    last_plan_cached: bool,
+    /// User savepoints of the open transaction, as undo-log positions.
+    /// Statements inside a transaction take internal savepoints of their
+    /// own (statement-level rollback), so user-facing numbering must not
+    /// expose raw undo-log positions: [`Session::savepoint`] hands out
+    /// 1, 2, 3, … per transaction and this vector maps them back.
+    user_savepoints: Vec<usize>,
 }
 
 impl Session {
+    /// This session's id (≥ 1, unique within its [`ConcurrentDb`]).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Set this session's lock deadline: its statements wait up to
+    /// `timeout` for class locks before aborting as a presumed deadlock
+    /// victim (`SIM-C001`). `None` restores the table-wide default. Other
+    /// sessions are unaffected — a short deadline here never changes a
+    /// long-deadline session's behavior.
+    pub fn set_lock_timeout(&mut self, timeout: Option<Duration>) {
+        self.lock_timeout = timeout;
+    }
+
+    /// Whether the most recent retrieve on this session was served from
+    /// the plan cache.
+    pub fn last_plan_cached(&self) -> bool {
+        self.last_plan_cached
+    }
+
+    /// Prepare one statement for repeated execution, returning its
+    /// canonical text. For retrieves this plans, verifies and **pins** the
+    /// plan-cache entry (exempt from LRU eviction, still invalidated by
+    /// DDL); executing the returned text hits the pinned plan. Balance
+    /// with [`Session::unprepare`].
+    pub fn prepare(&mut self, dml: &str) -> Result<String, SimError> {
+        Ok(self.shared.lock_engine().prepare_statement(dml)?)
+    }
+
+    /// Release a preparation made by [`Session::prepare`] (pass the
+    /// canonical text it returned).
+    pub fn unprepare(&mut self, canonical: &str) {
+        self.shared.lock_engine().release_statement(canonical);
+    }
     /// Open a transaction; statements until `commit`/`abort` join it.
     pub fn begin(&mut self) -> Result<(), SimError> {
         if self.txn.is_some() {
@@ -188,6 +279,7 @@ impl Session {
         let shared = Arc::clone(&self.shared);
         let eng = shared.lock_engine();
         self.txn = Some(eng.mapper().engine().begin());
+        self.user_savepoints.clear();
         Ok(())
     }
 
@@ -199,6 +291,7 @@ impl Session {
     /// Commit the open transaction, releasing its locks.
     pub fn commit(&mut self) -> Result<(), SimError> {
         let txn = self.txn.take().ok_or_else(no_txn)?;
+        self.user_savepoints.clear();
         let shared = Arc::clone(&self.shared);
         let mut eng = shared.lock_engine();
         eng.mapper_mut().commit(txn)?;
@@ -208,6 +301,7 @@ impl Session {
     /// Abort the open transaction, undoing it and releasing its locks.
     pub fn abort(&mut self) -> Result<(), SimError> {
         let txn = self.txn.take().ok_or_else(no_txn)?;
+        self.user_savepoints.clear();
         let shared = Arc::clone(&self.shared);
         let mut eng = shared.lock_engine();
         eng.mapper_mut().abort(txn)?;
@@ -215,18 +309,35 @@ impl Session {
     }
 
     /// A savepoint in the open transaction (pass to
-    /// [`Session::rollback_to`]).
-    pub fn savepoint(&self) -> Result<usize, SimError> {
-        Ok(self.txn.as_ref().ok_or_else(no_txn)?.savepoint())
+    /// [`Session::rollback_to`]). Numbered 1, 2, 3, … per transaction —
+    /// stable for users even though statements take internal savepoints
+    /// of their own between calls.
+    pub fn savepoint(&mut self) -> Result<usize, SimError> {
+        let internal = self.txn.as_ref().ok_or_else(no_txn)?.savepoint();
+        self.user_savepoints.push(internal);
+        Ok(self.user_savepoints.len())
     }
 
-    /// Roll the open transaction back to `savepoint`. A stale savepoint
-    /// (taken before an enclosing rollback) is a typed `SIM-C003` error.
+    /// Roll the open transaction back to `savepoint`, invalidating every
+    /// savepoint taken after it (`savepoint` itself stays valid and can be
+    /// rolled back to again). A stale or never-issued savepoint is a typed
+    /// `SIM-C003` error.
     pub fn rollback_to(&mut self, savepoint: usize) -> Result<(), SimError> {
+        if self.txn.is_none() {
+            return Err(no_txn());
+        }
+        let Some(&internal) = savepoint.checked_sub(1).and_then(|i| self.user_savepoints.get(i))
+        else {
+            return Err(SimError::from(sim_storage::StorageError::BadSavepoint {
+                savepoint,
+                len: self.user_savepoints.len(),
+            }));
+        };
         let shared = Arc::clone(&self.shared);
         let mut eng = shared.lock_engine();
         let txn = self.txn.as_mut().ok_or_else(no_txn)?;
-        eng.mapper_mut().rollback_to(txn, savepoint)?;
+        eng.mapper_mut().rollback_to(txn, internal)?;
+        self.user_savepoints.truncate(savepoint);
         Ok(())
     }
 
@@ -303,8 +414,11 @@ impl Session {
         }
         let shared = Arc::clone(&self.shared);
         let mut eng = shared.lock_engine();
+        eng.set_session_tag(self.id);
         let txn = self.txn.as_mut().ok_or_else(no_txn)?;
-        Ok(eng.execute_in(txn, stmt)?)
+        let result = eng.execute_in(txn, stmt);
+        self.last_plan_cached = eng.last_plan_cached();
+        Ok(result?)
     }
 
     /// Take `mode` locks on the EVA component of every class the
@@ -347,8 +461,12 @@ impl Session {
         for family in families {
             let key = LockKey::Class(family);
             match mode {
-                LockMode::Shared => self.shared.locks.lock_shared(txn_id, key)?,
-                LockMode::Exclusive => self.shared.locks.lock_exclusive(txn_id, key)?,
+                LockMode::Shared => {
+                    self.shared.locks.lock_shared_for(txn_id, key, self.lock_timeout)?;
+                }
+                LockMode::Exclusive => {
+                    self.shared.locks.lock_exclusive_for(txn_id, key, self.lock_timeout)?;
+                }
             }
         }
         Ok(())
@@ -359,6 +477,7 @@ impl Session {
     fn snapshot_query(&mut self, stmt: &Statement) -> Result<ExecResult, SimError> {
         let shared = Arc::clone(&self.shared);
         let mut eng = shared.lock_engine();
+        eng.set_session_tag(self.id);
         let storage = eng.mapper().engine();
         let ticket = storage.begin_read();
         let view = Arc::new(storage.snapshot_at(ticket.ts, None));
@@ -367,19 +486,38 @@ impl Session {
         let storage = eng.mapper().engine();
         storage.install_read_view(None);
         storage.end_read(ticket);
+        self.last_plan_cached = eng.last_plan_cached();
         Ok(result?)
     }
 }
 
 impl Drop for Session {
     /// A dropped session aborts its open transaction — locks must never
-    /// outlive their owner.
+    /// outlive their owner, **unconditionally**: the old code discarded
+    /// the abort result, so an abort error left the dead session's locks
+    /// in the table until every waiter timed out.
     fn drop(&mut self) {
+        let shared = Arc::clone(&self.shared);
+        // Engine mutex first (poison-recovering). A waiter that acquires
+        // one of the freed class locks below still serializes behind this
+        // mutex, so it can never observe state the undo has not finished
+        // (or failed) with.
+        let mut eng = shared.lock_engine();
         if let Some(txn) = self.txn.take() {
-            let shared = Arc::clone(&self.shared);
-            let mut eng = shared.lock_engine();
-            let _ = eng.mapper_mut().abort(txn);
+            let txn_id = txn.id();
+            // Locks first, then best-effort undo. `abort` releases locks
+            // on its own path too (harmless double release), but an abort
+            // that errors out early must not strand them.
+            shared.locks.unlock_all(txn_id);
+            if let Err(e) = eng.mapper_mut().abort(txn) {
+                eng.event_log().record(Event::SessionAbortFailed {
+                    session: self.id,
+                    txn: txn_id,
+                    error: e.to_string(),
+                });
+            }
         }
+        eng.event_log().record(Event::SessionEnd { session: self.id });
     }
 }
 
@@ -504,6 +642,148 @@ mod tests {
         s.commit().unwrap();
         let out = s.query("From person Retrieve name.").unwrap();
         assert_eq!(names(&out), vec!["A".to_string(), "C".to_string()]);
+    }
+
+    #[test]
+    fn poisoned_engine_drop_still_frees_locks_for_waiters() {
+        // Regression: Session::drop used to discard the abort result; any
+        // hiccup on that path left the dead session's locks in the table
+        // until every waiter timed out. The drop must free the lock set
+        // unconditionally — even with the engine mutex poisoned by a
+        // panicking statement elsewhere.
+        let db = people_db();
+        let mut s = db.session();
+        s.begin().unwrap();
+        s.run_one(r#"Insert person(name := "Ghost", soc-sec-no := 1)."#).unwrap();
+        assert!(db.lock_table().locked_key_count() > 0);
+        let shared = Arc::clone(&s.shared);
+        let panicked = std::thread::spawn(move || {
+            let _guard = shared.engine.lock().unwrap();
+            panic!("poison the engine mutex");
+        })
+        .join();
+        assert!(panicked.is_err(), "the poisoning thread must have panicked");
+        drop(s);
+        assert_eq!(db.lock_table().locked_key_count(), 0, "dropped session leaked locks");
+        // A waiter acquires promptly: well under its (short) deadline.
+        let mut waiter = db.session();
+        waiter.set_lock_timeout(Some(Duration::from_millis(200)));
+        waiter.run_one(r#"Insert person(name := "Waiter", soc-sec-no := 2)."#).unwrap();
+    }
+
+    #[test]
+    fn per_session_lock_timeouts_are_independent() {
+        let db = people_db();
+        db.set_lock_timeout(Duration::from_secs(30));
+        let mut holder = db.session();
+        holder.begin().unwrap();
+        holder.run_one(r#"Insert person(name := "H", soc-sec-no := 1)."#).unwrap();
+
+        // The short-deadline session times out immediately...
+        let mut fast = db.session();
+        fast.set_lock_timeout(Some(Duration::ZERO));
+        fast.begin().unwrap();
+        let err = fast.run_one(r#"Insert person(name := "F", soc-sec-no := 2)."#).unwrap_err();
+        assert_eq!(err.code(), Some("SIM-C001"));
+        assert!(err.is_retryable());
+        // ...without changing the table-wide default...
+        assert_eq!(db.lock_table().timeout(), Duration::from_secs(30));
+
+        // ...and a long-deadline session still waits out the holder.
+        let mut patient = db.session();
+        patient.set_lock_timeout(Some(Duration::from_secs(30)));
+        let release = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            holder.commit().unwrap();
+        });
+        patient.run_one(r#"Insert person(name := "P", soc-sec-no := 3)."#).unwrap();
+        release.join().unwrap();
+        let out = patient.query("From person Retrieve name.").unwrap();
+        assert_eq!(names(&out), vec!["H".to_string(), "P".to_string()]);
+    }
+
+    #[test]
+    fn errors_carry_typed_codes() {
+        let db = people_db();
+        let mut s = db.session();
+        s.run_one(r#"Insert person(name := "A", soc-sec-no := 1)."#).unwrap();
+        // A constraint violation is not retryable and has no SIM-C code.
+        let dup = s.run_one(r#"Insert person(name := "B", soc-sec-no := 1)."#).unwrap_err();
+        assert_eq!(dup.code(), None);
+        assert!(!dup.is_retryable());
+        // A stale savepoint is typed (SIM-C003) but NOT retryable: the
+        // caller's savepoint handle is wrong, not the victim of a race.
+        s.begin().unwrap();
+        // A never-issued savepoint id is SIM-C003 too — statements take
+        // internal savepoints, so a raw guess like `1` must not silently
+        // roll back to some statement boundary.
+        let guessed = s.rollback_to(1).unwrap_err();
+        assert_eq!(guessed.code(), Some("SIM-C003"));
+        let sp_a = s.savepoint().unwrap();
+        assert_eq!(sp_a, 1, "user savepoints number 1, 2, 3, … per transaction");
+        s.run_one(r#"Insert person(name := "C", soc-sec-no := 3)."#).unwrap();
+        let sp_b = s.savepoint().unwrap();
+        assert_eq!(sp_b, 2);
+        s.rollback_to(sp_a).unwrap();
+        let stale = s.rollback_to(sp_b).unwrap_err();
+        assert_eq!(stale.code(), Some("SIM-C003"));
+        assert!(!stale.is_retryable());
+        s.abort().unwrap();
+    }
+
+    #[test]
+    fn sessions_emit_lifecycle_events_and_recorder_attribution() {
+        let db = people_db();
+        let events = db.registry().event_log();
+        let mut s = db.session();
+        let sid = s.id();
+        assert!(sid >= 1);
+        s.run_one(r#"Insert person(name := "A", soc-sec-no := 1)."#).unwrap();
+        let record = {
+            let eng = s.shared.lock_engine();
+            eng.flight_recorder().latest().unwrap()
+        };
+        assert_eq!(record.session, sid, "statements are attributed to their session");
+        drop(s);
+        let started: Vec<u64> = events
+            .of_kind("session_start")
+            .iter()
+            .filter_map(|e| match e.event {
+                Event::SessionStart { session } => Some(session),
+                _ => None,
+            })
+            .collect();
+        let ended: Vec<u64> = events
+            .of_kind("session_end")
+            .iter()
+            .filter_map(|e| match e.event {
+                Event::SessionEnd { session } => Some(session),
+                _ => None,
+            })
+            .collect();
+        assert!(started.contains(&sid));
+        assert!(ended.contains(&sid));
+    }
+
+    #[test]
+    fn prepared_statements_pin_plans_and_report_cache_hits() {
+        let db = people_db();
+        let mut s = db.session();
+        s.run_one(r#"Insert person(name := "A", soc-sec-no := 1)."#).unwrap();
+        // An unprepared retrieve misses the cache first, hits it second.
+        s.query("From person Retrieve name Where soc-sec-no = 1.").unwrap();
+        assert!(!s.last_plan_cached());
+        s.query("From person Retrieve name Where soc-sec-no = 1.").unwrap();
+        assert!(s.last_plan_cached());
+        // A prepared retrieve is planned at prepare time: the very first
+        // execution is already a cache hit, and the entry is pinned.
+        let canonical = s.prepare("From person Retrieve name.").unwrap();
+        assert_eq!(s.shared.lock_engine().plan_cache_pinned_len(), 1);
+        let out = s.query(&canonical).unwrap();
+        assert_eq!(names(&out), vec!["A".to_string()]);
+        assert!(s.last_plan_cached(), "first execution of a prepared statement must hit");
+        s.unprepare(&canonical);
+        assert_eq!(s.shared.lock_engine().plan_cache_pinned_len(), 0);
     }
 
     #[test]

@@ -99,6 +99,27 @@ pub enum Event {
         /// One current holder (0 if unknown).
         holder: u64,
     },
+    /// A session was opened (one per network connection or embedded
+    /// `ConcurrentDb::session` handle).
+    SessionStart {
+        /// The session id (monotone per `ConcurrentDb`).
+        session: u64,
+    },
+    /// A session ended; its open transaction (if any) was aborted.
+    SessionEnd {
+        /// The session id.
+        session: u64,
+    },
+    /// A dying session's best-effort abort failed *after* its lock set was
+    /// force-released. The undo may be incomplete; the lock table is clean.
+    SessionAbortFailed {
+        /// The session id.
+        session: u64,
+        /// The transaction whose undo failed.
+        txn: u64,
+        /// The abort error, rendered.
+        error: String,
+    },
 }
 
 impl Event {
@@ -115,6 +136,9 @@ impl Event {
             Event::CacheEvict { .. } => "cache_evict",
             Event::FaultInjected { .. } => "fault_injected",
             Event::LockWait { .. } => "lock_wait",
+            Event::SessionStart { .. } => "session_start",
+            Event::SessionEnd { .. } => "session_end",
+            Event::SessionAbortFailed { .. } => "session_abort_failed",
         }
     }
 
@@ -149,6 +173,14 @@ impl Event {
                 ("key", json::string(key)),
                 ("holder", holder.to_string()),
             ],
+            Event::SessionStart { session } | Event::SessionEnd { session } => {
+                vec![("session", session.to_string())]
+            }
+            Event::SessionAbortFailed { session, txn, error } => vec![
+                ("session", session.to_string()),
+                ("txn", txn.to_string()),
+                ("error", json::string(error)),
+            ],
         }
     }
 
@@ -176,6 +208,11 @@ impl Event {
             Event::FaultInjected { op } => format!("fault-injected   op={op}"),
             Event::LockWait { txn, key, holder } => {
                 format!("lock-wait        txn={txn} key={key} holder={holder}")
+            }
+            Event::SessionStart { session } => format!("session-start    session={session}"),
+            Event::SessionEnd { session } => format!("session-end      session={session}"),
+            Event::SessionAbortFailed { session, txn, error } => {
+                format!("session-abort-failed session={session} txn={txn}: {error}")
             }
         }
     }

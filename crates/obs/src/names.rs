@@ -41,6 +41,12 @@ pub const ALL: &[&str] = &[
     "query.statements",
     "query.updates",
     "query.verify_micros",
+    "server.bytes_read",
+    "server.bytes_written",
+    "server.connections",
+    "server.rejected_connections",
+    "server.requests",
+    "server.retries",
     "storage.block_allocations",
     "storage.block_reads",
     "storage.block_writes",

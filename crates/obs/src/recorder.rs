@@ -47,6 +47,9 @@ pub struct StatementRecord {
     pub plan_cached: bool,
     /// The statement exceeded the slow threshold.
     pub slow: bool,
+    /// The session that ran the statement (0 = no session attribution:
+    /// single-user `Database` statements and internal work).
+    pub session: u64,
     /// The statement's full phase/span trace.
     pub trace: Trace,
 }
@@ -56,8 +59,9 @@ impl StatementRecord {
     pub fn to_text(&self) -> String {
         let cached = if self.plan_cached { " cached" } else { "" };
         let slow = if self.slow { " SLOW" } else { "" };
+        let session = if self.session != 0 { format!(" s{}", self.session) } else { String::new() };
         format!(
-            "[{:>6}] {:>8}us {:>6} rows  io r={} w={} hits={}{}{}  {}",
+            "[{:>6}] {:>8}us {:>6} rows  io r={} w={} hits={}{}{}{}  {}",
             self.seq,
             self.wall_micros,
             self.rows,
@@ -66,6 +70,7 @@ impl StatementRecord {
             self.pool_hits,
             cached,
             slow,
+            session,
             self.statement
         )
     }
@@ -224,6 +229,7 @@ mod tests {
             pool_hits: 3,
             plan_cached: false,
             slow: false,
+            session: 0,
             trace: Trace { label: statement.to_string(), spans: Vec::new() },
         }
     }

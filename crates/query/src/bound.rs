@@ -195,7 +195,7 @@ pub struct StructRecord {
 }
 
 /// Query output.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum QueryOutput {
     /// `TABLE [DISTINCT]`: one format describes every record.
     Table {

@@ -44,6 +44,11 @@ struct Inner {
     /// Logical clock for LRU ordering.
     tick: u64,
     entries: HashMap<String, Entry>,
+    /// Pin refcounts by key (prepared statements). A pinned key's entry is
+    /// never chosen as an LRU victim, but a generation advance still drops
+    /// it — the plan may be wrong under the new schema. The refcount itself
+    /// survives the advance, so the re-planned entry is protected again.
+    pins: HashMap<String, usize>,
 }
 
 /// An invalidation-correct LRU plan cache.
@@ -65,7 +70,12 @@ impl PlanCache {
     /// An empty cache that counts evicted entries into `evictions`.
     pub fn with_counter(capacity: usize, evictions: Option<Arc<Counter>>) -> PlanCache {
         PlanCache {
-            inner: Mutex::new(Inner { generation: 0, tick: 0, entries: HashMap::new() }),
+            inner: Mutex::new(Inner {
+                generation: 0,
+                tick: 0,
+                entries: HashMap::new(),
+                pins: HashMap::new(),
+            }),
             capacity: capacity.max(1),
             evictions,
         }
@@ -137,8 +147,15 @@ impl PlanCache {
         inner.tick += 1;
         let tick = inner.tick;
         if inner.entries.len() >= self.capacity && !inner.entries.contains_key(key) {
-            if let Some(victim) =
-                inner.entries.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
+            // Pinned entries are never LRU victims; if everything resident
+            // is pinned the cache temporarily exceeds capacity (bounded by
+            // the number of live prepared statements).
+            if let Some(victim) = inner
+                .entries
+                .iter()
+                .filter(|(k, _)| !inner.pins.contains_key(*k))
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
             {
                 inner.entries.remove(&victim);
                 dropped += 1;
@@ -147,6 +164,30 @@ impl PlanCache {
         inner.entries.insert(key.to_owned(), Entry { cached, last_used: tick });
         drop(inner);
         self.count_evicted(dropped);
+    }
+
+    /// Pin `key`: its entry (present now or inserted later) is exempt from
+    /// LRU eviction until every pin is released. Refcounted — two prepared
+    /// statements over the same text share one exemption.
+    pub fn pin(&self, key: &str) {
+        *self.locked().pins.entry(key.to_owned()).or_insert(0) += 1;
+    }
+
+    /// Release one pin on `key`; the entry becomes evictable again when
+    /// the refcount reaches zero. Unpinning an unpinned key is a no-op.
+    pub fn unpin(&self, key: &str) {
+        let mut inner = self.locked();
+        if let Some(n) = inner.pins.get_mut(key) {
+            *n -= 1;
+            if *n == 0 {
+                inner.pins.remove(key);
+            }
+        }
+    }
+
+    /// Number of distinct pinned keys.
+    pub fn pinned_len(&self) -> usize {
+        self.locked().pins.len()
     }
 
     /// Number of resident plans.
@@ -360,6 +401,48 @@ mod tests {
                 "case {case}: token stream changed\n  source: {src:?}\n  normal: {normalized:?}"
             );
         }
+    }
+
+    #[test]
+    fn pinned_entries_survive_lru_but_not_generation() {
+        let cache = PlanCache::new(2);
+        cache.insert("a", 1, dummy());
+        cache.pin("a");
+        cache.insert("b", 1, dummy());
+        assert!(cache.get("a", 1).is_some()); // warm `a`... but pins, not
+        assert!(cache.get("b", 1).is_some()); // ...recency, must decide
+        assert!(cache.get("a", 1).is_some()); // make `b` the LRU candidate
+        cache.insert("c", 1, dummy());
+        assert!(cache.get("a", 1).is_some(), "pinned entry must survive LRU");
+        assert!(cache.get("b", 1).is_none(), "unpinned LRU entry is the victim");
+        assert!(cache.get("c", 1).is_some());
+        // A generation advance still drops the pinned plan: it may be wrong
+        // under the new schema.
+        assert!(cache.get("a", 2).is_none(), "generation advance drops pinned plans");
+        assert_eq!(cache.len(), 0);
+        // ...but the pin itself survives: the re-planned entry is protected.
+        assert_eq!(cache.pinned_len(), 1);
+        cache.insert("a", 2, dummy());
+        cache.insert("b", 2, dummy());
+        cache.insert("c", 2, dummy());
+        assert!(cache.get("a", 2).is_some(), "pin must outlive the invalidation");
+    }
+
+    #[test]
+    fn pins_are_refcounted() {
+        let cache = PlanCache::new(1);
+        cache.insert("a", 1, dummy());
+        cache.pin("a");
+        cache.pin("a");
+        cache.unpin("a");
+        cache.insert("b", 1, dummy()); // `a` still pinned: cache overflows
+        assert!(cache.get("a", 1).is_some());
+        assert_eq!(cache.len(), 2, "all-pinned cache may exceed capacity");
+        cache.unpin("a");
+        assert_eq!(cache.pinned_len(), 0);
+        cache.insert("c", 1, dummy());
+        assert_eq!(cache.len(), 2, "fully unpinned entry is evictable again");
+        cache.unpin("zzz"); // no-op
     }
 
     #[test]

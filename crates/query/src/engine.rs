@@ -23,7 +23,7 @@ use sim_obs::{
     Counter, Event, EventLog, FlightRecorder, Registry, Span, StatementRecord, Trace, TraceBuilder,
 };
 use sim_storage::Txn;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -115,6 +115,14 @@ pub struct QueryEngine {
     verify_plans: bool,
     /// Test-only plan mutation (see [`PlanMutator`]).
     plan_mutator: Option<PlanMutator>,
+    /// Session id stamped into flight-recorder records (0 = unattributed).
+    /// Set by the session layer under the engine lock before dispatching.
+    current_session: AtomicU64,
+    /// Whether the most recently completed statement's plan came from the
+    /// plan cache. Statements on one engine are serialized by the caller
+    /// (sessions hold the engine lock across execute + read), so this is
+    /// race-free where it matters.
+    last_plan_cached: AtomicBool,
 }
 
 impl QueryEngine {
@@ -145,7 +153,22 @@ impl QueryEngine {
             plan_verifier: None,
             verify_plans: true,
             plan_mutator: None,
+            current_session: AtomicU64::new(0),
+            last_plan_cached: AtomicBool::new(false),
         })
+    }
+
+    /// Tag subsequent statements with `session` in the flight recorder
+    /// (`0` clears the attribution). Callers that share an engine across
+    /// sessions must set this under the same lock that serializes
+    /// statements.
+    pub fn set_session_tag(&self, session: u64) {
+        self.current_session.store(session, Ordering::Relaxed);
+    }
+
+    /// Whether the most recently completed statement hit the plan cache.
+    pub fn last_plan_cached(&self) -> bool {
+        self.last_plan_cached.load(Ordering::Relaxed)
     }
 
     /// Install a plan-verification pass; it runs on every plan-cache miss
@@ -249,6 +272,7 @@ impl QueryEngine {
         io: &sim_storage::IoSnapshot,
         plan_cached: bool,
     ) {
+        self.last_plan_cached.store(plan_cached, Ordering::Relaxed);
         let trace = tb.build();
         let wall = trace.total_micros();
         let threshold = self.slow_micros.load(Ordering::Relaxed);
@@ -283,6 +307,7 @@ impl QueryEngine {
                 pool_hits: io.pool_hits,
                 plan_cached,
                 slow,
+                session: self.current_session.load(Ordering::Relaxed),
                 trace,
             });
         }
@@ -321,6 +346,11 @@ impl QueryEngine {
         self.plan_cache.len()
     }
 
+    /// Distinct pinned plan-cache keys (live prepared statements).
+    pub fn plan_cache_pinned_len(&self) -> usize {
+        self.plan_cache.pinned_len()
+    }
+
     /// The optimizer's chosen plan for a retrieve (EXPLAIN). Always plans
     /// fresh — EXPLAIN is the tool for auditing the optimizer, so it must
     /// not read (or warm) the plan cache.
@@ -356,6 +386,57 @@ impl QueryEngine {
             mutator(&mut bound, &mut plan);
         }
         Ok((bound, plan))
+    }
+
+    /// Prepare a single statement for repeated execution: parse it,
+    /// and — for retrieves — bind, optimize, verify, cache and **pin** the
+    /// plan, so it survives LRU pressure for as long as the preparation is
+    /// held. Returns the statement's canonical rendering; executing that
+    /// text later hits the pinned cache entry (the session layer keys its
+    /// exec paths on the same rendering). Release with
+    /// [`QueryEngine::release_statement`], passing the returned text.
+    ///
+    /// Pins do not survive plan-generation invalidation (DDL/index
+    /// changes): the entry is dropped with the rest of the cache and
+    /// transparently re-planned — and re-protected — on next execution.
+    pub fn prepare_statement(&self, source: &str) -> Result<String, QueryError> {
+        let mut statements = self.parse_timed(source)?;
+        let stmt = match statements.pop() {
+            Some(s) if statements.is_empty() => s,
+            _ => return Err(QueryError::Analyze("prepare accepts a single statement".into())),
+        };
+        let canonical = stmt.to_string();
+        if let Statement::Retrieve(r) = &stmt {
+            let key = cache::normalize(&canonical);
+            let generation = self.mapper.plan_generation();
+            if self.plan_cache.get(&key, generation).is_none() {
+                let mut bound = Binder::bind_retrieve(self.mapper.catalog(), r)?;
+                let mut plan = optimizer::plan(&self.mapper, &bound)?;
+                if let Some(mutator) = &self.plan_mutator {
+                    mutator(&mut bound, &mut plan);
+                }
+                if let Some(verifier) = self.plan_verifier.as_ref().filter(|_| self.verify_plans) {
+                    if let Err(e) = verifier(&self.mapper, &bound, &plan) {
+                        self.phase.plan_verify_violations.inc();
+                        return Err(e);
+                    }
+                }
+                let entry = CachedPlan { bound: Arc::new(bound), plan: Arc::new(plan) };
+                self.plan_cache.insert(&key, generation, entry);
+            }
+            self.plan_cache.pin(&key);
+        } else {
+            // Updates have no cached plans; binding them is per-execution
+            // work. Preparation still validates the syntax above.
+        }
+        Ok(canonical)
+    }
+
+    /// Release a preparation made by [`QueryEngine::prepare_statement`]
+    /// (pass the canonical text it returned). The plan becomes evictable
+    /// again once every preparation over the same text is released.
+    pub fn release_statement(&self, canonical: &str) {
+        self.plan_cache.unpin(&cache::normalize(canonical));
     }
 
     fn parse_timed(&self, source: &str) -> Result<Vec<Statement>, QueryError> {

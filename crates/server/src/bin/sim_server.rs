@@ -1,0 +1,68 @@
+//! sim-server: serve a SIM database over TCP.
+//!
+//! ```text
+//! sim-server [--addr HOST:PORT] [--dir PATH] [--workers N] [--backlog N]
+//! ```
+//!
+//! Without `--dir` the server runs the in-memory UNIVERSITY schema (empty;
+//! populate it from a client). With `--dir` it opens the durable database
+//! at PATH, creating it with the UNIVERSITY schema if PATH has none.
+
+use sim_core::Database;
+use sim_server::{serve, ServerConfig};
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!("usage: sim-server [--addr HOST:PORT] [--dir PATH] [--workers N] [--backlog N]");
+    exit(2);
+}
+
+fn main() {
+    let mut config = ServerConfig { addr: "127.0.0.1:7464".into(), ..ServerConfig::default() };
+    let mut dir: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" => config.addr = value(),
+            "--dir" => dir = Some(value()),
+            "--workers" => config.workers = value().parse().unwrap_or_else(|_| usage()),
+            "--backlog" => config.backlog = value().parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+
+    let db = match &dir {
+        None => Database::university(),
+        Some(path) => {
+            let opened = if std::path::Path::new(path).join("blocks.simdb").exists() {
+                Database::open(path)
+            } else {
+                Database::create_at(sim_ddl::UNIVERSITY_DDL, path)
+            };
+            match opened {
+                Ok(db) => db,
+                Err(e) => {
+                    eprintln!("sim-server: cannot open {path}: {e}");
+                    exit(1);
+                }
+            }
+        }
+    };
+
+    let server = match serve(db.into_concurrent(), config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("sim-server: bind failed: {e}");
+            exit(1);
+        }
+    };
+    println!("sim-server listening on {}", server.addr());
+    match &dir {
+        None => println!("serving in-memory UNIVERSITY schema"),
+        Some(path) => println!("serving durable database at {path}"),
+    }
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,31 @@
+//! The SIM network server (DESIGN.md §15).
+//!
+//! The paper's SIM served interactive IQF/WQF users and ALGOL/COBOL host
+//! programs concurrently over Burroughs' network stack; this crate is the
+//! reproduction's equivalent: a TCP front end over
+//! [`sim_core::ConcurrentDb`]. Each accepted connection becomes one
+//! [`sim_core::Session`] on a bounded worker pool, speaking a
+//! length-prefixed binary protocol ([`protocol`]) whose statements are the
+//! session surface PR 8 built — autocommit DML, explicit transactions with
+//! savepoints, lock-free snapshot retrieves — plus a prepared-statement
+//! API that pins plan-cache entries for the connection's lifetime.
+//!
+//! Server-level failures carry their own stable codes, disjoint from the
+//! concurrency codes (`SIM-C*`, DESIGN.md §14) and lint codes (`SIM-L*`):
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | `SIM-N001` | malformed, truncated or oversized frame — connection closes |
+//! | `SIM-N002` | unknown prepared-statement id — connection stays open |
+//! | `SIM-N003` | server at connection capacity — connection refused |
+
+pub mod protocol;
+pub mod server;
+
+pub use protocol::{read_frame, write_frame, ProtoError, Request, Response, MAX_FRAME};
+pub use server::{serve, Server, ServerConfig};
+
+/// Every server code this crate can emit, pinned by `tests/doc_sync.rs`
+/// against the DESIGN.md §15 catalog (same contract as
+/// `sim_storage::CONCURRENCY_CODES`).
+pub const SERVER_CODES: &[&str] = &["SIM-N001", "SIM-N002", "SIM-N003"];

@@ -1,0 +1,495 @@
+//! The TCP server: one [`Session`] per connection on a bounded worker
+//! pool (DESIGN.md §15).
+//!
+//! The pool is the admission control: `workers` threads are the maximum
+//! concurrent connections, and up to `backlog` accepted sockets queue for
+//! a free worker. A connection arriving past both bounds is refused with
+//! `SIM-N003` (retryable) and closed — the engine never sees it.
+//!
+//! Connection lifecycle: accept → `Session` open (`session_start` event)
+//! → request loop → `Session` drop (`session_end`). The drop path is the
+//! crash-safety story for dead clients: a socket that vanishes mid-
+//! transaction reaches the same `Drop` as a clean close, which releases
+//! the session's locks unconditionally and best-effort aborts its open
+//! transaction, so the survivors never wait out a lock timeout on a
+//! corpse.
+//!
+//! Autocommit statements that fail with a *retryable* error (`SIM-C001`
+//! lock timeout, `SIM-C002` conflict) are retried server-side up to
+//! [`ServerConfig::max_retries`] times — the statement was valid and
+//! merely lost a race, and the client cannot do anything smarter than
+//! resend it. Statements inside an explicit transaction are **never**
+//! retried: the transaction aborted with the failure, and only the client
+//! can decide to replay its earlier statements.
+
+use crate::protocol::{read_frame, write_frame, Request, Response};
+use sim_core::{ConcurrentDb, ExecResult, Session, SimError};
+use sim_obs::Counter;
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, TrySendError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (see [`Server::addr`]).
+    pub addr: String,
+    /// Worker threads = maximum concurrent connections.
+    pub workers: usize,
+    /// Accepted connections that may queue for a free worker before new
+    /// arrivals are refused with `SIM-N003`.
+    pub backlog: usize,
+    /// Bounded retry budget for retryable *autocommit* failures.
+    pub max_retries: u32,
+    /// Coalescing window for the durable group-commit barrier: how long a
+    /// barrier leader waits for peer commits to pile onto its fsync before
+    /// issuing it. Zero fsyncs immediately (peers still piggyback on an
+    /// in-flight barrier). Ignored for in-memory databases.
+    pub commit_delay: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 8,
+            backlog: 16,
+            max_retries: 3,
+            commit_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// Cross-session group commit (durable databases only). The engine's WAL
+/// window batches fsyncs, which alone would let an acked commit die in a
+/// crash; this barrier restores "acked ⇒ durable": a committing session
+/// is answered only once one fsync — its own or a peer's — covers its
+/// commit record. Exactly one waiter at a time acts as leader: it sleeps
+/// the coalescing delay (peer commits keep landing in the WAL — the
+/// engine mutex is free), snapshots the ticket counter, fsyncs once, and
+/// wakes every covered waiter.
+struct GroupCommit {
+    delay: Duration,
+    state: Mutex<GroupState>,
+    done: Condvar,
+}
+
+#[derive(Default)]
+struct GroupState {
+    /// Tickets issued; a ticket is taken only after `Session::commit`
+    /// returns, so every issued ticket's commit record is in the log.
+    pending: u64,
+    /// Highest ticket covered by a completed fsync barrier.
+    synced: u64,
+    /// A leader is currently coalescing or syncing.
+    leader: bool,
+}
+
+impl GroupCommit {
+    fn new(delay: Duration) -> GroupCommit {
+        GroupCommit { delay, state: Mutex::new(GroupState::default()), done: Condvar::new() }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, GroupState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Block until the calling session's just-committed transaction is
+    /// durable. On barrier failure every waiter that ends up leading gets
+    /// the fsync error for its own commit.
+    fn barrier(&self, db: &ConcurrentDb) -> Result<(), SimError> {
+        let ticket = {
+            let mut s = self.lock();
+            s.pending += 1;
+            s.pending
+        };
+        loop {
+            let mut s = self.lock();
+            if s.synced >= ticket {
+                return Ok(());
+            }
+            if s.leader {
+                // Timed wait: defensive against a leader dying mid-sync.
+                let (guard, _) = self
+                    .done
+                    .wait_timeout(s, Duration::from_millis(50))
+                    .unwrap_or_else(PoisonError::into_inner);
+                drop(guard);
+                continue;
+            }
+            s.leader = true;
+            drop(s);
+            if !self.delay.is_zero() {
+                std::thread::sleep(self.delay);
+            }
+            let covered = self.lock().pending;
+            let result = db.sync_wal();
+            let mut s = self.lock();
+            s.leader = false;
+            if result.is_ok() {
+                s.synced = s.synced.max(covered);
+            }
+            drop(s);
+            self.done.notify_all();
+            result?;
+        }
+    }
+}
+
+struct Metrics {
+    connections: Arc<Counter>,
+    rejected: Arc<Counter>,
+    requests: Arc<Counter>,
+    bytes_read: Arc<Counter>,
+    bytes_written: Arc<Counter>,
+    retries: Arc<Counter>,
+}
+
+impl Metrics {
+    fn new(registry: &sim_obs::Registry) -> Metrics {
+        Metrics {
+            connections: registry.counter("server.connections"),
+            rejected: registry.counter("server.rejected_connections"),
+            requests: registry.counter("server.requests"),
+            bytes_read: registry.counter("server.bytes_read"),
+            bytes_written: registry.counter("server.bytes_written"),
+            retries: registry.counter("server.retries"),
+        }
+    }
+}
+
+/// A running server. Dropping it (or calling [`Server::shutdown`]) stops
+/// the accept loop, hangs up every live connection, and joins the pool.
+pub struct Server {
+    addr: SocketAddr,
+    db: Arc<ConcurrentDb>,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    /// Worker slot → the connection it is currently serving (a clone for
+    /// `Shutdown::Both` at teardown).
+    live: Arc<Vec<Mutex<Option<TcpStream>>>>,
+}
+
+impl Server {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The served database (metrics, lock table — observability and
+    /// tests).
+    pub fn db(&self) -> &Arc<ConcurrentDb> {
+        &self.db
+    }
+
+    /// Stop accepting, hang up live connections, and join every thread.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.accept.is_none() {
+            return;
+        }
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection to self.
+        if let Ok(s) = TcpStream::connect(self.addr) {
+            drop(s);
+        }
+        if let Some(h) = self.accept.take() {
+            let _ = h.join(); // dropping the accept loop drops the sender
+        }
+        for slot in self.live.iter() {
+            let guard = slot.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(s) = guard.as_ref() {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server").field("addr", &self.addr).finish_non_exhaustive()
+    }
+}
+
+/// Serve `db` per `config`. Returns as soon as the listener is bound; the
+/// accept loop and worker pool run on background threads until the
+/// returned [`Server`] shuts down.
+pub fn serve(db: ConcurrentDb, config: ServerConfig) -> io::Result<Server> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let db = Arc::new(db);
+    let metrics = Arc::new(Metrics::new(&db.registry()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let config = Arc::new(config);
+    let workers = config.workers.max(1);
+
+    // The durable group-commit barrier only exists for file-backed
+    // databases; in-memory commits have nothing to fsync.
+    let group = db.is_durable().then(|| Arc::new(GroupCommit::new(config.commit_delay)));
+
+    let (tx, rx) = mpsc::sync_channel::<TcpStream>(config.backlog);
+    let rx = Arc::new(Mutex::new(rx));
+    let live: Arc<Vec<Mutex<Option<TcpStream>>>> =
+        Arc::new((0..workers).map(|_| Mutex::new(None)).collect());
+
+    let mut pool = Vec::with_capacity(workers);
+    for slot in 0..workers {
+        let rx = Arc::clone(&rx);
+        let db = Arc::clone(&db);
+        let metrics = Arc::clone(&metrics);
+        let config = Arc::clone(&config);
+        let live = Arc::clone(&live);
+        let stop = Arc::clone(&stop);
+        let group = group.clone();
+        pool.push(std::thread::spawn(move || loop {
+            let next = rx.lock().unwrap_or_else(PoisonError::into_inner).recv();
+            let Ok(stream) = next else { break };
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            *live[slot].lock().unwrap_or_else(PoisonError::into_inner) = stream.try_clone().ok();
+            let ctx =
+                ReqCtx { db: &db, config: &config, metrics: &metrics, group: group.as_deref() };
+            handle_conn(&ctx, stream);
+            *live[slot].lock().unwrap_or_else(PoisonError::into_inner) = None;
+        }));
+    }
+
+    let accept = {
+        let metrics = Arc::clone(&metrics);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                metrics.connections.inc();
+                match tx.try_send(stream) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(stream)) => {
+                        // Pool and queue are both full: refuse, don't queue
+                        // unboundedly. Retryable — capacity frees up.
+                        metrics.rejected.inc();
+                        let resp = Response::Err {
+                            code: Some("SIM-N003".into()),
+                            retryable: true,
+                            message: "SIM-N003: server at connection capacity".into(),
+                        };
+                        let mut stream = stream;
+                        let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+                        let _ = write_frame(&mut stream, &resp.encode());
+                    }
+                    Err(TrySendError::Disconnected(_)) => break,
+                }
+            }
+        })
+    };
+
+    Ok(Server { addr, db, stop, accept: Some(accept), workers: pool, live })
+}
+
+enum After {
+    Continue,
+    Close,
+}
+
+/// Everything a connection handler needs besides the stream.
+struct ReqCtx<'a> {
+    db: &'a ConcurrentDb,
+    config: &'a ServerConfig,
+    metrics: &'a Metrics,
+    group: Option<&'a GroupCommit>,
+}
+
+impl ReqCtx<'_> {
+    /// Wait out the group-commit barrier (durable databases only): on
+    /// return the session's just-committed transaction is on disk.
+    fn durable_ack(&self) -> Result<(), SimError> {
+        match self.group {
+            Some(group) => group.barrier(self.db),
+            None => Ok(()),
+        }
+    }
+}
+
+fn sim_err(e: &SimError) -> Response {
+    Response::Err {
+        code: e.code().map(str::to_owned),
+        retryable: e.is_retryable(),
+        message: e.to_string(),
+    }
+}
+
+fn frame_err(detail: &str) -> Response {
+    Response::Err {
+        code: Some("SIM-N001".into()),
+        retryable: false,
+        message: format!("SIM-N001: malformed frame: {detail}"),
+    }
+}
+
+fn send(w: &mut BufWriter<TcpStream>, resp: &Response, metrics: &Metrics) -> io::Result<()> {
+    let payload = resp.encode();
+    write_frame(w, &payload)?;
+    w.flush()?;
+    metrics.bytes_written.add(payload.len() as u64 + 4);
+    Ok(())
+}
+
+/// Run one statement with the bounded autocommit retry policy. `explicit`
+/// must be captured *before* the first attempt: a lock-timeout victim's
+/// transaction aborts with the failure, so `in_txn()` afterwards cannot
+/// tell an autocommit statement from an orphaned explicit one.
+fn run_with_retry(
+    session: &mut Session,
+    text: &str,
+    explicit: bool,
+    ctx: &ReqCtx<'_>,
+) -> Result<ExecResult, SimError> {
+    let mut result = session.run_one(text);
+    if !explicit {
+        let mut attempts = 0;
+        while attempts < ctx.config.max_retries {
+            match &result {
+                Err(e) if e.is_retryable() => {
+                    attempts += 1;
+                    ctx.metrics.retries.inc();
+                    result = session.run_one(text);
+                }
+                _ => break,
+            }
+        }
+    }
+    result
+}
+
+fn exec_response(session: &mut Session, text: &str, ctx: &ReqCtx<'_>) -> Response {
+    let explicit = session.in_txn();
+    match run_with_retry(session, text, explicit, ctx) {
+        Ok(ExecResult::Rows(output)) => {
+            Response::Rows { plan_cached: session.last_plan_cached(), snapshot: !explicit, output }
+        }
+        // An autocommit update is acked only once durable; an update
+        // inside an explicit transaction waits for its Commit instead.
+        Ok(ExecResult::Updated(n)) => match if explicit { Ok(()) } else { ctx.durable_ack() } {
+            Ok(()) => Response::Ack(n as u64),
+            Err(e) => sim_err(&e),
+        },
+        Err(e) => sim_err(&e),
+    }
+}
+
+fn handle_request(
+    session: &mut Session,
+    prepared: &mut HashMap<u64, String>,
+    next_id: &mut u64,
+    req: Request,
+    ctx: &ReqCtx<'_>,
+) -> (Response, After) {
+    let resp = match req {
+        Request::Query(text) | Request::Execute(text) => exec_response(session, &text, ctx),
+        Request::Prepare(text) => match session.prepare(&text) {
+            Ok(canonical) => {
+                let id = *next_id;
+                *next_id += 1;
+                prepared.insert(id, canonical);
+                Response::Ack(id)
+            }
+            Err(e) => sim_err(&e),
+        },
+        Request::ExecPrepared(id) => match prepared.get(&id).cloned() {
+            Some(canonical) => exec_response(session, &canonical, ctx),
+            None => Response::Err {
+                code: Some("SIM-N002".into()),
+                retryable: false,
+                message: format!("SIM-N002: unknown prepared statement id {id}"),
+            },
+        },
+        Request::Begin => match session.begin() {
+            Ok(()) => Response::Ack(0),
+            Err(e) => sim_err(&e),
+        },
+        Request::Commit => match session.commit().and_then(|()| ctx.durable_ack()) {
+            Ok(()) => Response::Ack(0),
+            Err(e) => sim_err(&e),
+        },
+        Request::Abort => match session.abort() {
+            Ok(()) => Response::Ack(0),
+            Err(e) => sim_err(&e),
+        },
+        Request::Savepoint => match session.savepoint() {
+            Ok(sp) => Response::Ack(sp as u64),
+            Err(e) => sim_err(&e),
+        },
+        Request::RollbackTo(sp) => match session.rollback_to(sp as usize) {
+            Ok(()) => Response::Ack(0),
+            Err(e) => sim_err(&e),
+        },
+        Request::Close => return (Response::Ack(0), After::Close),
+    };
+    (resp, After::Continue)
+}
+
+fn handle_conn(ctx: &ReqCtx<'_>, stream: TcpStream) {
+    let metrics = ctx.metrics;
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let mut session = ctx.db.session();
+    let mut prepared: HashMap<u64, String> = HashMap::new();
+    let mut next_id: u64 = 1;
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => break, // clean client EOF
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Oversized length prefix: the stream is desynchronized —
+                // report and hang up rather than guess at a resync point.
+                metrics.requests.inc();
+                let _ = send(&mut writer, &frame_err(&e.to_string()), metrics);
+                break;
+            }
+            Err(_) => break, // socket died mid-frame
+        };
+        metrics.bytes_read.add(frame.len() as u64 + 4);
+        metrics.requests.inc();
+        let req = match Request::decode(&frame) {
+            Ok(req) => req,
+            Err(e) => {
+                // Garbage payload: same desync argument as above.
+                let _ = send(&mut writer, &frame_err(&e.to_string()), metrics);
+                break;
+            }
+        };
+        let (resp, after) = handle_request(&mut session, &mut prepared, &mut next_id, req, ctx);
+        if send(&mut writer, &resp, metrics).is_err() {
+            break;
+        }
+        if matches!(after, After::Close) {
+            break;
+        }
+    }
+    // Release the connection's plan-cache pins, then drop the session —
+    // which aborts any open transaction and frees its locks even if the
+    // client vanished mid-transaction.
+    for canonical in prepared.values() {
+        session.unprepare(canonical);
+    }
+}

@@ -73,6 +73,28 @@ impl fmt::Display for StorageError {
     }
 }
 
+impl StorageError {
+    /// The stable `SIM-C*` concurrency code of this error, if it has one
+    /// (DESIGN.md §14). Network servers ship this to clients so they can
+    /// distinguish "retry the transaction" from "the statement is wrong"
+    /// without parsing the message.
+    pub fn code(&self) -> Option<&'static str> {
+        match self {
+            StorageError::LockTimeout { .. } => Some("SIM-C001"),
+            StorageError::LockConflict { .. } => Some("SIM-C002"),
+            StorageError::BadSavepoint { .. } => Some("SIM-C003"),
+            _ => None,
+        }
+    }
+
+    /// Whether re-running the failed transaction from the top may succeed:
+    /// true exactly for the deadlock/conflict victims (`SIM-C001`,
+    /// `SIM-C002`), whose statements were valid but lost a race.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, StorageError::LockTimeout { .. } | StorageError::LockConflict { .. })
+    }
+}
+
 impl std::error::Error for StorageError {}
 
 impl From<std::io::Error> for StorageError {

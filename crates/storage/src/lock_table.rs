@@ -172,17 +172,47 @@ impl LockTable {
     /// Acquire `key` in shared mode for `txn`, waiting up to the deadlock
     /// timeout.
     pub fn lock_shared(&self, txn: u64, key: LockKey) -> Result<(), StorageError> {
-        self.lock(txn, key, LockMode::Shared)
+        self.lock(txn, key, LockMode::Shared, None)
     }
 
     /// Acquire `key` in exclusive mode for `txn`, waiting up to the
     /// deadlock timeout.
     pub fn lock_exclusive(&self, txn: u64, key: LockKey) -> Result<(), StorageError> {
-        self.lock(txn, key, LockMode::Exclusive)
+        self.lock(txn, key, LockMode::Exclusive, None)
     }
 
-    fn lock(&self, txn: u64, key: LockKey, mode: LockMode) -> Result<(), StorageError> {
-        let timeout = self.timeout();
+    /// Like [`LockTable::lock_shared`] with a per-request deadline:
+    /// `Some(t)` waits up to `t` for this request only, `None` falls back
+    /// to the table-wide default. Sessions thread their own timeout here
+    /// so one client's short deadline never changes another's behavior.
+    pub fn lock_shared_for(
+        &self,
+        txn: u64,
+        key: LockKey,
+        timeout: Option<Duration>,
+    ) -> Result<(), StorageError> {
+        self.lock(txn, key, LockMode::Shared, timeout)
+    }
+
+    /// Like [`LockTable::lock_exclusive`] with a per-request deadline (see
+    /// [`LockTable::lock_shared_for`]).
+    pub fn lock_exclusive_for(
+        &self,
+        txn: u64,
+        key: LockKey,
+        timeout: Option<Duration>,
+    ) -> Result<(), StorageError> {
+        self.lock(txn, key, LockMode::Exclusive, timeout)
+    }
+
+    fn lock(
+        &self,
+        txn: u64,
+        key: LockKey,
+        mode: LockMode,
+        timeout: Option<Duration>,
+    ) -> Result<(), StorageError> {
+        let timeout = timeout.unwrap_or_else(|| self.timeout());
         let deadline = Instant::now() + timeout;
         let mut table = self.table.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut waited = false;
@@ -335,6 +365,32 @@ mod tests {
         lt.unlock_all(1);
         waiter.join().expect("waiter thread").expect("lock granted after release");
         assert_eq!(lt.held(2, k), Some(LockMode::Exclusive));
+    }
+
+    #[test]
+    fn per_request_timeout_overrides_the_default_without_changing_it() {
+        let lt = table();
+        let k = LockKey::Class(5);
+        lt.set_timeout(Duration::from_secs(30)); // default: effectively forever
+        lt.lock_exclusive(1, k).unwrap();
+        // A zero per-request deadline fails immediately...
+        let t = Instant::now();
+        assert!(matches!(
+            lt.lock_exclusive_for(2, k, Some(Duration::ZERO)),
+            Err(StorageError::LockTimeout { txn: 2, .. })
+        ));
+        assert!(t.elapsed() < Duration::from_secs(5), "zero deadline must not wait");
+        // ...and leaves the table default untouched.
+        assert_eq!(lt.timeout(), Duration::from_secs(30));
+        // A long per-request deadline outlives a short default.
+        lt.set_timeout(Duration::ZERO);
+        let lt2 = Arc::clone(&lt);
+        let waiter =
+            std::thread::spawn(move || lt2.lock_exclusive_for(3, k, Some(Duration::from_secs(10))));
+        std::thread::sleep(Duration::from_millis(50));
+        lt.unlock_all(1);
+        waiter.join().expect("waiter thread").expect("long per-request deadline wins");
+        assert_eq!(lt.held(3, k), Some(LockMode::Exclusive));
     }
 
     #[test]

@@ -93,6 +93,13 @@ echo "== PR8 bench smoke (check mode): snapshot readers under an open writer"
 # BENCH_pr8.json.
 (cd crates/bench && cargo run -q --release --bin pr8_smoke)
 
+echo "== PR9 bench smoke (check mode): 64 concurrent network clients"
+# Asserts >= 64 concurrent sim-server connections aggregate >= 3x the
+# single-connection committed-txn throughput (cross-session group-commit
+# barrier amortizes the durability fsync) with zero SIM-C001 aborts on a
+# disjoint-class workload; dumps BENCH_pr9.json.
+(cd crates/bench && cargo run -q --release --bin pr9_smoke)
+
 echo "== sim-dump smoke: offline introspection of a freshly crashed directory"
 # crash_dir leaves committed work only in the WAL plus a torn final frame;
 # sim-dump must classify that as benign (exit 0) and emit valid JSON.

@@ -168,7 +168,7 @@ fn lint_unwraps(root: &Path, findings: &mut Vec<Finding>, broken: &mut Vec<Strin
 
 // ----- SIM-L002: metric names match the central registry ---------------------
 
-const METRIC_PREFIXES: &[&str] = &["storage.", "luc.", "query.", "obs."];
+const METRIC_PREFIXES: &[&str] = &["storage.", "luc.", "query.", "obs.", "server."];
 
 /// Whether a string literal's contents look like a metric name.
 fn is_metric_shaped(s: &str) -> bool {

@@ -10,6 +10,7 @@ pub use sim_core::*;
 pub mod crates {
     pub use sim_catalog as catalog;
     pub use sim_check as check;
+    pub use sim_client as client;
     pub use sim_ddl as ddl;
     pub use sim_dml as dml;
     pub use sim_luc as luc;
@@ -17,6 +18,7 @@ pub mod crates {
     pub use sim_oracle as oracle;
     pub use sim_query as query;
     pub use sim_relational as relational;
+    pub use sim_server as server;
     pub use sim_storage as storage;
     pub use sim_types as types;
 }

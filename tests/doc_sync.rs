@@ -51,11 +51,12 @@ fn every_released_code_documented_exactly_once() {
 fn every_documented_code_is_released() {
     let text = design_md();
     let released: Vec<&str> = Code::all().iter().map(|c| c.as_str()).collect();
-    // The workspace-lint rules (SIM-L*) live in src/bin/lint.rs and the
-    // concurrency codes (SIM-C*) in sim_storage::CONCURRENCY_CODES, not in
+    // The workspace-lint rules (SIM-L*) live in src/bin/lint.rs, the
+    // concurrency codes (SIM-C*) in sim_storage::CONCURRENCY_CODES, and the
+    // server codes (SIM-N*) in sim_server::SERVER_CODES, not in
     // sim_check::Code; they are documented but not "released" diagnostics.
     for code in catalog_rows(&text) {
-        if code.starts_with("SIM-L") || code.starts_with("SIM-C") {
+        if code.starts_with("SIM-L") || code.starts_with("SIM-C") || code.starts_with("SIM-N") {
             continue;
         }
         assert!(
@@ -82,6 +83,27 @@ fn concurrency_codes_documented_exactly_once() {
         assert!(
             sim::crates::storage::CONCURRENCY_CODES.contains(&code.as_str()),
             "DESIGN.md documents {code}, which is not a released concurrency code"
+        );
+    }
+}
+
+#[test]
+fn server_codes_documented_exactly_once() {
+    let text = design_md();
+    let rows = catalog_rows(&text);
+    for rule in sim::crates::server::SERVER_CODES {
+        assert_eq!(
+            rows.iter().filter(|c| c.as_str() == *rule).count(),
+            1,
+            "server code {rule} must appear exactly once in DESIGN.md's catalog"
+        );
+    }
+    // And the other direction: no documenting SIM-N rules that the server
+    // does not raise.
+    for code in rows.iter().filter(|c| c.starts_with("SIM-N")) {
+        assert!(
+            sim::crates::server::SERVER_CODES.contains(&code.as_str()),
+            "DESIGN.md documents {code}, which is not a released server code"
         );
     }
 }

@@ -1,0 +1,464 @@
+//! The network stack under fire: real clients against a live sim-server
+//! over TCP.
+//!
+//! Four scenarios, per DESIGN.md §15:
+//!
+//! * a mixed multi-client workload (autocommit DML, explicit transactions
+//!   with savepoints, snapshot reads) with mid-session disconnects, after
+//!   which no locks may remain held and integrity must hold;
+//! * a client that vanishes mid-transaction: the server-side session drop
+//!   must abort its transaction and release its locks without any other
+//!   session paying a lock timeout (`storage.lock_timeouts` delta = 0);
+//! * protocol fuzz: truncated, oversized and garbage frames must produce
+//!   clean `SIM-N001` errors (or a plain hangup) without poisoning the
+//!   engine for well-formed connections;
+//! * the retry policy: retryable autocommit failures are retried up to the
+//!   budget, statements inside an explicit transaction never are.
+
+use sim::Database;
+use sim_client::{ClientError, Reply, SimClient};
+use sim_server::protocol::{read_frame, write_frame, Response, MAX_FRAME};
+use sim_server::{serve, Server, ServerConfig};
+use sim_testkit::Rng;
+use std::collections::HashSet;
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+fn university_server(workers: usize) -> Server {
+    let mut db = Database::university();
+    db.set_enforce_verifies(false);
+    let mut script = String::new();
+    for d in 0..2 {
+        script.push_str(&format!(
+            "Insert department(dept-nbr := {}, name := \"Dept-{d}\").\n",
+            100 + d
+        ));
+    }
+    for i in 0..4 {
+        script.push_str(&format!(
+            "Insert instructor(name := \"Instructor-{i}\", soc-sec-no := {}, \
+             employee-nbr := {}, salary := 30000.00, birthdate := \"1960-01-10\", \
+             assigned-department := department with (dept-nbr = {})).\n",
+            600_000_000 + i,
+            1001 + i,
+            100 + i % 2,
+        ));
+    }
+    db.run(&script).expect("seed departments and instructors");
+    let config = ServerConfig { workers, backlog: workers * 2, ..ServerConfig::default() };
+    serve(db.into_concurrent(), config).expect("bind server")
+}
+
+fn connect(server: &Server) -> SimClient {
+    SimClient::connect(server.addr()).expect("connect to server")
+}
+
+/// Wait until every lock is released server-side (session drops run on
+/// worker threads, slightly after the client-side socket close returns).
+fn await_no_locks(server: &Server) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.db().lock_table().locked_key_count() > 0 {
+        assert!(Instant::now() < deadline, "locks still held after 10s");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn mixed_workload_with_disconnects_leaves_no_locks_behind() {
+    const WRITERS: usize = 4;
+    const READERS: usize = 2;
+    const ROUNDS: usize = 20;
+    let server = university_server(WRITERS + READERS + 1);
+    server.db().set_lock_timeout(Duration::from_millis(10));
+
+    std::thread::scope(|scope| {
+        for w in 0..WRITERS {
+            let server = &server;
+            scope.spawn(move || {
+                let mut rng = Rng::new(0x9e70 + w as u64);
+                let mut client = connect(server);
+                for round in 0..ROUNDS {
+                    let explicit = rng.bool();
+                    if explicit && client.begin().is_err() {
+                        continue;
+                    }
+                    let key = 800_000_000 + rng.below(60);
+                    let stmt = match rng.below(4) {
+                        0 | 1 => format!(
+                            "Insert student(name := \"T-{w}\", soc-sec-no := {key}, \
+                             student-nbr := {}, birthdate := \"1970-01-10\", \
+                             major-department := department with (dept-nbr = {}), \
+                             advisor := instructor with (employee-nbr = {})).",
+                            3000 + rng.below(500),
+                            100 + rng.below(2),
+                            1001 + rng.below(4),
+                        ),
+                        2 => format!("Modify student(name := \"M-{w}\") Where soc-sec-no = {key}."),
+                        _ => format!("Delete student Where soc-sec-no = {key}."),
+                    };
+                    let savepoint =
+                        if explicit && rng.bool() { client.savepoint().ok() } else { None };
+                    match client.run(&stmt) {
+                        Ok(_) => {
+                            if let Some(sp) = savepoint {
+                                if rng.below(4) == 0 {
+                                    // A SIM-C003 here means a concurrent
+                                    // victim-abort discarded the savepoint;
+                                    // that is the lock manager working.
+                                    let _ = client.rollback_to(sp);
+                                }
+                            }
+                        }
+                        Err(e @ (ClientError::Io(_) | ClientError::Unexpected(_))) => {
+                            panic!("transport must survive the workload: {e}");
+                        }
+                        Err(_) => {} // lock victim or semantic failure
+                    }
+                    if explicit {
+                        // Mid-session disconnect: drop the socket with the
+                        // transaction still open; the server must clean up.
+                        if round == ROUNDS - 1 && rng.bool() {
+                            return;
+                        }
+                        if rng.below(4) == 0 {
+                            let _ = client.abort();
+                        } else {
+                            let _ = client.commit();
+                        }
+                    }
+                }
+                let _ = client.close();
+            });
+        }
+        for _ in 0..READERS {
+            let server = &server;
+            scope.spawn(move || {
+                let mut client = connect(server);
+                for _ in 0..ROUNDS * 2 {
+                    // Autocommit retrieves are MVCC snapshot reads: they
+                    // take no locks and may never fail, no matter what the
+                    // writers hold.
+                    match client.run("From student Retrieve name, soc-sec-no.") {
+                        Ok(Reply::Rows { snapshot, .. }) => {
+                            assert!(snapshot, "autocommit retrieve must run on a snapshot");
+                        }
+                        other => panic!("snapshot read must return rows, got {other:?}"),
+                    }
+                }
+                let _ = client.close();
+            });
+        }
+    });
+
+    await_no_locks(&server);
+    let metrics = server.db().metrics();
+    assert!(metrics.counter("server.connections") >= (WRITERS + READERS) as u64);
+    assert!(metrics.counter("server.requests") > 0);
+    assert!(metrics.counter("server.bytes_read") > 0);
+    assert!(metrics.counter("server.bytes_written") > 0);
+
+    // Integrity after the storm: unique keys still unique.
+    let mut client = connect(&server);
+    let out = client.query("From student Retrieve soc-sec-no.").expect("final read");
+    let mut seen = HashSet::new();
+    for row in out.rows() {
+        assert!(seen.insert(format!("{row:?}")), "duplicate unique key after workload");
+    }
+    client.close().expect("clean close");
+}
+
+#[test]
+fn dropped_connection_aborts_server_side_without_timeouts() {
+    let server = university_server(4);
+    // A long deadline makes the test sharp: if the dropped session leaked
+    // its locks, the second client would block for 30s and the
+    // lock_timeouts counter would move. Neither may happen.
+    server.db().set_lock_timeout(Duration::from_secs(30));
+    let before = server.db().metrics().counter("storage.lock_timeouts");
+
+    let mut holder = connect(&server);
+    holder.begin().expect("open transaction");
+    holder
+        .execute("Insert department(dept-nbr := 300, name := \"Doomed\").")
+        .expect("insert under explicit transaction");
+    assert!(server.db().lock_table().locked_key_count() > 0, "holder must hold locks");
+    // Vanish without Close: drop the socket mid-transaction.
+    drop(holder);
+    await_no_locks(&server);
+
+    // The insert above must have been aborted, and a new writer must get
+    // the locks promptly.
+    let mut client = connect(&server);
+    let start = Instant::now();
+    client
+        .execute("Insert department(dept-nbr := 301, name := \"Alive\").")
+        .expect("insert after disconnect cleanup");
+    assert!(start.elapsed() < Duration::from_secs(5), "lock must be free immediately");
+    let out = client.query("From department Retrieve name Where dept-nbr = 300.").expect("read");
+    assert!(out.rows().is_empty(), "uncommitted insert must be gone after disconnect");
+
+    let after = server.db().metrics().counter("storage.lock_timeouts");
+    assert_eq!(after - before, 0, "no session may pay a lock timeout for the disconnect");
+}
+
+/// Read one response frame off a raw socket.
+fn read_response(stream: &mut TcpStream) -> Option<Response> {
+    let frame = read_frame(stream).expect("readable response")?;
+    Some(Response::decode(&frame).expect("decodable response"))
+}
+
+#[test]
+fn protocol_fuzz_fails_cleanly_and_engine_survives() {
+    let server = university_server(2);
+
+    // Garbage payload: framed correctly, but not a request.
+    let mut s = TcpStream::connect(server.addr()).expect("connect");
+    write_frame(&mut s, &[0xFF, 0xFE, 0xFD, 0xFC, 0xFB]).expect("send garbage");
+    match read_response(&mut s) {
+        Some(Response::Err { code, retryable, .. }) => {
+            assert_eq!(code.as_deref(), Some("SIM-N001"));
+            assert!(!retryable);
+        }
+        other => panic!("garbage frame must earn SIM-N001, got {other:?}"),
+    }
+    assert!(read_frame(&mut s).expect("EOF read").is_none(), "connection must close");
+
+    // Empty payload: zero-length frame has no request tag.
+    let mut s = TcpStream::connect(server.addr()).expect("connect");
+    write_frame(&mut s, &[]).expect("send empty");
+    match read_response(&mut s) {
+        Some(Response::Err { code, .. }) => assert_eq!(code.as_deref(), Some("SIM-N001")),
+        other => panic!("empty frame must earn SIM-N001, got {other:?}"),
+    }
+
+    // Oversized length prefix: rejected before any allocation.
+    let mut s = TcpStream::connect(server.addr()).expect("connect");
+    let oversize = u32::try_from(MAX_FRAME + 1).expect("fits u32");
+    s.write_all(&oversize.to_be_bytes()).expect("send oversize prefix");
+    match read_response(&mut s) {
+        Some(Response::Err { code, .. }) => assert_eq!(code.as_deref(), Some("SIM-N001")),
+        other => panic!("oversized frame must earn SIM-N001, got {other:?}"),
+    }
+    assert!(read_frame(&mut s).expect("EOF read").is_none(), "connection must close");
+
+    // Truncated frame: promise 100 bytes, deliver 10, hang up. The server
+    // just drops the desynchronized connection.
+    let mut s = TcpStream::connect(server.addr()).expect("connect");
+    s.write_all(&100_u32.to_be_bytes()).expect("send prefix");
+    s.write_all(&[0x01; 10]).expect("send partial payload");
+    s.shutdown(std::net::Shutdown::Write).expect("half close");
+    assert!(read_frame(&mut s).expect("EOF read").is_none(), "connection must close");
+
+    // A request tag with a truncated body is also SIM-N001.
+    let mut s = TcpStream::connect(server.addr()).expect("connect");
+    write_frame(&mut s, &[0x01, 0x00, 0x00, 0x00]).expect("send truncated query");
+    match read_response(&mut s) {
+        Some(Response::Err { code, .. }) => assert_eq!(code.as_deref(), Some("SIM-N001")),
+        other => panic!("truncated body must earn SIM-N001, got {other:?}"),
+    }
+
+    // After all that abuse, a well-formed client still gets clean service.
+    await_no_locks(&server);
+    let mut client = connect(&server);
+    let out = client.query("From instructor Retrieve name.").expect("engine must survive fuzz");
+    assert_eq!(out.rows().len(), 4);
+    client.close().expect("clean close");
+}
+
+#[test]
+fn autocommit_retries_are_bounded_and_explicit_txns_never_retry() {
+    let server = university_server(4);
+    server.db().set_lock_timeout(Duration::from_millis(10));
+    let max_retries = u64::from(ServerConfig::default().max_retries);
+
+    let mut holder = connect(&server);
+    holder.begin().expect("open transaction");
+    holder
+        .execute("Insert department(dept-nbr := 400, name := \"Holder\").")
+        .expect("take the class-family lock");
+
+    // Autocommit victim: the server burns the whole retry budget, then
+    // surfaces the retryable SIM-C001.
+    let mut victim = connect(&server);
+    let before = server.db().metrics().counter("server.retries");
+    let err = victim
+        .execute("Insert department(dept-nbr := 401, name := \"Victim\").")
+        .expect_err("holder still owns the lock family");
+    assert_eq!(err.code(), Some("SIM-C001"));
+    assert!(err.is_retryable(), "lock timeout must be marked retryable");
+    let after = server.db().metrics().counter("server.retries");
+    assert_eq!(after - before, max_retries, "autocommit must retry exactly the budget");
+
+    // Explicit-transaction victim: one attempt, zero retries — the failed
+    // statement aborted the transaction and only the client can replay it.
+    let before = server.db().metrics().counter("server.retries");
+    victim.begin().expect("open transaction");
+    let err = victim
+        .execute("Insert department(dept-nbr := 402, name := \"Victim\").")
+        .expect_err("holder still owns the lock family");
+    assert_eq!(err.code(), Some("SIM-C001"));
+    let after = server.db().metrics().counter("server.retries");
+    assert_eq!(after - before, 0, "statements inside explicit transactions never retry");
+
+    holder.commit().expect("holder commits");
+    // The victim's transaction died with the timeout; a fresh autocommit
+    // statement now succeeds without retries.
+    let before = server.db().metrics().counter("server.retries");
+    victim
+        .execute("Insert department(dept-nbr := 403, name := \"Recovered\").")
+        .expect("lock family is free again");
+    assert_eq!(server.db().metrics().counter("server.retries") - before, 0);
+}
+
+#[test]
+fn unknown_prepared_statement_keeps_the_connection_open() {
+    let server = university_server(2);
+    let mut client = connect(&server);
+    let err = client.exec_prepared(999).expect_err("id 999 was never prepared");
+    assert_eq!(err.code(), Some("SIM-N002"));
+    assert!(!err.is_retryable());
+    // SIM-N002 is a client mistake, not a stream desync: same connection
+    // keeps working.
+    let out = client.query("From instructor Retrieve name.").expect("connection still usable");
+    assert_eq!(out.rows().len(), 4);
+    client.close().expect("clean close");
+}
+
+#[test]
+fn prepared_statements_hit_the_plan_cache_over_the_wire() {
+    let server = university_server(2);
+    let mut client = connect(&server);
+
+    // Ad-hoc retrieves: first execution plans, second hits the cache.
+    match client.run("From instructor Retrieve name Where salary > 1000.00.") {
+        Ok(Reply::Rows { plan_cached, .. }) => assert!(!plan_cached, "first run must plan"),
+        other => panic!("expected rows, got {other:?}"),
+    }
+    match client.run("From instructor Retrieve name Where salary > 1000.00.") {
+        Ok(Reply::Rows { plan_cached, .. }) => assert!(plan_cached, "second run must hit cache"),
+        other => panic!("expected rows, got {other:?}"),
+    }
+
+    // Prepared retrieves plan at prepare time, so even the first execution
+    // is a cache hit — and the pin holds across both executions.
+    let id = client.prepare("From department Retrieve name.").expect("prepare");
+    for attempt in 0..2 {
+        match client.exec_prepared(id) {
+            Ok(Reply::Rows { plan_cached, .. }) => {
+                assert!(plan_cached, "execution {attempt} of a prepared statement must hit cache");
+            }
+            other => panic!("expected rows, got {other:?}"),
+        }
+    }
+    client.close().expect("clean close");
+}
+
+/// Synchronous-commit semantics over the network: with the WAL window
+/// wide open (the engine alone would leave acked commits in the unsynced
+/// tail), the server's group-commit barrier must make every acked commit
+/// durable — proven by dropping the server without a checkpoint and
+/// reopening the directory.
+#[test]
+fn acked_commits_are_durable_despite_an_open_wal_window() {
+    let dir = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("server-group-commit");
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clear scratch dir");
+    }
+    let mut db =
+        Database::create_at("Class note ( id: integer unique required; body: string[40] );", &dir)
+            .expect("create durable database");
+    db.set_group_commit_window(64).expect("widen WAL window");
+    let config = ServerConfig {
+        workers: 2,
+        commit_delay: Duration::from_millis(1),
+        ..ServerConfig::default()
+    };
+    let mut server = serve(db.into_concurrent(), config).expect("bind server");
+
+    let mut client = connect(&server);
+    client.begin().expect("begin");
+    client.execute("Insert note(id := 1, body := \"explicit\").").expect("insert");
+    client.commit().expect("commit");
+    // Autocommit updates barrier too: the ack below is a durability claim.
+    client.execute("Insert note(id := 2, body := \"autocommit\").").expect("autocommit insert");
+    client.close().expect("clean close");
+
+    // Drop the server without any checkpoint: whatever the barrier didn't
+    // fsync is gone, and recovery replays only the synced WAL tail.
+    server.shutdown();
+    drop(server);
+
+    let mut db = Database::open(&dir).expect("reopen after hard stop");
+    let results = db.run("From note Retrieve id.").expect("read recovered rows");
+    match results.as_slice() {
+        [sim::ExecResult::Rows(out)] => {
+            assert_eq!(out.rows().len(), 2, "both acked commits must survive");
+        }
+        other => panic!("expected one rows result, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).expect("clear scratch dir");
+}
+
+/// The README's two-terminal walk-through, compressed into one test:
+/// explicit transaction with savepoint rollback, a prepared statement
+/// executed twice with `plan_cached=true` the second time, and a snapshot
+/// read that sees only committed data.
+#[test]
+fn readme_two_terminal_walkthrough() {
+    let server = university_server(4);
+    let mut terminal_a = connect(&server);
+    let mut terminal_b = connect(&server);
+
+    // Terminal A: explicit transaction with a savepoint rollback.
+    terminal_a.begin().expect("begin");
+    terminal_a
+        .execute("Insert department(dept-nbr := 500, name := \"Kept\").")
+        .expect("insert before savepoint");
+    let sp = terminal_a.savepoint().expect("savepoint");
+    assert_eq!(
+        sp, 1,
+        "user savepoints number 1, 2, 3, … per transaction — internal \
+         statement-level savepoints must not leak into the ids"
+    );
+    terminal_a
+        .execute("Insert department(dept-nbr := 501, name := \"Discarded\").")
+        .expect("insert after savepoint");
+    terminal_a.rollback_to(sp).expect("roll back the second insert");
+
+    // Terminal B, before A commits: the snapshot read sees only committed
+    // data — neither insert, not even the kept one.
+    match terminal_b.run("From department Retrieve name Where dept-nbr = 500.") {
+        Ok(Reply::Rows { snapshot, output, .. }) => {
+            assert!(snapshot, "autocommit retrieve runs on a snapshot");
+            assert!(output.rows().is_empty(), "uncommitted insert must be invisible");
+        }
+        other => panic!("expected rows, got {other:?}"),
+    }
+
+    terminal_a.commit().expect("commit");
+
+    // After commit: the kept insert is visible, the rolled-back one gone.
+    let kept = terminal_b
+        .query("From department Retrieve name Where dept-nbr = 500.")
+        .expect("read kept row");
+    assert_eq!(kept.rows().len(), 1);
+    let discarded = terminal_b
+        .query("From department Retrieve name Where dept-nbr = 501.")
+        .expect("read discarded row");
+    assert!(discarded.rows().is_empty(), "savepoint rollback must hold after commit");
+
+    // Prepared statement, executed twice: cached the second time (and, by
+    // construction, already the first).
+    let id = terminal_b.prepare("From department Retrieve name.").expect("prepare");
+    let _ = terminal_b.exec_prepared(id).expect("first execution");
+    match terminal_b.exec_prepared(id) {
+        Ok(Reply::Rows { plan_cached, .. }) => {
+            assert!(plan_cached, "second execution must report plan_cached=true");
+        }
+        other => panic!("expected rows, got {other:?}"),
+    }
+
+    terminal_a.close().expect("clean close");
+    terminal_b.close().expect("clean close");
+}
