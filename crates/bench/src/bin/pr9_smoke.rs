@@ -150,10 +150,7 @@ fn main() {
         "{CLIENTS} connections must aggregate >= {MIN_SPEEDUP}x the single-connection \
          committed-txn rate (got {speedup:.2}x)"
     );
-    assert_eq!(
-        timeouts, 0,
-        "a disjoint-class workload must finish without SIM-C001 victim aborts"
-    );
+    assert_eq!(timeouts, 0, "a disjoint-class workload must finish without SIM-C001 victim aborts");
     assert_eq!(rejected, 0, "the pool must admit every client in this window");
     println!("PR9 smoke OK");
 }

@@ -29,6 +29,7 @@ pub mod error;
 pub mod generator;
 pub mod ids;
 pub mod schema;
+pub mod statistics;
 
 pub use catalog::Catalog;
 pub use error::CatalogError;
@@ -36,3 +37,4 @@ pub use ids::{AttrId, ClassId, VerifyId};
 pub use schema::{
     Attribute, AttributeKind, AttributeOptions, Cardinality, Class, EvaMapping, VerifyConstraint,
 };
+pub use statistics::{AnalyzeSummary, AttrStats, ClassStats, FanOutStats, Histogram, StatsStore};

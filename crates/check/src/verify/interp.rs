@@ -24,7 +24,7 @@ use sim_catalog::{AttrId, Catalog, ClassId};
 use sim_dml::BinOp;
 use sim_luc::Mapper;
 use sim_query::bound::{BExpr, BoundChain, BoundQuery, ChainStep, NodeOrigin};
-use sim_query::optimizer::{AccessPath, Plan};
+use sim_query::optimizer::{AccessPath, Plan, ProbeMethod};
 use sim_types::{Domain, Value};
 
 fn cname(catalog: &Catalog, class: ClassId) -> String {
@@ -225,13 +225,17 @@ pub fn check_access(
         }
         match &plan.access[p.position] {
             AccessPath::FullScan { .. } => {}
-            AccessPath::IndexEq { attr, value, .. } => {
-                if !mapper.has_index(*attr) {
+            AccessPath::IndexEq { attr, value, method, .. } => {
+                let (present, kind) = match method {
+                    ProbeMethod::BTree => (mapper.has_btree_index(*attr), "an ordered (B-tree)"),
+                    ProbeMethod::Hash => (mapper.has_hash_index(*attr), "a hash"),
+                };
+                if !present {
                     report.push(Diagnostic::new(
                         Code::P203,
                         object(),
                         format!(
-                            "equality probe claims an index on {} but the layout has none",
+                            "equality probe claims {kind} index on {} but the layout has none",
                             aname(catalog, *attr)
                         ),
                     ));

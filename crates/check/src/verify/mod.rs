@@ -170,6 +170,7 @@ mod tests {
             class: student,
             attr: name,
             value: BExpr::Const(Value::Str("alice".into())),
+            method: sim_query::optimizer::ProbeMethod::BTree,
         };
         let report = verify_plan(&m, &q, &plan);
         assert!(!report.with_code(Code::P203).is_empty(), "{}", report.to_text());

@@ -1,6 +1,7 @@
 //! The [`Database`] facade.
 
 use crate::error::SimError;
+use sim_catalog::statistics::AnalyzeSummary;
 use sim_catalog::Catalog;
 use sim_check::Report as CheckReport;
 use sim_luc::Mapper;
@@ -305,6 +306,15 @@ impl Database {
     /// block-I/O deltas, buffer-pool hits and wall time.
     pub fn explain_analyze(&self, dml: &str) -> Result<AnalyzedPlan, SimError> {
         Ok(self.engine.explain_analyze(dml)?)
+    }
+
+    /// Collect optimizer statistics by full scan (`\analyze`):
+    /// cardinalities, distinct counts, equi-depth histograms and EVA
+    /// fan-outs. Invalidates every cached plan (via the plan generation)
+    /// and persists the statistics with the application metadata on
+    /// durable databases.
+    pub fn analyze(&mut self) -> Result<AnalyzeSummary, SimError> {
+        Ok(self.engine.analyze()?)
     }
 
     /// Resident plans in the engine's plan cache (see `query.plan_cache_*`

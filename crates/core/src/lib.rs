@@ -32,6 +32,7 @@ pub use error::SimError;
 pub use format::format_output;
 pub use session::{ConcurrentDb, Session};
 
+pub use sim_catalog::statistics::AnalyzeSummary;
 pub use sim_check::{Code as CheckCode, Diagnostic, Report as CheckReport, Severity};
 pub use sim_obs::{MetricsSnapshot, Trace};
 pub use sim_query::{AnalyzedPlan, ExecResult, Plan, QueryOutput, StepActuals};

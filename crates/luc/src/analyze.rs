@@ -1,0 +1,111 @@
+//! Full-scan statistics collection (`\analyze`): a third `impl Mapper`
+//! block that walks every class once and fills the
+//! [`StatsStore`](sim_catalog::statistics::StatsStore) the cost-based
+//! optimizer estimates from.
+//!
+//! Per class: exact entity cardinality + heap block count. Per
+//! single-valued DVA: null count, distinct count (by
+//! [`sim_types::Value::total_cmp`]) and an equi-depth histogram when the
+//! domain is ordered (symbolic domains are skipped — their index order is
+//! declaration-code order, not label order, so fences would lie). Per EVA
+//! and multi-valued DVA: total links over owners (average fan-out).
+//!
+//! Finishing an analyze bumps the statistics generation (invalidating
+//! cached plans through [`Mapper::plan_generation`]) and checkpoints so
+//! the encoded store rides the durable [`crate::persist::AppMeta`].
+
+use crate::error::MapperError;
+use crate::mapper::{AttrOut, Mapper};
+use sim_catalog::statistics::{
+    AnalyzeSummary, AttrStats, ClassStats, FanOutStats, Histogram, StatsStore, HISTOGRAM_BUCKETS,
+};
+use sim_types::{Domain, Value};
+use std::cmp::Ordering;
+
+/// Does the domain have a total order the B-tree and histogram agree on?
+/// Symbolic and subrole domains are stored by declaration code, which is
+/// not label order — the plan verifier (SIM-P201) refuses range scans on
+/// them for the same reason.
+fn ordered_domain(domain: &Domain) -> bool {
+    !matches!(domain, Domain::Symbolic(_) | Domain::Subrole(_))
+}
+
+impl Mapper {
+    /// Collect optimizer statistics by full scan, install them, bump the
+    /// statistics generation, and checkpoint (persisting the store through
+    /// the application metadata on durable engines).
+    pub fn analyze(&mut self) -> Result<AnalyzeSummary, MapperError> {
+        let mut store = StatsStore::default();
+        let mut summary = AnalyzeSummary::default();
+
+        let classes: Vec<_> = self.catalog.classes().iter().map(|c| c.id).collect();
+        for class in classes {
+            let rows = self.entities_of(class)?.len() as u64;
+            let blocks = self.class_block_count(class)? as u64;
+            store.classes.insert(class.0, ClassStats { rows, blocks, mods_since_analyze: 0 });
+            summary.classes += 1;
+        }
+
+        let attrs: Vec<_> = self.catalog.attributes().to_vec();
+        for attr in attrs {
+            if attr.is_subrole() || attr.is_derived() {
+                continue;
+            }
+            let owners = self.entities_of(attr.owner)?;
+            if attr.is_dva() && !attr.options.multivalued {
+                let mut values: Vec<Value> = Vec::new();
+                let mut non_null = 0u64;
+                for &surr in &owners {
+                    if let AttrOut::Single(v) = self.read_attr(surr, attr.id)? {
+                        if !v.is_null() {
+                            non_null += 1;
+                            values.push(v);
+                        }
+                    }
+                }
+                values.sort_by(sim_types::Value::total_cmp);
+                let distinct = count_distinct(&values);
+                let histogram = attr
+                    .dva_domain()
+                    .filter(|d| ordered_domain(d))
+                    .and_then(|_| Histogram::build(values, HISTOGRAM_BUCKETS));
+                if histogram.is_some() {
+                    summary.histograms += 1;
+                }
+                store.attrs.insert(
+                    attr.id.0,
+                    AttrStats { rows: owners.len() as u64, non_null, distinct, histogram },
+                );
+                summary.attributes += 1;
+            } else {
+                // EVA or multi-valued DVA: measure average fan-out.
+                let mut links = 0u64;
+                for &surr in &owners {
+                    links += if attr.is_eva() {
+                        self.eva_partners(surr, attr.id)?.len() as u64
+                    } else {
+                        self.read_attr(surr, attr.id)?.into_values().len() as u64
+                    };
+                }
+                store.fan_out.insert(attr.id.0, FanOutStats { owners: owners.len() as u64, links });
+                summary.fan_outs += 1;
+            }
+        }
+
+        self.optimizer_stats = store;
+        self.stats_generation += 1;
+        self.checkpoint()?;
+        Ok(summary)
+    }
+}
+
+/// Distinct count over a `total_cmp`-sorted slice.
+fn count_distinct(sorted: &[Value]) -> u64 {
+    let mut distinct = 0u64;
+    for (i, v) in sorted.iter().enumerate() {
+        if i == 0 || sorted[i - 1].total_cmp(v) != Ordering::Equal {
+            distinct += 1;
+        }
+    }
+    distinct
+}

@@ -25,6 +25,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod analyze;
 pub mod error;
 pub mod layout;
 pub mod mapper;

@@ -8,6 +8,7 @@ use crate::layout::{FamilyLayout, PairMapping, PhysicalLayout};
 use crate::persist::AppMeta;
 use crate::records::{AuxRecord, EntityRecord};
 use crate::stats::MapperStats;
+use sim_catalog::statistics::StatsStore;
 use sim_catalog::{AttrId, Catalog, ClassId};
 use sim_obs::Registry;
 use sim_storage::{BTreeId, FileId, RecordId, StorageEngine, Txn};
@@ -98,6 +99,13 @@ pub struct Mapper {
     /// index is created, so cached plans built before the index existed
     /// are invalidated (see [`Mapper::plan_generation`]).
     pub(crate) ddl_generation: u64,
+    /// Optimizer statistics from the last `analyze` (empty before the
+    /// first). Persisted inside [`AppMeta`] with every durable commit.
+    pub(crate) optimizer_stats: StatsStore,
+    /// Monotone analyze counter: bumped by [`Mapper::analyze`] so cached
+    /// plans chosen under old statistics are invalidated (see
+    /// [`Mapper::plan_generation`]).
+    pub(crate) stats_generation: u64,
 }
 
 pub(crate) fn surr_key(s: Surrogate) -> [u8; 8] {
@@ -204,6 +212,8 @@ impl Mapper {
             schema_blob: Vec::new(),
             stats: MapperStats::new(registry),
             ddl_generation: 0,
+            optimizer_stats: StatsStore::default(),
+            stats_generation: 0,
         })
     }
 
@@ -303,6 +313,13 @@ impl Mapper {
             hash_idx.insert(AttrId(attr), sim_storage::HashIndexId(hidx));
         }
 
+        let optimizer_stats = if app.stats.is_empty() {
+            StatsStore::default()
+        } else {
+            StatsStore::decode(&app.stats)
+                .map_err(|e| MapperError::Persist(format!("bad statistics blob: {e}")))?
+        };
+
         let mut mapper = Mapper {
             catalog,
             layout,
@@ -320,6 +337,8 @@ impl Mapper {
             schema_blob: app.schema,
             stats: MapperStats::new(registry),
             ddl_generation: 0,
+            optimizer_stats,
+            stats_generation: 0,
         };
         mapper.recount()?;
         Ok(mapper)
@@ -337,13 +356,26 @@ impl Mapper {
     }
 
     /// A monotone token covering everything a query plan depends on: the
-    /// catalog's schema generation plus this mapper's physical-index DDL
-    /// counter. Two equal observations prove neither the schema nor the
-    /// set of available indexes changed in between, so a plan cached at
-    /// the first observation is still valid at the second.
+    /// catalog's schema generation, this mapper's physical-index DDL
+    /// counter, and the statistics generation. Two equal observations
+    /// prove neither the schema, the set of available indexes, nor the
+    /// optimizer statistics changed in between, so a plan cached at the
+    /// first observation is still valid at the second.
     pub fn plan_generation(&self) -> u64 {
-        // Both terms only ever increase, so the sum is monotone.
-        self.catalog.generation() + self.ddl_generation
+        // All terms only ever increase, so the sum is monotone.
+        self.catalog.generation() + self.ddl_generation + self.stats_generation
+    }
+
+    /// The optimizer statistics from the last [`Mapper::analyze`] (empty
+    /// before the first, or when the database predates statistics).
+    pub fn optimizer_statistics(&self) -> &StatsStore {
+        &self.optimizer_stats
+    }
+
+    /// Monotone counter of completed analyzes this session (a term of
+    /// [`Mapper::plan_generation`]).
+    pub fn stats_generation(&self) -> u64 {
+        self.stats_generation
     }
 
     /// The physical plan.
@@ -384,11 +416,17 @@ impl Mapper {
         secondary.sort_unstable();
         let mut hash: Vec<(u32, u32)> = self.hash_idx.iter().map(|(a, h)| (a.0, h.0)).collect();
         hash.sort_unstable();
+        let stats = if self.optimizer_stats.is_empty() {
+            Vec::new()
+        } else {
+            self.optimizer_stats.encode()
+        };
         AppMeta {
             schema: self.schema_blob.clone(),
             next_surrogate: self.allocator.peek(),
             secondary,
             hash,
+            stats,
         }
         .encode()
     }
@@ -758,6 +796,9 @@ impl Mapper {
             if bits & self.bit_of(c) != 0 {
                 let e = self.class_counts.entry(c).or_insert(0);
                 *e = (*e as i64 + delta).max(0) as usize;
+                // Staleness tracking: every row arrival/departure counts as
+                // one modification against the class's analyzed snapshot.
+                self.optimizer_stats.note_writes(c.0, 1);
             }
         }
     }

@@ -313,6 +313,7 @@ impl Mapper {
         if attr.is_derived() {
             return Err(MapperError::ReadOnly(format!("{} is a derived attribute", attr.name)));
         }
+        self.optimizer_stats.note_writes(attr.owner.0, 1);
         if attr.is_dva() {
             return self.set_dva(txn, surr, &attr, value);
         }
@@ -471,6 +472,7 @@ impl Mapper {
                 attr.name
             )));
         }
+        self.optimizer_stats.note_writes(attr.owner.0, 1);
         if attr.is_eva() {
             let Value::Entity(p) = value else {
                 return Err(MapperError::ShapeMismatch(format!(
@@ -531,6 +533,7 @@ impl Mapper {
                 attr.name
             )));
         }
+        self.optimizer_stats.note_writes(attr.owner.0, 1);
         if attr.is_eva() {
             let Value::Entity(p) = value else {
                 return Err(MapperError::ShapeMismatch(format!(
@@ -1229,6 +1232,17 @@ impl Mapper {
             || self.hash_idx.contains_key(&attr_id)
     }
 
+    /// Whether the attribute has a B-tree index (unique or secondary) —
+    /// serves both equality and range probes.
+    pub fn has_btree_index(&self, attr_id: AttrId) -> bool {
+        self.unique_idx.contains_key(&attr_id) || self.secondary_idx.contains_key(&attr_id)
+    }
+
+    /// Whether the attribute has a hash index — equality probes only.
+    pub fn has_hash_index(&self, attr_id: AttrId) -> bool {
+        self.hash_idx.contains_key(&attr_id)
+    }
+
     /// Height of the attribute's index, if any (optimizer probe cost).
     pub fn index_height(&self, attr_id: AttrId) -> Option<usize> {
         self.unique_idx
@@ -1304,6 +1318,38 @@ impl Mapper {
             return Ok(Some(out));
         }
         Ok(None)
+    }
+
+    /// Indexed equality lookup with an explicit access-method choice:
+    /// `prefer_hash` routes through the hash index when one exists (the
+    /// cost-based plan's chosen probe method); otherwise B-tree indexes win
+    /// exactly as in [`Mapper::lookup_indexed`].
+    pub fn lookup_eq(
+        &self,
+        attr_id: AttrId,
+        value: &Value,
+        prefer_hash: bool,
+    ) -> Result<Option<Vec<Surrogate>>, MapperError> {
+        if prefer_hash {
+            if let Some(&hidx) = self.hash_idx.get(&attr_id) {
+                let attr = self.catalog.attribute(attr_id)?;
+                let v = match eq_probe(attr.dva_domain(), value)? {
+                    Probe::Key(v) => v,
+                    Probe::Miss => return Ok(Some(Vec::new())),
+                };
+                let key = ordered::encode_key(std::slice::from_ref(&v));
+                self.stats.index_probes_hash.inc();
+                let mut out: Vec<Surrogate> = self
+                    .engine
+                    .hash_get(hidx, &key)?
+                    .iter()
+                    .filter_map(|b| decode_surr_be(b))
+                    .collect();
+                out.sort(); // hash order is arbitrary; restore surrogate order
+                return Ok(Some(out));
+            }
+        }
+        self.lookup_indexed(attr_id, value)
     }
 
     /// Range lookup on an indexed attribute: surrogates whose value is in

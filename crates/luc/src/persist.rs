@@ -17,7 +17,12 @@ const MAGIC: &[u8; 4] = b"SIMA";
 /// exact mantissa) order encoding, so index bytes persisted by version 1
 /// databases are incompatible — they are refused at open and must be
 /// rebuilt from schema + data.
-const VERSION: u16 = 2;
+///
+/// Version 3 appends the optimizer-statistics blob ([`sim_catalog::
+/// statistics::StatsStore`] bytes; opaque here). Version 2 metadata is
+/// still accepted — it simply reopens with no statistics.
+const VERSION: u16 = 3;
+const MIN_VERSION: u16 = 2;
 
 /// Everything a reopen needs beyond the catalog-derived structure plan.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -30,6 +35,9 @@ pub struct AppMeta {
     pub secondary: Vec<(u32, u32)>,
     /// User-created hash indexes: `(attr id, hash index id)`.
     pub hash: Vec<(u32, u32)>,
+    /// Encoded optimizer statistics (empty = never analyzed). Opaque bytes
+    /// at this layer; the mapper decodes them on reopen.
+    pub stats: Vec<u8>,
 }
 
 fn corrupt(what: &str) -> MapperError {
@@ -57,6 +65,8 @@ impl AppMeta {
             out.extend_from_slice(&attr.to_le_bytes());
             out.extend_from_slice(&hidx.to_le_bytes());
         }
+        out.extend_from_slice(&(u64::try_from(self.stats.len()).unwrap_or(u64::MAX)).to_le_bytes());
+        out.extend_from_slice(&self.stats);
         out
     }
 
@@ -67,7 +77,7 @@ impl AppMeta {
             return Err(corrupt("magic mismatch"));
         }
         let version = u16::from_le_bytes(r.take(2)?.try_into().expect("2 bytes"));
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(corrupt(&format!("unsupported version {version}")));
         }
         let schema_len =
@@ -77,10 +87,18 @@ impl AppMeta {
         let next_surrogate = u64::from_le_bytes(r.take(8)?.try_into().expect("8 bytes"));
         let secondary = r.take_pairs()?;
         let hash = r.take_pairs()?;
+        let stats = if version >= 3 {
+            let stats_len =
+                usize::try_from(u64::from_le_bytes(r.take(8)?.try_into().expect("8 bytes")))
+                    .map_err(|_| corrupt("stats length overflows"))?;
+            r.take(stats_len)?.to_vec()
+        } else {
+            Vec::new()
+        };
         if r.pos != bytes.len() {
             return Err(corrupt("trailing bytes"));
         }
-        Ok(AppMeta { schema, next_surrogate, secondary, hash })
+        Ok(AppMeta { schema, next_surrogate, secondary, hash, stats })
     }
 }
 
@@ -123,8 +141,29 @@ mod tests {
             next_surrogate: 42,
             secondary: vec![(3, 17), (9, 21)],
             hash: vec![(4, 0)],
+            stats: vec![1, 2, 3, 4],
         };
         assert_eq!(AppMeta::decode(&meta.encode()).unwrap(), meta);
+    }
+
+    #[test]
+    fn version2_without_stats_is_accepted() {
+        // A pre-statistics (version 2) blob: same layout minus the trailing
+        // stats length + bytes.
+        let meta = AppMeta {
+            schema: b"CLASS X ();".to_vec(),
+            next_surrogate: 7,
+            secondary: vec![(1, 2)],
+            hash: vec![],
+            stats: Vec::new(),
+        };
+        let v3 = meta.encode();
+        let mut v2 = v3[..v3.len() - 8].to_vec();
+        v2[4..6].copy_from_slice(&2u16.to_le_bytes());
+        assert_eq!(AppMeta::decode(&v2).unwrap(), meta);
+        // But a version-2 blob with trailing bytes is still rejected.
+        v2.push(0);
+        assert!(AppMeta::decode(&v2).is_err());
     }
 
     #[test]

@@ -27,7 +27,11 @@ pub const ALL: &[&str] = &[
     "obs.recorder_evictions",
     "obs.recorder_records",
     "obs.slow_statements",
+    "query.analyze_micros",
+    "query.analyze_runs",
     "query.bind_micros",
+    "query.estimate_fallbacks",
+    "query.estimate_stats_used",
     "query.execute_micros",
     "query.integrity_violations",
     "query.optimize_micros",

@@ -235,6 +235,10 @@ pub fn run_backend(wl: &Workload, backend: Backend) -> Result<BackendRun, String
                 Ok(()) => Outcome::Updated(0),
                 Err(e) => Outcome::Fail(sim_error_tag(&e)),
             },
+            Step::Analyze => match db.analyze() {
+                Ok(_) => Outcome::Updated(0),
+                Err(e) => Outcome::Fail(sim_error_tag(&e)),
+            },
             Step::Reopen => {
                 match backend {
                     // The in-memory medium would be lost; reopen is
@@ -298,6 +302,7 @@ fn step_text(wl: &Workload, i: usize) -> String {
         Step::HashIndex { class, attr } => format!("!hashindex {class} {attr}"),
         Step::Checkpoint => "!checkpoint".to_owned(),
         Step::Reopen => "!reopen".to_owned(),
+        Step::Analyze => "!analyze".to_owned(),
     }
 }
 
@@ -420,6 +425,9 @@ pub fn run_fault_sweep(wl: &Workload, budget: usize) -> Result<usize, Mismatch> 
                 Step::Checkpoint => {
                     let _ = db.checkpoint();
                 }
+                Step::Analyze => {
+                    let _ = db.analyze();
+                }
                 Step::Reopen => {}
             }
         }
@@ -471,6 +479,7 @@ pub fn run_fault_sweep(wl: &Workload, budget: usize) -> Result<usize, Mismatch> 
                 Step::Index { class, attr } => db.create_index(class, attr).err(),
                 Step::HashIndex { class, attr } => db.create_hash_index(class, attr).err(),
                 Step::Checkpoint => db.checkpoint().err(),
+                Step::Analyze => db.analyze().err(),
                 Step::Reopen => None,
             };
             if let Some(e) = err {

@@ -31,11 +31,15 @@ pub struct GenConfig {
     /// Whether to emit `!checkpoint` / `!reopen` control operations
     /// (disable for backends where reopen is meaningless).
     pub control_ops: bool,
+    /// Whether to mix `!analyze` into the control operations, exercising
+    /// the cost-based optimizer mid-workload. Off by default so existing
+    /// seeds keep producing byte-identical workloads.
+    pub statistics: bool,
 }
 
 impl Default for GenConfig {
     fn default() -> GenConfig {
-        GenConfig { steps: 40, control_ops: true }
+        GenConfig { steps: 40, control_ops: true, statistics: false }
     }
 }
 
@@ -657,7 +661,8 @@ pub fn generate(seed: u64, cfg: &GenConfig) -> Workload {
                     c.dvas.iter().filter(|d| !d.mv).map(move |d| (c.name.clone(), d.name.clone()))
                 })
                 .collect();
-            match rng.below(4) {
+            let kinds = if cfg.statistics { 5 } else { 4 };
+            match rng.below(kinds) {
                 0 if !scalars.is_empty() => {
                     let (class, attr) = rng.pick(&scalars).clone();
                     steps.push(Step::Index { class, attr });
@@ -667,7 +672,8 @@ pub fn generate(seed: u64, cfg: &GenConfig) -> Workload {
                     steps.push(Step::HashIndex { class, attr });
                 }
                 2 => steps.push(Step::Checkpoint),
-                _ => steps.push(Step::Reopen),
+                3 => steps.push(Step::Reopen),
+                _ => steps.push(Step::Analyze),
             }
         } else {
             steps.push(Step::Stmt(retrieve_stmt(&mut rng, &schema, class)));

@@ -48,6 +48,10 @@ pub enum Step {
     /// `!reopen`: close the database and open it again from durable state
     /// (a no-op on backends that cannot survive a close).
     Reopen,
+    /// `!analyze`: collect optimizer statistics by full scan. Changes
+    /// plan choice, never results — exactly the invariant the
+    /// differential driver checks.
+    Analyze,
 }
 
 /// A replayable workload: schema + script.
@@ -116,6 +120,7 @@ impl Workload {
                     }
                     Some("checkpoint") => steps.push(Step::Checkpoint),
                     Some("reopen") => steps.push(Step::Reopen),
+                    Some("analyze") => steps.push(Step::Analyze),
                     other => {
                         return Err(format!(
                             "line {}: unknown control op {:?}",
@@ -166,6 +171,7 @@ impl Workload {
                 }
                 Step::Checkpoint => out.push_str("!checkpoint\n"),
                 Step::Reopen => out.push_str("!reopen\n"),
+                Step::Analyze => out.push_str("!analyze\n"),
             }
         }
         out.push_str("%%\n");

@@ -39,6 +39,9 @@ pub struct StepActuals {
     pub node: usize,
     /// What the step does (access path or edge traversal).
     pub description: String,
+    /// Optimizer's cumulative row estimate for this step, when the plan
+    /// carried one (estimated-vs-actual is the point of EXPLAIN ANALYZE).
+    pub estimated_rows: Option<f64>,
     /// Measurements for this node.
     pub actuals: NodeActuals,
 }
@@ -75,8 +78,12 @@ pub(crate) fn describe_node(mapper: &Mapper, q: &BoundQuery, plan: &Plan, node: 
                 .and_then(|ri| plan.root_order.iter().position(|&x| x == ri))
                 .and_then(|pos| plan.access.get(pos));
             match access {
-                Some(AccessPath::IndexEq { attr, .. }) => {
-                    format!("index probe {}.{}", class_name(*class), attr_name(*attr))
+                Some(AccessPath::IndexEq { attr, method, .. }) => {
+                    let kind = match method {
+                        crate::optimizer::ProbeMethod::BTree => "index probe",
+                        crate::optimizer::ProbeMethod::Hash => "hash probe",
+                    };
+                    format!("{} {}.{}", kind, class_name(*class), attr_name(*attr))
                 }
                 Some(AccessPath::IndexRange { attr, .. }) => {
                     format!("index range {}.{}", class_name(*class), attr_name(*attr))
@@ -110,6 +117,7 @@ impl AnalyzedPlan {
             steps.push(StepActuals {
                 node,
                 description: describe_node(mapper, q, &plan, node),
+                estimated_rows: plan.est_rows.get(node).copied().filter(|e| *e > 0.0),
                 actuals: actuals.get(node).cloned().unwrap_or_default(),
             });
         }
@@ -132,8 +140,12 @@ impl AnalyzedPlan {
         ));
         for (i, step) in self.steps.iter().enumerate() {
             let a = &step.actuals;
+            let est = match step.estimated_rows {
+                Some(e) => format!("est={e:.1} "),
+                None => String::new(),
+            };
             out.push_str(&format!(
-                "  step[{i}] {:<34} rows={} calls={} io={}r/{}w hits={} wall={}us\n",
+                "  step[{i}] {:<34} {est}rows={} calls={} io={}r/{}w hits={} wall={}us\n",
                 step.description,
                 a.rows,
                 a.invocations,
@@ -150,6 +162,8 @@ impl AnalyzedPlan {
     pub fn to_json(&self) -> String {
         json::object([
             ("estimated_io", format!("{:.1}", self.plan.estimated_io)),
+            ("estimated_rows", format!("{:.1}", self.plan.estimated_rows)),
+            ("used_statistics", self.plan.used_statistics.to_string()),
             ("plan_cached", self.from_cache.to_string()),
             ("output_rows", self.output_rows.to_string()),
             ("wall_micros", self.wall_micros.to_string()),
@@ -162,6 +176,10 @@ impl AnalyzedPlan {
                     json::object([
                         ("node", s.node.to_string()),
                         ("description", json::string(&s.description)),
+                        (
+                            "estimated_rows",
+                            s.estimated_rows.map_or_else(|| "null".into(), |e| format!("{e:.1}")),
+                        ),
                         ("rows", s.actuals.rows.to_string()),
                         ("invocations", s.actuals.invocations.to_string()),
                         ("io_reads", s.actuals.io_reads.to_string()),

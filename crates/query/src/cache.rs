@@ -269,6 +269,9 @@ mod tests {
             root_order: vec![0],
             access: Vec::new(),
             estimated_io: 0.0,
+            est_rows: Vec::new(),
+            estimated_rows: 0.0,
+            used_statistics: false,
             needs_perspective_sort: false,
             explanation: Vec::new(),
         };

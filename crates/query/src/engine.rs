@@ -211,6 +211,27 @@ impl QueryEngine {
         self.mapper
     }
 
+    /// Collect optimizer statistics by full scan (`\analyze`). Bumps the
+    /// plan generation through the mapper's statistics generation, so
+    /// every cached plan is invalidated and re-costed against the fresh
+    /// statistics on its next execution.
+    pub fn analyze(&mut self) -> Result<sim_catalog::statistics::AnalyzeSummary, QueryError> {
+        let started = Instant::now();
+        let summary = self.mapper.analyze()?;
+        self.phase.analyze.observe_micros(started.elapsed().as_micros() as u64);
+        self.phase.analyze_runs.inc();
+        Ok(summary)
+    }
+
+    /// Count which cost model priced a freshly optimized plan.
+    fn note_estimate_source(&self, plan: &Plan) {
+        if plan.used_statistics {
+            self.phase.estimate_stats_used.inc();
+        } else {
+            self.phase.estimate_fallbacks.inc();
+        }
+    }
+
     /// The compiled constraints.
     pub fn verifies(&self) -> &[CompiledVerify] {
         &self.verifies
@@ -412,6 +433,7 @@ impl QueryEngine {
             if self.plan_cache.get(&key, generation).is_none() {
                 let mut bound = Binder::bind_retrieve(self.mapper.catalog(), r)?;
                 let mut plan = optimizer::plan(&self.mapper, &bound)?;
+                self.note_estimate_source(&plan);
                 if let Some(mutator) = &self.plan_mutator {
                     mutator(&mut bound, &mut plan);
                 }
@@ -513,6 +535,7 @@ impl QueryEngine {
                     vec![("estimated_io".into(), format!("{:.1}", plan.estimated_io))],
                 );
                 self.phase.optimize.observe_micros(micros);
+                self.note_estimate_source(&plan);
 
                 if let Some(mutator) = &self.plan_mutator {
                     mutator(&mut bound, &mut plan);

@@ -389,12 +389,14 @@ impl<'a> Executor<'a> {
                 let access = self.plan.access.get(pos);
                 let surrs = match access {
                     None | Some(AccessPath::FullScan { .. }) => self.mapper.entities_of(*class)?,
-                    Some(AccessPath::IndexEq { attr, value, .. }) => {
+                    Some(AccessPath::IndexEq { attr, value, method, .. }) => {
                         let v = eval(self.mapper, value, &ctx.eval)?;
                         if v.is_null() {
                             Vec::new()
                         } else {
-                            let mut s = self.mapper.lookup_indexed(*attr, &v)?.unwrap_or_default();
+                            let prefer_hash = matches!(method, crate::optimizer::ProbeMethod::Hash);
+                            let mut s =
+                                self.mapper.lookup_eq(*attr, &v, prefer_hash)?.unwrap_or_default();
                             // Keep only entities that actually hold the
                             // perspective role (indexes live on superclass
                             // attributes too).

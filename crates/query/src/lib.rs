@@ -43,6 +43,7 @@ pub mod exec;
 pub mod integrity;
 pub mod normalize;
 pub mod optimizer;
+pub mod statistics;
 pub mod stats;
 pub mod update;
 
@@ -50,5 +51,6 @@ pub use analyze::{AnalyzedPlan, NodeActuals, StepActuals};
 pub use bound::{BoundQuery, NodeType, QueryOutput, Row, StructRecord};
 pub use engine::{ExecResult, PlanMutator, PlanVerifier, QueryEngine};
 pub use error::QueryError;
-pub use optimizer::{AccessPath, Plan};
+pub use optimizer::{AccessPath, Plan, ProbeMethod};
+pub use statistics::Estimator;
 pub use stats::PhaseStats;

@@ -10,7 +10,8 @@
 //! The strategy space covered here:
 //!
 //! * per-perspective access paths — full class scan, unique/secondary index
-//!   equality probe, index range scan (from sargable WHERE conjuncts);
+//!   equality probe (B-tree or hash, chosen by cost), index range scan
+//!   (from sargable WHERE conjuncts);
 //! * index nested-loop joins between perspectives (value-based joins of
 //!   multi-perspective queries, §4.1);
 //! * perspective reordering, checked for semantics preservation: a strategy
@@ -19,14 +20,33 @@
 //!   paper describes ("Transformation of a query graph for a strategy is
 //!   tested to see if it is semantics-preserving, and, if it is not, the
 //!   cost of reordering/sorting output is added").
+//!
+//! Costing runs in one of two modes. With statistics (after `\analyze`;
+//! see [`crate::statistics::Estimator`]) cardinality flows through
+//! histogram selectivities, distinct counts and measured EVA fan-outs, and
+//! candidate costs are expressed in estimated block accesses. Without
+//! statistics the pre-statistics heuristics apply unchanged, so an
+//! un-analyzed database plans exactly as earlier releases did. Either way
+//! the plan records its per-node row estimates (`est_rows`) so EXPLAIN
+//! ANALYZE can render estimated-vs-actual side by side.
 
-use crate::bound::{BExpr, BoundQuery, NodeOrigin};
+use crate::bound::{BExpr, BoundQuery, NodeOrigin, NodeType};
 use crate::error::QueryError;
+use crate::statistics::Estimator;
 use sim_catalog::{AttrId, ClassId};
 use sim_dml::BinOp;
 use sim_luc::layout::{AttrPlacement, FieldKind, PairMapping};
 use sim_luc::Mapper;
 use sim_types::{Domain, Value};
+
+/// Which physical index an equality probe descends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeMethod {
+    /// Unique or secondary B-tree index.
+    BTree,
+    /// Hash index ("random keys based on hashing", §5.2) — equality only.
+    Hash,
+}
 
 /// How a perspective's entities are produced.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,6 +66,8 @@ pub enum AccessPath {
         attr: AttrId,
         /// The probe value (constant or outer-perspective attribute).
         value: BExpr,
+        /// The index the probe descends.
+        method: ProbeMethod,
     },
     /// Range scan on an indexed attribute (constant bounds only).
     IndexRange {
@@ -76,6 +98,15 @@ pub struct Plan {
     pub needs_perspective_sort: bool,
     /// Human-readable strategy description (EXPLAIN).
     pub explanation: Vec<String>,
+    /// Estimated rows produced at each query-tree node (indexed by node
+    /// id), following the executor's loop nest: a node's estimate is
+    /// invocations × its expected domain size.
+    pub est_rows: Vec<f64>,
+    /// Estimated output rows after the full selection.
+    pub estimated_rows: f64,
+    /// True when the plan was costed under collected statistics (false =
+    /// heuristic fallback; `query.estimate_*` counters track the split).
+    pub used_statistics: bool,
 }
 
 /// First-instance relationship access cost in block reads, per the §5.1
@@ -107,6 +138,8 @@ struct Candidate {
     /// Roots this access path depends on (for join ordering).
     depends_on: Vec<usize>,
     selectivity: f64,
+    /// Index into the conjunct list this candidate consumes (None: scan).
+    conjunct: Option<usize>,
     description: String,
 }
 
@@ -116,10 +149,12 @@ pub fn plan(mapper: &Mapper, q: &BoundQuery) -> Result<Plan, QueryError> {
         Some(sel) => split_conjuncts(sel),
         None => Vec::new(),
     };
+    let est = Estimator::new(mapper);
+    let stats_on = !mapper.optimizer_statistics().is_empty();
 
     // Candidate access paths per root.
     let mut candidates: Vec<Vec<Candidate>> = Vec::with_capacity(q.roots.len());
-    for (ri, &root) in q.roots.iter().enumerate() {
+    for &root in q.roots.iter() {
         let class = q.nodes[root]
             .class
             .ok_or_else(|| QueryError::Internal("root node has no class".into()))?;
@@ -130,12 +165,11 @@ pub fn plan(mapper: &Mapper, q: &BoundQuery) -> Result<Plan, QueryError> {
             cost: scan_cost,
             depends_on: Vec::new(),
             selectivity: 1.0,
+            conjunct: None,
             description: format!("scan {} ({n} entities)", class_name(mapper, class)),
         }];
-        for c in &conjuncts {
-            if let Some(cand) = index_candidate(mapper, q, root, ri, class, c)? {
-                cands.push(cand);
-            }
+        for (ci, c) in conjuncts.iter().enumerate() {
+            index_candidates(mapper, &est, stats_on, q, root, class, ci, c, &mut cands)?;
         }
         candidates.push(cands);
     }
@@ -152,7 +186,8 @@ pub fn plan(mapper: &Mapper, q: &BoundQuery) -> Result<Plan, QueryError> {
 
     let mut best: Option<Plan> = None;
     for order in orders {
-        if let Some(plan) = cost_order(mapper, q, &order, &candidates)? {
+        if let Some(plan) = cost_order(mapper, &est, stats_on, q, &order, &candidates, &conjuncts)?
+        {
             if best.as_ref().is_none_or(|b| plan.estimated_io < b.estimated_io) {
                 best = Some(plan);
             }
@@ -161,14 +196,66 @@ pub fn plan(mapper: &Mapper, q: &BoundQuery) -> Result<Plan, QueryError> {
     best.ok_or_else(|| QueryError::Analyze("optimizer produced no strategy".into()))
 }
 
+/// The root each TYPE 1/3 node belongs to (by parent chain).
+fn root_of_map(q: &BoundQuery) -> Vec<usize> {
+    let mut root_of = vec![usize::MAX; q.nodes.len()];
+    for &node in q.type13_order.iter().chain(q.type2_order.iter()) {
+        let mut cur = node;
+        while let Some(p) = q.nodes[cur].parent {
+            cur = p;
+        }
+        root_of[node] = cur;
+    }
+    root_of
+}
+
+/// Expected domain-size factor of a non-root node under the current mode.
+fn node_factor(est: &Estimator<'_>, stats_on: bool, q: &BoundQuery, node: usize) -> f64 {
+    let raw = match &q.nodes[node].origin {
+        NodeOrigin::Eva { attr } | NodeOrigin::MvDva { attr } => {
+            if stats_on {
+                est.fan_out(*attr).unwrap_or(2.0)
+            } else {
+                2.0
+            }
+        }
+        // The closure multiplies per level; without per-depth statistics
+        // keep the pre-statistics default.
+        NodeOrigin::Transitive { .. } => 2.0,
+        NodeOrigin::Restrict { class } => {
+            if stats_on {
+                match q.nodes[node].parent.and_then(|p| q.nodes[p].class) {
+                    Some(parent_class) => est.role_fraction(parent_class, *class),
+                    None => 1.0,
+                }
+            } else {
+                1.0
+            }
+        }
+        NodeOrigin::Perspective { .. } => 1.0,
+    };
+    // TYPE 3 nodes null-pad an empty domain: at least one instance per
+    // invocation.
+    if q.nodes[node].label == NodeType::Type3 {
+        raw.max(1.0)
+    } else {
+        raw
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn cost_order(
     mapper: &Mapper,
+    est: &Estimator<'_>,
+    stats_on: bool,
     q: &BoundQuery,
     order: &[usize],
     candidates: &[Vec<Candidate>],
+    conjuncts: &[&BExpr],
 ) -> Result<Option<Plan>, QueryError> {
     let mut access = Vec::with_capacity(order.len());
     let mut explanation = Vec::new();
+    let mut chosen_per_pos: Vec<&Candidate> = Vec::with_capacity(order.len());
     let mut total = 0.0;
     let mut outer_rows = 1.0f64;
     for (pos, &ri) in order.iter().enumerate() {
@@ -192,6 +279,7 @@ fn cost_order(
         outer_rows *= (n * c.selectivity).max(1.0);
         explanation.push(format!("perspective {}: {}", ri + 1, c.description));
         access.push(c.access.clone());
+        chosen_per_pos.push(c);
     }
 
     // Descendant traversal costs: every TYPE 1/3 non-root node multiplies
@@ -200,18 +288,66 @@ fn cost_order(
         if q.nodes[node].parent.is_none() {
             continue;
         }
+        let factor = node_factor(est, stats_on, q, node);
         match &q.nodes[node].origin {
             NodeOrigin::Eva { attr } | NodeOrigin::Transitive { attr } => {
                 let fc = first_instance_cost(mapper, *attr);
                 total += outer_rows * fc;
-                outer_rows *= 2.0; // default relationship fan-out estimate
+                outer_rows *= factor;
             }
             NodeOrigin::MvDva { .. } => {
                 total += outer_rows; // one dependent-structure access
-                outer_rows *= 2.0;
+                outer_rows *= factor;
             }
-            NodeOrigin::Restrict { .. } | NodeOrigin::Perspective { .. } => {}
+            NodeOrigin::Restrict { .. } | NodeOrigin::Perspective { .. } => {
+                outer_rows *= factor;
+            }
         }
+    }
+
+    // Per-node row estimates, following the executor's loop nest: each
+    // root's subtree is exhausted before the next root's loop opens.
+    let root_of = root_of_map(q);
+    let mut est_rows = vec![0.0f64; q.nodes.len()];
+    let mut cum = 1.0f64;
+    for (pos, &ri) in order.iter().enumerate() {
+        let root = q.roots[ri];
+        let c = chosen_per_pos[pos];
+        let class = q.nodes[root].class.unwrap_or(ClassId(0));
+        let n = mapper.entity_count(class).max(1) as f64;
+        let mut matches = n * c.selectivity;
+        if q.nodes[root].label == NodeType::Type3 {
+            matches = matches.max(1.0);
+        }
+        cum *= matches;
+        est_rows[root] = cum;
+        for &node in &q.type13_order {
+            if node == root || root_of[node] != root {
+                continue;
+            }
+            cum *= node_factor(est, stats_on, q, node);
+            est_rows[node] = cum;
+        }
+    }
+    let cum13 = cum;
+    // TYPE 2 (existential) nodes: an upper bound ignoring short-circuiting.
+    for &node in &q.type2_order {
+        let base = match q.nodes[node].parent {
+            Some(p) if est_rows[p] > 0.0 => est_rows[p],
+            _ => cum13,
+        };
+        est_rows[node] = base * node_factor(est, stats_on, q, node);
+    }
+
+    // Output estimate: rows through the nest, filtered by every conjunct
+    // *not* consumed by a chosen access path.
+    let consumed: Vec<usize> = chosen_per_pos.iter().filter_map(|c| c.conjunct).collect();
+    let mut estimated_rows = cum13;
+    for (ci, c) in conjuncts.iter().enumerate() {
+        if consumed.contains(&ci) {
+            continue;
+        }
+        estimated_rows *= residual_selectivity(mapper, est, stats_on, q, c);
     }
 
     // Semantics preservation (§5.1): without an explicit ORDER BY the output
@@ -226,73 +362,176 @@ fn cost_order(
             "perspective order permuted: adding sort cost {sort_cost:.1} to restore semantics"
         ));
     }
+    explanation.push(format!(
+        "estimated output: {estimated_rows:.1} rows ({} cost model)",
+        if stats_on { "statistics" } else { "heuristic" }
+    ));
     Ok(Some(Plan {
         root_order: order.to_vec(),
         access,
         estimated_io: total,
         needs_perspective_sort: needs_sort,
         explanation,
+        est_rows,
+        estimated_rows,
+        used_statistics: stats_on,
     }))
 }
 
-fn index_candidate(
+/// Selectivity of a conjunct applied at output time (not consumed by an
+/// access path). Falls back to fixed heuristics when statistics cannot
+/// price it.
+fn residual_selectivity(
     mapper: &Mapper,
+    est: &Estimator<'_>,
+    stats_on: bool,
+    q: &BoundQuery,
+    conjunct: &BExpr,
+) -> f64 {
+    if stats_on {
+        for &root in &q.roots {
+            if let Some(s) = est.conjunct_selectivity(q, root, conjunct) {
+                return s;
+            }
+        }
+        // Join predicate between two roots: 1 / max(ndv) when known.
+        if let BExpr::Binary { op: BinOp::Eq, lhs, rhs } = conjunct {
+            if let (BExpr::Attr { attr: a, .. }, BExpr::Attr { attr: b, .. }) =
+                (lhs.as_ref(), rhs.as_ref())
+            {
+                let store = mapper.optimizer_statistics();
+                let ndv = |id: AttrId| store.attr(id.0).map(|s| s.distinct.max(1) as f64);
+                if let (Some(da), Some(db)) = (ndv(*a), ndv(*b)) {
+                    return 1.0 / da.max(db);
+                }
+            }
+        }
+    }
+    match conjunct {
+        BExpr::Binary { op: BinOp::Eq, .. } => 0.05,
+        BExpr::Binary { op: BinOp::Ne, .. } => 0.95,
+        BExpr::Binary { op: BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge, .. } => 0.33,
+        _ => 1.0,
+    }
+}
+
+/// Push every index candidate this conjunct yields for `root` onto `out`.
+#[allow(clippy::too_many_arguments)]
+fn index_candidates(
+    mapper: &Mapper,
+    est: &Estimator<'_>,
+    stats_on: bool,
     q: &BoundQuery,
     root: usize,
-    _root_index: usize,
     class: ClassId,
+    conjunct_idx: usize,
     conjunct: &BExpr,
-) -> Result<Option<Candidate>, QueryError> {
-    let BExpr::Binary { op, lhs, rhs } = conjunct else { return Ok(None) };
+    out: &mut Vec<Candidate>,
+) -> Result<(), QueryError> {
+    let BExpr::Binary { op, lhs, rhs } = conjunct else { return Ok(()) };
     // Normalize so the local attribute is on the left.
-    let (attr, local_node, other, op) = match (lhs.as_ref(), rhs.as_ref()) {
-        (BExpr::Attr { node, attr }, other) if *node == root => (*attr, *node, other, *op),
-        (other, BExpr::Attr { node, attr }) if *node == root => (*attr, *node, other, flip(*op)),
-        _ => return Ok(None),
+    let (attr, other, op) = match (lhs.as_ref(), rhs.as_ref()) {
+        (BExpr::Attr { node, attr }, other) if *node == root => (*attr, other, *op),
+        (other, BExpr::Attr { node, attr }) if *node == root => (*attr, other, flip(*op)),
+        _ => return Ok(()),
     };
-    let _ = local_node;
     if !mapper.has_index(attr) {
-        return Ok(None);
+        return Ok(());
     }
     let n = mapper.entity_count(class).max(1) as f64;
     let unique = mapper.catalog().attribute(attr)?.options.unique;
     let height = mapper.index_height(attr).unwrap_or(2) as f64;
+    // Statistics-backed equality selectivity, else the legacy heuristic.
+    let eq_sel = || {
+        if stats_on {
+            if let Some(s) = est.eq_selectivity(attr) {
+                return s;
+            }
+        }
+        if unique {
+            1.0 / n
+        } else {
+            0.05
+        }
+    };
+    // Equality probe costs in block accesses: a descent (or one bucket
+    // read) plus one heap access per expected match. The pre-statistics
+    // heuristic is kept verbatim for un-analyzed databases.
+    let eq_cost = |selectivity: f64, method: ProbeMethod| {
+        let matches = (n * selectivity).max(1.0);
+        if stats_on {
+            match method {
+                ProbeMethod::BTree => height + matches,
+                // One bucket read beats a multi-level descent; ties with
+                // shallow B-trees break toward the order-preserving B-tree.
+                ProbeMethod::Hash => 1.5 + matches,
+            }
+        } else {
+            height + matches * 0.1
+        }
+    };
     match (op, other) {
         (BinOp::Eq, BExpr::Const(v)) => {
-            let selectivity = if unique { 1.0 / n } else { 0.05 };
-            Ok(Some(Candidate {
-                access: AccessPath::IndexEq { class, attr, value: BExpr::Const(v.clone()) },
-                cost: height + (n * selectivity).max(1.0) * 0.1,
-                depends_on: Vec::new(),
-                selectivity,
-                description: format!(
-                    "index probe {}.{} = {v}",
-                    class_name(mapper, class),
-                    attr_name(mapper, attr)
-                ),
-            }))
+            let selectivity = eq_sel();
+            let mut push = |method: ProbeMethod| {
+                let verb = if method == ProbeMethod::Hash { "hash probe" } else { "index probe" };
+                out.push(Candidate {
+                    access: AccessPath::IndexEq {
+                        class,
+                        attr,
+                        value: BExpr::Const(v.clone()),
+                        method,
+                    },
+                    cost: eq_cost(selectivity, method),
+                    depends_on: Vec::new(),
+                    selectivity,
+                    conjunct: Some(conjunct_idx),
+                    description: format!(
+                        "{verb} {}.{} = {v}",
+                        class_name(mapper, class),
+                        attr_name(mapper, attr)
+                    ),
+                });
+            };
+            if mapper.has_btree_index(attr) {
+                push(ProbeMethod::BTree);
+            }
+            if mapper.has_hash_index(attr) {
+                push(ProbeMethod::Hash);
+            }
         }
         (BinOp::Eq, BExpr::Attr { node, attr: outer_attr }) => {
             // Join predicate: probe with the outer perspective's value.
             let Some(outer_root_pos) = q.roots.iter().position(|r| r == node) else {
-                return Ok(None);
+                return Ok(());
             };
-            let selectivity = if unique { 1.0 / n } else { 0.05 };
-            Ok(Some(Candidate {
-                access: AccessPath::IndexEq {
-                    class,
-                    attr,
-                    value: BExpr::Attr { node: *node, attr: *outer_attr },
-                },
-                cost: height + (n * selectivity).max(1.0) * 0.1,
-                depends_on: vec![outer_root_pos],
-                selectivity,
-                description: format!(
-                    "index nested-loop join on {}.{}",
-                    class_name(mapper, class),
-                    attr_name(mapper, attr)
-                ),
-            }))
+            let selectivity = eq_sel();
+            let mut push = |method: ProbeMethod| {
+                out.push(Candidate {
+                    access: AccessPath::IndexEq {
+                        class,
+                        attr,
+                        value: BExpr::Attr { node: *node, attr: *outer_attr },
+                        method,
+                    },
+                    cost: eq_cost(selectivity, method),
+                    depends_on: vec![outer_root_pos],
+                    selectivity,
+                    conjunct: Some(conjunct_idx),
+                    description: format!(
+                        "index nested-loop join on {}.{}{}",
+                        class_name(mapper, class),
+                        attr_name(mapper, attr),
+                        if method == ProbeMethod::Hash { " (hash)" } else { "" }
+                    ),
+                });
+            };
+            if mapper.has_btree_index(attr) {
+                push(ProbeMethod::BTree);
+            }
+            if mapper.has_hash_index(attr) {
+                push(ProbeMethod::Hash);
+            }
         }
         (BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge, BExpr::Const(v)) => {
             // A range scan walks the index in key order, which for symbolic
@@ -304,31 +543,52 @@ fn index_candidate(
                 mapper.catalog().attribute(attr)?.dva_domain(),
                 Some(Domain::Symbolic(_) | Domain::Subrole(_))
             ) {
-                return Ok(None);
+                return Ok(());
+            }
+            // Only B-trees serve ranges; a hash index cannot.
+            if !mapper.has_btree_index(attr) {
+                return Ok(());
             }
             let (lo, hi, hi_inclusive) = match op {
                 BinOp::Lt => (None, Some(v.clone()), false),
                 BinOp::Le => (None, Some(v.clone()), true),
                 BinOp::Gt | BinOp::Ge => (Some(v.clone()), None, false),
-                _ => return Ok(None),
+                _ => return Ok(()),
             };
-            let selectivity = 0.33;
+            let stats_sel = if stats_on {
+                est.range_selectivity(
+                    attr,
+                    lo.as_ref().map(|v| (v, matches!(op, BinOp::Ge))),
+                    hi.as_ref().map(|v| (v, hi_inclusive)),
+                )
+            } else {
+                None
+            };
+            let selectivity = stats_sel.unwrap_or(0.33);
             // Range scans stream matches off consecutive leaves: cheap per
-            // match compared with a probe-per-row.
-            Ok(Some(Candidate {
+            // match compared with a probe-per-row; under statistics each
+            // match still costs a heap access plus its share of leaf reads.
+            let cost = if stats_sel.is_some() {
+                height + (n * selectivity).max(1.0) * 1.05
+            } else {
+                height + n * selectivity * 0.02
+            };
+            out.push(Candidate {
                 access: AccessPath::IndexRange { class, attr, lo, hi, hi_inclusive },
-                cost: height + n * selectivity * 0.02,
+                cost,
                 depends_on: Vec::new(),
                 selectivity,
+                conjunct: Some(conjunct_idx),
                 description: format!(
                     "index range scan on {}.{}",
                     class_name(mapper, class),
                     attr_name(mapper, attr)
                 ),
-            }))
+            });
         }
-        _ => Ok(None),
+        _ => {}
     }
+    Ok(())
 }
 
 fn flip(op: BinOp) -> BinOp {

@@ -1,0 +1,184 @@
+//! Cardinality estimation from collected statistics (paper §5.1).
+//!
+//! The [`Estimator`] answers "what fraction of a class survives this
+//! qualification?" and "how many partners does this EVA reach?" from the
+//! [`StatsStore`] a full-scan analyze filled (see `sim_luc::analyze`). Every
+//! method returns `Option` — `None` means "no statistics for that
+//! question", and the optimizer falls back to its pre-statistics
+//! heuristics, so an un-analyzed database plans exactly as before.
+//!
+//! Formulas (cost units are block accesses; see DESIGN.md §16):
+//!
+//! * `attr = const` → `(non_null / rows) / distinct` (uniform-share over
+//!   the distinct values);
+//! * `attr < / <= / > / >= const` → histogram range fraction × non-null
+//!   fraction (within one equi-depth bucket of exact);
+//! * `a AND b` → `s(a) · s(b)`; `a OR b` → `s(a) + s(b) − s(a)·s(b)`;
+//!   `NOT a` → `1 − s(a)` (independence assumed);
+//! * `node isa C` → live subrole membership fraction
+//!   `count(C) / count(class(node))`;
+//! * EVA / MV-DVA traversal → measured average fan-out `links / owners`.
+//!
+//! Row counts scale with the *live* class cardinality (maintained
+//! incrementally by the mapper's DML counters), so estimates track inserts
+//! and deletes between analyzes; value-distribution facts (distinct
+//! counts, histograms) are as of the last analyze, with staleness exposed
+//! by `ClassStats::mods_since_analyze`.
+
+use crate::bound::{BExpr, BoundQuery};
+use sim_catalog::statistics::StatsStore;
+use sim_catalog::{AttrId, ClassId};
+use sim_dml::BinOp;
+use sim_luc::Mapper;
+use sim_types::{Domain, Value};
+
+/// Selectivity used for a comparison we cannot estimate (no histogram, or
+/// the predicate's shape defeats the model) when combining disjunctions.
+const DEFAULT_CMP_SELECTIVITY: f64 = 1.0 / 3.0;
+
+/// Statistics-backed cardinality estimator over one mapper.
+pub struct Estimator<'a> {
+    mapper: &'a Mapper,
+    store: &'a StatsStore,
+}
+
+impl<'a> Estimator<'a> {
+    /// Build an estimator over the mapper's current statistics store.
+    pub fn new(mapper: &'a Mapper) -> Estimator<'a> {
+        Estimator { mapper, store: mapper.optimizer_statistics() }
+    }
+
+    /// Were statistics ever collected for this class?
+    pub fn has_class_stats(&self, class: ClassId) -> bool {
+        self.store.class(class.0).is_some()
+    }
+
+    /// Live entity count (incrementally maintained, never below 1 so it can
+    /// serve as a multiplier).
+    pub fn live_rows(&self, class: ClassId) -> f64 {
+        self.mapper.entity_count(class).max(1) as f64
+    }
+
+    /// Selectivity of `attr = <constant>`: uniform share of one distinct
+    /// value among the non-null fraction.
+    pub fn eq_selectivity(&self, attr: AttrId) -> Option<f64> {
+        let a = self.store.attr(attr.0)?;
+        if a.distinct == 0 {
+            // Analyzed and found no values at all: nothing can match.
+            return Some(0.0);
+        }
+        Some(a.eq_selectivity())
+    }
+
+    /// Selectivity of a range predicate on `attr` via its equi-depth
+    /// histogram (then scaled by the non-null fraction — the histogram only
+    /// covers non-null values).
+    pub fn range_selectivity(
+        &self,
+        attr: AttrId,
+        lo: Option<(&Value, bool)>,
+        hi: Option<(&Value, bool)>,
+    ) -> Option<f64> {
+        let a = self.store.attr(attr.0)?;
+        let h = a.histogram.as_ref()?;
+        let lo = match lo {
+            Some((v, incl)) => Some((self.normalize_probe(attr, v)?, incl)),
+            None => None,
+        };
+        let hi = match hi {
+            Some((v, incl)) => Some((self.normalize_probe(attr, v)?, incl)),
+            None => None,
+        };
+        let fraction =
+            h.range_fraction(lo.as_ref().map(|(v, i)| (v, *i)), hi.as_ref().map(|(v, i)| (v, *i)));
+        let non_null = if a.rows == 0 { 1.0 } else { a.non_null as f64 / a.rows as f64 };
+        Some(fraction * non_null)
+    }
+
+    /// Average partners per owner for an EVA or multi-valued DVA.
+    pub fn fan_out(&self, attr: AttrId) -> Option<f64> {
+        self.store.fan_out(attr.0).map(sim_catalog::FanOutStats::average)
+    }
+
+    /// Fraction of `class` entities that also hold the `role` role (subrole
+    /// membership fraction, from live counts).
+    pub fn role_fraction(&self, class: ClassId, role: ClassId) -> f64 {
+        let all = self.mapper.entity_count(class);
+        if all == 0 {
+            return 1.0;
+        }
+        (self.mapper.entity_count(role) as f64 / all as f64).clamp(0.0, 1.0)
+    }
+
+    /// Estimated selectivity of one selection conjunct *restricted to
+    /// predicates over `root`*. `None` when the expression references other
+    /// nodes or has a shape the model cannot price.
+    pub fn conjunct_selectivity(&self, q: &BoundQuery, root: usize, e: &BExpr) -> Option<f64> {
+        match e {
+            BExpr::Binary { op: BinOp::And, lhs, rhs } => Some(
+                self.conjunct_selectivity(q, root, lhs)?
+                    * self.conjunct_selectivity(q, root, rhs)?,
+            ),
+            BExpr::Binary { op: BinOp::Or, lhs, rhs } => {
+                let a = self.conjunct_selectivity(q, root, lhs).unwrap_or(DEFAULT_CMP_SELECTIVITY);
+                let b = self.conjunct_selectivity(q, root, rhs).unwrap_or(DEFAULT_CMP_SELECTIVITY);
+                Some(a + b - a * b)
+            }
+            BExpr::Not(inner) => Some(1.0 - self.conjunct_selectivity(q, root, inner)?),
+            BExpr::IsA { node, class } => {
+                if *node != root {
+                    return None;
+                }
+                let node_class = q.nodes[root].class?;
+                Some(self.role_fraction(node_class, *class))
+            }
+            BExpr::Binary { op, lhs, rhs } => {
+                // Normalize so the local attribute is on the left.
+                let (attr, other, op) = match (lhs.as_ref(), rhs.as_ref()) {
+                    (BExpr::Attr { node, attr }, other) if *node == root => (*attr, other, *op),
+                    (other, BExpr::Attr { node, attr }) if *node == root => {
+                        (*attr, other, flip(*op))
+                    }
+                    _ => return None,
+                };
+                let BExpr::Const(v) = other else { return None };
+                if v.is_null() {
+                    // 3VL: comparisons against null never select anything.
+                    return Some(0.0);
+                }
+                match op {
+                    BinOp::Eq => self.eq_selectivity(attr),
+                    BinOp::Ne => self.eq_selectivity(attr).map(|s| (1.0 - s).max(0.0)),
+                    BinOp::Lt => self.range_selectivity(attr, None, Some((v, false))),
+                    BinOp::Le => self.range_selectivity(attr, None, Some((v, true))),
+                    BinOp::Gt => self.range_selectivity(attr, Some((v, false)), None),
+                    BinOp::Ge => self.range_selectivity(attr, Some((v, true)), None),
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Coerce a probe constant into the representation histogram fences use
+    /// (dates may arrive as strings in the DML; `Value::total_cmp` ranks
+    /// `Str` and `Date` as different types, so compare like with like).
+    fn normalize_probe(&self, attr: AttrId, v: &Value) -> Option<Value> {
+        let domain = self.mapper.catalog().attribute(attr).ok()?.dva_domain()?;
+        match (domain, v) {
+            (Domain::Date, Value::Str(s)) => sim_types::Date::parse(s).ok().map(Value::Date),
+            (Domain::Symbolic(_) | Domain::Subrole(_), _) => None, // no histograms there
+            _ => Some(v.clone()),
+        }
+    }
+}
+
+fn flip(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Ge => BinOp::Le,
+        other => other,
+    }
+}

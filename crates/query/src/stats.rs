@@ -8,6 +8,15 @@ use std::sync::Arc;
 pub mod names {
     /// Histogram: statement parse time.
     pub const PARSE_MICROS: &str = "query.parse_micros";
+    /// Histogram: full-scan statistics collection (`\analyze`) time.
+    pub const ANALYZE_MICROS: &str = "query.analyze_micros";
+    /// Counter: statistics collection runs completed.
+    pub const ANALYZE_RUNS: &str = "query.analyze_runs";
+    /// Counter: plans costed with the pre-statistics heuristics (no
+    /// statistics were available).
+    pub const ESTIMATE_FALLBACKS: &str = "query.estimate_fallbacks";
+    /// Counter: plans costed from collected statistics.
+    pub const ESTIMATE_STATS_USED: &str = "query.estimate_stats_used";
     /// Histogram: semantic analysis (binding) time per retrieve.
     pub const BIND_MICROS: &str = "query.bind_micros";
     /// Histogram: optimizer planning time per retrieve.
@@ -43,6 +52,10 @@ pub mod names {
 #[derive(Debug, Clone)]
 pub struct PhaseStats {
     pub(crate) parse: Arc<Histogram>,
+    pub(crate) analyze: Arc<Histogram>,
+    pub(crate) analyze_runs: Arc<Counter>,
+    pub(crate) estimate_fallbacks: Arc<Counter>,
+    pub(crate) estimate_stats_used: Arc<Counter>,
     pub(crate) bind: Arc<Histogram>,
     pub(crate) optimize: Arc<Histogram>,
     pub(crate) execute: Arc<Histogram>,
@@ -62,6 +75,10 @@ impl PhaseStats {
     pub fn new(registry: &Arc<Registry>) -> PhaseStats {
         PhaseStats {
             parse: registry.histogram(names::PARSE_MICROS),
+            analyze: registry.histogram(names::ANALYZE_MICROS),
+            analyze_runs: registry.counter(names::ANALYZE_RUNS),
+            estimate_fallbacks: registry.counter(names::ESTIMATE_FALLBACKS),
+            estimate_stats_used: registry.counter(names::ESTIMATE_STATS_USED),
             bind: registry.histogram(names::BIND_MICROS),
             optimize: registry.histogram(names::OPTIMIZE_MICROS),
             execute: registry.histogram(names::EXECUTE_MICROS),

@@ -1,0 +1,180 @@
+//! Property tests for the equi-depth histograms behind the cost-based
+//! optimizer (PR 10), over testkit-generated int, float and string value
+//! sets:
+//!
+//! * structural invariants — bucket counts sum to the input size, fences
+//!   are `total_cmp`-ordered, equal runs never straddle a fence;
+//! * accuracy — a range's estimated fraction is within one bucket's depth
+//!   of the exact answer;
+//! * float fences sort consistently with both `Value::total_cmp` and the
+//!   B-tree's order-preserving key encoding, so histogram arithmetic and
+//!   index range scans agree on what "below" means.
+
+use sim_catalog::statistics::{Histogram, HISTOGRAM_BUCKETS};
+use sim_testkit::{cases, Rng};
+use sim_types::{ordered, Value};
+use std::cmp::Ordering;
+
+fn int_values(rng: &mut Rng, n: usize) -> Vec<Value> {
+    // Heavy duplication: draws from a pool smaller than the sample.
+    let pool = rng.range(1, (n / 2).max(2)) as u64;
+    (0..n).map(|_| Value::Int(rng.below(pool) as i64 - 40)).collect()
+}
+
+fn float_values(rng: &mut Rng, n: usize) -> Vec<Value> {
+    (0..n)
+        .map(|_| {
+            let mantissa = rng.range_i64(-5_000, 5_000);
+            Value::Float(mantissa as f64 / 8.0)
+        })
+        .collect()
+}
+
+fn string_values(rng: &mut Rng, n: usize) -> Vec<Value> {
+    (0..n).map(|_| Value::Str(rng.string("abcdxyz", 6))).collect()
+}
+
+/// Exact fraction of `values` strictly below / at-or-below `v`.
+fn exact_fraction(values: &[Value], v: &Value, inclusive: bool) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let hits = values
+        .iter()
+        .filter(|x| {
+            let ord = x.total_cmp(v);
+            ord == Ordering::Less || (inclusive && ord == Ordering::Equal)
+        })
+        .count();
+    hits as f64 / values.len() as f64
+}
+
+fn check_invariants(values: &[Value]) {
+    let Some(h) = Histogram::build(values.to_vec(), HISTOGRAM_BUCKETS) else {
+        assert!(values.is_empty(), "non-empty input must produce a histogram");
+        return;
+    };
+    assert!(h.buckets.len() <= HISTOGRAM_BUCKETS, "bucket cap respected");
+    assert_eq!(h.total(), values.len() as u64, "bucket counts must sum to the input size");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(sim_types::Value::total_cmp);
+    for (i, b) in h.buckets.iter().enumerate() {
+        assert!(b.count > 0, "bucket {i} is empty");
+        assert_ne!(b.lower.total_cmp(&b.upper), Ordering::Greater, "bucket {i} fences inverted");
+        if i > 0 {
+            // Fences strictly ascend between buckets: an equal run never
+            // splits across a fence.
+            assert_eq!(
+                h.buckets[i - 1].upper.total_cmp(&b.lower),
+                Ordering::Less,
+                "fence between buckets {} and {i} does not ascend",
+                i - 1
+            );
+        }
+    }
+    assert_eq!(h.buckets.first().unwrap().lower.total_cmp(&sorted[0]), Ordering::Equal);
+    assert_eq!(h.buckets.last().unwrap().upper.total_cmp(sorted.last().unwrap()), Ordering::Equal);
+}
+
+fn check_accuracy(values: &[Value], probes: &[Value]) {
+    let Some(h) = Histogram::build(values.to_vec(), HISTOGRAM_BUCKETS) else { return };
+    // One equi-depth bucket's share of the total — the advertised error
+    // bound (half a bucket at each end of the range).
+    let bucket_share =
+        h.buckets.iter().map(|b| b.count).max().unwrap_or(1) as f64 / values.len() as f64;
+    for v in probes {
+        for inclusive in [false, true] {
+            let est = h.fraction_below(v, inclusive);
+            let exact = exact_fraction(values, v, inclusive);
+            assert!(
+                (est - exact).abs() <= bucket_share + 1e-9,
+                "fraction_below({v}, inclusive={inclusive}): est {est:.4} vs exact {exact:.4}, \
+                 bound {bucket_share:.4}"
+            );
+        }
+    }
+}
+
+#[test]
+fn int_histograms_hold_invariants_and_accuracy() {
+    cases(40, |rng| {
+        let n = rng.range(1, 600);
+        let values = int_values(rng, n);
+        check_invariants(&values);
+        let probes: Vec<Value> = (0..20).map(|_| Value::Int(rng.range_i64(-60, 360))).collect();
+        check_accuracy(&values, &probes);
+    });
+}
+
+#[test]
+fn float_histograms_hold_invariants_and_accuracy() {
+    cases(40, |rng| {
+        let n = rng.range(1, 600);
+        let values = float_values(rng, n);
+        check_invariants(&values);
+        let probes = float_values(rng, 20);
+        check_accuracy(&values, &probes);
+    });
+}
+
+#[test]
+fn string_histograms_hold_invariants_and_accuracy() {
+    cases(40, |rng| {
+        let n = rng.range(1, 400);
+        let values = string_values(rng, n);
+        check_invariants(&values);
+        let probes = string_values(rng, 20);
+        check_accuracy(&values, &probes);
+    });
+}
+
+/// Range estimates (both bounds) stay within one bucket of exact.
+#[test]
+fn range_fraction_within_one_bucket_of_exact() {
+    cases(40, |rng| {
+        let n = rng.range(2, 500);
+        let values = int_values(rng, n);
+        let Some(h) = Histogram::build(values.clone(), HISTOGRAM_BUCKETS) else { return };
+        let bucket_share =
+            h.buckets.iter().map(|b| b.count).max().unwrap_or(1) as f64 / values.len() as f64;
+        for _ in 0..10 {
+            let a = Value::Int(rng.range_i64(-60, 360));
+            let b = Value::Int(rng.range_i64(-60, 360));
+            let (lo, hi) = if a.total_cmp(&b) == Ordering::Greater {
+                (b.clone(), a.clone())
+            } else {
+                (a.clone(), b.clone())
+            };
+            let est = h.range_fraction(Some((&lo, true)), Some((&hi, false)));
+            let exact = exact_fraction(&values, &hi, false) - exact_fraction(&values, &lo, false);
+            assert!(
+                (est - exact.max(0.0)).abs() <= 2.0 * bucket_share + 1e-9,
+                "range [{lo}, {hi}): est {est:.4} vs exact {exact:.4}"
+            );
+        }
+    });
+}
+
+/// Float fences respect the same total order the B-tree's key encoding
+/// sorts by: histogram "below" and index-range "below" never disagree.
+#[test]
+fn float_fences_sort_like_the_index_key_encoding() {
+    cases(30, |rng| {
+        let n = rng.range(2, 300);
+        let values = float_values(rng, n);
+        let Some(h) = Histogram::build(values, HISTOGRAM_BUCKETS) else { return };
+        let fences: Vec<&Value> = h.buckets.iter().flat_map(|b| [&b.lower, &b.upper]).collect();
+        for w in fences.windows(2) {
+            let cmp_values = w[0].total_cmp(w[1]);
+            let k0 = ordered::encode_key(std::slice::from_ref(w[0]));
+            let k1 = ordered::encode_key(std::slice::from_ref(w[1]));
+            assert_eq!(
+                cmp_values,
+                k0.cmp(&k1),
+                "total_cmp and encode_key disagree on {} vs {}",
+                w[0],
+                w[1]
+            );
+        }
+    });
+}

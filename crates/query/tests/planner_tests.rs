@@ -123,8 +123,9 @@ fn plan_explanations_name_the_strategy() {
     let mut e = engine_with_pool(256);
     populate(&mut e, 30);
     let plan = e.explain("From student Retrieve name.").unwrap();
-    assert_eq!(plan.explanation.len(), 1);
+    assert_eq!(plan.explanation.len(), 2, "strategy line plus estimated-output line");
     assert!(plan.explanation[0].starts_with("perspective 1: scan"));
+    assert!(plan.explanation[1].starts_with("estimated output:"));
     let plan = e.explain("From student Retrieve name Where soc-sec-no = 6001.").unwrap();
     assert!(plan.explanation[0].contains("index probe"));
     assert!(plan.estimated_io > 0.0);

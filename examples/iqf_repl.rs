@@ -12,7 +12,8 @@
 //!
 //! Meta commands: `\schema` lists classes and attributes, `\explain <q>`
 //! shows the optimizer's strategy (plus any static-analysis lints),
-//! `\analyze <q>` executes it and shows per-step actual rows and I/O,
+//! `\analyze <q>` executes it and shows per-step estimated vs. actual rows
+//! and I/O (bare `\analyze` collects optimizer statistics by full scan),
 //! `\check <q>` lints a statement without running it (`\check` alone lints
 //! the schema), `\stats` dumps the metrics registry (`\stats reset` zeroes
 //! it), `\trace` shows the last statement's span tree, `\recent [n]` lists
@@ -73,7 +74,7 @@ fn main() -> io::Result<()> {
 
     println!("SIM interactive query facility — UNIVERSITY database loaded.");
     println!(
-        "End statements with '.'; meta: \\schema \\explain <q> \\analyze <q> \\check [q] \\stats [reset] \\trace \\recent [n] \\events [n] \\slow <micros> \\metrics export <path> \\verify on|off|<q> \\open <dir> \\save \\quit"
+        "End statements with '.'; meta: \\schema \\explain <q> \\analyze [q] \\check [q] \\stats [reset] \\trace \\recent [n] \\events [n] \\slow <micros> \\metrics export <path> \\verify on|off|<q> \\open <dir> \\save \\quit"
     );
 
     let stdin = io::stdin();
@@ -133,10 +134,20 @@ fn main() -> io::Result<()> {
                         }
                     }
                 }
-                "\\analyze" => match db.explain_analyze(rest) {
-                    Ok(analyzed) => print!("{}", analyzed.to_text()),
-                    Err(e) => println!("error: {e}"),
-                },
+                "\\analyze" => {
+                    if rest.trim().is_empty() {
+                        // Bare \analyze: collect optimizer statistics.
+                        match db.analyze() {
+                            Ok(summary) => println!("{summary}"),
+                            Err(e) => println!("error: {e}"),
+                        }
+                    } else {
+                        match db.explain_analyze(rest) {
+                            Ok(analyzed) => print!("{}", analyzed.to_text()),
+                            Err(e) => println!("error: {e}"),
+                        }
+                    }
+                }
                 "\\open" => {
                     let dir = rest.trim();
                     if dir.is_empty() {

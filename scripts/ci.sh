@@ -34,6 +34,12 @@ echo "== sim-oracle differential gate (200 deterministic workloads)"
 # the workload and writes oracle-failure.simwl (replay with --replay).
 cargo run -q --release -p sim --bin sim-oracle -- --iters 200 --seed 0xS1M
 
+echo "== sim-oracle statistics gate (120 workloads with mid-workload analyze)"
+# Mixes !analyze into the generated control ops: plans are re-chosen under
+# the cost-based model mid-workload (generation bump) and every retrieve
+# must still agree with the reference interpreter, lock-step.
+cargo run -q --release -p sim --bin sim-oracle -- --iters 120 --stats --seed 0xSTATS
+
 echo "== sim-oracle concurrent gate (120 interleaved two-session workloads)"
 # Seeded interleavings over ConcurrentDb (strict 2PL + snapshot reads),
 # replayed serially on the reference interpreter: every committed txn's
@@ -99,6 +105,12 @@ echo "== PR9 bench smoke (check mode): 64 concurrent network clients"
 # barrier amortizes the durability fsync) with zero SIM-C001 aborts on a
 # disjoint-class workload; dumps BENCH_pr9.json.
 (cd crates/bench && cargo run -q --release --bin pr9_smoke)
+
+echo "== PR10 bench smoke (check mode): cost-based vs heuristic plan I/O"
+# Asserts that after analyze() the cost-based plans beat the heuristic
+# plans by >= 2x measured block reads on a skewed two-class workload,
+# with identical results; dumps BENCH_pr10.json.
+(cd crates/bench && cargo run -q --release --bin pr10_smoke)
 
 echo "== sim-dump smoke: offline introspection of a freshly crashed directory"
 # crash_dir leaves committed work only in the WAL plus a torn final frame;

@@ -23,6 +23,7 @@ struct Args {
     replay: Option<String>,
     deep: bool,
     concurrent: u64,
+    stats: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -33,6 +34,7 @@ fn parse_args() -> Result<Args, String> {
         replay: None,
         deep: std::env::var("ORACLE_DEEP").is_ok_and(|v| v == "1"),
         concurrent: 0,
+        stats: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -47,6 +49,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--replay" => args.replay = Some(value("--replay")?),
             "--deep" => args.deep = true,
+            "--stats" => args.stats = true,
             "--concurrent" => {
                 args.concurrent =
                     value("--concurrent")?.parse().map_err(|e| format!("--concurrent: {e}"))?;
@@ -54,12 +57,13 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "sim-oracle: model-based differential testing\n\n\
-                     usage: sim-oracle [--iters N] [--seed S] [--steps N] [--replay FILE] [--deep] [--concurrent N]\n\n\
+                     usage: sim-oracle [--iters N] [--seed S] [--steps N] [--replay FILE] [--deep] [--stats] [--concurrent N]\n\n\
                      --iters N      workloads to generate and check (default 200)\n\
                      --seed S       base seed: decimal, 0x-hex, or any mnemonic string (default 0xS1M)\n\
                      --steps N      script steps per generated workload (default 40)\n\
                      --replay FILE  check one .simwl workload instead of generating\n\
                      --deep         add crash-point fault sweeps (also via ORACLE_DEEP=1)\n\
+                     --stats        mix !analyze into generated workloads (cost-based plans)\n\
                      --concurrent N check N interleaved two-session workloads against a serial order"
                 );
                 std::process::exit(0);
@@ -183,7 +187,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let cfg = GenConfig { steps: args.steps, control_ops: true };
+    let cfg = GenConfig { steps: args.steps, control_ops: true, statistics: args.stats };
     let mut digest = 0xcbf2_9ce4_8422_2325u64;
     let (mut rows, mut updates, mut fails) = (0u64, 0u64, 0u64);
     for i in 0..args.iters {

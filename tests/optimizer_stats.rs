@@ -1,0 +1,185 @@
+//! Estimation-accuracy gate for the cost-based optimizer (PR 10).
+//!
+//! After `\analyze`, every plan step carries an estimated row count and
+//! EXPLAIN ANALYZE measures the actual. This suite bounds the *q-error*
+//! `max(est/actual, actual/est)` per step: ≤ 4 for single-qualification
+//! scans, ≤ 16 for joins (EVA traversals and index nested-loop joins).
+//! It also pins the plan-choice consequence: a selective indexed
+//! predicate must be served by a probe, not a scan.
+
+use sim::crates::catalog::AttrId;
+use sim::crates::luc::AttrValue;
+use sim::crates::query::AccessPath;
+use sim::{Database, Value};
+use sim_testkit::Rng;
+
+const STUDENTS: usize = 900;
+const INSTRUCTORS: usize = 90;
+
+fn attr(db: &Database, class: &str, name: &str) -> AttrId {
+    let c = db.catalog().class_by_name(class).unwrap().id;
+    db.catalog().resolve_attr(c, name).unwrap()
+}
+
+/// UNIVERSITY populated by a seeded testkit workload: unique soc-sec-nos,
+/// a skewed (80/20-ish) student name distribution, and advisor links
+/// spread over the instructors.
+fn populated_university(seed: u64) -> Database {
+    let mut db = Database::create_with_pool(sim::crates::ddl::UNIVERSITY_DDL, 2048).unwrap();
+    db.set_enforce_verifies(false);
+    let mut rng = Rng::new(seed);
+
+    let instructor_class = db.catalog().class_by_name("instructor").unwrap().id;
+    let student_class = db.catalog().class_by_name("student").unwrap().id;
+    let ssn = attr(&db, "person", "soc-sec-no");
+    let name = attr(&db, "person", "name");
+    let employee_nbr = attr(&db, "instructor", "employee-nbr");
+    let advisor = attr(&db, "student", "advisor");
+
+    let mapper = db.mapper_mut();
+    let mut txn = mapper.begin();
+    let mut instructors = Vec::with_capacity(INSTRUCTORS);
+    for i in 0..INSTRUCTORS {
+        instructors.push(
+            mapper
+                .insert_entity(
+                    &mut txn,
+                    instructor_class,
+                    &[
+                        (ssn, AttrValue::Scalar(Value::Int((100_000 + i) as i64))),
+                        (name, AttrValue::Scalar(Value::Str(format!("I{i}")))),
+                        (employee_nbr, AttrValue::Scalar(Value::Int((1001 + i) as i64))),
+                    ],
+                )
+                .unwrap(),
+        );
+    }
+    for s in 0..STUDENTS {
+        // Skew: a fifth of the students share one popular name; the rest
+        // draw from a broad uniform pool.
+        let student_name =
+            if rng.below(5) == 0 { "Smith".to_string() } else { format!("N{}", rng.below(400)) };
+        mapper
+            .insert_entity(
+                &mut txn,
+                student_class,
+                &[
+                    (ssn, AttrValue::Scalar(Value::Int((200_000 + s) as i64))),
+                    (name, AttrValue::Scalar(Value::Str(student_name))),
+                    // Round-robin: `advisees` declares MAX 10 and
+                    // 900/90 students per instructor sits exactly there.
+                    (advisor, AttrValue::Scalar(Value::Entity(instructors[s % INSTRUCTORS]))),
+                ],
+            )
+            .unwrap();
+    }
+    mapper.commit(txn).unwrap();
+    db
+}
+
+/// q-error of one step: symmetric over/under-estimation factor, clamping
+/// both sides to one row so empty steps do not divide by zero.
+fn q_error(est: f64, actual: u64) -> f64 {
+    let est = est.max(1.0);
+    let actual = (actual as f64).max(1.0);
+    (est / actual).max(actual / est)
+}
+
+/// Assert every estimated step of `query` is within `bound` q-error.
+fn assert_steps_within(db: &Database, query: &str, bound: f64) {
+    let analyzed = db.explain_analyze(query).unwrap();
+    assert!(
+        analyzed.plan.used_statistics,
+        "statistics must back the plan for {query}: {:?}",
+        analyzed.plan.explanation
+    );
+    let mut checked = 0;
+    for (i, step) in analyzed.steps.iter().enumerate() {
+        let Some(est) = step.estimated_rows else { continue };
+        let q = q_error(est, step.actuals.rows);
+        assert!(
+            q <= bound,
+            "step[{i}] `{}` of {query}: est {est:.1} vs actual {} rows — q-error {q:.2} > {bound}",
+            step.description,
+            step.actuals.rows
+        );
+        checked += 1;
+    }
+    assert!(checked > 0, "no estimated steps to check for {query}");
+}
+
+#[test]
+fn single_qualification_steps_within_q4() {
+    let mut db = populated_university(0xA11A);
+    db.analyze().unwrap();
+    for query in [
+        // Unique index probe: one expected match.
+        "From student Retrieve name Where soc-sec-no = 200007.",
+        // B-tree range over the histogrammed unique attribute (~25% of
+        // persons qualify).
+        "From person Retrieve name Where soc-sec-no >= 200650.",
+        // Bounded on the other side.
+        "From person Retrieve name Where soc-sec-no < 100050.",
+        // Full scan with a residual filter: the step produces the whole
+        // class; the filter is priced at output time.
+        "From student Retrieve soc-sec-no Where name = \"Smith\".",
+    ] {
+        assert_steps_within(&db, query, 4.0);
+    }
+}
+
+#[test]
+fn join_steps_within_q16() {
+    let mut db = populated_university(0xBEE5);
+    db.analyze().unwrap();
+    for query in [
+        // EVA traversal priced by measured fan-out.
+        "From student Retrieve name, name of advisor.",
+        // Inverse direction: instructors fan out to ~10 advisees each.
+        "From instructor Retrieve name, name of advisees.",
+        // Index nested-loop join between two perspectives.
+        "From student, person Retrieve name of student \
+         Where soc-sec-no of student = soc-sec-no of person.",
+    ] {
+        assert_steps_within(&db, query, 16.0);
+    }
+}
+
+#[test]
+fn selective_indexed_predicate_chooses_a_probe() {
+    let mut db = populated_university(0xCAFE);
+    db.analyze().unwrap();
+    let plan = db.explain("From student Retrieve name Where soc-sec-no = 200001.").unwrap();
+    assert!(plan.used_statistics);
+    assert!(
+        matches!(plan.access.first(), Some(AccessPath::IndexEq { .. })),
+        "a unique-match predicate must probe, not scan: {:?}",
+        plan.explanation
+    );
+
+    // And the probe's estimate says so: about one row out.
+    assert!(
+        plan.estimated_rows <= 4.0,
+        "unique probe should estimate ~1 output row, got {:.1}",
+        plan.estimated_rows
+    );
+}
+
+#[test]
+fn output_estimate_tracks_uniform_predicates() {
+    let mut db = populated_university(0xD1CE);
+    db.analyze().unwrap();
+    // `name = "N17"`: unindexed, uniform share of the ~400-value pool.
+    // The output estimate divides the class by the measured distinct
+    // count, which the uniform pool satisfies within q-error 4.
+    let q = "From student Retrieve soc-sec-no Where name = \"N17\".";
+    let analyzed = db.explain_analyze(q).unwrap();
+    let actual = analyzed.output_rows as u64;
+    let qerr = q_error(analyzed.plan.estimated_rows, actual);
+    assert!(
+        qerr <= 4.0,
+        "output estimate {:.1} vs {} actual rows — q-error {qerr:.2}",
+        analyzed.plan.estimated_rows,
+        actual
+    );
+}

@@ -64,6 +64,11 @@ fn eva_relink_steal() {
     check("eva_relink_steal.simwl");
 }
 
+#[test]
+fn analyze_plan_switch() {
+    check("analyze_plan_switch.simwl");
+}
+
 /// Every corpus file must have a named test above — a seed dropped into
 /// the directory without one would otherwise never run.
 #[test]
@@ -76,6 +81,7 @@ fn every_corpus_file_is_covered() {
         "value_joins.simwl",
         "symbolic_index_range.simwl",
         "eva_relink_steal.simwl",
+        "analyze_plan_switch.simwl",
     ];
     let mut on_disk: Vec<String> = std::fs::read_dir(corpus_dir())
         .unwrap()

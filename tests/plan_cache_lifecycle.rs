@@ -68,3 +68,45 @@ fn cached_plans_do_not_survive_reopening_a_different_database() {
     );
     assert_eq!(a2.query(Q).unwrap().rows(), &[vec![Value::Str("bolt".into())]]);
 }
+
+/// Regression (PR 10): `\analyze` must invalidate cached plans. A plan
+/// costed before statistics existed would otherwise be served forever —
+/// the statistics generation is part of the plan generation precisely so
+/// stale heuristic plans die with the analyze.
+#[test]
+fn analyze_invalidates_cached_plans() {
+    let dir = scratch("plan-cache-analyze");
+    let mut db = Database::create_at(DDL, &dir).unwrap();
+    for i in 0..50 {
+        db.run_one(&format!(r#"Insert part (pno := {i}, name := "p{i}")."#)).unwrap();
+    }
+    db.create_index("part", "pno").unwrap();
+
+    // Warm the cache: first run misses, second hits.
+    db.query(Q).unwrap();
+    db.query(Q).unwrap();
+    let before = db.metrics();
+    assert!(before.counter("query.plan_cache_hits") >= 1, "second run should hit the cache");
+
+    // Heuristic plan: no statistics were available when it was costed.
+    let plan = db.explain(Q).unwrap();
+    assert!(!plan.used_statistics, "no statistics collected yet");
+
+    let summary = db.analyze().unwrap();
+    assert!(summary.classes >= 1 && summary.attributes >= 1, "analyze visited the schema");
+
+    // Same text again: the cached entry's generation is stale, so this is
+    // a miss and the fresh plan is costed from the collected statistics.
+    let misses_before = db.metrics().counter("query.plan_cache_misses");
+    db.query(Q).unwrap();
+    let misses_after = db.metrics().counter("query.plan_cache_misses");
+    assert_eq!(misses_after, misses_before + 1, "analyze must invalidate the cached plan");
+    let plan = db.explain(Q).unwrap();
+    assert!(plan.used_statistics, "re-planned against the fresh statistics");
+
+    // Statistics ride the durable metadata: a reopen keeps them.
+    db.close().unwrap();
+    let db = Database::open(&dir).unwrap();
+    let plan = db.explain(Q).unwrap();
+    assert!(plan.used_statistics, "statistics must survive close/reopen");
+}

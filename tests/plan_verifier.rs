@@ -69,7 +69,7 @@ fn university_corpus_verifies_clean() {
 #[test]
 fn generated_workload_plans_verify_clean() {
     for seed in 0..6u64 {
-        let wl = generate(seed, &GenConfig { steps: 40, control_ops: false });
+        let wl = generate(seed, &GenConfig { steps: 40, control_ops: false, statistics: false });
         let mut db = Database::create(&wl.ddl).unwrap_or_else(|e| panic!("seed {seed} ddl: {e}"));
         for (i, step) in wl.steps.iter().enumerate() {
             match step {
@@ -99,6 +99,9 @@ fn generated_workload_plans_verify_clean() {
                 }
                 Step::HashIndex { class, attr } => {
                     let _ = db.create_hash_index(class, attr);
+                }
+                Step::Analyze => {
+                    let _ = db.analyze();
                 }
                 Step::Checkpoint | Step::Reopen => {}
             }
